@@ -1,0 +1,107 @@
+// Ablation benchmark for the design choices DESIGN.md calls out.
+//
+// Runs the same three-user contended workload under four scheduler
+// variants and prints turnaround/cost/completion so the contribution of
+// each mechanism is visible:
+//   baseline     — utility-ranked selection, speculation, adaptive rebid,
+//                  work-conserving hosts (the shipped configuration)
+//   bid-ranked   — hosts selected by bid size (the intuitive-but-wrong
+//                  policy: drops nearly-free idle hosts)
+//   no-spec      — no speculative straggler re-execution
+//   static-bids  — no adaptive re-bidding (budget/deadline rates stand)
+//   no-workcons  — hosts waste capacity freed by vCPU caps
+#include <cstdio>
+
+#include "workload/experiment.hpp"
+
+namespace {
+
+using namespace gm;
+
+struct VariantResult {
+  std::string name;
+  double mean_time_hours = 0.0;
+  double mean_cost_per_hour = 0.0;
+  double mean_latency_min = 0.0;
+  int finished = 0;
+};
+
+VariantResult RunVariant(const std::string& name,
+                         const workload::BestResponseExperimentConfig& base) {
+  workload::BestResponseExperiment experiment(base);
+  const auto outcomes = experiment.Run();
+  VariantResult result;
+  result.name = name;
+  if (!outcomes.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                 outcomes.status().ToString().c_str());
+    return result;
+  }
+  for (const workload::UserOutcome& outcome : *outcomes) {
+    result.mean_time_hours += outcome.time_hours / outcomes->size();
+    result.mean_cost_per_hour += outcome.cost_per_hour / outcomes->size();
+    result.mean_latency_min += outcome.latency_minutes / outcomes->size();
+    if (outcome.state == grid::JobState::kFinished) ++result.finished;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  workload::BestResponseExperimentConfig base;
+  base.grid.hosts = 12;
+  base.grid.cpus_per_host = 2;
+  base.grid.heterogeneity = 0.3;
+  base.grid.seed = 5;
+  base.budgets = {60.0, 60.0, 60.0};
+  base.job.nodes = 6;
+  base.job.chunks = 18;
+  base.job.chunk_cpu_minutes = 60.0;
+  base.job.wall_time_minutes = 6.0 * 60.0;
+  base.stagger = sim::Minutes(5);
+  base.horizon = sim::Hours(36);
+  base.background.loaded_host_fraction = 0.5;
+  base.background.min_rate_per_hour = 0.5;
+  base.background.max_rate_per_hour = 10.0;
+
+  std::vector<VariantResult> results;
+  results.push_back(RunVariant("baseline", base));
+
+  {
+    auto variant = base;
+    variant.grid.plugin.host_selection =
+        grid::PluginConfig::HostSelection::kBidSize;
+    results.push_back(RunVariant("bid-ranked", variant));
+  }
+  {
+    auto variant = base;
+    variant.grid.plugin.speculative_execution = false;
+    results.push_back(RunVariant("no-spec", variant));
+  }
+  {
+    auto variant = base;
+    variant.grid.plugin.rebid_period = 0;
+    results.push_back(RunVariant("static-bids", variant));
+  }
+  {
+    auto variant = base;
+    variant.grid.work_conserving = false;
+    results.push_back(RunVariant("no-workcons", variant));
+  }
+
+  std::printf("=== Scheduler design ablation (3 users, 12 hosts, shared"
+              " market) ===\n\n");
+  std::printf("%-12s %10s %12s %14s %10s\n", "variant", "time(h)",
+              "cost($/h)", "latency(min)", "finished");
+  for (const VariantResult& result : results) {
+    std::printf("%-12s %10.2f %12.2f %14.1f %7d/3\n", result.name.c_str(),
+                result.mean_time_hours, result.mean_cost_per_hour,
+                result.mean_latency_min, result.finished);
+  }
+  std::printf(
+      "\nreading: 'bid-ranked' chases contested hosts (higher cost and/or\n"
+      "latency); 'no-spec' strands chunks on swamped hosts; 'static-bids'\n"
+      "overspends; 'no-workcons' wastes capped capacity (slower).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 4 reproduction: AR(6) prediction with one-hour forecast and
+// smoothing.
+//
+// 40 hours of spot-price history are collected from a market running a
+// batch workload (sharp price drops when batches complete, the pattern
+// that motivated the smoothing spline). The first 20 h fit the model, the
+// last 20 h validate walk-forward one-hour-ahead forecasts with the
+// paper's error metric
+//     epsilon = mean(sigma_i) / mu_d.
+// Paper result: AR(6)+smoothing eps = 8.96% vs naive persistence 9.44% —
+// the AR model wins by a modest margin. We print both epsilons and a
+// down-sampled (predicted, measured) series.
+#include <cstdio>
+
+#include "core/grid_market.hpp"
+#include "predict/ar_forecaster.hpp"
+
+namespace {
+
+using namespace gm;
+
+std::vector<double> CollectPriceHistory() {
+  GridMarket::Config config;
+  config.hosts = 3;
+  config.seed = 44;
+  GridMarket grid(config);
+  Rng rng(5);
+  for (int u = 0; u < 8; ++u) {
+    GM_ASSERT(grid.RegisterUser("u" + std::to_string(u), 1e8).ok(),
+              "register failed");
+  }
+  // Batch arrivals: every 1-3 hours a user submits a multi-chunk batch
+  // that runs ~1-2 hours and then completes (price drops sharply).
+  sim::SimTime t = 0;
+  while (t < sim::Hours(41)) {
+    grid.RunUntil(t);
+    const std::string user = "u" + std::to_string(rng.NextBelow(8));
+    grid::JobDescription job;
+    job.executable = "/bin/batch";
+    job.job_name = "batch";
+    job.count = 3;
+    job.chunks = 6;
+    job.cpu_time_minutes = 30.0 + rng.Uniform(0.0, 60.0);
+    job.wall_time_minutes = 6.0 * 60.0;
+    (void)grid.SubmitJob(user, job, 20.0 + rng.Uniform(0.0, 60.0));
+    t += sim::Minutes(60 + static_cast<long>(rng.NextBelow(120)));
+  }
+  grid.RunUntil(sim::Hours(41));
+
+  // Per-minute price samples of host 0 over the last 40 hours.
+  const market::PriceHistory& history = grid.auctioneer(0).history();
+  std::vector<double> series;
+  const sim::SimTime start = sim::Hours(1);
+  for (sim::SimTime at = start; at < sim::Hours(41); at += sim::Minutes(1)) {
+    const auto window = history.PricesBetween(at - sim::Minutes(1), at);
+    if (!window.empty()) series.push_back(window.back() * 1e9);  // $/s/GHz
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> series = CollectPriceHistory();
+  GM_ASSERT(series.size() > 2000, "not enough price history");
+  const std::size_t split = series.size() / 2;  // 20 h fit / 20 h validate
+  const std::vector<double> train(series.begin(),
+                                  series.begin() +
+                                      static_cast<std::ptrdiff_t>(split));
+
+  predict::ArForecasterConfig ar_config;
+  ar_config.order = 6;
+  ar_config.spline_lambda = 200.0;
+  const auto forecaster = predict::ArPriceForecaster::Fit(train, ar_config);
+  GM_ASSERT(forecaster.ok(), "AR fit failed");
+
+  // Walk-forward with a one-hour (60-sample) horizon; evaluate every
+  // 10 minutes to keep the harness quick.
+  const int horizon = 60;
+  std::vector<double> ar_predictions, naive_predictions, measurements;
+  for (std::size_t t = split;
+       t + static_cast<std::size_t>(horizon) < series.size(); t += 10) {
+    // Recent context: the trailing 6 hours.
+    const std::size_t lo = t > 360 ? t - 360 : 0;
+    const std::vector<double> recent(
+        series.begin() + static_cast<std::ptrdiff_t>(lo),
+        series.begin() + static_cast<std::ptrdiff_t>(t));
+    ar_predictions.push_back(forecaster->ForecastAt(recent, horizon));
+    naive_predictions.push_back(recent.back());
+    measurements.push_back(series[t + static_cast<std::size_t>(horizon) - 1]);
+  }
+  const auto ar_eps =
+      predict::PredictionEpsilon(ar_predictions, measurements);
+  const auto naive_eps =
+      predict::PredictionEpsilon(naive_predictions, measurements);
+  GM_ASSERT(ar_eps.ok() && naive_eps.ok(), "epsilon failed");
+
+  std::printf("=== Figure 4: AR(6) one-hour-ahead price prediction ===\n");
+  std::printf("training samples: %zu (20 h), validation points: %zu\n",
+              train.size(), measurements.size());
+  std::printf("\n%-36s %8s\n", "model", "epsilon");
+  std::printf("%-36s %7.2f%%\n", "AR(6) + cubic smoothing spline",
+              *ar_eps * 100.0);
+  std::printf("%-36s %7.2f%%\n", "naive (price stays at current)",
+              *naive_eps * 100.0);
+  std::printf("(paper: 8.96%% vs 9.44%% — AR should be lower)\n");
+
+  std::printf("\nvalidation series (every ~100 min): measured vs predicted"
+              " ($/h per GHz)\n");
+  std::printf("%6s %12s %12s\n", "point", "measured", "AR-predicted");
+  for (std::size_t i = 0; i < measurements.size(); i += 10) {
+    std::printf("%6zu %12.5f %12.5f\n", i, measurements[i] * 3600.0,
+                ar_predictions[i] * 3600.0);
+  }
+  return *ar_eps < *naive_eps ? 0 : 2;
+}

@@ -1,0 +1,97 @@
+// Figure 6 reproduction: price distribution within three time windows.
+//
+// A market runs for just over a simulated week with a regime change in
+// load (a quiet week, then a busy final day, then a calm last hour), and
+// we print the auctioneer's slot-table price distribution for the hour,
+// day and week windows. The paper reads its version of this figure as:
+// different windows can disagree strongly — e.g. recent prices cluster in
+// low brackets while the day/week mass sits in expensive brackets — which
+// is what tells a user which prediction model applies.
+#include <cstdio>
+
+#include "core/grid_market.hpp"
+#include "math/distributions.hpp"
+
+int main() {
+  using namespace gm;
+  GridMarket::Config config;
+  config.hosts = 2;
+  config.seed = 99;
+  GridMarket grid(config);
+  Rng rng(31);
+  for (int u = 0; u < 6; ++u) {
+    GM_ASSERT(grid.RegisterUser("u" + std::to_string(u), 1e9).ok(),
+              "register failed");
+  }
+
+  auto submit_load = [&](double budget, double cpu_minutes) {
+    const std::string user = "u" + std::to_string(rng.NextBelow(6));
+    grid::JobDescription job;
+    job.executable = "/bin/batch";
+    job.job_name = "load";
+    job.count = 2;
+    job.chunks = 2;
+    job.cpu_time_minutes = cpu_minutes;
+    job.wall_time_minutes = 8 * 60.0;
+    (void)grid.SubmitJob(user, job, budget);
+  };
+
+  // A busy week: frequent contending jobs keep prices in the upper
+  // brackets (the paper's trace shows the week/day mass in the most
+  // expensive bracket)...
+  for (sim::SimTime t = 0; t < 7 * sim::kDay - sim::Hours(3);
+       t += sim::Minutes(40 + static_cast<long>(rng.NextBelow(40)))) {
+    grid.RunUntil(t);
+    submit_load(20.0 + rng.Uniform(0.0, 80.0), 30.0 + rng.Uniform(0.0, 40.0));
+  }
+  // ...followed by a calm final stretch: submissions stop, jobs drain,
+  // and the most recent window collapses into the lowest price bracket.
+  grid.RunUntil(7 * sim::kDay);
+
+  std::printf("=== Figure 6: price distribution in three windows ===\n");
+  std::printf("host h00, %zu price snapshots\n\n",
+              grid.auctioneer(0).history().size());
+  const char* windows[] = {"hour", "day", "week"};
+  std::printf("%-22s %10s %10s %10s\n", "price bracket ($/h/GHz)",
+              "last hour", "last day", "last week");
+  const auto hour = grid.auctioneer(0).Distribution("hour");
+  const auto day = grid.auctioneer(0).Distribution("day");
+  const auto week = grid.auctioneer(0).Distribution("week");
+  GM_ASSERT(hour.ok() && day.ok() && week.ok(), "distributions missing");
+  (void)windows;
+  const auto hp = (*hour)->Proportions();
+  const auto dp = (*day)->Proportions();
+  const auto wp = (*week)->Proportions();
+  // All tables share slot geometry policy but may have expanded
+  // differently; print each against its own brackets, normalized to the
+  // widest (week) table for comparability.
+  const std::size_t slots = (*week)->slot_count();
+  for (std::size_t j = 0; j < slots; ++j) {
+    const double lo = (*week)->slot_lower(j) * 1e9 * 3600.0;
+    const double hi = lo + (*week)->slot_width() * 1e9 * 3600.0;
+    // Re-bucket hour/day proportions into the week geometry.
+    auto rebucket = [&](const market::SlotTable& table,
+                        const std::vector<double>& proportions) {
+      double mass = 0.0;
+      for (std::size_t k = 0; k < table.slot_count(); ++k) {
+        const double center = (table.slot_lower(k) +
+                               0.5 * table.slot_width()) * 1e9 * 3600.0;
+        if (center >= lo && center < hi) mass += proportions[k];
+      }
+      return mass;
+    };
+    std::printf("[%8.5f, %8.5f)  %9.3f %10.3f %10.3f\n", lo, hi,
+                rebucket(**hour, hp), rebucket(**day, dp),
+                rebucket(**week, wp));
+  }
+  std::printf("\nwindow moments (mean / sigma / skew / kurtosis):\n");
+  for (const char* window : {"hour", "day", "week"}) {
+    const auto moments = grid.auctioneer(0).Moments(window);
+    GM_ASSERT(moments.ok(), "moments missing");
+    std::printf("  %-5s %10.5f %10.5f %8.2f %8.2f\n", window,
+                (*moments)->mean() * 1e9 * 3600.0,
+                (*moments)->stddev() * 1e9 * 3600.0,
+                (*moments)->skewness(), (*moments)->kurtosis());
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 7 reproduction: window approximation of Normal, Exponential and
+// Beta distributions.
+//
+// Each distribution is sampled through the dual-array slot table with a
+// time lag of half the window (the point of maximum noise from
+// out-of-window data, per the paper): the first half-window carries
+// uniform noise, the measured window carries the target distribution.
+// We print approximated vs measured slot proportions and the total
+// variation distance; the approximation should track the measured
+// distribution closely.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "math/distributions.hpp"
+#include "math/histogram.hpp"
+#include "market/slot_table.hpp"
+
+namespace {
+
+using namespace gm;
+
+struct Case {
+  const char* name;
+  std::function<double(Rng&)> sample;
+};
+
+double RunCase(const Case& test_case, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t window = 400;
+  const std::size_t slots = 20;
+  market::SlotTable table(window, slots, 1.0);
+  math::Histogram measured(0.0, 1.0, slots);
+
+  // Lag of half a window filled with uniform noise (out-of-window data).
+  for (std::size_t i = 0; i < window / 2; ++i) table.Add(rng.NextDouble());
+  // One full window of the target distribution; the measured histogram
+  // sees exactly these samples.
+  for (std::size_t i = 0; i < window; ++i) {
+    const double x = std::clamp(test_case.sample(rng), 0.0, 0.999999);
+    table.Add(x);
+    measured.Add(x);
+  }
+
+  const auto approx = table.Proportions();
+  std::printf("\n--- %s ---\n", test_case.name);
+  std::printf("%-16s %12s %12s\n", "bracket", "approx", "measured");
+  double tv = 0.0;
+  for (std::size_t j = 0; j < slots; ++j) {
+    // Table may have expanded if a sample hit exactly the top; with the
+    // clamp above it keeps the [0,1) geometry.
+    const double measured_p = measured.Proportion(j);
+    std::printf("[%4.2f, %4.2f)     %12.4f %12.4f\n",
+                table.slot_lower(j), table.slot_lower(j) + table.slot_width(),
+                approx[j], measured_p);
+    tv += std::abs(approx[j] - measured_p);
+  }
+  tv *= 0.5;
+  std::printf("total variation distance: %.4f\n", tv);
+  return tv;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 7: window approximation of distributions ===\n");
+  std::printf("window n=400 snapshots, lag n/2 of uniform noise\n");
+
+  math::NormalSampler normal(0.5, 0.15);
+  math::ExponentialSampler exponential(2.0);
+  math::BetaSampler beta(5.0, 1.0);
+  const Case cases[] = {
+      {"Normal(0.5, 0.15)", [&](Rng& rng) { return normal.Sample(rng); }},
+      {"Exponential(2)", [&](Rng& rng) { return exponential.Sample(rng); }},
+      {"Beta(5, 1)", [&](Rng& rng) { return beta.Sample(rng); }},
+  };
+  bool all_close = true;
+  std::uint64_t seed = 100;
+  for (const Case& test_case : cases) {
+    const double tv = RunCase(test_case, seed++);
+    // The paper: "in general the approximations followed the actual
+    // distributions closely".
+    if (tv > 0.25) all_close = false;
+  }
+  std::printf("\n(paper: approximations follow the actual distributions"
+              " closely; small-sigma normals may shift slightly)\n");
+  return all_close ? 0 : 2;
+}

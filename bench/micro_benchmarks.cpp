@@ -1,0 +1,180 @@
+// Microbenchmarks of the hot paths: bid optimization, auction ticks,
+// crypto primitives, prediction fits and the simulation kernel.
+#include <benchmark/benchmark.h>
+
+#include "bestresponse/best_response.hpp"
+#include "common/rng.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "market/auctioneer.hpp"
+#include "market/slot_table.hpp"
+#include "market/window_stats.hpp"
+#include "math/ar_model.hpp"
+#include "math/matrix.hpp"
+#include "math/spline.hpp"
+#include "sim/kernel.hpp"
+
+namespace gm {
+namespace {
+
+void BM_BestResponseSolve(benchmark::State& state) {
+  const std::size_t hosts = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<br::HostBidInput> inputs;
+  for (std::size_t j = 0; j < hosts; ++j) {
+    inputs.push_back({"h" + std::to_string(j), rng.Uniform(1e9, 4e9),
+                      rng.Uniform(1e-5, 1e-2)});
+  }
+  br::BestResponseSolver solver;
+  for (auto _ : state) {
+    auto result = solver.Solve(inputs, 0.01);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * hosts);
+}
+BENCHMARK(BM_BestResponseSolve)->Arg(15)->Arg(100)->Arg(600);
+
+void BM_AuctioneerTick(benchmark::State& state) {
+  const int users = static_cast<int>(state.range(0));
+  sim::Kernel kernel;
+  host::HostSpec spec;
+  spec.id = "bench";
+  spec.cpus = 2;
+  spec.cycles_per_cpu = GHz(3.0);
+  spec.vm_boot_time = 0;
+  spec.max_vms = users;
+  host::PhysicalHost host(spec);
+  market::Auctioneer auctioneer(host, kernel);
+  for (int u = 0; u < users; ++u) {
+    const std::string user = "u" + std::to_string(u);
+    (void)auctioneer.OpenAccount(user);
+    (void)auctioneer.Fund(user, DollarsToMicros(1e9));
+    (void)auctioneer.SetBid(user, 1000 + u, sim::Hours(1e6));
+    auto vm = auctioneer.AcquireVm(user);
+    (*vm)->Enqueue({1, 1e18, nullptr});
+  }
+  for (auto _ : state) {
+    auctioneer.Tick();
+    benchmark::DoNotOptimize(auctioneer.SpotPriceRate());
+  }
+}
+BENCHMARK(BM_AuctioneerTick)->Arg(2)->Arg(15);
+
+void BM_Sha256(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const std::string payload(size, 'x');
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::Hash(payload);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  Rng rng(2);
+  const auto keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng);
+  for (auto _ : state) {
+    auto signature = keys.Sign("transfer token payload", rng);
+    benchmark::DoNotOptimize(signature);
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  Rng rng(3);
+  const auto keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng);
+  const auto signature = keys.Sign("transfer token payload", rng);
+  for (auto _ : state) {
+    bool ok = keys.public_key().Verify("transfer token payload", signature);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ArFit(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> series;
+  double level = 1.0;
+  for (int i = 0; i < 2000; ++i) {
+    level = 0.9 * level + rng.Uniform(0.0, 0.2);
+    series.push_back(level);
+  }
+  for (auto _ : state) {
+    auto model = math::ArModel::Fit(series, 6);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ArFit);
+
+void BM_SmoothingSplineFit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    auto fit = math::SmoothingSpline::Fit(x, y, 50.0);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SmoothingSplineFit)->Arg(500)->Arg(5000);
+
+void BM_WindowMomentsAdd(benchmark::State& state) {
+  market::WindowMoments moments(8640);
+  Rng rng(6);
+  for (auto _ : state) {
+    moments.Add(rng.NextDouble());
+    benchmark::DoNotOptimize(moments.mean());
+  }
+}
+BENCHMARK(BM_WindowMomentsAdd);
+
+void BM_SlotTableAdd(benchmark::State& state) {
+  market::SlotTable table(8640, 20, 1.0);
+  Rng rng(7);
+  for (auto _ : state) {
+    table.Add(rng.NextDouble());
+  }
+  benchmark::DoNotOptimize(table.Proportions());
+}
+BENCHMARK(BM_SlotTableAdd);
+
+void BM_KernelEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    for (int i = 0; i < 1000; ++i) {
+      kernel.ScheduleAt(i, [] {});
+    }
+    benchmark::DoNotOptimize(kernel.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_KernelEventThroughput);
+
+void BM_LuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  math::Matrix a(n, n);
+  math::Vector b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    b[r] = rng.Uniform(-1.0, 1.0);
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.Uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);
+  }
+  for (auto _ : state) {
+    auto x = math::SolveLinear(a, b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace gm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Table 1 reproduction: equal distribution of funds.
+//
+// Five users fund the same proteome-scan job equally. The paper observes
+// that the first users to submit (cheap, idle market) spread across the
+// full 15 nodes, while later users face higher prices: Best Response funds
+// fewer hosts and their sub-jobs run slower.
+//
+// Paper's measured rows (HPDC'06, Table 1):
+//   Users 1-2:  Time 7.16 h  Cost 4.19 $/h  Latency 28.66 min/job  Nodes 15
+//   Users 3-5:  Time 6.36 h  Cost 4.28 $/h  Latency 45.49 min/job  Nodes 8.7
+// The reproduction target is the *shape*: later users see fewer nodes and
+// higher per-chunk latency at comparable cost.
+#include <cstdio>
+
+#include "experiment_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gm;
+  // Optional key=value overrides for parameter exploration, e.g.
+  //   table1_equal_funding wall_hours=16 loaded=0.8 bg_max=20
+  const auto overrides = Config::FromArgs(argc - 1, argv + 1);
+  if (!overrides.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n",
+                 overrides.status().ToString().c_str());
+    return 1;
+  }
+  const double budget = overrides->GetDouble("budget", 100.0);
+  auto config = bench::PaperTestbed(
+      /*budgets=*/{budget, budget, budget, budget, budget},
+      /*wall_minutes=*/overrides->GetDouble("wall_hours", 8.0) * 60.0);
+  config.background.loaded_host_fraction =
+      overrides->GetDouble("loaded", config.background.loaded_host_fraction);
+  config.background.min_rate_per_hour =
+      overrides->GetDouble("bg_min", config.background.min_rate_per_hour);
+  config.background.max_rate_per_hour =
+      overrides->GetDouble("bg_max", config.background.max_rate_per_hour);
+  config.grid.seed =
+      static_cast<std::uint64_t>(overrides->GetInt("seed", 20060619));
+  config.stagger =
+      sim::Minutes(overrides->GetDouble("stagger_min",
+                                        sim::ToMinutes(config.stagger)));
+  workload::BestResponseExperiment experiment(std::move(config));
+  const auto outcomes = experiment.Run();
+  if (!outcomes.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 outcomes.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== Table 1: Equal Distribution of Funds ===\n");
+  std::printf("(paper: users 1-2 -> 15 nodes, users 3-5 -> 8.7 nodes at\n"
+              " higher latency; our adaptive equilibrium agents reproduce\n"
+              " the node concentration and completion-time ordering, but\n"
+              " later users concentrate onto better hosts, so their chunk\n"
+              " latency is not degraded — see EXPERIMENTS.md)\n\n");
+  bench::PrintOutcomes(*outcomes);
+  std::printf("\n");
+  const std::vector<workload::GroupSummary> groups{
+      workload::BestResponseExperiment::Summarize(*outcomes, 0, 1, "1-2"),
+      workload::BestResponseExperiment::Summarize(*outcomes, 2, 4, "3-5"),
+  };
+  std::printf("%s", workload::BestResponseExperiment::RenderTable(groups).c_str());
+  return 0;
+}

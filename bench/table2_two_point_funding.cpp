@@ -1,0 +1,45 @@
+// Table 2 reproduction: two-point distribution of funds.
+//
+// Users fund their jobs with 100, 100, 500, 500, 500 dollars under a
+// 5.5-hour deadline. The highly funded jobs force the earlier, cheaper
+// jobs to shrink: they finish faster and pay a higher $/h rate.
+//
+// Paper's measured rows (HPDC'06, Table 2):
+//   Users 1-2 ($100): Time 7.07 h  Cost  5.10 $/h  Latency 29.31  Nodes 14.5
+//   Users 3-5 ($500): Time 4.16 h  Cost 10.90 $/h  Latency 23.46  Nodes 11
+// Reproduction target: the $500 group completes sooner with lower chunk
+// latency while paying a substantially higher cost rate.
+#include <cstdio>
+
+#include "experiment_common.hpp"
+
+int main() {
+  using namespace gm;
+  auto config = bench::PaperTestbed(
+      /*budgets=*/{100.0, 100.0, 500.0, 500.0, 500.0},
+      /*wall_minutes=*/5.5 * 60.0);
+  // The $100 jobs may legitimately outlive the 5.5 h deadline in this
+  // contention regime; give the simulation room to observe it.
+  config.horizon = sim::Hours(24);
+  workload::BestResponseExperiment experiment(std::move(config));
+  const auto outcomes = experiment.Run();
+  if (!outcomes.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 outcomes.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== Table 2: Two-Point Distribution of Funds ===\n");
+  std::printf("(paper: $500 users finish in 4.16 h at 10.9 $/h vs"
+              " $100 users 7.07 h at 5.1 $/h)\n\n");
+  bench::PrintOutcomes(*outcomes);
+  std::printf("\n");
+  const std::vector<workload::GroupSummary> groups{
+      workload::BestResponseExperiment::Summarize(*outcomes, 0, 1,
+                                                  "1-2($100)"),
+      workload::BestResponseExperiment::Summarize(*outcomes, 2, 4,
+                                                  "3-5($500)"),
+  };
+  std::printf("%s", workload::BestResponseExperiment::RenderTable(groups).c_str());
+  return 0;
+}

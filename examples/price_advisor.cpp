@@ -1,0 +1,179 @@
+// The price/performance advisor: the user-facing side of the paper's
+// prediction suite (Section 4). Answers the question its users actually
+// asked: "how much money does my job need?"
+//
+//   $ ./price_advisor
+//
+// Runs a market under load for two simulated days, then consults all
+// three predictors:
+//   1. the stateless normal model — budget for a target capacity or
+//      deadline at 80/90/99% guarantees (Eq. 6),
+//   2. the AR(6)+spline forecaster — where prices head in the next hour,
+//   3. Markowitz portfolios — how to split money across hosts at minimum
+//      risk.
+#include <cstdio>
+
+#include "core/grid_market.hpp"
+#include "math/distributions.hpp"
+#include "math/stats.hpp"
+#include "predict/ar_forecaster.hpp"
+#include "predict/normal_model.hpp"
+#include "predict/empirical_model.hpp"
+#include "predict/portfolio.hpp"
+#include "predict/sla.hpp"
+
+namespace {
+
+using namespace gm;
+
+void GenerateLoad(GridMarket& grid, Rng& rng, sim::SimDuration duration) {
+  for (int u = 0; u < 10; ++u) {
+    GM_ASSERT(grid.RegisterUser("tenant" + std::to_string(u), 1e7).ok(),
+              "register failed");
+  }
+  for (sim::SimTime t = 0; t < duration; t += sim::Minutes(30)) {
+    grid.RunUntil(t);
+    grid::JobDescription job;
+    job.executable = "/bin/service";
+    job.job_name = "tenant-load";
+    job.count = 2;
+    job.chunks = 4;
+    job.cpu_time_minutes = 20.0 + rng.Uniform(0.0, 40.0);
+    job.wall_time_minutes = 90.0;
+    (void)grid.SubmitJob("tenant" + std::to_string(rng.NextBelow(10)), job,
+                         10.0 + rng.Uniform(0.0, 40.0));
+  }
+  grid.RunUntil(duration);
+}
+
+}  // namespace
+
+int main() {
+  GridMarket::Config config;
+  config.hosts = 6;
+  GridMarket grid(config);
+  Rng rng(8);
+  GenerateLoad(grid, rng, sim::Hours(48));
+
+  // ---- 1. Stateless normal model --------------------------------------
+  const auto stats = grid.HostPriceStats("day");
+  GM_ASSERT(stats.ok(), "no price stats");
+  std::printf("=== Normal-model budget advice (day window) ===\n");
+  std::printf("%-6s %10s %12s %12s %14s\n", "host", "cap(GHz)",
+              "mu($/h)", "sigma($/h)", "knee($/day)");
+  for (const auto& host : *stats) {
+    predict::NormalPricePredictor predictor(host);
+    std::printf("%-6s %10.2f %12.4f %12.4f %14.2f\n", host.host_id.c_str(),
+                host.capacity / 1e9, host.mean_price * 3600,
+                host.stddev_price * 3600,
+                predictor.RecommendedBudget(0.9) * 86400);
+  }
+
+  // A job needing 2e13 cycles within 2 hours:
+  const Cycles work = 2e13;
+  const double deadline_s = 2.0 * 3600.0;
+  std::printf("\njob of %.0e cycles due in 2 h needs, per guarantee:\n",
+              work);
+  for (const double p : {0.80, 0.90, 0.99}) {
+    const auto budget = predict::BudgetForDeadline(*stats, work, deadline_s, p);
+    if (budget.ok()) {
+      std::printf("  %2.0f%% guarantee: spend rate $%.4f/h  (total ~$%.3f)\n",
+                  p * 100, *budget * 3600, *budget * deadline_s);
+    } else {
+      std::printf("  %2.0f%% guarantee: %s\n", p * 100,
+                  budget.status().ToString().c_str());
+    }
+  }
+
+  // ---- 2. AR forecaster -----------------------------------------------
+  const auto& history = grid.auctioneer(0).history();
+  std::vector<double> series;
+  for (std::size_t i = history.size() > 4320 ? history.size() - 4320 : 0;
+       i < history.size(); ++i) {
+    series.push_back(history.at(i).price * 1e9);
+  }
+  const auto forecaster = predict::ArPriceForecaster::Fit(series, {6, 100.0});
+  std::printf("\n=== AR(6) one-hour forecast for host h00 ===\n");
+  if (forecaster.ok()) {
+    const double now_price = series.back();
+    const double mean_price = math::Mean(series);
+    const double in_1h = forecaster->ForecastAt(series, 360);
+    std::printf("current price:    %.6f $/h/GHz\n", now_price * 3600);
+    std::printf("12 h mean price:  %.6f $/h/GHz\n", mean_price * 3600);
+    std::printf("forecast (+1 h):  %.6f $/h/GHz\n", in_1h * 3600);
+    std::printf("(the forecast mean-reverts toward the recent average on a"
+                " spiky market)\n");
+  } else {
+    std::printf("fit failed: %s\n", forecaster.status().ToString().c_str());
+  }
+
+  // ---- 2b. Distribution-free (empirical) model ------------------------
+  // Quantiles straight from the auctioneer's slot table: no normality
+  // assumption (the paper's "arbitrary distributions" future work).
+  std::printf("\n=== Empirical vs normal 90%%-quantile price, per host ===\n");
+  std::printf("%-6s %16s %16s\n", "host", "empirical($/h)", "normal($/h)");
+  for (std::size_t h = 0; h < grid.host_count(); ++h) {
+    const auto table = grid.auctioneer(h).Distribution("day");
+    if (!table.ok()) continue;
+    const auto& host_stats = (*stats)[h];
+    const double host_scale =
+        grid.auctioneer(h).physical_host().TotalCapacity();
+    const auto empirical = predict::EmpiricalPricePredictor::FromSlotTable(
+        host_stats.host_id, host_stats.capacity, host_scale, **table);
+    if (!empirical.ok()) continue;
+    predict::NormalPricePredictor normal(host_stats);
+    std::printf("%-6s %16.4f %16.4f\n", host_stats.host_id.c_str(),
+                empirical->PriceQuantile(0.9) * 3600,
+                normal.PriceQuantile(0.9) * 3600);
+  }
+
+  // ---- 2c. SLA quote ----------------------------------------------------
+  predict::SlaQuoter quoter(*stats, /*markup=*/0.15, /*penalty_factor=*/1.0);
+  predict::SlaTerms terms;
+  terms.capacity = 4e9;
+  terms.duration_seconds = 4 * 3600.0;
+  std::printf("\n=== SLA quotes: hold 4 GHz for 4 h ===\n");
+  std::printf("%10s %14s %12s %14s\n", "guarantee", "procure($)", "fee($)",
+              "penalty($)");
+  for (const double p : {0.80, 0.90, 0.99}) {
+    terms.guarantee = p;
+    const auto quote = quoter.Quote(terms);
+    if (quote.ok()) {
+      std::printf("%9.0f%% %14.4f %12.4f %14.4f\n", p * 100,
+                  quote->procurement_cost, quote->fee,
+                  quote->penalty_payout);
+    } else {
+      std::printf("%9.0f%% %s\n", p * 100,
+                  quote.status().ToString().c_str());
+    }
+  }
+
+  // ---- 3. Portfolio selection ------------------------------------------
+  // Returns = capacity per dollar, sampled from each host's recent history.
+  // Work in $/h per GHz and floor free intervals at one cent so the
+  // inverse-price returns stay well conditioned.
+  std::vector<std::vector<double>> returns(grid.host_count());
+  for (std::size_t h = 0; h < grid.host_count(); ++h) {
+    const auto& host_history = grid.auctioneer(h).history();
+    const auto prices = host_history.LastPrices(2000);
+    for (const double price : prices) {
+      const double per_ghz_hour = price * 1e9 * 3600.0;
+      returns[h].push_back(predict::ReturnFromPrice(per_ghz_hour, 0.01));
+    }
+  }
+  const auto optimizer = predict::PortfolioOptimizer::FromReturnSeries(
+      returns, /*ridge=*/1e-3);
+  std::printf("\n=== Minimum-risk portfolio across hosts ===\n");
+  if (optimizer.ok()) {
+    const auto min_var = optimizer->MinimumVariance();
+    if (min_var.ok()) {
+      const auto weights = predict::ClampLongOnly(min_var->weights);
+      for (std::size_t h = 0; h < weights.size(); ++h)
+        std::printf("  h%02zu: %5.1f%%\n", h, weights[h] * 100.0);
+    }
+  } else {
+    std::printf("estimation failed: %s\n",
+                optimizer.status().ToString().c_str());
+  }
+  return 0;
+}

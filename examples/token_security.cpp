@@ -1,0 +1,147 @@
+// The security model, attack by attack (paper Section 3.1).
+//
+//   $ ./token_security
+//
+// Demonstrates the capability-based authorization flow — bank transfer,
+// signed (receipt || DN) mapping, broker-side verification — and shows
+// each defense firing: forged receipts, inflated amounts, middleman DN
+// swaps, double spends, payments to the wrong broker, and unknown
+// identities. No access control lists appear anywhere.
+#include <cstdio>
+
+#include "bank/bank.hpp"
+#include "crypto/identity.hpp"
+#include "grid/auth.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace gm;
+
+int checks_passed = 0;
+int checks_failed = 0;
+
+void Expect(bool condition, const char* what) {
+  std::printf("  [%s] %s\n", condition ? "ok" : "FAIL", what);
+  (condition ? checks_passed : checks_failed) += 1;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2006);
+  const crypto::SchnorrGroup& group = crypto::TestGroup();
+
+  std::printf("== setup: bank, CA, broker, two users ==\n");
+  bank::Bank bank(group, rng.Next());
+  crypto::CertificateAuthority ca(
+      {"SE", "SweGrid", "CA", "SweGrid Root"}, group, rng);
+
+  const auto alice_keys = crypto::KeyPair::Generate(group, rng);
+  const auto mallory_keys = crypto::KeyPair::Generate(group, rng);
+  const crypto::DistinguishedName alice_dn{"SE", "KTH", "PDC", "alice"};
+  const crypto::DistinguishedName mallory_dn{"SE", "KTH", "PDC", "mallory"};
+
+  (void)bank.CreateAccount("alice", alice_keys.public_key());
+  (void)bank.CreateAccount("mallory", mallory_keys.public_key());
+  (void)bank.CreateAccount("broker", {});
+  (void)bank.Mint("alice", DollarsToMicros(1000), 0);
+  (void)bank.Mint("mallory", DollarsToMicros(10), 0);
+
+  grid::TokenAuthorizer authorizer(bank, "broker");
+  (void)authorizer.RegisterIdentity(
+      ca.Issue(alice_dn, alice_keys.public_key(), 0, sim::kDay * 365, rng),
+      ca, 0);
+  (void)authorizer.RegisterIdentity(
+      ca.Issue(mallory_dn, mallory_keys.public_key(), 0, sim::kDay * 365,
+               rng),
+      ca, 0);
+  std::printf("  broker trusts DNs: %s, %s\n\n", alice_dn.ToString().c_str(),
+              mallory_dn.ToString().c_str());
+
+  // Alice pays $200 to the broker and binds the receipt to her DN.
+  const auto pay = [&](Micros amount) -> crypto::TransferToken {
+    const auto nonce = bank.TransferNonce("alice");
+    const auto auth = alice_keys.Sign(
+        bank::TransferAuthPayload("alice", "broker", amount, *nonce), rng);
+    const auto receipt = bank.Transfer("alice", "broker", amount, auth, 0);
+    return crypto::MintToken(*receipt, alice_dn.ToString(), alice_keys, rng);
+  };
+
+  std::printf("== the honest flow ==\n");
+  const crypto::TransferToken token = pay(DollarsToMicros(200));
+  const auto funds = authorizer.Authorize(token, 0);
+  Expect(funds.ok(), "valid token accepted");
+  if (funds.ok()) {
+    std::printf("  funds: %s in sub-account %s for %s\n",
+                FormatMoney(funds->amount).c_str(),
+                funds->sub_account.c_str(), funds->grid_dn.c_str());
+  }
+
+  std::printf("\n== attacks ==\n");
+
+  // 1. Replay (double spend).
+  Expect(authorizer.Authorize(token, 1).status().code() ==
+             StatusCode::kAlreadyExists,
+         "double spend rejected (token registry)");
+
+  // 2. Middleman swaps the DN to route the capability to mallory.
+  crypto::TransferToken swapped = pay(DollarsToMicros(50));
+  swapped.grid_dn = mallory_dn.ToString();
+  Expect(!authorizer.Authorize(swapped, 2).ok(),
+         "DN swap rejected (payer signature no longer matches)");
+
+  // 3. ... even when mallory re-signs the mapping with her own key.
+  swapped.owner_signature = mallory_keys.Sign(swapped.MappingPayload(), rng);
+  Expect(!authorizer.Authorize(swapped, 3).ok(),
+         "re-signed DN swap rejected (wrong key for paying account)");
+
+  // 4. Inflated amount, re-signed by the owner: bank ledger disagrees.
+  crypto::TransferToken inflated = pay(DollarsToMicros(10));
+  inflated.receipt.amount = DollarsToMicros(100000);
+  inflated.owner_signature =
+      alice_keys.Sign(inflated.MappingPayload(), rng);
+  Expect(!authorizer.Authorize(inflated, 4).ok(),
+         "inflated receipt rejected (bank signature + ledger)");
+
+  // 5. Fully fabricated receipt signed by mallory as 'the bank'.
+  crypto::TransferReceipt fake;
+  fake.receipt_id = "rcpt-999999-cafebabe0000";
+  fake.from_account = "alice";
+  fake.to_account = "broker";
+  fake.amount = DollarsToMicros(5000);
+  fake.bank_signature = mallory_keys.Sign(fake.SigningPayload(), rng);
+  const auto forged =
+      crypto::MintToken(fake, alice_dn.ToString(), alice_keys, rng);
+  Expect(!authorizer.Authorize(forged, 5).ok(),
+         "forged bank receipt rejected");
+
+  // 6. Payment into a different account presented to this broker.
+  (void)bank.CreateAccount("other-broker", {});
+  const auto nonce = bank.TransferNonce("alice");
+  const auto auth = alice_keys.Sign(
+      bank::TransferAuthPayload("alice", "other-broker",
+                                DollarsToMicros(10), *nonce),
+      rng);
+  const auto misdirected = bank.Transfer("alice", "other-broker",
+                                         DollarsToMicros(10), auth, 0);
+  const auto misdirected_token = crypto::MintToken(
+      *misdirected, alice_dn.ToString(), alice_keys, rng);
+  Expect(authorizer.Authorize(misdirected_token, 6).status().code() ==
+             StatusCode::kPermissionDenied,
+         "payment to a different broker rejected");
+
+  // 7. Stranger without a registered certificate.
+  crypto::TransferToken stranger = pay(DollarsToMicros(10));
+  stranger.grid_dn = "/C=XX/O=Nowhere/CN=stranger";
+  Expect(authorizer.Authorize(stranger, 7).status().code() ==
+             StatusCode::kUnauthenticated,
+         "unregistered Grid identity rejected");
+
+  // Conservation after all that: nothing minted or destroyed.
+  Expect(bank.CheckInvariants().ok(), "bank conservation holds");
+
+  std::printf("\n%d checks passed, %d failed\n", checks_passed,
+              checks_failed);
+  return checks_failed == 0 ? 0 : 2;
+}

@@ -1,0 +1,190 @@
+#include "bank/bank.hpp"
+
+#include "common/strings.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gm::bank {
+
+std::string TransferAuthPayload(const std::string& from, const std::string& to,
+                                Micros amount, std::uint64_t nonce) {
+  return StrFormat("auth|from=%s|to=%s|amount=%lld|nonce=%llu", from.c_str(),
+                   to.c_str(), static_cast<long long>(amount),
+                   static_cast<unsigned long long>(nonce));
+}
+
+Bank::Bank(const crypto::SchnorrGroup& group, std::uint64_t seed)
+    : rng_(seed), keys_(crypto::KeyPair::Generate(group, rng_)) {}
+
+Account* Bank::Find(const std::string& id) {
+  const auto it = accounts_.find(id);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+const Account* Bank::Find(const std::string& id) const {
+  const auto it = accounts_.find(id);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Status Bank::CreateAccount(const std::string& id,
+                           const crypto::PublicKey& owner_key) {
+  if (id.empty()) return Status::InvalidArgument("empty account id");
+  if (Find(id) != nullptr)
+    return Status::AlreadyExists("account exists: " + id);
+  Account account;
+  account.id = id;
+  account.owner_key = owner_key;
+  accounts_.emplace(id, std::move(account));
+  audit_.push_back({0, "create", "", id, 0});
+  return Status::Ok();
+}
+
+Status Bank::CreateSubAccount(const std::string& parent,
+                              const std::string& sub_id) {
+  const Account* parent_account = Find(parent);
+  if (parent_account == nullptr)
+    return Status::NotFound("parent account: " + parent);
+  if (sub_id.empty()) return Status::InvalidArgument("empty account id");
+  if (Find(sub_id) != nullptr)
+    return Status::AlreadyExists("account exists: " + sub_id);
+  Account account;
+  account.id = sub_id;
+  account.parent = parent;
+  accounts_.emplace(sub_id, std::move(account));
+  audit_.push_back({0, "sub_create", parent, sub_id, 0});
+  return Status::Ok();
+}
+
+Status Bank::Mint(const std::string& id, Micros amount, std::int64_t now_us) {
+  if (amount <= 0) return Status::InvalidArgument("mint amount must be > 0");
+  Account* account = Find(id);
+  if (account == nullptr) return Status::NotFound("account: " + id);
+  account->balance += amount;
+  total_minted_ += amount;
+  audit_.push_back({now_us, "mint", "", id, amount});
+  return Status::Ok();
+}
+
+Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
+                                                      const std::string& to,
+                                                      Micros amount,
+                                                      std::int64_t now_us) {
+  Account* src = Find(from);
+  Account* dst = Find(to);
+  if (src == nullptr) return Status::NotFound("account: " + from);
+  if (dst == nullptr) return Status::NotFound("account: " + to);
+  if (amount <= 0)
+    return Status::InvalidArgument("transfer amount must be > 0");
+  if (src->balance < amount)
+    return Status::FailedPrecondition(
+        StrFormat("insufficient funds in %s: has %s, needs %s", from.c_str(),
+                  FormatMoney(src->balance).c_str(),
+                  FormatMoney(amount).c_str()));
+  src->balance -= amount;
+  dst->balance += amount;
+
+  crypto::TransferReceipt receipt;
+  receipt.receipt_id = StrFormat(
+      "rcpt-%06llu-%s", static_cast<unsigned long long>(next_receipt_),
+      crypto::Sha256::HexDigest(from + "|" + to + "|" +
+                                std::to_string(next_receipt_))
+          .substr(0, 12)
+          .c_str());
+  ++next_receipt_;
+  receipt.from_account = from;
+  receipt.to_account = to;
+  receipt.amount = amount;
+  receipt.issued_at_us = now_us;
+  receipt.bank_signature = keys_.Sign(receipt.SigningPayload(), rng_);
+  issued_receipts_.emplace(receipt.receipt_id, receipt);
+  audit_.push_back({now_us, "transfer", from, to, amount});
+  return receipt;
+}
+
+Result<crypto::TransferReceipt> Bank::Transfer(const std::string& from,
+                                               const std::string& to,
+                                               Micros amount,
+                                               const crypto::Signature& auth,
+                                               std::int64_t now_us) {
+  Account* src = Find(from);
+  if (src == nullptr) return Status::NotFound("account: " + from);
+  if (!(src->owner_key == crypto::PublicKey())) {
+    const std::string payload =
+        TransferAuthPayload(from, to, amount, src->transfer_nonce);
+    if (!src->owner_key.Verify(payload, auth))
+      return Status::Unauthenticated("transfer authorization invalid");
+  } else {
+    return Status::PermissionDenied(
+        "bank-managed account requires InternalTransfer");
+  }
+  GM_ASSIGN_OR_RETURN(crypto::TransferReceipt receipt,
+                      ExecuteTransfer(from, to, amount, now_us));
+  ++src->transfer_nonce;
+  return receipt;
+}
+
+Result<crypto::TransferReceipt> Bank::InternalTransfer(const std::string& from,
+                                                       const std::string& to,
+                                                       Micros amount,
+                                                       std::int64_t now_us) {
+  const Account* src = Find(from);
+  if (src == nullptr) return Status::NotFound("account: " + from);
+  if (!(src->owner_key == crypto::PublicKey()))
+    return Status::PermissionDenied(
+        "owner-keyed account requires a signed Transfer");
+  return ExecuteTransfer(from, to, amount, now_us);
+}
+
+Result<Micros> Bank::Balance(const std::string& id) const {
+  const Account* account = Find(id);
+  if (account == nullptr) return Status::NotFound("account: " + id);
+  return account->balance;
+}
+
+Result<std::uint64_t> Bank::TransferNonce(const std::string& id) const {
+  const Account* account = Find(id);
+  if (account == nullptr) return Status::NotFound("account: " + id);
+  return account->transfer_nonce;
+}
+
+Result<crypto::PublicKey> Bank::OwnerKey(const std::string& id) const {
+  const Account* account = Find(id);
+  if (account == nullptr) return Status::NotFound("account: " + id);
+  return account->owner_key;
+}
+
+bool Bank::HasAccount(const std::string& id) const {
+  return Find(id) != nullptr;
+}
+
+Status Bank::VerifyReceipt(const crypto::TransferReceipt& receipt) const {
+  const auto it = issued_receipts_.find(receipt.receipt_id);
+  if (it == issued_receipts_.end())
+    return Status::NotFound("receipt not issued by this bank: " +
+                            receipt.receipt_id);
+  // Compare against the ledger copy, not just the signature, so a receipt
+  // with mutated fields is rejected even if the signature were forgeable.
+  const crypto::TransferReceipt& ledger = it->second;
+  if (ledger.SigningPayload() != receipt.SigningPayload())
+    return Status::PermissionDenied("receipt does not match ledger");
+  if (!keys_.public_key().Verify(receipt.SigningPayload(),
+                                 receipt.bank_signature))
+    return Status::Unauthenticated("receipt signature invalid");
+  return Status::Ok();
+}
+
+Status Bank::CheckInvariants() const {
+  Micros total = 0;
+  for (const auto& [id, account] : accounts_) {
+    if (account.balance < 0)
+      return Status::Internal("negative balance in " + id);
+    total += account.balance;
+  }
+  if (total != total_minted_)
+    return Status::Internal(
+        StrFormat("conservation violated: balances %lld != minted %lld",
+                  static_cast<long long>(total),
+                  static_cast<long long>(total_minted_)));
+  return Status::Ok();
+}
+
+}  // namespace gm::bank

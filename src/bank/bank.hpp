@@ -1,0 +1,116 @@
+// The Tycoon Bank (paper Section 2.2).
+//
+// Maintains user accounts with balances and public keys, executes
+// owner-authorized transfers, and issues signed TransferReceipts that the
+// market side verifies as payment capabilities. Sub-accounts model the
+// broker pattern from Section 3.1: verified token funds are moved into a
+// per-user sub-account of the broker account, which then funds host
+// accounts.
+//
+// Money is integer micro-dollars; the bank maintains the conservation
+// invariant sum(balances) == total minted, checked by CheckInvariants().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/token.hpp"
+
+namespace gm::bank {
+
+struct Account {
+  std::string id;
+  crypto::PublicKey owner_key;  // empty key => bank-managed (sub)account
+  Micros balance = 0;
+  std::string parent;  // enclosing account id, empty for root accounts
+  std::uint64_t transfer_nonce = 0;  // replay protection for authorizations
+};
+
+struct AuditEntry {
+  std::int64_t at_us = 0;
+  std::string kind;  // "create", "mint", "transfer", "sub_create"
+  std::string from;
+  std::string to;
+  Micros amount = 0;
+};
+
+/// Canonical payload an account owner signs to authorize a transfer.
+std::string TransferAuthPayload(const std::string& from, const std::string& to,
+                                Micros amount, std::uint64_t nonce);
+
+class Bank {
+ public:
+  /// The bank signs receipts with its own keypair in `group`.
+  Bank(const crypto::SchnorrGroup& group, std::uint64_t seed);
+
+  /// Create a root account bound to an owner key.
+  Status CreateAccount(const std::string& id,
+                       const crypto::PublicKey& owner_key);
+  /// Create a bank-managed sub-account of `parent` (used by brokers for
+  /// verified token funds). Transfers out of sub-accounts need no owner
+  /// signature; they are authorized by holding the parent account.
+  Status CreateSubAccount(const std::string& parent,
+                          const std::string& sub_id);
+
+  /// Mint external funds into an account (experiment setup / funding).
+  Status Mint(const std::string& id, Micros amount, std::int64_t now_us);
+
+  /// Owner-authorized transfer: `auth` must be a signature by the `from`
+  /// account's key over TransferAuthPayload(from, to, amount, nonce) with
+  /// the account's current nonce. Returns a bank-signed receipt.
+  Result<crypto::TransferReceipt> Transfer(const std::string& from,
+                                           const std::string& to,
+                                           Micros amount,
+                                           const crypto::Signature& auth,
+                                           std::int64_t now_us);
+
+  /// Transfer between bank-managed accounts (sub-accounts / host accounts);
+  /// no owner signature exists for these.
+  Result<crypto::TransferReceipt> InternalTransfer(const std::string& from,
+                                                   const std::string& to,
+                                                   Micros amount,
+                                                   std::int64_t now_us);
+
+  Result<Micros> Balance(const std::string& id) const;
+  /// Current nonce the owner must sign for the next Transfer.
+  Result<std::uint64_t> TransferNonce(const std::string& id) const;
+  Result<crypto::PublicKey> OwnerKey(const std::string& id) const;
+  bool HasAccount(const std::string& id) const;
+
+  /// Re-verify a receipt the bank claims to have issued: signature valid
+  /// and present in the ledger.
+  Status VerifyReceipt(const crypto::TransferReceipt& receipt) const;
+
+  const crypto::PublicKey& public_key() const {
+    return keys_.public_key();
+  }
+  const std::vector<AuditEntry>& audit_log() const { return audit_; }
+
+  /// Conservation: sum of all balances equals total minted. Never fails
+  /// unless there is a bug.
+  Status CheckInvariants() const;
+
+ private:
+  Result<crypto::TransferReceipt> ExecuteTransfer(const std::string& from,
+                                                  const std::string& to,
+                                                  Micros amount,
+                                                  std::int64_t now_us);
+  Account* Find(const std::string& id);
+  const Account* Find(const std::string& id) const;
+
+  Rng rng_;
+  crypto::KeyPair keys_;
+  std::map<std::string, Account> accounts_;
+  std::map<std::string, crypto::TransferReceipt> issued_receipts_;
+  std::vector<AuditEntry> audit_;
+  Micros total_minted_ = 0;
+  std::uint64_t next_receipt_ = 1;
+};
+
+}  // namespace gm::bank

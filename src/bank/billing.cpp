@@ -1,0 +1,81 @@
+#include "bank/billing.hpp"
+
+#include "common/strings.hpp"
+
+namespace gm::bank {
+namespace {
+
+bool InWindow(const AuditEntry& entry, std::int64_t from_us,
+              std::int64_t to_us) {
+  return entry.at_us >= from_us && entry.at_us < to_us;
+}
+
+}  // namespace
+
+Result<Statement> BuildStatement(const Bank& bank, const std::string& account,
+                                 std::int64_t from_us, std::int64_t to_us) {
+  GM_ASSIGN_OR_RETURN(const Micros balance, bank.Balance(account));
+  Statement statement;
+  statement.account = account;
+  statement.from_us = from_us;
+  statement.to_us = to_us;
+  statement.closing_balance = balance;
+  for (const AuditEntry& entry : bank.audit_log()) {
+    if (!InWindow(entry, from_us, to_us)) continue;
+    if (entry.amount == 0) continue;  // account creations
+    StatementLine line;
+    line.at_us = entry.at_us;
+    line.kind = entry.kind;
+    if (entry.to == account) {
+      line.counterparty = entry.from.empty() ? "(mint)" : entry.from;
+      line.amount = entry.amount;
+      statement.total_credits += entry.amount;
+    } else if (entry.from == account) {
+      line.counterparty = entry.to;
+      line.amount = -entry.amount;
+      statement.total_debits += entry.amount;
+    } else {
+      continue;
+    }
+    statement.lines.push_back(std::move(line));
+  }
+  return statement;
+}
+
+std::string RenderStatement(const Statement& statement) {
+  std::string out = StrFormat(
+      "Statement for %s  [%s .. %s)\n", statement.account.c_str(),
+      sim::FormatTime(statement.from_us).c_str(),
+      sim::FormatTime(statement.to_us).c_str());
+  out += StrFormat("%-16s %-10s %-28s %14s\n", "TIME", "KIND",
+                   "COUNTERPARTY", "AMOUNT");
+  for (const StatementLine& line : statement.lines) {
+    out += StrFormat("%-16s %-10s %-28s %14s\n",
+                     sim::FormatTime(line.at_us).c_str(), line.kind.c_str(),
+                     line.counterparty.substr(0, 28).c_str(),
+                     FormatMoney(line.amount).c_str());
+  }
+  out += StrFormat("credits %s  debits %s  net %s  closing balance %s\n",
+                   FormatMoney(statement.total_credits).c_str(),
+                   FormatMoney(statement.total_debits).c_str(),
+                   FormatMoney(statement.NetChange()).c_str(),
+                   FormatMoney(statement.closing_balance).c_str());
+  return out;
+}
+
+Micros TotalFlow(const Bank& bank, const std::string& from_prefix,
+                 const std::string& to_prefix, std::int64_t from_us,
+                 std::int64_t to_us) {
+  Micros total = 0;
+  for (const AuditEntry& entry : bank.audit_log()) {
+    if (!InWindow(entry, from_us, to_us)) continue;
+    if (entry.kind != "transfer") continue;
+    if (StartsWith(entry.from, from_prefix) &&
+        StartsWith(entry.to, to_prefix)) {
+      total += entry.amount;
+    }
+  }
+  return total;
+}
+
+}  // namespace gm::bank

@@ -1,0 +1,52 @@
+// Accounting and billing reports over the bank's audit log.
+//
+// The paper: "Dynamic pricing, accounting and billing thus all happen
+// automatically by means of the Tycoon infrastructure." This module
+// derives the user-facing artifacts from the audit trail: per-account
+// statements over a time window, spending/income summaries, and a text
+// invoice rendering for Grid users and host owners.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bank/bank.hpp"
+#include "sim/time.hpp"
+
+namespace gm::bank {
+
+struct StatementLine {
+  std::int64_t at_us = 0;
+  std::string kind;          // "mint", "transfer", "sub_create", ...
+  std::string counterparty;  // the other account
+  Micros amount = 0;         // signed: positive = credit to this account
+};
+
+struct Statement {
+  std::string account;
+  std::int64_t from_us = 0;
+  std::int64_t to_us = 0;
+  std::vector<StatementLine> lines;
+  Micros total_credits = 0;
+  Micros total_debits = 0;  // positive number
+  Micros closing_balance = 0;
+
+  Micros NetChange() const { return total_credits - total_debits; }
+};
+
+/// Build the statement of `account` for activity in [from_us, to_us).
+/// Fails if the account does not exist.
+Result<Statement> BuildStatement(const Bank& bank, const std::string& account,
+                                 std::int64_t from_us, std::int64_t to_us);
+
+/// Text invoice rendering ("date  kind  counterparty  amount  ...").
+std::string RenderStatement(const Statement& statement);
+
+/// Aggregate flows between account-name prefixes, e.g. how much moved
+/// from "broker/" sub-accounts into "auctioneer:" hosts over a window —
+/// the grid operator's revenue view.
+Micros TotalFlow(const Bank& bank, const std::string& from_prefix,
+                 const std::string& to_prefix, std::int64_t from_us,
+                 std::int64_t to_us);
+
+}  // namespace gm::bank

@@ -1,0 +1,170 @@
+#include "bank/service.hpp"
+
+namespace gm::bank {
+
+void WriteReceipt(net::Writer& writer,
+                  const crypto::TransferReceipt& receipt) {
+  writer.WriteString(receipt.receipt_id);
+  writer.WriteString(receipt.from_account);
+  writer.WriteString(receipt.to_account);
+  writer.WriteI64(receipt.amount);
+  writer.WriteI64(receipt.issued_at_us);
+  writer.WriteString(receipt.bank_signature.Encode());
+}
+
+Result<crypto::TransferReceipt> ReadReceipt(net::Reader& reader) {
+  crypto::TransferReceipt receipt;
+  GM_ASSIGN_OR_RETURN(receipt.receipt_id, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(receipt.from_account, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(receipt.to_account, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(receipt.amount, reader.ReadI64());
+  GM_ASSIGN_OR_RETURN(receipt.issued_at_us, reader.ReadI64());
+  GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(receipt.bank_signature, crypto::Signature::Decode(sig));
+  return receipt;
+}
+
+void WriteToken(net::Writer& writer, const crypto::TransferToken& token) {
+  WriteReceipt(writer, token.receipt);
+  writer.WriteString(token.grid_dn);
+  writer.WriteString(token.owner_signature.Encode());
+}
+
+Result<crypto::TransferToken> ReadToken(net::Reader& reader) {
+  crypto::TransferToken token;
+  GM_ASSIGN_OR_RETURN(token.receipt, ReadReceipt(reader));
+  GM_ASSIGN_OR_RETURN(token.grid_dn, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(token.owner_signature, crypto::Signature::Decode(sig));
+  return token;
+}
+
+BankService::BankService(Bank& bank, net::MessageBus& bus,
+                         sim::Kernel& kernel, std::string endpoint)
+    : bank_(bank), kernel_(kernel), server_(bus, std::move(endpoint)) {
+  server_.RegisterMethod(
+      "balance", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const std::string account, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const Micros balance, bank_.Balance(account));
+        net::Writer writer;
+        writer.WriteI64(balance);
+        return writer.Take();
+      });
+  server_.RegisterMethod(
+      "nonce", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const std::string account, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const std::uint64_t nonce,
+                            bank_.TransferNonce(account));
+        net::Writer writer;
+        writer.WriteU64(nonce);
+        return writer.Take();
+      });
+  server_.RegisterMethod(
+      "transfer", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const std::string from, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const std::string to, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const Micros amount, reader.ReadI64());
+        GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const crypto::Signature auth,
+                            crypto::Signature::Decode(sig));
+        GM_ASSIGN_OR_RETURN(
+            const crypto::TransferReceipt receipt,
+            bank_.Transfer(from, to, amount, auth, kernel_.now()));
+        net::Writer writer;
+        WriteReceipt(writer, receipt);
+        return writer.Take();
+      });
+  server_.RegisterMethod(
+      "verify_receipt", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const crypto::TransferReceipt receipt,
+                            ReadReceipt(reader));
+        GM_RETURN_IF_ERROR(bank_.VerifyReceipt(receipt));
+        return Bytes{};
+      });
+}
+
+BankClient::BankClient(net::MessageBus& bus, std::string client_endpoint,
+                       std::string bank_endpoint, net::CallOptions options)
+    : client_(bus, std::move(client_endpoint)),
+      bank_endpoint_(std::move(bank_endpoint)),
+      options_(options) {}
+
+void BankClient::GetBalance(const std::string& account,
+                            BalanceCallback callback) {
+  net::Writer writer;
+  writer.WriteString(account);
+  client_.Call(bank_endpoint_, "balance", writer.Take(), options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 if (!response.ok()) {
+                   callback(response.status());
+                   return;
+                 }
+                 net::Reader reader(*response);
+                 const auto balance = reader.ReadI64();
+                 if (!balance.ok()) {
+                   callback(balance.status());
+                   return;
+                 }
+                 callback(*balance);
+               });
+}
+
+void BankClient::GetTransferNonce(const std::string& account,
+                                  NonceCallback callback) {
+  net::Writer writer;
+  writer.WriteString(account);
+  client_.Call(bank_endpoint_, "nonce", writer.Take(), options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 if (!response.ok()) {
+                   callback(response.status());
+                   return;
+                 }
+                 net::Reader reader(*response);
+                 const auto nonce = reader.ReadU64();
+                 if (!nonce.ok()) {
+                   callback(nonce.status());
+                   return;
+                 }
+                 callback(*nonce);
+               });
+}
+
+void BankClient::Transfer(const std::string& from, const std::string& to,
+                          Micros amount, const crypto::Signature& auth,
+                          TransferCallback callback) {
+  net::Writer writer;
+  writer.WriteString(from);
+  writer.WriteString(to);
+  writer.WriteI64(amount);
+  writer.WriteString(auth.Encode());
+  client_.Call(bank_endpoint_, "transfer", writer.Take(), options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 if (!response.ok()) {
+                   callback(response.status());
+                   return;
+                 }
+                 net::Reader reader(*response);
+                 auto receipt = ReadReceipt(reader);
+                 if (!receipt.ok()) {
+                   callback(receipt.status());
+                   return;
+                 }
+                 callback(std::move(*receipt));
+               });
+}
+
+void BankClient::VerifyReceipt(const crypto::TransferReceipt& receipt,
+                               StatusCallback callback) {
+  net::Writer writer;
+  WriteReceipt(writer, receipt);
+  client_.Call(bank_endpoint_, "verify_receipt", writer.Take(), options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 callback(response.status());
+               });
+}
+
+}  // namespace gm::bank

@@ -1,0 +1,66 @@
+// RPC facade for the Bank.
+//
+// Exposes the bank over the simulated network so agents, brokers and
+// auctioneers interact with it the way the deployed system does: balance
+// queries, signed transfers, nonce fetch, and receipt verification. A
+// matching typed client hides the wire encoding.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "bank/bank.hpp"
+#include "net/rpc.hpp"
+#include "sim/kernel.hpp"
+
+namespace gm::bank {
+
+/// Wire helpers shared by service and client (and reused by the grid
+/// layer to ship tokens inside job submissions).
+void WriteReceipt(net::Writer& writer, const crypto::TransferReceipt& receipt);
+Result<crypto::TransferReceipt> ReadReceipt(net::Reader& reader);
+void WriteToken(net::Writer& writer, const crypto::TransferToken& token);
+Result<crypto::TransferToken> ReadToken(net::Reader& reader);
+
+/// Server: owns the RPC endpoint "bank" (configurable) and dispatches to a
+/// Bank instance. Timestamps on receipts come from the simulation clock.
+class BankService {
+ public:
+  BankService(Bank& bank, net::MessageBus& bus, sim::Kernel& kernel,
+              std::string endpoint = "bank");
+
+  const std::string& endpoint() const { return server_.endpoint(); }
+
+ private:
+  Bank& bank_;
+  sim::Kernel& kernel_;
+  net::RpcServer server_;
+};
+
+/// Typed asynchronous client for BankService.
+class BankClient {
+ public:
+  BankClient(net::MessageBus& bus, std::string client_endpoint,
+             std::string bank_endpoint = "bank",
+             net::CallOptions options = {});
+
+  using BalanceCallback = std::function<void(Result<Micros>)>;
+  using NonceCallback = std::function<void(Result<std::uint64_t>)>;
+  using TransferCallback =
+      std::function<void(Result<crypto::TransferReceipt>)>;
+  using StatusCallback = std::function<void(Status)>;
+
+  void GetBalance(const std::string& account, BalanceCallback callback);
+  void GetTransferNonce(const std::string& account, NonceCallback callback);
+  void Transfer(const std::string& from, const std::string& to, Micros amount,
+                const crypto::Signature& auth, TransferCallback callback);
+  void VerifyReceipt(const crypto::TransferReceipt& receipt,
+                     StatusCallback callback);
+
+ private:
+  net::RpcClient client_;
+  std::string bank_endpoint_;
+  net::CallOptions options_;
+};
+
+}  // namespace gm::bank

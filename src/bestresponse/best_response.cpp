@@ -1,0 +1,157 @@
+#include "bestresponse/best_response.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gm::br {
+
+BestResponseSolver::BestResponseSolver(double reserve_price)
+    : reserve_price_(reserve_price) {
+  GM_ASSERT(reserve_price_ > 0.0, "reserve price must be positive");
+}
+
+Status BestResponseSolver::Validate(const std::vector<HostBidInput>& hosts,
+                                    double budget) const {
+  if (hosts.empty())
+    return Status::InvalidArgument("best response: no hosts");
+  if (!(budget > 0.0))
+    return Status::InvalidArgument("best response: budget must be positive");
+  for (const HostBidInput& host : hosts) {
+    if (!(host.weight > 0.0))
+      return Status::InvalidArgument("best response: weight must be > 0 on " +
+                                     host.host_id);
+    if (host.price < 0.0)
+      return Status::InvalidArgument("best response: negative price on " +
+                                     host.host_id);
+  }
+  return Status::Ok();
+}
+
+double BestResponseSolver::Utility(const std::vector<HostBidInput>& hosts,
+                                   const std::vector<double>& bids) const {
+  GM_ASSERT(bids.size() == hosts.size(), "utility: size mismatch");
+  double total = 0.0;
+  for (std::size_t j = 0; j < hosts.size(); ++j) {
+    const double y = std::max(hosts[j].price, reserve_price_);
+    const double x = bids[j];
+    if (x > 0.0) total += hosts[j].weight * x / (x + y);
+  }
+  return total;
+}
+
+BestResponseResult BestResponseSolver::Package(
+    const std::vector<HostBidInput>& hosts, std::vector<double> bids,
+    double lambda) const {
+  BestResponseResult result;
+  result.lambda = lambda;
+  result.bids.reserve(hosts.size());
+  for (std::size_t j = 0; j < hosts.size(); ++j) {
+    BidAllocation allocation;
+    allocation.host_id = hosts[j].host_id;
+    allocation.bid = bids[j];
+    const double y = std::max(hosts[j].price, reserve_price_);
+    allocation.expected_share =
+        bids[j] > 0.0 ? bids[j] / (bids[j] + y) : 0.0;
+    result.bids.push_back(std::move(allocation));
+  }
+  result.utility = Utility(hosts, bids);
+  return result;
+}
+
+Result<BestResponseResult> BestResponseSolver::Solve(
+    const std::vector<HostBidInput>& hosts, double budget) const {
+  GM_RETURN_IF_ERROR(Validate(hosts, budget));
+  const std::size_t n = hosts.size();
+
+  // Order hosts by marginal utility at zero bid, w_j / y_j, descending.
+  // The optimal active set is a prefix of this order.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto y_of = [&](std::size_t j) {
+    return std::max(hosts[j].price, reserve_price_);
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return hosts[a].weight / y_of(a) > hosts[b].weight / y_of(b);
+  });
+
+  // Grow the active prefix. For active set S:
+  //   sum_{j in S} (sqrt(w_j y_j) * t - y_j) = X,
+  //   t = 1 / sqrt(lambda) = (X + sum y_j) / (sum sqrt(w_j y_j)).
+  // The prefix is feasible while the marginal host still bids positively:
+  //   sqrt(w_j y_j) * t > y_j  <=>  w_j / y_j > lambda.
+  double sum_y = 0.0;
+  double sum_sqrt_wy = 0.0;
+  double best_t = 0.0;
+  std::size_t active = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t j = order[k];
+    const double y = y_of(j);
+    const double next_sum_y = sum_y + y;
+    const double next_sum_sqrt = sum_sqrt_wy + std::sqrt(hosts[j].weight * y);
+    const double t = (budget + next_sum_y) / next_sum_sqrt;
+    // Host j itself must receive a positive bid under this t.
+    if (std::sqrt(hosts[j].weight * y) * t - y <= 0.0) break;
+    sum_y = next_sum_y;
+    sum_sqrt_wy = next_sum_sqrt;
+    best_t = t;
+    active = k + 1;
+  }
+  GM_ASSERT(active > 0, "best response: no host admitted (unreachable)");
+
+  std::vector<double> bids(n, 0.0);
+  double allocated = 0.0;
+  for (std::size_t k = 0; k < active; ++k) {
+    const std::size_t j = order[k];
+    const double y = y_of(j);
+    bids[j] = std::max(0.0, std::sqrt(hosts[j].weight * y) * best_t - y);
+    allocated += bids[j];
+  }
+  // Numerical cleanup: scale so the budget binds exactly.
+  if (allocated > 0.0) {
+    const double scale = budget / allocated;
+    for (double& bid : bids) bid *= scale;
+  }
+  const double lambda = 1.0 / (best_t * best_t);
+  return Package(hosts, std::move(bids), lambda);
+}
+
+Result<BestResponseResult> BestResponseSolver::SolveBisection(
+    const std::vector<HostBidInput>& hosts, double budget,
+    double tolerance) const {
+  GM_RETURN_IF_ERROR(Validate(hosts, budget));
+
+  // Total bid as a function of t = 1/sqrt(lambda) is increasing:
+  //   B(t) = sum_j max(0, sqrt(w_j y_j) t - y_j).
+  const auto total_bid = [&](double t) {
+    double total = 0.0;
+    for (const HostBidInput& host : hosts) {
+      const double y = std::max(host.price, reserve_price_);
+      total += std::max(0.0, std::sqrt(host.weight * y) * t - y);
+    }
+    return total;
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  while (total_bid(hi) < budget) hi *= 2.0;
+  for (int iter = 0; iter < 200 && hi - lo > tolerance * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (total_bid(mid) < budget ? lo : hi) = mid;
+  }
+  const double t = 0.5 * (lo + hi);
+
+  std::vector<double> bids(hosts.size(), 0.0);
+  double allocated = 0.0;
+  for (std::size_t j = 0; j < hosts.size(); ++j) {
+    const double y = std::max(hosts[j].price, reserve_price_);
+    bids[j] = std::max(0.0, std::sqrt(hosts[j].weight * y) * t - y);
+    allocated += bids[j];
+  }
+  if (allocated > 0.0) {
+    const double scale = budget / allocated;
+    for (double& bid : bids) bid *= scale;
+  }
+  return Package(hosts, std::move(bids), 1.0 / (t * t));
+}
+
+}  // namespace gm::br

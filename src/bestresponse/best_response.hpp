@@ -1,0 +1,73 @@
+// The Best Response bid optimizer (Feldman et al., paper Section 2.2).
+//
+// A user with budget X distributes bids x_j across hosts to maximize
+//     U = sum_j w_j * x_j / (x_j + y_j)
+// subject to sum_j x_j = X, x_j >= 0, where w_j is the user's preference
+// for host j (e.g. its CPU capacity) and y_j the sum of other users' bids
+// (the spot price seen by this user).
+//
+// KKT conditions give x_j = max(0, sqrt(w_j y_j / lambda) - y_j) with the
+// multiplier lambda set so the budget binds. Solve() computes the exact
+// water-filling solution over the active set (hosts sorted by marginal
+// utility w_j / y_j); SolveBisection() is an independent reference used to
+// cross-check it. Idle hosts (y_j = 0) are handled with a reserve price,
+// matching Tycoon's reserve bid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gm::br {
+
+struct HostBidInput {
+  std::string host_id;
+  double weight = 0.0;  // w_j > 0: preference, e.g. effective cycles/s
+  double price = 0.0;   // y_j >= 0: others' total bid rate ($/s)
+};
+
+struct BidAllocation {
+  std::string host_id;
+  double bid = 0.0;             // x_j, same unit as budget ($/s)
+  double expected_share = 0.0;  // x_j / (x_j + y_j)
+};
+
+struct BestResponseResult {
+  std::vector<BidAllocation> bids;  // aligned with the input order
+  double utility = 0.0;
+  double lambda = 0.0;  // KKT multiplier (0 when all prices were zero)
+};
+
+class BestResponseSolver {
+ public:
+  /// `reserve_price` replaces y_j below it (idle hosts); must be > 0.
+  explicit BestResponseSolver(double reserve_price = 1e-6);
+
+  /// Exact water-filling solve. Fails on empty input, non-positive budget
+  /// or non-positive weights.
+  Result<BestResponseResult> Solve(const std::vector<HostBidInput>& hosts,
+                                   double budget) const;
+
+  /// Reference implementation: bisection on the budget curve. Same
+  /// contract as Solve; used to validate the closed form.
+  Result<BestResponseResult> SolveBisection(
+      const std::vector<HostBidInput>& hosts, double budget,
+      double tolerance = 1e-12) const;
+
+  /// Utility of an arbitrary bid vector (for tests and what-if analysis).
+  double Utility(const std::vector<HostBidInput>& hosts,
+                 const std::vector<double>& bids) const;
+
+  double reserve_price() const { return reserve_price_; }
+
+ private:
+  Status Validate(const std::vector<HostBidInput>& hosts,
+                  double budget) const;
+  BestResponseResult Package(const std::vector<HostBidInput>& hosts,
+                             std::vector<double> bids, double lambda) const;
+
+  double reserve_price_;
+};
+
+}  // namespace gm::br

@@ -1,0 +1,27 @@
+// Byte-vector helpers shared by the crypto and serialization layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gm {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of a byte string.
+std::string HexEncode(const Bytes& data);
+std::string HexEncode(const std::uint8_t* data, std::size_t size);
+
+/// Decode hex (case-insensitive). Returns false on odd length or non-hex.
+bool HexDecode(std::string_view hex, Bytes& out);
+
+/// UTF-8 string <-> bytes.
+Bytes ToBytes(std::string_view text);
+std::string ToString(const Bytes& data);
+
+/// Constant-time equality (for signatures / tokens).
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+}  // namespace gm

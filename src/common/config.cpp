@@ -1,0 +1,84 @@
+#include "common/config.hpp"
+
+#include "common/strings.hpp"
+
+namespace gm {
+namespace {
+
+Status ParseLine(std::string_view line, Config& config) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  line = Trim(line);
+  if (line.empty()) return Status::Ok();
+  const std::size_t eq = line.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("expected key=value, got '" +
+                                   std::string(line) + "'");
+  }
+  const std::string key{Trim(line.substr(0, eq))};
+  const std::string value{Trim(line.substr(eq + 1))};
+  if (key.empty()) return Status::InvalidArgument("empty config key");
+  config.Set(key, value);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Config> Config::FromArgs(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 0; i < argc; ++i) {
+    GM_RETURN_IF_ERROR(ParseLine(argv[i], config));
+  }
+  return config;
+}
+
+Result<Config> Config::FromText(std::string_view text) {
+  Config config;
+  for (const std::string& line : Split(text, '\n')) {
+    GM_RETURN_IF_ERROR(ParseLine(line, config));
+  }
+  return config;
+}
+
+void Config::Set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::Has(std::string_view key) const {
+  return entries_.find(std::string(key)) != entries_.end();
+}
+
+std::string Config::GetString(std::string_view key, std::string fallback) const {
+  const auto it = entries_.find(std::string(key));
+  return it == entries_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Config::GetInt(std::string_view key, std::int64_t fallback) const {
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return fallback;
+  const auto parsed = ParseInt64(it->second);
+  GM_ASSERT(parsed.has_value(), "config value is not an integer");
+  return *parsed;
+}
+
+double Config::GetDouble(std::string_view key, double fallback) const {
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return fallback;
+  const auto parsed = ParseDouble(it->second);
+  GM_ASSERT(parsed.has_value(), "config value is not a number");
+  return *parsed;
+}
+
+bool Config::GetBool(std::string_view key, bool fallback) const {
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return fallback;
+  const std::string lower = ToLower(it->second);
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off")
+    return false;
+  GM_ASSERT(false, "config value is not a boolean");
+  return fallback;
+}
+
+}  // namespace gm

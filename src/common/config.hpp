@@ -1,0 +1,43 @@
+// Flat key=value configuration used by experiment harnesses and examples.
+//
+// Accepts "key=value" tokens (command line) and simple config file lines;
+// '#' starts a comment. Typed getters return defaults on missing keys and
+// errors on malformed values so harness parameter sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gm {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens, e.g. from argv. Unknown formats are errors.
+  static Result<Config> FromArgs(int argc, const char* const* argv);
+  /// Parse newline-separated "key=value" content ('#' comments allowed).
+  static Result<Config> FromText(std::string_view text);
+
+  void Set(std::string key, std::string value);
+  bool Has(std::string_view key) const;
+
+  std::string GetString(std::string_view key, std::string fallback) const;
+  std::int64_t GetInt(std::string_view key, std::int64_t fallback) const;
+  double GetDouble(std::string_view key, double fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace gm

@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace gm {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+    };
+  }
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (!Enabled(level)) return;
+  sink_(level, message);
+}
+
+}  // namespace gm

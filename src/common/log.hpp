@@ -1,0 +1,78 @@
+// Minimal leveled logger.
+//
+// Experiments run millions of simulated events, so logging defaults to
+// kWarn and formats lazily: the GM_LOG macro checks the level before any
+// argument evaluation. A custom sink can capture output in tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace gm {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide logger configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (default writes to stderr). Pass nullptr to
+  /// restore the default sink.
+  void set_sink(Sink sink);
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace internal {
+
+/// Stream-collecting helper used by GM_LOG; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Instance().Write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gm
+
+#define GM_LOG(level)                                  \
+  if (!::gm::Logger::Instance().Enabled(level)) {      \
+  } else                                               \
+    ::gm::internal::LogLine(level)
+
+#define GM_LOG_TRACE GM_LOG(::gm::LogLevel::kTrace)
+#define GM_LOG_DEBUG GM_LOG(::gm::LogLevel::kDebug)
+#define GM_LOG_INFO GM_LOG(::gm::LogLevel::kInfo)
+#define GM_LOG_WARN GM_LOG(::gm::LogLevel::kWarn)
+#define GM_LOG_ERROR GM_LOG(::gm::LogLevel::kError)

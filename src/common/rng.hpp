@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit Rng (or seed)
+// so experiments are reproducible bit-for-bit across runs and platforms.
+// The engine is xoshiro256** seeded through SplitMix64, which has no
+// platform-dependent behaviour (unlike std::random distributions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gm {
+
+/// SplitMix64 step; used for seeding and cheap hashing of seed material.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() { return Next(); }
+  std::uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [0, n). n must be > 0. Unbiased (rejection).
+  std::uint64_t NextBelow(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Derive an independent child stream (for per-component rngs).
+  Rng Fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace gm

@@ -1,0 +1,46 @@
+#include "common/status.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kPermissionDenied: return "permission_denied";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnauthenticated: return "unauthenticated";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void AssertFail(const char* cond, const char* msg, const char* file,
+                int line) {
+  std::fprintf(stderr, "GM_ASSERT failed at %s:%d: (%s) %s\n", file, line,
+               cond, msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace gm

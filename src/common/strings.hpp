@@ -1,0 +1,37 @@
+// Small string utilities used across the library (parsing, tables, ids).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gm {
+
+/// Split on a delimiter; empty pieces are kept.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+std::string ToLower(std::string_view text);
+
+/// Strict numeric parsing (whole string must match).
+std::optional<std::int64_t> ParseInt64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Join pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+}  // namespace gm

@@ -1,0 +1,27 @@
+#include "common/units.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gm {
+
+std::string FormatMoney(Micros m) {
+  const bool negative = m < 0;
+  const std::uint64_t abs =
+      negative ? static_cast<std::uint64_t>(-(m + 1)) + 1
+               : static_cast<std::uint64_t>(m);
+  const std::uint64_t dollars = abs / kMicrosPerDollar;
+  std::uint64_t frac = abs % kMicrosPerDollar;
+  // Trim trailing zeros, but keep at least cents.
+  int digits = 6;
+  while (digits > 2 && frac % 10 == 0) {
+    frac /= 10;
+    --digits;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s$%" PRIu64 ".%0*" PRIu64,
+                negative ? "-" : "", dollars, digits, frac);
+  return buffer;
+}
+
+}  // namespace gm

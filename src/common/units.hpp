@@ -1,0 +1,39 @@
+// Fixed-point money and frequency units.
+//
+// Ledgers (bank accounts, auction charges) must balance exactly, so money is
+// an integer count of micro-dollars. Floating point is confined to the
+// optimization and prediction layers, with explicit conversions here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gm {
+
+/// Money in micro-dollars (1e-6 $). int64 covers +/- 9.2e12 dollars.
+using Micros = std::int64_t;
+
+constexpr Micros kMicrosPerDollar = 1'000'000;
+
+/// Dollars -> micro-dollars, rounding half away from zero.
+constexpr Micros DollarsToMicros(double dollars) {
+  const double scaled = dollars * static_cast<double>(kMicrosPerDollar);
+  return static_cast<Micros>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+}
+
+constexpr double MicrosToDollars(Micros m) {
+  return static_cast<double>(m) / static_cast<double>(kMicrosPerDollar);
+}
+
+/// "$12.345678" style rendering, trimming trailing zeros to cents.
+std::string FormatMoney(Micros m);
+
+/// CPU capacity: cycles per second. 3.0 GHz == 3e9.
+using CyclesPerSecond = double;
+/// Total work: CPU cycles.
+using Cycles = double;
+
+constexpr CyclesPerSecond GHz(double ghz) { return ghz * 1e9; }
+constexpr CyclesPerSecond MHz(double mhz) { return mhz * 1e6; }
+
+}  // namespace gm

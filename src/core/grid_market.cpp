@@ -1,0 +1,165 @@
+#include "core/grid_market.hpp"
+
+#include "common/strings.hpp"
+
+namespace gm {
+
+GridMarket::GridMarket(Config config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  auto group = crypto::GenerateSchnorrGroup(config_.group_p_bits,
+                                            config_.group_q_bits, rng_);
+  GM_ASSERT(group.ok(), "Schnorr group generation failed");
+  group_ = *group;
+
+  bank_ = std::make_unique<bank::Bank>(group_, rng_.Next());
+  ca_ = std::make_unique<crypto::CertificateAuthority>(
+      crypto::DistinguishedName{"SE", "SweGrid", "CA", "SweGrid Root CA"},
+      group_, rng_);
+  sls_ = std::make_unique<market::ServiceLocationService>(kernel_);
+
+  GM_ASSERT(bank_->CreateAccount("broker", {}).ok(),
+            "broker account creation failed");
+  authorizer_ = std::make_unique<grid::TokenAuthorizer>(*bank_, "broker");
+  plugin_ = std::make_unique<grid::TycoonSchedulerPlugin>(
+      kernel_, *sls_, *bank_, host::PackageCatalog::Default(),
+      config_.plugin);
+  broker_ = std::make_unique<grid::GridBroker>(kernel_, *bank_, *authorizer_,
+                                               *plugin_);
+
+  for (int i = 0; i < config_.hosts; ++i) {
+    host::HostSpec spec;
+    spec.id = StrFormat("h%02d", i);
+    spec.cpus = config_.cpus_per_host;
+    double speed_factor = 1.0;
+    if (config_.heterogeneity > 0.0 && config_.hosts > 1) {
+      const double position =
+          static_cast<double>(i) / static_cast<double>(config_.hosts - 1);
+      speed_factor = 1.0 + config_.heterogeneity * (2.0 * position - 1.0);
+    }
+    spec.cycles_per_cpu = config_.cycles_per_cpu * speed_factor;
+    spec.virtualization_overhead = config_.virtualization_overhead;
+    spec.work_conserving = config_.work_conserving;
+    spec.vm_boot_time = config_.vm_boot_time;
+    spec.max_vms = config_.max_vms_per_host;
+    hosts_.push_back(std::make_unique<host::PhysicalHost>(spec));
+    auctioneers_.push_back(
+        std::make_unique<market::Auctioneer>(*hosts_.back(), kernel_));
+    auctioneers_.back()->Start();
+    publishers_.push_back(std::make_unique<market::SlsPublisher>(
+        *auctioneers_.back(), *sls_, config_.site, kernel_,
+        config_.sls_heartbeat));
+    GM_ASSERT(plugin_
+                  ->RegisterAuctioneer(*auctioneers_.back(),
+                                       "auctioneer:" + spec.id)
+                  .ok(),
+              "auctioneer registration failed");
+  }
+}
+
+GridMarket::~GridMarket() = default;
+
+Status GridMarket::RegisterUser(const std::string& name,
+                                double initial_funds_dollars) {
+  if (users_.find(name) != users_.end())
+    return Status::AlreadyExists("user exists: " + name);
+  User user{crypto::KeyPair::Generate(group_, rng_),
+            crypto::DistinguishedName{"SE", "KTH", "PDC", name}};
+  GM_RETURN_IF_ERROR(bank_->CreateAccount(name, user.keys.public_key()));
+  if (initial_funds_dollars > 0) {
+    GM_RETURN_IF_ERROR(bank_->Mint(
+        name, DollarsToMicros(initial_funds_dollars), kernel_.now()));
+  }
+  const crypto::Certificate cert =
+      ca_->Issue(user.dn, user.keys.public_key(), kernel_.now(),
+                 kernel_.now() + 365 * sim::kDay, rng_);
+  GM_RETURN_IF_ERROR(authorizer_->RegisterIdentity(cert, *ca_, kernel_.now()));
+  users_.emplace(name, std::move(user));
+  return Status::Ok();
+}
+
+Result<double> GridMarket::UserBankBalance(const std::string& name) const {
+  GM_ASSIGN_OR_RETURN(const Micros balance, bank_->Balance(name));
+  return MicrosToDollars(balance);
+}
+
+Result<crypto::TransferToken> GridMarket::PayBroker(const std::string& name,
+                                                    double amount_dollars) {
+  const auto it = users_.find(name);
+  if (it == users_.end()) return Status::NotFound("user: " + name);
+  const Micros amount = DollarsToMicros(amount_dollars);
+  GM_ASSIGN_OR_RETURN(const std::uint64_t nonce, bank_->TransferNonce(name));
+  const crypto::Signature auth = it->second.keys.Sign(
+      bank::TransferAuthPayload(name, "broker", amount, nonce), rng_);
+  GM_ASSIGN_OR_RETURN(
+      const crypto::TransferReceipt receipt,
+      bank_->Transfer(name, "broker", amount, auth, kernel_.now()));
+  return crypto::MintToken(receipt, it->second.dn.ToString(),
+                           it->second.keys, rng_);
+}
+
+Result<std::uint64_t> GridMarket::SubmitJob(
+    const std::string& user, const grid::JobDescription& description,
+    double budget_dollars) {
+  return SubmitXrsl(user, description.ToXrsl(), budget_dollars);
+}
+
+Result<std::uint64_t> GridMarket::SubmitXrsl(const std::string& user,
+                                             std::string_view xrsl,
+                                             double budget_dollars) {
+  GM_ASSIGN_OR_RETURN(const crypto::TransferToken token,
+                      PayBroker(user, budget_dollars));
+  return broker_->Submit(xrsl, token);
+}
+
+Status GridMarket::BoostJob(const std::string& user, std::uint64_t job_id,
+                            double amount_dollars) {
+  GM_ASSIGN_OR_RETURN(const crypto::TransferToken token,
+                      PayBroker(user, amount_dollars));
+  return broker_->Boost(job_id, token);
+}
+
+Result<const grid::JobRecord*> GridMarket::Job(std::uint64_t job_id) const {
+  return broker_->Job(job_id);
+}
+
+std::vector<const grid::JobRecord*> GridMarket::Jobs() const {
+  return broker_->Jobs();
+}
+
+market::Auctioneer& GridMarket::auctioneer(std::size_t index) {
+  GM_ASSERT(index < auctioneers_.size(), "auctioneer index out of range");
+  return *auctioneers_[index];
+}
+
+const market::Auctioneer& GridMarket::auctioneer(std::size_t index) const {
+  GM_ASSERT(index < auctioneers_.size(), "auctioneer index out of range");
+  return *auctioneers_[index];
+}
+
+Result<std::vector<predict::HostPriceStats>> GridMarket::HostPriceStats(
+    const std::string& window) const {
+  std::vector<predict::HostPriceStats> stats;
+  stats.reserve(auctioneers_.size());
+  for (const auto& auctioneer : auctioneers_) {
+    GM_ASSIGN_OR_RETURN(const market::WindowMoments* moments,
+                        auctioneer->Moments(window));
+    predict::HostPriceStats host;
+    host.host_id = auctioneer->physical_host().id();
+    host.capacity = auctioneer->physical_host().PerCpuCapacity();
+    // Window moments track $/s per cycles/s; Eq. 6 wants whole-host $/s.
+    const double to_host_price = auctioneer->physical_host().TotalCapacity();
+    host.mean_price = moments->mean() * to_host_price;
+    host.stddev_price = moments->stddev() * to_host_price;
+    stats.push_back(std::move(host));
+  }
+  return stats;
+}
+
+std::string GridMarket::Monitor() const {
+  std::vector<const market::Auctioneer*> views;
+  views.reserve(auctioneers_.size());
+  for (const auto& auctioneer : auctioneers_) views.push_back(auctioneer.get());
+  return grid::RenderMonitor(views, broker_->Jobs(), kernel_.now());
+}
+
+}  // namespace gm

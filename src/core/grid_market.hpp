@@ -1,0 +1,140 @@
+// GridMarket: the assembled system and primary public API.
+//
+// Wires together everything the paper deploys: a simulation kernel, the
+// Tycoon Bank, a Grid certificate authority, the Service Location Service,
+// per-host Auctioneers with SLS heartbeats, the token authorizer and the
+// ARC/Tycoon scheduler plugin behind a GridBroker. Users are registered
+// with bank accounts and CA-issued certificates; job submission performs
+// the full market flow (bank transfer -> transfer token -> authorization
+// -> best-response bidding -> VMs -> execution -> refund).
+//
+// Typical use (see examples/quickstart.cpp):
+//   GridMarket::Config config;
+//   config.hosts = 30;
+//   GridMarket grid(config);
+//   grid.RegisterUser("alice");
+//   auto job = grid.SubmitJob("alice", description, /*budget=*/100.0);
+//   grid.RunUntil(sim::Hours(10));
+//   const grid::JobRecord& record = *grid.Job(*job).value();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bank/bank.hpp"
+#include "grid/broker.hpp"
+#include "grid/monitor.hpp"
+#include "market/sls.hpp"
+#include "predict/normal_model.hpp"
+#include "sim/kernel.hpp"
+
+namespace gm {
+
+class GridMarket {
+ public:
+  struct Config {
+    int hosts = 30;
+    int cpus_per_host = 2;
+    CyclesPerSecond cycles_per_cpu = GHz(3.0);
+    /// Heterogeneous cluster: host i's CPU speed ramps linearly over
+    /// [cycles_per_cpu*(1-h), cycles_per_cpu*(1+h)]. 0 = uniform. The
+    /// paper's testbed mixes machines from four sites.
+    double heterogeneity = 0.0;
+    double virtualization_overhead = 0.03;
+    /// Host CPU schedulers redistribute cap-freed capacity (Tycoon's
+    /// work-conservation property). Disable for the ablation benchmark.
+    bool work_conserving = true;
+    sim::SimDuration vm_boot_time = sim::Seconds(30);
+    int max_vms_per_host = 15;
+    std::string site = "hp-palo-alto";
+    sim::SimDuration sls_heartbeat = sim::Minutes(1);
+    grid::PluginConfig plugin;
+    std::uint64_t seed = 42;
+    /// Bit widths of the Schnorr group used for all keys. The default
+    /// small-but-real group keeps simulations fast; use 256/160 for the
+    /// full-size deployment parameters.
+    std::size_t group_p_bits = 96;
+    std::size_t group_q_bits = 48;
+  };
+
+  explicit GridMarket(Config config);
+  ~GridMarket();
+  GridMarket(const GridMarket&) = delete;
+  GridMarket& operator=(const GridMarket&) = delete;
+
+  // -- time --
+  sim::Kernel& kernel() { return kernel_; }
+  sim::SimTime now() const { return kernel_.now(); }
+  void RunUntil(sim::SimTime deadline) { kernel_.RunUntil(deadline); }
+  void RunFor(sim::SimDuration duration) {
+    kernel_.RunUntil(kernel_.now() + duration);
+  }
+
+  // -- identities and money --
+  /// Create a Grid user: keypair, bank account funded with
+  /// `initial_funds`, CA certificate registered with the broker.
+  Status RegisterUser(const std::string& name,
+                      double initial_funds_dollars = 1e6);
+  Result<double> UserBankBalance(const std::string& name) const;
+  /// Pay the broker and mint the transfer token (the client-side flow).
+  Result<crypto::TransferToken> PayBroker(const std::string& name,
+                                          double amount_dollars);
+
+  // -- jobs --
+  /// Full submission: pay, mint token, authorize, schedule.
+  Result<std::uint64_t> SubmitJob(const std::string& user,
+                                  const grid::JobDescription& description,
+                                  double budget_dollars);
+  /// Same, straight from XRSL text.
+  Result<std::uint64_t> SubmitXrsl(const std::string& user,
+                                   std::string_view xrsl,
+                                   double budget_dollars);
+  /// Add funds to a running job.
+  Status BoostJob(const std::string& user, std::uint64_t job_id,
+                  double amount_dollars);
+  Result<const grid::JobRecord*> Job(std::uint64_t job_id) const;
+  std::vector<const grid::JobRecord*> Jobs() const;
+
+  // -- market introspection --
+  std::size_t host_count() const { return auctioneers_.size(); }
+  market::Auctioneer& auctioneer(std::size_t index);
+  const market::Auctioneer& auctioneer(std::size_t index) const;
+  market::ServiceLocationService& sls() { return *sls_; }
+  bank::Bank& bank() { return *bank_; }
+  grid::GridBroker& broker() { return *broker_; }
+
+  /// Price statistics of every host for the prediction layer, from the
+  /// named statistics window ("hour", "day", "week").
+  Result<std::vector<predict::HostPriceStats>> HostPriceStats(
+      const std::string& window) const;
+
+  /// The live monitor rendering (paper Figure 2).
+  std::string Monitor() const;
+
+  /// All-balances conservation check (delegates to the bank).
+  Status CheckInvariants() const { return bank_->CheckInvariants(); }
+
+ private:
+  struct User {
+    crypto::KeyPair keys;
+    crypto::DistinguishedName dn;
+  };
+
+  Config config_;
+  sim::Kernel kernel_;
+  Rng rng_;
+  crypto::SchnorrGroup group_;
+  std::unique_ptr<bank::Bank> bank_;
+  std::unique_ptr<crypto::CertificateAuthority> ca_;
+  std::unique_ptr<market::ServiceLocationService> sls_;
+  std::vector<std::unique_ptr<host::PhysicalHost>> hosts_;
+  std::vector<std::unique_ptr<market::Auctioneer>> auctioneers_;
+  std::vector<std::unique_ptr<market::SlsPublisher>> publishers_;
+  std::unique_ptr<grid::TokenAuthorizer> authorizer_;
+  std::unique_ptr<grid::TycoonSchedulerPlugin> plugin_;
+  std::unique_ptr<grid::GridBroker> broker_;
+  std::map<std::string, User> users_;
+};
+
+}  // namespace gm

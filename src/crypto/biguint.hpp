@@ -1,0 +1,325 @@
+// Fixed-width little-endian unsigned big integers.
+//
+// BigUInt<4> (U256) carries keys and group elements; BigUInt<8> (U512)
+// holds products before modular reduction. All arithmetic is constant
+// size with wraparound semantics like the built-in unsigned types; the
+// Mul free function widens so products never truncate silently.
+//
+// This underpins the paper's security model (Section 3.1): Schnorr-group
+// keys, signatures and transfer tokens. It is an educational-grade
+// implementation — correct, deterministic and portable, but not hardened
+// against side channels.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace gm::crypto {
+
+template <std::size_t Limbs>
+class BigUInt {
+  static_assert(Limbs >= 1);
+
+ public:
+  static constexpr std::size_t kLimbs = Limbs;
+  static constexpr std::size_t kBits = Limbs * 64;
+
+  constexpr BigUInt() : limbs_{} {}
+  constexpr BigUInt(std::uint64_t value) : limbs_{} {  // NOLINT: implicit
+    limbs_[0] = value;
+  }
+
+  static constexpr BigUInt Zero() { return BigUInt(); }
+  static constexpr BigUInt One() { return BigUInt(1); }
+
+  /// Parse big-endian hex (with or without leading zeros). Fails on
+  /// non-hex characters or values wider than kBits.
+  static Result<BigUInt> FromHex(std::string_view hex) {
+    BigUInt out;
+    std::size_t bit = 0;
+    for (std::size_t i = hex.size(); i-- > 0;) {
+      const char c = hex[i];
+      int v;
+      if (c >= '0' && c <= '9') v = c - '0';
+      else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+      else return Status::InvalidArgument("BigUInt: non-hex character");
+      if (v != 0 && bit + 4 > kBits)
+        return Status::InvalidArgument("BigUInt: hex value too wide");
+      if (bit < kBits)
+        out.limbs_[bit / 64] |= static_cast<std::uint64_t>(v) << (bit % 64);
+      bit += 4;
+    }
+    return out;
+  }
+
+  /// Lowercase big-endian hex without leading zeros ("0" for zero).
+  std::string ToHex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    bool started = false;
+    for (std::size_t i = kBits / 4; i-- > 0;) {
+      const int v = static_cast<int>((limbs_[i / 16] >> ((i % 16) * 4)) & 0xf);
+      if (v != 0) started = true;
+      if (started) out.push_back(kDigits[v]);
+    }
+    return started ? out : "0";
+  }
+
+  /// Big-endian byte serialization, fixed width (kBits/8 bytes).
+  Bytes ToBytes() const {
+    Bytes out(kBits / 8);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::size_t byte_index = out.size() - 1 - i;
+      out[i] = static_cast<std::uint8_t>(limbs_[byte_index / 8] >>
+                                         ((byte_index % 8) * 8));
+    }
+    return out;
+  }
+
+  static Result<BigUInt> FromBytes(const Bytes& bytes) {
+    if (bytes.size() != kBits / 8)
+      return Status::InvalidArgument("BigUInt: wrong byte width");
+    BigUInt out;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      const std::size_t byte_index = bytes.size() - 1 - i;
+      out.limbs_[byte_index / 8] |= static_cast<std::uint64_t>(bytes[i])
+                                    << ((byte_index % 8) * 8);
+    }
+    return out;
+  }
+
+  /// Uniform random value with exactly `bits` significant bits
+  /// (top bit set). bits must be in [1, kBits].
+  static BigUInt RandomWithBits(std::size_t bits, Rng& rng) {
+    GM_ASSERT(bits >= 1 && bits <= kBits, "RandomWithBits: bad width");
+    BigUInt out;
+    for (std::size_t i = 0; i < (bits + 63) / 64; ++i) out.limbs_[i] = rng.Next();
+    // Clear bits above `bits`, then force the top bit.
+    const std::size_t top = bits - 1;
+    for (std::size_t i = top / 64 + 1; i < Limbs; ++i) out.limbs_[i] = 0;
+    if ((top % 64) != 63)
+      out.limbs_[top / 64] &= (std::uint64_t{1} << ((top % 64) + 1)) - 1;
+    out.limbs_[top / 64] |= std::uint64_t{1} << (top % 64);
+    return out;
+  }
+
+  /// Uniform random value in [0, bound). bound must be nonzero.
+  static BigUInt RandomBelow(const BigUInt& bound, Rng& rng) {
+    GM_ASSERT(!bound.IsZero(), "RandomBelow: zero bound");
+    const std::size_t bits = bound.BitLength();
+    for (;;) {
+      BigUInt candidate;
+      for (std::size_t i = 0; i < (bits + 63) / 64; ++i)
+        candidate.limbs_[i] = rng.Next();
+      const std::size_t top = bits - 1;
+      if ((top % 64) != 63)
+        candidate.limbs_[top / 64] &=
+            (std::uint64_t{1} << ((top % 64) + 1)) - 1;
+      for (std::size_t i = top / 64 + 1; i < Limbs; ++i)
+        candidate.limbs_[i] = 0;
+      if (candidate < bound) return candidate;
+    }
+  }
+
+  std::uint64_t limb(std::size_t i) const { return limbs_[i]; }
+  std::uint64_t low64() const { return limbs_[0]; }
+
+  bool IsZero() const {
+    for (const auto l : limbs_)
+      if (l != 0) return false;
+    return true;
+  }
+  bool IsOdd() const { return (limbs_[0] & 1) != 0; }
+
+  bool Bit(std::size_t i) const {
+    GM_ASSERT(i < kBits, "Bit index out of range");
+    return ((limbs_[i / 64] >> (i % 64)) & 1) != 0;
+  }
+  void SetBit(std::size_t i) {
+    GM_ASSERT(i < kBits, "SetBit index out of range");
+    limbs_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t BitLength() const {
+    for (std::size_t i = Limbs; i-- > 0;) {
+      if (limbs_[i] != 0)
+        return i * 64 + (64 - static_cast<std::size_t>(
+                                  __builtin_clzll(limbs_[i])));
+    }
+    return 0;
+  }
+
+  friend std::strong_ordering operator<=>(const BigUInt& a, const BigUInt& b) {
+    for (std::size_t i = Limbs; i-- > 0;) {
+      if (a.limbs_[i] != b.limbs_[i])
+        return a.limbs_[i] <=> b.limbs_[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  friend bool operator==(const BigUInt& a, const BigUInt& b) = default;
+
+  /// Wraparound addition; returns the carry out.
+  bool AddWithCarry(const BigUInt& other) {
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < Limbs; ++i) {
+      const unsigned __int128 sum =
+          static_cast<unsigned __int128>(limbs_[i]) + other.limbs_[i] + carry;
+      limbs_[i] = static_cast<std::uint64_t>(sum);
+      carry = sum >> 64;
+    }
+    return carry != 0;
+  }
+
+  /// Wraparound subtraction; returns true if a borrow occurred (other > this).
+  bool SubWithBorrow(const BigUInt& other) {
+    unsigned __int128 borrow = 0;
+    for (std::size_t i = 0; i < Limbs; ++i) {
+      const unsigned __int128 diff =
+          static_cast<unsigned __int128>(limbs_[i]) - other.limbs_[i] - borrow;
+      limbs_[i] = static_cast<std::uint64_t>(diff);
+      borrow = (diff >> 64) != 0 ? 1 : 0;
+    }
+    return borrow != 0;
+  }
+
+  friend BigUInt operator+(BigUInt a, const BigUInt& b) {
+    a.AddWithCarry(b);
+    return a;
+  }
+  friend BigUInt operator-(BigUInt a, const BigUInt& b) {
+    a.SubWithBorrow(b);
+    return a;
+  }
+
+  BigUInt& operator<<=(std::size_t shift) {
+    GM_ASSERT(shift < kBits, "shift out of range");
+    const std::size_t limb_shift = shift / 64;
+    const std::size_t bit_shift = shift % 64;
+    if (limb_shift > 0) {
+      for (std::size_t i = Limbs; i-- > 0;)
+        limbs_[i] = i >= limb_shift ? limbs_[i - limb_shift] : 0;
+    }
+    if (bit_shift > 0) {
+      for (std::size_t i = Limbs; i-- > 0;) {
+        limbs_[i] <<= bit_shift;
+        if (i > 0) limbs_[i] |= limbs_[i - 1] >> (64 - bit_shift);
+      }
+    }
+    return *this;
+  }
+
+  BigUInt& operator>>=(std::size_t shift) {
+    GM_ASSERT(shift < kBits, "shift out of range");
+    const std::size_t limb_shift = shift / 64;
+    const std::size_t bit_shift = shift % 64;
+    if (limb_shift > 0) {
+      for (std::size_t i = 0; i < Limbs; ++i)
+        limbs_[i] = i + limb_shift < Limbs ? limbs_[i + limb_shift] : 0;
+    }
+    if (bit_shift > 0) {
+      for (std::size_t i = 0; i < Limbs; ++i) {
+        limbs_[i] >>= bit_shift;
+        if (i + 1 < Limbs) limbs_[i] |= limbs_[i + 1] << (64 - bit_shift);
+      }
+    }
+    return *this;
+  }
+
+  friend BigUInt operator<<(BigUInt a, std::size_t shift) { return a <<= shift; }
+  friend BigUInt operator>>(BigUInt a, std::size_t shift) { return a >>= shift; }
+
+  /// Widening conversion (zero extension).
+  template <std::size_t WiderLimbs>
+  BigUInt<WiderLimbs> Extend() const {
+    static_assert(WiderLimbs >= Limbs);
+    BigUInt<WiderLimbs> out;
+    for (std::size_t i = 0; i < Limbs; ++i) out.set_limb(i, limbs_[i]);
+    return out;
+  }
+
+  /// Narrowing conversion; asserts the discarded limbs are zero.
+  template <std::size_t NarrowerLimbs>
+  BigUInt<NarrowerLimbs> Truncate() const {
+    static_assert(NarrowerLimbs <= Limbs);
+    for (std::size_t i = NarrowerLimbs; i < Limbs; ++i)
+      GM_ASSERT(limbs_[i] == 0, "Truncate would lose bits");
+    BigUInt<NarrowerLimbs> out;
+    for (std::size_t i = 0; i < NarrowerLimbs; ++i) out.set_limb(i, limbs_[i]);
+    return out;
+  }
+
+  void set_limb(std::size_t i, std::uint64_t value) { limbs_[i] = value; }
+
+ private:
+  std::array<std::uint64_t, Limbs> limbs_;
+};
+
+using U256 = BigUInt<4>;
+using U512 = BigUInt<8>;
+
+/// Full-width product: no truncation possible.
+template <std::size_t Limbs>
+BigUInt<2 * Limbs> Mul(const BigUInt<Limbs>& a, const BigUInt<Limbs>& b) {
+  BigUInt<2 * Limbs> out;
+  for (std::size_t i = 0; i < Limbs; ++i) {
+    if (a.limb(i) == 0) continue;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < Limbs; ++j) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(a.limb(i)) * b.limb(j) +
+          out.limb(i + j) + carry;
+      out.set_limb(i + j, static_cast<std::uint64_t>(cur));
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    // Propagate the final carry.
+    std::size_t k = i + Limbs;
+    while (carry != 0) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(out.limb(k)) + carry;
+      out.set_limb(k, static_cast<std::uint64_t>(cur));
+      carry = static_cast<std::uint64_t>(cur >> 64);
+      ++k;
+    }
+  }
+  return out;
+}
+
+/// Schoolbook binary long division: returns {quotient, remainder}.
+/// divisor must be nonzero.
+template <std::size_t Limbs>
+struct DivModResult {
+  BigUInt<Limbs> quotient;
+  BigUInt<Limbs> remainder;
+};
+
+template <std::size_t Limbs>
+DivModResult<Limbs> DivMod(const BigUInt<Limbs>& dividend,
+                           const BigUInt<Limbs>& divisor) {
+  GM_ASSERT(!divisor.IsZero(), "DivMod: division by zero");
+  DivModResult<Limbs> result;
+  if (dividend < divisor) {
+    result.remainder = dividend;
+    return result;
+  }
+  const std::size_t dividend_bits = dividend.BitLength();
+  for (std::size_t i = dividend_bits; i-- > 0;) {
+    result.remainder <<= 1;
+    if (dividend.Bit(i)) result.remainder.set_limb(0, result.remainder.limb(0) | 1);
+    if (result.remainder >= divisor) {
+      result.remainder.SubWithBorrow(divisor);
+      result.quotient.SetBit(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace gm::crypto

@@ -1,0 +1,80 @@
+#include "crypto/identity.hpp"
+
+#include "common/strings.hpp"
+
+namespace gm::crypto {
+
+std::string DistinguishedName::ToString() const {
+  std::string out;
+  if (!country.empty()) out += "/C=" + country;
+  if (!organization.empty()) out += "/O=" + organization;
+  if (!organizational_unit.empty()) out += "/OU=" + organizational_unit;
+  out += "/CN=" + common_name;
+  return out;
+}
+
+Result<DistinguishedName> DistinguishedName::Parse(std::string_view text) {
+  if (text.empty() || text[0] != '/')
+    return Status::InvalidArgument("DN must start with '/'");
+  DistinguishedName dn;
+  for (const std::string& piece : Split(text.substr(1), '/')) {
+    const std::size_t eq = piece.find('=');
+    if (eq == std::string::npos)
+      return Status::InvalidArgument("DN component missing '=': " + piece);
+    const std::string key = piece.substr(0, eq);
+    const std::string value = piece.substr(eq + 1);
+    if (key == "C") dn.country = value;
+    else if (key == "O") dn.organization = value;
+    else if (key == "OU") dn.organizational_unit = value;
+    else if (key == "CN") dn.common_name = value;
+    else return Status::InvalidArgument("DN unknown attribute: " + key);
+  }
+  if (dn.common_name.empty())
+    return Status::InvalidArgument("DN missing CN");
+  return dn;
+}
+
+std::string Certificate::SigningPayload() const {
+  return StrFormat(
+      "cert|subject=%s|issuer=%s|key=%s|serial=%llu|nb=%lld|na=%lld",
+      subject.ToString().c_str(), issuer.ToString().c_str(),
+      subject_key.Fingerprint().c_str(),
+      static_cast<unsigned long long>(serial),
+      static_cast<long long>(not_before_us),
+      static_cast<long long>(not_after_us));
+}
+
+CertificateAuthority::CertificateAuthority(DistinguishedName dn,
+                                           const SchnorrGroup& group, Rng& rng)
+    : dn_(std::move(dn)), keys_(KeyPair::Generate(group, rng)) {}
+
+Certificate CertificateAuthority::Issue(const DistinguishedName& subject,
+                                        const PublicKey& subject_key,
+                                        std::int64_t not_before_us,
+                                        std::int64_t not_after_us, Rng& rng) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = dn_;
+  cert.subject_key = subject_key;
+  cert.serial = next_serial_++;
+  cert.not_before_us = not_before_us;
+  cert.not_after_us = not_after_us;
+  cert.issuer_signature = keys_.Sign(cert.SigningPayload(), rng);
+  return cert;
+}
+
+Status CertificateAuthority::Verify(const Certificate& certificate,
+                                    std::int64_t now_us) const {
+  if (!(certificate.issuer == dn_))
+    return Status::PermissionDenied("certificate issued by a different CA");
+  if (now_us < certificate.not_before_us)
+    return Status::FailedPrecondition("certificate not yet valid");
+  if (now_us > certificate.not_after_us)
+    return Status::FailedPrecondition("certificate expired");
+  if (!keys_.public_key().Verify(certificate.SigningPayload(),
+                                 certificate.issuer_signature))
+    return Status::Unauthenticated("certificate signature invalid");
+  return Status::Ok();
+}
+
+}  // namespace gm::crypto

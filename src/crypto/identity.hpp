@@ -1,0 +1,72 @@
+// Grid identities: distinguished names and certificates.
+//
+// Models the Grid PKI side of the paper's security design: users hold
+// certificates binding a Distinguished Name (DN) to a public key, issued
+// by a certificate authority. The market side never consults ACLs — it
+// only needs the DN for the transfer-token mapping (see token.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace gm::crypto {
+
+/// X.500-style distinguished name, rendered as "/C=SE/O=KTH/OU=PDC/CN=alice".
+struct DistinguishedName {
+  std::string country;
+  std::string organization;
+  std::string organizational_unit;
+  std::string common_name;
+
+  std::string ToString() const;
+  /// Parse the canonical slash form. Unknown attributes are rejected;
+  /// missing ones stay empty. CN is required.
+  static Result<DistinguishedName> Parse(std::string_view text);
+
+  friend bool operator==(const DistinguishedName&,
+                         const DistinguishedName&) = default;
+};
+
+/// A certificate binding a subject DN to a public key, signed by an issuer.
+struct Certificate {
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  PublicKey subject_key;
+  std::uint64_t serial = 0;
+  std::int64_t not_before_us = 0;  // validity window in simulated time
+  std::int64_t not_after_us = 0;
+  Signature issuer_signature;
+
+  /// Canonical byte string covered by the issuer signature.
+  std::string SigningPayload() const;
+};
+
+/// A toy certificate authority: issues and verifies certificates.
+class CertificateAuthority {
+ public:
+  /// Creates a CA with a fresh keypair in `group`.
+  CertificateAuthority(DistinguishedName dn, const SchnorrGroup& group,
+                       Rng& rng);
+
+  Certificate Issue(const DistinguishedName& subject,
+                    const PublicKey& subject_key, std::int64_t not_before_us,
+                    std::int64_t not_after_us, Rng& rng);
+
+  /// Check issuer identity, signature and validity at time `now_us`.
+  Status Verify(const Certificate& certificate, std::int64_t now_us) const;
+
+  const DistinguishedName& dn() const { return dn_; }
+  const PublicKey& public_key() const { return keys_.public_key(); }
+
+ private:
+  DistinguishedName dn_;
+  KeyPair keys_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace gm::crypto

@@ -1,0 +1,49 @@
+#include "crypto/modmath.hpp"
+
+namespace gm::crypto {
+
+U256 Mod(const U256& a, const U256& m) {
+  GM_ASSERT(!m.IsZero(), "Mod: zero modulus");
+  if (a < m) return a;
+  return DivMod(a, m).remainder;
+}
+
+U256 ModAdd(const U256& a, const U256& b, const U256& m) {
+  // Work in 512 bits so a + b cannot wrap.
+  U512 sum = a.Extend<8>();
+  sum.AddWithCarry(b.Extend<8>());
+  return DivMod(sum, m.Extend<8>()).remainder.Truncate<4>();
+}
+
+U256 ModSub(const U256& a, const U256& b, const U256& m) {
+  const U256 ra = Mod(a, m);
+  const U256 rb = Mod(b, m);
+  if (ra >= rb) return ra - rb;
+  return m - (rb - ra);
+}
+
+U256 ModMul(const U256& a, const U256& b, const U256& m) {
+  const U512 product = Mul(a, b);
+  return DivMod(product, m.Extend<8>()).remainder.Truncate<4>();
+}
+
+U256 ModExp(const U256& base, const U256& exp, const U256& m) {
+  GM_ASSERT(m > U256::One(), "ModExp: modulus must exceed 1");
+  U256 result = U256::One();
+  const U256 reduced_base = Mod(base, m);
+  const std::size_t bits = exp.BitLength();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = ModMul(result, result, m);
+    if (exp.Bit(i)) result = ModMul(result, reduced_base, m);
+  }
+  return result;
+}
+
+U256 ModInverse(const U256& a, const U256& p) {
+  GM_ASSERT(!Mod(a, p).IsZero(), "ModInverse: a divisible by modulus");
+  // Fermat: a^(p-2) mod p. Valid because all library moduli are prime.
+  const U256 exponent = p - U256(2);
+  return ModExp(a, exponent, p);
+}
+
+}  // namespace gm::crypto

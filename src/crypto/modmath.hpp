@@ -1,0 +1,26 @@
+// Modular arithmetic over U256 moduli.
+//
+// Products are computed in U512 and reduced by long division, so results
+// are exact for any modulus up to 256 bits. ModInverse uses Fermat's
+// little theorem and therefore requires a prime modulus (all moduli in
+// this library are Schnorr-group primes).
+#pragma once
+
+#include "crypto/biguint.hpp"
+
+namespace gm::crypto {
+
+/// a mod m. m must be nonzero.
+U256 Mod(const U256& a, const U256& m);
+/// (a + b) mod m. Inputs need not be reduced.
+U256 ModAdd(const U256& a, const U256& b, const U256& m);
+/// (a - b) mod m. Inputs need not be reduced.
+U256 ModSub(const U256& a, const U256& b, const U256& m);
+/// (a * b) mod m, exact via U512 intermediate.
+U256 ModMul(const U256& a, const U256& b, const U256& m);
+/// base^exp mod m by left-to-right square and multiply. m must be > 1.
+U256 ModExp(const U256& base, const U256& exp, const U256& m);
+/// a^{-1} mod p for prime p and a not divisible by p (Fermat).
+U256 ModInverse(const U256& a, const U256& p);
+
+}  // namespace gm::crypto

@@ -1,0 +1,135 @@
+#include "crypto/prime.hpp"
+
+#include "crypto/modmath.hpp"
+
+namespace gm::crypto {
+namespace {
+
+// Primes below 256 for cheap trial division before Miller-Rabin.
+constexpr std::uint64_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+/// n mod small for a 64-bit modulus, avoiding full bignum division.
+std::uint64_t ModSmall(const U256& n, std::uint64_t small) {
+  unsigned __int128 rem = 0;
+  for (std::size_t i = U256::kLimbs; i-- > 0;) {
+    rem = ((rem << 64) | n.limb(i)) % small;
+  }
+  return static_cast<std::uint64_t>(rem);
+}
+
+bool MillerRabinRound(const U256& n, const U256& n_minus_1, const U256& d,
+                      std::size_t r, const U256& base) {
+  U256 x = ModExp(base, d, n);
+  if (x == U256::One() || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = ModMul(x, x, n);
+    if (x == n_minus_1) return true;
+    if (x == U256::One()) return false;  // nontrivial sqrt of 1
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const U256& n, Rng& rng, int rounds) {
+  if (n < U256(2)) return false;
+  for (const std::uint64_t small : kSmallPrimes) {
+    if (n == U256(small)) return true;
+    if (ModSmall(n, small) == 0) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  const U256 n_minus_1 = n - U256::One();
+  U256 d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.IsOdd()) {
+    d >>= 1;
+    ++r;
+  }
+  const U256 base_range = n - U256(4);  // bases in [2, n-2]
+  for (int round = 0; round < rounds; ++round) {
+    const U256 base = U256::RandomBelow(base_range, rng) + U256(2);
+    if (!MillerRabinRound(n, n_minus_1, d, r, base)) return false;
+  }
+  return true;
+}
+
+U256 RandomPrime(std::size_t bits, Rng& rng, int rounds) {
+  GM_ASSERT(bits >= 2 && bits <= 256, "RandomPrime: bad bit width");
+  for (;;) {
+    U256 candidate = U256::RandomWithBits(bits, rng);
+    candidate.SetBit(0);  // force odd
+    if (IsProbablePrime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+bool SchnorrGroup::Validate(Rng& rng) const {
+  if (!IsProbablePrime(p, rng) || !IsProbablePrime(q, rng)) return false;
+  // q | p - 1.
+  const U256 p_minus_1 = p - U256::One();
+  if (!DivMod(p_minus_1, q).remainder.IsZero()) return false;
+  // g has order q: g != 1 and g^q == 1 (order divides q; q prime => order q).
+  if (g <= U256::One() || g >= p) return false;
+  return ModExp(g, q, p) == U256::One();
+}
+
+Result<SchnorrGroup> GenerateSchnorrGroup(std::size_t p_bits,
+                                          std::size_t q_bits, Rng& rng) {
+  if (q_bits < 16 || q_bits >= p_bits || p_bits > 256) {
+    return Status::InvalidArgument("GenerateSchnorrGroup: bad bit widths");
+  }
+  const U256 q = RandomPrime(q_bits, rng);
+
+  // Search p = q * m + 1 with m even, |p| = p_bits.
+  SchnorrGroup group;
+  group.q = q;
+  const std::size_t m_bits = p_bits - q_bits;
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    U256 m = U256::RandomWithBits(m_bits, rng);
+    if (m.IsOdd()) m = m + U256::One();  // keep p - 1 = q*m even
+    if (m.IsZero()) continue;
+    const U512 p_wide = Mul(q, m);
+    if (p_wide.BitLength() > 256) continue;
+    U256 p = p_wide.Truncate<4>() + U256::One();
+    if (p.BitLength() != p_bits) continue;
+    if (!IsProbablePrime(p, rng)) continue;
+    group.p = p;
+
+    // Generator of the order-q subgroup: g = h^((p-1)/q) mod p != 1.
+    const U256 exponent = DivMod(p - U256::One(), q).quotient;
+    for (int h_attempt = 0; h_attempt < 1000; ++h_attempt) {
+      const U256 h = U256::RandomBelow(p - U256(3), rng) + U256(2);
+      const U256 g = ModExp(h, exponent, p);
+      if (g > U256::One()) {
+        group.g = g;
+        return group;
+      }
+    }
+  }
+  return Status::Internal("GenerateSchnorrGroup: search exhausted");
+}
+
+const SchnorrGroup& DefaultGroup() {
+  static const SchnorrGroup group = [] {
+    Rng rng(0x6772696d61726b65ULL);  // fixed seed: deterministic default
+    auto result = GenerateSchnorrGroup(256, 160, rng);
+    GM_ASSERT(result.ok(), "default Schnorr group generation failed");
+    return *result;
+  }();
+  return group;
+}
+
+const SchnorrGroup& TestGroup() {
+  static const SchnorrGroup group = [] {
+    Rng rng(0x7465737467727075ULL);
+    auto result = GenerateSchnorrGroup(96, 48, rng);
+    GM_ASSERT(result.ok(), "test Schnorr group generation failed");
+    return *result;
+  }();
+  return group;
+}
+
+}  // namespace gm::crypto

@@ -1,0 +1,47 @@
+// Primality testing and Schnorr group parameter generation.
+//
+// DSA-style parameters: primes q and p with q | p - 1, and a generator g
+// of the order-q subgroup of Z_p^*. Keys live in Z_q; group elements in
+// Z_p. Parameter sizes are configurable so tests can use small-but-real
+// groups while the default deployment group is 256/160 bits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "crypto/biguint.hpp"
+
+namespace gm::crypto {
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases
+/// (error probability <= 4^-rounds), preceded by small-prime trial division.
+bool IsProbablePrime(const U256& n, Rng& rng, int rounds = 20);
+
+/// Uniform random prime with exactly `bits` significant bits.
+U256 RandomPrime(std::size_t bits, Rng& rng, int rounds = 20);
+
+/// Schnorr group: p, q prime, q | p-1, g of multiplicative order q mod p.
+struct SchnorrGroup {
+  U256 p;
+  U256 q;
+  U256 g;
+
+  /// Verify the structural invariants (primality is re-checked with `rng`).
+  bool Validate(Rng& rng) const;
+};
+
+/// Generate a Schnorr group with |p| = p_bits and |q| = q_bits.
+/// Requires 16 <= q_bits < p_bits <= 256. Deterministic given the rng state.
+Result<SchnorrGroup> GenerateSchnorrGroup(std::size_t p_bits,
+                                          std::size_t q_bits, Rng& rng);
+
+/// The library's default group (256-bit p, 160-bit q), generated once from
+/// a fixed seed and cached. Suitable for simulations and benchmarks.
+const SchnorrGroup& DefaultGroup();
+
+/// A small group (96-bit p, 48-bit q) for fast unit tests. Same code path
+/// as DefaultGroup, just smaller parameters.
+const SchnorrGroup& TestGroup();
+
+}  // namespace gm::crypto

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// Used to hash signing payloads for Schnorr signatures, to fingerprint
+// public keys, and to derive transfer-token identifiers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace gm::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Streaming interface.
+  void Update(const std::uint8_t* data, std::size_t size);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view text) {
+    Update(reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  }
+  Digest Finalize();
+
+  /// One-shot helpers.
+  static Digest Hash(const Bytes& data);
+  static Digest Hash(std::string_view text);
+  static std::string HexDigest(const Bytes& data);
+  static std::string HexDigest(std::string_view text);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// Digest -> Bytes convenience.
+Bytes DigestToBytes(const Sha256::Digest& digest);
+
+}  // namespace gm::crypto

@@ -1,0 +1,54 @@
+#include "crypto/token.hpp"
+
+#include "common/strings.hpp"
+
+namespace gm::crypto {
+
+std::string TransferReceipt::SigningPayload() const {
+  return StrFormat("receipt|id=%s|from=%s|to=%s|amount=%lld|at=%lld",
+                   receipt_id.c_str(), from_account.c_str(),
+                   to_account.c_str(), static_cast<long long>(amount),
+                   static_cast<long long>(issued_at_us));
+}
+
+std::string TransferToken::MappingPayload() const {
+  return receipt.SigningPayload() + "|dn=" + grid_dn;
+}
+
+TransferToken MintToken(const TransferReceipt& receipt,
+                        const std::string& grid_dn, const KeyPair& owner_keys,
+                        Rng& rng) {
+  TransferToken token;
+  token.receipt = receipt;
+  token.grid_dn = grid_dn;
+  token.owner_signature = owner_keys.Sign(token.MappingPayload(), rng);
+  return token;
+}
+
+Status VerifyToken(const TransferToken& token, const PublicKey& bank_key,
+                   const PublicKey& owner_key,
+                   const std::string& expected_recipient) {
+  if (token.receipt.amount <= 0)
+    return Status::InvalidArgument("token: non-positive amount");
+  if (token.receipt.to_account != expected_recipient)
+    return Status::PermissionDenied(
+        "token: receipt pays a different account than expected");
+  if (!bank_key.Verify(token.receipt.SigningPayload(),
+                       token.receipt.bank_signature))
+    return Status::Unauthenticated("token: bank signature invalid");
+  if (!owner_key.Verify(token.MappingPayload(), token.owner_signature))
+    return Status::Unauthenticated("token: DN mapping signature invalid");
+  return Status::Ok();
+}
+
+Status TokenRegistry::Claim(const std::string& receipt_id) {
+  if (!spent_.insert(receipt_id).second)
+    return Status::AlreadyExists("token already spent: " + receipt_id);
+  return Status::Ok();
+}
+
+bool TokenRegistry::IsSpent(const std::string& receipt_id) const {
+  return spent_.find(receipt_id) != spent_.end();
+}
+
+}  // namespace gm::crypto

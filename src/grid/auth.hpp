@@ -1,0 +1,61 @@
+// Transfer-token authorization (paper Section 3.1).
+//
+// The resource-broker side of the capability flow:
+//   1. the user has transferred money into the broker's bank account and
+//      attached a TransferToken — the bank receipt plus a signed
+//      (receipt || Grid DN) mapping — to the job;
+//   2. the broker verifies the receipt against the bank ledger, checks
+//      that it pays the broker account, verifies the payer's signature on
+//      the DN mapping (no middleman swapped the identity), and rejects
+//      replays through the double-spend registry;
+//   3. on success the verified amount moves into a fresh sub-account of
+//      the broker account, which then funds host accounts for the job.
+// Grid identities are admitted by registering CA-issued certificates;
+// no access control lists exist anywhere in this flow.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bank/bank.hpp"
+#include "crypto/identity.hpp"
+#include "crypto/token.hpp"
+
+namespace gm::grid {
+
+struct AuthorizedFunds {
+  std::string sub_account;  // bank sub-account now holding the money
+  Micros amount = 0;
+  std::string grid_dn;
+};
+
+class TokenAuthorizer {
+ public:
+  /// `broker_account` must be a bank-managed account (created with no
+  /// owner key) so verified funds can be moved without signatures.
+  TokenAuthorizer(bank::Bank& bank, std::string broker_account);
+
+  /// Admit a Grid identity: verifies the certificate against `ca` at
+  /// `now_us` and records DN -> public key. Jobs from unregistered DNs
+  /// are rejected (the paper's PKI handshake requirement).
+  Status RegisterIdentity(const crypto::Certificate& certificate,
+                          const crypto::CertificateAuthority& ca,
+                          std::int64_t now_us);
+
+  /// Full verification pipeline; creates and funds the sub-account.
+  Result<AuthorizedFunds> Authorize(const crypto::TransferToken& token,
+                                    std::int64_t now_us);
+
+  const std::string& broker_account() const { return broker_account_; }
+  std::size_t spent_tokens() const { return registry_.size(); }
+  bool KnowsIdentity(const std::string& dn) const;
+
+ private:
+  bank::Bank& bank_;
+  std::string broker_account_;
+  crypto::TokenRegistry registry_;
+  std::map<std::string, crypto::PublicKey> identities_;  // DN -> key
+  std::uint64_t next_sub_ = 1;
+};
+
+}  // namespace gm::grid

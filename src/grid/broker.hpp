@@ -1,0 +1,42 @@
+// The Grid resource broker: the ARC job-submission surface.
+//
+// Users hand the broker an XRSL job description plus a transfer token.
+// The broker authenticates and authorizes the token (TokenAuthorizer),
+// then drives the Tycoon scheduler plugin. Boosting a running job is a
+// second token whose verified funds are added to the job's bids.
+#pragma once
+
+#include <string_view>
+
+#include "grid/auth.hpp"
+#include "grid/plugin.hpp"
+
+namespace gm::grid {
+
+class GridBroker {
+ public:
+  GridBroker(sim::Kernel& kernel, bank::Bank& bank,
+             TokenAuthorizer& authorizer, TycoonSchedulerPlugin& plugin);
+
+  /// Parse, authorize and launch. On authorization failure nothing is
+  /// charged; on scheduling failure the job exists in FAILED state with
+  /// the funds refunded to its sub-account.
+  Result<std::uint64_t> Submit(std::string_view xrsl,
+                               const crypto::TransferToken& token);
+
+  /// Authorize an additional token and add its funds to the job's bids.
+  Status Boost(std::uint64_t job_id, const crypto::TransferToken& token);
+
+  Result<const JobRecord*> Job(std::uint64_t job_id) const;
+  std::vector<const JobRecord*> Jobs() const;
+
+  TycoonSchedulerPlugin& plugin() { return plugin_; }
+
+ private:
+  sim::Kernel& kernel_;
+  bank::Bank& bank_;
+  TokenAuthorizer& authorizer_;
+  TycoonSchedulerPlugin& plugin_;
+};
+
+}  // namespace gm::grid

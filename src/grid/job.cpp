@@ -1,0 +1,96 @@
+#include "grid/job.hpp"
+
+namespace gm::grid {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kSubmitted: return "SUBMITTED";
+    case JobState::kAuthorized: return "AUTHORIZED";
+    case JobState::kScheduling: return "SCHEDULING";
+    case JobState::kStagingIn: return "STAGING_IN";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kStagingOut: return "STAGING_OUT";
+    case JobState::kFinished: return "FINISHED";
+    case JobState::kExpired: return "EXPIRED";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kFinished || state == JobState::kExpired ||
+         state == JobState::kFailed || state == JobState::kCancelled;
+}
+
+Status CheckTransition(JobState from, JobState to) {
+  if (IsTerminal(from))
+    return Status::FailedPrecondition(
+        std::string("job already terminal in ") + JobStateName(from));
+  // Failure and cancellation are reachable from any live state.
+  if (to == JobState::kFailed || to == JobState::kCancelled ||
+      to == JobState::kExpired)
+    return Status::Ok();
+  const auto next_ok = [&](JobState expected) {
+    return to == expected
+               ? Status::Ok()
+               : Status::FailedPrecondition(
+                     std::string("illegal transition ") + JobStateName(from) +
+                     " -> " + JobStateName(to));
+  };
+  switch (from) {
+    case JobState::kSubmitted: return next_ok(JobState::kAuthorized);
+    case JobState::kAuthorized: return next_ok(JobState::kScheduling);
+    case JobState::kScheduling: return next_ok(JobState::kStagingIn);
+    case JobState::kStagingIn: return next_ok(JobState::kRunning);
+    case JobState::kRunning: return next_ok(JobState::kStagingOut);
+    case JobState::kStagingOut: return next_ok(JobState::kFinished);
+    default:
+      return Status::Internal("unhandled state");
+  }
+}
+
+Status AdvanceState(JobRecord& job, JobState to, sim::SimTime now) {
+  GM_RETURN_IF_ERROR(CheckTransition(job.state, to));
+  job.state = to;
+  if (to == JobState::kRunning && job.running_at < 0) job.running_at = now;
+  if (IsTerminal(to)) job.finished_at = now;
+  return Status::Ok();
+}
+
+int JobRecord::CompletedChunks() const {
+  int count = 0;
+  for (const SubJobRecord& subjob : subjobs)
+    if (subjob.completed) ++count;
+  return count;
+}
+
+bool JobRecord::AllChunksDone() const {
+  return !subjobs.empty() &&
+         CompletedChunks() == static_cast<int>(subjobs.size());
+}
+
+double JobRecord::TurnaroundHours() const {
+  if (finished_at < 0 || submitted_at < 0) return -1.0;
+  return sim::ToHours(finished_at - submitted_at);
+}
+
+double JobRecord::MeanChunkLatencyMinutes() const {
+  double total = 0.0;
+  int count = 0;
+  for (const SubJobRecord& subjob : subjobs) {
+    if (subjob.completed && subjob.started_at >= 0) {
+      total += sim::ToMinutes(subjob.completed_at - subjob.started_at);
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+double JobRecord::CostPerHour() const {
+  const double hours = TurnaroundHours();
+  if (hours <= 0.0) return 0.0;
+  return MicrosToDollars(spent) / hours;
+}
+
+}  // namespace gm::grid

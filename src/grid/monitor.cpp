@@ -1,0 +1,63 @@
+#include "grid/monitor.hpp"
+
+#include "common/strings.hpp"
+
+namespace gm::grid {
+
+std::string RenderClusterTable(
+    const std::vector<const market::Auctioneer*>& auctioneers,
+    sim::SimTime now) {
+  (void)now;
+  std::string out = StrFormat("%-10s %4s %4s %12s %12s %10s\n", "HOST",
+                              "CPUS", "VMS", "PRICE($/h)", "REVENUE($)",
+                              "UTIL(%)");
+  for (const market::Auctioneer* auctioneer : auctioneers) {
+    const host::PhysicalHost& host = auctioneer->physical_host();
+    const double price_per_hour =
+        MicrosToDollars(auctioneer->SpotPriceRate()) * 3600.0;
+    const double utilization =
+        now > 0 ? host.Utilization(now) * 100.0 : 0.0;
+    out += StrFormat("%-10s %4d %4zu %12.4f %12.2f %10.1f\n",
+                     host.id().c_str(), host.spec().cpus, host.vm_count(),
+                     price_per_hour,
+                     MicrosToDollars(auctioneer->total_revenue()),
+                     utilization);
+  }
+  return out;
+}
+
+std::string RenderJobTable(const std::vector<const JobRecord*>& jobs,
+                           sim::SimTime now) {
+  std::string out =
+      StrFormat("%-5s %-18s %-30s %-11s %9s %12s %12s %10s\n", "ID", "NAME",
+                "USER", "STATE", "CHUNKS", "SPENT($)", "BUDGET($)", "TIME");
+  for (const JobRecord* job : jobs) {
+    const sim::SimTime end =
+        job->finished_at >= 0 ? job->finished_at : now;
+    const std::string elapsed =
+        job->submitted_at >= 0 ? sim::FormatTime(end - job->submitted_at)
+                               : "-";
+    out += StrFormat(
+        "%-5llu %-18s %-30s %-11s %5d/%-3d %12.2f %12.2f %10s\n",
+        static_cast<unsigned long long>(job->id),
+        job->description.job_name.substr(0, 18).c_str(),
+        job->user_dn.substr(0, 30).c_str(), JobStateName(job->state),
+        job->CompletedChunks(), job->description.TotalChunks(),
+        MicrosToDollars(job->spent), MicrosToDollars(job->budget),
+        elapsed.c_str());
+  }
+  return out;
+}
+
+std::string RenderMonitor(
+    const std::vector<const market::Auctioneer*>& auctioneers,
+    const std::vector<const JobRecord*>& jobs, sim::SimTime now) {
+  std::string out =
+      "=== Tycoon Grid Monitor @ " + sim::FormatTime(now) + " ===\n";
+  out += RenderClusterTable(auctioneers, now);
+  out += "\n";
+  out += RenderJobTable(jobs, now);
+  return out;
+}
+
+}  // namespace gm::grid

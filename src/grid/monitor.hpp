@@ -1,0 +1,28 @@
+// Grid monitor: text rendering of cluster and job state, in the spirit of
+// the ARC Grid Monitor screenshot in the paper (Figure 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/job.hpp"
+#include "market/auctioneer.hpp"
+#include "sim/kernel.hpp"
+
+namespace gm::grid {
+
+/// "host  cpus  vms  price($/h)  revenue" table over the market hosts.
+std::string RenderClusterTable(
+    const std::vector<const market::Auctioneer*>& auctioneers,
+    sim::SimTime now);
+
+/// "id  name  user  state  chunks  spent/budget  time" table.
+std::string RenderJobTable(const std::vector<const JobRecord*>& jobs,
+                           sim::SimTime now);
+
+/// Both tables with a timestamp header.
+std::string RenderMonitor(
+    const std::vector<const market::Auctioneer*>& auctioneers,
+    const std::vector<const JobRecord*>& jobs, sim::SimTime now);
+
+}  // namespace gm::grid

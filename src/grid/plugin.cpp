@@ -1,0 +1,537 @@
+#include "grid/plugin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace gm::grid {
+
+TycoonSchedulerPlugin::TycoonSchedulerPlugin(
+    sim::Kernel& kernel, market::ServiceLocationService& sls,
+    bank::Bank& bank, host::PackageCatalog catalog, PluginConfig config)
+    : kernel_(kernel), sls_(sls), bank_(bank), catalog_(std::move(catalog)),
+      config_(config) {}
+
+Status TycoonSchedulerPlugin::RegisterAuctioneer(
+    market::Auctioneer& auctioneer, const std::string& bank_account) {
+  const std::string host_id = auctioneer.physical_host().id();
+  if (auctioneers_.find(host_id) != auctioneers_.end())
+    return Status::AlreadyExists("auctioneer registered: " + host_id);
+  if (!bank_.HasAccount(bank_account)) {
+    GM_RETURN_IF_ERROR(bank_.CreateAccount(bank_account, {}));
+  }
+  auctioneers_.emplace(host_id, std::make_pair(&auctioneer, bank_account));
+  return Status::Ok();
+}
+
+Cycles TycoonSchedulerPlugin::ChunkCycles(
+    const JobDescription& description) const {
+  return description.cpu_time_minutes * 60.0 * config_.reference_capacity;
+}
+
+sim::SimDuration TycoonSchedulerPlugin::StageDuration(
+    const std::vector<StagedFile>& files) const {
+  double total_mb = 0.0;
+  for (const StagedFile& file : files) total_mb += file.size_mb;
+  return sim::Seconds(total_mb / config_.stage_bandwidth_mb_per_s);
+}
+
+Result<std::uint64_t> TycoonSchedulerPlugin::Launch(JobRecord job) {
+  if (job.state != JobState::kAuthorized)
+    return Status::FailedPrecondition("job must be authorized to launch");
+  if (job.budget <= 0)
+    return Status::InvalidArgument("job has no budget");
+  if (!bank_.HasAccount(job.account))
+    return Status::NotFound("job sub-account missing: " + job.account);
+
+  const std::uint64_t id = next_job_id_++;
+  job.id = id;
+  if (job.submitted_at < 0) job.submitted_at = kernel_.now();
+  job.deadline = kernel_.now() +
+                 sim::Minutes(job.description.wall_time_minutes *
+                              config_.expiry_factor);
+  ActiveJob& active = jobs_[id];
+  active.record = std::move(job);
+  active.spend_target =
+      kernel_.now() +
+      sim::Minutes(active.record.description.wall_time_minutes);
+
+  const Status scheduled = Schedule(active);
+  if (!scheduled.ok()) {
+    active.record.failure = scheduled.ToString();
+    Finalize(active, JobState::kFailed);
+    return id;  // the job exists, in FAILED state, funds refunded
+  }
+  // Deadline watchdog.
+  active.expiry = kernel_.ScheduleAt(active.record.deadline, [this, id] {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || IsTerminal(it->second.record.state)) return;
+    GM_LOG_INFO << "job " << id << " expired at deadline";
+    Finalize(it->second, JobState::kExpired);
+  });
+  return id;
+}
+
+Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
+  JobRecord& record = job.record;
+  GM_RETURN_IF_ERROR(AdvanceState(record, JobState::kScheduling,
+                                  kernel_.now()));
+
+  // 0. Fail fast on unsatisfiable runtime environments, before any money
+  // moves (a mid-loop failure would otherwise strand funded host accounts).
+  for (const std::string& env : record.description.runtime_environments) {
+    if (!catalog_.Has(env)) {
+      return Status::NotFound("runtime environment not in catalog: " + env);
+    }
+  }
+
+  // 1. Candidate hosts from the SLS.
+  market::HostQuery query;
+  query.require_vm_slot = true;
+  query.limit = static_cast<std::size_t>(record.description.count) *
+                config_.candidate_multiplier;
+  std::vector<market::HostRecord> candidates = sls_.Query(query);
+  // Only hosts whose auctioneer we can reach.
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [this](const market::HostRecord& record) {
+                       return auctioneers_.find(record.host_id) ==
+                              auctioneers_.end();
+                     }),
+      candidates.end());
+  if (candidates.empty())
+    return Status::Unavailable("no market hosts available");
+
+  // 2. Best Response over the candidates. The budget becomes a spend rate
+  // over the wall-time deadline; prices are the hosts' current total bid
+  // rates in $/s.
+  const double deadline_seconds =
+      record.description.wall_time_minutes * 60.0;
+  const double budget_rate = MicrosToDollars(record.budget) / deadline_seconds;
+  auto solve_over = [&](const std::vector<market::HostRecord>& hosts)
+      -> Result<br::BestResponseResult> {
+    std::vector<br::HostBidInput> inputs;
+    inputs.reserve(hosts.size());
+    for (const market::HostRecord& host : hosts) {
+      const double host_price =
+          host.price_per_capacity * host.cycles_per_cpu * host.cpus;
+      inputs.push_back({host.host_id, host.cycles_per_cpu, host_price});
+    }
+    return solver_.Solve(inputs, budget_rate);
+  };
+  GM_ASSIGN_OR_RETURN(br::BestResponseResult solution,
+                      solve_over(candidates));
+
+  // 3. Keep at most `count` hosts, ranked by the utility each contributes
+  // (w_j * expected share). Ranking by bid size would be wrong: Best
+  // Response bids almost nothing on idle hosts precisely because their
+  // capacity is nearly free, yet those are the most valuable picks.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto contribution = [&](std::size_t i) {
+    if (config_.host_selection == PluginConfig::HostSelection::kBidSize)
+      return solution.bids[i].bid;
+    return candidates[i].cycles_per_cpu * solution.bids[i].expected_share;
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return contribution(a) > contribution(b);
+  });
+  std::vector<market::HostRecord> selected;
+  for (const std::size_t i : order) {
+    if (selected.size() >=
+        static_cast<std::size_t>(record.description.count))
+      break;
+    // Outside the active set: Best Response found this host not worth
+    // bidding on at this budget.
+    if (solution.bids[i].bid <= 0.0) continue;
+    selected.push_back(candidates[i]);
+  }
+  if (selected.empty())
+    return Status::Unavailable("best response placed no bids");
+  // Re-solve over the final host set so bids align with `selected` and the
+  // whole budget lands on hosts the job actually uses.
+  GM_ASSIGN_OR_RETURN(solution, solve_over(selected));
+
+  // 4. Fund accounts, create VMs, provision runtime environments.
+  Micros distributed = 0;
+  double bid_total = 0.0;
+  for (const auto& allocation : solution.bids) bid_total += allocation.bid;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const market::HostRecord& host = selected[i];
+    const double bid = solution.bids[i].bid;
+    auto& [auctioneer, bank_account] = auctioneers_.at(host.host_id);
+
+    HostBinding binding;
+    binding.auctioneer = auctioneer;
+    binding.bank_account = bank_account;
+
+    if (!auctioneer->HasAccount(record.account)) {
+      GM_RETURN_IF_ERROR(auctioneer->OpenAccount(record.account));
+    }
+    // Budget share proportional to the bid; the last host gets the
+    // remainder so micro-dollars add up exactly.
+    Micros share = i + 1 == selected.size()
+                       ? record.budget - distributed
+                       : static_cast<Micros>(std::llround(
+                             static_cast<double>(record.budget) * bid /
+                             bid_total));
+    share = std::min(share, record.budget - distributed);
+    if (share <= 0) continue;
+    GM_RETURN_IF_ERROR(FundHost(job, binding, share));
+    distributed += share;
+
+    const auto vm = auctioneer->AcquireVm(record.account);
+    if (!vm.ok()) {
+      GM_LOG_WARN << "job " << record.id << ": VM on " << host.host_id
+                  << " failed: " << vm.status().ToString();
+      // Undo the funding so no money is stranded on a host we cannot use.
+      const auto refund = auctioneer->CloseAccount(record.account);
+      if (refund.ok() && *refund > 0) {
+        GM_RETURN_IF_ERROR(bank_.InternalTransfer(binding.bank_account,
+                                                  record.account, *refund,
+                                                  kernel_.now())
+                               .status());
+        distributed -= *refund;
+      }
+      continue;
+    }
+    binding.vm_id = (*vm)->id();
+    // Provision runtime environments inside the VM (yum model).
+    std::map<std::string, bool> installed;
+    for (const std::string& env : record.description.runtime_environments) {
+      if ((*vm)->HasRuntime(env)) {
+        installed[env] = true;
+        continue;
+      }
+      GM_ASSIGN_OR_RETURN(const sim::SimDuration install_time,
+                          catalog_.InstallTime(env, installed));
+      (*vm)->ExtendProvisioning(install_time);
+      (*vm)->MarkRuntimeInstalled(env);
+    }
+    // Bid: a rate in micro-dollars per second until the deadline.
+    const Micros rate = DollarsToMicros(bid);
+    GM_RETURN_IF_ERROR(auctioneer->SetBid(record.account, rate,
+                                          record.deadline));
+    record.hosts_used.push_back(host.host_id);
+    job.hosts.push_back(std::move(binding));
+  }
+  if (job.hosts.empty())
+    return Status::Unavailable("no host could run a VM for the job");
+
+  BeginStaging(job);
+  return Status::Ok();
+}
+
+Status TycoonSchedulerPlugin::FundHost(ActiveJob& job, HostBinding& binding,
+                                       Micros amount) {
+  JobRecord& record = job.record;
+  // Mirror the deposit in the bank (conservation), then credit the
+  // host-local market account.
+  GM_RETURN_IF_ERROR(bank_.InternalTransfer(record.account,
+                                            binding.bank_account, amount,
+                                            kernel_.now())
+                         .status());
+  GM_RETURN_IF_ERROR(binding.auctioneer->Fund(record.account, amount));
+  return Status::Ok();
+}
+
+void TycoonSchedulerPlugin::BeginStaging(ActiveJob& job) {
+  JobRecord& record = job.record;
+  GM_ASSERT(AdvanceState(record, JobState::kStagingIn, kernel_.now()).ok(),
+            "staging transition");
+  const sim::SimDuration stage_in =
+      StageDuration(record.description.input_files);
+  const std::uint64_t id = record.id;
+  kernel_.ScheduleAfter(stage_in, [this, id] {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || IsTerminal(it->second.record.state)) return;
+    StartDispatch(it->second);
+  });
+}
+
+void TycoonSchedulerPlugin::StartDispatch(ActiveJob& job) {
+  JobRecord& record = job.record;
+  GM_ASSERT(AdvanceState(record, JobState::kRunning, kernel_.now()).ok(),
+            "running transition");
+  const int total = record.description.TotalChunks();
+  record.subjobs.resize(static_cast<std::size_t>(total));
+  job.pending_chunks = total;
+  for (int ordinal = 0; ordinal < total; ++ordinal) {
+    record.subjobs[static_cast<std::size_t>(ordinal)].ordinal = ordinal;
+    job.unassigned.push_back(ordinal);
+  }
+  // Each VM pulls its first chunk; the rest are dispatched as VMs free up
+  // (bag-of-tasks master). Slow, contested hosts therefore end up running
+  // few or no chunks — the effect behind the paper's "Nodes" column.
+  for (std::size_t h = 0; h < job.hosts.size(); ++h) DispatchChunk(job, h);
+
+  if (config_.rebid_period > 0) {
+    const std::uint64_t id = record.id;
+    job.rebid = kernel_.ScheduleEvery(
+        config_.rebid_period, config_.rebid_period, [this, id] {
+          const auto it = jobs_.find(id);
+          if (it == jobs_.end() || IsTerminal(it->second.record.state))
+            return;
+          Rebid(it->second);
+        });
+    Rebid(job);
+  }
+}
+
+void TycoonSchedulerPlugin::Rebid(ActiveJob& job) {
+  JobRecord& record = job.record;
+  // Work still owed, assuming incomplete chunks need their full cycles
+  // (a slight overestimate that buys deadline safety).
+  int incomplete = 0;
+  for (const SubJobRecord& subjob : record.subjobs)
+    if (!subjob.completed) ++incomplete;
+  if (incomplete == 0) return;
+  const Cycles remaining_cycles = incomplete * ChunkCycles(record.description);
+
+  // Time left to the spend target; once past it, keep pushing with a
+  // rolling quarter-wallTime window (the job is late, not abandoned).
+  const sim::SimDuration window = std::max<sim::SimDuration>(
+      job.spend_target - kernel_.now(),
+      sim::Minutes(record.description.wall_time_minutes / 4.0));
+  const double seconds = sim::ToSeconds(window);
+  const CyclesPerSecond required = remaining_cycles / seconds;
+
+  // Live hosts and their capacities.
+  std::vector<std::size_t> live;
+  double live_capacity = 0.0;
+  for (std::size_t h = 0; h < job.hosts.size(); ++h) {
+    if (job.hosts[h].auctioneer->HasAccount(record.account)) {
+      live.push_back(h);
+      live_capacity +=
+          job.hosts[h].auctioneer->physical_host().PerCpuCapacity();
+    }
+  }
+  if (live.empty() || live_capacity <= 0.0) return;
+  // Needed fraction of the fleet, spread uniformly over the live hosts.
+  const double fleet_share =
+      std::min(config_.max_target_share, required / live_capacity);
+
+  for (const std::size_t h : live) {
+    HostBinding& binding = job.hosts[h];
+    market::Auctioneer& auctioneer = *binding.auctioneer;
+    const double share = fleet_share;
+    const Micros others = auctioneer.SpotPriceRateExcluding(record.account);
+    // Hold share s against price y: x = y s / (1 - s); floor of 1 u$/s
+    // keeps an idle host claimed.
+    double rate_raw =
+        static_cast<double>(others) * share / (1.0 - share);
+    Micros rate = std::max<Micros>(
+        1, static_cast<Micros>(std::llround(rate_raw)));
+    // Affordability: never bid faster than the host account can sustain
+    // until the reap deadline — a starved job that conserves its funds can
+    // still finish cheaply once richer competitors leave the market.
+    const double seconds_to_reap =
+        std::max(60.0, sim::ToSeconds(record.deadline - kernel_.now()));
+    const Micros balance = auctioneer.Balance(record.account).value_or(0);
+    const Micros affordable = static_cast<Micros>(
+        static_cast<double>(balance) / seconds_to_reap);
+    rate = std::min(rate, std::max<Micros>(1, affordable));
+    (void)auctioneer.SetBid(record.account, rate, record.deadline);
+  }
+}
+
+bool TycoonSchedulerPlugin::DispatchChunk(ActiveJob& job,
+                                          std::size_t host_index) {
+  JobRecord& record = job.record;
+  HostBinding& binding = job.hosts[host_index];
+  if (binding.busy) return false;
+  int ordinal = -1;
+  if (!job.unassigned.empty()) {
+    ordinal = job.unassigned.front();
+    job.unassigned.pop_front();
+  } else if (config_.speculative_execution) {
+    // No fresh work: speculatively re-execute the oldest straggler
+    // (classic backup-task mitigation; the first completion wins and the
+    // duplicate's cycles are simply paid for). At most one duplicate per
+    // chunk, never on the VM already running it.
+    sim::SimTime oldest = kernel_.now();
+    for (const SubJobRecord& subjob : record.subjobs) {
+      if (!subjob.completed && subjob.enqueued_at >= 0 &&
+          subjob.enqueued_at < oldest && subjob.vm_id != binding.vm_id &&
+          job.speculated.find(subjob.ordinal) == job.speculated.end()) {
+        oldest = subjob.enqueued_at;
+        ordinal = subjob.ordinal;
+      }
+    }
+    if (ordinal < 0) return false;
+    job.speculated.insert(ordinal);
+  } else {
+    return false;
+  }
+  const auto vm = binding.auctioneer->physical_host().GetVm(binding.vm_id);
+  if (!vm.ok()) {
+    // The VM is gone (host account closed): put fresh work back so another
+    // host can pick it up; a failed speculative copy is simply dropped.
+    if (job.speculated.find(ordinal) == job.speculated.end()) {
+      job.unassigned.push_front(ordinal);
+    } else {
+      job.speculated.erase(ordinal);
+    }
+    return false;
+  }
+
+  SubJobRecord& subjob = record.subjobs[static_cast<std::size_t>(ordinal)];
+  if (subjob.enqueued_at < 0) subjob.enqueued_at = kernel_.now();
+  if (subjob.vm_id.empty()) {
+    // First attempt: remember where it runs (for straggler detection).
+    subjob.vm_id = binding.vm_id;
+    subjob.host_id = binding.auctioneer->physical_host().id();
+  }
+  binding.busy = true;
+  const std::uint64_t id = record.id;
+  const sim::SimTime started =
+      std::max(kernel_.now(), (*vm)->ready_at());
+  (*vm)->Enqueue({static_cast<std::uint64_t>(ordinal) + 1,
+                  ChunkCycles(record.description),
+                  [this, id, ordinal, host_index,
+                   started](sim::SimTime completed_at) {
+                    const auto it = jobs_.find(id);
+                    if (it == jobs_.end()) return;
+                    ActiveJob& active = it->second;
+                    if (IsTerminal(active.record.state)) return;
+                    SubJobRecord& done = active.record.subjobs
+                        [static_cast<std::size_t>(ordinal)];
+                    if (!done.completed) {
+                      done.completed = true;
+                      done.started_at = started;
+                      done.completed_at = completed_at;
+                      done.host_id = active.hosts[host_index]
+                                         .auctioneer->physical_host().id();
+                      done.vm_id = active.hosts[host_index].vm_id;
+                    }
+                    OnChunkComplete(id, ordinal, host_index, completed_at);
+                  }});
+  return true;
+}
+
+void TycoonSchedulerPlugin::OnChunkComplete(std::uint64_t job_id, int ordinal,
+                                            std::size_t host_index,
+                                            sim::SimTime completed_at) {
+  (void)ordinal;
+  (void)completed_at;
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  ActiveJob& job = it->second;
+  // A speculative duplicate may complete after its primary already pushed
+  // the job into STAGING_OUT (or a terminal state): nothing left to do.
+  if (job.record.state != JobState::kRunning) return;
+  job.hosts[host_index].busy = false;
+
+  job.pending_chunks = 0;
+  for (const SubJobRecord& subjob : job.record.subjobs) {
+    if (!subjob.completed) ++job.pending_chunks;
+  }
+  if (job.pending_chunks > 0) {
+    DispatchChunk(job, host_index);
+    return;
+  }
+
+  // All chunks done: stage out, then finish and refund.
+  GM_ASSERT(AdvanceState(job.record, JobState::kStagingOut,
+                         kernel_.now()).ok(),
+            "staging-out transition");
+  const sim::SimDuration stage_out =
+      StageDuration(job.record.description.output_files);
+  kernel_.ScheduleAfter(stage_out, [this, job_id] {
+    const auto jt = jobs_.find(job_id);
+    if (jt == jobs_.end() || IsTerminal(jt->second.record.state)) return;
+    Finalize(jt->second, JobState::kFinished);
+  });
+}
+
+void TycoonSchedulerPlugin::Finalize(ActiveJob& job,
+                                     JobState terminal_state) {
+  JobRecord& record = job.record;
+  if (job.expiry.valid()) {
+    kernel_.Cancel(job.expiry);
+    job.expiry = {};
+  }
+  if (job.rebid.valid()) {
+    kernel_.Cancel(job.rebid);
+    job.rebid = {};
+  }
+  // Settle every host account: collect spend, refund the rest.
+  for (HostBinding& binding : job.hosts) {
+    market::Auctioneer& auctioneer = *binding.auctioneer;
+    if (!auctioneer.HasAccount(record.account)) continue;
+    record.spent += auctioneer.Spent(record.account).value_or(0);
+    const auto refund = auctioneer.CloseAccount(record.account);
+    if (refund.ok() && *refund > 0) {
+      const auto mirrored = bank_.InternalTransfer(
+          binding.bank_account, record.account, *refund, kernel_.now());
+      GM_ASSERT(mirrored.ok(), "refund mirror transfer failed");
+      record.refunded += *refund;
+    }
+  }
+  const Status advanced = AdvanceState(record, terminal_state, kernel_.now());
+  GM_ASSERT(advanced.ok(), "terminal transition failed");
+  if (on_finished_) on_finished_(record);
+}
+
+Status TycoonSchedulerPlugin::Boost(std::uint64_t job_id, Micros amount) {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return Status::NotFound("job not found");
+  ActiveJob& job = it->second;
+  JobRecord& record = job.record;
+  if (IsTerminal(record.state))
+    return Status::FailedPrecondition("job already terminal");
+  if (amount <= 0) return Status::InvalidArgument("boost must be positive");
+  GM_ASSIGN_OR_RETURN(const Micros available, bank_.Balance(record.account));
+  if (available < amount)
+    return Status::FailedPrecondition("sub-account lacks boost funds");
+
+  const double remaining_seconds =
+      std::max(1.0, sim::ToSeconds(record.deadline - kernel_.now()));
+  // Spread proportionally to current balances; raise rates accordingly.
+  Micros distributed = 0;
+  std::vector<std::size_t> funded;
+  for (std::size_t i = 0; i < job.hosts.size(); ++i) {
+    if (job.hosts[i].auctioneer->HasAccount(record.account))
+      funded.push_back(i);
+  }
+  if (funded.empty())
+    return Status::FailedPrecondition("no live host accounts to boost");
+  for (std::size_t k = 0; k < funded.size(); ++k) {
+    HostBinding& binding = job.hosts[funded[k]];
+    const Micros share =
+        k + 1 == funded.size()
+            ? amount - distributed
+            : amount / static_cast<Micros>(funded.size());
+    if (share <= 0) continue;
+    GM_RETURN_IF_ERROR(FundHost(job, binding, share));
+    distributed += share;
+    market::Auctioneer& auctioneer = *binding.auctioneer;
+    const Micros balance = auctioneer.Balance(record.account).value_or(0);
+    // New rate: spend the whole remaining balance by the deadline.
+    const Micros rate = std::max<Micros>(
+        1, static_cast<Micros>(std::llround(
+               static_cast<double>(balance) / remaining_seconds)));
+    GM_RETURN_IF_ERROR(
+        auctioneer.SetBid(record.account, rate, record.deadline));
+  }
+  record.budget += amount;
+  return Status::Ok();
+}
+
+Result<const JobRecord*> TycoonSchedulerPlugin::Get(
+    std::uint64_t job_id) const {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return Status::NotFound("job not found");
+  return &it->second.record;
+}
+
+std::vector<const JobRecord*> TycoonSchedulerPlugin::jobs() const {
+  std::vector<const JobRecord*> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(&job.record);
+  return out;
+}
+
+}  // namespace gm::grid

@@ -1,0 +1,247 @@
+#include "grid/xrsl.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace gm::grid {
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Quoted string ("" escapes a quote) or bare token up to a delimiter.
+  Result<std::string> Token() {
+    SkipSpace();
+    if (pos_ >= text_.size())
+      return Status::InvalidArgument("xrsl: unexpected end of input");
+    if (text_[pos_] == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size()) {
+        const char c = text_[pos_++];
+        if (c == '"') {
+          if (pos_ < text_.size() && text_[pos_] == '"') {
+            out.push_back('"');  // doubled quote escape
+            ++pos_;
+            continue;
+          }
+          return out;
+        }
+        out.push_back(c);
+      }
+      return Status::InvalidArgument("xrsl: unterminated string");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '(' || c == ')' || c == '=' ||
+          std::isspace(static_cast<unsigned char>(c)))
+        break;
+      out.push_back(c);
+      ++pos_;
+    }
+    if (out.empty())
+      return Status::InvalidArgument("xrsl: expected a value token");
+    return out;
+  }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<double> ParseSize(const std::string& url) {
+  if (url.empty()) return 0.0;
+  if (StartsWith(url, "sim://")) {
+    const auto size = ParseDouble(url.substr(6));
+    if (!size.has_value() || *size < 0.0)
+      return Status::InvalidArgument("xrsl: bad sim:// size in " + url);
+    return *size;
+  }
+  // Unknown URL scheme: stage with a nominal size.
+  return 1.0;
+}
+
+Result<StagedFile> FileFromGroup(const std::vector<std::string>& group) {
+  if (group.empty() || group.size() > 2)
+    return Status::InvalidArgument("xrsl: file entry needs (name [url])");
+  StagedFile file;
+  file.name = group[0];
+  if (file.name.empty())
+    return Status::InvalidArgument("xrsl: empty file name");
+  if (group.size() == 2) {
+    GM_ASSIGN_OR_RETURN(file.size_mb, ParseSize(group[1]));
+  }
+  return file;
+}
+
+Result<double> PositiveNumber(const XrslRelation& relation) {
+  if (relation.values.size() != 1)
+    return Status::InvalidArgument("xrsl: " + relation.attribute +
+                                   " needs one value");
+  const auto value = ParseDouble(relation.values[0]);
+  if (!value.has_value() || *value <= 0.0)
+    return Status::InvalidArgument("xrsl: " + relation.attribute +
+                                   " must be a positive number");
+  return *value;
+}
+
+}  // namespace
+
+Result<std::vector<XrslRelation>> ParseXrsl(std::string_view text) {
+  Lexer lexer(text);
+  // Optional leading '&' (conjunction of relations).
+  (void)lexer.Consume('&');
+  std::vector<XrslRelation> relations;
+  while (!lexer.AtEnd()) {
+    if (!lexer.Consume('('))
+      return Status::InvalidArgument(
+          StrFormat("xrsl: expected '(' at offset %zu", lexer.position()));
+    XrslRelation relation;
+    GM_ASSIGN_OR_RETURN(const std::string attribute, lexer.Token());
+    relation.attribute = ToLower(attribute);
+    if (!lexer.Consume('='))
+      return Status::InvalidArgument("xrsl: expected '=' after attribute " +
+                                     relation.attribute);
+    while (!lexer.Consume(')')) {
+      if (lexer.AtEnd())
+        return Status::InvalidArgument("xrsl: unbalanced parentheses");
+      if (lexer.Peek() == '(') {
+        lexer.Consume('(');
+        std::vector<std::string> group;
+        while (!lexer.Consume(')')) {
+          if (lexer.AtEnd())
+            return Status::InvalidArgument("xrsl: unbalanced group");
+          GM_ASSIGN_OR_RETURN(std::string value, lexer.Token());
+          group.push_back(std::move(value));
+        }
+        relation.groups.push_back(std::move(group));
+      } else {
+        GM_ASSIGN_OR_RETURN(std::string value, lexer.Token());
+        relation.values.push_back(std::move(value));
+      }
+    }
+    relations.push_back(std::move(relation));
+  }
+  if (relations.empty())
+    return Status::InvalidArgument("xrsl: no relations found");
+  return relations;
+}
+
+Result<JobDescription> JobDescription::FromXrsl(std::string_view text) {
+  GM_ASSIGN_OR_RETURN(const std::vector<XrslRelation> relations,
+                      ParseXrsl(text));
+  JobDescription description;
+  for (const XrslRelation& relation : relations) {
+    if (relation.attribute == "executable") {
+      if (relation.values.size() != 1)
+        return Status::InvalidArgument("xrsl: executable needs one value");
+      description.executable = relation.values[0];
+    } else if (relation.attribute == "arguments") {
+      description.arguments = relation.values;
+    } else if (relation.attribute == "jobname") {
+      if (relation.values.size() != 1)
+        return Status::InvalidArgument("xrsl: jobname needs one value");
+      description.job_name = relation.values[0];
+    } else if (relation.attribute == "count") {
+      GM_ASSIGN_OR_RETURN(const double count, PositiveNumber(relation));
+      description.count = static_cast<int>(count);
+    } else if (relation.attribute == "chunks") {
+      GM_ASSIGN_OR_RETURN(const double chunks, PositiveNumber(relation));
+      description.chunks = static_cast<int>(chunks);
+    } else if (relation.attribute == "cputime") {
+      GM_ASSIGN_OR_RETURN(description.cpu_time_minutes,
+                          PositiveNumber(relation));
+    } else if (relation.attribute == "walltime") {
+      GM_ASSIGN_OR_RETURN(description.wall_time_minutes,
+                          PositiveNumber(relation));
+    } else if (relation.attribute == "runtimeenvironment") {
+      for (const std::string& value : relation.values)
+        description.runtime_environments.push_back(value);
+    } else if (relation.attribute == "inputfiles") {
+      for (const auto& group : relation.groups) {
+        GM_ASSIGN_OR_RETURN(StagedFile file, FileFromGroup(group));
+        description.input_files.push_back(std::move(file));
+      }
+    } else if (relation.attribute == "outputfiles") {
+      for (const auto& group : relation.groups) {
+        GM_ASSIGN_OR_RETURN(StagedFile file, FileFromGroup(group));
+        description.output_files.push_back(std::move(file));
+      }
+    } else {
+      return Status::InvalidArgument("xrsl: unsupported attribute '" +
+                                     relation.attribute + "'");
+    }
+  }
+  if (description.executable.empty())
+    return Status::InvalidArgument("xrsl: executable is required");
+  if (description.cpu_time_minutes <= 0.0)
+    return Status::InvalidArgument("xrsl: cpuTime is required");
+  if (description.wall_time_minutes <= 0.0)
+    return Status::InvalidArgument("xrsl: wallTime is required");
+  if (description.chunks > 0 && description.chunks < description.count)
+    return Status::InvalidArgument("xrsl: chunks must be >= count");
+  return description;
+}
+
+std::string JobDescription::ToXrsl() const {
+  std::string out = "&";
+  const auto quoted = [](const std::string& v) { return "\"" + v + "\""; };
+  out += "(executable=" + quoted(executable) + ")";
+  if (!arguments.empty()) {
+    out += "(arguments=";
+    for (std::size_t i = 0; i < arguments.size(); ++i) {
+      if (i > 0) out += " ";
+      out += quoted(arguments[i]);
+    }
+    out += ")";
+  }
+  if (!job_name.empty()) out += "(jobName=" + quoted(job_name) + ")";
+  out += StrFormat("(count=%d)", count);
+  if (chunks > 0) out += StrFormat("(chunks=%d)", chunks);
+  out += StrFormat("(cpuTime=\"%g\")", cpu_time_minutes);
+  out += StrFormat("(wallTime=\"%g\")", wall_time_minutes);
+  for (const std::string& env : runtime_environments)
+    out += "(runTimeEnvironment=" + quoted(env) + ")";
+  const auto file_list = [&](const char* attr,
+                             const std::vector<StagedFile>& files) {
+    if (files.empty()) return std::string();
+    std::string s = std::string("(") + attr + "=";
+    for (const StagedFile& file : files) {
+      s += "(" + quoted(file.name) + " " +
+           quoted(StrFormat("sim://%g", file.size_mb)) + ")";
+    }
+    return s + ")";
+  };
+  out += file_list("inputFiles", input_files);
+  out += file_list("outputFiles", output_files);
+  return out;
+}
+
+}  // namespace gm::grid

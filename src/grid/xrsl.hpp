@@ -1,0 +1,60 @@
+// XRSL (extended Resource Specification Language) subset parser.
+//
+// ARC job descriptions look like
+//   &(executable="/bin/scan")(arguments="-w" "7")(count=15)
+//    (cpuTime="212")(wallTime="330")(jobName="proteome-scan")
+//    (runTimeEnvironment="APPS/BIO/BLAST")
+//    (inputFiles=("chunk01.fasta" "sim://40"))
+//    (outputFiles=("hits.out" ""))
+// We parse the attributes the Tycoon plugin maps onto market parameters
+// (paper Section 3): cpuTime/wallTime -> bid deadline, count -> number of
+// VMs, plus our documented extension `chunks` (total sub-jobs for
+// bag-of-tasks runs; defaults to count). File URLs of the form
+// "sim://<megabytes>" carry the staged size for the transfer model.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gm::grid {
+
+/// One parsed relation: (attribute = values / nested groups).
+struct XrslRelation {
+  std::string attribute;  // lower-cased
+  std::vector<std::string> values;
+  std::vector<std::vector<std::string>> groups;  // nested parenthesized lists
+};
+
+/// Low-level parse of the relation list. Fails with detailed messages on
+/// malformed input (unbalanced parentheses, missing '=', bad quoting).
+Result<std::vector<XrslRelation>> ParseXrsl(std::string_view text);
+
+struct StagedFile {
+  std::string name;
+  double size_mb = 0.0;
+};
+
+struct JobDescription {
+  std::string job_name;
+  std::string executable;
+  std::vector<std::string> arguments;
+  int count = 1;                  // concurrent VMs (virtual CPUs)
+  int chunks = 0;                 // total sub-jobs; 0 -> defaults to count
+  double cpu_time_minutes = 0.0;  // per sub-job at reference CPU speed
+  double wall_time_minutes = 0.0; // deadline
+  std::vector<std::string> runtime_environments;
+  std::vector<StagedFile> input_files;
+  std::vector<StagedFile> output_files;
+
+  /// Total sub-jobs, resolving the default.
+  int TotalChunks() const { return chunks > 0 ? chunks : count; }
+
+  static Result<JobDescription> FromXrsl(std::string_view text);
+  /// Canonical XRSL rendering (round-trips through FromXrsl).
+  std::string ToXrsl() const;
+};
+
+}  // namespace gm::grid

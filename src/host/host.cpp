@@ -1,0 +1,168 @@
+#include "host/host.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace gm::host {
+
+std::vector<double> ProportionalShareWithCap(const std::vector<double>& weights,
+                                             double total, double cap,
+                                             bool redistribute) {
+  std::vector<double> granted(weights.size(), 0.0);
+  if (total <= 0 || cap <= 0) return granted;
+
+  std::vector<std::size_t> active;
+  double active_weight = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0) {
+      active.push_back(i);
+      active_weight += weights[i];
+    }
+  }
+  if (!redistribute) {
+    // Non-work-conserving: plain proportional shares, clipped at the cap;
+    // capacity freed by the clip is wasted.
+    for (const std::size_t i : active)
+      granted[i] = std::min(cap, total * weights[i] / active_weight);
+    return granted;
+  }
+  double remaining = total;
+  // Iteratively cap entities whose proportional share exceeds the cap and
+  // redistribute the freed capacity. Terminates in <= n iterations.
+  while (!active.empty() && remaining > 1e-12) {
+    bool capped_any = false;
+    std::vector<std::size_t> still_active;
+    double still_weight = 0.0;
+    for (const std::size_t i : active) {
+      const double share = remaining * weights[i] / active_weight;
+      if (share >= cap - granted[i]) {
+        // This entity saturates its cap.
+        granted[i] = cap;
+        capped_any = true;
+      } else {
+        still_active.push_back(i);
+        still_weight += weights[i];
+      }
+    }
+    if (!capped_any) {
+      for (const std::size_t i : still_active)
+        granted[i] += remaining * weights[i] / still_weight;
+      break;
+    }
+    // Recompute what remains after the caps taken this round.
+    double taken = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) taken += granted[i];
+    remaining = total - taken;
+    active = std::move(still_active);
+    active_weight = still_weight;
+  }
+  return granted;
+}
+
+PhysicalHost::PhysicalHost(HostSpec spec) : spec_(std::move(spec)) {
+  GM_ASSERT(spec_.cpus > 0, "host needs at least one CPU");
+  GM_ASSERT(spec_.cycles_per_cpu > 0, "host needs positive capacity");
+  GM_ASSERT(spec_.virtualization_overhead >= 0 &&
+                spec_.virtualization_overhead < 1,
+            "overhead must be in [0, 1)");
+}
+
+CyclesPerSecond PhysicalHost::TotalCapacity() const {
+  return spec_.cpus * PerCpuCapacity();
+}
+
+CyclesPerSecond PhysicalHost::PerCpuCapacity() const {
+  return spec_.cycles_per_cpu * (1.0 - spec_.virtualization_overhead);
+}
+
+Result<VirtualMachine*> PhysicalHost::CreateVm(const std::string& vm_id,
+                                               const std::string& owner,
+                                               sim::SimTime now) {
+  if (vms_.size() >= static_cast<std::size_t>(spec_.max_vms))
+    return Status::ResourceExhausted(
+        StrFormat("host %s: VM limit %d reached", spec_.id.c_str(),
+                  spec_.max_vms));
+  if (vms_.find(vm_id) != vms_.end())
+    return Status::AlreadyExists("vm exists: " + vm_id);
+  auto vm = std::make_unique<VirtualMachine>(vm_id, owner,
+                                             now + spec_.vm_boot_time);
+  VirtualMachine* raw = vm.get();
+  vms_.emplace(vm_id, std::move(vm));
+  ++vms_created_;
+  return raw;
+}
+
+Result<VirtualMachine*> PhysicalHost::GetVm(const std::string& vm_id) {
+  const auto it = vms_.find(vm_id);
+  if (it == vms_.end()) return Status::NotFound("vm: " + vm_id);
+  return it->second.get();
+}
+
+Status PhysicalHost::DestroyVm(const std::string& vm_id) {
+  const auto it = vms_.find(vm_id);
+  if (it == vms_.end()) return Status::NotFound("vm: " + vm_id);
+  it->second->Destroy();
+  vms_.erase(it);
+  return Status::Ok();
+}
+
+VirtualMachine* PhysicalHost::FindVmByOwner(const std::string& owner) {
+  for (auto& [id, vm] : vms_) {
+    if (vm->owner() == owner) return vm.get();
+  }
+  return nullptr;
+}
+
+std::vector<VirtualMachine*> PhysicalHost::vms() {
+  std::vector<VirtualMachine*> out;
+  out.reserve(vms_.size());
+  for (auto& [id, vm] : vms_) out.push_back(vm.get());
+  return out;
+}
+
+std::vector<AllocationSlice> PhysicalHost::AdvanceInterval(
+    sim::SimTime start, sim::SimDuration dt,
+    const std::map<std::string, double>& weights) {
+  // Runnable VMs with positive weight take part in the auction round.
+  std::vector<VirtualMachine*> participants;
+  std::vector<double> participant_weights;
+  const sim::SimTime end = start + dt;
+  for (auto& [id, vm] : vms_) {
+    if (vm->destroyed()) continue;
+    // A VM becoming ready mid-interval still participates for its tail.
+    if (!vm->HasWork() || vm->ready_at() >= end) continue;
+    const auto it = weights.find(id);
+    const double w = it == weights.end() ? 0.0 : it->second;
+    if (w <= 0) continue;
+    participants.push_back(vm.get());
+    participant_weights.push_back(w);
+  }
+
+  const std::vector<double> granted = ProportionalShareWithCap(
+      participant_weights, TotalCapacity(), PerCpuCapacity(),
+      spec_.work_conserving);
+
+  std::vector<AllocationSlice> slices;
+  slices.reserve(participants.size());
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    AllocationSlice slice;
+    slice.vm_id = participants[i]->id();
+    slice.weight = participant_weights[i];
+    slice.granted = granted[i];
+    slice.used = participants[i]->Advance(start, dt, granted[i]);
+    const Cycles offered = granted[i] * sim::ToSeconds(dt);
+    slice.used_fraction = offered > 0 ? slice.used / offered : 0.0;
+    delivered_cycles_ += slice.used;
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+double PhysicalHost::Utilization(sim::SimDuration elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  const double offered = TotalCapacity() * sim::ToSeconds(elapsed);
+  return offered > 0 ? delivered_cycles_ / offered : 0.0;
+}
+
+}  // namespace gm::host

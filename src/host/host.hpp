@@ -1,0 +1,95 @@
+// Physical host: capacity, VM lifecycle, proportional-share scheduling.
+//
+// Every allocation interval the auctioneer hands the host a weight per VM
+// (the bid rates). The host converts weights into CPU capacity with a
+// work-conserving water-fill: a single-vCPU VM is capped at one physical
+// CPU, and capacity freed by capped or idle VMs is redistributed to the
+// rest — Tycoon's work-conservation / no-starvation property.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "host/provision.hpp"
+#include "host/vm.hpp"
+
+namespace gm::host {
+
+struct HostSpec {
+  std::string id;
+  int cpus = 2;  // paper testbed machines are dual-processor
+  CyclesPerSecond cycles_per_cpu = GHz(3.0);
+  double virtualization_overhead = 0.03;  // Xen: 1%-5%
+  sim::SimDuration vm_boot_time = sim::Seconds(30);
+  int max_vms = 15;  // paper: up to ~15 VMs per physical node
+  /// Redistribute capacity freed by vCPU caps to the remaining VMs
+  /// (Tycoon's work-conservation property). Disable for ablation only.
+  bool work_conserving = true;
+};
+
+/// Per-interval allocation result for one VM.
+struct AllocationSlice {
+  std::string vm_id;
+  double weight = 0.0;
+  CyclesPerSecond granted = 0.0;  // capacity for the interval
+  Cycles used = 0.0;              // cycles actually consumed
+  double used_fraction = 0.0;     // used / (granted * dt)
+};
+
+class PhysicalHost {
+ public:
+  explicit PhysicalHost(HostSpec spec);
+
+  const HostSpec& spec() const { return spec_; }
+  const std::string& id() const { return spec_.id; }
+
+  /// Effective total capacity after virtualization overhead.
+  CyclesPerSecond TotalCapacity() const;
+  /// Effective single-vCPU cap.
+  CyclesPerSecond PerCpuCapacity() const;
+
+  /// Create a VM for `owner`; ready after the boot latency.
+  Result<VirtualMachine*> CreateVm(const std::string& vm_id,
+                                   const std::string& owner,
+                                   sim::SimTime now);
+  Result<VirtualMachine*> GetVm(const std::string& vm_id);
+  Status DestroyVm(const std::string& vm_id);
+  /// The user's VM on this host if any (paper: one VM per user per host).
+  VirtualMachine* FindVmByOwner(const std::string& owner);
+
+  std::size_t vm_count() const { return vms_.size(); }
+  std::vector<VirtualMachine*> vms();
+
+  /// Advance one allocation interval: distribute capacity proportionally to
+  /// `weights` (vm_id -> weight, e.g. bid rates) among runnable VMs with
+  /// per-vCPU caps and work-conserving redistribution, then run the VMs.
+  /// VMs absent from `weights` get weight 0. Returns per-VM slices.
+  std::vector<AllocationSlice> AdvanceInterval(
+      sim::SimTime start, sim::SimDuration dt,
+      const std::map<std::string, double>& weights);
+
+  /// Utilization over the host's lifetime: delivered / (capacity * time).
+  double Utilization(sim::SimDuration elapsed) const;
+  Cycles delivered_cycles() const { return delivered_cycles_; }
+
+ private:
+  HostSpec spec_;
+  std::map<std::string, std::unique_ptr<VirtualMachine>> vms_;
+  std::uint64_t vms_created_ = 0;
+  Cycles delivered_cycles_ = 0;
+};
+
+/// Water-filling proportional share with per-entity cap: splits `total`
+/// among entities proportionally to weight, no entity above `cap`, excess
+/// redistributed when `redistribute` (work conservation). Exposed for
+/// direct testing; entities with non-positive weight get zero. Returns
+/// granted capacity aligned with `weights`.
+std::vector<double> ProportionalShareWithCap(const std::vector<double>& weights,
+                                             double total, double cap,
+                                             bool redistribute = true);
+
+}  // namespace gm::host

@@ -1,0 +1,61 @@
+#include "host/provision.hpp"
+
+#include <functional>
+#include <set>
+
+namespace gm::host {
+
+PackageCatalog PackageCatalog::Default() {
+  PackageCatalog catalog;
+  catalog.Add({"glibc", 30.0, {}});
+  catalog.Add({"python", 80.0, {"glibc"}});
+  catalog.Add({"perl", 40.0, {"glibc"}});
+  catalog.Add({"blast", 120.0, {"glibc", "perl"}});
+  catalog.Add({"hapgrid", 25.0, {"python", "blast"}});
+  catalog.Add({"mpi", 60.0, {"glibc"}});
+  catalog.Add({"root-physics", 400.0, {"glibc", "python"}});
+  return catalog;
+}
+
+void PackageCatalog::Add(Package package) {
+  packages_[package.name] = std::move(package);
+}
+
+bool PackageCatalog::Has(const std::string& name) const {
+  return packages_.find(name) != packages_.end();
+}
+
+Result<Package> PackageCatalog::Get(const std::string& name) const {
+  const auto it = packages_.find(name);
+  if (it == packages_.end())
+    return Status::NotFound("package: " + name);
+  return it->second;
+}
+
+Result<sim::SimDuration> PackageCatalog::InstallTime(
+    const std::string& name, std::map<std::string, bool>& installed) const {
+  // Iterative DFS with a visiting set for cycle detection.
+  std::set<std::string> visiting;
+  sim::SimDuration total = 0;
+
+  // Recursive lambda via explicit stack-free helper.
+  std::function<Status(const std::string&)> install =
+      [&](const std::string& pkg) -> Status {
+    if (installed[pkg]) return Status::Ok();
+    if (!visiting.insert(pkg).second)
+      return Status::FailedPrecondition("package dependency cycle at " + pkg);
+    const auto it = packages_.find(pkg);
+    if (it == packages_.end()) return Status::NotFound("package: " + pkg);
+    for (const std::string& dep : it->second.dependencies)
+      GM_RETURN_IF_ERROR(install(dep));
+    total += overhead_ +
+             sim::Seconds(it->second.size_mb / bandwidth_mb_per_s_);
+    installed[pkg] = true;
+    visiting.erase(pkg);
+    return Status::Ok();
+  };
+  GM_RETURN_IF_ERROR(install(name));
+  return total;
+}
+
+}  // namespace gm::host

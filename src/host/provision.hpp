@@ -1,0 +1,51 @@
+// Runtime-environment provisioning (the paper's yum-in-the-VM model).
+//
+// ARC jobs declare runtime environments; the Tycoon plugin installs them
+// into the virtual machine before execution. We model a package catalog
+// with sizes and an install-time model (fixed overhead + size / bandwidth),
+// so provisioning latency shows up in job turnaround exactly where the
+// paper pays it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/time.hpp"
+
+namespace gm::host {
+
+struct Package {
+  std::string name;
+  double size_mb = 0.0;
+  std::vector<std::string> dependencies;  // installed first, shared cost once
+};
+
+class PackageCatalog {
+ public:
+  /// Catalog with the packages the bioinformatics pilot needs (blast et al).
+  static PackageCatalog Default();
+
+  void Add(Package package);
+  bool Has(const std::string& name) const;
+  Result<Package> Get(const std::string& name) const;
+
+  /// Total install time for `name` plus not-yet-installed dependencies.
+  /// `installed` is updated with everything that got installed.
+  /// Fails on unknown packages or dependency cycles.
+  Result<sim::SimDuration> InstallTime(
+      const std::string& name, std::map<std::string, bool>& installed) const;
+
+  sim::SimDuration per_package_overhead() const { return overhead_; }
+  void set_per_package_overhead(sim::SimDuration d) { overhead_ = d; }
+  double bandwidth_mb_per_s() const { return bandwidth_mb_per_s_; }
+  void set_bandwidth_mb_per_s(double v) { bandwidth_mb_per_s_ = v; }
+
+ private:
+  std::map<std::string, Package> packages_;
+  sim::SimDuration overhead_ = sim::Seconds(2);
+  double bandwidth_mb_per_s_ = 10.0;
+};
+
+}  // namespace gm::host

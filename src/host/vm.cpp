@@ -1,0 +1,106 @@
+#include "host/vm.hpp"
+
+#include "common/status.hpp"
+
+namespace gm::host {
+
+const char* VmStateName(VmState state) {
+  switch (state) {
+    case VmState::kBooting: return "booting";
+    case VmState::kProvisioning: return "provisioning";
+    case VmState::kReady: return "ready";
+    case VmState::kRunning: return "running";
+    case VmState::kDestroyed: return "destroyed";
+  }
+  return "?";
+}
+
+VirtualMachine::VirtualMachine(std::string id, std::string owner,
+                               sim::SimTime ready_at)
+    : id_(std::move(id)), owner_(std::move(owner)), ready_at_(ready_at) {}
+
+VmState VirtualMachine::state(sim::SimTime now) const {
+  if (destroyed_) return VmState::kDestroyed;
+  if (now < ready_at_)
+    return provisioning_ ? VmState::kProvisioning : VmState::kBooting;
+  return queue_.empty() ? VmState::kReady : VmState::kRunning;
+}
+
+bool VirtualMachine::Runnable(sim::SimTime now) const {
+  return !destroyed_ && now >= ready_at_ && !queue_.empty();
+}
+
+void VirtualMachine::ExtendProvisioning(sim::SimDuration extra) {
+  GM_ASSERT(extra >= 0, "negative provisioning extension");
+  ready_at_ += extra;
+  provisioning_ = true;
+}
+
+void VirtualMachine::MarkRuntimeInstalled(const std::string& name) {
+  runtimes_.insert(name);
+}
+
+bool VirtualMachine::HasRuntime(const std::string& name) const {
+  return runtimes_.find(name) != runtimes_.end();
+}
+
+void VirtualMachine::Enqueue(WorkItem item) {
+  GM_ASSERT(!destroyed_, "enqueue on destroyed VM");
+  GM_ASSERT(item.required > 0, "work item needs positive cycles");
+  queue_.push_back(std::move(item));
+}
+
+Cycles VirtualMachine::PendingCycles() const {
+  Cycles total = -front_progress_;
+  for (const WorkItem& item : queue_) total += item.required;
+  return queue_.empty() ? 0 : total;
+}
+
+Cycles VirtualMachine::Advance(sim::SimTime start, sim::SimDuration dt,
+                               CyclesPerSecond capacity) {
+  GM_ASSERT(!destroyed_, "advance on destroyed VM");
+  if (capacity <= 0 || dt <= 0 || queue_.empty()) return 0;
+  // The VM does no work before it is ready.
+  sim::SimTime effective_start = start;
+  sim::SimDuration effective_dt = dt;
+  if (effective_start < ready_at_) {
+    const sim::SimDuration lost = ready_at_ - effective_start;
+    if (lost >= effective_dt) return 0;
+    effective_start = ready_at_;
+    effective_dt -= lost;
+  }
+
+  Cycles budget = capacity * sim::ToSeconds(effective_dt);
+  const Cycles offered = budget;
+  while (budget > 0 && !queue_.empty()) {
+    WorkItem& front = queue_.front();
+    const Cycles needed = front.required - front_progress_;
+    if (budget < needed) {
+      front_progress_ += budget;
+      budget = 0;
+      break;
+    }
+    budget -= needed;
+    // Interpolate the completion instant inside this interval.
+    const double used_fraction = offered > 0 ? (offered - budget) / offered : 1.0;
+    const sim::SimTime completion_time =
+        effective_start + static_cast<sim::SimDuration>(
+                              used_fraction * static_cast<double>(effective_dt));
+    auto on_complete = std::move(front.on_complete);
+    queue_.pop_front();
+    front_progress_ = 0;
+    ++completed_items_;
+    if (on_complete) on_complete(completion_time);
+  }
+  const Cycles used = offered - budget;
+  delivered_cycles_ += used;
+  return used;
+}
+
+void VirtualMachine::Destroy() {
+  destroyed_ = true;
+  queue_.clear();
+  front_progress_ = 0;
+}
+
+}  // namespace gm::host

@@ -1,0 +1,188 @@
+#include "market/auctioneer.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace gm::market {
+
+Auctioneer::Auctioneer(host::PhysicalHost& host, sim::Kernel& kernel,
+                       AuctioneerConfig config)
+    : host_(host), kernel_(kernel), config_(std::move(config)) {
+  GM_ASSERT(config_.interval > 0, "auction interval must be positive");
+  for (const auto& [name, n] : config_.stat_windows) {
+    moments_.emplace_back(name, WindowMoments(n));
+    distributions_.emplace_back(
+        name, SlotTable(n, config_.distribution_slots,
+                        config_.distribution_initial_max));
+  }
+}
+
+Auctioneer::~Auctioneer() { Stop(); }
+
+void Auctioneer::Start() {
+  GM_ASSERT(!tick_handle_.valid(), "auctioneer already started");
+  tick_handle_ = kernel_.ScheduleEvery(config_.interval, config_.interval,
+                                       [this] { Tick(); });
+}
+
+void Auctioneer::Stop() {
+  if (tick_handle_.valid()) {
+    kernel_.Cancel(tick_handle_);
+    tick_handle_ = {};
+  }
+}
+
+std::string Auctioneer::VmId(const std::string& user) const {
+  return host_.id() + "/" + user;
+}
+
+Status Auctioneer::OpenAccount(const std::string& user) {
+  if (user.empty()) return Status::InvalidArgument("empty user");
+  if (accounts_.find(user) != accounts_.end())
+    return Status::AlreadyExists("account exists on host " + host_.id() +
+                                 ": " + user);
+  MarketAccount account;
+  account.user = user;
+  accounts_.emplace(user, std::move(account));
+  return Status::Ok();
+}
+
+Status Auctioneer::Fund(const std::string& user, Micros amount) {
+  if (amount <= 0) return Status::InvalidArgument("funding must be > 0");
+  const auto it = accounts_.find(user);
+  if (it == accounts_.end()) return Status::NotFound("account: " + user);
+  it->second.balance += amount;
+  return Status::Ok();
+}
+
+Status Auctioneer::SetBid(const std::string& user, Micros rate_per_second,
+                          sim::SimTime deadline) {
+  if (rate_per_second < 0)
+    return Status::InvalidArgument("bid rate must be >= 0");
+  const auto it = accounts_.find(user);
+  if (it == accounts_.end()) return Status::NotFound("account: " + user);
+  it->second.rate = rate_per_second;
+  it->second.bid_deadline = deadline;
+  return Status::Ok();
+}
+
+Result<Micros> Auctioneer::CloseAccount(const std::string& user) {
+  const auto it = accounts_.find(user);
+  if (it == accounts_.end()) return Status::NotFound("account: " + user);
+  const Micros refund = it->second.balance;
+  accounts_.erase(it);
+  (void)host_.DestroyVm(VmId(user));  // may not exist; fine
+  return refund;
+}
+
+Result<Micros> Auctioneer::Balance(const std::string& user) const {
+  const auto it = accounts_.find(user);
+  if (it == accounts_.end()) return Status::NotFound("account: " + user);
+  return it->second.balance;
+}
+
+Result<Micros> Auctioneer::Spent(const std::string& user) const {
+  const auto it = accounts_.find(user);
+  if (it == accounts_.end()) return Status::NotFound("account: " + user);
+  return it->second.spent;
+}
+
+bool Auctioneer::HasAccount(const std::string& user) const {
+  return accounts_.find(user) != accounts_.end();
+}
+
+Result<host::VirtualMachine*> Auctioneer::AcquireVm(const std::string& user) {
+  if (accounts_.find(user) == accounts_.end())
+    return Status::FailedPrecondition("open an account before acquiring a VM");
+  host::VirtualMachine* existing = host_.FindVmByOwner(user);
+  if (existing != nullptr) return existing;
+  return host_.CreateVm(VmId(user), user, kernel_.now());
+}
+
+bool Auctioneer::BidActive(const MarketAccount& account,
+                           sim::SimTime now) const {
+  return account.rate > 0 && account.balance > 0 &&
+         now < account.bid_deadline;
+}
+
+Micros Auctioneer::SpotPriceRate() const {
+  const sim::SimTime now = kernel_.now();
+  Micros total = 0;
+  for (const auto& [user, account] : accounts_) {
+    if (BidActive(account, now)) total += account.rate;
+  }
+  return total;
+}
+
+Micros Auctioneer::SpotPriceRateExcluding(const std::string& user) const {
+  const sim::SimTime now = kernel_.now();
+  Micros total = 0;
+  for (const auto& [name, account] : accounts_) {
+    if (name != user && BidActive(account, now)) total += account.rate;
+  }
+  return total;
+}
+
+double Auctioneer::PricePerCapacity() const {
+  return MicrosToDollars(SpotPriceRate()) / host_.TotalCapacity();
+}
+
+Result<const WindowMoments*> Auctioneer::Moments(
+    const std::string& window) const {
+  for (const auto& [name, moments] : moments_) {
+    if (name == window) return &moments;
+  }
+  return Status::NotFound("stats window: " + window);
+}
+
+Result<const SlotTable*> Auctioneer::Distribution(
+    const std::string& window) const {
+  for (const auto& [name, table] : distributions_) {
+    if (name == window) return &table;
+  }
+  return Status::NotFound("distribution window: " + window);
+}
+
+void Auctioneer::Tick() {
+  const sim::SimTime now = kernel_.now();
+  const sim::SimTime interval_start = now - config_.interval;
+  const double dt_seconds = sim::ToSeconds(config_.interval);
+
+  // 1. Gather active bids as allocation weights.
+  std::map<std::string, double> weights;
+  for (const auto& [user, account] : accounts_) {
+    if (BidActive(account, interval_start) ||
+        BidActive(account, now)) {
+      weights[VmId(user)] = static_cast<double>(account.rate);
+    }
+  }
+
+  // 2. Allocate and run the interval that just elapsed.
+  const std::vector<host::AllocationSlice> slices =
+      host_.AdvanceInterval(interval_start, config_.interval, weights);
+
+  // 3. Charge for actual use: rate * dt * used_fraction, capped by balance.
+  for (const host::AllocationSlice& slice : slices) {
+    host::VirtualMachine* vm = host_.GetVm(slice.vm_id).value_or(nullptr);
+    if (vm == nullptr) continue;
+    const auto it = accounts_.find(vm->owner());
+    if (it == accounts_.end()) continue;
+    MarketAccount& account = it->second;
+    const double cost_raw = static_cast<double>(account.rate) * dt_seconds *
+                            slice.used_fraction;
+    Micros cost = static_cast<Micros>(std::llround(cost_raw));
+    cost = std::min(cost, account.balance);
+    account.balance -= cost;
+    account.spent += cost;
+    revenue_ += cost;
+  }
+
+  // 4. Record the spot price for the prediction layer.
+  const double price = PricePerCapacity();
+  history_.Record(now, price);
+  for (auto& [name, moments] : moments_) moments.Add(price);
+  for (auto& [name, table] : distributions_) table.Add(price);
+}
+
+}  // namespace gm::market

@@ -1,0 +1,170 @@
+#include "market/auctioneer_service.hpp"
+
+namespace gm::market {
+
+AuctioneerService::AuctioneerService(Auctioneer& auctioneer,
+                                     net::MessageBus& bus,
+                                     std::string endpoint)
+    : auctioneer_(auctioneer),
+      server_(bus, endpoint.empty()
+                       ? "auctioneer/" + auctioneer.physical_host().id()
+                       : std::move(endpoint)) {
+  server_.RegisterMethod(
+      "open_account", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
+        GM_RETURN_IF_ERROR(auctioneer_.OpenAccount(user));
+        return Bytes{};
+      });
+  server_.RegisterMethod(
+      "fund", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const Micros amount, reader.ReadI64());
+        GM_RETURN_IF_ERROR(auctioneer_.Fund(user, amount));
+        return Bytes{};
+      });
+  server_.RegisterMethod(
+      "set_bid", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const Micros rate, reader.ReadI64());
+        GM_ASSIGN_OR_RETURN(const sim::SimTime deadline, reader.ReadI64());
+        GM_RETURN_IF_ERROR(auctioneer_.SetBid(user, rate, deadline));
+        return Bytes{};
+      });
+  server_.RegisterMethod(
+      "balance", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const Micros balance, auctioneer_.Balance(user));
+        net::Writer writer;
+        writer.WriteI64(balance);
+        return writer.Take();
+      });
+  server_.RegisterMethod(
+      "close_account", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
+        GM_ASSIGN_OR_RETURN(const Micros refund,
+                            auctioneer_.CloseAccount(user));
+        net::Writer writer;
+        writer.WriteI64(refund);
+        return writer.Take();
+      });
+  server_.RegisterMethod(
+      "price_stats", [this](const Bytes&) -> Result<Bytes> {
+        net::Writer writer;
+        writer.WriteI64(auctioneer_.SpotPriceRate());
+        writer.WriteDouble(auctioneer_.PricePerCapacity());
+        const auto moments = auctioneer_.Moments("day");
+        writer.WriteDouble(moments.ok() ? (*moments)->mean() : 0.0);
+        writer.WriteDouble(moments.ok() ? (*moments)->stddev() : 0.0);
+        return writer.Take();
+      });
+}
+
+AuctioneerClient::AuctioneerClient(net::MessageBus& bus,
+                                   std::string client_endpoint,
+                                   net::CallOptions options)
+    : client_(bus, std::move(client_endpoint)), options_(options) {}
+
+void AuctioneerClient::CallStatus(const std::string& endpoint,
+                                  const std::string& method, Bytes request,
+                                  StatusCallback callback) {
+  client_.Call(endpoint, method, std::move(request), options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 callback(response.status());
+               });
+}
+
+void AuctioneerClient::CallMicros(const std::string& endpoint,
+                                  const std::string& method, Bytes request,
+                                  MicrosCallback callback) {
+  client_.Call(endpoint, method, std::move(request), options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 if (!response.ok()) {
+                   callback(response.status());
+                   return;
+                 }
+                 net::Reader reader(*response);
+                 const auto value = reader.ReadI64();
+                 if (!value.ok()) {
+                   callback(value.status());
+                   return;
+                 }
+                 callback(*value);
+               });
+}
+
+void AuctioneerClient::OpenAccount(const std::string& endpoint,
+                                   const std::string& user,
+                                   StatusCallback callback) {
+  net::Writer writer;
+  writer.WriteString(user);
+  CallStatus(endpoint, "open_account", writer.Take(), std::move(callback));
+}
+
+void AuctioneerClient::Fund(const std::string& endpoint,
+                            const std::string& user, Micros amount,
+                            StatusCallback callback) {
+  net::Writer writer;
+  writer.WriteString(user);
+  writer.WriteI64(amount);
+  CallStatus(endpoint, "fund", writer.Take(), std::move(callback));
+}
+
+void AuctioneerClient::SetBid(const std::string& endpoint,
+                              const std::string& user, Micros rate,
+                              sim::SimTime deadline, StatusCallback callback) {
+  net::Writer writer;
+  writer.WriteString(user);
+  writer.WriteI64(rate);
+  writer.WriteI64(deadline);
+  CallStatus(endpoint, "set_bid", writer.Take(), std::move(callback));
+}
+
+void AuctioneerClient::Balance(const std::string& endpoint,
+                               const std::string& user,
+                               MicrosCallback callback) {
+  net::Writer writer;
+  writer.WriteString(user);
+  CallMicros(endpoint, "balance", writer.Take(), std::move(callback));
+}
+
+void AuctioneerClient::CloseAccount(const std::string& endpoint,
+                                    const std::string& user,
+                                    MicrosCallback callback) {
+  net::Writer writer;
+  writer.WriteString(user);
+  CallMicros(endpoint, "close_account", writer.Take(), std::move(callback));
+}
+
+void AuctioneerClient::PriceStats(const std::string& endpoint,
+                                  StatsCallback callback) {
+  client_.Call(endpoint, "price_stats", {}, options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 if (!response.ok()) {
+                   callback(response.status());
+                   return;
+                 }
+                 net::Reader reader(*response);
+                 PriceStatsSnapshot snapshot;
+                 const auto spot = reader.ReadI64();
+                 const auto price = reader.ReadDouble();
+                 const auto mean = reader.ReadDouble();
+                 const auto stddev = reader.ReadDouble();
+                 if (!spot.ok() || !price.ok() || !mean.ok() ||
+                     !stddev.ok()) {
+                   callback(Status::Internal("malformed price_stats reply"));
+                   return;
+                 }
+                 snapshot.spot_rate = *spot;
+                 snapshot.price_per_capacity = *price;
+                 snapshot.mean_day = *mean;
+                 snapshot.stddev_day = *stddev;
+                 callback(snapshot);
+               });
+}
+
+}  // namespace gm::market

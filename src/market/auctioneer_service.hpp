@@ -1,0 +1,72 @@
+// RPC facade for a host's Auctioneer.
+//
+// In the deployed system agents talk to auctioneers over the network;
+// this facade exposes the market operations ("fund", "set_bid",
+// "balance", "close_account", "spot_price", "price_stats") on the
+// simulated bus, with a typed client. The scheduler plugin links
+// auctioneers directly for efficiency (it is co-located with the broker),
+// but remote agents — and the tests exercising partial failure — use
+// this service.
+#pragma once
+
+#include <functional>
+
+#include "market/auctioneer.hpp"
+#include "net/rpc.hpp"
+
+namespace gm::market {
+
+class AuctioneerService {
+ public:
+  /// Endpoint defaults to "auctioneer/<host id>".
+  AuctioneerService(Auctioneer& auctioneer, net::MessageBus& bus,
+                    std::string endpoint = "");
+
+  const std::string& endpoint() const { return server_.endpoint(); }
+
+ private:
+  Auctioneer& auctioneer_;
+  net::RpcServer server_;
+};
+
+/// Snapshot of a host's market state as returned by "price_stats".
+struct PriceStatsSnapshot {
+  Micros spot_rate = 0;           // total active bid rate, u$/s
+  double price_per_capacity = 0;  // $/s per cycles/s
+  double mean_day = 0.0;          // day-window moments of the above
+  double stddev_day = 0.0;
+};
+
+class AuctioneerClient {
+ public:
+  AuctioneerClient(net::MessageBus& bus, std::string client_endpoint,
+                   net::CallOptions options = {});
+
+  using StatusCallback = std::function<void(Status)>;
+  using MicrosCallback = std::function<void(Result<Micros>)>;
+  using StatsCallback = std::function<void(Result<PriceStatsSnapshot>)>;
+
+  void OpenAccount(const std::string& endpoint, const std::string& user,
+                   StatusCallback callback);
+  void Fund(const std::string& endpoint, const std::string& user,
+            Micros amount, StatusCallback callback);
+  void SetBid(const std::string& endpoint, const std::string& user,
+              Micros rate, sim::SimTime deadline, StatusCallback callback);
+  void Balance(const std::string& endpoint, const std::string& user,
+               MicrosCallback callback);
+  /// Returns the refunded amount.
+  void CloseAccount(const std::string& endpoint, const std::string& user,
+                    MicrosCallback callback);
+  void PriceStats(const std::string& endpoint, StatsCallback callback);
+
+ private:
+  void CallStatus(const std::string& endpoint, const std::string& method,
+                  Bytes request, StatusCallback callback);
+  void CallMicros(const std::string& endpoint, const std::string& method,
+                  Bytes request, MicrosCallback callback);
+
+  net::RpcClient client_;
+  net::CallOptions options_;
+};
+
+}  // namespace gm::market

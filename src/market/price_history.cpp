@@ -1,0 +1,60 @@
+#include "market/price_history.hpp"
+
+#include "common/status.hpp"
+
+namespace gm::market {
+
+PriceHistory::PriceHistory(std::size_t capacity) : capacity_(capacity) {
+  GM_ASSERT(capacity_ > 0, "PriceHistory: zero capacity");
+}
+
+std::size_t PriceHistory::Index(std::size_t i) const {
+  return (start_ + i) % capacity_;
+}
+
+void PriceHistory::Record(sim::SimTime at, double price) {
+  GM_ASSERT(points_.empty() || at >= back().at,
+            "PriceHistory: time went backwards");
+  if (points_.size() < capacity_) {
+    points_.push_back({at, price});
+  } else {
+    points_[start_] = {at, price};
+    start_ = (start_ + 1) % capacity_;
+  }
+}
+
+const PricePoint& PriceHistory::back() const {
+  GM_ASSERT(!points_.empty(), "PriceHistory: empty");
+  return points_[Index(points_.size() - 1)];
+}
+
+const PricePoint& PriceHistory::at(std::size_t i) const {
+  GM_ASSERT(i < points_.size(), "PriceHistory: index out of range");
+  return points_[Index(i)];
+}
+
+std::vector<double> PriceHistory::PricesBetween(sim::SimTime from,
+                                                sim::SimTime to) const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const PricePoint& p = at(i);
+    if (p.at >= from && p.at < to) out.push_back(p.price);
+  }
+  return out;
+}
+
+std::vector<double> PriceHistory::LastPrices(std::size_t count) const {
+  const std::size_t n = std::min(count, points_.size());
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = points_.size() - n; i < points_.size(); ++i)
+    out.push_back(at(i).price);
+  return out;
+}
+
+std::vector<double> PriceHistory::WindowPrices(sim::SimTime now,
+                                               sim::SimDuration window) const {
+  return PricesBetween(now - window, now + 1);
+}
+
+}  // namespace gm::market

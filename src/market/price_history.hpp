@@ -1,0 +1,47 @@
+// Spot price history recorded by each Auctioneer.
+//
+// One snapshot per allocation interval (10 s default). Prices are stored
+// as dollars per second per (cycles/second) — the "price per unit of CPU"
+// the paper plots — in a bounded ring buffer with helpers to extract
+// windows for the prediction models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gm::market {
+
+struct PricePoint {
+  sim::SimTime at = 0;
+  double price = 0.0;  // $/s per cycles/s
+};
+
+class PriceHistory {
+ public:
+  explicit PriceHistory(std::size_t capacity = 1 << 16);
+
+  void Record(sim::SimTime at, double price);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const PricePoint& back() const;
+  const PricePoint& at(std::size_t i) const;  // 0 = oldest retained
+
+  /// Prices with timestamp in [from, to), oldest first.
+  std::vector<double> PricesBetween(sim::SimTime from, sim::SimTime to) const;
+  /// The last `count` prices (fewer if not available), oldest first.
+  std::vector<double> LastPrices(std::size_t count) const;
+  /// Prices in the trailing window [now - window, now].
+  std::vector<double> WindowPrices(sim::SimTime now,
+                                   sim::SimDuration window) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t start_ = 0;  // ring start
+  std::vector<PricePoint> points_;  // logical order via start_
+  std::size_t Index(std::size_t i) const;
+};
+
+}  // namespace gm::market

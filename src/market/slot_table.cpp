@@ -1,0 +1,86 @@
+#include "market/slot_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gm::market {
+
+SlotTable::SlotTable(std::size_t window, std::size_t slots,
+                     double initial_max)
+    : window_(window), slots_(slots),
+      width_(initial_max / static_cast<double>(slots)) {
+  GM_ASSERT(window_ >= 1, "SlotTable: window must be >= 1");
+  GM_ASSERT(slots_ >= 2 && slots_ % 2 == 0,
+            "SlotTable: need an even number of slots >= 2");
+  GM_ASSERT(initial_max > 0.0, "SlotTable: initial_max must be positive");
+  arrays_[0].counts.assign(slots_, 0.0);
+  arrays_[1].counts.assign(slots_, 0.0);
+}
+
+void SlotTable::ExpandToInclude(double price) {
+  while (price >= max_value()) {
+    // Merge adjacent slots: bracket width doubles, coverage doubles.
+    for (DistArray& array : arrays_) {
+      for (std::size_t j = 0; j < slots_ / 2; ++j)
+        array.counts[j] = array.counts[2 * j] + array.counts[2 * j + 1];
+      std::fill(array.counts.begin() + static_cast<std::ptrdiff_t>(slots_ / 2),
+                array.counts.end(), 0.0);
+    }
+    width_ *= 2.0;
+  }
+}
+
+void SlotTable::AddTo(DistArray& array, double price) {
+  if (array.snapshots == 2 * window_) {
+    // Restart: this array begins a fresh window.
+    std::fill(array.counts.begin(), array.counts.end(), 0.0);
+    array.snapshots = 0;
+  }
+  const auto j = std::min(static_cast<std::size_t>(price / width_),
+                          slots_ - 1);
+  array.counts[j] += 1.0;
+  ++array.snapshots;
+}
+
+void SlotTable::Add(double price) {
+  GM_ASSERT(price >= 0.0, "SlotTable: negative price");
+  if (price >= max_value()) ExpandToInclude(price);
+  AddTo(arrays_[0], price);
+  // The second array lags by one window.
+  if (total_added_ >= window_) AddTo(arrays_[1], price);
+  ++total_added_;
+}
+
+std::size_t SlotTable::array_count(int k) const {
+  GM_ASSERT(k == 0 || k == 1, "array_count: k in {0,1}");
+  return arrays_[k].snapshots;
+}
+
+double SlotTable::Weight1() const {
+  const double n = static_cast<double>(window_);
+  const double n1 = static_cast<double>(arrays_[0].snapshots);
+  const double w = 1.0 - std::fabs(n1 - n) / n;
+  return std::clamp(w, 0.0, 1.0);
+}
+
+std::vector<double> SlotTable::Proportions() const {
+  std::vector<double> out(slots_, 0.0);
+  const auto proportions = [this](const DistArray& array,
+                                  std::vector<double>& dst, double weight) {
+    if (array.snapshots == 0 || weight <= 0.0) return;
+    const double total = static_cast<double>(array.snapshots);
+    for (std::size_t j = 0; j < slots_; ++j)
+      dst[j] += weight * array.counts[j] / total;
+  };
+  if (arrays_[1].snapshots == 0) {
+    // Second array not yet started: report the first alone.
+    proportions(arrays_[0], out, 1.0);
+    return out;
+  }
+  const double w1 = Weight1();
+  proportions(arrays_[0], out, w1);
+  proportions(arrays_[1], out, 1.0 - w1);
+  return out;
+}
+
+}  // namespace gm::market

@@ -1,0 +1,64 @@
+// Self-adjusting slot table for windowed price distributions
+// (paper Section 4.5, second half).
+//
+// Two distribution arrays per window, each holding up to 2n snapshots and
+// offset by n (the time lag). An array that reaches 2n snapshots restarts,
+// so at any instant one array holds between n and 2n snapshots. A query
+// merges the arrays with weights
+//     w_k = 1 - |n_k - n| / n,
+// reported as r_j = w_1 s_{1,j} + (1 - w_1) s_{2,j} over slot proportions.
+//
+// "Self-adjusting": when a price lands above the covered range, the slot
+// width doubles (adjacent slots merge) until the value fits, so no data is
+// clamped into a final catch-all bucket.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gm::market {
+
+class SlotTable {
+ public:
+  /// `window` is n in snapshots; `slots` the number of price brackets;
+  /// `initial_max` the initial upper bound of the covered range [0, max).
+  SlotTable(std::size_t window, std::size_t slots, double initial_max);
+
+  void Add(double price);
+
+  std::size_t window() const { return window_; }
+  std::size_t slot_count() const { return slots_; }
+  double slot_width() const { return width_; }
+  double max_value() const { return width_ * static_cast<double>(slots_); }
+  double slot_lower(std::size_t j) const {
+    return width_ * static_cast<double>(j);
+  }
+
+  /// Merged windowed distribution: proportions per slot, summing to 1 once
+  /// at least one snapshot was added.
+  std::vector<double> Proportions() const;
+
+  /// Count of snapshots in each internal array (for tests/diagnostics).
+  std::size_t array_count(int k) const;
+  /// Current merge weight of array 1 (paper's w_{i,1}).
+  double Weight1() const;
+
+ private:
+  struct DistArray {
+    std::vector<double> counts;
+    std::size_t snapshots = 0;
+  };
+
+  void AddTo(DistArray& array, double price);
+  void ExpandToInclude(double price);
+
+  std::size_t window_;
+  std::size_t slots_;
+  double width_;
+  DistArray arrays_[2];
+  std::size_t total_added_ = 0;
+};
+
+}  // namespace gm::market

@@ -1,0 +1,213 @@
+#include "market/sls.hpp"
+
+#include <algorithm>
+
+namespace gm::market {
+
+ServiceLocationService::ServiceLocationService(sim::Kernel& kernel,
+                                               sim::SimDuration record_ttl)
+    : kernel_(kernel), ttl_(record_ttl) {
+  GM_ASSERT(ttl_ > 0, "SLS ttl must be positive");
+}
+
+bool ServiceLocationService::Expired(const HostRecord& record) const {
+  return kernel_.now() - record.updated_at > ttl_;
+}
+
+void ServiceLocationService::Publish(HostRecord record) {
+  record.updated_at = kernel_.now();
+  records_[record.host_id] = std::move(record);
+}
+
+Status ServiceLocationService::Remove(const std::string& host_id) {
+  if (records_.erase(host_id) == 0)
+    return Status::NotFound("host record: " + host_id);
+  return Status::Ok();
+}
+
+Result<HostRecord> ServiceLocationService::Lookup(
+    const std::string& host_id) const {
+  const auto it = records_.find(host_id);
+  if (it == records_.end() || Expired(it->second))
+    return Status::NotFound("host record: " + host_id);
+  return it->second;
+}
+
+std::vector<HostRecord> ServiceLocationService::Query(
+    const HostQuery& query) const {
+  std::vector<HostRecord> out;
+  for (const auto& [id, record] : records_) {
+    if (Expired(record)) continue;
+    if (record.cycles_per_cpu < query.min_cycles_per_cpu) continue;
+    if (query.max_price_per_capacity.has_value() &&
+        record.price_per_capacity > *query.max_price_per_capacity)
+      continue;
+    if (query.require_vm_slot &&
+        record.vm_count >= static_cast<std::size_t>(record.max_vms))
+      continue;
+    out.push_back(record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HostRecord& a, const HostRecord& b) {
+              if (a.price_per_capacity != b.price_per_capacity)
+                return a.price_per_capacity < b.price_per_capacity;
+              return a.host_id < b.host_id;
+            });
+  if (query.limit > 0 && out.size() > query.limit) out.resize(query.limit);
+  return out;
+}
+
+std::size_t ServiceLocationService::live_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, record] : records_) {
+    if (!Expired(record)) ++count;
+  }
+  return count;
+}
+
+SlsPublisher::SlsPublisher(Auctioneer& auctioneer,
+                           ServiceLocationService& sls, std::string site,
+                           sim::Kernel& kernel, sim::SimDuration period,
+                           std::string stats_window)
+    : auctioneer_(auctioneer), sls_(sls), site_(std::move(site)),
+      kernel_(kernel), stats_window_(std::move(stats_window)) {
+  PublishNow();
+  timer_ = kernel_.ScheduleEvery(period, period, [this] { PublishNow(); });
+}
+
+SlsPublisher::~SlsPublisher() {
+  if (timer_.valid()) kernel_.Cancel(timer_);
+}
+
+void SlsPublisher::PublishNow() {
+  const host::PhysicalHost& host = auctioneer_.physical_host();
+  HostRecord record;
+  record.host_id = host.id();
+  record.site = site_;
+  record.cpus = host.spec().cpus;
+  record.cycles_per_cpu = host.PerCpuCapacity();
+  record.price_per_capacity = auctioneer_.PricePerCapacity();
+  const auto moments = auctioneer_.Moments(stats_window_);
+  if (moments.ok()) {
+    record.mean_price = (*moments)->mean();
+    record.stddev_price = (*moments)->stddev();
+  }
+  record.vm_count = host.vm_count();
+  record.max_vms = host.spec().max_vms;
+  sls_.Publish(std::move(record));
+}
+
+void WriteHostRecord(net::Writer& writer, const HostRecord& record) {
+  writer.WriteString(record.host_id);
+  writer.WriteString(record.site);
+  writer.WriteU32(static_cast<std::uint32_t>(record.cpus));
+  writer.WriteDouble(record.cycles_per_cpu);
+  writer.WriteDouble(record.price_per_capacity);
+  writer.WriteDouble(record.mean_price);
+  writer.WriteDouble(record.stddev_price);
+  writer.WriteU32(static_cast<std::uint32_t>(record.vm_count));
+  writer.WriteU32(static_cast<std::uint32_t>(record.max_vms));
+  writer.WriteI64(record.updated_at);
+}
+
+Result<HostRecord> ReadHostRecord(net::Reader& reader) {
+  HostRecord record;
+  GM_ASSIGN_OR_RETURN(record.host_id, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(record.site, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(const std::uint32_t cpus, reader.ReadU32());
+  record.cpus = static_cast<int>(cpus);
+  GM_ASSIGN_OR_RETURN(record.cycles_per_cpu, reader.ReadDouble());
+  GM_ASSIGN_OR_RETURN(record.price_per_capacity, reader.ReadDouble());
+  GM_ASSIGN_OR_RETURN(record.mean_price, reader.ReadDouble());
+  GM_ASSIGN_OR_RETURN(record.stddev_price, reader.ReadDouble());
+  GM_ASSIGN_OR_RETURN(const std::uint32_t vm_count, reader.ReadU32());
+  record.vm_count = vm_count;
+  GM_ASSIGN_OR_RETURN(const std::uint32_t max_vms, reader.ReadU32());
+  record.max_vms = static_cast<int>(max_vms);
+  GM_ASSIGN_OR_RETURN(record.updated_at, reader.ReadI64());
+  return record;
+}
+
+SlsService::SlsService(ServiceLocationService& sls, net::MessageBus& bus,
+                       std::string endpoint)
+    : sls_(sls), server_(bus, std::move(endpoint)) {
+  server_.RegisterMethod(
+      "publish", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        GM_ASSIGN_OR_RETURN(HostRecord record, ReadHostRecord(reader));
+        sls_.Publish(std::move(record));
+        return Bytes{};
+      });
+  server_.RegisterMethod(
+      "query", [this](const Bytes& request) -> Result<Bytes> {
+        net::Reader reader(request);
+        HostQuery query;
+        GM_ASSIGN_OR_RETURN(query.min_cycles_per_cpu, reader.ReadDouble());
+        GM_ASSIGN_OR_RETURN(const bool has_max_price, reader.ReadBool());
+        if (has_max_price) {
+          GM_ASSIGN_OR_RETURN(const double max_price, reader.ReadDouble());
+          query.max_price_per_capacity = max_price;
+        }
+        GM_ASSIGN_OR_RETURN(query.require_vm_slot, reader.ReadBool());
+        GM_ASSIGN_OR_RETURN(const std::uint64_t limit, reader.ReadVarint());
+        query.limit = limit;
+        const std::vector<HostRecord> records = sls_.Query(query);
+        net::Writer writer;
+        writer.WriteVarint(records.size());
+        for (const HostRecord& record : records)
+          WriteHostRecord(writer, record);
+        return writer.Take();
+      });
+}
+
+SlsClient::SlsClient(net::MessageBus& bus, std::string client_endpoint,
+                     std::string sls_endpoint, net::CallOptions options)
+    : client_(bus, std::move(client_endpoint)),
+      sls_endpoint_(std::move(sls_endpoint)),
+      options_(options) {}
+
+void SlsClient::Query(const HostQuery& query, QueryCallback callback) {
+  net::Writer writer;
+  writer.WriteDouble(query.min_cycles_per_cpu);
+  writer.WriteBool(query.max_price_per_capacity.has_value());
+  if (query.max_price_per_capacity.has_value())
+    writer.WriteDouble(*query.max_price_per_capacity);
+  writer.WriteBool(query.require_vm_slot);
+  writer.WriteVarint(query.limit);
+  client_.Call(sls_endpoint_, "query", writer.Take(), options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 if (!response.ok()) {
+                   callback(response.status());
+                   return;
+                 }
+                 net::Reader reader(*response);
+                 const auto count = reader.ReadVarint();
+                 if (!count.ok()) {
+                   callback(count.status());
+                   return;
+                 }
+                 std::vector<HostRecord> records;
+                 records.reserve(*count);
+                 for (std::uint64_t i = 0; i < *count; ++i) {
+                   auto record = ReadHostRecord(reader);
+                   if (!record.ok()) {
+                     callback(record.status());
+                     return;
+                   }
+                   records.push_back(std::move(*record));
+                 }
+                 callback(std::move(records));
+               });
+}
+
+void SlsClient::Publish(const HostRecord& record,
+                        std::function<void(Status)> callback) {
+  net::Writer writer;
+  WriteHostRecord(writer, record);
+  client_.Call(sls_endpoint_, "publish", writer.Take(), options_,
+               [callback = std::move(callback)](Result<Bytes> response) {
+                 callback(response.status());
+               });
+}
+
+}  // namespace gm::market

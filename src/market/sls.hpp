@@ -1,0 +1,116 @@
+// Service Location Service: the Tycoon resource directory.
+//
+// Auctioneers publish host records (capacity, load, spot price and
+// advertised price statistics) on a heartbeat; agents query for candidate
+// hosts. Records expire if a host stops heartbeating — the failure mode a
+// decentralized market must tolerate. An RPC facade exposes the directory
+// over the simulated network.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "market/auctioneer.hpp"
+#include "net/rpc.hpp"
+#include "sim/kernel.hpp"
+
+namespace gm::market {
+
+struct HostRecord {
+  std::string host_id;
+  std::string site;  // owning site, e.g. "hp-palo-alto"
+  int cpus = 0;
+  double cycles_per_cpu = 0.0;        // effective, after overhead
+  double price_per_capacity = 0.0;    // current spot, $/s per cycles/s
+  double mean_price = 0.0;            // advertised window stats
+  double stddev_price = 0.0;
+  std::size_t vm_count = 0;
+  int max_vms = 0;
+  sim::SimTime updated_at = 0;
+};
+
+struct HostQuery {
+  double min_cycles_per_cpu = 0.0;
+  std::optional<double> max_price_per_capacity;
+  bool require_vm_slot = false;  // host must accept another VM
+  std::size_t limit = 0;         // 0 = unlimited
+};
+
+class ServiceLocationService {
+ public:
+  explicit ServiceLocationService(sim::Kernel& kernel,
+                                  sim::SimDuration record_ttl = sim::Minutes(5));
+
+  /// Upsert a host record (heartbeat).
+  void Publish(HostRecord record);
+  Status Remove(const std::string& host_id);
+  Result<HostRecord> Lookup(const std::string& host_id) const;
+
+  /// Matching, unexpired records sorted by ascending spot price.
+  std::vector<HostRecord> Query(const HostQuery& query) const;
+  std::size_t live_count() const;
+
+ private:
+  bool Expired(const HostRecord& record) const;
+
+  sim::Kernel& kernel_;
+  sim::SimDuration ttl_;
+  std::map<std::string, HostRecord> records_;
+};
+
+/// Publishes an auctioneer's state to the SLS on a heartbeat timer.
+class SlsPublisher {
+ public:
+  SlsPublisher(Auctioneer& auctioneer, ServiceLocationService& sls,
+               std::string site, sim::Kernel& kernel,
+               sim::SimDuration period = sim::Minutes(1),
+               std::string stats_window = "day");
+  ~SlsPublisher();
+  SlsPublisher(const SlsPublisher&) = delete;
+  SlsPublisher& operator=(const SlsPublisher&) = delete;
+
+  void PublishNow();
+
+ private:
+  Auctioneer& auctioneer_;
+  ServiceLocationService& sls_;
+  std::string site_;
+  sim::Kernel& kernel_;
+  std::string stats_window_;
+  sim::EventHandle timer_;
+};
+
+/// Wire helpers + RPC facade ("sls" endpoint): methods "publish", "query".
+void WriteHostRecord(net::Writer& writer, const HostRecord& record);
+Result<HostRecord> ReadHostRecord(net::Reader& reader);
+
+class SlsService {
+ public:
+  SlsService(ServiceLocationService& sls, net::MessageBus& bus,
+             std::string endpoint = "sls");
+
+ private:
+  ServiceLocationService& sls_;
+  net::RpcServer server_;
+};
+
+class SlsClient {
+ public:
+  SlsClient(net::MessageBus& bus, std::string client_endpoint,
+            std::string sls_endpoint = "sls", net::CallOptions options = {});
+
+  using QueryCallback = std::function<void(Result<std::vector<HostRecord>>)>;
+  void Query(const HostQuery& query, QueryCallback callback);
+  void Publish(const HostRecord& record, std::function<void(Status)> callback);
+
+ private:
+  net::RpcClient client_;
+  std::string sls_endpoint_;
+  net::CallOptions options_;
+};
+
+}  // namespace gm::market

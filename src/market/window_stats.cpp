@@ -1,0 +1,63 @@
+#include "market/window_stats.hpp"
+
+#include <cmath>
+
+namespace gm::market {
+
+WindowMoments::WindowMoments(std::size_t n) : n_(n) {
+  GM_ASSERT(n_ >= 1, "WindowMoments: window must be >= 1");
+  alpha_ = 1.0 - 1.0 / static_cast<double>(n_);
+}
+
+void WindowMoments::Add(double x) {
+  double power = x;
+  if (count_ == 0) {
+    // mu_{0,p} = x_0^p per the paper.
+    for (int p = 0; p < 4; ++p) {
+      mu_[p] = power;
+      power *= x;
+    }
+  } else {
+    for (int p = 0; p < 4; ++p) {
+      mu_[p] = alpha_ * mu_[p] + (1.0 - alpha_) * power;
+      power *= x;
+    }
+  }
+  ++count_;
+}
+
+void WindowMoments::Reset() {
+  count_ = 0;
+  for (double& m : mu_) m = 0.0;
+}
+
+double WindowMoments::RawMoment(int p) const {
+  GM_ASSERT(p >= 1 && p <= 4, "RawMoment: p out of range");
+  return mu_[p - 1];
+}
+
+double WindowMoments::variance() const {
+  const double v = mu_[1] - mu_[0] * mu_[0];
+  return v > 0.0 ? v : 0.0;
+}
+
+double WindowMoments::stddev() const { return std::sqrt(variance()); }
+
+double WindowMoments::skewness() const {
+  const double sigma = stddev();
+  if (sigma <= 0.0) return 0.0;
+  const double m1 = mu_[0];
+  const double numerator = mu_[2] - 3.0 * m1 * mu_[1] + 2.0 * m1 * m1 * m1;
+  return numerator / (sigma * sigma * sigma);
+}
+
+double WindowMoments::kurtosis() const {
+  const double sigma2 = variance();
+  if (sigma2 <= 0.0) return 0.0;
+  const double m1 = mu_[0];
+  const double numerator = mu_[3] - 4.0 * mu_[2] * m1 +
+                           6.0 * mu_[1] * m1 * m1 - 3.0 * m1 * m1 * m1 * m1;
+  return numerator / (sigma2 * sigma2) - 3.0;
+}
+
+}  // namespace gm::market

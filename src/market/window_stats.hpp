@@ -1,0 +1,49 @@
+// Moving-window smoothed moments (paper Section 4.5, first half).
+//
+// The Auctioneer keeps, per configurable window size n (in snapshots),
+// linearly smoothed raw moments
+//     mu_{i,p} = alpha * mu_{i-1,p} + (1 - alpha) * x_i^p,  alpha = 1 - 1/n,
+// for p = 1..4, and derives the windowed mean, standard deviation,
+// skewness gamma_1 and excess kurtosis gamma_2 with the paper's
+// central-moment identities. Only four numbers of state per window —
+// the "concise representation of historical prices" the paper wants on
+// the Auctioneer.
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.hpp"
+
+namespace gm::market {
+
+class WindowMoments {
+ public:
+  /// n is the window size in snapshots; n = 1 ignores all history.
+  explicit WindowMoments(std::size_t n);
+
+  void Add(double x);
+  void Reset();
+
+  std::size_t window() const { return n_; }
+  double alpha() const { return alpha_; }
+  std::size_t count() const { return count_; }
+
+  /// Smoothed raw moment E[x^p], p in [1, 4].
+  double RawMoment(int p) const;
+  double mean() const { return mu_[0]; }
+  /// sigma = sqrt(mu_2 - mu_1^2); clamped at zero against rounding.
+  double stddev() const;
+  double variance() const;
+  /// gamma_1 = (mu_3 - 3 mu_1 mu_2 + 2 mu_1^3) / sigma^3 (0 if sigma == 0).
+  double skewness() const;
+  /// gamma_2 = (mu_4 - 4 mu_3 mu_1 + 6 mu_2 mu_1^2 - 3 mu_1^4)/sigma^4 - 3.
+  double kurtosis() const;
+
+ private:
+  std::size_t n_;
+  double alpha_;
+  std::size_t count_ = 0;
+  double mu_[4] = {0.0, 0.0, 0.0, 0.0};  // smoothed raw moments p=1..4
+};
+
+}  // namespace gm::market

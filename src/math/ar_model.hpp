@@ -1,0 +1,52 @@
+// Autoregressive AR(k) time-series model fit via Yule-Walker equations
+// solved with the Levinson-Durbin recursion (the "Levinson reformulation"
+// the paper cites), plus multi-step forecasting.
+//
+// Model: x_t - mu = sum_{j=1..k} a_j (x_{t-j} - mu) + e_t.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gm::math {
+
+/// Solve the Toeplitz system L*alpha = r where L(i,j) = acov(|i-j|) and
+/// r(i) = acov(i+1), using Levinson-Durbin. `acov` holds autocovariances
+/// at lags 0..k (size k+1). Fails if the recursion breaks down
+/// (non positive-definite sequence, e.g. a constant series).
+Result<std::vector<double>> LevinsonDurbin(const std::vector<double>& acov);
+
+class ArModel {
+ public:
+  /// Fit an AR(order) model to `series` by Yule-Walker / Levinson-Durbin.
+  /// Requires series.size() > order + 1.
+  static Result<ArModel> Fit(const std::vector<double>& series, int order);
+
+  int order() const { return static_cast<int>(coefficients_.size()); }
+  const std::vector<double>& coefficients() const { return coefficients_; }
+  double mean() const { return mean_; }
+  /// Innovation (white noise) variance from the recursion.
+  double noise_variance() const { return noise_variance_; }
+
+  /// One-step prediction given the most recent observations
+  /// (history.back() is x_{t-1}). Requires history.size() >= order.
+  double PredictNext(const std::vector<double>& history) const;
+
+  /// Iterated h-step forecast: feeds predictions back as inputs.
+  /// Returns forecasts for t+1 .. t+steps.
+  std::vector<double> Forecast(const std::vector<double>& history,
+                               int steps) const;
+
+ private:
+  ArModel(std::vector<double> coefficients, double mean, double noise_variance)
+      : coefficients_(std::move(coefficients)),
+        mean_(mean),
+        noise_variance_(noise_variance) {}
+
+  std::vector<double> coefficients_;  // a_1 .. a_k
+  double mean_ = 0.0;
+  double noise_variance_ = 0.0;
+};
+
+}  // namespace gm::math

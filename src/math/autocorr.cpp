@@ -1,0 +1,53 @@
+#include "math/autocorr.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/status.hpp"
+#include "math/stats.hpp"
+
+namespace gm::math {
+
+double RawAutocorrelation(const std::vector<double>& x, int lag) {
+  const int n = static_cast<int>(x.size());
+  const int k = std::abs(lag);
+  GM_ASSERT(k < n, "RawAutocorrelation: lag out of range");
+  double sum = 0.0;
+  for (int i = 0; i + k < n; ++i) sum += x[i + k] * x[i];
+  return sum / static_cast<double>(n - k);
+}
+
+double Autocovariance(const std::vector<double>& x, int lag) {
+  const int n = static_cast<int>(x.size());
+  const int k = std::abs(lag);
+  GM_ASSERT(k < n, "Autocovariance: lag out of range");
+  const double mean = Mean(x);
+  double sum = 0.0;
+  for (int i = 0; i + k < n; ++i) sum += (x[i + k] - mean) * (x[i] - mean);
+  return sum / static_cast<double>(n - k);
+}
+
+double AutocovarianceBiased(const std::vector<double>& x, int lag) {
+  const int n = static_cast<int>(x.size());
+  const int k = std::abs(lag);
+  GM_ASSERT(k < n, "AutocovarianceBiased: lag out of range");
+  const double mean = Mean(x);
+  double sum = 0.0;
+  for (int i = 0; i + k < n; ++i) sum += (x[i + k] - mean) * (x[i] - mean);
+  return sum / static_cast<double>(n);
+}
+
+std::vector<double> AutocorrelationFunction(const std::vector<double>& x,
+                                            int max_lag) {
+  GM_ASSERT(max_lag >= 0, "AutocorrelationFunction: negative max_lag");
+  std::vector<double> rho(static_cast<std::size_t>(max_lag) + 1, 0.0);
+  if (x.empty()) return rho;
+  const double c0 = Autocovariance(x, 0);
+  rho[0] = 1.0;
+  if (c0 <= 0.0) return rho;  // constant series: undefined, report zeros
+  for (int k = 1; k <= max_lag && k < static_cast<int>(x.size()); ++k)
+    rho[static_cast<std::size_t>(k)] = Autocovariance(x, k) / c0;
+  return rho;
+}
+
+}  // namespace gm::math

@@ -1,0 +1,28 @@
+// Sample autocorrelation / autocovariance of a time series.
+//
+// The paper's AR(k) price model (Section 4.3) builds on the *unbiased*
+// autocorrelation estimate R(k) = 1/(N-|k|) * sum_n x_{n+|k|} x_n.
+#pragma once
+
+#include <vector>
+
+namespace gm::math {
+
+/// Unbiased raw autocorrelation of `x` at `lag` (no mean removal), exactly
+/// the paper's R(k). lag must satisfy |lag| < x.size().
+double RawAutocorrelation(const std::vector<double>& x, int lag);
+
+/// Unbiased autocovariance of the demeaned series at `lag`.
+double Autocovariance(const std::vector<double>& x, int lag);
+
+/// Biased (1/N) autocovariance of the demeaned series. Unlike the unbiased
+/// estimator, the biased sequence is positive semi-definite, so Yule-Walker
+/// fits built on it are guaranteed stationary.
+double AutocovarianceBiased(const std::vector<double>& x, int lag);
+
+/// Normalized autocorrelation rho(k) = C(k)/C(0) for lags 0..max_lag of the
+/// demeaned series. Returns all-zero beyond data (never NaN for constants).
+std::vector<double> AutocorrelationFunction(const std::vector<double>& x,
+                                            int max_lag);
+
+}  // namespace gm::math

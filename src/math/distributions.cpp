@@ -1,0 +1,78 @@
+#include "math/distributions.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace gm::math {
+
+NormalSampler::NormalSampler(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  GM_ASSERT(sigma >= 0.0, "NormalSampler: negative sigma");
+}
+
+double NormalSampler::Sample(Rng& rng) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mu_ + sigma_ * spare_;
+  }
+  double u, v, s;
+  do {
+    u = rng.Uniform(-1.0, 1.0);
+    v = rng.Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return mu_ + sigma_ * u * factor;
+}
+
+ExponentialSampler::ExponentialSampler(double rate) : rate_(rate) {
+  GM_ASSERT(rate > 0.0, "ExponentialSampler: rate must be positive");
+}
+
+double ExponentialSampler::Sample(Rng& rng) {
+  // 1 - u in (0, 1]; log never sees zero.
+  return -std::log(1.0 - rng.NextDouble()) / rate_;
+}
+
+GammaSampler::GammaSampler(double shape) : shape_(shape) {
+  GM_ASSERT(shape > 0.0, "GammaSampler: shape must be positive");
+}
+
+double GammaSampler::Sample(Rng& rng) {
+  if (shape_ < 1.0) {
+    // Boost: X = Gamma(shape+1) * U^(1/shape).
+    GammaSampler inner(shape_ + 1.0);
+    const double u = 1.0 - rng.NextDouble();  // (0, 1]
+    return inner.Sample(rng) * std::pow(u, 1.0 / shape_);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = shape_ - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  NormalSampler normal(0.0, 1.0);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal.Sample(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - rng.NextDouble();  // (0, 1]
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+BetaSampler::BetaSampler(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {}
+
+double BetaSampler::Sample(Rng& rng) {
+  const double x = alpha_.Sample(rng);
+  const double y = beta_.Sample(rng);
+  const double sum = x + y;
+  return sum > 0.0 ? x / sum : 0.5;
+}
+
+}  // namespace gm::math

@@ -1,0 +1,69 @@
+#include "math/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace gm::math {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  GM_ASSERT(hi > lo, "Histogram: hi must exceed lo");
+  GM_ASSERT(bins > 0, "Histogram: need at least one bin");
+}
+
+std::size_t Histogram::BinIndex(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const auto i = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::Add(double x) { AddWeighted(x, 1.0); }
+
+void Histogram::AddWeighted(double x, double weight) {
+  GM_ASSERT(weight >= 0.0, "Histogram: negative weight");
+  counts_[BinIndex(x)] += weight;
+  total_ += weight;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  total_ = 0.0;
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lower(i) + 0.5 * width_;
+}
+
+double Histogram::Proportion(std::size_t i) const {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+double Histogram::Density(std::size_t i) const {
+  return Proportion(i) / width_;
+}
+
+std::vector<double> Histogram::Proportions() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = Proportion(i);
+  return out;
+}
+
+double Histogram::TotalVariationDistance(const Histogram& a,
+                                         const Histogram& b) {
+  GM_ASSERT(a.counts_.size() == b.counts_.size(),
+            "TotalVariationDistance: bin count mismatch");
+  double distance = 0.0;
+  for (std::size_t i = 0; i < a.counts_.size(); ++i)
+    distance += std::fabs(a.Proportion(i) - b.Proportion(i));
+  return 0.5 * distance;
+}
+
+}  // namespace gm::math

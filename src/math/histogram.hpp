@@ -1,0 +1,50 @@
+// Fixed-range histogram used to compare empirical distributions
+// (window-approximation accuracy, Figure 7) and to render the price
+// distribution figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gm::math {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) uniformly; samples outside clamp to the end bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  void AddWeighted(double x, double weight);
+  void Reset();
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double total_weight() const { return total_; }
+
+  double bin_lower(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  double bin_width() const { return width_; }
+  double count(std::size_t i) const { return counts_[i]; }
+
+  /// Proportion of mass in bin i (0 when empty).
+  double Proportion(std::size_t i) const;
+  /// Probability density estimate in bin i.
+  double Density(std::size_t i) const;
+  /// All proportions as a vector (sums to 1 when non-empty).
+  std::vector<double> Proportions() const;
+
+  /// Total variation distance between two same-shape histograms, in [0, 1].
+  static double TotalVariationDistance(const Histogram& a, const Histogram& b);
+
+ private:
+  std::size_t BinIndex(double x) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace gm::math

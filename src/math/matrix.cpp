@@ -1,0 +1,253 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+
+namespace gm::math {
+
+double Dot(const Vector& a, const Vector& b) {
+  GM_ASSERT(a.size() == b.size(), "Dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+Vector Add(const Vector& a, const Vector& b) {
+  GM_ASSERT(a.size() == b.size(), "Add: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Subtract(const Vector& a, const Vector& b) {
+  GM_ASSERT(a.size() == b.size(), "Subtract: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    GM_ASSERT(row.size() == cols_, "Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  GM_ASSERT(rows_ == other.rows_ && cols_ == other.cols_, "+: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  GM_ASSERT(rows_ == other.rows_ && cols_ == other.cols_, "-: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  GM_ASSERT(cols_ == other.rows_, "*: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  GM_ASSERT(cols_ == v.size(), "matvec: shape mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::fabs(data_[i] - other.data_[i]) > tolerance) return false;
+  return true;
+}
+
+Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
+  GM_ASSERT(a.rows() == a.cols(), "LU: matrix must be square");
+  const std::size_t n = a.rows();
+  LuDecomposition lu;
+  lu.lu_ = a;
+  lu.pivot_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) lu.pivot_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at or below diagonal.
+    std::size_t best = col;
+    double best_abs = std::fabs(lu.lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu.lu_(r, col));
+      if (v > best_abs) {
+        best = r;
+        best_abs = v;
+      }
+    }
+    if (best_abs < 1e-300) {
+      return Status::FailedPrecondition("LU: singular matrix");
+    }
+    if (best != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu.lu_(best, c), lu.lu_(col, c));
+      std::swap(lu.pivot_[best], lu.pivot_[col]);
+      lu.pivot_sign_ = -lu.pivot_sign_;
+    }
+    const double diag = lu.lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu.lu_(r, col) / diag;
+      lu.lu_(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c)
+        lu.lu_(r, c) -= factor * lu.lu_(col, c);
+    }
+  }
+  return lu;
+}
+
+Vector LuDecomposition::Solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  GM_ASSERT(b.size() == n, "LU solve: size mismatch");
+  Vector x(n);
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[pivot_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Solve(const Matrix& b) const {
+  GM_ASSERT(b.rows() == lu_.rows(), "LU solve: shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  Vector column(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) column[r] = b(r, c);
+    const Vector solved = Solve(column);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = solved[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Inverse() const {
+  return Solve(Matrix::Identity(lu_.rows()));
+}
+
+double LuDecomposition::Determinant() const {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Result<Vector> SolveLinear(const Matrix& a, const Vector& b) {
+  GM_ASSIGN_OR_RETURN(const LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Solve(b);
+}
+
+Result<Matrix> Invert(const Matrix& a) {
+  GM_ASSIGN_OR_RETURN(const LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Inverse();
+}
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  GM_ASSERT(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "Cholesky: matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<Vector> SolveCholesky(const Matrix& a, const Vector& b) {
+  GM_ASSIGN_OR_RETURN(const Matrix l, CholeskyFactor(a));
+  const std::size_t n = l.rows();
+  GM_ASSERT(b.size() == n, "SolveCholesky: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= l(i, j) * y[j];
+    y[i] = sum / l(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= l(j, ii) * x[j];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace gm::math

@@ -1,0 +1,92 @@
+// Dense linear algebra: Matrix, LU with partial pivoting, Cholesky.
+//
+// The Markowitz portfolio optimizer (paper Section 4.4) needs covariance
+// matrix inversion / linear solves of modest size (tens of hosts), so a
+// straightforward O(n^3) dense implementation is appropriate.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gm::math {
+
+using Vector = std::vector<double>;
+
+double Dot(const Vector& a, const Vector& b);
+double Norm2(const Vector& a);
+Vector Add(const Vector& a, const Vector& b);
+Vector Subtract(const Vector& a, const Vector& b);
+Vector Scale(const Vector& a, double s);
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Build from nested braces; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(std::size_t n);
+  /// Diagonal matrix from a vector.
+  static Matrix Diagonal(const Vector& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    GM_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    GM_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transpose() const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator*(double s) const;
+  Vector operator*(const Vector& v) const;
+
+  bool ApproxEquals(const Matrix& other, double tolerance) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU decomposition with partial pivoting (PA = LU).
+class LuDecomposition {
+ public:
+  /// Fails with kFailedPrecondition on (numerically) singular input.
+  static Result<LuDecomposition> Compute(const Matrix& a);
+
+  Vector Solve(const Vector& b) const;
+  Matrix Solve(const Matrix& b) const;
+  Matrix Inverse() const;
+  double Determinant() const;
+
+ private:
+  LuDecomposition() = default;
+  Matrix lu_;
+  std::vector<std::size_t> pivot_;
+  int pivot_sign_ = 1;
+};
+
+/// Solve a*x = b via LU. Fails on singular a.
+Result<Vector> SolveLinear(const Matrix& a, const Vector& b);
+/// Invert a square matrix via LU. Fails on singular input.
+Result<Matrix> Invert(const Matrix& a);
+
+/// Cholesky factorization A = L*L^T for symmetric positive definite A.
+/// Fails with kFailedPrecondition when A is not positive definite.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+/// Solve SPD system via Cholesky.
+Result<Vector> SolveCholesky(const Matrix& a, const Vector& b);
+
+}  // namespace gm::math

@@ -1,0 +1,76 @@
+#include "math/normal.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace gm::math {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+// Acklam's inverse-normal-CDF rational approximation coefficients.
+constexpr double kA[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                         -2.759285104469687e+02, 1.383577518672690e+02,
+                         -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kB[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                         -1.556989798598866e+02, 6.680131188771972e+01,
+                         -1.328068155288572e+01};
+constexpr double kC[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                         -2.400758277161838e+00, -2.549732539343734e+00,
+                         4.374664141464968e+00, 2.938163982698783e+00};
+constexpr double kD[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                         2.445134137142996e+00, 3.754408661907416e+00};
+
+double AcklamQuantile(double p) {
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+            kC[5]) /
+           ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r +
+            kA[5]) *
+           q /
+           (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r +
+            1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+           kC[5]) /
+         ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double NormalPdf(double x) { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
+
+double NormalQuantile(double p) {
+  GM_ASSERT(p > 0.0 && p < 1.0, "NormalQuantile: p must be in (0,1)");
+  double x = AcklamQuantile(p);
+  // One Halley refinement step against the high-accuracy erfc-based CDF.
+  const double e = NormalCdf(x) - p;
+  const double u = e / NormalPdf(x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double NormalCdf(double x, double mu, double sigma) {
+  GM_ASSERT(sigma > 0.0, "NormalCdf: sigma must be positive");
+  return NormalCdf((x - mu) / sigma);
+}
+
+double NormalQuantile(double p, double mu, double sigma) {
+  GM_ASSERT(sigma > 0.0, "NormalQuantile: sigma must be positive");
+  return mu + sigma * NormalQuantile(p);
+}
+
+}  // namespace gm::math

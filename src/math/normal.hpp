@@ -1,0 +1,23 @@
+// Normal distribution: pdf, cdf and the probit quantile function.
+//
+// The paper's "lightweight stateless price prediction" (Section 4.2) needs
+// Phi and Phi^-1: a user budget maps to a price level y = mu + sigma *
+// Phi^-1(p) that holds with probability p. The quantile uses Acklam's
+// rational approximation refined by one Halley step against erfc, giving
+// ~1e-15 relative accuracy over (0, 1).
+#pragma once
+
+namespace gm::math {
+
+/// Standard normal density.
+double NormalPdf(double x);
+/// Standard normal CDF, Phi(x).
+double NormalCdf(double x);
+/// Inverse standard normal CDF (probit). p must be in (0, 1).
+double NormalQuantile(double p);
+
+/// General N(mu, sigma^2) helpers. sigma must be > 0 for the quantile.
+double NormalCdf(double x, double mu, double sigma);
+double NormalQuantile(double p, double mu, double sigma);
+
+}  // namespace gm::math

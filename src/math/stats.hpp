@@ -1,0 +1,66 @@
+// Streaming sample statistics.
+//
+// RunningMoments accumulates mean/variance/skewness/kurtosis in one pass
+// using the numerically stable central-moment update (Welford generalised to
+// third and fourth moments). This is the "stateless" representation the
+// paper's normal-distribution price predictor relies on: no samples stored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gm::math {
+
+class RunningMoments {
+ public:
+  void Add(double x);
+  void Reset();
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (divides by n). Zero for n < 1.
+  double variance() const;
+  /// Unbiased sample variance (divides by n-1). Zero for n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  /// Fisher skewness g1. Zero for n < 2 or zero variance.
+  double skewness() const;
+  /// Excess kurtosis g2 (normal == 0). Zero for n < 2 or zero variance.
+  double kurtosis() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merge another accumulator (parallel reduction / window union).
+  void Merge(const RunningMoments& other);
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Simple descriptive statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& values);
+
+double Mean(const std::vector<double>& values);
+/// Sample variance (n-1). Zero for fewer than two values.
+double Variance(const std::vector<double>& values);
+/// Sample covariance (n-1) of two equal-length series.
+double Covariance(const std::vector<double>& a, const std::vector<double>& b);
+/// Quantile via linear interpolation of the sorted sample, q in [0,1].
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace gm::math

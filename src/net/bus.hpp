@@ -1,0 +1,69 @@
+// Simulated message bus.
+//
+// Stands in for the Grid's TCP/IP fabric: endpoints register by name,
+// messages are serialized, delayed by a configurable latency model
+// (base + uniform jitter) and optionally dropped. Delivery happens as
+// simulation events, so multi-service protocols (bank transfers, bid
+// placement, job submission) interleave realistically and deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "net/message.hpp"
+#include "sim/kernel.hpp"
+
+namespace gm::net {
+
+struct LatencyModel {
+  sim::SimDuration base = sim::kMillisecond;     // one-way latency floor
+  sim::SimDuration jitter = 0;                   // uniform in [0, jitter]
+  double drop_probability = 0.0;                 // silent loss
+
+  static LatencyModel Lan() { return {200 * sim::kMicrosecond, 100 * sim::kMicrosecond, 0.0}; }
+  static LatencyModel Wan() { return {40 * sim::kMillisecond, 10 * sim::kMillisecond, 0.0}; }
+  static LatencyModel Lossy(double p) { return {sim::kMillisecond, sim::kMillisecond, p}; }
+};
+
+struct BusStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;        // by the loss model
+  std::uint64_t undeliverable = 0;  // destination unknown at delivery time
+  std::uint64_t bytes_sent = 0;
+};
+
+class MessageBus {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  MessageBus(sim::Kernel& kernel, LatencyModel latency, std::uint64_t seed);
+
+  /// Register a named endpoint. Fails if the name is taken.
+  Status RegisterEndpoint(const std::string& name, Handler handler);
+  Status UnregisterEndpoint(const std::string& name);
+  bool HasEndpoint(const std::string& name) const;
+
+  /// Serialize and enqueue; the envelope is delivered (or dropped) after
+  /// the modelled latency. Unknown destinations are detected at delivery
+  /// time, like a real network.
+  void Send(Envelope envelope);
+
+  const BusStats& stats() const { return stats_; }
+  sim::Kernel& kernel() { return kernel_; }
+
+ private:
+  void Deliver(const Bytes& wire);
+
+  sim::Kernel& kernel_;
+  LatencyModel latency_;
+  Rng rng_;
+  std::unordered_map<std::string, Handler> endpoints_;
+  BusStats stats_;
+};
+
+}  // namespace gm::net

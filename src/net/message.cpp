@@ -1,0 +1,33 @@
+#include "net/message.hpp"
+
+#include "net/serialize.hpp"
+
+namespace gm::net {
+
+Bytes Envelope::Encode() const {
+  Writer writer;
+  writer.WriteString(source);
+  writer.WriteString(destination);
+  writer.WriteU8(static_cast<std::uint8_t>(type));
+  writer.WriteU64(correlation_id);
+  writer.WriteBytes(payload);
+  return writer.Take();
+}
+
+Result<Envelope> Envelope::Decode(const Bytes& data) {
+  Reader reader(data);
+  Envelope envelope;
+  GM_ASSIGN_OR_RETURN(envelope.source, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(envelope.destination, reader.ReadString());
+  GM_ASSIGN_OR_RETURN(const std::uint8_t type, reader.ReadU8());
+  if (type > static_cast<std::uint8_t>(MessageType::kRpcResponse))
+    return Status::InvalidArgument("envelope: unknown message type");
+  envelope.type = static_cast<MessageType>(type);
+  GM_ASSIGN_OR_RETURN(envelope.correlation_id, reader.ReadU64());
+  GM_ASSIGN_OR_RETURN(envelope.payload, reader.ReadBytes());
+  if (!reader.AtEnd())
+    return Status::InvalidArgument("envelope: trailing bytes");
+  return envelope;
+}
+
+}  // namespace gm::net

@@ -1,0 +1,31 @@
+// Message envelopes routed by the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace gm::net {
+
+enum class MessageType : std::uint8_t {
+  kDatagram = 0,     // fire-and-forget application message
+  kRpcRequest = 1,
+  kRpcResponse = 2,
+};
+
+struct Envelope {
+  std::string source;       // sender endpoint name
+  std::string destination;  // receiver endpoint name
+  MessageType type = MessageType::kDatagram;
+  std::uint64_t correlation_id = 0;  // pairs RPC requests with responses
+  Bytes payload;
+
+  /// Wire encoding (used by tests and by the loopback-free bus path to
+  /// guarantee nothing unserializable sneaks into a message).
+  Bytes Encode() const;
+  static Result<Envelope> Decode(const Bytes& data);
+};
+
+}  // namespace gm::net

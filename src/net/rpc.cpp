@@ -1,0 +1,160 @@
+#include "net/rpc.hpp"
+
+#include "common/log.hpp"
+
+namespace gm::net {
+namespace {
+
+// Response payload: status code u8, status message, result bytes.
+Bytes EncodeResponse(const Status& status, const Bytes& result) {
+  Writer writer;
+  WriteStatus(writer, status);
+  writer.WriteBytes(result);
+  return writer.Take();
+}
+
+}  // namespace
+
+void WriteStatus(Writer& writer, const Status& status) {
+  writer.WriteU8(static_cast<std::uint8_t>(status.code()));
+  writer.WriteString(status.message());
+}
+
+Status ReadStatus(Reader& reader) {
+  const auto code = reader.ReadU8();
+  if (!code.ok()) return code.status();
+  if (*code > static_cast<std::uint8_t>(StatusCode::kUnauthenticated))
+    return Status::InvalidArgument("unknown status code on wire");
+  auto message = reader.ReadString();
+  if (!message.ok()) return message.status();
+  return Status(static_cast<StatusCode>(*code), std::move(*message));
+}
+
+RpcServer::RpcServer(MessageBus& bus, std::string endpoint)
+    : bus_(bus), endpoint_(std::move(endpoint)) {
+  const Status status = bus_.RegisterEndpoint(
+      endpoint_, [this](const Envelope& envelope) { HandleEnvelope(envelope); });
+  GM_ASSERT(status.ok(), "RpcServer: endpoint registration failed");
+}
+
+RpcServer::~RpcServer() { (void)bus_.UnregisterEndpoint(endpoint_); }
+
+void RpcServer::RegisterMethod(const std::string& name, Method method) {
+  GM_ASSERT(method != nullptr, "null RPC method");
+  GM_ASSERT(methods_.emplace(name, std::move(method)).second,
+            "duplicate RPC method");
+}
+
+void RpcServer::HandleEnvelope(const Envelope& envelope) {
+  if (envelope.type != MessageType::kRpcRequest) return;
+  Reader reader(envelope.payload);
+  Envelope response;
+  response.source = endpoint_;
+  response.destination = envelope.source;
+  response.type = MessageType::kRpcResponse;
+  response.correlation_id = envelope.correlation_id;
+
+  const auto method_name = reader.ReadString();
+  const auto request = method_name.ok() ? reader.ReadBytes() : Result<Bytes>(method_name.status());
+  if (!method_name.ok() || !request.ok()) {
+    response.payload = EncodeResponse(
+        Status::InvalidArgument("malformed RPC request"), {});
+    bus_.Send(std::move(response));
+    return;
+  }
+  const auto it = methods_.find(*method_name);
+  if (it == methods_.end()) {
+    response.payload = EncodeResponse(
+        Status::NotFound("no such method: " + *method_name), {});
+    bus_.Send(std::move(response));
+    return;
+  }
+  Result<Bytes> result = it->second(*request);
+  response.payload = result.ok() ? EncodeResponse(Status::Ok(), *result)
+                                 : EncodeResponse(result.status(), {});
+  bus_.Send(std::move(response));
+}
+
+RpcClient::RpcClient(MessageBus& bus, std::string endpoint)
+    : bus_(bus), endpoint_(std::move(endpoint)) {
+  const Status status = bus_.RegisterEndpoint(
+      endpoint_, [this](const Envelope& envelope) { HandleEnvelope(envelope); });
+  GM_ASSERT(status.ok(), "RpcClient: endpoint registration failed");
+}
+
+RpcClient::~RpcClient() { (void)bus_.UnregisterEndpoint(endpoint_); }
+
+void RpcClient::Call(const std::string& server, const std::string& method,
+                     Bytes request, CallOptions options, Callback callback) {
+  GM_ASSERT(callback != nullptr, "null RPC callback");
+  GM_ASSERT(options.max_attempts >= 1, "max_attempts must be >= 1");
+  const std::uint64_t id = next_correlation_id_++;
+  PendingCall call;
+  call.server = server;
+  call.method = method;
+  call.request = std::move(request);
+  call.options = options;
+  call.callback = std::move(callback);
+  pending_.emplace(id, std::move(call));
+  SendAttempt(id);
+}
+
+void RpcClient::SendAttempt(std::uint64_t id) {
+  auto& call = pending_.at(id);
+  Writer writer;
+  writer.WriteString(call.method);
+  writer.WriteBytes(call.request);
+
+  Envelope envelope;
+  envelope.source = endpoint_;
+  envelope.destination = call.server;
+  envelope.type = MessageType::kRpcRequest;
+  envelope.correlation_id = id;
+  envelope.payload = writer.Take();
+  bus_.Send(std::move(envelope));
+
+  call.timeout_handle = bus_.kernel().ScheduleAfter(
+      call.options.timeout, [this, id] { HandleTimeout(id); });
+}
+
+void RpcClient::HandleEnvelope(const Envelope& envelope) {
+  if (envelope.type != MessageType::kRpcResponse) return;
+  const auto it = pending_.find(envelope.correlation_id);
+  if (it == pending_.end()) return;  // late response after timeout
+  bus_.kernel().Cancel(it->second.timeout_handle);
+  Callback callback = std::move(it->second.callback);
+  pending_.erase(it);
+
+  Reader reader(envelope.payload);
+  const Status status = ReadStatus(reader);
+  if (!status.ok()) {
+    callback(status);
+    return;
+  }
+  auto result = reader.ReadBytes();
+  if (!result.ok()) {
+    callback(result.status());
+    return;
+  }
+  callback(std::move(*result));
+}
+
+void RpcClient::HandleTimeout(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  ++timeouts_;
+  if (it->second.attempt < it->second.options.max_attempts) {
+    ++it->second.attempt;
+    ++retries_;
+    GM_LOG_DEBUG << "rpc: retrying " << it->second.method << " attempt "
+                 << it->second.attempt;
+    SendAttempt(id);
+    return;
+  }
+  Callback callback = std::move(it->second.callback);
+  const std::string method = it->second.method;
+  pending_.erase(it);
+  callback(Status::DeadlineExceeded("rpc: " + method + " timed out"));
+}
+
+}  // namespace gm::net

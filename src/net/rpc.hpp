@@ -1,0 +1,95 @@
+// Request/response RPC over the message bus.
+//
+// The Grid services (Bank, Service Location Service, Auctioneers, the
+// scheduler agent) talk through this layer. Calls carry a correlation id;
+// the client matches responses, enforces timeouts with simulation timers,
+// and optionally retries — which, combined with a lossy LatencyModel,
+// exercises the failure paths a real deployment would hit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/bus.hpp"
+#include "net/serialize.hpp"
+
+namespace gm::net {
+
+/// Server side: dispatches named methods. Registering the server claims the
+/// endpoint name on the bus.
+class RpcServer {
+ public:
+  /// A method consumes request bytes and produces response bytes or an error.
+  using Method = std::function<Result<Bytes>(const Bytes& request)>;
+
+  RpcServer(MessageBus& bus, std::string endpoint);
+  ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void RegisterMethod(const std::string& name, Method method);
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  void HandleEnvelope(const Envelope& envelope);
+
+  MessageBus& bus_;
+  std::string endpoint_;
+  std::unordered_map<std::string, Method> methods_;
+};
+
+struct CallOptions {
+  sim::SimDuration timeout = sim::Seconds(2);
+  int max_attempts = 1;  // total attempts including the first
+};
+
+/// Client side: owns a response endpoint and correlates in-flight calls.
+class RpcClient {
+ public:
+  using Callback = std::function<void(Result<Bytes>)>;
+
+  RpcClient(MessageBus& bus, std::string endpoint);
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Asynchronous call; the callback fires exactly once, with the response
+  /// or kDeadlineExceeded after all attempts time out.
+  void Call(const std::string& server, const std::string& method,
+            Bytes request, CallOptions options, Callback callback);
+
+  const std::string& endpoint() const { return endpoint_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  struct PendingCall {
+    std::string server;
+    std::string method;
+    Bytes request;
+    CallOptions options;
+    int attempt = 1;
+    Callback callback;
+    sim::EventHandle timeout_handle;
+  };
+
+  void SendAttempt(std::uint64_t id);
+  void HandleEnvelope(const Envelope& envelope);
+  void HandleTimeout(std::uint64_t id);
+
+  MessageBus& bus_;
+  std::string endpoint_;
+  std::uint64_t next_correlation_id_ = 1;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+};
+
+/// Helpers for encoding Status into RPC response payloads. A malformed
+/// status on the wire decodes to an error status itself.
+void WriteStatus(Writer& writer, const Status& status);
+Status ReadStatus(Reader& reader);
+
+}  // namespace gm::net

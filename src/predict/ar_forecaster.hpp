@@ -1,0 +1,94 @@
+// AR(k) price forecasting with smoothing-spline prefiltering
+// (paper Sections 4.3 and 5.4).
+//
+// Raw spot prices drop sharply when batch jobs complete, which breaks a
+// plain AR fit; the paper first smooths the series with a cubic smoothing
+// spline, then fits AR(k) via Yule-Walker/Levinson and forecasts. The
+// quality metric is
+//     epsilon = 1/(n mu_d) * sum_i sigma_i,
+// where sigma_i is the standard deviation of each (prediction, measurement)
+// pair and mu_d the mean measured price over the validation interval.
+// A persistence ("current price stays") forecaster is the benchmark.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "math/ar_model.hpp"
+
+namespace gm::predict {
+
+struct ArForecasterConfig {
+  int order = 6;               // AR(6) in the paper's experiment
+  double spline_lambda = 50.0; // smoothing strength (0 = no smoothing)
+};
+
+class ArPriceForecaster {
+ public:
+  /// Fit on a training series (one sample per snapshot interval).
+  static Result<ArPriceForecaster> Fit(const std::vector<double>& series,
+                                       ArForecasterConfig config = {});
+
+  /// Forecast `steps` snapshots ahead given the most recent observations
+  /// (also smoothed internally with the same lambda when long enough).
+  std::vector<double> Forecast(const std::vector<double>& recent,
+                               int steps) const;
+  /// Convenience: the value `steps` ahead.
+  double ForecastAt(const std::vector<double>& recent, int steps) const;
+
+  const math::ArModel& model() const { return model_; }
+  const ArForecasterConfig& config() const { return config_; }
+  /// The smoothed training series (for plotting, as in Figure 4).
+  const std::vector<double>& smoothed_training() const { return smoothed_; }
+
+ private:
+  ArPriceForecaster(math::ArModel model, ArForecasterConfig config,
+                    std::vector<double> smoothed)
+      : model_(std::move(model)), config_(config),
+        smoothed_(std::move(smoothed)) {}
+
+  math::ArModel model_;
+  ArForecasterConfig config_;
+  std::vector<double> smoothed_;
+};
+
+/// Persistence benchmark: predicts the current price for every horizon.
+class NaiveForecaster {
+ public:
+  double ForecastAt(const std::vector<double>& recent, int /*steps*/) const {
+    return recent.back();
+  }
+};
+
+/// The paper's epsilon: mean of per-pair standard deviations, normalized
+/// by the mean measured price. For a pair (a, b) the sample standard
+/// deviation is |a - b| / sqrt(2).
+Result<double> PredictionEpsilon(const std::vector<double>& predictions,
+                                 const std::vector<double>& measurements);
+
+/// Walk-forward evaluation: at each index of the validation range, feed
+/// the forecaster everything before it and compare the `horizon`-step
+/// forecast with the actual value. Returns (predictions, measurements).
+struct WalkForwardResult {
+  std::vector<double> predictions;
+  std::vector<double> measurements;
+};
+template <typename Forecaster>
+WalkForwardResult WalkForward(const Forecaster& forecaster,
+                              const std::vector<double>& series,
+                              std::size_t start, int horizon) {
+  WalkForwardResult result;
+  for (std::size_t t = start; t + static_cast<std::size_t>(horizon) <
+                              series.size();
+       ++t) {
+    const std::vector<double> history(series.begin(),
+                                      series.begin() +
+                                          static_cast<std::ptrdiff_t>(t));
+    result.predictions.push_back(forecaster.ForecastAt(history, horizon));
+    result.measurements.push_back(
+        series[t + static_cast<std::size_t>(horizon) - 1]);
+  }
+  return result;
+}
+
+}  // namespace gm::predict

@@ -1,0 +1,88 @@
+#include "predict/empirical_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gm::predict {
+namespace {
+constexpr double kPriceFloor = 1e-12;
+}
+
+EmpiricalPricePredictor::EmpiricalPricePredictor(
+    std::string host_id, CyclesPerSecond capacity, double host_scale,
+    std::vector<double> cumulative, double slot_width)
+    : host_id_(std::move(host_id)), capacity_(capacity),
+      host_scale_(host_scale), cumulative_(std::move(cumulative)),
+      slot_width_(slot_width) {}
+
+Result<EmpiricalPricePredictor> EmpiricalPricePredictor::Create(
+    std::string host_id, CyclesPerSecond capacity, double host_scale,
+    std::vector<double> proportions, double slot_width) {
+  if (capacity <= 0.0)
+    return Status::InvalidArgument("empirical model: capacity must be > 0");
+  if (host_scale <= 0.0)
+    return Status::InvalidArgument("empirical model: host_scale must be > 0");
+  if (slot_width <= 0.0)
+    return Status::InvalidArgument("empirical model: slot width must be > 0");
+  if (proportions.empty())
+    return Status::InvalidArgument("empirical model: no slots");
+  double total = 0.0;
+  for (const double p : proportions) {
+    if (p < 0.0)
+      return Status::InvalidArgument("empirical model: negative proportion");
+    total += p;
+  }
+  if (total <= 0.0)
+    return Status::FailedPrecondition(
+        "empirical model: empty distribution (no price snapshots yet)");
+  std::vector<double> cumulative(proportions.size());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < proportions.size(); ++j) {
+    acc += proportions[j] / total;
+    cumulative[j] = acc;
+  }
+  cumulative.back() = 1.0;  // guard rounding
+  return EmpiricalPricePredictor(std::move(host_id), capacity, host_scale,
+                                 std::move(cumulative), slot_width);
+}
+
+Result<EmpiricalPricePredictor> EmpiricalPricePredictor::FromSlotTable(
+    std::string host_id, CyclesPerSecond capacity, double host_scale,
+    const market::SlotTable& table) {
+  return Create(std::move(host_id), capacity, host_scale,
+                table.Proportions(), table.slot_width());
+}
+
+double EmpiricalPricePredictor::PriceQuantile(double p) const {
+  GM_ASSERT(p > 0.0 && p < 1.0, "empirical quantile: p in (0,1)");
+  // First slot whose CDF reaches p; uniform interpolation inside it.
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), p);
+  const std::size_t j =
+      static_cast<std::size_t>(it - cumulative_.begin());
+  const double cdf_below = j == 0 ? 0.0 : cumulative_[j - 1];
+  const double mass = cumulative_[j] - cdf_below;
+  const double fraction = mass > 0.0 ? (p - cdf_below) / mass : 0.0;
+  const double per_capacity =
+      (static_cast<double>(j) + fraction) * slot_width_;
+  return std::max(per_capacity * host_scale_, kPriceFloor);
+}
+
+CyclesPerSecond EmpiricalPricePredictor::CapacityAtBudget(double rate,
+                                                          double p) const {
+  if (rate <= 0.0) return 0.0;
+  const double y = PriceQuantile(p);
+  return capacity_ * rate / (rate + y);
+}
+
+Result<double> EmpiricalPricePredictor::BudgetForCapacity(
+    CyclesPerSecond capacity, double p) const {
+  if (capacity <= 0.0) return 0.0;
+  if (capacity >= capacity_) {
+    return Status::OutOfRange(
+        "requested capacity meets or exceeds the host's total");
+  }
+  const double y = PriceQuantile(p);
+  return y * capacity / (capacity_ - capacity);
+}
+
+}  // namespace gm::predict

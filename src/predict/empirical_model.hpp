@@ -1,0 +1,64 @@
+// Distribution-free price prediction from slot-table histograms.
+//
+// The paper's stateless model assumes normally distributed prices and
+// names "extending the lightweight prediction model ... to handle
+// arbitrary distributions" as future work (Section 7). This is that
+// extension: quantiles come straight from the auctioneer's windowed
+// slot-table distribution (with uniform interpolation inside a bracket),
+// so guarantees hold for skewed and heavy-tailed price processes where
+// the probit formula misleads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "market/slot_table.hpp"
+
+namespace gm::predict {
+
+class EmpiricalPricePredictor {
+ public:
+  /// From raw slot proportions: slot j covers
+  /// [j * slot_width, (j+1) * slot_width) in $/s per cycles/s (whole-host
+  /// prices are proportions * capacity-scaled below). `capacity` is the
+  /// host's deliverable cycles/s; `host_scale` converts the tabled
+  /// per-capacity price into a whole-host $/s price (usually the host's
+  /// total capacity).
+  static Result<EmpiricalPricePredictor> Create(
+      std::string host_id, CyclesPerSecond capacity, double host_scale,
+      std::vector<double> proportions, double slot_width);
+
+  /// Straight from an auctioneer's slot table.
+  static Result<EmpiricalPricePredictor> FromSlotTable(
+      std::string host_id, CyclesPerSecond capacity, double host_scale,
+      const market::SlotTable& table);
+
+  const std::string& host_id() const { return host_id_; }
+  CyclesPerSecond capacity() const { return capacity_; }
+
+  /// Empirical p-quantile of the whole-host price ($/s); uniform
+  /// interpolation inside the bracket. p in (0, 1).
+  double PriceQuantile(double p) const;
+
+  /// Guaranteed capacity when bidding `rate` $/s with probability p.
+  CyclesPerSecond CapacityAtBudget(double rate, double p) const;
+
+  /// Spend rate guaranteeing `capacity` with probability p; fails when
+  /// capacity >= the host's deliverable capacity.
+  Result<double> BudgetForCapacity(CyclesPerSecond capacity, double p) const;
+
+ private:
+  EmpiricalPricePredictor(std::string host_id, CyclesPerSecond capacity,
+                          double host_scale,
+                          std::vector<double> cumulative, double slot_width);
+
+  std::string host_id_;
+  CyclesPerSecond capacity_;
+  double host_scale_;
+  std::vector<double> cumulative_;  // CDF at slot upper edges
+  double slot_width_;
+};
+
+}  // namespace gm::predict

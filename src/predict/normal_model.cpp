@@ -1,0 +1,134 @@
+#include "predict/normal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/normal.hpp"
+
+namespace gm::predict {
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+// Floor for quantile prices: keeps shares well defined on free hosts.
+constexpr double kPriceFloor = 1e-12;
+
+}  // namespace
+
+NormalPricePredictor::NormalPricePredictor(HostPriceStats stats)
+    : stats_(std::move(stats)) {
+  GM_ASSERT(stats_.capacity > 0.0, "host capacity must be positive");
+  GM_ASSERT(stats_.stddev_price >= 0.0, "stddev must be non-negative");
+}
+
+double NormalPricePredictor::PriceQuantile(double p) const {
+  GM_ASSERT(p > 0.0 && p < 1.0, "guarantee level must be in (0,1)");
+  double quantile = stats_.mean_price;
+  if (stats_.stddev_price > 0.0)
+    quantile += stats_.stddev_price * math::NormalQuantile(p);
+  return std::max(quantile, kPriceFloor);
+}
+
+CyclesPerSecond NormalPricePredictor::CapacityAtBudget(double rate,
+                                                       double p) const {
+  if (rate <= 0.0) return 0.0;
+  const double y = PriceQuantile(p);
+  return stats_.capacity * rate / (rate + y);
+}
+
+Result<double> NormalPricePredictor::BudgetForCapacity(
+    CyclesPerSecond capacity, double p) const {
+  if (capacity <= 0.0) return 0.0;
+  if (capacity >= stats_.capacity) {
+    return Status::OutOfRange(
+        "requested capacity meets or exceeds the host's total; no finite "
+        "budget guarantees it");
+  }
+  const double y = PriceQuantile(p);
+  // c = w x / (x + y)  =>  x = y c / (w - c).
+  return y * capacity / (stats_.capacity - capacity);
+}
+
+double NormalPricePredictor::RecommendedBudget(double p,
+                                               double knee_fraction) const {
+  GM_ASSERT(knee_fraction > 0.0 && knee_fraction < 1.0,
+            "knee fraction in (0,1)");
+  const double y = PriceQuantile(p);
+  // dC/dx = w y / (x + y)^2; at x = 0 the slope is w / y. The knee is where
+  // the slope falls to knee_fraction of that: x = y (1/sqrt(f) - 1).
+  return y * (1.0 / std::sqrt(knee_fraction) - 1.0);
+}
+
+std::vector<NormalPricePredictor::CurvePoint>
+NormalPricePredictor::GuaranteeCurve(double p, double max_budget_per_day,
+                                     std::size_t points) const {
+  GM_ASSERT(points >= 2, "curve needs at least two points");
+  std::vector<CurvePoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double budget_per_day =
+        max_budget_per_day * static_cast<double>(i) /
+        static_cast<double>(points - 1);
+    CurvePoint point;
+    point.budget_per_day = budget_per_day;
+    point.capacity = CapacityAtBudget(budget_per_day / kSecondsPerDay, p);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+Result<CyclesPerSecond> UtilityWithGuarantee(
+    const std::vector<HostPriceStats>& hosts, double budget_rate, double p) {
+  if (hosts.empty()) return Status::InvalidArgument("no hosts");
+  std::vector<br::HostBidInput> inputs;
+  inputs.reserve(hosts.size());
+  for (const HostPriceStats& host : hosts) {
+    NormalPricePredictor predictor(host);
+    inputs.push_back({host.host_id, host.capacity, predictor.PriceQuantile(p)});
+  }
+  br::BestResponseSolver solver;
+  GM_ASSIGN_OR_RETURN(const br::BestResponseResult result,
+                      solver.Solve(inputs, budget_rate));
+  return result.utility;  // sum of w_j * share_j == guaranteed cycles/s
+}
+
+Result<double> BudgetForGuaranteedCapacity(
+    const std::vector<HostPriceStats>& hosts, CyclesPerSecond required,
+    double p, double tolerance) {
+  if (required <= 0.0) return 0.0;
+  CyclesPerSecond achievable = 0.0;
+  for (const HostPriceStats& host : hosts) achievable += host.capacity;
+  if (required >= achievable) {
+    return Status::OutOfRange(
+        "required capacity exceeds what these hosts can deliver");
+  }
+  // The guaranteed capacity is increasing in budget; bisect.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    GM_ASSIGN_OR_RETURN(const CyclesPerSecond at_hi,
+                        UtilityWithGuarantee(hosts, hi, p));
+    if (at_hi >= required) break;
+    hi *= 2.0;
+    if (hi > 1e15)
+      return Status::OutOfRange("no finite budget reaches the target");
+  }
+  while (hi - lo > tolerance * hi) {
+    const double mid = 0.5 * (lo + hi);
+    GM_ASSIGN_OR_RETURN(const CyclesPerSecond at_mid,
+                        UtilityWithGuarantee(hosts, mid, p));
+    (at_mid < required ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+Result<double> BudgetForDeadline(const std::vector<HostPriceStats>& hosts,
+                                 Cycles total_cycles, double deadline_seconds,
+                                 double p) {
+  if (deadline_seconds <= 0.0)
+    return Status::InvalidArgument("deadline must be positive");
+  if (total_cycles <= 0.0) return 0.0;
+  return BudgetForGuaranteedCapacity(hosts, total_cycles / deadline_seconds,
+                                     p);
+}
+
+}  // namespace gm::predict

@@ -1,0 +1,84 @@
+// Lightweight stateless price prediction (paper Section 4.2).
+//
+// Assume the spot price of a host is normally distributed with the mean
+// and standard deviation tracked by the auctioneer's window statistics.
+// Then with probability p the price stays at or below the quantile
+//     y_p = mu + sigma * Phi^-1(p),
+// and a user bidding x $/s receives at least capacity w * x / (x + y_p)
+// (paper Eq. 5/6). From this the model answers the questions users
+// actually ask: what capacity does a budget guarantee (Figure 3), what
+// budget does a capacity or deadline need, and where does spending more
+// stop paying (the knee of the curve).
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "bestresponse/best_response.hpp"
+
+namespace gm::predict {
+
+/// Price statistics of one host, in $/s for the whole host.
+struct HostPriceStats {
+  std::string host_id;
+  CyclesPerSecond capacity = 0.0;  // w_j: deliverable cycles/s
+  double mean_price = 0.0;         // mu, $/s
+  double stddev_price = 0.0;       // sigma, $/s
+};
+
+class NormalPricePredictor {
+ public:
+  explicit NormalPricePredictor(HostPriceStats stats);
+
+  const HostPriceStats& stats() const { return stats_; }
+
+  /// Price level not exceeded with probability p (>= 0 clamped).
+  double PriceQuantile(double p) const;
+
+  /// Guaranteed capacity (cycles/s) when bidding `rate` $/s, with
+  /// probability p.
+  CyclesPerSecond CapacityAtBudget(double rate, double p) const;
+
+  /// Spend rate ($/s) needed to hold `capacity` with probability p.
+  /// Fails if capacity >= the host's deliverable capacity.
+  Result<double> BudgetForCapacity(CyclesPerSecond capacity, double p) const;
+
+  /// The recommended budget: the rate where the marginal capacity per
+  /// dollar falls to `knee_fraction` of its zero-budget slope. The paper's
+  /// "certain point where the curves flatten out".
+  double RecommendedBudget(double p, double knee_fraction = 0.05) const;
+
+  /// A (budget $/day, capacity cycles/s) curve for plotting Figure 3.
+  struct CurvePoint {
+    double budget_per_day = 0.0;
+    CyclesPerSecond capacity = 0.0;
+  };
+  std::vector<CurvePoint> GuaranteeCurve(double p, double max_budget_per_day,
+                                         std::size_t points) const;
+
+ private:
+  HostPriceStats stats_;
+};
+
+/// Multi-host QoS estimate (paper Eq. 6): distribute `budget_rate` with
+/// Best Response against the p-quantile prices; returns the guaranteed
+/// aggregate capacity (sum over hosts of w_j * share_j).
+Result<CyclesPerSecond> UtilityWithGuarantee(
+    const std::vector<HostPriceStats>& hosts, double budget_rate, double p);
+
+/// Invert Eq. 6: the minimal spend rate whose guaranteed aggregate
+/// capacity reaches `required`, within `tolerance` (relative). Fails if
+/// even an enormous budget cannot reach it.
+Result<double> BudgetForGuaranteedCapacity(
+    const std::vector<HostPriceStats>& hosts, CyclesPerSecond required,
+    double p, double tolerance = 1e-6);
+
+/// Deadline helper: a job needing `total_cycles` by `deadline_seconds`
+/// needs aggregate capacity total/deadline; returns the spend rate that
+/// guarantees it with probability p.
+Result<double> BudgetForDeadline(const std::vector<HostPriceStats>& hosts,
+                                 Cycles total_cycles, double deadline_seconds,
+                                 double p);
+
+}  // namespace gm::predict

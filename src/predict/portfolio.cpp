@@ -1,0 +1,142 @@
+#include "predict/portfolio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/stats.hpp"
+
+namespace gm::predict {
+
+double Portfolio::stddev() const { return std::sqrt(std::max(variance, 0.0)); }
+
+PortfolioOptimizer::PortfolioOptimizer(math::Vector mean,
+                                       math::Matrix covariance,
+                                       math::Matrix inverse)
+    : mean_(std::move(mean)), covariance_(std::move(covariance)),
+      inverse_(std::move(inverse)) {
+  const std::size_t n = mean_.size();
+  const math::Vector ones(n, 1.0);
+  const math::Vector inv_ones = inverse_ * ones;
+  const math::Vector inv_mean = inverse_ * mean_;
+  a_ = math::Dot(ones, inv_ones);
+  b_ = math::Dot(ones, inv_mean);
+  c_ = math::Dot(mean_, inv_mean);
+}
+
+Result<PortfolioOptimizer> PortfolioOptimizer::Create(
+    math::Vector mean_returns, math::Matrix covariance) {
+  if (mean_returns.empty())
+    return Status::InvalidArgument("portfolio: no assets");
+  if (covariance.rows() != mean_returns.size() ||
+      covariance.cols() != mean_returns.size())
+    return Status::InvalidArgument("portfolio: covariance shape mismatch");
+  // Positive definiteness check via Cholesky, then invert via LU.
+  GM_RETURN_IF_ERROR(math::CholeskyFactor(covariance).status());
+  GM_ASSIGN_OR_RETURN(math::Matrix inverse, math::Invert(covariance));
+  return PortfolioOptimizer(std::move(mean_returns), std::move(covariance),
+                            std::move(inverse));
+}
+
+Result<PortfolioOptimizer> PortfolioOptimizer::FromReturnSeries(
+    const std::vector<std::vector<double>>& returns, double ridge) {
+  if (returns.empty())
+    return Status::InvalidArgument("portfolio: no return series");
+  const std::size_t n = returns.size();
+  const std::size_t samples = returns[0].size();
+  if (samples < 2)
+    return Status::InvalidArgument("portfolio: need at least two samples");
+  for (const auto& series : returns) {
+    if (series.size() != samples)
+      return Status::InvalidArgument("portfolio: ragged return series");
+  }
+  math::Vector mean(n);
+  for (std::size_t i = 0; i < n; ++i) mean[i] = math::Mean(returns[i]);
+  math::Matrix covariance(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double cov = math::Covariance(returns[i], returns[j]);
+      covariance(i, j) = cov;
+      covariance(j, i) = cov;
+    }
+    covariance(i, i) += ridge;
+  }
+  return Create(std::move(mean), std::move(covariance));
+}
+
+Portfolio PortfolioOptimizer::Evaluate(const math::Vector& weights) const {
+  GM_ASSERT(weights.size() == mean_.size(), "portfolio: weight size");
+  Portfolio portfolio;
+  portfolio.weights = weights;
+  portfolio.expected_return = math::Dot(weights, mean_);
+  portfolio.variance = math::Dot(weights, covariance_ * weights);
+  return portfolio;
+}
+
+Result<Portfolio> PortfolioOptimizer::MinimumVariance() const {
+  const math::Vector ones(mean_.size(), 1.0);
+  if (a_ <= 0.0)
+    return Status::FailedPrecondition("portfolio: degenerate covariance");
+  const math::Vector weights = math::Scale(inverse_ * ones, 1.0 / a_);
+  return Evaluate(weights);
+}
+
+Result<Portfolio> PortfolioOptimizer::ForTargetReturn(double target) const {
+  // Solve min w'Sw s.t. w'mu = target, w'1 = 1 via the two-multiplier
+  // closed form: w = S^-1 (lambda mu + gamma 1), with
+  //   lambda = (A r - B) / D, gamma = (C - B r) / D, D = A C - B^2.
+  const double d = a_ * c_ - b_ * b_;
+  if (std::fabs(d) < 1e-300) {
+    return Status::FailedPrecondition(
+        "portfolio: frontier undefined (all assets have equal mean return)");
+  }
+  const double lambda = (a_ * target - b_) / d;
+  const double gamma = (c_ - b_ * target) / d;
+  const std::size_t n = mean_.size();
+  math::Vector combined(n);
+  for (std::size_t i = 0; i < n; ++i)
+    combined[i] = lambda * mean_[i] + gamma;
+  const math::Vector weights = inverse_ * combined;
+  return Evaluate(weights);
+}
+
+Result<std::vector<FrontierPoint>> PortfolioOptimizer::EfficientFrontier(
+    std::size_t points) const {
+  if (points < 2)
+    return Status::InvalidArgument("frontier needs at least two points");
+  GM_ASSIGN_OR_RETURN(const Portfolio min_var, MinimumVariance());
+  const double low = min_var.expected_return;
+  const double high = *std::max_element(mean_.begin(), mean_.end());
+  std::vector<FrontierPoint> frontier;
+  frontier.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double target =
+        low + (high - low) * static_cast<double>(i) /
+                  static_cast<double>(points - 1);
+    GM_ASSIGN_OR_RETURN(const Portfolio portfolio, ForTargetReturn(target));
+    frontier.push_back({target, portfolio.variance, portfolio.weights});
+  }
+  return frontier;
+}
+
+std::vector<double> ClampLongOnly(const std::vector<double>& weights) {
+  std::vector<double> clamped(weights.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    clamped[i] = std::max(weights[i], 0.0);
+    sum += clamped[i];
+  }
+  if (sum <= 0.0) {
+    // Degenerate: fall back to uniform.
+    const double uniform = 1.0 / static_cast<double>(weights.size());
+    std::fill(clamped.begin(), clamped.end(), uniform);
+    return clamped;
+  }
+  for (double& w : clamped) w /= sum;
+  return clamped;
+}
+
+double ReturnFromPrice(double price_per_capacity, double floor) {
+  return 1.0 / std::max(price_per_capacity, floor);
+}
+
+}  // namespace gm::predict

@@ -1,0 +1,87 @@
+// Markowitz mean-variance portfolio selection across hosts
+// (paper Section 4.4).
+//
+// "Return" of a host is performance per money: CPU cycles per second
+// delivered per dollar per second paid — the inverse of the spot price.
+// Given per-host return histories we estimate the mean vector and
+// covariance matrix, then compute
+//   * the minimum-variance portfolio (the paper's "risk free portfolio"),
+//   * the efficient frontier via the standard two-fund closed form
+//     w = Sigma^-1 (lambda mu + gamma 1) with A = 1' Sigma^-1 1,
+//     B = 1' Sigma^-1 mu, C = mu' Sigma^-1 mu.
+// The unconstrained optimum may short hosts; ClampLongOnly projects onto
+// the simplex for deployment where negative bids are meaningless.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "math/matrix.hpp"
+
+namespace gm::predict {
+
+struct Portfolio {
+  std::vector<double> weights;  // sums to 1
+  double expected_return = 0.0;
+  double variance = 0.0;
+
+  double stddev() const;
+};
+
+struct FrontierPoint {
+  double target_return = 0.0;
+  double variance = 0.0;
+  std::vector<double> weights;
+};
+
+class PortfolioOptimizer {
+ public:
+  /// From raw statistics. Sigma must be symmetric positive definite.
+  static Result<PortfolioOptimizer> Create(math::Vector mean_returns,
+                                           math::Matrix covariance);
+  /// From per-host return series (rows: hosts, columns: time). Estimates
+  /// means and the sample covariance matrix. A diagonal ridge keeps the
+  /// matrix invertible for short series.
+  static Result<PortfolioOptimizer> FromReturnSeries(
+      const std::vector<std::vector<double>>& returns, double ridge = 1e-10);
+
+  std::size_t size() const { return mean_.size(); }
+  const math::Vector& mean_returns() const { return mean_; }
+
+  /// Minimum-variance ("risk free") portfolio: w = Sigma^-1 1 / (1'Sigma^-1 1).
+  Result<Portfolio> MinimumVariance() const;
+
+  /// Minimum-variance portfolio achieving expected return `target`.
+  Result<Portfolio> ForTargetReturn(double target) const;
+
+  /// `points` frontier samples between the min-variance return and the
+  /// highest single-host mean return.
+  Result<std::vector<FrontierPoint>> EfficientFrontier(
+      std::size_t points) const;
+
+  /// Evaluate an arbitrary weight vector.
+  Portfolio Evaluate(const math::Vector& weights) const;
+
+ private:
+  PortfolioOptimizer(math::Vector mean, math::Matrix covariance,
+                     math::Matrix inverse);
+
+  math::Vector mean_;
+  math::Matrix covariance_;
+  math::Matrix inverse_;
+  // Cached scalars A = 1'S^-1 1, B = 1'S^-1 mu, C = mu'S^-1 mu.
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double c_ = 0.0;
+};
+
+/// Project weights onto the non-negative simplex (clip and renormalize).
+/// Falls back to uniform weights if everything clips to zero.
+std::vector<double> ClampLongOnly(const std::vector<double>& weights);
+
+/// Host return from a price: cycles/s per $/s paid (inverse spot price,
+/// guarded against free hosts with `floor`).
+double ReturnFromPrice(double price_per_capacity, double floor = 1e-12);
+
+}  // namespace gm::predict

@@ -1,0 +1,44 @@
+#include "predict/sla.hpp"
+
+namespace gm::predict {
+
+SlaQuoter::SlaQuoter(std::vector<HostPriceStats> market, double markup,
+                     double penalty_factor)
+    : market_(std::move(market)), markup_(markup),
+      penalty_factor_(penalty_factor) {
+  GM_ASSERT(markup_ >= 0.0, "SLA markup must be non-negative");
+  GM_ASSERT(penalty_factor_ >= 0.0, "SLA penalty factor must be >= 0");
+}
+
+Result<SlaQuote> SlaQuoter::Quote(const SlaTerms& terms) const {
+  if (terms.capacity <= 0.0)
+    return Status::InvalidArgument("SLA: capacity must be positive");
+  if (terms.duration_seconds <= 0.0)
+    return Status::InvalidArgument("SLA: duration must be positive");
+  if (terms.guarantee <= 0.0 || terms.guarantee >= 1.0)
+    return Status::InvalidArgument("SLA: guarantee must be in (0,1)");
+
+  SlaQuote quote;
+  quote.terms = terms;
+  GM_ASSIGN_OR_RETURN(
+      quote.procurement_rate,
+      BudgetForGuaranteedCapacity(market_, terms.capacity, terms.guarantee));
+  quote.procurement_cost = quote.procurement_rate * terms.duration_seconds;
+
+  // Fee F solves: F = (cost + (1-p) * penalty_factor * F) * (1 + markup).
+  // (The provider prices in the expected refund of a violated agreement.)
+  const double violation = 1.0 - terms.guarantee;
+  const double denominator =
+      1.0 - (1.0 + markup_) * violation * penalty_factor_;
+  if (denominator <= 0.0) {
+    return Status::FailedPrecondition(
+        "SLA: penalty exposure exceeds the fee (lower the penalty factor "
+        "or raise the guarantee)");
+  }
+  quote.fee = (1.0 + markup_) * quote.procurement_cost / denominator;
+  quote.penalty_payout = penalty_factor_ * quote.fee;
+  quote.expected_penalty = violation * quote.penalty_payout;
+  return quote;
+}
+
+}  // namespace gm::predict

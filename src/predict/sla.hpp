@@ -1,0 +1,59 @@
+// SLA quoting on top of the prediction layer (paper Section 7 future
+// work: "studying how higher-level reservation mechanisms, such as
+// Service Level Agreements ... can be built on top of the prediction
+// infrastructure presented here").
+//
+// A provider quotes a fixed price for "capacity C for duration T with
+// probability p". The premium covers
+//   * the procurement budget Eq. 6 says is needed to hold C at guarantee
+//     level p on the current market,
+//   * the expected penalty payout (1 - p) * penalty, where the penalty is
+//     a `penalty_factor` multiple of the fee (money-back style), and
+//   * a relative `markup`.
+// Higher guarantees therefore cost superlinearly more: both the
+// procurement budget and the affordable penalty exposure grow with p.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "predict/normal_model.hpp"
+
+namespace gm::predict {
+
+struct SlaTerms {
+  CyclesPerSecond capacity = 0.0;  // aggregate cycles/s promised
+  double duration_seconds = 0.0;
+  double guarantee = 0.9;  // probability the capacity is delivered
+};
+
+struct SlaQuote {
+  SlaTerms terms;
+  double procurement_rate = 0.0;   // $/s the provider must bid (Eq. 6)
+  double procurement_cost = 0.0;   // rate * duration
+  double expected_penalty = 0.0;   // (1 - p) * penalty payout
+  double fee = 0.0;                // what the customer pays
+  double penalty_payout = 0.0;     // refunded on violation
+};
+
+class SlaQuoter {
+ public:
+  /// `markup` is the provider's relative margin; `penalty_factor` the
+  /// violation refund as a multiple of the fee (1.0 = money back).
+  SlaQuoter(std::vector<HostPriceStats> market, double markup = 0.15,
+            double penalty_factor = 1.0);
+
+  /// Quote a fixed fee for the terms, or fail if the market cannot
+  /// deliver the capacity at that guarantee.
+  Result<SlaQuote> Quote(const SlaTerms& terms) const;
+
+  double markup() const { return markup_; }
+  double penalty_factor() const { return penalty_factor_; }
+
+ private:
+  std::vector<HostPriceStats> market_;
+  double markup_;
+  double penalty_factor_;
+};
+
+}  // namespace gm::predict

@@ -1,0 +1,122 @@
+#include "sim/kernel.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace gm::sim {
+
+std::string FormatTime(SimTime t) {
+  const bool negative = t < 0;
+  if (negative) t = -t;
+  const std::int64_t total_ms = t / kMillisecond;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t total_s = total_ms / 1000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = (total_s / 3600) % 24;
+  const std::int64_t d = total_s / 86400;
+  char buffer[64];
+  if (d > 0) {
+    std::snprintf(buffer, sizeof(buffer), "%s%lldd %02lld:%02lld:%02lld.%03lld",
+                  negative ? "-" : "", static_cast<long long>(d),
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s), static_cast<long long>(ms));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%s%02lld:%02lld:%02lld.%03lld",
+                  negative ? "-" : "", static_cast<long long>(h),
+                  static_cast<long long>(m), static_cast<long long>(s),
+                  static_cast<long long>(ms));
+  }
+  return buffer;
+}
+
+EventHandle Kernel::ScheduleAt(SimTime at, Callback callback) {
+  GM_ASSERT(at >= now_, "ScheduleAt in the past");
+  GM_ASSERT(callback != nullptr, "null callback");
+  const std::uint64_t id = next_id_++;
+  events_.emplace(id, EventState{std::move(callback), 0});
+  ++live_events_;
+  Push(at, id);
+  return EventHandle{id};
+}
+
+EventHandle Kernel::ScheduleAfter(SimDuration delay, Callback callback) {
+  GM_ASSERT(delay >= 0, "negative delay");
+  return ScheduleAt(now_ + delay, std::move(callback));
+}
+
+EventHandle Kernel::ScheduleEvery(SimDuration initial_delay,
+                                  SimDuration period, Callback callback) {
+  GM_ASSERT(initial_delay >= 0, "negative initial delay");
+  GM_ASSERT(period > 0, "non-positive period");
+  GM_ASSERT(callback != nullptr, "null callback");
+  const std::uint64_t id = next_id_++;
+  events_.emplace(id, EventState{std::move(callback), period});
+  ++live_events_;
+  Push(now_ + initial_delay, id);
+  return EventHandle{id};
+}
+
+bool Kernel::Cancel(EventHandle handle) {
+  const auto it = events_.find(handle.id);
+  if (it == events_.end()) return false;
+  events_.erase(it);
+  --live_events_;
+  return true;
+}
+
+void Kernel::Push(SimTime at, std::uint64_t id) {
+  queue_.push(Entry{at, next_seq_++, id});
+}
+
+bool Kernel::FireNext() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = events_.find(entry.id);
+    if (it == events_.end()) continue;  // cancelled; discard lazily
+    GM_ASSERT(entry.at >= now_, "event queue time went backwards");
+    now_ = entry.at;
+    if (it->second.period > 0) {
+      Push(now_ + it->second.period, entry.id);
+      // The callback may cancel the timer or schedule new events; copy the
+      // callback so rehashing of events_ cannot invalidate it mid-call.
+      const Callback callback = it->second.callback;
+      callback();
+    } else {
+      Callback callback = std::move(it->second.callback);
+      events_.erase(it);
+      --live_events_;
+      callback();
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Kernel::Run() {
+  std::size_t fired = 0;
+  while (FireNext()) ++fired;
+  return fired;
+}
+
+std::size_t Kernel::RunUntil(SimTime deadline) {
+  GM_ASSERT(deadline >= now_, "RunUntil in the past");
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled entries without advancing the clock.
+    const Entry entry = queue_.top();
+    if (events_.find(entry.id) == events_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.at > deadline) break;
+    if (FireNext()) ++fired;
+  }
+  now_ = deadline;
+  return fired;
+}
+
+bool Kernel::Step() { return FireNext(); }
+
+}  // namespace gm::sim

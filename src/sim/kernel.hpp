@@ -1,0 +1,88 @@
+// Discrete-event simulation kernel.
+//
+// A binary-heap event queue keyed by (time, sequence number): events at the
+// same instant fire in scheduling order, which makes whole experiments
+// deterministic. Events are plain callbacks; repeating timers reschedule
+// themselves until cancelled. Cancellation is O(1) via generation-checked
+// handles (the heap entry is lazily discarded).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/time.hpp"
+
+namespace gm::sim {
+
+/// Opaque handle identifying a scheduled (possibly repeating) event.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class Kernel {
+ public:
+  using Callback = std::function<void()>;
+
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule a one-shot callback at absolute time `at` (>= now).
+  EventHandle ScheduleAt(SimTime at, Callback callback);
+  /// Schedule a one-shot callback after `delay` (>= 0).
+  EventHandle ScheduleAfter(SimDuration delay, Callback callback);
+  /// Schedule a repeating callback every `period` (> 0), first firing after
+  /// `initial_delay`.
+  EventHandle ScheduleEvery(SimDuration initial_delay, SimDuration period,
+                            Callback callback);
+
+  /// Cancel a pending event. Safe to call from inside callbacks, with stale
+  /// handles, and on already-fired one-shot events (returns false).
+  bool Cancel(EventHandle handle);
+
+  /// Run until the queue is empty. Returns the number of events fired.
+  std::size_t Run();
+  /// Run until simulated time would exceed `deadline`; the clock is advanced
+  /// to `deadline` on return. Returns the number of events fired.
+  std::size_t RunUntil(SimTime deadline);
+  /// Fire at most one event. Returns false if the queue was empty.
+  bool Step();
+
+  std::size_t pending_events() const { return live_events_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  struct EventState {
+    Callback callback;
+    SimDuration period = 0;  // 0 => one-shot
+  };
+
+  void Push(SimTime at, std::uint64_t id);
+  bool FireNext();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_map<std::uint64_t, EventState> events_;
+};
+
+}  // namespace gm::sim

@@ -1,0 +1,40 @@
+// Simulated time.
+//
+// Time is an integer count of microseconds so event ordering is exact and
+// deterministic (no floating-point drift over multi-day simulated runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gm::sim {
+
+/// Absolute simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+/// Relative simulated duration in microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1'000;
+constexpr SimDuration kSecond = 1'000'000;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+constexpr SimDuration kWeek = 7 * kDay;
+
+constexpr SimDuration Seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond) + 0.5);
+}
+constexpr SimDuration Minutes(double m) { return Seconds(m * 60.0); }
+constexpr SimDuration Hours(double h) { return Seconds(h * 3600.0); }
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMinutes(SimDuration d) { return ToSeconds(d) / 60.0; }
+constexpr double ToHours(SimDuration d) { return ToSeconds(d) / 3600.0; }
+
+/// "1d 02:03:04.567" style rendering for logs and the grid monitor.
+std::string FormatTime(SimTime t);
+
+}  // namespace gm::sim

@@ -1,0 +1,56 @@
+#include "workload/bag_of_tasks.hpp"
+
+#include <algorithm>
+
+namespace gm::workload {
+
+Result<grid::JobDescription> BuildScanJob(const ScanJobParams& params) {
+  if (params.nodes <= 0 || params.chunks < params.nodes)
+    return Status::InvalidArgument(
+        "scan job needs nodes >= 1 and chunks >= nodes");
+  if (params.chunk_cpu_minutes <= 0 || params.wall_time_minutes <= 0)
+    return Status::InvalidArgument("scan job needs positive times");
+  grid::JobDescription description;
+  description.executable = "/usr/bin/proteome-scan";
+  description.arguments = {"--stepwise", "--window=7"};
+  description.job_name = params.job_name;
+  description.count = params.nodes;
+  description.chunks = params.chunks;
+  description.cpu_time_minutes = params.chunk_cpu_minutes;
+  description.wall_time_minutes = params.wall_time_minutes;
+  description.runtime_environments = {"blast", "hapgrid"};
+  const double input_mb =
+      params.input_mb_override >= 0 ? params.input_mb_override : 24.0;
+  description.input_files = {{"proteome-db.fasta", input_mb}};
+  description.output_files = {{"similarity-hits.out", params.output_mb}};
+  return description;
+}
+
+Result<grid::JobDescription> BuildScanJob(
+    const ScanJobParams& params, const std::vector<ProteomeChunk>& chunks,
+    CyclesPerSecond reference_capacity) {
+  if (chunks.empty())
+    return Status::InvalidArgument("scan job needs at least one chunk");
+  if (reference_capacity <= 0)
+    return Status::InvalidArgument("reference capacity must be positive");
+  ScanJobParams derived = params;
+  derived.chunks = static_cast<int>(chunks.size());
+  // Chunks are near-equal; use the largest so no sub-job underruns.
+  Cycles max_cycles = 0;
+  double total_mb = 0.0;
+  for (const ProteomeChunk& chunk : chunks) {
+    max_cycles = std::max(max_cycles, chunk.cycles);
+    total_mb += chunk.data_mb;
+  }
+  derived.chunk_cpu_minutes = max_cycles / reference_capacity / 60.0;
+  derived.input_mb_override = total_mb;
+  GM_ASSIGN_OR_RETURN(grid::JobDescription description,
+                      BuildScanJob(derived));
+  // Stage the individual slices rather than one blob.
+  description.input_files.clear();
+  for (const ProteomeChunk& chunk : chunks)
+    description.input_files.push_back({chunk.FileName(), chunk.data_mb});
+  return description;
+}
+
+}  // namespace gm::workload

@@ -1,0 +1,34 @@
+// Bag-of-tasks job construction for the proteome scan.
+//
+// Converts a partitioned proteome into the XRSL job the paper's users
+// submit: `count` concurrent VMs, one chunk per sub-job (the ordinal picks
+// the partition), blast runtime environment, staged database slices.
+#pragma once
+
+#include "common/status.hpp"
+#include "grid/xrsl.hpp"
+#include "workload/proteome.hpp"
+
+namespace gm::workload {
+
+struct ScanJobParams {
+  int nodes = 15;             // concurrent VMs (XRSL count)
+  int chunks = 30;            // total sub-jobs
+  double chunk_cpu_minutes = 212.0;
+  double wall_time_minutes = 24.0 * 60.0;
+  std::string job_name = "proteome-scan";
+  /// Total staged input data; by default derived from the partition.
+  double input_mb_override = -1.0;
+  double output_mb = 10.0;
+};
+
+/// Build the scan job description. The chunk CPU time is expressed per
+/// sub-job against the plugin's reference capacity.
+Result<grid::JobDescription> BuildScanJob(const ScanJobParams& params);
+
+/// Build from an actual partition (sizes derived from the chunk data).
+Result<grid::JobDescription> BuildScanJob(
+    const ScanJobParams& params, const std::vector<ProteomeChunk>& chunks,
+    CyclesPerSecond reference_capacity);
+
+}  // namespace gm::workload

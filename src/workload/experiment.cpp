@@ -1,0 +1,140 @@
+#include "workload/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace gm::workload {
+
+BestResponseExperiment::BestResponseExperiment(
+    BestResponseExperimentConfig config)
+    : config_(std::move(config)), grid_(config_.grid) {
+  GM_ASSERT(!config_.budgets.empty(), "experiment needs at least one user");
+}
+
+Result<std::vector<UserOutcome>> BestResponseExperiment::Run() {
+  const std::size_t users = config_.budgets.size();
+  GM_ASSIGN_OR_RETURN(const grid::JobDescription description,
+                      BuildScanJob(config_.job));
+
+  std::vector<std::string> names;
+  std::vector<std::uint64_t> job_ids(users, 0);
+  for (std::size_t u = 0; u < users; ++u) {
+    names.push_back(StrFormat("user%zu", u + 1));
+    GM_RETURN_IF_ERROR(
+        grid_.RegisterUser(names.back(), config_.initial_user_funds));
+  }
+
+  // Pre-existing load on the shared cluster: non-Grid Tycoon users with
+  // standing bids and always-busy VMs on their preferred hosts.
+  if (config_.background.loaded_host_fraction > 0.0) {
+    Rng bg_rng(config_.background.seed);
+    const BackgroundLoad& bg = config_.background;
+    const double log_lo = std::log(bg.min_rate_per_hour);
+    const double log_hi = std::log(bg.max_rate_per_hour);
+    const sim::SimTime forever = grid_.now() + config_.horizon * 2;
+    for (std::size_t h = 0; h < grid_.host_count(); ++h) {
+      if (!bg_rng.Bernoulli(bg.loaded_host_fraction)) continue;
+      market::Auctioneer& auctioneer = grid_.auctioneer(h);
+      const std::string bg_user = StrFormat("bg-tenant-%zu", h);
+      const double rate_per_hour =
+          std::exp(bg_rng.Uniform(log_lo, log_hi));
+      const Micros rate =
+          std::max<Micros>(1, DollarsToMicros(rate_per_hour) / 3600);
+      GM_RETURN_IF_ERROR(auctioneer.OpenAccount(bg_user));
+      GM_RETURN_IF_ERROR(auctioneer.Fund(
+          bg_user, DollarsToMicros(rate_per_hour *
+                                   sim::ToHours(config_.horizon) * 4)));
+      GM_RETURN_IF_ERROR(auctioneer.SetBid(bg_user, rate, forever));
+      GM_ASSIGN_OR_RETURN(host::VirtualMachine* vm,
+                          auctioneer.AcquireVm(bg_user));
+      vm->Enqueue({1, 1e18, nullptr});  // always busy
+    }
+    // Let the SLS heartbeats publish the background prices.
+    grid_.RunFor(sim::Minutes(2));
+  }
+
+  // Staggered submissions: each user's Best Response sees the bids the
+  // previous users placed.
+  Status submit_error;
+  for (std::size_t u = 0; u < users; ++u) {
+    grid_.RunFor(config_.stagger);
+    const auto job_id =
+        grid_.SubmitJob(names[u], description, config_.budgets[u]);
+    if (!job_id.ok()) return job_id.status();
+    job_ids[u] = *job_id;
+  }
+
+  // Run until every job is terminal or the horizon passes.
+  const sim::SimTime horizon = grid_.now() + config_.horizon;
+  while (grid_.now() < horizon) {
+    bool all_terminal = true;
+    for (const std::uint64_t id : job_ids) {
+      GM_ASSIGN_OR_RETURN(const grid::JobRecord* job, grid_.Job(id));
+      if (!grid::IsTerminal(job->state)) {
+        all_terminal = false;
+        break;
+      }
+    }
+    if (all_terminal) break;
+    grid_.RunFor(sim::Minutes(5));
+  }
+
+  std::vector<UserOutcome> outcomes;
+  outcomes.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    GM_ASSIGN_OR_RETURN(const grid::JobRecord* job, grid_.Job(job_ids[u]));
+    UserOutcome outcome;
+    outcome.user = names[u];
+    outcome.budget_dollars = config_.budgets[u];
+    outcome.state = job->state;
+    outcome.time_hours = job->TurnaroundHours();
+    outcome.cost_per_hour = job->CostPerHour();
+    outcome.latency_minutes = job->MeanChunkLatencyMinutes();
+    outcome.spent_dollars = MicrosToDollars(job->spent);
+    outcome.refunded_dollars = MicrosToDollars(job->refunded);
+    outcome.completed_chunks = job->CompletedChunks();
+    std::set<std::string> hosts;
+    for (const grid::SubJobRecord& subjob : job->subjobs) {
+      if (subjob.completed) hosts.insert(subjob.host_id);
+    }
+    outcome.nodes = static_cast<int>(hosts.size());
+    outcomes.push_back(std::move(outcome));
+  }
+  GM_RETURN_IF_ERROR(grid_.CheckInvariants());
+  return outcomes;
+}
+
+GroupSummary BestResponseExperiment::Summarize(
+    const std::vector<UserOutcome>& outcomes, std::size_t first,
+    std::size_t last, std::string label) {
+  GM_ASSERT(first <= last && last < outcomes.size(),
+            "Summarize: bad user range");
+  GroupSummary summary;
+  summary.label = std::move(label);
+  const double n = static_cast<double>(last - first + 1);
+  for (std::size_t u = first; u <= last; ++u) {
+    summary.time_hours += outcomes[u].time_hours / n;
+    summary.cost_per_hour += outcomes[u].cost_per_hour / n;
+    summary.latency_minutes += outcomes[u].latency_minutes / n;
+    summary.nodes += outcomes[u].nodes / n;
+  }
+  return summary;
+}
+
+std::string BestResponseExperiment::RenderTable(
+    const std::vector<GroupSummary>& groups) {
+  std::string out = StrFormat("%-10s %9s %10s %18s %7s\n", "Users",
+                              "Time(h)", "Cost($/h)", "Latency(min/job)",
+                              "Nodes");
+  for (const GroupSummary& group : groups) {
+    out += StrFormat("%-10s %9.2f %10.2f %18.2f %7.1f\n",
+                     group.label.c_str(), group.time_hours,
+                     group.cost_per_hour, group.latency_minutes, group.nodes);
+  }
+  return out;
+}
+
+}  // namespace gm::workload

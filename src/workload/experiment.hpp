@@ -1,0 +1,90 @@
+// The paper's Best Response experiments (Section 5.2/5.3, Tables 1-2).
+//
+// Five users submit the same proteome-scan bag of tasks with different
+// funding to a 30-node (dual-CPU) Tycoon grid, launched in sequence with a
+// slight delay so each Best Response run sees the previous users' bids.
+// Per user we measure the paper's four metrics:
+//   Time    — wall-clock hours to complete all sub-jobs,
+//   Cost    — dollars spent per hour of that time,
+//   Latency — mean minutes a sub-job executes (start to completion),
+//   Nodes   — distinct hosts that ran at least one sub-job.
+#pragma once
+
+#include "core/grid_market.hpp"
+#include "workload/bag_of_tasks.hpp"
+
+namespace gm::workload {
+
+/// Background population sharing the cluster. The paper's testbed was a
+/// live shared Tycoon deployment (HP Labs / Intel / SICS machines) whose
+/// other users — service-oriented Tycoon clients outside the Grid — bid
+/// directly on their preferred hosts. Their uneven standing bids are what
+/// give the price landscape enough spread for Best Response to exclude
+/// expensive hosts for later Grid users (a host is dropped from user k's
+/// active set roughly when its price exceeds (1 + 1/k)^2 times the cheap
+/// class). Each loaded host gets a standing bid with a log-uniform rate
+/// and an always-busy VM.
+struct BackgroundLoad {
+  /// Probability that a host carries background load. 0 = pristine.
+  double loaded_host_fraction = 0.0;
+  /// Standing bid rate range in dollars/hour (log-uniform).
+  double min_rate_per_hour = 0.05;
+  double max_rate_per_hour = 10.0;
+  std::uint64_t seed = 1;
+};
+
+struct BestResponseExperimentConfig {
+  GridMarket::Config grid;       // defaults: 30 dual-CPU 3 GHz hosts
+  std::vector<double> budgets;   // one entry per user, in dollars
+  ScanJobParams job;             // per-user workload
+  BackgroundLoad background;
+  sim::SimDuration stagger = sim::Seconds(30);
+  sim::SimDuration horizon = sim::Hours(48);  // simulation cut-off
+  double initial_user_funds = 1e6;
+};
+
+struct UserOutcome {
+  std::string user;
+  double budget_dollars = 0.0;
+  grid::JobState state = grid::JobState::kSubmitted;
+  double time_hours = 0.0;
+  double cost_per_hour = 0.0;
+  double latency_minutes = 0.0;
+  int nodes = 0;
+  double spent_dollars = 0.0;
+  double refunded_dollars = 0.0;
+  int completed_chunks = 0;
+};
+
+/// Mean metrics over a contiguous user range, for the paper's
+/// "Users 1-2" / "Users 3-5" rows.
+struct GroupSummary {
+  std::string label;
+  double time_hours = 0.0;
+  double cost_per_hour = 0.0;
+  double latency_minutes = 0.0;
+  double nodes = 0.0;
+};
+
+class BestResponseExperiment {
+ public:
+  explicit BestResponseExperiment(BestResponseExperimentConfig config);
+
+  /// Submit all user jobs (staggered) and run until everything terminates
+  /// or the horizon passes. Returns outcomes in user order.
+  Result<std::vector<UserOutcome>> Run();
+
+  GridMarket& grid() { return grid_; }
+
+  static GroupSummary Summarize(const std::vector<UserOutcome>& outcomes,
+                                std::size_t first, std::size_t last,
+                                std::string label);
+  /// Render rows like the paper's Tables 1/2.
+  static std::string RenderTable(const std::vector<GroupSummary>& groups);
+
+ private:
+  BestResponseExperimentConfig config_;
+  GridMarket grid_;
+};
+
+}  // namespace gm::workload

@@ -1,0 +1,58 @@
+#include "workload/proteome.hpp"
+
+#include "common/strings.hpp"
+
+namespace gm::workload {
+
+ProteomeModel ProteomeModel::Calibrated(int chunks, double minutes_per_chunk,
+                                        CyclesPerSecond reference) {
+  GM_ASSERT(chunks > 0 && minutes_per_chunk > 0 && reference > 0,
+            "Calibrated: positive arguments required");
+  ProteomeModel model;
+  const Cycles per_chunk = minutes_per_chunk * 60.0 * reference;
+  const double comparisons_per_chunk =
+      static_cast<double>(model.total_residues) / chunks *
+      model.window_length;
+  model.cycles_per_comparison = per_chunk / comparisons_per_chunk;
+  return model;
+}
+
+Cycles ProteomeModel::TotalCycles() const {
+  return static_cast<double>(total_residues) * window_length *
+         cycles_per_comparison;
+}
+
+std::string ProteomeChunk::FileName() const {
+  return StrFormat("proteome-chunk-%03d.fasta", index);
+}
+
+Result<std::vector<ProteomeChunk>> PartitionProteome(
+    const ProteomeModel& model, int chunks) {
+  if (chunks <= 0)
+    return Status::InvalidArgument("partition needs a positive chunk count");
+  if (model.cycles_per_comparison <= 0.0)
+    return Status::FailedPrecondition(
+        "proteome model is not calibrated (cycles_per_comparison == 0)");
+  if (model.total_residues < chunks)
+    return Status::InvalidArgument("more chunks than residues");
+
+  std::vector<ProteomeChunk> out;
+  out.reserve(static_cast<std::size_t>(chunks));
+  const std::int64_t base = model.total_residues / chunks;
+  std::int64_t remainder = model.total_residues % chunks;
+  // ~0.5 MB per million residues of FASTA plus index structures.
+  const double mb_per_residue = 1.2e-6;
+  for (int i = 0; i < chunks; ++i) {
+    ProteomeChunk chunk;
+    chunk.index = i;
+    chunk.residues = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    chunk.cycles = static_cast<double>(chunk.residues) *
+                   model.window_length * model.cycles_per_comparison;
+    chunk.data_mb = static_cast<double>(chunk.residues) * mb_per_residue;
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+}  // namespace gm::workload

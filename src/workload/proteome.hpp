@@ -1,0 +1,52 @@
+// Synthetic stand-in for the paper's bioinformatics pilot application.
+//
+// The real workload (HapGrid, paper Section 5.1) scans the complete human
+// proteome with a sliding-window BLAST similarity search; the database is
+// partitioned into chunks analysed in parallel, each taking ~212 minutes
+// on one reference CPU. The paper notes the experiments depend only on the
+// chunks being CPU-intensive, so we model the proteome as residue counts
+// and a calibrated cost-per-residue-comparison, which reproduces the
+// paper's chunk time on the reference CPU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace gm::workload {
+
+struct ProteomeModel {
+  /// Human proteome scale (Ensembl-era figures).
+  std::int64_t proteins = 40'000;
+  std::int64_t total_residues = 20'000'000;
+  /// Sliding window length of the similarity scan.
+  int window_length = 7;
+  /// Calibrated CPU cost per residue-window comparison, in cycles.
+  double cycles_per_comparison = 0.0;  // 0 => calibrate from chunk target
+
+  /// Paper calibration targets: one chunk of `chunks` takes
+  /// `minutes_per_chunk` minutes at 100% of `reference` capacity.
+  static ProteomeModel Calibrated(int chunks, double minutes_per_chunk,
+                                  CyclesPerSecond reference);
+
+  /// Total scan cost in CPU cycles.
+  Cycles TotalCycles() const;
+};
+
+struct ProteomeChunk {
+  int index = 0;
+  std::int64_t residues = 0;
+  Cycles cycles = 0;
+  double data_mb = 0.0;  // staged database slice
+  std::string FileName() const;
+};
+
+/// Split the proteome into `chunks` nearly equal slices (remainder spread
+/// over the first chunks).
+Result<std::vector<ProteomeChunk>> PartitionProteome(
+    const ProteomeModel& model, int chunks);
+
+}  // namespace gm::workload

@@ -1,0 +1,192 @@
+#include "bank/bank.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::bank {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  BankTest()
+      : bank_(crypto::TestGroup(), 42),
+        alice_(crypto::KeyPair::Generate(crypto::TestGroup(), rng_)),
+        bob_(crypto::KeyPair::Generate(crypto::TestGroup(), rng_)) {
+    EXPECT_TRUE(bank_.CreateAccount("alice", alice_.public_key()).ok());
+    EXPECT_TRUE(bank_.CreateAccount("bob", bob_.public_key()).ok());
+    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(1000), 0).ok());
+  }
+
+  crypto::Signature Authorize(const crypto::KeyPair& keys,
+                              const std::string& from, const std::string& to,
+                              Micros amount) {
+    const auto nonce = bank_.TransferNonce(from);
+    EXPECT_TRUE(nonce.ok());
+    return keys.Sign(TransferAuthPayload(from, to, amount, *nonce), rng_);
+  }
+
+  Rng rng_{7};
+  Bank bank_;
+  crypto::KeyPair alice_;
+  crypto::KeyPair bob_;
+};
+
+TEST_F(BankTest, CreateAndQueryAccounts) {
+  EXPECT_TRUE(bank_.HasAccount("alice"));
+  EXPECT_FALSE(bank_.HasAccount("carol"));
+  EXPECT_EQ(bank_.Balance("alice").value(), DollarsToMicros(1000));
+  EXPECT_EQ(bank_.Balance("bob").value(), 0);
+  EXPECT_FALSE(bank_.Balance("carol").ok());
+}
+
+TEST_F(BankTest, DuplicateAccountRejected) {
+  EXPECT_EQ(bank_.CreateAccount("alice", alice_.public_key()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(BankTest, EmptyAccountIdRejected) {
+  EXPECT_FALSE(bank_.CreateAccount("", alice_.public_key()).ok());
+}
+
+TEST_F(BankTest, MintValidation) {
+  EXPECT_FALSE(bank_.Mint("alice", 0, 0).ok());
+  EXPECT_FALSE(bank_.Mint("alice", -5, 0).ok());
+  EXPECT_FALSE(bank_.Mint("ghost", 100, 0).ok());
+}
+
+TEST_F(BankTest, AuthorizedTransferMovesMoney) {
+  const Micros amount = DollarsToMicros(250);
+  const auto auth = Authorize(alice_, "alice", "bob", amount);
+  const auto receipt = bank_.Transfer("alice", "bob", amount, auth, 1000);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(bank_.Balance("alice").value(), DollarsToMicros(750));
+  EXPECT_EQ(bank_.Balance("bob").value(), DollarsToMicros(250));
+  EXPECT_EQ(receipt->from_account, "alice");
+  EXPECT_EQ(receipt->to_account, "bob");
+  EXPECT_EQ(receipt->amount, amount);
+  EXPECT_EQ(receipt->issued_at_us, 1000);
+  EXPECT_TRUE(bank_.CheckInvariants().ok());
+}
+
+TEST_F(BankTest, TransferRejectsWrongSigner) {
+  const Micros amount = DollarsToMicros(100);
+  const auto auth = Authorize(bob_, "alice", "bob", amount);  // bob signs
+  const auto receipt = bank_.Transfer("alice", "bob", amount, auth, 0);
+  EXPECT_EQ(receipt.status().code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(bank_.Balance("alice").value(), DollarsToMicros(1000));
+}
+
+TEST_F(BankTest, TransferRejectsReplayedAuthorization) {
+  const Micros amount = DollarsToMicros(100);
+  const auto auth = Authorize(alice_, "alice", "bob", amount);
+  ASSERT_TRUE(bank_.Transfer("alice", "bob", amount, auth, 0).ok());
+  // Same signature again: nonce advanced, must fail.
+  const auto replay = bank_.Transfer("alice", "bob", amount, auth, 0);
+  EXPECT_EQ(replay.status().code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(bank_.Balance("bob").value(), amount);
+}
+
+TEST_F(BankTest, TransferRejectsInsufficientFunds) {
+  const Micros amount = DollarsToMicros(5000);
+  const auto auth = Authorize(alice_, "alice", "bob", amount);
+  const auto receipt = bank_.Transfer("alice", "bob", amount, auth, 0);
+  EXPECT_EQ(receipt.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BankTest, TransferRejectsNonPositiveAmount) {
+  const auto auth = Authorize(alice_, "alice", "bob", 0);
+  EXPECT_FALSE(bank_.Transfer("alice", "bob", 0, auth, 0).ok());
+}
+
+TEST_F(BankTest, SubAccountLifecycle) {
+  ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/alice-job1").ok());
+  EXPECT_TRUE(bank_.HasAccount("bob/alice-job1"));
+  EXPECT_FALSE(bank_.CreateSubAccount("ghost", "x").ok());
+  EXPECT_EQ(bank_.CreateSubAccount("bob", "bob/alice-job1").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(BankTest, InternalTransferBetweenManagedAccounts) {
+  ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/sub").ok());
+  // Fund the sub-account from bob (bob is owner-keyed, needs signature).
+  const auto auth = Authorize(bob_, "bob", "bob/sub", DollarsToMicros(10));
+  ASSERT_TRUE(bank_.Mint("bob", DollarsToMicros(10), 0).ok());
+  ASSERT_TRUE(
+      bank_.Transfer("bob", "bob/sub", DollarsToMicros(10), auth, 0).ok());
+  // Sub-account to another managed account without signature.
+  ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/host-1").ok());
+  const auto receipt = bank_.InternalTransfer("bob/sub", "bob/host-1",
+                                              DollarsToMicros(4), 0);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(bank_.Balance("bob/host-1").value(), DollarsToMicros(4));
+  EXPECT_TRUE(bank_.CheckInvariants().ok());
+}
+
+TEST_F(BankTest, InternalTransferRejectedForOwnerKeyedAccount) {
+  const auto receipt =
+      bank_.InternalTransfer("alice", "bob", DollarsToMicros(1), 0);
+  EXPECT_EQ(receipt.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(BankTest, SignedTransferRejectedForManagedAccount) {
+  ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/sub").ok());
+  const auto auth = Authorize(alice_, "bob/sub", "bob", 1);
+  EXPECT_EQ(bank_.Transfer("bob/sub", "bob", 1, auth, 0).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(BankTest, ReceiptVerification) {
+  const Micros amount = DollarsToMicros(100);
+  const auto auth = Authorize(alice_, "alice", "bob", amount);
+  const auto receipt = bank_.Transfer("alice", "bob", amount, auth, 0);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(bank_.VerifyReceipt(*receipt).ok());
+
+  crypto::TransferReceipt forged = *receipt;
+  forged.amount *= 2;
+  EXPECT_FALSE(bank_.VerifyReceipt(forged).ok());
+
+  crypto::TransferReceipt unknown = *receipt;
+  unknown.receipt_id = "rcpt-999999-deadbeef";
+  EXPECT_EQ(bank_.VerifyReceipt(unknown).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BankTest, ReceiptIdsAreUnique) {
+  const auto a = bank_.Transfer(
+      "alice", "bob", 1, Authorize(alice_, "alice", "bob", 1), 0);
+  const auto b = bank_.Transfer(
+      "alice", "bob", 1, Authorize(alice_, "alice", "bob", 1), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->receipt_id, b->receipt_id);
+}
+
+TEST_F(BankTest, AuditLogRecordsOperations) {
+  const auto auth = Authorize(alice_, "alice", "bob", 5);
+  ASSERT_TRUE(bank_.Transfer("alice", "bob", 5, auth, 123).ok());
+  const auto& log = bank_.audit_log();
+  ASSERT_FALSE(log.empty());
+  const AuditEntry& last = log.back();
+  EXPECT_EQ(last.kind, "transfer");
+  EXPECT_EQ(last.from, "alice");
+  EXPECT_EQ(last.to, "bob");
+  EXPECT_EQ(last.amount, 5);
+  EXPECT_EQ(last.at_us, 123);
+}
+
+TEST_F(BankTest, ConservationHoldsAcrossManyOperations) {
+  ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/s1").ok());
+  for (int i = 0; i < 20; ++i) {
+    const Micros amount = DollarsToMicros(1 + i);
+    const auto auth = Authorize(alice_, "alice", "bob", amount);
+    ASSERT_TRUE(bank_.Transfer("alice", "bob", amount, auth, i).ok());
+    ASSERT_TRUE(bank_.CheckInvariants().ok());
+  }
+}
+
+TEST(TransferAuthPayloadTest, CanonicalFormat) {
+  EXPECT_EQ(TransferAuthPayload("a", "b", 42, 7),
+            "auth|from=a|to=b|amount=42|nonce=7");
+}
+
+}  // namespace
+}  // namespace gm::bank

@@ -1,0 +1,108 @@
+#include "bank/billing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::bank {
+namespace {
+
+class BillingTest : public ::testing::Test {
+ protected:
+  BillingTest()
+      : bank_(crypto::TestGroup(), 8),
+        alice_(crypto::KeyPair::Generate(crypto::TestGroup(), rng_)) {
+    EXPECT_TRUE(bank_.CreateAccount("alice", alice_.public_key()).ok());
+    EXPECT_TRUE(bank_.CreateAccount("broker", {}).ok());
+    EXPECT_TRUE(bank_.CreateAccount("auctioneer:h1", {}).ok());
+    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(100), sim::Minutes(1)).ok());
+    Transfer("alice", "broker", DollarsToMicros(40), sim::Minutes(2));
+    EXPECT_TRUE(bank_.CreateSubAccount("broker", "broker/job-1").ok());
+    EXPECT_TRUE(bank_
+                    .InternalTransfer("broker", "broker/job-1",
+                                      DollarsToMicros(40), sim::Minutes(3))
+                    .ok());
+    EXPECT_TRUE(bank_
+                    .InternalTransfer("broker/job-1", "auctioneer:h1",
+                                      DollarsToMicros(25), sim::Minutes(4))
+                    .ok());
+    EXPECT_TRUE(bank_
+                    .InternalTransfer("auctioneer:h1", "broker/job-1",
+                                      DollarsToMicros(5), sim::Minutes(50))
+                    .ok());
+  }
+
+  void Transfer(const std::string& from, const std::string& to, Micros amount,
+                std::int64_t at) {
+    const auto nonce = bank_.TransferNonce(from);
+    const auto auth = alice_.Sign(
+        TransferAuthPayload(from, to, amount, *nonce), rng_);
+    ASSERT_TRUE(bank_.Transfer(from, to, amount, auth, at).ok());
+  }
+
+  Rng rng_{4};
+  bank::Bank bank_;
+  crypto::KeyPair alice_;
+};
+
+TEST_F(BillingTest, StatementBalancesAndLines) {
+  const auto statement =
+      BuildStatement(bank_, "broker/job-1", 0, sim::Hours(1));
+  ASSERT_TRUE(statement.ok());
+  // Credits: 40 in from broker, 5 refund from the host.
+  EXPECT_EQ(statement->total_credits, DollarsToMicros(45));
+  // Debits: 25 to the host.
+  EXPECT_EQ(statement->total_debits, DollarsToMicros(25));
+  EXPECT_EQ(statement->NetChange(), DollarsToMicros(20));
+  EXPECT_EQ(statement->closing_balance, DollarsToMicros(20));
+  ASSERT_EQ(statement->lines.size(), 3u);
+  EXPECT_EQ(statement->lines[0].counterparty, "broker");
+  EXPECT_EQ(statement->lines[1].counterparty, "auctioneer:h1");
+  EXPECT_EQ(statement->lines[1].amount, -DollarsToMicros(25));
+}
+
+TEST_F(BillingTest, StatementWindowFilters) {
+  // Only the refund happened at/after minute 30.
+  const auto statement = BuildStatement(bank_, "broker/job-1",
+                                        sim::Minutes(30), sim::Hours(1));
+  ASSERT_TRUE(statement.ok());
+  ASSERT_EQ(statement->lines.size(), 1u);
+  EXPECT_EQ(statement->lines[0].amount, DollarsToMicros(5));
+  EXPECT_EQ(statement->total_debits, 0);
+}
+
+TEST_F(BillingTest, MintShowsAsCreditFromMint) {
+  const auto statement = BuildStatement(bank_, "alice", 0, sim::Hours(1));
+  ASSERT_TRUE(statement.ok());
+  ASSERT_FALSE(statement->lines.empty());
+  EXPECT_EQ(statement->lines[0].kind, "mint");
+  EXPECT_EQ(statement->lines[0].counterparty, "(mint)");
+  EXPECT_EQ(statement->lines[0].amount, DollarsToMicros(100));
+}
+
+TEST_F(BillingTest, UnknownAccountFails) {
+  EXPECT_FALSE(BuildStatement(bank_, "ghost", 0, 100).ok());
+}
+
+TEST_F(BillingTest, RenderStatementContainsTotals) {
+  const auto statement =
+      BuildStatement(bank_, "broker/job-1", 0, sim::Hours(1));
+  ASSERT_TRUE(statement.ok());
+  const std::string text = RenderStatement(*statement);
+  EXPECT_NE(text.find("broker/job-1"), std::string::npos);
+  EXPECT_NE(text.find("auctioneer:h1"), std::string::npos);
+  EXPECT_NE(text.find("closing balance $20.00"), std::string::npos);
+}
+
+TEST_F(BillingTest, TotalFlowByPrefix) {
+  // Operator view: job sub-accounts -> host accounts.
+  EXPECT_EQ(TotalFlow(bank_, "broker/", "auctioneer:", 0, sim::Hours(1)),
+            DollarsToMicros(25));
+  // Refund direction.
+  EXPECT_EQ(TotalFlow(bank_, "auctioneer:", "broker/", 0, sim::Hours(1)),
+            DollarsToMicros(5));
+  // Window cuts the refund off.
+  EXPECT_EQ(TotalFlow(bank_, "auctioneer:", "broker/", 0, sim::Minutes(30)),
+            0);
+}
+
+}  // namespace
+}  // namespace gm::bank

@@ -1,0 +1,151 @@
+#include "bank/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace gm::bank {
+namespace {
+
+class BankServiceTest : public ::testing::Test {
+ protected:
+  BankServiceTest()
+      : bus_(kernel_, net::LatencyModel::Lan(), 5),
+        bank_(crypto::TestGroup(), 42),
+        service_(bank_, bus_, kernel_),
+        alice_(crypto::KeyPair::Generate(crypto::TestGroup(), rng_)),
+        client_(bus_, "alice-agent") {
+    EXPECT_TRUE(bank_.CreateAccount("alice", alice_.public_key()).ok());
+    EXPECT_TRUE(bank_.CreateAccount("broker", alice_.public_key()).ok());
+    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(500), 0).ok());
+  }
+
+  sim::Kernel kernel_;
+  net::MessageBus bus_;
+  Bank bank_;
+  BankService service_;
+  Rng rng_{9};
+  crypto::KeyPair alice_;
+  BankClient client_;
+};
+
+TEST_F(BankServiceTest, BalanceOverRpc) {
+  std::optional<Result<Micros>> result;
+  client_.GetBalance("alice", [&](Result<Micros> r) { result = r; });
+  kernel_.Run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->ok());
+  EXPECT_EQ(result->value(), DollarsToMicros(500));
+}
+
+TEST_F(BankServiceTest, BalanceUnknownAccountErrors) {
+  std::optional<Result<Micros>> result;
+  client_.GetBalance("ghost", [&](Result<Micros> r) { result = r; });
+  kernel_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BankServiceTest, TransferOverRpcEndToEnd) {
+  // Fetch the nonce, sign, transfer, verify the receipt — all over RPC.
+  std::optional<crypto::TransferReceipt> receipt;
+  client_.GetTransferNonce("alice", [&](Result<std::uint64_t> nonce) {
+    ASSERT_TRUE(nonce.ok());
+    const auto auth = alice_.Sign(
+        TransferAuthPayload("alice", "broker", DollarsToMicros(100), *nonce),
+        rng_);
+    client_.Transfer("alice", "broker", DollarsToMicros(100), auth,
+                     [&](Result<crypto::TransferReceipt> r) {
+                       ASSERT_TRUE(r.ok()) << r.status().ToString();
+                       receipt = *r;
+                     });
+  });
+  kernel_.Run();
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_EQ(bank_.Balance("broker").value(), DollarsToMicros(100));
+
+  std::optional<Status> verify;
+  client_.VerifyReceipt(*receipt, [&](Status s) { verify = s; });
+  kernel_.Run();
+  ASSERT_TRUE(verify.has_value());
+  EXPECT_TRUE(verify->ok()) << verify->ToString();
+}
+
+TEST_F(BankServiceTest, TransferWithBadSignatureRejectedOverRpc) {
+  const auto auth = alice_.Sign("wrong payload", rng_);
+  std::optional<Status> status;
+  client_.Transfer("alice", "broker", DollarsToMicros(1), auth,
+                   [&](Result<crypto::TransferReceipt> r) {
+                     status = r.status();
+                   });
+  kernel_.Run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(BankServiceTest, VerifyForgedReceiptRejectedOverRpc) {
+  crypto::TransferReceipt forged;
+  forged.receipt_id = "rcpt-000000-000000000000";
+  forged.from_account = "alice";
+  forged.to_account = "broker";
+  forged.amount = DollarsToMicros(1'000'000);
+  std::optional<Status> status;
+  client_.VerifyReceipt(forged, [&](Status s) { status = s; });
+  kernel_.Run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), StatusCode::kNotFound);
+}
+
+TEST(ReceiptWireTest, RoundTrip) {
+  Rng rng(3);
+  const auto keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng);
+  crypto::TransferReceipt receipt;
+  receipt.receipt_id = "rcpt-000007-abc";
+  receipt.from_account = "alice";
+  receipt.to_account = "broker";
+  receipt.amount = DollarsToMicros(12.34);
+  receipt.issued_at_us = 987654321;
+  receipt.bank_signature = keys.Sign(receipt.SigningPayload(), rng);
+
+  net::Writer writer;
+  WriteReceipt(writer, receipt);
+  net::Reader reader(writer.data());
+  const auto decoded = ReadReceipt(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->SigningPayload(), receipt.SigningPayload());
+  EXPECT_EQ(decoded->bank_signature, receipt.bank_signature);
+}
+
+TEST(ReceiptWireTest, TokenRoundTrip) {
+  Rng rng(4);
+  const auto bank_keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng);
+  const auto user_keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng);
+  crypto::TransferReceipt receipt;
+  receipt.receipt_id = "rcpt-1";
+  receipt.from_account = "u";
+  receipt.to_account = "b";
+  receipt.amount = 100;
+  receipt.bank_signature = bank_keys.Sign(receipt.SigningPayload(), rng);
+  const auto token =
+      crypto::MintToken(receipt, "/CN=alice", user_keys, rng);
+
+  net::Writer writer;
+  WriteToken(writer, token);
+  net::Reader reader(writer.data());
+  const auto decoded = ReadToken(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->MappingPayload(), token.MappingPayload());
+  EXPECT_TRUE(crypto::VerifyToken(*decoded, bank_keys.public_key(),
+                                  user_keys.public_key(), "b")
+                  .ok());
+}
+
+TEST(ReceiptWireTest, TruncatedReceiptFails) {
+  net::Writer writer;
+  writer.WriteString("rcpt-1");
+  net::Reader reader(writer.data());
+  EXPECT_FALSE(ReadReceipt(reader).ok());
+}
+
+}  // namespace
+}  // namespace gm::bank

@@ -1,0 +1,137 @@
+// Market-dynamics tests: iterated best response converges to the fair,
+// efficient equilibrium Feldman et al. prove (and the paper relies on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bestresponse/best_response.hpp"
+#include "common/rng.hpp"
+
+namespace gm::br {
+namespace {
+
+/// One round: every user in turn best-responds to the others' current bids.
+/// Returns the largest bid change seen in the round.
+double BestResponseRound(const std::vector<double>& weights,
+                         const std::vector<double>& budgets,
+                         std::vector<std::vector<double>>& bids) {
+  const std::size_t users = budgets.size();
+  const std::size_t hosts = weights.size();
+  BestResponseSolver solver;
+  double max_change = 0.0;
+  for (std::size_t u = 0; u < users; ++u) {
+    std::vector<HostBidInput> inputs;
+    for (std::size_t j = 0; j < hosts; ++j) {
+      double others = 0.0;
+      for (std::size_t v = 0; v < users; ++v) {
+        if (v != u) others += bids[v][j];
+      }
+      inputs.push_back({"h" + std::to_string(j), weights[j], others});
+    }
+    const auto result = solver.Solve(inputs, budgets[u]);
+    EXPECT_TRUE(result.ok());
+    for (std::size_t j = 0; j < hosts; ++j) {
+      max_change =
+          std::max(max_change, std::fabs(result->bids[j].bid - bids[u][j]));
+      bids[u][j] = result->bids[j].bid;
+    }
+  }
+  return max_change;
+}
+
+double UserUtility(const std::vector<double>& weights,
+                   const std::vector<std::vector<double>>& bids,
+                   std::size_t user) {
+  double utility = 0.0;
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    double total = 0.0;
+    for (const auto& user_bids : bids) total += user_bids[j];
+    if (total > 0.0) utility += weights[j] * bids[user][j] / total;
+  }
+  return utility;
+}
+
+TEST(EquilibriumTest, IteratedBestResponseConverges) {
+  const std::vector<double> weights{3.0, 2.0, 1.0, 2.5};
+  const std::vector<double> budgets{1.0, 1.0, 1.0};
+  std::vector<std::vector<double>> bids(
+      budgets.size(), std::vector<double>(weights.size(), 0.0));
+  // Arbitrary unequal start.
+  bids[0] = {0.7, 0.1, 0.1, 0.1};
+  bids[1] = {0.1, 0.7, 0.1, 0.1};
+  bids[2] = {0.25, 0.25, 0.25, 0.25};
+
+  double change = 1.0;
+  int rounds = 0;
+  while (change > 1e-10 && rounds < 500) {
+    change = BestResponseRound(weights, budgets, bids);
+    ++rounds;
+  }
+  EXPECT_LT(change, 1e-10) << "no convergence in " << rounds << " rounds";
+  EXPECT_LT(rounds, 500);
+}
+
+TEST(EquilibriumTest, EqualBudgetsReachEqualUtilitiesAndShares) {
+  // Fairness in the equilibrium: users with equal budgets end with equal
+  // utilities and equal per-host bids.
+  const std::vector<double> weights{4.0, 1.0, 2.0};
+  const std::vector<double> budgets{2.0, 2.0, 2.0, 2.0};
+  Rng rng(3);
+  std::vector<std::vector<double>> bids(
+      budgets.size(), std::vector<double>(weights.size()));
+  for (auto& user_bids : bids) {
+    double sum = 0.0;
+    for (double& bid : user_bids) {
+      bid = rng.Uniform(0.1, 1.0);
+      sum += bid;
+    }
+    for (double& bid : user_bids) bid *= budgets[0] / sum;
+  }
+  for (int round = 0; round < 300; ++round)
+    BestResponseRound(weights, budgets, bids);
+
+  const double reference = UserUtility(weights, bids, 0);
+  for (std::size_t u = 1; u < budgets.size(); ++u) {
+    EXPECT_NEAR(UserUtility(weights, bids, u), reference, 1e-6 * reference);
+    for (std::size_t j = 0; j < weights.size(); ++j) {
+      EXPECT_NEAR(bids[u][j], bids[0][j], 1e-6 * budgets[0]);
+    }
+  }
+  // Everyone gets an equal slice of the total weight.
+  EXPECT_NEAR(reference, (4.0 + 1.0 + 2.0) / 4.0, 1e-6);
+}
+
+TEST(EquilibriumTest, BiggerBudgetEarnsMoreUtility) {
+  // Incentive compatibility: in equilibrium, utility grows with budget.
+  const std::vector<double> weights{3.0, 3.0, 3.0, 3.0, 3.0};
+  const std::vector<double> budgets{1.0, 2.0, 4.0};
+  std::vector<std::vector<double>> bids(
+      budgets.size(), std::vector<double>(weights.size(), 0.2));
+  for (int round = 0; round < 300; ++round)
+    BestResponseRound(weights, budgets, bids);
+  const double u0 = UserUtility(weights, bids, 0);
+  const double u1 = UserUtility(weights, bids, 1);
+  const double u2 = UserUtility(weights, bids, 2);
+  EXPECT_LT(u0, u1);
+  EXPECT_LT(u1, u2);
+  // With symmetric hosts, equilibrium shares are proportional to budget.
+  EXPECT_NEAR(u1 / u0, 2.0, 0.01);
+  EXPECT_NEAR(u2 / u0, 4.0, 0.01);
+}
+
+TEST(EquilibriumTest, EquilibriumIsEfficient) {
+  // The whole capacity is allocated: utilities sum to the total weight.
+  const std::vector<double> weights{5.0, 1.5, 2.5};
+  const std::vector<double> budgets{1.0, 3.0};
+  std::vector<std::vector<double>> bids(
+      budgets.size(), std::vector<double>(weights.size(), 0.3));
+  for (int round = 0; round < 300; ++round)
+    BestResponseRound(weights, budgets, bids);
+  double total_utility = 0.0;
+  for (std::size_t u = 0; u < budgets.size(); ++u)
+    total_utility += UserUtility(weights, bids, u);
+  EXPECT_NEAR(total_utility, 5.0 + 1.5 + 2.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace gm::br

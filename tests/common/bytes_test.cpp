@@ -1,0 +1,51 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm {
+namespace {
+
+TEST(BytesTest, HexEncodeEmpty) { EXPECT_EQ(HexEncode(Bytes{}), ""); }
+
+TEST(BytesTest, HexEncodeKnown) {
+  EXPECT_EQ(HexEncode(Bytes{0x00, 0x01, 0xab, 0xff}), "0001abff");
+}
+
+TEST(BytesTest, HexDecodeRoundTrip) {
+  const Bytes original{0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  Bytes decoded;
+  ASSERT_TRUE(HexDecode(HexEncode(original), decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(BytesTest, HexDecodeUppercase) {
+  Bytes decoded;
+  ASSERT_TRUE(HexDecode("DEADBEEF", decoded));
+  EXPECT_EQ(decoded, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  Bytes decoded;
+  EXPECT_FALSE(HexDecode("abc", decoded));
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  Bytes decoded;
+  EXPECT_FALSE(HexDecode("zz", decoded));
+  EXPECT_FALSE(HexDecode("0g", decoded));
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  EXPECT_EQ(ToString(ToBytes("grid market")), "grid market");
+  EXPECT_TRUE(ToBytes("").empty());
+}
+
+TEST(BytesTest, ConstantTimeEquals) {
+  EXPECT_TRUE(ConstantTimeEquals(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEquals(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEquals(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEquals(Bytes{}, Bytes{}));
+}
+
+}  // namespace
+}  // namespace gm

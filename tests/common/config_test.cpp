@@ -1,0 +1,64 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm {
+namespace {
+
+TEST(ConfigTest, FromArgsParsesKeyValues) {
+  const char* argv[] = {"hosts=30", "budget=12.5", "verbose=true"};
+  const auto config = Config::FromArgs(3, argv);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("hosts", 0), 30);
+  EXPECT_DOUBLE_EQ(config->GetDouble("budget", 0.0), 12.5);
+  EXPECT_TRUE(config->GetBool("verbose", false));
+}
+
+TEST(ConfigTest, FromArgsRejectsMalformed) {
+  const char* argv[] = {"justakey"};
+  EXPECT_FALSE(Config::FromArgs(1, argv).ok());
+}
+
+TEST(ConfigTest, FromTextHandlesCommentsAndBlankLines) {
+  const auto config = Config::FromText(
+      "# experiment parameters\n"
+      "users = 5\n"
+      "\n"
+      "deadline_hours = 5.5  # paper value\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("users", 0), 5);
+  EXPECT_DOUBLE_EQ(config->GetDouble("deadline_hours", 0.0), 5.5);
+}
+
+TEST(ConfigTest, MissingKeysFallBack) {
+  Config config;
+  EXPECT_EQ(config.GetString("name", "fallback"), "fallback");
+  EXPECT_EQ(config.GetInt("n", -1), -1);
+  EXPECT_DOUBLE_EQ(config.GetDouble("d", 2.5), 2.5);
+  EXPECT_TRUE(config.GetBool("b", true));
+  EXPECT_FALSE(config.Has("name"));
+}
+
+TEST(ConfigTest, SetOverwrites) {
+  Config config;
+  config.Set("k", "1");
+  config.Set("k", "2");
+  EXPECT_EQ(config.GetInt("k", 0), 2);
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  const auto config = Config::FromText(
+      "a=yes\nb=No\nc=ON\nd=off\ne=1\nf=0\ng=TRUE\nh=false\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->GetBool("a", false));
+  EXPECT_FALSE(config->GetBool("b", true));
+  EXPECT_TRUE(config->GetBool("c", false));
+  EXPECT_FALSE(config->GetBool("d", true));
+  EXPECT_TRUE(config->GetBool("e", false));
+  EXPECT_FALSE(config->GetBool("f", true));
+  EXPECT_TRUE(config->GetBool("g", false));
+  EXPECT_FALSE(config->GetBool("h", true));
+}
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,41 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm {
+namespace {
+
+TEST(UnitsTest, DollarsToMicrosRoundTrips) {
+  EXPECT_EQ(DollarsToMicros(1.0), 1'000'000);
+  EXPECT_EQ(DollarsToMicros(0.000001), 1);
+  EXPECT_EQ(DollarsToMicros(-2.5), -2'500'000);
+  EXPECT_DOUBLE_EQ(MicrosToDollars(DollarsToMicros(123.456789)), 123.456789);
+}
+
+TEST(UnitsTest, DollarsToMicrosRoundsHalfAwayFromZero) {
+  EXPECT_EQ(DollarsToMicros(0.0000005), 1);
+  EXPECT_EQ(DollarsToMicros(-0.0000005), -1);
+  EXPECT_EQ(DollarsToMicros(0.0000004), 0);
+}
+
+TEST(UnitsTest, FormatMoneyKeepsCents) {
+  EXPECT_EQ(FormatMoney(DollarsToMicros(5.0)), "$5.00");
+  EXPECT_EQ(FormatMoney(DollarsToMicros(10.90)), "$10.90");
+}
+
+TEST(UnitsTest, FormatMoneyShowsSubCentDigits) {
+  EXPECT_EQ(FormatMoney(1), "$0.000001");
+  EXPECT_EQ(FormatMoney(DollarsToMicros(0.123)), "$0.123");
+}
+
+TEST(UnitsTest, FormatMoneyNegative) {
+  EXPECT_EQ(FormatMoney(DollarsToMicros(-4.19)), "-$4.19");
+}
+
+TEST(UnitsTest, FrequencyHelpers) {
+  EXPECT_DOUBLE_EQ(GHz(3.0), 3e9);
+  EXPECT_DOUBLE_EQ(MHz(1600), 1.6e9);
+}
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,154 @@
+#include "core/grid_market.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm {
+namespace {
+
+GridMarket::Config SmallConfig() {
+  GridMarket::Config config;
+  config.hosts = 4;
+  config.cpus_per_host = 2;
+  config.cycles_per_cpu = 1000.0;  // tiny units for fast tests
+  config.virtualization_overhead = 0.0;
+  config.vm_boot_time = sim::Seconds(5);
+  config.plugin.reference_capacity = 1000.0;
+  config.seed = 7;
+  return config;
+}
+
+grid::JobDescription SmallJob(int count, int chunks,
+                              double cpu_minutes = 1.0,
+                              double wall_minutes = 120.0) {
+  grid::JobDescription description;
+  description.executable = "/bin/work";
+  description.job_name = "small";
+  description.count = count;
+  description.chunks = chunks;
+  description.cpu_time_minutes = cpu_minutes;
+  description.wall_time_minutes = wall_minutes;
+  description.input_files = {{"in.dat", 10.0}};
+  description.output_files = {{"out.dat", 1.0}};
+  return description;
+}
+
+TEST(GridMarketTest, ConstructionPublishesHosts) {
+  GridMarket grid(SmallConfig());
+  EXPECT_EQ(grid.host_count(), 4u);
+  // Publishers register immediately.
+  EXPECT_EQ(grid.sls().live_count(), 4u);
+}
+
+TEST(GridMarketTest, UserRegistration) {
+  GridMarket grid(SmallConfig());
+  EXPECT_TRUE(grid.RegisterUser("alice", 500.0).ok());
+  EXPECT_EQ(grid.RegisterUser("alice").code(), StatusCode::kAlreadyExists);
+  EXPECT_DOUBLE_EQ(grid.UserBankBalance("alice").value(), 500.0);
+  EXPECT_FALSE(grid.UserBankBalance("bob").ok());
+}
+
+TEST(GridMarketTest, PayBrokerMovesMoneyAndMintsToken) {
+  GridMarket grid(SmallConfig());
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  const auto token = grid.PayBroker("alice", 40.0);
+  ASSERT_TRUE(token.ok());
+  EXPECT_EQ(token->receipt.amount, DollarsToMicros(40.0));
+  EXPECT_EQ(token->receipt.to_account, "broker");
+  EXPECT_DOUBLE_EQ(grid.UserBankBalance("alice").value(), 60.0);
+  EXPECT_FALSE(grid.PayBroker("alice", 1000.0).ok());  // insufficient
+  EXPECT_FALSE(grid.PayBroker("nobody", 1.0).ok());
+}
+
+TEST(GridMarketTest, SubmitAndFinishJob) {
+  GridMarket grid(SmallConfig());
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(2, 4), 10.0);
+  ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
+  grid.RunUntil(sim::Hours(1));
+  const auto job = grid.Job(*job_id);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ((*job)->state, grid::JobState::kFinished) << (*job)->failure;
+  EXPECT_TRUE(grid.CheckInvariants().ok());
+  EXPECT_EQ(grid.Jobs().size(), 1u);
+}
+
+TEST(GridMarketTest, SubmitXrslText) {
+  GridMarket grid(SmallConfig());
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  const auto job_id = grid.SubmitXrsl(
+      "alice",
+      "&(executable=\"/bin/x\")(count=1)(cpuTime=\"1\")(wallTime=\"60\")",
+      5.0);
+  ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
+  grid.RunUntil(sim::Minutes(30));
+  EXPECT_EQ(grid.Job(*job_id).value()->state, grid::JobState::kFinished);
+}
+
+TEST(GridMarketTest, BoostJobAddsBudget) {
+  GridMarket grid(SmallConfig());
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(1, 8, 2.0), 5.0);
+  ASSERT_TRUE(job_id.ok());
+  grid.RunFor(sim::Minutes(1));
+  ASSERT_TRUE(grid.BoostJob("alice", *job_id, 20.0).ok());
+  EXPECT_EQ(grid.Job(*job_id).value()->budget, DollarsToMicros(25.0));
+}
+
+TEST(GridMarketTest, HostPriceStatsReflectLoad) {
+  GridMarket grid(SmallConfig());
+  ASSERT_TRUE(grid.RegisterUser("alice", 1000.0).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(4, 8, 30.0), 100.0);
+  ASSERT_TRUE(job_id.ok());
+  grid.RunFor(sim::Minutes(20));
+  const auto stats = grid.HostPriceStats("hour");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 4u);
+  double total_mean = 0.0;
+  for (const auto& host : *stats) {
+    EXPECT_GT(host.capacity, 0.0);
+    total_mean += host.mean_price;
+  }
+  EXPECT_GT(total_mean, 0.0);  // the job's bids moved prices
+  EXPECT_FALSE(grid.HostPriceStats("nonexistent-window").ok());
+}
+
+TEST(GridMarketTest, HeterogeneousClusterSpeeds) {
+  GridMarket::Config config = SmallConfig();
+  config.heterogeneity = 0.5;
+  GridMarket grid(config);
+  const double slowest =
+      grid.auctioneer(0).physical_host().spec().cycles_per_cpu;
+  const double fastest =
+      grid.auctioneer(3).physical_host().spec().cycles_per_cpu;
+  EXPECT_DOUBLE_EQ(slowest, 500.0);
+  EXPECT_DOUBLE_EQ(fastest, 1500.0);
+}
+
+TEST(GridMarketTest, MonitorOutputsCluster) {
+  GridMarket grid(SmallConfig());
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  ASSERT_TRUE(grid.SubmitJob("alice", SmallJob(1, 1), 1.0).ok());
+  grid.RunFor(sim::Minutes(1));
+  const std::string monitor = grid.Monitor();
+  EXPECT_NE(monitor.find("h00"), std::string::npos);
+  EXPECT_NE(monitor.find("small"), std::string::npos);
+}
+
+TEST(GridMarketTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    GridMarket grid(SmallConfig());
+    EXPECT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+    const auto job_id = grid.SubmitJob("alice", SmallJob(2, 6, 1.5), 10.0);
+    EXPECT_TRUE(job_id.ok());
+    grid.RunUntil(sim::Hours(2));
+    const auto job = grid.Job(*job_id);
+    EXPECT_TRUE(job.ok());
+    return std::make_pair((*job)->spent, (*job)->finished_at);
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace gm

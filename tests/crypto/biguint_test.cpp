@@ -1,0 +1,206 @@
+#include "crypto/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::crypto {
+namespace {
+
+TEST(BigUIntTest, ZeroAndOne) {
+  EXPECT_TRUE(U256::Zero().IsZero());
+  EXPECT_FALSE(U256::One().IsZero());
+  EXPECT_TRUE(U256::One().IsOdd());
+  EXPECT_EQ(U256::Zero().BitLength(), 0u);
+  EXPECT_EQ(U256::One().BitLength(), 1u);
+}
+
+TEST(BigUIntTest, HexRoundTrip) {
+  const auto v = U256::FromHex("deadbeef00112233445566778899aabb");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHex(), "deadbeef00112233445566778899aabb");
+}
+
+TEST(BigUIntTest, HexLeadingZerosStripped) {
+  const auto v = U256::FromHex("000000ff");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHex(), "ff");
+  EXPECT_EQ(U256::Zero().ToHex(), "0");
+}
+
+TEST(BigUIntTest, HexUppercaseAccepted) {
+  const auto v = U256::FromHex("ABCDEF");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHex(), "abcdef");
+}
+
+TEST(BigUIntTest, HexRejectsGarbage) {
+  EXPECT_FALSE(U256::FromHex("xyz").ok());
+  // 65 hex digits = 260 bits with a nonzero top nibble.
+  std::string wide(65, 'f');
+  EXPECT_FALSE(U256::FromHex(wide).ok());
+}
+
+TEST(BigUIntTest, FullWidthHexAccepted) {
+  const std::string full(64, 'f');
+  const auto v = U256::FromHex(full);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->BitLength(), 256u);
+}
+
+TEST(BigUIntTest, BytesRoundTrip) {
+  const auto v = U256::FromHex("0102030405060708090a0b0c0d0e0f10");
+  ASSERT_TRUE(v.ok());
+  const Bytes bytes = v->ToBytes();
+  EXPECT_EQ(bytes.size(), 32u);
+  const auto back = U256::FromBytes(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, *v);
+}
+
+TEST(BigUIntTest, FromBytesRejectsWrongWidth) {
+  EXPECT_FALSE(U256::FromBytes(Bytes(31, 0)).ok());
+  EXPECT_FALSE(U256::FromBytes(Bytes(33, 0)).ok());
+}
+
+TEST(BigUIntTest, AdditionCarriesAcrossLimbs) {
+  const auto a = U256::FromHex("ffffffffffffffff");  // 2^64 - 1
+  ASSERT_TRUE(a.ok());
+  const U256 sum = *a + U256::One();
+  EXPECT_EQ(sum.ToHex(), "10000000000000000");
+}
+
+TEST(BigUIntTest, AdditionWrapsAtFullWidth) {
+  const auto max = U256::FromHex(std::string(64, 'f'));
+  ASSERT_TRUE(max.ok());
+  U256 v = *max;
+  const bool carry = v.AddWithCarry(U256::One());
+  EXPECT_TRUE(carry);
+  EXPECT_TRUE(v.IsZero());
+}
+
+TEST(BigUIntTest, SubtractionBorrowsAcrossLimbs) {
+  const auto a = U256::FromHex("10000000000000000");
+  ASSERT_TRUE(a.ok());
+  const U256 diff = *a - U256::One();
+  EXPECT_EQ(diff.ToHex(), "ffffffffffffffff");
+}
+
+TEST(BigUIntTest, SubtractionUnderflowReportsBorrow) {
+  U256 v = U256::One();
+  EXPECT_TRUE(v.SubWithBorrow(U256(2)));
+  // Wraparound: 1 - 2 == 2^256 - 1.
+  EXPECT_EQ(v.BitLength(), 256u);
+}
+
+TEST(BigUIntTest, Comparison) {
+  EXPECT_LT(U256(1), U256(2));
+  EXPECT_GT(U256(2), U256(1));
+  EXPECT_EQ(U256(7), U256(7));
+  const auto big = U256::FromHex("100000000000000000000000000000000");
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(*big, U256(~std::uint64_t{0}));
+}
+
+TEST(BigUIntTest, Shifts) {
+  const U256 v(1);
+  EXPECT_EQ((v << 1).low64(), 2u);
+  EXPECT_EQ((v << 64).limb(1), 1u);
+  EXPECT_EQ((v << 70).limb(1), 64u);
+  const U256 shifted = v << 200;
+  EXPECT_EQ(shifted >> 200, v);
+  EXPECT_EQ((U256(0x80) >> 3).low64(), 0x10u);
+}
+
+TEST(BigUIntTest, BitAccess) {
+  U256 v;
+  v.SetBit(0);
+  v.SetBit(100);
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(100));
+  EXPECT_FALSE(v.Bit(99));
+  EXPECT_EQ(v.BitLength(), 101u);
+}
+
+TEST(BigUIntTest, MulKnownValues) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1.
+  const U256 a(~std::uint64_t{0});
+  const U512 product = Mul(a, a);
+  EXPECT_EQ(product.ToHex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigUIntTest, MulSmallValues) {
+  EXPECT_EQ(Mul(U256(12345), U256(67890)).low64(), 12345ull * 67890ull);
+  EXPECT_TRUE(Mul(U256(0), U256(999)).IsZero());
+}
+
+TEST(BigUIntTest, MulFullWidthNoOverflow) {
+  const auto max = U256::FromHex(std::string(64, 'f'));
+  ASSERT_TRUE(max.ok());
+  const U512 product = Mul(*max, *max);
+  // (2^256-1)^2 = 2^512 - 2^257 + 1; top bit is bit 511.
+  EXPECT_EQ(product.BitLength(), 512u);
+}
+
+TEST(BigUIntTest, DivModKnownValues) {
+  const auto r = DivMod(U256(100), U256(7));
+  EXPECT_EQ(r.quotient.low64(), 14u);
+  EXPECT_EQ(r.remainder.low64(), 2u);
+}
+
+TEST(BigUIntTest, DivModDividendSmallerThanDivisor) {
+  const auto r = DivMod(U256(3), U256(10));
+  EXPECT_TRUE(r.quotient.IsZero());
+  EXPECT_EQ(r.remainder.low64(), 3u);
+}
+
+TEST(BigUIntTest, DivModExactDivision) {
+  const auto r = DivMod(U256(144), U256(12));
+  EXPECT_EQ(r.quotient.low64(), 12u);
+  EXPECT_TRUE(r.remainder.IsZero());
+}
+
+TEST(BigUIntTest, DivModReconstructsDividend) {
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    const U256 dividend = U256::RandomWithBits(200, rng);
+    const U256 divisor = U256::RandomWithBits(90, rng);
+    const auto r = DivMod(dividend, divisor);
+    // dividend == quotient * divisor + remainder.
+    U512 check = Mul(r.quotient, divisor);
+    check.AddWithCarry(r.remainder.Extend<8>());
+    EXPECT_EQ(check.Truncate<4>(), dividend);
+    EXPECT_LT(r.remainder, divisor);
+  }
+}
+
+TEST(BigUIntTest, ExtendTruncateRoundTrip) {
+  const auto v = U256::FromHex("123456789abcdef0123456789abcdef");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Extend<8>().Truncate<4>(), *v);
+}
+
+TEST(BigUIntTest, RandomWithBitsHasExactWidth) {
+  Rng rng(88);
+  for (std::size_t bits : {1u, 17u, 64u, 65u, 128u, 255u, 256u}) {
+    const U256 v = U256::RandomWithBits(bits, rng);
+    EXPECT_EQ(v.BitLength(), bits) << "bits=" << bits;
+  }
+}
+
+TEST(BigUIntTest, RandomBelowRespectsBound) {
+  Rng rng(99);
+  const U256 bound(1000);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(U256::RandomBelow(bound, rng), bound);
+  }
+}
+
+TEST(BigUIntTest, RandomBelowCoversSmallRange) {
+  Rng rng(100);
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i)
+    seen[U256::RandomBelow(U256(5), rng).low64()] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace gm::crypto

@@ -1,0 +1,108 @@
+#include "crypto/identity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::crypto {
+namespace {
+
+TEST(DistinguishedNameTest, ToStringCanonicalForm) {
+  DistinguishedName dn{"SE", "KTH", "PDC", "alice"};
+  EXPECT_EQ(dn.ToString(), "/C=SE/O=KTH/OU=PDC/CN=alice");
+}
+
+TEST(DistinguishedNameTest, ToStringSkipsEmptyFields) {
+  DistinguishedName dn;
+  dn.common_name = "bob";
+  EXPECT_EQ(dn.ToString(), "/CN=bob");
+}
+
+TEST(DistinguishedNameTest, ParseRoundTrip) {
+  DistinguishedName dn{"SE", "KTH", "Biotech", "carol"};
+  const auto parsed = DistinguishedName::Parse(dn.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, dn);
+}
+
+TEST(DistinguishedNameTest, ParseRejectsMissingSlash) {
+  EXPECT_FALSE(DistinguishedName::Parse("CN=alice").ok());
+  EXPECT_FALSE(DistinguishedName::Parse("").ok());
+}
+
+TEST(DistinguishedNameTest, ParseRejectsMissingCn) {
+  EXPECT_FALSE(DistinguishedName::Parse("/C=SE/O=KTH").ok());
+}
+
+TEST(DistinguishedNameTest, ParseRejectsUnknownAttribute) {
+  EXPECT_FALSE(DistinguishedName::Parse("/CN=a/X=b").ok());
+  EXPECT_FALSE(DistinguishedName::Parse("/CN=a/nonsense").ok());
+}
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  CertificateTest()
+      : ca_(DistinguishedName{"SE", "SweGrid", "CA", "SweGrid Root"},
+            TestGroup(), rng_),
+        user_keys_(KeyPair::Generate(TestGroup(), rng_)) {}
+
+  Rng rng_{777};
+  CertificateAuthority ca_;
+  KeyPair user_keys_;
+  DistinguishedName user_dn_{"SE", "KTH", "PDC", "alice"};
+};
+
+TEST_F(CertificateTest, IssueAndVerify) {
+  const Certificate cert =
+      ca_.Issue(user_dn_, user_keys_.public_key(), 0, 1'000'000, rng_);
+  EXPECT_TRUE(ca_.Verify(cert, 500'000).ok());
+  EXPECT_EQ(cert.subject, user_dn_);
+  EXPECT_EQ(cert.issuer, ca_.dn());
+}
+
+TEST_F(CertificateTest, SerialNumbersIncrease) {
+  const Certificate a =
+      ca_.Issue(user_dn_, user_keys_.public_key(), 0, 100, rng_);
+  const Certificate b =
+      ca_.Issue(user_dn_, user_keys_.public_key(), 0, 100, rng_);
+  EXPECT_LT(a.serial, b.serial);
+}
+
+TEST_F(CertificateTest, ExpiredCertificateRejected) {
+  const Certificate cert =
+      ca_.Issue(user_dn_, user_keys_.public_key(), 0, 1000, rng_);
+  const Status status = ca_.Verify(cert, 2000);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CertificateTest, NotYetValidRejected) {
+  const Certificate cert =
+      ca_.Issue(user_dn_, user_keys_.public_key(), 1000, 2000, rng_);
+  EXPECT_FALSE(ca_.Verify(cert, 500).ok());
+}
+
+TEST_F(CertificateTest, TamperedSubjectRejected) {
+  Certificate cert =
+      ca_.Issue(user_dn_, user_keys_.public_key(), 0, 1000, rng_);
+  cert.subject.common_name = "mallory";
+  const Status status = ca_.Verify(cert, 500);
+  EXPECT_EQ(status.code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(CertificateTest, TamperedValidityRejected) {
+  Certificate cert =
+      ca_.Issue(user_dn_, user_keys_.public_key(), 0, 1000, rng_);
+  cert.not_after_us = 10'000'000;  // extend lifetime without re-signing
+  EXPECT_FALSE(ca_.Verify(cert, 5000).ok());
+}
+
+TEST_F(CertificateTest, DifferentCaRejected) {
+  CertificateAuthority other_ca(
+      DistinguishedName{"US", "OtherGrid", "CA", "Other Root"}, TestGroup(),
+      rng_);
+  const Certificate cert =
+      other_ca.Issue(user_dn_, user_keys_.public_key(), 0, 1000, rng_);
+  const Status status = ca_.Verify(cert, 500);
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace gm::crypto

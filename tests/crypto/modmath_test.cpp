@@ -1,0 +1,96 @@
+#include "crypto/modmath.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::crypto {
+namespace {
+
+TEST(ModMathTest, ModBasics) {
+  EXPECT_EQ(Mod(U256(10), U256(7)).low64(), 3u);
+  EXPECT_EQ(Mod(U256(7), U256(7)).low64(), 0u);
+  EXPECT_EQ(Mod(U256(3), U256(7)).low64(), 3u);
+}
+
+TEST(ModMathTest, ModAddWithReduction) {
+  EXPECT_EQ(ModAdd(U256(5), U256(6), U256(7)).low64(), 4u);
+  EXPECT_EQ(ModAdd(U256(0), U256(0), U256(7)).low64(), 0u);
+  // Unreduced inputs.
+  EXPECT_EQ(ModAdd(U256(100), U256(100), U256(7)).low64(), 200 % 7);
+}
+
+TEST(ModMathTest, ModAddNearFullWidthDoesNotWrap) {
+  const auto big = U256::FromHex(std::string(64, 'f'));
+  ASSERT_TRUE(big.ok());
+  const auto m = U256::FromHex("ffffffffffffffffffffffffffffff61");  // < 2^256
+  ASSERT_TRUE(m.ok());
+  const U256 sum = ModAdd(*big, *big, *m);
+  EXPECT_LT(sum, *m);
+}
+
+TEST(ModMathTest, ModSub) {
+  EXPECT_EQ(ModSub(U256(3), U256(5), U256(7)).low64(), 5u);
+  EXPECT_EQ(ModSub(U256(5), U256(3), U256(7)).low64(), 2u);
+  EXPECT_EQ(ModSub(U256(5), U256(5), U256(7)).low64(), 0u);
+}
+
+TEST(ModMathTest, ModMulSmall) {
+  EXPECT_EQ(ModMul(U256(6), U256(6), U256(7)).low64(), 1u);
+  EXPECT_EQ(ModMul(U256(0), U256(5), U256(7)).low64(), 0u);
+}
+
+TEST(ModMathTest, ModMulLargeOperands) {
+  // Verify against an independently computable case:
+  // (2^128 - 1)^2 mod (2^64 - 59).
+  const auto a = U256::FromHex(std::string(32, 'f'));
+  ASSERT_TRUE(a.ok());
+  const U256 m(0xffffffffffffffc5ULL);  // 2^64 - 59
+  const U256 r = ModMul(*a, *a, m);
+  EXPECT_LT(r, m);
+  // Cross-check with DivMod directly.
+  const U512 product = Mul(*a, *a);
+  EXPECT_EQ(r, DivMod(product, m.Extend<8>()).remainder.Truncate<4>());
+}
+
+TEST(ModMathTest, ModExpSmallKnown) {
+  EXPECT_EQ(ModExp(U256(2), U256(10), U256(1000)).low64(), 24u);
+  EXPECT_EQ(ModExp(U256(3), U256(0), U256(7)).low64(), 1u);
+  EXPECT_EQ(ModExp(U256(0), U256(5), U256(7)).low64(), 0u);
+  EXPECT_EQ(ModExp(U256(5), U256(1), U256(7)).low64(), 5u);
+}
+
+TEST(ModMathTest, FermatLittleTheorem) {
+  // a^(p-1) == 1 mod p for prime p and gcd(a, p) = 1.
+  const U256 p(1000003);
+  for (std::uint64_t a : {2ull, 3ull, 65537ull, 999999ull}) {
+    EXPECT_EQ(ModExp(U256(a), p - U256::One(), p), U256::One()) << a;
+  }
+}
+
+TEST(ModMathTest, ModExpMatchesRepeatedMultiplication) {
+  const U256 m(99991);
+  U256 acc = U256::One();
+  const U256 base(1234);
+  for (std::uint64_t e = 0; e < 30; ++e) {
+    EXPECT_EQ(ModExp(base, U256(e), m), acc) << "e=" << e;
+    acc = ModMul(acc, base, m);
+  }
+}
+
+TEST(ModMathTest, ModInversePrimeModulus) {
+  const U256 p(101);
+  for (std::uint64_t a = 1; a < 101; ++a) {
+    const U256 inv = ModInverse(U256(a), p);
+    EXPECT_EQ(ModMul(U256(a), inv, p), U256::One()) << "a=" << a;
+  }
+}
+
+TEST(ModMathTest, ModInverseLargePrime) {
+  // 2^61 - 1 is a Mersenne prime.
+  const U256 p((std::uint64_t{1} << 61) - 1);
+  const U256 a(0x123456789abcdefULL);
+  const U256 inv = ModInverse(a, p);
+  EXPECT_EQ(ModMul(a, inv, p), U256::One());
+}
+
+}  // namespace
+}  // namespace gm::crypto

@@ -1,0 +1,154 @@
+#include "crypto/prime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/modmath.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace gm::crypto {
+namespace {
+
+TEST(PrimeTest, SmallPrimesRecognized) {
+  Rng rng(1);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 97ull, 251ull,
+                          257ull, 65537ull}) {
+    EXPECT_TRUE(IsProbablePrime(U256(p), rng)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallCompositesRejected) {
+  Rng rng(2);
+  for (std::uint64_t n : {0ull, 1ull, 4ull, 6ull, 9ull, 15ull, 91ull,
+                          221ull, 255ull, 65535ull}) {
+    EXPECT_FALSE(IsProbablePrime(U256(n), rng)) << n;
+  }
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  Rng rng(3);
+  for (std::uint64_t n : {561ull, 1105ull, 1729ull, 2465ull, 6601ull,
+                          8911ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(IsProbablePrime(U256(n), rng)) << n;
+  }
+}
+
+TEST(PrimeTest, KnownLargePrimes) {
+  Rng rng(4);
+  // Mersenne primes 2^61-1 and 2^89-1, and the NIST P-256 order is too big
+  // to hardcode meaningfully; use well-known primes.
+  EXPECT_TRUE(IsProbablePrime(U256((std::uint64_t{1} << 61) - 1), rng));
+  const auto m89 = U256::FromHex("1ffffffffffffffffffffff");  // 2^89 - 1
+  ASSERT_TRUE(m89.ok());
+  EXPECT_TRUE(IsProbablePrime(*m89, rng));
+  // 2^67 - 1 is famously composite (193707721 * 761838257287).
+  const auto m67 = U256::FromHex("7ffffffffffffffff");
+  ASSERT_TRUE(m67.ok());
+  EXPECT_FALSE(IsProbablePrime(*m67, rng));
+}
+
+TEST(PrimeTest, RandomPrimeHasRequestedWidth) {
+  Rng rng(5);
+  for (std::size_t bits : {16u, 32u, 48u, 64u}) {
+    const U256 p = RandomPrime(bits, rng);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(IsProbablePrime(p, rng));
+  }
+}
+
+TEST(PrimeTest, RandomPrimesDiffer) {
+  Rng rng(6);
+  const U256 a = RandomPrime(40, rng);
+  const U256 b = RandomPrime(40, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(SchnorrGroupTest, GenerateSmallGroup) {
+  Rng rng(7);
+  const auto group = GenerateSchnorrGroup(64, 32, rng);
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group->p.BitLength(), 64u);
+  EXPECT_EQ(group->q.BitLength(), 32u);
+  Rng verify_rng(8);
+  EXPECT_TRUE(group->Validate(verify_rng));
+}
+
+TEST(SchnorrGroupTest, GeneratorHasOrderQ) {
+  Rng rng(9);
+  const auto group = GenerateSchnorrGroup(80, 40, rng);
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(ModExp(group->g, group->q, group->p), U256::One());
+  EXPECT_NE(group->g, U256::One());
+  // g^k for 1 <= k < q should not be 1 (order exactly q). Spot-check.
+  EXPECT_NE(ModExp(group->g, U256::One(), group->p), U256::One());
+  EXPECT_NE(ModExp(group->g, U256(12345), group->p), U256::One());
+}
+
+TEST(SchnorrGroupTest, QDividesPMinusOne) {
+  Rng rng(10);
+  const auto group = GenerateSchnorrGroup(72, 36, rng);
+  ASSERT_TRUE(group.ok());
+  EXPECT_TRUE(DivMod(group->p - U256::One(), group->q).remainder.IsZero());
+}
+
+TEST(SchnorrGroupTest, BadParametersRejected) {
+  Rng rng(11);
+  EXPECT_FALSE(GenerateSchnorrGroup(64, 64, rng).ok());   // q_bits >= p_bits
+  EXPECT_FALSE(GenerateSchnorrGroup(64, 8, rng).ok());    // q too small
+  EXPECT_FALSE(GenerateSchnorrGroup(300, 160, rng).ok()); // p too wide
+}
+
+TEST(SchnorrGroupTest, ValidateRejectsTamperedGroup) {
+  Rng rng(12);
+  auto group = GenerateSchnorrGroup(64, 32, rng);
+  ASSERT_TRUE(group.ok());
+  SchnorrGroup bad = *group;
+  bad.g = U256::One();
+  Rng verify_rng(13);
+  EXPECT_FALSE(bad.Validate(verify_rng));
+  bad = *group;
+  bad.q = bad.q + U256(2);
+  EXPECT_FALSE(bad.Validate(verify_rng));
+}
+
+TEST(SchnorrGroupTest, TestGroupIsValidAndCached) {
+  const SchnorrGroup& a = TestGroup();
+  const SchnorrGroup& b = TestGroup();
+  EXPECT_EQ(&a, &b);  // cached singleton
+  Rng rng(14);
+  EXPECT_TRUE(a.Validate(rng));
+  EXPECT_EQ(a.p.BitLength(), 96u);
+  EXPECT_EQ(a.q.BitLength(), 48u);
+}
+
+TEST(SchnorrGroupTest, DefaultGroupIsFullSizeAndValid) {
+  // The deployment-size parameters: 256-bit p, 160-bit q (DSA-era sizes).
+  const SchnorrGroup& group = DefaultGroup();
+  EXPECT_EQ(group.p.BitLength(), 256u);
+  EXPECT_EQ(group.q.BitLength(), 160u);
+  Rng rng(77);
+  EXPECT_TRUE(group.Validate(rng));
+  // Cached singleton.
+  EXPECT_EQ(&group, &DefaultGroup());
+  // Signatures over the full-size group round-trip.
+  Rng key_rng(78);
+  const KeyPair keys = KeyPair::Generate(group, key_rng);
+  const Signature sig = keys.Sign("full-size token", key_rng);
+  EXPECT_TRUE(keys.public_key().Verify("full-size token", sig));
+  EXPECT_FALSE(keys.public_key().Verify("tampered", sig));
+}
+
+TEST(SchnorrGroupTest, DeterministicGivenSeed) {
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const auto a = GenerateSchnorrGroup(64, 32, rng_a);
+  const auto b = GenerateSchnorrGroup(64, 32, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->p, b->p);
+  EXPECT_EQ(a->q, b->q);
+  EXPECT_EQ(a->g, b->g);
+}
+
+}  // namespace
+}  // namespace gm::crypto

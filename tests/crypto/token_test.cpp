@@ -1,0 +1,108 @@
+#include "crypto/token.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::crypto {
+namespace {
+
+class TokenTest : public ::testing::Test {
+ protected:
+  TokenTest()
+      : bank_keys_(KeyPair::Generate(TestGroup(), rng_)),
+        user_keys_(KeyPair::Generate(TestGroup(), rng_)) {}
+
+  TransferReceipt MakeReceipt(Micros amount = DollarsToMicros(500)) {
+    TransferReceipt receipt;
+    receipt.receipt_id = "rcpt-0001";
+    receipt.from_account = "alice";
+    receipt.to_account = "swegrid-broker";
+    receipt.amount = amount;
+    receipt.issued_at_us = 42;
+    receipt.bank_signature = bank_keys_.Sign(receipt.SigningPayload(), rng_);
+    return receipt;
+  }
+
+  Rng rng_{999};
+  KeyPair bank_keys_;
+  KeyPair user_keys_;
+  const std::string dn_ = "/C=SE/O=KTH/CN=alice";
+};
+
+TEST_F(TokenTest, MintAndVerify) {
+  const TransferToken token = MintToken(MakeReceipt(), dn_, user_keys_, rng_);
+  EXPECT_TRUE(VerifyToken(token, bank_keys_.public_key(),
+                          user_keys_.public_key(), "swegrid-broker")
+                  .ok());
+}
+
+TEST_F(TokenTest, RejectsWrongRecipient) {
+  const TransferToken token = MintToken(MakeReceipt(), dn_, user_keys_, rng_);
+  const Status status = VerifyToken(token, bank_keys_.public_key(),
+                                    user_keys_.public_key(), "other-broker");
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(TokenTest, RejectsForgedBankSignature) {
+  TransferReceipt receipt = MakeReceipt();
+  // Mallory forges a receipt with her own key.
+  const KeyPair mallory = KeyPair::Generate(TestGroup(), rng_);
+  receipt.bank_signature = mallory.Sign(receipt.SigningPayload(), rng_);
+  const TransferToken token = MintToken(receipt, dn_, user_keys_, rng_);
+  const Status status = VerifyToken(token, bank_keys_.public_key(),
+                                    user_keys_.public_key(), "swegrid-broker");
+  EXPECT_EQ(status.code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(TokenTest, RejectsTamperedAmount) {
+  TransferToken token = MintToken(MakeReceipt(), dn_, user_keys_, rng_);
+  token.receipt.amount *= 10;  // inflate after signing
+  EXPECT_FALSE(VerifyToken(token, bank_keys_.public_key(),
+                           user_keys_.public_key(), "swegrid-broker")
+                   .ok());
+}
+
+TEST_F(TokenTest, RejectsMiddlemanDnSwap) {
+  // The attack the paper guards against: a middleman replaces the DN
+  // mapping to redirect the capability to their own Grid identity.
+  TransferToken token = MintToken(MakeReceipt(), dn_, user_keys_, rng_);
+  token.grid_dn = "/C=SE/O=KTH/CN=mallory";
+  const Status status = VerifyToken(token, bank_keys_.public_key(),
+                                    user_keys_.public_key(), "swegrid-broker");
+  EXPECT_EQ(status.code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(TokenTest, RejectsMappingSignedByWrongUser) {
+  const KeyPair mallory = KeyPair::Generate(TestGroup(), rng_);
+  const TransferToken token = MintToken(MakeReceipt(), dn_, mallory, rng_);
+  EXPECT_FALSE(VerifyToken(token, bank_keys_.public_key(),
+                           user_keys_.public_key(), "swegrid-broker")
+                   .ok());
+}
+
+TEST_F(TokenTest, RejectsNonPositiveAmount) {
+  const TransferToken token =
+      MintToken(MakeReceipt(/*amount=*/0), dn_, user_keys_, rng_);
+  const Status status = VerifyToken(token, bank_keys_.public_key(),
+                                    user_keys_.public_key(), "swegrid-broker");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TokenRegistryTest, ClaimOncePerReceipt) {
+  TokenRegistry registry;
+  EXPECT_FALSE(registry.IsSpent("r1"));
+  EXPECT_TRUE(registry.Claim("r1").ok());
+  EXPECT_TRUE(registry.IsSpent("r1"));
+  const Status replay = registry.Claim("r1");
+  EXPECT_EQ(replay.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(TokenRegistryTest, IndependentReceipts) {
+  TokenRegistry registry;
+  EXPECT_TRUE(registry.Claim("r1").ok());
+  EXPECT_TRUE(registry.Claim("r2").ok());
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gm::crypto

@@ -1,0 +1,171 @@
+#include "grid/auth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace gm::grid {
+namespace {
+
+class AuthTest : public ::testing::Test {
+ protected:
+  AuthTest()
+      : bank_(crypto::TestGroup(), 11),
+        ca_(crypto::DistinguishedName{"SE", "SweGrid", "CA", "Root"},
+            crypto::TestGroup(), rng_),
+        alice_keys_(crypto::KeyPair::Generate(crypto::TestGroup(), rng_)) {
+    EXPECT_TRUE(bank_.CreateAccount("alice", alice_keys_.public_key()).ok());
+    EXPECT_TRUE(bank_.CreateAccount("broker", {}).ok());
+    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(1000), 0).ok());
+    authorizer_ = std::make_unique<TokenAuthorizer>(bank_, "broker");
+
+    alice_cert_ = ca_.Issue(alice_dn_, alice_keys_.public_key(), 0,
+                            sim::Hours(1000), rng_);
+    EXPECT_TRUE(authorizer_->RegisterIdentity(alice_cert_, ca_, 0).ok());
+  }
+
+  crypto::TransferToken PayBroker(Micros amount) {
+    const auto nonce = bank_.TransferNonce("alice");
+    EXPECT_TRUE(nonce.ok());
+    const auto auth = alice_keys_.Sign(
+        bank::TransferAuthPayload("alice", "broker", amount, *nonce), rng_);
+    const auto receipt = bank_.Transfer("alice", "broker", amount, auth, 0);
+    EXPECT_TRUE(receipt.ok());
+    return crypto::MintToken(*receipt, alice_dn_.ToString(), alice_keys_,
+                             rng_);
+  }
+
+  Rng rng_{21};
+  bank::Bank bank_;
+  crypto::CertificateAuthority ca_;
+  crypto::KeyPair alice_keys_;
+  crypto::DistinguishedName alice_dn_{"SE", "KTH", "PDC", "alice"};
+  crypto::Certificate alice_cert_;
+  std::unique_ptr<TokenAuthorizer> authorizer_;
+};
+
+TEST_F(AuthTest, HappyPathCreatesFundedSubAccount) {
+  const auto token = PayBroker(DollarsToMicros(500));
+  const auto funds = authorizer_->Authorize(token, 100);
+  ASSERT_TRUE(funds.ok()) << funds.status().ToString();
+  EXPECT_EQ(funds->amount, DollarsToMicros(500));
+  EXPECT_EQ(funds->grid_dn, alice_dn_.ToString());
+  EXPECT_TRUE(bank_.HasAccount(funds->sub_account));
+  EXPECT_EQ(bank_.Balance(funds->sub_account).value(), DollarsToMicros(500));
+  EXPECT_EQ(bank_.Balance("broker").value(), 0);  // moved to sub-account
+  EXPECT_TRUE(bank_.CheckInvariants().ok());
+}
+
+TEST_F(AuthTest, DoubleSpendRejected) {
+  const auto token = PayBroker(DollarsToMicros(100));
+  ASSERT_TRUE(authorizer_->Authorize(token, 0).ok());
+  const auto replay = authorizer_->Authorize(token, 1);
+  EXPECT_EQ(replay.status().code(), StatusCode::kAlreadyExists);
+  // Only one sub-account was funded.
+  EXPECT_EQ(authorizer_->spent_tokens(), 1u);
+}
+
+TEST_F(AuthTest, UnknownIdentityRejected) {
+  auto token = PayBroker(DollarsToMicros(100));
+  token.grid_dn = "/C=SE/O=KTH/CN=stranger";
+  const auto funds = authorizer_->Authorize(token, 0);
+  EXPECT_EQ(funds.status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(AuthTest, MiddlemanDnSwapRejected) {
+  // Mallory is a registered user but did not pay: she swaps the DN on
+  // alice's token to hijack the funds.
+  const auto mallory_keys =
+      crypto::KeyPair::Generate(crypto::TestGroup(), rng_);
+  const crypto::DistinguishedName mallory_dn{"SE", "KTH", "PDC", "mallory"};
+  const auto mallory_cert =
+      ca_.Issue(mallory_dn, mallory_keys.public_key(), 0, sim::Hours(10),
+                rng_);
+  ASSERT_TRUE(authorizer_->RegisterIdentity(mallory_cert, ca_, 0).ok());
+
+  auto token = PayBroker(DollarsToMicros(100));
+  token.grid_dn = mallory_dn.ToString();
+  // Re-signing with mallory's key must also fail: the payer key (alice's,
+  // registered at the bank for the source account) has to match.
+  token.owner_signature =
+      mallory_keys.Sign(token.MappingPayload(), rng_);
+  const auto funds = authorizer_->Authorize(token, 0);
+  EXPECT_EQ(funds.status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(AuthTest, PaymentToWrongAccountRejected) {
+  ASSERT_TRUE(bank_.CreateAccount("other-broker", {}).ok());
+  const auto nonce = bank_.TransferNonce("alice");
+  const auto auth = alice_keys_.Sign(
+      bank::TransferAuthPayload("alice", "other-broker",
+                                DollarsToMicros(100), *nonce),
+      rng_);
+  const auto receipt =
+      bank_.Transfer("alice", "other-broker", DollarsToMicros(100), auth, 0);
+  ASSERT_TRUE(receipt.ok());
+  const auto token =
+      crypto::MintToken(*receipt, alice_dn_.ToString(), alice_keys_, rng_);
+  const auto funds = authorizer_->Authorize(token, 0);
+  EXPECT_EQ(funds.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(AuthTest, FabricatedReceiptRejected) {
+  auto token = PayBroker(DollarsToMicros(100));
+  // Inflate the amount and re-sign the mapping with alice's key; the
+  // bank's signature and ledger entry no longer match.
+  token.receipt.amount = DollarsToMicros(10000);
+  token.owner_signature = alice_keys_.Sign(token.MappingPayload(), rng_);
+  const auto funds = authorizer_->Authorize(token, 0);
+  EXPECT_FALSE(funds.ok());
+}
+
+TEST_F(AuthTest, ExpiredCertificateNotRegistered) {
+  const auto bob_keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng_);
+  const crypto::DistinguishedName bob_dn{"SE", "KTH", "PDC", "bob"};
+  const auto expired_cert =
+      ca_.Issue(bob_dn, bob_keys.public_key(), 0, 100, rng_);
+  const Status status =
+      authorizer_->RegisterIdentity(expired_cert, ca_, sim::Hours(1));
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(authorizer_->KnowsIdentity(bob_dn.ToString()));
+}
+
+TEST_F(AuthTest, GiftCertificateForAnotherIdentity) {
+  // The paper's conclusion: transfer tokens double as gift certificates —
+  // alice pays but binds the receipt to bob's Grid DN, so bob's jobs can
+  // spend it without any Tycoon client of his own.
+  const auto bob_keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng_);
+  const crypto::DistinguishedName bob_dn{"SE", "KTH", "Biotech", "bob"};
+  const auto bob_cert =
+      ca_.Issue(bob_dn, bob_keys.public_key(), 0, sim::Hours(100), rng_);
+  ASSERT_TRUE(authorizer_->RegisterIdentity(bob_cert, ca_, 0).ok());
+
+  const auto nonce = bank_.TransferNonce("alice");
+  const auto auth = alice_keys_.Sign(
+      bank::TransferAuthPayload("alice", "broker", DollarsToMicros(75),
+                                *nonce),
+      rng_);
+  const auto receipt =
+      bank_.Transfer("alice", "broker", DollarsToMicros(75), auth, 0);
+  ASSERT_TRUE(receipt.ok());
+  // Alice (the payer) signs the mapping to *bob's* DN.
+  const auto gift =
+      crypto::MintToken(*receipt, bob_dn.ToString(), alice_keys_, rng_);
+  const auto funds = authorizer_->Authorize(gift, 0);
+  ASSERT_TRUE(funds.ok()) << funds.status().ToString();
+  EXPECT_EQ(funds->grid_dn, bob_dn.ToString());
+  EXPECT_EQ(funds->amount, DollarsToMicros(75));
+}
+
+TEST_F(AuthTest, SubAccountNamesAreUnique) {
+  const auto funds1 =
+      authorizer_->Authorize(PayBroker(DollarsToMicros(10)), 0);
+  const auto funds2 =
+      authorizer_->Authorize(PayBroker(DollarsToMicros(20)), 0);
+  ASSERT_TRUE(funds1.ok());
+  ASSERT_TRUE(funds2.ok());
+  EXPECT_NE(funds1->sub_account, funds2->sub_account);
+}
+
+}  // namespace
+}  // namespace gm::grid

@@ -1,0 +1,104 @@
+#include "grid/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::grid {
+namespace {
+
+TEST(JobStateTest, NamesAndTerminality) {
+  EXPECT_STREQ(JobStateName(JobState::kSubmitted), "SUBMITTED");
+  EXPECT_STREQ(JobStateName(JobState::kFinished), "FINISHED");
+  EXPECT_FALSE(IsTerminal(JobState::kRunning));
+  EXPECT_TRUE(IsTerminal(JobState::kFinished));
+  EXPECT_TRUE(IsTerminal(JobState::kExpired));
+  EXPECT_TRUE(IsTerminal(JobState::kFailed));
+  EXPECT_TRUE(IsTerminal(JobState::kCancelled));
+}
+
+TEST(JobStateTest, HappyPathTransitions) {
+  const JobState path[] = {JobState::kSubmitted, JobState::kAuthorized,
+                           JobState::kScheduling, JobState::kStagingIn,
+                           JobState::kRunning, JobState::kStagingOut,
+                           JobState::kFinished};
+  for (std::size_t i = 0; i + 1 < std::size(path); ++i) {
+    EXPECT_TRUE(CheckTransition(path[i], path[i + 1]).ok())
+        << JobStateName(path[i]);
+  }
+}
+
+TEST(JobStateTest, SkippingStatesRejected) {
+  EXPECT_FALSE(CheckTransition(JobState::kSubmitted, JobState::kRunning).ok());
+  EXPECT_FALSE(
+      CheckTransition(JobState::kAuthorized, JobState::kFinished).ok());
+  EXPECT_FALSE(CheckTransition(JobState::kRunning, JobState::kRunning).ok());
+}
+
+TEST(JobStateTest, FailureReachableFromAnyLiveState) {
+  for (JobState from : {JobState::kSubmitted, JobState::kScheduling,
+                        JobState::kRunning, JobState::kStagingOut}) {
+    EXPECT_TRUE(CheckTransition(from, JobState::kFailed).ok());
+    EXPECT_TRUE(CheckTransition(from, JobState::kCancelled).ok());
+    EXPECT_TRUE(CheckTransition(from, JobState::kExpired).ok());
+  }
+}
+
+TEST(JobStateTest, TerminalStatesAreFinal) {
+  for (JobState from : {JobState::kFinished, JobState::kFailed,
+                        JobState::kExpired, JobState::kCancelled}) {
+    EXPECT_FALSE(CheckTransition(from, JobState::kRunning).ok());
+    EXPECT_FALSE(CheckTransition(from, JobState::kFailed).ok());
+  }
+}
+
+TEST(JobRecordTest, AdvanceStateStampsTimes) {
+  JobRecord job;
+  job.submitted_at = 0;
+  ASSERT_TRUE(AdvanceState(job, JobState::kAuthorized, 10).ok());
+  ASSERT_TRUE(AdvanceState(job, JobState::kScheduling, 20).ok());
+  ASSERT_TRUE(AdvanceState(job, JobState::kStagingIn, 30).ok());
+  ASSERT_TRUE(AdvanceState(job, JobState::kRunning, 40).ok());
+  EXPECT_EQ(job.running_at, 40);
+  ASSERT_TRUE(AdvanceState(job, JobState::kStagingOut, 50).ok());
+  ASSERT_TRUE(AdvanceState(job, JobState::kFinished, 60).ok());
+  EXPECT_EQ(job.finished_at, 60);
+  EXPECT_FALSE(AdvanceState(job, JobState::kRunning, 70).ok());
+}
+
+TEST(JobRecordTest, ChunkAccounting) {
+  JobRecord job;
+  job.subjobs.resize(4);
+  EXPECT_EQ(job.CompletedChunks(), 0);
+  EXPECT_FALSE(job.AllChunksDone());
+  for (int i = 0; i < 4; ++i) {
+    job.subjobs[static_cast<std::size_t>(i)].completed = true;
+    job.subjobs[static_cast<std::size_t>(i)].started_at = sim::Minutes(i);
+    job.subjobs[static_cast<std::size_t>(i)].completed_at =
+        sim::Minutes(i + 10);
+  }
+  EXPECT_EQ(job.CompletedChunks(), 4);
+  EXPECT_TRUE(job.AllChunksDone());
+  EXPECT_DOUBLE_EQ(job.MeanChunkLatencyMinutes(), 10.0);
+}
+
+TEST(JobRecordTest, EmptySubjobsNeverDone) {
+  JobRecord job;
+  EXPECT_FALSE(job.AllChunksDone());
+  EXPECT_DOUBLE_EQ(job.MeanChunkLatencyMinutes(), 0.0);
+}
+
+TEST(JobRecordTest, TurnaroundAndCost) {
+  JobRecord job;
+  job.submitted_at = 0;
+  job.finished_at = sim::Hours(2);
+  job.spent = DollarsToMicros(10.0);
+  EXPECT_DOUBLE_EQ(job.TurnaroundHours(), 2.0);
+  EXPECT_DOUBLE_EQ(job.CostPerHour(), 5.0);
+
+  JobRecord unfinished;
+  unfinished.submitted_at = 0;
+  EXPECT_LT(unfinished.TurnaroundHours(), 0.0);
+  EXPECT_DOUBLE_EQ(unfinished.CostPerHour(), 0.0);
+}
+
+}  // namespace
+}  // namespace gm::grid

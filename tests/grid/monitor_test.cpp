@@ -1,0 +1,89 @@
+#include "grid/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::grid {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() {
+    host::HostSpec spec;
+    spec.id = "h42";
+    spec.cpus = 2;
+    spec.cycles_per_cpu = 100.0;
+    spec.virtualization_overhead = 0.0;
+    spec.vm_boot_time = 0;
+    host_ = std::make_unique<host::PhysicalHost>(spec);
+    auctioneer_ = std::make_unique<market::Auctioneer>(*host_, kernel_);
+  }
+
+  sim::Kernel kernel_;
+  std::unique_ptr<host::PhysicalHost> host_;
+  std::unique_ptr<market::Auctioneer> auctioneer_;
+};
+
+TEST_F(MonitorTest, ClusterTableShowsHostAndPrice) {
+  ASSERT_TRUE(auctioneer_->OpenAccount("alice").ok());
+  ASSERT_TRUE(auctioneer_->Fund("alice", 1'000'000).ok());
+  // 1000 u$/s == $3.6/h.
+  ASSERT_TRUE(auctioneer_->SetBid("alice", 1000, sim::Hours(1)).ok());
+  const std::string table =
+      RenderClusterTable({auctioneer_.get()}, sim::Minutes(1));
+  EXPECT_NE(table.find("HOST"), std::string::npos);
+  EXPECT_NE(table.find("h42"), std::string::npos);
+  EXPECT_NE(table.find("3.6000"), std::string::npos);  // $/h spot price
+}
+
+TEST_F(MonitorTest, JobTableShowsStateAndMoney) {
+  JobRecord job;
+  job.id = 7;
+  job.description.job_name = "proteome-scan";
+  job.description.chunks = 30;
+  job.description.count = 15;
+  job.user_dn = "/C=SE/O=KTH/CN=alice";
+  job.state = JobState::kRunning;
+  job.budget = DollarsToMicros(100);
+  job.spent = DollarsToMicros(12.5);
+  job.submitted_at = 0;
+  job.subjobs.resize(30);
+  for (int i = 0; i < 9; ++i) job.subjobs[static_cast<std::size_t>(i)].completed = true;
+
+  const std::string table = RenderJobTable({&job}, sim::Hours(2));
+  EXPECT_NE(table.find("proteome-scan"), std::string::npos);
+  EXPECT_NE(table.find("RUNNING"), std::string::npos);
+  EXPECT_NE(table.find("9/30"), std::string::npos);
+  EXPECT_NE(table.find("12.50"), std::string::npos);
+  EXPECT_NE(table.find("100.00"), std::string::npos);
+  EXPECT_NE(table.find("02:00:00"), std::string::npos);  // elapsed
+}
+
+TEST_F(MonitorTest, JobTableUsesFinishTimeWhenTerminal) {
+  JobRecord job;
+  job.id = 1;
+  job.description.job_name = "done";
+  job.state = JobState::kFinished;
+  job.submitted_at = 0;
+  job.finished_at = sim::Hours(1);
+  const std::string table = RenderJobTable({&job}, sim::Hours(5));
+  // Elapsed shows 1 h (to completion), not 5 h (now).
+  EXPECT_NE(table.find("01:00:00"), std::string::npos);
+  EXPECT_EQ(table.find("05:00:00"), std::string::npos);
+}
+
+TEST_F(MonitorTest, FullMonitorHasHeaderAndBothTables) {
+  const std::string monitor =
+      RenderMonitor({auctioneer_.get()}, {}, sim::Minutes(30));
+  EXPECT_NE(monitor.find("Tycoon Grid Monitor"), std::string::npos);
+  EXPECT_NE(monitor.find("00:30:00"), std::string::npos);
+  EXPECT_NE(monitor.find("HOST"), std::string::npos);
+  EXPECT_NE(monitor.find("STATE"), std::string::npos);
+}
+
+TEST_F(MonitorTest, EmptyTablesStillRenderHeaders) {
+  EXPECT_NE(RenderClusterTable({}, 0).find("HOST"), std::string::npos);
+  EXPECT_NE(RenderJobTable({}, 0).find("ID"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gm::grid

@@ -1,0 +1,143 @@
+#include "grid/xrsl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::grid {
+namespace {
+
+constexpr const char* kFullExample =
+    "&(executable=\"/bin/proteome-scan\")"
+    "(arguments=\"-w\" \"7\" \"--stepwise\")"
+    "(jobName=\"hapgrid-scan\")"
+    "(count=15)(chunks=30)"
+    "(cpuTime=\"212\")(wallTime=\"330\")"
+    "(runTimeEnvironment=\"blast\")"
+    "(runTimeEnvironment=\"hapgrid\")"
+    "(inputFiles=(\"proteome.fasta\" \"sim://120\")(\"params.cfg\" \"sim://1\"))"
+    "(outputFiles=(\"hits.out\" \"sim://20\"))";
+
+TEST(XrslParseTest, RelationsLowLevel) {
+  const auto relations = ParseXrsl("&(a=\"1\")(b=2 3)(c=(x y)(z))");
+  ASSERT_TRUE(relations.ok());
+  ASSERT_EQ(relations->size(), 3u);
+  EXPECT_EQ((*relations)[0].attribute, "a");
+  EXPECT_EQ((*relations)[0].values, std::vector<std::string>{"1"});
+  EXPECT_EQ((*relations)[1].values, (std::vector<std::string>{"2", "3"}));
+  ASSERT_EQ((*relations)[2].groups.size(), 2u);
+  EXPECT_EQ((*relations)[2].groups[0], (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ((*relations)[2].groups[1], std::vector<std::string>{"z"});
+}
+
+TEST(XrslParseTest, AttributeNamesCaseInsensitive) {
+  const auto relations = ParseXrsl("(CpuTime=\"10\")");
+  ASSERT_TRUE(relations.ok());
+  EXPECT_EQ((*relations)[0].attribute, "cputime");
+}
+
+TEST(XrslParseTest, QuotedStringsWithEscapes) {
+  const auto relations = ParseXrsl("(arguments=\"say \"\"hi\"\"\")");
+  ASSERT_TRUE(relations.ok());
+  EXPECT_EQ((*relations)[0].values[0], "say \"hi\"");
+}
+
+TEST(XrslParseTest, WhitespaceTolerant) {
+  const auto relations = ParseXrsl("  &  ( count = 4 )\n ( cpuTime = \"9\" )");
+  ASSERT_TRUE(relations.ok());
+  EXPECT_EQ((*relations)[0].values[0], "4");
+}
+
+TEST(XrslParseTest, Malformed) {
+  EXPECT_FALSE(ParseXrsl("").ok());
+  EXPECT_FALSE(ParseXrsl("&").ok());
+  EXPECT_FALSE(ParseXrsl("(unclosed=1").ok());
+  EXPECT_FALSE(ParseXrsl("(=1)").ok());
+  EXPECT_FALSE(ParseXrsl("(a 1)").ok());
+  EXPECT_FALSE(ParseXrsl("(a=\"unterminated)").ok());
+  EXPECT_FALSE(ParseXrsl("(a=(nested (too deep)))").ok());
+}
+
+TEST(JobDescriptionTest, FullExample) {
+  const auto job = JobDescription::FromXrsl(kFullExample);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(job->executable, "/bin/proteome-scan");
+  EXPECT_EQ(job->arguments,
+            (std::vector<std::string>{"-w", "7", "--stepwise"}));
+  EXPECT_EQ(job->job_name, "hapgrid-scan");
+  EXPECT_EQ(job->count, 15);
+  EXPECT_EQ(job->chunks, 30);
+  EXPECT_EQ(job->TotalChunks(), 30);
+  EXPECT_DOUBLE_EQ(job->cpu_time_minutes, 212.0);
+  EXPECT_DOUBLE_EQ(job->wall_time_minutes, 330.0);
+  EXPECT_EQ(job->runtime_environments,
+            (std::vector<std::string>{"blast", "hapgrid"}));
+  ASSERT_EQ(job->input_files.size(), 2u);
+  EXPECT_EQ(job->input_files[0].name, "proteome.fasta");
+  EXPECT_DOUBLE_EQ(job->input_files[0].size_mb, 120.0);
+  ASSERT_EQ(job->output_files.size(), 1u);
+  EXPECT_DOUBLE_EQ(job->output_files[0].size_mb, 20.0);
+}
+
+TEST(JobDescriptionTest, ChunksDefaultsToCount) {
+  const auto job = JobDescription::FromXrsl(
+      "&(executable=\"/bin/x\")(count=8)(cpuTime=\"10\")(wallTime=\"60\")");
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->chunks, 0);
+  EXPECT_EQ(job->TotalChunks(), 8);
+}
+
+TEST(JobDescriptionTest, RequiredAttributesEnforced) {
+  EXPECT_FALSE(JobDescription::FromXrsl(
+                   "&(count=1)(cpuTime=\"10\")(wallTime=\"60\")")
+                   .ok());  // executable missing
+  EXPECT_FALSE(JobDescription::FromXrsl(
+                   "&(executable=\"/bin/x\")(wallTime=\"60\")")
+                   .ok());  // cpuTime missing
+  EXPECT_FALSE(JobDescription::FromXrsl(
+                   "&(executable=\"/bin/x\")(cpuTime=\"10\")")
+                   .ok());  // wallTime missing
+}
+
+TEST(JobDescriptionTest, ValidationErrors) {
+  EXPECT_FALSE(JobDescription::FromXrsl(
+                   "&(executable=\"x\")(cpuTime=\"0\")(wallTime=\"60\")")
+                   .ok());
+  EXPECT_FALSE(JobDescription::FromXrsl(
+                   "&(executable=\"x\")(cpuTime=\"10\")(wallTime=\"60\")"
+                   "(count=4)(chunks=2)")
+                   .ok());  // chunks < count
+  EXPECT_FALSE(JobDescription::FromXrsl(
+                   "&(executable=\"x\")(cpuTime=\"10\")(wallTime=\"60\")"
+                   "(mystery=1)")
+                   .ok());  // unknown attribute
+  EXPECT_FALSE(JobDescription::FromXrsl(
+                   "&(executable=\"x\")(cpuTime=\"10\")(wallTime=\"60\")"
+                   "(inputFiles=(\"f\" \"sim://abc\"))")
+                   .ok());  // bad size
+}
+
+TEST(JobDescriptionTest, RoundTripThroughToXrsl) {
+  const auto original = JobDescription::FromXrsl(kFullExample);
+  ASSERT_TRUE(original.ok());
+  const auto reparsed = JobDescription::FromXrsl(original->ToXrsl());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->executable, original->executable);
+  EXPECT_EQ(reparsed->arguments, original->arguments);
+  EXPECT_EQ(reparsed->count, original->count);
+  EXPECT_EQ(reparsed->chunks, original->chunks);
+  EXPECT_DOUBLE_EQ(reparsed->cpu_time_minutes, original->cpu_time_minutes);
+  EXPECT_EQ(reparsed->runtime_environments, original->runtime_environments);
+  ASSERT_EQ(reparsed->input_files.size(), original->input_files.size());
+  EXPECT_DOUBLE_EQ(reparsed->input_files[0].size_mb,
+                   original->input_files[0].size_mb);
+}
+
+TEST(JobDescriptionTest, UnknownUrlSchemeGetsNominalSize) {
+  const auto job = JobDescription::FromXrsl(
+      "&(executable=\"x\")(cpuTime=\"10\")(wallTime=\"60\")"
+      "(inputFiles=(\"f\" \"gsiftp://example.org/f\"))");
+  ASSERT_TRUE(job.ok());
+  EXPECT_DOUBLE_EQ(job->input_files[0].size_mb, 1.0);
+}
+
+}  // namespace
+}  // namespace gm::grid

@@ -1,0 +1,116 @@
+#include "host/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gm::host {
+namespace {
+
+using sim::Seconds;
+
+TEST(VmTest, BootLifecycle) {
+  VirtualMachine vm("vm-1", "alice", Seconds(30));
+  EXPECT_EQ(vm.state(0), VmState::kBooting);
+  EXPECT_EQ(vm.state(Seconds(30)), VmState::kReady);
+  EXPECT_FALSE(vm.Runnable(Seconds(30)));  // no work yet
+  vm.Enqueue({1, 1000.0, nullptr});
+  EXPECT_TRUE(vm.Runnable(Seconds(30)));
+  EXPECT_FALSE(vm.Runnable(Seconds(10)));  // still booting
+  EXPECT_EQ(vm.state(Seconds(31)), VmState::kRunning);
+}
+
+TEST(VmTest, ProvisioningExtendsReadiness) {
+  VirtualMachine vm("vm-1", "alice", Seconds(30));
+  vm.ExtendProvisioning(Seconds(20));
+  EXPECT_EQ(vm.state(Seconds(40)), VmState::kProvisioning);
+  EXPECT_EQ(vm.state(Seconds(50)), VmState::kReady);
+}
+
+TEST(VmTest, RuntimeTracking) {
+  VirtualMachine vm("vm-1", "alice", 0);
+  EXPECT_FALSE(vm.HasRuntime("blast"));
+  vm.MarkRuntimeInstalled("blast");
+  EXPECT_TRUE(vm.HasRuntime("blast"));
+}
+
+TEST(VmTest, AdvanceConsumesWorkAndFiresCompletion) {
+  VirtualMachine vm("vm-1", "alice", 0);
+  std::vector<sim::SimTime> completions;
+  vm.Enqueue({1, 100.0, [&](sim::SimTime t) { completions.push_back(t); }});
+  // 100 cycles at 10 cycles/s takes 10 s; give one 20 s interval.
+  const Cycles used = vm.Advance(0, Seconds(20), 10.0);
+  EXPECT_DOUBLE_EQ(used, 100.0);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0], Seconds(10));  // interpolated mid-interval
+  EXPECT_EQ(vm.completed_items(), 1u);
+  EXPECT_FALSE(vm.HasWork());
+}
+
+TEST(VmTest, AdvancePartialProgressCarriesOver) {
+  VirtualMachine vm("vm-1", "alice", 0);
+  bool done = false;
+  vm.Enqueue({1, 100.0, [&](sim::SimTime) { done = true; }});
+  EXPECT_DOUBLE_EQ(vm.Advance(0, Seconds(4), 10.0), 40.0);
+  EXPECT_FALSE(done);
+  EXPECT_DOUBLE_EQ(vm.PendingCycles(), 60.0);
+  EXPECT_DOUBLE_EQ(vm.Advance(Seconds(4), Seconds(10), 10.0), 60.0);
+  EXPECT_TRUE(done);
+}
+
+TEST(VmTest, AdvanceMultipleItemsInOneInterval) {
+  VirtualMachine vm("vm-1", "alice", 0);
+  std::vector<sim::SimTime> completions;
+  for (std::uint64_t i = 0; i < 3; ++i)
+    vm.Enqueue({i, 50.0, [&](sim::SimTime t) { completions.push_back(t); }});
+  const Cycles used = vm.Advance(0, Seconds(20), 10.0);
+  EXPECT_DOUBLE_EQ(used, 150.0);
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Seconds(5));
+  EXPECT_EQ(completions[1], Seconds(10));
+  EXPECT_EQ(completions[2], Seconds(15));
+}
+
+TEST(VmTest, AdvanceBeforeReadyDoesNothing) {
+  VirtualMachine vm("vm-1", "alice", Seconds(100));
+  vm.Enqueue({1, 10.0, nullptr});
+  EXPECT_DOUBLE_EQ(vm.Advance(0, Seconds(10), 10.0), 0.0);
+}
+
+TEST(VmTest, AdvanceStraddlingReadinessUsesTail) {
+  VirtualMachine vm("vm-1", "alice", Seconds(5));
+  vm.Enqueue({1, 1000.0, nullptr});
+  // Interval [0, 10): only [5, 10) is usable -> 50 cycles at 10/s.
+  EXPECT_DOUBLE_EQ(vm.Advance(0, Seconds(10), 10.0), 50.0);
+}
+
+TEST(VmTest, ZeroCapacityOrNoWork) {
+  VirtualMachine vm("vm-1", "alice", 0);
+  EXPECT_DOUBLE_EQ(vm.Advance(0, Seconds(10), 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(vm.Advance(0, Seconds(10), 10.0), 0.0);  // empty queue
+}
+
+TEST(VmTest, DeliveredCyclesAccumulate) {
+  VirtualMachine vm("vm-1", "alice", 0);
+  vm.Enqueue({1, 100.0, nullptr});
+  vm.Advance(0, Seconds(5), 10.0);
+  vm.Advance(Seconds(5), Seconds(5), 10.0);
+  EXPECT_DOUBLE_EQ(vm.delivered_cycles(), 100.0);
+}
+
+TEST(VmTest, DestroyClearsQueue) {
+  VirtualMachine vm("vm-1", "alice", 0);
+  vm.Enqueue({1, 100.0, nullptr});
+  vm.Destroy();
+  EXPECT_TRUE(vm.destroyed());
+  EXPECT_FALSE(vm.HasWork());
+  EXPECT_EQ(vm.state(0), VmState::kDestroyed);
+}
+
+TEST(VmTest, PendingCyclesZeroWhenEmpty) {
+  VirtualMachine vm("vm-1", "alice", 0);
+  EXPECT_DOUBLE_EQ(vm.PendingCycles(), 0.0);
+}
+
+}  // namespace
+}  // namespace gm::host

@@ -1,0 +1,144 @@
+#include "market/auctioneer_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace gm::market {
+namespace {
+
+class AuctioneerServiceTest : public ::testing::Test {
+ protected:
+  AuctioneerServiceTest()
+      : bus_(kernel_, net::LatencyModel::Lan(), 7),
+        host_([] {
+          host::HostSpec spec;
+          spec.id = "h1";
+          spec.cpus = 2;
+          spec.cycles_per_cpu = 100.0;
+          spec.virtualization_overhead = 0.0;
+          spec.vm_boot_time = 0;
+          return spec;
+        }()),
+        auctioneer_(host_, kernel_),
+        service_(auctioneer_, bus_),
+        client_(bus_, "agent-1") {}
+
+  sim::Kernel kernel_;
+  net::MessageBus bus_;
+  host::PhysicalHost host_;
+  Auctioneer auctioneer_;
+  AuctioneerService service_;
+  AuctioneerClient client_;
+};
+
+TEST_F(AuctioneerServiceTest, EndpointDerivedFromHostId) {
+  EXPECT_EQ(service_.endpoint(), "auctioneer/h1");
+}
+
+TEST_F(AuctioneerServiceTest, FullAccountLifecycleOverRpc) {
+  std::optional<Status> opened;
+  client_.OpenAccount("auctioneer/h1", "alice",
+                      [&](Status s) { opened = s; });
+  kernel_.Run();
+  ASSERT_TRUE(opened.has_value());
+  ASSERT_TRUE(opened->ok());
+
+  std::optional<Status> funded;
+  client_.Fund("auctioneer/h1", "alice", 5000, [&](Status s) { funded = s; });
+  kernel_.Run();
+  ASSERT_TRUE(funded.has_value() && funded->ok());
+
+  std::optional<Status> bid;
+  client_.SetBid("auctioneer/h1", "alice", 40, sim::Hours(1),
+                 [&](Status s) { bid = s; });
+  kernel_.Run();
+  ASSERT_TRUE(bid.has_value() && bid->ok());
+  EXPECT_EQ(auctioneer_.SpotPriceRate(), 40);
+
+  std::optional<Result<Micros>> balance;
+  client_.Balance("auctioneer/h1", "alice",
+                  [&](Result<Micros> r) { balance = r; });
+  kernel_.Run();
+  ASSERT_TRUE(balance.has_value());
+  ASSERT_TRUE(balance->ok());
+  EXPECT_EQ(balance->value(), 5000);
+
+  std::optional<Result<Micros>> refund;
+  client_.CloseAccount("auctioneer/h1", "alice",
+                       [&](Result<Micros> r) { refund = r; });
+  kernel_.Run();
+  ASSERT_TRUE(refund.has_value());
+  ASSERT_TRUE(refund->ok());
+  EXPECT_EQ(refund->value(), 5000);
+  EXPECT_FALSE(auctioneer_.HasAccount("alice"));
+}
+
+TEST_F(AuctioneerServiceTest, ErrorsPropagateOverRpc) {
+  std::optional<Status> fund_status;
+  client_.Fund("auctioneer/h1", "ghost", 100,
+               [&](Status s) { fund_status = s; });
+  kernel_.Run();
+  ASSERT_TRUE(fund_status.has_value());
+  EXPECT_EQ(fund_status->code(), StatusCode::kNotFound);
+
+  std::optional<Result<Micros>> balance;
+  client_.Balance("auctioneer/h1", "ghost",
+                  [&](Result<Micros> r) { balance = r; });
+  kernel_.Run();
+  ASSERT_TRUE(balance.has_value());
+  EXPECT_FALSE(balance->ok());
+}
+
+TEST_F(AuctioneerServiceTest, PriceStatsSnapshot) {
+  ASSERT_TRUE(auctioneer_.OpenAccount("alice").ok());
+  ASSERT_TRUE(auctioneer_.Fund("alice", 100000).ok());
+  ASSERT_TRUE(auctioneer_.SetBid("alice", 60, sim::Hours(10)).ok());
+  auctioneer_.Start();
+  kernel_.RunUntil(sim::Minutes(2));
+
+  std::optional<Result<PriceStatsSnapshot>> stats;
+  client_.PriceStats("auctioneer/h1",
+                     [&](Result<PriceStatsSnapshot> r) { stats = r; });
+  kernel_.RunUntil(kernel_.now() + sim::Seconds(5));
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_TRUE(stats->ok());
+  EXPECT_EQ((*stats)->spot_rate, 60);
+  EXPECT_DOUBLE_EQ((*stats)->price_per_capacity,
+                   MicrosToDollars(60) / 200.0);
+  EXPECT_GE((*stats)->mean_day, 0.0);
+}
+
+TEST_F(AuctioneerServiceTest, UnreachableAuctioneerTimesOut) {
+  std::optional<Status> status;
+  client_.OpenAccount("auctioneer/ghost-host", "alice",
+                      [&](Status s) { status = s; });
+  kernel_.Run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(AuctioneerServiceTest, SurvivesLossyNetworkWithRetries) {
+  sim::Kernel kernel;
+  net::MessageBus lossy(kernel, net::LatencyModel::Lossy(0.4), 99);
+  host::HostSpec spec;
+  spec.id = "h2";
+  spec.cpus = 1;
+  spec.cycles_per_cpu = 100.0;
+  spec.vm_boot_time = 0;
+  host::PhysicalHost host(spec);
+  Auctioneer auctioneer(host, kernel);
+  AuctioneerService service(auctioneer, lossy);
+  net::CallOptions options;
+  options.timeout = sim::Seconds(1);
+  options.max_attempts = 12;
+  AuctioneerClient client(lossy, "agent-x", options);
+  std::optional<Status> status;
+  client.OpenAccount("auctioneer/h2", "alice", [&](Status s) { status = s; });
+  kernel.Run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->ok()) << status->ToString();
+}
+
+}  // namespace
+}  // namespace gm::market

@@ -1,0 +1,197 @@
+#include "market/auctioneer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::market {
+namespace {
+
+using sim::Seconds;
+
+host::HostSpec SmallHost() {
+  host::HostSpec spec;
+  spec.id = "h1";
+  spec.cpus = 2;
+  spec.cycles_per_cpu = 100.0;
+  spec.virtualization_overhead = 0.0;
+  spec.vm_boot_time = 0;
+  spec.max_vms = 10;
+  return spec;
+}
+
+class AuctioneerTest : public ::testing::Test {
+ protected:
+  AuctioneerTest() : host_(SmallHost()), auctioneer_(host_, kernel_) {}
+
+  /// Open + fund + bid + enqueue work for a user in one step.
+  host::VirtualMachine* Join(const std::string& user, Micros funds,
+                             Micros rate, sim::SimTime deadline,
+                             Cycles work = 1e12) {
+    EXPECT_TRUE(auctioneer_.OpenAccount(user).ok());
+    EXPECT_TRUE(auctioneer_.Fund(user, funds).ok());
+    EXPECT_TRUE(auctioneer_.SetBid(user, rate, deadline).ok());
+    auto vm = auctioneer_.AcquireVm(user);
+    EXPECT_TRUE(vm.ok());
+    if (work > 0) (*vm)->Enqueue({next_work_id_++, work, nullptr});
+    return *vm;
+  }
+
+  sim::Kernel kernel_;
+  host::PhysicalHost host_;
+  Auctioneer auctioneer_;
+  std::uint64_t next_work_id_ = 1;
+};
+
+TEST_F(AuctioneerTest, AccountLifecycle) {
+  EXPECT_TRUE(auctioneer_.OpenAccount("alice").ok());
+  EXPECT_EQ(auctioneer_.OpenAccount("alice").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(auctioneer_.Fund("alice", 100).ok());
+  EXPECT_EQ(auctioneer_.Balance("alice").value(), 100);
+  EXPECT_FALSE(auctioneer_.Fund("bob", 100).ok());
+  EXPECT_FALSE(auctioneer_.Fund("alice", 0).ok());
+  const auto refund = auctioneer_.CloseAccount("alice");
+  ASSERT_TRUE(refund.ok());
+  EXPECT_EQ(*refund, 100);
+  EXPECT_FALSE(auctioneer_.HasAccount("alice"));
+}
+
+TEST_F(AuctioneerTest, VmRequiresAccount) {
+  EXPECT_EQ(auctioneer_.AcquireVm("ghost").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AuctioneerTest, AcquireVmIsIdempotent) {
+  ASSERT_TRUE(auctioneer_.OpenAccount("alice").ok());
+  const auto a = auctioneer_.AcquireVm("alice");
+  const auto b = auctioneer_.AcquireVm("alice");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // one VM per user per host
+}
+
+TEST_F(AuctioneerTest, SpotPriceSumsActiveBids) {
+  Join("alice", DollarsToMicros(100), 500, Seconds(1000));
+  Join("bob", DollarsToMicros(100), 300, Seconds(1000));
+  EXPECT_EQ(auctioneer_.SpotPriceRate(), 800);
+  // Price per capacity: $8e-4/s over 200 cycles/s... in micro terms.
+  EXPECT_DOUBLE_EQ(auctioneer_.PricePerCapacity(),
+                   MicrosToDollars(800) / 200.0);
+}
+
+TEST_F(AuctioneerTest, ExpiredAndUnfundedBidsExcludedFromPrice) {
+  Join("alice", DollarsToMicros(100), 500, Seconds(5));
+  kernel_.RunUntil(Seconds(10));
+  EXPECT_EQ(auctioneer_.SpotPriceRate(), 0);  // deadline passed
+  ASSERT_TRUE(auctioneer_.OpenAccount("bob").ok());
+  ASSERT_TRUE(auctioneer_.SetBid("bob", 300, Seconds(1000)).ok());
+  EXPECT_EQ(auctioneer_.SpotPriceRate(), 0);  // no funds
+}
+
+TEST_F(AuctioneerTest, TickChargesProportionallyToUse) {
+  Join("alice", DollarsToMicros(100), 1000, Seconds(1000));
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(10));  // one interval
+  // Fully used share: pays rate * 10 s.
+  EXPECT_EQ(auctioneer_.Spent("alice").value(), 10000);
+  EXPECT_EQ(auctioneer_.Balance("alice").value(),
+            DollarsToMicros(100) - 10000);
+  EXPECT_EQ(auctioneer_.total_revenue(), 10000);
+}
+
+TEST_F(AuctioneerTest, IdleVmIsNotCharged) {
+  Join("alice", DollarsToMicros(100), 1000, Seconds(1000), /*work=*/0);
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(30));
+  EXPECT_EQ(auctioneer_.Spent("alice").value(), 0);
+  EXPECT_EQ(auctioneer_.Balance("alice").value(), DollarsToMicros(100));
+}
+
+TEST_F(AuctioneerTest, PartialUseChargesFraction) {
+  // 100 cycles of work, host grants 200 cycles/s for 10 s => uses 5% of
+  // the granted capacity => pays 5% of rate * dt... with a 2-CPU host and
+  // single vCPU cap 100/s the VM gets 100/s => uses 1% of 10 s.
+  host::VirtualMachine* vm = Join("alice", DollarsToMicros(100), 1000,
+                                  Seconds(1000), /*work=*/0);
+  vm->Enqueue({99, 100.0, nullptr});
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(10));
+  // granted = 100 cycles/s (vCPU cap), offered = 1000 cycles, used = 100
+  // -> fraction 0.1 -> cost = 1000 µ$/s * 10 s * 0.1 = 1000 µ$.
+  EXPECT_EQ(auctioneer_.Spent("alice").value(), 1000);
+}
+
+TEST_F(AuctioneerTest, HigherBidGetsProportionallyMoreCpu) {
+  host::VirtualMachine* alice =
+      Join("alice", DollarsToMicros(100), 3000, Seconds(1000));
+  host::VirtualMachine* bob =
+      Join("bob", DollarsToMicros(100), 1000, Seconds(1000));
+  host::VirtualMachine* carol =
+      Join("carol", DollarsToMicros(100), 1000, Seconds(1000));
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(100));
+  // Weights 3:1:1 on 200 cycles/s with a 100 cap: alice capped at 100,
+  // bob and carol share the rest 50/50.
+  EXPECT_NEAR(alice->delivered_cycles(), 100.0 * 100, 1.0);
+  EXPECT_NEAR(bob->delivered_cycles(), 50.0 * 100, 1.0);
+  EXPECT_NEAR(carol->delivered_cycles(), 50.0 * 100, 1.0);
+}
+
+TEST_F(AuctioneerTest, BalanceExhaustionStopsService) {
+  // Funds for exactly 5 intervals at full use.
+  host::VirtualMachine* vm =
+      Join("alice", 50'000, 1000, Seconds(100000));
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(200));
+  EXPECT_EQ(auctioneer_.Balance("alice").value(), 0);
+  EXPECT_EQ(auctioneer_.Spent("alice").value(), 50'000);
+  // Work stops once the account drains: 50 s of CPU at 100 cycles/s.
+  EXPECT_NEAR(vm->delivered_cycles(), 5000.0, 1.0);
+}
+
+TEST_F(AuctioneerTest, PriceHistoryRecordedEveryTick) {
+  Join("alice", DollarsToMicros(100), 800, Seconds(1000));
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(50));
+  EXPECT_EQ(auctioneer_.history().size(), 5u);
+  EXPECT_DOUBLE_EQ(auctioneer_.history().back().price,
+                   MicrosToDollars(800) / 200.0);
+}
+
+TEST_F(AuctioneerTest, WindowStatsAndDistributionsFed) {
+  Join("alice", DollarsToMicros(100), 800, Seconds(1000));
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(100));
+  const auto moments = auctioneer_.Moments("hour");
+  ASSERT_TRUE(moments.ok());
+  EXPECT_GT((*moments)->mean(), 0.0);
+  const auto table = auctioneer_.Distribution("hour");
+  ASSERT_TRUE(table.ok());
+  EXPECT_GT(table.value()->slot_count(), 0u);
+  EXPECT_FALSE(auctioneer_.Moments("decade").ok());
+}
+
+TEST_F(AuctioneerTest, CloseAccountRefundsUnusedBalance) {
+  Join("alice", DollarsToMicros(100), 1000, Seconds(1000));
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(20));
+  const Micros spent = auctioneer_.Spent("alice").value();
+  const auto refund = auctioneer_.CloseAccount("alice");
+  ASSERT_TRUE(refund.ok());
+  EXPECT_EQ(*refund + spent, DollarsToMicros(100));
+  // The VM is gone too.
+  EXPECT_EQ(host_.vm_count(), 0u);
+}
+
+TEST_F(AuctioneerTest, WorkCompletionDuringTicks) {
+  host::VirtualMachine* vm = Join("alice", DollarsToMicros(100), 1000,
+                                  Seconds(1000), /*work=*/0);
+  sim::SimTime completed_at = -1;
+  // 250 cycles at 100 cycles/s = 2.5 s into the first interval.
+  vm->Enqueue({1, 250.0, [&](sim::SimTime t) { completed_at = t; }});
+  auctioneer_.Start();
+  kernel_.RunUntil(Seconds(10));
+  EXPECT_EQ(completed_at, sim::Seconds(2.5));
+}
+
+}  // namespace
+}  // namespace gm::market

@@ -1,0 +1,76 @@
+#include "market/price_history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::market {
+namespace {
+
+using sim::Seconds;
+
+TEST(PriceHistoryTest, RecordsInOrder) {
+  PriceHistory history;
+  history.Record(Seconds(10), 1.0);
+  history.Record(Seconds(20), 2.0);
+  EXPECT_EQ(history.size(), 2u);
+  EXPECT_DOUBLE_EQ(history.at(0).price, 1.0);
+  EXPECT_DOUBLE_EQ(history.back().price, 2.0);
+}
+
+TEST(PriceHistoryTest, RingBufferEvictsOldest) {
+  PriceHistory history(4);
+  for (int i = 0; i < 10; ++i)
+    history.Record(Seconds(i), static_cast<double>(i));
+  EXPECT_EQ(history.size(), 4u);
+  EXPECT_DOUBLE_EQ(history.at(0).price, 6.0);
+  EXPECT_DOUBLE_EQ(history.back().price, 9.0);
+}
+
+TEST(PriceHistoryTest, PricesBetweenHalfOpenInterval) {
+  PriceHistory history;
+  for (int i = 0; i < 10; ++i)
+    history.Record(Seconds(i * 10), static_cast<double>(i));
+  const auto prices = history.PricesBetween(Seconds(20), Seconds(50));
+  ASSERT_EQ(prices.size(), 3u);  // t = 20, 30, 40
+  EXPECT_DOUBLE_EQ(prices[0], 2.0);
+  EXPECT_DOUBLE_EQ(prices[2], 4.0);
+}
+
+TEST(PriceHistoryTest, LastPricesShorterThanRequested) {
+  PriceHistory history;
+  history.Record(0, 1.0);
+  history.Record(1, 2.0);
+  const auto prices = history.LastPrices(10);
+  ASSERT_EQ(prices.size(), 2u);
+  EXPECT_DOUBLE_EQ(prices[0], 1.0);
+  EXPECT_DOUBLE_EQ(prices[1], 2.0);
+}
+
+TEST(PriceHistoryTest, LastPricesExactCount) {
+  PriceHistory history;
+  for (int i = 0; i < 5; ++i) history.Record(i, static_cast<double>(i));
+  const auto prices = history.LastPrices(3);
+  ASSERT_EQ(prices.size(), 3u);
+  EXPECT_DOUBLE_EQ(prices[0], 2.0);
+  EXPECT_DOUBLE_EQ(prices[2], 4.0);
+}
+
+TEST(PriceHistoryTest, WindowPricesIncludesNow) {
+  PriceHistory history;
+  history.Record(Seconds(0), 1.0);
+  history.Record(Seconds(10), 2.0);
+  history.Record(Seconds(20), 3.0);
+  const auto prices = history.WindowPrices(Seconds(20), Seconds(10));
+  ASSERT_EQ(prices.size(), 2u);  // t = 10 and t = 20
+  EXPECT_DOUBLE_EQ(prices[0], 2.0);
+  EXPECT_DOUBLE_EQ(prices[1], 3.0);
+}
+
+TEST(PriceHistoryTest, EmptyQueries) {
+  PriceHistory history;
+  EXPECT_TRUE(history.empty());
+  EXPECT_TRUE(history.PricesBetween(0, 100).empty());
+  EXPECT_TRUE(history.LastPrices(5).empty());
+}
+
+}  // namespace
+}  // namespace gm::market

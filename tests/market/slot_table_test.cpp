@@ -1,0 +1,126 @@
+#include "market/slot_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "math/distributions.hpp"
+
+namespace gm::market {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(SlotTableTest, SingleSampleInRightSlot) {
+  SlotTable table(10, 10, 1.0);  // slots of width 0.1
+  table.Add(0.55);
+  const auto proportions = table.Proportions();
+  EXPECT_DOUBLE_EQ(proportions[5], 1.0);
+  EXPECT_DOUBLE_EQ(Sum(proportions), 1.0);
+}
+
+TEST(SlotTableTest, ProportionsSumToOne) {
+  Rng rng(3);
+  SlotTable table(20, 10, 1.0);
+  for (int i = 0; i < 137; ++i) table.Add(rng.NextDouble());
+  EXPECT_NEAR(Sum(table.Proportions()), 1.0, 1e-12);
+}
+
+TEST(SlotTableTest, DualArrayLagAndWeights) {
+  SlotTable table(10, 10, 1.0);
+  // First n snapshots go only to array 0.
+  for (int i = 0; i < 10; ++i) table.Add(0.05);
+  EXPECT_EQ(table.array_count(0), 10u);
+  EXPECT_EQ(table.array_count(1), 0u);
+  EXPECT_DOUBLE_EQ(table.Weight1(), 1.0);  // exactly n snapshots
+  // Next n snapshots go to both.
+  for (int i = 0; i < 10; ++i) table.Add(0.05);
+  EXPECT_EQ(table.array_count(0), 20u);
+  EXPECT_EQ(table.array_count(1), 10u);
+  // Array 0 is at 2n (weight 0), array 1 at n (weight 1).
+  EXPECT_DOUBLE_EQ(table.Weight1(), 0.0);
+}
+
+TEST(SlotTableTest, ArraysResetAtTwiceWindow) {
+  SlotTable table(5, 10, 1.0);
+  for (int i = 0; i < 11; ++i) table.Add(0.5);
+  // Array 0 reached 10 = 2n and restarted on snapshot 11.
+  EXPECT_EQ(table.array_count(0), 1u);
+  EXPECT_EQ(table.array_count(1), 6u);
+}
+
+TEST(SlotTableTest, CountsDifferByWindowInSteadyState) {
+  SlotTable table(7, 10, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    table.Add(0.3);
+    if (i >= 14) {
+      const long diff = static_cast<long>(table.array_count(0)) -
+                        static_cast<long>(table.array_count(1));
+      EXPECT_EQ(std::abs(diff), 7) << "at snapshot " << i;
+    }
+  }
+}
+
+TEST(SlotTableTest, WindowedDistributionForgetsOldRegime) {
+  // Feed one window of low prices, then two windows of high prices: the
+  // reported distribution should be dominated by the new regime.
+  SlotTable table(20, 10, 1.0);
+  for (int i = 0; i < 20; ++i) table.Add(0.05);   // slot 0
+  for (int i = 0; i < 40; ++i) table.Add(0.95);   // slot 9
+  const auto proportions = table.Proportions();
+  EXPECT_GT(proportions[9], 0.9);
+  EXPECT_LT(proportions[0], 0.1);
+}
+
+TEST(SlotTableTest, SelfAdjustingRangeExpansion) {
+  SlotTable table(10, 10, 1.0);
+  table.Add(0.95);  // last slot of [0, 1)
+  EXPECT_DOUBLE_EQ(table.slot_width(), 0.1);
+  table.Add(3.7);  // forces expansion to [0, 4)
+  EXPECT_DOUBLE_EQ(table.slot_width(), 0.4);
+  EXPECT_DOUBLE_EQ(table.max_value(), 4.0);
+  const auto proportions = table.Proportions();
+  // 0.95 now falls in slot 2 ([0.8, 1.2)), 3.7 in slot 9.
+  EXPECT_DOUBLE_EQ(proportions[2], 0.5);
+  EXPECT_DOUBLE_EQ(proportions[9], 0.5);
+}
+
+TEST(SlotTableTest, ExpansionPreservesTotalMass) {
+  Rng rng(5);
+  SlotTable table(50, 20, 0.1);
+  for (int i = 0; i < 200; ++i) table.Add(rng.NextDouble() * 10.0);
+  EXPECT_NEAR(Sum(table.Proportions()), 1.0, 1e-12);
+  EXPECT_GE(table.max_value(), 10.0);
+}
+
+TEST(SlotTableTest, ApproximatesStationaryDistribution) {
+  // Paper Figure 7: window approximation tracks the true distribution.
+  Rng rng(11);
+  math::BetaSampler sampler(5.0, 1.0);  // left-skewed on [0, 1]
+  SlotTable table(200, 10, 1.0);
+  std::vector<double> exact(10, 0.0);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sampler.Sample(rng);
+    table.Add(x);
+    exact[std::min(static_cast<std::size_t>(x / table.slot_width()),
+                   std::size_t{9})] += 1.0;
+  }
+  const auto approx = table.Proportions();
+  for (std::size_t j = 0; j < 10; ++j) {
+    EXPECT_NEAR(approx[j], exact[j] / n, 0.08) << "slot " << j;
+  }
+  // Beta(5,1) mass concentrates near 1.
+  EXPECT_GT(approx[9], 0.3);
+}
+
+TEST(SlotTableTest, EmptyTableReportsZeros) {
+  SlotTable table(10, 10, 1.0);
+  EXPECT_DOUBLE_EQ(Sum(table.Proportions()), 0.0);
+}
+
+}  // namespace
+}  // namespace gm::market

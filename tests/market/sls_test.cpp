@@ -1,0 +1,181 @@
+#include "market/sls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace gm::market {
+namespace {
+
+using sim::Minutes;
+using sim::Seconds;
+
+HostRecord MakeRecord(const std::string& id, double price,
+                      double cycles = 100.0, std::size_t vms = 0,
+                      int max_vms = 10) {
+  HostRecord record;
+  record.host_id = id;
+  record.site = "test-site";
+  record.cpus = 2;
+  record.cycles_per_cpu = cycles;
+  record.price_per_capacity = price;
+  record.vm_count = vms;
+  record.max_vms = max_vms;
+  return record;
+}
+
+class SlsTest : public ::testing::Test {
+ protected:
+  sim::Kernel kernel_;
+  ServiceLocationService sls_{kernel_, Minutes(5)};
+};
+
+TEST_F(SlsTest, PublishAndLookup) {
+  sls_.Publish(MakeRecord("h1", 0.5));
+  const auto record = sls_.Lookup("h1");
+  ASSERT_TRUE(record.ok());
+  EXPECT_DOUBLE_EQ(record->price_per_capacity, 0.5);
+  EXPECT_FALSE(sls_.Lookup("h2").ok());
+}
+
+TEST_F(SlsTest, PublishUpserts) {
+  sls_.Publish(MakeRecord("h1", 0.5));
+  sls_.Publish(MakeRecord("h1", 0.9));
+  EXPECT_DOUBLE_EQ(sls_.Lookup("h1")->price_per_capacity, 0.9);
+  EXPECT_EQ(sls_.live_count(), 1u);
+}
+
+TEST_F(SlsTest, QuerySortsByPrice) {
+  sls_.Publish(MakeRecord("expensive", 0.9));
+  sls_.Publish(MakeRecord("cheap", 0.1));
+  sls_.Publish(MakeRecord("middle", 0.5));
+  const auto records = sls_.Query({});
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].host_id, "cheap");
+  EXPECT_EQ(records[1].host_id, "middle");
+  EXPECT_EQ(records[2].host_id, "expensive");
+}
+
+TEST_F(SlsTest, QueryFilters) {
+  sls_.Publish(MakeRecord("slow", 0.1, /*cycles=*/50.0));
+  sls_.Publish(MakeRecord("fast", 0.5, /*cycles=*/200.0));
+  sls_.Publish(MakeRecord("full", 0.2, /*cycles=*/200.0, /*vms=*/10,
+                          /*max_vms=*/10));
+
+  HostQuery query;
+  query.min_cycles_per_cpu = 100.0;
+  query.require_vm_slot = true;
+  const auto records = sls_.Query(query);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].host_id, "fast");
+
+  HostQuery price_query;
+  price_query.max_price_per_capacity = 0.3;
+  EXPECT_EQ(sls_.Query(price_query).size(), 2u);  // slow + full
+
+  HostQuery limited;
+  limited.limit = 2;
+  EXPECT_EQ(sls_.Query(limited).size(), 2u);
+}
+
+TEST_F(SlsTest, RecordsExpireWithoutHeartbeat) {
+  sls_.Publish(MakeRecord("h1", 0.5));
+  kernel_.RunUntil(Minutes(4));
+  EXPECT_EQ(sls_.live_count(), 1u);
+  kernel_.RunUntil(Minutes(6));
+  EXPECT_EQ(sls_.live_count(), 0u);
+  EXPECT_FALSE(sls_.Lookup("h1").ok());
+  EXPECT_TRUE(sls_.Query({}).empty());
+}
+
+TEST_F(SlsTest, RemoveDeletesRecord) {
+  sls_.Publish(MakeRecord("h1", 0.5));
+  EXPECT_TRUE(sls_.Remove("h1").ok());
+  EXPECT_FALSE(sls_.Remove("h1").ok());
+  EXPECT_FALSE(sls_.Lookup("h1").ok());
+}
+
+TEST_F(SlsTest, PublisherHeartbeatsAuctioneerState) {
+  host::HostSpec spec;
+  spec.id = "h9";
+  spec.cpus = 2;
+  spec.cycles_per_cpu = 100.0;
+  spec.virtualization_overhead = 0.0;
+  spec.vm_boot_time = 0;
+  host::PhysicalHost host(spec);
+  Auctioneer auctioneer(host, kernel_);
+  ASSERT_TRUE(auctioneer.OpenAccount("alice").ok());
+  ASSERT_TRUE(auctioneer.Fund("alice", 1000000).ok());
+  ASSERT_TRUE(auctioneer.SetBid("alice", 400, sim::Hours(10)).ok());
+
+  SlsPublisher publisher(auctioneer, sls_, "hp-palo-alto", kernel_,
+                         Minutes(1));
+  // Published immediately at construction.
+  const auto record = sls_.Lookup("h9");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->site, "hp-palo-alto");
+  EXPECT_DOUBLE_EQ(record->price_per_capacity,
+                   MicrosToDollars(400) / 200.0);
+
+  // Heartbeats keep the record alive well past the TTL.
+  kernel_.RunUntil(Minutes(20));
+  EXPECT_TRUE(sls_.Lookup("h9").ok());
+}
+
+TEST(SlsWireTest, HostRecordRoundTrip) {
+  HostRecord record = MakeRecord("h1", 0.25, 123.0, 3, 15);
+  record.mean_price = 0.2;
+  record.stddev_price = 0.05;
+  record.updated_at = 999;
+  net::Writer writer;
+  WriteHostRecord(writer, record);
+  net::Reader reader(writer.data());
+  const auto decoded = ReadHostRecord(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->host_id, "h1");
+  EXPECT_EQ(decoded->site, "test-site");
+  EXPECT_DOUBLE_EQ(decoded->price_per_capacity, 0.25);
+  EXPECT_DOUBLE_EQ(decoded->mean_price, 0.2);
+  EXPECT_EQ(decoded->vm_count, 3u);
+  EXPECT_EQ(decoded->max_vms, 15);
+  EXPECT_EQ(decoded->updated_at, 999);
+}
+
+TEST(SlsRpcTest, QueryOverNetwork) {
+  sim::Kernel kernel;
+  net::MessageBus bus(kernel, net::LatencyModel::Lan(), 17);
+  ServiceLocationService sls(kernel);
+  SlsService service(sls, bus);
+  sls.Publish(MakeRecord("h1", 0.5));
+  sls.Publish(MakeRecord("h2", 0.1));
+
+  SlsClient client(bus, "agent-1");
+  std::optional<std::vector<HostRecord>> result;
+  HostQuery query;
+  query.limit = 5;
+  client.Query(query, [&](Result<std::vector<HostRecord>> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    result = std::move(*r);
+  });
+  kernel.Run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].host_id, "h2");  // cheapest first
+}
+
+TEST(SlsRpcTest, PublishOverNetwork) {
+  sim::Kernel kernel;
+  net::MessageBus bus(kernel, net::LatencyModel::Lan(), 18);
+  ServiceLocationService sls(kernel);
+  SlsService service(sls, bus);
+  SlsClient client(bus, "agent-1");
+  std::optional<Status> status;
+  client.Publish(MakeRecord("h7", 0.3), [&](Status s) { status = s; });
+  kernel.Run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->ok());
+  EXPECT_TRUE(sls.Lookup("h7").ok());
+}
+
+}  // namespace
+}  // namespace gm::market

@@ -1,0 +1,105 @@
+#include "market/window_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "math/distributions.hpp"
+
+namespace gm::market {
+namespace {
+
+TEST(WindowMomentsTest, AlphaFromWindowSize) {
+  EXPECT_DOUBLE_EQ(WindowMoments(1).alpha(), 0.0);
+  EXPECT_DOUBLE_EQ(WindowMoments(4).alpha(), 0.75);
+  EXPECT_DOUBLE_EQ(WindowMoments(100).alpha(), 0.99);
+}
+
+TEST(WindowMomentsTest, FirstSampleSeedsMoments) {
+  WindowMoments m(10);
+  m.Add(2.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.RawMoment(2), 4.0);
+  EXPECT_DOUBLE_EQ(m.RawMoment(3), 8.0);
+  EXPECT_DOUBLE_EQ(m.RawMoment(4), 16.0);
+  EXPECT_DOUBLE_EQ(m.stddev(), 0.0);
+}
+
+TEST(WindowMomentsTest, WindowOneIgnoresHistory) {
+  // alpha = 0: each sample fully replaces the state (paper: "for window
+  // size 1, the previously calculated moments are ignored").
+  WindowMoments m(1);
+  m.Add(10.0);
+  m.Add(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(WindowMomentsTest, ConstantStreamHasZeroSpread) {
+  WindowMoments m(50);
+  for (int i = 0; i < 500; ++i) m.Add(7.5);
+  EXPECT_DOUBLE_EQ(m.mean(), 7.5);
+  EXPECT_NEAR(m.variance(), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.skewness(), 0.0);
+  EXPECT_DOUBLE_EQ(m.kurtosis(), 0.0);
+}
+
+TEST(WindowMomentsTest, ConvergesToDistributionMoments) {
+  Rng rng(42);
+  math::NormalSampler sampler(5.0, 2.0);
+  WindowMoments m(2000);
+  for (int i = 0; i < 60000; ++i) m.Add(sampler.Sample(rng));
+  EXPECT_NEAR(m.mean(), 5.0, 0.15);
+  EXPECT_NEAR(m.stddev(), 2.0, 0.15);
+  EXPECT_NEAR(m.skewness(), 0.0, 0.2);
+  EXPECT_NEAR(m.kurtosis(), 0.0, 0.4);
+}
+
+TEST(WindowMomentsTest, ExponentialStreamIsRightSkewed) {
+  Rng rng(7);
+  math::ExponentialSampler sampler(1.0);
+  WindowMoments m(2000);
+  for (int i = 0; i < 60000; ++i) m.Add(sampler.Sample(rng));
+  // Exponential: skewness 2, excess kurtosis 6.
+  EXPECT_NEAR(m.mean(), 1.0, 0.1);
+  EXPECT_NEAR(m.skewness(), 2.0, 0.5);
+  EXPECT_GT(m.kurtosis(), 2.0);
+}
+
+TEST(WindowMomentsTest, SmallWindowTracksLevelShiftFaster) {
+  WindowMoments fast(10);
+  WindowMoments slow(1000);
+  for (int i = 0; i < 200; ++i) {
+    fast.Add(1.0);
+    slow.Add(1.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    fast.Add(10.0);
+    slow.Add(10.0);
+  }
+  // The small window should be much closer to the new level.
+  EXPECT_GT(fast.mean(), 9.0);
+  EXPECT_LT(slow.mean(), 2.0);
+}
+
+TEST(WindowMomentsTest, PriceSpikesRaiseKurtosis) {
+  // Paper: "a high value of kurtosis indicates that a large portion of the
+  // standard deviation is due to a few very high price peaks."
+  WindowMoments m(500);
+  for (int i = 0; i < 5000; ++i) m.Add(i % 100 == 0 ? 50.0 : 1.0);
+  EXPECT_GT(m.kurtosis(), 10.0);
+  EXPECT_GT(m.skewness(), 3.0);
+}
+
+TEST(WindowMomentsTest, ResetClearsState) {
+  WindowMoments m(10);
+  m.Add(5.0);
+  m.Reset();
+  EXPECT_EQ(m.count(), 0u);
+  m.Add(1.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace gm::market

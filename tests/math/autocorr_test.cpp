@@ -1,0 +1,82 @@
+#include "math/autocorr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gm::math {
+namespace {
+
+TEST(AutocorrTest, RawAutocorrelationLagZeroIsMeanSquare) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_NEAR(RawAutocorrelation(x, 0), (1.0 + 4.0 + 9.0) / 3.0, 1e-12);
+}
+
+TEST(AutocorrTest, RawAutocorrelationKnownLag) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  // lag 1: (2*1 + 3*2 + 4*3)/3
+  EXPECT_NEAR(RawAutocorrelation(x, 1), 20.0 / 3.0, 1e-12);
+  // lag is symmetric
+  EXPECT_NEAR(RawAutocorrelation(x, -1), RawAutocorrelation(x, 1), 1e-12);
+}
+
+TEST(AutocorrTest, AutocovarianceOfConstantIsZero) {
+  const std::vector<double> x(50, 3.14);
+  EXPECT_NEAR(Autocovariance(x, 0), 0.0, 1e-12);
+  EXPECT_NEAR(Autocovariance(x, 3), 0.0, 1e-12);
+}
+
+TEST(AutocorrTest, WhiteNoiseUncorrelatedAtPositiveLags) {
+  Rng rng(101);
+  std::vector<double> x(20000);
+  for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+  const auto rho = AutocorrelationFunction(x, 5);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  for (int k = 1; k <= 5; ++k)
+    EXPECT_NEAR(rho[static_cast<std::size_t>(k)], 0.0, 0.03) << "lag " << k;
+}
+
+TEST(AutocorrTest, Ar1SeriesHasGeometricAcf) {
+  // x_t = phi x_{t-1} + e_t has rho(k) = phi^k.
+  const double phi = 0.8;
+  Rng rng(7);
+  std::vector<double> x;
+  x.reserve(60000);
+  double prev = 0.0;
+  for (int i = 0; i < 60000; ++i) {
+    const double e = rng.Uniform(-1.0, 1.0);
+    prev = phi * prev + e;
+    x.push_back(prev);
+  }
+  const auto rho = AutocorrelationFunction(x, 3);
+  EXPECT_NEAR(rho[1], phi, 0.02);
+  EXPECT_NEAR(rho[2], phi * phi, 0.03);
+  EXPECT_NEAR(rho[3], phi * phi * phi, 0.03);
+}
+
+TEST(AutocorrTest, AlternatingSeriesNegativeLagOne) {
+  std::vector<double> x;
+  for (int i = 0; i < 1000; ++i) x.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  const auto rho = AutocorrelationFunction(x, 2);
+  EXPECT_NEAR(rho[1], -1.0, 1e-3);
+  EXPECT_NEAR(rho[2], 1.0, 1e-2);
+}
+
+TEST(AutocorrTest, ConstantSeriesAcfReportsZeros) {
+  const std::vector<double> x(10, 5.0);
+  const auto rho = AutocorrelationFunction(x, 3);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  EXPECT_DOUBLE_EQ(rho[1], 0.0);
+}
+
+TEST(AutocorrTest, MaxLagBeyondDataIsZeroFilled) {
+  const std::vector<double> x{1.0, -1.0, 1.0};
+  const auto rho = AutocorrelationFunction(x, 10);
+  EXPECT_EQ(rho.size(), 11u);
+  EXPECT_DOUBLE_EQ(rho[5], 0.0);
+}
+
+}  // namespace
+}  // namespace gm::math

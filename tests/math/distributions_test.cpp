@@ -1,0 +1,103 @@
+#include "math/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "math/stats.hpp"
+
+namespace gm::math {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(NormalSamplerTest, MomentsMatch) {
+  Rng rng(1);
+  NormalSampler sampler(2.0, 1.5);
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i) m.Add(sampler.Sample(rng));
+  EXPECT_NEAR(m.mean(), 2.0, 0.02);
+  EXPECT_NEAR(m.stddev(), 1.5, 0.02);
+  EXPECT_NEAR(m.skewness(), 0.0, 0.03);
+  EXPECT_NEAR(m.kurtosis(), 0.0, 0.08);
+}
+
+TEST(NormalSamplerTest, ZeroSigmaIsDeterministic) {
+  Rng rng(2);
+  NormalSampler sampler(5.0, 0.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(sampler.Sample(rng), 5.0);
+}
+
+TEST(ExponentialSamplerTest, MomentsMatch) {
+  Rng rng(3);
+  ExponentialSampler sampler(2.0);  // mean 0.5, stddev 0.5
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = sampler.Sample(rng);
+    EXPECT_GE(v, 0.0);
+    m.Add(v);
+  }
+  EXPECT_NEAR(m.mean(), 0.5, 0.01);
+  EXPECT_NEAR(m.stddev(), 0.5, 0.01);
+  EXPECT_NEAR(m.skewness(), 2.0, 0.1);  // exponential skewness is 2
+}
+
+TEST(GammaSamplerTest, ShapeAboveOneMomentsMatch) {
+  Rng rng(4);
+  GammaSampler sampler(3.0);  // mean 3, var 3
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i) m.Add(sampler.Sample(rng));
+  EXPECT_NEAR(m.mean(), 3.0, 0.03);
+  EXPECT_NEAR(m.variance(), 3.0, 0.1);
+}
+
+TEST(GammaSamplerTest, ShapeBelowOneMomentsMatch) {
+  Rng rng(5);
+  GammaSampler sampler(0.5);  // mean 0.5, var 0.5
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = sampler.Sample(rng);
+    EXPECT_GE(v, 0.0);
+    m.Add(v);
+  }
+  EXPECT_NEAR(m.mean(), 0.5, 0.02);
+  EXPECT_NEAR(m.variance(), 0.5, 0.05);
+}
+
+TEST(BetaSamplerTest, MomentsMatch) {
+  Rng rng(6);
+  // Beta(5, 1): mean 5/6, var 5/(36*7).
+  BetaSampler sampler(5.0, 1.0);
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = sampler.Sample(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    m.Add(v);
+  }
+  EXPECT_NEAR(m.mean(), 5.0 / 6.0, 0.01);
+  EXPECT_NEAR(m.variance(), 5.0 / (36.0 * 7.0), 0.005);
+  EXPECT_LT(m.skewness(), 0.0);  // Beta(5,1) is left-skewed
+}
+
+TEST(BetaSamplerTest, SymmetricCase) {
+  Rng rng(7);
+  BetaSampler sampler(2.0, 2.0);
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i) m.Add(sampler.Sample(rng));
+  EXPECT_NEAR(m.mean(), 0.5, 0.01);
+  EXPECT_NEAR(m.skewness(), 0.0, 0.05);
+}
+
+TEST(SamplersTest, DeterministicGivenSeed) {
+  Rng rng_a(42);
+  Rng rng_b(42);
+  NormalSampler na(0.0, 1.0);
+  NormalSampler nb(0.0, 1.0);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(na.Sample(rng_a), nb.Sample(rng_b));
+}
+
+}  // namespace
+}  // namespace gm::math

@@ -1,0 +1,120 @@
+#include "math/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gm::math {
+namespace {
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+TEST(HistogramTest, AddPlacesInCorrectBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(1.0);   // bin 0
+  h.Add(3.5);   // bin 1
+  h.Add(9.99);  // bin 4
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEndBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(42.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(HistogramTest, BoundaryValues) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.0);  // lower edge -> bin 0
+  h.Add(0.5);  // boundary -> bin 1
+  h.Add(1.0);  // upper edge -> last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+}
+
+TEST(HistogramTest, ProportionsSumToOne) {
+  Rng rng(8);
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.NextDouble());
+  double sum = 0.0;
+  for (double p : h.Proportions()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyHistogramProportionsAreZero) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(h.Proportion(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Density(1), 0.0);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Rng rng(9);
+  Histogram h(0.0, 2.0, 8);
+  for (int i = 0; i < 5000; ++i) h.Add(rng.Uniform(0.0, 2.0));
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i)
+    integral += h.Density(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddWeighted(0.25, 3.0);
+  h.AddWeighted(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(h.Proportion(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.Proportion(1), 0.25);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.2);
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 0.0);
+}
+
+TEST(HistogramTest, TotalVariationDistanceIdentical) {
+  Rng rng(10);
+  Histogram a(0.0, 1.0, 10);
+  Histogram b(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.NextDouble();
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(Histogram::TotalVariationDistance(a, b), 0.0);
+}
+
+TEST(HistogramTest, TotalVariationDistanceDisjointIsOne) {
+  Histogram a(0.0, 1.0, 2);
+  Histogram b(0.0, 1.0, 2);
+  a.Add(0.1);
+  b.Add(0.9);
+  EXPECT_DOUBLE_EQ(Histogram::TotalVariationDistance(a, b), 1.0);
+}
+
+TEST(HistogramTest, TotalVariationDistanceSimilarDistributionsSmall) {
+  Rng rng(11);
+  Histogram a(0.0, 1.0, 10);
+  Histogram b(0.0, 1.0, 10);
+  for (int i = 0; i < 50000; ++i) {
+    a.Add(rng.NextDouble());
+    b.Add(rng.NextDouble());
+  }
+  EXPECT_LT(Histogram::TotalVariationDistance(a, b), 0.05);
+}
+
+}  // namespace
+}  // namespace gm::math

@@ -1,0 +1,176 @@
+#include "math/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gm::math {
+namespace {
+
+TEST(VectorOpsTest, DotNormAddSubtractScale) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+  EXPECT_EQ(Add(a, b), (Vector{5.0, 7.0, 9.0}));
+  EXPECT_EQ(Subtract(b, a), (Vector{3.0, 3.0, 3.0}));
+  EXPECT_EQ(Scale(a, 2.0), (Vector{2.0, 4.0, 6.0}));
+}
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::Diagonal({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4.0);
+  const Matrix prod = a * b;
+  EXPECT_DOUBLE_EQ(prod(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(prod(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 50.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v = a * Vector{1.0, 1.0};
+  EXPECT_EQ(v, (Vector{3.0, 7.0}));
+}
+
+TEST(MatrixTest, IdentityIsMultiplicativeNeutral) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE((a * Matrix::Identity(2)).ApproxEquals(a, 1e-15));
+  EXPECT_TRUE((Matrix::Identity(2) * a).ApproxEquals(a, 1e-15));
+}
+
+TEST(LuTest, SolveKnownSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const auto x = SolveLinear(a, {5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, SolveRequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = SolveLinear(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, SingularMatrixFails) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(SolveLinear(a, {1.0, 2.0}).ok());
+  EXPECT_FALSE(Invert(a).ok());
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(99);
+  Matrix a(5, 5);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.Uniform(-2.0, 2.0);
+  // Diagonal dominance guarantees invertibility.
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) += 5.0;
+  const auto inv = Invert(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE((a * *inv).ApproxEquals(Matrix::Identity(5), 1e-10));
+  EXPECT_TRUE((*inv * a).ApproxEquals(Matrix::Identity(5), 1e-10));
+}
+
+TEST(LuTest, DeterminantKnownValues) {
+  const auto lu1 = LuDecomposition::Compute({{3.0}});
+  ASSERT_TRUE(lu1.ok());
+  EXPECT_NEAR(lu1->Determinant(), 3.0, 1e-12);
+
+  const auto lu2 = LuDecomposition::Compute({{1.0, 2.0}, {3.0, 4.0}});
+  ASSERT_TRUE(lu2.ok());
+  EXPECT_NEAR(lu2->Determinant(), -2.0, 1e-12);
+
+  // Permutation matrix has determinant -1.
+  const auto lu3 = LuDecomposition::Compute({{0.0, 1.0}, {1.0, 0.0}});
+  ASSERT_TRUE(lu3.ok());
+  EXPECT_NEAR(lu3->Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, SolveMatrixRhs) {
+  const Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  const auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  const Matrix x = lu->Solve(Matrix::Identity(2));
+  EXPECT_NEAR(x(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(x(1, 1), 0.25, 1e-12);
+}
+
+TEST(CholeskyTest, FactorKnownMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 5.0}};
+  const auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), 2.0, 1e-12);
+  EXPECT_TRUE((*l * l->Transpose()).ApproxEquals(a, 1e-12));
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, SolveMatchesLu) {
+  Rng rng(5);
+  Matrix b(6, 6);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c) b(r, c) = rng.Uniform(-1.0, 1.0);
+  // A = B^T B + I is SPD.
+  const Matrix a = b.Transpose() * b + Matrix::Identity(6);
+  Vector rhs(6);
+  for (auto& v : rhs) v = rng.Uniform(-2.0, 2.0);
+  const auto x_chol = SolveCholesky(a, rhs);
+  const auto x_lu = SolveLinear(a, rhs);
+  ASSERT_TRUE(x_chol.ok());
+  ASSERT_TRUE(x_lu.ok());
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_NEAR((*x_chol)[i], (*x_lu)[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace gm::math

@@ -1,0 +1,74 @@
+#include "math/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gm::math {
+namespace {
+
+TEST(NormalTest, PdfPeakAtZero) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_DOUBLE_EQ(NormalPdf(3.0), NormalPdf(-3.0));
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(2.3263478740408408), 0.99, 1e-12);
+}
+
+TEST(NormalTest, CdfMonotone) {
+  double prev = -1.0;
+  for (double x = -6.0; x <= 6.0; x += 0.01) {
+    const double c = NormalCdf(x);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.99), 2.3263478740408408, 1e-10);
+  // The paper's guarantee levels.
+  EXPECT_NEAR(NormalQuantile(0.80), 0.8416212335729143, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.90), 1.2815515655446004, 1e-10);
+}
+
+TEST(NormalTest, QuantileIsInverseOfCdf) {
+  for (double p = 0.001; p < 0.9995; p += 0.0007) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileExtremeTails) {
+  EXPECT_NEAR(NormalCdf(NormalQuantile(1e-10)), 1e-10, 1e-13);
+  EXPECT_NEAR(NormalCdf(NormalQuantile(1.0 - 1e-10)), 1.0 - 1e-10, 1e-13);
+}
+
+TEST(NormalTest, QuantileSymmetry) {
+  for (double p = 0.01; p < 0.5; p += 0.03) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-11);
+  }
+}
+
+TEST(NormalTest, GeneralParameterization) {
+  const double mu = 10.0;
+  const double sigma = 2.5;
+  EXPECT_NEAR(NormalCdf(mu, mu, sigma), 0.5, 1e-15);
+  EXPECT_NEAR(NormalQuantile(0.5, mu, sigma), mu, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429, mu, sigma), mu + sigma,
+              1e-9);
+  // Round trip.
+  for (double p : {0.1, 0.25, 0.8, 0.99}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p, mu, sigma), mu, sigma), p, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gm::math

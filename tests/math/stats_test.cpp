@@ -1,0 +1,159 @@
+#include "math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gm::math {
+namespace {
+
+TEST(RunningMomentsTest, EmptyIsZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMomentsTest, SingleValue) {
+  RunningMoments m;
+  m.Add(4.2);
+  EXPECT_EQ(m.count(), 1);
+  EXPECT_DOUBLE_EQ(m.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 4.2);
+  EXPECT_DOUBLE_EQ(m.max(), 4.2);
+}
+
+TEST(RunningMomentsTest, KnownSmallSample) {
+  RunningMoments m;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(v);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(m.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(RunningMomentsTest, SampleVarianceUsesNMinusOne) {
+  RunningMoments m;
+  for (double v : {1.0, 2.0, 3.0}) m.Add(v);
+  EXPECT_DOUBLE_EQ(m.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.sample_variance(), 1.0);
+}
+
+TEST(RunningMomentsTest, SymmetricSampleHasZeroSkew) {
+  RunningMoments m;
+  for (double v : {-2.0, -1.0, 0.0, 1.0, 2.0}) m.Add(v);
+  EXPECT_NEAR(m.skewness(), 0.0, 1e-12);
+}
+
+TEST(RunningMomentsTest, RightSkewedSamplePositiveSkew) {
+  RunningMoments m;
+  for (double v : {1.0, 1.0, 1.0, 1.0, 10.0}) m.Add(v);
+  EXPECT_GT(m.skewness(), 1.0);
+}
+
+TEST(RunningMomentsTest, NormalSampleMomentsMatchTheory) {
+  Rng rng(42);
+  RunningMoments m;
+  // Sum of 12 uniforms - 6 is approximately N(0,1) — good enough to test
+  // that skewness ~ 0 and excess kurtosis ~ 0 at n = 200k.
+  for (int i = 0; i < 200000; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 12; ++j) sum += rng.NextDouble();
+    m.Add(sum - 6.0);
+  }
+  EXPECT_NEAR(m.mean(), 0.0, 0.01);
+  EXPECT_NEAR(m.variance(), 1.0, 0.02);
+  EXPECT_NEAR(m.skewness(), 0.0, 0.03);
+  EXPECT_NEAR(m.kurtosis(), 0.0, 0.1);
+}
+
+TEST(RunningMomentsTest, ConstantSeriesHasZeroHigherMoments) {
+  RunningMoments m;
+  for (int i = 0; i < 10; ++i) m.Add(3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.skewness(), 0.0);
+  EXPECT_DOUBLE_EQ(m.kurtosis(), 0.0);
+}
+
+TEST(RunningMomentsTest, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningMoments all;
+  RunningMoments a;
+  RunningMoments b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-5.0, 10.0);
+    all.Add(v);
+    (i < 400 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(a.skewness(), all.skewness(), 1e-9);
+  EXPECT_NEAR(a.kurtosis(), all.kurtosis(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningMomentsTest, MergeWithEmpty) {
+  RunningMoments a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningMoments empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(StatsTest, MeanVarianceCovariance) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_DOUBLE_EQ(Mean(a), 2.5);
+  EXPECT_NEAR(Variance(a), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Covariance(a, b), 2.0 * Variance(a), 1e-12);
+  EXPECT_NEAR(Covariance(a, a), Variance(a), 1e-12);
+}
+
+TEST(StatsTest, CovarianceOfAntitheticSeriesIsNegative) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_LT(Covariance(a, b), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+}
+
+TEST(StatsTest, SummarizeBasics) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 100.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace gm::math

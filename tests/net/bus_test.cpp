@@ -1,0 +1,164 @@
+#include "net/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gm::net {
+namespace {
+
+TEST(EnvelopeTest, EncodeDecodeRoundTrip) {
+  Envelope e;
+  e.source = "client-1";
+  e.destination = "bank";
+  e.type = MessageType::kRpcRequest;
+  e.correlation_id = 9876543210ULL;
+  e.payload = {1, 2, 3, 0xff};
+  const auto decoded = Envelope::Decode(e.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->source, e.source);
+  EXPECT_EQ(decoded->destination, e.destination);
+  EXPECT_EQ(decoded->type, e.type);
+  EXPECT_EQ(decoded->correlation_id, e.correlation_id);
+  EXPECT_EQ(decoded->payload, e.payload);
+}
+
+TEST(EnvelopeTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Envelope::Decode({0xff, 0xff, 0xff}).ok());
+  Envelope e;
+  e.destination = "x";
+  Bytes wire = e.Encode();
+  wire.push_back(0x00);  // trailing byte
+  EXPECT_FALSE(Envelope::Decode(wire).ok());
+}
+
+class BusTest : public ::testing::Test {
+ protected:
+  sim::Kernel kernel_;
+};
+
+TEST_F(BusTest, DeliversToRegisteredEndpoint) {
+  MessageBus bus(kernel_, LatencyModel{1000, 0, 0.0}, 1);
+  std::vector<Envelope> received;
+  ASSERT_TRUE(bus.RegisterEndpoint("bank", [&](const Envelope& e) {
+                   received.push_back(e);
+                 }).ok());
+  Envelope e;
+  e.source = "user";
+  e.destination = "bank";
+  e.payload = {42};
+  bus.Send(e);
+  EXPECT_TRUE(received.empty());  // not yet delivered
+  kernel_.Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].payload, Bytes{42});
+  EXPECT_EQ(kernel_.now(), 1000);  // base latency
+}
+
+TEST_F(BusTest, DuplicateEndpointRejected) {
+  MessageBus bus(kernel_, LatencyModel{}, 1);
+  ASSERT_TRUE(bus.RegisterEndpoint("a", [](const Envelope&) {}).ok());
+  EXPECT_EQ(bus.RegisterEndpoint("a", [](const Envelope&) {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(BusTest, UnregisterStopsDelivery) {
+  MessageBus bus(kernel_, LatencyModel{1000, 0, 0.0}, 1);
+  int count = 0;
+  ASSERT_TRUE(
+      bus.RegisterEndpoint("svc", [&](const Envelope&) { ++count; }).ok());
+  Envelope e;
+  e.destination = "svc";
+  bus.Send(e);
+  ASSERT_TRUE(bus.UnregisterEndpoint("svc").ok());
+  kernel_.Run();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(bus.stats().undeliverable, 1u);
+  EXPECT_EQ(bus.UnregisterEndpoint("svc").code(), StatusCode::kNotFound);
+}
+
+TEST_F(BusTest, UnknownDestinationCountedNotFatal) {
+  MessageBus bus(kernel_, LatencyModel{}, 1);
+  Envelope e;
+  e.destination = "nowhere";
+  bus.Send(e);
+  kernel_.Run();
+  EXPECT_EQ(bus.stats().sent, 1u);
+  EXPECT_EQ(bus.stats().delivered, 0u);
+  EXPECT_EQ(bus.stats().undeliverable, 1u);
+}
+
+TEST_F(BusTest, JitterVariesDeliveryTimes) {
+  MessageBus bus(kernel_, LatencyModel{1000, 500, 0.0}, 7);
+  std::vector<sim::SimTime> times;
+  ASSERT_TRUE(bus.RegisterEndpoint("t", [&](const Envelope&) {
+                   times.push_back(kernel_.now());
+                 }).ok());
+  for (int i = 0; i < 50; ++i) {
+    Envelope e;
+    e.destination = "t";
+    bus.Send(e);
+  }
+  kernel_.Run();
+  ASSERT_EQ(times.size(), 50u);
+  bool varied = false;
+  for (auto t : times) {
+    EXPECT_GE(t, 1000);
+    EXPECT_LE(t, 1500);
+    if (t != times[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST_F(BusTest, DropProbabilityLosesMessages) {
+  MessageBus bus(kernel_, LatencyModel{1000, 0, 0.5}, 11);
+  int count = 0;
+  ASSERT_TRUE(
+      bus.RegisterEndpoint("lossy", [&](const Envelope&) { ++count; }).ok());
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    Envelope e;
+    e.destination = "lossy";
+    bus.Send(e);
+  }
+  kernel_.Run();
+  EXPECT_EQ(bus.stats().sent, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(bus.stats().dropped + bus.stats().delivered,
+            static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(static_cast<double>(count) / n, 0.5, 0.06);
+}
+
+TEST_F(BusTest, MessagesBetweenEndpointsInterleaveDeterministically) {
+  MessageBus bus(kernel_, LatencyModel{1000, 0, 0.0}, 1);
+  std::vector<std::string> log;
+  ASSERT_TRUE(bus.RegisterEndpoint("a", [&](const Envelope& e) {
+                   log.push_back("a<-" + e.source);
+                 }).ok());
+  ASSERT_TRUE(bus.RegisterEndpoint("b", [&](const Envelope& e) {
+                   log.push_back("b<-" + e.source);
+                 }).ok());
+  Envelope to_a;
+  to_a.source = "b";
+  to_a.destination = "a";
+  Envelope to_b;
+  to_b.source = "a";
+  to_b.destination = "b";
+  bus.Send(to_a);
+  bus.Send(to_b);
+  kernel_.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "a<-b");  // same latency -> send order preserved
+  EXPECT_EQ(log[1], "b<-a");
+}
+
+TEST_F(BusTest, BytesSentAccumulates) {
+  MessageBus bus(kernel_, LatencyModel{}, 1);
+  Envelope e;
+  e.destination = "x";
+  e.payload = Bytes(100, 0xaa);
+  bus.Send(e);
+  EXPECT_GT(bus.stats().bytes_sent, 100u);
+}
+
+}  // namespace
+}  // namespace gm::net

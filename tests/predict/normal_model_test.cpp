@@ -1,0 +1,182 @@
+#include "predict/normal_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/normal.hpp"
+
+namespace gm::predict {
+namespace {
+
+HostPriceStats Stats(double capacity = 3e9, double mu = 0.001,
+                     double sigma = 0.0002) {
+  HostPriceStats stats;
+  stats.host_id = "h1";
+  stats.capacity = capacity;
+  stats.mean_price = mu;
+  stats.stddev_price = sigma;
+  return stats;
+}
+
+TEST(NormalModelTest, PriceQuantileMatchesClosedForm) {
+  NormalPricePredictor predictor(Stats());
+  EXPECT_NEAR(predictor.PriceQuantile(0.5), 0.001, 1e-12);
+  EXPECT_NEAR(predictor.PriceQuantile(0.9),
+              0.001 + 0.0002 * math::NormalQuantile(0.9), 1e-12);
+  // Higher guarantees require planning for higher prices.
+  EXPECT_GT(predictor.PriceQuantile(0.99), predictor.PriceQuantile(0.8));
+}
+
+TEST(NormalModelTest, ZeroSigmaIsDeterministicPrice) {
+  NormalPricePredictor predictor(Stats(3e9, 0.001, 0.0));
+  EXPECT_DOUBLE_EQ(predictor.PriceQuantile(0.99), 0.001);
+  EXPECT_DOUBLE_EQ(predictor.PriceQuantile(0.5), 0.001);
+}
+
+TEST(NormalModelTest, QuantileClampedAboveZero) {
+  // Very low guarantee on a noisy host: quantile would be negative.
+  NormalPricePredictor predictor(Stats(3e9, 0.001, 0.01));
+  EXPECT_GT(predictor.PriceQuantile(0.01), 0.0);
+}
+
+TEST(NormalModelTest, CapacityAtBudgetSaturates) {
+  NormalPricePredictor predictor(Stats());
+  EXPECT_DOUBLE_EQ(predictor.CapacityAtBudget(0.0, 0.9), 0.0);
+  const double small = predictor.CapacityAtBudget(0.0001, 0.9);
+  const double medium = predictor.CapacityAtBudget(0.001, 0.9);
+  const double large = predictor.CapacityAtBudget(1.0, 0.9);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  EXPECT_LT(large, 3e9);           // never exceeds capacity
+  EXPECT_GT(large, 0.99 * 3e9);    // but approaches it
+}
+
+TEST(NormalModelTest, BudgetForCapacityInvertsCapacityAtBudget) {
+  NormalPricePredictor predictor(Stats());
+  for (double fraction : {0.1, 0.5, 0.9}) {
+    const double target = fraction * 3e9;
+    const auto budget = predictor.BudgetForCapacity(target, 0.9);
+    ASSERT_TRUE(budget.ok());
+    EXPECT_NEAR(predictor.CapacityAtBudget(*budget, 0.9), target, 1.0);
+  }
+}
+
+TEST(NormalModelTest, BudgetForFullCapacityImpossible) {
+  NormalPricePredictor predictor(Stats());
+  EXPECT_EQ(predictor.BudgetForCapacity(3e9, 0.9).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(predictor.BudgetForCapacity(4e9, 0.9).ok());
+  EXPECT_DOUBLE_EQ(predictor.BudgetForCapacity(0.0, 0.9).value(), 0.0);
+}
+
+TEST(NormalModelTest, HigherGuaranteeNeedsBiggerBudget) {
+  NormalPricePredictor predictor(Stats());
+  const double target = 1.6e9;
+  const auto b80 = predictor.BudgetForCapacity(target, 0.80);
+  const auto b90 = predictor.BudgetForCapacity(target, 0.90);
+  const auto b99 = predictor.BudgetForCapacity(target, 0.99);
+  ASSERT_TRUE(b80.ok());
+  ASSERT_TRUE(b90.ok());
+  ASSERT_TRUE(b99.ok());
+  EXPECT_LT(*b80, *b90);
+  EXPECT_LT(*b90, *b99);
+}
+
+TEST(NormalModelTest, RecommendedBudgetIsAtCurveKnee) {
+  NormalPricePredictor predictor(Stats());
+  const double p = 0.9;
+  const double knee = predictor.RecommendedBudget(p, 0.05);
+  // Marginal capacity per dollar at the knee ~ 5% of the slope at zero.
+  const double y = predictor.PriceQuantile(p);
+  const double slope0 = 3e9 / y;
+  const double eps = knee * 1e-6;
+  const double slope_at_knee =
+      (predictor.CapacityAtBudget(knee + eps, p) -
+       predictor.CapacityAtBudget(knee, p)) /
+      eps;
+  EXPECT_NEAR(slope_at_knee / slope0, 0.05, 0.001);
+}
+
+TEST(NormalModelTest, GuaranteeCurveShape) {
+  NormalPricePredictor predictor(Stats());
+  const auto curve = predictor.GuaranteeCurve(0.9, 100.0, 50);
+  ASSERT_EQ(curve.size(), 50u);
+  EXPECT_DOUBLE_EQ(curve.front().budget_per_day, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().capacity, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().budget_per_day, 100.0);
+  // Monotone increasing, concave.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].capacity, curve[i - 1].capacity);
+  }
+  const double first_gain = curve[1].capacity - curve[0].capacity;
+  const double last_gain = curve[49].capacity - curve[48].capacity;
+  EXPECT_GT(first_gain, last_gain);
+}
+
+TEST(NormalModelTest, LowerGuaranteeGivesHigherCurve) {
+  // Figure 3: the 80% curve lies above the 99% curve at equal budget.
+  NormalPricePredictor predictor(Stats());
+  const auto c80 = predictor.GuaranteeCurve(0.80, 60.0, 20);
+  const auto c99 = predictor.GuaranteeCurve(0.99, 60.0, 20);
+  for (std::size_t i = 1; i < c80.size(); ++i) {
+    EXPECT_GT(c80[i].capacity, c99[i].capacity) << "point " << i;
+  }
+}
+
+TEST(Eq6Test, UtilityWithGuaranteeAggregatesHosts) {
+  std::vector<HostPriceStats> hosts;
+  for (int j = 0; j < 4; ++j) {
+    HostPriceStats s = Stats();
+    s.host_id = "h" + std::to_string(j);
+    hosts.push_back(s);
+  }
+  const auto capacity = UtilityWithGuarantee(hosts, 0.01, 0.9);
+  ASSERT_TRUE(capacity.ok());
+  EXPECT_GT(*capacity, 0.0);
+  EXPECT_LT(*capacity, 4 * 3e9);
+  // More budget, more guaranteed capacity.
+  const auto richer = UtilityWithGuarantee(hosts, 0.1, 0.9);
+  ASSERT_TRUE(richer.ok());
+  EXPECT_GT(*richer, *capacity);
+}
+
+TEST(Eq6Test, BudgetForGuaranteedCapacityInverts) {
+  std::vector<HostPriceStats> hosts;
+  for (int j = 0; j < 3; ++j) {
+    HostPriceStats s = Stats(2e9, 0.002, 0.0005);
+    s.host_id = "h" + std::to_string(j);
+    hosts.push_back(s);
+  }
+  const double required = 3e9;  // half the aggregate
+  const auto budget = BudgetForGuaranteedCapacity(hosts, required, 0.9);
+  ASSERT_TRUE(budget.ok());
+  const auto achieved = UtilityWithGuarantee(hosts, *budget, 0.9);
+  ASSERT_TRUE(achieved.ok());
+  EXPECT_NEAR(*achieved, required, 1e-3 * required);
+}
+
+TEST(Eq6Test, ImpossibleCapacityRejected) {
+  std::vector<HostPriceStats> hosts{Stats()};
+  EXPECT_EQ(BudgetForGuaranteedCapacity(hosts, 4e9, 0.9).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(Eq6Test, BudgetForDeadlineScalesInversely) {
+  std::vector<HostPriceStats> hosts;
+  for (int j = 0; j < 5; ++j) {
+    HostPriceStats s = Stats();
+    s.host_id = "h" + std::to_string(j);
+    hosts.push_back(s);
+  }
+  const Cycles work = 1e13;
+  const auto relaxed = BudgetForDeadline(hosts, work, 36000.0, 0.9);
+  const auto tight = BudgetForDeadline(hosts, work, 3600.0, 0.9);
+  ASSERT_TRUE(relaxed.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GT(*tight, *relaxed);  // tighter deadline costs more
+  EXPECT_FALSE(BudgetForDeadline(hosts, work, 0.0, 0.9).ok());
+}
+
+}  // namespace
+}  // namespace gm::predict

@@ -1,0 +1,190 @@
+#include "predict/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "math/distributions.hpp"
+
+namespace gm::predict {
+namespace {
+
+TEST(PortfolioTest, TwoAssetMinimumVarianceClosedForm) {
+  // Independent assets with variances 1 and 4: min-variance weights are
+  // inversely proportional to variance -> (0.8, 0.2).
+  const auto optimizer = PortfolioOptimizer::Create(
+      {1.0, 1.0}, {{1.0, 0.0}, {0.0, 4.0}});
+  ASSERT_TRUE(optimizer.ok());
+  const auto portfolio = optimizer->MinimumVariance();
+  ASSERT_TRUE(portfolio.ok());
+  EXPECT_NEAR(portfolio->weights[0], 0.8, 1e-12);
+  EXPECT_NEAR(portfolio->weights[1], 0.2, 1e-12);
+  EXPECT_NEAR(portfolio->variance, 0.8, 1e-12);  // w'Sw = 0.64 + 0.16
+}
+
+TEST(PortfolioTest, WeightsSumToOne) {
+  const auto optimizer = PortfolioOptimizer::Create(
+      {1.0, 2.0, 3.0},
+      {{2.0, 0.3, 0.1}, {0.3, 1.5, 0.2}, {0.1, 0.2, 3.0}});
+  ASSERT_TRUE(optimizer.ok());
+  const auto min_var = optimizer->MinimumVariance();
+  ASSERT_TRUE(min_var.ok());
+  double sum = 0.0;
+  for (double w : min_var->weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+
+  const auto targeted = optimizer->ForTargetReturn(2.5);
+  ASSERT_TRUE(targeted.ok());
+  sum = 0.0;
+  for (double w : targeted->weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_NEAR(targeted->expected_return, 2.5, 1e-10);
+}
+
+TEST(PortfolioTest, MinimumVarianceIsGlobalMinimum) {
+  const auto optimizer = PortfolioOptimizer::Create(
+      {1.0, 2.0, 1.5},
+      {{1.0, 0.2, 0.1}, {0.2, 2.0, 0.3}, {0.1, 0.3, 1.2}});
+  ASSERT_TRUE(optimizer.ok());
+  const auto min_var = optimizer->MinimumVariance();
+  ASSERT_TRUE(min_var.ok());
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random weights on the simplex (may include shorts via shifts).
+    math::Vector w(3);
+    double sum = 0.0;
+    for (double& v : w) {
+      v = rng.Uniform(-0.5, 1.5);
+      sum += v;
+    }
+    for (double& v : w) v /= sum;
+    EXPECT_GE(optimizer->Evaluate(w).variance,
+              min_var->variance - 1e-9);
+  }
+}
+
+TEST(PortfolioTest, FrontierVarianceIncreasesWithReturnAboveMin) {
+  const auto optimizer = PortfolioOptimizer::Create(
+      {1.0, 2.0, 3.0},
+      {{1.0, 0.1, 0.0}, {0.1, 1.0, 0.1}, {0.0, 0.1, 1.0}});
+  ASSERT_TRUE(optimizer.ok());
+  const auto frontier = optimizer->EfficientFrontier(10);
+  ASSERT_TRUE(frontier.ok());
+  ASSERT_EQ(frontier->size(), 10u);
+  for (std::size_t i = 1; i < frontier->size(); ++i) {
+    EXPECT_GT((*frontier)[i].target_return, (*frontier)[i - 1].target_return);
+    EXPECT_GE((*frontier)[i].variance, (*frontier)[i - 1].variance - 1e-12);
+  }
+}
+
+TEST(PortfolioTest, EqualMeansMakeFrontierDegenerate) {
+  const auto optimizer = PortfolioOptimizer::Create(
+      {1.0, 1.0}, {{1.0, 0.0}, {0.0, 1.0}});
+  ASSERT_TRUE(optimizer.ok());
+  EXPECT_TRUE(optimizer->MinimumVariance().ok());
+  EXPECT_FALSE(optimizer->ForTargetReturn(1.5).ok());
+}
+
+TEST(PortfolioTest, CreateValidation) {
+  EXPECT_FALSE(PortfolioOptimizer::Create({}, math::Matrix(0, 0)).ok());
+  EXPECT_FALSE(
+      PortfolioOptimizer::Create({1.0}, {{1.0, 0.0}, {0.0, 1.0}}).ok());
+  // Indefinite "covariance".
+  EXPECT_FALSE(
+      PortfolioOptimizer::Create({1.0, 1.0}, {{1.0, 2.0}, {2.0, 1.0}}).ok());
+}
+
+TEST(PortfolioTest, FromReturnSeriesEstimatesMoments) {
+  Rng rng(17);
+  math::NormalSampler a(5.0, 1.0);
+  math::NormalSampler b(8.0, 2.0);
+  std::vector<std::vector<double>> returns(2);
+  for (int i = 0; i < 20000; ++i) {
+    returns[0].push_back(a.Sample(rng));
+    returns[1].push_back(b.Sample(rng));
+  }
+  const auto optimizer = PortfolioOptimizer::FromReturnSeries(returns);
+  ASSERT_TRUE(optimizer.ok());
+  EXPECT_NEAR(optimizer->mean_returns()[0], 5.0, 0.05);
+  EXPECT_NEAR(optimizer->mean_returns()[1], 8.0, 0.05);
+  // Min-variance tilts toward the lower-variance asset.
+  const auto min_var = optimizer->MinimumVariance();
+  ASSERT_TRUE(min_var.ok());
+  EXPECT_GT(min_var->weights[0], min_var->weights[1]);
+}
+
+TEST(PortfolioTest, FromReturnSeriesValidation) {
+  EXPECT_FALSE(PortfolioOptimizer::FromReturnSeries({}).ok());
+  EXPECT_FALSE(PortfolioOptimizer::FromReturnSeries({{1.0}}).ok());
+  EXPECT_FALSE(
+      PortfolioOptimizer::FromReturnSeries({{1.0, 2.0}, {1.0}}).ok());
+}
+
+TEST(PortfolioTest, RiskFreePortfolioHedgesDownsideRisk) {
+  // The paper's Figure 5 property in miniature: aggregate performance of
+  // the min-variance portfolio has lower variance than equal shares.
+  Rng rng(23);
+  const std::size_t hosts = 10;
+  std::vector<math::NormalSampler> samplers;
+  std::vector<std::vector<double>> history(hosts);
+  math::NormalSampler mean_gen(5.0, 1.0);
+  math::NormalSampler sd_gen(0.5, 0.3);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    samplers.emplace_back(mean_gen.Sample(rng),
+                          std::fabs(sd_gen.Sample(rng)) + 0.05);
+  }
+  for (int t = 0; t < 500; ++t) {
+    for (std::size_t h = 0; h < hosts; ++h)
+      history[h].push_back(samplers[h].Sample(rng));
+  }
+  const auto optimizer = PortfolioOptimizer::FromReturnSeries(history);
+  ASSERT_TRUE(optimizer.ok());
+  const auto min_var = optimizer->MinimumVariance();
+  ASSERT_TRUE(min_var.ok());
+  const std::vector<double> risk_free = ClampLongOnly(min_var->weights);
+  const std::vector<double> equal(hosts, 1.0 / hosts);
+
+  // Fresh evaluation period.
+  std::vector<double> rf_series, eq_series;
+  for (int t = 0; t < 2000; ++t) {
+    double rf = 0.0, eq = 0.0;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      const double r = samplers[h].Sample(rng);
+      rf += risk_free[h] * r;
+      eq += equal[h] * r;
+    }
+    rf_series.push_back(rf);
+    eq_series.push_back(eq);
+  }
+  auto variance = [](const std::vector<double>& x) {
+    double mean = 0.0;
+    for (double v : x) mean += v;
+    mean /= static_cast<double>(x.size());
+    double sum = 0.0;
+    for (double v : x) sum += (v - mean) * (v - mean);
+    return sum / static_cast<double>(x.size());
+  };
+  EXPECT_LT(variance(rf_series), variance(eq_series));
+}
+
+TEST(ClampLongOnlyTest, ClipsAndRenormalizes) {
+  const auto clamped = ClampLongOnly({0.5, -0.2, 0.7});
+  EXPECT_DOUBLE_EQ(clamped[1], 0.0);
+  EXPECT_NEAR(clamped[0] + clamped[2], 1.0, 1e-12);
+  EXPECT_NEAR(clamped[0] / clamped[2], 0.5 / 0.7, 1e-12);
+}
+
+TEST(ClampLongOnlyTest, AllNegativeFallsBackToUniform) {
+  const auto clamped = ClampLongOnly({-1.0, -2.0});
+  EXPECT_DOUBLE_EQ(clamped[0], 0.5);
+  EXPECT_DOUBLE_EQ(clamped[1], 0.5);
+}
+
+TEST(ReturnFromPriceTest, InverseWithFloor) {
+  EXPECT_DOUBLE_EQ(ReturnFromPrice(0.01), 100.0);
+  EXPECT_DOUBLE_EQ(ReturnFromPrice(0.0, 1e-6), 1e6);
+}
+
+}  // namespace
+}  // namespace gm::predict

@@ -1,0 +1,145 @@
+#include "predict/sla.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::predict {
+namespace {
+
+std::vector<HostPriceStats> Market(int hosts = 5) {
+  std::vector<HostPriceStats> market;
+  for (int i = 0; i < hosts; ++i) {
+    HostPriceStats stats;
+    stats.host_id = "h" + std::to_string(i);
+    stats.capacity = 3e9;
+    stats.mean_price = 0.001;
+    stats.stddev_price = 0.0003;
+    market.push_back(stats);
+  }
+  return market;
+}
+
+TEST(SlaTest, QuoteCoversProcurementAndMargin) {
+  SlaQuoter quoter(Market(), /*markup=*/0.2, /*penalty_factor=*/1.0);
+  SlaTerms terms;
+  terms.capacity = 6e9;
+  terms.duration_seconds = 3600.0;
+  terms.guarantee = 0.9;
+  const auto quote = quoter.Quote(terms);
+  ASSERT_TRUE(quote.ok()) << quote.status().ToString();
+  EXPECT_GT(quote->procurement_rate, 0.0);
+  EXPECT_NEAR(quote->procurement_cost,
+              quote->procurement_rate * 3600.0, 1e-9);
+  // Fee covers cost, margin and expected penalties.
+  EXPECT_GT(quote->fee,
+            quote->procurement_cost + quote->expected_penalty);
+  EXPECT_NEAR(quote->penalty_payout, quote->fee, 1e-9);  // factor 1.0
+  EXPECT_NEAR(quote->expected_penalty, 0.1 * quote->penalty_payout, 1e-9);
+}
+
+TEST(SlaTest, HigherGuaranteeRaisesProcurementCost) {
+  // Procurement is monotone in the guarantee. The *fee* need not be:
+  // with money-back penalties, weak guarantees are expensive to insure
+  // (checked separately below).
+  SlaQuoter quoter(Market(), /*markup=*/0.1, /*penalty_factor=*/0.0);
+  SlaTerms terms;
+  terms.capacity = 6e9;
+  terms.duration_seconds = 3600.0;
+  double previous_cost = 0.0;
+  double previous_fee = 0.0;
+  for (const double p : {0.5, 0.8, 0.9, 0.99}) {
+    terms.guarantee = p;
+    const auto quote = quoter.Quote(terms);
+    ASSERT_TRUE(quote.ok()) << "p=" << p;
+    EXPECT_GT(quote->procurement_cost, previous_cost) << "p=" << p;
+    // Without penalties the fee tracks procurement monotonically.
+    EXPECT_GT(quote->fee, previous_fee) << "p=" << p;
+    previous_cost = quote->procurement_cost;
+    previous_fee = quote->fee;
+  }
+}
+
+TEST(SlaTest, MoneyBackPenaltyMakesWeakGuaranteesExpensive) {
+  // With a full money-back penalty the 50% guarantee carries a huge
+  // expected-refund load: it can cost more than a 99% guarantee even
+  // though its procurement is cheaper.
+  SlaQuoter quoter(Market(), 0.15, 1.0);
+  SlaTerms terms;
+  terms.capacity = 6e9;
+  terms.duration_seconds = 3600.0;
+  terms.guarantee = 0.5;
+  const auto weak = quoter.Quote(terms);
+  terms.guarantee = 0.99;
+  const auto strong = quoter.Quote(terms);
+  ASSERT_TRUE(weak.ok());
+  ASSERT_TRUE(strong.ok());
+  EXPECT_LT(weak->procurement_cost, strong->procurement_cost);
+  EXPECT_GT(weak->fee / weak->procurement_cost,
+            strong->fee / strong->procurement_cost);
+}
+
+TEST(SlaTest, MoreCapacityCostsMore) {
+  SlaQuoter quoter(Market());
+  SlaTerms terms;
+  terms.duration_seconds = 3600.0;
+  terms.guarantee = 0.9;
+  terms.capacity = 2e9;
+  const auto small = quoter.Quote(terms);
+  terms.capacity = 10e9;
+  const auto large = quoter.Quote(terms);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->fee, small->fee);
+}
+
+TEST(SlaTest, UndeliverableCapacityRejected) {
+  SlaQuoter quoter(Market(2));  // 2 hosts x 3 GHz
+  SlaTerms terms;
+  terms.capacity = 7e9;  // more than the market holds
+  terms.duration_seconds = 60.0;
+  terms.guarantee = 0.9;
+  EXPECT_EQ(quoter.Quote(terms).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SlaTest, TermValidation) {
+  SlaQuoter quoter(Market());
+  SlaTerms terms;
+  terms.capacity = 0.0;
+  terms.duration_seconds = 60.0;
+  terms.guarantee = 0.9;
+  EXPECT_FALSE(quoter.Quote(terms).ok());
+  terms.capacity = 1e9;
+  terms.duration_seconds = 0.0;
+  EXPECT_FALSE(quoter.Quote(terms).ok());
+  terms.duration_seconds = 60.0;
+  terms.guarantee = 1.0;
+  EXPECT_FALSE(quoter.Quote(terms).ok());
+}
+
+TEST(SlaTest, ExcessivePenaltyExposureRejected) {
+  // Money-back x20 at a 50% guarantee: expected refunds exceed the fee.
+  SlaQuoter quoter(Market(), 0.1, 20.0);
+  SlaTerms terms;
+  terms.capacity = 3e9;
+  terms.duration_seconds = 60.0;
+  terms.guarantee = 0.5;
+  EXPECT_EQ(quoter.Quote(terms).status().code(),
+            StatusCode::kFailedPrecondition);
+  // A tight guarantee brings the exposure back under control.
+  terms.guarantee = 0.99;
+  EXPECT_TRUE(quoter.Quote(terms).ok());
+}
+
+TEST(SlaTest, ZeroPenaltyFactorIsPlainMarkup) {
+  SlaQuoter quoter(Market(), 0.25, 0.0);
+  SlaTerms terms;
+  terms.capacity = 3e9;
+  terms.duration_seconds = 100.0;
+  terms.guarantee = 0.9;
+  const auto quote = quoter.Quote(terms);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_NEAR(quote->fee, 1.25 * quote->procurement_cost, 1e-9);
+  EXPECT_DOUBLE_EQ(quote->expected_penalty, 0.0);
+}
+
+}  // namespace
+}  // namespace gm::predict

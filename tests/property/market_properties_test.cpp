@@ -1,0 +1,214 @@
+// Parameterized property sweeps over the market-side invariants:
+// Best Response optimality, proportional-share allocation, slot tables,
+// and bank conservation under randomized operation sequences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "bank/bank.hpp"
+#include "bestresponse/best_response.hpp"
+#include "common/rng.hpp"
+#include "host/host.hpp"
+#include "market/slot_table.hpp"
+
+namespace gm {
+namespace {
+
+// ---------------------------------------------------------------------
+// Best Response: for every (host count, budget, price scale) combination,
+// the exact solve must bind the budget, satisfy the KKT conditions and
+// match the bisection reference.
+struct BrCase {
+  int hosts;
+  double budget;
+  double price_scale;
+};
+
+class BestResponseProperty : public ::testing::TestWithParam<BrCase> {};
+
+TEST_P(BestResponseProperty, OptimalityInvariants) {
+  const BrCase param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.hosts) * 7919 +
+          static_cast<std::uint64_t>(param.budget * 100) + 17);
+  br::BestResponseSolver solver;
+  std::vector<br::HostBidInput> hosts;
+  for (int j = 0; j < param.hosts; ++j) {
+    hosts.push_back({"h" + std::to_string(j), rng.Uniform(0.5e9, 4e9),
+                     rng.Uniform(0.0, param.price_scale)});
+  }
+  const auto result = solver.Solve(hosts, param.budget);
+  ASSERT_TRUE(result.ok());
+
+  // Budget binds exactly.
+  double total = 0.0;
+  for (const auto& allocation : result->bids) {
+    EXPECT_GE(allocation.bid, 0.0);
+    total += allocation.bid;
+  }
+  EXPECT_NEAR(total, param.budget, 1e-9 * param.budget);
+
+  // KKT: active hosts share the multiplier; inactive fail the threshold.
+  for (std::size_t j = 0; j < hosts.size(); ++j) {
+    const double y = std::max(hosts[j].price, solver.reserve_price());
+    const double x = result->bids[j].bid;
+    if (x > 1e-9 * param.budget) {
+      const double marginal = hosts[j].weight * y / ((x + y) * (x + y));
+      EXPECT_NEAR(marginal, result->lambda, 1e-5 * result->lambda)
+          << "host " << j;
+    } else {
+      EXPECT_LE(hosts[j].weight / y, result->lambda * (1.0 + 1e-6));
+    }
+  }
+
+  // Agrees with the independent bisection solver.
+  const auto reference = solver.SolveBisection(hosts, param.budget);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_NEAR(result->utility, reference->utility,
+              1e-6 * reference->utility);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BestResponseProperty,
+    ::testing::Values(BrCase{1, 0.01, 0.001}, BrCase{2, 1.0, 0.1},
+                      BrCase{5, 0.5, 1.0}, BrCase{15, 10.0, 0.01},
+                      BrCase{30, 0.001, 0.5}, BrCase{100, 100.0, 10.0},
+                      BrCase{300, 3.0, 0.0}),
+    [](const auto& info) {
+      return "hosts" + std::to_string(info.param.hosts) + "_idx" +
+             std::to_string(info.index);
+    });
+
+// ---------------------------------------------------------------------
+// Proportional share: feasibility, caps, work conservation dominance and
+// proportionality among uncapped entities, across entity counts.
+class ProportionalShareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProportionalShareProperty, AllocationInvariants) {
+  const int entities = GetParam();
+  Rng rng(static_cast<std::uint64_t>(entities) + 99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> weights(static_cast<std::size_t>(entities));
+    for (double& w : weights) w = rng.Uniform(0.0, 10.0);
+    const double total = rng.Uniform(0.1, 500.0);
+    const double cap = rng.Uniform(0.05, 200.0);
+
+    const auto conserving =
+        host::ProportionalShareWithCap(weights, total, cap, true);
+    const auto wasteful =
+        host::ProportionalShareWithCap(weights, total, cap, false);
+
+    double sum_conserving = 0.0;
+    double sum_wasteful = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      EXPECT_LE(conserving[i], cap + 1e-9);
+      EXPECT_LE(wasteful[i], cap + 1e-9);
+      EXPECT_GE(conserving[i], 0.0);
+      // Work conservation can only add capacity per entity.
+      EXPECT_GE(conserving[i], wasteful[i] - 1e-9);
+      if (weights[i] <= 0.0) {
+        EXPECT_DOUBLE_EQ(conserving[i], 0.0);
+      }
+      sum_conserving += conserving[i];
+      sum_wasteful += wasteful[i];
+    }
+    EXPECT_LE(sum_conserving, total + 1e-6);
+    EXPECT_LE(sum_wasteful, sum_conserving + 1e-9);
+
+    // Uncapped entities split proportionally to weight.
+    for (std::size_t a = 0; a < weights.size(); ++a) {
+      for (std::size_t b = a + 1; b < weights.size(); ++b) {
+        if (conserving[a] < cap - 1e-9 && conserving[b] < cap - 1e-9 &&
+            weights[a] > 1e-9 && weights[b] > 1e-9 &&
+            conserving[a] > 0.0 && conserving[b] > 0.0) {
+          EXPECT_NEAR(conserving[a] / conserving[b],
+                      weights[a] / weights[b], 1e-6);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProportionalShareProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 15, 40));
+
+// ---------------------------------------------------------------------
+// Slot table: across window sizes, proportions always sum to one, the
+// two arrays stay offset by exactly one window in steady state, and the
+// merge weight stays in [0, 1].
+class SlotTableProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotTableProperty, WindowInvariants) {
+  const int window = GetParam();
+  Rng rng(static_cast<std::uint64_t>(window) * 31 + 5);
+  market::SlotTable table(static_cast<std::size_t>(window), 10, 1.0);
+  for (int i = 0; i < window * 7 + 3; ++i) {
+    table.Add(rng.NextDouble() * rng.Uniform(0.5, 3.0));
+    const auto proportions = table.Proportions();
+    const double sum =
+        std::accumulate(proportions.begin(), proportions.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "after " << i + 1 << " adds";
+    EXPECT_GE(table.Weight1(), 0.0);
+    EXPECT_LE(table.Weight1(), 1.0);
+    if (i + 1 >= 2 * window) {
+      const long diff = static_cast<long>(table.array_count(0)) -
+                        static_cast<long>(table.array_count(1));
+      EXPECT_EQ(std::labs(diff), window);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SlotTableProperty,
+                         ::testing::Values(1, 2, 3, 7, 16, 50, 360));
+
+// ---------------------------------------------------------------------
+// Bank conservation under randomized operation sequences of every kind.
+class BankConservationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BankConservationProperty, RandomOperationSequences) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  bank::Bank bank(crypto::TestGroup(), static_cast<std::uint64_t>(seed));
+  std::vector<std::string> accounts;
+  std::vector<crypto::KeyPair> keys;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(crypto::KeyPair::Generate(crypto::TestGroup(), rng));
+    accounts.push_back("user" + std::to_string(i));
+    ASSERT_TRUE(bank.CreateAccount(accounts.back(),
+                                   keys.back().public_key()).ok());
+    ASSERT_TRUE(
+        bank.Mint(accounts.back(), DollarsToMicros(100), 0).ok());
+  }
+  ASSERT_TRUE(bank.CreateAccount("pool", {}).ok());
+
+  for (int op = 0; op < 60; ++op) {
+    const std::size_t actor = rng.NextBelow(accounts.size());
+    const Micros amount = static_cast<Micros>(rng.NextBelow(2'000'000)) + 1;
+    switch (rng.NextBelow(3)) {
+      case 0: {  // signed transfer to the pool (may fail on funds)
+        const auto nonce = bank.TransferNonce(accounts[actor]);
+        const auto auth = keys[actor].Sign(
+            bank::TransferAuthPayload(accounts[actor], "pool", amount,
+                                      *nonce),
+            rng);
+        (void)bank.Transfer(accounts[actor], "pool", amount, auth, op);
+        break;
+      }
+      case 1: {  // internal transfer out of the pool (may fail)
+        (void)bank.InternalTransfer("pool", accounts[actor], amount, op);
+        break;
+      }
+      case 2: {  // mint
+        ASSERT_TRUE(bank.Mint(accounts[actor], amount, op).ok());
+        break;
+      }
+    }
+    ASSERT_TRUE(bank.CheckInvariants().ok()) << "after op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BankConservationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,202 @@
+// Parameterized property sweeps over the math and crypto substrates:
+// bignum division, SHA-256 lengths, normal quantile inversion, smoothing
+// spline behaviour in lambda, and AR fits on synthetic processes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "crypto/biguint.hpp"
+#include "crypto/modmath.hpp"
+#include "crypto/prime.hpp"
+#include "crypto/sha256.hpp"
+#include "math/ar_model.hpp"
+#include "math/normal.hpp"
+#include "math/spline.hpp"
+#include "math/stats.hpp"
+
+namespace gm {
+namespace {
+
+// ---------------------------------------------------------------------
+// BigUInt division: for every (dividend width, divisor width) pair,
+// q*d + r == n and r < d on random values.
+struct DivCase {
+  std::size_t dividend_bits;
+  std::size_t divisor_bits;
+};
+
+class BigUIntDivisionProperty : public ::testing::TestWithParam<DivCase> {};
+
+TEST_P(BigUIntDivisionProperty, Reconstruction) {
+  const DivCase param = GetParam();
+  Rng rng(param.dividend_bits * 131 + param.divisor_bits);
+  for (int trial = 0; trial < 25; ++trial) {
+    const crypto::U256 dividend =
+        crypto::U256::RandomWithBits(param.dividend_bits, rng);
+    const crypto::U256 divisor =
+        crypto::U256::RandomWithBits(param.divisor_bits, rng);
+    const auto result = crypto::DivMod(dividend, divisor);
+    EXPECT_LT(result.remainder, divisor);
+    crypto::U512 check = crypto::Mul(result.quotient, divisor);
+    check.AddWithCarry(result.remainder.Extend<8>());
+    EXPECT_EQ(check.Truncate<4>(), dividend);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BigUIntDivisionProperty,
+    ::testing::Values(DivCase{8, 8}, DivCase{64, 8}, DivCase{64, 64},
+                      DivCase{128, 64}, DivCase{200, 30}, DivCase{256, 128},
+                      DivCase{256, 255}, DivCase{256, 256}),
+    [](const auto& info) {
+      return std::to_string(info.param.dividend_bits) + "by" +
+             std::to_string(info.param.divisor_bits);
+    });
+
+// ---------------------------------------------------------------------
+// Modular arithmetic: Fermat and inverse across modulus sizes.
+class ModMathProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ModMathProperty, FermatAndInverse) {
+  const std::size_t bits = GetParam();
+  Rng rng(bits * 7 + 3);
+  const crypto::U256 p = crypto::RandomPrime(bits, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    crypto::U256 a = crypto::U256::RandomBelow(p, rng);
+    if (a.IsZero()) a = crypto::U256(1);
+    EXPECT_EQ(crypto::ModExp(a, p - crypto::U256::One(), p),
+              crypto::U256::One());
+    const crypto::U256 inv = crypto::ModInverse(a, p);
+    EXPECT_EQ(crypto::ModMul(a, inv, p), crypto::U256::One());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ModMathProperty,
+                         ::testing::Values(8, 16, 24, 32, 48, 64, 96));
+
+// ---------------------------------------------------------------------
+// SHA-256: streaming equals one-shot at every boundary-straddling length,
+// and distinct inputs give distinct digests.
+class Sha256LengthProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256LengthProperty, StreamingMatchesOneShot) {
+  const std::size_t length = GetParam();
+  Rng rng(length + 1);
+  Bytes message(length);
+  for (auto& byte : message)
+    byte = static_cast<std::uint8_t>(rng.NextBelow(256));
+
+  const auto oneshot = crypto::Sha256::Hash(message);
+  crypto::Sha256 streaming;
+  std::size_t pos = 0;
+  while (pos < message.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(1 + rng.NextBelow(17), message.size() - pos);
+    streaming.Update(message.data() + pos, take);
+    pos += take;
+  }
+  EXPECT_EQ(streaming.Finalize(), oneshot);
+
+  if (!message.empty()) {
+    Bytes flipped = message;
+    flipped[rng.NextBelow(flipped.size())] ^= 0x01;
+    EXPECT_NE(crypto::Sha256::Hash(flipped), oneshot);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Sha256LengthProperty,
+                         ::testing::Values(0, 1, 55, 56, 63, 64, 65, 119,
+                                           128, 1000));
+
+// ---------------------------------------------------------------------
+// Normal quantile: Phi(Phi^-1(p)) == p over a dense probability grid.
+class NormalQuantileProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileProperty, InverseOfCdf) {
+  const double p = GetParam();
+  const double x = math::NormalQuantile(p);
+  EXPECT_NEAR(math::NormalCdf(x), p, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(math::NormalQuantile(1.0 - p), -x, 1e-9 + 1e-9 * std::fabs(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalQuantileProperty,
+                         ::testing::Values(1e-9, 1e-6, 0.001, 0.025, 0.2,
+                                           0.5, 0.8, 0.9, 0.99, 0.999999));
+
+// ---------------------------------------------------------------------
+// Smoothing spline: across lambda, the fit interpolates at 0, approaches
+// the least-squares line as lambda grows, and roughness is monotone.
+class SplineLambdaProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplineLambdaProperty, BetweenInterpolationAndLine) {
+  const double lambda = GetParam();
+  Rng rng(42);
+  std::vector<double> x, y;
+  for (int i = 0; i <= 60; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(std::sin(i * 0.2) + rng.Uniform(-0.2, 0.2));
+  }
+  const auto fit = math::SmoothingSpline::Fit(x, y, lambda);
+  ASSERT_TRUE(fit.ok());
+  auto sse = [&](const std::vector<double>& fitted) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      sum += (fitted[i] - y[i]) * (fitted[i] - y[i]);
+    return sum;
+  };
+  auto roughness = [](const std::vector<double>& fitted) {
+    double sum = 0.0;
+    for (std::size_t i = 2; i < fitted.size(); ++i) {
+      const double second = fitted[i] - 2 * fitted[i - 1] + fitted[i - 2];
+      sum += second * second;
+    }
+    return sum;
+  };
+  // Compare with a 10x larger lambda: smoother but worse fit.
+  const auto smoother = math::SmoothingSpline::Fit(x, y, lambda * 10 + 1.0);
+  ASSERT_TRUE(smoother.ok());
+  EXPECT_LE(sse(fit->fitted()), sse(smoother->fitted()) + 1e-9);
+  EXPECT_GE(roughness(fit->fitted()),
+            roughness(smoother->fitted()) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplineLambdaProperty,
+                         ::testing::Values(0.0, 0.01, 0.1, 1.0, 10.0, 100.0,
+                                           1e4));
+
+// ---------------------------------------------------------------------
+// AR fits stay stationary (forecasts bounded) for any order on rough data.
+class ArOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArOrderProperty, ForecastsRemainBounded) {
+  const int order = GetParam();
+  Rng rng(static_cast<std::uint64_t>(order) * 13 + 1);
+  std::vector<double> series;
+  double level = 5.0;
+  for (int i = 0; i < 500; ++i) {
+    level = 0.8 * level + rng.Uniform(0.0, 2.0);
+    if (i % 37 == 0) level *= 2.0;  // spikes
+    series.push_back(level);
+  }
+  const auto model = math::ArModel::Fit(series, order);
+  ASSERT_TRUE(model.ok());
+  const auto forecast = model->Forecast(series, 500);
+  const double lo = *std::min_element(series.begin(), series.end());
+  const double hi = *std::max_element(series.begin(), series.end());
+  const double span = hi - lo;
+  for (const double value : forecast) {
+    EXPECT_GT(value, lo - 2.0 * span);
+    EXPECT_LT(value, hi + 2.0 * span);
+  }
+  // Long-horizon forecasts converge to the series mean (stationarity).
+  EXPECT_NEAR(forecast.back(), model->mean(), 0.2 * span);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ArOrderProperty,
+                         ::testing::Values(1, 2, 3, 6, 10, 20));
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,177 @@
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gm::sim {
+namespace {
+
+TEST(SimTimeTest, ConversionHelpers) {
+  EXPECT_EQ(Seconds(1.5), 1'500'000);
+  EXPECT_EQ(Minutes(2), 120 * kSecond);
+  EXPECT_EQ(Hours(1), 3600 * kSecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(kMinute), 60.0);
+  EXPECT_DOUBLE_EQ(ToHours(kDay), 24.0);
+  EXPECT_DOUBLE_EQ(ToMinutes(Seconds(90)), 1.5);
+}
+
+TEST(SimTimeTest, FormatTime) {
+  EXPECT_EQ(FormatTime(0), "00:00:00.000");
+  EXPECT_EQ(FormatTime(Hours(1) + Minutes(2) + Seconds(3) + 4 * kMillisecond),
+            "01:02:03.004");
+  EXPECT_EQ(FormatTime(kDay + Hours(2)), "1d 02:00:00.000");
+}
+
+TEST(KernelTest, FiresInTimeOrder) {
+  Kernel kernel;
+  std::vector<int> order;
+  kernel.ScheduleAt(30, [&] { order.push_back(3); });
+  kernel.ScheduleAt(10, [&] { order.push_back(1); });
+  kernel.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(kernel.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(kernel.now(), 30);
+}
+
+TEST(KernelTest, SameTimeFiresInScheduleOrder) {
+  Kernel kernel;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    kernel.ScheduleAt(100, [&order, i] { order.push_back(i); });
+  kernel.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(KernelTest, ScheduleAfterUsesCurrentTime) {
+  Kernel kernel;
+  SimTime fired_at = -1;
+  kernel.ScheduleAt(50, [&] {
+    kernel.ScheduleAfter(25, [&] { fired_at = kernel.now(); });
+  });
+  kernel.Run();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(KernelTest, RepeatingTimerFiresPeriodically) {
+  Kernel kernel;
+  std::vector<SimTime> times;
+  EventHandle handle = kernel.ScheduleEvery(10, 10, [&] {
+    times.push_back(kernel.now());
+    if (times.size() == 4) kernel.Cancel(handle);
+  });
+  kernel.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(KernelTest, RepeatingTimerWithInitialDelayZero) {
+  Kernel kernel;
+  int count = 0;
+  EventHandle handle = kernel.ScheduleEvery(0, 5, [&] { ++count; });
+  kernel.RunUntil(17);
+  kernel.Cancel(handle);
+  // Fires at 0, 5, 10, 15.
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(kernel.now(), 17);
+}
+
+TEST(KernelTest, CancelPreventsFiring) {
+  Kernel kernel;
+  bool fired = false;
+  EventHandle handle = kernel.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(kernel.Cancel(handle));
+  kernel.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(KernelTest, CancelReturnsFalseForStaleHandle) {
+  Kernel kernel;
+  EventHandle handle = kernel.ScheduleAt(10, [] {});
+  kernel.Run();
+  EXPECT_FALSE(kernel.Cancel(handle));
+  EXPECT_FALSE(kernel.Cancel(EventHandle{}));
+}
+
+TEST(KernelTest, CancelFromInsideCallback) {
+  Kernel kernel;
+  bool other_fired = false;
+  EventHandle other = kernel.ScheduleAt(20, [&] { other_fired = true; });
+  kernel.ScheduleAt(10, [&] { kernel.Cancel(other); });
+  kernel.Run();
+  EXPECT_FALSE(other_fired);
+}
+
+TEST(KernelTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Kernel kernel;
+  std::vector<SimTime> times;
+  kernel.ScheduleAt(10, [&] { times.push_back(10); });
+  kernel.ScheduleAt(100, [&] { times.push_back(100); });
+  EXPECT_EQ(kernel.RunUntil(50), 1u);
+  EXPECT_EQ(kernel.now(), 50);
+  EXPECT_EQ(times, (std::vector<SimTime>{10}));
+  EXPECT_EQ(kernel.Run(), 1u);
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 100}));
+}
+
+TEST(KernelTest, EventAtDeadlineFiresInRunUntil) {
+  Kernel kernel;
+  bool fired = false;
+  kernel.ScheduleAt(50, [&] { fired = true; });
+  kernel.RunUntil(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(KernelTest, StepFiresSingleEvent) {
+  Kernel kernel;
+  int count = 0;
+  kernel.ScheduleAt(1, [&] { ++count; });
+  kernel.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(kernel.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(kernel.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(kernel.Step());
+}
+
+TEST(KernelTest, CallbackSchedulingMoreEventsWorks) {
+  Kernel kernel;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) kernel.ScheduleAfter(1, recurse);
+  };
+  kernel.ScheduleAt(0, recurse);
+  kernel.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(kernel.now(), 99);
+}
+
+TEST(KernelTest, PendingEventsCountsLiveEvents) {
+  Kernel kernel;
+  EXPECT_EQ(kernel.pending_events(), 0u);
+  EventHandle a = kernel.ScheduleAt(10, [] {});
+  kernel.ScheduleAt(20, [] {});
+  EXPECT_EQ(kernel.pending_events(), 2u);
+  kernel.Cancel(a);
+  EXPECT_EQ(kernel.pending_events(), 1u);
+  kernel.Run();
+  EXPECT_EQ(kernel.pending_events(), 0u);
+}
+
+TEST(KernelTest, ManyEventsStressOrdering) {
+  Kernel kernel;
+  std::vector<SimTime> fired;
+  // Schedule in a scrambled but deterministic order.
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = (i * 7919) % 1000;
+    kernel.ScheduleAt(t, [&fired, &kernel] { fired.push_back(kernel.now()); });
+  }
+  kernel.Run();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+}  // namespace
+}  // namespace gm::sim

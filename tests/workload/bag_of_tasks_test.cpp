@@ -1,0 +1,58 @@
+#include "workload/bag_of_tasks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::workload {
+namespace {
+
+TEST(BagOfTasksTest, DefaultScanJob) {
+  ScanJobParams params;
+  const auto job = BuildScanJob(params);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->count, 15);
+  EXPECT_EQ(job->TotalChunks(), 30);
+  EXPECT_DOUBLE_EQ(job->cpu_time_minutes, 212.0);
+  EXPECT_FALSE(job->runtime_environments.empty());
+  EXPECT_FALSE(job->input_files.empty());
+  // Must round-trip through XRSL (that's how it reaches the broker).
+  EXPECT_TRUE(grid::JobDescription::FromXrsl(job->ToXrsl()).ok());
+}
+
+TEST(BagOfTasksTest, Validation) {
+  ScanJobParams params;
+  params.nodes = 0;
+  EXPECT_FALSE(BuildScanJob(params).ok());
+  params.nodes = 10;
+  params.chunks = 5;  // fewer chunks than nodes
+  EXPECT_FALSE(BuildScanJob(params).ok());
+  params.chunks = 10;
+  params.chunk_cpu_minutes = 0.0;
+  EXPECT_FALSE(BuildScanJob(params).ok());
+}
+
+TEST(BagOfTasksTest, FromPartitionDerivesSizes) {
+  const ProteomeModel model = ProteomeModel::Calibrated(20, 50.0, GHz(2.0));
+  const auto chunks = PartitionProteome(model, 20);
+  ASSERT_TRUE(chunks.ok());
+  ScanJobParams params;
+  params.nodes = 10;
+  const auto job = BuildScanJob(params, *chunks, GHz(2.0));
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(job->TotalChunks(), 20);
+  EXPECT_NEAR(job->cpu_time_minutes, 50.0, 0.5);
+  ASSERT_EQ(job->input_files.size(), 20u);
+  EXPECT_EQ(job->input_files[3].name, "proteome-chunk-003.fasta");
+  EXPECT_GT(job->input_files[3].size_mb, 0.0);
+}
+
+TEST(BagOfTasksTest, FromPartitionValidation) {
+  ScanJobParams params;
+  EXPECT_FALSE(BuildScanJob(params, {}, GHz(1.0)).ok());
+  const ProteomeModel model = ProteomeModel::Calibrated(5, 10.0, GHz(1.0));
+  const auto chunks = PartitionProteome(model, 5);
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_FALSE(BuildScanJob(params, *chunks, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace gm::workload

@@ -1,0 +1,94 @@
+#include "workload/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::workload {
+namespace {
+
+/// Scaled-down best-response experiment (minutes instead of hours) so the
+/// suite stays fast while exercising the full Table 1/2 machinery.
+BestResponseExperimentConfig SmallConfig() {
+  BestResponseExperimentConfig config;
+  config.grid.hosts = 6;
+  config.grid.cpus_per_host = 2;
+  config.grid.cycles_per_cpu = 1000.0;
+  config.grid.virtualization_overhead = 0.0;
+  config.grid.vm_boot_time = sim::Seconds(5);
+  config.grid.heterogeneity = 0.3;
+  config.grid.plugin.reference_capacity = 1000.0;
+  config.budgets = {10.0, 10.0, 10.0};
+  config.job.nodes = 3;
+  config.job.chunks = 6;
+  config.job.chunk_cpu_minutes = 2.0;
+  config.job.wall_time_minutes = 120.0;
+  config.stagger = sim::Seconds(60);
+  config.horizon = sim::Hours(6);
+  return config;
+}
+
+TEST(BestResponseExperimentTest, AllJobsFinish) {
+  BestResponseExperiment experiment(SmallConfig());
+  const auto outcomes = experiment.Run();
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), 3u);
+  for (const UserOutcome& outcome : *outcomes) {
+    EXPECT_EQ(outcome.state, grid::JobState::kFinished) << outcome.user;
+    EXPECT_EQ(outcome.completed_chunks, 6);
+    EXPECT_GT(outcome.time_hours, 0.0);
+    EXPECT_GT(outcome.latency_minutes, 0.0);
+    EXPECT_GT(outcome.nodes, 0);
+    EXPECT_LE(outcome.nodes, 3);
+    EXPECT_GT(outcome.spent_dollars, 0.0);
+    EXPECT_LE(outcome.spent_dollars, outcome.budget_dollars + 1e-9);
+  }
+}
+
+TEST(BestResponseExperimentTest, HigherFundingBuysBetterService) {
+  BestResponseExperimentConfig config = SmallConfig();
+  // Force contention: single-CPU hosts, all users overlap, and a wall
+  // time tight enough that agents must bid hard to hold their shares.
+  config.grid.cpus_per_host = 1;
+  config.job.wall_time_minutes = 10.0;
+  config.budgets = {2.0, 2.0, 20.0};
+  const auto outcomes = BestResponseExperiment(config).Run();
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  const UserOutcome& poor = (*outcomes)[0];
+  const UserOutcome& rich = (*outcomes)[2];
+  ASSERT_EQ(poor.state, grid::JobState::kFinished);
+  ASSERT_EQ(rich.state, grid::JobState::kFinished);
+  // The paper's Table 2 shape: more money, faster chunks, higher $/h.
+  EXPECT_LT(rich.latency_minutes, poor.latency_minutes);
+  EXPECT_GT(rich.cost_per_hour, poor.cost_per_hour);
+}
+
+TEST(BestResponseExperimentTest, SummarizeAveragesGroups) {
+  std::vector<UserOutcome> outcomes(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    outcomes[i].time_hours = static_cast<double>(i + 1);
+    outcomes[i].cost_per_hour = 2.0 * static_cast<double>(i + 1);
+    outcomes[i].latency_minutes = 10.0 * static_cast<double>(i + 1);
+    outcomes[i].nodes = static_cast<int>(i + 1);
+  }
+  const GroupSummary summary =
+      BestResponseExperiment::Summarize(outcomes, 1, 2, "Users 2-3");
+  EXPECT_EQ(summary.label, "Users 2-3");
+  EXPECT_DOUBLE_EQ(summary.time_hours, 2.5);
+  EXPECT_DOUBLE_EQ(summary.cost_per_hour, 5.0);
+  EXPECT_DOUBLE_EQ(summary.latency_minutes, 25.0);
+  EXPECT_DOUBLE_EQ(summary.nodes, 2.5);
+}
+
+TEST(BestResponseExperimentTest, RenderTableFormatsRows) {
+  const std::vector<GroupSummary> groups{
+      {"1-2", 7.16, 4.19, 28.66, 15.0},
+      {"3-5", 6.36, 4.28, 45.49, 8.7},
+  };
+  const std::string table = BestResponseExperiment::RenderTable(groups);
+  EXPECT_NE(table.find("Time(h)"), std::string::npos);
+  EXPECT_NE(table.find("1-2"), std::string::npos);
+  EXPECT_NE(table.find("45.49"), std::string::npos);
+  EXPECT_NE(table.find("8.7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gm::workload

@@ -1,0 +1,75 @@
+#include "workload/proteome.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gm::workload {
+namespace {
+
+TEST(ProteomeModelTest, CalibrationHitsChunkTarget) {
+  // Paper: one of ~95 chunks takes 212 minutes on a 3 GHz node.
+  const ProteomeModel model = ProteomeModel::Calibrated(95, 212.0, GHz(3.0));
+  EXPECT_GT(model.cycles_per_comparison, 0.0);
+  const auto chunks = PartitionProteome(model, 95);
+  ASSERT_TRUE(chunks.ok());
+  // Every chunk should take ~212 minutes at 3 GHz.
+  for (const ProteomeChunk& chunk : *chunks) {
+    EXPECT_NEAR(chunk.cycles / GHz(3.0) / 60.0, 212.0, 1.0);
+  }
+}
+
+TEST(ProteomeModelTest, TotalCyclesMatchesPartitionSum) {
+  const ProteomeModel model = ProteomeModel::Calibrated(30, 100.0, GHz(3.0));
+  const auto chunks = PartitionProteome(model, 30);
+  ASSERT_TRUE(chunks.ok());
+  Cycles sum = 0;
+  for (const ProteomeChunk& chunk : *chunks) sum += chunk.cycles;
+  EXPECT_NEAR(sum, model.TotalCycles(), model.TotalCycles() * 1e-9);
+}
+
+TEST(ProteomeModelTest, SingleNodeScanTakesWeeks) {
+  // Paper: a full scan takes about 8 weeks on a single node.
+  const ProteomeModel model = ProteomeModel::Calibrated(95, 212.0, GHz(3.0));
+  const double weeks = model.TotalCycles() / GHz(3.0) / 3600.0 / 24.0 / 7.0;
+  EXPECT_GT(weeks, 1.5);
+  EXPECT_LT(weeks, 8.0);
+}
+
+TEST(PartitionTest, ResiduesConserved) {
+  const ProteomeModel model = ProteomeModel::Calibrated(7, 10.0, GHz(1.0));
+  const auto chunks = PartitionProteome(model, 7);
+  ASSERT_TRUE(chunks.ok());
+  std::int64_t residues = 0;
+  for (const ProteomeChunk& chunk : *chunks) residues += chunk.residues;
+  EXPECT_EQ(residues, model.total_residues);
+}
+
+TEST(PartitionTest, NearEqualChunks) {
+  const ProteomeModel model = ProteomeModel::Calibrated(13, 10.0, GHz(1.0));
+  const auto chunks = PartitionProteome(model, 13);
+  ASSERT_TRUE(chunks.ok());
+  std::int64_t min_residues = chunks->front().residues;
+  std::int64_t max_residues = chunks->front().residues;
+  for (const ProteomeChunk& chunk : *chunks) {
+    min_residues = std::min(min_residues, chunk.residues);
+    max_residues = std::max(max_residues, chunk.residues);
+    EXPECT_GT(chunk.data_mb, 0.0);
+  }
+  EXPECT_LE(max_residues - min_residues, 1);
+}
+
+TEST(PartitionTest, FileNamesIndexed) {
+  ProteomeChunk chunk;
+  chunk.index = 7;
+  EXPECT_EQ(chunk.FileName(), "proteome-chunk-007.fasta");
+}
+
+TEST(PartitionTest, Validation) {
+  const ProteomeModel uncalibrated;
+  EXPECT_FALSE(PartitionProteome(uncalibrated, 5).ok());
+  const ProteomeModel model = ProteomeModel::Calibrated(5, 10.0, GHz(1.0));
+  EXPECT_FALSE(PartitionProteome(model, 0).ok());
+  EXPECT_FALSE(PartitionProteome(model, -3).ok());
+}
+
+}  // namespace
+}  // namespace gm::workload
