@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_normal_prediction.dir/fig3_normal_prediction.cpp.o"
+  "CMakeFiles/fig3_normal_prediction.dir/fig3_normal_prediction.cpp.o.d"
+  "fig3_normal_prediction"
+  "fig3_normal_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_normal_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_portfolio.dir/fig5_portfolio.cpp.o"
+  "CMakeFiles/fig5_portfolio.dir/fig5_portfolio.cpp.o.d"
+  "fig5_portfolio"
+  "fig5_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

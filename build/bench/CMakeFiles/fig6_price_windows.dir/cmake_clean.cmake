@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_price_windows.dir/fig6_price_windows.cpp.o"
+  "CMakeFiles/fig6_price_windows.dir/fig6_price_windows.cpp.o.d"
+  "fig6_price_windows"
+  "fig6_price_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_price_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

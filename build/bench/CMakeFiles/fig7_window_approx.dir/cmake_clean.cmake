@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_window_approx.dir/fig7_window_approx.cpp.o"
+  "CMakeFiles/fig7_window_approx.dir/fig7_window_approx.cpp.o.d"
+  "fig7_window_approx"
+  "fig7_window_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_window_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_equal_funding.dir/table1_equal_funding.cpp.o"
+  "CMakeFiles/table1_equal_funding.dir/table1_equal_funding.cpp.o.d"
+  "table1_equal_funding"
+  "table1_equal_funding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_equal_funding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

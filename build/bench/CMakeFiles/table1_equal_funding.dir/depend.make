@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_equal_funding.
+# This may be replaced when dependencies are built.

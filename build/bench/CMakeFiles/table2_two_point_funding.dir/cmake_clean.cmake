@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_two_point_funding.dir/table2_two_point_funding.cpp.o"
+  "CMakeFiles/table2_two_point_funding.dir/table2_two_point_funding.cpp.o.d"
+  "table2_two_point_funding"
+  "table2_two_point_funding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_two_point_funding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioinformatics_grid.dir/bioinformatics_grid.cpp.o"
+  "CMakeFiles/bioinformatics_grid.dir/bioinformatics_grid.cpp.o.d"
+  "bioinformatics_grid"
+  "bioinformatics_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioinformatics_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_accounting.dir/grid_accounting.cpp.o"
+  "CMakeFiles/grid_accounting.dir/grid_accounting.cpp.o.d"
+  "grid_accounting"
+  "grid_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_advisor.dir/price_advisor.cpp.o"
+  "CMakeFiles/price_advisor.dir/price_advisor.cpp.o.d"
+  "price_advisor"
+  "price_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/token_security.cpp" "examples/CMakeFiles/token_security.dir/token_security.cpp.o" "gcc" "examples/CMakeFiles/token_security.dir/token_security.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/gm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gm_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/bestresponse/CMakeFiles/gm_bestresponse.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/gm_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/bank/CMakeFiles/gm_bank.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/gm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_security.dir/token_security.cpp.o"
+  "CMakeFiles/token_security.dir/token_security.cpp.o.d"
+  "token_security"
+  "token_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bank/bank.cpp" "src/bank/CMakeFiles/gm_bank.dir/bank.cpp.o" "gcc" "src/bank/CMakeFiles/gm_bank.dir/bank.cpp.o.d"
+  "/root/repo/src/bank/billing.cpp" "src/bank/CMakeFiles/gm_bank.dir/billing.cpp.o" "gcc" "src/bank/CMakeFiles/gm_bank.dir/billing.cpp.o.d"
+  "/root/repo/src/bank/service.cpp" "src/bank/CMakeFiles/gm_bank.dir/service.cpp.o" "gcc" "src/bank/CMakeFiles/gm_bank.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

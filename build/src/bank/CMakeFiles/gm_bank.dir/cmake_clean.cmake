@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_bank.dir/bank.cpp.o"
+  "CMakeFiles/gm_bank.dir/bank.cpp.o.d"
+  "CMakeFiles/gm_bank.dir/billing.cpp.o"
+  "CMakeFiles/gm_bank.dir/billing.cpp.o.d"
+  "CMakeFiles/gm_bank.dir/service.cpp.o"
+  "CMakeFiles/gm_bank.dir/service.cpp.o.d"
+  "libgm_bank.a"
+  "libgm_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_bestresponse.dir/best_response.cpp.o"
+  "CMakeFiles/gm_bestresponse.dir/best_response.cpp.o.d"
+  "libgm_bestresponse.a"
+  "libgm_bestresponse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_bestresponse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_common.dir/bytes.cpp.o"
+  "CMakeFiles/gm_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/gm_common.dir/config.cpp.o"
+  "CMakeFiles/gm_common.dir/config.cpp.o.d"
+  "CMakeFiles/gm_common.dir/log.cpp.o"
+  "CMakeFiles/gm_common.dir/log.cpp.o.d"
+  "CMakeFiles/gm_common.dir/rng.cpp.o"
+  "CMakeFiles/gm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gm_common.dir/status.cpp.o"
+  "CMakeFiles/gm_common.dir/status.cpp.o.d"
+  "CMakeFiles/gm_common.dir/strings.cpp.o"
+  "CMakeFiles/gm_common.dir/strings.cpp.o.d"
+  "CMakeFiles/gm_common.dir/units.cpp.o"
+  "CMakeFiles/gm_common.dir/units.cpp.o.d"
+  "libgm_common.a"
+  "libgm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_core.dir/grid_market.cpp.o"
+  "CMakeFiles/gm_core.dir/grid_market.cpp.o.d"
+  "libgm_core.a"
+  "libgm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

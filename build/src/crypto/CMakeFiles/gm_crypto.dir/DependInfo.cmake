@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/identity.cpp" "src/crypto/CMakeFiles/gm_crypto.dir/identity.cpp.o" "gcc" "src/crypto/CMakeFiles/gm_crypto.dir/identity.cpp.o.d"
+  "/root/repo/src/crypto/modmath.cpp" "src/crypto/CMakeFiles/gm_crypto.dir/modmath.cpp.o" "gcc" "src/crypto/CMakeFiles/gm_crypto.dir/modmath.cpp.o.d"
+  "/root/repo/src/crypto/prime.cpp" "src/crypto/CMakeFiles/gm_crypto.dir/prime.cpp.o" "gcc" "src/crypto/CMakeFiles/gm_crypto.dir/prime.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/crypto/CMakeFiles/gm_crypto.dir/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/gm_crypto.dir/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/gm_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/gm_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/token.cpp" "src/crypto/CMakeFiles/gm_crypto.dir/token.cpp.o" "gcc" "src/crypto/CMakeFiles/gm_crypto.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_crypto.dir/identity.cpp.o"
+  "CMakeFiles/gm_crypto.dir/identity.cpp.o.d"
+  "CMakeFiles/gm_crypto.dir/modmath.cpp.o"
+  "CMakeFiles/gm_crypto.dir/modmath.cpp.o.d"
+  "CMakeFiles/gm_crypto.dir/prime.cpp.o"
+  "CMakeFiles/gm_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/gm_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/gm_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/gm_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/gm_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/gm_crypto.dir/token.cpp.o"
+  "CMakeFiles/gm_crypto.dir/token.cpp.o.d"
+  "libgm_crypto.a"
+  "libgm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

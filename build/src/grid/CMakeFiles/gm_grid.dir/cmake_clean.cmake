@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_grid.dir/auth.cpp.o"
+  "CMakeFiles/gm_grid.dir/auth.cpp.o.d"
+  "CMakeFiles/gm_grid.dir/broker.cpp.o"
+  "CMakeFiles/gm_grid.dir/broker.cpp.o.d"
+  "CMakeFiles/gm_grid.dir/job.cpp.o"
+  "CMakeFiles/gm_grid.dir/job.cpp.o.d"
+  "CMakeFiles/gm_grid.dir/monitor.cpp.o"
+  "CMakeFiles/gm_grid.dir/monitor.cpp.o.d"
+  "CMakeFiles/gm_grid.dir/plugin.cpp.o"
+  "CMakeFiles/gm_grid.dir/plugin.cpp.o.d"
+  "CMakeFiles/gm_grid.dir/xrsl.cpp.o"
+  "CMakeFiles/gm_grid.dir/xrsl.cpp.o.d"
+  "libgm_grid.a"
+  "libgm_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgm_grid.a"
+)

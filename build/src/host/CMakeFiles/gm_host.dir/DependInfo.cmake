@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host.cpp" "src/host/CMakeFiles/gm_host.dir/host.cpp.o" "gcc" "src/host/CMakeFiles/gm_host.dir/host.cpp.o.d"
+  "/root/repo/src/host/provision.cpp" "src/host/CMakeFiles/gm_host.dir/provision.cpp.o" "gcc" "src/host/CMakeFiles/gm_host.dir/provision.cpp.o.d"
+  "/root/repo/src/host/vm.cpp" "src/host/CMakeFiles/gm_host.dir/vm.cpp.o" "gcc" "src/host/CMakeFiles/gm_host.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

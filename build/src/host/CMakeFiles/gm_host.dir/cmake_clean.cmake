@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_host.dir/host.cpp.o"
+  "CMakeFiles/gm_host.dir/host.cpp.o.d"
+  "CMakeFiles/gm_host.dir/provision.cpp.o"
+  "CMakeFiles/gm_host.dir/provision.cpp.o.d"
+  "CMakeFiles/gm_host.dir/vm.cpp.o"
+  "CMakeFiles/gm_host.dir/vm.cpp.o.d"
+  "libgm_host.a"
+  "libgm_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

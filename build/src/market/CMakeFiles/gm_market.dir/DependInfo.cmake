@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/auctioneer.cpp" "src/market/CMakeFiles/gm_market.dir/auctioneer.cpp.o" "gcc" "src/market/CMakeFiles/gm_market.dir/auctioneer.cpp.o.d"
+  "/root/repo/src/market/auctioneer_service.cpp" "src/market/CMakeFiles/gm_market.dir/auctioneer_service.cpp.o" "gcc" "src/market/CMakeFiles/gm_market.dir/auctioneer_service.cpp.o.d"
+  "/root/repo/src/market/price_history.cpp" "src/market/CMakeFiles/gm_market.dir/price_history.cpp.o" "gcc" "src/market/CMakeFiles/gm_market.dir/price_history.cpp.o.d"
+  "/root/repo/src/market/slot_table.cpp" "src/market/CMakeFiles/gm_market.dir/slot_table.cpp.o" "gcc" "src/market/CMakeFiles/gm_market.dir/slot_table.cpp.o.d"
+  "/root/repo/src/market/sls.cpp" "src/market/CMakeFiles/gm_market.dir/sls.cpp.o" "gcc" "src/market/CMakeFiles/gm_market.dir/sls.cpp.o.d"
+  "/root/repo/src/market/window_stats.cpp" "src/market/CMakeFiles/gm_market.dir/window_stats.cpp.o" "gcc" "src/market/CMakeFiles/gm_market.dir/window_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/gm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_market.dir/auctioneer.cpp.o"
+  "CMakeFiles/gm_market.dir/auctioneer.cpp.o.d"
+  "CMakeFiles/gm_market.dir/auctioneer_service.cpp.o"
+  "CMakeFiles/gm_market.dir/auctioneer_service.cpp.o.d"
+  "CMakeFiles/gm_market.dir/price_history.cpp.o"
+  "CMakeFiles/gm_market.dir/price_history.cpp.o.d"
+  "CMakeFiles/gm_market.dir/slot_table.cpp.o"
+  "CMakeFiles/gm_market.dir/slot_table.cpp.o.d"
+  "CMakeFiles/gm_market.dir/sls.cpp.o"
+  "CMakeFiles/gm_market.dir/sls.cpp.o.d"
+  "CMakeFiles/gm_market.dir/window_stats.cpp.o"
+  "CMakeFiles/gm_market.dir/window_stats.cpp.o.d"
+  "libgm_market.a"
+  "libgm_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

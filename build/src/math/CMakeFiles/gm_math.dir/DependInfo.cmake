@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/ar_model.cpp" "src/math/CMakeFiles/gm_math.dir/ar_model.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/ar_model.cpp.o.d"
+  "/root/repo/src/math/autocorr.cpp" "src/math/CMakeFiles/gm_math.dir/autocorr.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/autocorr.cpp.o.d"
+  "/root/repo/src/math/distributions.cpp" "src/math/CMakeFiles/gm_math.dir/distributions.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/distributions.cpp.o.d"
+  "/root/repo/src/math/histogram.cpp" "src/math/CMakeFiles/gm_math.dir/histogram.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/histogram.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/gm_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/normal.cpp" "src/math/CMakeFiles/gm_math.dir/normal.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/normal.cpp.o.d"
+  "/root/repo/src/math/spline.cpp" "src/math/CMakeFiles/gm_math.dir/spline.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/spline.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/gm_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/stats.cpp.o.d"
+  "/root/repo/src/math/tridiag.cpp" "src/math/CMakeFiles/gm_math.dir/tridiag.cpp.o" "gcc" "src/math/CMakeFiles/gm_math.dir/tridiag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_math.dir/ar_model.cpp.o"
+  "CMakeFiles/gm_math.dir/ar_model.cpp.o.d"
+  "CMakeFiles/gm_math.dir/autocorr.cpp.o"
+  "CMakeFiles/gm_math.dir/autocorr.cpp.o.d"
+  "CMakeFiles/gm_math.dir/distributions.cpp.o"
+  "CMakeFiles/gm_math.dir/distributions.cpp.o.d"
+  "CMakeFiles/gm_math.dir/histogram.cpp.o"
+  "CMakeFiles/gm_math.dir/histogram.cpp.o.d"
+  "CMakeFiles/gm_math.dir/matrix.cpp.o"
+  "CMakeFiles/gm_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/gm_math.dir/normal.cpp.o"
+  "CMakeFiles/gm_math.dir/normal.cpp.o.d"
+  "CMakeFiles/gm_math.dir/spline.cpp.o"
+  "CMakeFiles/gm_math.dir/spline.cpp.o.d"
+  "CMakeFiles/gm_math.dir/stats.cpp.o"
+  "CMakeFiles/gm_math.dir/stats.cpp.o.d"
+  "CMakeFiles/gm_math.dir/tridiag.cpp.o"
+  "CMakeFiles/gm_math.dir/tridiag.cpp.o.d"
+  "libgm_math.a"
+  "libgm_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_net.dir/bus.cpp.o"
+  "CMakeFiles/gm_net.dir/bus.cpp.o.d"
+  "CMakeFiles/gm_net.dir/message.cpp.o"
+  "CMakeFiles/gm_net.dir/message.cpp.o.d"
+  "CMakeFiles/gm_net.dir/rpc.cpp.o"
+  "CMakeFiles/gm_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/gm_net.dir/serialize.cpp.o"
+  "CMakeFiles/gm_net.dir/serialize.cpp.o.d"
+  "libgm_net.a"
+  "libgm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/ar_forecaster.cpp" "src/predict/CMakeFiles/gm_predict.dir/ar_forecaster.cpp.o" "gcc" "src/predict/CMakeFiles/gm_predict.dir/ar_forecaster.cpp.o.d"
+  "/root/repo/src/predict/empirical_model.cpp" "src/predict/CMakeFiles/gm_predict.dir/empirical_model.cpp.o" "gcc" "src/predict/CMakeFiles/gm_predict.dir/empirical_model.cpp.o.d"
+  "/root/repo/src/predict/normal_model.cpp" "src/predict/CMakeFiles/gm_predict.dir/normal_model.cpp.o" "gcc" "src/predict/CMakeFiles/gm_predict.dir/normal_model.cpp.o.d"
+  "/root/repo/src/predict/portfolio.cpp" "src/predict/CMakeFiles/gm_predict.dir/portfolio.cpp.o" "gcc" "src/predict/CMakeFiles/gm_predict.dir/portfolio.cpp.o.d"
+  "/root/repo/src/predict/sla.cpp" "src/predict/CMakeFiles/gm_predict.dir/sla.cpp.o" "gcc" "src/predict/CMakeFiles/gm_predict.dir/sla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/bestresponse/CMakeFiles/gm_bestresponse.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/gm_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/gm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

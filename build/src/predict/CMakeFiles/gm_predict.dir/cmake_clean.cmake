@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_predict.dir/ar_forecaster.cpp.o"
+  "CMakeFiles/gm_predict.dir/ar_forecaster.cpp.o.d"
+  "CMakeFiles/gm_predict.dir/empirical_model.cpp.o"
+  "CMakeFiles/gm_predict.dir/empirical_model.cpp.o.d"
+  "CMakeFiles/gm_predict.dir/normal_model.cpp.o"
+  "CMakeFiles/gm_predict.dir/normal_model.cpp.o.d"
+  "CMakeFiles/gm_predict.dir/portfolio.cpp.o"
+  "CMakeFiles/gm_predict.dir/portfolio.cpp.o.d"
+  "CMakeFiles/gm_predict.dir/sla.cpp.o"
+  "CMakeFiles/gm_predict.dir/sla.cpp.o.d"
+  "libgm_predict.a"
+  "libgm_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_sim.dir/kernel.cpp.o"
+  "CMakeFiles/gm_sim.dir/kernel.cpp.o.d"
+  "libgm_sim.a"
+  "libgm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_workload.dir/bag_of_tasks.cpp.o"
+  "CMakeFiles/gm_workload.dir/bag_of_tasks.cpp.o.d"
+  "CMakeFiles/gm_workload.dir/experiment.cpp.o"
+  "CMakeFiles/gm_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/gm_workload.dir/proteome.cpp.o"
+  "CMakeFiles/gm_workload.dir/proteome.cpp.o.d"
+  "libgm_workload.a"
+  "libgm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

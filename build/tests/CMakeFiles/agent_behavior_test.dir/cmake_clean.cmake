@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_behavior_test.dir/grid/agent_behavior_test.cpp.o"
+  "CMakeFiles/agent_behavior_test.dir/grid/agent_behavior_test.cpp.o.d"
+  "agent_behavior_test"
+  "agent_behavior_test.pdb"
+  "agent_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bank/bank_test.cpp" "tests/CMakeFiles/bank_test.dir/bank/bank_test.cpp.o" "gcc" "tests/CMakeFiles/bank_test.dir/bank/bank_test.cpp.o.d"
+  "/root/repo/tests/bank/billing_test.cpp" "tests/CMakeFiles/bank_test.dir/bank/billing_test.cpp.o" "gcc" "tests/CMakeFiles/bank_test.dir/bank/billing_test.cpp.o.d"
+  "/root/repo/tests/bank/service_test.cpp" "tests/CMakeFiles/bank_test.dir/bank/service_test.cpp.o" "gcc" "tests/CMakeFiles/bank_test.dir/bank/service_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bank/CMakeFiles/gm_bank.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

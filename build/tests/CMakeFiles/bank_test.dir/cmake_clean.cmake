@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_test.dir/bank/bank_test.cpp.o"
+  "CMakeFiles/bank_test.dir/bank/bank_test.cpp.o.d"
+  "CMakeFiles/bank_test.dir/bank/billing_test.cpp.o"
+  "CMakeFiles/bank_test.dir/bank/billing_test.cpp.o.d"
+  "CMakeFiles/bank_test.dir/bank/service_test.cpp.o"
+  "CMakeFiles/bank_test.dir/bank/service_test.cpp.o.d"
+  "bank_test"
+  "bank_test.pdb"
+  "bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bestresponse_test.dir/bestresponse/best_response_test.cpp.o"
+  "CMakeFiles/bestresponse_test.dir/bestresponse/best_response_test.cpp.o.d"
+  "CMakeFiles/bestresponse_test.dir/bestresponse/equilibrium_test.cpp.o"
+  "CMakeFiles/bestresponse_test.dir/bestresponse/equilibrium_test.cpp.o.d"
+  "bestresponse_test"
+  "bestresponse_test.pdb"
+  "bestresponse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bestresponse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

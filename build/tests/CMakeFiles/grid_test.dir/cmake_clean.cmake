@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_test.dir/grid/auth_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/auth_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/end_to_end_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/end_to_end_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/job_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/job_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/monitor_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/monitor_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/xrsl_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/xrsl_test.cpp.o.d"
+  "grid_test"
+  "grid_test.pdb"
+  "grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/market/auctioneer_service_test.cpp" "tests/CMakeFiles/market_test.dir/market/auctioneer_service_test.cpp.o" "gcc" "tests/CMakeFiles/market_test.dir/market/auctioneer_service_test.cpp.o.d"
+  "/root/repo/tests/market/auctioneer_test.cpp" "tests/CMakeFiles/market_test.dir/market/auctioneer_test.cpp.o" "gcc" "tests/CMakeFiles/market_test.dir/market/auctioneer_test.cpp.o.d"
+  "/root/repo/tests/market/price_history_test.cpp" "tests/CMakeFiles/market_test.dir/market/price_history_test.cpp.o" "gcc" "tests/CMakeFiles/market_test.dir/market/price_history_test.cpp.o.d"
+  "/root/repo/tests/market/slot_table_test.cpp" "tests/CMakeFiles/market_test.dir/market/slot_table_test.cpp.o" "gcc" "tests/CMakeFiles/market_test.dir/market/slot_table_test.cpp.o.d"
+  "/root/repo/tests/market/sls_test.cpp" "tests/CMakeFiles/market_test.dir/market/sls_test.cpp.o" "gcc" "tests/CMakeFiles/market_test.dir/market/sls_test.cpp.o.d"
+  "/root/repo/tests/market/window_stats_test.cpp" "tests/CMakeFiles/market_test.dir/market/window_stats_test.cpp.o" "gcc" "tests/CMakeFiles/market_test.dir/market/window_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/gm_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/gm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_test.dir/market/auctioneer_service_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/auctioneer_service_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/auctioneer_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/auctioneer_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/price_history_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/price_history_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/slot_table_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/slot_table_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/sls_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/sls_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/window_stats_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/window_stats_test.cpp.o.d"
+  "market_test"
+  "market_test.pdb"
+  "market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/ar_model_test.cpp" "tests/CMakeFiles/math_test.dir/math/ar_model_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/ar_model_test.cpp.o.d"
+  "/root/repo/tests/math/autocorr_test.cpp" "tests/CMakeFiles/math_test.dir/math/autocorr_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/autocorr_test.cpp.o.d"
+  "/root/repo/tests/math/distributions_test.cpp" "tests/CMakeFiles/math_test.dir/math/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/distributions_test.cpp.o.d"
+  "/root/repo/tests/math/histogram_test.cpp" "tests/CMakeFiles/math_test.dir/math/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/histogram_test.cpp.o.d"
+  "/root/repo/tests/math/matrix_test.cpp" "tests/CMakeFiles/math_test.dir/math/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/matrix_test.cpp.o.d"
+  "/root/repo/tests/math/normal_test.cpp" "tests/CMakeFiles/math_test.dir/math/normal_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/normal_test.cpp.o.d"
+  "/root/repo/tests/math/spline_test.cpp" "tests/CMakeFiles/math_test.dir/math/spline_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/spline_test.cpp.o.d"
+  "/root/repo/tests/math/stats_test.cpp" "tests/CMakeFiles/math_test.dir/math/stats_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/stats_test.cpp.o.d"
+  "/root/repo/tests/math/tridiag_test.cpp" "tests/CMakeFiles/math_test.dir/math/tridiag_test.cpp.o" "gcc" "tests/CMakeFiles/math_test.dir/math/tridiag_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/gm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

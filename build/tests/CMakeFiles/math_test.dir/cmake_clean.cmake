@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_test.dir/math/ar_model_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/ar_model_test.cpp.o.d"
+  "CMakeFiles/math_test.dir/math/autocorr_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/autocorr_test.cpp.o.d"
+  "CMakeFiles/math_test.dir/math/distributions_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/distributions_test.cpp.o.d"
+  "CMakeFiles/math_test.dir/math/histogram_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/histogram_test.cpp.o.d"
+  "CMakeFiles/math_test.dir/math/matrix_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/matrix_test.cpp.o.d"
+  "CMakeFiles/math_test.dir/math/normal_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/normal_test.cpp.o.d"
+  "CMakeFiles/math_test.dir/math/spline_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/spline_test.cpp.o.d"
+  "CMakeFiles/math_test.dir/math/stats_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/stats_test.cpp.o.d"
+  "CMakeFiles/math_test.dir/math/tridiag_test.cpp.o"
+  "CMakeFiles/math_test.dir/math/tridiag_test.cpp.o.d"
+  "math_test"
+  "math_test.pdb"
+  "math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_test.dir/predict/ar_forecaster_test.cpp.o"
+  "CMakeFiles/predict_test.dir/predict/ar_forecaster_test.cpp.o.d"
+  "CMakeFiles/predict_test.dir/predict/empirical_model_test.cpp.o"
+  "CMakeFiles/predict_test.dir/predict/empirical_model_test.cpp.o.d"
+  "CMakeFiles/predict_test.dir/predict/normal_model_test.cpp.o"
+  "CMakeFiles/predict_test.dir/predict/normal_model_test.cpp.o.d"
+  "CMakeFiles/predict_test.dir/predict/portfolio_test.cpp.o"
+  "CMakeFiles/predict_test.dir/predict/portfolio_test.cpp.o.d"
+  "CMakeFiles/predict_test.dir/predict/sla_test.cpp.o"
+  "CMakeFiles/predict_test.dir/predict/sla_test.cpp.o.d"
+  "predict_test"
+  "predict_test.pdb"
+  "predict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
