@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Build and run the test suite under AddressSanitizer + UBSan.
+# Usage: scripts/check_sanitize.sh [ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-asan
+
+cmake -B "$BUILD_DIR" -S . -DGM_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"

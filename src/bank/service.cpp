@@ -87,6 +87,12 @@ BankService::BankService(Bank& bank, net::MessageBus& bus,
       });
 }
 
+net::CallOptions BankClient::DefaultCallOptions() {
+  net::CallOptions options;
+  options.max_attempts = 4;
+  return options;
+}
+
 BankClient::BankClient(net::MessageBus& bus, std::string client_endpoint,
                        std::string bank_endpoint, net::CallOptions options)
     : client_(bus, std::move(client_endpoint)),

@@ -38,11 +38,23 @@ class BankService {
 };
 
 /// Typed asynchronous client for BankService.
+///
+/// Calls retry by default (see DefaultCallOptions): the transport is
+/// at-least-once, but the BankService endpoint deduplicates requests by
+/// (client, correlation id), so a retried Transfer is applied exactly once
+/// and the original receipt is replayed.
 class BankClient {
  public:
+  /// Retrying defaults for bank traffic over a lossy bus.
+  static net::CallOptions DefaultCallOptions();
+
   BankClient(net::MessageBus& bus, std::string client_endpoint,
              std::string bank_endpoint = "bank",
-             net::CallOptions options = {});
+             net::CallOptions options = DefaultCallOptions());
+
+  /// Transport counters of the underlying RPC client (retries, timeouts,
+  /// stale late responses) — rendered by the grid monitor.
+  const net::RpcClient& rpc() const { return client_; }
 
   using BalanceCallback = std::function<void(Result<Micros>)>;
   using NonceCallback = std::function<void(Result<std::uint64_t>)>;

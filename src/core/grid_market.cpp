@@ -16,6 +16,8 @@ GridMarket::GridMarket(Config config)
       crypto::DistinguishedName{"SE", "SweGrid", "CA", "SweGrid Root CA"},
       group_, rng_);
   sls_ = std::make_unique<market::ServiceLocationService>(kernel_);
+  bus_ = std::make_unique<net::MessageBus>(kernel_, config_.network,
+                                           rng_.Next());
 
   GM_ASSERT(bank_->CreateAccount("broker", {}).ok(),
             "broker account creation failed");
@@ -45,6 +47,8 @@ GridMarket::GridMarket(Config config)
     auctioneers_.push_back(
         std::make_unique<market::Auctioneer>(*hosts_.back(), kernel_));
     auctioneers_.back()->Start();
+    services_.push_back(std::make_unique<market::AuctioneerService>(
+        *auctioneers_.back(), *bus_));
     publishers_.push_back(std::make_unique<market::SlsPublisher>(
         *auctioneers_.back(), *sls_, config_.site, kernel_,
         config_.sls_heartbeat));
@@ -134,6 +138,36 @@ market::Auctioneer& GridMarket::auctioneer(std::size_t index) {
 const market::Auctioneer& GridMarket::auctioneer(std::size_t index) const {
   GM_ASSERT(index < auctioneers_.size(), "auctioneer index out of range");
   return *auctioneers_[index];
+}
+
+Status GridMarket::EnableHealthProbes(grid::HealthOptions options) {
+  return plugin_->EnableHealthProbes(*bus_, options);
+}
+
+Status GridMarket::CrashHost(std::size_t index) {
+  if (index >= auctioneers_.size())
+    return Status::InvalidArgument("host index out of range");
+  auctioneers_[index]->Stop();
+  return bus_->CrashEndpoint("auctioneer/" +
+                             auctioneers_[index]->physical_host().id());
+}
+
+Status GridMarket::RestartHost(std::size_t index) {
+  if (index >= auctioneers_.size())
+    return Status::InvalidArgument("host index out of range");
+  GM_RETURN_IF_ERROR(bus_->RestartEndpoint(
+      "auctioneer/" + auctioneers_[index]->physical_host().id()));
+  auctioneers_[index]->Start();
+  return Status::Ok();
+}
+
+std::vector<grid::HostHealthInfo> GridMarket::HostHealthReport() const {
+  return plugin_->HostHealthReport();
+}
+
+std::string GridMarket::NetMonitor() const {
+  return grid::RenderHealthTable(plugin_->HostHealthReport()) +
+         grid::RenderNetTable(bus_->stats(), plugin_.get());
 }
 
 Result<std::vector<predict::HostPriceStats>> GridMarket::HostPriceStats(

@@ -25,7 +25,9 @@
 #include "bank/bank.hpp"
 #include "grid/broker.hpp"
 #include "grid/monitor.hpp"
+#include "market/auctioneer_service.hpp"
 #include "market/sls.hpp"
+#include "net/bus.hpp"
 #include "predict/normal_model.hpp"
 #include "sim/kernel.hpp"
 
@@ -49,6 +51,10 @@ class GridMarket {
     int max_vms_per_host = 15;
     std::string site = "hp-palo-alto";
     sim::SimDuration sls_heartbeat = sim::Minutes(1);
+    /// Latency/loss model of the simulated network every auctioneer's RPC
+    /// service runs on. Use net::LatencyModel::Lossy(p) plus
+    /// EnableHealthProbes() for fault-tolerance experiments.
+    net::LatencyModel network = net::LatencyModel::Lan();
     grid::PluginConfig plugin;
     std::uint64_t seed = 42;
     /// Bit widths of the Schnorr group used for all keys. The default
@@ -109,6 +115,22 @@ class GridMarket {
   Result<std::vector<predict::HostPriceStats>> HostPriceStats(
       const std::string& window) const;
 
+  // -- network and fault tolerance --
+  /// The simulated bus carrying every auctioneer's RPC service
+  /// ("auctioneer/<host id>"). Inject faults with PartitionLink /
+  /// AddLossWindow / net::ApplyFaultPlan.
+  net::MessageBus& bus() { return *bus_; }
+  /// Start the scheduler's failure detector: periodic RPC pings per
+  /// host, suspect/dead thresholds, job migration off dead hosts.
+  Status EnableHealthProbes(grid::HealthOptions options = {});
+  /// Crash host `index`: the market stops ticking (VMs freeze) and its
+  /// RPC endpoint vanishes, so probes time out and jobs migrate.
+  Status CrashHost(std::size_t index);
+  Status RestartHost(std::size_t index);
+  std::vector<grid::HostHealthInfo> HostHealthReport() const;
+  /// Health + bus-statistics rendering (companion to Monitor()).
+  std::string NetMonitor() const;
+
   /// The live monitor rendering (paper Figure 2).
   std::string Monitor() const;
 
@@ -128,8 +150,12 @@ class GridMarket {
   std::unique_ptr<bank::Bank> bank_;
   std::unique_ptr<crypto::CertificateAuthority> ca_;
   std::unique_ptr<market::ServiceLocationService> sls_;
+  // Declared before everything that registers bus endpoints (services,
+  // the plugin's probe client) so it is destroyed after them.
+  std::unique_ptr<net::MessageBus> bus_;
   std::vector<std::unique_ptr<host::PhysicalHost>> hosts_;
   std::vector<std::unique_ptr<market::Auctioneer>> auctioneers_;
+  std::vector<std::unique_ptr<market::AuctioneerService>> services_;
   std::vector<std::unique_ptr<market::SlsPublisher>> publishers_;
   std::unique_ptr<grid::TokenAuthorizer> authorizer_;
   std::unique_ptr<grid::TycoonSchedulerPlugin> plugin_;

@@ -49,6 +49,47 @@ std::string RenderJobTable(const std::vector<const JobRecord*>& jobs,
   return out;
 }
 
+std::string RenderHealthTable(const std::vector<HostHealthInfo>& health) {
+  std::string out = StrFormat("%-10s %-8s %6s %14s\n", "HOST", "HEALTH",
+                              "FAILS", "LAST-OK");
+  for (const HostHealthInfo& info : health) {
+    out += StrFormat("%-10s %-8s %6d %14s\n", info.host_id.c_str(),
+                     HostHealthStateName(info.state),
+                     info.consecutive_failures,
+                     info.last_ok >= 0 ? sim::FormatTime(info.last_ok).c_str()
+                                       : "-");
+  }
+  return out;
+}
+
+std::string RenderNetTable(const net::BusStats& bus,
+                           const TycoonSchedulerPlugin* plugin) {
+  std::string out = StrFormat(
+      "bus: sent=%llu delivered=%llu dropped=%llu undeliverable=%llu "
+      "in_flight=%llu bytes_sent=%llu bytes_dropped=%llu\n",
+      static_cast<unsigned long long>(bus.sent),
+      static_cast<unsigned long long>(bus.delivered),
+      static_cast<unsigned long long>(bus.dropped),
+      static_cast<unsigned long long>(bus.undeliverable),
+      static_cast<unsigned long long>(bus.in_flight),
+      static_cast<unsigned long long>(bus.bytes_sent),
+      static_cast<unsigned long long>(bus.bytes_dropped));
+  if (plugin != nullptr) {
+    out += StrFormat(
+        "agent: probes=%llu probe_failures=%llu migrations=%llu",
+        static_cast<unsigned long long>(plugin->probes_sent()),
+        static_cast<unsigned long long>(plugin->probe_failures()),
+        static_cast<unsigned long long>(plugin->migrations()));
+    if (const net::RpcClient* rpc = plugin->probe_rpc()) {
+      out += StrFormat(" rpc_retries=%llu rpc_timeouts=%llu",
+                       static_cast<unsigned long long>(rpc->retries()),
+                       static_cast<unsigned long long>(rpc->timeouts()));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 std::string RenderMonitor(
     const std::vector<const market::Auctioneer*>& auctioneers,
     const std::vector<const JobRecord*>& jobs, sim::SimTime now) {

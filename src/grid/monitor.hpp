@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "grid/job.hpp"
+#include "grid/plugin.hpp"
 #include "market/auctioneer.hpp"
+#include "net/bus.hpp"
 #include "sim/kernel.hpp"
 
 namespace gm::grid {
@@ -19,6 +21,14 @@ std::string RenderClusterTable(
 /// "id  name  user  state  chunks  spent/budget  time" table.
 std::string RenderJobTable(const std::vector<const JobRecord*>& jobs,
                            sim::SimTime now);
+
+/// Failure-detector verdicts: "host  health  fails  last-ok" table.
+std::string RenderHealthTable(const std::vector<HostHealthInfo>& health);
+
+/// Network fault/robustness counters: bus delivery accounting plus the
+/// scheduler agent's RPC retry/timeout counters when probing is enabled.
+std::string RenderNetTable(const net::BusStats& bus,
+                           const TycoonSchedulerPlugin* plugin = nullptr);
 
 /// Both tables with a timestamp header.
 std::string RenderMonitor(

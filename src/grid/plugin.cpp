@@ -8,11 +8,24 @@
 
 namespace gm::grid {
 
+const char* HostHealthStateName(HostHealthState state) {
+  switch (state) {
+    case HostHealthState::kHealthy: return "HEALTHY";
+    case HostHealthState::kSuspect: return "SUSPECT";
+    case HostHealthState::kDead: return "DEAD";
+  }
+  return "?";
+}
+
 TycoonSchedulerPlugin::TycoonSchedulerPlugin(
     sim::Kernel& kernel, market::ServiceLocationService& sls,
     bank::Bank& bank, host::PackageCatalog catalog, PluginConfig config)
     : kernel_(kernel), sls_(sls), bank_(bank), catalog_(std::move(catalog)),
       config_(config) {}
+
+TycoonSchedulerPlugin::~TycoonSchedulerPlugin() {
+  if (probe_timer_.valid()) kernel_.Cancel(probe_timer_);
+}
 
 Status TycoonSchedulerPlugin::RegisterAuctioneer(
     market::Auctioneer& auctioneer, const std::string& bank_account) {
@@ -22,8 +35,192 @@ Status TycoonSchedulerPlugin::RegisterAuctioneer(
   if (!bank_.HasAccount(bank_account)) {
     GM_RETURN_IF_ERROR(bank_.CreateAccount(bank_account, {}));
   }
-  auctioneers_.emplace(host_id, std::make_pair(&auctioneer, bank_account));
+  AuctioneerEntry entry;
+  entry.auctioneer = &auctioneer;
+  entry.bank_account = bank_account;
+  entry.health.host_id = host_id;
+  auctioneers_.emplace(host_id, std::move(entry));
   return Status::Ok();
+}
+
+Status TycoonSchedulerPlugin::EnableHealthProbes(net::MessageBus& bus,
+                                                 HealthOptions options) {
+  if (probe_rpc_) return Status::FailedPrecondition("probes already enabled");
+  GM_ASSERT(options.probe_attempts >= 1 && options.suspect_after >= 1 &&
+                options.dead_after >= options.suspect_after,
+            "inconsistent health options");
+  health_options_ = std::move(options);
+  probe_rpc_ = std::make_unique<net::RpcClient>(bus, "scheduler-agent/probe");
+  probe_timer_ = kernel_.ScheduleEvery(health_options_.probe_period,
+                                       health_options_.probe_period,
+                                       [this] { ProbeAll(); });
+  return Status::Ok();
+}
+
+void TycoonSchedulerPlugin::ProbeAll() {
+  net::CallOptions call;
+  call.timeout = health_options_.probe_timeout;
+  call.max_attempts = health_options_.probe_attempts;
+  call.initial_backoff = health_options_.probe_timeout / 4;
+  for (auto& [host_id, entry] : auctioneers_) {
+    (void)entry;
+    ++probes_sent_;
+    probe_rpc_->Call(health_options_.endpoint_prefix + host_id, "ping", {},
+                     call, [this, id = host_id](Result<Bytes> response) {
+                       OnProbeResult(id, response.status());
+                     });
+  }
+}
+
+void TycoonSchedulerPlugin::OnProbeResult(const std::string& host_id,
+                                          const Status& status) {
+  const auto it = auctioneers_.find(host_id);
+  if (it == auctioneers_.end()) return;
+  HostHealthInfo& health = it->second.health;
+  if (status.ok()) {
+    if (health.state == HostHealthState::kDead) {
+      GM_LOG_INFO << "host " << host_id << " recovered, healthy again";
+    }
+    health.state = HostHealthState::kHealthy;
+    health.consecutive_failures = 0;
+    health.last_ok = kernel_.now();
+    return;
+  }
+  ++probe_failures_;
+  ++health.consecutive_failures;
+  if (health.state == HostHealthState::kDead) return;
+  if (health.consecutive_failures >= health_options_.dead_after) {
+    MarkHostDead(it->second);
+  } else if (health.consecutive_failures >= health_options_.suspect_after) {
+    health.state = HostHealthState::kSuspect;
+    GM_LOG_WARN << "host " << host_id << " suspect after "
+                << health.consecutive_failures << " failed probes";
+  }
+}
+
+void TycoonSchedulerPlugin::MarkHostDead(AuctioneerEntry& entry) {
+  entry.health.state = HostHealthState::kDead;
+  const std::string& host_id = entry.health.host_id;
+  GM_LOG_WARN << "host " << host_id << " declared dead after "
+              << entry.health.consecutive_failures
+              << " consecutive probe failures";
+  for (auto& [job_id, job] : jobs_) {
+    (void)job_id;
+    if (IsTerminal(job.record.state)) continue;
+    MigrateJobOffHost(job, host_id);
+  }
+}
+
+void TycoonSchedulerPlugin::MigrateJobOffHost(ActiveJob& job,
+                                              const std::string& host_id) {
+  JobRecord& record = job.record;
+  bool touched = false;
+  for (HostBinding& binding : job.hosts) {
+    if (binding.dead ||
+        binding.auctioneer->physical_host().id() != host_id)
+      continue;
+    binding.dead = true;
+    touched = true;
+    ++migrations_;
+    // Reclaim the host account through the bank escrow mirror. The
+    // auctioneer's books are co-located bookkeeping for the deposit held in
+    // `bank_account`, so the broker can recover unspent funds even though
+    // the host itself no longer answers.
+    if (binding.auctioneer->HasAccount(record.account)) {
+      record.spent += binding.auctioneer->Spent(record.account).value_or(0);
+      const auto refund = binding.auctioneer->CloseAccount(record.account);
+      if (refund.ok() && *refund > 0) {
+        const auto mirrored = bank_.InternalTransfer(
+            binding.bank_account, record.account, *refund, kernel_.now());
+        GM_ASSERT(mirrored.ok(), "migration reclaim transfer failed");
+      }
+    }
+  }
+  if (!touched) return;
+  GM_LOG_INFO << "job " << record.id << ": migrating off dead host "
+              << host_id;
+
+  // Requeue incomplete chunks that were bound to the dead host (their VM
+  // died with the account). Duplicates from speculation are harmless: the
+  // first completion wins.
+  for (SubJobRecord& subjob : record.subjobs) {
+    if (subjob.completed || subjob.host_id != host_id) continue;
+    subjob.host_id.clear();
+    subjob.vm_id.clear();
+    subjob.enqueued_at = -1;
+    job.speculated.erase(subjob.ordinal);
+    job.unassigned.push_front(subjob.ordinal);
+  }
+
+  // Survivors: bindings still alive for this job.
+  std::vector<std::size_t> survivors;
+  for (std::size_t h = 0; h < job.hosts.size(); ++h) {
+    if (!job.hosts[h].dead &&
+        job.hosts[h].auctioneer->HasAccount(record.account))
+      survivors.push_back(h);
+  }
+  if (survivors.empty()) {
+    // Nothing left to run on; the expiry watchdog finalizes the job and
+    // the reclaimed funds stay refundable in the sub-account.
+    GM_LOG_WARN << "job " << record.id << ": no surviving hosts";
+    return;
+  }
+
+  // Re-run Best Response over the surviving hosts and push the reclaimed
+  // funds (whatever sits in the sub-account) to them.
+  const Micros pool = bank_.Balance(record.account).value_or(0);
+  Micros live_balance = 0;
+  std::vector<br::HostBidInput> inputs;
+  inputs.reserve(survivors.size());
+  for (const std::size_t h : survivors) {
+    market::Auctioneer& auctioneer = *job.hosts[h].auctioneer;
+    live_balance += auctioneer.Balance(record.account).value_or(0);
+    inputs.push_back(
+        {auctioneer.physical_host().id(),
+         auctioneer.physical_host().PerCpuCapacity(),
+         MicrosToDollars(auctioneer.SpotPriceRateExcluding(record.account))});
+  }
+  const double horizon_seconds = std::max(
+      60.0, sim::ToSeconds(std::max(job.spend_target, kernel_.now() +
+                                                          sim::Minutes(1)) -
+                           kernel_.now()));
+  const double budget_rate =
+      MicrosToDollars(pool + live_balance) / horizon_seconds;
+  const auto solution = solver_.Solve(inputs, budget_rate);
+
+  Micros distributed = 0;
+  double bid_total = 0.0;
+  if (solution.ok())
+    for (const auto& allocation : solution->bids) bid_total += allocation.bid;
+  for (std::size_t k = 0; k < survivors.size(); ++k) {
+    HostBinding& binding = job.hosts[survivors[k]];
+    // Proportional to the re-solved bids; uniform when the solver degenerates.
+    Micros share;
+    if (k + 1 == survivors.size()) {
+      share = pool - distributed;
+    } else if (solution.ok() && bid_total > 0.0) {
+      share = static_cast<Micros>(std::llround(static_cast<double>(pool) *
+                                               solution->bids[k].bid /
+                                               bid_total));
+    } else {
+      share = pool / static_cast<Micros>(survivors.size());
+    }
+    share = std::min(share, pool - distributed);
+    if (share > 0) {
+      const Status funded = FundHost(job, binding, share);
+      GM_ASSERT(funded.ok(), "migration refund redistribution failed");
+      distributed += share;
+    }
+    if (solution.ok() && solution->bids[k].bid > 0.0) {
+      (void)binding.auctioneer->SetBid(
+          record.account, DollarsToMicros(solution->bids[k].bid),
+          record.deadline);
+    }
+  }
+  // Put the requeued chunks back to work on idle surviving VMs.
+  if (record.state == JobState::kRunning) {
+    for (const std::size_t h : survivors) DispatchChunk(job, h);
+  }
 }
 
 Cycles TycoonSchedulerPlugin::ChunkCycles(
@@ -93,12 +290,15 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
   query.limit = static_cast<std::size_t>(record.description.count) *
                 config_.candidate_multiplier;
   std::vector<market::HostRecord> candidates = sls_.Query(query);
-  // Only hosts whose auctioneer we can reach.
+  // Only hosts whose auctioneer we can reach and that the failure detector
+  // has not declared dead.
   candidates.erase(
       std::remove_if(candidates.begin(), candidates.end(),
                      [this](const market::HostRecord& record) {
-                       return auctioneers_.find(record.host_id) ==
-                              auctioneers_.end();
+                       const auto it = auctioneers_.find(record.host_id);
+                       return it == auctioneers_.end() ||
+                              it->second.health.state ==
+                                  HostHealthState::kDead;
                      }),
       candidates.end());
   if (candidates.empty())
@@ -161,11 +361,12 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
   for (std::size_t i = 0; i < selected.size(); ++i) {
     const market::HostRecord& host = selected[i];
     const double bid = solution.bids[i].bid;
-    auto& [auctioneer, bank_account] = auctioneers_.at(host.host_id);
+    AuctioneerEntry& entry = auctioneers_.at(host.host_id);
+    market::Auctioneer* auctioneer = entry.auctioneer;
 
     HostBinding binding;
     binding.auctioneer = auctioneer;
-    binding.bank_account = bank_account;
+    binding.bank_account = entry.bank_account;
 
     if (!auctioneer->HasAccount(record.account)) {
       GM_RETURN_IF_ERROR(auctioneer->OpenAccount(record.account));
@@ -341,7 +542,7 @@ bool TycoonSchedulerPlugin::DispatchChunk(ActiveJob& job,
                                           std::size_t host_index) {
   JobRecord& record = job.record;
   HostBinding& binding = job.hosts[host_index];
-  if (binding.busy) return false;
+  if (binding.busy || binding.dead) return false;
   int ordinal = -1;
   if (!job.unassigned.empty()) {
     ordinal = job.unassigned.front();
@@ -525,6 +726,23 @@ Result<const JobRecord*> TycoonSchedulerPlugin::Get(
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return Status::NotFound("job not found");
   return &it->second.record;
+}
+
+std::vector<HostHealthInfo> TycoonSchedulerPlugin::HostHealthReport() const {
+  std::vector<HostHealthInfo> out;
+  out.reserve(auctioneers_.size());
+  for (const auto& [host_id, entry] : auctioneers_) {
+    (void)host_id;
+    out.push_back(entry.health);
+  }
+  return out;
+}
+
+HostHealthState TycoonSchedulerPlugin::HostHealth(
+    const std::string& host_id) const {
+  const auto it = auctioneers_.find(host_id);
+  return it == auctioneers_.end() ? HostHealthState::kHealthy
+                                  : it->second.health.state;
 }
 
 std::vector<const JobRecord*> TycoonSchedulerPlugin::jobs() const {

@@ -26,14 +26,45 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bank/bank.hpp"
 #include "bestresponse/best_response.hpp"
 #include "grid/job.hpp"
 #include "host/provision.hpp"
 #include "market/sls.hpp"
+#include "net/rpc.hpp"
 #include "sim/kernel.hpp"
 
 namespace gm::grid {
+
+/// Failure-detector verdict for a registered auctioneer, derived from the
+/// outcomes of periodic RPC probes over the message bus.
+enum class HostHealthState : std::uint8_t { kHealthy, kSuspect, kDead };
+
+const char* HostHealthStateName(HostHealthState state);
+
+struct HostHealthInfo {
+  std::string host_id;
+  HostHealthState state = HostHealthState::kHealthy;
+  int consecutive_failures = 0;  // failed probe rounds in a row
+  sim::SimTime last_ok = -1;     // last successful probe
+};
+
+struct HealthOptions {
+  /// How often every registered auctioneer endpoint is pinged.
+  sim::SimDuration probe_period = sim::Seconds(30);
+  /// Per-attempt probe timeout; a probe round retries with backoff before
+  /// counting as failed, so plain message loss does not raise suspicion.
+  sim::SimDuration probe_timeout = sim::Seconds(2);
+  int probe_attempts = 3;
+  /// Consecutive failed rounds before a host turns suspect / dead.
+  int suspect_after = 2;
+  int dead_after = 3;
+  /// Endpoint prefix; a host's auctioneer service is expected at
+  /// "<prefix><host_id>" (the AuctioneerService default naming).
+  std::string endpoint_prefix = "auctioneer/";
+};
 
 struct PluginConfig {
   /// cpuTime is defined against this reference CPU (cycles/s).
@@ -72,12 +103,36 @@ class TycoonSchedulerPlugin {
                         market::ServiceLocationService& sls,
                         bank::Bank& bank, host::PackageCatalog catalog,
                         PluginConfig config = {});
+  ~TycoonSchedulerPlugin();
+  TycoonSchedulerPlugin(const TycoonSchedulerPlugin&) = delete;
+  TycoonSchedulerPlugin& operator=(const TycoonSchedulerPlugin&) = delete;
 
   /// Make a host's market reachable. `bank_account` is the bank-managed
   /// account mirroring funds deposited with this auctioneer (created on
   /// the fly when missing).
   Status RegisterAuctioneer(market::Auctioneer& auctioneer,
                             const std::string& bank_account);
+
+  /// Graceful degradation: start probing every registered auctioneer's RPC
+  /// endpoint over `bus`. Hosts that miss `suspect_after` consecutive probe
+  /// rounds are marked suspect, after `dead_after` they are dead: active
+  /// jobs migrate off them — host accounts are reclaimed through the bank
+  /// escrow mirror, incomplete chunks requeue, and the Best Response solver
+  /// re-runs over the surviving hosts. Dead hosts are excluded from new
+  /// scheduling until a probe succeeds again.
+  Status EnableHealthProbes(net::MessageBus& bus, HealthOptions options = {});
+
+  std::vector<HostHealthInfo> HostHealthReport() const;
+  /// Health of one host; kHealthy for hosts never probed.
+  HostHealthState HostHealth(const std::string& host_id) const;
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t probe_failures() const { return probe_failures_; }
+  /// Job-host bindings migrated off dead hosts.
+  std::uint64_t migrations() const { return migrations_; }
+  /// Retry/timeout counters of the probe RPC client (null until probing
+  /// is enabled); rendered by the grid monitor.
+  const net::RpcClient* probe_rpc() const { return probe_rpc_.get(); }
 
   /// Launch an authorized job (state kAuthorized, budget in
   /// job.account). Returns the job id. Scheduling begins immediately.
@@ -102,6 +157,12 @@ class TycoonSchedulerPlugin {
     std::string bank_account;
     std::string vm_id;
     bool busy = false;  // has an outstanding chunk
+    bool dead = false;  // migrated off after the host was declared dead
+  };
+  struct AuctioneerEntry {
+    market::Auctioneer* auctioneer = nullptr;
+    std::string bank_account;
+    HostHealthInfo health;
   };
   struct ActiveJob {
     JobRecord record;
@@ -114,6 +175,13 @@ class TycoonSchedulerPlugin {
     sim::EventHandle rebid;
   };
 
+  void ProbeAll();
+  void OnProbeResult(const std::string& host_id, const Status& status);
+  void MarkHostDead(AuctioneerEntry& entry);
+  /// Detach the job from a dead host: reclaim the host account through the
+  /// bank mirror, requeue its incomplete chunks, then re-run Best Response
+  /// over the surviving hosts and redistribute the reclaimed funds.
+  void MigrateJobOffHost(ActiveJob& job, const std::string& host_id);
   Status Schedule(ActiveJob& job);
   void BeginStaging(ActiveJob& job);
   void StartDispatch(ActiveJob& job);
@@ -136,11 +204,18 @@ class TycoonSchedulerPlugin {
   host::PackageCatalog catalog_;
   PluginConfig config_;
   br::BestResponseSolver solver_;
-  std::map<std::string, std::pair<market::Auctioneer*, std::string>>
-      auctioneers_;  // host_id -> (auctioneer, bank account)
+  std::map<std::string, AuctioneerEntry> auctioneers_;  // by host_id
   std::map<std::uint64_t, ActiveJob> jobs_;
   std::uint64_t next_job_id_ = 1;
   FinishedCallback on_finished_;
+
+  // Failure detector (EnableHealthProbes).
+  HealthOptions health_options_;
+  std::unique_ptr<net::RpcClient> probe_rpc_;
+  sim::EventHandle probe_timer_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probe_failures_ = 0;
+  std::uint64_t migrations_ = 0;
 };
 
 }  // namespace gm::grid

@@ -10,6 +10,11 @@ AuctioneerService::AuctioneerService(Auctioneer& auctioneer,
                        ? "auctioneer/" + auctioneer.physical_host().id()
                        : std::move(endpoint)) {
   server_.RegisterMethod(
+      "ping", [](const Bytes&) -> Result<Bytes> {
+        // Liveness probe for the scheduler agent's failure detector.
+        return Bytes{};
+      });
+  server_.RegisterMethod(
       "open_account", [this](const Bytes& request) -> Result<Bytes> {
         net::Reader reader(request);
         GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
@@ -95,6 +100,11 @@ void AuctioneerClient::CallMicros(const std::string& endpoint,
                  }
                  callback(*value);
                });
+}
+
+void AuctioneerClient::Ping(const std::string& endpoint,
+                            StatusCallback callback) {
+  CallStatus(endpoint, "ping", {}, std::move(callback));
 }
 
 void AuctioneerClient::OpenAccount(const std::string& endpoint,

@@ -46,6 +46,8 @@ class AuctioneerClient {
   using MicrosCallback = std::function<void(Result<Micros>)>;
   using StatsCallback = std::function<void(Result<PriceStatsSnapshot>)>;
 
+  /// Liveness probe; ok iff the auctioneer endpoint answered in time.
+  void Ping(const std::string& endpoint, StatusCallback callback);
   void OpenAccount(const std::string& endpoint, const std::string& user,
                    StatusCallback callback);
   void Fund(const std::string& endpoint, const std::string& user,

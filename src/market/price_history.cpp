@@ -52,9 +52,19 @@ std::vector<double> PriceHistory::LastPrices(std::size_t count) const {
   return out;
 }
 
+std::vector<double> PriceHistory::PricesBetweenInclusive(
+    sim::SimTime from, sim::SimTime to) const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const PricePoint& p = at(i);
+    if (p.at >= from && p.at <= to) out.push_back(p.price);
+  }
+  return out;
+}
+
 std::vector<double> PriceHistory::WindowPrices(sim::SimTime now,
                                                sim::SimDuration window) const {
-  return PricesBetween(now - window, now + 1);
+  return PricesBetweenInclusive(now - window, now);
 }
 
 }  // namespace gm::market

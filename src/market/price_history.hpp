@@ -29,11 +29,17 @@ class PriceHistory {
   const PricePoint& back() const;
   const PricePoint& at(std::size_t i) const;  // 0 = oldest retained
 
-  /// Prices with timestamp in [from, to), oldest first.
+  /// Prices with timestamp in the half-open interval [from, to), oldest
+  /// first.
   std::vector<double> PricesBetween(sim::SimTime from, sim::SimTime to) const;
+  /// Prices with timestamp in the closed interval [from, to], oldest first.
+  std::vector<double> PricesBetweenInclusive(sim::SimTime from,
+                                             sim::SimTime to) const;
   /// The last `count` prices (fewer if not available), oldest first.
   std::vector<double> LastPrices(std::size_t count) const;
-  /// Prices in the trailing window [now - window, now].
+  /// Prices in the trailing closed window [now - window, now]: a snapshot
+  /// recorded exactly `window` ago and one recorded right now are both
+  /// included.
   std::vector<double> WindowPrices(sim::SimTime now,
                                    sim::SimDuration window) const;
 

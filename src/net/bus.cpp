@@ -1,5 +1,7 @@
 #include "net/bus.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace gm::net {
@@ -10,19 +12,77 @@ MessageBus::MessageBus(sim::Kernel& kernel, LatencyModel latency,
 
 Status MessageBus::RegisterEndpoint(const std::string& name, Handler handler) {
   GM_ASSERT(handler != nullptr, "null endpoint handler");
+  if (crashed_.find(name) != crashed_.end())
+    return Status::AlreadyExists("endpoint crashed, not free: " + name);
   if (!endpoints_.emplace(name, std::move(handler)).second)
     return Status::AlreadyExists("endpoint already registered: " + name);
   return Status::Ok();
 }
 
 Status MessageBus::UnregisterEndpoint(const std::string& name) {
-  if (endpoints_.erase(name) == 0)
-    return Status::NotFound("endpoint not registered: " + name);
-  return Status::Ok();
+  if (endpoints_.erase(name) > 0) return Status::Ok();
+  // A crashed endpoint being torn down for real forgets its saved handler.
+  if (crashed_.erase(name) > 0) return Status::Ok();
+  return Status::NotFound("endpoint not registered: " + name);
 }
 
 bool MessageBus::HasEndpoint(const std::string& name) const {
   return endpoints_.find(name) != endpoints_.end();
+}
+
+void MessageBus::PartitionLink(const std::string& a, const std::string& b) {
+  blocked_links_.emplace(a, b);
+  blocked_links_.emplace(b, a);
+}
+
+void MessageBus::HealLink(const std::string& a, const std::string& b) {
+  blocked_links_.erase({a, b});
+  blocked_links_.erase({b, a});
+}
+
+bool MessageBus::LinkBlocked(const std::string& from,
+                             const std::string& to) const {
+  return blocked_links_.find({from, to}) != blocked_links_.end();
+}
+
+Status MessageBus::CrashEndpoint(const std::string& name) {
+  const auto it = endpoints_.find(name);
+  if (it == endpoints_.end())
+    return Status::NotFound("cannot crash unknown endpoint: " + name);
+  crashed_.emplace(name, std::move(it->second));
+  endpoints_.erase(it);
+  GM_LOG_INFO << "bus: endpoint crashed: " << name;
+  return Status::Ok();
+}
+
+Status MessageBus::RestartEndpoint(const std::string& name) {
+  const auto it = crashed_.find(name);
+  if (it == crashed_.end())
+    return Status::NotFound("endpoint was not crashed: " + name);
+  endpoints_.emplace(name, std::move(it->second));
+  crashed_.erase(it);
+  GM_LOG_INFO << "bus: endpoint restarted: " << name;
+  return Status::Ok();
+}
+
+bool MessageBus::EndpointCrashed(const std::string& name) const {
+  return crashed_.find(name) != crashed_.end();
+}
+
+void MessageBus::AddLossWindow(const LossWindow& window) {
+  GM_ASSERT(window.probability >= 0.0 && window.probability <= 1.0,
+            "loss window probability out of range");
+  loss_windows_.push_back(window);
+}
+
+double MessageBus::DropProbabilityNow() const {
+  double p = latency_.drop_probability;
+  const sim::SimTime now = kernel_.now();
+  for (const LossWindow& window : loss_windows_) {
+    if (now >= window.from && now < window.to)
+      p = std::max(p, window.probability);
+  }
+  return p;
 }
 
 void MessageBus::Send(Envelope envelope) {
@@ -30,13 +90,22 @@ void MessageBus::Send(Envelope envelope) {
   // Round-trip through the wire format: anything unserializable fails here,
   // not in some later refactor to real sockets.
   Bytes wire = envelope.Encode();
-  stats_.bytes_sent += wire.size();
 
-  if (rng_.Bernoulli(latency_.drop_probability)) {
+  if (LinkBlocked(envelope.source, envelope.destination)) {
     ++stats_.dropped;
+    stats_.bytes_dropped += wire.size();
+    GM_LOG_DEBUG << "bus: partitioned link " << envelope.source << " -> "
+                 << envelope.destination;
+    return;
+  }
+  if (rng_.Bernoulli(DropProbabilityNow())) {
+    ++stats_.dropped;
+    stats_.bytes_dropped += wire.size();
     GM_LOG_DEBUG << "bus: dropped message to " << envelope.destination;
     return;
   }
+  stats_.bytes_sent += wire.size();
+  ++stats_.in_flight;
   sim::SimDuration delay = latency_.base;
   if (latency_.jitter > 0)
     delay += static_cast<sim::SimDuration>(
@@ -47,6 +116,7 @@ void MessageBus::Send(Envelope envelope) {
 }
 
 void MessageBus::Deliver(const Bytes& wire) {
+  --stats_.in_flight;
   const auto decoded = Envelope::Decode(wire);
   GM_ASSERT(decoded.ok(), "bus: self-encoded message failed to decode");
   const auto it = endpoints_.find(decoded->destination);

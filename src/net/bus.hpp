@@ -5,15 +5,24 @@
 // (base + uniform jitter) and optionally dropped. Delivery happens as
 // simulation events, so multi-service protocols (bank transfers, bid
 // placement, job submission) interleave realistically and deterministically.
+//
+// Fault injection (see net/fault.hpp): tests can partition individual
+// links, crash and later restart endpoints, and open burst-loss windows.
+// Every lost message is accounted for, so at any instant
+//   sent == delivered + dropped + undeliverable + in_flight.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 #include "sim/kernel.hpp"
 
@@ -32,9 +41,16 @@ struct LatencyModel {
 struct BusStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;        // by the loss model
+  std::uint64_t dropped = 0;        // loss model, burst windows, partitions
   std::uint64_t undeliverable = 0;  // destination unknown at delivery time
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t in_flight = 0;      // enqueued, not yet delivered/lost
+  std::uint64_t bytes_sent = 0;     // bytes that actually entered the wire
+  std::uint64_t bytes_dropped = 0;  // bytes of messages lost before delivery
+
+  /// Every message ends in exactly one bucket (or is still in flight).
+  bool Reconciles() const {
+    return sent == delivered + dropped + undeliverable + in_flight;
+  }
 };
 
 class MessageBus {
@@ -53,16 +69,39 @@ class MessageBus {
   /// time, like a real network.
   void Send(Envelope envelope);
 
+  // -- Fault injection primitives (scripted via net/fault.hpp) --
+
+  /// Block traffic a <-> b (both directions). Messages entering a blocked
+  /// link count as dropped. Idempotent.
+  void PartitionLink(const std::string& a, const std::string& b);
+  void HealLink(const std::string& a, const std::string& b);
+  bool LinkBlocked(const std::string& from, const std::string& to) const;
+
+  /// Simulate an endpoint host crash: the handler is removed (messages in
+  /// flight to it become undeliverable) but remembered for RestartEndpoint.
+  Status CrashEndpoint(const std::string& name);
+  Status RestartEndpoint(const std::string& name);
+  bool EndpointCrashed(const std::string& name) const;
+
+  /// Elevated loss inside [window.from, window.to); the effective drop
+  /// probability of a send is the max over the base model and all windows
+  /// active at send time.
+  void AddLossWindow(const LossWindow& window);
+
   const BusStats& stats() const { return stats_; }
   sim::Kernel& kernel() { return kernel_; }
 
  private:
   void Deliver(const Bytes& wire);
+  double DropProbabilityNow() const;
 
   sim::Kernel& kernel_;
   LatencyModel latency_;
   Rng rng_;
   std::unordered_map<std::string, Handler> endpoints_;
+  std::unordered_map<std::string, Handler> crashed_;  // name -> saved handler
+  std::set<std::pair<std::string, std::string>> blocked_links_;  // directed
+  std::vector<LossWindow> loss_windows_;
   BusStats stats_;
 };
 

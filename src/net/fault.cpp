@@ -1,0 +1,31 @@
+#include "net/fault.hpp"
+
+#include "net/bus.hpp"
+
+namespace gm::net {
+
+void ApplyFaultPlan(MessageBus& bus, const FaultPlan& plan) {
+  for (const LossWindow& window : plan.loss_windows)
+    bus.AddLossWindow(window);
+  for (const FaultPlan::Action& action : plan.actions) {
+    const auto at = std::max(action.at, bus.kernel().now());
+    bus.kernel().ScheduleAt(at, [&bus, action] {
+      switch (action.kind) {
+        case FaultPlan::Kind::kPartition:
+          bus.PartitionLink(action.a, action.b);
+          break;
+        case FaultPlan::Kind::kHeal:
+          bus.HealLink(action.a, action.b);
+          break;
+        case FaultPlan::Kind::kCrash:
+          (void)bus.CrashEndpoint(action.a);
+          break;
+        case FaultPlan::Kind::kRestart:
+          (void)bus.RestartEndpoint(action.a);
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace gm::net

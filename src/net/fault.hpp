@@ -1,0 +1,72 @@
+// Scriptable fault injection for the simulated message bus.
+//
+// A FaultPlan is a time-ordered script of network faults — per-link
+// partitions, endpoint crash/restart, and burst-loss windows — that tests
+// apply to a MessageBus. The bus exposes the underlying primitives
+// (PartitionLink, CrashEndpoint, ...) for direct use; the plan schedules
+// them as simulation events so whole chaos scenarios replay
+// deterministically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gm::net {
+
+class MessageBus;
+
+/// Elevated loss probability applied to sends inside [from, to).
+struct LossWindow {
+  sim::SimTime from = 0;
+  sim::SimTime to = 0;
+  double probability = 0.0;
+};
+
+struct FaultPlan {
+  enum class Kind {
+    kPartition,  // block a <-> b both directions
+    kHeal,       // undo a partition
+    kCrash,      // deregister endpoint a, remembering its handler
+    kRestart,    // re-register a crashed endpoint
+  };
+  struct Action {
+    sim::SimTime at = 0;
+    Kind kind = Kind::kPartition;
+    std::string a;
+    std::string b;  // unused for crash/restart
+  };
+
+  std::vector<Action> actions;
+  std::vector<LossWindow> loss_windows;
+
+  FaultPlan& PartitionAt(sim::SimTime at, std::string a, std::string b) {
+    actions.push_back({at, Kind::kPartition, std::move(a), std::move(b)});
+    return *this;
+  }
+  FaultPlan& HealAt(sim::SimTime at, std::string a, std::string b) {
+    actions.push_back({at, Kind::kHeal, std::move(a), std::move(b)});
+    return *this;
+  }
+  FaultPlan& CrashAt(sim::SimTime at, std::string endpoint) {
+    actions.push_back({at, Kind::kCrash, std::move(endpoint), {}});
+    return *this;
+  }
+  FaultPlan& RestartAt(sim::SimTime at, std::string endpoint) {
+    actions.push_back({at, Kind::kRestart, std::move(endpoint), {}});
+    return *this;
+  }
+  FaultPlan& BurstLoss(sim::SimTime from, sim::SimTime to,
+                       double probability) {
+    loss_windows.push_back({from, to, probability});
+    return *this;
+  }
+};
+
+/// Schedule every action in `plan` on the bus's kernel. Loss windows take
+/// effect immediately (they carry their own time bounds). Actions in the
+/// past (at <= now) fire on the next kernel step.
+void ApplyFaultPlan(MessageBus& bus, const FaultPlan& plan);
+
+}  // namespace gm::net

@@ -10,6 +10,7 @@ Bytes Envelope::Encode() const {
   writer.WriteString(destination);
   writer.WriteU8(static_cast<std::uint8_t>(type));
   writer.WriteU64(correlation_id);
+  writer.WriteU32(attempt);
   writer.WriteBytes(payload);
   return writer.Take();
 }
@@ -24,6 +25,7 @@ Result<Envelope> Envelope::Decode(const Bytes& data) {
     return Status::InvalidArgument("envelope: unknown message type");
   envelope.type = static_cast<MessageType>(type);
   GM_ASSIGN_OR_RETURN(envelope.correlation_id, reader.ReadU64());
+  GM_ASSIGN_OR_RETURN(envelope.attempt, reader.ReadU32());
   GM_ASSIGN_OR_RETURN(envelope.payload, reader.ReadBytes());
   if (!reader.AtEnd())
     return Status::InvalidArgument("envelope: trailing bytes");

@@ -20,6 +20,7 @@ struct Envelope {
   std::string destination;  // receiver endpoint name
   MessageType type = MessageType::kDatagram;
   std::uint64_t correlation_id = 0;  // pairs RPC requests with responses
+  std::uint32_t attempt = 1;         // per-attempt sequence number (1 = first)
   Bytes payload;
 
   /// Wire encoding (used by tests and by the loopback-free bus path to

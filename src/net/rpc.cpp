@@ -1,5 +1,8 @@
 #include "net/rpc.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/log.hpp"
 
 namespace gm::net {
@@ -11,6 +14,17 @@ Bytes EncodeResponse(const Status& status, const Bytes& result) {
   WriteStatus(writer, status);
   writer.WriteBytes(result);
   return writer.Take();
+}
+
+// Deterministic per-client seed so backoff jitter is reproducible for a
+// given endpoint name across runs.
+std::uint64_t SeedFromName(const std::string& name) {
+  std::uint64_t state = 0x6a09e667f3bcc908ULL;
+  for (const char c : name) {
+    state ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    (void)SplitMix64(state);
+  }
+  return state;
 }
 
 }  // namespace
@@ -30,8 +44,11 @@ Status ReadStatus(Reader& reader) {
   return Status(static_cast<StatusCode>(*code), std::move(*message));
 }
 
-RpcServer::RpcServer(MessageBus& bus, std::string endpoint)
-    : bus_(bus), endpoint_(std::move(endpoint)) {
+RpcServer::RpcServer(MessageBus& bus, std::string endpoint,
+                     RpcServerOptions options)
+    : bus_(bus), endpoint_(std::move(endpoint)), options_(options) {
+  GM_ASSERT(options_.dedup_capacity_per_client > 0,
+            "dedup cache needs capacity");
   const Status status = bus_.RegisterEndpoint(
       endpoint_, [this](const Envelope& envelope) { HandleEnvelope(envelope); });
   GM_ASSERT(status.ok(), "RpcServer: endpoint registration failed");
@@ -45,18 +62,50 @@ void RpcServer::RegisterMethod(const std::string& name, Method method) {
             "duplicate RPC method");
 }
 
+void RpcServer::CacheResponse(const std::string& source,
+                              std::uint64_t correlation_id,
+                              const Bytes& payload) {
+  ClientDedup& cache = dedup_[source];
+  if (!cache.responses.emplace(correlation_id, payload).second) return;
+  cache.order.push_back(correlation_id);
+  while (cache.order.size() > options_.dedup_capacity_per_client) {
+    cache.responses.erase(cache.order.front());
+    cache.order.pop_front();
+  }
+}
+
 void RpcServer::HandleEnvelope(const Envelope& envelope) {
   if (envelope.type != MessageType::kRpcRequest) return;
-  Reader reader(envelope.payload);
   Envelope response;
   response.source = endpoint_;
   response.destination = envelope.source;
   response.type = MessageType::kRpcResponse;
   response.correlation_id = envelope.correlation_id;
+  response.attempt = envelope.attempt;
 
+  // Exactly-once effects: a retried request (same client, same correlation
+  // id) replays the recorded response instead of re-executing the method.
+  const auto client_cache = dedup_.find(envelope.source);
+  if (client_cache != dedup_.end()) {
+    const auto cached =
+        client_cache->second.responses.find(envelope.correlation_id);
+    if (cached != client_cache->second.responses.end()) {
+      ++replays_;
+      GM_LOG_DEBUG << "rpc: replaying response for " << envelope.source
+                   << " cid=" << envelope.correlation_id << " attempt="
+                   << envelope.attempt;
+      response.payload = cached->second;
+      bus_.Send(std::move(response));
+      return;
+    }
+  }
+
+  Reader reader(envelope.payload);
   const auto method_name = reader.ReadString();
-  const auto request = method_name.ok() ? reader.ReadBytes() : Result<Bytes>(method_name.status());
+  const auto request = method_name.ok() ? reader.ReadBytes()
+                                        : Result<Bytes>(method_name.status());
   if (!method_name.ok() || !request.ok()) {
+    // Malformed requests are deterministic to re-parse; no need to cache.
     response.payload = EncodeResponse(
         Status::InvalidArgument("malformed RPC request"), {});
     bus_.Send(std::move(response));
@@ -66,23 +115,35 @@ void RpcServer::HandleEnvelope(const Envelope& envelope) {
   if (it == methods_.end()) {
     response.payload = EncodeResponse(
         Status::NotFound("no such method: " + *method_name), {});
+    CacheResponse(envelope.source, envelope.correlation_id, response.payload);
     bus_.Send(std::move(response));
     return;
   }
+  ++executions_;
   Result<Bytes> result = it->second(*request);
   response.payload = result.ok() ? EncodeResponse(Status::Ok(), *result)
                                  : EncodeResponse(result.status(), {});
+  CacheResponse(envelope.source, envelope.correlation_id, response.payload);
   bus_.Send(std::move(response));
 }
 
 RpcClient::RpcClient(MessageBus& bus, std::string endpoint)
-    : bus_(bus), endpoint_(std::move(endpoint)) {
+    : bus_(bus), endpoint_(std::move(endpoint)),
+      backoff_rng_(SeedFromName(endpoint_)) {
   const Status status = bus_.RegisterEndpoint(
       endpoint_, [this](const Envelope& envelope) { HandleEnvelope(envelope); });
   GM_ASSERT(status.ok(), "RpcClient: endpoint registration failed");
 }
 
-RpcClient::~RpcClient() { (void)bus_.UnregisterEndpoint(endpoint_); }
+RpcClient::~RpcClient() {
+  // Cancel every pending timer: otherwise the kernel would later invoke
+  // HandleTimeout on this destroyed client (use-after-free).
+  for (auto& [id, call] : pending_) {
+    if (call.timeout_handle.valid()) bus_.kernel().Cancel(call.timeout_handle);
+  }
+  pending_.clear();
+  (void)bus_.UnregisterEndpoint(endpoint_);
+}
 
 void RpcClient::Call(const std::string& server, const std::string& method,
                      Bytes request, CallOptions options, Callback callback) {
@@ -110,6 +171,7 @@ void RpcClient::SendAttempt(std::uint64_t id) {
   envelope.destination = call.server;
   envelope.type = MessageType::kRpcRequest;
   envelope.correlation_id = id;
+  envelope.attempt = static_cast<std::uint32_t>(call.attempt);
   envelope.payload = writer.Take();
   bus_.Send(std::move(envelope));
 
@@ -120,7 +182,10 @@ void RpcClient::SendAttempt(std::uint64_t id) {
 void RpcClient::HandleEnvelope(const Envelope& envelope) {
   if (envelope.type != MessageType::kRpcResponse) return;
   const auto it = pending_.find(envelope.correlation_id);
-  if (it == pending_.end()) return;  // late response after timeout
+  if (it == pending_.end()) {
+    ++stale_responses_;  // late duplicate after completion or timeout
+    return;
+  }
   bus_.kernel().Cancel(it->second.timeout_handle);
   Callback callback = std::move(it->second.callback);
   pending_.erase(it);
@@ -139,20 +204,43 @@ void RpcClient::HandleEnvelope(const Envelope& envelope) {
   callback(std::move(*result));
 }
 
+sim::SimDuration RpcClient::BackoffDelay(const PendingCall& call) {
+  // Exponent counts completed attempts: first retry uses initial_backoff.
+  const double factor =
+      std::pow(call.options.backoff_multiplier, call.attempt - 1);
+  const double raw =
+      static_cast<double>(call.options.initial_backoff) * factor;
+  const sim::SimDuration capped = std::min<sim::SimDuration>(
+      call.options.max_backoff,
+      static_cast<sim::SimDuration>(std::llround(raw)));
+  if (capped <= 1) return capped;
+  // Deterministic jitter in [capped/2, capped].
+  const sim::SimDuration half = capped / 2;
+  return half + static_cast<sim::SimDuration>(backoff_rng_.NextBelow(
+                    static_cast<std::uint64_t>(capped - half) + 1));
+}
+
 void RpcClient::HandleTimeout(std::uint64_t id) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;
   ++timeouts_;
-  if (it->second.attempt < it->second.options.max_attempts) {
-    ++it->second.attempt;
+  PendingCall& call = it->second;
+  if (call.attempt < call.options.max_attempts) {
+    const sim::SimDuration backoff = BackoffDelay(call);
+    ++call.attempt;
     ++retries_;
-    GM_LOG_DEBUG << "rpc: retrying " << it->second.method << " attempt "
-                 << it->second.attempt;
-    SendAttempt(id);
+    GM_LOG_DEBUG << "rpc: retrying " << call.method << " attempt "
+                 << call.attempt << " after " << backoff << "us backoff";
+    if (backoff <= 0) {
+      SendAttempt(id);
+      return;
+    }
+    call.timeout_handle =
+        bus_.kernel().ScheduleAfter(backoff, [this, id] { SendAttempt(id); });
     return;
   }
-  Callback callback = std::move(it->second.callback);
-  const std::string method = it->second.method;
+  Callback callback = std::move(call.callback);
+  const std::string method = call.method;
   pending_.erase(it);
   callback(Status::DeadlineExceeded("rpc: " + method + " timed out"));
 }

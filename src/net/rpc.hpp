@@ -1,13 +1,20 @@
 // Request/response RPC over the message bus.
 //
 // The Grid services (Bank, Service Location Service, Auctioneers, the
-// scheduler agent) talk through this layer. Calls carry a correlation id;
-// the client matches responses, enforces timeouts with simulation timers,
-// and optionally retries — which, combined with a lossy LatencyModel,
-// exercises the failure paths a real deployment would hit.
+// scheduler agent) talk through this layer. Calls carry a correlation id
+// and a per-attempt sequence number; the client matches responses,
+// enforces timeouts with simulation timers, and retries with exponential
+// backoff and deterministic jitter. The transport is therefore
+// at-least-once: a request can execute on the server even though the
+// response was lost. To make effects exactly-once, the server keeps a
+// bounded per-client dedup cache keyed by (source, correlation_id) and
+// replays the cached response instead of re-executing the method — so
+// non-idempotent operations (bank transfers, bid placement) survive
+// retries without double-applying.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -17,6 +24,13 @@
 
 namespace gm::net {
 
+struct RpcServerOptions {
+  /// Responses remembered per client endpoint for duplicate suppression.
+  /// Retries arrive within a handful of in-flight calls of the original,
+  /// so a small bound suffices; oldest entries are evicted FIFO.
+  std::size_t dedup_capacity_per_client = 128;
+};
+
 /// Server side: dispatches named methods. Registering the server claims the
 /// endpoint name on the bus.
 class RpcServer {
@@ -24,7 +38,8 @@ class RpcServer {
   /// A method consumes request bytes and produces response bytes or an error.
   using Method = std::function<Result<Bytes>(const Bytes& request)>;
 
-  RpcServer(MessageBus& bus, std::string endpoint);
+  RpcServer(MessageBus& bus, std::string endpoint,
+            RpcServerOptions options = {});
   ~RpcServer();
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
@@ -32,20 +47,44 @@ class RpcServer {
   void RegisterMethod(const std::string& name, Method method);
   const std::string& endpoint() const { return endpoint_; }
 
+  /// Methods actually executed (cache misses).
+  std::uint64_t executions() const { return executions_; }
+  /// Duplicate requests answered from the dedup cache.
+  std::uint64_t replays() const { return replays_; }
+
  private:
+  struct ClientDedup {
+    std::unordered_map<std::uint64_t, Bytes> responses;  // cid -> payload
+    std::deque<std::uint64_t> order;                     // FIFO eviction
+  };
+
   void HandleEnvelope(const Envelope& envelope);
+  void CacheResponse(const std::string& source, std::uint64_t correlation_id,
+                     const Bytes& payload);
 
   MessageBus& bus_;
   std::string endpoint_;
+  RpcServerOptions options_;
   std::unordered_map<std::string, Method> methods_;
+  std::unordered_map<std::string, ClientDedup> dedup_;
+  std::uint64_t executions_ = 0;
+  std::uint64_t replays_ = 0;
 };
 
 struct CallOptions {
   sim::SimDuration timeout = sim::Seconds(2);
   int max_attempts = 1;  // total attempts including the first
+  /// Delay before the k-th retry: min(max_backoff,
+  /// initial_backoff * multiplier^(k-1)), jittered deterministically into
+  /// [delay/2, delay] so synchronized clients do not retry in lockstep.
+  sim::SimDuration initial_backoff = 100 * sim::kMillisecond;
+  double backoff_multiplier = 2.0;
+  sim::SimDuration max_backoff = sim::Seconds(10);
 };
 
 /// Client side: owns a response endpoint and correlates in-flight calls.
+/// Destroying the client cancels all pending timers; callbacks of calls
+/// still in flight are dropped, never invoked on a dead object.
 class RpcClient {
  public:
   using Callback = std::function<void(Result<Bytes>)>;
@@ -63,6 +102,8 @@ class RpcClient {
   const std::string& endpoint() const { return endpoint_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t retries() const { return retries_; }
+  /// Responses that arrived after their call completed (late duplicates).
+  std::uint64_t stale_responses() const { return stale_responses_; }
 
  private:
   struct PendingCall {
@@ -72,18 +113,23 @@ class RpcClient {
     CallOptions options;
     int attempt = 1;
     Callback callback;
+    /// The live timer for this call: the attempt timeout, or the backoff
+    /// delay between attempts. Cancelled on completion and in ~RpcClient.
     sim::EventHandle timeout_handle;
   };
 
   void SendAttempt(std::uint64_t id);
   void HandleEnvelope(const Envelope& envelope);
   void HandleTimeout(std::uint64_t id);
+  sim::SimDuration BackoffDelay(const PendingCall& call);
 
   MessageBus& bus_;
   std::string endpoint_;
+  Rng backoff_rng_;
   std::uint64_t next_correlation_id_ = 1;
   std::uint64_t timeouts_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t stale_responses_ = 0;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
 };
 

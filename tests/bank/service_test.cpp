@@ -96,6 +96,48 @@ TEST_F(BankServiceTest, VerifyForgedReceiptRejectedOverRpc) {
   EXPECT_EQ(status->code(), StatusCode::kNotFound);
 }
 
+TEST(BankServiceLossyTest, RetriedTransferAppliedExactlyOnce) {
+  // A 40%-lossy network forces the client to retry; the server's dedup
+  // cache must keep the non-idempotent Transfer exactly-once: no double
+  // debit, no minted money, and the receipt from the original execution.
+  sim::Kernel kernel;
+  net::MessageBus bus(kernel, net::LatencyModel::Lossy(0.4), 1234);
+  Bank bank(crypto::TestGroup(), 42);
+  BankService service(bank, bus, kernel);
+  Rng rng(9);
+  const auto alice = crypto::KeyPair::Generate(crypto::TestGroup(), rng);
+  ASSERT_TRUE(bank.CreateAccount("alice", alice.public_key()).ok());
+  ASSERT_TRUE(bank.CreateAccount("broker", alice.public_key()).ok());
+  ASSERT_TRUE(bank.Mint("alice", DollarsToMicros(500), 0).ok());
+
+  net::CallOptions options = BankClient::DefaultCallOptions();
+  options.timeout = sim::Seconds(1);
+  options.max_attempts = 10;  // enough headroom for the loss rate
+  BankClient client(bus, "alice-agent", "bank", options);
+
+  std::optional<crypto::TransferReceipt> receipt;
+  client.GetTransferNonce("alice", [&](Result<std::uint64_t> nonce) {
+    ASSERT_TRUE(nonce.ok()) << nonce.status().ToString();
+    const auto auth = alice.Sign(
+        TransferAuthPayload("alice", "broker", DollarsToMicros(100), *nonce),
+        rng);
+    client.Transfer("alice", "broker", DollarsToMicros(100), auth,
+                    [&](Result<crypto::TransferReceipt> r) {
+                      ASSERT_TRUE(r.ok()) << r.status().ToString();
+                      receipt = *r;
+                    });
+  });
+  kernel.Run();
+
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_GT(bus.stats().dropped, 0u);  // the network really was lossy
+  // Applied exactly once, and money is conserved.
+  EXPECT_EQ(bank.Balance("alice").value(), DollarsToMicros(400));
+  EXPECT_EQ(bank.Balance("broker").value(), DollarsToMicros(100));
+  // The replayed receipt verifies like the original.
+  EXPECT_TRUE(bank.VerifyReceipt(*receipt).ok());
+}
+
 TEST(ReceiptWireTest, RoundTrip) {
   Rng rng(3);
   const auto keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng);

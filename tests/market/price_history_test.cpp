@@ -65,6 +65,34 @@ TEST(PriceHistoryTest, WindowPricesIncludesNow) {
   EXPECT_DOUBLE_EQ(prices[1], 3.0);
 }
 
+TEST(PriceHistoryTest, WindowPricesBoundariesAreInclusive) {
+  // WindowPrices(now, w) covers the closed interval [now - w, now]: a
+  // sample exactly at the window start and one exactly at `now` are both
+  // in; samples one microsecond outside either edge are not.
+  PriceHistory history;
+  history.Record(Seconds(10) - 1, 0.5);  // just before the window
+  history.Record(Seconds(10), 1.0);      // exactly now - window
+  history.Record(Seconds(15), 2.0);
+  history.Record(Seconds(20), 3.0);      // exactly now
+  history.Record(Seconds(20) + 1, 4.0);  // just after now
+  const auto prices = history.WindowPrices(Seconds(20), Seconds(10));
+  ASSERT_EQ(prices.size(), 3u);
+  EXPECT_DOUBLE_EQ(prices[0], 1.0);
+  EXPECT_DOUBLE_EQ(prices[1], 2.0);
+  EXPECT_DOUBLE_EQ(prices[2], 3.0);
+}
+
+TEST(PriceHistoryTest, PricesBetweenInclusiveIncludesBothEndpoints) {
+  PriceHistory history;
+  for (int i = 0; i < 10; ++i)
+    history.Record(Seconds(i * 10), static_cast<double>(i));
+  const auto prices =
+      history.PricesBetweenInclusive(Seconds(20), Seconds(50));
+  ASSERT_EQ(prices.size(), 4u);  // t = 20, 30, 40, 50
+  EXPECT_DOUBLE_EQ(prices[0], 2.0);
+  EXPECT_DOUBLE_EQ(prices[3], 5.0);
+}
+
 TEST(PriceHistoryTest, EmptyQueries) {
   PriceHistory history;
   EXPECT_TRUE(history.empty());

@@ -160,5 +160,31 @@ TEST_F(BusTest, BytesSentAccumulates) {
   EXPECT_GT(bus.stats().bytes_sent, 100u);
 }
 
+TEST_F(BusTest, DroppedBytesCountedSeparatelyFromSentBytes) {
+  MessageBus bus(kernel_, LatencyModel{1000, 0, 1.0}, 11);  // drops all
+  Envelope e;
+  e.destination = "x";
+  e.payload = Bytes(100, 0xaa);
+  bus.Send(e);
+  EXPECT_EQ(bus.stats().dropped, 1u);
+  EXPECT_GT(bus.stats().bytes_dropped, 100u);
+  EXPECT_EQ(bus.stats().bytes_sent, 0u);  // never entered the wire
+  EXPECT_TRUE(bus.stats().Reconciles());
+}
+
+TEST_F(BusTest, StatsReconcileAtEveryStage) {
+  MessageBus bus(kernel_, LatencyModel{1000, 0, 0.0}, 1);
+  ASSERT_TRUE(bus.RegisterEndpoint("svc", [](const Envelope&) {}).ok());
+  Envelope e;
+  e.destination = "svc";
+  bus.Send(e);
+  EXPECT_EQ(bus.stats().in_flight, 1u);  // enqueued, not yet delivered
+  EXPECT_TRUE(bus.stats().Reconciles());
+  kernel_.Run();
+  EXPECT_EQ(bus.stats().in_flight, 0u);
+  EXPECT_EQ(bus.stats().delivered, 1u);
+  EXPECT_TRUE(bus.stats().Reconciles());
+}
+
 }  // namespace
 }  // namespace gm::net

@@ -1,0 +1,216 @@
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/bus.hpp"
+
+namespace gm::net {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : bus_(kernel_, LatencyModel{1000, 0, 0.0}, 17) {}
+
+  void RegisterCounter(const std::string& name, int* counter) {
+    ASSERT_TRUE(bus_.RegisterEndpoint(name, [counter](const Envelope&) {
+                     ++*counter;
+                   }).ok());
+  }
+
+  void Send(const std::string& from, const std::string& to) {
+    Envelope e;
+    e.source = from;
+    e.destination = to;
+    e.payload = {1, 2, 3};
+    bus_.Send(e);
+  }
+
+  sim::Kernel kernel_;
+  MessageBus bus_;
+};
+
+TEST_F(FaultTest, PartitionBlocksBothDirections) {
+  int a_received = 0;
+  int b_received = 0;
+  RegisterCounter("a", &a_received);
+  RegisterCounter("b", &b_received);
+  bus_.PartitionLink("a", "b");
+  EXPECT_TRUE(bus_.LinkBlocked("a", "b"));
+  EXPECT_TRUE(bus_.LinkBlocked("b", "a"));
+  Send("a", "b");
+  Send("b", "a");
+  kernel_.Run();
+  EXPECT_EQ(a_received, 0);
+  EXPECT_EQ(b_received, 0);
+  EXPECT_EQ(bus_.stats().dropped, 2u);
+  EXPECT_GT(bus_.stats().bytes_dropped, 0u);
+  EXPECT_EQ(bus_.stats().bytes_sent, 0u);  // nothing entered the wire
+  EXPECT_TRUE(bus_.stats().Reconciles());
+}
+
+TEST_F(FaultTest, PartitionDoesNotAffectOtherLinks) {
+  int b_received = 0;
+  int c_received = 0;
+  RegisterCounter("b", &b_received);
+  RegisterCounter("c", &c_received);
+  bus_.PartitionLink("a", "b");
+  Send("a", "c");  // unrelated link stays up
+  Send("c", "b");  // b is reachable from everyone except a
+  kernel_.Run();
+  EXPECT_EQ(c_received, 1);
+  EXPECT_EQ(b_received, 1);
+}
+
+TEST_F(FaultTest, HealRestoresTraffic) {
+  int received = 0;
+  RegisterCounter("b", &received);
+  bus_.PartitionLink("a", "b");
+  Send("a", "b");
+  bus_.HealLink("a", "b");
+  EXPECT_FALSE(bus_.LinkBlocked("a", "b"));
+  Send("a", "b");
+  kernel_.Run();
+  EXPECT_EQ(received, 1);  // only the post-heal message arrives
+  EXPECT_TRUE(bus_.stats().Reconciles());
+}
+
+TEST_F(FaultTest, CrashedEndpointIsUnreachableUntilRestart) {
+  int received = 0;
+  RegisterCounter("svc", &received);
+  Send("x", "svc");
+  kernel_.Run();
+  EXPECT_EQ(received, 1);
+
+  ASSERT_TRUE(bus_.CrashEndpoint("svc").ok());
+  EXPECT_TRUE(bus_.EndpointCrashed("svc"));
+  EXPECT_FALSE(bus_.HasEndpoint("svc"));
+  Send("x", "svc");
+  kernel_.Run();
+  EXPECT_EQ(received, 1);  // message lost to the crash
+  EXPECT_EQ(bus_.stats().undeliverable, 1u);
+
+  // The crashed name is reserved: nobody can squat on it.
+  EXPECT_EQ(bus_.RegisterEndpoint("svc", [](const Envelope&) {}).code(),
+            StatusCode::kAlreadyExists);
+
+  ASSERT_TRUE(bus_.RestartEndpoint("svc").ok());
+  EXPECT_FALSE(bus_.EndpointCrashed("svc"));
+  Send("x", "svc");
+  kernel_.Run();
+  EXPECT_EQ(received, 2);  // the original handler is back
+  EXPECT_TRUE(bus_.stats().Reconciles());
+}
+
+TEST_F(FaultTest, CrashUnknownEndpointFails) {
+  EXPECT_EQ(bus_.CrashEndpoint("ghost").code(), StatusCode::kNotFound);
+  EXPECT_EQ(bus_.RestartEndpoint("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST_F(FaultTest, MessagesInFlightAtCrashAreLost) {
+  int received = 0;
+  RegisterCounter("svc", &received);
+  Send("x", "svc");  // in flight: 1 ms latency
+  kernel_.ScheduleAt(500, [this] { ASSERT_TRUE(bus_.CrashEndpoint("svc").ok()); });
+  kernel_.Run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus_.stats().undeliverable, 1u);
+  EXPECT_TRUE(bus_.stats().Reconciles());
+}
+
+TEST_F(FaultTest, BurstLossWindowElevatesDropProbability) {
+  int received = 0;
+  RegisterCounter("svc", &received);
+  bus_.AddLossWindow({sim::Seconds(10), sim::Seconds(20), 1.0});
+  // Before, inside, and after the window.
+  kernel_.ScheduleAt(sim::Seconds(5), [this] { Send("x", "svc"); });
+  kernel_.ScheduleAt(sim::Seconds(15), [this] { Send("x", "svc"); });
+  kernel_.ScheduleAt(sim::Seconds(25), [this] { Send("x", "svc"); });
+  kernel_.Run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(bus_.stats().dropped, 1u);
+  EXPECT_TRUE(bus_.stats().Reconciles());
+}
+
+TEST_F(FaultTest, LossWindowEndIsExclusive) {
+  int received = 0;
+  RegisterCounter("svc", &received);
+  bus_.AddLossWindow({sim::Seconds(10), sim::Seconds(20), 1.0});
+  kernel_.ScheduleAt(sim::Seconds(10), [this] { Send("x", "svc"); });  // in
+  kernel_.ScheduleAt(sim::Seconds(20), [this] { Send("x", "svc"); });  // out
+  kernel_.Run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus_.stats().dropped, 1u);
+}
+
+TEST_F(FaultTest, FaultPlanReplaysScriptedScenario) {
+  int received = 0;
+  RegisterCounter("svc", &received);
+  FaultPlan plan;
+  plan.PartitionAt(sim::Seconds(10), "x", "svc")
+      .HealAt(sim::Seconds(20), "x", "svc")
+      .CrashAt(sim::Seconds(30), "svc")
+      .RestartAt(sim::Seconds(40), "svc");
+  ApplyFaultPlan(bus_, plan);
+  // One probe between each pair of fault boundaries.
+  for (sim::SimTime t = sim::Seconds(5); t <= sim::Seconds(45);
+       t += sim::Seconds(10)) {
+    kernel_.ScheduleAt(t, [this] { Send("x", "svc"); });
+  }
+  kernel_.Run();
+  // t=5 delivered; t=15 partitioned; t=25 delivered; t=35 crashed
+  // (undeliverable); t=45 delivered after restart.
+  EXPECT_EQ(received, 3);
+  EXPECT_EQ(bus_.stats().dropped, 1u);
+  EXPECT_EQ(bus_.stats().undeliverable, 1u);
+  EXPECT_TRUE(bus_.stats().Reconciles());
+}
+
+TEST_F(FaultTest, FaultPlanActionsInThePastFireImmediately) {
+  int received = 0;
+  RegisterCounter("svc", &received);
+  kernel_.ScheduleAt(sim::Seconds(10), [this] {
+    FaultPlan plan;
+    plan.PartitionAt(sim::Seconds(1), "x", "svc");  // already in the past
+    ApplyFaultPlan(bus_, plan);
+  });
+  kernel_.ScheduleAt(sim::Seconds(20), [this] { Send("x", "svc"); });
+  kernel_.Run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus_.stats().dropped, 1u);
+}
+
+TEST_F(FaultTest, StatsReconcileUnderMixedFaults) {
+  MessageBus lossy(kernel_, LatencyModel{1000, 500, 0.3}, 23);
+  int received = 0;
+  ASSERT_TRUE(lossy.RegisterEndpoint("svc", [&](const Envelope&) {
+                   ++received;
+                 }).ok());
+  lossy.AddLossWindow({sim::Seconds(1), sim::Seconds(2), 0.9});
+  for (int i = 0; i < 200; ++i) {
+    kernel_.ScheduleAt(i * 20 * sim::kMillisecond, [&lossy] {
+      Envelope e;
+      e.source = "x";
+      e.destination = "svc";
+      e.payload = {9};
+      lossy.Send(e);
+    });
+  }
+  kernel_.ScheduleAt(sim::Seconds(3), [&lossy] {
+    (void)lossy.CrashEndpoint("svc");
+  });
+  kernel_.Run();
+  const BusStats& stats = lossy.stats();
+  EXPECT_EQ(stats.sent, 200u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_GT(stats.delivered, 0u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.undeliverable, 0u);
+  EXPECT_TRUE(stats.Reconciles());
+  EXPECT_EQ(static_cast<std::uint64_t>(received), stats.delivered);
+}
+
+}  // namespace
+}  // namespace gm::net

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
 
 namespace gm::net {
@@ -192,6 +193,170 @@ TEST_F(RpcTest, LateResponseAfterTimeoutIsIgnored) {
   kernel_.Run();
   EXPECT_EQ(callback_count, 1);  // exactly once, despite the late response
   EXPECT_EQ(status->code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(client.stale_responses(), 1u);
+}
+
+// Regression: destroying a client with a call still in flight used to leave
+// the timeout event armed; when it fired, HandleTimeout ran on the freed
+// client (use-after-free). The destructor must cancel all pending timers.
+TEST_F(RpcTest, DestroyClientWithInFlightCallIsSafe) {
+  auto client = std::make_unique<RpcClient>(bus_, "doomed");
+  int callback_count = 0;
+  // No server: the only pending event is the 1 s attempt timeout.
+  client->Call("ghost", "m", {}, CallOptions{sim::Seconds(1), 3},
+               [&](Result<Bytes>) { ++callback_count; });
+  client.reset();  // destroy with the call in flight
+  kernel_.Run();   // would fire the stale timeout without the fix
+  EXPECT_EQ(callback_count, 0);  // dropped, never invoked on a dead object
+}
+
+TEST_F(RpcTest, DestroyClientBeforeResponseArrivesIsSafe) {
+  RpcServer server(bus_, "bank");
+  server.RegisterMethod("echo", [](const Bytes& request) -> Result<Bytes> {
+    return request;
+  });
+  auto client = std::make_unique<RpcClient>(bus_, "doomed");
+  int callback_count = 0;
+  client->Call("bank", "echo", EchoPayload("hi"), CallOptions{},
+               [&](Result<Bytes>) { ++callback_count; });
+  client.reset();  // endpoint unregisters; the response becomes undeliverable
+  kernel_.Run();
+  EXPECT_EQ(callback_count, 0);
+  EXPECT_EQ(bus_.stats().undeliverable, 1u);
+}
+
+TEST_F(RpcTest, DuplicateRequestRepliedFromDedupCache) {
+  // A retried request reaches a server that already executed the original:
+  // the server must replay the cached response, not re-execute the method.
+  int executions = 0;
+  RpcServer server(bus_, "bank");
+  server.RegisterMethod("inc", [&](const Bytes&) -> Result<Bytes> {
+    ++executions;
+    Writer w;
+    w.WriteU64(static_cast<std::uint64_t>(executions));
+    return w.Take();
+  });
+  std::vector<Bytes> responses;
+  ASSERT_TRUE(bus_.RegisterEndpoint("manual-client", [&](const Envelope& e) {
+                   responses.push_back(e.payload);
+                 }).ok());
+  Envelope request;
+  request.source = "manual-client";
+  request.destination = "bank";
+  request.type = MessageType::kRpcRequest;
+  request.correlation_id = 77;
+  Writer w;
+  w.WriteString("inc");
+  w.WriteBytes({});
+  request.payload = w.Take();
+  bus_.Send(request);   // original
+  request.attempt = 2;  // the retry carries the same correlation id
+  bus_.Send(request);
+  kernel_.Run();
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(server.executions(), 1u);
+  EXPECT_EQ(server.replays(), 1u);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0], responses[1]);  // byte-identical replay
+}
+
+TEST_F(RpcTest, RetriedCallExecutesExactlyOnceOnLossyNetwork) {
+  // The at-least-once transport retries until a request/response pair gets
+  // through; server-side dedup must keep the side effect exactly-once.
+  MessageBus lossy(kernel_, LatencyModel{1000, 0, 0.5}, 99);
+  int executions = 0;
+  RpcServer server(lossy, "bank");
+  server.RegisterMethod("apply", [&](const Bytes&) -> Result<Bytes> {
+    ++executions;
+    return Bytes{1};
+  });
+  RpcClient client(lossy, "user-1");
+  std::optional<Result<Bytes>> response;
+  client.Call("bank", "apply", {}, CallOptions{sim::Seconds(1), 16},
+              [&](Result<Bytes> r) { response = std::move(r); });
+  kernel_.Run();
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->ok());
+  EXPECT_GT(client.retries(), 0u);  // the network did lose traffic
+  EXPECT_EQ(executions, 1);         // ...but the effect applied once
+  EXPECT_EQ(server.executions(), 1u);
+}
+
+TEST_F(RpcTest, RetryBackoffGrowsExponentiallyWithJitter) {
+  // Dead network, 3 attempts, 1 s timeout, 100 ms initial backoff doubling
+  // per retry. Completion time = 3 timeouts + two jittered backoffs with
+  // backoff_k in [delay_k/2, delay_k]:
+  //   3 s + [50,100] ms + [100,200] ms  ->  [3.15 s, 3.30 s].
+  MessageBus dead(kernel_, LatencyModel{1000, 0, 1.0}, 5);
+  RpcClient client(dead, "user-1");
+  CallOptions options;
+  options.timeout = sim::Seconds(1);
+  options.max_attempts = 3;
+  options.initial_backoff = 100 * sim::kMillisecond;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = sim::Seconds(10);
+  std::optional<Status> status;
+  client.Call("bank", "ping", {}, options,
+              [&](Result<Bytes> r) { status = r.status(); });
+  kernel_.Run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(kernel_.now(), sim::Seconds(3) + 150 * sim::kMillisecond);
+  EXPECT_LE(kernel_.now(), sim::Seconds(3) + 300 * sim::kMillisecond);
+}
+
+TEST_F(RpcTest, BackoffIsCappedAtMaxBackoff) {
+  MessageBus dead(kernel_, LatencyModel{1000, 0, 1.0}, 6);
+  RpcClient client(dead, "user-1");
+  CallOptions options;
+  options.timeout = sim::Seconds(1);
+  options.max_attempts = 4;
+  options.initial_backoff = sim::Seconds(1);
+  options.backoff_multiplier = 100.0;  // would explode without the cap
+  options.max_backoff = sim::Seconds(2);
+  std::optional<Status> status;
+  client.Call("bank", "ping", {}, options,
+              [&](Result<Bytes> r) { status = r.status(); });
+  kernel_.Run();
+  ASSERT_TRUE(status.has_value());
+  // 4 timeouts + 3 backoffs, each backoff capped to [1 s, 2 s].
+  EXPECT_GE(kernel_.now(), sim::Seconds(4) + 3 * sim::Seconds(1) / 2);
+  EXPECT_LE(kernel_.now(), sim::Seconds(4) + 3 * sim::Seconds(2));
+}
+
+TEST_F(RpcTest, DedupCacheEvictsOldestEntries) {
+  RpcServerOptions server_options;
+  server_options.dedup_capacity_per_client = 2;
+  int executions = 0;
+  RpcServer server(bus_, "bank", server_options);
+  server.RegisterMethod("inc", [&](const Bytes&) -> Result<Bytes> {
+    ++executions;
+    return Bytes{};
+  });
+  ASSERT_TRUE(
+      bus_.RegisterEndpoint("manual-client", [](const Envelope&) {}).ok());
+  auto send = [&](std::uint64_t cid) {
+    Envelope request;
+    request.source = "manual-client";
+    request.destination = "bank";
+    request.type = MessageType::kRpcRequest;
+    request.correlation_id = cid;
+    Writer w;
+    w.WriteString("inc");
+    w.WriteBytes({});
+    request.payload = w.Take();
+    bus_.Send(request);
+    kernel_.Run();
+  };
+  send(1);
+  send(2);
+  send(3);  // evicts cid 1 (capacity 2)
+  send(1);  // re-executes: its cached response is gone
+  EXPECT_EQ(executions, 4);
+  EXPECT_EQ(server.replays(), 0u);
+  send(3);  // still cached
+  EXPECT_EQ(executions, 4);
+  EXPECT_EQ(server.replays(), 1u);
 }
 
 TEST_F(RpcTest, StatusRoundTripOnWire) {
