@@ -5,11 +5,57 @@
 #pragma once
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "workload/experiment.hpp"
 
 namespace gm::bench {
+
+/// Collects benchmark metrics and writes them as a BENCH_<name>.json
+/// result file:
+///   {"benchmark": "<name>", "results": [{"name": ..., "value": ...,
+///    "unit": ...}, ...]}
+/// so harness outputs are diffable across runs and machines.
+class BenchResultFile {
+ public:
+  explicit BenchResultFile(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  void Add(const std::string& name, double value, const std::string& unit) {
+    rows_.push_back({name, value, unit});
+  }
+
+  /// Write BENCH_<benchmark>.json into `dir` (default: current directory).
+  bool Write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + benchmark_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [\n",
+                 benchmark_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": "
+                   "\"%s\"}%s\n",
+                   rows_[i].name.c_str(), rows_[i].value,
+                   rows_[i].unit.c_str(), i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string benchmark_;
+  std::vector<Row> rows_;
+};
 
 inline workload::BestResponseExperimentConfig PaperTestbed(
     std::vector<double> budgets, double wall_minutes) {

@@ -1,18 +1,23 @@
 // Microbenchmarks of the hot paths: bid optimization, auction ticks,
-// crypto primitives, prediction fits and the simulation kernel.
+// crypto primitives, prediction fits, the simulation kernel and the
+// durable-store journal.
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 #include "bestresponse/best_response.hpp"
 #include "common/rng.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 #include "market/auctioneer.hpp"
+#include "market/price_history.hpp"
 #include "market/slot_table.hpp"
 #include "market/window_stats.hpp"
 #include "math/ar_model.hpp"
 #include "math/matrix.hpp"
 #include "math/spline.hpp"
 #include "sim/kernel.hpp"
+#include "store/store.hpp"
 
 namespace gm {
 namespace {
@@ -173,6 +178,67 @@ void BM_LuSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LuSolve)->Arg(10)->Arg(50);
+
+std::filesystem::path BenchStoreDir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void BM_WalAppend(benchmark::State& state) {
+  const std::size_t payload_size = static_cast<std::size_t>(state.range(0));
+  const auto dir = BenchStoreDir("gm_bench_wal_append");
+  auto wal = store::WriteAheadLog::Open(dir.string());
+  const Bytes payload(payload_size, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*wal)->Append(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_size));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(1024);
+
+void BM_WalReplay(benchmark::State& state) {
+  const std::int64_t records = state.range(0);
+  const auto dir = BenchStoreDir("gm_bench_wal_replay");
+  {
+    auto wal = store::WriteAheadLog::Open(dir.string());
+    const Bytes payload(128, 0xCD);
+    for (std::int64_t i = 0; i < records; ++i) (void)(*wal)->Append(payload);
+  }
+  auto wal = store::WriteAheadLog::Open(dir.string());
+  for (auto _ : state) {
+    auto stats = (*wal)->Replay(
+        0, [](std::uint64_t, const Bytes&) { return Status::Ok(); });
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalReplay)->Arg(1000)->Arg(10000);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const std::int64_t points = state.range(0);
+  const auto dir = BenchStoreDir("gm_bench_snapshot");
+  auto store = store::DurableStore::Open(dir.string());
+  {
+    market::PriceHistory history(1 << 20);
+    history.AttachStore(store->get());
+    Rng rng(9);
+    for (std::int64_t i = 0; i < points; ++i)
+      history.Record(sim::Seconds(10 * i), rng.NextDouble());
+    (void)(*store)->WriteSnapshot(history);
+  }
+  for (auto _ : state) {
+    market::PriceHistory recovered(1 << 20);
+    auto stats = (*store)->Recover(recovered);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * points);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(1000)->Arg(50000);
 
 }  // namespace
 }  // namespace gm

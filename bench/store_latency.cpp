@@ -1,0 +1,100 @@
+// Durable-store latency harness: WAL append throughput, full-log replay
+// latency and snapshot write/load latency at ledger-like record sizes.
+// Emits BENCH_store.json for cross-run comparison.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "experiment_common.hpp"
+#include "common/rng.hpp"
+#include "market/price_history.hpp"
+#include "store/store.hpp"
+
+namespace gm::bench {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+fs::path FreshDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+int Run() {
+  constexpr int kRecords = 20000;
+  constexpr std::size_t kRecordBytes = 128;  // ~ a journaled bank transfer
+  BenchResultFile results("store");
+
+  // -- WAL append --
+  const fs::path wal_dir = FreshDir("gm_store_latency_wal");
+  {
+    auto wal = store::WriteAheadLog::Open(wal_dir.string());
+    if (!wal.ok()) return 1;
+    const Bytes payload(kRecordBytes, 0x5A);
+    const auto start = Clock::now();
+    for (int i = 0; i < kRecords; ++i) {
+      if (!(*wal)->Append(payload).ok()) return 1;
+    }
+    const double total_us = ElapsedUs(start);
+    results.Add("wal_append_latency", total_us / kRecords, "us/record");
+    results.Add("wal_append_throughput",
+                kRecords * kRecordBytes / total_us, "MB/s");
+  }
+
+  // -- WAL replay (cold restart: open + full scan) --
+  {
+    const auto start = Clock::now();
+    auto wal = store::WriteAheadLog::Open(wal_dir.string());
+    if (!wal.ok()) return 1;
+    std::uint64_t applied = 0;
+    auto stats = (*wal)->Replay(0, [&](std::uint64_t, const Bytes&) {
+      ++applied;
+      return Status::Ok();
+    });
+    const double total_us = ElapsedUs(start);
+    if (!stats.ok() || applied != kRecords) return 1;
+    results.Add("wal_replay_latency", total_us / 1000.0, "ms/log");
+    results.Add("wal_replay_rate", applied / (total_us / 1e6), "records/s");
+  }
+  fs::remove_all(wal_dir);
+
+  // -- snapshot write + load over a realistic price window --
+  const fs::path snap_dir = FreshDir("gm_store_latency_snap");
+  {
+    auto store = store::DurableStore::Open(snap_dir.string());
+    if (!store.ok()) return 1;
+    market::PriceHistory history(1 << 20);
+    history.AttachStore(store->get());
+    Rng rng(11);
+    // A week of 10-second price samples: 60480 points.
+    for (int i = 0; i < 60480; ++i)
+      history.Record(sim::Seconds(10 * i), rng.NextDouble());
+
+    auto start = Clock::now();
+    if (!(*store)->WriteSnapshot(history).ok()) return 1;
+    results.Add("snapshot_write_latency", ElapsedUs(start) / 1000.0,
+                "ms/snapshot");
+
+    start = Clock::now();
+    market::PriceHistory recovered(1 << 20);
+    auto stats = (*store)->Recover(recovered);
+    if (!stats.ok() || recovered.size() != history.size()) return 1;
+    results.Add("snapshot_load_latency", ElapsedUs(start) / 1000.0,
+                "ms/snapshot");
+  }
+  fs::remove_all(snap_dir);
+
+  return results.Write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gm::bench
+
+int main() { return gm::bench::Run(); }

@@ -1,15 +1,19 @@
-// Chaos recovery: run a job on a lossy network, crash a host mid-run,
-// and watch the failure detector migrate the work to survivors.
+// Chaos recovery: run a job on a lossy network, crash a host AND the
+// bank mid-run, and watch the failure detector migrate the work while
+// the bank replays its write-ahead log back to the exact ledger.
 //
 //   $ ./chaos_recovery
 //
 // Demonstrates the fault-tolerance surface: a 10%-loss network (every
 // RPC retries with exponential backoff, every server dedups retries so
-// effects apply exactly once), scheduler health probes, and job
-// migration with the crashed host's escrow refunded to the job.
-// Exits 0 only if the job finishes, the dead host is reported DEAD,
-// and every micro-dollar is accounted for.
+// effects apply exactly once), scheduler health probes, job migration
+// with the crashed host's escrow refunded to the job, and durable
+// storage: the bank process is killed mid-experiment and restarted from
+// its journal with a hash-identical ledger. Exits 0 only if the job
+// finishes, the dead host is reported DEAD, the recovered ledger
+// matches, and every micro-dollar is accounted for.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "core/grid_market.hpp"
@@ -18,10 +22,16 @@ int main() {
   using namespace gm;
 
   // 6 dual-CPU hosts behind a network that silently drops 10% of all
-  // messages (probes, bids, transfers alike).
+  // messages (probes, bids, transfers alike). Durable storage journals
+  // the ledger, host directory and price histories.
+  const std::string storage_dir =
+      (std::filesystem::temp_directory_path() / "gm_chaos_recovery").string();
+  std::filesystem::remove_all(storage_dir);
   GridMarket::Config config;
   config.hosts = 6;
   config.network = net::LatencyModel::Lossy(0.10);
+  config.storage.durable = true;
+  config.storage.dir = storage_dir;
   GridMarket grid(config);
 
   if (!grid.RegisterUser("alice", 1000.0).ok()) return 1;
@@ -70,6 +80,22 @@ int main() {
               sim::FormatTime(grid.now()).c_str(), victim.c_str(),
               record->CompletedChunks(), job.TotalChunks());
 
+  // While the host is down, the bank crashes too: its in-memory ledger
+  // is wiped and every transfer fails Unavailable until it restarts.
+  grid.RunFor(sim::Minutes(5));
+  const std::string ledger_before = grid.bank().LedgerHash();
+  if (!grid.CrashBank().ok()) return 1;
+  std::printf("t=%s  crashed the bank (ledger %.12s...)\n",
+              sim::FormatTime(grid.now()).c_str(), ledger_before.c_str());
+  if (grid.PayBroker("alice", 1.0).ok()) return 1;  // bank is down
+
+  grid.RunFor(sim::Minutes(5));
+  if (!grid.RestartBank().ok()) return 1;
+  const bool ledger_recovered = grid.bank().LedgerHash() == ledger_before;
+  std::printf("t=%s  restarted the bank: ledger %s\n",
+              sim::FormatTime(grid.now()).c_str(),
+              ledger_recovered ? "recovered bit-identical" : "MISMATCH");
+
   // The probes need ~3 failed rounds to declare the host dead; after
   // that the scheduler re-bids on survivors and re-runs the lost chunks.
   grid.RunUntil(sim::Hours(24));
@@ -81,7 +107,8 @@ int main() {
   std::printf("spent:      %s of %s (rest refunded)\n\n",
               FormatMoney(record->spent).c_str(),
               FormatMoney(record->budget).c_str());
-  std::printf("%s", grid.NetMonitor().c_str());
+  std::printf("%s\n", grid.NetMonitor().c_str());
+  std::printf("%s", grid.StorageMonitor().c_str());
 
   // Verdict: job done, dead host detected, money conserved. Unused
   // funds (including the crashed host's reclaimed deposit) sit in the
@@ -95,10 +122,12 @@ int main() {
               FormatMoney(escrow).c_str(),
               FormatMoney(record->budget - record->spent).c_str());
   const bool ok = record->state == grid::JobState::kFinished && victim_dead &&
+                  ledger_recovered &&
                   escrow == record->budget - record->spent &&
                   grid.CheckInvariants().ok() &&
                   grid.bus().stats().Reconciles();
-  std::printf("%s\n", ok ? "RECOVERED: money conserved, job complete"
+  std::printf("%s\n", ok ? "RECOVERED: ledger replayed, money conserved, "
+                           "job complete"
                          : "FAILED");
   return ok ? 0 : 2;
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full CI gate: tier-1 build + tests (warnings as errors), then the
+# sanitizer job.
+# Usage: scripts/ci.sh [ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-ci
+
+echo "== tier-1: build + ctest (GM_WERROR=ON) =="
+cmake -B "$BUILD_DIR" -S . -DGM_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
+
+echo "== sanitizers: ASan + UBSan =="
+scripts/check_sanitize.sh "$@"
+
+echo "CI: all gates passed"

@@ -2,8 +2,34 @@
 
 #include "common/strings.hpp"
 #include "crypto/sha256.hpp"
+#include "net/serialize.hpp"
 
 namespace gm::bank {
+namespace {
+
+// Journal record kinds. The payload layout per kind is defined by the
+// matching Journal*/ApplyRecord pair below; bump kSnapshotVersion when
+// the snapshot layout changes.
+enum RecordKind : std::uint8_t {
+  kRecordCreate = 1,
+  kRecordSubCreate = 2,
+  kRecordMint = 3,
+  kRecordTransfer = 4,
+};
+
+constexpr std::uint64_t kSnapshotVersion = 1;
+
+const Status& BankDown() {
+  static const Status status =
+      Status::Unavailable("bank is down (crashed; awaiting restart)");
+  return status;
+}
+
+std::string EncodeOwnerKey(const crypto::PublicKey& key) {
+  return key == crypto::PublicKey() ? std::string() : key.y().ToHex();
+}
+
+}  // namespace
 
 std::string TransferAuthPayload(const std::string& from, const std::string& to,
                                 Micros amount, std::uint64_t nonce) {
@@ -13,7 +39,8 @@ std::string TransferAuthPayload(const std::string& from, const std::string& to,
 }
 
 Bank::Bank(const crypto::SchnorrGroup& group, std::uint64_t seed)
-    : rng_(seed), keys_(crypto::KeyPair::Generate(group, rng_)) {}
+    : group_(&group), rng_(seed),
+      keys_(crypto::KeyPair::Generate(group, rng_)) {}
 
 Account* Bank::Find(const std::string& id) {
   const auto it = accounts_.find(id);
@@ -25,49 +52,86 @@ const Account* Bank::Find(const std::string& id) const {
   return it == accounts_.end() ? nullptr : &it->second;
 }
 
+void Bank::AttachStore(store::DurableStore* s) { store_ = s; }
+
+Status Bank::Journal(const net::Writer& writer) {
+  if (store_ == nullptr) return Status::Ok();
+  return store_->Append(writer.data());
+}
+
+// Auto-checkpoint AFTER the mutation is applied — a snapshot taken
+// between Journal() and the in-memory update would claim coverage of a
+// record whose effect it does not contain, silently dropping it on
+// recovery.
+Status Bank::Checkpoint() {
+  if (store_ == nullptr) return Status::Ok();
+  return store_->MaybeSnapshot(*this);
+}
+
 Status Bank::CreateAccount(const std::string& id,
                            const crypto::PublicKey& owner_key) {
+  if (crashed_) return BankDown();
   if (id.empty()) return Status::InvalidArgument("empty account id");
   if (Find(id) != nullptr)
     return Status::AlreadyExists("account exists: " + id);
+  // Write-ahead: journal first, mutate only once the record is durable.
+  net::Writer record;
+  record.WriteU8(kRecordCreate);
+  record.WriteString(id);
+  record.WriteString(EncodeOwnerKey(owner_key));
+  GM_RETURN_IF_ERROR(Journal(record));
   Account account;
   account.id = id;
   account.owner_key = owner_key;
   accounts_.emplace(id, std::move(account));
   audit_.push_back({0, "create", "", id, 0});
-  return Status::Ok();
+  return Checkpoint();
 }
 
 Status Bank::CreateSubAccount(const std::string& parent,
                               const std::string& sub_id) {
+  if (crashed_) return BankDown();
   const Account* parent_account = Find(parent);
   if (parent_account == nullptr)
     return Status::NotFound("parent account: " + parent);
   if (sub_id.empty()) return Status::InvalidArgument("empty account id");
   if (Find(sub_id) != nullptr)
     return Status::AlreadyExists("account exists: " + sub_id);
+  net::Writer record;
+  record.WriteU8(kRecordSubCreate);
+  record.WriteString(parent);
+  record.WriteString(sub_id);
+  GM_RETURN_IF_ERROR(Journal(record));
   Account account;
   account.id = sub_id;
   account.parent = parent;
   accounts_.emplace(sub_id, std::move(account));
   audit_.push_back({0, "sub_create", parent, sub_id, 0});
-  return Status::Ok();
+  return Checkpoint();
 }
 
 Status Bank::Mint(const std::string& id, Micros amount, std::int64_t now_us) {
+  if (crashed_) return BankDown();
   if (amount <= 0) return Status::InvalidArgument("mint amount must be > 0");
   Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
+  net::Writer record;
+  record.WriteU8(kRecordMint);
+  record.WriteString(id);
+  record.WriteI64(amount);
+  record.WriteI64(now_us);
+  GM_RETURN_IF_ERROR(Journal(record));
   account->balance += amount;
   total_minted_ += amount;
   audit_.push_back({now_us, "mint", "", id, amount});
-  return Status::Ok();
+  return Checkpoint();
 }
 
 Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
                                                       const std::string& to,
                                                       Micros amount,
-                                                      std::int64_t now_us) {
+                                                      std::int64_t now_us,
+                                                      bool bump_nonce) {
   Account* src = Find(from);
   Account* dst = Find(to);
   if (src == nullptr) return Status::NotFound("account: " + from);
@@ -79,8 +143,6 @@ Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
         StrFormat("insufficient funds in %s: has %s, needs %s", from.c_str(),
                   FormatMoney(src->balance).c_str(),
                   FormatMoney(amount).c_str()));
-  src->balance -= amount;
-  dst->balance += amount;
 
   crypto::TransferReceipt receipt;
   receipt.receipt_id = StrFormat(
@@ -89,14 +151,30 @@ Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
                                 std::to_string(next_receipt_))
           .substr(0, 12)
           .c_str());
-  ++next_receipt_;
   receipt.from_account = from;
   receipt.to_account = to;
   receipt.amount = amount;
   receipt.issued_at_us = now_us;
   receipt.bank_signature = keys_.Sign(receipt.SigningPayload(), rng_);
+
+  net::Writer record;
+  record.WriteU8(kRecordTransfer);
+  record.WriteString(from);
+  record.WriteString(to);
+  record.WriteI64(amount);
+  record.WriteI64(now_us);
+  record.WriteString(receipt.receipt_id);
+  record.WriteString(receipt.bank_signature.Encode());
+  record.WriteBool(bump_nonce);
+  GM_RETURN_IF_ERROR(Journal(record));
+
+  src->balance -= amount;
+  dst->balance += amount;
+  if (bump_nonce) ++src->transfer_nonce;
+  ++next_receipt_;
   issued_receipts_.emplace(receipt.receipt_id, receipt);
   audit_.push_back({now_us, "transfer", from, to, amount});
+  GM_RETURN_IF_ERROR(Checkpoint());
   return receipt;
 }
 
@@ -105,6 +183,7 @@ Result<crypto::TransferReceipt> Bank::Transfer(const std::string& from,
                                                Micros amount,
                                                const crypto::Signature& auth,
                                                std::int64_t now_us) {
+  if (crashed_) return BankDown();
   Account* src = Find(from);
   if (src == nullptr) return Status::NotFound("account: " + from);
   if (!(src->owner_key == crypto::PublicKey())) {
@@ -116,47 +195,49 @@ Result<crypto::TransferReceipt> Bank::Transfer(const std::string& from,
     return Status::PermissionDenied(
         "bank-managed account requires InternalTransfer");
   }
-  GM_ASSIGN_OR_RETURN(crypto::TransferReceipt receipt,
-                      ExecuteTransfer(from, to, amount, now_us));
-  ++src->transfer_nonce;
-  return receipt;
+  return ExecuteTransfer(from, to, amount, now_us, /*bump_nonce=*/true);
 }
 
 Result<crypto::TransferReceipt> Bank::InternalTransfer(const std::string& from,
                                                        const std::string& to,
                                                        Micros amount,
                                                        std::int64_t now_us) {
+  if (crashed_) return BankDown();
   const Account* src = Find(from);
   if (src == nullptr) return Status::NotFound("account: " + from);
   if (!(src->owner_key == crypto::PublicKey()))
     return Status::PermissionDenied(
         "owner-keyed account requires a signed Transfer");
-  return ExecuteTransfer(from, to, amount, now_us);
+  return ExecuteTransfer(from, to, amount, now_us, /*bump_nonce=*/false);
 }
 
 Result<Micros> Bank::Balance(const std::string& id) const {
+  if (crashed_) return BankDown();
   const Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
   return account->balance;
 }
 
 Result<std::uint64_t> Bank::TransferNonce(const std::string& id) const {
+  if (crashed_) return BankDown();
   const Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
   return account->transfer_nonce;
 }
 
 Result<crypto::PublicKey> Bank::OwnerKey(const std::string& id) const {
+  if (crashed_) return BankDown();
   const Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
   return account->owner_key;
 }
 
 bool Bank::HasAccount(const std::string& id) const {
-  return Find(id) != nullptr;
+  return !crashed_ && Find(id) != nullptr;
 }
 
 Status Bank::VerifyReceipt(const crypto::TransferReceipt& receipt) const {
+  if (crashed_) return BankDown();
   const auto it = issued_receipts_.find(receipt.receipt_id);
   if (it == issued_receipts_.end())
     return Status::NotFound("receipt not issued by this bank: " +
@@ -173,6 +254,7 @@ Status Bank::VerifyReceipt(const crypto::TransferReceipt& receipt) const {
 }
 
 Status Bank::CheckInvariants() const {
+  if (crashed_) return BankDown();
   Micros total = 0;
   for (const auto& [id, account] : accounts_) {
     if (account.balance < 0)
@@ -185,6 +267,215 @@ Status Bank::CheckInvariants() const {
                   static_cast<long long>(total),
                   static_cast<long long>(total_minted_)));
   return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Durability
+
+void Bank::ClearState() {
+  accounts_.clear();
+  issued_receipts_.clear();
+  audit_.clear();
+  total_minted_ = 0;
+  next_receipt_ = 1;
+}
+
+void Bank::SimulateCrash() {
+  // A crash loses everything in memory: the only way back is the log.
+  ClearState();
+  crashed_ = true;
+}
+
+Status Bank::Restart() {
+  if (store_ == nullptr)
+    return Status::FailedPrecondition(
+        "bank has no durable store: ledger unrecoverable");
+  crashed_ = false;
+  const auto recovery = RecoverFromStore();
+  if (!recovery.ok()) {
+    crashed_ = true;
+    return recovery.status();
+  }
+  return Status::Ok();
+}
+
+Result<store::RecoveryStats> Bank::RecoverFromStore() {
+  if (store_ == nullptr)
+    return Status::FailedPrecondition("no store attached");
+  ClearState();
+  return store_->Recover(*this);
+}
+
+Status Bank::ApplyRecord(const Bytes& record) {
+  net::Reader reader(record);
+  GM_ASSIGN_OR_RETURN(const std::uint8_t kind, reader.ReadU8());
+  switch (kind) {
+    case kRecordCreate: {
+      GM_ASSIGN_OR_RETURN(const std::string id, reader.ReadString());
+      GM_ASSIGN_OR_RETURN(const std::string owner_hex, reader.ReadString());
+      Account account;
+      account.id = id;
+      if (!owner_hex.empty()) {
+        GM_ASSIGN_OR_RETURN(const crypto::U256 y,
+                            crypto::U256::FromHex(owner_hex));
+        account.owner_key = crypto::PublicKey(group_, y);
+      }
+      accounts_[id] = std::move(account);
+      audit_.push_back({0, "create", "", id, 0});
+      return Status::Ok();
+    }
+    case kRecordSubCreate: {
+      GM_ASSIGN_OR_RETURN(const std::string parent, reader.ReadString());
+      GM_ASSIGN_OR_RETURN(const std::string sub_id, reader.ReadString());
+      Account account;
+      account.id = sub_id;
+      account.parent = parent;
+      accounts_[sub_id] = std::move(account);
+      audit_.push_back({0, "sub_create", parent, sub_id, 0});
+      return Status::Ok();
+    }
+    case kRecordMint: {
+      GM_ASSIGN_OR_RETURN(const std::string id, reader.ReadString());
+      GM_ASSIGN_OR_RETURN(const std::int64_t amount, reader.ReadI64());
+      GM_ASSIGN_OR_RETURN(const std::int64_t at_us, reader.ReadI64());
+      Account* account = Find(id);
+      if (account == nullptr)
+        return Status::Internal("replay mint into unknown account " + id);
+      account->balance += amount;
+      total_minted_ += amount;
+      audit_.push_back({at_us, "mint", "", id, amount});
+      return Status::Ok();
+    }
+    case kRecordTransfer: {
+      GM_ASSIGN_OR_RETURN(const std::string from, reader.ReadString());
+      GM_ASSIGN_OR_RETURN(const std::string to, reader.ReadString());
+      GM_ASSIGN_OR_RETURN(const std::int64_t amount, reader.ReadI64());
+      GM_ASSIGN_OR_RETURN(const std::int64_t at_us, reader.ReadI64());
+      GM_ASSIGN_OR_RETURN(const std::string receipt_id, reader.ReadString());
+      GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
+      GM_ASSIGN_OR_RETURN(const bool bump_nonce, reader.ReadBool());
+      Account* src = Find(from);
+      Account* dst = Find(to);
+      if (src == nullptr || dst == nullptr)
+        return Status::Internal("replay transfer with unknown account");
+      if (src->balance < amount)
+        return Status::Internal("replay transfer overdraws " + from);
+      src->balance -= amount;
+      dst->balance += amount;
+      if (bump_nonce) ++src->transfer_nonce;
+      crypto::TransferReceipt receipt;
+      receipt.receipt_id = receipt_id;
+      receipt.from_account = from;
+      receipt.to_account = to;
+      receipt.amount = amount;
+      receipt.issued_at_us = at_us;
+      GM_ASSIGN_OR_RETURN(receipt.bank_signature,
+                          crypto::Signature::Decode(sig));
+      issued_receipts_[receipt_id] = std::move(receipt);
+      ++next_receipt_;
+      audit_.push_back({at_us, "transfer", from, to, amount});
+      return Status::Ok();
+    }
+    default:
+      return Status::Internal(
+          StrFormat("unknown bank journal record kind %u", kind));
+  }
+}
+
+void Bank::WriteSnapshot(net::Writer& writer) const {
+  writer.WriteVarint(kSnapshotVersion);
+  writer.WriteVarint(accounts_.size());
+  for (const auto& [id, account] : accounts_) {
+    writer.WriteString(account.id);
+    writer.WriteString(EncodeOwnerKey(account.owner_key));
+    writer.WriteString(account.parent);
+    writer.WriteI64(account.balance);
+    writer.WriteVarint(account.transfer_nonce);
+  }
+  writer.WriteI64(total_minted_);
+  writer.WriteVarint(next_receipt_);
+  writer.WriteVarint(issued_receipts_.size());
+  for (const auto& [id, receipt] : issued_receipts_) {
+    writer.WriteString(receipt.receipt_id);
+    writer.WriteString(receipt.from_account);
+    writer.WriteString(receipt.to_account);
+    writer.WriteI64(receipt.amount);
+    writer.WriteI64(receipt.issued_at_us);
+    writer.WriteString(receipt.bank_signature.Encode());
+  }
+  writer.WriteVarint(audit_.size());
+  for (const AuditEntry& entry : audit_) {
+    writer.WriteI64(entry.at_us);
+    writer.WriteString(entry.kind);
+    writer.WriteString(entry.from);
+    writer.WriteString(entry.to);
+    writer.WriteI64(entry.amount);
+  }
+}
+
+Status Bank::LoadSnapshot(net::Reader& reader) {
+  GM_ASSIGN_OR_RETURN(const std::uint64_t version, reader.ReadVarint());
+  if (version != kSnapshotVersion)
+    return Status::Internal(
+        StrFormat("unsupported bank snapshot version %llu",
+                  static_cast<unsigned long long>(version)));
+  ClearState();
+  GM_ASSIGN_OR_RETURN(const std::uint64_t account_count, reader.ReadVarint());
+  for (std::uint64_t i = 0; i < account_count; ++i) {
+    Account account;
+    GM_ASSIGN_OR_RETURN(account.id, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(const std::string owner_hex, reader.ReadString());
+    if (!owner_hex.empty()) {
+      GM_ASSIGN_OR_RETURN(const crypto::U256 y,
+                          crypto::U256::FromHex(owner_hex));
+      account.owner_key = crypto::PublicKey(group_, y);
+    }
+    GM_ASSIGN_OR_RETURN(account.parent, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(account.balance, reader.ReadI64());
+    GM_ASSIGN_OR_RETURN(account.transfer_nonce, reader.ReadVarint());
+    accounts_[account.id] = std::move(account);
+  }
+  GM_ASSIGN_OR_RETURN(total_minted_, reader.ReadI64());
+  GM_ASSIGN_OR_RETURN(next_receipt_, reader.ReadVarint());
+  GM_ASSIGN_OR_RETURN(const std::uint64_t receipt_count, reader.ReadVarint());
+  for (std::uint64_t i = 0; i < receipt_count; ++i) {
+    crypto::TransferReceipt receipt;
+    GM_ASSIGN_OR_RETURN(receipt.receipt_id, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(receipt.from_account, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(receipt.to_account, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(receipt.amount, reader.ReadI64());
+    GM_ASSIGN_OR_RETURN(receipt.issued_at_us, reader.ReadI64());
+    GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(receipt.bank_signature, crypto::Signature::Decode(sig));
+    issued_receipts_[receipt.receipt_id] = std::move(receipt);
+  }
+  GM_ASSIGN_OR_RETURN(const std::uint64_t audit_count, reader.ReadVarint());
+  audit_.reserve(audit_count);
+  for (std::uint64_t i = 0; i < audit_count; ++i) {
+    AuditEntry entry;
+    GM_ASSIGN_OR_RETURN(entry.at_us, reader.ReadI64());
+    GM_ASSIGN_OR_RETURN(entry.kind, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(entry.from, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(entry.to, reader.ReadString());
+    GM_ASSIGN_OR_RETURN(entry.amount, reader.ReadI64());
+    audit_.push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+std::string Bank::LedgerHash() const {
+  std::string canonical;
+  for (const auto& [id, account] : accounts_) {
+    canonical += StrFormat(
+        "acct|%s|%s|%lld|%llu|%s\n", account.id.c_str(),
+        account.parent.c_str(), static_cast<long long>(account.balance),
+        static_cast<unsigned long long>(account.transfer_nonce),
+        EncodeOwnerKey(account.owner_key).c_str());
+  }
+  canonical += StrFormat("minted|%lld|receipts|%llu\n",
+                         static_cast<long long>(total_minted_),
+                         static_cast<unsigned long long>(next_receipt_));
+  return crypto::Sha256::HexDigest(canonical);
 }
 
 }  // namespace gm::bank

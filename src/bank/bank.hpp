@@ -9,6 +9,14 @@
 //
 // Money is integer micro-dollars; the bank maintains the conservation
 // invariant sum(balances) == total minted, checked by CheckInvariants().
+//
+// Durability (GridBank-style accounting): attach a store::DurableStore
+// and every mutation is journaled write-ahead — the record is appended
+// before the in-memory ledger changes, so a crash at any point loses at
+// most the operation in flight, never a half-applied one. Restart()
+// rebuilds the exact pre-crash ledger (balances, escrow sub-accounts,
+// nonces, receipts, audit log) from snapshot + log replay; LedgerHash()
+// lets tests assert the recovered ledger is identical.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,7 @@
 #include "common/units.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/token.hpp"
+#include "store/store.hpp"
 
 namespace gm::bank {
 
@@ -44,7 +53,7 @@ struct AuditEntry {
 std::string TransferAuthPayload(const std::string& from, const std::string& to,
                                 Micros amount, std::uint64_t nonce);
 
-class Bank {
+class Bank : public store::Recoverable {
  public:
   /// The bank signs receipts with its own keypair in `group`.
   Bank(const crypto::SchnorrGroup& group, std::uint64_t seed);
@@ -96,14 +105,43 @@ class Bank {
   /// unless there is a bug.
   Status CheckInvariants() const;
 
+  // -- durability --
+  /// Journal every subsequent mutation into `s` (non-owning; may be
+  /// nullptr to detach). Does not write the current state — snapshot or
+  /// recover explicitly around attachment.
+  void AttachStore(store::DurableStore* s);
+  store::DurableStore* attached_store() const { return store_; }
+  /// Drop the in-memory ledger and rebuild it from the attached store.
+  Result<store::RecoveryStats> RecoverFromStore();
+  /// SHA-256 over the canonical ledger (accounts, balances, escrow
+  /// parents, nonces, minted total): equal hashes <=> identical ledgers.
+  std::string LedgerHash() const;
+
+  /// Chaos surface: the bank process dies — all in-memory state is wiped
+  /// and every call fails Unavailable until Restart() replays the log.
+  void SimulateCrash();
+  Status Restart();
+  bool crashed() const { return crashed_; }
+
+  // store::Recoverable:
+  Status ApplyRecord(const Bytes& record) override;
+  void WriteSnapshot(net::Writer& writer) const override;
+  Status LoadSnapshot(net::Reader& reader) override;
+
  private:
   Result<crypto::TransferReceipt> ExecuteTransfer(const std::string& from,
                                                   const std::string& to,
                                                   Micros amount,
-                                                  std::int64_t now_us);
+                                                  std::int64_t now_us,
+                                                  bool bump_nonce);
   Account* Find(const std::string& id);
   const Account* Find(const std::string& id) const;
+  /// Append one journal record + auto-checkpoint; no-op without a store.
+  Status Journal(const net::Writer& writer);
+  Status Checkpoint();
+  void ClearState();
 
+  const crypto::SchnorrGroup* group_;
   Rng rng_;
   crypto::KeyPair keys_;
   std::map<std::string, Account> accounts_;
@@ -111,6 +149,8 @@ class Bank {
   std::vector<AuditEntry> audit_;
   Micros total_minted_ = 0;
   std::uint64_t next_receipt_ = 1;
+  store::DurableStore* store_ = nullptr;  // non-owning
+  bool crashed_ = false;
 };
 
 }  // namespace gm::bank

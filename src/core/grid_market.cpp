@@ -1,8 +1,21 @@
 #include "core/grid_market.hpp"
 
+#include <algorithm>
+
 #include "common/strings.hpp"
 
 namespace gm {
+
+namespace {
+
+store::StoreOptions MakeStoreOptions(const GridMarket::Config& config) {
+  store::StoreOptions options;
+  options.segment_max_bytes = config.storage.segment_max_bytes;
+  options.snapshot_every_records = config.storage.snapshot_every_records;
+  return options;
+}
+
+}  // namespace
 
 GridMarket::GridMarket(Config config)
     : config_(std::move(config)), rng_(config_.seed) {
@@ -19,8 +32,36 @@ GridMarket::GridMarket(Config config)
   bus_ = std::make_unique<net::MessageBus>(kernel_, config_.network,
                                            rng_.Next());
 
-  GM_ASSERT(bank_->CreateAccount("broker", {}).ok(),
-            "broker account creation failed");
+  // Warm boot: recover the ledger and host directory from the journals,
+  // then fast-forward the kernel past the newest recovered timestamp so
+  // new events never run behind recovered state.
+  sim::SimTime resume = 0;
+  if (config_.storage.durable) {
+    GM_ASSERT(!config_.storage.dir.empty(),
+              "Config.storage.durable requires Config.storage.dir");
+    auto bank_store = store::DurableStore::Open(config_.storage.dir + "/bank",
+                                                MakeStoreOptions(config_));
+    GM_ASSERT(bank_store.ok(), "bank store open failed");
+    bank_store_ = std::move(*bank_store);
+    bank_->AttachStore(bank_store_.get());
+    GM_ASSERT(bank_->RecoverFromStore().ok(), "bank recovery failed");
+    for (const bank::AuditEntry& entry : bank_->audit_log())
+      resume = std::max(resume, entry.at_us);
+
+    auto sls_store = store::DurableStore::Open(config_.storage.dir + "/sls",
+                                               MakeStoreOptions(config_));
+    GM_ASSERT(sls_store.ok(), "sls store open failed");
+    sls_store_ = std::move(*sls_store);
+    sls_->AttachStore(sls_store_.get());
+    GM_ASSERT(sls_->RecoverFromStore().ok(), "sls recovery failed");
+    for (const market::HostRecord& record : sls_->Query({}))
+      resume = std::max(resume, record.updated_at);
+  }
+
+  if (!bank_->HasAccount("broker")) {
+    GM_ASSERT(bank_->CreateAccount("broker", {}).ok(),
+              "broker account creation failed");
+  }
   authorizer_ = std::make_unique<grid::TokenAuthorizer>(*bank_, "broker");
   plugin_ = std::make_unique<grid::TycoonSchedulerPlugin>(
       kernel_, *sls_, *bank_, host::PackageCatalog::Default(),
@@ -46,17 +87,34 @@ GridMarket::GridMarket(Config config)
     hosts_.push_back(std::make_unique<host::PhysicalHost>(spec));
     auctioneers_.push_back(
         std::make_unique<market::Auctioneer>(*hosts_.back(), kernel_));
-    auctioneers_.back()->Start();
+    if (config_.storage.durable) {
+      auto host_store = store::DurableStore::Open(
+          config_.storage.dir + "/price/" + spec.id, MakeStoreOptions(config_));
+      GM_ASSERT(host_store.ok(), "host price store open failed");
+      host_stores_.push_back(std::move(*host_store));
+      auctioneers_.back()->AttachStore(host_stores_.back().get());
+      GM_ASSERT(auctioneers_.back()->RecoverHistory().ok(),
+                "price history recovery failed");
+      if (!auctioneers_.back()->history().empty())
+        resume = std::max(resume, auctioneers_.back()->history().back().at);
+    }
     services_.push_back(std::make_unique<market::AuctioneerService>(
         *auctioneers_.back(), *bus_));
-    publishers_.push_back(std::make_unique<market::SlsPublisher>(
-        *auctioneers_.back(), *sls_, config_.site, kernel_,
-        config_.sls_heartbeat));
     GM_ASSERT(plugin_
                   ->RegisterAuctioneer(*auctioneers_.back(),
                                        "auctioneer:" + spec.id)
                   .ok(),
               "auctioneer registration failed");
+  }
+
+  // Auctioneer ticks and SLS heartbeats start only after the clock has
+  // caught up, keeping journaled timestamps monotone across restarts.
+  if (resume > 0) kernel_.RunUntil(resume);
+  for (std::size_t i = 0; i < auctioneers_.size(); ++i) {
+    auctioneers_[i]->Start();
+    publishers_.push_back(std::make_unique<market::SlsPublisher>(
+        *auctioneers_[i], *sls_, config_.site, kernel_,
+        config_.sls_heartbeat));
   }
 }
 
@@ -148,6 +206,9 @@ Status GridMarket::CrashHost(std::size_t index) {
   if (index >= auctioneers_.size())
     return Status::InvalidArgument("host index out of range");
   auctioneers_[index]->Stop();
+  // With a journal behind it, a crash genuinely loses the in-memory
+  // price window; in-memory mode keeps it (nothing to recover from).
+  if (config_.storage.durable) auctioneers_[index]->CrashStorageState();
   return bus_->CrashEndpoint("auctioneer/" +
                              auctioneers_[index]->physical_host().id());
 }
@@ -157,8 +218,26 @@ Status GridMarket::RestartHost(std::size_t index) {
     return Status::InvalidArgument("host index out of range");
   GM_RETURN_IF_ERROR(bus_->RestartEndpoint(
       "auctioneer/" + auctioneers_[index]->physical_host().id()));
+  if (config_.storage.durable) {
+    GM_RETURN_IF_ERROR(auctioneers_[index]->RecoverHistory().status());
+  }
   auctioneers_[index]->Start();
   return Status::Ok();
+}
+
+Status GridMarket::CrashBank() {
+  if (!config_.storage.durable)
+    return Status::FailedPrecondition(
+        "CrashBank requires durable storage (Config.storage.durable)");
+  bank_->SimulateCrash();
+  return Status::Ok();
+}
+
+Status GridMarket::RestartBank() {
+  if (!config_.storage.durable)
+    return Status::FailedPrecondition(
+        "RestartBank requires durable storage (Config.storage.durable)");
+  return bank_->Restart();
 }
 
 std::vector<grid::HostHealthInfo> GridMarket::HostHealthReport() const {
@@ -168,6 +247,18 @@ std::vector<grid::HostHealthInfo> GridMarket::HostHealthReport() const {
 std::string GridMarket::NetMonitor() const {
   return grid::RenderHealthTable(plugin_->HostHealthReport()) +
          grid::RenderNetTable(bus_->stats(), plugin_.get());
+}
+
+std::string GridMarket::StorageMonitor() const {
+  if (!config_.storage.durable) return "storage: in-memory (no journals)\n";
+  std::vector<grid::StoreRow> rows;
+  rows.push_back({"bank", bank_store_->stats()});
+  rows.push_back({"sls", sls_store_->stats()});
+  for (std::size_t i = 0; i < host_stores_.size(); ++i) {
+    rows.push_back({"price/" + auctioneers_[i]->physical_host().id(),
+                    host_stores_[i]->stats()});
+  }
+  return grid::RenderStoreTable(rows);
 }
 
 Result<std::vector<predict::HostPriceStats>> GridMarket::HostPriceStats(

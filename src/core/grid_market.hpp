@@ -30,6 +30,7 @@
 #include "net/bus.hpp"
 #include "predict/normal_model.hpp"
 #include "sim/kernel.hpp"
+#include "store/store.hpp"
 
 namespace gm {
 
@@ -56,6 +57,20 @@ class GridMarket {
     /// EnableHealthProbes() for fault-tolerance experiments.
     net::LatencyModel network = net::LatencyModel::Lan();
     grid::PluginConfig plugin;
+    /// Durable state engine (src/store). In-memory by default; in durable
+    /// mode the Bank ledger, SLS registrations and per-host price
+    /// histories are journaled write-ahead under `dir` and recovered on
+    /// construction (warm boot) and on chaos-surface restarts. A warm
+    /// boot must reuse the same `seed` so the recovered owner keys verify
+    /// against the regenerated Schnorr group.
+    struct StorageConfig {
+      bool durable = false;
+      std::string dir;  // required when durable
+      std::size_t segment_max_bytes = 256 * 1024;
+      /// Auto-checkpoint + compact each store after this many appends.
+      std::uint64_t snapshot_every_records = 4096;
+    };
+    StorageConfig storage;
     std::uint64_t seed = 42;
     /// Bit widths of the Schnorr group used for all keys. The default
     /// small-but-real group keeps simulations fast; use 256/160 for the
@@ -124,12 +139,22 @@ class GridMarket {
   /// host, suspect/dead thresholds, job migration off dead hosts.
   Status EnableHealthProbes(grid::HealthOptions options = {});
   /// Crash host `index`: the market stops ticking (VMs freeze) and its
-  /// RPC endpoint vanishes, so probes time out and jobs migrate.
+  /// RPC endpoint vanishes, so probes time out and jobs migrate. In
+  /// durable mode the host's in-memory price window and window statistics
+  /// are lost too — RestartHost replays them from the host's journal.
   Status CrashHost(std::size_t index);
   Status RestartHost(std::size_t index);
+  /// Crash the Bank process: the in-memory ledger is wiped and every
+  /// bank call fails Unavailable until RestartBank() replays the WAL.
+  /// Requires durable storage (an in-memory bank is unrecoverable).
+  Status CrashBank();
+  Status RestartBank();
+  bool bank_crashed() const { return bank_->crashed(); }
   std::vector<grid::HostHealthInfo> HostHealthReport() const;
   /// Health + bus-statistics rendering (companion to Monitor()).
   std::string NetMonitor() const;
+  /// Per-store durability counters (appends, snapshots, recoveries).
+  std::string StorageMonitor() const;
 
   /// The live monitor rendering (paper Figure 2).
   std::string Monitor() const;
@@ -147,6 +172,10 @@ class GridMarket {
   sim::Kernel kernel_;
   Rng rng_;
   crypto::SchnorrGroup group_;
+  // Durable stores outlive the components journaling into them.
+  std::unique_ptr<store::DurableStore> bank_store_;
+  std::unique_ptr<store::DurableStore> sls_store_;
+  std::vector<std::unique_ptr<store::DurableStore>> host_stores_;
   std::unique_ptr<bank::Bank> bank_;
   std::unique_ptr<crypto::CertificateAuthority> ca_;
   std::unique_ptr<market::ServiceLocationService> sls_;

@@ -90,6 +90,26 @@ std::string RenderNetTable(const net::BusStats& bus,
   return out;
 }
 
+std::string RenderStoreTable(const std::vector<StoreRow>& rows) {
+  std::string out = StrFormat("%-12s %9s %10s %6s %5s %9s %7s %8s\n",
+                              "store", "records", "bytes", "snaps", "recov",
+                              "replayed", "dups", "tornB");
+  for (const StoreRow& row : rows) {
+    const store::StoreStats& s = row.stats;
+    out += StrFormat(
+        "%-12s %9llu %10llu %6llu %5llu %9llu %7llu %8llu\n",
+        row.component.c_str(),
+        static_cast<unsigned long long>(s.appended_records),
+        static_cast<unsigned long long>(s.appended_bytes),
+        static_cast<unsigned long long>(s.snapshots_written),
+        static_cast<unsigned long long>(s.recoveries),
+        static_cast<unsigned long long>(s.replayed_records),
+        static_cast<unsigned long long>(s.skipped_duplicates),
+        static_cast<unsigned long long>(s.truncated_bytes));
+  }
+  return out;
+}
+
 std::string RenderMonitor(
     const std::vector<const market::Auctioneer*>& auctioneers,
     const std::vector<const JobRecord*>& jobs, sim::SimTime now) {

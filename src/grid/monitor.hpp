@@ -10,6 +10,7 @@
 #include "market/auctioneer.hpp"
 #include "net/bus.hpp"
 #include "sim/kernel.hpp"
+#include "store/store.hpp"
 
 namespace gm::grid {
 
@@ -29,6 +30,16 @@ std::string RenderHealthTable(const std::vector<HostHealthInfo>& health);
 /// scheduler agent's RPC retry/timeout counters when probing is enabled.
 std::string RenderNetTable(const net::BusStats& bus,
                            const TycoonSchedulerPlugin* plugin = nullptr);
+
+/// One durable store's counters, labeled with the component it backs.
+struct StoreRow {
+  std::string component;  // "bank", "sls", "price/h00", ...
+  store::StoreStats stats;
+};
+
+/// Durability counters: appends, snapshots, recoveries, replayed records
+/// and corrupt bytes dropped — per component store.
+std::string RenderStoreTable(const std::vector<StoreRow>& rows);
 
 /// Both tables with a timestamp header.
 std::string RenderMonitor(

@@ -1,5 +1,6 @@
 #include "market/auctioneer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
@@ -10,12 +11,44 @@ Auctioneer::Auctioneer(host::PhysicalHost& host, sim::Kernel& kernel,
                        AuctioneerConfig config)
     : host_(host), kernel_(kernel), config_(std::move(config)) {
   GM_ASSERT(config_.interval > 0, "auction interval must be positive");
+  ResetWindowStats();
+  sim::SimDuration retention = config_.history_retention;
+  if (retention == 0) {
+    // Bound memory at the longest span the prediction layer can read.
+    std::size_t longest = 0;
+    for (const auto& [name, n] : config_.stat_windows)
+      longest = std::max(longest, n);
+    retention = static_cast<sim::SimDuration>(longest) * config_.interval;
+  }
+  if (retention > 0) history_.SetRetention(retention);
+}
+
+void Auctioneer::ResetWindowStats() {
+  moments_.clear();
+  distributions_.clear();
   for (const auto& [name, n] : config_.stat_windows) {
     moments_.emplace_back(name, WindowMoments(n));
     distributions_.emplace_back(
         name, SlotTable(n, config_.distribution_slots,
                         config_.distribution_initial_max));
   }
+}
+
+void Auctioneer::CrashStorageState() {
+  history_.Clear();
+  ResetWindowStats();
+}
+
+Result<store::RecoveryStats> Auctioneer::RecoverHistory() {
+  GM_ASSIGN_OR_RETURN(const store::RecoveryStats stats,
+                      history_.RecoverFromStore());
+  ResetWindowStats();
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const double price = history_.at(i).price;
+    for (auto& [name, moments] : moments_) moments.Add(price);
+    for (auto& [name, table] : distributions_) table.Add(price);
+  }
+  return stats;
 }
 
 Auctioneer::~Auctioneer() { Stop(); }

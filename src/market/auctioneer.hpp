@@ -40,6 +40,10 @@ struct AuctioneerConfig {
   // fine-grained and let the table self-expand (doubling brackets) when
   // busier regimes push prices up.
   double distribution_initial_max = 1e-15;
+  /// Price-history retention horizon. 0 = derive from the longest stat
+  /// window (its span is what the prediction models can ever read), which
+  /// bounds history memory on multi-week runs.
+  sim::SimDuration history_retention = 0;
 };
 
 struct MarketAccount {
@@ -98,9 +102,21 @@ class Auctioneer {
   /// One allocation round; normally driven by the internal timer.
   void Tick();
 
+  // -- durability (price observations) --
+  /// Journal every recorded spot price into `s` (non-owning).
+  void AttachStore(store::DurableStore* s) { history_.AttachStore(s); }
+  /// Crash simulation: the host's memory — price window and the window
+  /// statistics derived from it — is lost.
+  void CrashStorageState();
+  /// Replay the price journal and warm-start the window statistics and
+  /// slot tables from the recovered observations, so forecasters resume
+  /// with a full window instead of a cold start.
+  Result<store::RecoveryStats> RecoverHistory();
+
  private:
   bool BidActive(const MarketAccount& account, sim::SimTime now) const;
   std::string VmId(const std::string& user) const;
+  void ResetWindowStats();
 
   host::PhysicalHost& host_;
   sim::Kernel& kernel_;

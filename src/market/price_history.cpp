@@ -1,43 +1,68 @@
 #include "market/price_history.hpp"
 
+#include <algorithm>
+
 #include "common/status.hpp"
 
 namespace gm::market {
+namespace {
+
+constexpr std::uint64_t kSnapshotVersion = 1;
+
+}  // namespace
 
 PriceHistory::PriceHistory(std::size_t capacity) : capacity_(capacity) {
   GM_ASSERT(capacity_ > 0, "PriceHistory: zero capacity");
 }
 
-std::size_t PriceHistory::Index(std::size_t i) const {
-  return (start_ + i) % capacity_;
+void PriceHistory::SetRetention(sim::SimDuration horizon) {
+  GM_ASSERT(horizon >= 0, "PriceHistory: negative retention");
+  retention_ = horizon;
+}
+
+void PriceHistory::Push(sim::SimTime at, double price) {
+  GM_ASSERT(points_.empty() || at >= points_.back().at,
+            "PriceHistory: time went backwards");
+  points_.push_back({at, price});
+  if (points_.size() > capacity_) points_.pop_front();
+  if (retention_ > 0) {
+    // Keep the closed window [newest - retention, newest]: a point exactly
+    // `retention` old still serves WindowPrices' inclusive lower bound.
+    const sim::SimTime cutoff = at - retention_;
+    while (!points_.empty() && points_.front().at < cutoff)
+      points_.pop_front();
+  }
 }
 
 void PriceHistory::Record(sim::SimTime at, double price) {
-  GM_ASSERT(points_.empty() || at >= back().at,
-            "PriceHistory: time went backwards");
-  if (points_.size() < capacity_) {
-    points_.push_back({at, price});
-  } else {
-    points_[start_] = {at, price};
-    start_ = (start_ + 1) % capacity_;
+  if (store_ != nullptr) {
+    // Write-ahead: the observation is durable before it is visible.
+    net::Writer record;
+    record.WriteI64(at);
+    record.WriteDouble(price);
+    const Status appended = store_->Append(record.data());
+    GM_ASSERT(appended.ok(), "PriceHistory: journal append failed");
   }
+  Push(at, price);
+  // Checkpoint after the push so the snapshot covers the record it
+  // claims to (an auto-snapshot between append and push would lose it).
+  if (store_ != nullptr) (void)store_->MaybeSnapshot(*this);
 }
 
 const PricePoint& PriceHistory::back() const {
   GM_ASSERT(!points_.empty(), "PriceHistory: empty");
-  return points_[Index(points_.size() - 1)];
+  return points_.back();
 }
 
 const PricePoint& PriceHistory::at(std::size_t i) const {
   GM_ASSERT(i < points_.size(), "PriceHistory: index out of range");
-  return points_[Index(i)];
+  return points_[i];
 }
 
 std::vector<double> PriceHistory::PricesBetween(sim::SimTime from,
                                                 sim::SimTime to) const {
   std::vector<double> out;
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    const PricePoint& p = at(i);
+  for (const PricePoint& p : points_) {
     if (p.at >= from && p.at < to) out.push_back(p.price);
   }
   return out;
@@ -48,15 +73,14 @@ std::vector<double> PriceHistory::LastPrices(std::size_t count) const {
   std::vector<double> out;
   out.reserve(n);
   for (std::size_t i = points_.size() - n; i < points_.size(); ++i)
-    out.push_back(at(i).price);
+    out.push_back(points_[i].price);
   return out;
 }
 
 std::vector<double> PriceHistory::PricesBetweenInclusive(
     sim::SimTime from, sim::SimTime to) const {
   std::vector<double> out;
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    const PricePoint& p = at(i);
+  for (const PricePoint& p : points_) {
     if (p.at >= from && p.at <= to) out.push_back(p.price);
   }
   return out;
@@ -65,6 +89,50 @@ std::vector<double> PriceHistory::PricesBetweenInclusive(
 std::vector<double> PriceHistory::WindowPrices(sim::SimTime now,
                                                sim::SimDuration window) const {
   return PricesBetweenInclusive(now - window, now);
+}
+
+// ---------------------------------------------------------------------
+// Durability
+
+Result<store::RecoveryStats> PriceHistory::RecoverFromStore() {
+  if (store_ == nullptr)
+    return Status::FailedPrecondition("no store attached");
+  points_.clear();
+  return store_->Recover(*this);
+}
+
+Status PriceHistory::ApplyRecord(const Bytes& record) {
+  net::Reader reader(record);
+  GM_ASSIGN_OR_RETURN(const std::int64_t at, reader.ReadI64());
+  GM_ASSIGN_OR_RETURN(const double price, reader.ReadDouble());
+  if (!points_.empty() && at < points_.back().at)
+    return Status::Internal("price history replay out of order");
+  Push(at, price);
+  return Status::Ok();
+}
+
+void PriceHistory::WriteSnapshot(net::Writer& writer) const {
+  writer.WriteVarint(kSnapshotVersion);
+  writer.WriteVarint(points_.size());
+  for (const PricePoint& p : points_) {
+    writer.WriteI64(p.at);
+    writer.WriteDouble(p.price);
+  }
+}
+
+Status PriceHistory::LoadSnapshot(net::Reader& reader) {
+  GM_ASSIGN_OR_RETURN(const std::uint64_t version, reader.ReadVarint());
+  if (version != kSnapshotVersion)
+    return Status::Internal("unsupported price history snapshot version");
+  points_.clear();
+  GM_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadVarint());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PricePoint p;
+    GM_ASSIGN_OR_RETURN(p.at, reader.ReadI64());
+    GM_ASSIGN_OR_RETURN(p.price, reader.ReadDouble());
+    Push(p.at, p.price);
+  }
+  return Status::Ok();
 }
 
 }  // namespace gm::market

@@ -2,14 +2,23 @@
 //
 // One snapshot per allocation interval (10 s default). Prices are stored
 // as dollars per second per (cycles/second) — the "price per unit of CPU"
-// the paper plots — in a bounded ring buffer with helpers to extract
-// windows for the prediction models.
+// the paper plots — in a bounded buffer with helpers to extract windows
+// for the prediction models.
+//
+// Memory is bounded two ways: a hard capacity (point count) and an
+// optional retention horizon (observations older than the longest
+// prediction window are evicted as new ones arrive). With a durable
+// store attached every observation is journaled, so a restarted host
+// warm-starts its forecasters from the replayed window instead of
+// rebuilding statistics from nothing.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "store/store.hpp"
 
 namespace gm::market {
 
@@ -18,7 +27,7 @@ struct PricePoint {
   double price = 0.0;  // $/s per cycles/s
 };
 
-class PriceHistory {
+class PriceHistory : public store::Recoverable {
  public:
   explicit PriceHistory(std::size_t capacity = 1 << 16);
 
@@ -43,11 +52,33 @@ class PriceHistory {
   std::vector<double> WindowPrices(sim::SimTime now,
                                    sim::SimDuration window) const;
 
+  /// Evict observations older than `horizon` behind the newest one as new
+  /// points arrive; a point exactly `horizon` old is retained (windows are
+  /// closed intervals). 0 disables time-based eviction.
+  void SetRetention(sim::SimDuration horizon);
+  sim::SimDuration retention() const { return retention_; }
+
+  // -- durability --
+  /// Journal every subsequent Record into `s` (non-owning; nullptr
+  /// detaches).
+  void AttachStore(store::DurableStore* s) { store_ = s; }
+  /// Drop in-memory points and rebuild from the attached store.
+  Result<store::RecoveryStats> RecoverFromStore();
+  /// Crash simulation: lose the in-memory window (the store survives).
+  void Clear() { points_.clear(); }
+
+  // store::Recoverable:
+  Status ApplyRecord(const Bytes& record) override;
+  void WriteSnapshot(net::Writer& writer) const override;
+  Status LoadSnapshot(net::Reader& reader) override;
+
  private:
+  void Push(sim::SimTime at, double price);
+
   std::size_t capacity_;
-  std::size_t start_ = 0;  // ring start
-  std::vector<PricePoint> points_;  // logical order via start_
-  std::size_t Index(std::size_t i) const;
+  sim::SimDuration retention_ = 0;
+  std::deque<PricePoint> points_;
+  store::DurableStore* store_ = nullptr;  // non-owning
 };
 
 }  // namespace gm::market

@@ -3,6 +3,17 @@
 #include <algorithm>
 
 namespace gm::market {
+namespace {
+
+// Journal record kinds for the SLS directory.
+enum SlsRecordKind : std::uint8_t {
+  kSlsPublish = 1,
+  kSlsRemove = 2,
+};
+
+constexpr std::uint64_t kSlsSnapshotVersion = 1;
+
+}  // namespace
 
 ServiceLocationService::ServiceLocationService(sim::Kernel& kernel,
                                                sim::SimDuration record_ttl)
@@ -16,12 +27,30 @@ bool ServiceLocationService::Expired(const HostRecord& record) const {
 
 void ServiceLocationService::Publish(HostRecord record) {
   record.updated_at = kernel_.now();
+  if (store_ != nullptr) {
+    net::Writer journal;
+    journal.WriteU8(kSlsPublish);
+    WriteHostRecord(journal, record);
+    const Status appended = store_->Append(journal.data());
+    GM_ASSERT(appended.ok(), "SLS: journal append failed");
+  }
   records_[record.host_id] = std::move(record);
+  // Checkpoint after the apply so the snapshot contains the record it
+  // claims to cover.
+  if (store_ != nullptr) (void)store_->MaybeSnapshot(*this);
 }
 
 Status ServiceLocationService::Remove(const std::string& host_id) {
-  if (records_.erase(host_id) == 0)
+  if (records_.find(host_id) == records_.end())
     return Status::NotFound("host record: " + host_id);
+  if (store_ != nullptr) {
+    net::Writer journal;
+    journal.WriteU8(kSlsRemove);
+    journal.WriteString(host_id);
+    GM_RETURN_IF_ERROR(store_->Append(journal.data()));
+  }
+  records_.erase(host_id);
+  if (store_ != nullptr) (void)store_->MaybeSnapshot(*this);
   return Status::Ok();
 }
 
@@ -63,6 +92,67 @@ std::size_t ServiceLocationService::live_count() const {
     if (!Expired(record)) ++count;
   }
   return count;
+}
+
+// ---------------------------------------------------------------------
+// Durability
+
+Result<store::RecoveryStats> ServiceLocationService::RecoverFromStore() {
+  if (store_ == nullptr)
+    return Status::FailedPrecondition("no store attached");
+  records_.clear();
+  GM_ASSIGN_OR_RETURN(const store::RecoveryStats stats,
+                      store_->Recover(*this));
+  // Liveness re-validation: replay restores registrations with their
+  // original heartbeat timestamps; anything past its TTL now is stale
+  // directory state, not a live host, and must not be offered to agents.
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (Expired(it->second)) {
+      it = records_.erase(it);
+      ++stale_dropped_;
+    } else {
+      ++it;
+    }
+  }
+  return stats;
+}
+
+Status ServiceLocationService::ApplyRecord(const Bytes& record) {
+  net::Reader reader(record);
+  GM_ASSIGN_OR_RETURN(const std::uint8_t kind, reader.ReadU8());
+  switch (kind) {
+    case kSlsPublish: {
+      GM_ASSIGN_OR_RETURN(HostRecord host, ReadHostRecord(reader));
+      records_[host.host_id] = std::move(host);
+      return Status::Ok();
+    }
+    case kSlsRemove: {
+      GM_ASSIGN_OR_RETURN(const std::string host_id, reader.ReadString());
+      records_.erase(host_id);
+      return Status::Ok();
+    }
+    default:
+      return Status::Internal("unknown SLS journal record kind");
+  }
+}
+
+void ServiceLocationService::WriteSnapshot(net::Writer& writer) const {
+  writer.WriteVarint(kSlsSnapshotVersion);
+  writer.WriteVarint(records_.size());
+  for (const auto& [id, record] : records_) WriteHostRecord(writer, record);
+}
+
+Status ServiceLocationService::LoadSnapshot(net::Reader& reader) {
+  GM_ASSIGN_OR_RETURN(const std::uint64_t version, reader.ReadVarint());
+  if (version != kSlsSnapshotVersion)
+    return Status::Internal("unsupported SLS snapshot version");
+  records_.clear();
+  GM_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadVarint());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    GM_ASSIGN_OR_RETURN(HostRecord record, ReadHostRecord(reader));
+    records_[record.host_id] = std::move(record);
+  }
+  return Status::Ok();
 }
 
 SlsPublisher::SlsPublisher(Auctioneer& auctioneer,

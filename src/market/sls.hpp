@@ -17,6 +17,7 @@
 #include "market/auctioneer.hpp"
 #include "net/rpc.hpp"
 #include "sim/kernel.hpp"
+#include "store/store.hpp"
 
 namespace gm::market {
 
@@ -40,7 +41,7 @@ struct HostQuery {
   std::size_t limit = 0;         // 0 = unlimited
 };
 
-class ServiceLocationService {
+class ServiceLocationService : public store::Recoverable {
  public:
   explicit ServiceLocationService(sim::Kernel& kernel,
                                   sim::SimDuration record_ttl = sim::Minutes(5));
@@ -54,12 +55,32 @@ class ServiceLocationService {
   std::vector<HostRecord> Query(const HostQuery& query) const;
   std::size_t live_count() const;
 
+  // -- durability --
+  /// Journal every subsequent Publish/Remove into `s` (non-owning;
+  /// nullptr detaches).
+  void AttachStore(store::DurableStore* s) { store_ = s; }
+  /// Rebuild the directory from the store, then re-validate liveness: a
+  /// replayed host whose heartbeat TTL already lapsed is dropped rather
+  /// than resurrected as a live allocation target.
+  Result<store::RecoveryStats> RecoverFromStore();
+  /// Registrations dropped by liveness re-validation during recovery.
+  std::size_t stale_dropped() const { return stale_dropped_; }
+  /// Crash simulation: lose the in-memory directory (the store survives).
+  void Clear() { records_.clear(); }
+
+  // store::Recoverable:
+  Status ApplyRecord(const Bytes& record) override;
+  void WriteSnapshot(net::Writer& writer) const override;
+  Status LoadSnapshot(net::Reader& reader) override;
+
  private:
   bool Expired(const HostRecord& record) const;
 
   sim::Kernel& kernel_;
   sim::SimDuration ttl_;
   std::map<std::string, HostRecord> records_;
+  store::DurableStore* store_ = nullptr;  // non-owning
+  std::size_t stale_dropped_ = 0;
 };
 
 /// Publishes an auctioneer's state to the SLS on a heartbeat timer.

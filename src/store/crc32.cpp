@@ -1,0 +1,32 @@
+#include "store/crc32.hpp"
+
+#include <array>
+
+namespace gm::store {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = BuildTable();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gm::store

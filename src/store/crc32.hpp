@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Guards every write-ahead-log record and snapshot payload against
+// bit rot and torn writes. Table-driven, one byte per step: fast enough
+// that WAL appends stay I/O-bound, with no hardware dependencies.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.hpp"
+
+namespace gm::store {
+
+/// Incremental CRC-32: pass the previous return value as `seed` to
+/// checksum data arriving in chunks. Start with seed = 0.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32(const Bytes& data, std::uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace gm::store

@@ -1,0 +1,46 @@
+// The durability contract between stateful services and the store.
+//
+// A component that wants its state to survive a crash implements
+// Recoverable and journals one record per logical mutation into a
+// DurableStore. Recovery is snapshot + log tail:
+//   1. LoadSnapshot() restores the most recent checkpoint, then
+//   2. ApplyRecord() replays every journaled mutation after it, in the
+//      exact order it was appended.
+// Replay must be deterministic: the same snapshot and record sequence
+// must always rebuild byte-identical state (the property tests hash the
+// recovered ledger to enforce this for the bank).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/serialize.hpp"
+
+namespace gm::store {
+
+class Recoverable {
+ public:
+  virtual ~Recoverable() = default;
+
+  /// Re-apply one journaled mutation. Must NOT journal again.
+  virtual Status ApplyRecord(const Bytes& record) = 0;
+
+  /// Serialize the full current state as a checkpoint.
+  virtual void WriteSnapshot(net::Writer& writer) const = 0;
+
+  /// Replace the current state with a previously written checkpoint.
+  virtual Status LoadSnapshot(net::Reader& reader) = 0;
+};
+
+/// What a recovery pass found and did; surfaced in grid/monitor.
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_seq = 0;       // last record covered by snapshot
+  std::uint64_t replayed_records = 0;   // log records applied after it
+  std::uint64_t skipped_duplicates = 0; // stale seqs (duplicate segments)
+  std::uint64_t truncated_bytes = 0;    // torn/corrupt tail dropped
+  std::uint64_t segments_scanned = 0;
+};
+
+}  // namespace gm::store

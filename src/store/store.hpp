@@ -1,0 +1,85 @@
+// DurableStore: the durability engine one stateful service plugs into.
+//
+// Combines a write-ahead log with a snapshot/compaction engine:
+//   - Append() journals one logical mutation (the service encodes it);
+//   - WriteSnapshot() checkpoints the full Recoverable state, then
+//     compacts: older segments and snapshots become redundant and are
+//     deleted;
+//   - Recover() rebuilds state as snapshot + log tail. A corrupt newest
+//     snapshot falls back to the previous one; a corrupt log tail is
+//     truncated to the last valid record. Recovery never crashes on bad
+//     bytes — it restores the longest consistent prefix.
+//
+// Snapshot file layout (snap-<last-seq, 20 digits>.snap):
+//   8 bytes magic "GMSNAP01"
+//   u64   last record sequence the snapshot covers
+//   u32   payload length
+//   u32   CRC-32 of the payload
+//   ...   payload (component-defined, via net::Writer)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "store/recoverable.hpp"
+#include "store/wal.hpp"
+
+namespace gm::store {
+
+/// Lifetime counters for one store, rendered by grid/monitor.
+struct StoreStats {
+  std::uint64_t appended_records = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t recoveries = 0;            // Recover() calls
+  std::uint64_t snapshots_loaded = 0;      // recoveries that found a snapshot
+  std::uint64_t replayed_records = 0;      // cumulative across recoveries
+  std::uint64_t skipped_duplicates = 0;    // stale seqs (duplicate segments)
+  std::uint64_t truncated_bytes = 0;       // corrupt tail bytes dropped
+};
+
+struct StoreOptions {
+  std::size_t segment_max_bytes = 1 << 20;
+  /// Auto-checkpoint after this many appends (0 = only explicit
+  /// WriteSnapshot calls).
+  std::uint64_t snapshot_every_records = 0;
+};
+
+class DurableStore {
+ public:
+  static Result<std::unique_ptr<DurableStore>> Open(std::string dir,
+                                                    StoreOptions options = {});
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Journal one mutation record.
+  Status Append(const Bytes& record);
+
+  /// Checkpoint `state` and compact the log behind it.
+  Status WriteSnapshot(const Recoverable& state);
+
+  /// Checkpoint only if `snapshot_every_records` appends have accumulated
+  /// since the last snapshot. Call after mutations on the hot path.
+  Status MaybeSnapshot(const Recoverable& state);
+
+  /// Restore `state` from the newest valid snapshot plus the log tail.
+  /// `state` must be freshly reset (recovery applies on top of it).
+  Result<RecoveryStats> Recover(Recoverable& state);
+
+  const StoreStats& stats() const { return stats_; }
+  const std::string& dir() const { return wal_->dir(); }
+  WriteAheadLog& wal() { return *wal_; }
+
+ private:
+  DurableStore(std::unique_ptr<WriteAheadLog> wal, StoreOptions options);
+
+  std::unique_ptr<WriteAheadLog> wal_;
+  StoreOptions options_;
+  StoreStats stats_;
+  std::uint64_t appends_since_snapshot_ = 0;
+};
+
+}  // namespace gm::store

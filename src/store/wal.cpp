@@ -1,0 +1,256 @@
+#include "store/wal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.hpp"
+#include "store/crc32.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gm::store {
+namespace {
+
+constexpr char kSegmentMagic[8] = {'G', 'M', 'W', 'A', 'L', '0', '0', '1'};
+constexpr std::size_t kMagicBytes = sizeof(kSegmentMagic);
+constexpr std::size_t kRecordHeaderBytes = 4 + 4 + 8;  // len + crc + seq
+// Sanity cap: a corrupted length field must not trigger a giant
+// allocation; anything larger is treated as tail corruption.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 26;
+
+void PutU32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void PutU64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// CRC over the (seq || payload) pair exactly as laid out on disk.
+std::uint32_t RecordCrc(std::uint64_t seq, const std::uint8_t* payload,
+                        std::size_t size) {
+  Bytes seq_bytes;
+  PutU64(seq_bytes, seq);
+  return Crc32(payload, size, Crc32(seq_bytes));
+}
+
+Result<Bytes> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::Unavailable("cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Unavailable("read failed: " + path);
+  return data;
+}
+
+struct SegmentScan {
+  bool header_ok = false;
+  std::uint64_t records = 0;
+  std::uint64_t last_seq = 0;        // highest seq seen in this segment
+  std::uint64_t valid_bytes = 0;     // end offset of the last valid record
+  std::uint64_t truncated_bytes = 0; // corrupt/torn tail after it
+};
+
+/// Walk one segment, calling `visit` (may be null) for every record that
+/// passes the checksum. Stops at the first torn or corrupt record.
+Result<SegmentScan> ScanSegment(
+    const std::string& path,
+    const std::function<Status(std::uint64_t seq, const Bytes& payload)>&
+        visit) {
+  GM_ASSIGN_OR_RETURN(const Bytes data, ReadFile(path));
+  SegmentScan scan;
+  if (data.size() < kMagicBytes ||
+      !std::equal(kSegmentMagic, kSegmentMagic + kMagicBytes, data.begin())) {
+    scan.truncated_bytes = data.size();
+    return scan;
+  }
+  scan.header_ok = true;
+  scan.valid_bytes = kMagicBytes;
+  std::size_t pos = kMagicBytes;
+  Bytes payload;
+  while (pos < data.size()) {
+    if (data.size() - pos < kRecordHeaderBytes) break;  // torn header
+    const std::uint32_t length = GetU32(&data[pos]);
+    const std::uint32_t crc = GetU32(&data[pos + 4]);
+    const std::uint64_t seq = GetU64(&data[pos + 8]);
+    if (length > kMaxRecordBytes) break;  // corrupt length field
+    if (data.size() - pos - kRecordHeaderBytes < length) break;  // torn body
+    const std::uint8_t* body = &data[pos + kRecordHeaderBytes];
+    if (RecordCrc(seq, body, length) != crc) break;  // flipped bits
+    if (visit) {
+      payload.assign(body, body + length);
+      GM_RETURN_IF_ERROR(visit(seq, payload));
+    }
+    ++scan.records;
+    scan.last_seq = std::max(scan.last_seq, seq);
+    pos += kRecordHeaderBytes + length;
+    scan.valid_bytes = pos;
+  }
+  scan.truncated_bytes = data.size() - scan.valid_bytes;
+  return scan;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+WriteAheadLog::~WriteAheadLog() = default;
+
+std::string WriteAheadLog::SegmentName(std::uint64_t first_seq) const {
+  return StrFormat("wal-%020llu.log",
+                   static_cast<unsigned long long>(first_seq));
+}
+
+std::vector<std::string> WriteAheadLog::SegmentFiles() const {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 && name.size() > 8 &&
+        name.substr(name.size() - 4) == ".log") {
+      files.push_back(name);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    std::string dir, WalOptions options) {
+  if (dir.empty()) return Status::InvalidArgument("empty WAL directory");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    return Status::Unavailable("cannot create WAL dir " + dir + ": " +
+                               ec.message());
+  auto wal = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(std::move(dir), options));
+
+  const std::vector<std::string> files = wal->SegmentFiles();
+  std::uint64_t max_seq = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string path = wal->dir_ + "/" + files[i];
+    GM_ASSIGN_OR_RETURN(const SegmentScan scan, ScanSegment(path, nullptr));
+    max_seq = std::max(max_seq, scan.last_seq);
+    const bool last = i + 1 == files.size();
+    if (last && scan.truncated_bytes > 0) {
+      // Torn or corrupt tail in the segment we would append to: truncate
+      // back to the last valid record so new records land on solid ground.
+      wal->open_truncated_bytes_ += scan.truncated_bytes;
+      fs::resize_file(path, scan.valid_bytes, ec);
+      if (ec)
+        return Status::Unavailable("cannot truncate " + path + ": " +
+                                   ec.message());
+    }
+    if (last && scan.header_ok) {
+      wal->active_segment_ = files[i];
+      wal->active_size_ = scan.valid_bytes;
+    }
+  }
+  wal->next_seq_ = max_seq + 1;
+  return wal;
+}
+
+Status WriteAheadLog::OpenActiveSegment(bool create) {
+  const std::string path = dir_ + "/" + active_segment_;
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::binary |
+                      (create ? std::ios::trunc : std::ios::app));
+  if (!out_.is_open())
+    return Status::Unavailable("cannot open segment " + path);
+  if (create) {
+    out_.write(kSegmentMagic, kMagicBytes);
+    out_.flush();
+    if (!out_.good())
+      return Status::Unavailable("cannot write segment header " + path);
+    active_size_ = kMagicBytes;
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Rotate() {
+  active_segment_ = SegmentName(next_seq_);
+  return OpenActiveSegment(/*create=*/true);
+}
+
+Status WriteAheadLog::Append(const Bytes& payload) {
+  if (payload.size() > kMaxRecordBytes)
+    return Status::InvalidArgument("record exceeds max WAL record size");
+  if (active_segment_.empty() || active_size_ >= options_.segment_max_bytes) {
+    GM_RETURN_IF_ERROR(Rotate());
+  } else if (!out_.is_open()) {
+    GM_RETURN_IF_ERROR(OpenActiveSegment(/*create=*/false));
+  }
+
+  Bytes frame;
+  frame.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(frame, static_cast<std::uint32_t>(payload.size()));
+  PutU32(frame, RecordCrc(next_seq_, payload.data(), payload.size()));
+  PutU64(frame, next_seq_);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_.good())
+    return Status::Unavailable("append failed: " + dir_ + "/" +
+                               active_segment_);
+  active_size_ += frame.size();
+  ++next_seq_;
+  return Status::Ok();
+}
+
+Result<RecoveryStats> WriteAheadLog::Replay(
+    std::uint64_t after_seq,
+    const std::function<Status(std::uint64_t seq, const Bytes& payload)>&
+        apply) const {
+  RecoveryStats stats;
+  std::uint64_t last_applied = after_seq;
+  for (const std::string& file : SegmentFiles()) {
+    ++stats.segments_scanned;
+    GM_ASSIGN_OR_RETURN(
+        const SegmentScan scan,
+        ScanSegment(dir_ + "/" + file,
+                    [&](std::uint64_t seq, const Bytes& payload) -> Status {
+                      if (seq <= last_applied) {
+                        ++stats.skipped_duplicates;
+                        return Status::Ok();
+                      }
+                      GM_RETURN_IF_ERROR(apply(seq, payload));
+                      last_applied = seq;
+                      ++stats.replayed_records;
+                      return Status::Ok();
+                    }));
+    stats.truncated_bytes += scan.truncated_bytes;
+  }
+  return stats;
+}
+
+Status WriteAheadLog::DropSegmentsExceptActive() {
+  std::error_code ec;
+  for (const std::string& file : SegmentFiles()) {
+    if (file == active_segment_) continue;
+    fs::remove(dir_ + "/" + file, ec);
+    if (ec)
+      return Status::Unavailable("cannot remove segment " + file + ": " +
+                                 ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace gm::store

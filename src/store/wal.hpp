@@ -1,0 +1,93 @@
+// Checksummed, append-only, segmented write-ahead log.
+//
+// On-disk layout (one directory per logical log):
+//   wal-<first-seq, 20 digits>.log   segment files, ordered by name
+//
+// Each segment starts with an 8-byte magic ("GMWAL001") followed by
+// length-prefixed records:
+//   u32  payload length (little endian)
+//   u32  CRC-32 over (seq bytes || payload)
+//   u64  record sequence number (little endian, strictly increasing)
+//   ...  payload bytes
+//
+// The sequence number makes replay idempotent: a duplicated segment
+// (operator copied a file, backup restored twice) replays records whose
+// seq was already applied and they are skipped, not double-applied.
+//
+// Torn-write policy: a scan stops at the first record whose header is
+// incomplete, whose payload is cut short, or whose checksum mismatches,
+// and truncates the segment back to the last valid record — recovery
+// never crashes on a corrupt tail, it recovers the longest valid prefix.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "store/recoverable.hpp"
+
+namespace gm::store {
+
+struct WalOptions {
+  /// Rotate to a fresh segment once the active one exceeds this size.
+  std::size_t segment_max_bytes = 1 << 20;
+};
+
+class WriteAheadLog {
+ public:
+  /// Open (or create) the log in `dir`, scan existing segments, truncate
+  /// any corrupt tail, and position the append cursor after the last
+  /// valid record.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(std::string dir,
+                                                     WalOptions options = {});
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Append one record; assigns the next sequence number.
+  Status Append(const Bytes& payload);
+
+  /// Replay every record with seq > `after_seq` in append order.
+  /// Duplicate sequence numbers are skipped; corrupt tails are counted in
+  /// the returned stats. `apply` failures abort the replay.
+  Result<RecoveryStats> Replay(
+      std::uint64_t after_seq,
+      const std::function<Status(std::uint64_t seq, const Bytes& payload)>&
+          apply) const;
+
+  /// Close the active segment and start a new one at the current seq.
+  Status Rotate();
+
+  /// Delete every segment except the active one (compaction after a
+  /// snapshot has made the older segments redundant).
+  Status DropSegmentsExceptActive();
+
+  /// Sequence number the next Append will use (== 1 + last durable seq).
+  std::uint64_t next_seq() const { return next_seq_; }
+  const std::string& dir() const { return dir_; }
+  /// Sorted segment file names (relative to dir).
+  std::vector<std::string> SegmentFiles() const;
+  /// Bytes dropped from corrupt tails during Open.
+  std::uint64_t open_truncated_bytes() const { return open_truncated_bytes_; }
+
+ private:
+  WriteAheadLog(std::string dir, WalOptions options);
+
+  Status OpenActiveSegment(bool create);
+  std::string SegmentName(std::uint64_t first_seq) const;
+
+  std::string dir_;
+  WalOptions options_;
+  std::uint64_t next_seq_ = 1;
+  std::string active_segment_;       // file name, empty until first append
+  std::size_t active_size_ = 0;      // bytes in the active segment
+  std::ofstream out_;                // persistent append stream
+  std::uint64_t open_truncated_bytes_ = 0;
+};
+
+}  // namespace gm::store

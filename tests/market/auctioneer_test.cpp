@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 namespace gm::market {
 namespace {
 
@@ -191,6 +193,46 @@ TEST_F(AuctioneerTest, WorkCompletionDuringTicks) {
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(10));
   EXPECT_EQ(completed_at, sim::Seconds(2.5));
+}
+
+TEST_F(AuctioneerTest, CrashedHostWarmStartsForecasterWindowFromJournal) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / "gm_auct_warm";
+  std::filesystem::remove_all(dir);
+  auto store = store::DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  auctioneer_.AttachStore(store->get());
+
+  Join("alice", DollarsToMicros(100), 1000, sim::Hours(2));
+  auctioneer_.Start();
+  kernel_.RunUntil(sim::Minutes(30));
+  const std::size_t points_before = auctioneer_.history().size();
+  ASSERT_GT(points_before, 0u);
+  const auto moments_before = auctioneer_.Moments("hour");
+  ASSERT_TRUE(moments_before.ok());
+  const double mean_before = (*moments_before)->mean();
+  ASSERT_GT(mean_before, 0.0);
+
+  // Crash: the in-memory window and the window statistics built from it
+  // are gone.
+  auctioneer_.CrashStorageState();
+  EXPECT_TRUE(auctioneer_.history().empty());
+  EXPECT_DOUBLE_EQ((*auctioneer_.Moments("hour"))->mean(), 0.0);
+
+  // Restart: the journal replays the window, and re-feeding it into the
+  // statistics warm-starts the forecasters at their pre-crash view.
+  auto stats = auctioneer_.RecoverHistory();
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_EQ(auctioneer_.history().size(), points_before);
+  const auto moments_after = auctioneer_.Moments("hour");
+  ASSERT_TRUE(moments_after.ok());
+  EXPECT_DOUBLE_EQ((*moments_after)->mean(), mean_before);
+}
+
+TEST_F(AuctioneerTest, HistoryRetentionDefaultsToLongestWindow) {
+  // With no explicit override, the retention horizon must cover the
+  // longest prediction window ("week") so warm-started statistics see a
+  // full window.
+  EXPECT_GE(auctioneer_.history().retention(), 7 * sim::kDay);
 }
 
 }  // namespace

@@ -2,10 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 namespace gm::market {
 namespace {
 
+namespace fs = std::filesystem;
+
 using sim::Seconds;
+
+fs::path FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("gm_ph_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
 
 TEST(PriceHistoryTest, RecordsInOrder) {
   PriceHistory history;
@@ -98,6 +108,121 @@ TEST(PriceHistoryTest, EmptyQueries) {
   EXPECT_TRUE(history.empty());
   EXPECT_TRUE(history.PricesBetween(0, 100).empty());
   EXPECT_TRUE(history.LastPrices(5).empty());
+}
+
+TEST(PriceHistoryTest, RetentionEvictsOnlyOlderThanHorizon) {
+  PriceHistory history;
+  history.SetRetention(Seconds(30));
+  for (int i = 0; i <= 10; ++i)
+    history.Record(Seconds(i * 10), static_cast<double>(i));
+  // Newest is t=100; the horizon keeps the closed window [70, 100].
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history.at(0).at, Seconds(70));
+  EXPECT_EQ(history.back().at, Seconds(100));
+}
+
+TEST(PriceHistoryTest, RetentionBoundaryIsClosed) {
+  // A point exactly `horizon` old must survive: prediction windows are
+  // closed intervals, so evicting it would shorten the oldest window by
+  // one sample.
+  PriceHistory history;
+  history.SetRetention(Seconds(10));
+  history.Record(Seconds(10), 1.0);
+  history.Record(Seconds(20), 2.0);  // t=10 is exactly 10s old: retained
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history.at(0).at, Seconds(10));
+  history.Record(Seconds(20) + 1, 3.0);  // now 10s + 1us old: evicted
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history.at(0).at, Seconds(20));
+}
+
+TEST(PriceHistoryTest, RetentionZeroDisablesTimeEviction) {
+  PriceHistory history;
+  for (int i = 0; i < 100; ++i)
+    history.Record(sim::Hours(i), static_cast<double>(i));
+  EXPECT_EQ(history.size(), 100u);
+}
+
+TEST(PriceHistoryTest, SetRetentionAppliesOnNextRecord) {
+  PriceHistory history;
+  for (int i = 0; i < 10; ++i)
+    history.Record(Seconds(i), static_cast<double>(i));
+  history.SetRetention(Seconds(2));
+  history.Record(Seconds(10), 10.0);
+  // Closed window [8, 10] survives.
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.at(0).at, Seconds(8));
+}
+
+TEST(PriceHistoryTest, CapacityAndRetentionCompose) {
+  PriceHistory history(3);  // capacity tighter than the horizon
+  history.SetRetention(Seconds(100));
+  for (int i = 0; i < 8; ++i)
+    history.Record(Seconds(i), static_cast<double>(i));
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.at(0).at, Seconds(5));
+}
+
+TEST(PriceHistoryTest, JournalAndRecoverRoundTrip) {
+  const fs::path dir = FreshDir("roundtrip");
+  auto store = store::DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  PriceHistory history;
+  history.AttachStore(store->get());
+  for (int i = 0; i < 5; ++i)
+    history.Record(Seconds(i * 10), 0.5 + i);
+
+  PriceHistory recovered;
+  recovered.AttachStore(store->get());
+  auto stats = recovered.RecoverFromStore();
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_EQ(stats->replayed_records, 5u);
+  ASSERT_EQ(recovered.size(), history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(recovered.at(i).at, history.at(i).at);
+    EXPECT_DOUBLE_EQ(recovered.at(i).price, history.at(i).price);
+  }
+}
+
+TEST(PriceHistoryTest, RecoveryRespectsRetention) {
+  const fs::path dir = FreshDir("retention");
+  auto store = store::DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  {
+    PriceHistory history;
+    history.AttachStore(store->get());
+    for (int i = 0; i <= 10; ++i)
+      history.Record(Seconds(i * 10), static_cast<double>(i));
+  }
+  // The journal holds all 11 points, but a bounded reader only keeps the
+  // trailing window.
+  PriceHistory recovered;
+  recovered.SetRetention(Seconds(20));
+  recovered.AttachStore(store->get());
+  ASSERT_TRUE(recovered.RecoverFromStore().ok());
+  ASSERT_EQ(recovered.size(), 3u);  // closed window [80, 100]
+  EXPECT_EQ(recovered.at(0).at, Seconds(80));
+}
+
+TEST(PriceHistoryTest, CrashLosesWindowUntilRecovered) {
+  const fs::path dir = FreshDir("crash");
+  auto store = store::DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  PriceHistory history;
+  history.AttachStore(store->get());
+  history.Record(Seconds(10), 1.25);
+  history.Record(Seconds(20), 2.5);
+  history.Clear();
+  EXPECT_TRUE(history.empty());
+  ASSERT_TRUE(history.RecoverFromStore().ok());
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_DOUBLE_EQ(history.back().price, 2.5);
+  // Journaling continues seamlessly after recovery.
+  history.Record(Seconds(30), 3.75);
+  PriceHistory again;
+  again.AttachStore(store->get());
+  ASSERT_TRUE(again.RecoverFromStore().ok());
+  EXPECT_EQ(again.size(), 3u);
 }
 
 }  // namespace

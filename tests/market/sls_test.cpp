@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <optional>
 
 namespace gm::market {
@@ -139,6 +140,79 @@ TEST(SlsWireTest, HostRecordRoundTrip) {
   EXPECT_EQ(decoded->vm_count, 3u);
   EXPECT_EQ(decoded->max_vms, 15);
   EXPECT_EQ(decoded->updated_at, 999);
+}
+
+
+namespace fs = std::filesystem;
+
+fs::path SlsFreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("gm_sls_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(SlsDurabilityTest, DirectorySurvivesRecovery) {
+  const fs::path dir = SlsFreshDir("survive");
+  auto store = store::DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  sim::Kernel kernel;
+  {
+    ServiceLocationService sls(kernel);
+    sls.AttachStore(store->get());
+    sls.Publish(MakeRecord("h1", 0.5));
+    sls.Publish(MakeRecord("h2", 0.1));
+    ASSERT_TRUE(sls.Remove("h1").ok());
+  }
+  ServiceLocationService recovered(kernel);
+  recovered.AttachStore(store->get());
+  auto stats = recovered.RecoverFromStore();
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_EQ(stats->replayed_records, 3u);
+  EXPECT_EQ(recovered.live_count(), 1u);
+  EXPECT_FALSE(recovered.Lookup("h1").ok());
+  EXPECT_DOUBLE_EQ(recovered.Lookup("h2")->price_per_capacity, 0.1);
+}
+
+TEST(SlsDurabilityTest, RecoveryRevalidatesLiveness) {
+  const fs::path dir = SlsFreshDir("liveness");
+  auto store = store::DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  sim::Kernel kernel;
+  ServiceLocationService sls(kernel, sim::Minutes(5));
+  sls.AttachStore(store->get());
+  sls.Publish(MakeRecord("stale-host", 0.5));  // heartbeat at t=0
+  kernel.RunUntil(sim::Minutes(10));
+  sls.Publish(MakeRecord("fresh-host", 0.2));  // heartbeat at t=10min
+
+  // The host directory a recovering SLS replays contains both
+  // registrations, but stale-host's TTL lapsed while it was down: it
+  // must not be resurrected as a live allocation target.
+  ServiceLocationService recovered(kernel, sim::Minutes(5));
+  recovered.AttachStore(store->get());
+  ASSERT_TRUE(recovered.RecoverFromStore().ok());
+  EXPECT_EQ(recovered.stale_dropped(), 1u);
+  EXPECT_FALSE(recovered.Lookup("stale-host").ok());
+  EXPECT_TRUE(recovered.Lookup("fresh-host").ok());
+  EXPECT_EQ(recovered.live_count(), 1u);
+}
+
+TEST(SlsDurabilityTest, CrashAndRecoverInPlace) {
+  const fs::path dir = SlsFreshDir("crash");
+  auto store = store::DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  sim::Kernel kernel;
+  ServiceLocationService sls(kernel);
+  sls.AttachStore(store->get());
+  sls.Publish(MakeRecord("h1", 0.4));
+  sls.Clear();  // crash: directory gone
+  EXPECT_EQ(sls.live_count(), 0u);
+  ASSERT_TRUE(sls.RecoverFromStore().ok());
+  EXPECT_EQ(sls.live_count(), 1u);
+  // Journaling continues after recovery; a second recovery sees both.
+  sls.Publish(MakeRecord("h2", 0.6));
+  sls.Clear();
+  ASSERT_TRUE(sls.RecoverFromStore().ok());
+  EXPECT_EQ(sls.live_count(), 2u);
 }
 
 TEST(SlsRpcTest, QueryOverNetwork) {

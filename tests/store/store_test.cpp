@@ -1,0 +1,242 @@
+#include "store/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace gm::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("gm_store_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<fs::path> SnapshotFiles(const fs::path& dir) {
+  std::vector<fs::path> snaps;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".snap") snaps.push_back(entry.path());
+  std::sort(snaps.begin(), snaps.end());
+  return snaps;
+}
+
+// Minimal Recoverable: an append-only register of integers.
+class ToyRegister : public Recoverable {
+ public:
+  Status Add(DurableStore& store, std::int64_t value) {
+    net::Writer writer;
+    writer.WriteI64(value);
+    GM_RETURN_IF_ERROR(store.Append(writer.data()));
+    values_.push_back(value);
+    return store.MaybeSnapshot(*this);
+  }
+
+  Status ApplyRecord(const Bytes& record) override {
+    net::Reader reader(record);
+    GM_ASSIGN_OR_RETURN(const std::int64_t value, reader.ReadI64());
+    values_.push_back(value);
+    return Status::Ok();
+  }
+
+  void WriteSnapshot(net::Writer& writer) const override {
+    writer.WriteVarint(values_.size());
+    for (std::int64_t value : values_) writer.WriteI64(value);
+  }
+
+  Status LoadSnapshot(net::Reader& reader) override {
+    values_.clear();
+    GM_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadVarint());
+    for (std::uint64_t i = 0; i < count; ++i) {
+      GM_ASSIGN_OR_RETURN(const std::int64_t value, reader.ReadI64());
+      values_.push_back(value);
+    }
+    return Status::Ok();
+  }
+
+  const std::vector<std::int64_t>& values() const { return values_; }
+
+ private:
+  std::vector<std::int64_t> values_;
+};
+
+TEST(DurableStoreTest, RecoverOnEmptyDirectoryIsCleanNoop) {
+  const fs::path dir = FreshDir("empty");
+  auto store = DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  ToyRegister state;
+  auto stats = (*store)->Recover(state);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->snapshot_loaded);
+  EXPECT_EQ(stats->replayed_records, 0u);
+  EXPECT_TRUE(state.values().empty());
+}
+
+TEST(DurableStoreTest, LogOnlyRecovery) {
+  const fs::path dir = FreshDir("logonly");
+  {
+    auto store = DurableStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    ToyRegister state;
+    for (std::int64_t v : {10, -20, 30}) ASSERT_TRUE(state.Add(**store, v).ok());
+  }
+  auto store = DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  ToyRegister recovered;
+  auto stats = (*store)->Recover(recovered);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->snapshot_loaded);
+  EXPECT_EQ(stats->replayed_records, 3u);
+  EXPECT_EQ(recovered.values(), (std::vector<std::int64_t>{10, -20, 30}));
+}
+
+TEST(DurableStoreTest, SnapshotPlusLogTailRecovery) {
+  const fs::path dir = FreshDir("snaptail");
+  {
+    auto store = DurableStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    ToyRegister state;
+    for (std::int64_t v : {1, 2, 3, 4, 5}) ASSERT_TRUE(state.Add(**store, v).ok());
+    ASSERT_TRUE((*store)->WriteSnapshot(state).ok());
+    for (std::int64_t v : {6, 7, 8}) ASSERT_TRUE(state.Add(**store, v).ok());
+  }
+  auto store = DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  ToyRegister recovered;
+  auto stats = (*store)->Recover(recovered);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->snapshot_loaded);
+  EXPECT_EQ(stats->snapshot_seq, 5u);
+  EXPECT_EQ(stats->replayed_records, 3u);
+  EXPECT_EQ(recovered.values(),
+            (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(DurableStoreTest, SnapshotCompactsSegmentsAndOlderSnapshots) {
+  const fs::path dir = FreshDir("compact");
+  StoreOptions options;
+  options.segment_max_bytes = 32;  // many tiny segments
+  auto store = DurableStore::Open(dir.string(), options);
+  ASSERT_TRUE(store.ok());
+  ToyRegister state;
+  for (std::int64_t v = 0; v < 16; ++v) ASSERT_TRUE(state.Add(**store, v).ok());
+  ASSERT_GT((*store)->wal().SegmentFiles().size(), 1u);
+  ASSERT_TRUE((*store)->WriteSnapshot(state).ok());
+  ASSERT_TRUE((*store)->WriteSnapshot(state).ok());  // supersedes the first
+  EXPECT_EQ((*store)->wal().SegmentFiles().size(), 1u);
+  EXPECT_EQ(SnapshotFiles(dir).size(), 1u);
+  EXPECT_EQ((*store)->stats().snapshots_written, 2u);
+
+  ToyRegister recovered;
+  auto stats = (*store)->Recover(recovered);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->snapshot_loaded);
+  EXPECT_EQ(recovered.values(), state.values());
+}
+
+TEST(DurableStoreTest, MaybeSnapshotHonorsThreshold) {
+  const fs::path dir = FreshDir("threshold");
+  StoreOptions options;
+  options.snapshot_every_records = 4;
+  auto store = DurableStore::Open(dir.string(), options);
+  ASSERT_TRUE(store.ok());
+  ToyRegister state;
+  for (std::int64_t v = 0; v < 3; ++v) ASSERT_TRUE(state.Add(**store, v).ok());
+  EXPECT_EQ((*store)->stats().snapshots_written, 0u);
+  ASSERT_TRUE(state.Add(**store, 3).ok());  // 4th append trips the checkpoint
+  EXPECT_EQ((*store)->stats().snapshots_written, 1u);
+  for (std::int64_t v = 4; v < 8; ++v) ASSERT_TRUE(state.Add(**store, v).ok());
+  EXPECT_EQ((*store)->stats().snapshots_written, 2u);
+}
+
+TEST(DurableStoreTest, CorruptSnapshotFallsBackToOlderOne) {
+  const fs::path dir = FreshDir("fallback");
+  const fs::path stash = FreshDir("fallback_stash");
+  fs::create_directories(stash);
+  {
+    auto store = DurableStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    ToyRegister state;
+    for (std::int64_t v : {1, 2}) ASSERT_TRUE(state.Add(**store, v).ok());
+    ASSERT_TRUE((*store)->WriteSnapshot(state).ok());
+    // Stash the first snapshot before the next one deletes it.
+    auto snaps = SnapshotFiles(dir);
+    ASSERT_EQ(snaps.size(), 1u);
+    fs::copy_file(snaps[0], stash / snaps[0].filename());
+    for (std::int64_t v : {3, 4}) ASSERT_TRUE(state.Add(**store, v).ok());
+    ASSERT_TRUE((*store)->WriteSnapshot(state).ok());
+  }
+  // Restore the old snapshot and corrupt the newest one's payload.
+  for (const auto& entry : fs::directory_iterator(stash))
+    fs::copy_file(entry.path(), dir / entry.path().filename());
+  auto snaps = SnapshotFiles(dir);
+  ASSERT_EQ(snaps.size(), 2u);
+  {
+    const fs::path newest = snaps.back();
+    const auto size = fs::file_size(newest);
+    std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(size - 1));
+    const char junk = 0x5A;
+    f.write(&junk, 1);
+  }
+
+  auto store = DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  ToyRegister recovered;
+  auto stats = (*store)->Recover(recovered);
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_TRUE(stats->snapshot_loaded);
+  EXPECT_EQ(stats->snapshot_seq, 2u);
+  // Records 3/4 were compacted away behind the (now corrupt) newest
+  // snapshot; recovery restores the longest consistent prefix.
+  EXPECT_EQ(recovered.values(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(DurableStoreTest, RecoveryIsDeterministic) {
+  const fs::path dir = FreshDir("determinism");
+  {
+    auto store = DurableStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    ToyRegister state;
+    for (std::int64_t v = 0; v < 50; ++v)
+      ASSERT_TRUE(state.Add(**store, v * 7 - 3).ok());
+    ASSERT_TRUE((*store)->WriteSnapshot(state).ok());
+    for (std::int64_t v = 0; v < 9; ++v)
+      ASSERT_TRUE(state.Add(**store, -v).ok());
+  }
+  std::vector<std::int64_t> first;
+  for (int round = 0; round < 3; ++round) {
+    auto store = DurableStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    ToyRegister recovered;
+    ASSERT_TRUE((*store)->Recover(recovered).ok());
+    if (round == 0) {
+      first = recovered.values();
+      ASSERT_EQ(first.size(), 59u);
+    } else {
+      EXPECT_EQ(recovered.values(), first);
+    }
+  }
+}
+
+TEST(DurableStoreTest, StatsAccumulate) {
+  const fs::path dir = FreshDir("stats");
+  auto store = DurableStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  ToyRegister state;
+  for (std::int64_t v : {5, 6}) ASSERT_TRUE(state.Add(**store, v).ok());
+  const StoreStats& stats = (*store)->stats();
+  EXPECT_EQ(stats.appended_records, 2u);
+  EXPECT_GT(stats.appended_bytes, 0u);
+  ToyRegister recovered;
+  ASSERT_TRUE((*store)->Recover(recovered).ok());
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.replayed_records, 2u);
+}
+
+}  // namespace
+}  // namespace gm::store

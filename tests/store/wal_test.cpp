@@ -1,0 +1,281 @@
+#include "store/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "store/crc32.hpp"
+
+namespace gm::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("gm_wal_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+Bytes Payload(const std::string& text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::vector<std::string> ReplayAll(WriteAheadLog& wal,
+                                   RecoveryStats* stats_out = nullptr) {
+  std::vector<std::string> seen;
+  auto stats = wal.Replay(0, [&](std::uint64_t, const Bytes& payload) {
+    seen.emplace_back(payload.begin(), payload.end());
+    return Status::Ok();
+  });
+  EXPECT_TRUE(stats.ok()) << stats.status().message();
+  if (stats_out != nullptr && stats.ok()) *stats_out = *stats;
+  return seen;
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(check.data()),
+                  check.size()),
+            0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const Bytes data = Payload("hello, write-ahead world");
+  const std::uint32_t one_shot = Crc32(data);
+  const std::uint32_t first = Crc32(data.data(), 5);
+  const std::uint32_t chained = Crc32(data.data() + 5, data.size() - 5, first);
+  EXPECT_EQ(chained, one_shot);
+}
+
+TEST(WalTest, EmptyDirectoryRecoversCleanly) {
+  const fs::path dir = FreshDir("empty");
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok()) << wal.status().message();
+  RecoveryStats stats;
+  EXPECT_TRUE(ReplayAll(**wal, &stats).empty());
+  EXPECT_EQ(stats.replayed_records, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  EXPECT_EQ((*wal)->next_seq(), 1u);
+  // The empty log is immediately usable.
+  EXPECT_TRUE((*wal)->Append(Payload("first")).ok());
+}
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  const fs::path dir = FreshDir("roundtrip");
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(Payload("alpha")).ok());
+  ASSERT_TRUE((*wal)->Append(Payload("beta")).ok());
+  ASSERT_TRUE((*wal)->Append(Payload("gamma")).ok());
+
+  std::vector<std::uint64_t> seqs;
+  std::vector<std::string> seen;
+  auto stats = (*wal)->Replay(0, [&](std::uint64_t seq, const Bytes& payload) {
+    seqs.push_back(seq);
+    seen.emplace_back(payload.begin(), payload.end());
+    return Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(stats->replayed_records, 3u);
+}
+
+TEST(WalTest, SequenceContinuesAcrossReopen) {
+  const fs::path dir = FreshDir("reopen");
+  {
+    auto wal = WriteAheadLog::Open(dir.string());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Payload("one")).ok());
+    ASSERT_TRUE((*wal)->Append(Payload("two")).ok());
+  }
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_seq(), 3u);
+  ASSERT_TRUE((*wal)->Append(Payload("three")).ok());
+  EXPECT_EQ(ReplayAll(**wal),
+            (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(WalTest, ReplayAfterSeqSkipsPrefix) {
+  const fs::path dir = FreshDir("after");
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok());
+  for (const char* p : {"a", "b", "c", "d"})
+    ASSERT_TRUE((*wal)->Append(Payload(p)).ok());
+  std::vector<std::string> seen;
+  auto stats = (*wal)->Replay(2, [&](std::uint64_t, const Bytes& payload) {
+    seen.emplace_back(payload.begin(), payload.end());
+    return Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(stats->skipped_duplicates, 2u);
+}
+
+TEST(WalTest, TruncatedFinalRecordIsDroppedNotFatal) {
+  const fs::path dir = FreshDir("torn");
+  std::string segment;
+  {
+    auto wal = WriteAheadLog::Open(dir.string());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Payload("intact-record-1")).ok());
+    ASSERT_TRUE((*wal)->Append(Payload("intact-record-2")).ok());
+    ASSERT_TRUE((*wal)->Append(Payload("torn-record-3")).ok());
+    ASSERT_EQ((*wal)->SegmentFiles().size(), 1u);
+    segment = (*wal)->SegmentFiles()[0];
+  }
+  // Simulate a crash mid-write: cut 4 bytes out of the final payload.
+  const fs::path file = dir / segment;
+  const auto full = fs::file_size(file);
+  fs::resize_file(file, full - 4);
+
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok()) << wal.status().message();
+  EXPECT_GT((*wal)->open_truncated_bytes(), 0u);
+  EXPECT_EQ(ReplayAll(**wal),
+            (std::vector<std::string>{"intact-record-1", "intact-record-2"}));
+  // The torn seq was never durable, so it is reused.
+  EXPECT_EQ((*wal)->next_seq(), 3u);
+  ASSERT_TRUE((*wal)->Append(Payload("rewritten-3")).ok());
+  EXPECT_EQ(ReplayAll(**wal),
+            (std::vector<std::string>{"intact-record-1", "intact-record-2",
+                                      "rewritten-3"}));
+}
+
+TEST(WalTest, FlippedBitFailsChecksumAndTruncates) {
+  const fs::path dir = FreshDir("bitflip");
+  std::string segment;
+  {
+    auto wal = WriteAheadLog::Open(dir.string());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Payload("good")).ok());
+    ASSERT_TRUE((*wal)->Append(Payload("corrupted-later")).ok());
+    segment = (*wal)->SegmentFiles()[0];
+  }
+  // Flip one bit in the final record's payload (last byte of the file).
+  const fs::path file = dir / segment;
+  const auto size = fs::file_size(file);
+  {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(size - 1));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(size - 1));
+    f.write(&byte, 1);
+  }
+
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok()) << wal.status().message();
+  EXPECT_GT((*wal)->open_truncated_bytes(), 0u);
+  EXPECT_EQ(ReplayAll(**wal), (std::vector<std::string>{"good"}));
+}
+
+TEST(WalTest, GarbageLengthFieldIsTreatedAsTornTail) {
+  const fs::path dir = FreshDir("garbage");
+  std::string segment;
+  {
+    auto wal = WriteAheadLog::Open(dir.string());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Payload("valid")).ok());
+    segment = (*wal)->SegmentFiles()[0];
+  }
+  {
+    // Append a bogus record header claiming a huge payload.
+    std::ofstream f(dir / segment, std::ios::binary | std::ios::app);
+    const std::uint32_t huge = 0xFFFFFFFFu;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+    f.write("junkjunkjunk", 12);
+  }
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok());
+  EXPECT_GT((*wal)->open_truncated_bytes(), 0u);
+  EXPECT_EQ(ReplayAll(**wal), (std::vector<std::string>{"valid"}));
+}
+
+TEST(WalTest, RotationSplitsSegmentsAndReplaysAll) {
+  const fs::path dir = FreshDir("rotate");
+  WalOptions options;
+  options.segment_max_bytes = 64;  // force frequent rotation
+  auto wal = WriteAheadLog::Open(dir.string(), options);
+  ASSERT_TRUE(wal.ok());
+  std::vector<std::string> expected;
+  for (int i = 0; i < 20; ++i) {
+    expected.push_back("record-" + std::to_string(i));
+    ASSERT_TRUE((*wal)->Append(Payload(expected.back())).ok());
+  }
+  EXPECT_GT((*wal)->SegmentFiles().size(), 1u);
+  EXPECT_EQ(ReplayAll(**wal), expected);
+
+  // Reopen still sees every segment.
+  wal = WriteAheadLog::Open(dir.string(), options);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(ReplayAll(**wal), expected);
+}
+
+TEST(WalTest, DuplicateSegmentRecordsAreSkippedOnce) {
+  const fs::path dir = FreshDir("dup");
+  std::vector<std::string> segments;
+  {
+    auto wal = WriteAheadLog::Open(dir.string());
+    ASSERT_TRUE(wal.ok());
+    for (const char* p : {"s1-a", "s1-b", "s1-c"})
+      ASSERT_TRUE((*wal)->Append(Payload(p)).ok());
+    ASSERT_TRUE((*wal)->Rotate().ok());
+    for (const char* p : {"s2-d", "s2-e"})
+      ASSERT_TRUE((*wal)->Append(Payload(p)).ok());
+    segments = (*wal)->SegmentFiles();
+    ASSERT_EQ(segments.size(), 2u);
+  }
+  // An operator restores a backup of the first segment under a name that
+  // sorts after everything else: its records are duplicates.
+  fs::copy_file(dir / segments[0], dir / "wal-00000000000000000099.log");
+
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok());
+  RecoveryStats stats;
+  EXPECT_EQ(ReplayAll(**wal, &stats),
+            (std::vector<std::string>{"s1-a", "s1-b", "s1-c", "s2-d", "s2-e"}));
+  EXPECT_EQ(stats.skipped_duplicates, 3u);
+  EXPECT_EQ(stats.replayed_records, 5u);
+}
+
+TEST(WalTest, DropSegmentsExceptActiveCompacts) {
+  const fs::path dir = FreshDir("drop");
+  WalOptions options;
+  options.segment_max_bytes = 48;
+  auto wal = WriteAheadLog::Open(dir.string(), options);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 12; ++i)
+    ASSERT_TRUE((*wal)->Append(Payload("payload-" + std::to_string(i))).ok());
+  ASSERT_GT((*wal)->SegmentFiles().size(), 1u);
+  ASSERT_TRUE((*wal)->Rotate().ok());
+  ASSERT_TRUE((*wal)->DropSegmentsExceptActive().ok());
+  EXPECT_EQ((*wal)->SegmentFiles().size(), 1u);
+  // Old records are gone; the sequence counter is preserved.
+  EXPECT_TRUE(ReplayAll(**wal).empty());
+  EXPECT_EQ((*wal)->next_seq(), 13u);
+}
+
+TEST(WalTest, ApplyFailureAbortsReplay) {
+  const fs::path dir = FreshDir("abort");
+  auto wal = WriteAheadLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok());
+  for (const char* p : {"ok", "bad", "never-reached"})
+    ASSERT_TRUE((*wal)->Append(Payload(p)).ok());
+  int applied = 0;
+  auto stats = (*wal)->Replay(0, [&](std::uint64_t seq, const Bytes&) {
+    if (seq == 2) return Status::Internal("poisoned record");
+    ++applied;
+    return Status::Ok();
+  });
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(applied, 1);
+}
+
+}  // namespace
+}  // namespace gm::store
