@@ -9,13 +9,21 @@
 // effects apply exactly once), scheduler health probes, job migration
 // with the crashed host's escrow refunded to the job, and durable
 // storage: the bank process is killed mid-experiment and restarted from
-// its journal with a hash-identical ledger. Exits 0 only if the job
-// finishes, the dead host is reported DEAD, the recovered ledger
-// matches, and every micro-dollar is accounted for.
+// its journal with a hash-identical ledger. Telemetry rides along: the
+// job's TraceId links every lifecycle span (submit -> fund-verify -> bid
+// -> stage-in -> execute -> stage-out -> refund) across both crashes,
+// the timeline is printed at the end, and the full registry + trace ring
+// is dumped to telemetry.jsonl. Exits 0 only if the job finishes, the
+// dead host is reported DEAD, the recovered ledger matches, every
+// micro-dollar is accounted for, and the trace chain is complete.
+//
+// Honors GM_LOG_LEVEL (try GM_LOG_LEVEL=info); log lines carry simulated
+// timestamps via the logger prefix hook.
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
+#include "common/log.hpp"
 #include "core/grid_market.hpp"
 
 int main() {
@@ -32,7 +40,15 @@ int main() {
   config.network = net::LatencyModel::Lossy(0.10);
   config.storage.durable = true;
   config.storage.dir = storage_dir;
+  config.telemetry.enabled = true;
+  config.telemetry.trace_capacity = 1 << 16;  // hold a full 24 h of instants
   GridMarket grid(config);
+
+  // GM_LOG_LEVEL=info shows migrations and recovery as they happen, each
+  // line stamped with the simulated clock.
+  Logger::Instance().ApplyEnvLevel();
+  Logger::Instance().set_prefix_hook(
+      [&grid] { return "[t=" + sim::FormatTime(grid.now()) + "] "; });
 
   if (!grid.RegisterUser("alice", 1000.0).ok()) return 1;
 
@@ -110,6 +126,79 @@ int main() {
   std::printf("%s\n", grid.NetMonitor().c_str());
   std::printf("%s", grid.StorageMonitor().c_str());
 
+  // One-job causal timeline: every buffered event carrying this job's
+  // TraceId, in start order. Auction-tick instants are folded into a
+  // count; everything else (lifecycle spans, crashes, the migration) is
+  // printed with its simulated timestamp.
+  const auto events = grid.JobTrace(*job_id);
+  if (!events.ok()) {
+    std::fprintf(stderr, "trace lookup failed: %s\n",
+                 events.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntrace %016llx timeline (job %llu):\n",
+              static_cast<unsigned long long>(record->trace),
+              static_cast<unsigned long long>(*job_id));
+  int ticks = 0;
+  for (const auto& event : *events) {
+    if (event.name == "auction-tick") {
+      ++ticks;
+      continue;
+    }
+    if (event.instant) {
+      std::printf("  %10s  *  %-11s %s\n",
+                  sim::FormatTime(event.start).c_str(), event.name.c_str(),
+                  event.detail.c_str());
+    } else {
+      std::printf("  %10s  |  %-11s %s  (%s after %s, %u attempt%s)\n",
+                  sim::FormatTime(event.start).c_str(), event.name.c_str(),
+                  event.detail.c_str(),
+                  telemetry::SpanStatusName(event.status),
+                  sim::FormatTime(event.Duration()).c_str(), event.attempts,
+                  event.attempts == 1 ? "" : "s");
+    }
+  }
+  std::printf("  (+ %d auction-tick instants while the job was live)\n",
+              ticks);
+
+  // The chain must be complete and clean: each lifecycle phase exactly
+  // one span, closed ok, with both crashes and the migration on record.
+  bool trace_complete = true;
+  for (const char* name : {"submit", "fund-verify", "bid", "stage-in",
+                           "execute", "stage-out", "refund"}) {
+    int spans = 0;
+    bool closed_ok = false;
+    for (const auto& event : *events) {
+      if (event.instant || event.name != name) continue;
+      ++spans;
+      closed_ok = event.status == telemetry::SpanStatus::kOk;
+    }
+    if (spans != 1 || !closed_ok) {
+      std::fprintf(stderr, "trace chain broken at '%s': %d span(s)\n", name,
+                   spans);
+      trace_complete = false;
+    }
+  }
+  for (const char* name :
+       {"host-crash", "bank-crash", "bank-restart", "migrate"}) {
+    bool seen = false;
+    for (const auto& event : *events) seen |= event.instant && event.name == name;
+    if (!seen) {
+      std::fprintf(stderr, "trace chain missing instant '%s'\n", name);
+      trace_complete = false;
+    }
+  }
+
+  // Full registry snapshot + trace ring, one JSON object per line, for
+  // offline tooling (scripts/ci.sh parses this).
+  const Status exported = grid.WriteTelemetryJsonl("telemetry.jsonl");
+  if (!exported.ok()) {
+    std::fprintf(stderr, "telemetry export failed: %s\n",
+                 exported.ToString().c_str());
+    return 1;
+  }
+  std::printf("telemetry.jsonl written\n");
+
   // Verdict: job done, dead host detected, money conserved. Unused
   // funds (including the crashed host's reclaimed deposit) sit in the
   // job's broker sub-account: its balance must be budget - spent.
@@ -125,9 +214,9 @@ int main() {
                   ledger_recovered &&
                   escrow == record->budget - record->spent &&
                   grid.CheckInvariants().ok() &&
-                  grid.bus().stats().Reconciles();
+                  grid.bus().stats().Reconciles() && trace_complete;
   std::printf("%s\n", ok ? "RECOVERED: ledger replayed, money conserved, "
-                           "job complete"
+                           "job complete, trace chain intact"
                          : "FAILED");
   return ok ? 0 : 2;
 }

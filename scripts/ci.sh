@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full CI gate: tier-1 build + tests (warnings as errors), then the
-# sanitizer job.
+# Full CI gate: tier-1 build + tests (warnings as errors), the telemetry
+# smoke stage (chaos example must emit a parseable JSONL with a complete
+# job span chain), then the sanitizer job.
 # Usage: scripts/ci.sh [ctest args...]
 set -euo pipefail
 
@@ -10,7 +11,46 @@ BUILD_DIR=build-ci
 echo "== tier-1: build + ctest (GM_WERROR=ON) =="
 cmake -B "$BUILD_DIR" -S . -DGM_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
+# Per-test timeout: no single test may wedge the gate. The slowest tier-1
+# suite finishes in well under a minute; 120 s flags a hang, not a slow
+# machine.
+ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 120 \
+  -j"$(nproc)" "$@"
+
+echo "== telemetry smoke: chaos recovery trace chain =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+(cd "$SMOKE_DIR" && "$OLDPWD/$BUILD_DIR/examples/chaos_recovery" \
+  > chaos_recovery.log)
+JSONL="$SMOKE_DIR/telemetry.jsonl"
+[ -s "$JSONL" ] || { echo "telemetry.jsonl missing or empty"; exit 1; }
+# Every line must be a standalone JSON object.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$JSONL" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        obj = json.loads(line)
+        if not isinstance(obj, dict):
+            sys.exit(f"line {n}: not a JSON object")
+EOF
+else
+  # Fallback: structural check only (one {...} object per line).
+  if grep -qv '^{.*}$' "$JSONL"; then
+    echo "telemetry.jsonl has non-object lines"
+    exit 1
+  fi
+fi
+# The submitted job's causal chain must be complete in the export: one
+# span per lifecycle phase, submit through refund.
+for span in submit fund-verify bid stage-in execute stage-out refund; do
+  count=$(grep -c "\"kind\":\"span\".*\"name\":\"$span\"" "$JSONL") || true
+  if [ "$count" -ne 1 ]; then
+    echo "telemetry.jsonl: expected exactly 1 '$span' span, found $count"
+    exit 1
+  fi
+done
+echo "telemetry smoke: JSONL parses, submit->refund chain complete"
 
 echo "== sanitizers: ASan + UBSan =="
 scripts/check_sanitize.sh "$@"

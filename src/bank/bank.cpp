@@ -68,6 +68,21 @@ Status Bank::Checkpoint() {
   return store_->MaybeSnapshot(*this);
 }
 
+void Bank::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    creates_ctr_ = nullptr;
+    mints_ctr_ = nullptr;
+    transfers_ctr_ = nullptr;
+    transfer_amount_ = nullptr;
+    return;
+  }
+  creates_ctr_ = telemetry->metrics().GetCounter("bank.account_creates");
+  mints_ctr_ = telemetry->metrics().GetCounter("bank.mints");
+  transfers_ctr_ = telemetry->metrics().GetCounter("bank.transfers");
+  transfer_amount_ =
+      telemetry->metrics().GetSummary("bank.transfer_amount_dollars");
+}
+
 Status Bank::CreateAccount(const std::string& id,
                            const crypto::PublicKey& owner_key) {
   if (crashed_) return BankDown();
@@ -85,6 +100,7 @@ Status Bank::CreateAccount(const std::string& id,
   account.owner_key = owner_key;
   accounts_.emplace(id, std::move(account));
   audit_.push_back({0, "create", "", id, 0});
+  if (creates_ctr_ != nullptr) creates_ctr_->Inc();
   return Checkpoint();
 }
 
@@ -107,6 +123,7 @@ Status Bank::CreateSubAccount(const std::string& parent,
   account.parent = parent;
   accounts_.emplace(sub_id, std::move(account));
   audit_.push_back({0, "sub_create", parent, sub_id, 0});
+  if (creates_ctr_ != nullptr) creates_ctr_->Inc();
   return Checkpoint();
 }
 
@@ -124,6 +141,7 @@ Status Bank::Mint(const std::string& id, Micros amount, std::int64_t now_us) {
   account->balance += amount;
   total_minted_ += amount;
   audit_.push_back({now_us, "mint", "", id, amount});
+  if (mints_ctr_ != nullptr) mints_ctr_->Inc();
   return Checkpoint();
 }
 
@@ -174,6 +192,9 @@ Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
   ++next_receipt_;
   issued_receipts_.emplace(receipt.receipt_id, receipt);
   audit_.push_back({now_us, "transfer", from, to, amount});
+  if (transfers_ctr_ != nullptr) transfers_ctr_->Inc();
+  if (transfer_amount_ != nullptr)
+    transfer_amount_->Observe(MicrosToDollars(amount));
   GM_RETURN_IF_ERROR(Checkpoint());
   return receipt;
 }

@@ -30,6 +30,7 @@
 #include "crypto/schnorr.hpp"
 #include "crypto/token.hpp"
 #include "store/store.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gm::bank {
 
@@ -128,6 +129,10 @@ class Bank : public store::Recoverable {
   void WriteSnapshot(net::Writer& writer) const override;
   Status LoadSnapshot(net::Reader& reader) override;
 
+  /// Count ledger operations (creates, mints, transfers) and observe
+  /// transfer amounts into the registry. nullptr detaches.
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
+
  private:
   Result<crypto::TransferReceipt> ExecuteTransfer(const std::string& from,
                                                   const std::string& to,
@@ -151,6 +156,10 @@ class Bank : public store::Recoverable {
   std::uint64_t next_receipt_ = 1;
   store::DurableStore* store_ = nullptr;  // non-owning
   bool crashed_ = false;
+  telemetry::Counter* creates_ctr_ = nullptr;
+  telemetry::Counter* mints_ctr_ = nullptr;
+  telemetry::Counter* transfers_ctr_ = nullptr;
+  telemetry::Summary* transfer_amount_ = nullptr;
 };
 
 }  // namespace gm::bank

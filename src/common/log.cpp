@@ -1,6 +1,8 @@
 #include "common/log.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace gm {
@@ -17,6 +19,20 @@ const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") { *level = LogLevel::kTrace; return true; }
+  if (lower == "debug") { *level = LogLevel::kDebug; return true; }
+  if (lower == "info") { *level = LogLevel::kInfo; return true; }
+  if (lower == "warn" || lower == "warning") { *level = LogLevel::kWarn; return true; }
+  if (lower == "error") { *level = LogLevel::kError; return true; }
+  if (lower == "off" || lower == "none") { *level = LogLevel::kOff; return true; }
+  return false;
+}
+
 Logger& Logger::Instance() {
   static Logger logger;
   return logger;
@@ -26,6 +42,20 @@ Logger::Logger() {
   sink_ = [](LogLevel level, const std::string& message) {
     std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
   };
+  ApplyEnvLevel();
+}
+
+bool Logger::ApplyEnvLevel() {
+  const char* env = std::getenv("GM_LOG_LEVEL");
+  if (env == nullptr) return false;
+  LogLevel level;
+  if (!ParseLogLevel(env, &level)) {
+    std::fprintf(stderr, "[WARN] GM_LOG_LEVEL=%s not recognized; keeping %s\n",
+                 env, LogLevelName(level_));
+    return false;
+  }
+  level_ = level;
+  return true;
 }
 
 void Logger::set_sink(Sink sink) {
@@ -40,6 +70,10 @@ void Logger::set_sink(Sink sink) {
 
 void Logger::Write(LogLevel level, const std::string& message) {
   if (!Enabled(level)) return;
+  if (prefix_) {
+    sink_(level, prefix_() + message);
+    return;
+  }
   sink_(level, message);
 }
 

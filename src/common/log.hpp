@@ -22,10 +22,17 @@ enum class LogLevel : int {
 
 const char* LogLevelName(LogLevel level);
 
+/// Case-insensitive "trace"/"debug"/"info"/"warn"/"error"/"off" (also
+/// "warning"). Returns false and leaves *level untouched on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
 /// Process-wide logger configuration.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
+  /// Optional line prefix, re-evaluated per message — examples install a
+  /// sim-time hook here so chaos-run logs carry simulated timestamps.
+  using PrefixHook = std::function<std::string()>;
 
   static Logger& Instance();
 
@@ -33,9 +40,15 @@ class Logger {
   LogLevel level() const { return level_; }
   bool Enabled(LogLevel level) const { return level >= level_; }
 
+  /// Re-read GM_LOG_LEVEL from the environment (also applied once at
+  /// construction). Returns true if the variable was set and parsed.
+  bool ApplyEnvLevel();
+
   /// Replace the output sink (default writes to stderr). Pass nullptr to
   /// restore the default sink.
   void set_sink(Sink sink);
+
+  void set_prefix_hook(PrefixHook hook) { prefix_ = std::move(hook); }
 
   void Write(LogLevel level, const std::string& message);
 
@@ -43,6 +56,7 @@ class Logger {
   Logger();
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
+  PrefixHook prefix_;
 };
 
 namespace internal {

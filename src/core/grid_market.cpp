@@ -24,6 +24,11 @@ GridMarket::GridMarket(Config config)
   GM_ASSERT(group.ok(), "Schnorr group generation failed");
   group_ = *group;
 
+  if (config_.telemetry.enabled) {
+    telemetry_ =
+        std::make_unique<telemetry::Telemetry>(config_.telemetry.trace_capacity);
+  }
+
   bank_ = std::make_unique<bank::Bank>(group_, rng_.Next());
   ca_ = std::make_unique<crypto::CertificateAuthority>(
       crypto::DistinguishedName{"SE", "SweGrid", "CA", "SweGrid Root CA"},
@@ -31,6 +36,7 @@ GridMarket::GridMarket(Config config)
   sls_ = std::make_unique<market::ServiceLocationService>(kernel_);
   bus_ = std::make_unique<net::MessageBus>(kernel_, config_.network,
                                            rng_.Next());
+  if (telemetry_ != nullptr) bus_->AttachTelemetry(telemetry_.get());
 
   // Warm boot: recover the ledger and host directory from the journals,
   // then fast-forward the kernel past the newest recovered timestamp so
@@ -43,6 +49,8 @@ GridMarket::GridMarket(Config config)
                                                 MakeStoreOptions(config_));
     GM_ASSERT(bank_store.ok(), "bank store open failed");
     bank_store_ = std::move(*bank_store);
+    if (telemetry_ != nullptr)
+      bank_store_->AttachTelemetry(telemetry_.get(), "bank");
     bank_->AttachStore(bank_store_.get());
     GM_ASSERT(bank_->RecoverFromStore().ok(), "bank recovery failed");
     for (const bank::AuditEntry& entry : bank_->audit_log())
@@ -52,6 +60,8 @@ GridMarket::GridMarket(Config config)
                                                MakeStoreOptions(config_));
     GM_ASSERT(sls_store.ok(), "sls store open failed");
     sls_store_ = std::move(*sls_store);
+    if (telemetry_ != nullptr)
+      sls_store_->AttachTelemetry(telemetry_.get(), "sls");
     sls_->AttachStore(sls_store_.get());
     GM_ASSERT(sls_->RecoverFromStore().ok(), "sls recovery failed");
     for (const market::HostRecord& record : sls_->Query({}))
@@ -68,6 +78,11 @@ GridMarket::GridMarket(Config config)
       config_.plugin);
   broker_ = std::make_unique<grid::GridBroker>(kernel_, *bank_, *authorizer_,
                                                *plugin_);
+  if (telemetry_ != nullptr) {
+    bank_->AttachTelemetry(telemetry_.get());
+    plugin_->AttachTelemetry(telemetry_.get());
+    broker_->AttachTelemetry(telemetry_.get());
+  }
 
   for (int i = 0; i < config_.hosts; ++i) {
     host::HostSpec spec;
@@ -87,11 +102,16 @@ GridMarket::GridMarket(Config config)
     hosts_.push_back(std::make_unique<host::PhysicalHost>(spec));
     auctioneers_.push_back(
         std::make_unique<market::Auctioneer>(*hosts_.back(), kernel_));
+    if (telemetry_ != nullptr)
+      auctioneers_.back()->AttachTelemetry(telemetry_.get());
     if (config_.storage.durable) {
       auto host_store = store::DurableStore::Open(
           config_.storage.dir + "/price/" + spec.id, MakeStoreOptions(config_));
       GM_ASSERT(host_store.ok(), "host price store open failed");
       host_stores_.push_back(std::move(*host_store));
+      if (telemetry_ != nullptr)
+        host_stores_.back()->AttachTelemetry(telemetry_.get(),
+                                             "price/" + spec.id);
       auctioneers_.back()->AttachStore(host_stores_.back().get());
       GM_ASSERT(auctioneers_.back()->RecoverHistory().ok(),
                 "price history recovery failed");
@@ -100,6 +120,8 @@ GridMarket::GridMarket(Config config)
     }
     services_.push_back(std::make_unique<market::AuctioneerService>(
         *auctioneers_.back(), *bus_));
+    if (telemetry_ != nullptr)
+      services_.back()->AttachTelemetry(telemetry_.get());
     GM_ASSERT(plugin_
                   ->RegisterAuctioneer(*auctioneers_.back(),
                                        "auctioneer:" + spec.id)
@@ -168,9 +190,31 @@ Result<std::uint64_t> GridMarket::SubmitJob(
 Result<std::uint64_t> GridMarket::SubmitXrsl(const std::string& user,
                                              std::string_view xrsl,
                                              double budget_dollars) {
-  GM_ASSIGN_OR_RETURN(const crypto::TransferToken token,
-                      PayBroker(user, budget_dollars));
-  return broker_->Submit(xrsl, token);
+  // The submit span covers the whole client-side flow: pay the broker,
+  // mint the transfer token, authorize and launch. Everything downstream
+  // (fund-verify, bid, auction ticks, refund) joins the same trace.
+  telemetry::TraceId trace = 0;
+  telemetry::SpanId submit_span = 0;
+  if (telemetry_ != nullptr) {
+    trace = telemetry_->tracer().NewTrace();
+    submit_span = telemetry_->tracer().BeginSpan(
+        trace, "submit", "user=" + user, kernel_.now());
+  }
+  const auto finish = [&](bool ok) {
+    if (submit_span != 0) {
+      telemetry_->tracer().EndSpan(submit_span, kernel_.now(),
+                                   ok ? telemetry::SpanStatus::kOk
+                                      : telemetry::SpanStatus::kError);
+    }
+  };
+  const auto token = PayBroker(user, budget_dollars);
+  if (!token.ok()) {
+    finish(false);
+    return token.status();
+  }
+  const auto job = broker_->Submit(xrsl, *token, trace);
+  finish(job.ok());
+  return job;
 }
 
 Status GridMarket::BoostJob(const std::string& user, std::uint64_t job_id,
@@ -202,6 +246,15 @@ Status GridMarket::EnableHealthProbes(grid::HealthOptions options) {
   return plugin_->EnableHealthProbes(*bus_, options);
 }
 
+void GridMarket::InstantOnActiveTraces(const char* name,
+                                       const std::string& detail) {
+  if (telemetry_ == nullptr) return;
+  for (const grid::JobRecord* job : plugin_->jobs()) {
+    if (job->trace == 0 || grid::IsTerminal(job->state)) continue;
+    telemetry_->tracer().Instant(job->trace, name, detail, kernel_.now());
+  }
+}
+
 Status GridMarket::CrashHost(std::size_t index) {
   if (index >= auctioneers_.size())
     return Status::InvalidArgument("host index out of range");
@@ -209,8 +262,9 @@ Status GridMarket::CrashHost(std::size_t index) {
   // With a journal behind it, a crash genuinely loses the in-memory
   // price window; in-memory mode keeps it (nothing to recover from).
   if (config_.storage.durable) auctioneers_[index]->CrashStorageState();
-  return bus_->CrashEndpoint("auctioneer/" +
-                             auctioneers_[index]->physical_host().id());
+  const std::string host_id = auctioneers_[index]->physical_host().id();
+  InstantOnActiveTraces("host-crash", "host=" + host_id);
+  return bus_->CrashEndpoint("auctioneer/" + host_id);
 }
 
 Status GridMarket::RestartHost(std::size_t index) {
@@ -222,6 +276,8 @@ Status GridMarket::RestartHost(std::size_t index) {
     GM_RETURN_IF_ERROR(auctioneers_[index]->RecoverHistory().status());
   }
   auctioneers_[index]->Start();
+  InstantOnActiveTraces(
+      "host-restart", "host=" + auctioneers_[index]->physical_host().id());
   return Status::Ok();
 }
 
@@ -230,6 +286,7 @@ Status GridMarket::CrashBank() {
     return Status::FailedPrecondition(
         "CrashBank requires durable storage (Config.storage.durable)");
   bank_->SimulateCrash();
+  InstantOnActiveTraces("bank-crash", "ledger wiped");
   return Status::Ok();
 }
 
@@ -237,7 +294,9 @@ Status GridMarket::RestartBank() {
   if (!config_.storage.durable)
     return Status::FailedPrecondition(
         "RestartBank requires durable storage (Config.storage.durable)");
-  return bank_->Restart();
+  GM_RETURN_IF_ERROR(bank_->Restart());
+  InstantOnActiveTraces("bank-restart", "ledger replayed from WAL");
+  return Status::Ok();
 }
 
 std::vector<grid::HostHealthInfo> GridMarket::HostHealthReport() const {
@@ -278,6 +337,45 @@ Result<std::vector<predict::HostPriceStats>> GridMarket::HostPriceStats(
     stats.push_back(std::move(host));
   }
   return stats;
+}
+
+Result<telemetry::MetricsSnapshot> GridMarket::CollectMetrics() {
+  if (telemetry_ == nullptr)
+    return Status::FailedPrecondition(
+        "telemetry disabled (Config.telemetry.enabled)");
+  // Pull-based collection: mirror the totals that components keep in
+  // their own structs into the registry, under the same names the
+  // snapshot-driven monitor tables read.
+  grid::MirrorNetStats(bus_->stats(), plugin_.get(), telemetry_->metrics());
+  if (config_.storage.durable) {
+    grid::MirrorStoreStats({"bank", bank_store_->stats()},
+                           telemetry_->metrics());
+    grid::MirrorStoreStats({"sls", sls_store_->stats()},
+                           telemetry_->metrics());
+    for (std::size_t i = 0; i < host_stores_.size(); ++i) {
+      grid::MirrorStoreStats(
+          {"price/" + auctioneers_[i]->physical_host().id(),
+           host_stores_[i]->stats()},
+          telemetry_->metrics());
+    }
+  }
+  return telemetry_->metrics().Snapshot();
+}
+
+Status GridMarket::WriteTelemetryJsonl(const std::string& path) {
+  GM_RETURN_IF_ERROR(CollectMetrics().status());
+  return telemetry_->WriteJsonl(path);
+}
+
+Result<std::vector<telemetry::SpanEvent>> GridMarket::JobTrace(
+    std::uint64_t job_id) const {
+  if (telemetry_ == nullptr)
+    return Status::FailedPrecondition(
+        "telemetry disabled (Config.telemetry.enabled)");
+  GM_ASSIGN_OR_RETURN(const grid::JobRecord* job, broker_->Job(job_id));
+  if (job->trace == 0)
+    return Status::NotFound("job has no trace (submitted before telemetry?)");
+  return telemetry_->tracer().EventsFor(job->trace);
 }
 
 std::string GridMarket::Monitor() const {

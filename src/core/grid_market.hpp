@@ -31,6 +31,7 @@
 #include "predict/normal_model.hpp"
 #include "sim/kernel.hpp"
 #include "store/store.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gm {
 
@@ -71,6 +72,21 @@ class GridMarket {
       std::uint64_t snapshot_every_records = 4096;
     };
     StorageConfig storage;
+    /// Telemetry subsystem (src/telemetry). Off by default: no component
+    /// carries a telemetry pointer and every instrumentation site is a
+    /// single never-taken null check. When enabled, each job submission
+    /// mints a causal TraceId whose spans cover the whole lifecycle
+    /// (submit -> fund-verify -> bid -> auction ticks -> execute ->
+    /// stage-out -> refund), and hot-path latencies/counters accumulate
+    /// in the metrics registry (export with WriteTelemetryJsonl).
+    struct TelemetryConfig {
+      bool enabled = false;
+      /// Trace journal ring capacity. Traced jobs emit one auction-tick
+      /// instant per funded host per 10 s market tick, so long chaos
+      /// runs should raise this well above the default.
+      std::size_t trace_capacity = 8192;
+    };
+    TelemetryConfig telemetry;
     std::uint64_t seed = 42;
     /// Bit widths of the Schnorr group used for all keys. The default
     /// small-but-real group keeps simulations fast; use 256/160 for the
@@ -159,6 +175,22 @@ class GridMarket {
   /// The live monitor rendering (paper Figure 2).
   std::string Monitor() const;
 
+  // -- telemetry --
+  /// The telemetry sink, or nullptr when Config.telemetry.enabled is
+  /// false.
+  telemetry::Telemetry* telemetry() { return telemetry_.get(); }
+  const telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
+  /// Pull component-kept totals (bus, scheduler agent, durable stores)
+  /// into the registry and return a fresh snapshot of every metric.
+  /// FailedPrecondition when telemetry is disabled.
+  Result<telemetry::MetricsSnapshot> CollectMetrics();
+  /// CollectMetrics + dump every metric and trace event as JSONL.
+  Status WriteTelemetryJsonl(const std::string& path);
+  /// The job's trace events (spans + instants) in start order. Requires
+  /// telemetry and a job submitted after construction.
+  Result<std::vector<telemetry::SpanEvent>> JobTrace(
+      std::uint64_t job_id) const;
+
   /// All-balances conservation check (delegates to the bank).
   Status CheckInvariants() const { return bank_->CheckInvariants(); }
 
@@ -168,10 +200,15 @@ class GridMarket {
     crypto::DistinguishedName dn;
   };
 
+  /// Emit an `name` instant on every live (non-terminal) traced job.
+  void InstantOnActiveTraces(const char* name, const std::string& detail);
+
   Config config_;
   sim::Kernel kernel_;
   Rng rng_;
   crypto::SchnorrGroup group_;
+  // Declared before every component that caches metric/tracer pointers.
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
   // Durable stores outlive the components journaling into them.
   std::unique_ptr<store::DurableStore> bank_store_;
   std::unique_ptr<store::DurableStore> sls_store_;

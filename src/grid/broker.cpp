@@ -9,17 +9,33 @@ GridBroker::GridBroker(sim::Kernel& kernel, bank::Bank& bank,
       plugin_(plugin) {}
 
 Result<std::uint64_t> GridBroker::Submit(std::string_view xrsl,
-                                         const crypto::TransferToken& token) {
+                                         const crypto::TransferToken& token,
+                                         telemetry::TraceId trace) {
   GM_ASSIGN_OR_RETURN(JobDescription description,
                       JobDescription::FromXrsl(xrsl));
-  GM_ASSIGN_OR_RETURN(const AuthorizedFunds funds,
-                      authorizer_.Authorize(token, kernel_.now()));
+  // Token verification (bank signature, ledger, DN mapping, double-spend
+  // registry) is the paper's fund-verify step: span it.
+  telemetry::SpanId verify_span = 0;
+  if (telemetry_ != nullptr && trace != 0) {
+    verify_span = telemetry_->tracer().BeginSpan(
+        trace, "fund-verify", "job=" + description.job_name, kernel_.now());
+  }
+  const auto authorized = authorizer_.Authorize(token, kernel_.now());
+  if (verify_span != 0) {
+    telemetry_->tracer().EndSpan(verify_span, kernel_.now(),
+                                 authorized.ok()
+                                     ? telemetry::SpanStatus::kOk
+                                     : telemetry::SpanStatus::kError);
+  }
+  GM_RETURN_IF_ERROR(authorized.status());
+  const AuthorizedFunds& funds = *authorized;
   JobRecord job;
   job.user_dn = funds.grid_dn;
   job.account = funds.sub_account;
   job.description = std::move(description);
   job.budget = funds.amount;
   job.submitted_at = kernel_.now();
+  job.trace = trace;
   GM_RETURN_IF_ERROR(AdvanceState(job, JobState::kAuthorized, kernel_.now()));
   return plugin_.Launch(std::move(job));
 }

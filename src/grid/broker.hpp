@@ -20,9 +20,17 @@ class GridBroker {
 
   /// Parse, authorize and launch. On authorization failure nothing is
   /// charged; on scheduling failure the job exists in FAILED state with
-  /// the funds refunded to its sub-account.
+  /// the funds refunded to its sub-account. `trace` (telemetry, 0 = none)
+  /// becomes the job's causal trace: authorization is recorded as a
+  /// "fund-verify" span and the id rides along the whole lifecycle.
   Result<std::uint64_t> Submit(std::string_view xrsl,
-                               const crypto::TransferToken& token);
+                               const crypto::TransferToken& token,
+                               telemetry::TraceId trace = 0);
+
+  /// Record fund-verify spans for traced submissions. nullptr detaches.
+  void AttachTelemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
 
   /// Authorize an additional token and add its funds to the job's bids.
   Status Boost(std::uint64_t job_id, const crypto::TransferToken& token);
@@ -37,6 +45,7 @@ class GridBroker {
   bank::Bank& bank_;
   TokenAuthorizer& authorizer_;
   TycoonSchedulerPlugin& plugin_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace gm::grid

@@ -9,6 +9,7 @@
 #include "common/units.hpp"
 #include "grid/xrsl.hpp"
 #include "sim/time.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gm::grid {
 
@@ -60,6 +61,10 @@ struct JobRecord {
 
   std::vector<SubJobRecord> subjobs;
   std::vector<std::string> hosts_used;
+
+  /// Causal trace id (telemetry); 0 when telemetry is off. Minted at
+  /// submission and carried through every RPC and lifecycle transition.
+  telemetry::TraceId trace = 0;
 
   /// Completed sub-jobs so far.
   int CompletedChunks() const;

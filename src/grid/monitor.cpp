@@ -62,52 +62,108 @@ std::string RenderHealthTable(const std::vector<HostHealthInfo>& health) {
   return out;
 }
 
-std::string RenderNetTable(const net::BusStats& bus,
-                           const TycoonSchedulerPlugin* plugin) {
+void MirrorNetStats(const net::BusStats& bus,
+                    const TycoonSchedulerPlugin* plugin,
+                    telemetry::MetricsRegistry& registry) {
+  registry.GetCounter("net.bus.sent")->Set(bus.sent);
+  registry.GetCounter("net.bus.delivered")->Set(bus.delivered);
+  registry.GetCounter("net.bus.dropped")->Set(bus.dropped);
+  registry.GetCounter("net.bus.undeliverable")->Set(bus.undeliverable);
+  registry.GetCounter("net.bus.in_flight")->Set(bus.in_flight);
+  registry.GetCounter("net.bus.bytes_sent")->Set(bus.bytes_sent);
+  registry.GetCounter("net.bus.bytes_dropped")->Set(bus.bytes_dropped);
+  if (plugin == nullptr) return;
+  registry.GetCounter("grid.agent.probes")->Set(plugin->probes_sent());
+  registry.GetCounter("grid.agent.probe_failures")
+      ->Set(plugin->probe_failures());
+  registry.GetCounter("grid.agent.migrations")->Set(plugin->migrations());
+  if (const net::RpcClient* rpc = plugin->probe_rpc()) {
+    registry.GetCounter("grid.agent.rpc_retries")->Set(rpc->retries());
+    registry.GetCounter("grid.agent.rpc_timeouts")->Set(rpc->timeouts());
+  }
+}
+
+std::string RenderNetTable(const telemetry::MetricsSnapshot& snapshot) {
+  const auto counter = [&snapshot](const char* name) {
+    return static_cast<unsigned long long>(snapshot.CounterOr(name));
+  };
   std::string out = StrFormat(
       "bus: sent=%llu delivered=%llu dropped=%llu undeliverable=%llu "
       "in_flight=%llu bytes_sent=%llu bytes_dropped=%llu\n",
-      static_cast<unsigned long long>(bus.sent),
-      static_cast<unsigned long long>(bus.delivered),
-      static_cast<unsigned long long>(bus.dropped),
-      static_cast<unsigned long long>(bus.undeliverable),
-      static_cast<unsigned long long>(bus.in_flight),
-      static_cast<unsigned long long>(bus.bytes_sent),
-      static_cast<unsigned long long>(bus.bytes_dropped));
-  if (plugin != nullptr) {
-    out += StrFormat(
-        "agent: probes=%llu probe_failures=%llu migrations=%llu",
-        static_cast<unsigned long long>(plugin->probes_sent()),
-        static_cast<unsigned long long>(plugin->probe_failures()),
-        static_cast<unsigned long long>(plugin->migrations()));
-    if (const net::RpcClient* rpc = plugin->probe_rpc()) {
+      counter("net.bus.sent"), counter("net.bus.delivered"),
+      counter("net.bus.dropped"), counter("net.bus.undeliverable"),
+      counter("net.bus.in_flight"), counter("net.bus.bytes_sent"),
+      counter("net.bus.bytes_dropped"));
+  if (snapshot.HasCounter("grid.agent.probes")) {
+    out += StrFormat("agent: probes=%llu probe_failures=%llu migrations=%llu",
+                     counter("grid.agent.probes"),
+                     counter("grid.agent.probe_failures"),
+                     counter("grid.agent.migrations"));
+    if (snapshot.HasCounter("grid.agent.rpc_retries")) {
       out += StrFormat(" rpc_retries=%llu rpc_timeouts=%llu",
-                       static_cast<unsigned long long>(rpc->retries()),
-                       static_cast<unsigned long long>(rpc->timeouts()));
+                       counter("grid.agent.rpc_retries"),
+                       counter("grid.agent.rpc_timeouts"));
     }
     out += "\n";
   }
   return out;
 }
 
-std::string RenderStoreTable(const std::vector<StoreRow>& rows) {
+std::string RenderNetTable(const net::BusStats& bus,
+                           const TycoonSchedulerPlugin* plugin) {
+  telemetry::MetricsRegistry registry;
+  MirrorNetStats(bus, plugin, registry);
+  return RenderNetTable(registry.Snapshot());
+}
+
+void MirrorStoreStats(const StoreRow& row,
+                      telemetry::MetricsRegistry& registry) {
+  const std::string prefix = "store." + row.component + ".";
+  const store::StoreStats& s = row.stats;
+  registry.GetCounter(prefix + "appended_records")->Set(s.appended_records);
+  registry.GetCounter(prefix + "appended_bytes")->Set(s.appended_bytes);
+  registry.GetCounter(prefix + "snapshots_written")->Set(s.snapshots_written);
+  registry.GetCounter(prefix + "recoveries")->Set(s.recoveries);
+  registry.GetCounter(prefix + "replayed_records")->Set(s.replayed_records);
+  registry.GetCounter(prefix + "skipped_duplicates")
+      ->Set(s.skipped_duplicates);
+  registry.GetCounter(prefix + "truncated_bytes")->Set(s.truncated_bytes);
+}
+
+std::string RenderStoreTable(const telemetry::MetricsSnapshot& snapshot) {
   std::string out = StrFormat("%-12s %9s %10s %6s %5s %9s %7s %8s\n",
                               "store", "records", "bytes", "snaps", "recov",
                               "replayed", "dups", "tornB");
-  for (const StoreRow& row : rows) {
-    const store::StoreStats& s = row.stats;
-    out += StrFormat(
-        "%-12s %9llu %10llu %6llu %5llu %9llu %7llu %8llu\n",
-        row.component.c_str(),
-        static_cast<unsigned long long>(s.appended_records),
-        static_cast<unsigned long long>(s.appended_bytes),
-        static_cast<unsigned long long>(s.snapshots_written),
-        static_cast<unsigned long long>(s.recoveries),
-        static_cast<unsigned long long>(s.replayed_records),
-        static_cast<unsigned long long>(s.skipped_duplicates),
-        static_cast<unsigned long long>(s.truncated_bytes));
+  // Components are discovered from the key set; std::map keeps them in
+  // alphabetical order so the table is deterministic.
+  const std::string kSuffix = ".appended_records";
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("store.", 0) != 0 || name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string component =
+        name.substr(6, name.size() - 6 - kSuffix.size());
+    const std::string prefix = "store." + component + ".";
+    const auto counter = [&](const char* field) {
+      return static_cast<unsigned long long>(
+          snapshot.CounterOr(prefix + field));
+    };
+    out += StrFormat("%-12s %9llu %10llu %6llu %5llu %9llu %7llu %8llu\n",
+                     component.c_str(), counter("appended_records"),
+                     counter("appended_bytes"), counter("snapshots_written"),
+                     counter("recoveries"), counter("replayed_records"),
+                     counter("skipped_duplicates"),
+                     counter("truncated_bytes"));
   }
   return out;
+}
+
+std::string RenderStoreTable(const std::vector<StoreRow>& rows) {
+  telemetry::MetricsRegistry registry;
+  for (const StoreRow& row : rows) MirrorStoreStats(row, registry);
+  return RenderStoreTable(registry.Snapshot());
 }
 
 std::string RenderMonitor(

@@ -11,6 +11,7 @@
 #include "net/bus.hpp"
 #include "sim/kernel.hpp"
 #include "store/store.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gm::grid {
 
@@ -26,8 +27,19 @@ std::string RenderJobTable(const std::vector<const JobRecord*>& jobs,
 /// Failure-detector verdicts: "host  health  fails  last-ok" table.
 std::string RenderHealthTable(const std::vector<HostHealthInfo>& health);
 
-/// Network fault/robustness counters: bus delivery accounting plus the
-/// scheduler agent's RPC retry/timeout counters when probing is enabled.
+/// Mirror the bus (and, when non-null, the scheduler agent's probe)
+/// counters into `registry` under the names the snapshot-based
+/// RenderNetTable reads: "net.bus.*" and "grid.agent.*".
+void MirrorNetStats(const net::BusStats& bus,
+                    const TycoonSchedulerPlugin* plugin,
+                    telemetry::MetricsRegistry& registry);
+
+/// Network fault/robustness counters rendered from a metrics snapshot.
+/// The agent line appears only when "grid.agent.probes" is present.
+std::string RenderNetTable(const telemetry::MetricsSnapshot& snapshot);
+
+/// Shim: mirrors the structs into a scratch registry and renders its
+/// snapshot, so both entry points produce identical tables.
 std::string RenderNetTable(const net::BusStats& bus,
                            const TycoonSchedulerPlugin* plugin = nullptr);
 
@@ -37,8 +49,17 @@ struct StoreRow {
   store::StoreStats stats;
 };
 
-/// Durability counters: appends, snapshots, recoveries, replayed records
-/// and corrupt bytes dropped — per component store.
+/// Mirror one store's counters into `registry` under
+/// "store.<component>.*".
+void MirrorStoreStats(const StoreRow& row,
+                      telemetry::MetricsRegistry& registry);
+
+/// Durability counters rendered from a metrics snapshot: one row per
+/// component found under "store.<component>.appended_records", in
+/// alphabetical order.
+std::string RenderStoreTable(const telemetry::MetricsSnapshot& snapshot);
+
+/// Shim over the snapshot renderer; rows come out sorted by component.
 std::string RenderStoreTable(const std::vector<StoreRow>& rows);
 
 /// Both tables with a timestamp header.

@@ -27,6 +27,25 @@ TycoonSchedulerPlugin::~TycoonSchedulerPlugin() {
   if (probe_timer_.valid()) kernel_.Cancel(probe_timer_);
 }
 
+void TycoonSchedulerPlugin::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (probe_rpc_) probe_rpc_->AttachTelemetry(telemetry);
+}
+
+void TycoonSchedulerPlugin::EndOpenJobSpans(ActiveJob& job,
+                                            telemetry::SpanStatus status) {
+  if (telemetry_ == nullptr) return;
+  const sim::SimTime now = kernel_.now();
+  for (telemetry::SpanId* span :
+       {&job.bid_span, &job.stage_in_span, &job.execute_span,
+        &job.stage_out_span}) {
+    if (*span != 0) {
+      telemetry_->tracer().EndSpan(*span, now, status);
+      *span = 0;
+    }
+  }
+}
+
 Status TycoonSchedulerPlugin::RegisterAuctioneer(
     market::Auctioneer& auctioneer, const std::string& bank_account) {
   const std::string host_id = auctioneer.physical_host().id();
@@ -51,6 +70,7 @@ Status TycoonSchedulerPlugin::EnableHealthProbes(net::MessageBus& bus,
             "inconsistent health options");
   health_options_ = std::move(options);
   probe_rpc_ = std::make_unique<net::RpcClient>(bus, "scheduler-agent/probe");
+  if (telemetry_ != nullptr) probe_rpc_->AttachTelemetry(telemetry_);
   probe_timer_ = kernel_.ScheduleEvery(health_options_.probe_period,
                                        health_options_.probe_period,
                                        [this] { ProbeAll(); });
@@ -115,6 +135,7 @@ void TycoonSchedulerPlugin::MigrateJobOffHost(ActiveJob& job,
                                               const std::string& host_id) {
   JobRecord& record = job.record;
   bool touched = false;
+  Micros reclaimed = 0;
   for (HostBinding& binding : job.hosts) {
     if (binding.dead ||
         binding.auctioneer->physical_host().id() != host_id)
@@ -133,12 +154,20 @@ void TycoonSchedulerPlugin::MigrateJobOffHost(ActiveJob& job,
         const auto mirrored = bank_.InternalTransfer(
             binding.bank_account, record.account, *refund, kernel_.now());
         GM_ASSERT(mirrored.ok(), "migration reclaim transfer failed");
+        reclaimed += *refund;
       }
     }
   }
   if (!touched) return;
   GM_LOG_INFO << "job " << record.id << ": migrating off dead host "
               << host_id;
+  if (telemetry_ != nullptr && record.trace != 0) {
+    telemetry_->tracer().Instant(
+        record.trace, "migrate",
+        StrFormat("job=%llu host=%s", static_cast<unsigned long long>(record.id),
+                  host_id.c_str()),
+        kernel_.now(), MicrosToDollars(reclaimed));
+  }
 
   // Requeue incomplete chunks that were bound to the dead host (their VM
   // died with the account). Duplicates from speculation are harmless: the
@@ -275,6 +304,12 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
   JobRecord& record = job.record;
   GM_RETURN_IF_ERROR(AdvanceState(record, JobState::kScheduling,
                                   kernel_.now()));
+  if (telemetry_ != nullptr && record.trace != 0 && job.bid_span == 0) {
+    job.bid_span = telemetry_->tracer().BeginSpan(
+        record.trace, "bid",
+        StrFormat("job=%llu", static_cast<unsigned long long>(record.id)),
+        kernel_.now());
+  }
 
   // 0. Fail fast on unsatisfiable runtime environments, before any money
   // moves (a mid-loop failure would otherwise strand funded host accounts).
@@ -421,6 +456,11 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
   if (job.hosts.empty())
     return Status::Unavailable("no host could run a VM for the job");
 
+  if (job.bid_span != 0) {
+    telemetry_->tracer().EndSpan(job.bid_span, kernel_.now(),
+                                 telemetry::SpanStatus::kOk);
+    job.bid_span = 0;
+  }
   BeginStaging(job);
   return Status::Ok();
 }
@@ -435,6 +475,10 @@ Status TycoonSchedulerPlugin::FundHost(ActiveJob& job, HostBinding& binding,
                                             kernel_.now())
                          .status());
   GM_RETURN_IF_ERROR(binding.auctioneer->Fund(record.account, amount));
+  // Tag the market account so the auctioneer's charged ticks land in the
+  // job's trace.
+  if (telemetry_ != nullptr && record.trace != 0)
+    (void)binding.auctioneer->SetAccountTrace(record.account, record.trace);
   return Status::Ok();
 }
 
@@ -442,6 +486,12 @@ void TycoonSchedulerPlugin::BeginStaging(ActiveJob& job) {
   JobRecord& record = job.record;
   GM_ASSERT(AdvanceState(record, JobState::kStagingIn, kernel_.now()).ok(),
             "staging transition");
+  if (telemetry_ != nullptr && record.trace != 0) {
+    job.stage_in_span = telemetry_->tracer().BeginSpan(
+        record.trace, "stage-in",
+        StrFormat("job=%llu", static_cast<unsigned long long>(record.id)),
+        kernel_.now());
+  }
   const sim::SimDuration stage_in =
       StageDuration(record.description.input_files);
   const std::uint64_t id = record.id;
@@ -456,6 +506,19 @@ void TycoonSchedulerPlugin::StartDispatch(ActiveJob& job) {
   JobRecord& record = job.record;
   GM_ASSERT(AdvanceState(record, JobState::kRunning, kernel_.now()).ok(),
             "running transition");
+  if (job.stage_in_span != 0) {
+    telemetry_->tracer().EndSpan(job.stage_in_span, kernel_.now(),
+                                 telemetry::SpanStatus::kOk);
+    job.stage_in_span = 0;
+  }
+  if (telemetry_ != nullptr && record.trace != 0) {
+    job.execute_span = telemetry_->tracer().BeginSpan(
+        record.trace, "execute",
+        StrFormat("job=%llu chunks=%d",
+                  static_cast<unsigned long long>(record.id),
+                  record.description.TotalChunks()),
+        kernel_.now());
+  }
   const int total = record.description.TotalChunks();
   record.subjobs.resize(static_cast<std::size_t>(total));
   job.pending_chunks = total;
@@ -615,7 +678,6 @@ bool TycoonSchedulerPlugin::DispatchChunk(ActiveJob& job,
 void TycoonSchedulerPlugin::OnChunkComplete(std::uint64_t job_id, int ordinal,
                                             std::size_t host_index,
                                             sim::SimTime completed_at) {
-  (void)ordinal;
   (void)completed_at;
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return;
@@ -624,6 +686,15 @@ void TycoonSchedulerPlugin::OnChunkComplete(std::uint64_t job_id, int ordinal,
   // the job into STAGING_OUT (or a terminal state): nothing left to do.
   if (job.record.state != JobState::kRunning) return;
   job.hosts[host_index].busy = false;
+  if (telemetry_ != nullptr && job.record.trace != 0) {
+    telemetry_->tracer().Instant(
+        job.record.trace, "chunk-complete",
+        StrFormat("job=%llu chunk=%d host=%s",
+                  static_cast<unsigned long long>(job_id), ordinal,
+                  job.hosts[host_index]
+                      .auctioneer->physical_host().id().c_str()),
+        kernel_.now());
+  }
 
   job.pending_chunks = 0;
   for (const SubJobRecord& subjob : job.record.subjobs) {
@@ -638,6 +709,17 @@ void TycoonSchedulerPlugin::OnChunkComplete(std::uint64_t job_id, int ordinal,
   GM_ASSERT(AdvanceState(job.record, JobState::kStagingOut,
                          kernel_.now()).ok(),
             "staging-out transition");
+  if (job.execute_span != 0) {
+    telemetry_->tracer().EndSpan(job.execute_span, kernel_.now(),
+                                 telemetry::SpanStatus::kOk);
+    job.execute_span = 0;
+  }
+  if (telemetry_ != nullptr && job.record.trace != 0) {
+    job.stage_out_span = telemetry_->tracer().BeginSpan(
+        job.record.trace, "stage-out",
+        StrFormat("job=%llu", static_cast<unsigned long long>(job_id)),
+        kernel_.now());
+  }
   const sim::SimDuration stage_out =
       StageDuration(job.record.description.output_files);
   kernel_.ScheduleAfter(stage_out, [this, job_id] {
@@ -658,6 +740,18 @@ void TycoonSchedulerPlugin::Finalize(ActiveJob& job,
     kernel_.Cancel(job.rebid);
     job.rebid = {};
   }
+  // Close whatever lifecycle phase was in flight: kOk on a clean finish,
+  // kError when the job is being reaped (expired/failed/cancelled).
+  EndOpenJobSpans(job, terminal_state == JobState::kFinished
+                           ? telemetry::SpanStatus::kOk
+                           : telemetry::SpanStatus::kError);
+  telemetry::SpanId refund_span = 0;
+  if (telemetry_ != nullptr && record.trace != 0) {
+    refund_span = telemetry_->tracer().BeginSpan(
+        record.trace, "refund",
+        StrFormat("job=%llu", static_cast<unsigned long long>(record.id)),
+        kernel_.now());
+  }
   // Settle every host account: collect spend, refund the rest.
   for (HostBinding& binding : job.hosts) {
     market::Auctioneer& auctioneer = *binding.auctioneer;
@@ -671,8 +765,19 @@ void TycoonSchedulerPlugin::Finalize(ActiveJob& job,
       record.refunded += *refund;
     }
   }
+  if (refund_span != 0)
+    telemetry_->tracer().EndSpan(refund_span, kernel_.now(),
+                                 telemetry::SpanStatus::kOk);
   const Status advanced = AdvanceState(record, terminal_state, kernel_.now());
   GM_ASSERT(advanced.ok(), "terminal transition failed");
+  if (telemetry_ != nullptr && record.trace != 0) {
+    telemetry_->tracer().Instant(record.trace, "finalize",
+                                 StrFormat("job=%llu state=%s",
+                                           static_cast<unsigned long long>(record.id),
+                                           JobStateName(record.state)),
+                                 kernel_.now(),
+                                 MicrosToDollars(record.refunded));
+  }
   if (on_finished_) on_finished_(record);
 }
 
@@ -718,6 +823,13 @@ Status TycoonSchedulerPlugin::Boost(std::uint64_t job_id, Micros amount) {
         auctioneer.SetBid(record.account, rate, record.deadline));
   }
   record.budget += amount;
+  if (telemetry_ != nullptr && record.trace != 0) {
+    telemetry_->tracer().Instant(record.trace, "boost",
+                                 StrFormat("job=%llu",
+                                           static_cast<unsigned long long>(job_id)),
+                                 kernel_.now(),
+                                 MicrosToDollars(amount));
+  }
   return Status::Ok();
 }
 

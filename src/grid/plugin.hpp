@@ -151,6 +151,13 @@ class TycoonSchedulerPlugin {
 
   const PluginConfig& config() const { return config_; }
 
+  /// Emit lifecycle spans (bid, stage-in, execute, stage-out, refund) and
+  /// instants (boost, migrate, chunk-complete) for traced jobs, tag host
+  /// market accounts with the job trace, and instrument the probe RPC
+  /// client. nullptr detaches. Safe to call before or after
+  /// EnableHealthProbes.
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
+
  private:
   struct HostBinding {
     market::Auctioneer* auctioneer = nullptr;
@@ -173,6 +180,11 @@ class TycoonSchedulerPlugin {
     sim::SimTime spend_target = 0;  // submitted + wallTime
     sim::EventHandle expiry;
     sim::EventHandle rebid;
+    // Open lifecycle spans of the traced job (0 = not open).
+    telemetry::SpanId bid_span = 0;
+    telemetry::SpanId stage_in_span = 0;
+    telemetry::SpanId execute_span = 0;
+    telemetry::SpanId stage_out_span = 0;
   };
 
   void ProbeAll();
@@ -195,6 +207,8 @@ class TycoonSchedulerPlugin {
   void Rebid(ActiveJob& job);
   void Finalize(ActiveJob& job, JobState terminal_state);
   Status FundHost(ActiveJob& job, HostBinding& binding, Micros amount);
+  /// Close every still-open lifecycle span of the job (no-op untraced).
+  void EndOpenJobSpans(ActiveJob& job, telemetry::SpanStatus status);
   Cycles ChunkCycles(const JobDescription& description) const;
   sim::SimDuration StageDuration(const std::vector<StagedFile>& files) const;
 
@@ -216,6 +230,7 @@ class TycoonSchedulerPlugin {
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probe_failures_ = 0;
   std::uint64_t migrations_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace gm::grid

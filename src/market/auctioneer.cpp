@@ -177,6 +177,32 @@ Result<const SlotTable*> Auctioneer::Distribution(
   return Status::NotFound("distribution window: " + window);
 }
 
+void Auctioneer::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    ticks_ctr_ = nullptr;
+    tick_price_ = nullptr;
+    price_gauge_ = nullptr;
+    persistence_err_ = nullptr;
+    window_mean_err_ = nullptr;
+    return;
+  }
+  telemetry::MetricsRegistry& metrics = telemetry->metrics();
+  ticks_ctr_ = metrics.GetCounter("market.auction.ticks");
+  tick_price_ = metrics.GetSummary("market.auction.tick_price");
+  price_gauge_ = metrics.GetGauge("market." + host_.id() + ".price_per_cap");
+  persistence_err_ = metrics.GetSummary("predict.persistence.abs_err");
+  window_mean_err_ = metrics.GetSummary("predict.window_mean.abs_err");
+}
+
+Status Auctioneer::SetAccountTrace(const std::string& user,
+                                   telemetry::TraceId trace) {
+  const auto it = accounts_.find(user);
+  if (it == accounts_.end()) return Status::NotFound("no account: " + user);
+  it->second.trace = trace;
+  return Status::Ok();
+}
+
 void Auctioneer::Tick() {
   const sim::SimTime now = kernel_.now();
   const sim::SimTime interval_start = now - config_.interval;
@@ -209,10 +235,29 @@ void Auctioneer::Tick() {
     account.balance -= cost;
     account.spent += cost;
     revenue_ += cost;
+    if (telemetry_ != nullptr && account.trace != 0 && cost > 0) {
+      telemetry_->tracer().Instant(account.trace, "auction-tick",
+                                   "host=" + host_.id() +
+                                       " user=" + account.user,
+                                   now, MicrosToDollars(cost));
+    }
   }
 
   // 4. Record the spot price for the prediction layer.
   const double price = PricePerCapacity();
+  if (telemetry_ != nullptr) {
+    ticks_ctr_->Inc();
+    tick_price_->Observe(price);
+    price_gauge_->Set(price);
+    // One-step-ahead prediction error realized this tick: what the two
+    // reference predictors (persistence and smoothed hour-window mean)
+    // would have forecast from the history excluding this observation.
+    if (has_prev_price_) persistence_err_->Observe(std::fabs(price - prev_price_));
+    if (!moments_.empty() && moments_.front().second.count() > 0)
+      window_mean_err_->Observe(std::fabs(price - moments_.front().second.mean()));
+    has_prev_price_ = true;
+    prev_price_ = price;
+  }
   history_.Record(now, price);
   for (auto& [name, moments] : moments_) moments.Add(price);
   for (auto& [name, table] : distributions_) table.Add(price);

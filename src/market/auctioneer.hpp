@@ -25,6 +25,7 @@
 #include "market/slot_table.hpp"
 #include "market/window_stats.hpp"
 #include "sim/kernel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gm::market {
 
@@ -52,6 +53,9 @@ struct MarketAccount {
   Micros spent = 0;     // charged so far
   Micros rate = 0;      // bid: micro-dollars per second
   sim::SimTime bid_deadline = 0;
+  /// Causal trace of the job this account is working for (telemetry);
+  /// 0 = untraced. Charged ticks of traced accounts become trace instants.
+  telemetry::TraceId trace = 0;
 };
 
 class Auctioneer {
@@ -113,6 +117,15 @@ class Auctioneer {
   /// with a full window instead of a cold start.
   Result<store::RecoveryStats> RecoverHistory();
 
+  // -- telemetry --
+  /// Count ticks, observe per-tick prices, gauge the latest spot price,
+  /// track one-step prediction-vs-realized error (persistence and
+  /// hour-window-mean predictors) and emit auction-tick instants for
+  /// traced accounts. nullptr detaches.
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
+  /// Tag `user`'s account with the job trace it is working for.
+  Status SetAccountTrace(const std::string& user, telemetry::TraceId trace);
+
  private:
   bool BidActive(const MarketAccount& account, sim::SimTime now) const;
   std::string VmId(const std::string& user) const;
@@ -127,6 +140,14 @@ class Auctioneer {
   std::vector<std::pair<std::string, WindowMoments>> moments_;
   std::vector<std::pair<std::string, SlotTable>> distributions_;
   Micros revenue_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* ticks_ctr_ = nullptr;
+  telemetry::Summary* tick_price_ = nullptr;
+  telemetry::Gauge* price_gauge_ = nullptr;
+  telemetry::Summary* persistence_err_ = nullptr;
+  telemetry::Summary* window_mean_err_ = nullptr;
+  bool has_prev_price_ = false;
+  double prev_price_ = 0.0;  // previous tick's price: persistence forecast
 };
 
 }  // namespace gm::market

@@ -24,6 +24,11 @@ class AuctioneerService {
 
   const std::string& endpoint() const { return server_.endpoint(); }
 
+  /// Count executions/dedup-replays on the underlying RPC server.
+  void AttachTelemetry(telemetry::Telemetry* telemetry) {
+    server_.AttachTelemetry(telemetry);
+  }
+
  private:
   Auctioneer& auctioneer_;
   net::RpcServer server_;
@@ -60,6 +65,11 @@ class AuctioneerClient {
   void CloseAccount(const std::string& endpoint, const std::string& user,
                     MicrosCallback callback);
   void PriceStats(const std::string& endpoint, StatsCallback callback);
+
+  /// Per-call latency spans and retry/timeout counters on the client.
+  void AttachTelemetry(telemetry::Telemetry* telemetry) {
+    client_.AttachTelemetry(telemetry);
+  }
 
  private:
   void CallStatus(const std::string& endpoint, const std::string& method,

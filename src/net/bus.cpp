@@ -69,6 +69,19 @@ bool MessageBus::EndpointCrashed(const std::string& name) const {
   return crashed_.find(name) != crashed_.end();
 }
 
+void MessageBus::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    bytes_hist_ = nullptr;
+    latency_hist_ = nullptr;
+    partition_drops_ = nullptr;
+    return;
+  }
+  bytes_hist_ = telemetry->metrics().GetHistogram("net.bus.message_bytes");
+  latency_hist_ =
+      telemetry->metrics().GetHistogram("net.bus.delivery_latency_us");
+  partition_drops_ = telemetry->metrics().GetCounter("net.bus.partition_drops");
+}
+
 void MessageBus::AddLossWindow(const LossWindow& window) {
   GM_ASSERT(window.probability >= 0.0 && window.probability <= 1.0,
             "loss window probability out of range");
@@ -91,9 +104,12 @@ void MessageBus::Send(Envelope envelope) {
   // not in some later refactor to real sockets.
   Bytes wire = envelope.Encode();
 
+  if (bytes_hist_ != nullptr) bytes_hist_->Record(wire.size());
+
   if (LinkBlocked(envelope.source, envelope.destination)) {
     ++stats_.dropped;
     stats_.bytes_dropped += wire.size();
+    if (partition_drops_ != nullptr) partition_drops_->Inc();
     GM_LOG_DEBUG << "bus: partitioned link " << envelope.source << " -> "
                  << envelope.destination;
     return;
@@ -110,6 +126,8 @@ void MessageBus::Send(Envelope envelope) {
   if (latency_.jitter > 0)
     delay += static_cast<sim::SimDuration>(
         rng_.NextBelow(static_cast<std::uint64_t>(latency_.jitter) + 1));
+  if (latency_hist_ != nullptr)
+    latency_hist_->Record(static_cast<std::uint64_t>(delay));
   kernel_.ScheduleAfter(delay, [this, wire = std::move(wire)] {
     Deliver(wire);
   });

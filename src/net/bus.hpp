@@ -25,6 +25,7 @@
 #include "net/fault.hpp"
 #include "net/message.hpp"
 #include "sim/kernel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gm::net {
 
@@ -91,6 +92,11 @@ class MessageBus {
   const BusStats& stats() const { return stats_; }
   sim::Kernel& kernel() { return kernel_; }
 
+  /// Enable live instrumentation (message-size and modelled-latency
+  /// histograms, partition-drop counter). nullptr detaches; when detached
+  /// the hot path pays one branch per send and nothing else.
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
+
  private:
   void Deliver(const Bytes& wire);
   double DropProbabilityNow() const;
@@ -103,6 +109,10 @@ class MessageBus {
   std::set<std::pair<std::string, std::string>> blocked_links_;  // directed
   std::vector<LossWindow> loss_windows_;
   BusStats stats_;
+  // Cached metric pointers, non-null only while telemetry is attached.
+  telemetry::LatencyHistogram* bytes_hist_ = nullptr;
+  telemetry::LatencyHistogram* latency_hist_ = nullptr;
+  telemetry::Counter* partition_drops_ = nullptr;
 };
 
 }  // namespace gm::net

@@ -11,6 +11,7 @@ Bytes Envelope::Encode() const {
   writer.WriteU8(static_cast<std::uint8_t>(type));
   writer.WriteU64(correlation_id);
   writer.WriteU32(attempt);
+  writer.WriteU64(trace_id);
   writer.WriteBytes(payload);
   return writer.Take();
 }
@@ -26,6 +27,7 @@ Result<Envelope> Envelope::Decode(const Bytes& data) {
   envelope.type = static_cast<MessageType>(type);
   GM_ASSIGN_OR_RETURN(envelope.correlation_id, reader.ReadU64());
   GM_ASSIGN_OR_RETURN(envelope.attempt, reader.ReadU32());
+  GM_ASSIGN_OR_RETURN(envelope.trace_id, reader.ReadU64());
   GM_ASSIGN_OR_RETURN(envelope.payload, reader.ReadBytes());
   if (!reader.AtEnd())
     return Status::InvalidArgument("envelope: trailing bytes");

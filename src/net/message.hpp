@@ -21,6 +21,7 @@ struct Envelope {
   MessageType type = MessageType::kDatagram;
   std::uint64_t correlation_id = 0;  // pairs RPC requests with responses
   std::uint32_t attempt = 1;         // per-attempt sequence number (1 = first)
+  std::uint64_t trace_id = 0;        // causal trace (telemetry), 0 = none
   Bytes payload;
 
   /// Wire encoding (used by tests and by the loopback-free bus path to

@@ -56,6 +56,17 @@ RpcServer::RpcServer(MessageBus& bus, std::string endpoint,
 
 RpcServer::~RpcServer() { (void)bus_.UnregisterEndpoint(endpoint_); }
 
+void RpcServer::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    executions_ctr_ = nullptr;
+    replays_ctr_ = nullptr;
+    return;
+  }
+  executions_ctr_ = telemetry->metrics().GetCounter("net.rpc.executions");
+  replays_ctr_ = telemetry->metrics().GetCounter("net.rpc.replays");
+}
+
 void RpcServer::RegisterMethod(const std::string& name, Method method) {
   GM_ASSERT(method != nullptr, "null RPC method");
   GM_ASSERT(methods_.emplace(name, std::move(method)).second,
@@ -82,6 +93,7 @@ void RpcServer::HandleEnvelope(const Envelope& envelope) {
   response.type = MessageType::kRpcResponse;
   response.correlation_id = envelope.correlation_id;
   response.attempt = envelope.attempt;
+  response.trace_id = envelope.trace_id;
 
   // Exactly-once effects: a retried request (same client, same correlation
   // id) replays the recorded response instead of re-executing the method.
@@ -91,6 +103,15 @@ void RpcServer::HandleEnvelope(const Envelope& envelope) {
         client_cache->second.responses.find(envelope.correlation_id);
     if (cached != client_cache->second.responses.end()) {
       ++replays_;
+      if (replays_ctr_ != nullptr) replays_ctr_->Inc();
+      // The replay is visible in the trace, but as a dedup instant, not a
+      // second execution span: the work happened exactly once.
+      if (telemetry_ != nullptr && envelope.trace_id != 0) {
+        telemetry_->tracer().Instant(
+            envelope.trace_id, "rpc-dedup",
+            "server=" + endpoint_ + " client=" + envelope.source,
+            bus_.kernel().now(), static_cast<double>(envelope.attempt));
+      }
       GM_LOG_DEBUG << "rpc: replaying response for " << envelope.source
                    << " cid=" << envelope.correlation_id << " attempt="
                    << envelope.attempt;
@@ -120,6 +141,7 @@ void RpcServer::HandleEnvelope(const Envelope& envelope) {
     return;
   }
   ++executions_;
+  if (executions_ctr_ != nullptr) executions_ctr_->Inc();
   Result<Bytes> result = it->second(*request);
   response.payload = result.ok() ? EncodeResponse(Status::Ok(), *result)
                                  : EncodeResponse(result.status(), {});
@@ -145,6 +167,33 @@ RpcClient::~RpcClient() {
   (void)bus_.UnregisterEndpoint(endpoint_);
 }
 
+void RpcClient::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    calls_ctr_ = nullptr;
+    retries_ctr_ = nullptr;
+    timeouts_ctr_ = nullptr;
+    latency_hist_ = nullptr;
+    return;
+  }
+  calls_ctr_ = telemetry->metrics().GetCounter("net.rpc.calls");
+  retries_ctr_ = telemetry->metrics().GetCounter("net.rpc.retries");
+  timeouts_ctr_ = telemetry->metrics().GetCounter("net.rpc.timeouts");
+  latency_hist_ = telemetry->metrics().GetHistogram("net.rpc.latency_us");
+}
+
+void RpcClient::FinishSpan(const PendingCall& call, bool ok) {
+  if (telemetry_ == nullptr) return;
+  const sim::SimTime now = bus_.kernel().now();
+  if (call.span != 0) {
+    telemetry_->tracer().EndSpan(
+        call.span, now,
+        ok ? telemetry::SpanStatus::kOk : telemetry::SpanStatus::kError);
+  }
+  if (latency_hist_ != nullptr && now >= call.started)
+    latency_hist_->Record(static_cast<std::uint64_t>(now - call.started));
+}
+
 void RpcClient::Call(const std::string& server, const std::string& method,
                      Bytes request, CallOptions options, Callback callback) {
   GM_ASSERT(callback != nullptr, "null RPC callback");
@@ -156,6 +205,12 @@ void RpcClient::Call(const std::string& server, const std::string& method,
   call.request = std::move(request);
   call.options = options;
   call.callback = std::move(callback);
+  call.started = bus_.kernel().now();
+  if (calls_ctr_ != nullptr) calls_ctr_->Inc();
+  if (telemetry_ != nullptr && options.trace != 0) {
+    call.span = telemetry_->tracer().BeginSpan(
+        options.trace, "rpc:" + method, "server=" + server, call.started);
+  }
   pending_.emplace(id, std::move(call));
   SendAttempt(id);
 }
@@ -172,6 +227,7 @@ void RpcClient::SendAttempt(std::uint64_t id) {
   envelope.type = MessageType::kRpcRequest;
   envelope.correlation_id = id;
   envelope.attempt = static_cast<std::uint32_t>(call.attempt);
+  envelope.trace_id = call.options.trace;
   envelope.payload = writer.Take();
   bus_.Send(std::move(envelope));
 
@@ -188,19 +244,23 @@ void RpcClient::HandleEnvelope(const Envelope& envelope) {
   }
   bus_.kernel().Cancel(it->second.timeout_handle);
   Callback callback = std::move(it->second.callback);
+  const PendingCall finished = std::move(it->second);
   pending_.erase(it);
 
   Reader reader(envelope.payload);
   const Status status = ReadStatus(reader);
   if (!status.ok()) {
+    FinishSpan(finished, false);
     callback(status);
     return;
   }
   auto result = reader.ReadBytes();
   if (!result.ok()) {
+    FinishSpan(finished, false);
     callback(result.status());
     return;
   }
+  FinishSpan(finished, true);
   callback(std::move(*result));
 }
 
@@ -224,11 +284,15 @@ void RpcClient::HandleTimeout(std::uint64_t id) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;
   ++timeouts_;
+  if (timeouts_ctr_ != nullptr) timeouts_ctr_->Inc();
   PendingCall& call = it->second;
   if (call.attempt < call.options.max_attempts) {
     const sim::SimDuration backoff = BackoffDelay(call);
     ++call.attempt;
     ++retries_;
+    if (retries_ctr_ != nullptr) retries_ctr_->Inc();
+    if (telemetry_ != nullptr && call.span != 0)
+      telemetry_->tracer().AddAttempt(call.span);
     GM_LOG_DEBUG << "rpc: retrying " << call.method << " attempt "
                  << call.attempt << " after " << backoff << "us backoff";
     if (backoff <= 0) {
@@ -241,7 +305,9 @@ void RpcClient::HandleTimeout(std::uint64_t id) {
   }
   Callback callback = std::move(call.callback);
   const std::string method = call.method;
+  const PendingCall exhausted = std::move(call);
   pending_.erase(it);
+  FinishSpan(exhausted, false);
   callback(Status::DeadlineExceeded("rpc: " + method + " timed out"));
 }
 

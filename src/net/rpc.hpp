@@ -21,6 +21,7 @@
 
 #include "net/bus.hpp"
 #include "net/serialize.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gm::net {
 
@@ -47,6 +48,10 @@ class RpcServer {
   void RegisterMethod(const std::string& name, Method method);
   const std::string& endpoint() const { return endpoint_; }
 
+  /// Count executions/replays into the registry and mark dedup replays of
+  /// traced requests as trace instants. nullptr detaches.
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
+
   /// Methods actually executed (cache misses).
   std::uint64_t executions() const { return executions_; }
   /// Duplicate requests answered from the dedup cache.
@@ -69,6 +74,9 @@ class RpcServer {
   std::unordered_map<std::string, ClientDedup> dedup_;
   std::uint64_t executions_ = 0;
   std::uint64_t replays_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* executions_ctr_ = nullptr;
+  telemetry::Counter* replays_ctr_ = nullptr;
 };
 
 struct CallOptions {
@@ -80,6 +88,11 @@ struct CallOptions {
   sim::SimDuration initial_backoff = 100 * sim::kMillisecond;
   double backoff_multiplier = 2.0;
   sim::SimDuration max_backoff = sim::Seconds(10);
+  /// Causal trace this call belongs to. Carried in every attempt's
+  /// envelope; the client opens ONE span for the whole logical call and
+  /// bumps its attempt counter on retries, so a retried-then-deduped
+  /// request never shows up as two units of work.
+  telemetry::TraceId trace = 0;
 };
 
 /// Client side: owns a response endpoint and correlates in-flight calls.
@@ -100,6 +113,11 @@ class RpcClient {
             Bytes request, CallOptions options, Callback callback);
 
   const std::string& endpoint() const { return endpoint_; }
+
+  /// Open a span per traced call and record call/retry/timeout counters
+  /// plus a completion-latency histogram. nullptr detaches.
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
+
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t retries() const { return retries_; }
   /// Responses that arrived after their call completed (late duplicates).
@@ -116,7 +134,11 @@ class RpcClient {
     /// The live timer for this call: the attempt timeout, or the backoff
     /// delay between attempts. Cancelled on completion and in ~RpcClient.
     sim::EventHandle timeout_handle;
+    telemetry::SpanId span = 0;  // the one span covering every attempt
+    sim::SimTime started = 0;
   };
+
+  void FinishSpan(const PendingCall& call, bool ok);
 
   void SendAttempt(std::uint64_t id);
   void HandleEnvelope(const Envelope& envelope);
@@ -131,6 +153,11 @@ class RpcClient {
   std::uint64_t retries_ = 0;
   std::uint64_t stale_responses_ = 0;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* calls_ctr_ = nullptr;
+  telemetry::Counter* retries_ctr_ = nullptr;
+  telemetry::Counter* timeouts_ctr_ = nullptr;
+  telemetry::LatencyHistogram* latency_hist_ = nullptr;
 };
 
 /// Helpers for encoding Status into RPC response payloads. A malformed

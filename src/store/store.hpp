@@ -26,6 +26,7 @@
 #include "common/status.hpp"
 #include "store/recoverable.hpp"
 #include "store/wal.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gm::store {
 
@@ -73,6 +74,13 @@ class DurableStore {
   const std::string& dir() const { return wal_->dir(); }
   WriteAheadLog& wal() { return *wal_; }
 
+  /// Record wall-clock append/snapshot latencies (nanoseconds) under
+  /// "store.<label>.append_wall_ns" / "store.<label>.snapshot_wall_ns".
+  /// Wall clock, not sim time: WAL writes are the one place the simulator
+  /// touches real disks, so the real cost is what matters. nullptr detaches.
+  void AttachTelemetry(telemetry::Telemetry* telemetry,
+                       const std::string& label);
+
  private:
   DurableStore(std::unique_ptr<WriteAheadLog> wal, StoreOptions options);
 
@@ -80,6 +88,9 @@ class DurableStore {
   StoreOptions options_;
   StoreStats stats_;
   std::uint64_t appends_since_snapshot_ = 0;
+  telemetry::LatencyHistogram* append_hist_ = nullptr;
+  telemetry::LatencyHistogram* snapshot_hist_ = nullptr;
+  std::uint32_t append_sample_ = 0;  // 1-in-8 append timing sampler
 };
 
 }  // namespace gm::store

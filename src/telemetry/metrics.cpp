@@ -1,0 +1,117 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace gm::telemetry {
+
+void Summary::Observe(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void LatencyHistogram::Record(std::uint64_t value) {
+  const int index =
+      std::min(static_cast<int>(std::bit_width(value)), kBuckets - 1);
+  ++buckets_[index];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based: ceil(q * count), at least 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             q * static_cast<double>(count_) + 0.9999999999));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets_[i];
+    if (cumulative < rank) continue;
+    // Bucket i spans [lo, hi]; interpolate by the rank's position within
+    // the bucket, then clamp to the observed extremes so degenerate
+    // cases (single sample, endpoint quantiles) are exact.
+    const std::uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+    const std::uint64_t hi =
+        i == 0 ? 0
+        : i >= kBuckets - 1
+            ? max_
+            : (1ULL << i) - 1;
+    const double within =
+        static_cast<double>(rank - before) / static_cast<double>(buckets_[i]);
+    // The double round-trip below loses ULPs near 2^64, so hand the
+    // bucket endpoint back exactly instead of interpolating to it.
+    std::uint64_t value;
+    if (within >= 1.0) {
+      value = hi;
+    } else {
+      value = lo + static_cast<std::uint64_t>(
+                       static_cast<double>(hi - lo) * within + 0.5);
+    }
+    value = std::clamp(value, min_, max_);
+    return value;
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_)
+    snapshot.counters.emplace(name, counter.value());
+  for (const auto& [name, gauge] : gauges_)
+    snapshot.gauges.emplace(name, gauge.value());
+  for (const auto& [name, summary] : summaries_) {
+    MetricsSnapshot::SummaryView view;
+    view.count = summary.count();
+    view.sum = summary.sum();
+    view.min = summary.min();
+    view.max = summary.max();
+    view.mean = summary.mean();
+    snapshot.summaries.emplace(name, view);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramView view;
+    view.count = histogram.count();
+    view.sum = histogram.sum();
+    view.min = histogram.min();
+    view.max = histogram.max();
+    view.p50 = histogram.Quantile(0.50);
+    view.p90 = histogram.Quantile(0.90);
+    view.p99 = histogram.Quantile(0.99);
+    snapshot.histograms.emplace(name, view);
+  }
+  return snapshot;
+}
+
+}  // namespace gm::telemetry

@@ -1,0 +1,158 @@
+// Metrics registry: named counters, gauges, summaries and log-bucketed
+// latency histograms.
+//
+// Designed for the hot paths of a multi-day simulated run (millions of
+// auction ticks and bus deliveries): recording into a counter is one
+// add, recording into a histogram is a bit_width plus two adds. Metric
+// objects are owned by the registry in node-based maps, so pointers
+// returned by Get* stay valid for the registry's lifetime — components
+// look a metric up once and keep the pointer for their hot loop.
+//
+// Quantiles (p50/p90/p99) are extracted from power-of-two buckets with
+// linear interpolation inside the winning bucket, clamped to the observed
+// min/max so a single-sample histogram reports that sample exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gm::telemetry {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_ += n; }
+  /// Overwrite: used when mirroring a component-kept total into the
+  /// registry at snapshot time (pull-based collection).
+  void Set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value (a price, a queue depth).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Running moments of a double-valued observation stream (prediction
+/// errors, per-tick prices) where bucketing would lose sign/scale.
+class Summary {
+ public:
+  void Observe(double v);
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log2-bucketed histogram over non-negative integer values (sim-time
+/// microseconds, wall-clock nanoseconds, byte counts). Bucket i holds
+/// values whose bit width is i, i.e. [2^(i-1), 2^i - 1]; bucket 0 holds
+/// the value 0. 64 buckets cover the whole uint64 range, so nothing is
+/// ever out of range — the top bucket simply absorbs the tail and the
+/// quantile clamps to the observed max.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(std::uint64_t value);
+
+  /// q in [0, 1]. Returns 0 for an empty histogram. Exact for the
+  /// min/max endpoints, interpolated inside the selected bucket.
+  std::uint64_t Quantile(double q) const;
+
+  /// Pointwise sum: afterwards *this reports the union of both streams.
+  void Merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  std::uint64_t bucket(int i) const { return buckets_[i]; }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Value-type copy of every metric at one instant; what the monitor
+/// tables and the JSONL exporter render from.
+struct MetricsSnapshot {
+  struct HistogramView {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+  };
+  struct SummaryView {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramView> histograms;
+  std::map<std::string, SummaryView> summaries;
+
+  /// Missing-tolerant counter lookup for table renderers.
+  std::uint64_t CounterOr(const std::string& name,
+                          std::uint64_t fallback = 0) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second;
+  }
+  bool HasCounter(const std::string& name) const {
+    return counters.count(name) != 0;
+  }
+};
+
+/// Named metric store. Get* creates on first use and always returns the
+/// same object for a name; names are dot-delimited paths by convention
+/// ("net.bus.delivered", "store.bank.append_wall_ns").
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name) { return &counters_[name]; }
+  Gauge* GetGauge(const std::string& name) { return &gauges_[name]; }
+  Summary* GetSummary(const std::string& name) { return &summaries_[name]; }
+  LatencyHistogram* GetHistogram(const std::string& name) {
+    return &histograms_[name];
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  // std::map is node-based: inserting never invalidates element pointers.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Summary> summaries_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace gm::telemetry

@@ -1,0 +1,95 @@
+// Causal trace spans over simulated time.
+//
+// A TraceId is minted when a job enters the system and rides along every
+// message and lifecycle transition the job causes (the Envelope carries
+// it on the wire). Components open spans against the trace — submit,
+// fund-verify, bid, execute, stage-out, refund — and mark point events
+// (auction ticks, crashes, migrations) as instants. A retried RPC is ONE
+// span whose attempt counter grows; the dedup cache on the server keeps
+// the effect single too, so a trace never double-counts work.
+//
+// Events live in a bounded ring buffer keyed by sim-time: recording is
+// O(1), memory is fixed, and the oldest events fall off first. Ending a
+// span that has already been evicted is a silent no-op (the journal is
+// diagnostic, not transactional).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gm::telemetry {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+enum class SpanStatus : std::uint8_t { kOpen = 0, kOk = 1, kError = 2 };
+
+const char* SpanStatusName(SpanStatus status);
+
+struct SpanEvent {
+  SpanId id = 0;
+  TraceId trace = 0;
+  std::string name;    // "submit", "rpc:Transfer", "auction-tick", ...
+  std::string detail;  // free-form context ("host=h3", "job=7")
+  sim::SimTime start = 0;
+  sim::SimTime end = -1;  // -1 while the span is open; == start for instants
+  std::uint32_t attempts = 1;
+  SpanStatus status = SpanStatus::kOpen;
+  bool instant = false;
+  double value = 0.0;  // optional numeric payload (price, dollars, count)
+
+  sim::SimDuration Duration() const { return end < 0 ? 0 : end - start; }
+};
+
+/// Bounded event journal plus trace/span id minting.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 8192);
+
+  TraceId NewTrace() { return next_trace_++; }
+
+  /// Opens a span; returns its id for AddAttempt/EndSpan. Spans against
+  /// trace 0 ("no trace") are still recorded — they show up in the
+  /// journal but belong to no causal chain.
+  SpanId BeginSpan(TraceId trace, std::string name, std::string detail,
+                   sim::SimTime now);
+  /// A retry of the same logical operation: bumps the span's attempt
+  /// counter instead of opening a second span.
+  void AddAttempt(SpanId span);
+  void EndSpan(SpanId span, sim::SimTime now,
+               SpanStatus status = SpanStatus::kOk);
+
+  /// Point event: a span with zero duration, already closed.
+  void Instant(TraceId trace, std::string name, std::string detail,
+               sim::SimTime now, double value = 0.0);
+
+  /// All still-buffered events of one trace, ordered by (start, id).
+  std::vector<SpanEvent> EventsFor(TraceId trace) const;
+  /// Every buffered event in ring order (oldest first).
+  std::vector<SpanEvent> AllEvents() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  /// Events evicted because the ring wrapped.
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  SpanEvent* Find(SpanId span);
+  SpanEvent& Push(SpanEvent event);
+
+  std::size_t capacity_;
+  std::vector<SpanEvent> ring_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  TraceId next_trace_ = 1;
+  SpanId next_span_ = 1;
+  // Open spans only: span id -> ring slot, erased on EndSpan/eviction.
+  std::unordered_map<SpanId, std::size_t> open_;
+};
+
+}  // namespace gm::telemetry

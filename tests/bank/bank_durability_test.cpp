@@ -217,9 +217,10 @@ TEST_F(BankDurabilityTest, ReplayDeterminismProperty) {
             break;
           case 3: {
             const Micros balance = bank->Balance("bob/jobs").value();
-            if (balance > 0)
+            if (balance > 0) {
               ASSERT_TRUE(
                   bank->InternalTransfer("bob/jobs", "bob", balance, i).ok());
+            }
             break;
           }
         }

@@ -1,0 +1,70 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace gm {
+namespace {
+
+TEST(ParseLogLevelTest, AcceptsEveryLevelCaseInsensitively) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("trace", &level));
+  EXPECT_EQ(level, LogLevel::kTrace);
+  EXPECT_TRUE(ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("Info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_TRUE(ParseLogLevel("none", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST(ParseLogLevelTest, RejectsGarbageWithoutTouchingOutput) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("2", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(LoggerTest, ApplyEnvLevelReadsVariable) {
+  Logger& logger = Logger::Instance();
+  const LogLevel saved = logger.level();
+  ::setenv("GM_LOG_LEVEL", "debug", 1);
+  EXPECT_TRUE(logger.ApplyEnvLevel());
+  EXPECT_EQ(logger.level(), LogLevel::kDebug);
+  ::unsetenv("GM_LOG_LEVEL");
+  EXPECT_FALSE(logger.ApplyEnvLevel());
+  EXPECT_EQ(logger.level(), LogLevel::kDebug);  // unset leaves level alone
+  logger.set_level(saved);
+}
+
+TEST(LoggerTest, PrefixHookPrependsToEveryLine) {
+  Logger& logger = Logger::Instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  logger.set_sink(
+      [&](LogLevel, const std::string& message) { lines.push_back(message); });
+  logger.set_prefix_hook([] { return std::string("[t=42] "); });
+  GM_LOG_INFO << "hello";
+  logger.set_prefix_hook(nullptr);
+  GM_LOG_INFO << "bare";
+  logger.set_sink(nullptr);
+  logger.set_level(saved);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[t=42] hello");
+  EXPECT_EQ(lines[1], "bare");
+}
+
+}  // namespace
+}  // namespace gm

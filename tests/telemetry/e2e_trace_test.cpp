@@ -1,0 +1,176 @@
+// End-to-end telemetry through the assembled GridMarket: one submission
+// must produce a complete causal chain (submit -> fund-verify -> bid ->
+// execute -> stage-out -> refund) with every lifecycle span appearing
+// exactly once, and the snapshot-driven monitor tables must render the
+// same text as the legacy struct-taking shims.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/grid_market.hpp"
+
+namespace gm {
+namespace {
+
+GridMarket::Config TelemetryConfig() {
+  GridMarket::Config config;
+  config.hosts = 4;
+  config.cpus_per_host = 2;
+  config.cycles_per_cpu = 1000.0;  // tiny units for fast tests
+  config.virtualization_overhead = 0.0;
+  config.vm_boot_time = sim::Seconds(5);
+  config.plugin.reference_capacity = 1000.0;
+  config.seed = 7;
+  config.telemetry.enabled = true;
+  return config;
+}
+
+grid::JobDescription SmallJob() {
+  grid::JobDescription description;
+  description.executable = "/bin/work";
+  description.job_name = "traced";
+  description.count = 2;
+  description.chunks = 4;
+  description.cpu_time_minutes = 1.0;
+  description.wall_time_minutes = 120.0;
+  description.input_files = {{"in.dat", 10.0}};
+  description.output_files = {{"out.dat", 1.0}};
+  return description;
+}
+
+int CountSpans(const std::vector<telemetry::SpanEvent>& events,
+               const std::string& name) {
+  int n = 0;
+  for (const auto& event : events)
+    if (event.name == name && !event.instant) ++n;
+  return n;
+}
+
+TEST(TelemetryE2eTest, JobLifecycleIsOneCompleteSpanChain) {
+  GridMarket grid(TelemetryConfig());
+  // The scheduler links auctioneers directly; probe RPCs are what put
+  // traffic on the simulated bus.
+  ASSERT_TRUE(grid.EnableHealthProbes().ok());
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(), 10.0);
+  ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
+  grid.RunUntil(sim::Hours(1));
+  const auto job = grid.Job(*job_id);
+  ASSERT_TRUE(job.ok());
+  ASSERT_EQ((*job)->state, grid::JobState::kFinished) << (*job)->failure;
+  EXPECT_NE((*job)->trace, 0u);
+
+  const auto events = grid.JobTrace(*job_id);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  // Each lifecycle phase is exactly one span — retries and re-bids never
+  // double-count work.
+  for (const char* name :
+       {"submit", "fund-verify", "bid", "stage-in", "execute", "stage-out",
+        "refund"}) {
+    EXPECT_EQ(CountSpans(*events, name), 1) << "span: " << name;
+  }
+  // Everything closed ok, ordered by start time.
+  sim::SimTime last_start = -1;
+  for (const auto& event : *events) {
+    EXPECT_GE(event.start, last_start);
+    last_start = event.start;
+    if (!event.instant) {
+      EXPECT_EQ(event.status, telemetry::SpanStatus::kOk)
+          << event.name << " left " << telemetry::SpanStatusName(event.status);
+      EXPECT_GE(event.end, event.start) << event.name;
+    }
+  }
+  // The market charged the job at least once along the way.
+  EXPECT_GE(CountSpans(*events, "submit"), 1);
+  int ticks = 0;
+  for (const auto& event : *events)
+    if (event.name == "auction-tick") ++ticks;
+  EXPECT_GT(ticks, 0);
+
+  // Hot-path metrics accumulated while the job ran.
+  const auto snapshot = grid.CollectMetrics();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_GT(snapshot->CounterOr("market.auction.ticks"), 0u);
+  EXPECT_GT(snapshot->CounterOr("bank.transfers"), 0u);
+  EXPECT_GT(snapshot->CounterOr("net.bus.sent"), 0u);
+  EXPECT_GT(snapshot->histograms.at("net.bus.delivery_latency_us").count, 0u);
+  EXPECT_GT(snapshot->summaries.at("predict.persistence.abs_err").count, 0u);
+}
+
+TEST(TelemetryE2eTest, DisabledTelemetryLeavesNoTrace) {
+  GridMarket::Config config = TelemetryConfig();
+  config.telemetry.enabled = false;
+  GridMarket grid(config);
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(), 10.0);
+  ASSERT_TRUE(job_id.ok());
+  grid.RunUntil(sim::Hours(1));
+  EXPECT_EQ(grid.telemetry(), nullptr);
+  EXPECT_EQ(grid.Job(*job_id).value()->trace, 0u);
+  EXPECT_FALSE(grid.CollectMetrics().ok());
+  EXPECT_FALSE(grid.JobTrace(*job_id).ok());
+}
+
+TEST(TelemetryE2eTest, JsonlExportRoundTrips) {
+  GridMarket grid(TelemetryConfig());
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(), 10.0);
+  ASSERT_TRUE(job_id.ok());
+  grid.RunUntil(sim::Hours(1));
+
+  const std::string path =
+      ::testing::TempDir() + "/telemetry_e2e_export.jsonl";
+  ASSERT_TRUE(grid.WriteTelemetryJsonl(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_span = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"kind\":\"span\"") != std::string::npos) saw_span = true;
+    ++lines;
+  }
+  EXPECT_GT(lines, 10u);
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(TelemetryE2eTest, NetTableRendersIdenticallyFromSnapshot) {
+  GridMarket grid(TelemetryConfig());
+  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  ASSERT_TRUE(grid.SubmitJob("alice", SmallJob(), 10.0).ok());
+  grid.RunUntil(sim::Minutes(20));
+
+  const auto snapshot = grid.CollectMetrics();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(grid::RenderNetTable(*snapshot),
+            grid::RenderNetTable(grid.bus().stats(), &grid.broker().plugin()));
+}
+
+TEST(TelemetryE2eTest, StoreTableShimMatchesSnapshotRenderer) {
+  store::StoreStats a;
+  a.appended_records = 12;
+  a.appended_bytes = 4096;
+  a.snapshots_written = 2;
+  store::StoreStats b;
+  b.appended_records = 7;
+  b.recoveries = 1;
+  b.replayed_records = 7;
+  const std::vector<grid::StoreRow> rows = {{"bank", a}, {"price/h00", b}};
+
+  telemetry::MetricsRegistry registry;
+  for (const auto& row : rows) grid::MirrorStoreStats(row, registry);
+  EXPECT_EQ(grid::RenderStoreTable(rows),
+            grid::RenderStoreTable(registry.Snapshot()));
+  // Both component rows present.
+  const std::string table = grid::RenderStoreTable(rows);
+  EXPECT_NE(table.find("bank"), std::string::npos);
+  EXPECT_NE(table.find("price/h00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gm

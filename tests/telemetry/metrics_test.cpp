@@ -1,0 +1,139 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace gm::telemetry {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsExactAtEveryQuantile) {
+  LatencyHistogram h;
+  h.Record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  // Clamping to the observed min/max makes every quantile the sample
+  // itself, even though the bucket [512, 1023] is much wider.
+  EXPECT_EQ(h.Quantile(0.01), 777u);
+  EXPECT_EQ(h.Quantile(0.5), 777u);
+  EXPECT_EQ(h.Quantile(0.99), 777u);
+}
+
+TEST(LatencyHistogramTest, ZeroLandsInBucketZero) {
+  LatencyHistogram h;
+  h.Record(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, ValuesBeyondTopBucketClampToObservedMax) {
+  LatencyHistogram h;
+  // bit_width(UINT64_MAX) == 64, one past the last bucket index; the top
+  // bucket absorbs it instead of indexing out of range.
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 1), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(h.Quantile(1.0), UINT64_MAX);
+  EXPECT_GE(h.Quantile(0.5), UINT64_MAX - 1);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreOrderedAndBracketed) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  const std::uint64_t p50 = h.Quantile(0.50);
+  const std::uint64_t p90 = h.Quantile(0.90);
+  const std::uint64_t p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log-bucket resolution: the p50 answer must come from the bucket that
+  // actually holds rank 500, i.e. [256, 511].
+  EXPECT_GE(p50, 256u);
+  EXPECT_LE(p50, 511u);
+  EXPECT_LE(p99, 1000u);
+}
+
+TEST(LatencyHistogramTest, MergeIsPointwiseUnion) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(5);
+  b.Record(40000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 10u + 20u + 5u + 40000u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 40000u);
+  EXPECT_EQ(a.Quantile(1.0), 40000u);
+  // Merging an empty histogram changes nothing.
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5u);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointer) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("net.bus.sent");
+  c->Inc();
+  // Creating many other metrics must not move the first one (node-based
+  // map) — components cache the pointer for their hot loop.
+  for (int i = 0; i < 100; ++i)
+    registry.GetCounter("filler." + std::to_string(i));
+  EXPECT_EQ(registry.GetCounter("net.bus.sent"), c);
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Inc(3);
+  registry.GetGauge("a.gauge")->Set(2.5);
+  registry.GetSummary("a.sum")->Observe(-1.5);
+  registry.GetSummary("a.sum")->Observe(4.5);
+  registry.GetHistogram("a.hist")->Record(100);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("a.count"), 3u);
+  EXPECT_EQ(snapshot.CounterOr("missing", 9u), 9u);
+  EXPECT_TRUE(snapshot.HasCounter("a.count"));
+  EXPECT_FALSE(snapshot.HasCounter("missing"));
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("a.gauge"), 2.5);
+  EXPECT_EQ(snapshot.summaries.at("a.sum").count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.summaries.at("a.sum").min, -1.5);
+  EXPECT_DOUBLE_EQ(snapshot.summaries.at("a.sum").mean, 1.5);
+  EXPECT_EQ(snapshot.histograms.at("a.hist").count, 1u);
+  EXPECT_EQ(snapshot.histograms.at("a.hist").p50, 100u);
+}
+
+TEST(SummaryTest, TracksSignedMoments) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.Observe(-3.0);
+  s.Observe(1.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), -1.0);
+}
+
+}  // namespace
+}  // namespace gm::telemetry

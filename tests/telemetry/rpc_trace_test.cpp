@@ -1,0 +1,136 @@
+// Trace propagation through the RPC layer: a retried-then-deduped call
+// must surface as exactly ONE span (with the attempt count recorded) and
+// one server-side dedup instant — never as two units of work.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/fault.hpp"
+#include "net/rpc.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace gm::net {
+namespace {
+
+class RpcTraceTest : public ::testing::Test {
+ protected:
+  // Fixed 1 ms one-way latency, no jitter, no baseline loss: the only
+  // nondeterminism left is the retry backoff jitter, which bounds but
+  // does not change the event structure.
+  RpcTraceTest() : bus_(kernel_, LatencyModel{1000, 0, 0.0}, 3) {}
+
+  sim::Kernel kernel_;
+  MessageBus bus_;
+  telemetry::Telemetry telemetry_;
+};
+
+TEST_F(RpcTraceTest, RetriedThenDedupedCallIsOneSpan) {
+  RpcServer server(bus_, "bank");
+  server.AttachTelemetry(&telemetry_);
+  server.RegisterMethod("echo", [](const Bytes& request) -> Result<Bytes> {
+    return request;
+  });
+  RpcClient client(bus_, "agent");
+  client.AttachTelemetry(&telemetry_);
+
+  // The request leaves at t=0 and executes at t=1ms; the response is
+  // sent inside the loss window and vanishes. The retry (after the 10 ms
+  // timeout + backoff) misses the window, hits the dedup cache, and the
+  // replayed response completes the call.
+  bus_.AddLossWindow({/*from=*/1000, /*to=*/1500, /*probability=*/1.0});
+
+  CallOptions options;
+  options.timeout = 10 * sim::kMillisecond;
+  options.max_attempts = 3;
+  options.trace = telemetry_.tracer().NewTrace();
+
+  std::optional<Result<Bytes>> response;
+  client.Call("bank", "echo", {}, options,
+              [&](Result<Bytes> r) { response = std::move(r); });
+  kernel_.Run();
+
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok());
+  // The method body ran once; the second request was answered from cache.
+  EXPECT_EQ(server.executions(), 1u);
+  EXPECT_EQ(server.replays(), 1u);
+  EXPECT_EQ(client.retries(), 1u);
+  EXPECT_EQ(client.timeouts(), 1u);
+
+  const auto events = telemetry_.tracer().EventsFor(options.trace);
+  ASSERT_EQ(events.size(), 2u);
+  // One span for the logical call, both attempts folded into it.
+  EXPECT_EQ(events[0].name, "rpc:echo");
+  EXPECT_FALSE(events[0].instant);
+  EXPECT_EQ(events[0].attempts, 2u);
+  EXPECT_EQ(events[0].status, telemetry::SpanStatus::kOk);
+  EXPECT_GT(events[0].Duration(), 0);
+  // The dedup replay is an instant carrying the duplicate attempt number.
+  EXPECT_EQ(events[1].name, "rpc-dedup");
+  EXPECT_TRUE(events[1].instant);
+  EXPECT_DOUBLE_EQ(events[1].value, 2.0);
+
+  const auto snapshot = telemetry_.metrics().Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("net.rpc.calls"), 1u);
+  EXPECT_EQ(snapshot.CounterOr("net.rpc.retries"), 1u);
+  EXPECT_EQ(snapshot.CounterOr("net.rpc.timeouts"), 1u);
+  EXPECT_EQ(snapshot.CounterOr("net.rpc.executions"), 1u);
+  EXPECT_EQ(snapshot.CounterOr("net.rpc.replays"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("net.rpc.latency_us").count, 1u);
+}
+
+TEST_F(RpcTraceTest, ExhaustedCallEndsSpanWithError) {
+  RpcClient client(bus_, "agent");
+  client.AttachTelemetry(&telemetry_);
+  CallOptions options;
+  options.timeout = 5 * sim::kMillisecond;
+  options.max_attempts = 2;
+  options.trace = telemetry_.tracer().NewTrace();
+
+  std::optional<Result<Bytes>> response;
+  client.Call("ghost", "m", {}, options,
+              [&](Result<Bytes> r) { response = std::move(r); });
+  kernel_.Run();
+
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status().code(), StatusCode::kDeadlineExceeded);
+  const auto events = telemetry_.tracer().EventsFor(options.trace);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].attempts, 2u);
+  EXPECT_EQ(events[0].status, telemetry::SpanStatus::kError);
+}
+
+TEST_F(RpcTraceTest, EnvelopeCarriesTraceIdOnTheWire) {
+  Envelope envelope;
+  envelope.source = "a";
+  envelope.destination = "b";
+  envelope.trace_id = 0xDEADBEEFCAFEF00Dull;
+  envelope.correlation_id = 7;
+  envelope.attempt = 2;
+  const Bytes wire = envelope.Encode();
+  const auto decoded = Envelope::Decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->trace_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(decoded->attempt, 2u);
+}
+
+TEST_F(RpcTraceTest, UntracedCallRecordsNoSpan) {
+  RpcServer server(bus_, "bank");
+  server.AttachTelemetry(&telemetry_);
+  server.RegisterMethod("echo", [](const Bytes& request) -> Result<Bytes> {
+    return request;
+  });
+  RpcClient client(bus_, "agent");
+  client.AttachTelemetry(&telemetry_);
+  std::optional<Result<Bytes>> response;
+  client.Call("bank", "echo", {}, CallOptions{},
+              [&](Result<Bytes> r) { response = std::move(r); });
+  kernel_.Run();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok());
+  EXPECT_EQ(telemetry_.tracer().size(), 0u);  // counters only, no spans
+  EXPECT_EQ(telemetry_.metrics().Snapshot().CounterOr("net.rpc.calls"), 1u);
+}
+
+}  // namespace
+}  // namespace gm::net
