@@ -54,7 +54,8 @@ int main() {
   base.grid.cpus_per_host = 2;
   base.grid.heterogeneity = 0.3;
   base.grid.seed = 5;
-  base.budgets = {60.0, 60.0, 60.0};
+  base.budgets = {Money::Dollars(60), Money::Dollars(60),
+                  Money::Dollars(60)};
   base.job.nodes = 6;
   base.job.chunks = 18;
   base.job.chunk_cpu_minutes = 60.0;

@@ -58,7 +58,7 @@ class BenchResultFile {
 };
 
 inline workload::BestResponseExperimentConfig PaperTestbed(
-    std::vector<double> budgets, double wall_minutes) {
+    std::vector<Money> budgets, double wall_minutes) {
   workload::BestResponseExperimentConfig config;
   config.grid.hosts = 30;
   config.grid.cpus_per_host = 2;

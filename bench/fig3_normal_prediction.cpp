@@ -25,7 +25,7 @@ using namespace gm;
 void GenerateBackgroundLoad(GridMarket& grid, Rng& rng) {
   for (int u = 0; u < 12; ++u) {
     const std::string name = "bg" + std::to_string(u);
-    GM_ASSERT(grid.RegisterUser(name, 1e7).ok(), "register failed");
+    GM_ASSERT(grid.RegisterUser(name, Money::Dollars(1e7)).ok(), "register failed");
   }
   math::NormalSampler budget_sampler(60.0, 20.0);
   for (sim::SimTime t = 0; t < sim::Hours(24); t += sim::Minutes(20)) {
@@ -39,7 +39,7 @@ void GenerateBackgroundLoad(GridMarket& grid, Rng& rng) {
     job.cpu_time_minutes = 15.0 + rng.Uniform(0.0, 30.0);
     job.wall_time_minutes = 120.0;
     const double budget = std::max(5.0, budget_sampler.Sample(rng));
-    (void)grid.SubmitJob(user, job, budget);
+    (void)grid.SubmitJob(user, job, Money::Dollars(budget));
   }
   grid.RunUntil(sim::Hours(25));
 }

@@ -26,7 +26,7 @@ std::vector<double> CollectPriceHistory() {
   GridMarket grid(config);
   Rng rng(5);
   for (int u = 0; u < 8; ++u) {
-    GM_ASSERT(grid.RegisterUser("u" + std::to_string(u), 1e8).ok(),
+    GM_ASSERT(grid.RegisterUser("u" + std::to_string(u), Money::Dollars(1e8)).ok(),
               "register failed");
   }
   // Batch arrivals: every 1-3 hours a user submits a multi-chunk batch
@@ -42,7 +42,8 @@ std::vector<double> CollectPriceHistory() {
     job.chunks = 6;
     job.cpu_time_minutes = 30.0 + rng.Uniform(0.0, 60.0);
     job.wall_time_minutes = 6.0 * 60.0;
-    (void)grid.SubmitJob(user, job, 20.0 + rng.Uniform(0.0, 60.0));
+    (void)grid.SubmitJob(user, job,
+                         Money::Dollars(20.0 + rng.Uniform(0.0, 60.0)));
     t += sim::Minutes(60 + static_cast<long>(rng.NextBelow(120)));
   }
   grid.RunUntil(sim::Hours(41));

@@ -20,7 +20,7 @@ int main() {
   GridMarket grid(config);
   Rng rng(31);
   for (int u = 0; u < 6; ++u) {
-    GM_ASSERT(grid.RegisterUser("u" + std::to_string(u), 1e9).ok(),
+    GM_ASSERT(grid.RegisterUser("u" + std::to_string(u), Money::Dollars(1e9)).ok(),
               "register failed");
   }
 
@@ -33,7 +33,7 @@ int main() {
     job.chunks = 2;
     job.cpu_time_minutes = cpu_minutes;
     job.wall_time_minutes = 8 * 60.0;
-    (void)grid.SubmitJob(user, job, budget);
+    (void)grid.SubmitJob(user, job, Money::Dollars(budget));
   };
 
   // A busy week: frequent contending jobs keep prices in the upper

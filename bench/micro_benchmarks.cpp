@@ -28,11 +28,11 @@ void BM_BestResponseSolve(benchmark::State& state) {
   std::vector<br::HostBidInput> inputs;
   for (std::size_t j = 0; j < hosts; ++j) {
     inputs.push_back({"h" + std::to_string(j), rng.Uniform(1e9, 4e9),
-                      rng.Uniform(1e-5, 1e-2)});
+                      Rate::DollarsPerSec(rng.Uniform(1e-5, 1e-2))});
   }
   br::BestResponseSolver solver;
   for (auto _ : state) {
-    auto result = solver.Solve(inputs, 0.01);
+    auto result = solver.Solve(inputs, Rate::DollarsPerSec(0.01));
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations() * hosts);
@@ -53,8 +53,9 @@ void BM_AuctioneerTick(benchmark::State& state) {
   for (int u = 0; u < users; ++u) {
     const std::string user = "u" + std::to_string(u);
     (void)auctioneer.OpenAccount(user);
-    (void)auctioneer.Fund(user, DollarsToMicros(1e9));
-    (void)auctioneer.SetBid(user, 1000 + u, sim::Hours(1e6));
+    (void)auctioneer.Fund(user, Money::Dollars(1e9));
+    (void)auctioneer.SetBid(user, Rate::MicrosPerSec(1000 + u),
+                            sim::Hours(1e6));
     auto vm = auctioneer.AcquireVm(user);
     (*vm)->Enqueue({1, 1e18, nullptr});
   }

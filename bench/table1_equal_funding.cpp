@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
                  overrides.status().ToString().c_str());
     return 1;
   }
-  const double budget = overrides->GetDouble("budget", 100.0);
+  const Money budget = Money::Dollars(overrides->GetDouble("budget", 100.0));
   auto config = bench::PaperTestbed(
       /*budgets=*/{budget, budget, budget, budget, budget},
       /*wall_minutes=*/overrides->GetDouble("wall_hours", 8.0) * 60.0);

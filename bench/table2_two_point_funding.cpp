@@ -16,7 +16,9 @@
 int main() {
   using namespace gm;
   auto config = bench::PaperTestbed(
-      /*budgets=*/{100.0, 100.0, 500.0, 500.0, 500.0},
+      /*budgets=*/{Money::Dollars(100), Money::Dollars(100),
+                   Money::Dollars(500), Money::Dollars(500),
+                   Money::Dollars(500)},
       /*wall_minutes=*/5.5 * 60.0);
   // The $100 jobs may legitimately outlive the 5.5 h deadline in this
   // contention regime; give the simulation room to observe it.

@@ -36,8 +36,9 @@ struct TickFixture {
     for (int u = 0; u < users; ++u) {
       const std::string user = "u" + std::to_string(u);
       (void)auctioneer.OpenAccount(user);
-      (void)auctioneer.Fund(user, DollarsToMicros(1e9));
-      (void)auctioneer.SetBid(user, 1000 + u, sim::Hours(1e6));
+      (void)auctioneer.Fund(user, Money::Dollars(1e9));
+      (void)auctioneer.SetBid(user, Rate::MicrosPerSec(1000 + u),
+                            sim::Hours(1e6));
       auto vm = auctioneer.AcquireVm(user);
       if (vm.ok()) (*vm)->Enqueue({1, 1e18, nullptr});
     }

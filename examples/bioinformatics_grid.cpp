@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   config.hosts = 20;
   config.heterogeneity = 0.2;  // mixed machine generations
   GridMarket grid(config);
-  if (!grid.RegisterUser("biotech-lab", 1e5).ok()) return 1;
+  if (!grid.RegisterUser("biotech-lab", Money::Dollars(1e5)).ok()) return 1;
 
   // The proteome model, calibrated to the paper's observation that one
   // chunk of ~95 takes 212 minutes on a 3 GHz node.
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
               "budget $%.0f\n\n",
               job->TotalChunks(), job->cpu_time_minutes, job->count, budget);
 
-  const auto job_id = grid.SubmitJob("biotech-lab", *job, budget);
+  const auto job_id = grid.SubmitJob("biotech-lab", *job, Money::Dollars(budget));
   if (!job_id.ok()) {
     std::fprintf(stderr, "submit failed: %s\n",
                  job_id.status().ToString().c_str());

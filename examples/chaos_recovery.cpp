@@ -50,7 +50,7 @@ int main() {
   Logger::Instance().set_prefix_hook(
       [&grid] { return "[t=" + sim::FormatTime(grid.now()) + "] "; });
 
-  if (!grid.RegisterUser("alice", 1000.0).ok()) return 1;
+  if (!grid.RegisterUser("alice", Money::Dollars(1000)).ok()) return 1;
 
   // Failure detector: ping every host each 10 s (3 attempts per round);
   // 2 failed rounds -> SUSPECT, 3 -> DEAD and jobs migrate.
@@ -71,7 +71,7 @@ int main() {
   job.wall_time_minutes = 12.0 * 60.0;
   job.input_files = {{"sequences.fasta", 40.0}};
 
-  const auto job_id = grid.SubmitJob("alice", job, 25.0);
+  const auto job_id = grid.SubmitJob("alice", job, Money::Dollars(25));
   if (!job_id.ok()) {
     std::fprintf(stderr, "submit failed: %s\n",
                  job_id.status().ToString().c_str());
@@ -103,7 +103,7 @@ int main() {
   if (!grid.CrashBank().ok()) return 1;
   std::printf("t=%s  crashed the bank (ledger %.12s...)\n",
               sim::FormatTime(grid.now()).c_str(), ledger_before.c_str());
-  if (grid.PayBroker("alice", 1.0).ok()) return 1;  // bank is down
+  if (grid.PayBroker("alice", Money::Dollars(1)).ok()) return 1;  // bank is down
 
   grid.RunFor(sim::Minutes(5));
   if (!grid.RestartBank().ok()) return 1;
@@ -206,7 +206,7 @@ int main() {
   for (const auto& host : grid.HostHealthReport())
     victim_dead |= host.host_id == victim &&
                    host.state == grid::HostHealthState::kDead;
-  const Micros escrow = *grid.bank().Balance(record->account);
+  const Money escrow = *grid.bank().Balance(record->account);
   std::printf("\njob escrow: %s (expected budget - spent = %s)\n",
               FormatMoney(escrow).c_str(),
               FormatMoney(record->budget - record->spent).c_str());

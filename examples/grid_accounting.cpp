@@ -17,7 +17,7 @@ int main() {
   GridMarket::Config config;
   config.hosts = 6;
   GridMarket grid(config);
-  if (!grid.RegisterUser("alice", 500.0).ok()) return 1;
+  if (!grid.RegisterUser("alice", Money::Dollars(500)).ok()) return 1;
 
   grid::JobDescription job;
   job.executable = "/usr/bin/scan";
@@ -29,7 +29,7 @@ int main() {
   job.input_files = {{"db.fasta", 40.0}};
   job.output_files = {{"out.dat", 4.0}};
 
-  const auto job_id = grid.SubmitJob("alice", job, 30.0);
+  const auto job_id = grid.SubmitJob("alice", job, Money::Dollars(30));
   if (!job_id.ok()) {
     std::fprintf(stderr, "submit failed: %s\n",
                  job_id.status().ToString().c_str());
@@ -61,10 +61,10 @@ int main() {
     std::printf("%s\n", bank::RenderStatement(*job_statement).c_str());
 
   // Operator views.
-  const Micros to_hosts = bank::TotalFlow(grid.bank(), "broker/",
-                                          "auctioneer:", 0, grid.now() + 1);
-  const Micros refunds = bank::TotalFlow(grid.bank(), "auctioneer:",
-                                         "broker/", 0, grid.now() + 1);
+  const Money to_hosts = bank::TotalFlow(grid.bank(), "broker/",
+                                         "auctioneer:", 0, grid.now() + 1);
+  const Money refunds = bank::TotalFlow(grid.bank(), "auctioneer:",
+                                        "broker/", 0, grid.now() + 1);
   std::printf("operator: %s deposited with hosts, %s refunded, %s earned\n",
               FormatMoney(to_hosts).c_str(), FormatMoney(refunds).c_str(),
               FormatMoney(to_hosts - refunds).c_str());

@@ -28,7 +28,7 @@ using namespace gm;
 
 void GenerateLoad(GridMarket& grid, Rng& rng, sim::SimDuration duration) {
   for (int u = 0; u < 10; ++u) {
-    GM_ASSERT(grid.RegisterUser("tenant" + std::to_string(u), 1e7).ok(),
+    GM_ASSERT(grid.RegisterUser("tenant" + std::to_string(u), Money::Dollars(1e7)).ok(),
               "register failed");
   }
   for (sim::SimTime t = 0; t < duration; t += sim::Minutes(30)) {
@@ -41,7 +41,7 @@ void GenerateLoad(GridMarket& grid, Rng& rng, sim::SimDuration duration) {
     job.cpu_time_minutes = 20.0 + rng.Uniform(0.0, 40.0);
     job.wall_time_minutes = 90.0;
     (void)grid.SubmitJob("tenant" + std::to_string(rng.NextBelow(10)), job,
-                         10.0 + rng.Uniform(0.0, 40.0));
+                         Money::Dollars(10.0 + rng.Uniform(0.0, 40.0)));
   }
   grid.RunUntil(duration);
 }

@@ -19,7 +19,7 @@ int main() {
   GridMarket grid(config);
 
   // Alice gets a bank account with $1000 and a CA-signed certificate.
-  if (!grid.RegisterUser("alice", 1000.0).ok()) return 1;
+  if (!grid.RegisterUser("alice", Money::Dollars(1000)).ok()) return 1;
 
   // The job: 16 CPU-bound chunks of 30 minutes each, on up to 4 VMs,
   // with a 6 hour target. Runtime environment "blast" is yum-installed
@@ -37,7 +37,7 @@ int main() {
 
   // Submission pays the broker $25 via a signed transfer token; the
   // broker verifies the token and schedules with Best Response.
-  const auto job_id = grid.SubmitJob("alice", job, 25.0);
+  const auto job_id = grid.SubmitJob("alice", job, Money::Dollars(25));
   if (!job_id.ok()) {
     std::fprintf(stderr, "submit failed: %s\n",
                  job_id.status().ToString().c_str());
@@ -59,7 +59,7 @@ int main() {
               FormatMoney((*record)->spent).c_str(),
               FormatMoney((*record)->budget).c_str());
   std::printf("alice balance:  $%.2f\n\n",
-              grid.UserBankBalance("alice").value_or(0.0));
+              grid.UserBankBalance("alice").value_or(Money::Zero()).dollars());
   std::printf("%s\n", grid.Monitor().c_str());
 
   // Every micro-dollar is accounted for.

@@ -45,8 +45,8 @@ int main() {
   (void)bank.CreateAccount("alice", alice_keys.public_key());
   (void)bank.CreateAccount("mallory", mallory_keys.public_key());
   (void)bank.CreateAccount("broker", {});
-  (void)bank.Mint("alice", DollarsToMicros(1000), 0);
-  (void)bank.Mint("mallory", DollarsToMicros(10), 0);
+  (void)bank.Mint("alice", Money::Dollars(1000), 0);
+  (void)bank.Mint("mallory", Money::Dollars(10), 0);
 
   grid::TokenAuthorizer authorizer(bank, "broker");
   (void)authorizer.RegisterIdentity(
@@ -60,7 +60,7 @@ int main() {
               mallory_dn.ToString().c_str());
 
   // Alice pays $200 to the broker and binds the receipt to her DN.
-  const auto pay = [&](Micros amount) -> crypto::TransferToken {
+  const auto pay = [&](Money amount) -> crypto::TransferToken {
     const auto nonce = bank.TransferNonce("alice");
     const auto auth = alice_keys.Sign(
         bank::TransferAuthPayload("alice", "broker", amount, *nonce), rng);
@@ -69,7 +69,7 @@ int main() {
   };
 
   std::printf("== the honest flow ==\n");
-  const crypto::TransferToken token = pay(DollarsToMicros(200));
+  const crypto::TransferToken token = pay(Money::Dollars(200));
   const auto funds = authorizer.Authorize(token, 0);
   Expect(funds.ok(), "valid token accepted");
   if (funds.ok()) {
@@ -86,7 +86,7 @@ int main() {
          "double spend rejected (token registry)");
 
   // 2. Middleman swaps the DN to route the capability to mallory.
-  crypto::TransferToken swapped = pay(DollarsToMicros(50));
+  crypto::TransferToken swapped = pay(Money::Dollars(50));
   swapped.grid_dn = mallory_dn.ToString();
   Expect(!authorizer.Authorize(swapped, 2).ok(),
          "DN swap rejected (payer signature no longer matches)");
@@ -97,8 +97,8 @@ int main() {
          "re-signed DN swap rejected (wrong key for paying account)");
 
   // 4. Inflated amount, re-signed by the owner: bank ledger disagrees.
-  crypto::TransferToken inflated = pay(DollarsToMicros(10));
-  inflated.receipt.amount = DollarsToMicros(100000);
+  crypto::TransferToken inflated = pay(Money::Dollars(10));
+  inflated.receipt.amount = Money::Dollars(100000);
   inflated.owner_signature =
       alice_keys.Sign(inflated.MappingPayload(), rng);
   Expect(!authorizer.Authorize(inflated, 4).ok(),
@@ -109,7 +109,7 @@ int main() {
   fake.receipt_id = "rcpt-999999-cafebabe0000";
   fake.from_account = "alice";
   fake.to_account = "broker";
-  fake.amount = DollarsToMicros(5000);
+  fake.amount = Money::Dollars(5000);
   fake.bank_signature = mallory_keys.Sign(fake.SigningPayload(), rng);
   const auto forged =
       crypto::MintToken(fake, alice_dn.ToString(), alice_keys, rng);
@@ -121,10 +121,10 @@ int main() {
   const auto nonce = bank.TransferNonce("alice");
   const auto auth = alice_keys.Sign(
       bank::TransferAuthPayload("alice", "other-broker",
-                                DollarsToMicros(10), *nonce),
+                                Money::Dollars(10), *nonce),
       rng);
   const auto misdirected = bank.Transfer("alice", "other-broker",
-                                         DollarsToMicros(10), auth, 0);
+                                         Money::Dollars(10), auth, 0);
   const auto misdirected_token = crypto::MintToken(
       *misdirected, alice_dn.ToString(), alice_keys, rng);
   Expect(authorizer.Authorize(misdirected_token, 6).status().code() ==
@@ -132,7 +132,7 @@ int main() {
          "payment to a different broker rejected");
 
   // 7. Stranger without a registered certificate.
-  crypto::TransferToken stranger = pay(DollarsToMicros(10));
+  crypto::TransferToken stranger = pay(Money::Dollars(10));
   stranger.grid_dn = "/C=XX/O=Nowhere/CN=stranger";
   Expect(authorizer.Authorize(stranger, 7).status().code() ==
              StatusCode::kUnauthenticated,

@@ -8,4 +8,9 @@ BUILD_DIR=build-asan
 
 cmake -B "$BUILD_DIR" -S . -DGM_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
+# Belt and braces with -fno-sanitize-recover=undefined: even if a TU was
+# built with recovery enabled, halt_on_error turns any UBSan report into a
+# test failure instead of a log line.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=1" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"

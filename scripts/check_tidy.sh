@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the library sources with the repo's .clang-tidy
+# profile (WarningsAsErrors: '*', so any finding fails the stage).
+# Mirrors scripts/check_sanitize.sh: self-contained build dir, safe to run
+# locally or from ci.sh.
+#
+# clang-tidy is optional tooling: this container ships only gcc/g++, so if
+# no clang-tidy binary is on PATH the stage reports SKIPPED and exits 0.
+# The always-on lint gate is scripts/gmlint.py, which needs only python3.
+# Usage: scripts/check_tidy.sh [extra clang-tidy args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-tidy
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "check_tidy: SKIPPED ($TIDY not found on PATH; install clang-tidy" \
+       "or set CLANG_TIDY to enable this stage)"
+  exit 0
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+
+# Library sources only: tests and examples follow the same rules but are
+# gated by -Werror + gmlint; tidying them too roughly triples runtime.
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+
+echo "check_tidy: running $TIDY on ${#sources[@]} files"
+fail=0
+for f in "${sources[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$f"; then
+    echo "check_tidy: FINDINGS in $f" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_tidy: FAILED (see findings above)" >&2
+  exit 1
+fi
+echo "check_tidy: clean"

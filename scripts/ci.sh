@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# Full CI gate: tier-1 build + tests (warnings as errors), the telemetry
-# smoke stage (chaos example must emit a parseable JSONL with a complete
-# job span chain), then the sanitizer job.
+# Full CI gate: determinism/money lint, clang-tidy (when available), tier-1
+# build + tests (warnings as errors), the telemetry smoke stage (chaos
+# example must emit a parseable JSONL with a complete job span chain), then
+# the sanitizer job.
 # Usage: scripts/ci.sh [ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-ci
+
+echo "== lint: gmlint determinism/money rules =="
+python3 scripts/gmlint.py src
+echo "gmlint: clean"
+
+echo "== tidy: clang-tidy (skips if not installed) =="
+scripts/check_tidy.sh
 
 echo "== tier-1: build + ctest (GM_WERROR=ON) =="
 cmake -B "$BUILD_DIR" -S . -DGM_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo

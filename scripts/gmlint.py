@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""gmlint: GridMarket-specific determinism and money-safety lint.
+
+Three rules, each guarding an invariant the type system cannot express:
+
+  nondeterminism      No std::rand / std::random_device / system_clock
+                      outside src/common/rng.* (the seeded simulation RNG)
+                      and src/crypto/ (where OS entropy is legitimate).
+                      Everything else must draw randomness and time from
+                      the deterministic kernel, or replays diverge.
+
+  unordered-iteration No range-for iteration over std::unordered_map /
+                      std::unordered_set in src/sim or src/market. Hash
+                      iteration order is implementation-defined, so any
+                      state mutation driven by it breaks bit-identical
+                      replay. Use std::map (the codebase default) or sort
+                      first.
+
+  float-money-eq      No raw == / != on floating-point money expressions
+                      (.dollars(), .dollars_per_sec(), price/budget/cost
+                      variables). Exact comparisons belong on the integer
+                      micro-dollar grid (Money, .micros()); approximate
+                      ones go through ApproxEq.
+
+Suppression: append a justifying comment containing
+    gmlint: allow(<rule>)
+on the offending line or the line directly above it.
+
+Usage:
+    gmlint.py [--rules r1,r2] [--no-path-filter] [paths...]
+
+With no paths, lints the src/ tree of the repository that contains this
+script. Directories are walked for *.hpp / *.cpp. --no-path-filter applies
+every rule to every file regardless of location (used by the fixture
+tests). Exits 0 when clean, 1 with findings, 2 on usage errors.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+RULES = ("nondeterminism", "unordered-iteration", "float-money-eq")
+
+NONDET_PATTERN = re.compile(
+    r"\bstd::rand\b|\bstd::random_device\b|\brandom_device\b"
+    r"|\bsystem_clock\b|\bgettimeofday\b"
+)
+# Paths where OS entropy / wall-clock access is sanctioned.
+NONDET_EXEMPT = re.compile(r"(^|/)src/(common/rng\.|crypto/)")
+
+UNORDERED_SCOPE = re.compile(r"(^|/)src/(sim|market)/")
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;(){}]*>\s+(\w+)\s*[;={]"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*&?\s*(?:this->)?(\w+)\s*\)")
+INLINE_UNORDERED_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*[^;)]*\bunordered_")
+
+COMPARISON = re.compile(r"([\w.:\[\]()>-]+)\s*(==|!=)\s*([\w.:\[\]()>-]+)")
+MONEY_WORDS = {"price", "dollar", "dollars", "budget", "cost", "spent",
+               "refund", "refunded", "money"}
+# Word components that mark an identifier as *not* a money amount even if
+# it contains a money word (refund_span is a trace id, price_count a size).
+NONMONEY_WORDS = {"span", "id", "count", "idx", "index", "seq", "nonce",
+                  "name", "kind", "state", "ok", "status"}
+FLOAT_MONEY_CALL = re.compile(r"\.(dollars|dollars_per_sec)\s*\(\s*\)")
+# Anything anchoring the comparison to the exact integer grid or to the
+# strong types themselves is fine.
+EXACT_HINT = re.compile(
+    r"Money::|\bMicros\b|\.micros\s*\(|micros_per_sec\s*\(")
+ALLOW = re.compile(r"gmlint:\s*allow\(([\w,\s-]+)\)")
+
+STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|' + r"'(?:[^'\\]|\\.)*'")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def components(identifier):
+    """Split a C++ identifier into lower-case word components."""
+    tail = identifier.split(".")[-1].split("->")[-1].split("::")[-1]
+    tail = re.sub(r"[()\[\]]", "", tail)
+    return [part.lower() for part in re.split(r"_+|(?<=[a-z])(?=[A-Z])", tail)
+            if part]
+
+
+def moneyish(expr):
+    if FLOAT_MONEY_CALL.search(expr):
+        return True
+    words = components(expr)
+    return (any(word in MONEY_WORDS for word in words)
+            and not any(word in NONMONEY_WORDS for word in words))
+
+
+def strip_code(line, in_block_comment):
+    """Return (code-only text, allow-rules, still-in-block-comment)."""
+    allowed = set()
+    for match in ALLOW.finditer(line):
+        allowed.update(rule.strip() for rule in match.group(1).split(","))
+    if in_block_comment:
+        end = line.find("*/")
+        if end < 0:
+            return "", allowed, True
+        line = line[end + 2:]
+    # Drop strings first so '//' inside a literal is not a comment.
+    line = STRING_OR_CHAR.sub('""', line)
+    line = LINE_COMMENT.sub("", line)
+    while True:
+        start = line.find("/*")
+        if start < 0:
+            return line, allowed, False
+        end = line.find("*/", start + 2)
+        if end < 0:
+            return line[:start], allowed, True
+        line = line[:start] + line[end + 2:]
+
+
+class File:
+    def __init__(self, path):
+        self.path = path
+        self.display = path.as_posix()
+        raw = path.read_text(errors="replace").splitlines()
+        self.code = []     # comment/string-stripped lines
+        self.allows = []   # per-line suppressed rule sets
+        in_block = False
+        for line in raw:
+            code, allowed, in_block = strip_code(line, in_block)
+            self.code.append(code)
+            self.allows.append(allowed)
+
+    def allowed(self, index, rule):
+        if rule in self.allows[index]:
+            return True
+        return index > 0 and rule in self.allows[index - 1]
+
+
+def collect_unordered_names(files):
+    names = set()
+    for source in files:
+        for line in source.code:
+            for match in UNORDERED_DECL.finditer(line):
+                names.add(match.group(1))
+    return names
+
+
+def lint(files, rules, path_filter):
+    findings = []
+
+    def report(source, index, rule, message):
+        if not source.allowed(index, rule):
+            findings.append(
+                f"{source.display}:{index + 1}: [{rule}] {message}")
+
+    unordered_names = collect_unordered_names(files)
+    for source in files:
+        nondet_scope = not (path_filter
+                            and NONDET_EXEMPT.search(source.display))
+        unordered_scope = (not path_filter
+                           or UNORDERED_SCOPE.search(source.display))
+        for index, line in enumerate(source.code):
+            if "nondeterminism" in rules and nondet_scope:
+                match = NONDET_PATTERN.search(line)
+                if match:
+                    report(source, index, "nondeterminism",
+                           f"'{match.group(0)}' breaks deterministic replay;"
+                           " use common::Rng / sim::Kernel time instead")
+            if "unordered-iteration" in rules and unordered_scope:
+                match = RANGE_FOR.search(line)
+                if match and match.group(1) in unordered_names:
+                    report(source, index, "unordered-iteration",
+                           f"iteration over unordered container"
+                           f" '{match.group(1)}': hash order is not"
+                           " deterministic; use std::map or sort first")
+                elif INLINE_UNORDERED_FOR.search(line):
+                    report(source, index, "unordered-iteration",
+                           "iteration over unordered container: hash order"
+                           " is not deterministic; use std::map or sort"
+                           " first")
+            if "float-money-eq" in rules:
+                if EXACT_HINT.search(line):
+                    continue
+                for match in COMPARISON.finditer(line):
+                    left, _, right = match.groups()
+                    if moneyish(left) or moneyish(right):
+                        report(source, index, "float-money-eq",
+                               f"raw '{match.group(2)}' on floating-point"
+                               " money; compare Money (exact micros) or use"
+                               " ApproxEq")
+                        break
+    return findings
+
+
+def gather(paths):
+    files = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.hpp")))
+            files.extend(sorted(path.rglob("*.cpp")))
+        elif path.exists():
+            files.append(path)
+        else:
+            sys.exit(f"gmlint: no such path: {path}")
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="GridMarket determinism / money-safety lint")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path)
+    parser.add_argument("--rules", default=",".join(RULES),
+                        help="comma-separated subset of: " + ", ".join(RULES))
+    parser.add_argument("--no-path-filter", action="store_true",
+                        help="apply every rule to every file (fixture tests)")
+    args = parser.parse_args()
+
+    rules = {rule.strip() for rule in args.rules.split(",") if rule.strip()}
+    unknown = rules - set(RULES)
+    if unknown:
+        sys.exit(2 if sys.stderr.write(
+            f"gmlint: unknown rule(s): {', '.join(sorted(unknown))}\n")
+            else 2)
+
+    if args.paths:
+        paths = args.paths
+    else:
+        paths = [pathlib.Path(__file__).resolve().parent.parent / "src"]
+    try:
+        relative = [p.resolve().relative_to(pathlib.Path.cwd())
+                    for p in paths]
+        paths = relative
+    except ValueError:
+        pass  # keep absolute paths when outside the cwd
+
+    files = [File(path) for path in gather(paths)]
+    findings = lint(files, rules, path_filter=not args.no_path_filter)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"gmlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,9 +32,9 @@ std::string EncodeOwnerKey(const crypto::PublicKey& key) {
 }  // namespace
 
 std::string TransferAuthPayload(const std::string& from, const std::string& to,
-                                Micros amount, std::uint64_t nonce) {
+                                Money amount, std::uint64_t nonce) {
   return StrFormat("auth|from=%s|to=%s|amount=%lld|nonce=%llu", from.c_str(),
-                   to.c_str(), static_cast<long long>(amount),
+                   to.c_str(), static_cast<long long>(amount.micros()),
                    static_cast<unsigned long long>(nonce));
 }
 
@@ -99,7 +99,7 @@ Status Bank::CreateAccount(const std::string& id,
   account.id = id;
   account.owner_key = owner_key;
   accounts_.emplace(id, std::move(account));
-  audit_.push_back({0, "create", "", id, 0});
+  audit_.push_back({0, "create", "", id, Money::Zero()});
   if (creates_ctr_ != nullptr) creates_ctr_->Inc();
   return Checkpoint();
 }
@@ -122,20 +122,21 @@ Status Bank::CreateSubAccount(const std::string& parent,
   account.id = sub_id;
   account.parent = parent;
   accounts_.emplace(sub_id, std::move(account));
-  audit_.push_back({0, "sub_create", parent, sub_id, 0});
+  audit_.push_back({0, "sub_create", parent, sub_id, Money::Zero()});
   if (creates_ctr_ != nullptr) creates_ctr_->Inc();
   return Checkpoint();
 }
 
-Status Bank::Mint(const std::string& id, Micros amount, std::int64_t now_us) {
+Status Bank::Mint(const std::string& id, Money amount, std::int64_t now_us) {
   if (crashed_) return BankDown();
-  if (amount <= 0) return Status::InvalidArgument("mint amount must be > 0");
+  if (!amount.is_positive())
+    return Status::InvalidArgument("mint amount must be > 0");
   Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
   net::Writer record;
   record.WriteU8(kRecordMint);
   record.WriteString(id);
-  record.WriteI64(amount);
+  record.WriteI64(amount.micros());
   record.WriteI64(now_us);
   GM_RETURN_IF_ERROR(Journal(record));
   account->balance += amount;
@@ -147,14 +148,14 @@ Status Bank::Mint(const std::string& id, Micros amount, std::int64_t now_us) {
 
 Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
                                                       const std::string& to,
-                                                      Micros amount,
+                                                      Money amount,
                                                       std::int64_t now_us,
                                                       bool bump_nonce) {
   Account* src = Find(from);
   Account* dst = Find(to);
   if (src == nullptr) return Status::NotFound("account: " + from);
   if (dst == nullptr) return Status::NotFound("account: " + to);
-  if (amount <= 0)
+  if (!amount.is_positive())
     return Status::InvalidArgument("transfer amount must be > 0");
   if (src->balance < amount)
     return Status::FailedPrecondition(
@@ -179,7 +180,7 @@ Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
   record.WriteU8(kRecordTransfer);
   record.WriteString(from);
   record.WriteString(to);
-  record.WriteI64(amount);
+  record.WriteI64(amount.micros());
   record.WriteI64(now_us);
   record.WriteString(receipt.receipt_id);
   record.WriteString(receipt.bank_signature.Encode());
@@ -194,14 +195,14 @@ Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
   audit_.push_back({now_us, "transfer", from, to, amount});
   if (transfers_ctr_ != nullptr) transfers_ctr_->Inc();
   if (transfer_amount_ != nullptr)
-    transfer_amount_->Observe(MicrosToDollars(amount));
+    transfer_amount_->Observe(amount.dollars());
   GM_RETURN_IF_ERROR(Checkpoint());
   return receipt;
 }
 
 Result<crypto::TransferReceipt> Bank::Transfer(const std::string& from,
                                                const std::string& to,
-                                               Micros amount,
+                                               Money amount,
                                                const crypto::Signature& auth,
                                                std::int64_t now_us) {
   if (crashed_) return BankDown();
@@ -221,7 +222,7 @@ Result<crypto::TransferReceipt> Bank::Transfer(const std::string& from,
 
 Result<crypto::TransferReceipt> Bank::InternalTransfer(const std::string& from,
                                                        const std::string& to,
-                                                       Micros amount,
+                                                       Money amount,
                                                        std::int64_t now_us) {
   if (crashed_) return BankDown();
   const Account* src = Find(from);
@@ -232,7 +233,7 @@ Result<crypto::TransferReceipt> Bank::InternalTransfer(const std::string& from,
   return ExecuteTransfer(from, to, amount, now_us, /*bump_nonce=*/false);
 }
 
-Result<Micros> Bank::Balance(const std::string& id) const {
+Result<Money> Bank::Balance(const std::string& id) const {
   if (crashed_) return BankDown();
   const Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
@@ -276,17 +277,17 @@ Status Bank::VerifyReceipt(const crypto::TransferReceipt& receipt) const {
 
 Status Bank::CheckInvariants() const {
   if (crashed_) return BankDown();
-  Micros total = 0;
+  Money total;
   for (const auto& [id, account] : accounts_) {
-    if (account.balance < 0)
+    if (account.balance.is_negative())
       return Status::Internal("negative balance in " + id);
     total += account.balance;
   }
   if (total != total_minted_)
     return Status::Internal(
         StrFormat("conservation violated: balances %lld != minted %lld",
-                  static_cast<long long>(total),
-                  static_cast<long long>(total_minted_)));
+                  static_cast<long long>(total.micros()),
+                  static_cast<long long>(total_minted_.micros())));
   return Status::Ok();
 }
 
@@ -297,7 +298,7 @@ void Bank::ClearState() {
   accounts_.clear();
   issued_receipts_.clear();
   audit_.clear();
-  total_minted_ = 0;
+  total_minted_ = Money::Zero();
   next_receipt_ = 1;
 }
 
@@ -342,7 +343,7 @@ Status Bank::ApplyRecord(const Bytes& record) {
         account.owner_key = crypto::PublicKey(group_, y);
       }
       accounts_[id] = std::move(account);
-      audit_.push_back({0, "create", "", id, 0});
+      audit_.push_back({0, "create", "", id, Money::Zero()});
       return Status::Ok();
     }
     case kRecordSubCreate: {
@@ -352,13 +353,14 @@ Status Bank::ApplyRecord(const Bytes& record) {
       account.id = sub_id;
       account.parent = parent;
       accounts_[sub_id] = std::move(account);
-      audit_.push_back({0, "sub_create", parent, sub_id, 0});
+      audit_.push_back({0, "sub_create", parent, sub_id, Money::Zero()});
       return Status::Ok();
     }
     case kRecordMint: {
       GM_ASSIGN_OR_RETURN(const std::string id, reader.ReadString());
-      GM_ASSIGN_OR_RETURN(const std::int64_t amount, reader.ReadI64());
+      GM_ASSIGN_OR_RETURN(const std::int64_t amount_micros, reader.ReadI64());
       GM_ASSIGN_OR_RETURN(const std::int64_t at_us, reader.ReadI64());
+      const Money amount = Money::FromMicros(amount_micros);
       Account* account = Find(id);
       if (account == nullptr)
         return Status::Internal("replay mint into unknown account " + id);
@@ -370,8 +372,9 @@ Status Bank::ApplyRecord(const Bytes& record) {
     case kRecordTransfer: {
       GM_ASSIGN_OR_RETURN(const std::string from, reader.ReadString());
       GM_ASSIGN_OR_RETURN(const std::string to, reader.ReadString());
-      GM_ASSIGN_OR_RETURN(const std::int64_t amount, reader.ReadI64());
+      GM_ASSIGN_OR_RETURN(const std::int64_t amount_micros, reader.ReadI64());
       GM_ASSIGN_OR_RETURN(const std::int64_t at_us, reader.ReadI64());
+      const Money amount = Money::FromMicros(amount_micros);
       GM_ASSIGN_OR_RETURN(const std::string receipt_id, reader.ReadString());
       GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
       GM_ASSIGN_OR_RETURN(const bool bump_nonce, reader.ReadBool());
@@ -410,17 +413,17 @@ void Bank::WriteSnapshot(net::Writer& writer) const {
     writer.WriteString(account.id);
     writer.WriteString(EncodeOwnerKey(account.owner_key));
     writer.WriteString(account.parent);
-    writer.WriteI64(account.balance);
+    writer.WriteI64(account.balance.micros());
     writer.WriteVarint(account.transfer_nonce);
   }
-  writer.WriteI64(total_minted_);
+  writer.WriteI64(total_minted_.micros());
   writer.WriteVarint(next_receipt_);
   writer.WriteVarint(issued_receipts_.size());
   for (const auto& [id, receipt] : issued_receipts_) {
     writer.WriteString(receipt.receipt_id);
     writer.WriteString(receipt.from_account);
     writer.WriteString(receipt.to_account);
-    writer.WriteI64(receipt.amount);
+    writer.WriteI64(receipt.amount.micros());
     writer.WriteI64(receipt.issued_at_us);
     writer.WriteString(receipt.bank_signature.Encode());
   }
@@ -430,7 +433,7 @@ void Bank::WriteSnapshot(net::Writer& writer) const {
     writer.WriteString(entry.kind);
     writer.WriteString(entry.from);
     writer.WriteString(entry.to);
-    writer.WriteI64(entry.amount);
+    writer.WriteI64(entry.amount.micros());
   }
 }
 
@@ -452,11 +455,13 @@ Status Bank::LoadSnapshot(net::Reader& reader) {
       account.owner_key = crypto::PublicKey(group_, y);
     }
     GM_ASSIGN_OR_RETURN(account.parent, reader.ReadString());
-    GM_ASSIGN_OR_RETURN(account.balance, reader.ReadI64());
+    GM_ASSIGN_OR_RETURN(const std::int64_t balance_micros, reader.ReadI64());
+    account.balance = Money::FromMicros(balance_micros);
     GM_ASSIGN_OR_RETURN(account.transfer_nonce, reader.ReadVarint());
     accounts_[account.id] = std::move(account);
   }
-  GM_ASSIGN_OR_RETURN(total_minted_, reader.ReadI64());
+  GM_ASSIGN_OR_RETURN(const std::int64_t minted_micros, reader.ReadI64());
+  total_minted_ = Money::FromMicros(minted_micros);
   GM_ASSIGN_OR_RETURN(next_receipt_, reader.ReadVarint());
   GM_ASSIGN_OR_RETURN(const std::uint64_t receipt_count, reader.ReadVarint());
   for (std::uint64_t i = 0; i < receipt_count; ++i) {
@@ -464,7 +469,8 @@ Status Bank::LoadSnapshot(net::Reader& reader) {
     GM_ASSIGN_OR_RETURN(receipt.receipt_id, reader.ReadString());
     GM_ASSIGN_OR_RETURN(receipt.from_account, reader.ReadString());
     GM_ASSIGN_OR_RETURN(receipt.to_account, reader.ReadString());
-    GM_ASSIGN_OR_RETURN(receipt.amount, reader.ReadI64());
+    GM_ASSIGN_OR_RETURN(const std::int64_t receipt_micros, reader.ReadI64());
+    receipt.amount = Money::FromMicros(receipt_micros);
     GM_ASSIGN_OR_RETURN(receipt.issued_at_us, reader.ReadI64());
     GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
     GM_ASSIGN_OR_RETURN(receipt.bank_signature, crypto::Signature::Decode(sig));
@@ -478,7 +484,8 @@ Status Bank::LoadSnapshot(net::Reader& reader) {
     GM_ASSIGN_OR_RETURN(entry.kind, reader.ReadString());
     GM_ASSIGN_OR_RETURN(entry.from, reader.ReadString());
     GM_ASSIGN_OR_RETURN(entry.to, reader.ReadString());
-    GM_ASSIGN_OR_RETURN(entry.amount, reader.ReadI64());
+    GM_ASSIGN_OR_RETURN(const std::int64_t entry_micros, reader.ReadI64());
+    entry.amount = Money::FromMicros(entry_micros);
     audit_.push_back(std::move(entry));
   }
   return Status::Ok();
@@ -489,12 +496,12 @@ std::string Bank::LedgerHash() const {
   for (const auto& [id, account] : accounts_) {
     canonical += StrFormat(
         "acct|%s|%s|%lld|%llu|%s\n", account.id.c_str(),
-        account.parent.c_str(), static_cast<long long>(account.balance),
+        account.parent.c_str(), static_cast<long long>(account.balance.micros()),
         static_cast<unsigned long long>(account.transfer_nonce),
         EncodeOwnerKey(account.owner_key).c_str());
   }
   canonical += StrFormat("minted|%lld|receipts|%llu\n",
-                         static_cast<long long>(total_minted_),
+                         static_cast<long long>(total_minted_.micros()),
                          static_cast<unsigned long long>(next_receipt_));
   return crypto::Sha256::HexDigest(canonical);
 }

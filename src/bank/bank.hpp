@@ -37,7 +37,7 @@ namespace gm::bank {
 struct Account {
   std::string id;
   crypto::PublicKey owner_key;  // empty key => bank-managed (sub)account
-  Micros balance = 0;
+  Money balance;
   std::string parent;  // enclosing account id, empty for root accounts
   std::uint64_t transfer_nonce = 0;  // replay protection for authorizations
 };
@@ -47,12 +47,12 @@ struct AuditEntry {
   std::string kind;  // "create", "mint", "transfer", "sub_create"
   std::string from;
   std::string to;
-  Micros amount = 0;
+  Money amount;
 };
 
 /// Canonical payload an account owner signs to authorize a transfer.
 std::string TransferAuthPayload(const std::string& from, const std::string& to,
-                                Micros amount, std::uint64_t nonce);
+                                Money amount, std::uint64_t nonce);
 
 class Bank : public store::Recoverable {
  public:
@@ -69,14 +69,14 @@ class Bank : public store::Recoverable {
                           const std::string& sub_id);
 
   /// Mint external funds into an account (experiment setup / funding).
-  Status Mint(const std::string& id, Micros amount, std::int64_t now_us);
+  Status Mint(const std::string& id, Money amount, std::int64_t now_us);
 
   /// Owner-authorized transfer: `auth` must be a signature by the `from`
   /// account's key over TransferAuthPayload(from, to, amount, nonce) with
   /// the account's current nonce. Returns a bank-signed receipt.
   Result<crypto::TransferReceipt> Transfer(const std::string& from,
                                            const std::string& to,
-                                           Micros amount,
+                                           Money amount,
                                            const crypto::Signature& auth,
                                            std::int64_t now_us);
 
@@ -84,10 +84,10 @@ class Bank : public store::Recoverable {
   /// no owner signature exists for these.
   Result<crypto::TransferReceipt> InternalTransfer(const std::string& from,
                                                    const std::string& to,
-                                                   Micros amount,
+                                                   Money amount,
                                                    std::int64_t now_us);
 
-  Result<Micros> Balance(const std::string& id) const;
+  Result<Money> Balance(const std::string& id) const;
   /// Current nonce the owner must sign for the next Transfer.
   Result<std::uint64_t> TransferNonce(const std::string& id) const;
   Result<crypto::PublicKey> OwnerKey(const std::string& id) const;
@@ -136,7 +136,7 @@ class Bank : public store::Recoverable {
  private:
   Result<crypto::TransferReceipt> ExecuteTransfer(const std::string& from,
                                                   const std::string& to,
-                                                  Micros amount,
+                                                  Money amount,
                                                   std::int64_t now_us,
                                                   bool bump_nonce);
   Account* Find(const std::string& id);
@@ -152,7 +152,7 @@ class Bank : public store::Recoverable {
   std::map<std::string, Account> accounts_;
   std::map<std::string, crypto::TransferReceipt> issued_receipts_;
   std::vector<AuditEntry> audit_;
-  Micros total_minted_ = 0;
+  Money total_minted_;
   std::uint64_t next_receipt_ = 1;
   store::DurableStore* store_ = nullptr;  // non-owning
   bool crashed_ = false;

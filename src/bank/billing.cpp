@@ -14,7 +14,7 @@ bool InWindow(const AuditEntry& entry, std::int64_t from_us,
 
 Result<Statement> BuildStatement(const Bank& bank, const std::string& account,
                                  std::int64_t from_us, std::int64_t to_us) {
-  GM_ASSIGN_OR_RETURN(const Micros balance, bank.Balance(account));
+  GM_ASSIGN_OR_RETURN(const Money balance, bank.Balance(account));
   Statement statement;
   statement.account = account;
   statement.from_us = from_us;
@@ -22,7 +22,7 @@ Result<Statement> BuildStatement(const Bank& bank, const std::string& account,
   statement.closing_balance = balance;
   for (const AuditEntry& entry : bank.audit_log()) {
     if (!InWindow(entry, from_us, to_us)) continue;
-    if (entry.amount == 0) continue;  // account creations
+    if (entry.amount.is_zero()) continue;  // account creations
     StatementLine line;
     line.at_us = entry.at_us;
     line.kind = entry.kind;
@@ -63,10 +63,10 @@ std::string RenderStatement(const Statement& statement) {
   return out;
 }
 
-Micros TotalFlow(const Bank& bank, const std::string& from_prefix,
-                 const std::string& to_prefix, std::int64_t from_us,
-                 std::int64_t to_us) {
-  Micros total = 0;
+Money TotalFlow(const Bank& bank, const std::string& from_prefix,
+                const std::string& to_prefix, std::int64_t from_us,
+                std::int64_t to_us) {
+  Money total;
   for (const AuditEntry& entry : bank.audit_log()) {
     if (!InWindow(entry, from_us, to_us)) continue;
     if (entry.kind != "transfer") continue;

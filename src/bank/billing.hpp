@@ -19,7 +19,7 @@ struct StatementLine {
   std::int64_t at_us = 0;
   std::string kind;          // "mint", "transfer", "sub_create", ...
   std::string counterparty;  // the other account
-  Micros amount = 0;         // signed: positive = credit to this account
+  Money amount;              // signed: positive = credit to this account
 };
 
 struct Statement {
@@ -27,11 +27,11 @@ struct Statement {
   std::int64_t from_us = 0;
   std::int64_t to_us = 0;
   std::vector<StatementLine> lines;
-  Micros total_credits = 0;
-  Micros total_debits = 0;  // positive number
-  Micros closing_balance = 0;
+  Money total_credits;
+  Money total_debits;  // positive number
+  Money closing_balance;
 
-  Micros NetChange() const { return total_credits - total_debits; }
+  Money NetChange() const { return total_credits - total_debits; }
 };
 
 /// Build the statement of `account` for activity in [from_us, to_us).
@@ -45,8 +45,8 @@ std::string RenderStatement(const Statement& statement);
 /// Aggregate flows between account-name prefixes, e.g. how much moved
 /// from "broker/" sub-accounts into "auctioneer:" hosts over a window —
 /// the grid operator's revenue view.
-Micros TotalFlow(const Bank& bank, const std::string& from_prefix,
-                 const std::string& to_prefix, std::int64_t from_us,
-                 std::int64_t to_us);
+Money TotalFlow(const Bank& bank, const std::string& from_prefix,
+                const std::string& to_prefix, std::int64_t from_us,
+                std::int64_t to_us);
 
 }  // namespace gm::bank

@@ -7,7 +7,7 @@ void WriteReceipt(net::Writer& writer,
   writer.WriteString(receipt.receipt_id);
   writer.WriteString(receipt.from_account);
   writer.WriteString(receipt.to_account);
-  writer.WriteI64(receipt.amount);
+  writer.WriteI64(receipt.amount.micros());
   writer.WriteI64(receipt.issued_at_us);
   writer.WriteString(receipt.bank_signature.Encode());
 }
@@ -17,7 +17,8 @@ Result<crypto::TransferReceipt> ReadReceipt(net::Reader& reader) {
   GM_ASSIGN_OR_RETURN(receipt.receipt_id, reader.ReadString());
   GM_ASSIGN_OR_RETURN(receipt.from_account, reader.ReadString());
   GM_ASSIGN_OR_RETURN(receipt.to_account, reader.ReadString());
-  GM_ASSIGN_OR_RETURN(receipt.amount, reader.ReadI64());
+  GM_ASSIGN_OR_RETURN(const std::int64_t amount_micros, reader.ReadI64());
+  receipt.amount = Money::FromMicros(amount_micros);
   GM_ASSIGN_OR_RETURN(receipt.issued_at_us, reader.ReadI64());
   GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
   GM_ASSIGN_OR_RETURN(receipt.bank_signature, crypto::Signature::Decode(sig));
@@ -46,9 +47,9 @@ BankService::BankService(Bank& bank, net::MessageBus& bus,
       "balance", [this](const Bytes& request) -> Result<Bytes> {
         net::Reader reader(request);
         GM_ASSIGN_OR_RETURN(const std::string account, reader.ReadString());
-        GM_ASSIGN_OR_RETURN(const Micros balance, bank_.Balance(account));
+        GM_ASSIGN_OR_RETURN(const Money balance, bank_.Balance(account));
         net::Writer writer;
-        writer.WriteI64(balance);
+        writer.WriteI64(balance.micros());
         return writer.Take();
       });
   server_.RegisterMethod(
@@ -66,7 +67,8 @@ BankService::BankService(Bank& bank, net::MessageBus& bus,
         net::Reader reader(request);
         GM_ASSIGN_OR_RETURN(const std::string from, reader.ReadString());
         GM_ASSIGN_OR_RETURN(const std::string to, reader.ReadString());
-        GM_ASSIGN_OR_RETURN(const Micros amount, reader.ReadI64());
+        GM_ASSIGN_OR_RETURN(const std::int64_t amount_micros, reader.ReadI64());
+        const Money amount = Money::FromMicros(amount_micros);
         GM_ASSIGN_OR_RETURN(const std::string sig, reader.ReadString());
         GM_ASSIGN_OR_RETURN(const crypto::Signature auth,
                             crypto::Signature::Decode(sig));
@@ -115,7 +117,7 @@ void BankClient::GetBalance(const std::string& account,
                    callback(balance.status());
                    return;
                  }
-                 callback(*balance);
+                 callback(Money::FromMicros(*balance));
                });
 }
 
@@ -140,12 +142,12 @@ void BankClient::GetTransferNonce(const std::string& account,
 }
 
 void BankClient::Transfer(const std::string& from, const std::string& to,
-                          Micros amount, const crypto::Signature& auth,
+                          Money amount, const crypto::Signature& auth,
                           TransferCallback callback) {
   net::Writer writer;
   writer.WriteString(from);
   writer.WriteString(to);
-  writer.WriteI64(amount);
+  writer.WriteI64(amount.micros());
   writer.WriteString(auth.Encode());
   client_.Call(bank_endpoint_, "transfer", writer.Take(), options_,
                [callback = std::move(callback)](Result<Bytes> response) {

@@ -56,7 +56,7 @@ class BankClient {
   /// stale late responses) — rendered by the grid monitor.
   const net::RpcClient& rpc() const { return client_; }
 
-  using BalanceCallback = std::function<void(Result<Micros>)>;
+  using BalanceCallback = std::function<void(Result<Money>)>;
   using NonceCallback = std::function<void(Result<std::uint64_t>)>;
   using TransferCallback =
       std::function<void(Result<crypto::TransferReceipt>)>;
@@ -64,7 +64,7 @@ class BankClient {
 
   void GetBalance(const std::string& account, BalanceCallback callback);
   void GetTransferNonce(const std::string& account, NonceCallback callback);
-  void Transfer(const std::string& from, const std::string& to, Micros amount,
+  void Transfer(const std::string& from, const std::string& to, Money amount,
                 const crypto::Signature& auth, TransferCallback callback);
   void VerifyReceipt(const crypto::TransferReceipt& receipt,
                      StatusCallback callback);

@@ -6,22 +6,27 @@
 
 namespace gm::br {
 
-BestResponseSolver::BestResponseSolver(double reserve_price)
+BestResponseSolver::BestResponseSolver(Rate reserve_price)
     : reserve_price_(reserve_price) {
-  GM_ASSERT(reserve_price_ > 0.0, "reserve price must be positive");
+  GM_ASSERT(reserve_price_.is_positive(), "reserve price must be positive");
+}
+
+double BestResponseSolver::EffectivePrice(const HostBidInput& host) const {
+  return std::max(host.price.dollars_per_sec(),
+                  reserve_price_.dollars_per_sec());
 }
 
 Status BestResponseSolver::Validate(const std::vector<HostBidInput>& hosts,
-                                    double budget) const {
+                                    Rate budget) const {
   if (hosts.empty())
     return Status::InvalidArgument("best response: no hosts");
-  if (!(budget > 0.0))
+  if (!budget.is_positive())
     return Status::InvalidArgument("best response: budget must be positive");
   for (const HostBidInput& host : hosts) {
     if (!(host.weight > 0.0))
       return Status::InvalidArgument("best response: weight must be > 0 on " +
                                      host.host_id);
-    if (host.price < 0.0)
+    if (host.price < Rate::Zero())
       return Status::InvalidArgument("best response: negative price on " +
                                      host.host_id);
   }
@@ -29,12 +34,12 @@ Status BestResponseSolver::Validate(const std::vector<HostBidInput>& hosts,
 }
 
 double BestResponseSolver::Utility(const std::vector<HostBidInput>& hosts,
-                                   const std::vector<double>& bids) const {
+                                   const std::vector<Rate>& bids) const {
   GM_ASSERT(bids.size() == hosts.size(), "utility: size mismatch");
   double total = 0.0;
   for (std::size_t j = 0; j < hosts.size(); ++j) {
-    const double y = std::max(hosts[j].price, reserve_price_);
-    const double x = bids[j];
+    const double y = EffectivePrice(hosts[j]);
+    const double x = bids[j].dollars_per_sec();
     if (x > 0.0) total += hosts[j].weight * x / (x + y);
   }
   return total;
@@ -49,28 +54,32 @@ BestResponseResult BestResponseSolver::Package(
   for (std::size_t j = 0; j < hosts.size(); ++j) {
     BidAllocation allocation;
     allocation.host_id = hosts[j].host_id;
-    allocation.bid = bids[j];
-    const double y = std::max(hosts[j].price, reserve_price_);
+    allocation.bid = Rate::DollarsPerSec(bids[j]);
+    const double y = EffectivePrice(hosts[j]);
     allocation.expected_share =
         bids[j] > 0.0 ? bids[j] / (bids[j] + y) : 0.0;
     result.bids.push_back(std::move(allocation));
   }
-  result.utility = Utility(hosts, bids);
+  double utility = 0.0;
+  for (std::size_t j = 0; j < hosts.size(); ++j) {
+    if (bids[j] > 0.0)
+      utility += hosts[j].weight * bids[j] / (bids[j] + EffectivePrice(hosts[j]));
+  }
+  result.utility = utility;
   return result;
 }
 
 Result<BestResponseResult> BestResponseSolver::Solve(
-    const std::vector<HostBidInput>& hosts, double budget) const {
-  GM_RETURN_IF_ERROR(Validate(hosts, budget));
+    const std::vector<HostBidInput>& hosts, Rate budget_rate) const {
+  GM_RETURN_IF_ERROR(Validate(hosts, budget_rate));
+  const double budget = budget_rate.dollars_per_sec();
   const std::size_t n = hosts.size();
 
   // Order hosts by marginal utility at zero bid, w_j / y_j, descending.
   // The optimal active set is a prefix of this order.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  const auto y_of = [&](std::size_t j) {
-    return std::max(hosts[j].price, reserve_price_);
-  };
+  const auto y_of = [&](std::size_t j) { return EffectivePrice(hosts[j]); };
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return hosts[a].weight / y_of(a) > hosts[b].weight / y_of(b);
   });
@@ -117,16 +126,17 @@ Result<BestResponseResult> BestResponseSolver::Solve(
 }
 
 Result<BestResponseResult> BestResponseSolver::SolveBisection(
-    const std::vector<HostBidInput>& hosts, double budget,
+    const std::vector<HostBidInput>& hosts, Rate budget_rate,
     double tolerance) const {
-  GM_RETURN_IF_ERROR(Validate(hosts, budget));
+  GM_RETURN_IF_ERROR(Validate(hosts, budget_rate));
+  const double budget = budget_rate.dollars_per_sec();
 
   // Total bid as a function of t = 1/sqrt(lambda) is increasing:
   //   B(t) = sum_j max(0, sqrt(w_j y_j) t - y_j).
   const auto total_bid = [&](double t) {
     double total = 0.0;
     for (const HostBidInput& host : hosts) {
-      const double y = std::max(host.price, reserve_price_);
+      const double y = EffectivePrice(host);
       total += std::max(0.0, std::sqrt(host.weight * y) * t - y);
     }
     return total;
@@ -143,7 +153,7 @@ Result<BestResponseResult> BestResponseSolver::SolveBisection(
   std::vector<double> bids(hosts.size(), 0.0);
   double allocated = 0.0;
   for (std::size_t j = 0; j < hosts.size(); ++j) {
-    const double y = std::max(hosts[j].price, reserve_price_);
+    const double y = EffectivePrice(hosts[j]);
     bids[j] = std::max(0.0, std::sqrt(hosts[j].weight * y) * t - y);
     allocated += bids[j];
   }

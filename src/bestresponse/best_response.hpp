@@ -18,18 +18,19 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/units.hpp"
 
 namespace gm::br {
 
 struct HostBidInput {
   std::string host_id;
   double weight = 0.0;  // w_j > 0: preference, e.g. effective cycles/s
-  double price = 0.0;   // y_j >= 0: others' total bid rate ($/s)
+  Rate price;           // y_j >= 0: others' total bid rate
 };
 
 struct BidAllocation {
   std::string host_id;
-  double bid = 0.0;             // x_j, same unit as budget ($/s)
+  Rate bid;                     // x_j, same unit as the budget
   double expected_share = 0.0;  // x_j / (x_j + y_j)
 };
 
@@ -42,32 +43,33 @@ struct BestResponseResult {
 class BestResponseSolver {
  public:
   /// `reserve_price` replaces y_j below it (idle hosts); must be > 0.
-  explicit BestResponseSolver(double reserve_price = 1e-6);
+  explicit BestResponseSolver(Rate reserve_price = Rate::DollarsPerSec(1e-6));
 
   /// Exact water-filling solve. Fails on empty input, non-positive budget
   /// or non-positive weights.
   Result<BestResponseResult> Solve(const std::vector<HostBidInput>& hosts,
-                                   double budget) const;
+                                   Rate budget) const;
 
   /// Reference implementation: bisection on the budget curve. Same
   /// contract as Solve; used to validate the closed form.
   Result<BestResponseResult> SolveBisection(
-      const std::vector<HostBidInput>& hosts, double budget,
+      const std::vector<HostBidInput>& hosts, Rate budget,
       double tolerance = 1e-12) const;
 
   /// Utility of an arbitrary bid vector (for tests and what-if analysis).
   double Utility(const std::vector<HostBidInput>& hosts,
-                 const std::vector<double>& bids) const;
+                 const std::vector<Rate>& bids) const;
 
-  double reserve_price() const { return reserve_price_; }
+  Rate reserve_price() const { return reserve_price_; }
 
  private:
-  Status Validate(const std::vector<HostBidInput>& hosts,
-                  double budget) const;
+  Status Validate(const std::vector<HostBidInput>& hosts, Rate budget) const;
   BestResponseResult Package(const std::vector<HostBidInput>& hosts,
                              std::vector<double> bids, double lambda) const;
+  /// y_j in $/s with the reserve floor applied.
+  double EffectivePrice(const HostBidInput& host) const;
 
-  double reserve_price_;
+  Rate reserve_price_;
 };
 
 }  // namespace gm::br

@@ -33,7 +33,12 @@ enum class StatusCode : std::uint8_t {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on success (no allocation).
-class Status {
+///
+/// [[nodiscard]]: every funded transfer, WAL append and RPC outcome must
+/// be checked — a silently dropped error is exactly the accounting bug
+/// class the market substrate cannot tolerate. Deliberate discards must
+/// say so with a (void) cast and a justifying comment.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -92,7 +97,7 @@ class Status {
 
 /// A value or an error. `ok()` implies the value is present.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
   static_assert(!std::is_same_v<T, Status>,
                 "Result<Status> is ambiguous; return Status directly");
 

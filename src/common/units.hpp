@@ -1,16 +1,25 @@
-// Fixed-point money and frequency units.
+// Fixed-point money, spend rates and frequency units.
 //
-// Ledgers (bank accounts, auction charges) must balance exactly, so money is
-// an integer count of micro-dollars. Floating point is confined to the
-// optimization and prediction layers, with explicit conversions here.
+// Ledgers (bank accounts, auction charges) must balance exactly, so money
+// is an integer count of micro-dollars wrapped in the strong type Money.
+// Standing bids and spot prices are continuous spend rates in dollars per
+// second, wrapped in the strong type Rate. The two are deliberately not
+// interconvertible by accident: funding an account takes Money, placing a
+// bid takes Rate, and mixing them up is a compile error. Floating point is
+// confined to the optimization and prediction layers, with explicit
+// conversions here.
 #pragma once
 
+#include <cmath>
+#include <compare>
 #include <cstdint>
 #include <string>
 
 namespace gm {
 
 /// Money in micro-dollars (1e-6 $). int64 covers +/- 9.2e12 dollars.
+/// Prefer the strong type Money below in APIs; Micros remains the raw
+/// wire/serialization representation.
 using Micros = std::int64_t;
 
 constexpr Micros kMicrosPerDollar = 1'000'000;
@@ -25,8 +34,164 @@ constexpr double MicrosToDollars(Micros m) {
   return static_cast<double>(m) / static_cast<double>(kMicrosPerDollar);
 }
 
+/// An exact amount of money: integer micro-dollars under the hood, so
+/// ledger arithmetic (balances, transfers, refunds) never drifts.
+/// Construction is explicit — Money::Dollars(12.5) or
+/// Money::FromMicros(12'500'000) — and there is no implicit conversion to
+/// or from arithmetic types, so a $/s Rate cannot be passed where an
+/// amount is expected (and vice versa).
+class [[nodiscard]] Money {
+ public:
+  constexpr Money() = default;
+
+  static constexpr Money FromMicros(Micros micros) { return Money(micros); }
+  /// Rounds half away from zero to the nearest micro-dollar.
+  static constexpr Money Dollars(double dollars) {
+    return Money(DollarsToMicros(dollars));
+  }
+  static constexpr Money Zero() { return Money(); }
+
+  constexpr Micros micros() const { return micros_; }
+  constexpr double dollars() const { return MicrosToDollars(micros_); }
+
+  constexpr bool is_zero() const { return micros_ == 0; }
+  constexpr bool is_positive() const { return micros_ > 0; }
+  constexpr bool is_negative() const { return micros_ < 0; }
+
+  /// Proportional share of an amount (e.g. splitting a budget across
+  /// hosts by bid weight), rounding half away from zero.
+  constexpr Money ScaledBy(double factor) const {
+    return Money::Dollars(dollars() * factor);
+  }
+
+  friend constexpr Money operator+(Money a, Money b) {
+    return Money(a.micros_ + b.micros_);
+  }
+  friend constexpr Money operator-(Money a, Money b) {
+    return Money(a.micros_ - b.micros_);
+  }
+  constexpr Money operator-() const { return Money(-micros_); }
+  constexpr Money& operator+=(Money other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money other) {
+    micros_ -= other.micros_;
+    return *this;
+  }
+
+  // Exact integer comparisons: == on Money is sound (unlike raw double).
+  friend constexpr auto operator<=>(Money a, Money b) = default;
+
+ private:
+  explicit constexpr Money(Micros micros) : micros_(micros) {}
+  Micros micros_ = 0;
+};
+
+constexpr Money Min(Money a, Money b) { return a < b ? a : b; }
+constexpr Money Max(Money a, Money b) { return a < b ? b : a; }
+
+/// A spend rate in dollars per second: the unit of standing bids, spot
+/// prices and best-response budgets (the paper's "bids are rates, charges
+/// are for use"). Continuous (double) because the optimizer's
+/// water-filling solution is continuous; convert to Money only through
+/// the explicit unit algebra below. Equality on Rate is deliberately
+/// absent — compare with ApproxEq or order with <,<=,>,>=.
+class [[nodiscard]] Rate {
+ public:
+  constexpr Rate() = default;
+
+  static constexpr Rate DollarsPerSec(double dollars_per_sec) {
+    return Rate(dollars_per_sec);
+  }
+  /// Quantized construction from integer micro-dollars per second (the
+  /// market ledger's exact bid representation).
+  static constexpr Rate MicrosPerSec(Micros micros_per_sec) {
+    return Rate(MicrosToDollars(micros_per_sec));
+  }
+  static constexpr Rate Zero() { return Rate(); }
+
+  constexpr double dollars_per_sec() const { return dollars_per_sec_; }
+  /// Nearest integer micro-dollars per second (half away from zero).
+  constexpr Micros micros_per_sec() const {
+    return DollarsToMicros(dollars_per_sec_);
+  }
+
+  // The one sanctioned raw comparison; all other code must go through
+  // is_zero()/ApproxEq instead. gmlint: allow(float-money-eq)
+  constexpr bool is_zero() const { return dollars_per_sec_ == 0.0; }
+  constexpr bool is_positive() const { return dollars_per_sec_ > 0.0; }
+
+  friend constexpr Rate operator+(Rate a, Rate b) {
+    return Rate(a.dollars_per_sec_ + b.dollars_per_sec_);
+  }
+  friend constexpr Rate operator-(Rate a, Rate b) {
+    return Rate(a.dollars_per_sec_ - b.dollars_per_sec_);
+  }
+  friend constexpr Rate operator*(Rate r, double factor) {
+    return Rate(r.dollars_per_sec_ * factor);
+  }
+  friend constexpr Rate operator*(double factor, Rate r) { return r * factor; }
+  friend constexpr Rate operator/(Rate r, double divisor) {
+    return Rate(r.dollars_per_sec_ / divisor);
+  }
+  /// Dimensionless ratio of two rates (e.g. my bid / total bids).
+  friend constexpr double operator/(Rate a, Rate b) {
+    return a.dollars_per_sec_ / b.dollars_per_sec_;
+  }
+  constexpr Rate& operator+=(Rate other) {
+    dollars_per_sec_ += other.dollars_per_sec_;
+    return *this;
+  }
+  constexpr Rate& operator-=(Rate other) {
+    dollars_per_sec_ -= other.dollars_per_sec_;
+    return *this;
+  }
+
+  // Ordering is allowed; == is not (floating-point money comparison).
+  friend constexpr bool operator<(Rate a, Rate b) {
+    return a.dollars_per_sec_ < b.dollars_per_sec_;
+  }
+  friend constexpr bool operator>(Rate a, Rate b) { return b < a; }
+  friend constexpr bool operator<=(Rate a, Rate b) { return !(b < a); }
+  friend constexpr bool operator>=(Rate a, Rate b) { return !(a < b); }
+  friend bool operator==(Rate, Rate) = delete;
+  friend bool operator!=(Rate, Rate) = delete;
+
+ private:
+  explicit constexpr Rate(double dollars_per_sec)
+      : dollars_per_sec_(dollars_per_sec) {}
+  double dollars_per_sec_ = 0.0;
+};
+
+/// Safe comparison for the continuous rate domain. Tolerance is absolute,
+/// in $/s; pass a relative one (tol * max magnitude) where scales vary.
+constexpr bool ApproxEq(Rate a, Rate b, double tol_dollars_per_sec = 1e-12) {
+  const double diff = a.dollars_per_sec() - b.dollars_per_sec();
+  return (diff < 0 ? -diff : diff) <= tol_dollars_per_sec;
+}
+
+// -- unit algebra: Rate x time = Money, Money / time = Rate --
+
+/// What a standing bid costs over `seconds` at `used_fraction` of the
+/// granted capacity (Tycoon charges for use, not for bids). The rate is
+/// quantized to whole micro-dollars per second first — the market ledger
+/// representation — so charging is reproducible to the micro-dollar.
+inline Money ChargeFor(Rate rate, double seconds, double used_fraction = 1.0) {
+  const double micros = static_cast<double>(rate.micros_per_sec()) * seconds *
+                        used_fraction;
+  return Money::FromMicros(static_cast<Micros>(std::llround(micros)));
+}
+
+/// Spread an amount uniformly over a duration: the spend rate that
+/// exhausts `amount` in `seconds`.
+constexpr Rate Spread(Money amount, double seconds) {
+  return Rate::DollarsPerSec(amount.dollars() / seconds);
+}
+
 /// "$12.345678" style rendering, trimming trailing zeros to cents.
 std::string FormatMoney(Micros m);
+inline std::string FormatMoney(Money m) { return FormatMoney(m.micros()); }
 
 /// CPU capacity: cycles per second. 3.0 GHz == 3e9.
 using CyclesPerSecond = double;

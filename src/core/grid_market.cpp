@@ -143,15 +143,14 @@ GridMarket::GridMarket(Config config)
 GridMarket::~GridMarket() = default;
 
 Status GridMarket::RegisterUser(const std::string& name,
-                                double initial_funds_dollars) {
+                                Money initial_funds) {
   if (users_.find(name) != users_.end())
     return Status::AlreadyExists("user exists: " + name);
   User user{crypto::KeyPair::Generate(group_, rng_),
             crypto::DistinguishedName{"SE", "KTH", "PDC", name}};
   GM_RETURN_IF_ERROR(bank_->CreateAccount(name, user.keys.public_key()));
-  if (initial_funds_dollars > 0) {
-    GM_RETURN_IF_ERROR(bank_->Mint(
-        name, DollarsToMicros(initial_funds_dollars), kernel_.now()));
+  if (initial_funds.is_positive()) {
+    GM_RETURN_IF_ERROR(bank_->Mint(name, initial_funds, kernel_.now()));
   }
   const crypto::Certificate cert =
       ca_->Issue(user.dn, user.keys.public_key(), kernel_.now(),
@@ -161,16 +160,14 @@ Status GridMarket::RegisterUser(const std::string& name,
   return Status::Ok();
 }
 
-Result<double> GridMarket::UserBankBalance(const std::string& name) const {
-  GM_ASSIGN_OR_RETURN(const Micros balance, bank_->Balance(name));
-  return MicrosToDollars(balance);
+Result<Money> GridMarket::UserBankBalance(const std::string& name) const {
+  return bank_->Balance(name);
 }
 
 Result<crypto::TransferToken> GridMarket::PayBroker(const std::string& name,
-                                                    double amount_dollars) {
+                                                    Money amount) {
   const auto it = users_.find(name);
   if (it == users_.end()) return Status::NotFound("user: " + name);
-  const Micros amount = DollarsToMicros(amount_dollars);
   GM_ASSIGN_OR_RETURN(const std::uint64_t nonce, bank_->TransferNonce(name));
   const crypto::Signature auth = it->second.keys.Sign(
       bank::TransferAuthPayload(name, "broker", amount, nonce), rng_);
@@ -183,13 +180,13 @@ Result<crypto::TransferToken> GridMarket::PayBroker(const std::string& name,
 
 Result<std::uint64_t> GridMarket::SubmitJob(
     const std::string& user, const grid::JobDescription& description,
-    double budget_dollars) {
-  return SubmitXrsl(user, description.ToXrsl(), budget_dollars);
+    Money budget) {
+  return SubmitXrsl(user, description.ToXrsl(), budget);
 }
 
 Result<std::uint64_t> GridMarket::SubmitXrsl(const std::string& user,
                                              std::string_view xrsl,
-                                             double budget_dollars) {
+                                             Money budget) {
   // The submit span covers the whole client-side flow: pay the broker,
   // mint the transfer token, authorize and launch. Everything downstream
   // (fund-verify, bid, auction ticks, refund) joins the same trace.
@@ -207,7 +204,7 @@ Result<std::uint64_t> GridMarket::SubmitXrsl(const std::string& user,
                                       : telemetry::SpanStatus::kError);
     }
   };
-  const auto token = PayBroker(user, budget_dollars);
+  const auto token = PayBroker(user, budget);
   if (!token.ok()) {
     finish(false);
     return token.status();
@@ -218,9 +215,9 @@ Result<std::uint64_t> GridMarket::SubmitXrsl(const std::string& user,
 }
 
 Status GridMarket::BoostJob(const std::string& user, std::uint64_t job_id,
-                            double amount_dollars) {
+                            Money amount) {
   GM_ASSIGN_OR_RETURN(const crypto::TransferToken token,
-                      PayBroker(user, amount_dollars));
+                      PayBroker(user, amount));
   return broker_->Boost(job_id, token);
 }
 

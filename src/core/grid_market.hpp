@@ -13,7 +13,7 @@
 //   config.hosts = 30;
 //   GridMarket grid(config);
 //   grid.RegisterUser("alice");
-//   auto job = grid.SubmitJob("alice", description, /*budget=*/100.0);
+//   auto job = grid.SubmitJob("alice", description, Money::Dollars(100));
 //   grid.RunUntil(sim::Hours(10));
 //   const grid::JobRecord& record = *grid.Job(*job).value();
 #pragma once
@@ -112,24 +112,23 @@ class GridMarket {
   /// Create a Grid user: keypair, bank account funded with
   /// `initial_funds`, CA certificate registered with the broker.
   Status RegisterUser(const std::string& name,
-                      double initial_funds_dollars = 1e6);
-  Result<double> UserBankBalance(const std::string& name) const;
+                      Money initial_funds = Money::Dollars(1e6));
+  Result<Money> UserBankBalance(const std::string& name) const;
   /// Pay the broker and mint the transfer token (the client-side flow).
   Result<crypto::TransferToken> PayBroker(const std::string& name,
-                                          double amount_dollars);
+                                          Money amount);
 
   // -- jobs --
   /// Full submission: pay, mint token, authorize, schedule.
   Result<std::uint64_t> SubmitJob(const std::string& user,
                                   const grid::JobDescription& description,
-                                  double budget_dollars);
+                                  Money budget);
   /// Same, straight from XRSL text.
   Result<std::uint64_t> SubmitXrsl(const std::string& user,
-                                   std::string_view xrsl,
-                                   double budget_dollars);
+                                   std::string_view xrsl, Money budget);
   /// Add funds to a running job.
   Status BoostJob(const std::string& user, std::uint64_t job_id,
-                  double amount_dollars);
+                  Money amount);
   Result<const grid::JobRecord*> Job(std::uint64_t job_id) const;
   std::vector<const grid::JobRecord*> Jobs() const;
 

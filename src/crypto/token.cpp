@@ -7,7 +7,7 @@ namespace gm::crypto {
 std::string TransferReceipt::SigningPayload() const {
   return StrFormat("receipt|id=%s|from=%s|to=%s|amount=%lld|at=%lld",
                    receipt_id.c_str(), from_account.c_str(),
-                   to_account.c_str(), static_cast<long long>(amount),
+                   to_account.c_str(), static_cast<long long>(amount.micros()),
                    static_cast<long long>(issued_at_us));
 }
 
@@ -28,7 +28,7 @@ TransferToken MintToken(const TransferReceipt& receipt,
 Status VerifyToken(const TransferToken& token, const PublicKey& bank_key,
                    const PublicKey& owner_key,
                    const std::string& expected_recipient) {
-  if (token.receipt.amount <= 0)
+  if (!token.receipt.amount.is_positive())
     return Status::InvalidArgument("token: non-positive amount");
   if (token.receipt.to_account != expected_recipient)
     return Status::PermissionDenied(

@@ -24,7 +24,7 @@ struct TransferReceipt {
   std::string receipt_id;    // unique id assigned by the bank
   std::string from_account;
   std::string to_account;
-  Micros amount = 0;
+  Money amount;
   std::int64_t issued_at_us = 0;
   Signature bank_signature;
 

@@ -25,7 +25,7 @@ namespace gm::grid {
 
 struct AuthorizedFunds {
   std::string sub_account;  // bank sub-account now holding the money
-  Micros amount = 0;
+  Money amount;
   std::string grid_dn;
 };
 

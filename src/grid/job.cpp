@@ -90,7 +90,7 @@ double JobRecord::MeanChunkLatencyMinutes() const {
 double JobRecord::CostPerHour() const {
   const double hours = TurnaroundHours();
   if (hours <= 0.0) return 0.0;
-  return MicrosToDollars(spent) / hours;
+  return spent.dollars() / hours;
 }
 
 }  // namespace gm::grid

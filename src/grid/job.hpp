@@ -50,9 +50,9 @@ struct JobRecord {
   JobState state = JobState::kSubmitted;
   std::string failure;         // set when state is kFailed
 
-  Micros budget = 0;           // authorized funds
-  Micros spent = 0;            // charged by auctioneers
-  Micros refunded = 0;         // returned to the sub-account
+  Money budget;                // authorized funds
+  Money spent;                 // charged by auctioneers
+  Money refunded;              // returned to the sub-account
 
   sim::SimTime submitted_at = -1;
   sim::SimTime running_at = -1;   // first sub-job able to execute

@@ -14,13 +14,13 @@ std::string RenderClusterTable(
   for (const market::Auctioneer* auctioneer : auctioneers) {
     const host::PhysicalHost& host = auctioneer->physical_host();
     const double price_per_hour =
-        MicrosToDollars(auctioneer->SpotPriceRate()) * 3600.0;
+        auctioneer->SpotPriceRate().dollars_per_sec() * 3600.0;
     const double utilization =
         now > 0 ? host.Utilization(now) * 100.0 : 0.0;
     out += StrFormat("%-10s %4d %4zu %12.4f %12.2f %10.1f\n",
                      host.id().c_str(), host.spec().cpus, host.vm_count(),
                      price_per_hour,
-                     MicrosToDollars(auctioneer->total_revenue()),
+                     auctioneer->total_revenue().dollars(),
                      utilization);
   }
   return out;
@@ -43,7 +43,7 @@ std::string RenderJobTable(const std::vector<const JobRecord*>& jobs,
         job->description.job_name.substr(0, 18).c_str(),
         job->user_dn.substr(0, 30).c_str(), JobStateName(job->state),
         job->CompletedChunks(), job->description.TotalChunks(),
-        MicrosToDollars(job->spent), MicrosToDollars(job->budget),
+        job->spent.dollars(), job->budget.dollars(),
         elapsed.c_str());
   }
   return out;

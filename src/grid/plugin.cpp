@@ -135,7 +135,7 @@ void TycoonSchedulerPlugin::MigrateJobOffHost(ActiveJob& job,
                                               const std::string& host_id) {
   JobRecord& record = job.record;
   bool touched = false;
-  Micros reclaimed = 0;
+  Money reclaimed;
   for (HostBinding& binding : job.hosts) {
     if (binding.dead ||
         binding.auctioneer->physical_host().id() != host_id)
@@ -148,9 +148,10 @@ void TycoonSchedulerPlugin::MigrateJobOffHost(ActiveJob& job,
     // `bank_account`, so the broker can recover unspent funds even though
     // the host itself no longer answers.
     if (binding.auctioneer->HasAccount(record.account)) {
-      record.spent += binding.auctioneer->Spent(record.account).value_or(0);
+      record.spent +=
+          binding.auctioneer->Spent(record.account).value_or(Money::Zero());
       const auto refund = binding.auctioneer->CloseAccount(record.account);
-      if (refund.ok() && *refund > 0) {
+      if (refund.ok() && refund->is_positive()) {
         const auto mirrored = bank_.InternalTransfer(
             binding.bank_account, record.account, *refund, kernel_.now());
         GM_ASSERT(mirrored.ok(), "migration reclaim transfer failed");
@@ -166,7 +167,7 @@ void TycoonSchedulerPlugin::MigrateJobOffHost(ActiveJob& job,
         record.trace, "migrate",
         StrFormat("job=%llu host=%s", static_cast<unsigned long long>(record.id),
                   host_id.c_str()),
-        kernel_.now(), MicrosToDollars(reclaimed));
+        kernel_.now(), reclaimed.dollars());
   }
 
   // Requeue incomplete chunks that were bound to the dead host (their VM
@@ -197,53 +198,58 @@ void TycoonSchedulerPlugin::MigrateJobOffHost(ActiveJob& job,
 
   // Re-run Best Response over the surviving hosts and push the reclaimed
   // funds (whatever sits in the sub-account) to them.
-  const Micros pool = bank_.Balance(record.account).value_or(0);
-  Micros live_balance = 0;
+  const Money pool = bank_.Balance(record.account).value_or(Money::Zero());
+  Money live_balance;
   std::vector<br::HostBidInput> inputs;
   inputs.reserve(survivors.size());
   for (const std::size_t h : survivors) {
     market::Auctioneer& auctioneer = *job.hosts[h].auctioneer;
-    live_balance += auctioneer.Balance(record.account).value_or(0);
-    inputs.push_back(
-        {auctioneer.physical_host().id(),
-         auctioneer.physical_host().PerCpuCapacity(),
-         MicrosToDollars(auctioneer.SpotPriceRateExcluding(record.account))});
+    live_balance +=
+        auctioneer.Balance(record.account).value_or(Money::Zero());
+    inputs.push_back({auctioneer.physical_host().id(),
+                      auctioneer.physical_host().PerCpuCapacity(),
+                      auctioneer.SpotPriceRateExcluding(record.account)});
   }
   const double horizon_seconds = std::max(
       60.0, sim::ToSeconds(std::max(job.spend_target, kernel_.now() +
                                                           sim::Minutes(1)) -
                            kernel_.now()));
-  const double budget_rate =
-      MicrosToDollars(pool + live_balance) / horizon_seconds;
+  const Rate budget_rate = Spread(pool + live_balance, horizon_seconds);
   const auto solution = solver_.Solve(inputs, budget_rate);
 
-  Micros distributed = 0;
+  Money distributed;
   double bid_total = 0.0;
   if (solution.ok())
-    for (const auto& allocation : solution->bids) bid_total += allocation.bid;
+    for (const auto& allocation : solution->bids)
+      bid_total += allocation.bid.dollars_per_sec();
   for (std::size_t k = 0; k < survivors.size(); ++k) {
     HostBinding& binding = job.hosts[survivors[k]];
     // Proportional to the re-solved bids; uniform when the solver degenerates.
-    Micros share;
+    Money share;
     if (k + 1 == survivors.size()) {
       share = pool - distributed;
     } else if (solution.ok() && bid_total > 0.0) {
-      share = static_cast<Micros>(std::llround(static_cast<double>(pool) *
-                                               solution->bids[k].bid /
-                                               bid_total));
+      share = Money::FromMicros(static_cast<Micros>(
+          std::llround(static_cast<double>(pool.micros()) *
+                       solution->bids[k].bid.dollars_per_sec() / bid_total)));
     } else {
-      share = pool / static_cast<Micros>(survivors.size());
+      share = Money::FromMicros(pool.micros() /
+                                static_cast<Micros>(survivors.size()));
     }
-    share = std::min(share, pool - distributed);
-    if (share > 0) {
+    share = Min(share, pool - distributed);
+    if (share.is_positive()) {
       const Status funded = FundHost(job, binding, share);
       GM_ASSERT(funded.ok(), "migration refund redistribution failed");
       distributed += share;
     }
-    if (solution.ok() && solution->bids[k].bid > 0.0) {
-      (void)binding.auctioneer->SetBid(
-          record.account, DollarsToMicros(solution->bids[k].bid),
-          record.deadline);
+    if (solution.ok() && solution->bids[k].bid.is_positive()) {
+      const Status rebid = binding.auctioneer->SetBid(
+          record.account, solution->bids[k].bid, record.deadline);
+      if (!rebid.ok()) {
+        GM_LOG_WARN << "job " << record.id << ": re-bid after migration on "
+                    << binding.auctioneer->physical_host().id()
+                    << " failed: " << rebid.ToString();
+      }
     }
   }
   // Put the requeued chunks back to work on idle surviving VMs.
@@ -267,7 +273,7 @@ sim::SimDuration TycoonSchedulerPlugin::StageDuration(
 Result<std::uint64_t> TycoonSchedulerPlugin::Launch(JobRecord job) {
   if (job.state != JobState::kAuthorized)
     return Status::FailedPrecondition("job must be authorized to launch");
-  if (job.budget <= 0)
+  if (!job.budget.is_positive())
     return Status::InvalidArgument("job has no budget");
   if (!bank_.HasAccount(job.account))
     return Status::NotFound("job sub-account missing: " + job.account);
@@ -344,7 +350,7 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
   // rates in $/s.
   const double deadline_seconds =
       record.description.wall_time_minutes * 60.0;
-  const double budget_rate = MicrosToDollars(record.budget) / deadline_seconds;
+  const Rate budget_rate = Spread(record.budget, deadline_seconds);
   auto solve_over = [&](const std::vector<market::HostRecord>& hosts)
       -> Result<br::BestResponseResult> {
     std::vector<br::HostBidInput> inputs;
@@ -352,7 +358,8 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
     for (const market::HostRecord& host : hosts) {
       const double host_price =
           host.price_per_capacity * host.cycles_per_cpu * host.cpus;
-      inputs.push_back({host.host_id, host.cycles_per_cpu, host_price});
+      inputs.push_back(
+          {host.host_id, host.cycles_per_cpu, Rate::DollarsPerSec(host_price)});
     }
     return solver_.Solve(inputs, budget_rate);
   };
@@ -367,7 +374,7 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   const auto contribution = [&](std::size_t i) {
     if (config_.host_selection == PluginConfig::HostSelection::kBidSize)
-      return solution.bids[i].bid;
+      return solution.bids[i].bid.dollars_per_sec();
     return candidates[i].cycles_per_cpu * solution.bids[i].expected_share;
   };
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -380,7 +387,7 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
       break;
     // Outside the active set: Best Response found this host not worth
     // bidding on at this budget.
-    if (solution.bids[i].bid <= 0.0) continue;
+    if (!solution.bids[i].bid.is_positive()) continue;
     selected.push_back(candidates[i]);
   }
   if (selected.empty())
@@ -390,12 +397,13 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
   GM_ASSIGN_OR_RETURN(solution, solve_over(selected));
 
   // 4. Fund accounts, create VMs, provision runtime environments.
-  Micros distributed = 0;
+  Money distributed;
   double bid_total = 0.0;
-  for (const auto& allocation : solution.bids) bid_total += allocation.bid;
+  for (const auto& allocation : solution.bids)
+    bid_total += allocation.bid.dollars_per_sec();
   for (std::size_t i = 0; i < selected.size(); ++i) {
     const market::HostRecord& host = selected[i];
-    const double bid = solution.bids[i].bid;
+    const Rate bid = solution.bids[i].bid;
     AuctioneerEntry& entry = auctioneers_.at(host.host_id);
     market::Auctioneer* auctioneer = entry.auctioneer;
 
@@ -408,13 +416,14 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
     }
     // Budget share proportional to the bid; the last host gets the
     // remainder so micro-dollars add up exactly.
-    Micros share = i + 1 == selected.size()
-                       ? record.budget - distributed
-                       : static_cast<Micros>(std::llround(
-                             static_cast<double>(record.budget) * bid /
-                             bid_total));
-    share = std::min(share, record.budget - distributed);
-    if (share <= 0) continue;
+    Money share =
+        i + 1 == selected.size()
+            ? record.budget - distributed
+            : Money::FromMicros(static_cast<Micros>(std::llround(
+                  static_cast<double>(record.budget.micros()) *
+                  bid.dollars_per_sec() / bid_total)));
+    share = Min(share, record.budget - distributed);
+    if (!share.is_positive()) continue;
     GM_RETURN_IF_ERROR(FundHost(job, binding, share));
     distributed += share;
 
@@ -424,7 +433,7 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
                   << " failed: " << vm.status().ToString();
       // Undo the funding so no money is stranded on a host we cannot use.
       const auto refund = auctioneer->CloseAccount(record.account);
-      if (refund.ok() && *refund > 0) {
+      if (refund.ok() && refund->is_positive()) {
         GM_RETURN_IF_ERROR(bank_.InternalTransfer(binding.bank_account,
                                                   record.account, *refund,
                                                   kernel_.now())
@@ -446,9 +455,9 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
       (*vm)->ExtendProvisioning(install_time);
       (*vm)->MarkRuntimeInstalled(env);
     }
-    // Bid: a rate in micro-dollars per second until the deadline.
-    const Micros rate = DollarsToMicros(bid);
-    GM_RETURN_IF_ERROR(auctioneer->SetBid(record.account, rate,
+    // Bid: a spend rate held until the deadline (the auctioneer quantizes
+    // it to whole micro-dollars per second, its ledger grid).
+    GM_RETURN_IF_ERROR(auctioneer->SetBid(record.account, bid,
                                           record.deadline));
     record.hosts_used.push_back(host.host_id);
     job.hosts.push_back(std::move(binding));
@@ -466,7 +475,7 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
 }
 
 Status TycoonSchedulerPlugin::FundHost(ActiveJob& job, HostBinding& binding,
-                                       Micros amount) {
+                                       Money amount) {
   JobRecord& record = job.record;
   // Mirror the deposit in the bank (conservation), then credit the
   // host-local market account.
@@ -476,7 +485,8 @@ Status TycoonSchedulerPlugin::FundHost(ActiveJob& job, HostBinding& binding,
                          .status());
   GM_RETURN_IF_ERROR(binding.auctioneer->Fund(record.account, amount));
   // Tag the market account so the auctioneer's charged ticks land in the
-  // job's trace.
+  // job's trace. Deliberate discard: tracing is advisory and must never
+  // fail a funding path.
   if (telemetry_ != nullptr && record.trace != 0)
     (void)binding.auctioneer->SetAccountTrace(record.account, record.trace);
   return Status::Ok();
@@ -581,23 +591,30 @@ void TycoonSchedulerPlugin::Rebid(ActiveJob& job) {
     HostBinding& binding = job.hosts[h];
     market::Auctioneer& auctioneer = *binding.auctioneer;
     const double share = fleet_share;
-    const Micros others = auctioneer.SpotPriceRateExcluding(record.account);
+    const Rate others = auctioneer.SpotPriceRateExcluding(record.account);
     // Hold share s against price y: x = y s / (1 - s); floor of 1 u$/s
     // keeps an idle host claimed.
-    double rate_raw =
-        static_cast<double>(others) * share / (1.0 - share);
-    Micros rate = std::max<Micros>(
+    const double rate_raw =
+        static_cast<double>(others.micros_per_sec()) * share / (1.0 - share);
+    Micros rate_micros = std::max<Micros>(
         1, static_cast<Micros>(std::llround(rate_raw)));
     // Affordability: never bid faster than the host account can sustain
     // until the reap deadline — a starved job that conserves its funds can
     // still finish cheaply once richer competitors leave the market.
     const double seconds_to_reap =
         std::max(60.0, sim::ToSeconds(record.deadline - kernel_.now()));
-    const Micros balance = auctioneer.Balance(record.account).value_or(0);
+    const Money balance =
+        auctioneer.Balance(record.account).value_or(Money::Zero());
     const Micros affordable = static_cast<Micros>(
-        static_cast<double>(balance) / seconds_to_reap);
-    rate = std::min(rate, std::max<Micros>(1, affordable));
-    (void)auctioneer.SetBid(record.account, rate, record.deadline);
+        static_cast<double>(balance.micros()) / seconds_to_reap);
+    rate_micros = std::min(rate_micros, std::max<Micros>(1, affordable));
+    const Status rebid = auctioneer.SetBid(
+        record.account, Rate::MicrosPerSec(rate_micros), record.deadline);
+    if (!rebid.ok()) {
+      GM_LOG_WARN << "job " << record.id << ": adaptive re-bid on "
+                  << auctioneer.physical_host().id()
+                  << " failed: " << rebid.ToString();
+    }
   }
 }
 
@@ -756,9 +773,9 @@ void TycoonSchedulerPlugin::Finalize(ActiveJob& job,
   for (HostBinding& binding : job.hosts) {
     market::Auctioneer& auctioneer = *binding.auctioneer;
     if (!auctioneer.HasAccount(record.account)) continue;
-    record.spent += auctioneer.Spent(record.account).value_or(0);
+    record.spent += auctioneer.Spent(record.account).value_or(Money::Zero());
     const auto refund = auctioneer.CloseAccount(record.account);
-    if (refund.ok() && *refund > 0) {
+    if (refund.ok() && refund->is_positive()) {
       const auto mirrored = bank_.InternalTransfer(
           binding.bank_account, record.account, *refund, kernel_.now());
       GM_ASSERT(mirrored.ok(), "refund mirror transfer failed");
@@ -776,27 +793,28 @@ void TycoonSchedulerPlugin::Finalize(ActiveJob& job,
                                            static_cast<unsigned long long>(record.id),
                                            JobStateName(record.state)),
                                  kernel_.now(),
-                                 MicrosToDollars(record.refunded));
+                                 record.refunded.dollars());
   }
   if (on_finished_) on_finished_(record);
 }
 
-Status TycoonSchedulerPlugin::Boost(std::uint64_t job_id, Micros amount) {
+Status TycoonSchedulerPlugin::Boost(std::uint64_t job_id, Money amount) {
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return Status::NotFound("job not found");
   ActiveJob& job = it->second;
   JobRecord& record = job.record;
   if (IsTerminal(record.state))
     return Status::FailedPrecondition("job already terminal");
-  if (amount <= 0) return Status::InvalidArgument("boost must be positive");
-  GM_ASSIGN_OR_RETURN(const Micros available, bank_.Balance(record.account));
+  if (!amount.is_positive())
+    return Status::InvalidArgument("boost must be positive");
+  GM_ASSIGN_OR_RETURN(const Money available, bank_.Balance(record.account));
   if (available < amount)
     return Status::FailedPrecondition("sub-account lacks boost funds");
 
   const double remaining_seconds =
       std::max(1.0, sim::ToSeconds(record.deadline - kernel_.now()));
   // Spread proportionally to current balances; raise rates accordingly.
-  Micros distributed = 0;
+  Money distributed;
   std::vector<std::size_t> funded;
   for (std::size_t i = 0; i < job.hosts.size(); ++i) {
     if (job.hosts[i].auctioneer->HasAccount(record.account))
@@ -806,21 +824,23 @@ Status TycoonSchedulerPlugin::Boost(std::uint64_t job_id, Micros amount) {
     return Status::FailedPrecondition("no live host accounts to boost");
   for (std::size_t k = 0; k < funded.size(); ++k) {
     HostBinding& binding = job.hosts[funded[k]];
-    const Micros share =
+    const Money share =
         k + 1 == funded.size()
             ? amount - distributed
-            : amount / static_cast<Micros>(funded.size());
-    if (share <= 0) continue;
+            : Money::FromMicros(amount.micros() /
+                                static_cast<Micros>(funded.size()));
+    if (!share.is_positive()) continue;
     GM_RETURN_IF_ERROR(FundHost(job, binding, share));
     distributed += share;
     market::Auctioneer& auctioneer = *binding.auctioneer;
-    const Micros balance = auctioneer.Balance(record.account).value_or(0);
+    const Money balance =
+        auctioneer.Balance(record.account).value_or(Money::Zero());
     // New rate: spend the whole remaining balance by the deadline.
-    const Micros rate = std::max<Micros>(
+    const Micros rate_micros = std::max<Micros>(
         1, static_cast<Micros>(std::llround(
-               static_cast<double>(balance) / remaining_seconds)));
-    GM_RETURN_IF_ERROR(
-        auctioneer.SetBid(record.account, rate, record.deadline));
+               static_cast<double>(balance.micros()) / remaining_seconds)));
+    GM_RETURN_IF_ERROR(auctioneer.SetBid(
+        record.account, Rate::MicrosPerSec(rate_micros), record.deadline));
   }
   record.budget += amount;
   if (telemetry_ != nullptr && record.trace != 0) {
@@ -828,7 +848,7 @@ Status TycoonSchedulerPlugin::Boost(std::uint64_t job_id, Micros amount) {
                                  StrFormat("job=%llu",
                                            static_cast<unsigned long long>(job_id)),
                                  kernel_.now(),
-                                 MicrosToDollars(amount));
+                                 amount.dollars());
   }
   return Status::Ok();
 }

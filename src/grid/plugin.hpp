@@ -139,7 +139,7 @@ class TycoonSchedulerPlugin {
   Result<std::uint64_t> Launch(JobRecord job);
 
   /// Add funds from the job's sub-account to its host bids.
-  Status Boost(std::uint64_t job_id, Micros amount);
+  Status Boost(std::uint64_t job_id, Money amount);
 
   Result<const JobRecord*> Get(std::uint64_t job_id) const;
   std::vector<const JobRecord*> jobs() const;
@@ -206,7 +206,7 @@ class TycoonSchedulerPlugin {
   /// the job on track for its wallTime target.
   void Rebid(ActiveJob& job);
   void Finalize(ActiveJob& job, JobState terminal_state);
-  Status FundHost(ActiveJob& job, HostBinding& binding, Micros amount);
+  Status FundHost(ActiveJob& job, HostBinding& binding, Money amount);
   /// Close every still-open lifecycle span of the job (no-op untraced).
   void EndOpenJobSpans(ActiveJob& job, telemetry::SpanStatus status);
   Cycles ChunkCycles(const JobDescription& description) const;

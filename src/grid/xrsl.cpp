@@ -116,7 +116,8 @@ Result<double> PositiveNumber(const XrslRelation& relation) {
 
 Result<std::vector<XrslRelation>> ParseXrsl(std::string_view text) {
   Lexer lexer(text);
-  // Optional leading '&' (conjunction of relations).
+  // Optional leading '&' (conjunction of relations). Deliberate discard:
+  // Consume reports whether the character was present, and both are valid.
   (void)lexer.Consume('&');
   std::vector<XrslRelation> relations;
   while (!lexer.AtEnd()) {

@@ -81,41 +81,46 @@ Status Auctioneer::OpenAccount(const std::string& user) {
   return Status::Ok();
 }
 
-Status Auctioneer::Fund(const std::string& user, Micros amount) {
-  if (amount <= 0) return Status::InvalidArgument("funding must be > 0");
+Status Auctioneer::Fund(const std::string& user, Money amount) {
+  if (!amount.is_positive())
+    return Status::InvalidArgument("funding must be > 0");
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
   it->second.balance += amount;
   return Status::Ok();
 }
 
-Status Auctioneer::SetBid(const std::string& user, Micros rate_per_second,
+Status Auctioneer::SetBid(const std::string& user, Rate rate_per_second,
                           sim::SimTime deadline) {
-  if (rate_per_second < 0)
+  if (rate_per_second < Rate::Zero())
     return Status::InvalidArgument("bid rate must be >= 0");
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
-  it->second.rate = rate_per_second;
+  // Quantize to the ledger's micro-dollar/s grid: charging and spot-price
+  // sums stay exact integers regardless of what the optimizer produced.
+  it->second.rate = Rate::MicrosPerSec(rate_per_second.micros_per_sec());
   it->second.bid_deadline = deadline;
   return Status::Ok();
 }
 
-Result<Micros> Auctioneer::CloseAccount(const std::string& user) {
+Result<Money> Auctioneer::CloseAccount(const std::string& user) {
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
-  const Micros refund = it->second.balance;
+  const Money refund = it->second.balance;
   accounts_.erase(it);
-  (void)host_.DestroyVm(VmId(user));  // may not exist; fine
+  // Deliberate discard: the account may never have acquired a VM, so a
+  // NotFound from DestroyVm is expected here.
+  (void)host_.DestroyVm(VmId(user));
   return refund;
 }
 
-Result<Micros> Auctioneer::Balance(const std::string& user) const {
+Result<Money> Auctioneer::Balance(const std::string& user) const {
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
   return it->second.balance;
 }
 
-Result<Micros> Auctioneer::Spent(const std::string& user) const {
+Result<Money> Auctioneer::Spent(const std::string& user) const {
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
   return it->second.spent;
@@ -135,30 +140,32 @@ Result<host::VirtualMachine*> Auctioneer::AcquireVm(const std::string& user) {
 
 bool Auctioneer::BidActive(const MarketAccount& account,
                            sim::SimTime now) const {
-  return account.rate > 0 && account.balance > 0 &&
+  return account.rate.is_positive() && account.balance.is_positive() &&
          now < account.bid_deadline;
 }
 
-Micros Auctioneer::SpotPriceRate() const {
+Rate Auctioneer::SpotPriceRate() const {
   const sim::SimTime now = kernel_.now();
+  // Exact integer sum: every stored rate is on the micro-dollar/s grid.
   Micros total = 0;
   for (const auto& [user, account] : accounts_) {
-    if (BidActive(account, now)) total += account.rate;
+    if (BidActive(account, now)) total += account.rate.micros_per_sec();
   }
-  return total;
+  return Rate::MicrosPerSec(total);
 }
 
-Micros Auctioneer::SpotPriceRateExcluding(const std::string& user) const {
+Rate Auctioneer::SpotPriceRateExcluding(const std::string& user) const {
   const sim::SimTime now = kernel_.now();
   Micros total = 0;
   for (const auto& [name, account] : accounts_) {
-    if (name != user && BidActive(account, now)) total += account.rate;
+    if (name != user && BidActive(account, now))
+      total += account.rate.micros_per_sec();
   }
-  return total;
+  return Rate::MicrosPerSec(total);
 }
 
 double Auctioneer::PricePerCapacity() const {
-  return MicrosToDollars(SpotPriceRate()) / host_.TotalCapacity();
+  return SpotPriceRate().dollars_per_sec() / host_.TotalCapacity();
 }
 
 Result<const WindowMoments*> Auctioneer::Moments(
@@ -213,7 +220,8 @@ void Auctioneer::Tick() {
   for (const auto& [user, account] : accounts_) {
     if (BidActive(account, interval_start) ||
         BidActive(account, now)) {
-      weights[VmId(user)] = static_cast<double>(account.rate);
+      weights[VmId(user)] =
+          static_cast<double>(account.rate.micros_per_sec());
     }
   }
 
@@ -228,18 +236,17 @@ void Auctioneer::Tick() {
     const auto it = accounts_.find(vm->owner());
     if (it == accounts_.end()) continue;
     MarketAccount& account = it->second;
-    const double cost_raw = static_cast<double>(account.rate) * dt_seconds *
-                            slice.used_fraction;
-    Micros cost = static_cast<Micros>(std::llround(cost_raw));
-    cost = std::min(cost, account.balance);
+    const Money cost = Min(
+        ChargeFor(account.rate, dt_seconds, slice.used_fraction),
+        account.balance);
     account.balance -= cost;
     account.spent += cost;
     revenue_ += cost;
-    if (telemetry_ != nullptr && account.trace != 0 && cost > 0) {
+    if (telemetry_ != nullptr && account.trace != 0 && cost.is_positive()) {
       telemetry_->tracer().Instant(account.trace, "auction-tick",
                                    "host=" + host_.id() +
                                        " user=" + account.user,
-                                   now, MicrosToDollars(cost));
+                                   now, cost.dollars());
     }
   }
 

@@ -49,9 +49,11 @@ struct AuctioneerConfig {
 
 struct MarketAccount {
   std::string user;
-  Micros balance = 0;   // refundable funds
-  Micros spent = 0;     // charged so far
-  Micros rate = 0;      // bid: micro-dollars per second
+  Money balance;        // refundable funds
+  Money spent;          // charged so far
+  /// Standing bid, quantized to whole micro-dollars per second at SetBid
+  /// so spot-price sums and charges are ledger-exact.
+  Rate rate;
   sim::SimTime bid_deadline = 0;
   /// Causal trace of the job this account is working for (telemetry);
   /// 0 = untraced. Charged ticks of traced accounts become trace instants.
@@ -72,24 +74,24 @@ class Auctioneer {
 
   // -- Account / bid management (called by the scheduler agent) --
   Status OpenAccount(const std::string& user);
-  Status Fund(const std::string& user, Micros amount);
-  Status SetBid(const std::string& user, Micros rate_per_second,
+  Status Fund(const std::string& user, Money amount);
+  Status SetBid(const std::string& user, Rate rate_per_second,
                 sim::SimTime deadline);
   /// Close the account and destroy the user's VM; returns the refund.
-  Result<Micros> CloseAccount(const std::string& user);
-  Result<Micros> Balance(const std::string& user) const;
-  Result<Micros> Spent(const std::string& user) const;
+  Result<Money> CloseAccount(const std::string& user);
+  Result<Money> Balance(const std::string& user) const;
+  Result<Money> Spent(const std::string& user) const;
   bool HasAccount(const std::string& user) const;
 
   /// Create (or return) the user's VM on this host; one per user.
   Result<host::VirtualMachine*> AcquireVm(const std::string& user);
 
   // -- Market information --
-  /// Sum of active bid rates right now (micro-dollars / s).
-  Micros SpotPriceRate() const;
+  /// Sum of active bid rates right now.
+  Rate SpotPriceRate() const;
   /// Spot price without `user`'s own bid — the y_j a best-response or
   /// share-holding agent must bid against.
-  Micros SpotPriceRateExcluding(const std::string& user) const;
+  Rate SpotPriceRateExcluding(const std::string& user) const;
   /// Spot price per unit of capacity: $/s per cycles/s.
   double PricePerCapacity() const;
   host::PhysicalHost& physical_host() { return host_; }
@@ -100,7 +102,7 @@ class Auctioneer {
   Result<const WindowMoments*> Moments(const std::string& window) const;
   Result<const SlotTable*> Distribution(const std::string& window) const;
 
-  Micros total_revenue() const { return revenue_; }
+  Money total_revenue() const { return revenue_; }
   const AuctioneerConfig& config() const { return config_; }
 
   /// One allocation round; normally driven by the internal timer.
@@ -139,7 +141,7 @@ class Auctioneer {
   PriceHistory history_;
   std::vector<std::pair<std::string, WindowMoments>> moments_;
   std::vector<std::pair<std::string, SlotTable>> distributions_;
-  Micros revenue_ = 0;
+  Money revenue_;
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* ticks_ctr_ = nullptr;
   telemetry::Summary* tick_price_ = nullptr;

@@ -25,42 +25,46 @@ AuctioneerService::AuctioneerService(Auctioneer& auctioneer,
       "fund", [this](const Bytes& request) -> Result<Bytes> {
         net::Reader reader(request);
         GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
-        GM_ASSIGN_OR_RETURN(const Micros amount, reader.ReadI64());
-        GM_RETURN_IF_ERROR(auctioneer_.Fund(user, amount));
+        GM_ASSIGN_OR_RETURN(const std::int64_t amount_micros,
+                            reader.ReadI64());
+        GM_RETURN_IF_ERROR(
+            auctioneer_.Fund(user, Money::FromMicros(amount_micros)));
         return Bytes{};
       });
   server_.RegisterMethod(
       "set_bid", [this](const Bytes& request) -> Result<Bytes> {
         net::Reader reader(request);
         GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
-        GM_ASSIGN_OR_RETURN(const Micros rate, reader.ReadI64());
+        GM_ASSIGN_OR_RETURN(const std::int64_t rate_micros,
+                            reader.ReadI64());
         GM_ASSIGN_OR_RETURN(const sim::SimTime deadline, reader.ReadI64());
-        GM_RETURN_IF_ERROR(auctioneer_.SetBid(user, rate, deadline));
+        GM_RETURN_IF_ERROR(auctioneer_.SetBid(
+            user, Rate::MicrosPerSec(rate_micros), deadline));
         return Bytes{};
       });
   server_.RegisterMethod(
       "balance", [this](const Bytes& request) -> Result<Bytes> {
         net::Reader reader(request);
         GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
-        GM_ASSIGN_OR_RETURN(const Micros balance, auctioneer_.Balance(user));
+        GM_ASSIGN_OR_RETURN(const Money balance, auctioneer_.Balance(user));
         net::Writer writer;
-        writer.WriteI64(balance);
+        writer.WriteI64(balance.micros());
         return writer.Take();
       });
   server_.RegisterMethod(
       "close_account", [this](const Bytes& request) -> Result<Bytes> {
         net::Reader reader(request);
         GM_ASSIGN_OR_RETURN(const std::string user, reader.ReadString());
-        GM_ASSIGN_OR_RETURN(const Micros refund,
+        GM_ASSIGN_OR_RETURN(const Money refund,
                             auctioneer_.CloseAccount(user));
         net::Writer writer;
-        writer.WriteI64(refund);
+        writer.WriteI64(refund.micros());
         return writer.Take();
       });
   server_.RegisterMethod(
       "price_stats", [this](const Bytes&) -> Result<Bytes> {
         net::Writer writer;
-        writer.WriteI64(auctioneer_.SpotPriceRate());
+        writer.WriteI64(auctioneer_.SpotPriceRate().micros_per_sec());
         writer.WriteDouble(auctioneer_.PricePerCapacity());
         const auto moments = auctioneer_.Moments("day");
         writer.WriteDouble(moments.ok() ? (*moments)->mean() : 0.0);
@@ -83,9 +87,9 @@ void AuctioneerClient::CallStatus(const std::string& endpoint,
                });
 }
 
-void AuctioneerClient::CallMicros(const std::string& endpoint,
-                                  const std::string& method, Bytes request,
-                                  MicrosCallback callback) {
+void AuctioneerClient::CallMoney(const std::string& endpoint,
+                                 const std::string& method, Bytes request,
+                                 MoneyCallback callback) {
   client_.Call(endpoint, method, std::move(request), options_,
                [callback = std::move(callback)](Result<Bytes> response) {
                  if (!response.ok()) {
@@ -98,7 +102,7 @@ void AuctioneerClient::CallMicros(const std::string& endpoint,
                    callback(value.status());
                    return;
                  }
-                 callback(*value);
+                 callback(Money::FromMicros(*value));
                });
 }
 
@@ -116,38 +120,38 @@ void AuctioneerClient::OpenAccount(const std::string& endpoint,
 }
 
 void AuctioneerClient::Fund(const std::string& endpoint,
-                            const std::string& user, Micros amount,
+                            const std::string& user, Money amount,
                             StatusCallback callback) {
   net::Writer writer;
   writer.WriteString(user);
-  writer.WriteI64(amount);
+  writer.WriteI64(amount.micros());
   CallStatus(endpoint, "fund", writer.Take(), std::move(callback));
 }
 
 void AuctioneerClient::SetBid(const std::string& endpoint,
-                              const std::string& user, Micros rate,
+                              const std::string& user, Rate rate,
                               sim::SimTime deadline, StatusCallback callback) {
   net::Writer writer;
   writer.WriteString(user);
-  writer.WriteI64(rate);
+  writer.WriteI64(rate.micros_per_sec());
   writer.WriteI64(deadline);
   CallStatus(endpoint, "set_bid", writer.Take(), std::move(callback));
 }
 
 void AuctioneerClient::Balance(const std::string& endpoint,
                                const std::string& user,
-                               MicrosCallback callback) {
+                               MoneyCallback callback) {
   net::Writer writer;
   writer.WriteString(user);
-  CallMicros(endpoint, "balance", writer.Take(), std::move(callback));
+  CallMoney(endpoint, "balance", writer.Take(), std::move(callback));
 }
 
 void AuctioneerClient::CloseAccount(const std::string& endpoint,
                                     const std::string& user,
-                                    MicrosCallback callback) {
+                                    MoneyCallback callback) {
   net::Writer writer;
   writer.WriteString(user);
-  CallMicros(endpoint, "close_account", writer.Take(), std::move(callback));
+  CallMoney(endpoint, "close_account", writer.Take(), std::move(callback));
 }
 
 void AuctioneerClient::PriceStats(const std::string& endpoint,
@@ -169,7 +173,7 @@ void AuctioneerClient::PriceStats(const std::string& endpoint,
                    callback(Status::Internal("malformed price_stats reply"));
                    return;
                  }
-                 snapshot.spot_rate = *spot;
+                 snapshot.spot_rate = Rate::MicrosPerSec(*spot);
                  snapshot.price_per_capacity = *price;
                  snapshot.mean_day = *mean;
                  snapshot.stddev_day = *stddev;

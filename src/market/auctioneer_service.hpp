@@ -36,7 +36,7 @@ class AuctioneerService {
 
 /// Snapshot of a host's market state as returned by "price_stats".
 struct PriceStatsSnapshot {
-  Micros spot_rate = 0;           // total active bid rate, u$/s
+  Rate spot_rate;                 // total active bid rate
   double price_per_capacity = 0;  // $/s per cycles/s
   double mean_day = 0.0;          // day-window moments of the above
   double stddev_day = 0.0;
@@ -48,7 +48,7 @@ class AuctioneerClient {
                    net::CallOptions options = {});
 
   using StatusCallback = std::function<void(Status)>;
-  using MicrosCallback = std::function<void(Result<Micros>)>;
+  using MoneyCallback = std::function<void(Result<Money>)>;
   using StatsCallback = std::function<void(Result<PriceStatsSnapshot>)>;
 
   /// Liveness probe; ok iff the auctioneer endpoint answered in time.
@@ -56,14 +56,14 @@ class AuctioneerClient {
   void OpenAccount(const std::string& endpoint, const std::string& user,
                    StatusCallback callback);
   void Fund(const std::string& endpoint, const std::string& user,
-            Micros amount, StatusCallback callback);
+            Money amount, StatusCallback callback);
   void SetBid(const std::string& endpoint, const std::string& user,
-              Micros rate, sim::SimTime deadline, StatusCallback callback);
+              Rate rate, sim::SimTime deadline, StatusCallback callback);
   void Balance(const std::string& endpoint, const std::string& user,
-               MicrosCallback callback);
+               MoneyCallback callback);
   /// Returns the refunded amount.
   void CloseAccount(const std::string& endpoint, const std::string& user,
-                    MicrosCallback callback);
+                    MoneyCallback callback);
   void PriceStats(const std::string& endpoint, StatsCallback callback);
 
   /// Per-call latency spans and retry/timeout counters on the client.
@@ -74,8 +74,8 @@ class AuctioneerClient {
  private:
   void CallStatus(const std::string& endpoint, const std::string& method,
                   Bytes request, StatusCallback callback);
-  void CallMicros(const std::string& endpoint, const std::string& method,
-                  Bytes request, MicrosCallback callback);
+  void CallMoney(const std::string& endpoint, const std::string& method,
+                 Bytes request, MoneyCallback callback);
 
   net::RpcClient client_;
   net::CallOptions options_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
 #include "common/status.hpp"
 
 namespace gm::market {
@@ -46,7 +47,12 @@ void PriceHistory::Record(sim::SimTime at, double price) {
   Push(at, price);
   // Checkpoint after the push so the snapshot covers the record it
   // claims to (an auto-snapshot between append and push would lose it).
-  if (store_ != nullptr) (void)store_->MaybeSnapshot(*this);
+  if (store_ != nullptr) {
+    const Status snapshot = store_->MaybeSnapshot(*this);
+    if (!snapshot.ok()) {
+      GM_LOG_WARN << "PriceHistory: snapshot failed: " << snapshot.ToString();
+    }
+  }
 }
 
 const PricePoint& PriceHistory::back() const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+
 namespace gm::market {
 namespace {
 
@@ -34,10 +36,17 @@ void ServiceLocationService::Publish(HostRecord record) {
     const Status appended = store_->Append(journal.data());
     GM_ASSERT(appended.ok(), "SLS: journal append failed");
   }
-  records_[record.host_id] = std::move(record);
+  const std::string host_id = record.host_id;
+  records_[host_id] = std::move(record);
   // Checkpoint after the apply so the snapshot contains the record it
   // claims to cover.
-  if (store_ != nullptr) (void)store_->MaybeSnapshot(*this);
+  if (store_ != nullptr) {
+    const Status snapshot = store_->MaybeSnapshot(*this);
+    if (!snapshot.ok()) {
+      GM_LOG_WARN << "SLS: snapshot after publish of " << host_id
+                  << " failed: " << snapshot.ToString();
+    }
+  }
 }
 
 Status ServiceLocationService::Remove(const std::string& host_id) {
@@ -50,7 +59,13 @@ Status ServiceLocationService::Remove(const std::string& host_id) {
     GM_RETURN_IF_ERROR(store_->Append(journal.data()));
   }
   records_.erase(host_id);
-  if (store_ != nullptr) (void)store_->MaybeSnapshot(*this);
+  if (store_ != nullptr) {
+    const Status snapshot = store_->MaybeSnapshot(*this);
+    if (!snapshot.ok()) {
+      GM_LOG_WARN << "SLS: snapshot after remove of " << host_id
+                  << " failed: " << snapshot.ToString();
+    }
+  }
   return Status::Ok();
 }
 
@@ -78,8 +93,8 @@ std::vector<HostRecord> ServiceLocationService::Query(
   }
   std::sort(out.begin(), out.end(),
             [](const HostRecord& a, const HostRecord& b) {
-              if (a.price_per_capacity != b.price_per_capacity)
-                return a.price_per_capacity < b.price_per_capacity;
+              if (a.price_per_capacity < b.price_per_capacity) return true;
+              if (b.price_per_capacity < a.price_per_capacity) return false;
               return a.host_id < b.host_id;
             });
   if (query.limit > 0 && out.size() > query.limit) out.resize(query.limit);

@@ -18,9 +18,12 @@ void ApplyFaultPlan(MessageBus& bus, const FaultPlan& plan) {
           bus.HealLink(action.a, action.b);
           break;
         case FaultPlan::Kind::kCrash:
+          // Deliberate discard: a fault plan may target an endpoint that
+          // never registered or already crashed; injection is best-effort.
           (void)bus.CrashEndpoint(action.a);
           break;
         case FaultPlan::Kind::kRestart:
+          // Deliberate discard: see kCrash above.
           (void)bus.RestartEndpoint(action.a);
           break;
       }

@@ -54,7 +54,11 @@ RpcServer::RpcServer(MessageBus& bus, std::string endpoint,
   GM_ASSERT(status.ok(), "RpcServer: endpoint registration failed");
 }
 
-RpcServer::~RpcServer() { (void)bus_.UnregisterEndpoint(endpoint_); }
+RpcServer::~RpcServer() {
+  // Deliberate discard: during teardown the endpoint may already be gone
+  // (e.g. the bus crashed it), and there is nothing left to recover.
+  (void)bus_.UnregisterEndpoint(endpoint_);
+}
 
 void RpcServer::AttachTelemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
@@ -164,6 +168,7 @@ RpcClient::~RpcClient() {
     if (call.timeout_handle.valid()) bus_.kernel().Cancel(call.timeout_handle);
   }
   pending_.clear();
+  // Deliberate discard: teardown; a missing endpoint is not actionable.
   (void)bus_.UnregisterEndpoint(endpoint_);
 }
 

@@ -83,11 +83,12 @@ Result<CyclesPerSecond> UtilityWithGuarantee(
   inputs.reserve(hosts.size());
   for (const HostPriceStats& host : hosts) {
     NormalPricePredictor predictor(host);
-    inputs.push_back({host.host_id, host.capacity, predictor.PriceQuantile(p)});
+    inputs.push_back({host.host_id, host.capacity,
+                      Rate::DollarsPerSec(predictor.PriceQuantile(p))});
   }
   br::BestResponseSolver solver;
   GM_ASSIGN_OR_RETURN(const br::BestResponseResult result,
-                      solver.Solve(inputs, budget_rate));
+                      solver.Solve(inputs, Rate::DollarsPerSec(budget_rate)));
   return result.utility;  // sum of w_j * share_j == guaranteed cycles/s
 }
 

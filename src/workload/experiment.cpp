@@ -41,13 +41,14 @@ Result<std::vector<UserOutcome>> BestResponseExperiment::Run() {
       const std::string bg_user = StrFormat("bg-tenant-%zu", h);
       const double rate_per_hour =
           std::exp(bg_rng.Uniform(log_lo, log_hi));
-      const Micros rate =
+      const Micros rate_micros =
           std::max<Micros>(1, DollarsToMicros(rate_per_hour) / 3600);
       GM_RETURN_IF_ERROR(auctioneer.OpenAccount(bg_user));
       GM_RETURN_IF_ERROR(auctioneer.Fund(
-          bg_user, DollarsToMicros(rate_per_hour *
-                                   sim::ToHours(config_.horizon) * 4)));
-      GM_RETURN_IF_ERROR(auctioneer.SetBid(bg_user, rate, forever));
+          bg_user, Money::Dollars(rate_per_hour *
+                                  sim::ToHours(config_.horizon) * 4)));
+      GM_RETURN_IF_ERROR(auctioneer.SetBid(
+          bg_user, Rate::MicrosPerSec(rate_micros), forever));
       GM_ASSIGN_OR_RETURN(host::VirtualMachine* vm,
                           auctioneer.AcquireVm(bg_user));
       vm->Enqueue({1, 1e18, nullptr});  // always busy
@@ -88,13 +89,13 @@ Result<std::vector<UserOutcome>> BestResponseExperiment::Run() {
     GM_ASSIGN_OR_RETURN(const grid::JobRecord* job, grid_.Job(job_ids[u]));
     UserOutcome outcome;
     outcome.user = names[u];
-    outcome.budget_dollars = config_.budgets[u];
+    outcome.budget_dollars = config_.budgets[u].dollars();
     outcome.state = job->state;
     outcome.time_hours = job->TurnaroundHours();
     outcome.cost_per_hour = job->CostPerHour();
     outcome.latency_minutes = job->MeanChunkLatencyMinutes();
-    outcome.spent_dollars = MicrosToDollars(job->spent);
-    outcome.refunded_dollars = MicrosToDollars(job->refunded);
+    outcome.spent_dollars = job->spent.dollars();
+    outcome.refunded_dollars = job->refunded.dollars();
     outcome.completed_chunks = job->CompletedChunks();
     std::set<std::string> hosts;
     for (const grid::SubJobRecord& subjob : job->subjobs) {

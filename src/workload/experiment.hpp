@@ -35,12 +35,12 @@ struct BackgroundLoad {
 
 struct BestResponseExperimentConfig {
   GridMarket::Config grid;       // defaults: 30 dual-CPU 3 GHz hosts
-  std::vector<double> budgets;   // one entry per user, in dollars
+  std::vector<Money> budgets;    // one entry per user
   ScanJobParams job;             // per-user workload
   BackgroundLoad background;
   sim::SimDuration stagger = sim::Seconds(30);
   sim::SimDuration horizon = sim::Hours(48);  // simulation cut-off
-  double initial_user_funds = 1e6;
+  Money initial_user_funds = Money::Dollars(1e6);
 };
 
 struct UserOutcome {

@@ -39,13 +39,13 @@ class BankDurabilityTest : public ::testing::Test {
     if (store != nullptr) bank->AttachStore(store);
     EXPECT_TRUE(bank->CreateAccount("alice", alice_.public_key()).ok());
     EXPECT_TRUE(bank->CreateAccount("bob", bob_.public_key()).ok());
-    EXPECT_TRUE(bank->Mint("alice", DollarsToMicros(1000), 0).ok());
+    EXPECT_TRUE(bank->Mint("alice", Money::Dollars(1000), 0).ok());
     return bank;
   }
 
   crypto::Signature Authorize(Bank& bank, const crypto::KeyPair& keys,
                               const std::string& from, const std::string& to,
-                              Micros amount) {
+                              Money amount) {
     const auto nonce = bank.TransferNonce(from);
     EXPECT_TRUE(nonce.ok());
     return keys.Sign(TransferAuthPayload(from, to, amount, *nonce), rng_);
@@ -63,9 +63,9 @@ TEST_F(BankDurabilityTest, LedgerSurvivesReopenFromLog) {
     auto store = OpenStore(dir);
     auto bank = MakeBank(store.get());
     const auto auth =
-        Authorize(*bank, alice_, "alice", "bob", DollarsToMicros(250));
+        Authorize(*bank, alice_, "alice", "bob", Money::Dollars(250));
     ASSERT_TRUE(
-        bank->Transfer("alice", "bob", DollarsToMicros(250), auth, 1000).ok());
+        bank->Transfer("alice", "bob", Money::Dollars(250), auth, 1000).ok());
     ASSERT_TRUE(bank->CreateSubAccount("bob", "bob/escrow").ok());
     hash_before = bank->LedgerHash();
   }
@@ -77,8 +77,8 @@ TEST_F(BankDurabilityTest, LedgerSurvivesReopenFromLog) {
   ASSERT_TRUE(stats.ok()) << stats.status().message();
   EXPECT_GT(stats->replayed_records, 0u);
   EXPECT_EQ(recovered.LedgerHash(), hash_before);
-  EXPECT_EQ(recovered.Balance("alice").value(), DollarsToMicros(750));
-  EXPECT_EQ(recovered.Balance("bob").value(), DollarsToMicros(250));
+  EXPECT_EQ(recovered.Balance("alice").value(), Money::Dollars(750));
+  EXPECT_EQ(recovered.Balance("bob").value(), Money::Dollars(250));
   EXPECT_TRUE(recovered.HasAccount("bob/escrow"));
   EXPECT_TRUE(recovered.CheckInvariants().ok());
 }
@@ -88,9 +88,9 @@ TEST_F(BankDurabilityTest, CrashWipesStateAndRestartRestoresExactLedger) {
   auto store = OpenStore(dir);
   auto bank = MakeBank(store.get());
   const auto auth =
-      Authorize(*bank, alice_, "alice", "bob", DollarsToMicros(100));
+      Authorize(*bank, alice_, "alice", "bob", Money::Dollars(100));
   ASSERT_TRUE(
-      bank->Transfer("alice", "bob", DollarsToMicros(100), auth, 5).ok());
+      bank->Transfer("alice", "bob", Money::Dollars(100), auth, 5).ok());
   const std::string hash_before = bank->LedgerHash();
   const std::uint64_t nonce_before = bank->TransferNonce("alice").value();
 
@@ -99,7 +99,8 @@ TEST_F(BankDurabilityTest, CrashWipesStateAndRestartRestoresExactLedger) {
   // Every call fails Unavailable while down; no state is visible.
   EXPECT_FALSE(bank->HasAccount("alice"));
   EXPECT_EQ(bank->Balance("alice").status().code(), StatusCode::kUnavailable);
-  EXPECT_EQ(bank->Mint("alice", 1, 0).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(bank->Mint("alice", Money::FromMicros(1), 0).code(),
+            StatusCode::kUnavailable);
 
   ASSERT_TRUE(bank->Restart().ok());
   EXPECT_FALSE(bank->crashed());
@@ -109,9 +110,9 @@ TEST_F(BankDurabilityTest, CrashWipesStateAndRestartRestoresExactLedger) {
 
   // The recovered bank keeps working: nonce state supports new transfers.
   const auto auth2 =
-      Authorize(*bank, alice_, "alice", "bob", DollarsToMicros(1));
+      Authorize(*bank, alice_, "alice", "bob", Money::Dollars(1));
   EXPECT_TRUE(
-      bank->Transfer("alice", "bob", DollarsToMicros(1), auth2, 6).ok());
+      bank->Transfer("alice", "bob", Money::Dollars(1), auth2, 6).ok());
 }
 
 TEST_F(BankDurabilityTest, ReceiptsVerifiableAfterRecovery) {
@@ -119,9 +120,9 @@ TEST_F(BankDurabilityTest, ReceiptsVerifiableAfterRecovery) {
   auto store = OpenStore(dir);
   auto bank = MakeBank(store.get());
   const auto auth =
-      Authorize(*bank, alice_, "alice", "bob", DollarsToMicros(10));
+      Authorize(*bank, alice_, "alice", "bob", Money::Dollars(10));
   const auto receipt =
-      bank->Transfer("alice", "bob", DollarsToMicros(10), auth, 9);
+      bank->Transfer("alice", "bob", Money::Dollars(10), auth, 9);
   ASSERT_TRUE(receipt.ok());
 
   bank->SimulateCrash();
@@ -136,7 +137,7 @@ TEST_F(BankDurabilityTest, SnapshotPlusTailRecoversSameHash) {
   auto store = OpenStore(dir, options);
   auto bank = MakeBank(store.get());
   for (int i = 0; i < 20; ++i) {
-    const Micros amount = DollarsToMicros(1 + i % 5);
+    const Money amount = Money::Dollars(1 + i % 5);
     const auto auth = Authorize(*bank, alice_, "alice", "bob", amount);
     ASSERT_TRUE(bank->Transfer("alice", "bob", amount, auth, i).ok());
   }
@@ -162,9 +163,9 @@ TEST_F(BankDurabilityTest, TornTailLosesOnlyTheTornTransfer) {
     auto store = OpenStore(dir);
     auto bank = MakeBank(store.get());
     const auto auth =
-        Authorize(*bank, alice_, "alice", "bob", DollarsToMicros(100));
+        Authorize(*bank, alice_, "alice", "bob", Money::Dollars(100));
     ASSERT_TRUE(
-        bank->Transfer("alice", "bob", DollarsToMicros(100), auth, 1).ok());
+        bank->Transfer("alice", "bob", Money::Dollars(100), auth, 1).ok());
     segment = store->wal().SegmentFiles().back();
   }
   // Crash mid-write of the final (transfer) record.
@@ -178,8 +179,8 @@ TEST_F(BankDurabilityTest, TornTailLosesOnlyTheTornTransfer) {
   ASSERT_TRUE(stats.ok()) << stats.status().message();
   EXPECT_GT(stats->truncated_bytes, 0u);
   // The torn transfer never committed: balances are pre-transfer.
-  EXPECT_EQ(recovered.Balance("alice").value(), DollarsToMicros(1000));
-  EXPECT_EQ(recovered.Balance("bob").value(), 0);
+  EXPECT_EQ(recovered.Balance("alice").value(), Money::Dollars(1000));
+  EXPECT_EQ(recovered.Balance("bob").value(), Money::Zero());
   EXPECT_TRUE(recovered.CheckInvariants().ok());
 }
 
@@ -198,14 +199,16 @@ TEST_F(BankDurabilityTest, ReplayDeterminismProperty) {
       for (int i = 0; i < 40; ++i) {
         switch (op_rng.Next() % 4) {
           case 0: {
-            const Micros amount = 1 + static_cast<Micros>(op_rng.Next() % 999);
+            const Money amount =
+                Money::FromMicros(1 + static_cast<Micros>(op_rng.Next() % 999));
             const auto auth =
                 Authorize(*bank, alice_, "alice", "bob", amount);
             ASSERT_TRUE(bank->Transfer("alice", "bob", amount, auth, i).ok());
             break;
           }
           case 1: {
-            const Micros amount = 1 + static_cast<Micros>(op_rng.Next() % 500);
+            const Money amount =
+                Money::FromMicros(1 + static_cast<Micros>(op_rng.Next() % 500));
             const auto auth = Authorize(*bank, bob_, "bob", "bob/jobs", amount);
             // May fail on insufficient funds; failures journal nothing.
             (void)bank->Transfer("bob", "bob/jobs", amount, auth, i);
@@ -213,11 +216,15 @@ TEST_F(BankDurabilityTest, ReplayDeterminismProperty) {
           }
           case 2:
             ASSERT_TRUE(
-                bank->Mint("alice", 1 + (op_rng.Next() % 100), i).ok());
+                bank->Mint("alice",
+                           Money::FromMicros(
+                               1 + static_cast<Micros>(op_rng.Next() % 100)),
+                           i)
+                    .ok());
             break;
           case 3: {
-            const Micros balance = bank->Balance("bob/jobs").value();
-            if (balance > 0) {
+            const Money balance = bank->Balance("bob/jobs").value();
+            if (balance.is_positive()) {
               ASSERT_TRUE(
                   bank->InternalTransfer("bob/jobs", "bob", balance, i).ok());
             }

@@ -13,12 +13,12 @@ class BankTest : public ::testing::Test {
         bob_(crypto::KeyPair::Generate(crypto::TestGroup(), rng_)) {
     EXPECT_TRUE(bank_.CreateAccount("alice", alice_.public_key()).ok());
     EXPECT_TRUE(bank_.CreateAccount("bob", bob_.public_key()).ok());
-    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(1000), 0).ok());
+    EXPECT_TRUE(bank_.Mint("alice", Money::Dollars(1000), 0).ok());
   }
 
   crypto::Signature Authorize(const crypto::KeyPair& keys,
                               const std::string& from, const std::string& to,
-                              Micros amount) {
+                              Money amount) {
     const auto nonce = bank_.TransferNonce(from);
     EXPECT_TRUE(nonce.ok());
     return keys.Sign(TransferAuthPayload(from, to, amount, *nonce), rng_);
@@ -33,8 +33,8 @@ class BankTest : public ::testing::Test {
 TEST_F(BankTest, CreateAndQueryAccounts) {
   EXPECT_TRUE(bank_.HasAccount("alice"));
   EXPECT_FALSE(bank_.HasAccount("carol"));
-  EXPECT_EQ(bank_.Balance("alice").value(), DollarsToMicros(1000));
-  EXPECT_EQ(bank_.Balance("bob").value(), 0);
+  EXPECT_EQ(bank_.Balance("alice").value(), Money::Dollars(1000));
+  EXPECT_EQ(bank_.Balance("bob").value(), Money::Zero());
   EXPECT_FALSE(bank_.Balance("carol").ok());
 }
 
@@ -48,18 +48,18 @@ TEST_F(BankTest, EmptyAccountIdRejected) {
 }
 
 TEST_F(BankTest, MintValidation) {
-  EXPECT_FALSE(bank_.Mint("alice", 0, 0).ok());
-  EXPECT_FALSE(bank_.Mint("alice", -5, 0).ok());
-  EXPECT_FALSE(bank_.Mint("ghost", 100, 0).ok());
+  EXPECT_FALSE(bank_.Mint("alice", Money::Zero(), 0).ok());
+  EXPECT_FALSE(bank_.Mint("alice", Money::FromMicros(-5), 0).ok());
+  EXPECT_FALSE(bank_.Mint("ghost", Money::FromMicros(100), 0).ok());
 }
 
 TEST_F(BankTest, AuthorizedTransferMovesMoney) {
-  const Micros amount = DollarsToMicros(250);
+  const Money amount = Money::Dollars(250);
   const auto auth = Authorize(alice_, "alice", "bob", amount);
   const auto receipt = bank_.Transfer("alice", "bob", amount, auth, 1000);
   ASSERT_TRUE(receipt.ok());
-  EXPECT_EQ(bank_.Balance("alice").value(), DollarsToMicros(750));
-  EXPECT_EQ(bank_.Balance("bob").value(), DollarsToMicros(250));
+  EXPECT_EQ(bank_.Balance("alice").value(), Money::Dollars(750));
+  EXPECT_EQ(bank_.Balance("bob").value(), Money::Dollars(250));
   EXPECT_EQ(receipt->from_account, "alice");
   EXPECT_EQ(receipt->to_account, "bob");
   EXPECT_EQ(receipt->amount, amount);
@@ -68,15 +68,15 @@ TEST_F(BankTest, AuthorizedTransferMovesMoney) {
 }
 
 TEST_F(BankTest, TransferRejectsWrongSigner) {
-  const Micros amount = DollarsToMicros(100);
+  const Money amount = Money::Dollars(100);
   const auto auth = Authorize(bob_, "alice", "bob", amount);  // bob signs
   const auto receipt = bank_.Transfer("alice", "bob", amount, auth, 0);
   EXPECT_EQ(receipt.status().code(), StatusCode::kUnauthenticated);
-  EXPECT_EQ(bank_.Balance("alice").value(), DollarsToMicros(1000));
+  EXPECT_EQ(bank_.Balance("alice").value(), Money::Dollars(1000));
 }
 
 TEST_F(BankTest, TransferRejectsReplayedAuthorization) {
-  const Micros amount = DollarsToMicros(100);
+  const Money amount = Money::Dollars(100);
   const auto auth = Authorize(alice_, "alice", "bob", amount);
   ASSERT_TRUE(bank_.Transfer("alice", "bob", amount, auth, 0).ok());
   // Same signature again: nonce advanced, must fail.
@@ -86,15 +86,15 @@ TEST_F(BankTest, TransferRejectsReplayedAuthorization) {
 }
 
 TEST_F(BankTest, TransferRejectsInsufficientFunds) {
-  const Micros amount = DollarsToMicros(5000);
+  const Money amount = Money::Dollars(5000);
   const auto auth = Authorize(alice_, "alice", "bob", amount);
   const auto receipt = bank_.Transfer("alice", "bob", amount, auth, 0);
   EXPECT_EQ(receipt.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST_F(BankTest, TransferRejectsNonPositiveAmount) {
-  const auto auth = Authorize(alice_, "alice", "bob", 0);
-  EXPECT_FALSE(bank_.Transfer("alice", "bob", 0, auth, 0).ok());
+  const auto auth = Authorize(alice_, "alice", "bob", Money::Zero());
+  EXPECT_FALSE(bank_.Transfer("alice", "bob", Money::Zero(), auth, 0).ok());
 }
 
 TEST_F(BankTest, SubAccountLifecycle) {
@@ -108,41 +108,42 @@ TEST_F(BankTest, SubAccountLifecycle) {
 TEST_F(BankTest, InternalTransferBetweenManagedAccounts) {
   ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/sub").ok());
   // Fund the sub-account from bob (bob is owner-keyed, needs signature).
-  const auto auth = Authorize(bob_, "bob", "bob/sub", DollarsToMicros(10));
-  ASSERT_TRUE(bank_.Mint("bob", DollarsToMicros(10), 0).ok());
+  const auto auth = Authorize(bob_, "bob", "bob/sub", Money::Dollars(10));
+  ASSERT_TRUE(bank_.Mint("bob", Money::Dollars(10), 0).ok());
   ASSERT_TRUE(
-      bank_.Transfer("bob", "bob/sub", DollarsToMicros(10), auth, 0).ok());
+      bank_.Transfer("bob", "bob/sub", Money::Dollars(10), auth, 0).ok());
   // Sub-account to another managed account without signature.
   ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/host-1").ok());
   const auto receipt = bank_.InternalTransfer("bob/sub", "bob/host-1",
-                                              DollarsToMicros(4), 0);
+                                              Money::Dollars(4), 0);
   ASSERT_TRUE(receipt.ok());
-  EXPECT_EQ(bank_.Balance("bob/host-1").value(), DollarsToMicros(4));
+  EXPECT_EQ(bank_.Balance("bob/host-1").value(), Money::Dollars(4));
   EXPECT_TRUE(bank_.CheckInvariants().ok());
 }
 
 TEST_F(BankTest, InternalTransferRejectedForOwnerKeyedAccount) {
   const auto receipt =
-      bank_.InternalTransfer("alice", "bob", DollarsToMicros(1), 0);
+      bank_.InternalTransfer("alice", "bob", Money::Dollars(1), 0);
   EXPECT_EQ(receipt.status().code(), StatusCode::kPermissionDenied);
 }
 
 TEST_F(BankTest, SignedTransferRejectedForManagedAccount) {
   ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/sub").ok());
-  const auto auth = Authorize(alice_, "bob/sub", "bob", 1);
-  EXPECT_EQ(bank_.Transfer("bob/sub", "bob", 1, auth, 0).status().code(),
+  const auto auth = Authorize(alice_, "bob/sub", "bob", Money::FromMicros(1));
+  EXPECT_EQ(bank_.Transfer("bob/sub", "bob", Money::FromMicros(1), auth,
+                           0).status().code(),
             StatusCode::kPermissionDenied);
 }
 
 TEST_F(BankTest, ReceiptVerification) {
-  const Micros amount = DollarsToMicros(100);
+  const Money amount = Money::Dollars(100);
   const auto auth = Authorize(alice_, "alice", "bob", amount);
   const auto receipt = bank_.Transfer("alice", "bob", amount, auth, 0);
   ASSERT_TRUE(receipt.ok());
   EXPECT_TRUE(bank_.VerifyReceipt(*receipt).ok());
 
   crypto::TransferReceipt forged = *receipt;
-  forged.amount *= 2;
+  forged.amount += forged.amount;
   EXPECT_FALSE(bank_.VerifyReceipt(forged).ok());
 
   crypto::TransferReceipt unknown = *receipt;
@@ -152,31 +153,34 @@ TEST_F(BankTest, ReceiptVerification) {
 
 TEST_F(BankTest, ReceiptIdsAreUnique) {
   const auto a = bank_.Transfer(
-      "alice", "bob", 1, Authorize(alice_, "alice", "bob", 1), 0);
+      "alice", "bob", Money::FromMicros(1),
+      Authorize(alice_, "alice", "bob", Money::FromMicros(1)), 0);
   const auto b = bank_.Transfer(
-      "alice", "bob", 1, Authorize(alice_, "alice", "bob", 1), 0);
+      "alice", "bob", Money::FromMicros(1),
+      Authorize(alice_, "alice", "bob", Money::FromMicros(1)), 0);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_NE(a->receipt_id, b->receipt_id);
 }
 
 TEST_F(BankTest, AuditLogRecordsOperations) {
-  const auto auth = Authorize(alice_, "alice", "bob", 5);
-  ASSERT_TRUE(bank_.Transfer("alice", "bob", 5, auth, 123).ok());
+  const auto auth = Authorize(alice_, "alice", "bob", Money::FromMicros(5));
+  ASSERT_TRUE(
+      bank_.Transfer("alice", "bob", Money::FromMicros(5), auth, 123).ok());
   const auto& log = bank_.audit_log();
   ASSERT_FALSE(log.empty());
   const AuditEntry& last = log.back();
   EXPECT_EQ(last.kind, "transfer");
   EXPECT_EQ(last.from, "alice");
   EXPECT_EQ(last.to, "bob");
-  EXPECT_EQ(last.amount, 5);
+  EXPECT_EQ(last.amount, Money::FromMicros(5));
   EXPECT_EQ(last.at_us, 123);
 }
 
 TEST_F(BankTest, ConservationHoldsAcrossManyOperations) {
   ASSERT_TRUE(bank_.CreateSubAccount("bob", "bob/s1").ok());
   for (int i = 0; i < 20; ++i) {
-    const Micros amount = DollarsToMicros(1 + i);
+    const Money amount = Money::Dollars(1 + i);
     const auto auth = Authorize(alice_, "alice", "bob", amount);
     ASSERT_TRUE(bank_.Transfer("alice", "bob", amount, auth, i).ok());
     ASSERT_TRUE(bank_.CheckInvariants().ok());
@@ -184,7 +188,7 @@ TEST_F(BankTest, ConservationHoldsAcrossManyOperations) {
 }
 
 TEST(TransferAuthPayloadTest, CanonicalFormat) {
-  EXPECT_EQ(TransferAuthPayload("a", "b", 42, 7),
+  EXPECT_EQ(TransferAuthPayload("a", "b", Money::FromMicros(42), 7),
             "auth|from=a|to=b|amount=42|nonce=7");
 }
 

@@ -13,24 +13,24 @@ class BillingTest : public ::testing::Test {
     EXPECT_TRUE(bank_.CreateAccount("alice", alice_.public_key()).ok());
     EXPECT_TRUE(bank_.CreateAccount("broker", {}).ok());
     EXPECT_TRUE(bank_.CreateAccount("auctioneer:h1", {}).ok());
-    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(100), sim::Minutes(1)).ok());
-    Transfer("alice", "broker", DollarsToMicros(40), sim::Minutes(2));
+    EXPECT_TRUE(bank_.Mint("alice", Money::Dollars(100), sim::Minutes(1)).ok());
+    Transfer("alice", "broker", Money::Dollars(40), sim::Minutes(2));
     EXPECT_TRUE(bank_.CreateSubAccount("broker", "broker/job-1").ok());
     EXPECT_TRUE(bank_
                     .InternalTransfer("broker", "broker/job-1",
-                                      DollarsToMicros(40), sim::Minutes(3))
+                                      Money::Dollars(40), sim::Minutes(3))
                     .ok());
     EXPECT_TRUE(bank_
                     .InternalTransfer("broker/job-1", "auctioneer:h1",
-                                      DollarsToMicros(25), sim::Minutes(4))
+                                      Money::Dollars(25), sim::Minutes(4))
                     .ok());
     EXPECT_TRUE(bank_
                     .InternalTransfer("auctioneer:h1", "broker/job-1",
-                                      DollarsToMicros(5), sim::Minutes(50))
+                                      Money::Dollars(5), sim::Minutes(50))
                     .ok());
   }
 
-  void Transfer(const std::string& from, const std::string& to, Micros amount,
+  void Transfer(const std::string& from, const std::string& to, Money amount,
                 std::int64_t at) {
     const auto nonce = bank_.TransferNonce(from);
     const auto auth = alice_.Sign(
@@ -48,15 +48,15 @@ TEST_F(BillingTest, StatementBalancesAndLines) {
       BuildStatement(bank_, "broker/job-1", 0, sim::Hours(1));
   ASSERT_TRUE(statement.ok());
   // Credits: 40 in from broker, 5 refund from the host.
-  EXPECT_EQ(statement->total_credits, DollarsToMicros(45));
+  EXPECT_EQ(statement->total_credits, Money::Dollars(45));
   // Debits: 25 to the host.
-  EXPECT_EQ(statement->total_debits, DollarsToMicros(25));
-  EXPECT_EQ(statement->NetChange(), DollarsToMicros(20));
-  EXPECT_EQ(statement->closing_balance, DollarsToMicros(20));
+  EXPECT_EQ(statement->total_debits, Money::Dollars(25));
+  EXPECT_EQ(statement->NetChange(), Money::Dollars(20));
+  EXPECT_EQ(statement->closing_balance, Money::Dollars(20));
   ASSERT_EQ(statement->lines.size(), 3u);
   EXPECT_EQ(statement->lines[0].counterparty, "broker");
   EXPECT_EQ(statement->lines[1].counterparty, "auctioneer:h1");
-  EXPECT_EQ(statement->lines[1].amount, -DollarsToMicros(25));
+  EXPECT_EQ(statement->lines[1].amount, -Money::Dollars(25));
 }
 
 TEST_F(BillingTest, StatementWindowFilters) {
@@ -65,8 +65,8 @@ TEST_F(BillingTest, StatementWindowFilters) {
                                         sim::Minutes(30), sim::Hours(1));
   ASSERT_TRUE(statement.ok());
   ASSERT_EQ(statement->lines.size(), 1u);
-  EXPECT_EQ(statement->lines[0].amount, DollarsToMicros(5));
-  EXPECT_EQ(statement->total_debits, 0);
+  EXPECT_EQ(statement->lines[0].amount, Money::Dollars(5));
+  EXPECT_EQ(statement->total_debits, Money::Zero());
 }
 
 TEST_F(BillingTest, MintShowsAsCreditFromMint) {
@@ -75,7 +75,7 @@ TEST_F(BillingTest, MintShowsAsCreditFromMint) {
   ASSERT_FALSE(statement->lines.empty());
   EXPECT_EQ(statement->lines[0].kind, "mint");
   EXPECT_EQ(statement->lines[0].counterparty, "(mint)");
-  EXPECT_EQ(statement->lines[0].amount, DollarsToMicros(100));
+  EXPECT_EQ(statement->lines[0].amount, Money::Dollars(100));
 }
 
 TEST_F(BillingTest, UnknownAccountFails) {
@@ -95,13 +95,13 @@ TEST_F(BillingTest, RenderStatementContainsTotals) {
 TEST_F(BillingTest, TotalFlowByPrefix) {
   // Operator view: job sub-accounts -> host accounts.
   EXPECT_EQ(TotalFlow(bank_, "broker/", "auctioneer:", 0, sim::Hours(1)),
-            DollarsToMicros(25));
+            Money::Dollars(25));
   // Refund direction.
   EXPECT_EQ(TotalFlow(bank_, "auctioneer:", "broker/", 0, sim::Hours(1)),
-            DollarsToMicros(5));
+            Money::Dollars(5));
   // Window cuts the refund off.
   EXPECT_EQ(TotalFlow(bank_, "auctioneer:", "broker/", 0, sim::Minutes(30)),
-            0);
+            Money::Zero());
 }
 
 }  // namespace

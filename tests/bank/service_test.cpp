@@ -17,7 +17,7 @@ class BankServiceTest : public ::testing::Test {
         client_(bus_, "alice-agent") {
     EXPECT_TRUE(bank_.CreateAccount("alice", alice_.public_key()).ok());
     EXPECT_TRUE(bank_.CreateAccount("broker", alice_.public_key()).ok());
-    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(500), 0).ok());
+    EXPECT_TRUE(bank_.Mint("alice", Money::Dollars(500), 0).ok());
   }
 
   sim::Kernel kernel_;
@@ -30,17 +30,17 @@ class BankServiceTest : public ::testing::Test {
 };
 
 TEST_F(BankServiceTest, BalanceOverRpc) {
-  std::optional<Result<Micros>> result;
-  client_.GetBalance("alice", [&](Result<Micros> r) { result = r; });
+  std::optional<Result<Money>> result;
+  client_.GetBalance("alice", [&](Result<Money> r) { result = r; });
   kernel_.Run();
   ASSERT_TRUE(result.has_value());
   ASSERT_TRUE(result->ok());
-  EXPECT_EQ(result->value(), DollarsToMicros(500));
+  EXPECT_EQ(result->value(), Money::Dollars(500));
 }
 
 TEST_F(BankServiceTest, BalanceUnknownAccountErrors) {
-  std::optional<Result<Micros>> result;
-  client_.GetBalance("ghost", [&](Result<Micros> r) { result = r; });
+  std::optional<Result<Money>> result;
+  client_.GetBalance("ghost", [&](Result<Money> r) { result = r; });
   kernel_.Run();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->status().code(), StatusCode::kNotFound);
@@ -52,9 +52,9 @@ TEST_F(BankServiceTest, TransferOverRpcEndToEnd) {
   client_.GetTransferNonce("alice", [&](Result<std::uint64_t> nonce) {
     ASSERT_TRUE(nonce.ok());
     const auto auth = alice_.Sign(
-        TransferAuthPayload("alice", "broker", DollarsToMicros(100), *nonce),
+        TransferAuthPayload("alice", "broker", Money::Dollars(100), *nonce),
         rng_);
-    client_.Transfer("alice", "broker", DollarsToMicros(100), auth,
+    client_.Transfer("alice", "broker", Money::Dollars(100), auth,
                      [&](Result<crypto::TransferReceipt> r) {
                        ASSERT_TRUE(r.ok()) << r.status().ToString();
                        receipt = *r;
@@ -62,7 +62,7 @@ TEST_F(BankServiceTest, TransferOverRpcEndToEnd) {
   });
   kernel_.Run();
   ASSERT_TRUE(receipt.has_value());
-  EXPECT_EQ(bank_.Balance("broker").value(), DollarsToMicros(100));
+  EXPECT_EQ(bank_.Balance("broker").value(), Money::Dollars(100));
 
   std::optional<Status> verify;
   client_.VerifyReceipt(*receipt, [&](Status s) { verify = s; });
@@ -74,7 +74,7 @@ TEST_F(BankServiceTest, TransferOverRpcEndToEnd) {
 TEST_F(BankServiceTest, TransferWithBadSignatureRejectedOverRpc) {
   const auto auth = alice_.Sign("wrong payload", rng_);
   std::optional<Status> status;
-  client_.Transfer("alice", "broker", DollarsToMicros(1), auth,
+  client_.Transfer("alice", "broker", Money::Dollars(1), auth,
                    [&](Result<crypto::TransferReceipt> r) {
                      status = r.status();
                    });
@@ -88,7 +88,7 @@ TEST_F(BankServiceTest, VerifyForgedReceiptRejectedOverRpc) {
   forged.receipt_id = "rcpt-000000-000000000000";
   forged.from_account = "alice";
   forged.to_account = "broker";
-  forged.amount = DollarsToMicros(1'000'000);
+  forged.amount = Money::Dollars(1'000'000);
   std::optional<Status> status;
   client_.VerifyReceipt(forged, [&](Status s) { status = s; });
   kernel_.Run();
@@ -108,7 +108,7 @@ TEST(BankServiceLossyTest, RetriedTransferAppliedExactlyOnce) {
   const auto alice = crypto::KeyPair::Generate(crypto::TestGroup(), rng);
   ASSERT_TRUE(bank.CreateAccount("alice", alice.public_key()).ok());
   ASSERT_TRUE(bank.CreateAccount("broker", alice.public_key()).ok());
-  ASSERT_TRUE(bank.Mint("alice", DollarsToMicros(500), 0).ok());
+  ASSERT_TRUE(bank.Mint("alice", Money::Dollars(500), 0).ok());
 
   net::CallOptions options = BankClient::DefaultCallOptions();
   options.timeout = sim::Seconds(1);
@@ -119,9 +119,9 @@ TEST(BankServiceLossyTest, RetriedTransferAppliedExactlyOnce) {
   client.GetTransferNonce("alice", [&](Result<std::uint64_t> nonce) {
     ASSERT_TRUE(nonce.ok()) << nonce.status().ToString();
     const auto auth = alice.Sign(
-        TransferAuthPayload("alice", "broker", DollarsToMicros(100), *nonce),
+        TransferAuthPayload("alice", "broker", Money::Dollars(100), *nonce),
         rng);
-    client.Transfer("alice", "broker", DollarsToMicros(100), auth,
+    client.Transfer("alice", "broker", Money::Dollars(100), auth,
                     [&](Result<crypto::TransferReceipt> r) {
                       ASSERT_TRUE(r.ok()) << r.status().ToString();
                       receipt = *r;
@@ -132,8 +132,8 @@ TEST(BankServiceLossyTest, RetriedTransferAppliedExactlyOnce) {
   ASSERT_TRUE(receipt.has_value());
   EXPECT_GT(bus.stats().dropped, 0u);  // the network really was lossy
   // Applied exactly once, and money is conserved.
-  EXPECT_EQ(bank.Balance("alice").value(), DollarsToMicros(400));
-  EXPECT_EQ(bank.Balance("broker").value(), DollarsToMicros(100));
+  EXPECT_EQ(bank.Balance("alice").value(), Money::Dollars(400));
+  EXPECT_EQ(bank.Balance("broker").value(), Money::Dollars(100));
   // The replayed receipt verifies like the original.
   EXPECT_TRUE(bank.VerifyReceipt(*receipt).ok());
 }
@@ -145,7 +145,7 @@ TEST(ReceiptWireTest, RoundTrip) {
   receipt.receipt_id = "rcpt-000007-abc";
   receipt.from_account = "alice";
   receipt.to_account = "broker";
-  receipt.amount = DollarsToMicros(12.34);
+  receipt.amount = Money::Dollars(12.34);
   receipt.issued_at_us = 987654321;
   receipt.bank_signature = keys.Sign(receipt.SigningPayload(), rng);
 
@@ -166,7 +166,7 @@ TEST(ReceiptWireTest, TokenRoundTrip) {
   receipt.receipt_id = "rcpt-1";
   receipt.from_account = "u";
   receipt.to_account = "b";
-  receipt.amount = 100;
+  receipt.amount = Money::FromMicros(100);
   receipt.bank_signature = bank_keys.Sign(receipt.SigningPayload(), rng);
   const auto token =
       crypto::MintToken(receipt, "/CN=alice", user_keys, rng);

@@ -12,26 +12,30 @@ namespace {
 
 double TotalBid(const BestResponseResult& result) {
   double total = 0.0;
-  for (const auto& allocation : result.bids) total += allocation.bid;
+  for (const auto& allocation : result.bids)
+    total += allocation.bid.dollars_per_sec();
   return total;
 }
 
 TEST(BestResponseTest, SingleHostTakesWholeBudget) {
   BestResponseSolver solver;
-  const auto result = solver.Solve({{"h1", 100.0, 2.0}}, 10.0);
+  const auto result = solver.Solve({{"h1", 100.0, Rate::DollarsPerSec(2.0)}},
+                                   Rate::DollarsPerSec(10.0));
   ASSERT_TRUE(result.ok());
-  EXPECT_NEAR(result->bids[0].bid, 10.0, 1e-12);
+  EXPECT_NEAR(result->bids[0].bid.dollars_per_sec(), 10.0, 1e-12);
   EXPECT_NEAR(result->bids[0].expected_share, 10.0 / 12.0, 1e-12);
   EXPECT_NEAR(result->utility, 100.0 * 10.0 / 12.0, 1e-9);
 }
 
 TEST(BestResponseTest, SymmetricHostsSplitEqually) {
   BestResponseSolver solver;
-  const std::vector<HostBidInput> hosts{{"a", 50.0, 1.0}, {"b", 50.0, 1.0}};
-  const auto result = solver.Solve(hosts, 8.0);
+  const std::vector<HostBidInput> hosts{
+      {"a", 50.0, Rate::DollarsPerSec(1.0)},
+      {"b", 50.0, Rate::DollarsPerSec(1.0)}};
+  const auto result = solver.Solve(hosts, Rate::DollarsPerSec(8.0));
   ASSERT_TRUE(result.ok());
-  EXPECT_NEAR(result->bids[0].bid, 4.0, 1e-9);
-  EXPECT_NEAR(result->bids[1].bid, 4.0, 1e-9);
+  EXPECT_NEAR(result->bids[0].bid.dollars_per_sec(), 4.0, 1e-9);
+  EXPECT_NEAR(result->bids[1].bid.dollars_per_sec(), 4.0, 1e-9);
 }
 
 TEST(BestResponseTest, BudgetAlwaysBinds) {
@@ -42,14 +46,14 @@ TEST(BestResponseTest, BudgetAlwaysBinds) {
     const int n = 1 + static_cast<int>(rng.NextBelow(10));
     for (int j = 0; j < n; ++j) {
       hosts.push_back({"h" + std::to_string(j), rng.Uniform(1.0, 200.0),
-                       rng.Uniform(0.0, 5.0)});
+                       Rate::DollarsPerSec(rng.Uniform(0.0, 5.0))});
     }
     const double budget = rng.Uniform(0.1, 50.0);
-    const auto result = solver.Solve(hosts, budget);
+    const auto result = solver.Solve(hosts, Rate::DollarsPerSec(budget));
     ASSERT_TRUE(result.ok());
     EXPECT_NEAR(TotalBid(*result), budget, 1e-9 * budget);
     for (const auto& allocation : result->bids)
-      EXPECT_GE(allocation.bid, 0.0);
+      EXPECT_GE(allocation.bid.dollars_per_sec(), 0.0);
   }
 }
 
@@ -61,9 +65,9 @@ TEST(BestResponseTest, MatchesBisectionReference) {
     const int n = 2 + static_cast<int>(rng.NextBelow(8));
     for (int j = 0; j < n; ++j) {
       hosts.push_back({"h" + std::to_string(j), rng.Uniform(10.0, 300.0),
-                       rng.Uniform(0.01, 10.0)});
+                       Rate::DollarsPerSec(rng.Uniform(0.01, 10.0))});
     }
-    const double budget = rng.Uniform(0.5, 40.0);
+    const Rate budget = Rate::DollarsPerSec(rng.Uniform(0.5, 40.0));
     const auto exact = solver.Solve(hosts, budget);
     const auto reference = solver.SolveBisection(hosts, budget);
     ASSERT_TRUE(exact.ok());
@@ -71,7 +75,9 @@ TEST(BestResponseTest, MatchesBisectionReference) {
     EXPECT_NEAR(exact->utility, reference->utility,
                 1e-6 * reference->utility);
     for (std::size_t j = 0; j < hosts.size(); ++j) {
-      EXPECT_NEAR(exact->bids[j].bid, reference->bids[j].bid, 1e-5 * budget)
+      EXPECT_NEAR(exact->bids[j].bid.dollars_per_sec(),
+                  reference->bids[j].bid.dollars_per_sec(),
+                  1e-5 * budget.dollars_per_sec())
           << "trial " << trial << " host " << j;
     }
   }
@@ -80,14 +86,16 @@ TEST(BestResponseTest, MatchesBisectionReference) {
 TEST(BestResponseTest, KktConditionsHoldAtOptimum) {
   BestResponseSolver solver;
   const std::vector<HostBidInput> hosts{
-      {"a", 120.0, 2.0}, {"b", 80.0, 1.0}, {"c", 20.0, 4.0}};
-  const double budget = 6.0;
-  const auto result = solver.Solve(hosts, budget);
+      {"a", 120.0, Rate::DollarsPerSec(2.0)},
+      {"b", 80.0, Rate::DollarsPerSec(1.0)},
+      {"c", 20.0, Rate::DollarsPerSec(4.0)}};
+  const auto result = solver.Solve(hosts, Rate::DollarsPerSec(6.0));
   ASSERT_TRUE(result.ok());
   // Active hosts: w_j y_j / (x_j + y_j)^2 == lambda; inactive: w_j/y_j <= lambda.
   for (std::size_t j = 0; j < hosts.size(); ++j) {
-    const double y = std::max(hosts[j].price, solver.reserve_price());
-    const double x = result->bids[j].bid;
+    const double y =
+        std::max(hosts[j].price, solver.reserve_price()).dollars_per_sec();
+    const double x = result->bids[j].bid.dollars_per_sec();
     if (x > 1e-9) {
       const double marginal = hosts[j].weight * y / ((x + y) * (x + y));
       EXPECT_NEAR(marginal, result->lambda, 1e-6 * result->lambda)
@@ -101,21 +109,23 @@ TEST(BestResponseTest, KktConditionsHoldAtOptimum) {
 TEST(BestResponseTest, OptimalBeatsPerturbations) {
   BestResponseSolver solver;
   Rng rng(99);
-  const std::vector<HostBidInput> hosts{
-      {"a", 100.0, 1.5}, {"b", 60.0, 0.5}, {"c", 200.0, 6.0}, {"d", 10.0, 0.1}};
-  const double budget = 12.0;
-  const auto result = solver.Solve(hosts, budget);
+  const std::vector<HostBidInput> hosts{{"a", 100.0, Rate::DollarsPerSec(1.5)},
+                                        {"b", 60.0, Rate::DollarsPerSec(0.5)},
+                                        {"c", 200.0, Rate::DollarsPerSec(6.0)},
+                                        {"d", 10.0, Rate::DollarsPerSec(0.1)}};
+  const auto result = solver.Solve(hosts, Rate::DollarsPerSec(12.0));
   ASSERT_TRUE(result.ok());
-  std::vector<double> optimal;
+  std::vector<Rate> optimal;
   for (const auto& allocation : result->bids) optimal.push_back(allocation.bid);
 
   for (int trial = 0; trial < 200; ++trial) {
     // Move mass between two random hosts, keeping feasibility.
-    std::vector<double> perturbed = optimal;
+    std::vector<Rate> perturbed = optimal;
     const std::size_t a = rng.NextBelow(hosts.size());
     const std::size_t b = rng.NextBelow(hosts.size());
     if (a == b) continue;
-    const double delta = rng.Uniform(0.0, perturbed[a]);
+    const Rate delta =
+        Rate::DollarsPerSec(rng.Uniform(0.0, perturbed[a].dollars_per_sec()));
     perturbed[a] -= delta;
     perturbed[b] += delta;
     EXPECT_LE(solver.Utility(hosts, perturbed),
@@ -128,26 +138,28 @@ TEST(BestResponseTest, ExpensiveLowValueHostExcluded) {
   BestResponseSolver solver;
   // Host b has terrible value (low weight, high price): with a small
   // budget the optimizer should not bid on it at all.
-  const std::vector<HostBidInput> hosts{{"a", 100.0, 0.5},
-                                        {"b", 1.0, 50.0}};
-  const auto result = solver.Solve(hosts, 1.0);
+  const std::vector<HostBidInput> hosts{{"a", 100.0, Rate::DollarsPerSec(0.5)},
+                                        {"b", 1.0, Rate::DollarsPerSec(50.0)}};
+  const auto result = solver.Solve(hosts, Rate::DollarsPerSec(1.0));
   ASSERT_TRUE(result.ok());
-  EXPECT_NEAR(result->bids[0].bid, 1.0, 1e-9);
-  EXPECT_DOUBLE_EQ(result->bids[1].bid, 0.0);
+  EXPECT_NEAR(result->bids[0].bid.dollars_per_sec(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result->bids[1].bid.dollars_per_sec(), 0.0);
 }
 
 TEST(BestResponseTest, LargerBudgetActivatesMoreHosts) {
   BestResponseSolver solver;
   const std::vector<HostBidInput> hosts{
-      {"a", 100.0, 0.2}, {"b", 100.0, 2.0}, {"c", 100.0, 20.0}};
-  const auto poor = solver.Solve(hosts, 0.05);
-  const auto rich = solver.Solve(hosts, 500.0);
+      {"a", 100.0, Rate::DollarsPerSec(0.2)},
+      {"b", 100.0, Rate::DollarsPerSec(2.0)},
+      {"c", 100.0, Rate::DollarsPerSec(20.0)}};
+  const auto poor = solver.Solve(hosts, Rate::DollarsPerSec(0.05));
+  const auto rich = solver.Solve(hosts, Rate::DollarsPerSec(500.0));
   ASSERT_TRUE(poor.ok());
   ASSERT_TRUE(rich.ok());
   const auto active = [](const BestResponseResult& result) {
     int count = 0;
     for (const auto& allocation : result.bids)
-      if (allocation.bid > 1e-12) ++count;
+      if (allocation.bid.dollars_per_sec() > 1e-12) ++count;
     return count;
   };
   EXPECT_LT(active(*poor), 3);
@@ -155,15 +167,16 @@ TEST(BestResponseTest, LargerBudgetActivatesMoreHosts) {
 }
 
 TEST(BestResponseTest, IdleHostsViaReservePrice) {
-  BestResponseSolver solver(/*reserve_price=*/0.001);
+  BestResponseSolver solver(/*reserve_price=*/Rate::DollarsPerSec(0.001));
   // All hosts idle: equal weights -> equal bids; tiny bids already win
   // nearly full shares.
-  const std::vector<HostBidInput> hosts{
-      {"a", 100.0, 0.0}, {"b", 100.0, 0.0}, {"c", 100.0, 0.0}};
-  const auto result = solver.Solve(hosts, 3.0);
+  const std::vector<HostBidInput> hosts{{"a", 100.0, Rate::Zero()},
+                                        {"b", 100.0, Rate::Zero()},
+                                        {"c", 100.0, Rate::Zero()}};
+  const auto result = solver.Solve(hosts, Rate::DollarsPerSec(3.0));
   ASSERT_TRUE(result.ok());
   for (const auto& allocation : result->bids) {
-    EXPECT_NEAR(allocation.bid, 1.0, 1e-9);
+    EXPECT_NEAR(allocation.bid.dollars_per_sec(), 1.0, 1e-9);
     EXPECT_GT(allocation.expected_share, 0.99);
   }
 }
@@ -171,32 +184,36 @@ TEST(BestResponseTest, IdleHostsViaReservePrice) {
 TEST(BestResponseTest, PreferenceWeightSkewsAllocation) {
   BestResponseSolver solver;
   // Same price, 4x the weight: host a gets a larger bid (sqrt scaling).
-  const std::vector<HostBidInput> hosts{{"a", 400.0, 1.0},
-                                        {"b", 100.0, 1.0}};
-  const auto result = solver.Solve(hosts, 10.0);
+  const std::vector<HostBidInput> hosts{{"a", 400.0, Rate::DollarsPerSec(1.0)},
+                                        {"b", 100.0, Rate::DollarsPerSec(1.0)}};
+  const auto result = solver.Solve(hosts, Rate::DollarsPerSec(10.0));
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->bids[0].bid, result->bids[1].bid);
   // KKT: (x_a + y)/(x_b + y) = sqrt(w_a/w_b) = 2 when both active.
-  EXPECT_NEAR((result->bids[0].bid + 1.0) / (result->bids[1].bid + 1.0), 2.0,
-              1e-6);
+  EXPECT_NEAR((result->bids[0].bid.dollars_per_sec() + 1.0) /
+                  (result->bids[1].bid.dollars_per_sec() + 1.0),
+              2.0, 1e-6);
 }
 
 TEST(BestResponseTest, InvalidInputsRejected) {
   BestResponseSolver solver;
-  EXPECT_FALSE(solver.Solve({}, 1.0).ok());
-  EXPECT_FALSE(solver.Solve({{"a", 1.0, 1.0}}, 0.0).ok());
-  EXPECT_FALSE(solver.Solve({{"a", 1.0, 1.0}}, -1.0).ok());
-  EXPECT_FALSE(solver.Solve({{"a", 0.0, 1.0}}, 1.0).ok());
-  EXPECT_FALSE(solver.Solve({{"a", 1.0, -0.5}}, 1.0).ok());
+  const Rate one = Rate::DollarsPerSec(1.0);
+  EXPECT_FALSE(solver.Solve({}, one).ok());
+  EXPECT_FALSE(solver.Solve({{"a", 1.0, one}}, Rate::Zero()).ok());
+  EXPECT_FALSE(solver.Solve({{"a", 1.0, one}}, Rate::DollarsPerSec(-1.0)).ok());
+  EXPECT_FALSE(solver.Solve({{"a", 0.0, one}}, one).ok());
+  EXPECT_FALSE(solver.Solve({{"a", 1.0, Rate::DollarsPerSec(-0.5)}}, one).ok());
 }
 
 TEST(BestResponseTest, UtilityIncreasingInBudget) {
   BestResponseSolver solver;
   const std::vector<HostBidInput> hosts{
-      {"a", 100.0, 1.0}, {"b", 50.0, 0.5}, {"c", 75.0, 2.0}};
+      {"a", 100.0, Rate::DollarsPerSec(1.0)},
+      {"b", 50.0, Rate::DollarsPerSec(0.5)},
+      {"c", 75.0, Rate::DollarsPerSec(2.0)}};
   double previous = 0.0;
   for (double budget = 0.5; budget <= 32.0; budget *= 2.0) {
-    const auto result = solver.Solve(hosts, budget);
+    const auto result = solver.Solve(hosts, Rate::DollarsPerSec(budget));
     ASSERT_TRUE(result.ok());
     EXPECT_GT(result->utility, previous);
     previous = result->utility;
@@ -211,12 +228,13 @@ TEST(BestResponseTest, ManyHostsPerformanceAndCorrectness) {
   std::vector<HostBidInput> hosts;
   for (int j = 0; j < 600; ++j) {
     hosts.push_back({"h" + std::to_string(j), rng.Uniform(50.0, 150.0),
-                     rng.Uniform(0.001, 2.0)});
+                     Rate::DollarsPerSec(rng.Uniform(0.001, 2.0))});
   }
-  const auto result = solver.Solve(hosts, 25.0);
+  const auto result = solver.Solve(hosts, Rate::DollarsPerSec(25.0));
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(TotalBid(*result), 25.0, 1e-6);
-  const auto reference = solver.SolveBisection(hosts, 25.0);
+  const auto reference =
+      solver.SolveBisection(hosts, Rate::DollarsPerSec(25.0));
   ASSERT_TRUE(reference.ok());
   EXPECT_NEAR(result->utility, reference->utility, 1e-6 * result->utility);
 }

@@ -26,14 +26,15 @@ double BestResponseRound(const std::vector<double>& weights,
       for (std::size_t v = 0; v < users; ++v) {
         if (v != u) others += bids[v][j];
       }
-      inputs.push_back({"h" + std::to_string(j), weights[j], others});
+      inputs.push_back({"h" + std::to_string(j), weights[j],
+                        Rate::DollarsPerSec(others)});
     }
-    const auto result = solver.Solve(inputs, budgets[u]);
+    const auto result = solver.Solve(inputs, Rate::DollarsPerSec(budgets[u]));
     EXPECT_TRUE(result.ok());
     for (std::size_t j = 0; j < hosts; ++j) {
-      max_change =
-          std::max(max_change, std::fabs(result->bids[j].bid - bids[u][j]));
-      bids[u][j] = result->bids[j].bid;
+      const double bid = result->bids[j].bid.dollars_per_sec();
+      max_change = std::max(max_change, std::fabs(bid - bids[u][j]));
+      bids[u][j] = bid;
     }
   }
   return max_change;

@@ -58,11 +58,11 @@ TEST(GridMarketDurabilityTest, CrashBankRequiresDurableStorage) {
 TEST(GridMarketDurabilityTest, BankCrashMidExperimentRecoversExactLedger) {
   const fs::path dir = FreshDir("bankcrash");
   GridMarket grid(DurableConfig(dir));
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
   // Long enough that the crash window below falls mid-run, before any
   // settlement needs the bank.
   const auto job_id =
-      grid.SubmitJob("alice", SmallJob(2, 4, /*cpu_minutes=*/30.0), 10.0);
+      grid.SubmitJob("alice", SmallJob(2, 4, /*cpu_minutes=*/30.0), Money::Dollars(10.0));
   ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
   grid.RunFor(sim::Minutes(2));
 
@@ -70,7 +70,7 @@ TEST(GridMarketDurabilityTest, BankCrashMidExperimentRecoversExactLedger) {
   ASSERT_TRUE(grid.CrashBank().ok());
   EXPECT_TRUE(grid.bank_crashed());
   // The bank is down: client-side money flows fail Unavailable.
-  EXPECT_EQ(grid.PayBroker("alice", 1.0).status().code(),
+  EXPECT_EQ(grid.PayBroker("alice", Money::Dollars(1.0)).status().code(),
             StatusCode::kUnavailable);
   grid.RunFor(sim::Minutes(1));
 
@@ -91,8 +91,9 @@ TEST(GridMarketDurabilityTest, BankCrashMidExperimentRecoversExactLedger) {
 TEST(GridMarketDurabilityTest, RestartedHostWarmStartsPriceWindow) {
   const fs::path dir = FreshDir("hostwarm");
   GridMarket grid(DurableConfig(dir));
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  ASSERT_TRUE(grid.SubmitJob("alice", SmallJob(2, 4), 20.0).ok());
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  ASSERT_TRUE(
+      grid.SubmitJob("alice", SmallJob(2, 4), Money::Dollars(20.0)).ok());
   grid.RunFor(sim::Minutes(10));
 
   const std::size_t points_before = grid.auctioneer(0).history().size();
@@ -110,12 +111,12 @@ TEST(GridMarketDurabilityTest, RestartedHostWarmStartsPriceWindow) {
 TEST(GridMarketDurabilityTest, WarmBootRestoresLedgerAndDirectory) {
   const fs::path dir = FreshDir("warmboot");
   std::string hash_before;
-  double alice_balance = 0.0;
+  Money alice_balance;
   std::size_t history_points = 0;
   {
     GridMarket grid(DurableConfig(dir));
-    ASSERT_TRUE(grid.RegisterUser("alice", 250.0).ok());
-    ASSERT_TRUE(grid.PayBroker("alice", 50.0).ok());
+    ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(250.0)).ok());
+    ASSERT_TRUE(grid.PayBroker("alice", Money::Dollars(50.0)).ok());
     grid.RunFor(sim::Minutes(5));
     hash_before = grid.bank().LedgerHash();
     alice_balance = grid.UserBankBalance("alice").value();
@@ -126,14 +127,15 @@ TEST(GridMarketDurabilityTest, WarmBootRestoresLedgerAndDirectory) {
   // and price windows come back; the broker account is not re-created.
   GridMarket grid(DurableConfig(dir));
   EXPECT_EQ(grid.bank().LedgerHash(), hash_before);
-  EXPECT_DOUBLE_EQ(grid.UserBankBalance("alice").value(), alice_balance);
+  EXPECT_EQ(grid.UserBankBalance("alice").value(), alice_balance);
   EXPECT_GE(grid.auctioneer(0).history().size(), history_points);
   EXPECT_TRUE(grid.CheckInvariants().ok());
   // The clock resumed past the recovered timestamps.
   EXPECT_GE(grid.now(), grid.auctioneer(0).history().back().at);
   // The warm grid keeps working end-to-end.
-  ASSERT_TRUE(grid.RegisterUser("bob", 100.0).ok());
-  const auto job_id = grid.SubmitJob("bob", SmallJob(1, 2), 10.0);
+  ASSERT_TRUE(grid.RegisterUser("bob", Money::Dollars(100.0)).ok());
+  const auto job_id =
+      grid.SubmitJob("bob", SmallJob(1, 2), Money::Dollars(10.0));
   ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
   grid.RunFor(sim::Hours(1));
   EXPECT_EQ((*grid.Job(*job_id))->state, grid::JobState::kFinished);
@@ -142,7 +144,7 @@ TEST(GridMarketDurabilityTest, WarmBootRestoresLedgerAndDirectory) {
 TEST(GridMarketDurabilityTest, StorageMonitorRendersPerStoreCounters) {
   const fs::path dir = FreshDir("monitor");
   GridMarket grid(DurableConfig(dir));
-  ASSERT_TRUE(grid.RegisterUser("alice", 10.0).ok());
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(10.0)).ok());
   grid.RunFor(sim::Minutes(1));
   const std::string monitor = grid.StorageMonitor();
   EXPECT_NE(monitor.find("bank"), std::string::npos);

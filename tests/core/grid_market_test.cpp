@@ -41,28 +41,29 @@ TEST(GridMarketTest, ConstructionPublishesHosts) {
 
 TEST(GridMarketTest, UserRegistration) {
   GridMarket grid(SmallConfig());
-  EXPECT_TRUE(grid.RegisterUser("alice", 500.0).ok());
+  EXPECT_TRUE(grid.RegisterUser("alice", Money::Dollars(500.0)).ok());
   EXPECT_EQ(grid.RegisterUser("alice").code(), StatusCode::kAlreadyExists);
-  EXPECT_DOUBLE_EQ(grid.UserBankBalance("alice").value(), 500.0);
+  EXPECT_EQ(grid.UserBankBalance("alice").value(), Money::Dollars(500.0));
   EXPECT_FALSE(grid.UserBankBalance("bob").ok());
 }
 
 TEST(GridMarketTest, PayBrokerMovesMoneyAndMintsToken) {
   GridMarket grid(SmallConfig());
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  const auto token = grid.PayBroker("alice", 40.0);
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  const auto token = grid.PayBroker("alice", Money::Dollars(40.0));
   ASSERT_TRUE(token.ok());
-  EXPECT_EQ(token->receipt.amount, DollarsToMicros(40.0));
+  EXPECT_EQ(token->receipt.amount, Money::Dollars(40.0));
   EXPECT_EQ(token->receipt.to_account, "broker");
-  EXPECT_DOUBLE_EQ(grid.UserBankBalance("alice").value(), 60.0);
-  EXPECT_FALSE(grid.PayBroker("alice", 1000.0).ok());  // insufficient
-  EXPECT_FALSE(grid.PayBroker("nobody", 1.0).ok());
+  EXPECT_EQ(grid.UserBankBalance("alice").value(), Money::Dollars(60.0));
+  EXPECT_FALSE(grid.PayBroker("alice", Money::Dollars(1000.0)).ok());  // insufficient
+  EXPECT_FALSE(grid.PayBroker("nobody", Money::Dollars(1.0)).ok());
 }
 
 TEST(GridMarketTest, SubmitAndFinishJob) {
   GridMarket grid(SmallConfig());
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  const auto job_id = grid.SubmitJob("alice", SmallJob(2, 4), 10.0);
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  const auto job_id =
+      grid.SubmitJob("alice", SmallJob(2, 4), Money::Dollars(10.0));
   ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
   grid.RunUntil(sim::Hours(1));
   const auto job = grid.Job(*job_id);
@@ -74,11 +75,10 @@ TEST(GridMarketTest, SubmitAndFinishJob) {
 
 TEST(GridMarketTest, SubmitXrslText) {
   GridMarket grid(SmallConfig());
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
   const auto job_id = grid.SubmitXrsl(
       "alice",
-      "&(executable=\"/bin/x\")(count=1)(cpuTime=\"1\")(wallTime=\"60\")",
-      5.0);
+      "&(executable=\"/bin/x\")(count=1)(cpuTime=\"1\")(wallTime=\"60\")", Money::Dollars(5.0));
   ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
   grid.RunUntil(sim::Minutes(30));
   EXPECT_EQ(grid.Job(*job_id).value()->state, grid::JobState::kFinished);
@@ -86,18 +86,20 @@ TEST(GridMarketTest, SubmitXrslText) {
 
 TEST(GridMarketTest, BoostJobAddsBudget) {
   GridMarket grid(SmallConfig());
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  const auto job_id = grid.SubmitJob("alice", SmallJob(1, 8, 2.0), 5.0);
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  const auto job_id =
+      grid.SubmitJob("alice", SmallJob(1, 8, 2.0), Money::Dollars(5.0));
   ASSERT_TRUE(job_id.ok());
   grid.RunFor(sim::Minutes(1));
-  ASSERT_TRUE(grid.BoostJob("alice", *job_id, 20.0).ok());
-  EXPECT_EQ(grid.Job(*job_id).value()->budget, DollarsToMicros(25.0));
+  ASSERT_TRUE(grid.BoostJob("alice", *job_id, Money::Dollars(20.0)).ok());
+  EXPECT_EQ(grid.Job(*job_id).value()->budget, Money::Dollars(25.0));
 }
 
 TEST(GridMarketTest, HostPriceStatsReflectLoad) {
   GridMarket grid(SmallConfig());
-  ASSERT_TRUE(grid.RegisterUser("alice", 1000.0).ok());
-  const auto job_id = grid.SubmitJob("alice", SmallJob(4, 8, 30.0), 100.0);
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(1000.0)).ok());
+  const auto job_id =
+      grid.SubmitJob("alice", SmallJob(4, 8, 30.0), Money::Dollars(100.0));
   ASSERT_TRUE(job_id.ok());
   grid.RunFor(sim::Minutes(20));
   const auto stats = grid.HostPriceStats("hour");
@@ -126,8 +128,9 @@ TEST(GridMarketTest, HeterogeneousClusterSpeeds) {
 
 TEST(GridMarketTest, MonitorOutputsCluster) {
   GridMarket grid(SmallConfig());
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  ASSERT_TRUE(grid.SubmitJob("alice", SmallJob(1, 1), 1.0).ok());
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  ASSERT_TRUE(
+      grid.SubmitJob("alice", SmallJob(1, 1), Money::Dollars(1.0)).ok());
   grid.RunFor(sim::Minutes(1));
   const std::string monitor = grid.Monitor();
   EXPECT_NE(monitor.find("h00"), std::string::npos);
@@ -137,8 +140,9 @@ TEST(GridMarketTest, MonitorOutputsCluster) {
 TEST(GridMarketTest, DeterministicAcrossRuns) {
   auto run = [] {
     GridMarket grid(SmallConfig());
-    EXPECT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-    const auto job_id = grid.SubmitJob("alice", SmallJob(2, 6, 1.5), 10.0);
+    EXPECT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+    const auto job_id =
+        grid.SubmitJob("alice", SmallJob(2, 6, 1.5), Money::Dollars(10.0));
     EXPECT_TRUE(job_id.ok());
     grid.RunUntil(sim::Hours(2));
     const auto job = grid.Job(*job_id);

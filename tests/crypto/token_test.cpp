@@ -11,7 +11,7 @@ class TokenTest : public ::testing::Test {
       : bank_keys_(KeyPair::Generate(TestGroup(), rng_)),
         user_keys_(KeyPair::Generate(TestGroup(), rng_)) {}
 
-  TransferReceipt MakeReceipt(Micros amount = DollarsToMicros(500)) {
+  TransferReceipt MakeReceipt(Money amount = Money::Dollars(500)) {
     TransferReceipt receipt;
     receipt.receipt_id = "rcpt-0001";
     receipt.from_account = "alice";
@@ -55,7 +55,7 @@ TEST_F(TokenTest, RejectsForgedBankSignature) {
 
 TEST_F(TokenTest, RejectsTamperedAmount) {
   TransferToken token = MintToken(MakeReceipt(), dn_, user_keys_, rng_);
-  token.receipt.amount *= 10;  // inflate after signing
+  token.receipt.amount += Money::Dollars(4500);  // inflate after signing
   EXPECT_FALSE(VerifyToken(token, bank_keys_.public_key(),
                            user_keys_.public_key(), "swegrid-broker")
                    .ok());
@@ -81,7 +81,7 @@ TEST_F(TokenTest, RejectsMappingSignedByWrongUser) {
 
 TEST_F(TokenTest, RejectsNonPositiveAmount) {
   const TransferToken token =
-      MintToken(MakeReceipt(/*amount=*/0), dn_, user_keys_, rng_);
+      MintToken(MakeReceipt(/*amount=*/Money::Zero()), dn_, user_keys_, rng_);
   const Status status = VerifyToken(token, bank_keys_.public_key(),
                                     user_keys_.public_key(), "swegrid-broker");
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);

@@ -19,7 +19,7 @@ class AgentBehaviorTest : public ::testing::Test {
         sls_(kernel_) {
     EXPECT_TRUE(bank_.CreateAccount("alice", alice_keys_.public_key()).ok());
     EXPECT_TRUE(bank_.CreateAccount("broker", {}).ok());
-    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(100000), 0).ok());
+    EXPECT_TRUE(bank_.Mint("alice", Money::Dollars(100000), 0).ok());
     authorizer_ = std::make_unique<TokenAuthorizer>(bank_, "broker");
     const auto cert = ca_.Issue(alice_dn_, alice_keys_.public_key(), 0,
                                 sim::Hours(100000), rng_);
@@ -61,15 +61,17 @@ class AgentBehaviorTest : public ::testing::Test {
   void AddTenant(market::Auctioneer& auctioneer, Micros rate) {
     ASSERT_TRUE(auctioneer.OpenAccount("tenant").ok());
     ASSERT_TRUE(
-        auctioneer.Fund("tenant", DollarsToMicros(1000000)).ok());
-    ASSERT_TRUE(
-        auctioneer.SetBid("tenant", rate, sim::Hours(1000000)).ok());
+        auctioneer.Fund("tenant", Money::Dollars(1000000)).ok());
+    ASSERT_TRUE(auctioneer
+                    .SetBid("tenant", Rate::MicrosPerSec(rate),
+                            sim::Hours(1000000))
+                    .ok());
     auto vm = auctioneer.AcquireVm("tenant");
     ASSERT_TRUE(vm.ok());
     (*vm)->Enqueue({1, 1e18, nullptr});
   }
 
-  crypto::TransferToken Pay(Micros amount) {
+  crypto::TransferToken Pay(Money amount) {
     const auto nonce = bank_.TransferNonce("alice");
     const auto auth = alice_keys_.Sign(
         bank::TransferAuthPayload("alice", "broker", amount, *nonce), rng_);
@@ -112,7 +114,7 @@ TEST_F(AgentBehaviorTest, SoftDeadlineJobFinishesAfterWallTime) {
   // 4 chunks x 2 min = 8 min of serial work on one vCPU, wallTime 3 min:
   // cannot meet the target but must still FINISH (reaped only at 4x).
   const auto id = broker_->Submit(Xrsl(1, 4, 2.0, 3.0),
-                                  Pay(DollarsToMicros(50)));
+                                  Pay(Money::Dollars(50)));
   ASSERT_TRUE(id.ok());
   kernel_.RunUntil(sim::Minutes(11));
   const JobRecord& job = **broker_->Job(*id);
@@ -128,7 +130,7 @@ TEST_F(AgentBehaviorTest, HopelessJobIsReapedAtExpiryFactor) {
   BuildPlugin(config);
   // 60 min of work, wallTime 5 min, reap at 10 min: cannot finish.
   const auto id = broker_->Submit(Xrsl(1, 30, 2.0, 5.0),
-                                  Pay(DollarsToMicros(50)));
+                                  Pay(Money::Dollars(50)));
   ASSERT_TRUE(id.ok());
   kernel_.RunUntil(sim::Minutes(30));
   const JobRecord& job = **broker_->Job(*id);
@@ -146,11 +148,13 @@ TEST_F(AgentBehaviorTest, SpeculationRescuesStragglers) {
   AddTenant(contested, /*rate=*/10);
   BuildPlugin({});
   const auto id = broker_->Submit(Xrsl(2, 4, 1.0, 20.0),
-                                  Pay(DollarsToMicros(20)));
+                                  Pay(Money::Dollars(20)));
   ASSERT_TRUE(id.ok());
   kernel_.RunUntil(kernel_.now() + sim::Seconds(30));
-  ASSERT_TRUE(
-      contested.SetBid("tenant", 10'000'000, sim::Hours(1000000)).ok());
+  ASSERT_TRUE(contested
+                  .SetBid("tenant", Rate::MicrosPerSec(10'000'000),
+                          sim::Hours(1000000))
+                  .ok());
   kernel_.RunUntil(sim::Hours(1));
   const JobRecord& job = **broker_->Job(*id);
   EXPECT_EQ(job.state, JobState::kFinished) << job.failure;
@@ -176,11 +180,13 @@ TEST_F(AgentBehaviorTest, WithoutSpeculationStragglersBlock) {
   config.expiry_factor = 3.0;
   BuildPlugin(config);
   const auto id = broker_->Submit(Xrsl(2, 4, 1.0, 20.0),
-                                  Pay(DollarsToMicros(20)));
+                                  Pay(Money::Dollars(20)));
   ASSERT_TRUE(id.ok());
   kernel_.RunUntil(kernel_.now() + sim::Seconds(30));
-  ASSERT_TRUE(
-      contested.SetBid("tenant", 10'000'000, sim::Hours(1000000)).ok());
+  ASSERT_TRUE(contested
+                  .SetBid("tenant", Rate::MicrosPerSec(10'000'000),
+                          sim::Hours(1000000))
+                  .ok());
   kernel_.RunUntil(sim::Hours(2));
   const JobRecord& job = **broker_->Job(*id);
   // The chunk stuck on the swamped host blocks completion until expiry.
@@ -194,8 +200,8 @@ TEST_F(AgentBehaviorTest, AdaptiveAgentSpendsLessWhenUnpressured) {
   // Run the same job with and without adaptive re-bidding; the adaptive
   // agent should finish no later and spend strictly less (it bids pennies
   // on an idle market instead of budget/deadline).
-  Micros spent_static = 0;
-  Micros spent_adaptive = 0;
+  Money spent_static;
+  Money spent_adaptive;
   for (const bool adaptive : {false, true}) {
     PluginConfig config;
     config.rebid_period = adaptive ? sim::Minutes(1) : 0;
@@ -203,7 +209,7 @@ TEST_F(AgentBehaviorTest, AdaptiveAgentSpendsLessWhenUnpressured) {
     // Fresh plugin/broker over the same market.
     BuildPlugin(config);
     const auto id = broker_->Submit(Xrsl(1, 4, 1.0, 30.0),
-                                    Pay(DollarsToMicros(30)));
+                                    Pay(Money::Dollars(30)));
     ASSERT_TRUE(id.ok());
     kernel_.RunUntil(kernel_.now() + sim::Hours(1));
     const JobRecord& job = **broker_->Job(*id);
@@ -220,11 +226,11 @@ TEST_F(AgentBehaviorTest, StarvedJobFinishesAfterRichCompetitorLeaves) {
   AddHost("h0", /*cpus=*/1);
   BuildPlugin({});
   const auto poor = broker_->Submit(Xrsl(1, 4, 1.0, 8.0),
-                                    Pay(DollarsToMicros(1)));
+                                    Pay(Money::Dollars(1)));
   ASSERT_TRUE(poor.ok());
   kernel_.RunUntil(kernel_.now() + sim::Seconds(30));
   const auto rich = broker_->Submit(Xrsl(1, 4, 1.0, 5.0),
-                                    Pay(DollarsToMicros(1000)));
+                                    Pay(Money::Dollars(1000)));
   ASSERT_TRUE(rich.ok());
   kernel_.RunUntil(sim::Hours(1));
   const JobRecord& poor_job = **broker_->Job(*poor);
@@ -236,21 +242,23 @@ TEST_F(AgentBehaviorTest, StarvedJobFinishesAfterRichCompetitorLeaves) {
   // because it finishes so much sooner).
   EXPECT_GT(rich_job.CostPerHour(), poor_job.CostPerHour());
   // The poor job must not have gone broke.
-  EXPECT_LE(poor_job.spent, DollarsToMicros(1));
+  EXPECT_LE(poor_job.spent, Money::Dollars(1));
 }
 
 TEST_F(AgentBehaviorTest, SpotPriceExcludingUser) {
   market::Auctioneer& auctioneer = AddHost("h0");
   ASSERT_TRUE(auctioneer.OpenAccount("a").ok());
   ASSERT_TRUE(auctioneer.OpenAccount("b").ok());
-  ASSERT_TRUE(auctioneer.Fund("a", 1000).ok());
-  ASSERT_TRUE(auctioneer.Fund("b", 1000).ok());
-  ASSERT_TRUE(auctioneer.SetBid("a", 300, sim::Hours(1)).ok());
-  ASSERT_TRUE(auctioneer.SetBid("b", 500, sim::Hours(1)).ok());
-  EXPECT_EQ(auctioneer.SpotPriceRate(), 800);
-  EXPECT_EQ(auctioneer.SpotPriceRateExcluding("a"), 500);
-  EXPECT_EQ(auctioneer.SpotPriceRateExcluding("b"), 300);
-  EXPECT_EQ(auctioneer.SpotPriceRateExcluding("ghost"), 800);
+  ASSERT_TRUE(auctioneer.Fund("a", Money::FromMicros(1000)).ok());
+  ASSERT_TRUE(auctioneer.Fund("b", Money::FromMicros(1000)).ok());
+  ASSERT_TRUE(
+      auctioneer.SetBid("a", Rate::MicrosPerSec(300), sim::Hours(1)).ok());
+  ASSERT_TRUE(
+      auctioneer.SetBid("b", Rate::MicrosPerSec(500), sim::Hours(1)).ok());
+  EXPECT_EQ(auctioneer.SpotPriceRate().micros_per_sec(), 800);
+  EXPECT_EQ(auctioneer.SpotPriceRateExcluding("a").micros_per_sec(), 500);
+  EXPECT_EQ(auctioneer.SpotPriceRateExcluding("b").micros_per_sec(), 300);
+  EXPECT_EQ(auctioneer.SpotPriceRateExcluding("ghost").micros_per_sec(), 800);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ class AuthTest : public ::testing::Test {
         alice_keys_(crypto::KeyPair::Generate(crypto::TestGroup(), rng_)) {
     EXPECT_TRUE(bank_.CreateAccount("alice", alice_keys_.public_key()).ok());
     EXPECT_TRUE(bank_.CreateAccount("broker", {}).ok());
-    EXPECT_TRUE(bank_.Mint("alice", DollarsToMicros(1000), 0).ok());
+    EXPECT_TRUE(bank_.Mint("alice", Money::Dollars(1000), 0).ok());
     authorizer_ = std::make_unique<TokenAuthorizer>(bank_, "broker");
 
     alice_cert_ = ca_.Issue(alice_dn_, alice_keys_.public_key(), 0,
@@ -24,7 +24,7 @@ class AuthTest : public ::testing::Test {
     EXPECT_TRUE(authorizer_->RegisterIdentity(alice_cert_, ca_, 0).ok());
   }
 
-  crypto::TransferToken PayBroker(Micros amount) {
+  crypto::TransferToken PayBroker(Money amount) {
     const auto nonce = bank_.TransferNonce("alice");
     EXPECT_TRUE(nonce.ok());
     const auto auth = alice_keys_.Sign(
@@ -45,19 +45,20 @@ class AuthTest : public ::testing::Test {
 };
 
 TEST_F(AuthTest, HappyPathCreatesFundedSubAccount) {
-  const auto token = PayBroker(DollarsToMicros(500));
+  const auto token = PayBroker(Money::Dollars(500));
   const auto funds = authorizer_->Authorize(token, 100);
   ASSERT_TRUE(funds.ok()) << funds.status().ToString();
-  EXPECT_EQ(funds->amount, DollarsToMicros(500));
+  EXPECT_EQ(funds->amount, Money::Dollars(500));
   EXPECT_EQ(funds->grid_dn, alice_dn_.ToString());
   EXPECT_TRUE(bank_.HasAccount(funds->sub_account));
-  EXPECT_EQ(bank_.Balance(funds->sub_account).value(), DollarsToMicros(500));
-  EXPECT_EQ(bank_.Balance("broker").value(), 0);  // moved to sub-account
+  EXPECT_EQ(bank_.Balance(funds->sub_account).value(), Money::Dollars(500));
+  EXPECT_EQ(bank_.Balance("broker").value(),
+            Money::Zero());  // moved to sub-account
   EXPECT_TRUE(bank_.CheckInvariants().ok());
 }
 
 TEST_F(AuthTest, DoubleSpendRejected) {
-  const auto token = PayBroker(DollarsToMicros(100));
+  const auto token = PayBroker(Money::Dollars(100));
   ASSERT_TRUE(authorizer_->Authorize(token, 0).ok());
   const auto replay = authorizer_->Authorize(token, 1);
   EXPECT_EQ(replay.status().code(), StatusCode::kAlreadyExists);
@@ -66,7 +67,7 @@ TEST_F(AuthTest, DoubleSpendRejected) {
 }
 
 TEST_F(AuthTest, UnknownIdentityRejected) {
-  auto token = PayBroker(DollarsToMicros(100));
+  auto token = PayBroker(Money::Dollars(100));
   token.grid_dn = "/C=SE/O=KTH/CN=stranger";
   const auto funds = authorizer_->Authorize(token, 0);
   EXPECT_EQ(funds.status().code(), StatusCode::kUnauthenticated);
@@ -83,7 +84,7 @@ TEST_F(AuthTest, MiddlemanDnSwapRejected) {
                 rng_);
   ASSERT_TRUE(authorizer_->RegisterIdentity(mallory_cert, ca_, 0).ok());
 
-  auto token = PayBroker(DollarsToMicros(100));
+  auto token = PayBroker(Money::Dollars(100));
   token.grid_dn = mallory_dn.ToString();
   // Re-signing with mallory's key must also fail: the payer key (alice's,
   // registered at the bank for the source account) has to match.
@@ -98,10 +99,10 @@ TEST_F(AuthTest, PaymentToWrongAccountRejected) {
   const auto nonce = bank_.TransferNonce("alice");
   const auto auth = alice_keys_.Sign(
       bank::TransferAuthPayload("alice", "other-broker",
-                                DollarsToMicros(100), *nonce),
+                                Money::Dollars(100), *nonce),
       rng_);
   const auto receipt =
-      bank_.Transfer("alice", "other-broker", DollarsToMicros(100), auth, 0);
+      bank_.Transfer("alice", "other-broker", Money::Dollars(100), auth, 0);
   ASSERT_TRUE(receipt.ok());
   const auto token =
       crypto::MintToken(*receipt, alice_dn_.ToString(), alice_keys_, rng_);
@@ -110,10 +111,10 @@ TEST_F(AuthTest, PaymentToWrongAccountRejected) {
 }
 
 TEST_F(AuthTest, FabricatedReceiptRejected) {
-  auto token = PayBroker(DollarsToMicros(100));
+  auto token = PayBroker(Money::Dollars(100));
   // Inflate the amount and re-sign the mapping with alice's key; the
   // bank's signature and ledger entry no longer match.
-  token.receipt.amount = DollarsToMicros(10000);
+  token.receipt.amount = Money::Dollars(10000);
   token.owner_signature = alice_keys_.Sign(token.MappingPayload(), rng_);
   const auto funds = authorizer_->Authorize(token, 0);
   EXPECT_FALSE(funds.ok());
@@ -142,11 +143,11 @@ TEST_F(AuthTest, GiftCertificateForAnotherIdentity) {
 
   const auto nonce = bank_.TransferNonce("alice");
   const auto auth = alice_keys_.Sign(
-      bank::TransferAuthPayload("alice", "broker", DollarsToMicros(75),
+      bank::TransferAuthPayload("alice", "broker", Money::Dollars(75),
                                 *nonce),
       rng_);
   const auto receipt =
-      bank_.Transfer("alice", "broker", DollarsToMicros(75), auth, 0);
+      bank_.Transfer("alice", "broker", Money::Dollars(75), auth, 0);
   ASSERT_TRUE(receipt.ok());
   // Alice (the payer) signs the mapping to *bob's* DN.
   const auto gift =
@@ -154,14 +155,14 @@ TEST_F(AuthTest, GiftCertificateForAnotherIdentity) {
   const auto funds = authorizer_->Authorize(gift, 0);
   ASSERT_TRUE(funds.ok()) << funds.status().ToString();
   EXPECT_EQ(funds->grid_dn, bob_dn.ToString());
-  EXPECT_EQ(funds->amount, DollarsToMicros(75));
+  EXPECT_EQ(funds->amount, Money::Dollars(75));
 }
 
 TEST_F(AuthTest, SubAccountNamesAreUnique) {
   const auto funds1 =
-      authorizer_->Authorize(PayBroker(DollarsToMicros(10)), 0);
+      authorizer_->Authorize(PayBroker(Money::Dollars(10)), 0);
   const auto funds2 =
-      authorizer_->Authorize(PayBroker(DollarsToMicros(20)), 0);
+      authorizer_->Authorize(PayBroker(Money::Dollars(20)), 0);
   ASSERT_TRUE(funds1.ok());
   ASSERT_TRUE(funds2.ok());
   EXPECT_NE(funds1->sub_account, funds2->sub_account);

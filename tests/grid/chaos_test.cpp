@@ -21,7 +21,7 @@ namespace {
 
 class ChaosTest : public ::testing::Test {
  protected:
-  static constexpr Micros kUserFunds = DollarsToMicros(1000);
+  static constexpr Money kUserFunds = Money::Dollars(1000);
 
   ChaosTest()
       : bus_(kernel_, net::LatencyModel::Lossy(0.1), 1913),
@@ -102,7 +102,7 @@ class ChaosTest : public ::testing::Test {
     ASSERT_TRUE(bus_.CrashEndpoint("auctioneer/" + host_id).ok());
   }
 
-  crypto::TransferToken PayBroker(Micros amount) {
+  crypto::TransferToken PayBroker(Money amount) {
     const auto nonce = bank_.TransferNonce("alice");
     EXPECT_TRUE(nonce.ok());
     const auto auth = alice_keys_.Sign(
@@ -151,7 +151,7 @@ TEST_F(ChaosTest, JobCompletesOnLossyNetworkWithCorrectRefunds) {
   AddHosts(4);
   EnableProbes();
   const auto job_id = broker_->Submit(ScanXrsl(2, 4),
-                                      PayBroker(DollarsToMicros(10)));
+                                      PayBroker(Money::Dollars(10)));
   ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
 
   kernel_.RunUntil(sim::Minutes(30));
@@ -160,10 +160,10 @@ TEST_F(ChaosTest, JobCompletesOnLossyNetworkWithCorrectRefunds) {
   EXPECT_EQ((*job)->state, JobState::kFinished) << (*job)->failure;
   EXPECT_TRUE((*job)->AllChunksDone());
   // Refund accounting holds despite 10% message loss on the probe plane.
-  EXPECT_GT((*job)->spent, 0);
-  EXPECT_GT((*job)->refunded, 0);
+  EXPECT_TRUE((*job)->spent.is_positive());
+  EXPECT_TRUE((*job)->refunded.is_positive());
   EXPECT_EQ(bank_.Balance((*job)->account).value(),
-            DollarsToMicros(10) - (*job)->spent);
+            Money::Dollars(10) - (*job)->spent);
   EXPECT_TRUE(bank_.CheckInvariants().ok());
 
   // The failure detector probed through the loss without false verdicts:
@@ -182,7 +182,7 @@ TEST_F(ChaosTest, AuctioneerCrashMidRunMigratesJobToSurvivors) {
   EnableProbes();
   // 8 chunks of 2 cpu-minutes on 2 hosts: comfortably still running when
   // the crash hits at t = 3 min.
-  const Micros budget = DollarsToMicros(10);
+  const Money budget = Money::Dollars(10);
   const auto job_id =
       broker_->Submit(ScanXrsl(2, 8, 2.0, 60.0), PayBroker(budget));
   ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
@@ -253,7 +253,7 @@ TEST_F(ChaosTest, CrashedHostIsExcludedFromNewSchedulingUntilRestart) {
   ASSERT_EQ(plugin_->HostHealth("h0"), HostHealthState::kDead);
 
   const auto job_id = broker_->Submit(ScanXrsl(3, 6),
-                                      PayBroker(DollarsToMicros(10)));
+                                      PayBroker(Money::Dollars(10)));
   ASSERT_TRUE(job_id.ok());
   kernel_.RunUntil(sim::Minutes(40));
   const auto job = broker_->Job(*job_id);

@@ -11,7 +11,7 @@ namespace {
 
 class EndToEndTest : public ::testing::Test {
  protected:
-  static constexpr Micros kUserFunds = DollarsToMicros(1000);
+  static constexpr Money kUserFunds = Money::Dollars(1000);
 
   EndToEndTest()
       : bank_(crypto::TestGroup(), 3),
@@ -60,7 +60,7 @@ class EndToEndTest : public ::testing::Test {
     }
   }
 
-  crypto::TransferToken PayBroker(Micros amount) {
+  crypto::TransferToken PayBroker(Money amount) {
     const auto nonce = bank_.TransferNonce("alice");
     EXPECT_TRUE(nonce.ok());
     const auto auth = alice_keys_.Sign(
@@ -106,8 +106,7 @@ class EndToEndTest : public ::testing::Test {
 TEST_F(EndToEndTest, JobRunsToCompletion) {
   AddHosts(4);
   const auto job_id =
-      broker_->Submit(ScanXrsl(/*count=*/2, /*chunks=*/4), PayBroker(
-                          DollarsToMicros(10)));
+      broker_->Submit(ScanXrsl(/*count=*/2, /*chunks=*/4), PayBroker(Money::Dollars(10)));
   ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
 
   kernel_.RunUntil(sim::Minutes(30));
@@ -127,10 +126,10 @@ TEST_F(EndToEndTest, JobRunsToCompletion) {
     EXPECT_GT(subjob.completed_at, subjob.started_at);
   }
   // Charged for use, refunded the rest; everything accounted for.
-  EXPECT_GT((*job)->spent, 0);
-  EXPECT_GT((*job)->refunded, 0);
+  EXPECT_TRUE((*job)->spent.is_positive());
+  EXPECT_TRUE((*job)->refunded.is_positive());
   EXPECT_EQ(bank_.Balance((*job)->account).value(),
-            DollarsToMicros(10) - (*job)->spent);
+            Money::Dollars(10) - (*job)->spent);
   EXPECT_TRUE(bank_.CheckInvariants().ok());
 }
 
@@ -139,7 +138,7 @@ TEST_F(EndToEndTest, ChunkLatencyMatchesCapacity) {
   // One VM, one chunk of 2 cpu-minutes at reference 100 cycles/s ==
   // 12000 cycles; the vCPU delivers 100 cycles/s -> 120 s of execution.
   const auto job_id = broker_->Submit(ScanXrsl(1, 1, 2.0),
-                                      PayBroker(DollarsToMicros(10)));
+                                      PayBroker(Money::Dollars(10)));
   ASSERT_TRUE(job_id.ok());
   kernel_.RunUntil(sim::Minutes(60));
   const auto job = broker_->Job(*job_id);
@@ -150,14 +149,14 @@ TEST_F(EndToEndTest, ChunkLatencyMatchesCapacity) {
 
 TEST_F(EndToEndTest, NoHostsFailsCleanlyWithRefund) {
   const auto job_id = broker_->Submit(ScanXrsl(2, 4),
-                                      PayBroker(DollarsToMicros(10)));
+                                      PayBroker(Money::Dollars(10)));
   ASSERT_TRUE(job_id.ok());
   const auto job = broker_->Job(*job_id);
   ASSERT_TRUE(job.ok());
   EXPECT_EQ((*job)->state, JobState::kFailed);
   EXPECT_FALSE((*job)->failure.empty());
-  EXPECT_EQ((*job)->spent, 0);
-  EXPECT_EQ(bank_.Balance((*job)->account).value(), DollarsToMicros(10));
+  EXPECT_EQ((*job)->spent, Money::Zero());
+  EXPECT_EQ(bank_.Balance((*job)->account).value(), Money::Dollars(10));
   EXPECT_TRUE(bank_.CheckInvariants().ok());
 }
 
@@ -170,15 +169,15 @@ TEST_F(EndToEndTest, UnknownRuntimeEnvironmentFailsBeforeFunding) {
   description.wall_time_minutes = 60.0;
   description.runtime_environments = {"matlab"};  // not in the catalog
   const auto job_id =
-      broker_->Submit(description.ToXrsl(), PayBroker(DollarsToMicros(5)));
+      broker_->Submit(description.ToXrsl(), PayBroker(Money::Dollars(5)));
   ASSERT_TRUE(job_id.ok());
   const auto job = broker_->Job(*job_id);
   ASSERT_TRUE(job.ok());
   EXPECT_EQ((*job)->state, JobState::kFailed);
   EXPECT_NE((*job)->failure.find("matlab"), std::string::npos);
   // No money left anywhere but the refunded sub-account.
-  EXPECT_EQ((*job)->spent, 0);
-  EXPECT_EQ(bank_.Balance((*job)->account).value(), DollarsToMicros(5));
+  EXPECT_EQ((*job)->spent, Money::Zero());
+  EXPECT_EQ(bank_.Balance((*job)->account).value(), Money::Dollars(5));
   for (const auto& auctioneer : auctioneers_) {
     EXPECT_FALSE(auctioneer->HasAccount((*job)->account));
   }
@@ -187,7 +186,7 @@ TEST_F(EndToEndTest, UnknownRuntimeEnvironmentFailsBeforeFunding) {
 
 TEST_F(EndToEndTest, BadTokenRejectedBeforeScheduling) {
   AddHosts(1);
-  auto token = PayBroker(DollarsToMicros(10));
+  auto token = PayBroker(Money::Dollars(10));
   token.grid_dn = "/CN=stranger";
   const auto job_id = broker_->Submit(ScanXrsl(1, 1), token);
   EXPECT_FALSE(job_id.ok());
@@ -200,7 +199,7 @@ TEST_F(EndToEndTest, DeadlineExpiryRefundsRemainder) {
   // 3 cpu-minutes of work with a 3-minute wall clock that also has to
   // cover boot + provisioning + staging: cannot finish.
   const auto job_id = broker_->Submit(ScanXrsl(1, 6, 3.0, /*wall=*/3.0),
-                                      PayBroker(DollarsToMicros(10)));
+                                      PayBroker(Money::Dollars(10)));
   ASSERT_TRUE(job_id.ok());
   kernel_.RunUntil(sim::Minutes(30));
   const auto job = broker_->Job(*job_id);
@@ -208,22 +207,22 @@ TEST_F(EndToEndTest, DeadlineExpiryRefundsRemainder) {
   EXPECT_EQ((*job)->state, JobState::kExpired) << JobStateName((*job)->state);
   EXPECT_FALSE((*job)->AllChunksDone());
   EXPECT_EQ(bank_.Balance((*job)->account).value(),
-            DollarsToMicros(10) - (*job)->spent);
+            Money::Dollars(10) - (*job)->spent);
   EXPECT_TRUE(bank_.CheckInvariants().ok());
 }
 
 TEST_F(EndToEndTest, BoostAddsFundsAndRaisesBid) {
   AddHosts(1);
   const auto job_id = broker_->Submit(ScanXrsl(1, 8, 2.0, 120.0),
-                                      PayBroker(DollarsToMicros(5)));
+                                      PayBroker(Money::Dollars(5)));
   ASSERT_TRUE(job_id.ok());
   kernel_.RunUntil(sim::Minutes(2));
-  const Micros rate_before = auctioneers_[0]->SpotPriceRate();
-  ASSERT_TRUE(broker_->Boost(*job_id, PayBroker(DollarsToMicros(50))).ok());
+  const Rate rate_before = auctioneers_[0]->SpotPriceRate();
+  ASSERT_TRUE(broker_->Boost(*job_id, PayBroker(Money::Dollars(50))).ok());
   EXPECT_GT(auctioneers_[0]->SpotPriceRate(), rate_before);
   const auto job = broker_->Job(*job_id);
   ASSERT_TRUE(job.ok());
-  EXPECT_EQ((*job)->budget, DollarsToMicros(55));
+  EXPECT_EQ((*job)->budget, Money::Dollars(55));
   kernel_.RunUntil(sim::Hours(3));
   EXPECT_EQ(broker_->Job(*job_id).value()->state, JobState::kFinished);
   EXPECT_TRUE(bank_.CheckInvariants().ok());
@@ -232,21 +231,21 @@ TEST_F(EndToEndTest, BoostAddsFundsAndRaisesBid) {
 TEST_F(EndToEndTest, BoostByDifferentUserRejected) {
   AddHosts(1);
   const auto job_id = broker_->Submit(ScanXrsl(1, 4, 2.0, 120.0),
-                                      PayBroker(DollarsToMicros(5)));
+                                      PayBroker(Money::Dollars(5)));
   ASSERT_TRUE(job_id.ok());
   // Bob pays for a boost of alice's job: identity mismatch.
   const auto bob_keys = crypto::KeyPair::Generate(crypto::TestGroup(), rng_);
   const crypto::DistinguishedName bob_dn{"SE", "KTH", "PDC", "bob"};
   ASSERT_TRUE(bank_.CreateAccount("bob", bob_keys.public_key()).ok());
-  ASSERT_TRUE(bank_.Mint("bob", DollarsToMicros(100), 0).ok());
+  ASSERT_TRUE(bank_.Mint("bob", Money::Dollars(100), 0).ok());
   const auto cert =
       ca_.Issue(bob_dn, bob_keys.public_key(), 0, sim::Hours(100), rng_);
   ASSERT_TRUE(authorizer_->RegisterIdentity(cert, ca_, 0).ok());
   const auto nonce = bank_.TransferNonce("bob");
   const auto auth = bob_keys.Sign(
-      bank::TransferAuthPayload("bob", "broker", DollarsToMicros(10), *nonce),
+      bank::TransferAuthPayload("bob", "broker", Money::Dollars(10), *nonce),
       rng_);
-  const auto receipt = bank_.Transfer("bob", "broker", DollarsToMicros(10),
+  const auto receipt = bank_.Transfer("bob", "broker", Money::Dollars(10),
                                       auth, kernel_.now());
   ASSERT_TRUE(receipt.ok());
   const auto bob_token =
@@ -262,11 +261,11 @@ TEST_F(EndToEndTest, CompetingJobsShareByFunding) {
   // its target share.
   AddHosts(1, /*cpus=*/1);
   const auto cheap = broker_->Submit(ScanXrsl(1, 4, 2.0, 10.0),
-                                     PayBroker(DollarsToMicros(2)));
+                                     PayBroker(Money::Dollars(2)));
   ASSERT_TRUE(cheap.ok());
   kernel_.RunUntil(sim::Seconds(30));
   const auto rich = broker_->Submit(ScanXrsl(1, 4, 2.0, 10.0),
-                                    PayBroker(DollarsToMicros(20)));
+                                    PayBroker(Money::Dollars(20)));
   ASSERT_TRUE(rich.ok());
   kernel_.RunUntil(sim::Hours(4));
   const auto cheap_job = broker_->Job(*cheap);
@@ -284,7 +283,7 @@ TEST_F(EndToEndTest, CompetingJobsShareByFunding) {
 TEST_F(EndToEndTest, MonitorRendersState) {
   AddHosts(2);
   const auto job_id = broker_->Submit(ScanXrsl(2, 4),
-                                      PayBroker(DollarsToMicros(10)));
+                                      PayBroker(Money::Dollars(10)));
   ASSERT_TRUE(job_id.ok());
   kernel_.RunUntil(sim::Minutes(2));
   std::vector<const market::Auctioneer*> views;

@@ -90,7 +90,7 @@ TEST(JobRecordTest, TurnaroundAndCost) {
   JobRecord job;
   job.submitted_at = 0;
   job.finished_at = sim::Hours(2);
-  job.spent = DollarsToMicros(10.0);
+  job.spent = Money::Dollars(10.0);
   EXPECT_DOUBLE_EQ(job.TurnaroundHours(), 2.0);
   EXPECT_DOUBLE_EQ(job.CostPerHour(), 5.0);
 

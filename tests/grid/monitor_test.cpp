@@ -25,9 +25,11 @@ class MonitorTest : public ::testing::Test {
 
 TEST_F(MonitorTest, ClusterTableShowsHostAndPrice) {
   ASSERT_TRUE(auctioneer_->OpenAccount("alice").ok());
-  ASSERT_TRUE(auctioneer_->Fund("alice", 1'000'000).ok());
+  ASSERT_TRUE(auctioneer_->Fund("alice", Money::FromMicros(1'000'000)).ok());
   // 1000 u$/s == $3.6/h.
-  ASSERT_TRUE(auctioneer_->SetBid("alice", 1000, sim::Hours(1)).ok());
+  ASSERT_TRUE(
+      auctioneer_->SetBid("alice", Rate::MicrosPerSec(1000), sim::Hours(1))
+          .ok());
   const std::string table =
       RenderClusterTable({auctioneer_.get()}, sim::Minutes(1));
   EXPECT_NE(table.find("HOST"), std::string::npos);
@@ -43,8 +45,8 @@ TEST_F(MonitorTest, JobTableShowsStateAndMoney) {
   job.description.count = 15;
   job.user_dn = "/C=SE/O=KTH/CN=alice";
   job.state = JobState::kRunning;
-  job.budget = DollarsToMicros(100);
-  job.spent = DollarsToMicros(12.5);
+  job.budget = Money::Dollars(100);
+  job.spent = Money::Dollars(12.5);
   job.submitted_at = 0;
   job.subjobs.resize(30);
   for (int i = 0; i < 9; ++i) job.subjobs[static_cast<std::size_t>(i)].completed = true;

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Negative-compile harness: each bad fixture under negative_compile/ must
+# FAIL to compile with the project's warning regime, and the control
+# fixture must succeed (so failures are attributable to the guard under
+# test, not a broken include path or flag).
+#
+# Usage: check_negative_compile.sh <c++-compiler> <repo-src-dir>
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <c++-compiler> <repo-src-dir>" >&2
+  exit 2
+fi
+
+CXX="$1"
+SRC="$2"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+FIXTURES="$HERE/negative_compile"
+FLAGS=(-std=c++20 "-I$SRC" -fsyntax-only -Werror=unused-result)
+
+fail=0
+
+compile() {
+  "$CXX" "${FLAGS[@]}" "$1" 2>/dev/null
+}
+
+# Control must compile.
+if compile "$FIXTURES/control_ok.cpp"; then
+  echo "PASS control_ok.cpp (compiles)"
+else
+  echo "FAIL control_ok.cpp: control fixture does not compile; harness is broken" >&2
+  "$CXX" "${FLAGS[@]}" "$FIXTURES/control_ok.cpp" >&2 || true
+  fail=1
+fi
+
+# Every other fixture must NOT compile.
+for f in "$FIXTURES"/*.cpp; do
+  base="$(basename "$f")"
+  [ "$base" = "control_ok.cpp" ] && continue
+  if compile "$f"; then
+    echo "FAIL $base: expected a compile error, but it compiled" >&2
+    fail=1
+  else
+    echo "PASS $base (rejected)"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "negative-compile tests FAILED" >&2
+  exit 1
+fi
+echo "negative-compile tests passed"

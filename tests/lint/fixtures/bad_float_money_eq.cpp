@@ -1,0 +1,23 @@
+// gmlint fixture: must trigger the float-money-eq rule. Floating-point
+// money compared with raw == / != loses cents to rounding.
+struct Quote {
+  double price = 0.0;
+  double budget_dollars = 0.0;
+};
+
+bool SamePrice(const Quote& a, const Quote& b) {
+  return a.price == b.price;  // bad: raw == on dollars
+}
+
+bool BudgetDiffers(const Quote& a, const Quote& b) {
+  return a.budget_dollars != b.budget_dollars;  // bad: raw !=
+}
+
+struct Money {
+  double dollars() const { return value; }
+  double value = 0.0;
+};
+
+bool Broke(const Money& m) {
+  return m.dollars() == 0.0;  // bad: accessor returns floating dollars
+}

@@ -1,0 +1,16 @@
+// gmlint fixture: every construct here must trigger the nondeterminism
+// rule. Not compiled — scanned by run_fixture_tests.py.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int UnseededEntropy() {
+  std::random_device device;  // breaks replay
+  return static_cast<int>(device());
+}
+
+int LibcRand() { return std::rand(); }
+
+long WallClockNow() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

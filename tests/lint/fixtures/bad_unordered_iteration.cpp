@@ -1,0 +1,28 @@
+// gmlint fixture: must trigger the unordered-iteration rule. Modeled on
+// an auctioneer-style ledger mutation driven by hash order.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Account {
+  long balance_micros = 0;
+};
+
+class Ledger {
+ public:
+  void ChargeAll(long amount) {
+    for (auto& [user, account] : accounts_) {  // hash order!
+      account.balance_micros -= amount;
+    }
+  }
+
+  void DropMarked() {
+    for (const std::string& user : marked_) {  // hash order!
+      accounts_.erase(user);
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, Account> accounts_;
+  std::unordered_set<std::string> marked_;
+};

@@ -1,0 +1,27 @@
+// gmlint fixture: must pass the float-money-eq rule. Exact comparisons
+// ride the integer micro-dollar grid; approximate ones use a tolerance.
+#include <cmath>
+#include <cstdint>
+
+using Micros = std::int64_t;
+
+struct Money {
+  Micros micros() const { return value; }
+  Micros value = 0;
+};
+
+bool SameAmount(const Money& a, const Money& b) {
+  return a.micros() == b.micros();  // exact integer grid
+}
+
+bool NearPrice(double a_price, double b_price) {
+  return std::fabs(a_price - b_price) < 1e-9;  // tolerance, not ==
+}
+
+bool SpanMatches(std::uint64_t refund_span, std::uint64_t id) {
+  return refund_span == id;  // trace ids, not money
+}
+
+bool CountsEqual(int price_count, int other) {
+  return price_count == other;  // a size, not an amount
+}

@@ -1,0 +1,24 @@
+// gmlint fixture: must pass the nondeterminism rule. Randomness comes
+// from the seeded simulation RNG, time from the kernel.
+#include <cstdint>
+
+namespace gm {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next() { return state_ += 0x9e3779b97f4a7c15ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+}  // namespace gm
+
+std::uint64_t SeededDraw(gm::Rng& rng) { return rng.Next(); }
+
+// Mentions in comments and strings must not trigger: std::rand,
+// std::random_device, system_clock.
+const char* kDoc = "never call std::rand or system_clock in simulation code";
+
+// A suppressed use with justification is also clean:
+// fixture exercising the escape hatch. gmlint: allow(nondeterminism)
+long Suppressed() { return std::rand(); }

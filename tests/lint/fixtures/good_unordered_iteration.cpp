@@ -1,0 +1,27 @@
+// gmlint fixture: must pass the unordered-iteration rule. Ordered maps
+// iterate deterministically; unordered containers are fine for lookups.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Account {
+  long balance_micros = 0;
+};
+
+class Ledger {
+ public:
+  void ChargeAll(long amount) {
+    for (auto& [user, account] : accounts_) {  // std::map: sorted order
+      account.balance_micros -= amount;
+    }
+  }
+
+  long Lookup(const std::string& user) const {
+    const auto it = cache_.find(user);  // point lookup, no iteration
+    return it == cache_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::string, Account> accounts_;
+  std::unordered_map<std::string, long> cache_;
+};

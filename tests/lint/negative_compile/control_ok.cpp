@@ -1,0 +1,45 @@
+// Control fixture: the sanctioned idioms must keep compiling under the
+// same flags the negative fixtures fail under (-Werror=unused-result).
+// If this file breaks, the negative tests are failing for the wrong
+// reason (missing header, bad flag), not because the guards work.
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+gm::Status Withdraw() { return gm::Status::Ok(); }
+
+gm::Result<gm::Money> Balance() { return gm::Money::Dollars(5); }
+
+gm::Status Fund(gm::Money amount) {
+  return amount.is_positive() ? gm::Status::Ok()
+                              : gm::Status::InvalidArgument("amount");
+}
+
+gm::Status SetBid(gm::Rate rate) {
+  return rate.is_positive() ? gm::Status::Ok()
+                            : gm::Status::InvalidArgument("bid");
+}
+
+}  // namespace
+
+int main() {
+  // Checked use.
+  if (!Withdraw().ok()) return 1;
+  const auto balance = Balance();
+  if (!balance.ok()) return 1;
+
+  // Deliberate discard: the (void) cast with a justifying comment is the
+  // sanctioned escape hatch and must stay warning-free.
+  (void)Withdraw();
+
+  // Right units in the right places.
+  if (!Fund(gm::Money::Dollars(10)).ok()) return 1;
+  if (!SetBid(gm::Rate::MicrosPerSec(500)).ok()) return 1;
+
+  // Rate comparisons: ordering and ApproxEq are allowed (== is not).
+  const gm::Rate a = gm::Rate::DollarsPerSec(0.1);
+  const gm::Rate b = gm::Rate::MicrosPerSec(100000);
+  if (a < b) return 1;
+  return gm::ApproxEq(a, b) ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// Negative-compile fixture: dropping a Result<T> (e.g. a bank balance
+// lookup whose error case carries the failure) must not build.
+#include "common/status.hpp"
+
+namespace {
+
+gm::Result<long> Balance() { return 42L; }
+
+}  // namespace
+
+int main() {
+  Balance();  // error: ignoring a [[nodiscard]] Result<T>
+  return 0;
+}

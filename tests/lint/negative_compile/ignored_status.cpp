@@ -1,0 +1,15 @@
+// Negative-compile fixture: silently dropping a Status must not build.
+// check_negative_compile.sh compiles this with -Werror=unused-result and
+// asserts failure ([[nodiscard]] on common::Status makes it an error).
+#include "common/status.hpp"
+
+namespace {
+
+gm::Status Withdraw() { return gm::Status::FailedPrecondition("broke"); }
+
+}  // namespace
+
+int main() {
+  Withdraw();  // error: ignoring a [[nodiscard]] Status
+  return 0;
+}

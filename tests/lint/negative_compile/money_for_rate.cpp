@@ -1,0 +1,19 @@
+// Negative-compile fixture: passing Money (dollars) where Rate ($/s) is
+// expected must not build — the bug class the strong types exist to kill
+// (e.g. placing a bid with an account balance).
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+gm::Status SetBid(gm::Rate rate) {
+  return rate.is_positive() ? gm::Status::Ok()
+                            : gm::Status::InvalidArgument("bid");
+}
+
+}  // namespace
+
+int main() {
+  const gm::Money balance = gm::Money::Dollars(100);
+  return SetBid(balance).ok() ? 0 : 1;  // error: Money is not a Rate
+}

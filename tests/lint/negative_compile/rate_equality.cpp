@@ -1,0 +1,9 @@
+// Negative-compile fixture: raw == on Rate (floating-point $/s) must not
+// build — operator== is deleted; callers use ApproxEq or ordering.
+#include "common/units.hpp"
+
+int main() {
+  const gm::Rate a = gm::Rate::DollarsPerSec(0.1);
+  const gm::Rate b = gm::Rate::MicrosPerSec(100000);
+  return a == b ? 0 : 1;  // error: Rate equality is deleted
+}

@@ -1,0 +1,18 @@
+// Negative-compile fixture: funding an account with a $/s rate where
+// Money (dollars) is expected must not build.
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+gm::Status Fund(gm::Money amount) {
+  return amount.is_positive() ? gm::Status::Ok()
+                              : gm::Status::InvalidArgument("amount");
+}
+
+}  // namespace
+
+int main() {
+  const gm::Rate bid = gm::Rate::MicrosPerSec(500);
+  return Fund(bid).ok() ? 0 : 1;  // error: Rate is not Money
+}

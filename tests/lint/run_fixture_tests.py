@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/gmlint.py, run via ctest.
+
+Every rule has a must-trigger fixture (bad_*) and a must-pass fixture
+(good_*). The bad fixtures must produce at least the expected number of
+findings, all tagged with the right rule; the good fixtures must be
+completely clean. Fixtures are scanned with --no-path-filter so the rules
+apply regardless of where the fixture lives.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+GMLINT = HERE.parent.parent / "scripts" / "gmlint.py"
+FIXTURES = HERE / "fixtures"
+
+# (fixture, rule, minimum findings expected; 0 == must be clean)
+CASES = [
+    ("bad_nondeterminism.cpp", "nondeterminism", 3),
+    ("good_nondeterminism.cpp", "nondeterminism", 0),
+    ("bad_unordered_iteration.cpp", "unordered-iteration", 2),
+    ("good_unordered_iteration.cpp", "unordered-iteration", 0),
+    ("bad_float_money_eq.cpp", "float-money-eq", 3),
+    ("good_float_money_eq.cpp", "float-money-eq", 0),
+]
+
+
+def run_case(fixture, rule, minimum):
+    result = subprocess.run(
+        [sys.executable, str(GMLINT), "--no-path-filter",
+         "--rules", rule, str(FIXTURES / fixture)],
+        capture_output=True, text=True)
+    findings = [line for line in result.stdout.splitlines() if line.strip()]
+    errors = []
+    if minimum == 0:
+        if result.returncode != 0 or findings:
+            errors.append(f"{fixture}: expected clean, got rc="
+                          f"{result.returncode}:\n" + result.stdout)
+    else:
+        if result.returncode != 1:
+            errors.append(f"{fixture}: expected rc=1, got "
+                          f"{result.returncode}\n{result.stdout}"
+                          f"{result.stderr}")
+        if len(findings) < minimum:
+            errors.append(f"{fixture}: expected >= {minimum} findings, got "
+                          f"{len(findings)}:\n" + result.stdout)
+        untagged = [f for f in findings if f"[{rule}]" not in f]
+        if untagged:
+            errors.append(f"{fixture}: findings with wrong rule tag:\n"
+                          + "\n".join(untagged))
+    return errors
+
+
+def main():
+    failures = []
+    for fixture, rule, minimum in CASES:
+        failures.extend(run_case(fixture, rule, minimum))
+
+    # The full rule set over the good fixtures must also be clean: rules
+    # must not bleed into each other's fixtures.
+    result = subprocess.run(
+        [sys.executable, str(GMLINT), "--no-path-filter"]
+        + [str(FIXTURES / name) for name, _, minimum in CASES
+           if minimum == 0],
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        failures.append("good fixtures not clean under all rules:\n"
+                        + result.stdout)
+
+    if failures:
+        print("\n".join(failures))
+        print(f"gmlint fixture tests: {len(failures)} failure(s)")
+        return 1
+    print(f"gmlint fixture tests: {len(CASES)} cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,46 +45,47 @@ TEST_F(AuctioneerServiceTest, FullAccountLifecycleOverRpc) {
   ASSERT_TRUE(opened->ok());
 
   std::optional<Status> funded;
-  client_.Fund("auctioneer/h1", "alice", 5000, [&](Status s) { funded = s; });
+  client_.Fund("auctioneer/h1", "alice", Money::FromMicros(5000),
+               [&](Status s) { funded = s; });
   kernel_.Run();
   ASSERT_TRUE(funded.has_value() && funded->ok());
 
   std::optional<Status> bid;
-  client_.SetBid("auctioneer/h1", "alice", 40, sim::Hours(1),
-                 [&](Status s) { bid = s; });
+  client_.SetBid("auctioneer/h1", "alice", Rate::MicrosPerSec(40),
+                 sim::Hours(1), [&](Status s) { bid = s; });
   kernel_.Run();
   ASSERT_TRUE(bid.has_value() && bid->ok());
-  EXPECT_EQ(auctioneer_.SpotPriceRate(), 40);
+  EXPECT_EQ(auctioneer_.SpotPriceRate().micros_per_sec(), 40);
 
-  std::optional<Result<Micros>> balance;
+  std::optional<Result<Money>> balance;
   client_.Balance("auctioneer/h1", "alice",
-                  [&](Result<Micros> r) { balance = r; });
+                  [&](Result<Money> r) { balance = r; });
   kernel_.Run();
   ASSERT_TRUE(balance.has_value());
   ASSERT_TRUE(balance->ok());
-  EXPECT_EQ(balance->value(), 5000);
+  EXPECT_EQ(balance->value(), Money::FromMicros(5000));
 
-  std::optional<Result<Micros>> refund;
+  std::optional<Result<Money>> refund;
   client_.CloseAccount("auctioneer/h1", "alice",
-                       [&](Result<Micros> r) { refund = r; });
+                       [&](Result<Money> r) { refund = r; });
   kernel_.Run();
   ASSERT_TRUE(refund.has_value());
   ASSERT_TRUE(refund->ok());
-  EXPECT_EQ(refund->value(), 5000);
+  EXPECT_EQ(refund->value(), Money::FromMicros(5000));
   EXPECT_FALSE(auctioneer_.HasAccount("alice"));
 }
 
 TEST_F(AuctioneerServiceTest, ErrorsPropagateOverRpc) {
   std::optional<Status> fund_status;
-  client_.Fund("auctioneer/h1", "ghost", 100,
+  client_.Fund("auctioneer/h1", "ghost", Money::FromMicros(100),
                [&](Status s) { fund_status = s; });
   kernel_.Run();
   ASSERT_TRUE(fund_status.has_value());
   EXPECT_EQ(fund_status->code(), StatusCode::kNotFound);
 
-  std::optional<Result<Micros>> balance;
+  std::optional<Result<Money>> balance;
   client_.Balance("auctioneer/h1", "ghost",
-                  [&](Result<Micros> r) { balance = r; });
+                  [&](Result<Money> r) { balance = r; });
   kernel_.Run();
   ASSERT_TRUE(balance.has_value());
   EXPECT_FALSE(balance->ok());
@@ -92,8 +93,9 @@ TEST_F(AuctioneerServiceTest, ErrorsPropagateOverRpc) {
 
 TEST_F(AuctioneerServiceTest, PriceStatsSnapshot) {
   ASSERT_TRUE(auctioneer_.OpenAccount("alice").ok());
-  ASSERT_TRUE(auctioneer_.Fund("alice", 100000).ok());
-  ASSERT_TRUE(auctioneer_.SetBid("alice", 60, sim::Hours(10)).ok());
+  ASSERT_TRUE(auctioneer_.Fund("alice", Money::FromMicros(100000)).ok());
+  ASSERT_TRUE(
+      auctioneer_.SetBid("alice", Rate::MicrosPerSec(60), sim::Hours(10)).ok());
   auctioneer_.Start();
   kernel_.RunUntil(sim::Minutes(2));
 
@@ -103,7 +105,7 @@ TEST_F(AuctioneerServiceTest, PriceStatsSnapshot) {
   kernel_.RunUntil(kernel_.now() + sim::Seconds(5));
   ASSERT_TRUE(stats.has_value());
   ASSERT_TRUE(stats->ok());
-  EXPECT_EQ((*stats)->spot_rate, 60);
+  EXPECT_EQ((*stats)->spot_rate.micros_per_sec(), 60);
   EXPECT_DOUBLE_EQ((*stats)->price_per_capacity,
                    MicrosToDollars(60) / 200.0);
   EXPECT_GE((*stats)->mean_day, 0.0);

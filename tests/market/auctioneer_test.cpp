@@ -25,8 +25,8 @@ class AuctioneerTest : public ::testing::Test {
   AuctioneerTest() : host_(SmallHost()), auctioneer_(host_, kernel_) {}
 
   /// Open + fund + bid + enqueue work for a user in one step.
-  host::VirtualMachine* Join(const std::string& user, Micros funds,
-                             Micros rate, sim::SimTime deadline,
+  host::VirtualMachine* Join(const std::string& user, Money funds,
+                             Rate rate, sim::SimTime deadline,
                              Cycles work = 1e12) {
     EXPECT_TRUE(auctioneer_.OpenAccount(user).ok());
     EXPECT_TRUE(auctioneer_.Fund(user, funds).ok());
@@ -47,13 +47,13 @@ TEST_F(AuctioneerTest, AccountLifecycle) {
   EXPECT_TRUE(auctioneer_.OpenAccount("alice").ok());
   EXPECT_EQ(auctioneer_.OpenAccount("alice").code(),
             StatusCode::kAlreadyExists);
-  EXPECT_TRUE(auctioneer_.Fund("alice", 100).ok());
-  EXPECT_EQ(auctioneer_.Balance("alice").value(), 100);
-  EXPECT_FALSE(auctioneer_.Fund("bob", 100).ok());
-  EXPECT_FALSE(auctioneer_.Fund("alice", 0).ok());
+  EXPECT_TRUE(auctioneer_.Fund("alice", Money::FromMicros(100)).ok());
+  EXPECT_EQ(auctioneer_.Balance("alice").value(), Money::FromMicros(100));
+  EXPECT_FALSE(auctioneer_.Fund("bob", Money::FromMicros(100)).ok());
+  EXPECT_FALSE(auctioneer_.Fund("alice", Money::Zero()).ok());
   const auto refund = auctioneer_.CloseAccount("alice");
   ASSERT_TRUE(refund.ok());
-  EXPECT_EQ(*refund, 100);
+  EXPECT_EQ(*refund, Money::FromMicros(100));
   EXPECT_FALSE(auctioneer_.HasAccount("alice"));
 }
 
@@ -72,63 +72,69 @@ TEST_F(AuctioneerTest, AcquireVmIsIdempotent) {
 }
 
 TEST_F(AuctioneerTest, SpotPriceSumsActiveBids) {
-  Join("alice", DollarsToMicros(100), 500, Seconds(1000));
-  Join("bob", DollarsToMicros(100), 300, Seconds(1000));
-  EXPECT_EQ(auctioneer_.SpotPriceRate(), 800);
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(500), Seconds(1000));
+  Join("bob", Money::Dollars(100), Rate::MicrosPerSec(300), Seconds(1000));
+  EXPECT_EQ(auctioneer_.SpotPriceRate().micros_per_sec(), 800);
   // Price per capacity: $8e-4/s over 200 cycles/s... in micro terms.
   EXPECT_DOUBLE_EQ(auctioneer_.PricePerCapacity(),
                    MicrosToDollars(800) / 200.0);
 }
 
 TEST_F(AuctioneerTest, ExpiredAndUnfundedBidsExcludedFromPrice) {
-  Join("alice", DollarsToMicros(100), 500, Seconds(5));
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(500), Seconds(5));
   kernel_.RunUntil(Seconds(10));
-  EXPECT_EQ(auctioneer_.SpotPriceRate(), 0);  // deadline passed
+  EXPECT_TRUE(auctioneer_.SpotPriceRate().is_zero());  // deadline passed
   ASSERT_TRUE(auctioneer_.OpenAccount("bob").ok());
-  ASSERT_TRUE(auctioneer_.SetBid("bob", 300, Seconds(1000)).ok());
-  EXPECT_EQ(auctioneer_.SpotPriceRate(), 0);  // no funds
+  ASSERT_TRUE(
+      auctioneer_.SetBid("bob", Rate::MicrosPerSec(300), Seconds(1000)).ok());
+  EXPECT_TRUE(auctioneer_.SpotPriceRate().is_zero());  // no funds
 }
 
 TEST_F(AuctioneerTest, TickChargesProportionallyToUse) {
-  Join("alice", DollarsToMicros(100), 1000, Seconds(1000));
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(1000), Seconds(1000));
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(10));  // one interval
   // Fully used share: pays rate * 10 s.
-  EXPECT_EQ(auctioneer_.Spent("alice").value(), 10000);
+  EXPECT_EQ(auctioneer_.Spent("alice").value(), Money::FromMicros(10000));
   EXPECT_EQ(auctioneer_.Balance("alice").value(),
-            DollarsToMicros(100) - 10000);
-  EXPECT_EQ(auctioneer_.total_revenue(), 10000);
+            Money::Dollars(100) - Money::FromMicros(10000));
+  EXPECT_EQ(auctioneer_.total_revenue(), Money::FromMicros(10000));
 }
 
 TEST_F(AuctioneerTest, IdleVmIsNotCharged) {
-  Join("alice", DollarsToMicros(100), 1000, Seconds(1000), /*work=*/0);
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(1000), Seconds(1000),
+       /*work=*/0);
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(30));
-  EXPECT_EQ(auctioneer_.Spent("alice").value(), 0);
-  EXPECT_EQ(auctioneer_.Balance("alice").value(), DollarsToMicros(100));
+  EXPECT_EQ(auctioneer_.Spent("alice").value(), Money::Zero());
+  EXPECT_EQ(auctioneer_.Balance("alice").value(), Money::Dollars(100));
 }
 
 TEST_F(AuctioneerTest, PartialUseChargesFraction) {
   // 100 cycles of work, host grants 200 cycles/s for 10 s => uses 5% of
   // the granted capacity => pays 5% of rate * dt... with a 2-CPU host and
   // single vCPU cap 100/s the VM gets 100/s => uses 1% of 10 s.
-  host::VirtualMachine* vm = Join("alice", DollarsToMicros(100), 1000,
-                                  Seconds(1000), /*work=*/0);
+  host::VirtualMachine* vm = Join("alice", Money::Dollars(100),
+                                  Rate::MicrosPerSec(1000), Seconds(1000),
+                                  /*work=*/0);
   vm->Enqueue({99, 100.0, nullptr});
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(10));
   // granted = 100 cycles/s (vCPU cap), offered = 1000 cycles, used = 100
   // -> fraction 0.1 -> cost = 1000 µ$/s * 10 s * 0.1 = 1000 µ$.
-  EXPECT_EQ(auctioneer_.Spent("alice").value(), 1000);
+  EXPECT_EQ(auctioneer_.Spent("alice").value(), Money::FromMicros(1000));
 }
 
 TEST_F(AuctioneerTest, HigherBidGetsProportionallyMoreCpu) {
   host::VirtualMachine* alice =
-      Join("alice", DollarsToMicros(100), 3000, Seconds(1000));
+      Join("alice", Money::Dollars(100), Rate::MicrosPerSec(3000),
+           Seconds(1000));
   host::VirtualMachine* bob =
-      Join("bob", DollarsToMicros(100), 1000, Seconds(1000));
+      Join("bob", Money::Dollars(100), Rate::MicrosPerSec(1000),
+           Seconds(1000));
   host::VirtualMachine* carol =
-      Join("carol", DollarsToMicros(100), 1000, Seconds(1000));
+      Join("carol", Money::Dollars(100), Rate::MicrosPerSec(1000),
+           Seconds(1000));
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(100));
   // Weights 3:1:1 on 200 cycles/s with a 100 cap: alice capped at 100,
@@ -141,17 +147,18 @@ TEST_F(AuctioneerTest, HigherBidGetsProportionallyMoreCpu) {
 TEST_F(AuctioneerTest, BalanceExhaustionStopsService) {
   // Funds for exactly 5 intervals at full use.
   host::VirtualMachine* vm =
-      Join("alice", 50'000, 1000, Seconds(100000));
+      Join("alice", Money::FromMicros(50'000), Rate::MicrosPerSec(1000),
+           Seconds(100000));
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(200));
-  EXPECT_EQ(auctioneer_.Balance("alice").value(), 0);
-  EXPECT_EQ(auctioneer_.Spent("alice").value(), 50'000);
+  EXPECT_EQ(auctioneer_.Balance("alice").value(), Money::Zero());
+  EXPECT_EQ(auctioneer_.Spent("alice").value(), Money::FromMicros(50'000));
   // Work stops once the account drains: 50 s of CPU at 100 cycles/s.
   EXPECT_NEAR(vm->delivered_cycles(), 5000.0, 1.0);
 }
 
 TEST_F(AuctioneerTest, PriceHistoryRecordedEveryTick) {
-  Join("alice", DollarsToMicros(100), 800, Seconds(1000));
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(800), Seconds(1000));
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(50));
   EXPECT_EQ(auctioneer_.history().size(), 5u);
@@ -160,7 +167,7 @@ TEST_F(AuctioneerTest, PriceHistoryRecordedEveryTick) {
 }
 
 TEST_F(AuctioneerTest, WindowStatsAndDistributionsFed) {
-  Join("alice", DollarsToMicros(100), 800, Seconds(1000));
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(800), Seconds(1000));
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(100));
   const auto moments = auctioneer_.Moments("hour");
@@ -173,20 +180,21 @@ TEST_F(AuctioneerTest, WindowStatsAndDistributionsFed) {
 }
 
 TEST_F(AuctioneerTest, CloseAccountRefundsUnusedBalance) {
-  Join("alice", DollarsToMicros(100), 1000, Seconds(1000));
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(1000), Seconds(1000));
   auctioneer_.Start();
   kernel_.RunUntil(Seconds(20));
-  const Micros spent = auctioneer_.Spent("alice").value();
+  const Money spent = auctioneer_.Spent("alice").value();
   const auto refund = auctioneer_.CloseAccount("alice");
   ASSERT_TRUE(refund.ok());
-  EXPECT_EQ(*refund + spent, DollarsToMicros(100));
+  EXPECT_EQ(*refund + spent, Money::Dollars(100));
   // The VM is gone too.
   EXPECT_EQ(host_.vm_count(), 0u);
 }
 
 TEST_F(AuctioneerTest, WorkCompletionDuringTicks) {
-  host::VirtualMachine* vm = Join("alice", DollarsToMicros(100), 1000,
-                                  Seconds(1000), /*work=*/0);
+  host::VirtualMachine* vm = Join("alice", Money::Dollars(100),
+                                  Rate::MicrosPerSec(1000), Seconds(1000),
+                                  /*work=*/0);
   sim::SimTime completed_at = -1;
   // 250 cycles at 100 cycles/s = 2.5 s into the first interval.
   vm->Enqueue({1, 250.0, [&](sim::SimTime t) { completed_at = t; }});
@@ -202,7 +210,7 @@ TEST_F(AuctioneerTest, CrashedHostWarmStartsForecasterWindowFromJournal) {
   ASSERT_TRUE(store.ok());
   auctioneer_.AttachStore(store->get());
 
-  Join("alice", DollarsToMicros(100), 1000, sim::Hours(2));
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(1000), sim::Hours(2));
   auctioneer_.Start();
   kernel_.RunUntil(sim::Minutes(30));
   const std::size_t points_before = auctioneer_.history().size();

@@ -106,8 +106,9 @@ TEST_F(SlsTest, PublisherHeartbeatsAuctioneerState) {
   host::PhysicalHost host(spec);
   Auctioneer auctioneer(host, kernel_);
   ASSERT_TRUE(auctioneer.OpenAccount("alice").ok());
-  ASSERT_TRUE(auctioneer.Fund("alice", 1000000).ok());
-  ASSERT_TRUE(auctioneer.SetBid("alice", 400, sim::Hours(10)).ok());
+  ASSERT_TRUE(auctioneer.Fund("alice", Money::FromMicros(1000000)).ok());
+  ASSERT_TRUE(
+      auctioneer.SetBid("alice", Rate::MicrosPerSec(400), sim::Hours(10)).ok());
 
   SlsPublisher publisher(auctioneer, sls_, "hp-palo-alto", kernel_,
                          Minutes(1));

@@ -35,23 +35,24 @@ TEST_P(BestResponseProperty, OptimalityInvariants) {
   std::vector<br::HostBidInput> hosts;
   for (int j = 0; j < param.hosts; ++j) {
     hosts.push_back({"h" + std::to_string(j), rng.Uniform(0.5e9, 4e9),
-                     rng.Uniform(0.0, param.price_scale)});
+                     Rate::DollarsPerSec(rng.Uniform(0.0, param.price_scale))});
   }
-  const auto result = solver.Solve(hosts, param.budget);
+  const auto result = solver.Solve(hosts, Rate::DollarsPerSec(param.budget));
   ASSERT_TRUE(result.ok());
 
   // Budget binds exactly.
   double total = 0.0;
   for (const auto& allocation : result->bids) {
-    EXPECT_GE(allocation.bid, 0.0);
-    total += allocation.bid;
+    EXPECT_GE(allocation.bid.dollars_per_sec(), 0.0);
+    total += allocation.bid.dollars_per_sec();
   }
   EXPECT_NEAR(total, param.budget, 1e-9 * param.budget);
 
   // KKT: active hosts share the multiplier; inactive fail the threshold.
   for (std::size_t j = 0; j < hosts.size(); ++j) {
-    const double y = std::max(hosts[j].price, solver.reserve_price());
-    const double x = result->bids[j].bid;
+    const double y =
+        std::max(hosts[j].price, solver.reserve_price()).dollars_per_sec();
+    const double x = result->bids[j].bid.dollars_per_sec();
     if (x > 1e-9 * param.budget) {
       const double marginal = hosts[j].weight * y / ((x + y) * (x + y));
       EXPECT_NEAR(marginal, result->lambda, 1e-5 * result->lambda)
@@ -62,7 +63,8 @@ TEST_P(BestResponseProperty, OptimalityInvariants) {
   }
 
   // Agrees with the independent bisection solver.
-  const auto reference = solver.SolveBisection(hosts, param.budget);
+  const auto reference =
+      solver.SolveBisection(hosts, Rate::DollarsPerSec(param.budget));
   ASSERT_TRUE(reference.ok());
   EXPECT_NEAR(result->utility, reference->utility,
               1e-6 * reference->utility);
@@ -177,13 +179,14 @@ TEST_P(BankConservationProperty, RandomOperationSequences) {
     ASSERT_TRUE(bank.CreateAccount(accounts.back(),
                                    keys.back().public_key()).ok());
     ASSERT_TRUE(
-        bank.Mint(accounts.back(), DollarsToMicros(100), 0).ok());
+        bank.Mint(accounts.back(), Money::Dollars(100), 0).ok());
   }
   ASSERT_TRUE(bank.CreateAccount("pool", {}).ok());
 
   for (int op = 0; op < 60; ++op) {
     const std::size_t actor = rng.NextBelow(accounts.size());
-    const Micros amount = static_cast<Micros>(rng.NextBelow(2'000'000)) + 1;
+    const Money amount =
+        Money::FromMicros(static_cast<Micros>(rng.NextBelow(2'000'000)) + 1);
     switch (rng.NextBelow(3)) {
       case 0: {  // signed transfer to the pool (may fail on funds)
         const auto nonce = bank.TransferNonce(accounts[actor]);

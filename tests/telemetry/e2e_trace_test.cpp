@@ -53,8 +53,8 @@ TEST(TelemetryE2eTest, JobLifecycleIsOneCompleteSpanChain) {
   // The scheduler links auctioneers directly; probe RPCs are what put
   // traffic on the simulated bus.
   ASSERT_TRUE(grid.EnableHealthProbes().ok());
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  const auto job_id = grid.SubmitJob("alice", SmallJob(), 10.0);
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(), Money::Dollars(10.0));
   ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
   grid.RunUntil(sim::Hours(1));
   const auto job = grid.Job(*job_id);
@@ -103,8 +103,8 @@ TEST(TelemetryE2eTest, DisabledTelemetryLeavesNoTrace) {
   GridMarket::Config config = TelemetryConfig();
   config.telemetry.enabled = false;
   GridMarket grid(config);
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  const auto job_id = grid.SubmitJob("alice", SmallJob(), 10.0);
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(), Money::Dollars(10.0));
   ASSERT_TRUE(job_id.ok());
   grid.RunUntil(sim::Hours(1));
   EXPECT_EQ(grid.telemetry(), nullptr);
@@ -115,8 +115,8 @@ TEST(TelemetryE2eTest, DisabledTelemetryLeavesNoTrace) {
 
 TEST(TelemetryE2eTest, JsonlExportRoundTrips) {
   GridMarket grid(TelemetryConfig());
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  const auto job_id = grid.SubmitJob("alice", SmallJob(), 10.0);
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  const auto job_id = grid.SubmitJob("alice", SmallJob(), Money::Dollars(10.0));
   ASSERT_TRUE(job_id.ok());
   grid.RunUntil(sim::Hours(1));
 
@@ -141,8 +141,8 @@ TEST(TelemetryE2eTest, JsonlExportRoundTrips) {
 
 TEST(TelemetryE2eTest, NetTableRendersIdenticallyFromSnapshot) {
   GridMarket grid(TelemetryConfig());
-  ASSERT_TRUE(grid.RegisterUser("alice", 100.0).ok());
-  ASSERT_TRUE(grid.SubmitJob("alice", SmallJob(), 10.0).ok());
+  ASSERT_TRUE(grid.RegisterUser("alice", Money::Dollars(100.0)).ok());
+  ASSERT_TRUE(grid.SubmitJob("alice", SmallJob(), Money::Dollars(10.0)).ok());
   grid.RunUntil(sim::Minutes(20));
 
   const auto snapshot = grid.CollectMetrics();

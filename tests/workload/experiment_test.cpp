@@ -16,7 +16,7 @@ BestResponseExperimentConfig SmallConfig() {
   config.grid.vm_boot_time = sim::Seconds(5);
   config.grid.heterogeneity = 0.3;
   config.grid.plugin.reference_capacity = 1000.0;
-  config.budgets = {10.0, 10.0, 10.0};
+  config.budgets = {Money::Dollars(10), Money::Dollars(10), Money::Dollars(10)};
   config.job.nodes = 3;
   config.job.chunks = 6;
   config.job.chunk_cpu_minutes = 2.0;
@@ -49,7 +49,7 @@ TEST(BestResponseExperimentTest, HigherFundingBuysBetterService) {
   // time tight enough that agents must bid hard to hold their shares.
   config.grid.cpus_per_host = 1;
   config.job.wall_time_minutes = 10.0;
-  config.budgets = {2.0, 2.0, 20.0};
+  config.budgets = {Money::Dollars(2), Money::Dollars(2), Money::Dollars(20)};
   const auto outcomes = BestResponseExperiment(config).Run();
   ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
   const UserOutcome& poor = (*outcomes)[0];
