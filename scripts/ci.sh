@@ -63,4 +63,7 @@ echo "telemetry smoke: JSONL parses, submit->refund chain complete"
 echo "== sanitizers: ASan + UBSan =="
 scripts/check_sanitize.sh "$@"
 
+echo "== sanitizers: TSan (thread-centric subset) =="
+scripts/check_tsan.sh
+
 echo "CI: all gates passed"

@@ -22,6 +22,24 @@ Three rules, each guarding an invariant the type system cannot express:
                       micro-dollar grid (Money, .micros()); approximate
                       ones go through ApproxEq.
 
+  raw-threading       No bare std::mutex / std::thread / std::lock_guard /
+                      std::condition_variable / pthread_* outside
+                      src/common/concurrency.*. Raw primitives bypass the
+                      lock-rank registry and the Clang thread-safety
+                      annotations; everything must go through gm::Mutex,
+                      gm::MutexLock, gm::CondVar and gm::Thread.
+                      (std::this_thread and std::atomic stay legal.)
+
+  include-layering    Project includes must respect the layer graph: a
+                      file in src/<dir>/ may only include headers from the
+                      directories <dir> is allowed to depend on. In
+                      particular market/ and host/ must never reach up
+                      into grid/ — the market must stay drivable by the
+                      parallel host runtime without dragging in broker
+                      logic. Fixtures outside src/ opt in with a
+                      'gmlint: layer(<dir>)' comment naming the directory
+                      whose rules they should be checked under.
+
 Suppression: append a justifying comment containing
     gmlint: allow(<rule>)
 on the offending line or the line directly above it.
@@ -40,7 +58,8 @@ import pathlib
 import re
 import sys
 
-RULES = ("nondeterminism", "unordered-iteration", "float-money-eq")
+RULES = ("nondeterminism", "unordered-iteration", "float-money-eq",
+         "raw-threading", "include-layering")
 
 NONDET_PATTERN = re.compile(
     r"\bstd::rand\b|\bstd::random_device\b|\brandom_device\b"
@@ -68,6 +87,45 @@ FLOAT_MONEY_CALL = re.compile(r"\.(dollars|dollars_per_sec)\s*\(\s*\)")
 # strong types themselves is fine.
 EXACT_HINT = re.compile(
     r"Money::|\bMicros\b|\.micros\s*\(|micros_per_sec\s*\(")
+RAW_THREADING = re.compile(
+    r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|\bstd::j?thread\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+    r"|\bpthread_\w+"
+)
+# The one place raw primitives are legitimate: the wrappers themselves.
+RAW_THREADING_EXEMPT = re.compile(r"(^|/)src/common/concurrency\.")
+
+# Layer graph: which top-level src/ directories each directory may include
+# from. Mirrors the CMake target graph; notably market/ and host/ must not
+# include grid/ (the broker layer sits above the market, never below it).
+LAYERS = {
+    "common": {"common"},
+    "math": {"common", "math"},
+    "sim": {"common", "sim"},
+    "crypto": {"common", "crypto"},
+    "bestresponse": {"bestresponse", "common"},
+    "telemetry": {"common", "sim", "telemetry"},
+    "net": {"common", "net", "sim", "telemetry"},
+    "store": {"common", "net", "store", "telemetry"},
+    "bank": {"bank", "common", "crypto", "net", "sim", "store", "telemetry"},
+    "host": {"bank", "common", "host", "market", "sim"},
+    "market": {"common", "host", "market", "net", "sim", "store",
+               "telemetry"},
+    "predict": {"bestresponse", "common", "market", "math", "predict"},
+    "grid": {"bank", "bestresponse", "common", "crypto", "grid", "host",
+             "market", "net", "sim", "store", "telemetry"},
+    "core": {"bank", "common", "core", "crypto", "grid", "host", "market",
+             "net", "predict", "sim", "store", "telemetry"},
+    "workload": {"common", "core", "grid", "workload"},
+}
+SRC_DIR = re.compile(r"(^|/)src/([^/]+)/")
+# Quoted project include with a directory component; <...> system includes
+# are out of scope.
+PROJECT_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"/]+)/[^"]*"')
+LAYER_DIRECTIVE = re.compile(r"gmlint:\s*layer\((\w+)\)")
+
 ALLOW = re.compile(r"gmlint:\s*allow\(([\w,\s-]+)\)")
 
 STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|' + r"'(?:[^'\\]|\\.)*'")
@@ -118,10 +176,15 @@ class File:
         self.path = path
         self.display = path.as_posix()
         raw = path.read_text(errors="replace").splitlines()
+        self.raw = raw     # untouched lines (includes live inside strings)
         self.code = []     # comment/string-stripped lines
         self.allows = []   # per-line suppressed rule sets
+        self.layer = None  # 'gmlint: layer(<dir>)' directive, if any
         in_block = False
         for line in raw:
+            directive = LAYER_DIRECTIVE.search(line)
+            if directive:
+                self.layer = directive.group(1)
             code, allowed, in_block = strip_code(line, in_block)
             self.code.append(code)
             self.allows.append(allowed)
@@ -155,6 +218,23 @@ def lint(files, rules, path_filter):
                             and NONDET_EXEMPT.search(source.display))
         unordered_scope = (not path_filter
                            or UNORDERED_SCOPE.search(source.display))
+        threading_scope = not (path_filter
+                               and RAW_THREADING_EXEMPT.search(source.display))
+        layer = source.layer
+        if layer is None:
+            src_match = SRC_DIR.search(source.display)
+            if src_match:
+                layer = src_match.group(2)
+        allowed_layers = LAYERS.get(layer)
+        if "include-layering" in rules and allowed_layers is not None:
+            # Includes sit inside string literals, so scan the raw lines.
+            for index, line in enumerate(source.raw):
+                match = PROJECT_INCLUDE.match(line)
+                if match and match.group(1) not in allowed_layers:
+                    report(source, index, "include-layering",
+                           f"src/{layer}/ must not include"
+                           f" \"{match.group(1)}/...\"; allowed layers:"
+                           f" {', '.join(sorted(allowed_layers))}")
         for index, line in enumerate(source.code):
             if "nondeterminism" in rules and nondet_scope:
                 match = NONDET_PATTERN.search(line)
@@ -174,6 +254,14 @@ def lint(files, rules, path_filter):
                            "iteration over unordered container: hash order"
                            " is not deterministic; use std::map or sort"
                            " first")
+            if "raw-threading" in rules and threading_scope:
+                match = RAW_THREADING.search(line)
+                if match:
+                    report(source, index, "raw-threading",
+                           f"'{match.group(0)}' bypasses the lock-rank"
+                           " registry and thread-safety annotations; use"
+                           " gm::Mutex / gm::MutexLock / gm::CondVar /"
+                           " gm::Thread from common/concurrency.hpp")
             if "float-money-eq" in rules:
                 if EXACT_HINT.search(line):
                     continue

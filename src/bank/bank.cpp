@@ -52,7 +52,10 @@ const Account* Bank::Find(const std::string& id) const {
   return it == accounts_.end() ? nullptr : &it->second;
 }
 
-void Bank::AttachStore(store::DurableStore* s) { store_ = s; }
+void Bank::AttachStore(store::DurableStore* s) {
+  gm::MutexLock lock(&mu_);
+  store_ = s;
+}
 
 Status Bank::Journal(const net::Writer& writer) {
   if (store_ == nullptr) return Status::Ok();
@@ -85,6 +88,7 @@ void Bank::AttachTelemetry(telemetry::Telemetry* telemetry) {
 
 Status Bank::CreateAccount(const std::string& id,
                            const crypto::PublicKey& owner_key) {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   if (id.empty()) return Status::InvalidArgument("empty account id");
   if (Find(id) != nullptr)
@@ -106,6 +110,7 @@ Status Bank::CreateAccount(const std::string& id,
 
 Status Bank::CreateSubAccount(const std::string& parent,
                               const std::string& sub_id) {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   const Account* parent_account = Find(parent);
   if (parent_account == nullptr)
@@ -128,6 +133,7 @@ Status Bank::CreateSubAccount(const std::string& parent,
 }
 
 Status Bank::Mint(const std::string& id, Money amount, std::int64_t now_us) {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   if (!amount.is_positive())
     return Status::InvalidArgument("mint amount must be > 0");
@@ -205,6 +211,7 @@ Result<crypto::TransferReceipt> Bank::Transfer(const std::string& from,
                                                Money amount,
                                                const crypto::Signature& auth,
                                                std::int64_t now_us) {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   Account* src = Find(from);
   if (src == nullptr) return Status::NotFound("account: " + from);
@@ -224,6 +231,7 @@ Result<crypto::TransferReceipt> Bank::InternalTransfer(const std::string& from,
                                                        const std::string& to,
                                                        Money amount,
                                                        std::int64_t now_us) {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   const Account* src = Find(from);
   if (src == nullptr) return Status::NotFound("account: " + from);
@@ -234,6 +242,7 @@ Result<crypto::TransferReceipt> Bank::InternalTransfer(const std::string& from,
 }
 
 Result<Money> Bank::Balance(const std::string& id) const {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   const Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
@@ -241,6 +250,7 @@ Result<Money> Bank::Balance(const std::string& id) const {
 }
 
 Result<std::uint64_t> Bank::TransferNonce(const std::string& id) const {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   const Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
@@ -248,6 +258,7 @@ Result<std::uint64_t> Bank::TransferNonce(const std::string& id) const {
 }
 
 Result<crypto::PublicKey> Bank::OwnerKey(const std::string& id) const {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   const Account* account = Find(id);
   if (account == nullptr) return Status::NotFound("account: " + id);
@@ -255,10 +266,12 @@ Result<crypto::PublicKey> Bank::OwnerKey(const std::string& id) const {
 }
 
 bool Bank::HasAccount(const std::string& id) const {
+  gm::MutexLock lock(&mu_);
   return !crashed_ && Find(id) != nullptr;
 }
 
 Status Bank::VerifyReceipt(const crypto::TransferReceipt& receipt) const {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   const auto it = issued_receipts_.find(receipt.receipt_id);
   if (it == issued_receipts_.end())
@@ -276,6 +289,7 @@ Status Bank::VerifyReceipt(const crypto::TransferReceipt& receipt) const {
 }
 
 Status Bank::CheckInvariants() const {
+  gm::MutexLock lock(&mu_);
   if (crashed_) return BankDown();
   Money total;
   for (const auto& [id, account] : accounts_) {
@@ -303,17 +317,19 @@ void Bank::ClearState() {
 }
 
 void Bank::SimulateCrash() {
+  gm::MutexLock lock(&mu_);
   // A crash loses everything in memory: the only way back is the log.
   ClearState();
   crashed_ = true;
 }
 
 Status Bank::Restart() {
+  gm::MutexLock lock(&mu_);
   if (store_ == nullptr)
     return Status::FailedPrecondition(
         "bank has no durable store: ledger unrecoverable");
   crashed_ = false;
-  const auto recovery = RecoverFromStore();
+  const auto recovery = RecoverFromStoreLocked();
   if (!recovery.ok()) {
     crashed_ = true;
     return recovery.status();
@@ -322,13 +338,22 @@ Status Bank::Restart() {
 }
 
 Result<store::RecoveryStats> Bank::RecoverFromStore() {
+  gm::MutexLock lock(&mu_);
+  return RecoverFromStoreLocked();
+}
+
+// mu_ is deliberately held across store_->Recover(*this): the store calls
+// back into LoadSnapshot/ApplyRecord below, which rebuild the guarded
+// ledger. Lock order bank (kBank) -> store (kStore) matches Checkpoint's.
+Result<store::RecoveryStats> Bank::RecoverFromStoreLocked() {
   if (store_ == nullptr)
     return Status::FailedPrecondition("no store attached");
   ClearState();
   return store_->Recover(*this);
 }
 
-Status Bank::ApplyRecord(const Bytes& record) {
+// Reached only via the store while mu_ is held (see class comment).
+Status Bank::ApplyRecord(const Bytes& record) GM_NO_THREAD_SAFETY_ANALYSIS {
   net::Reader reader(record);
   GM_ASSIGN_OR_RETURN(const std::uint8_t kind, reader.ReadU8());
   switch (kind) {
@@ -406,7 +431,9 @@ Status Bank::ApplyRecord(const Bytes& record) {
   }
 }
 
-void Bank::WriteSnapshot(net::Writer& writer) const {
+// Reached only via the store while mu_ is held (see class comment).
+void Bank::WriteSnapshot(net::Writer& writer) const
+    GM_NO_THREAD_SAFETY_ANALYSIS {
   writer.WriteVarint(kSnapshotVersion);
   writer.WriteVarint(accounts_.size());
   for (const auto& [id, account] : accounts_) {
@@ -437,7 +464,8 @@ void Bank::WriteSnapshot(net::Writer& writer) const {
   }
 }
 
-Status Bank::LoadSnapshot(net::Reader& reader) {
+// Reached only via the store while mu_ is held (see class comment).
+Status Bank::LoadSnapshot(net::Reader& reader) GM_NO_THREAD_SAFETY_ANALYSIS {
   GM_ASSIGN_OR_RETURN(const std::uint64_t version, reader.ReadVarint());
   if (version != kSnapshotVersion)
     return Status::Internal(
@@ -492,6 +520,7 @@ Status Bank::LoadSnapshot(net::Reader& reader) {
 }
 
 std::string Bank::LedgerHash() const {
+  gm::MutexLock lock(&mu_);
   std::string canonical;
   for (const auto& [id, account] : accounts_) {
     canonical += StrFormat(

@@ -17,6 +17,14 @@
 // rebuilds the exact pre-crash ledger (balances, escrow sub-accounts,
 // nonces, receipts, audit log) from snapshot + log replay; LedgerHash()
 // lets tests assert the recovered ledger is identical.
+//
+// Thread safety: one mutex (rank kBank) guards the whole ledger — every
+// public method is an atomic ledger transaction. The Recoverable hooks
+// are invoked by the attached store *while the bank already holds its
+// own lock* (Checkpoint and RecoverFromStore call into the store with
+// mu_ held, and the store calls straight back), so they carry no
+// annotations of their own; they must never be called from outside that
+// recovery path on a shared bank.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/concurrency.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -100,7 +109,12 @@ class Bank : public store::Recoverable {
   const crypto::PublicKey& public_key() const {
     return keys_.public_key();
   }
-  const std::vector<AuditEntry>& audit_log() const { return audit_; }
+  /// Copy of the audit journal (by value: the ledger lock is released
+  /// before the caller looks at it).
+  std::vector<AuditEntry> audit_log() const {
+    gm::MutexLock lock(&mu_);
+    return audit_;
+  }
 
   /// Conservation: sum of all balances equals total minted. Never fails
   /// unless there is a bug.
@@ -111,7 +125,10 @@ class Bank : public store::Recoverable {
   /// nullptr to detach). Does not write the current state — snapshot or
   /// recover explicitly around attachment.
   void AttachStore(store::DurableStore* s);
-  store::DurableStore* attached_store() const { return store_; }
+  store::DurableStore* attached_store() const {
+    gm::MutexLock lock(&mu_);
+    return store_;
+  }
   /// Drop the in-memory ledger and rebuild it from the attached store.
   Result<store::RecoveryStats> RecoverFromStore();
   /// SHA-256 over the canonical ledger (accounts, balances, escrow
@@ -122,9 +139,14 @@ class Bank : public store::Recoverable {
   /// and every call fails Unavailable until Restart() replays the log.
   void SimulateCrash();
   Status Restart();
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    gm::MutexLock lock(&mu_);
+    return crashed_;
+  }
 
-  // store::Recoverable:
+  // store::Recoverable — externally serialized: only reached through the
+  // store while this bank holds mu_ (see class comment), hence the
+  // analysis escape hatch on each definition.
   Status ApplyRecord(const Bytes& record) override;
   void WriteSnapshot(net::Writer& writer) const override;
   Status LoadSnapshot(net::Reader& reader) override;
@@ -134,28 +156,32 @@ class Bank : public store::Recoverable {
   void AttachTelemetry(telemetry::Telemetry* telemetry);
 
  private:
-  Result<crypto::TransferReceipt> ExecuteTransfer(const std::string& from,
-                                                  const std::string& to,
-                                                  Money amount,
-                                                  std::int64_t now_us,
-                                                  bool bump_nonce);
-  Account* Find(const std::string& id);
-  const Account* Find(const std::string& id) const;
+  Result<crypto::TransferReceipt> ExecuteTransfer(
+      const std::string& from, const std::string& to, Money amount,
+      std::int64_t now_us, bool bump_nonce) GM_REQUIRES(mu_);
+  Account* Find(const std::string& id) GM_REQUIRES(mu_);
+  const Account* Find(const std::string& id) const GM_REQUIRES(mu_);
   /// Append one journal record + auto-checkpoint; no-op without a store.
-  Status Journal(const net::Writer& writer);
-  Status Checkpoint();
-  void ClearState();
+  Status Journal(const net::Writer& writer) GM_REQUIRES(mu_);
+  Status Checkpoint() GM_REQUIRES(mu_);
+  void ClearState() GM_REQUIRES(mu_);
+  Result<store::RecoveryStats> RecoverFromStoreLocked() GM_REQUIRES(mu_);
 
-  const crypto::SchnorrGroup* group_;
-  Rng rng_;
-  crypto::KeyPair keys_;
-  std::map<std::string, Account> accounts_;
-  std::map<std::string, crypto::TransferReceipt> issued_receipts_;
-  std::vector<AuditEntry> audit_;
-  Money total_minted_;
-  std::uint64_t next_receipt_ = 1;
-  store::DurableStore* store_ = nullptr;  // non-owning
-  bool crashed_ = false;
+  const crypto::SchnorrGroup* group_;  // immutable after construction
+  mutable gm::Mutex mu_{"bank.ledger", gm::lockrank::kBank};
+  Rng rng_ GM_GUARDED_BY(mu_);  // receipt signing nonces
+  // Immutable after construction (declared after rng_, which seeds it).
+  const crypto::KeyPair keys_;
+  std::map<std::string, Account> accounts_ GM_GUARDED_BY(mu_);
+  std::map<std::string, crypto::TransferReceipt> issued_receipts_
+      GM_GUARDED_BY(mu_);
+  std::vector<AuditEntry> audit_ GM_GUARDED_BY(mu_);
+  Money total_minted_ GM_GUARDED_BY(mu_);
+  std::uint64_t next_receipt_ GM_GUARDED_BY(mu_) = 1;
+  store::DurableStore* store_ GM_GUARDED_BY(mu_) = nullptr;  // non-owning
+  bool crashed_ GM_GUARDED_BY(mu_) = false;
+  // Metric pointers follow the attach-once convention: written before any
+  // concurrent use, then only read (counters are atomic).
   telemetry::Counter* creates_ctr_ = nullptr;
   telemetry::Counter* mints_ctr_ = nullptr;
   telemetry::Counter* transfers_ctr_ = nullptr;

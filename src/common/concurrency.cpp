@@ -1,0 +1,91 @@
+#include "common/concurrency.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace gm {
+namespace {
+
+struct HeldLock {
+  const Mutex* mu;
+  const char* name;
+  int rank;
+};
+
+// Per-thread stack of locks currently held, in acquisition order. The
+// vector is tiny (lock chains in this codebase are <= 6 deep) and only
+// touched by its own thread, so the bookkeeping is a few nanoseconds.
+thread_local std::vector<HeldLock> held_locks;
+
+std::atomic<bool> checking_enabled{true};
+
+[[noreturn]] void DieOnRankInversion(const Mutex& acquiring) {
+  std::fprintf(stderr,
+               "gm::Mutex lock-rank inversion: acquiring '%s' (rank %d)\n"
+               "while the thread already holds, in acquisition order:\n",
+               acquiring.name(), acquiring.rank());
+  for (const HeldLock& held : held_locks) {
+    std::fprintf(stderr, "  '%s' (rank %d)%s\n", held.name, held.rank,
+                 held.rank >= acquiring.rank() ? "   <-- conflicts" : "");
+  }
+  std::fprintf(stderr,
+               "locks must be acquired in strictly increasing rank order"
+               " (see gm::lockrank in common/concurrency.hpp)\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool SetLockRankCheckingEnabled(bool enabled) {
+  return checking_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool LockRankCheckingEnabled() {
+  return checking_enabled.load(std::memory_order_relaxed);
+}
+
+int HeldLockCount() { return static_cast<int>(held_locks.size()); }
+
+void Mutex::Lock() {
+  const bool checking = checking_enabled.load(std::memory_order_relaxed);
+  if (checking) {
+    // The abort must fire before we block on mu_: aborting with both
+    // stacks printed beats deadlocking with neither.
+    for (const HeldLock& held : held_locks) {
+      if (held.rank >= rank_) DieOnRankInversion(*this);
+    }
+  }
+  mu_.lock();
+  if (checking) held_locks.push_back({this, name_, rank_});
+}
+
+void Mutex::Unlock() {
+  if (checking_enabled.load(std::memory_order_relaxed)) {
+    // Erase the newest record for this mutex. Scanning backwards keeps
+    // non-LIFO unlock orders correct (MutexLock is LIFO, but manual
+    // Lock/Unlock pairs need not be).
+    for (auto it = held_locks.rbegin(); it != held_locks.rend(); ++it) {
+      if (it->mu == this) {
+        held_locks.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+  mu_.unlock();
+}
+
+void CondVar::Wait(Mutex& mu) {
+  // Adopt the already-held native mutex so condition_variable can release
+  // and reacquire it; release() hands ownership back without unlocking.
+  // The held-lock record for `mu` intentionally stays in place: a thread
+  // blocked in Wait holds no *new* locks, and on wakeup it once again
+  // genuinely holds `mu`.
+  std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+}  // namespace gm

@@ -39,6 +39,7 @@ Logger& Logger::Instance() {
 }
 
 Logger::Logger() {
+  MutexLock lock(&mu_);
   sink_ = [](LogLevel level, const std::string& message) {
     std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
   };
@@ -46,19 +47,22 @@ Logger::Logger() {
 }
 
 bool Logger::ApplyEnvLevel() {
-  const char* env = std::getenv("GM_LOG_LEVEL");
+  // getenv is read-only here and nothing in this process calls setenv
+  // concurrently. NOLINT(concurrency-mt-unsafe)
+  const char* env = std::getenv("GM_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return false;
-  LogLevel level;
-  if (!ParseLogLevel(env, &level)) {
+  LogLevel parsed;
+  if (!ParseLogLevel(env, &parsed)) {
     std::fprintf(stderr, "[WARN] GM_LOG_LEVEL=%s not recognized; keeping %s\n",
-                 env, LogLevelName(level_));
+                 env, LogLevelName(level()));
     return false;
   }
-  level_ = level;
+  set_level(parsed);
   return true;
 }
 
 void Logger::set_sink(Sink sink) {
+  MutexLock lock(&mu_);
   if (sink) {
     sink_ = std::move(sink);
   } else {
@@ -68,8 +72,16 @@ void Logger::set_sink(Sink sink) {
   }
 }
 
+void Logger::set_prefix_hook(PrefixHook hook) {
+  MutexLock lock(&mu_);
+  prefix_ = std::move(hook);
+}
+
 void Logger::Write(LogLevel level, const std::string& message) {
   if (!Enabled(level)) return;
+  // The sink runs under the mutex: a whole line is emitted atomically, so
+  // concurrent writers can never interleave within a line.
+  MutexLock lock(&mu_);
   if (prefix_) {
     sink_(level, prefix_() + message);
     return;

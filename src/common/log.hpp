@@ -5,9 +5,12 @@
 // argument evaluation. A custom sink can capture output in tests.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
+
+#include "common/concurrency.hpp"
 
 namespace gm {
 
@@ -26,19 +29,28 @@ const char* LogLevelName(LogLevel level);
 /// "warning"). Returns false and leaves *level untouched on anything else.
 bool ParseLogLevel(const std::string& name, LogLevel* level);
 
-/// Process-wide logger configuration.
+/// Process-wide logger configuration. Thread-safe: the level is a relaxed
+/// atomic (so the GM_LOG fast path stays lock-free), and the sink/prefix
+/// run under a mutex, so concurrent Write() calls never interleave their
+/// output. The mutex ranks above every other lock in the system — logging
+/// is legal from inside any critical section, but a sink must not call
+/// back into code that takes locks (it would invert the rank order).
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
   /// Optional line prefix, re-evaluated per message — examples install a
   /// sim-time hook here so chaos-run logs carry simulated timestamps.
+  /// The hook runs under the logger mutex; in multi-threaded phases it
+  /// must not touch the (unsynchronized) sim kernel.
   using PrefixHook = std::function<std::string()>;
 
   static Logger& Instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool Enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool Enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Re-read GM_LOG_LEVEL from the environment (also applied once at
   /// construction). Returns true if the variable was set and parsed.
@@ -46,17 +58,18 @@ class Logger {
 
   /// Replace the output sink (default writes to stderr). Pass nullptr to
   /// restore the default sink.
-  void set_sink(Sink sink);
+  void set_sink(Sink sink) GM_EXCLUDES(mu_);
 
-  void set_prefix_hook(PrefixHook hook) { prefix_ = std::move(hook); }
+  void set_prefix_hook(PrefixHook hook) GM_EXCLUDES(mu_);
 
-  void Write(LogLevel level, const std::string& message);
+  void Write(LogLevel level, const std::string& message) GM_EXCLUDES(mu_);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
-  Sink sink_;
-  PrefixHook prefix_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  mutable Mutex mu_{"common.logger", lockrank::kLogger};
+  Sink sink_ GM_GUARDED_BY(mu_);
+  PrefixHook prefix_ GM_GUARDED_BY(mu_);
 };
 
 namespace internal {

@@ -1,0 +1,206 @@
+#include "host/parallel_runner.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace gm::host {
+namespace {
+
+/// Shard k's private stream: a pure function of (root seed, k), so the
+/// stream is identical no matter which pool thread runs the shard.
+Rng ShardRng(std::uint64_t seed, std::size_t index) {
+  std::uint64_t state =
+      seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index + 1);
+  (void)SplitMix64(state);
+  (void)SplitMix64(state);
+  return Rng(state);
+}
+
+std::string BidderName(const market::Auctioneer& auctioneer, int k) {
+  return auctioneer.physical_host().id() + "~u" + std::to_string(k);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    gm::MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  work_cv_.NotifyAll();
+  workers_.clear();  // gm::Thread joins on destruction
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  GM_ASSERT(task != nullptr, "null pool task");
+  {
+    gm::MutexLock lock(&mu_);
+    GM_ASSERT(!stop_, "submit on stopped pool");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.NotifyOne();
+}
+
+void ThreadPool::WaitIdle() {
+  gm::MutexLock lock(&mu_);
+  while (!queue_.empty() || active_ > 0) idle_cv_.Wait(mu_);
+}
+
+void ThreadPool::WorkerLoop() {
+  mu_.Lock();
+  for (;;) {
+    while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
+    if (queue_.empty()) break;  // stop requested and nothing left to drain
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    mu_.Unlock();
+    // The task runs with no pool lock held: it may take any component
+    // mutex (all ranks sit above kThreadPool).
+    task();
+    mu_.Lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
+  }
+  mu_.Unlock();
+}
+
+ParallelRunner::ParallelRunner(sim::Kernel& kernel,
+                               ParallelRunnerConfig config)
+    : kernel_(kernel), config_(config) {
+  GM_ASSERT(config_.interval > 0, "runner interval must be positive");
+}
+
+void ParallelRunner::AddShard(market::Auctioneer* auctioneer,
+                              std::string funding_account,
+                              std::string host_account) {
+  GM_ASSERT(auctioneer != nullptr, "null auctioneer shard");
+  Shard shard;
+  shard.auctioneer = auctioneer;
+  shard.funding_account = std::move(funding_account);
+  shard.host_account = std::move(host_account);
+  shard.rng = ShardRng(config_.seed, shards_.size());
+  shards_.push_back(std::move(shard));
+}
+
+void ParallelRunner::PrepareShard(Shard& shard) {
+  market::Auctioneer& auctioneer = *shard.auctioneer;
+  for (int k = 0; k < config_.bidders_per_shard; ++k) {
+    const std::string user = BidderName(auctioneer, k);
+    const Status opened = auctioneer.OpenAccount(user);
+    GM_ASSERT(opened.ok(), "parallel_runner: OpenAccount failed");
+    const Status funded = auctioneer.Fund(user, Money::Dollars(1000.0));
+    GM_ASSERT(funded.ok(), "parallel_runner: Fund failed");
+  }
+  shard.prepared = true;
+}
+
+void ParallelRunner::RunShard(Shard& shard, sim::SimTime now) {
+  market::Auctioneer& auctioneer = *shard.auctioneer;
+  if (!shard.prepared) PrepareShard(shard);
+
+  // Perturb the shard's standing bids from its private stream.
+  for (int k = 0; k < config_.bidders_per_shard; ++k) {
+    const Rate rate = Rate::MicrosPerSec(
+        static_cast<Micros>(shard.rng.UniformInt(1, 200)));
+    const Status bid = auctioneer.SetBid(BidderName(auctioneer, k), rate,
+                                         now + 4 * config_.interval);
+    GM_ASSERT(bid.ok(), "parallel_runner: SetBid failed");
+  }
+
+  auctioneer.Tick();
+
+  if (sls_ != nullptr && config_.publish_sls) {
+    const PhysicalHost& physical = auctioneer.physical_host();
+    market::HostRecord record;
+    record.host_id = physical.id();
+    record.site = "parallel";
+    record.cpus = physical.spec().cpus;
+    record.cycles_per_cpu = physical.PerCpuCapacity();
+    record.price_per_capacity = auctioneer.PricePerCapacity();
+    record.vm_count = physical.vm_count();
+    record.max_vms = physical.spec().max_vms;
+    sls_->Publish(std::move(record));
+    ++shard.publishes;
+  }
+
+  if (bank_ != nullptr) {
+    // Deliberate discard: a concurrent read exercising the ledger lock.
+    // Under chaos the bank may be crashed, which is fine — nothing here
+    // branches on the result, so determinism is unaffected.
+    (void)bank_->Balance(shard.funding_account);
+    for (int t = 0; t < config_.transfers_per_shard; ++t) {
+      PendingOp op;
+      op.from = shard.funding_account;
+      op.to = shard.host_account;
+      op.amount = Money::FromMicros(
+          static_cast<Micros>(shard.rng.UniformInt(1, 5000)));
+      shard.ops.push_back(std::move(op));
+    }
+  }
+}
+
+Result<ParallelRunReport> ParallelRunner::Run(int rounds) {
+  if (rounds < 0) return Status::InvalidArgument("rounds must be >= 0");
+  if (shards_.empty())
+    return Status::FailedPrecondition("parallel_runner: no shards added");
+
+  ParallelRunReport report;
+  report.shards = shards_.size();
+  for (Shard& shard : shards_) shard.publishes = 0;
+
+  std::unique_ptr<ThreadPool> pool;
+  if (!config_.serial) pool = std::make_unique<ThreadPool>(config_.threads);
+
+  for (int round = 0; round < rounds; ++round) {
+    // Phase 1: only the main thread advances simulated time; workers
+    // treat the clock as frozen for the whole parallel phase.
+    kernel_.RunUntil(kernel_.now() + config_.interval);
+    const sim::SimTime now = kernel_.now();
+
+    // Phase 2: every shard ticks, on the pool or inline in shard order.
+    if (config_.serial) {
+      for (Shard& shard : shards_) RunShard(shard, now);
+    } else {
+      for (Shard& shard : shards_) {
+        Shard* target = &shard;
+        pool->Submit([this, target, now] { RunShard(*target, now); });
+      }
+      pool->WaitIdle();
+    }
+    report.ticks += shards_.size();
+
+    // Phase 3: apply buffered bank operations in shard order — the merge
+    // is what makes the parallel ledger bit-identical to the serial one.
+    for (Shard& shard : shards_) {
+      if (bank_ != nullptr) {
+        for (const PendingOp& op : shard.ops) {
+          const auto receipt =
+              bank_->InternalTransfer(op.from, op.to, op.amount, now);
+          if (receipt.ok()) {
+            ++report.bank_ops_applied;
+          } else {
+            ++report.bank_ops_failed;
+          }
+        }
+      }
+      shard.ops.clear();
+    }
+    ++report.rounds;
+  }
+
+  for (const Shard& shard : shards_) report.sls_publishes += shard.publishes;
+  if (bank_ != nullptr) report.ledger_hash = bank_->LedgerHash();
+  return report;
+}
+
+}  // namespace gm::host

@@ -1,0 +1,154 @@
+// Parallel host runtime: ticking many auctioneers from a thread pool.
+//
+// A multi-site grid runs one auction per host per interval; the auctions
+// are independent except for the shared services they drive — the bank
+// (charging and funding flows), the Service Location Service (price
+// heartbeats) and telemetry. This runner shards the hosts over a thread
+// pool and executes every allocation round in three phases:
+//
+//   1. advance  — the main thread alone advances the sim kernel to the
+//                 round boundary (the clock is read-only to workers),
+//   2. parallel — every shard, on a pool thread, perturbs its bids from
+//                 its own deterministic RNG stream, runs its auction
+//                 tick, heartbeats the SLS and *buffers* the bank
+//                 transfers it wants, reading shared services only
+//                 through their locks,
+//   3. merge    — after the pool barrier the main thread applies the
+//                 buffered bank operations in shard order.
+//
+// Because each shard's work depends only on shard-local state plus the
+// frozen clock, and cross-shard effects are applied at the barrier in a
+// fixed order, an 8-thread run produces the exact same bank ledger —
+// bit-identical LedgerHash, same audit journal, same receipt ids — as
+// config.serial = true executing the shards one after another. That
+// equivalence is the determinism contract the tier-1 tests pin down,
+// and it is what makes multi-threaded chaos runs debuggable: any
+// divergence is a bug in a component's locking, not scheduling noise.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bank/bank.hpp"
+#include "common/concurrency.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "market/auctioneer.hpp"
+#include "market/sls.hpp"
+#include "sim/kernel.hpp"
+
+namespace gm::host {
+
+/// Fixed-size pool of gm::Thread workers draining a task queue. Tasks run
+/// with no pool lock held, so they may acquire any component mutex (the
+/// pool's own rank, kThreadPool, is the lowest in the tree).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  /// Block until the queue is empty and every worker is idle. This is the
+  /// merge barrier: after it returns, all effects of submitted tasks
+  /// happen-before the caller's next read.
+  void WaitIdle();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  mutable gm::Mutex mu_{"host.thread_pool", gm::lockrank::kThreadPool};
+  gm::CondVar work_cv_;
+  gm::CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GM_GUARDED_BY(mu_);
+  int active_ GM_GUARDED_BY(mu_) = 0;
+  bool stop_ GM_GUARDED_BY(mu_) = false;
+  std::vector<gm::Thread> workers_;
+};
+
+struct ParallelRunnerConfig {
+  int threads = 8;
+  /// Root seed; shard k derives its private RNG stream from it by
+  /// SplitMix64 mixing, so streams are independent of thread placement.
+  std::uint64_t seed = 1;
+  /// Allocation interval; every round advances the clock by this much.
+  sim::SimDuration interval = 10 * sim::kSecond;
+  /// Synthetic bidders the runner opens per shard to keep auctions busy.
+  int bidders_per_shard = 2;
+  /// Funding -> host-account transfers each shard buffers per round.
+  int transfers_per_shard = 4;
+  /// Execute shards inline on the calling thread, in shard order, instead
+  /// of on the pool. The determinism contract: identical results.
+  bool serial = false;
+  /// Heartbeat every shard's host record into the SLS each round.
+  bool publish_sls = true;
+};
+
+struct ParallelRunReport {
+  int rounds = 0;
+  std::size_t shards = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t bank_ops_applied = 0;
+  /// Buffered ops the bank rejected at merge (e.g. it was crashed).
+  std::uint64_t bank_ops_failed = 0;
+  std::uint64_t sls_publishes = 0;
+  /// bank->LedgerHash() after the final merge; empty without a bank.
+  std::string ledger_hash;
+};
+
+class ParallelRunner {
+ public:
+  ParallelRunner(sim::Kernel& kernel, ParallelRunnerConfig config);
+
+  /// Register one auction shard. `funding_account` and `host_account`
+  /// must exist in the bank (when one is attached); buffered transfers
+  /// move funding -> host, modelling users paying the host's take.
+  void AddShard(market::Auctioneer* auctioneer, std::string funding_account,
+                std::string host_account);
+
+  void SetBank(bank::Bank* bank) { bank_ = bank; }
+  void SetSls(market::ServiceLocationService* sls) { sls_ = sls; }
+
+  /// Execute `rounds` allocation rounds over all shards. Safe to call
+  /// repeatedly; shard RNG streams continue where they left off.
+  Result<ParallelRunReport> Run(int rounds);
+
+  const ParallelRunnerConfig& config() const { return config_; }
+
+ private:
+  struct PendingOp {
+    std::string from;
+    std::string to;
+    Money amount;
+  };
+  struct Shard {
+    market::Auctioneer* auctioneer = nullptr;
+    std::string funding_account;
+    std::string host_account;
+    Rng rng;
+    bool prepared = false;
+    /// Written only by the worker running this shard during the parallel
+    /// phase, read by the main thread after the barrier.
+    std::vector<PendingOp> ops;
+    std::uint64_t publishes = 0;
+  };
+
+  /// The per-shard round body: runs on a pool thread (or inline when
+  /// serial). Touches only shard-local state and lock-guarded services.
+  void RunShard(Shard& shard, sim::SimTime now);
+  void PrepareShard(Shard& shard);
+
+  sim::Kernel& kernel_;
+  const ParallelRunnerConfig config_;
+  std::vector<Shard> shards_;
+  bank::Bank* bank_ = nullptr;                     // non-owning
+  market::ServiceLocationService* sls_ = nullptr;  // non-owning
+};
+
+}  // namespace gm::host

@@ -11,6 +11,9 @@ Auctioneer::Auctioneer(host::PhysicalHost& host, sim::Kernel& kernel,
                        AuctioneerConfig config)
     : host_(host), kernel_(kernel), config_(std::move(config)) {
   GM_ASSERT(config_.interval > 0, "auction interval must be positive");
+  // Not yet published to other threads; the lock purely satisfies the
+  // static analysis on ResetWindowStats.
+  gm::MutexLock lock(&mu_);
   ResetWindowStats();
   sim::SimDuration retention = config_.history_retention;
   if (retention == 0) {
@@ -35,11 +38,13 @@ void Auctioneer::ResetWindowStats() {
 }
 
 void Auctioneer::CrashStorageState() {
-  history_.Clear();
+  gm::MutexLock lock(&mu_);
+  history_.Clear();  // lock order auctioneer -> price_history
   ResetWindowStats();
 }
 
 Result<store::RecoveryStats> Auctioneer::RecoverHistory() {
+  gm::MutexLock lock(&mu_);
   GM_ASSIGN_OR_RETURN(const store::RecoveryStats stats,
                       history_.RecoverFromStore());
   ResetWindowStats();
@@ -54,12 +59,14 @@ Result<store::RecoveryStats> Auctioneer::RecoverHistory() {
 Auctioneer::~Auctioneer() { Stop(); }
 
 void Auctioneer::Start() {
+  gm::MutexLock lock(&mu_);
   GM_ASSERT(!tick_handle_.valid(), "auctioneer already started");
   tick_handle_ = kernel_.ScheduleEvery(config_.interval, config_.interval,
                                        [this] { Tick(); });
 }
 
 void Auctioneer::Stop() {
+  gm::MutexLock lock(&mu_);
   if (tick_handle_.valid()) {
     kernel_.Cancel(tick_handle_);
     tick_handle_ = {};
@@ -72,6 +79,7 @@ std::string Auctioneer::VmId(const std::string& user) const {
 
 Status Auctioneer::OpenAccount(const std::string& user) {
   if (user.empty()) return Status::InvalidArgument("empty user");
+  gm::MutexLock lock(&mu_);
   if (accounts_.find(user) != accounts_.end())
     return Status::AlreadyExists("account exists on host " + host_.id() +
                                  ": " + user);
@@ -84,6 +92,7 @@ Status Auctioneer::OpenAccount(const std::string& user) {
 Status Auctioneer::Fund(const std::string& user, Money amount) {
   if (!amount.is_positive())
     return Status::InvalidArgument("funding must be > 0");
+  gm::MutexLock lock(&mu_);
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
   it->second.balance += amount;
@@ -94,6 +103,7 @@ Status Auctioneer::SetBid(const std::string& user, Rate rate_per_second,
                           sim::SimTime deadline) {
   if (rate_per_second < Rate::Zero())
     return Status::InvalidArgument("bid rate must be >= 0");
+  gm::MutexLock lock(&mu_);
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
   // Quantize to the ledger's micro-dollar/s grid: charging and spot-price
@@ -104,6 +114,7 @@ Status Auctioneer::SetBid(const std::string& user, Rate rate_per_second,
 }
 
 Result<Money> Auctioneer::CloseAccount(const std::string& user) {
+  gm::MutexLock lock(&mu_);
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
   const Money refund = it->second.balance;
@@ -115,22 +126,26 @@ Result<Money> Auctioneer::CloseAccount(const std::string& user) {
 }
 
 Result<Money> Auctioneer::Balance(const std::string& user) const {
+  gm::MutexLock lock(&mu_);
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
   return it->second.balance;
 }
 
 Result<Money> Auctioneer::Spent(const std::string& user) const {
+  gm::MutexLock lock(&mu_);
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("account: " + user);
   return it->second.spent;
 }
 
 bool Auctioneer::HasAccount(const std::string& user) const {
+  gm::MutexLock lock(&mu_);
   return accounts_.find(user) != accounts_.end();
 }
 
 Result<host::VirtualMachine*> Auctioneer::AcquireVm(const std::string& user) {
+  gm::MutexLock lock(&mu_);
   if (accounts_.find(user) == accounts_.end())
     return Status::FailedPrecondition("open an account before acquiring a VM");
   host::VirtualMachine* existing = host_.FindVmByOwner(user);
@@ -144,8 +159,7 @@ bool Auctioneer::BidActive(const MarketAccount& account,
          now < account.bid_deadline;
 }
 
-Rate Auctioneer::SpotPriceRate() const {
-  const sim::SimTime now = kernel_.now();
+Rate Auctioneer::SpotPriceRateLocked(sim::SimTime now) const {
   // Exact integer sum: every stored rate is on the micro-dollar/s grid.
   Micros total = 0;
   for (const auto& [user, account] : accounts_) {
@@ -154,7 +168,13 @@ Rate Auctioneer::SpotPriceRate() const {
   return Rate::MicrosPerSec(total);
 }
 
+Rate Auctioneer::SpotPriceRate() const {
+  gm::MutexLock lock(&mu_);
+  return SpotPriceRateLocked(kernel_.now());
+}
+
 Rate Auctioneer::SpotPriceRateExcluding(const std::string& user) const {
+  gm::MutexLock lock(&mu_);
   const sim::SimTime now = kernel_.now();
   Micros total = 0;
   for (const auto& [name, account] : accounts_) {
@@ -164,12 +184,18 @@ Rate Auctioneer::SpotPriceRateExcluding(const std::string& user) const {
   return Rate::MicrosPerSec(total);
 }
 
+double Auctioneer::PricePerCapacityLocked(sim::SimTime now) const {
+  return SpotPriceRateLocked(now).dollars_per_sec() / host_.TotalCapacity();
+}
+
 double Auctioneer::PricePerCapacity() const {
-  return SpotPriceRate().dollars_per_sec() / host_.TotalCapacity();
+  gm::MutexLock lock(&mu_);
+  return PricePerCapacityLocked(kernel_.now());
 }
 
 Result<const WindowMoments*> Auctioneer::Moments(
     const std::string& window) const {
+  gm::MutexLock lock(&mu_);
   for (const auto& [name, moments] : moments_) {
     if (name == window) return &moments;
   }
@@ -178,6 +204,7 @@ Result<const WindowMoments*> Auctioneer::Moments(
 
 Result<const SlotTable*> Auctioneer::Distribution(
     const std::string& window) const {
+  gm::MutexLock lock(&mu_);
   for (const auto& [name, table] : distributions_) {
     if (name == window) return &table;
   }
@@ -204,6 +231,7 @@ void Auctioneer::AttachTelemetry(telemetry::Telemetry* telemetry) {
 
 Status Auctioneer::SetAccountTrace(const std::string& user,
                                    telemetry::TraceId trace) {
+  gm::MutexLock lock(&mu_);
   const auto it = accounts_.find(user);
   if (it == accounts_.end()) return Status::NotFound("no account: " + user);
   it->second.trace = trace;
@@ -211,6 +239,10 @@ Status Auctioneer::SetAccountTrace(const std::string& user,
 }
 
 void Auctioneer::Tick() {
+  // One lock for the whole round: an allocation tick is an atomic market
+  // transaction. Inner calls ascend in rank only (history kPriceHistory,
+  // metrics kMetric, tracer kTracer are all above kAuctioneer).
+  gm::MutexLock lock(&mu_);
   const sim::SimTime now = kernel_.now();
   const sim::SimTime interval_start = now - config_.interval;
   const double dt_seconds = sim::ToSeconds(config_.interval);
@@ -251,7 +283,7 @@ void Auctioneer::Tick() {
   }
 
   // 4. Record the spot price for the prediction layer.
-  const double price = PricePerCapacity();
+  const double price = PricePerCapacityLocked(now);
   if (telemetry_ != nullptr) {
     ticks_ctr_->Inc();
     tick_price_->Observe(price);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/concurrency.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "host/host.hpp"
@@ -60,6 +61,14 @@ struct MarketAccount {
   telemetry::TraceId trace = 0;
 };
 
+/// Thread-safe: one mutex (rank kAuctioneer) guards the bid table, the
+/// window statistics and the revenue counter, so scheduler agents on
+/// other threads can manage accounts while this host's shard ticks.
+/// history_ carries its own (higher-rank) lock; the physical host and
+/// the sim kernel stay single-owner state of whichever thread drives
+/// this auctioneer's ticks. Pointers returned by Moments()/
+/// Distribution() stay valid until the next CrashStorageState()/
+/// RecoverHistory() — callers must not hold them across a recovery.
 class Auctioneer {
  public:
   Auctioneer(host::PhysicalHost& host, sim::Kernel& kernel,
@@ -102,7 +111,10 @@ class Auctioneer {
   Result<const WindowMoments*> Moments(const std::string& window) const;
   Result<const SlotTable*> Distribution(const std::string& window) const;
 
-  Money total_revenue() const { return revenue_; }
+  Money total_revenue() const {
+    gm::MutexLock lock(&mu_);
+    return revenue_;
+  }
   const AuctioneerConfig& config() const { return config_; }
 
   /// One allocation round; normally driven by the internal timer.
@@ -131,25 +143,33 @@ class Auctioneer {
  private:
   bool BidActive(const MarketAccount& account, sim::SimTime now) const;
   std::string VmId(const std::string& user) const;
-  void ResetWindowStats();
+  void ResetWindowStats() GM_REQUIRES(mu_);
+  Rate SpotPriceRateLocked(sim::SimTime now) const GM_REQUIRES(mu_);
+  double PricePerCapacityLocked(sim::SimTime now) const GM_REQUIRES(mu_);
 
   host::PhysicalHost& host_;
   sim::Kernel& kernel_;
-  AuctioneerConfig config_;
-  sim::EventHandle tick_handle_;
-  std::map<std::string, MarketAccount> accounts_;
-  PriceHistory history_;
-  std::vector<std::pair<std::string, WindowMoments>> moments_;
-  std::vector<std::pair<std::string, SlotTable>> distributions_;
-  Money revenue_;
+  const AuctioneerConfig config_;
+  mutable gm::Mutex mu_{"market.auctioneer", gm::lockrank::kAuctioneer};
+  sim::EventHandle tick_handle_ GM_GUARDED_BY(mu_);
+  std::map<std::string, MarketAccount> accounts_ GM_GUARDED_BY(mu_);
+  PriceHistory history_;  // carries its own lock (rank kPriceHistory)
+  std::vector<std::pair<std::string, WindowMoments>> moments_
+      GM_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, SlotTable>> distributions_
+      GM_GUARDED_BY(mu_);
+  Money revenue_ GM_GUARDED_BY(mu_);
+  // Telemetry pointers follow the attach-once convention: written before
+  // any concurrent use, then only read.
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* ticks_ctr_ = nullptr;
   telemetry::Summary* tick_price_ = nullptr;
   telemetry::Gauge* price_gauge_ = nullptr;
   telemetry::Summary* persistence_err_ = nullptr;
   telemetry::Summary* window_mean_err_ = nullptr;
-  bool has_prev_price_ = false;
-  double prev_price_ = 0.0;  // previous tick's price: persistence forecast
+  bool has_prev_price_ GM_GUARDED_BY(mu_) = false;
+  // Previous tick's price: persistence forecast.
+  double prev_price_ GM_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace gm::market

@@ -18,6 +18,7 @@ PriceHistory::PriceHistory(std::size_t capacity) : capacity_(capacity) {
 
 void PriceHistory::SetRetention(sim::SimDuration horizon) {
   GM_ASSERT(horizon >= 0, "PriceHistory: negative retention");
+  gm::MutexLock lock(&mu_);
   retention_ = horizon;
 }
 
@@ -36,6 +37,7 @@ void PriceHistory::Push(sim::SimTime at, double price) {
 }
 
 void PriceHistory::Record(sim::SimTime at, double price) {
+  gm::MutexLock lock(&mu_);
   if (store_ != nullptr) {
     // Write-ahead: the observation is durable before it is visible.
     net::Writer record;
@@ -55,18 +57,21 @@ void PriceHistory::Record(sim::SimTime at, double price) {
   }
 }
 
-const PricePoint& PriceHistory::back() const {
+PricePoint PriceHistory::back() const {
+  gm::MutexLock lock(&mu_);
   GM_ASSERT(!points_.empty(), "PriceHistory: empty");
   return points_.back();
 }
 
-const PricePoint& PriceHistory::at(std::size_t i) const {
+PricePoint PriceHistory::at(std::size_t i) const {
+  gm::MutexLock lock(&mu_);
   GM_ASSERT(i < points_.size(), "PriceHistory: index out of range");
   return points_[i];
 }
 
 std::vector<double> PriceHistory::PricesBetween(sim::SimTime from,
                                                 sim::SimTime to) const {
+  gm::MutexLock lock(&mu_);
   std::vector<double> out;
   for (const PricePoint& p : points_) {
     if (p.at >= from && p.at < to) out.push_back(p.price);
@@ -75,6 +80,7 @@ std::vector<double> PriceHistory::PricesBetween(sim::SimTime from,
 }
 
 std::vector<double> PriceHistory::LastPrices(std::size_t count) const {
+  gm::MutexLock lock(&mu_);
   const std::size_t n = std::min(count, points_.size());
   std::vector<double> out;
   out.reserve(n);
@@ -85,6 +91,7 @@ std::vector<double> PriceHistory::LastPrices(std::size_t count) const {
 
 std::vector<double> PriceHistory::PricesBetweenInclusive(
     sim::SimTime from, sim::SimTime to) const {
+  gm::MutexLock lock(&mu_);
   std::vector<double> out;
   for (const PricePoint& p : points_) {
     if (p.at >= from && p.at <= to) out.push_back(p.price);
@@ -100,14 +107,20 @@ std::vector<double> PriceHistory::WindowPrices(sim::SimTime now,
 // ---------------------------------------------------------------------
 // Durability
 
+// mu_ is deliberately held across store_->Recover(*this): the store
+// calls back into LoadSnapshot/ApplyRecord below. Lock order history
+// (kPriceHistory) -> store (kStore) matches Record's checkpoint path.
 Result<store::RecoveryStats> PriceHistory::RecoverFromStore() {
+  gm::MutexLock lock(&mu_);
   if (store_ == nullptr)
     return Status::FailedPrecondition("no store attached");
   points_.clear();
   return store_->Recover(*this);
 }
 
-Status PriceHistory::ApplyRecord(const Bytes& record) {
+// Reached only via the store while mu_ is held (see class comment).
+Status PriceHistory::ApplyRecord(const Bytes& record)
+    GM_NO_THREAD_SAFETY_ANALYSIS {
   net::Reader reader(record);
   GM_ASSIGN_OR_RETURN(const std::int64_t at, reader.ReadI64());
   GM_ASSIGN_OR_RETURN(const double price, reader.ReadDouble());
@@ -117,7 +130,9 @@ Status PriceHistory::ApplyRecord(const Bytes& record) {
   return Status::Ok();
 }
 
-void PriceHistory::WriteSnapshot(net::Writer& writer) const {
+// Reached only via the store while mu_ is held (see class comment).
+void PriceHistory::WriteSnapshot(net::Writer& writer) const
+    GM_NO_THREAD_SAFETY_ANALYSIS {
   writer.WriteVarint(kSnapshotVersion);
   writer.WriteVarint(points_.size());
   for (const PricePoint& p : points_) {
@@ -126,7 +141,9 @@ void PriceHistory::WriteSnapshot(net::Writer& writer) const {
   }
 }
 
-Status PriceHistory::LoadSnapshot(net::Reader& reader) {
+// Reached only via the store while mu_ is held (see class comment).
+Status PriceHistory::LoadSnapshot(net::Reader& reader)
+    GM_NO_THREAD_SAFETY_ANALYSIS {
   GM_ASSIGN_OR_RETURN(const std::uint64_t version, reader.ReadVarint());
   if (version != kSnapshotVersion)
     return Status::Internal("unsupported price history snapshot version");

@@ -17,6 +17,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/concurrency.hpp"
 #include "sim/time.hpp"
 #include "store/store.hpp"
 
@@ -27,16 +28,27 @@ struct PricePoint {
   double price = 0.0;  // $/s per cycles/s
 };
 
+/// Thread-safe: one mutex (rank kPriceHistory) guards the ring; point
+/// accessors return copies so no reference outlives the lock. The
+/// Recoverable hooks are reached only through the attached store while
+/// mu_ is already held (Record's checkpoint and RecoverFromStore call
+/// into the store, which calls straight back).
 class PriceHistory : public store::Recoverable {
  public:
   explicit PriceHistory(std::size_t capacity = 1 << 16);
 
   void Record(sim::SimTime at, double price);
 
-  std::size_t size() const { return points_.size(); }
-  bool empty() const { return points_.empty(); }
-  const PricePoint& back() const;
-  const PricePoint& at(std::size_t i) const;  // 0 = oldest retained
+  std::size_t size() const {
+    gm::MutexLock lock(&mu_);
+    return points_.size();
+  }
+  bool empty() const {
+    gm::MutexLock lock(&mu_);
+    return points_.empty();
+  }
+  PricePoint back() const;
+  PricePoint at(std::size_t i) const;  // 0 = oldest retained
 
   /// Prices with timestamp in the half-open interval [from, to), oldest
   /// first.
@@ -56,29 +68,40 @@ class PriceHistory : public store::Recoverable {
   /// points arrive; a point exactly `horizon` old is retained (windows are
   /// closed intervals). 0 disables time-based eviction.
   void SetRetention(sim::SimDuration horizon);
-  sim::SimDuration retention() const { return retention_; }
+  sim::SimDuration retention() const {
+    gm::MutexLock lock(&mu_);
+    return retention_;
+  }
 
   // -- durability --
   /// Journal every subsequent Record into `s` (non-owning; nullptr
   /// detaches).
-  void AttachStore(store::DurableStore* s) { store_ = s; }
+  void AttachStore(store::DurableStore* s) {
+    gm::MutexLock lock(&mu_);
+    store_ = s;
+  }
   /// Drop in-memory points and rebuild from the attached store.
   Result<store::RecoveryStats> RecoverFromStore();
   /// Crash simulation: lose the in-memory window (the store survives).
-  void Clear() { points_.clear(); }
+  void Clear() {
+    gm::MutexLock lock(&mu_);
+    points_.clear();
+  }
 
-  // store::Recoverable:
+  // store::Recoverable — externally serialized: only reached through the
+  // store while this history holds mu_ (see class comment).
   Status ApplyRecord(const Bytes& record) override;
   void WriteSnapshot(net::Writer& writer) const override;
   Status LoadSnapshot(net::Reader& reader) override;
 
  private:
-  void Push(sim::SimTime at, double price);
+  void Push(sim::SimTime at, double price) GM_REQUIRES(mu_);
 
-  std::size_t capacity_;
-  sim::SimDuration retention_ = 0;
-  std::deque<PricePoint> points_;
-  store::DurableStore* store_ = nullptr;  // non-owning
+  const std::size_t capacity_;
+  mutable gm::Mutex mu_{"market.price_history", gm::lockrank::kPriceHistory};
+  sim::SimDuration retention_ GM_GUARDED_BY(mu_) = 0;
+  std::deque<PricePoint> points_ GM_GUARDED_BY(mu_);
+  store::DurableStore* store_ GM_GUARDED_BY(mu_) = nullptr;  // non-owning
 };
 
 }  // namespace gm::market

@@ -28,6 +28,7 @@ bool ServiceLocationService::Expired(const HostRecord& record) const {
 }
 
 void ServiceLocationService::Publish(HostRecord record) {
+  gm::MutexLock lock(&mu_);
   record.updated_at = kernel_.now();
   if (store_ != nullptr) {
     net::Writer journal;
@@ -50,6 +51,7 @@ void ServiceLocationService::Publish(HostRecord record) {
 }
 
 Status ServiceLocationService::Remove(const std::string& host_id) {
+  gm::MutexLock lock(&mu_);
   if (records_.find(host_id) == records_.end())
     return Status::NotFound("host record: " + host_id);
   if (store_ != nullptr) {
@@ -71,6 +73,7 @@ Status ServiceLocationService::Remove(const std::string& host_id) {
 
 Result<HostRecord> ServiceLocationService::Lookup(
     const std::string& host_id) const {
+  gm::MutexLock lock(&mu_);
   const auto it = records_.find(host_id);
   if (it == records_.end() || Expired(it->second))
     return Status::NotFound("host record: " + host_id);
@@ -79,6 +82,7 @@ Result<HostRecord> ServiceLocationService::Lookup(
 
 std::vector<HostRecord> ServiceLocationService::Query(
     const HostQuery& query) const {
+  gm::MutexLock lock(&mu_);
   std::vector<HostRecord> out;
   for (const auto& [id, record] : records_) {
     if (Expired(record)) continue;
@@ -102,6 +106,7 @@ std::vector<HostRecord> ServiceLocationService::Query(
 }
 
 std::size_t ServiceLocationService::live_count() const {
+  gm::MutexLock lock(&mu_);
   std::size_t count = 0;
   for (const auto& [id, record] : records_) {
     if (!Expired(record)) ++count;
@@ -112,7 +117,11 @@ std::size_t ServiceLocationService::live_count() const {
 // ---------------------------------------------------------------------
 // Durability
 
+// mu_ is deliberately held across store_->Recover(*this): the store
+// calls back into LoadSnapshot/ApplyRecord below. Lock order sls (kSls)
+// -> store (kStore) matches Publish's checkpoint path.
 Result<store::RecoveryStats> ServiceLocationService::RecoverFromStore() {
+  gm::MutexLock lock(&mu_);
   if (store_ == nullptr)
     return Status::FailedPrecondition("no store attached");
   records_.clear();
@@ -132,7 +141,9 @@ Result<store::RecoveryStats> ServiceLocationService::RecoverFromStore() {
   return stats;
 }
 
-Status ServiceLocationService::ApplyRecord(const Bytes& record) {
+// Reached only via the store while mu_ is held (see class comment).
+Status ServiceLocationService::ApplyRecord(const Bytes& record)
+    GM_NO_THREAD_SAFETY_ANALYSIS {
   net::Reader reader(record);
   GM_ASSIGN_OR_RETURN(const std::uint8_t kind, reader.ReadU8());
   switch (kind) {
@@ -151,13 +162,17 @@ Status ServiceLocationService::ApplyRecord(const Bytes& record) {
   }
 }
 
-void ServiceLocationService::WriteSnapshot(net::Writer& writer) const {
+// Reached only via the store while mu_ is held (see class comment).
+void ServiceLocationService::WriteSnapshot(net::Writer& writer) const
+    GM_NO_THREAD_SAFETY_ANALYSIS {
   writer.WriteVarint(kSlsSnapshotVersion);
   writer.WriteVarint(records_.size());
   for (const auto& [id, record] : records_) WriteHostRecord(writer, record);
 }
 
-Status ServiceLocationService::LoadSnapshot(net::Reader& reader) {
+// Reached only via the store while mu_ is held (see class comment).
+Status ServiceLocationService::LoadSnapshot(net::Reader& reader)
+    GM_NO_THREAD_SAFETY_ANALYSIS {
   GM_ASSIGN_OR_RETURN(const std::uint64_t version, reader.ReadVarint());
   if (version != kSlsSnapshotVersion)
     return Status::Internal("unsupported SLS snapshot version");

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/concurrency.hpp"
 #include "common/status.hpp"
 #include "market/auctioneer.hpp"
 #include "net/rpc.hpp"
@@ -41,6 +42,12 @@ struct HostQuery {
   std::size_t limit = 0;         // 0 = unlimited
 };
 
+/// Thread-safe: one mutex (rank kSls) guards the directory map, so
+/// heartbeats from concurrent auction shards and queries from broker
+/// threads serialize cleanly. Liveness checks read the sim clock, which
+/// parallel phases treat as read-only (it advances only between rounds).
+/// The Recoverable hooks are reached only through the attached store
+/// while mu_ is already held.
 class ServiceLocationService : public store::Recoverable {
  public:
   explicit ServiceLocationService(sim::Kernel& kernel,
@@ -58,17 +65,27 @@ class ServiceLocationService : public store::Recoverable {
   // -- durability --
   /// Journal every subsequent Publish/Remove into `s` (non-owning;
   /// nullptr detaches).
-  void AttachStore(store::DurableStore* s) { store_ = s; }
+  void AttachStore(store::DurableStore* s) {
+    gm::MutexLock lock(&mu_);
+    store_ = s;
+  }
   /// Rebuild the directory from the store, then re-validate liveness: a
   /// replayed host whose heartbeat TTL already lapsed is dropped rather
   /// than resurrected as a live allocation target.
   Result<store::RecoveryStats> RecoverFromStore();
   /// Registrations dropped by liveness re-validation during recovery.
-  std::size_t stale_dropped() const { return stale_dropped_; }
+  std::size_t stale_dropped() const {
+    gm::MutexLock lock(&mu_);
+    return stale_dropped_;
+  }
   /// Crash simulation: lose the in-memory directory (the store survives).
-  void Clear() { records_.clear(); }
+  void Clear() {
+    gm::MutexLock lock(&mu_);
+    records_.clear();
+  }
 
-  // store::Recoverable:
+  // store::Recoverable — externally serialized: only reached through the
+  // store while this service holds mu_ (see class comment).
   Status ApplyRecord(const Bytes& record) override;
   void WriteSnapshot(net::Writer& writer) const override;
   Status LoadSnapshot(net::Reader& reader) override;
@@ -77,10 +94,11 @@ class ServiceLocationService : public store::Recoverable {
   bool Expired(const HostRecord& record) const;
 
   sim::Kernel& kernel_;
-  sim::SimDuration ttl_;
-  std::map<std::string, HostRecord> records_;
-  store::DurableStore* store_ = nullptr;  // non-owning
-  std::size_t stale_dropped_ = 0;
+  const sim::SimDuration ttl_;
+  mutable gm::Mutex mu_{"market.sls", gm::lockrank::kSls};
+  std::map<std::string, HostRecord> records_ GM_GUARDED_BY(mu_);
+  store::DurableStore* store_ GM_GUARDED_BY(mu_) = nullptr;  // non-owning
+  std::size_t stale_dropped_ GM_GUARDED_BY(mu_) = 0;
 };
 
 /// Publishes an auctioneer's state to the SLS on a heartbeat timer.

@@ -12,6 +12,7 @@ MessageBus::MessageBus(sim::Kernel& kernel, LatencyModel latency,
 
 Status MessageBus::RegisterEndpoint(const std::string& name, Handler handler) {
   GM_ASSERT(handler != nullptr, "null endpoint handler");
+  gm::MutexLock lock(&mu_);
   if (crashed_.find(name) != crashed_.end())
     return Status::AlreadyExists("endpoint crashed, not free: " + name);
   if (!endpoints_.emplace(name, std::move(handler)).second)
@@ -20,6 +21,7 @@ Status MessageBus::RegisterEndpoint(const std::string& name, Handler handler) {
 }
 
 Status MessageBus::UnregisterEndpoint(const std::string& name) {
+  gm::MutexLock lock(&mu_);
   if (endpoints_.erase(name) > 0) return Status::Ok();
   // A crashed endpoint being torn down for real forgets its saved handler.
   if (crashed_.erase(name) > 0) return Status::Ok();
@@ -27,25 +29,35 @@ Status MessageBus::UnregisterEndpoint(const std::string& name) {
 }
 
 bool MessageBus::HasEndpoint(const std::string& name) const {
+  gm::MutexLock lock(&mu_);
   return endpoints_.find(name) != endpoints_.end();
 }
 
 void MessageBus::PartitionLink(const std::string& a, const std::string& b) {
+  gm::MutexLock lock(&mu_);
   blocked_links_.emplace(a, b);
   blocked_links_.emplace(b, a);
 }
 
 void MessageBus::HealLink(const std::string& a, const std::string& b) {
+  gm::MutexLock lock(&mu_);
   blocked_links_.erase({a, b});
   blocked_links_.erase({b, a});
 }
 
-bool MessageBus::LinkBlocked(const std::string& from,
-                             const std::string& to) const {
+bool MessageBus::LinkBlockedLocked(const std::string& from,
+                                   const std::string& to) const {
   return blocked_links_.find({from, to}) != blocked_links_.end();
 }
 
+bool MessageBus::LinkBlocked(const std::string& from,
+                             const std::string& to) const {
+  gm::MutexLock lock(&mu_);
+  return LinkBlockedLocked(from, to);
+}
+
 Status MessageBus::CrashEndpoint(const std::string& name) {
+  gm::MutexLock lock(&mu_);
   const auto it = endpoints_.find(name);
   if (it == endpoints_.end())
     return Status::NotFound("cannot crash unknown endpoint: " + name);
@@ -56,6 +68,7 @@ Status MessageBus::CrashEndpoint(const std::string& name) {
 }
 
 Status MessageBus::RestartEndpoint(const std::string& name) {
+  gm::MutexLock lock(&mu_);
   const auto it = crashed_.find(name);
   if (it == crashed_.end())
     return Status::NotFound("endpoint was not crashed: " + name);
@@ -66,6 +79,7 @@ Status MessageBus::RestartEndpoint(const std::string& name) {
 }
 
 bool MessageBus::EndpointCrashed(const std::string& name) const {
+  gm::MutexLock lock(&mu_);
   return crashed_.find(name) != crashed_.end();
 }
 
@@ -85,6 +99,7 @@ void MessageBus::AttachTelemetry(telemetry::Telemetry* telemetry) {
 void MessageBus::AddLossWindow(const LossWindow& window) {
   GM_ASSERT(window.probability >= 0.0 && window.probability <= 1.0,
             "loss window probability out of range");
+  gm::MutexLock lock(&mu_);
   loss_windows_.push_back(window);
 }
 
@@ -99,6 +114,7 @@ double MessageBus::DropProbabilityNow() const {
 }
 
 void MessageBus::Send(Envelope envelope) {
+  gm::MutexLock lock(&mu_);
   ++stats_.sent;
   // Round-trip through the wire format: anything unserializable fails here,
   // not in some later refactor to real sockets.
@@ -106,7 +122,7 @@ void MessageBus::Send(Envelope envelope) {
 
   if (bytes_hist_ != nullptr) bytes_hist_->Record(wire.size());
 
-  if (LinkBlocked(envelope.source, envelope.destination)) {
+  if (LinkBlockedLocked(envelope.source, envelope.destination)) {
     ++stats_.dropped;
     stats_.bytes_dropped += wire.size();
     if (partition_drops_ != nullptr) partition_drops_->Inc();
@@ -134,17 +150,25 @@ void MessageBus::Send(Envelope envelope) {
 }
 
 void MessageBus::Deliver(const Bytes& wire) {
-  --stats_.in_flight;
   const auto decoded = Envelope::Decode(wire);
   GM_ASSERT(decoded.ok(), "bus: self-encoded message failed to decode");
-  const auto it = endpoints_.find(decoded->destination);
-  if (it == endpoints_.end()) {
-    ++stats_.undeliverable;
-    GM_LOG_DEBUG << "bus: no endpoint " << decoded->destination;
-    return;
+  // Copy the handler out and invoke it with the bus lock released:
+  // handlers re-enter Send() (every RPC server replies), which would
+  // self-deadlock on this non-recursive mutex.
+  Handler handler;
+  {
+    gm::MutexLock lock(&mu_);
+    --stats_.in_flight;
+    const auto it = endpoints_.find(decoded->destination);
+    if (it == endpoints_.end()) {
+      ++stats_.undeliverable;
+      GM_LOG_DEBUG << "bus: no endpoint " << decoded->destination;
+      return;
+    }
+    ++stats_.delivered;
+    handler = it->second;
   }
-  ++stats_.delivered;
-  it->second(*decoded);
+  handler(*decoded);
 }
 
 }  // namespace gm::net

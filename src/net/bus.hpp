@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/concurrency.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "net/fault.hpp"
@@ -54,6 +55,11 @@ struct BusStats {
   }
 };
 
+/// Thread-safe: one mutex (rank kBus) guards the endpoint tables, the
+/// fault state, the RNG and the statistics. Delivery copies the handler
+/// and invokes it with the bus lock released, so handlers may re-enter
+/// Send() (every RPC server does). The sim kernel itself is owned by
+/// whichever phase of the runner is advancing time.
 class MessageBus {
  public:
   using Handler = std::function<void(const Envelope&)>;
@@ -89,7 +95,11 @@ class MessageBus {
   /// active at send time.
   void AddLossWindow(const LossWindow& window);
 
-  const BusStats& stats() const { return stats_; }
+  /// By value: the bus lock is released before the caller looks at it.
+  BusStats stats() const {
+    gm::MutexLock lock(&mu_);
+    return stats_;
+  }
   sim::Kernel& kernel() { return kernel_; }
 
   /// Enable live instrumentation (message-size and modelled-latency
@@ -99,16 +109,22 @@ class MessageBus {
 
  private:
   void Deliver(const Bytes& wire);
-  double DropProbabilityNow() const;
+  bool LinkBlockedLocked(const std::string& from, const std::string& to) const
+      GM_REQUIRES(mu_);
+  double DropProbabilityNow() const GM_REQUIRES(mu_);
 
   sim::Kernel& kernel_;
-  LatencyModel latency_;
-  Rng rng_;
-  std::unordered_map<std::string, Handler> endpoints_;
-  std::unordered_map<std::string, Handler> crashed_;  // name -> saved handler
-  std::set<std::pair<std::string, std::string>> blocked_links_;  // directed
-  std::vector<LossWindow> loss_windows_;
-  BusStats stats_;
+  const LatencyModel latency_;
+  mutable gm::Mutex mu_{"net.bus", gm::lockrank::kBus};
+  Rng rng_ GM_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Handler> endpoints_ GM_GUARDED_BY(mu_);
+  // name -> saved handler
+  std::unordered_map<std::string, Handler> crashed_ GM_GUARDED_BY(mu_);
+  // directed
+  std::set<std::pair<std::string, std::string>> blocked_links_
+      GM_GUARDED_BY(mu_);
+  std::vector<LossWindow> loss_windows_ GM_GUARDED_BY(mu_);
+  BusStats stats_ GM_GUARDED_BY(mu_);
   // Cached metric pointers, non-null only while telemetry is attached.
   telemetry::LatencyHistogram* bytes_hist_ = nullptr;
   telemetry::LatencyHistogram* latency_hist_ = nullptr;

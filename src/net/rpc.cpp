@@ -73,6 +73,7 @@ void RpcServer::AttachTelemetry(telemetry::Telemetry* telemetry) {
 
 void RpcServer::RegisterMethod(const std::string& name, Method method) {
   GM_ASSERT(method != nullptr, "null RPC method");
+  gm::MutexLock lock(&mu_);
   GM_ASSERT(methods_.emplace(name, std::move(method)).second,
             "duplicate RPC method");
 }
@@ -91,6 +92,8 @@ void RpcServer::CacheResponse(const std::string& source,
 
 void RpcServer::HandleEnvelope(const Envelope& envelope) {
   if (envelope.type != MessageType::kRpcRequest) return;
+  // Held across dispatch: see the class comment for why that is safe.
+  gm::MutexLock lock(&mu_);
   Envelope response;
   response.source = endpoint_;
   response.destination = envelope.source;
@@ -162,12 +165,16 @@ RpcClient::RpcClient(MessageBus& bus, std::string endpoint)
 }
 
 RpcClient::~RpcClient() {
-  // Cancel every pending timer: otherwise the kernel would later invoke
-  // HandleTimeout on this destroyed client (use-after-free).
-  for (auto& [id, call] : pending_) {
-    if (call.timeout_handle.valid()) bus_.kernel().Cancel(call.timeout_handle);
+  {
+    gm::MutexLock lock(&mu_);
+    // Cancel every pending timer: otherwise the kernel would later invoke
+    // HandleTimeout on this destroyed client (use-after-free).
+    for (auto& [id, call] : pending_) {
+      if (call.timeout_handle.valid())
+        bus_.kernel().Cancel(call.timeout_handle);
+    }
+    pending_.clear();
   }
-  pending_.clear();
   // Deliberate discard: teardown; a missing endpoint is not actionable.
   (void)bus_.UnregisterEndpoint(endpoint_);
 }
@@ -203,6 +210,7 @@ void RpcClient::Call(const std::string& server, const std::string& method,
                      Bytes request, CallOptions options, Callback callback) {
   GM_ASSERT(callback != nullptr, "null RPC callback");
   GM_ASSERT(options.max_attempts >= 1, "max_attempts must be >= 1");
+  gm::MutexLock lock(&mu_);
   const std::uint64_t id = next_correlation_id_++;
   PendingCall call;
   call.server = server;
@@ -240,17 +248,24 @@ void RpcClient::SendAttempt(std::uint64_t id) {
       call.options.timeout, [this, id] { HandleTimeout(id); });
 }
 
+
 void RpcClient::HandleEnvelope(const Envelope& envelope) {
   if (envelope.type != MessageType::kRpcResponse) return;
-  const auto it = pending_.find(envelope.correlation_id);
-  if (it == pending_.end()) {
-    ++stale_responses_;  // late duplicate after completion or timeout
-    return;
+  // The finished call is moved out under the lock; parsing and the user
+  // callback run with it released so the callback can issue new Calls.
+  PendingCall finished;
+  {
+    gm::MutexLock lock(&mu_);
+    const auto it = pending_.find(envelope.correlation_id);
+    if (it == pending_.end()) {
+      ++stale_responses_;  // late duplicate after completion or timeout
+      return;
+    }
+    bus_.kernel().Cancel(it->second.timeout_handle);
+    finished = std::move(it->second);
+    pending_.erase(it);
   }
-  bus_.kernel().Cancel(it->second.timeout_handle);
-  Callback callback = std::move(it->second.callback);
-  const PendingCall finished = std::move(it->second);
-  pending_.erase(it);
+  Callback callback = std::move(finished.callback);
 
   Reader reader(envelope.payload);
   const Status status = ReadStatus(reader);
@@ -286,34 +301,41 @@ sim::SimDuration RpcClient::BackoffDelay(const PendingCall& call) {
 }
 
 void RpcClient::HandleTimeout(std::uint64_t id) {
-  const auto it = pending_.find(id);
-  if (it == pending_.end()) return;
-  ++timeouts_;
-  if (timeouts_ctr_ != nullptr) timeouts_ctr_->Inc();
-  PendingCall& call = it->second;
-  if (call.attempt < call.options.max_attempts) {
-    const sim::SimDuration backoff = BackoffDelay(call);
-    ++call.attempt;
-    ++retries_;
-    if (retries_ctr_ != nullptr) retries_ctr_->Inc();
-    if (telemetry_ != nullptr && call.span != 0)
-      telemetry_->tracer().AddAttempt(call.span);
-    GM_LOG_DEBUG << "rpc: retrying " << call.method << " attempt "
-                 << call.attempt << " after " << backoff << "us backoff";
-    if (backoff <= 0) {
-      SendAttempt(id);
+  PendingCall exhausted;
+  {
+    gm::MutexLock lock(&mu_);
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    ++timeouts_;
+    if (timeouts_ctr_ != nullptr) timeouts_ctr_->Inc();
+    PendingCall& call = it->second;
+    if (call.attempt < call.options.max_attempts) {
+      const sim::SimDuration backoff = BackoffDelay(call);
+      ++call.attempt;
+      ++retries_;
+      if (retries_ctr_ != nullptr) retries_ctr_->Inc();
+      if (telemetry_ != nullptr && call.span != 0)
+        telemetry_->tracer().AddAttempt(call.span);
+      GM_LOG_DEBUG << "rpc: retrying " << call.method << " attempt "
+                   << call.attempt << " after " << backoff << "us backoff";
+      if (backoff <= 0) {
+        SendAttempt(id);
+        return;
+      }
+      call.timeout_handle = bus_.kernel().ScheduleAfter(backoff, [this, id] {
+        gm::MutexLock relock(&mu_);
+        if (pending_.find(id) != pending_.end()) SendAttempt(id);
+      });
       return;
     }
-    call.timeout_handle =
-        bus_.kernel().ScheduleAfter(backoff, [this, id] { SendAttempt(id); });
-    return;
+    exhausted = std::move(call);
+    pending_.erase(it);
   }
-  Callback callback = std::move(call.callback);
-  const std::string method = call.method;
-  const PendingCall exhausted = std::move(call);
-  pending_.erase(it);
+  // Deadline verdict delivered outside the lock, like any other callback.
+  Callback callback = std::move(exhausted.callback);
   FinishSpan(exhausted, false);
-  callback(Status::DeadlineExceeded("rpc: " + method + " timed out"));
+  callback(
+      Status::DeadlineExceeded("rpc: " + exhausted.method + " timed out"));
 }
 
 }  // namespace gm::net

@@ -19,6 +19,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/concurrency.hpp"
 #include "net/bus.hpp"
 #include "net/serialize.hpp"
 #include "telemetry/telemetry.hpp"
@@ -34,6 +35,12 @@ struct RpcServerOptions {
 
 /// Server side: dispatches named methods. Registering the server claims the
 /// endpoint name on the bus.
+///
+/// Thread-safe: one mutex (rank kRpcServer, below the bus) guards the
+/// method table and the dedup cache. The lock is held across method
+/// dispatch — a request is an atomic server transaction — which is safe
+/// because methods only call into higher-ranked components (bank,
+/// market, store) and the reply re-enters the bus above this rank.
 class RpcServer {
  public:
   /// A method consumes request bytes and produces response bytes or an error.
@@ -53,9 +60,15 @@ class RpcServer {
   void AttachTelemetry(telemetry::Telemetry* telemetry);
 
   /// Methods actually executed (cache misses).
-  std::uint64_t executions() const { return executions_; }
+  std::uint64_t executions() const {
+    gm::MutexLock lock(&mu_);
+    return executions_;
+  }
   /// Duplicate requests answered from the dedup cache.
-  std::uint64_t replays() const { return replays_; }
+  std::uint64_t replays() const {
+    gm::MutexLock lock(&mu_);
+    return replays_;
+  }
 
  private:
   struct ClientDedup {
@@ -65,15 +78,17 @@ class RpcServer {
 
   void HandleEnvelope(const Envelope& envelope);
   void CacheResponse(const std::string& source, std::uint64_t correlation_id,
-                     const Bytes& payload);
+                     const Bytes& payload) GM_REQUIRES(mu_);
 
   MessageBus& bus_;
-  std::string endpoint_;
-  RpcServerOptions options_;
-  std::unordered_map<std::string, Method> methods_;
-  std::unordered_map<std::string, ClientDedup> dedup_;
-  std::uint64_t executions_ = 0;
-  std::uint64_t replays_ = 0;
+  const std::string endpoint_;
+  const RpcServerOptions options_;
+  mutable gm::Mutex mu_{"net.rpc.server", gm::lockrank::kRpcServer};
+  std::unordered_map<std::string, Method> methods_ GM_GUARDED_BY(mu_);
+  std::unordered_map<std::string, ClientDedup> dedup_ GM_GUARDED_BY(mu_);
+  std::uint64_t executions_ GM_GUARDED_BY(mu_) = 0;
+  std::uint64_t replays_ GM_GUARDED_BY(mu_) = 0;
+  // Attach-once convention: written before any concurrent use.
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* executions_ctr_ = nullptr;
   telemetry::Counter* replays_ctr_ = nullptr;
@@ -98,6 +113,11 @@ struct CallOptions {
 /// Client side: owns a response endpoint and correlates in-flight calls.
 /// Destroying the client cancels all pending timers; callbacks of calls
 /// still in flight are dropped, never invoked on a dead object.
+///
+/// Thread-safe: one mutex (rank kRpcClient, the lowest networking rank)
+/// guards the pending-call table. User callbacks always run with the
+/// lock released — a callback is free to issue the next Call() on this
+/// same client.
 class RpcClient {
  public:
   using Callback = std::function<void(Result<Bytes>)>;
@@ -118,10 +138,19 @@ class RpcClient {
   /// plus a completion-latency histogram. nullptr detaches.
   void AttachTelemetry(telemetry::Telemetry* telemetry);
 
-  std::uint64_t timeouts() const { return timeouts_; }
-  std::uint64_t retries() const { return retries_; }
+  std::uint64_t timeouts() const {
+    gm::MutexLock lock(&mu_);
+    return timeouts_;
+  }
+  std::uint64_t retries() const {
+    gm::MutexLock lock(&mu_);
+    return retries_;
+  }
   /// Responses that arrived after their call completed (late duplicates).
-  std::uint64_t stale_responses() const { return stale_responses_; }
+  std::uint64_t stale_responses() const {
+    gm::MutexLock lock(&mu_);
+    return stale_responses_;
+  }
 
  private:
   struct PendingCall {
@@ -138,21 +167,25 @@ class RpcClient {
     sim::SimTime started = 0;
   };
 
+  /// Touches only attach-once telemetry state; called on calls already
+  /// removed from pending_, outside the lock.
   void FinishSpan(const PendingCall& call, bool ok);
 
-  void SendAttempt(std::uint64_t id);
+  void SendAttempt(std::uint64_t id) GM_REQUIRES(mu_);
   void HandleEnvelope(const Envelope& envelope);
   void HandleTimeout(std::uint64_t id);
-  sim::SimDuration BackoffDelay(const PendingCall& call);
+  sim::SimDuration BackoffDelay(const PendingCall& call) GM_REQUIRES(mu_);
 
   MessageBus& bus_;
-  std::string endpoint_;
-  Rng backoff_rng_;
-  std::uint64_t next_correlation_id_ = 1;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t stale_responses_ = 0;
-  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  const std::string endpoint_;
+  mutable gm::Mutex mu_{"net.rpc.client", gm::lockrank::kRpcClient};
+  Rng backoff_rng_ GM_GUARDED_BY(mu_);  // backoff jitter
+  std::uint64_t next_correlation_id_ GM_GUARDED_BY(mu_) = 1;
+  std::uint64_t timeouts_ GM_GUARDED_BY(mu_) = 0;
+  std::uint64_t retries_ GM_GUARDED_BY(mu_) = 0;
+  std::uint64_t stale_responses_ GM_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::uint64_t, PendingCall> pending_ GM_GUARDED_BY(mu_);
+  // Attach-once convention: written before any concurrent use.
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* calls_ctr_ = nullptr;
   telemetry::Counter* retries_ctr_ = nullptr;

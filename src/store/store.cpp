@@ -120,6 +120,7 @@ std::uint64_t WallNanosSince(
 }  // namespace
 
 Status DurableStore::Append(const Bytes& record) {
+  gm::MutexLock lock(&mu_);
   // Sampled 1-in-8: a page-cache append costs about as much as two
   // steady_clock reads, so timing every one would be the dominant cost
   // of attaching telemetry. Quantiles stay representative; exact append
@@ -138,6 +139,11 @@ Status DurableStore::Append(const Bytes& record) {
 }
 
 Status DurableStore::WriteSnapshot(const Recoverable& state) {
+  gm::MutexLock lock(&mu_);
+  return WriteSnapshotLocked(state);
+}
+
+Status DurableStore::WriteSnapshotLocked(const Recoverable& state) {
   const auto wall_start = std::chrono::steady_clock::now();
   // Rotate first: everything before the new segment is then covered by
   // the checkpoint and can be compacted away.
@@ -190,13 +196,15 @@ Status DurableStore::WriteSnapshot(const Recoverable& state) {
 }
 
 Status DurableStore::MaybeSnapshot(const Recoverable& state) {
+  gm::MutexLock lock(&mu_);
   if (options_.snapshot_every_records == 0 ||
       appends_since_snapshot_ < options_.snapshot_every_records)
     return Status::Ok();
-  return WriteSnapshot(state);
+  return WriteSnapshotLocked(state);
 }
 
 Result<RecoveryStats> DurableStore::Recover(Recoverable& state) {
+  gm::MutexLock lock(&mu_);
   RecoveryStats recovery;
   ++stats_.recoveries;
   recovery.truncated_bytes = wal_->open_truncated_bytes();

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/concurrency.hpp"
 #include "common/status.hpp"
 #include "store/recoverable.hpp"
 #include "store/wal.hpp"
@@ -49,6 +50,11 @@ struct StoreOptions {
   std::uint64_t snapshot_every_records = 0;
 };
 
+/// Thread-safe: one mutex (rank kStore) guards the counters and
+/// serializes snapshot/recovery against appends. A component that calls
+/// WriteSnapshot/MaybeSnapshot/Recover with itself as the Recoverable
+/// must do so while holding its own lock (ranked below kStore), since
+/// the store calls straight back into the component's snapshot hooks.
 class DurableStore {
  public:
   static Result<std::unique_ptr<DurableStore>> Open(std::string dir,
@@ -57,20 +63,23 @@ class DurableStore {
   DurableStore& operator=(const DurableStore&) = delete;
 
   /// Journal one mutation record.
-  Status Append(const Bytes& record);
+  Status Append(const Bytes& record) GM_EXCLUDES(mu_);
 
   /// Checkpoint `state` and compact the log behind it.
-  Status WriteSnapshot(const Recoverable& state);
+  Status WriteSnapshot(const Recoverable& state) GM_EXCLUDES(mu_);
 
   /// Checkpoint only if `snapshot_every_records` appends have accumulated
   /// since the last snapshot. Call after mutations on the hot path.
-  Status MaybeSnapshot(const Recoverable& state);
+  Status MaybeSnapshot(const Recoverable& state) GM_EXCLUDES(mu_);
 
   /// Restore `state` from the newest valid snapshot plus the log tail.
   /// `state` must be freshly reset (recovery applies on top of it).
-  Result<RecoveryStats> Recover(Recoverable& state);
+  Result<RecoveryStats> Recover(Recoverable& state) GM_EXCLUDES(mu_);
 
-  const StoreStats& stats() const { return stats_; }
+  StoreStats stats() const {
+    gm::MutexLock lock(&mu_);
+    return stats_;
+  }
   const std::string& dir() const { return wal_->dir(); }
   WriteAheadLog& wal() { return *wal_; }
 
@@ -84,13 +93,19 @@ class DurableStore {
  private:
   DurableStore(std::unique_ptr<WriteAheadLog> wal, StoreOptions options);
 
-  std::unique_ptr<WriteAheadLog> wal_;
-  StoreOptions options_;
-  StoreStats stats_;
-  std::uint64_t appends_since_snapshot_ = 0;
+  Status WriteSnapshotLocked(const Recoverable& state) GM_REQUIRES(mu_);
+
+  const std::unique_ptr<WriteAheadLog> wal_;  // internally locked (kWal)
+  const StoreOptions options_;
+  mutable gm::Mutex mu_{"store.durable", gm::lockrank::kStore};
+  StoreStats stats_ GM_GUARDED_BY(mu_);
+  std::uint64_t appends_since_snapshot_ GM_GUARDED_BY(mu_) = 0;
+  // Histogram pointers follow the attach-once convention: written before
+  // any concurrent use, then only read (the histograms self-lock).
   telemetry::LatencyHistogram* append_hist_ = nullptr;
   telemetry::LatencyHistogram* snapshot_hist_ = nullptr;
-  std::uint32_t append_sample_ = 0;  // 1-in-8 append timing sampler
+  // 1-in-8 append timing sampler.
+  std::uint32_t append_sample_ GM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gm::store

@@ -140,6 +140,9 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
                                ec.message());
   auto wal = std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(std::move(dir), options));
+  // The log is not yet published to any other thread; the lock is taken
+  // purely to satisfy the static analysis on the guarded fields.
+  gm::MutexLock lock(&wal->mu_);
 
   const std::vector<std::string> files = wal->SegmentFiles();
   std::uint64_t max_seq = 0;
@@ -184,6 +187,11 @@ Status WriteAheadLog::OpenActiveSegment(bool create) {
 }
 
 Status WriteAheadLog::Rotate() {
+  gm::MutexLock lock(&mu_);
+  return RotateLocked();
+}
+
+Status WriteAheadLog::RotateLocked() {
   active_segment_ = SegmentName(next_seq_);
   return OpenActiveSegment(/*create=*/true);
 }
@@ -191,8 +199,9 @@ Status WriteAheadLog::Rotate() {
 Status WriteAheadLog::Append(const Bytes& payload) {
   if (payload.size() > kMaxRecordBytes)
     return Status::InvalidArgument("record exceeds max WAL record size");
+  gm::MutexLock lock(&mu_);
   if (active_segment_.empty() || active_size_ >= options_.segment_max_bytes) {
-    GM_RETURN_IF_ERROR(Rotate());
+    GM_RETURN_IF_ERROR(RotateLocked());
   } else if (!out_.is_open()) {
     GM_RETURN_IF_ERROR(OpenActiveSegment(/*create=*/false));
   }
@@ -219,6 +228,9 @@ Result<RecoveryStats> WriteAheadLog::Replay(
     std::uint64_t after_seq,
     const std::function<Status(std::uint64_t seq, const Bytes& payload)>&
         apply) const {
+  // Hold the mutex across the whole replay: a concurrent Append must not
+  // grow or rotate a segment mid-scan.
+  gm::MutexLock lock(&mu_);
   RecoveryStats stats;
   std::uint64_t last_applied = after_seq;
   for (const std::string& file : SegmentFiles()) {
@@ -242,6 +254,7 @@ Result<RecoveryStats> WriteAheadLog::Replay(
 }
 
 Status WriteAheadLog::DropSegmentsExceptActive() {
+  gm::MutexLock lock(&mu_);
   std::error_code ec;
   for (const std::string& file : SegmentFiles()) {
     if (file == active_segment_) continue;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/concurrency.hpp"
 #include "common/status.hpp"
 #include "store/recoverable.hpp"
 
@@ -38,6 +39,9 @@ struct WalOptions {
   std::size_t segment_max_bytes = 1 << 20;
 };
 
+/// Thread-safe: one mutex (rank kWal) serializes the append cursor, the
+/// active-segment stream and rotation/compaction, so concurrent stores
+/// can share a log without torn frames.
 class WriteAheadLog {
  public:
   /// Open (or create) the log in `dir`, scan existing segments, truncate
@@ -58,36 +62,47 @@ class WriteAheadLog {
   Result<RecoveryStats> Replay(
       std::uint64_t after_seq,
       const std::function<Status(std::uint64_t seq, const Bytes& payload)>&
-          apply) const;
+          apply) const GM_EXCLUDES(mu_);
 
   /// Close the active segment and start a new one at the current seq.
-  Status Rotate();
+  Status Rotate() GM_EXCLUDES(mu_);
 
   /// Delete every segment except the active one (compaction after a
   /// snapshot has made the older segments redundant).
-  Status DropSegmentsExceptActive();
+  Status DropSegmentsExceptActive() GM_EXCLUDES(mu_);
 
   /// Sequence number the next Append will use (== 1 + last durable seq).
-  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t next_seq() const {
+    gm::MutexLock lock(&mu_);
+    return next_seq_;
+  }
   const std::string& dir() const { return dir_; }
-  /// Sorted segment file names (relative to dir).
+  /// Sorted segment file names (relative to dir). Reads only the (fixed)
+  /// directory; safe without the mutex.
   std::vector<std::string> SegmentFiles() const;
   /// Bytes dropped from corrupt tails during Open.
-  std::uint64_t open_truncated_bytes() const { return open_truncated_bytes_; }
+  std::uint64_t open_truncated_bytes() const {
+    gm::MutexLock lock(&mu_);
+    return open_truncated_bytes_;
+  }
 
  private:
   WriteAheadLog(std::string dir, WalOptions options);
 
-  Status OpenActiveSegment(bool create);
+  Status RotateLocked() GM_REQUIRES(mu_);
+  Status OpenActiveSegment(bool create) GM_REQUIRES(mu_);
   std::string SegmentName(std::uint64_t first_seq) const;
 
-  std::string dir_;
-  WalOptions options_;
-  std::uint64_t next_seq_ = 1;
-  std::string active_segment_;       // file name, empty until first append
-  std::size_t active_size_ = 0;      // bytes in the active segment
-  std::ofstream out_;                // persistent append stream
-  std::uint64_t open_truncated_bytes_ = 0;
+  const std::string dir_;
+  const WalOptions options_;
+  mutable gm::Mutex mu_{"store.wal", gm::lockrank::kWal};
+  std::uint64_t next_seq_ GM_GUARDED_BY(mu_) = 1;
+  // File name, empty until first append.
+  std::string active_segment_ GM_GUARDED_BY(mu_);
+  // Bytes in the active segment.
+  std::size_t active_size_ GM_GUARDED_BY(mu_) = 0;
+  std::ofstream out_ GM_GUARDED_BY(mu_);  // persistent append stream
+  std::uint64_t open_truncated_bytes_ GM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gm::store

@@ -6,6 +6,7 @@
 namespace gm::telemetry {
 
 void Summary::Observe(double v) {
+  gm::MutexLock lock(&mu_);
   if (count_ == 0) {
     min_ = v;
     max_ = v;
@@ -18,6 +19,7 @@ void Summary::Observe(double v) {
 }
 
 void LatencyHistogram::Record(std::uint64_t value) {
+  gm::MutexLock lock(&mu_);
   const int index =
       std::min(static_cast<int>(std::bit_width(value)), kBuckets - 1);
   ++buckets_[index];
@@ -33,6 +35,11 @@ void LatencyHistogram::Record(std::uint64_t value) {
 }
 
 std::uint64_t LatencyHistogram::Quantile(double q) const {
+  gm::MutexLock lock(&mu_);
+  return QuantileLocked(q);
+}
+
+std::uint64_t LatencyHistogram::QuantileLocked(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the requested sample, 1-based: ceil(q * count), at least 1.
@@ -72,20 +79,36 @@ std::uint64_t LatencyHistogram::Quantile(double q) const {
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  if (other.count_ == 0) return;
-  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
-  if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
-  } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
+  // Two histogram mutexes share rank kMetric, so they are never held
+  // together: copy `other` under its lock, then fold the copy in under
+  // ours. (Self-merge would double-lock; it is also meaningless.)
+  std::uint64_t other_buckets[kBuckets] = {};
+  std::uint64_t other_count = 0, other_sum = 0, other_min = 0, other_max = 0;
+  {
+    gm::MutexLock lock(&other.mu_);
+    if (other.count_ == 0) return;
+    std::copy(std::begin(other.buckets_), std::end(other.buckets_),
+              std::begin(other_buckets));
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_min = other.min_;
+    other_max = other.max_;
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
+  gm::MutexLock lock(&mu_);
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other_buckets[i];
+  if (count_ == 0) {
+    min_ = other_min;
+    max_ = other_max;
+  } else {
+    min_ = std::min(min_, other_min);
+    max_ = std::max(max_, other_max);
+  }
+  count_ += other_count;
+  sum_ += other_sum;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  gm::MutexLock registry_lock(&mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_)
     snapshot.counters.emplace(name, counter.value());

@@ -3,43 +3,59 @@
 //
 // Designed for the hot paths of a multi-day simulated run (millions of
 // auction ticks and bus deliveries): recording into a counter is one
-// add, recording into a histogram is a bit_width plus two adds. Metric
-// objects are owned by the registry in node-based maps, so pointers
-// returned by Get* stay valid for the registry's lifetime — components
-// look a metric up once and keep the pointer for their hot loop.
+// relaxed atomic add, recording into a histogram is a bit_width plus two
+// adds under the histogram's own mutex. Metric objects are owned by the
+// registry in node-based maps, so pointers returned by Get* stay valid
+// for the registry's lifetime — components look a metric up once and keep
+// the pointer for their hot loop.
+//
+// Thread safety: Counter and Gauge are relaxed atomics — runner threads
+// record without taking any lock, and relaxed ordering is sufficient
+// because metric values never gate control flow. Summary and
+// LatencyHistogram keep multi-word state, so each instance carries its
+// own gm::Mutex (rank kMetric); the registry maps are guarded by the
+// registry mutex (rank kMetricsRegistry, acquired before any per-metric
+// mutex during Snapshot()).
 //
 // Quantiles (p50/p90/p99) are extracted from power-of-two buckets with
 // linear interpolation inside the winning bucket, clamped to the observed
 // min/max so a single-sample histogram reports that sample exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include "common/concurrency.hpp"
+
 namespace gm::telemetry {
 
-/// Monotonic event count.
+/// Monotonic event count. Lock-free.
 class Counter {
  public:
-  void Inc(std::uint64_t n = 1) { value_ += n; }
+  void Inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
   /// Overwrite: used when mirroring a component-kept total into the
   /// registry at snapshot time (pull-based collection).
-  void Set(std::uint64_t v) { value_ = v; }
-  std::uint64_t value() const { return value_; }
+  void Set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-written instantaneous value (a price, a queue depth).
+/// Last-written instantaneous value (a price, a queue depth). Lock-free.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Running moments of a double-valued observation stream (prediction
@@ -47,17 +63,33 @@ class Gauge {
 class Summary {
  public:
   void Observe(double v);
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  std::uint64_t count() const {
+    gm::MutexLock lock(&mu_);
+    return count_;
+  }
+  double sum() const {
+    gm::MutexLock lock(&mu_);
+    return sum_;
+  }
+  double min() const {
+    gm::MutexLock lock(&mu_);
+    return min_;
+  }
+  double max() const {
+    gm::MutexLock lock(&mu_);
+    return max_;
+  }
+  double mean() const {
+    gm::MutexLock lock(&mu_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
 
  private:
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable gm::Mutex mu_{"telemetry.summary", gm::lockrank::kMetric};
+  std::uint64_t count_ GM_GUARDED_BY(mu_) = 0;
+  double sum_ GM_GUARDED_BY(mu_) = 0.0;
+  double min_ GM_GUARDED_BY(mu_) = 0.0;
+  double max_ GM_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Log2-bucketed histogram over non-negative integer values (sim-time
@@ -77,24 +109,46 @@ class LatencyHistogram {
   std::uint64_t Quantile(double q) const;
 
   /// Pointwise sum: afterwards *this reports the union of both streams.
+  /// Locks other then this sequentially (never both at once — the two
+  /// mutexes share a rank), so a concurrently-recording `other` yields a
+  /// consistent point-in-time copy.
   void Merge(const LatencyHistogram& other);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  std::uint64_t max() const { return max_; }
+  std::uint64_t count() const {
+    gm::MutexLock lock(&mu_);
+    return count_;
+  }
+  std::uint64_t sum() const {
+    gm::MutexLock lock(&mu_);
+    return sum_;
+  }
+  std::uint64_t min() const {
+    gm::MutexLock lock(&mu_);
+    return count_ == 0 ? 0 : min_;
+  }
+  std::uint64_t max() const {
+    gm::MutexLock lock(&mu_);
+    return max_;
+  }
   double mean() const {
+    gm::MutexLock lock(&mu_);
     return count_ == 0 ? 0.0
                        : static_cast<double>(sum_) / static_cast<double>(count_);
   }
-  std::uint64_t bucket(int i) const { return buckets_[i]; }
+  std::uint64_t bucket(int i) const {
+    gm::MutexLock lock(&mu_);
+    return buckets_[i];
+  }
 
  private:
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::uint64_t QuantileLocked(double q) const GM_REQUIRES(mu_);
+
+  mutable gm::Mutex mu_{"telemetry.histogram", gm::lockrank::kMetric};
+  std::uint64_t buckets_[kBuckets] GM_GUARDED_BY(mu_) = {};
+  std::uint64_t count_ GM_GUARDED_BY(mu_) = 0;
+  std::uint64_t sum_ GM_GUARDED_BY(mu_) = 0;
+  std::uint64_t min_ GM_GUARDED_BY(mu_) = 0;
+  std::uint64_t max_ GM_GUARDED_BY(mu_) = 0;
 };
 
 /// Value-type copy of every metric at one instant; what the monitor
@@ -135,24 +189,37 @@ struct MetricsSnapshot {
 
 /// Named metric store. Get* creates on first use and always returns the
 /// same object for a name; names are dot-delimited paths by convention
-/// ("net.bus.delivered", "store.bank.append_wall_ns").
+/// ("net.bus.delivered", "store.bank.append_wall_ns"). Lookups take the
+/// registry mutex; the returned pointers are safe to record through from
+/// any thread without it.
 class MetricsRegistry {
  public:
-  Counter* GetCounter(const std::string& name) { return &counters_[name]; }
-  Gauge* GetGauge(const std::string& name) { return &gauges_[name]; }
-  Summary* GetSummary(const std::string& name) { return &summaries_[name]; }
+  Counter* GetCounter(const std::string& name) {
+    gm::MutexLock lock(&mu_);
+    return &counters_[name];
+  }
+  Gauge* GetGauge(const std::string& name) {
+    gm::MutexLock lock(&mu_);
+    return &gauges_[name];
+  }
+  Summary* GetSummary(const std::string& name) {
+    gm::MutexLock lock(&mu_);
+    return &summaries_[name];
+  }
   LatencyHistogram* GetHistogram(const std::string& name) {
+    gm::MutexLock lock(&mu_);
     return &histograms_[name];
   }
 
   MetricsSnapshot Snapshot() const;
 
  private:
+  mutable gm::Mutex mu_{"telemetry.registry", gm::lockrank::kMetricsRegistry};
   // std::map is node-based: inserting never invalidates element pointers.
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Summary> summaries_;
-  std::map<std::string, LatencyHistogram> histograms_;
+  std::map<std::string, Counter> counters_ GM_GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ GM_GUARDED_BY(mu_);
+  std::map<std::string, Summary> summaries_ GM_GUARDED_BY(mu_);
+  std::map<std::string, LatencyHistogram> histograms_ GM_GUARDED_BY(mu_);
 };
 
 }  // namespace gm::telemetry

@@ -43,6 +43,7 @@ SpanEvent* Tracer::Find(SpanId span) {
 
 SpanId Tracer::BeginSpan(TraceId trace, std::string name, std::string detail,
                          sim::SimTime now) {
+  gm::MutexLock lock(&mu_);
   SpanEvent event;
   event.id = next_span_++;
   event.trace = trace;
@@ -56,11 +57,13 @@ SpanId Tracer::BeginSpan(TraceId trace, std::string name, std::string detail,
 }
 
 void Tracer::AddAttempt(SpanId span) {
+  gm::MutexLock lock(&mu_);
   SpanEvent* event = Find(span);
   if (event != nullptr) ++event->attempts;
 }
 
 void Tracer::EndSpan(SpanId span, sim::SimTime now, SpanStatus status) {
+  gm::MutexLock lock(&mu_);
   SpanEvent* event = Find(span);
   if (event == nullptr) return;  // evicted or already ended
   event->end = now;
@@ -70,6 +73,7 @@ void Tracer::EndSpan(SpanId span, sim::SimTime now, SpanStatus status) {
 
 void Tracer::Instant(TraceId trace, std::string name, std::string detail,
                      sim::SimTime now, double value) {
+  gm::MutexLock lock(&mu_);
   SpanEvent event;
   event.id = next_span_++;
   event.trace = trace;
@@ -84,6 +88,11 @@ void Tracer::Instant(TraceId trace, std::string name, std::string detail,
 }
 
 std::vector<SpanEvent> Tracer::AllEvents() const {
+  gm::MutexLock lock(&mu_);
+  return AllEventsLocked();
+}
+
+std::vector<SpanEvent> Tracer::AllEventsLocked() const {
   std::vector<SpanEvent> events;
   events.reserve(size_);
   // Oldest element sits at head_ when the ring is full, else at 0.
@@ -94,7 +103,11 @@ std::vector<SpanEvent> Tracer::AllEvents() const {
 }
 
 std::vector<SpanEvent> Tracer::EventsFor(TraceId trace) const {
-  std::vector<SpanEvent> events = AllEvents();
+  std::vector<SpanEvent> events;
+  {
+    gm::MutexLock lock(&mu_);
+    events = AllEventsLocked();
+  }
   events.erase(std::remove_if(events.begin(), events.end(),
                               [trace](const SpanEvent& e) {
                                 return e.trace != trace;

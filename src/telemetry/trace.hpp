@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/concurrency.hpp"
 #include "sim/time.hpp"
 
 namespace gm::telemetry {
@@ -45,12 +46,18 @@ struct SpanEvent {
   sim::SimDuration Duration() const { return end < 0 ? 0 : end - start; }
 };
 
-/// Bounded event journal plus trace/span id minting.
+/// Bounded event journal plus trace/span id minting. Thread-safe: one
+/// mutex (rank kTracer, above every component lock) covers the ring and
+/// the id counters, so spans can be recorded from inside any critical
+/// section and from any runner thread.
 class Tracer {
  public:
   explicit Tracer(std::size_t capacity = 8192);
 
-  TraceId NewTrace() { return next_trace_++; }
+  TraceId NewTrace() {
+    gm::MutexLock lock(&mu_);
+    return next_trace_++;
+  }
 
   /// Opens a span; returns its id for AddAttempt/EndSpan. Spans against
   /// trace 0 ("no trace") are still recorded — they show up in the
@@ -73,23 +80,31 @@ class Tracer {
   std::vector<SpanEvent> AllEvents() const;
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return size_; }
+  std::size_t size() const {
+    gm::MutexLock lock(&mu_);
+    return size_;
+  }
   /// Events evicted because the ring wrapped.
-  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t dropped() const {
+    gm::MutexLock lock(&mu_);
+    return dropped_;
+  }
 
  private:
-  SpanEvent* Find(SpanId span);
-  SpanEvent& Push(SpanEvent event);
+  SpanEvent* Find(SpanId span) GM_REQUIRES(mu_);
+  SpanEvent& Push(SpanEvent event) GM_REQUIRES(mu_);
+  std::vector<SpanEvent> AllEventsLocked() const GM_REQUIRES(mu_);
 
-  std::size_t capacity_;
-  std::vector<SpanEvent> ring_;
-  std::size_t head_ = 0;  // next write slot
-  std::size_t size_ = 0;
-  std::uint64_t dropped_ = 0;
-  TraceId next_trace_ = 1;
-  SpanId next_span_ = 1;
+  mutable gm::Mutex mu_{"telemetry.tracer", gm::lockrank::kTracer};
+  const std::size_t capacity_;
+  std::vector<SpanEvent> ring_ GM_GUARDED_BY(mu_);
+  std::size_t head_ GM_GUARDED_BY(mu_) = 0;  // next write slot
+  std::size_t size_ GM_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ GM_GUARDED_BY(mu_) = 0;
+  TraceId next_trace_ GM_GUARDED_BY(mu_) = 1;
+  SpanId next_span_ GM_GUARDED_BY(mu_) = 1;
   // Open spans only: span id -> ring slot, erased on EndSpan/eviction.
-  std::unordered_map<SpanId, std::size_t> open_;
+  std::unordered_map<SpanId, std::size_t> open_ GM_GUARDED_BY(mu_);
 };
 
 }  // namespace gm::telemetry

@@ -1,0 +1,203 @@
+#include "host/parallel_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/schnorr.hpp"
+#include "store/store.hpp"
+
+namespace gm::host {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 100);
+  // The pool is reusable after a barrier.
+  for (int i = 0; i < 50; ++i)
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 150);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();
+  SUCCEED();
+}
+
+/// A self-contained grid of `shards` hosts, each with its own auctioneer,
+/// sharing one bank and one SLS. Everything needed to re-run the exact
+/// same workload twice and compare ledgers.
+struct World {
+  explicit World(std::size_t shards, bool serial, int threads,
+                 std::uint64_t seed = 99) {
+    bank = std::make_unique<bank::Bank>(crypto::TestGroup(), 42);
+    Rng key_rng(7);
+    owner = std::make_unique<crypto::KeyPair>(
+        crypto::KeyPair::Generate(crypto::TestGroup(), key_rng));
+    EXPECT_TRUE(bank->CreateAccount("broker", owner->public_key()).ok());
+    sls = std::make_unique<market::ServiceLocationService>(kernel);
+
+    ParallelRunnerConfig config;
+    config.threads = threads;
+    config.serial = serial;
+    config.seed = seed;
+    runner = std::make_unique<ParallelRunner>(kernel, config);
+
+    for (std::size_t i = 0; i < shards; ++i) {
+      HostSpec spec;
+      spec.id = "h" + std::to_string(i);
+      hosts.push_back(std::make_unique<PhysicalHost>(spec));
+      auctioneers.push_back(
+          std::make_unique<market::Auctioneer>(*hosts.back(), kernel));
+      const std::string fund = "broker/fund-" + std::to_string(i);
+      const std::string take = "broker/host-" + std::to_string(i);
+      EXPECT_TRUE(bank->CreateSubAccount("broker", fund).ok());
+      EXPECT_TRUE(bank->CreateSubAccount("broker", take).ok());
+      EXPECT_TRUE(bank->Mint(fund, Money::Dollars(100), 0).ok());
+      runner->AddShard(auctioneers.back().get(), fund, take);
+    }
+    runner->SetBank(bank.get());
+    runner->SetSls(sls.get());
+  }
+
+  sim::Kernel kernel;
+  std::unique_ptr<bank::Bank> bank;
+  std::unique_ptr<crypto::KeyPair> owner;
+  std::unique_ptr<market::ServiceLocationService> sls;
+  std::vector<std::unique_ptr<PhysicalHost>> hosts;
+  std::vector<std::unique_ptr<market::Auctioneer>> auctioneers;
+  std::unique_ptr<ParallelRunner> runner;
+};
+
+TEST(ParallelRunnerTest, EightThreadsMatchSerialBitForBit) {
+  constexpr std::size_t kShards = 8;
+  constexpr int kRounds = 6;
+
+  World serial(kShards, /*serial=*/true, /*threads=*/1);
+  const auto serial_report = serial.runner->Run(kRounds);
+  ASSERT_TRUE(serial_report.ok());
+
+  World parallel(kShards, /*serial=*/false, /*threads=*/8);
+  const auto parallel_report = parallel.runner->Run(kRounds);
+  ASSERT_TRUE(parallel_report.ok());
+
+  // The acceptance bar: identical ledger hash, not merely equal totals.
+  EXPECT_FALSE(serial_report->ledger_hash.empty());
+  EXPECT_EQ(parallel_report->ledger_hash, serial_report->ledger_hash);
+
+  EXPECT_EQ(parallel_report->rounds, kRounds);
+  EXPECT_EQ(parallel_report->shards, kShards);
+  EXPECT_EQ(parallel_report->ticks, serial_report->ticks);
+  EXPECT_EQ(parallel_report->bank_ops_applied,
+            serial_report->bank_ops_applied);
+  EXPECT_EQ(parallel_report->bank_ops_failed, 0u);
+
+  // The merge barrier makes even the order-sensitive state identical:
+  // the audit journal entry-for-entry, and every market balance.
+  const auto serial_audit = serial.bank->audit_log();
+  const auto parallel_audit = parallel.bank->audit_log();
+  ASSERT_EQ(parallel_audit.size(), serial_audit.size());
+  for (std::size_t i = 0; i < serial_audit.size(); ++i) {
+    EXPECT_EQ(parallel_audit[i].kind, serial_audit[i].kind) << i;
+    EXPECT_EQ(parallel_audit[i].from, serial_audit[i].from) << i;
+    EXPECT_EQ(parallel_audit[i].to, serial_audit[i].to) << i;
+    EXPECT_EQ(parallel_audit[i].amount, serial_audit[i].amount) << i;
+  }
+  for (std::size_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(
+        parallel.auctioneers[i]->total_revenue(),
+        serial.auctioneers[i]->total_revenue())
+        << "shard " << i;
+    EXPECT_EQ(parallel.auctioneers[i]->SpotPriceRate().micros_per_sec(),
+              serial.auctioneers[i]->SpotPriceRate().micros_per_sec())
+        << "shard " << i;
+  }
+
+  EXPECT_TRUE(parallel.bank->CheckInvariants().ok());
+  EXPECT_EQ(parallel.sls->live_count(), kShards);
+}
+
+TEST(ParallelRunnerTest, RepeatedRunsContinueDeterministically) {
+  World a(4, /*serial=*/true, 1);
+  World b(4, /*serial=*/false, 8);
+  // Two short Runs must equal one long Run regardless of mode: shard RNG
+  // streams persist across calls.
+  ASSERT_TRUE(a.runner->Run(2).ok());
+  const auto a2 = a.runner->Run(3);
+  ASSERT_TRUE(a2.ok());
+  ASSERT_TRUE(b.runner->Run(2).ok());
+  const auto b2 = b.runner->Run(3);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(a2->ledger_hash, b2->ledger_hash);
+}
+
+TEST(ParallelRunnerTest, RunWithoutShardsFails) {
+  sim::Kernel kernel;
+  ParallelRunner runner(kernel, {});
+  EXPECT_FALSE(runner.Run(1).ok());
+}
+
+TEST(ParallelRunnerChaosTest, CrashRestartUnderEightTickThreads) {
+  const fs::path dir =
+      fs::temp_directory_path() / "gm_parallel_chaos";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  World world(8, /*serial=*/false, /*threads=*/8);
+  auto store = store::DurableStore::Open((dir / "bank").string());
+  ASSERT_TRUE(store.ok());
+  world.bank->AttachStore(store->get());
+  ASSERT_TRUE((*store)->WriteSnapshot(*world.bank).ok());
+
+  // Chaos rides a separate thread: crash and restart the bank and wipe a
+  // host's storage state while all 8 auction shards are ticking. The
+  // assertions are about surviving (locks, no torn state), not about
+  // determinism — crash timing is wall-clock.
+  std::atomic<bool> stop{false};
+  gm::Thread chaos([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      world.bank->SimulateCrash();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      (void)world.bank->Restart();
+      world.auctioneers[0]->CrashStorageState();
+      world.auctioneers[3]->CrashStorageState();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const auto report = world.runner->Run(40);
+  stop.store(true, std::memory_order_relaxed);
+  chaos.Join();
+
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rounds, 40);
+  // Some merges hit a crashed bank; every op still lands in exactly one
+  // bucket.
+  const auto expected_ops =
+      report->ticks *
+      static_cast<std::uint64_t>(world.runner->config().transfers_per_shard);
+  EXPECT_EQ(report->bank_ops_applied + report->bank_ops_failed, expected_ops);
+
+  if (world.bank->crashed()) {
+    ASSERT_TRUE(world.bank->Restart().ok());
+  }
+  EXPECT_TRUE(world.bank->CheckInvariants().ok());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gm::host

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the Clang thread-safety annotations: the
+# control fixture must compile under `-Wthread-safety -Werror`, and each
+# ts_* negative fixture must fail — proving the capability attributes in
+# common/concurrency.hpp actually reject unlocked access to guarded state
+# rather than expanding to nothing.
+#
+# Self-skips (exit 0) when the compiler is not clang: GCC has no
+# -Wthread-safety and the GM_* attribute macros expand empty there, so
+# there is nothing to verify.
+#
+# Usage: check_thread_safety.sh <c++-compiler> <repo-src-dir>
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <c++-compiler> <repo-src-dir>" >&2
+  exit 2
+fi
+
+CXX="$1"
+SRC="$2"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+FIXTURES="$HERE/thread_safety"
+
+if ! echo | "$CXX" -dM -E -x c++ - 2>/dev/null | grep -q '__clang__'; then
+  echo "SKIP: $CXX is not clang; thread-safety analysis is unavailable"
+  exit 0
+fi
+
+FLAGS=(-std=c++20 "-I$SRC" -fsyntax-only -Wthread-safety -Werror)
+
+fail=0
+
+compile() {
+  "$CXX" "${FLAGS[@]}" "$1" 2>/dev/null
+}
+
+# Control must compile.
+if compile "$FIXTURES/ts_control_ok.cpp"; then
+  echo "PASS ts_control_ok.cpp (compiles)"
+else
+  echo "FAIL ts_control_ok.cpp: control fixture does not compile; harness is broken" >&2
+  "$CXX" "${FLAGS[@]}" "$FIXTURES/ts_control_ok.cpp" >&2 || true
+  fail=1
+fi
+
+# Every other fixture must NOT compile.
+for f in "$FIXTURES"/*.cpp; do
+  base="$(basename "$f")"
+  [ "$base" = "ts_control_ok.cpp" ] && continue
+  if compile "$f"; then
+    echo "FAIL $base: expected a thread-safety error, but it compiled" >&2
+    fail=1
+  else
+    echo "PASS $base (rejected)"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "thread-safety negative-compile tests FAILED" >&2
+  exit 1
+fi
+echo "thread-safety negative-compile tests passed"

@@ -1,0 +1,16 @@
+// gmlint fixture: checked under market/'s layering rules via the
+// directive below; both grid/ includes must trigger include-layering.
+// Not compiled — scanned by run_fixture_tests.py.
+//
+// gmlint: layer(market)
+#include <string>
+
+#include "common/status.hpp"     // fine: market may use common
+#include "grid/broker.hpp"       // market reaching up into the broker
+#include "grid/job.hpp"          // same violation, second witness
+
+namespace gm::market {
+
+std::string DescribeBroker() { return "market must not know the broker"; }
+
+}  // namespace gm::market

@@ -1,0 +1,30 @@
+// gmlint fixture: every construct here must trigger the raw-threading
+// rule. Not compiled — scanned by run_fixture_tests.py.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+class UnrankedQueue {
+ public:
+  void Push(int value) {
+    std::lock_guard<std::mutex> lock(mu_);  // bypasses MutexLock
+    last_ = value;
+    cv_.notify_one();
+  }
+
+  int WaitPop() {
+    std::unique_lock<std::mutex> lock(mu_);  // bypasses MutexLock
+    cv_.wait(lock);
+    return last_;
+  }
+
+ private:
+  std::mutex mu_;  // no rank, no capability annotation
+  std::condition_variable cv_;  // bypasses gm::CondVar
+  int last_ = 0;
+};
+
+void SpawnDetached() {
+  std::thread worker([] {});  // bypasses gm::Thread join-on-destruction
+  worker.detach();
+}

@@ -1,0 +1,19 @@
+// gmlint fixture: must pass include-layering under market/'s rules.
+// Everything here is a sanctioned downward (or sideways) dependency, and
+// system includes are out of scope entirely.
+//
+// gmlint: layer(market)
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "host/host.hpp"       // market drives hosts: allowed
+#include "sim/kernel.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gm::market {
+
+std::string DescribeLayer() { return "market sits below grid"; }
+
+}  // namespace gm::market

@@ -1,0 +1,31 @@
+// gmlint fixture: must pass the raw-threading rule. The wrapped
+// primitives, atomics and std::this_thread are all legal everywhere.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/concurrency.hpp"
+
+class RankedCounter {
+ public:
+  void Add(int delta) {
+    gm::MutexLock lock(&mu_);
+    value_ += delta;
+    cv_.NotifyOne();
+  }
+
+  void SpinBriefly() const {
+    // std::this_thread is not a raw primitive; only std::thread is.
+    std::this_thread::sleep_for(std::chrono::microseconds(1));
+  }
+
+ private:
+  mutable gm::Mutex mu_{"fixture.counter", gm::lockrank::kBank};
+  gm::CondVar cv_;
+  int value_ GM_GUARDED_BY(mu_) = 0;
+  std::atomic<bool> stop_{false};  // atomics need no lock at all
+};
+
+void SpawnJoined() {
+  gm::Thread worker([] {});  // joins on destruction
+}

@@ -24,6 +24,10 @@ CASES = [
     ("good_unordered_iteration.cpp", "unordered-iteration", 0),
     ("bad_float_money_eq.cpp", "float-money-eq", 3),
     ("good_float_money_eq.cpp", "float-money-eq", 0),
+    ("bad_raw_threading.cpp", "raw-threading", 4),
+    ("good_raw_threading.cpp", "raw-threading", 0),
+    ("bad_include_layering.cpp", "include-layering", 2),
+    ("good_include_layering.cpp", "include-layering", 0),
 ]
 
 

@@ -1,0 +1,58 @@
+// Thread-safety control fixture: the sanctioned locking idioms must
+// compile cleanly under `-Wthread-safety -Werror`. If this file breaks,
+// the negative fixtures are failing for the wrong reason (include path,
+// flag, macro drift), not because the analysis works.
+#include "common/concurrency.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // Scoped lock: the analysis sees GM_SCOPED_CAPABILITY MutexLock
+  // acquire in its constructor and release in its destructor.
+  void Deposit(long micros) {
+    gm::MutexLock lock(&mu_);
+    balance_micros_ += micros;
+  }
+
+  long balance() const {
+    gm::MutexLock lock(&mu_);
+    return balance_micros_;
+  }
+
+  // Public-locking + private *Locked split, the codebase convention.
+  void Roll() {
+    gm::MutexLock lock(&mu_);
+    RollLocked();
+  }
+
+ private:
+  void RollLocked() GM_REQUIRES(mu_) { balance_micros_ = 0; }
+
+  mutable gm::Mutex mu_{"fixture.account", gm::lockrank::kBank};
+  long balance_micros_ GM_GUARDED_BY(mu_) = 0;
+};
+
+// Manual Lock/Unlock is also provable when balanced.
+class Queue {
+ public:
+  void Push(int v) {
+    mu_.Lock();
+    head_ = v;
+    mu_.Unlock();
+  }
+
+ private:
+  gm::Mutex mu_{"fixture.queue", gm::lockrank::kStore};
+  int head_ GM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(5);
+  Queue queue;
+  queue.Push(1);
+  return account.balance() == 5 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Thread-safety negative fixture: two ways of lying about lock state
+// that the analysis must reject — calling a GM_REQUIRES method without
+// the mutex, and returning from an unannotated function with the mutex
+// still held (a leaked acquisition the caller cannot see).
+#include "common/concurrency.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  void Rotate() {
+    RotateLocked();  // caller holds nothing: must not compile
+  }
+
+  // Leaks mu_ without a GM_ACQUIRE annotation: must not compile.
+  void Seize() { mu_.Lock(); }
+
+ private:
+  void RotateLocked() GM_REQUIRES(mu_) { epoch_ += 1; }
+
+  gm::Mutex mu_{"fixture.ledger", gm::lockrank::kBank};
+  int epoch_ GM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.Rotate();
+  ledger.Seize();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Thread-safety negative fixture: reading and writing a GM_GUARDED_BY
+// field without the mutex held must be a compile error under
+// `-Wthread-safety -Werror`. This is the exact bug class the annotation
+// sweep exists to make unwritable.
+#include "common/concurrency.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long micros) {
+    balance_micros_ += micros;  // no lock: must not compile
+  }
+
+  long balance() const {
+    return balance_micros_;  // no lock: must not compile
+  }
+
+ private:
+  mutable gm::Mutex mu_{"fixture.account", gm::lockrank::kBank};
+  long balance_micros_ GM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(5);
+  return account.balance() == 5 ? 0 : 1;
+}

@@ -229,13 +229,16 @@ TEST(DurableStoreTest, StatsAccumulate) {
   ASSERT_TRUE(store.ok());
   ToyRegister state;
   for (std::int64_t v : {5, 6}) ASSERT_TRUE(state.Add(**store, v).ok());
-  const StoreStats& stats = (*store)->stats();
-  EXPECT_EQ(stats.appended_records, 2u);
-  EXPECT_GT(stats.appended_bytes, 0u);
+  // stats() returns a value snapshot taken under the store lock, so it
+  // must be re-fetched to observe later mutations.
+  const StoreStats before = (*store)->stats();
+  EXPECT_EQ(before.appended_records, 2u);
+  EXPECT_GT(before.appended_bytes, 0u);
   ToyRegister recovered;
   ASSERT_TRUE((*store)->Recover(recovered).ok());
-  EXPECT_EQ(stats.recoveries, 1u);
-  EXPECT_EQ(stats.replayed_records, 2u);
+  const StoreStats after = (*store)->stats();
+  EXPECT_EQ(after.recoveries, 1u);
+  EXPECT_EQ(after.replayed_records, 2u);
 }
 
 }  // namespace
