@@ -1,0 +1,253 @@
+// Market hot-path microbenchmark: ns per SetBid and ns per allocation
+// tick for the incremental (delta-maintained spot price, SoA bid table,
+// arena-backed tick) auctioneer, against a faithful replica of the
+// pre-change tick — std::map<std::string, Account> book, std::map
+// weights rebuilt every tick, per-slice GetVm/accounts.find string
+// lookups, and a full O(accounts) re-sum for every price read.
+//
+// Emits BENCH_market.json. The `speedup_tick_1k` row is the acceptance
+// number: incremental must be >= 3x the legacy tick at 1k bidders.
+//
+// Usage: market_hot_path [--smoke]   (--smoke: 100 bidders only, quick)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiment_common.hpp"
+#include "host/host.hpp"
+#include "market/auctioneer.hpp"
+#include "market/price_history.hpp"
+#include "market/slot_table.hpp"
+#include "market/window_stats.hpp"
+#include "sim/kernel.hpp"
+
+namespace gm::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+host::HostSpec BenchHost(int max_vms) {
+  host::HostSpec spec;
+  spec.id = "h1";
+  spec.cpus = 2;
+  spec.cycles_per_cpu = GHz(3.0);
+  spec.virtualization_overhead = 0.0;
+  spec.vm_boot_time = 0;  // VMs busy from the first tick
+  spec.max_vms = max_vms;
+  return spec;
+}
+
+std::string UserName(int i) { return "u" + std::to_string(i); }
+
+// ---------------------------------------------------------------------
+// Replica of the pre-change auctioneer tick (see git history of
+// src/market/auctioneer.cpp): ordered-map book, weights map rebuilt per
+// tick, string lookups per charged slice, full re-sum spot price, and
+// the same per-tick price recording the real auctioneer performs.
+struct LegacyAccount {
+  std::string user;
+  Money balance;
+  Money spent;
+  Rate rate;
+  sim::SimTime deadline = 0;
+};
+
+class LegacyMarket {
+ public:
+  explicit LegacyMarket(int bidders)
+      : host_(BenchHost(bidders)) {
+    for (const auto& [name, n] :
+         std::vector<std::pair<std::string, std::size_t>>{
+             {"hour", 360}, {"day", 8640}, {"week", 60480}}) {
+      moments_.emplace_back(name, market::WindowMoments(n));
+      distributions_.emplace_back(name, market::SlotTable(n, 20, 1e-15));
+    }
+    for (int i = 0; i < bidders; ++i) {
+      const std::string user = UserName(i);
+      LegacyAccount account;
+      account.user = user;
+      account.balance = Money::Dollars(1e6);
+      account.rate = Rate::MicrosPerSec(100 + i % 900);
+      account.deadline = sim::Seconds(1'000'000'000);
+      accounts_.emplace(user, account);
+      auto vm = host_.CreateVm(VmId(user), user, 0);
+      if (vm.ok()) (*vm)->Enqueue({static_cast<std::uint64_t>(i), 1e18, {}});
+    }
+  }
+
+  bool Active(const LegacyAccount& account, sim::SimTime t) const {
+    return account.rate.is_positive() && account.balance.is_positive() &&
+           t < account.deadline;
+  }
+
+  void Tick(sim::SimTime now, sim::SimDuration interval) {
+    const sim::SimTime interval_start = now - interval;
+    const double dt_seconds = sim::ToSeconds(interval);
+
+    std::map<std::string, double> weights;
+    for (const auto& [user, account] : accounts_) {
+      if (Active(account, interval_start) || Active(account, now)) {
+        weights[VmId(user)] =
+            static_cast<double>(account.rate.micros_per_sec());
+      }
+    }
+
+    const std::vector<host::AllocationSlice> slices =
+        host_.AdvanceInterval(interval_start, interval, weights);
+
+    for (const host::AllocationSlice& slice : slices) {
+      host::VirtualMachine* vm = host_.GetVm(slice.vm_id).value_or(nullptr);
+      if (vm == nullptr) continue;
+      const auto it = accounts_.find(vm->owner());
+      if (it == accounts_.end()) continue;
+      LegacyAccount& account = it->second;
+      const Money cost =
+          Min(ChargeFor(account.rate, dt_seconds, slice.used_fraction),
+              account.balance);
+      account.balance -= cost;
+      account.spent += cost;
+      revenue_ += cost;
+    }
+
+    // Full O(accounts) re-sum, then the same recording the real tick does.
+    Micros total = 0;
+    for (const auto& [user, account] : accounts_) {
+      if (Active(account, now)) total += account.rate.micros_per_sec();
+    }
+    const double price = MicrosToDollars(total) / host_.TotalCapacity();
+    history_.Record(now, price);
+    for (auto& [name, moments] : moments_) moments.Add(price);
+    for (auto& [name, table] : distributions_) table.Add(price);
+  }
+
+  Money revenue() const { return revenue_; }
+
+ private:
+  std::string VmId(const std::string& user) const {
+    return host_.id() + "/" + user;
+  }
+
+  host::PhysicalHost host_;
+  std::map<std::string, LegacyAccount> accounts_;
+  market::PriceHistory history_;
+  std::vector<std::pair<std::string, market::WindowMoments>> moments_;
+  std::vector<std::pair<std::string, market::SlotTable>> distributions_;
+  Money revenue_;
+};
+
+// ---------------------------------------------------------------------
+struct World {
+  explicit World(int bidders) : host(BenchHost(bidders)), auctioneer(host, kernel) {
+    for (int i = 0; i < bidders; ++i) {
+      const std::string user = UserName(i);
+      if (!auctioneer.OpenAccount(user).ok()) std::abort();
+      if (!auctioneer.Fund(user, Money::Dollars(1e6)).ok()) std::abort();
+      if (!auctioneer
+               .SetBid(user, Rate::MicrosPerSec(100 + i % 900),
+                       sim::Seconds(1'000'000'000))
+               .ok())
+        std::abort();
+      auto vm = auctioneer.AcquireVm(user);
+      if (!vm.ok()) std::abort();
+      (*vm)->Enqueue({static_cast<std::uint64_t>(i), 1e18, {}});
+    }
+  }
+
+  sim::Kernel kernel;
+  host::PhysicalHost host;
+  market::Auctioneer auctioneer;
+};
+
+double MeasureSetBidNs(World& world, int bidders, int ops) {
+  // Re-bid existing accounts round-robin with alternating rates: the
+  // steady-state hot path (index lookup + O(1) delta on the active sum).
+  const sim::SimTime deadline = sim::Seconds(1'000'000'000);
+  std::vector<std::string> users;
+  users.reserve(static_cast<std::size_t>(bidders));
+  for (int i = 0; i < bidders; ++i) users.push_back(UserName(i));
+  const auto start = Clock::now();
+  for (int i = 0; i < ops; ++i) {
+    const std::string& user = users[static_cast<std::size_t>(i % bidders)];
+    (void)world.auctioneer.SetBid(
+        user, Rate::MicrosPerSec(100 + (i * 7) % 900), deadline);
+  }
+  return ElapsedNs(start) / ops;
+}
+
+double MeasureIncrementalTickNs(World& world, int ticks) {
+  world.auctioneer.Start();
+  world.kernel.RunUntil(2 * sim::Seconds(10));  // warm up allocations
+  const sim::SimTime from = world.kernel.now();
+  const auto start = Clock::now();
+  world.kernel.RunUntil(from + ticks * sim::Seconds(10));
+  const double ns = ElapsedNs(start) / ticks;
+  world.auctioneer.Stop();
+  return ns;
+}
+
+double MeasureLegacyTickNs(int bidders, int ticks) {
+  LegacyMarket market(bidders);
+  sim::SimTime now = 0;
+  const sim::SimDuration interval = sim::Seconds(10);
+  for (int warm = 0; warm < 2; ++warm) market.Tick(now += interval, interval);
+  const auto start = Clock::now();
+  for (int i = 0; i < ticks; ++i) market.Tick(now += interval, interval);
+  const double ns = ElapsedNs(start) / ticks;
+  if (!market.revenue().is_positive()) std::abort();  // sanity: charging ran
+  return ns;
+}
+
+int Run(bool smoke) {
+  BenchResultFile results("market");
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{100} : std::vector<int>{100, 1000, 10000};
+  const int ticks = smoke ? 5 : 40;
+
+  double incremental_1k = 0.0;
+  double legacy_1k = 0.0;
+  for (const int bidders : sizes) {
+    const std::string label =
+        bidders == 1000 ? "1k" : (bidders == 10000 ? "10k" : "100");
+    const int bid_ops = smoke ? 20'000 : 200'000;
+
+    World world(bidders);
+    const double setbid_ns = MeasureSetBidNs(world, bidders, bid_ops);
+    const double tick_ns = MeasureIncrementalTickNs(world, ticks);
+    const double legacy_ns = MeasureLegacyTickNs(bidders, ticks);
+
+    results.Add("setbid_ns_" + label, setbid_ns, "ns/bid");
+    results.Add("tick_ns_" + label, tick_ns, "ns/tick");
+    results.Add("legacy_tick_ns_" + label, legacy_ns, "ns/tick");
+    std::printf("%5d bidders: %8.1f ns/bid  %10.0f ns/tick  (legacy %10.0f,"
+                " %.2fx)\n",
+                bidders, setbid_ns, tick_ns, legacy_ns, legacy_ns / tick_ns);
+    if (bidders == 1000) {
+      incremental_1k = tick_ns;
+      legacy_1k = legacy_ns;
+    }
+  }
+  if (incremental_1k > 0.0) {
+    results.Add("speedup_tick_1k", legacy_1k / incremental_1k, "x");
+  }
+  return results.Write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gm::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return gm::bench::Run(smoke);
+}

@@ -60,6 +60,27 @@ for span in submit fund-verify bid stage-in execute stage-out refund; do
 done
 echo "telemetry smoke: JSONL parses, submit->refund chain complete"
 
+echo "== market bench smoke: incremental hot path emits valid JSON =="
+(cd "$SMOKE_DIR" && "$OLDPWD/$BUILD_DIR/bench/market_hot_path" --smoke \
+  > market_hot_path.log)
+BENCH_JSON="$SMOKE_DIR/BENCH_market.json"
+[ -s "$BENCH_JSON" ] || { echo "BENCH_market.json missing or empty"; exit 1; }
+python3 - "$BENCH_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("benchmark") != "market":
+    sys.exit("BENCH_market.json: benchmark field is not 'market'")
+rows = {row["name"]: row["value"] for row in doc["results"]}
+for name in ("setbid_ns_100", "tick_ns_100", "legacy_tick_ns_100"):
+    if name not in rows:
+        sys.exit(f"BENCH_market.json: missing row '{name}'")
+    if not rows[name] > 0:
+        sys.exit(f"BENCH_market.json: row '{name}' not positive: "
+                 f"{rows[name]}")
+EOF
+echo "market bench smoke: BENCH_market.json valid (ns/bid and ns/tick > 0)"
+
 echo "== sanitizers: ASan + UBSan =="
 scripts/check_sanitize.sh "$@"
 

@@ -30,6 +30,15 @@ Three rules, each guarding an invariant the type system cannot express:
                       gm::MutexLock, gm::CondVar and gm::Thread.
                       (std::this_thread and std::atomic stay legal.)
 
+  hotpath-map-iteration
+                      No std::map iteration (range-for or .begin()) inside
+                      src/market/ functions tagged '// gmlint: hotpath'.
+                      Tagged functions are per-tick market code: node-based
+                      ordered maps cost a pointer chase per element, which
+                      is exactly what the SoA bid table exists to avoid.
+                      Point lookups (.find / operator[]) stay legal; only
+                      iteration is flagged. Cold paths simply omit the tag.
+
   include-layering    Project includes must respect the layer graph: a
                       file in src/<dir>/ may only include headers from the
                       directories <dir> is allowed to depend on. In
@@ -59,7 +68,7 @@ import re
 import sys
 
 RULES = ("nondeterminism", "unordered-iteration", "float-money-eq",
-         "raw-threading", "include-layering")
+         "raw-threading", "include-layering", "hotpath-map-iteration")
 
 NONDET_PATTERN = re.compile(
     r"\bstd::rand\b|\bstd::random_device\b|\brandom_device\b"
@@ -96,6 +105,14 @@ RAW_THREADING = re.compile(
 )
 # The one place raw primitives are legitimate: the wrappers themselves.
 RAW_THREADING_EXEMPT = re.compile(r"(^|/)src/common/concurrency\.")
+
+# Hot-path map-iteration rule: functions tagged '// gmlint: hotpath' in
+# src/market/ must not iterate node-based ordered maps.
+HOTPATH_SCOPE = re.compile(r"(^|/)src/market/")
+HOTPATH_TAG = re.compile(r"gmlint:\s*hotpath\b")
+MAP_DECL = re.compile(r"\bstd::(?:multi)?map\s*<[^;(){}]*>\s+(\w+)\s*[;={]")
+INLINE_MAP_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*[^;)]*\bstd::(?:multi)?map\b")
+MAP_BEGIN = re.compile(r"\b(\w+)\s*\.\s*begin\s*\(")
 
 # Layer graph: which top-level src/ directories each directory may include
 # from. Mirrors the CMake target graph; notably market/ and host/ must not
@@ -195,6 +212,47 @@ class File:
         return index > 0 and rule in self.allows[index - 1]
 
 
+def collect_map_names(files):
+    names = set()
+    for source in files:
+        for line in source.code:
+            for match in MAP_DECL.finditer(line):
+                names.add(match.group(1))
+    return names
+
+
+def hotpath_lines(source):
+    """Line indices inside function bodies tagged 'gmlint: hotpath'.
+
+    The tag goes on (or directly above) the function signature; the
+    region runs from the body's opening brace to its matching close,
+    tracked by brace depth over the comment-stripped code.
+    """
+    lines = set()
+    pending = False
+    in_region = False
+    depth = 0
+    for index, raw in enumerate(source.raw):
+        if HOTPATH_TAG.search(raw):
+            pending = True
+        if in_region:
+            lines.add(index)
+        for char in source.code[index]:
+            if char == "{":
+                if pending and not in_region:
+                    pending = False
+                    in_region = True
+                    depth = 0
+                    lines.add(index)
+                if in_region:
+                    depth += 1
+            elif char == "}" and in_region:
+                depth -= 1
+                if depth == 0:
+                    in_region = False
+    return lines
+
+
 def collect_unordered_names(files):
     names = set()
     for source in files:
@@ -213,11 +271,17 @@ def lint(files, rules, path_filter):
                 f"{source.display}:{index + 1}: [{rule}] {message}")
 
     unordered_names = collect_unordered_names(files)
+    map_names = collect_map_names(files)
     for source in files:
         nondet_scope = not (path_filter
                             and NONDET_EXEMPT.search(source.display))
         unordered_scope = (not path_filter
                            or UNORDERED_SCOPE.search(source.display))
+        hotpath_scope = (not path_filter
+                         or HOTPATH_SCOPE.search(source.display))
+        hot_lines = (hotpath_lines(source)
+                     if "hotpath-map-iteration" in rules and hotpath_scope
+                     else set())
         threading_scope = not (path_filter
                                and RAW_THREADING_EXEMPT.search(source.display))
         layer = source.layer
@@ -262,6 +326,26 @@ def lint(files, rules, path_filter):
                            " registry and thread-safety annotations; use"
                            " gm::Mutex / gm::MutexLock / gm::CondVar /"
                            " gm::Thread from common/concurrency.hpp")
+            if "hotpath-map-iteration" in rules and index in hot_lines:
+                range_match = RANGE_FOR.search(line)
+                begin_match = MAP_BEGIN.search(line)
+                if range_match and range_match.group(1) in map_names:
+                    report(source, index, "hotpath-map-iteration",
+                           f"range-for over std::map"
+                           f" '{range_match.group(1)}' in a hotpath-tagged"
+                           " function: node-based iteration on the tick"
+                           " path; use the SoA bid table / flat arrays")
+                elif INLINE_MAP_FOR.search(line):
+                    report(source, index, "hotpath-map-iteration",
+                           "iteration over a std::map in a hotpath-tagged"
+                           " function: node-based iteration on the tick"
+                           " path; use the SoA bid table / flat arrays")
+                elif begin_match and begin_match.group(1) in map_names:
+                    report(source, index, "hotpath-map-iteration",
+                           f"'.begin()' on std::map"
+                           f" '{begin_match.group(1)}' in a hotpath-tagged"
+                           " function: node-based iteration on the tick"
+                           " path; use the SoA bid table / flat arrays")
             if "float-money-eq" in rules:
                 if EXACT_HINT.search(line):
                     continue

@@ -5,6 +5,105 @@
 #include <numeric>
 
 namespace gm::br {
+namespace {
+
+BestResponseResult PackageFrom(const std::vector<HostBidInput>& hosts,
+                               const std::vector<double>& y,
+                               std::vector<double> bids, double lambda) {
+  BestResponseResult result;
+  result.lambda = lambda;
+  result.bids.reserve(hosts.size());
+  for (std::size_t j = 0; j < hosts.size(); ++j) {
+    BidAllocation allocation;
+    allocation.host_id = hosts[j].host_id;
+    allocation.bid = Rate::DollarsPerSec(bids[j]);
+    allocation.expected_share =
+        bids[j] > 0.0 ? bids[j] / (bids[j] + y[j]) : 0.0;
+    result.bids.push_back(std::move(allocation));
+  }
+  double utility = 0.0;
+  for (std::size_t j = 0; j < hosts.size(); ++j) {
+    if (bids[j] > 0.0)
+      utility += hosts[j].weight * bids[j] / (bids[j] + y[j]);
+  }
+  result.utility = utility;
+  return result;
+}
+
+}  // namespace
+
+std::pair<std::size_t, double> BestResponsePlan::ActivePrefix(
+    double budget) const {
+  const std::size_t n = y_.size();
+  const auto admits = [&](std::size_t k) {
+    // Water level over the first k hosts and the admission test for the
+    // marginal one: sqrt(w_k y_k) * t_k - y_k > 0  <=>  w_k / y_k > lambda.
+    const double t = (budget + prefix_y_[k]) / prefix_sqrt_wy_[k];
+    return sqrt_wy_sorted_[k - 1] * t - y_sorted_[k - 1] > 0.0;
+  };
+  GM_ASSERT(n > 0 && admits(1),
+            "best response: no host admitted (unreachable)");
+  std::size_t lo = 1;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (admits(mid))
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return {lo, (budget + prefix_y_[lo]) / prefix_sqrt_wy_[lo]};
+}
+
+double BestResponsePlan::SolveInto(double budget, double* bids) const {
+  GM_ASSERT(!empty(), "best response: empty plan");
+  GM_ASSERT(budget > 0.0, "best response: budget must be positive");
+  const auto [active, t] = ActivePrefix(budget);
+  const std::size_t n = y_.size();
+  for (std::size_t j = 0; j < n; ++j) bids[j] = 0.0;
+  double allocated = 0.0;
+  for (std::size_t k = 0; k < active; ++k) {
+    const double bid =
+        std::max(0.0, sqrt_wy_sorted_[k] * t - y_sorted_[k]);
+    bids[order_[k]] = bid;
+    allocated += bid;
+  }
+  // Numerical cleanup: scale so the budget binds exactly.
+  if (allocated > 0.0) {
+    const double scale = budget / allocated;
+    for (std::size_t j = 0; j < n; ++j) bids[j] *= scale;
+  }
+  return 1.0 / (t * t);
+}
+
+double BestResponsePlan::UtilityAt(double budget) const {
+  GM_ASSERT(!empty(), "best response: empty plan");
+  GM_ASSERT(budget > 0.0, "best response: budget must be positive");
+  const auto [active, t] = ActivePrefix(budget);
+  double allocated = 0.0;
+  for (std::size_t k = 0; k < active; ++k)
+    allocated += std::max(0.0, sqrt_wy_sorted_[k] * t - y_sorted_[k]);
+  const double scale = allocated > 0.0 ? budget / allocated : 0.0;
+  double utility = 0.0;
+  for (std::size_t k = 0; k < active; ++k) {
+    const double raw = std::max(0.0, sqrt_wy_sorted_[k] * t - y_sorted_[k]);
+    const double x = raw * scale;
+    if (x > 0.0) {
+      const std::size_t j = order_[k];
+      utility += hosts_[j].weight * x / (x + y_[j]);
+    }
+  }
+  return utility;
+}
+
+Result<BestResponseResult> BestResponsePlan::Solve(Rate budget_rate) const {
+  if (empty()) return Status::InvalidArgument("best response: no hosts");
+  if (!budget_rate.is_positive())
+    return Status::InvalidArgument("best response: budget must be positive");
+  std::vector<double> bids(y_.size(), 0.0);
+  const double lambda = SolveInto(budget_rate.dollars_per_sec(), bids.data());
+  return PackageFrom(hosts_, y_, std::move(bids), lambda);
+}
 
 BestResponseSolver::BestResponseSolver(Rate reserve_price)
     : reserve_price_(reserve_price) {
@@ -16,12 +115,10 @@ double BestResponseSolver::EffectivePrice(const HostBidInput& host) const {
                   reserve_price_.dollars_per_sec());
 }
 
-Status BestResponseSolver::Validate(const std::vector<HostBidInput>& hosts,
-                                    Rate budget) const {
+Status BestResponseSolver::Validate(
+    const std::vector<HostBidInput>& hosts) const {
   if (hosts.empty())
     return Status::InvalidArgument("best response: no hosts");
-  if (!budget.is_positive())
-    return Status::InvalidArgument("best response: budget must be positive");
   for (const HostBidInput& host : hosts) {
     if (!(host.weight > 0.0))
       return Status::InvalidArgument("best response: weight must be > 0 on " +
@@ -31,6 +128,67 @@ Status BestResponseSolver::Validate(const std::vector<HostBidInput>& hosts,
                                      host.host_id);
   }
   return Status::Ok();
+}
+
+Result<BestResponsePlan> BestResponseSolver::MakePlan(
+    const std::vector<HostBidInput>& hosts) const {
+  GM_RETURN_IF_ERROR(Validate(hosts));
+  const std::size_t n = hosts.size();
+  BestResponsePlan plan;
+  plan.hosts_ = hosts;
+  plan.y_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) plan.y_[j] = EffectivePrice(hosts[j]);
+
+  // Order hosts by marginal utility at zero bid, w_j / y_j, descending;
+  // the optimal active set is a prefix of this order. The key is computed
+  // once per host (the old per-solve comparator recomputed the effective
+  // price on every comparison). Ties break by index so the permutation —
+  // and with it every downstream float sum — is deterministic.
+  plan.order_.resize(n);
+  std::iota(plan.order_.begin(), plan.order_.end(), 0);
+  std::vector<double> key(n);
+  for (std::size_t j = 0; j < n; ++j) key[j] = hosts[j].weight / plan.y_[j];
+  std::sort(plan.order_.begin(), plan.order_.end(),
+            [&key](std::size_t a, std::size_t b) {
+              if (key[a] != key[b]) return key[a] > key[b];
+              return a < b;
+            });
+
+  plan.y_sorted_.resize(n);
+  plan.sqrt_wy_sorted_.resize(n);
+  plan.prefix_y_.resize(n + 1);
+  plan.prefix_sqrt_wy_.resize(n + 1);
+  plan.prefix_y_[0] = 0.0;
+  plan.prefix_sqrt_wy_[0] = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t j = plan.order_[k];
+    const double y = plan.y_[j];
+    plan.y_sorted_[k] = y;
+    plan.sqrt_wy_sorted_[k] = std::sqrt(hosts[j].weight * y);
+    plan.prefix_y_[k + 1] = plan.prefix_y_[k] + y;
+    plan.prefix_sqrt_wy_[k + 1] =
+        plan.prefix_sqrt_wy_[k] + plan.sqrt_wy_sorted_[k];
+  }
+  return plan;
+}
+
+Result<BestResponseResult> BestResponseSolver::Solve(
+    const std::vector<HostBidInput>& hosts, Rate budget_rate) const {
+  GM_ASSIGN_OR_RETURN(const BestResponsePlan plan, MakePlan(hosts));
+  return plan.Solve(budget_rate);
+}
+
+Result<std::vector<BestResponseResult>> BestResponseSolver::SolveBatch(
+    const std::vector<HostBidInput>& hosts,
+    const std::vector<Rate>& budgets) const {
+  GM_ASSIGN_OR_RETURN(const BestResponsePlan plan, MakePlan(hosts));
+  std::vector<BestResponseResult> results;
+  results.reserve(budgets.size());
+  for (const Rate budget : budgets) {
+    GM_ASSIGN_OR_RETURN(BestResponseResult result, plan.Solve(budget));
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 double BestResponseSolver::Utility(const std::vector<HostBidInput>& hosts,
@@ -48,87 +206,17 @@ double BestResponseSolver::Utility(const std::vector<HostBidInput>& hosts,
 BestResponseResult BestResponseSolver::Package(
     const std::vector<HostBidInput>& hosts, std::vector<double> bids,
     double lambda) const {
-  BestResponseResult result;
-  result.lambda = lambda;
-  result.bids.reserve(hosts.size());
-  for (std::size_t j = 0; j < hosts.size(); ++j) {
-    BidAllocation allocation;
-    allocation.host_id = hosts[j].host_id;
-    allocation.bid = Rate::DollarsPerSec(bids[j]);
-    const double y = EffectivePrice(hosts[j]);
-    allocation.expected_share =
-        bids[j] > 0.0 ? bids[j] / (bids[j] + y) : 0.0;
-    result.bids.push_back(std::move(allocation));
-  }
-  double utility = 0.0;
-  for (std::size_t j = 0; j < hosts.size(); ++j) {
-    if (bids[j] > 0.0)
-      utility += hosts[j].weight * bids[j] / (bids[j] + EffectivePrice(hosts[j]));
-  }
-  result.utility = utility;
-  return result;
-}
-
-Result<BestResponseResult> BestResponseSolver::Solve(
-    const std::vector<HostBidInput>& hosts, Rate budget_rate) const {
-  GM_RETURN_IF_ERROR(Validate(hosts, budget_rate));
-  const double budget = budget_rate.dollars_per_sec();
-  const std::size_t n = hosts.size();
-
-  // Order hosts by marginal utility at zero bid, w_j / y_j, descending.
-  // The optimal active set is a prefix of this order.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  const auto y_of = [&](std::size_t j) { return EffectivePrice(hosts[j]); };
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return hosts[a].weight / y_of(a) > hosts[b].weight / y_of(b);
-  });
-
-  // Grow the active prefix. For active set S:
-  //   sum_{j in S} (sqrt(w_j y_j) * t - y_j) = X,
-  //   t = 1 / sqrt(lambda) = (X + sum y_j) / (sum sqrt(w_j y_j)).
-  // The prefix is feasible while the marginal host still bids positively:
-  //   sqrt(w_j y_j) * t > y_j  <=>  w_j / y_j > lambda.
-  double sum_y = 0.0;
-  double sum_sqrt_wy = 0.0;
-  double best_t = 0.0;
-  std::size_t active = 0;
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t j = order[k];
-    const double y = y_of(j);
-    const double next_sum_y = sum_y + y;
-    const double next_sum_sqrt = sum_sqrt_wy + std::sqrt(hosts[j].weight * y);
-    const double t = (budget + next_sum_y) / next_sum_sqrt;
-    // Host j itself must receive a positive bid under this t.
-    if (std::sqrt(hosts[j].weight * y) * t - y <= 0.0) break;
-    sum_y = next_sum_y;
-    sum_sqrt_wy = next_sum_sqrt;
-    best_t = t;
-    active = k + 1;
-  }
-  GM_ASSERT(active > 0, "best response: no host admitted (unreachable)");
-
-  std::vector<double> bids(n, 0.0);
-  double allocated = 0.0;
-  for (std::size_t k = 0; k < active; ++k) {
-    const std::size_t j = order[k];
-    const double y = y_of(j);
-    bids[j] = std::max(0.0, std::sqrt(hosts[j].weight * y) * best_t - y);
-    allocated += bids[j];
-  }
-  // Numerical cleanup: scale so the budget binds exactly.
-  if (allocated > 0.0) {
-    const double scale = budget / allocated;
-    for (double& bid : bids) bid *= scale;
-  }
-  const double lambda = 1.0 / (best_t * best_t);
-  return Package(hosts, std::move(bids), lambda);
+  std::vector<double> y(hosts.size());
+  for (std::size_t j = 0; j < hosts.size(); ++j) y[j] = EffectivePrice(hosts[j]);
+  return PackageFrom(hosts, y, std::move(bids), lambda);
 }
 
 Result<BestResponseResult> BestResponseSolver::SolveBisection(
     const std::vector<HostBidInput>& hosts, Rate budget_rate,
     double tolerance) const {
-  GM_RETURN_IF_ERROR(Validate(hosts, budget_rate));
+  GM_RETURN_IF_ERROR(Validate(hosts));
+  if (!budget_rate.is_positive())
+    return Status::InvalidArgument("best response: budget must be positive");
   const double budget = budget_rate.dollars_per_sec();
 
   // Total bid as a function of t = 1/sqrt(lambda) is increasing:

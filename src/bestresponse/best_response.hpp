@@ -7,10 +7,15 @@
 // (the spot price seen by this user).
 //
 // KKT conditions give x_j = max(0, sqrt(w_j y_j / lambda) - y_j) with the
-// multiplier lambda set so the budget binds. Solve() computes the exact
-// water-filling solution over the active set (hosts sorted by marginal
-// utility w_j / y_j); SolveBisection() is an independent reference used to
-// cross-check it. Idle hosts (y_j = 0) are handled with a reserve price,
+// multiplier lambda set so the budget binds. The optimal active set is a
+// prefix of the hosts ordered by marginal utility w_j / y_j, so a solve
+// factors into a per-host-set part (sort, square roots, prefix sums) and
+// a per-budget part (find the active prefix, fill bids). BestResponsePlan
+// captures the first part once; Solve/SolveBatch build a plan and run the
+// second part per budget — batching a user's whole candidate host set
+// into one pass instead of re-sorting and re-rooting for every solve.
+// SolveBisection() is an independent reference used to cross-check the
+// closed form. Idle hosts (y_j = 0) are handled with a reserve price,
 // matching Tycoon's reserve bid.
 #pragma once
 
@@ -40,15 +45,71 @@ struct BestResponseResult {
   double lambda = 0.0;  // KKT multiplier (0 when all prices were zero)
 };
 
+/// Precomputed solve state over a fixed candidate host set: the sorted
+/// order, the square roots and the prefix sums are paid once at plan
+/// time. Each budget then costs one O(log n) binary search over the
+/// monotone active-prefix predicate plus O(active) to fill bids — no
+/// sorting, no sqrt, no allocation. Build with
+/// BestResponseSolver::MakePlan; a moved-from or default plan is empty.
+class BestResponsePlan {
+ public:
+  BestResponsePlan() = default;
+
+  std::size_t host_count() const { return y_.size(); }
+  bool empty() const { return y_.empty(); }
+
+  /// Raw per-budget solve: writes x_j in $/s into bids[0..host_count()),
+  /// aligned with the host order the plan was built from, and returns
+  /// the KKT multiplier lambda. `budget` must be > 0.
+  double SolveInto(double budget_dollars_per_sec, double* bids) const;
+
+  /// Guaranteed capacity sum_j w_j x_j / (x_j + y_j) at `budget` without
+  /// materializing the bid vector — what budget-search loops need.
+  double UtilityAt(double budget_dollars_per_sec) const;
+
+  /// Packaged solve, same result shape as BestResponseSolver::Solve.
+  Result<BestResponseResult> Solve(Rate budget) const;
+
+ private:
+  friend class BestResponseSolver;
+
+  /// Largest k >= 1 such that host order_[k-1] still bids positively
+  /// under the water level t_k implied by the first k hosts, plus that
+  /// level. The predicate is monotone in k (mediant argument: t_k drifts
+  /// toward each admitted host's break-even price from above), which is
+  /// what makes the binary search valid.
+  std::pair<std::size_t, double> ActivePrefix(double budget) const;
+
+  std::vector<HostBidInput> hosts_;  // original order (ids for packaging)
+  std::vector<double> y_;            // effective price, original order
+  std::vector<std::size_t> order_;   // indices by w/y descending
+  // Sorted-order arrays: y, sqrt(w*y), and their inclusive prefix sums
+  // (prefix_*[k] covers the first k hosts; index 0 is 0).
+  std::vector<double> y_sorted_;
+  std::vector<double> sqrt_wy_sorted_;
+  std::vector<double> prefix_y_;
+  std::vector<double> prefix_sqrt_wy_;
+};
+
 class BestResponseSolver {
  public:
   /// `reserve_price` replaces y_j below it (idle hosts); must be > 0.
   explicit BestResponseSolver(Rate reserve_price = Rate::DollarsPerSec(1e-6));
 
+  /// Validate the host set and precompute a reusable plan for it.
+  Result<BestResponsePlan> MakePlan(
+      const std::vector<HostBidInput>& hosts) const;
+
   /// Exact water-filling solve. Fails on empty input, non-positive budget
-  /// or non-positive weights.
+  /// or non-positive weights. Equivalent to MakePlan + plan.Solve.
   Result<BestResponseResult> Solve(const std::vector<HostBidInput>& hosts,
                                    Rate budget) const;
+
+  /// Solve one host set for many budgets: the plan is built once, every
+  /// budget reuses it. result[i] corresponds to budgets[i].
+  Result<std::vector<BestResponseResult>> SolveBatch(
+      const std::vector<HostBidInput>& hosts,
+      const std::vector<Rate>& budgets) const;
 
   /// Reference implementation: bisection on the budget curve. Same
   /// contract as Solve; used to validate the closed form.
@@ -63,7 +124,7 @@ class BestResponseSolver {
   Rate reserve_price() const { return reserve_price_; }
 
  private:
-  Status Validate(const std::vector<HostBidInput>& hosts, Rate budget) const;
+  Status Validate(const std::vector<HostBidInput>& hosts) const;
   BestResponseResult Package(const std::vector<HostBidInput>& hosts,
                              std::vector<double> bids, double lambda) const;
   /// y_j in $/s with the reserve floor applied.

@@ -1,0 +1,71 @@
+#include "common/arena.hpp"
+
+namespace gm {
+namespace {
+
+constexpr std::size_t kMinChunk = 1024;
+
+char* AlignUp(char* p, std::size_t alignment) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t aligned =
+      (addr + alignment - 1) & ~static_cast<std::uintptr_t>(alignment - 1);
+  return p + (aligned - addr);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : next_chunk_bytes_(first_chunk_bytes < kMinChunk ? kMinChunk
+                                                      : first_chunk_bytes) {}
+
+Arena::Arena(void* initial, std::size_t bytes) : next_chunk_bytes_(kMinChunk) {
+  GM_ASSERT(initial != nullptr && bytes > 0, "Arena: bad external chunk");
+  Chunk chunk;
+  chunk.data = static_cast<char*>(initial);
+  chunk.size = bytes;
+  chunks_.push_back(std::move(chunk));
+  next_chunk_bytes_ = bytes * 2 < kMinChunk ? kMinChunk : bytes * 2;
+}
+
+void Arena::AddChunk(std::size_t min_bytes) {
+  std::size_t size = next_chunk_bytes_;
+  while (size < min_bytes) size *= 2;
+  Chunk chunk;
+  chunk.storage = std::make_unique<char[]>(size);
+  chunk.data = chunk.storage.get();
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  next_chunk_bytes_ = size * 2;
+}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t alignment) {
+  GM_ASSERT(alignment > 0 && (alignment & (alignment - 1)) == 0,
+            "Arena: alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      char* p = AlignUp(chunk.data + offset_, alignment);
+      const std::size_t end = static_cast<std::size_t>(p - chunk.data) + bytes;
+      if (end <= chunk.size) {
+        offset_ = end;
+        allocated_ += bytes;
+        return p;
+      }
+      // This chunk is full for the requested size; try the next one
+      // (retained by an earlier Reset) before growing.
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    AddChunk(bytes + alignment);
+  }
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  allocated_ = 0;
+}
+
+}  // namespace gm

@@ -1,0 +1,116 @@
+// Bump arena for per-tick / per-solve scratch vectors.
+//
+// The market hot path (auction ticks, Best Response solves) needs a
+// handful of short-lived vectors per call. Allocating them from the heap
+// every tick costs more than the arithmetic they carry; the arena hands
+// out pointers from pre-reserved chunks and reclaims everything at once
+// with Reset(). A caller-supplied first chunk (stack buffer) makes small
+// solves allocation-free end to end.
+//
+// Deterministic by construction: allocation order is a pure function of
+// the call sequence, there is no address reuse within an epoch, and
+// nothing here reads clocks or entropy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gm {
+
+class Arena {
+ public:
+  /// Heap-backed arena; the first chunk is `first_chunk_bytes` big and
+  /// later chunks double.
+  explicit Arena(std::size_t first_chunk_bytes = 4096);
+  /// Stack-backed arena: serve from `initial` (not owned, `bytes` big)
+  /// first and fall back to heap chunks only when it overflows.
+  Arena(void* initial, std::size_t bytes);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Aligned bump allocation. Never returns nullptr; grows by adding
+  /// chunks. Memory is uninitialized and lives until Reset()/destruction.
+  void* Allocate(std::size_t bytes, std::size_t alignment);
+
+  /// Reclaim every allocation at once. Chunks are retained, so a steady
+  /// per-tick workload stops touching the heap after the first epoch.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (diagnostics).
+  std::size_t allocated() const { return allocated_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> storage;  // null for the external first chunk
+    char* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  void AddChunk(std::size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;   // chunk being bumped
+  std::size_t offset_ = 0;    // next free byte within it
+  std::size_t allocated_ = 0;
+  std::size_t next_chunk_bytes_;
+};
+
+/// Minimal std-allocator adapter so standard containers can draw from an
+/// arena: `ArenaVector<double> v(ArenaAllocator<double>(&arena));`.
+/// deallocate is a no-op — memory returns at Arena::Reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {
+    GM_ASSERT(arena != nullptr, "ArenaAllocator: null arena");
+  }
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/// Convenience: an empty ArenaVector bound to `arena` with `reserve`
+/// capacity already carved out.
+template <typename T>
+ArenaVector<T> MakeArenaVector(Arena& arena, std::size_t reserve = 0) {
+  ArenaVector<T> v{ArenaAllocator<T>(&arena)};
+  if (reserve > 0) v.reserve(reserve);
+  return v;
+}
+
+/// Fixed stack buffer + arena pair for small, allocation-free scopes:
+///   ArenaScratch<4096> scratch;
+///   auto v = MakeArenaVector<double>(scratch.arena, n);
+template <std::size_t Bytes>
+struct ArenaScratch {
+  ArenaScratch() : arena(buffer, Bytes) {}
+  alignas(std::max_align_t) char buffer[Bytes];
+  Arena arena;
+};
+
+}  // namespace gm

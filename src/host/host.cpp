@@ -6,15 +6,15 @@
 
 namespace gm::host {
 
-std::vector<double> ProportionalShareWithCap(const std::vector<double>& weights,
-                                             double total, double cap,
-                                             bool redistribute) {
-  std::vector<double> granted(weights.size(), 0.0);
-  if (total <= 0 || cap <= 0) return granted;
+void ProportionalShareWithCapInto(const double* weights, std::size_t n,
+                                  double total, double cap, bool redistribute,
+                                  Arena& scratch, double* granted) {
+  for (std::size_t i = 0; i < n; ++i) granted[i] = 0.0;
+  if (total <= 0 || cap <= 0) return;
 
-  std::vector<std::size_t> active;
+  auto active = MakeArenaVector<std::size_t>(scratch, n);
   double active_weight = 0.0;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] > 0) {
       active.push_back(i);
       active_weight += weights[i];
@@ -25,14 +25,14 @@ std::vector<double> ProportionalShareWithCap(const std::vector<double>& weights,
     // capacity freed by the clip is wasted.
     for (const std::size_t i : active)
       granted[i] = std::min(cap, total * weights[i] / active_weight);
-    return granted;
+    return;
   }
   double remaining = total;
   // Iteratively cap entities whose proportional share exceeds the cap and
   // redistribute the freed capacity. Terminates in <= n iterations.
   while (!active.empty() && remaining > 1e-12) {
     bool capped_any = false;
-    std::vector<std::size_t> still_active;
+    auto still_active = MakeArenaVector<std::size_t>(scratch, active.size());
     double still_weight = 0.0;
     for (const std::size_t i : active) {
       const double share = remaining * weights[i] / active_weight;
@@ -52,11 +52,20 @@ std::vector<double> ProportionalShareWithCap(const std::vector<double>& weights,
     }
     // Recompute what remains after the caps taken this round.
     double taken = 0.0;
-    for (std::size_t i = 0; i < weights.size(); ++i) taken += granted[i];
+    for (std::size_t i = 0; i < n; ++i) taken += granted[i];
     remaining = total - taken;
     active = std::move(still_active);
     active_weight = still_weight;
   }
+}
+
+std::vector<double> ProportionalShareWithCap(const std::vector<double>& weights,
+                                             double total, double cap,
+                                             bool redistribute) {
+  std::vector<double> granted(weights.size());
+  ArenaScratch<2048> scratch;
+  ProportionalShareWithCapInto(weights.data(), weights.size(), total, cap,
+                               redistribute, scratch.arena, granted.data());
   return granted;
 }
 
@@ -121,41 +130,59 @@ std::vector<VirtualMachine*> PhysicalHost::vms() {
   return out;
 }
 
-std::vector<AllocationSlice> PhysicalHost::AdvanceInterval(
+void PhysicalHost::AdvanceInterval(
     sim::SimTime start, sim::SimDuration dt,
-    const std::map<std::string, double>& weights) {
+    const std::function<double(const VirtualMachine&)>& weight_of,
+    Arena& scratch, std::vector<AllocationSlice>& out) {
+  out.clear();
   // Runnable VMs with positive weight take part in the auction round.
-  std::vector<VirtualMachine*> participants;
-  std::vector<double> participant_weights;
+  auto participants = MakeArenaVector<VirtualMachine*>(scratch, vms_.size());
+  auto participant_weights = MakeArenaVector<double>(scratch, vms_.size());
   const sim::SimTime end = start + dt;
   for (auto& [id, vm] : vms_) {
     if (vm->destroyed()) continue;
     // A VM becoming ready mid-interval still participates for its tail.
     if (!vm->HasWork() || vm->ready_at() >= end) continue;
-    const auto it = weights.find(id);
-    const double w = it == weights.end() ? 0.0 : it->second;
+    const double w = weight_of(*vm);
     if (w <= 0) continue;
     participants.push_back(vm.get());
     participant_weights.push_back(w);
   }
 
-  const std::vector<double> granted = ProportionalShareWithCap(
-      participant_weights, TotalCapacity(), PerCpuCapacity(),
-      spec_.work_conserving);
+  auto granted = MakeArenaVector<double>(scratch, participants.size());
+  granted.resize(participants.size());
+  ProportionalShareWithCapInto(participant_weights.data(),
+                               participant_weights.size(), TotalCapacity(),
+                               PerCpuCapacity(), spec_.work_conserving,
+                               scratch, granted.data());
 
-  std::vector<AllocationSlice> slices;
-  slices.reserve(participants.size());
+  out.reserve(participants.size());
   for (std::size_t i = 0; i < participants.size(); ++i) {
     AllocationSlice slice;
     slice.vm_id = participants[i]->id();
+    slice.vm = participants[i];
     slice.weight = participant_weights[i];
     slice.granted = granted[i];
     slice.used = participants[i]->Advance(start, dt, granted[i]);
     const Cycles offered = granted[i] * sim::ToSeconds(dt);
     slice.used_fraction = offered > 0 ? slice.used / offered : 0.0;
     delivered_cycles_ += slice.used;
-    slices.push_back(std::move(slice));
+    out.push_back(std::move(slice));
   }
+}
+
+std::vector<AllocationSlice> PhysicalHost::AdvanceInterval(
+    sim::SimTime start, sim::SimDuration dt,
+    const std::map<std::string, double>& weights) {
+  std::vector<AllocationSlice> slices;
+  ArenaScratch<2048> scratch;
+  AdvanceInterval(
+      start, dt,
+      [&weights](const VirtualMachine& vm) {
+        const auto it = weights.find(vm.id());
+        return it == weights.end() ? 0.0 : it->second;
+      },
+      scratch.arena, slices);
   return slices;
 }
 

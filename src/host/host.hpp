@@ -7,11 +7,13 @@
 // rest — Tycoon's work-conservation / no-starvation property.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "host/provision.hpp"
@@ -34,6 +36,9 @@ struct HostSpec {
 /// Per-interval allocation result for one VM.
 struct AllocationSlice {
   std::string vm_id;
+  /// The VM itself — valid until the next DestroyVm. Lets per-tick
+  /// consumers (charging) skip the id-string map lookup.
+  VirtualMachine* vm = nullptr;
   double weight = 0.0;
   CyclesPerSecond granted = 0.0;  // capacity for the interval
   Cycles used = 0.0;              // cycles actually consumed
@@ -72,6 +77,17 @@ class PhysicalHost {
       sim::SimTime start, sim::SimDuration dt,
       const std::map<std::string, double>& weights);
 
+  /// Hot-path variant for the auctioneer's tick loop: `weight_of` is
+  /// asked once per runnable VM (no weight map to build), scratch
+  /// vectors draw from `scratch` (reclaimed by the caller's Reset), and
+  /// slices are appended to `out` — cleared first — so its capacity is
+  /// reused across ticks. Arithmetic is identical to the map overload,
+  /// which delegates here: results are bit-for-bit the same.
+  void AdvanceInterval(
+      sim::SimTime start, sim::SimDuration dt,
+      const std::function<double(const VirtualMachine&)>& weight_of,
+      Arena& scratch, std::vector<AllocationSlice>& out);
+
   /// Utilization over the host's lifetime: delivered / (capacity * time).
   double Utilization(sim::SimDuration elapsed) const;
   Cycles delivered_cycles() const { return delivered_cycles_; }
@@ -91,5 +107,12 @@ class PhysicalHost {
 std::vector<double> ProportionalShareWithCap(const std::vector<double>& weights,
                                              double total, double cap,
                                              bool redistribute = true);
+
+/// Allocation-free core of ProportionalShareWithCap: writes the granted
+/// shares into `granted[0..n)` and draws its index scratch from `scratch`.
+/// Same arithmetic, same order — bit-identical to the vector wrapper.
+void ProportionalShareWithCapInto(const double* weights, std::size_t n,
+                                  double total, double cap, bool redistribute,
+                                  Arena& scratch, double* granted);
 
 }  // namespace gm::host

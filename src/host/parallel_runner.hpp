@@ -88,6 +88,12 @@ struct ParallelRunnerConfig {
   bool serial = false;
   /// Heartbeat every shard's host record into the SLS each round.
   bool publish_sls = true;
+  /// Every N rounds each shard closes its first bidder's account
+  /// (reclaiming the escrowed balance) and reopens it before bidding
+  /// again — account removal and re-add inside one round. 0 disables.
+  /// Exercises the incremental spot-price path's remove/re-add handling
+  /// under the determinism contract.
+  int churn_every = 0;
 };
 
 struct ParallelRunReport {
@@ -133,6 +139,9 @@ class ParallelRunner {
     std::string host_account;
     Rng rng;
     bool prepared = false;
+    /// Rounds this shard has executed; drives the churn cadence. Shard
+    /// state, so it is identical under serial and pooled execution.
+    std::uint64_t rounds_run = 0;
     /// Written only by the worker running this shard during the parallel
     /// phase, read by the main thread after the barrier.
     std::vector<PendingOp> ops;

@@ -80,12 +80,10 @@ std::string Auctioneer::VmId(const std::string& user) const {
 Status Auctioneer::OpenAccount(const std::string& user) {
   if (user.empty()) return Status::InvalidArgument("empty user");
   gm::MutexLock lock(&mu_);
-  if (accounts_.find(user) != accounts_.end())
+  if (bids_.Find(user) != BidTable::kNoSlot)
     return Status::AlreadyExists("account exists on host " + host_.id() +
                                  ": " + user);
-  MarketAccount account;
-  account.user = user;
-  accounts_.emplace(user, std::move(account));
+  bids_.Add(user, VmId(user));
   return Status::Ok();
 }
 
@@ -93,9 +91,11 @@ Status Auctioneer::Fund(const std::string& user, Money amount) {
   if (!amount.is_positive())
     return Status::InvalidArgument("funding must be > 0");
   gm::MutexLock lock(&mu_);
-  const auto it = accounts_.find(user);
-  if (it == accounts_.end()) return Status::NotFound("account: " + user);
-  it->second.balance += amount;
+  const BidTable::Slot s = bids_.Find(user);
+  if (s == BidTable::kNoSlot) return Status::NotFound("account: " + user);
+  // May re-activate a drained account's standing bid, which pushes a
+  // fresh expiry-heap entry so the deadline still fires.
+  bids_.AddBalance(s, amount.micros(), kernel_.now());
   return Status::Ok();
 }
 
@@ -104,68 +104,74 @@ Status Auctioneer::SetBid(const std::string& user, Rate rate_per_second,
   if (rate_per_second < Rate::Zero())
     return Status::InvalidArgument("bid rate must be >= 0");
   gm::MutexLock lock(&mu_);
-  const auto it = accounts_.find(user);
-  if (it == accounts_.end()) return Status::NotFound("account: " + user);
+  const BidTable::Slot s = bids_.Find(user);
+  if (s == BidTable::kNoSlot) return Status::NotFound("account: " + user);
   // Quantize to the ledger's micro-dollar/s grid: charging and spot-price
   // sums stay exact integers regardless of what the optimizer produced.
-  it->second.rate = Rate::MicrosPerSec(rate_per_second.micros_per_sec());
-  it->second.bid_deadline = deadline;
+  // The table absorbs the rate delta into the active sum in O(1).
+  bids_.SetBid(s, rate_per_second.micros_per_sec(), deadline, kernel_.now());
   return Status::Ok();
 }
 
 Result<Money> Auctioneer::CloseAccount(const std::string& user) {
   gm::MutexLock lock(&mu_);
-  const auto it = accounts_.find(user);
-  if (it == accounts_.end()) return Status::NotFound("account: " + user);
-  const Money refund = it->second.balance;
-  accounts_.erase(it);
+  const BidTable::Slot s = bids_.Find(user);
+  if (s == BidTable::kNoSlot) return Status::NotFound("account: " + user);
+  const Money refund = bids_.balance(s);
   // Deliberate discard: the account may never have acquired a VM, so a
   // NotFound from DestroyVm is expected here.
-  (void)host_.DestroyVm(VmId(user));
+  (void)host_.DestroyVm(bids_.cold(s).vm_id);
+  // Remove deactivates the bid: the spot price drops this instant, not
+  // at the next tick's re-sum.
+  bids_.Remove(s);
   return refund;
 }
 
 Result<Money> Auctioneer::Balance(const std::string& user) const {
   gm::MutexLock lock(&mu_);
-  const auto it = accounts_.find(user);
-  if (it == accounts_.end()) return Status::NotFound("account: " + user);
-  return it->second.balance;
+  const BidTable::Slot s = bids_.Find(user);
+  if (s == BidTable::kNoSlot) return Status::NotFound("account: " + user);
+  return bids_.balance(s);
 }
 
 Result<Money> Auctioneer::Spent(const std::string& user) const {
   gm::MutexLock lock(&mu_);
-  const auto it = accounts_.find(user);
-  if (it == accounts_.end()) return Status::NotFound("account: " + user);
-  return it->second.spent;
+  const BidTable::Slot s = bids_.Find(user);
+  if (s == BidTable::kNoSlot) return Status::NotFound("account: " + user);
+  return bids_.cold(s).spent;
 }
 
 bool Auctioneer::HasAccount(const std::string& user) const {
   gm::MutexLock lock(&mu_);
-  return accounts_.find(user) != accounts_.end();
+  return bids_.Find(user) != BidTable::kNoSlot;
 }
 
 Result<host::VirtualMachine*> Auctioneer::AcquireVm(const std::string& user) {
   gm::MutexLock lock(&mu_);
-  if (accounts_.find(user) == accounts_.end())
+  const BidTable::Slot s = bids_.Find(user);
+  if (s == BidTable::kNoSlot)
     return Status::FailedPrecondition("open an account before acquiring a VM");
   host::VirtualMachine* existing = host_.FindVmByOwner(user);
   if (existing != nullptr) return existing;
-  return host_.CreateVm(VmId(user), user, kernel_.now());
+  return host_.CreateVm(bids_.cold(s).vm_id, user, kernel_.now());
 }
 
-bool Auctioneer::BidActive(const MarketAccount& account,
-                           sim::SimTime now) const {
-  return account.rate.is_positive() && account.balance.is_positive() &&
-         now < account.bid_deadline;
+void Auctioneer::VerifyIncrementalLocked(sim::SimTime now) const {
+  if (!config_.verify_incremental) return;
+  // Exact integer comparison — both sides live on the micro-dollar/s
+  // grid, so any difference at all is a maintenance bug.
+  GM_ASSERT(bids_.active_sum_micros() == bids_.FullResumMicros(now),
+            "incremental spot price diverged from full re-sum");
 }
 
 Rate Auctioneer::SpotPriceRateLocked(sim::SimTime now) const {
-  // Exact integer sum: every stored rate is on the micro-dollar/s grid.
-  Micros total = 0;
-  for (const auto& [user, account] : accounts_) {
-    if (BidActive(account, now)) total += account.rate.micros_per_sec();
-  }
-  return Rate::MicrosPerSec(total);
+  // Settle deadline expiries up to `now`, then the maintained sum IS the
+  // spot price — no walk over the book.
+  bids_.ExpireUntil(now);
+  VerifyIncrementalLocked(now);
+  if (!config_.incremental_spot_price)
+    return Rate::MicrosPerSec(bids_.FullResumMicros(now));
+  return Rate::MicrosPerSec(bids_.active_sum_micros());
 }
 
 Rate Auctioneer::SpotPriceRate() const {
@@ -176,12 +182,17 @@ Rate Auctioneer::SpotPriceRate() const {
 Rate Auctioneer::SpotPriceRateExcluding(const std::string& user) const {
   gm::MutexLock lock(&mu_);
   const sim::SimTime now = kernel_.now();
-  Micros total = 0;
-  for (const auto& [name, account] : accounts_) {
-    if (name != user && BidActive(account, now))
-      total += account.rate.micros_per_sec();
-  }
-  return Rate::MicrosPerSec(total);
+  // Settling expiries first also fixes the exclusion itself: if `user`'s
+  // own bid lapsed this tick its active flag clears here, so it is not
+  // subtracted from a sum it no longer contributes to.
+  bids_.ExpireUntil(now);
+  VerifyIncrementalLocked(now);
+  const BidTable::Slot s = bids_.Find(user);
+  const Micros own = s == BidTable::kNoSlot ? 0 : bids_.active_rate_micros(s);
+  const Micros total = config_.incremental_spot_price
+                           ? bids_.active_sum_micros()
+                           : bids_.FullResumMicros(now);
+  return Rate::MicrosPerSec(total - own);
 }
 
 double Auctioneer::PricePerCapacityLocked(sim::SimTime now) const {
@@ -232,12 +243,13 @@ void Auctioneer::AttachTelemetry(telemetry::Telemetry* telemetry) {
 Status Auctioneer::SetAccountTrace(const std::string& user,
                                    telemetry::TraceId trace) {
   gm::MutexLock lock(&mu_);
-  const auto it = accounts_.find(user);
-  if (it == accounts_.end()) return Status::NotFound("no account: " + user);
-  it->second.trace = trace;
+  const BidTable::Slot s = bids_.Find(user);
+  if (s == BidTable::kNoSlot) return Status::NotFound("no account: " + user);
+  bids_.cold(s).trace = trace;
   return Status::Ok();
 }
 
+// gmlint: hotpath
 void Auctioneer::Tick() {
   // One lock for the whole round: an allocation tick is an atomic market
   // transaction. Inner calls ascend in rank only (history kPriceHistory,
@@ -247,37 +259,44 @@ void Auctioneer::Tick() {
   const sim::SimTime interval_start = now - config_.interval;
   const double dt_seconds = sim::ToSeconds(config_.interval);
 
-  // 1. Gather active bids as allocation weights.
-  std::map<std::string, double> weights;
-  for (const auto& [user, account] : accounts_) {
-    if (BidActive(account, interval_start) ||
-        BidActive(account, now)) {
-      weights[VmId(user)] =
-          static_cast<double>(account.rate.micros_per_sec());
-    }
-  }
+  bids_.ExpireUntil(now);
+  tick_arena_.Reset();
 
-  // 2. Allocate and run the interval that just elapsed.
-  const std::vector<host::AllocationSlice> slices =
-      host_.AdvanceInterval(interval_start, config_.interval, weights);
+  // 1-2. Allocate and run the interval that just elapsed. A bid earns a
+  // share if it was active at any point of the interval; with rate and
+  // balance only changing under this lock, that is exactly
+  //   rate > 0 && balance > 0 && deadline > interval_start
+  // (the union of active-at-interval-start and active-now). The host
+  // asks for each runnable VM's weight directly — no weight map, no
+  // VM-id string building.
+  host_.AdvanceInterval(
+      interval_start, config_.interval,
+      [&](const host::VirtualMachine& vm) -> double {
+        const BidTable::Slot s = bids_.Find(vm.owner());
+        if (s == BidTable::kNoSlot) return 0.0;
+        if (bids_.rate_micros(s) <= 0 || bids_.balance_micros(s) <= 0 ||
+            bids_.deadline(s) <= interval_start)
+          return 0.0;
+        return static_cast<double>(bids_.rate_micros(s));
+      },
+      tick_arena_, tick_slices_);
 
   // 3. Charge for actual use: rate * dt * used_fraction, capped by balance.
-  for (const host::AllocationSlice& slice : slices) {
-    host::VirtualMachine* vm = host_.GetVm(slice.vm_id).value_or(nullptr);
-    if (vm == nullptr) continue;
-    const auto it = accounts_.find(vm->owner());
-    if (it == accounts_.end()) continue;
-    MarketAccount& account = it->second;
-    const Money cost = Min(
-        ChargeFor(account.rate, dt_seconds, slice.used_fraction),
-        account.balance);
-    account.balance -= cost;
-    account.spent += cost;
+  // A charge that drains the balance deactivates the bid through the
+  // table, keeping the maintained sum honest.
+  for (const host::AllocationSlice& slice : tick_slices_) {
+    const BidTable::Slot s = bids_.Find(slice.vm->owner());
+    if (s == BidTable::kNoSlot) continue;
+    const Rate rate = Rate::MicrosPerSec(bids_.rate_micros(s));
+    const Money cost =
+        Min(ChargeFor(rate, dt_seconds, slice.used_fraction), bids_.balance(s));
+    bids_.AddBalance(s, -cost.micros(), now);
+    AccountCold& cold = bids_.cold(s);
+    cold.spent += cost;
     revenue_ += cost;
-    if (telemetry_ != nullptr && account.trace != 0 && cost.is_positive()) {
-      telemetry_->tracer().Instant(account.trace, "auction-tick",
-                                   "host=" + host_.id() +
-                                       " user=" + account.user,
+    if (telemetry_ != nullptr && cold.trace != 0 && cost.is_positive()) {
+      telemetry_->tracer().Instant(cold.trace, "auction-tick",
+                                   "host=" + host_.id() + " user=" + cold.user,
                                    now, cost.dollars());
     }
   }

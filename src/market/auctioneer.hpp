@@ -12,16 +12,23 @@
 //      host capacity — into the price history, the smoothed window moments
 //      and the slot-table distributions that feed the prediction layer.
 // Unused balances remain refundable via CloseAccount.
+//
+// Accounts live in a structure-of-arrays BidTable that keeps the active
+// bid sum as a delta-maintained integer: SetBid / Fund / charging /
+// CloseAccount adjust it in O(1) and deadline expiry drains lazily from
+// a min-heap, so reading the spot price never re-sums the book. See
+// bid_table.hpp for the invariant and DESIGN.md §11 for the layout.
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/concurrency.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "host/host.hpp"
+#include "market/bid_table.hpp"
 #include "market/price_history.hpp"
 #include "market/slot_table.hpp"
 #include "market/window_stats.hpp"
@@ -46,19 +53,19 @@ struct AuctioneerConfig {
   /// window (its span is what the prediction models can ever read), which
   /// bounds history memory on multi-week runs.
   sim::SimDuration history_retention = 0;
-};
-
-struct MarketAccount {
-  std::string user;
-  Money balance;        // refundable funds
-  Money spent;          // charged so far
-  /// Standing bid, quantized to whole micro-dollars per second at SetBid
-  /// so spot-price sums and charges are ledger-exact.
-  Rate rate;
-  sim::SimTime bid_deadline = 0;
-  /// Causal trace of the job this account is working for (telemetry);
-  /// 0 = untraced. Charged ticks of traced accounts become trace instants.
-  telemetry::TraceId trace = 0;
+  /// Serve spot-price reads from the delta-maintained active sum (O(1))
+  /// instead of re-summing the book (O(accounts)). Off is an escape
+  /// hatch for A/B measurement; both paths are ledger-exact.
+  bool incremental_spot_price = true;
+  /// Cross-check the incremental sum against a full re-sum at every
+  /// spot-price read. Exact integer comparison — any divergence is a
+  /// bug, and GM_ASSERT aborts. Costs O(accounts) per read, so it
+  /// defaults on only in debug builds.
+#ifndef NDEBUG
+  bool verify_incremental = true;
+#else
+  bool verify_incremental = false;
+#endif
 };
 
 /// Thread-safe: one mutex (rank kAuctioneer) guards the bid table, the
@@ -99,7 +106,10 @@ class Auctioneer {
   /// Sum of active bid rates right now.
   Rate SpotPriceRate() const;
   /// Spot price without `user`'s own bid — the y_j a best-response or
-  /// share-holding agent must bid against.
+  /// share-holding agent must bid against. Tracks same-tick bid
+  /// removals and deadline expiries exactly: removals subtract from the
+  /// maintained sum immediately, and the lazy expiry heap is drained to
+  /// `now` before every read.
   Rate SpotPriceRateExcluding(const std::string& user) const;
   /// Spot price per unit of capacity: $/s per cycles/s.
   double PricePerCapacity() const;
@@ -141,18 +151,24 @@ class Auctioneer {
   Status SetAccountTrace(const std::string& user, telemetry::TraceId trace);
 
  private:
-  bool BidActive(const MarketAccount& account, sim::SimTime now) const;
   std::string VmId(const std::string& user) const;
   void ResetWindowStats() GM_REQUIRES(mu_);
   Rate SpotPriceRateLocked(sim::SimTime now) const GM_REQUIRES(mu_);
   double PricePerCapacityLocked(sim::SimTime now) const GM_REQUIRES(mu_);
+  /// With verify_incremental: assert active_sum == full re-sum, exactly.
+  void VerifyIncrementalLocked(sim::SimTime now) const GM_REQUIRES(mu_);
 
   host::PhysicalHost& host_;
   sim::Kernel& kernel_;
   const AuctioneerConfig config_;
   mutable gm::Mutex mu_{"market.auctioneer", gm::lockrank::kAuctioneer};
   sim::EventHandle tick_handle_ GM_GUARDED_BY(mu_);
-  std::map<std::string, MarketAccount> accounts_ GM_GUARDED_BY(mu_);
+  /// mutable: reads drain the lazy expiry heap to `now` (still under mu_).
+  mutable BidTable bids_ GM_GUARDED_BY(mu_);
+  /// Per-tick scratch: Reset at the top of Tick, chunks retained, so a
+  /// steady market stops heap-allocating after the first round.
+  Arena tick_arena_ GM_GUARDED_BY(mu_){4096};
+  std::vector<host::AllocationSlice> tick_slices_ GM_GUARDED_BY(mu_);
   PriceHistory history_;  // carries its own lock (rank kPriceHistory)
   std::vector<std::pair<std::string, WindowMoments>> moments_
       GM_GUARDED_BY(mu_);

@@ -1,0 +1,131 @@
+#include "market/bid_table.hpp"
+
+#include <algorithm>
+
+namespace gm::market {
+namespace {
+
+/// Min-heap ordering for std::*_heap (which build max-heaps): the pair
+/// with the smallest (deadline, slot) surfaces first. Comparing the slot
+/// too keeps pop order a pure function of the op sequence.
+constexpr auto kLaterFirst = [](const std::pair<sim::SimTime, BidTable::Slot>& a,
+                                const std::pair<sim::SimTime, BidTable::Slot>& b) {
+  return a > b;
+};
+
+}  // namespace
+
+BidTable::Slot BidTable::Add(std::string user, std::string vm_id) {
+  GM_ASSERT(index_.find(user) == index_.end(), "BidTable: duplicate user");
+  Slot s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = span();
+    rate_.push_back(0);
+    deadline_.push_back(0);
+    balance_.push_back(0);
+    flags_.push_back(0);
+    cold_.emplace_back();
+  }
+  rate_[s] = 0;
+  deadline_[s] = 0;
+  balance_[s] = 0;
+  flags_[s] = kOccupied;
+  cold_[s].user = user;
+  cold_[s].vm_id = std::move(vm_id);
+  cold_[s].spent = Money::Zero();
+  cold_[s].trace = 0;
+  index_.emplace(std::move(user), s);
+  ++live_;
+  return s;
+}
+
+void BidTable::Remove(Slot s) {
+  GM_ASSERT(s < span() && occupied(s), "BidTable: remove of free slot");
+  Deactivate(s);
+  index_.erase(cold_[s].user);
+  cold_[s] = AccountCold{};  // release the strings
+  flags_[s] = 0;
+  rate_[s] = 0;
+  balance_[s] = 0;
+  deadline_[s] = 0;
+  free_.push_back(s);
+  --live_;
+}
+
+BidTable::Slot BidTable::Find(const std::string& user) const {
+  const auto it = index_.find(user);
+  return it == index_.end() ? kNoSlot : it->second;
+}
+
+void BidTable::Deactivate(Slot s) {
+  if (active(s)) {
+    flags_[s] &= static_cast<std::uint8_t>(~kActive);
+    active_sum_ -= rate_[s];
+  }
+}
+
+void BidTable::Refresh(Slot s, sim::SimTime now) {
+  const bool should_be_active = occupied(s) && rate_[s] > 0 &&
+                                balance_[s] > 0 && now < deadline_[s];
+  if (should_be_active == active(s)) return;
+  if (should_be_active) {
+    flags_[s] |= kActive;
+    active_sum_ += rate_[s];
+    // Guarantee a future expiry check for this activation. Earlier
+    // entries for the slot may already have been popped while it was
+    // inactive, so every activation pushes afresh.
+    expiry_.emplace_back(deadline_[s], s);
+    std::push_heap(expiry_.begin(), expiry_.end(), kLaterFirst);
+  } else {
+    Deactivate(s);
+  }
+}
+
+void BidTable::SetBid(Slot s, Micros rate_micros, sim::SimTime deadline,
+                      sim::SimTime now) {
+  GM_ASSERT(s < span() && occupied(s), "BidTable: SetBid on free slot");
+  // Retract the old contribution, swap the fields, re-derive activation.
+  Deactivate(s);
+  rate_[s] = rate_micros;
+  deadline_[s] = deadline;
+  Refresh(s, now);
+}
+
+void BidTable::AddBalance(Slot s, Micros delta, sim::SimTime now) {
+  GM_ASSERT(s < span() && occupied(s), "BidTable: AddBalance on free slot");
+  balance_[s] += delta;
+  Refresh(s, now);
+}
+
+// gmlint: hotpath
+void BidTable::ExpireUntil(sim::SimTime now) {
+  while (!expiry_.empty() && expiry_.front().first <= now) {
+    const Slot s = expiry_.front().second;
+    std::pop_heap(expiry_.begin(), expiry_.end(), kLaterFirst);
+    expiry_.pop_back();
+    // Lazy-deletion validity check: the entry only acts if the slot is
+    // still an active bid whose *current* deadline has passed. A re-bid
+    // to a later deadline, a removal, or slot reuse all fail the check
+    // (and slot reuse with a genuinely expired deadline is still a
+    // correct deactivation, whoever now owns the slot).
+    if (s < span() && occupied(s) && active(s) && deadline_[s] <= now) {
+      flags_[s] &= static_cast<std::uint8_t>(~kActive);
+      active_sum_ -= rate_[s];
+    }
+  }
+}
+
+Micros BidTable::FullResumMicros(sim::SimTime now) const {
+  Micros total = 0;
+  const Slot n = span();
+  for (Slot s = 0; s < n; ++s) {
+    if (occupied(s) && rate_[s] > 0 && balance_[s] > 0 && now < deadline_[s])
+      total += rate_[s];
+  }
+  return total;
+}
+
+}  // namespace gm::market

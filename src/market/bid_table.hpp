@@ -1,0 +1,142 @@
+// Structure-of-arrays bid table with incremental spot-price maintenance.
+//
+// The auction hot path touches three per-account fields — bid rate,
+// deadline, balance — thousands of times per tick. Stored as parallel
+// flat arrays (8-byte elements, contiguous), a full scan walks cache
+// lines instead of chasing std::map nodes with embedded strings; the
+// per-account strings and telemetry state live in a separate cold array
+// the tick loop never reads.
+//
+// On top of the layout the table maintains the aggregate active-bid sum
+// y_j = sum of rates over accounts with rate > 0, balance > 0 and
+// now < deadline as a delta-updated integer (micro-dollars/s): SetBid,
+// Fund/charge and account removal adjust the sum in O(1), and deadline
+// expiry is handled lazily through a min-heap of (deadline, slot)
+// entries drained by ExpireUntil(now). The invariant, checked by
+// FullResumMicros in debug builds:
+//
+//   after ExpireUntil(now):  active_sum == sum over occupied slots of
+//                            rate * [rate>0 && balance>0 && now<deadline]
+//
+// exactly, on the integer micro-dollar grid — no epsilon.
+//
+// Heap entries are never deleted eagerly. Every transition into the
+// active state pushes (deadline, slot); a popped entry deactivates its
+// slot only if the slot is still occupied, active and genuinely past its
+// recorded deadline, so stale entries (re-bids, removals, slot reuse)
+// fall through harmlessly. Slots are stable: removal pushes the slot on
+// a free list instead of compacting, so indices held across calls stay
+// valid until Remove.
+//
+// Not internally locked: the owning Auctioneer guards the whole table
+// with its own mutex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "sim/time.hpp"
+#include "telemetry/trace.hpp"
+
+namespace gm::market {
+
+/// Per-account data off the tick hot path: identity, lifetime spend and
+/// the causal trace of the job the account works for.
+struct AccountCold {
+  std::string user;
+  std::string vm_id;  // host-qualified VM id, derived once at open
+  Money spent;
+  telemetry::TraceId trace = 0;
+};
+
+class BidTable {
+ public:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xffffffffu;
+
+  /// Register an account; returns its stable slot. `user` must be new.
+  Slot Add(std::string user, std::string vm_id);
+  /// Remove the account, deactivating its bid (the slot is recycled).
+  void Remove(Slot slot);
+  /// Slot for `user`, or kNoSlot.
+  Slot Find(const std::string& user) const;
+
+  std::size_t size() const { return live_; }
+  /// One past the highest slot ever used (occupied and free alike).
+  Slot span() const { return static_cast<Slot>(rate_.size()); }
+  bool occupied(Slot s) const { return (flags_[s] & kOccupied) != 0; }
+  /// Whether the slot's bid currently counts toward the active sum.
+  bool active(Slot s) const { return (flags_[s] & kActive) != 0; }
+
+  Micros rate_micros(Slot s) const { return rate_[s]; }
+  sim::SimTime deadline(Slot s) const { return deadline_[s]; }
+  Micros balance_micros(Slot s) const { return balance_[s]; }
+  Money balance(Slot s) const { return Money::FromMicros(balance_[s]); }
+  AccountCold& cold(Slot s) { return cold_[s]; }
+  const AccountCold& cold(Slot s) const { return cold_[s]; }
+
+  /// Replace the standing bid; the active sum absorbs the delta in O(1).
+  void SetBid(Slot s, Micros rate_micros, sim::SimTime deadline,
+              sim::SimTime now);
+  /// Adjust the balance by `delta` (positive: funding; negative: charge).
+  /// Crossing zero flips the slot's activation and updates the sum.
+  void AddBalance(Slot s, Micros delta, sim::SimTime now);
+
+  /// Drain expiry-heap entries with deadline <= now, deactivating the
+  /// bids that genuinely expired. Amortized O(log n) per state change.
+  void ExpireUntil(sim::SimTime now);
+
+  /// The incrementally maintained y_j in micro-dollars/s. Only valid as
+  /// "the sum at time now" after ExpireUntil(now).
+  Micros active_sum_micros() const { return active_sum_; }
+  /// This slot's contribution to the active sum (0 when inactive).
+  Micros active_rate_micros(Slot s) const { return active(s) ? rate_[s] : 0; }
+
+  /// Debug oracle: recompute the active sum from scratch. The incremental
+  /// sum must equal this exactly after ExpireUntil(now).
+  Micros FullResumMicros(sim::SimTime now) const;
+
+  /// Pending (not yet drained) expiry-heap entries, for tests.
+  std::size_t expiry_heap_size() const { return expiry_.size(); }
+
+  /// Visit every occupied slot in slot order (deterministic: slot
+  /// assignment is a pure function of the Add/Remove sequence).
+  template <typename F>
+  void ForEachOccupied(F&& visit) const {
+    for (Slot s = 0; s < span(); ++s) {
+      if (occupied(s)) visit(s);
+    }
+  }
+
+ private:
+  static constexpr std::uint8_t kOccupied = 1;
+  static constexpr std::uint8_t kActive = 2;
+
+  /// Recompute the slot's activation from its fields; on a transition,
+  /// apply the rate delta to the sum and (on activation) push the
+  /// deadline entry that guarantees a future expiry check.
+  void Refresh(Slot s, sim::SimTime now);
+  void Deactivate(Slot s);
+
+  // Hot: scanned/indexed every tick.
+  std::vector<Micros> rate_;
+  std::vector<sim::SimTime> deadline_;
+  std::vector<Micros> balance_;
+  std::vector<std::uint8_t> flags_;
+  // Cold: touched by management calls and charging only.
+  std::vector<AccountCold> cold_;
+
+  std::vector<Slot> free_;
+  /// Min-heap on (deadline, slot); lazy deletion as described above.
+  std::vector<std::pair<sim::SimTime, Slot>> expiry_;
+  /// Lookup only — never iterated (hash order is not deterministic).
+  std::unordered_map<std::string, Slot> index_;
+  Micros active_sum_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace gm::market

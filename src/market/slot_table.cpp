@@ -13,8 +13,8 @@ SlotTable::SlotTable(std::size_t window, std::size_t slots,
   GM_ASSERT(slots_ >= 2 && slots_ % 2 == 0,
             "SlotTable: need an even number of slots >= 2");
   GM_ASSERT(initial_max > 0.0, "SlotTable: initial_max must be positive");
-  arrays_[0].counts.assign(slots_, 0.0);
-  arrays_[1].counts.assign(slots_, 0.0);
+  arrays_[0].counts.assign(slots_, 0);
+  arrays_[1].counts.assign(slots_, 0);
 }
 
 void SlotTable::ExpandToInclude(double price) {
@@ -24,7 +24,7 @@ void SlotTable::ExpandToInclude(double price) {
       for (std::size_t j = 0; j < slots_ / 2; ++j)
         array.counts[j] = array.counts[2 * j] + array.counts[2 * j + 1];
       std::fill(array.counts.begin() + static_cast<std::ptrdiff_t>(slots_ / 2),
-                array.counts.end(), 0.0);
+                array.counts.end(), 0u);
     }
     width_ *= 2.0;
   }
@@ -33,12 +33,12 @@ void SlotTable::ExpandToInclude(double price) {
 void SlotTable::AddTo(DistArray& array, double price) {
   if (array.snapshots == 2 * window_) {
     // Restart: this array begins a fresh window.
-    std::fill(array.counts.begin(), array.counts.end(), 0.0);
+    std::fill(array.counts.begin(), array.counts.end(), 0u);
     array.snapshots = 0;
   }
   const auto j = std::min(static_cast<std::size_t>(price / width_),
                           slots_ - 1);
-  array.counts[j] += 1.0;
+  array.counts[j] += 1;
   ++array.snapshots;
 }
 
@@ -70,7 +70,7 @@ std::vector<double> SlotTable::Proportions() const {
     if (array.snapshots == 0 || weight <= 0.0) return;
     const double total = static_cast<double>(array.snapshots);
     for (std::size_t j = 0; j < slots_; ++j)
-      dst[j] += weight * array.counts[j] / total;
+      dst[j] += weight * static_cast<double>(array.counts[j]) / total;
   };
   if (arrays_[1].snapshots == 0) {
     // Second array not yet started: report the first alone.

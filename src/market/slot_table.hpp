@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/status.hpp"
@@ -46,8 +47,13 @@ class SlotTable {
   double Weight1() const;
 
  private:
+  /// Snapshot tallies are integers by nature; storing them as integers
+  /// keeps merge-and-halve (ExpandToInclude) exact — no float drift no
+  /// matter how many doublings — and packs twice as many slots per cache
+  /// line. Bounded by 2 * window (<= 120960 for the week window), far
+  /// inside uint32 range.
   struct DistArray {
-    std::vector<double> counts;
+    std::vector<std::uint32_t> counts;
     std::size_t snapshots = 0;
   };
 

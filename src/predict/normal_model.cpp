@@ -76,8 +76,13 @@ NormalPricePredictor::GuaranteeCurve(double p, double max_budget_per_day,
   return curve;
 }
 
-Result<CyclesPerSecond> UtilityWithGuarantee(
-    const std::vector<HostPriceStats>& hosts, double budget_rate, double p) {
+namespace {
+
+/// Quantile-priced best-response plan over `hosts` — the per-host-set
+/// work (quantiles, sort, square roots) done once, reusable across
+/// every budget probe of a bisection.
+Result<br::BestResponsePlan> GuaranteePlan(
+    const std::vector<HostPriceStats>& hosts, double p) {
   if (hosts.empty()) return Status::InvalidArgument("no hosts");
   std::vector<br::HostBidInput> inputs;
   inputs.reserve(hosts.size());
@@ -87,8 +92,17 @@ Result<CyclesPerSecond> UtilityWithGuarantee(
                       Rate::DollarsPerSec(predictor.PriceQuantile(p))});
   }
   br::BestResponseSolver solver;
+  return solver.MakePlan(inputs);
+}
+
+}  // namespace
+
+Result<CyclesPerSecond> UtilityWithGuarantee(
+    const std::vector<HostPriceStats>& hosts, double budget_rate, double p) {
+  GM_ASSIGN_OR_RETURN(const br::BestResponsePlan plan,
+                      GuaranteePlan(hosts, p));
   GM_ASSIGN_OR_RETURN(const br::BestResponseResult result,
-                      solver.Solve(inputs, Rate::DollarsPerSec(budget_rate)));
+                      plan.Solve(Rate::DollarsPerSec(budget_rate)));
   return result.utility;  // sum of w_j * share_j == guaranteed cycles/s
 }
 
@@ -102,22 +116,22 @@ Result<double> BudgetForGuaranteedCapacity(
     return Status::OutOfRange(
         "required capacity exceeds what these hosts can deliver");
   }
-  // The guaranteed capacity is increasing in budget; bisect.
+  // The guaranteed capacity is increasing in budget; bisect. The plan is
+  // built once and each probe is a cheap per-budget resolve — the old
+  // path re-sorted and re-rooted the full host set up to 200 times.
+  GM_ASSIGN_OR_RETURN(const br::BestResponsePlan plan,
+                      GuaranteePlan(hosts, p));
   double lo = 0.0;
   double hi = 1.0;
   for (int iter = 0; iter < 200; ++iter) {
-    GM_ASSIGN_OR_RETURN(const CyclesPerSecond at_hi,
-                        UtilityWithGuarantee(hosts, hi, p));
-    if (at_hi >= required) break;
+    if (plan.UtilityAt(hi) >= required) break;
     hi *= 2.0;
     if (hi > 1e15)
       return Status::OutOfRange("no finite budget reaches the target");
   }
   while (hi - lo > tolerance * hi) {
     const double mid = 0.5 * (lo + hi);
-    GM_ASSIGN_OR_RETURN(const CyclesPerSecond at_mid,
-                        UtilityWithGuarantee(hosts, mid, p));
-    (at_mid < required ? lo : hi) = mid;
+    (plan.UtilityAt(mid) < required ? lo : hi) = mid;
   }
   return hi;
 }

@@ -239,5 +239,85 @@ TEST(BestResponseTest, ManyHostsPerformanceAndCorrectness) {
   EXPECT_NEAR(result->utility, reference->utility, 1e-6 * result->utility);
 }
 
+TEST(BestResponsePlanTest, BatchMatchesPerCallSolveExactly) {
+  // One plan amortizes the sort/sqrt/prefix work across budgets; its
+  // answers must be bit-identical to a fresh Solve per budget (Solve is
+  // itself plan-backed, so this is an identity the refactor must keep).
+  BestResponseSolver solver;
+  Rng rng(555);
+  std::vector<HostBidInput> hosts;
+  for (int j = 0; j < 40; ++j) {
+    hosts.push_back({"h" + std::to_string(j), rng.Uniform(10.0, 200.0),
+                     Rate::DollarsPerSec(rng.Uniform(0.0, 3.0))});
+  }
+  std::vector<Rate> budgets;
+  for (double b : {0.001, 0.1, 1.0, 7.5, 120.0})
+    budgets.push_back(Rate::DollarsPerSec(b));
+
+  const auto batch = solver.SolveBatch(hosts, budgets);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const auto single = solver.Solve(hosts, budgets[i]);
+    ASSERT_TRUE(single.ok());
+    const auto& got = (*batch)[i];
+    EXPECT_EQ(got.lambda, single->lambda) << "budget " << i;
+    EXPECT_EQ(got.utility, single->utility) << "budget " << i;
+    ASSERT_EQ(got.bids.size(), single->bids.size());
+    for (std::size_t j = 0; j < got.bids.size(); ++j) {
+      EXPECT_EQ(got.bids[j].host_id, single->bids[j].host_id);
+      EXPECT_EQ(got.bids[j].bid.micros_per_sec(),
+                single->bids[j].bid.micros_per_sec())
+          << "budget " << i << " host " << j;
+    }
+  }
+}
+
+TEST(BestResponsePlanTest, PlanReuseAcrossBudgets) {
+  BestResponseSolver solver;
+  const std::vector<HostBidInput> hosts{
+      {"a", 100.0, Rate::DollarsPerSec(1.0)},
+      {"b", 50.0, Rate::DollarsPerSec(0.5)},
+      {"c", 75.0, Rate::DollarsPerSec(2.0)}};
+  const auto plan = solver.MakePlan(hosts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->host_count(), 3u);
+  // The same plan object answers many budgets; each must match Solve.
+  for (double budget = 0.25; budget <= 64.0; budget *= 4.0) {
+    const auto from_plan = plan->Solve(Rate::DollarsPerSec(budget));
+    const auto from_solver = solver.Solve(hosts, Rate::DollarsPerSec(budget));
+    ASSERT_TRUE(from_plan.ok());
+    ASSERT_TRUE(from_solver.ok());
+    EXPECT_EQ(from_plan->utility, from_solver->utility);
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      EXPECT_EQ(from_plan->bids[j].bid.micros_per_sec(),
+                from_solver->bids[j].bid.micros_per_sec());
+    }
+  }
+  // A plan still rejects the budgets Solve rejects.
+  EXPECT_FALSE(plan->Solve(Rate::Zero()).ok());
+  EXPECT_FALSE(plan->Solve(Rate::DollarsPerSec(-1.0)).ok());
+}
+
+TEST(BestResponsePlanTest, UtilityAtMatchesMaterializedSolve) {
+  // UtilityAt is the allocation-free fast path the budget-inversion
+  // bisection leans on; it must agree with the materialized package.
+  BestResponseSolver solver;
+  Rng rng(777);
+  std::vector<HostBidInput> hosts;
+  for (int j = 0; j < 25; ++j) {
+    hosts.push_back({"h" + std::to_string(j), rng.Uniform(20.0, 80.0),
+                     Rate::DollarsPerSec(rng.Uniform(0.01, 1.5))});
+  }
+  const auto plan = solver.MakePlan(hosts);
+  ASSERT_TRUE(plan.ok());
+  for (double budget : {0.01, 0.5, 3.0, 40.0}) {
+    const auto full = plan->Solve(Rate::DollarsPerSec(budget));
+    ASSERT_TRUE(full.ok());
+    EXPECT_NEAR(plan->UtilityAt(budget), full->utility,
+                1e-12 * full->utility);
+  }
+}
+
 }  // namespace
 }  // namespace gm::br

@@ -1,0 +1,119 @@
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+
+namespace gm {
+namespace {
+
+bool IsAligned(const void* p, std::size_t alignment) {
+  return reinterpret_cast<std::uintptr_t>(p) % alignment == 0;
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);
+  std::set<char*> starts;
+  for (std::size_t alignment : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    for (int i = 0; i < 10; ++i) {
+      char* p = static_cast<char*>(arena.Allocate(24, alignment));
+      ASSERT_NE(p, nullptr);
+      EXPECT_TRUE(IsAligned(p, alignment));
+      // Touch the full extent; ASan (tier-1 sanitize stage) would flag
+      // overlap or out-of-chunk pointers.
+      std::memset(p, 0xab, 24);
+      EXPECT_TRUE(starts.insert(p).second) << "allocation reused before Reset";
+    }
+  }
+  EXPECT_GE(arena.allocated(), 6u * 10u * 24u);
+}
+
+TEST(ArenaTest, GrowsBeyondFirstChunk) {
+  Arena arena(64);
+  // Far more than the first chunk; must keep returning valid memory.
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(100, 8);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0, 100);
+  }
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnChunk) {
+  Arena arena(64);
+  void* big = arena.Allocate(1 << 20, 64);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0, 1 << 20);
+}
+
+TEST(ArenaTest, ResetReclaimsAndReusesChunks) {
+  Arena arena(128);
+  char* first = static_cast<char*>(arena.Allocate(64, 8));
+  std::memset(first, 1, 64);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated(), 0u);
+  char* again = static_cast<char*>(arena.Allocate(64, 8));
+  // Chunks are retained across Reset, so the same storage comes back.
+  EXPECT_EQ(first, again);
+}
+
+TEST(ArenaTest, StackBackedFirstChunkServesWithoutHeap) {
+  alignas(std::max_align_t) char buffer[256];
+  Arena arena(buffer, sizeof(buffer));
+  char* p = static_cast<char*>(arena.Allocate(32, 8));
+  EXPECT_GE(p, buffer);
+  EXPECT_LT(p, buffer + sizeof(buffer));
+  // Overflowing the stack chunk falls back to heap chunks transparently.
+  void* heap = arena.Allocate(1024, 8);
+  ASSERT_NE(heap, nullptr);
+  std::memset(heap, 0, 1024);
+}
+
+TEST(ArenaTest, ArenaScratchConvenienceWrapper) {
+  ArenaScratch<512> scratch;
+  void* p = scratch.arena.Allocate(100, 8);
+  EXPECT_GE(static_cast<char*>(p), scratch.buffer);
+  EXPECT_LT(static_cast<char*>(p), scratch.buffer + sizeof(scratch.buffer));
+}
+
+TEST(ArenaVectorTest, VectorDrawsFromArena) {
+  Arena arena(4096);
+  auto v = MakeArenaVector<double>(arena, 16);
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i));
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], static_cast<double>(i));
+  EXPECT_GT(arena.allocated(), 100u * sizeof(double));
+}
+
+TEST(ArenaVectorTest, SteadyStateStopsGrowingTheArena) {
+  Arena arena(4096);
+  std::size_t high_water = 0;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    arena.Reset();
+    auto a = MakeArenaVector<int>(arena, 64);
+    auto b = MakeArenaVector<double>(arena, 32);
+    for (int i = 0; i < 64; ++i) a.push_back(i);
+    for (int i = 0; i < 32; ++i) b.push_back(i * 0.5);
+    if (epoch == 0) {
+      high_water = arena.allocated();
+    } else {
+      // Identical epochs must not allocate more than the first one did.
+      EXPECT_EQ(arena.allocated(), high_water);
+    }
+  }
+}
+
+TEST(ArenaVectorTest, AllocatorEqualityFollowsArena) {
+  Arena a;
+  Arena b;
+  EXPECT_TRUE(ArenaAllocator<int>(&a) == ArenaAllocator<int>(&a));
+  EXPECT_TRUE(ArenaAllocator<int>(&a) != ArenaAllocator<int>(&b));
+  // Rebinding keeps the arena.
+  const ArenaAllocator<int> source(&a);
+  ArenaAllocator<double> rebound(source);
+  EXPECT_EQ(rebound.arena(), &a);
+}
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,33 @@
+// Fixture: std::map iteration inside '// gmlint: hotpath' functions.
+// Every loop here walks a node-based ordered map on what the tag
+// declares to be per-tick market code — each must be flagged.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+std::map<std::string, double> weights;
+
+// gmlint: hotpath
+double SumWeights() {
+  double total = 0.0;
+  for (const auto& [user, weight] : weights) {
+    total += weight;
+  }
+  return total;
+}
+
+// gmlint: hotpath
+double FirstWeight() {
+  const auto it = weights.begin();
+  return it->second;
+}
+
+// gmlint: hotpath
+int SumTemporaryMap(const std::map<int, int>& source) {
+  int total = 0;
+  for (const auto& [key, value] : std::map<int, int>(source)) total += value;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: everything the hotpath-map-iteration rule must NOT flag —
+// map iteration in untagged (cold) functions, flat-array iteration in
+// tagged functions, point lookups, and a justified suppression.
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+std::map<std::string, double> cold_index;
+std::vector<double> rates;
+
+// Cold path: no tag, map iteration is fine here.
+double ColdSum() {
+  double total = 0.0;
+  for (const auto& [user, weight] : cold_index) total += weight;
+  return total;
+}
+
+// gmlint: hotpath
+double HotSum() {
+  double total = 0.0;
+  for (const double rate : rates) total += rate;
+  return total;
+}
+
+// gmlint: hotpath
+double Lookup(const std::string& key) {
+  // Point lookups stay legal; only iteration is flagged.
+  const auto it = cold_index.find(key);
+  return it == cold_index.end() ? 0.0 : it->second;
+}
+
+// gmlint: hotpath
+double FirstCold() {
+  // Justified: one-element peek, not an O(n) walk of the book.
+  return cold_index.begin()->second;  // gmlint: allow(hotpath-map-iteration)
+}
+
+}  // namespace fixture

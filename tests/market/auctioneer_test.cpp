@@ -236,6 +236,44 @@ TEST_F(AuctioneerTest, CrashedHostWarmStartsForecasterWindowFromJournal) {
   EXPECT_DOUBLE_EQ((*moments_after)->mean(), mean_before);
 }
 
+TEST_F(AuctioneerTest, ExcludedSpotPriceTracksSameTickRemovals) {
+  // Regression guard for the incremental spot-price maintenance: the
+  // excluded price (the y_j a Best Response agent bids against) must
+  // track bid removals, re-bids and deadline lapses the instant they
+  // happen — between ticks, with no Tick() re-sum to repair the total.
+  Join("alice", Money::Dollars(100), Rate::MicrosPerSec(500), Seconds(1000));
+  Join("bob", Money::Dollars(100), Rate::MicrosPerSec(300), Seconds(1000));
+  Join("carol", Money::Dollars(100), Rate::MicrosPerSec(200), Seconds(600));
+  EXPECT_EQ(auctioneer_.SpotPriceRateExcluding("alice").micros_per_sec(), 500);
+
+  // Same-tick removal: bob's account closes (escrow reclaimed); the
+  // excluded price drops immediately.
+  ASSERT_TRUE(auctioneer_.CloseAccount("bob").ok());
+  EXPECT_EQ(auctioneer_.SpotPriceRate().micros_per_sec(), 700);
+  EXPECT_EQ(auctioneer_.SpotPriceRateExcluding("alice").micros_per_sec(), 200);
+
+  // Same-tick re-bid: the exclusion must use the replacement rate, not
+  // the stale one.
+  ASSERT_TRUE(auctioneer_
+                  .SetBid("alice", Rate::MicrosPerSec(250), Seconds(1000))
+                  .ok());
+  EXPECT_EQ(auctioneer_.SpotPriceRateExcluding("carol").micros_per_sec(), 250);
+
+  // Deadline lapse with no intervening Tick: advancing the clock alone
+  // must expire carol's bid from both the total and the exclusion.
+  kernel_.RunUntil(Seconds(700));
+  EXPECT_EQ(auctioneer_.SpotPriceRate().micros_per_sec(), 250);
+  EXPECT_EQ(auctioneer_.SpotPriceRateExcluding("carol").micros_per_sec(), 250);
+  EXPECT_EQ(auctioneer_.SpotPriceRateExcluding("alice").micros_per_sec(), 0);
+
+  // And an expired bidder who re-bids past the lapse comes back.
+  ASSERT_TRUE(auctioneer_
+                  .SetBid("carol", Rate::MicrosPerSec(200), Seconds(2000))
+                  .ok());
+  EXPECT_EQ(auctioneer_.SpotPriceRate().micros_per_sec(), 450);
+  EXPECT_EQ(auctioneer_.SpotPriceRateExcluding("alice").micros_per_sec(), 200);
+}
+
 TEST_F(AuctioneerTest, HistoryRetentionDefaultsToLongestWindow) {
   // With no explicit override, the retention horizon must cover the
   // longest prediction window ("week") so warm-started statistics see a

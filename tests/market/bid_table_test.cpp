@@ -1,0 +1,158 @@
+#include "market/bid_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gm::market {
+namespace {
+
+using sim::Seconds;
+
+TEST(BidTableTest, AddFindRemove) {
+  BidTable table;
+  const auto a = table.Add("alice", "h1/alice");
+  const auto b = table.Add("bob", "h1/bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Find("alice"), a);
+  EXPECT_EQ(table.Find("bob"), b);
+  EXPECT_EQ(table.Find("carol"), BidTable::kNoSlot);
+  EXPECT_EQ(table.cold(a).vm_id, "h1/alice");
+  table.Remove(a);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find("alice"), BidTable::kNoSlot);
+  EXPECT_FALSE(table.occupied(a));
+}
+
+TEST(BidTableTest, SlotsAreRecycledButStable) {
+  BidTable table;
+  const auto a = table.Add("alice", "v");
+  const auto b = table.Add("bob", "v");
+  table.Remove(a);
+  // The freed slot is reused; bob's slot is untouched.
+  const auto c = table.Add("carol", "v");
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(table.Find("bob"), b);
+  EXPECT_EQ(table.span(), 2u);
+}
+
+TEST(BidTableTest, ActiveSumTracksSetBid) {
+  BidTable table;
+  const auto a = table.Add("alice", "v");
+  const auto b = table.Add("bob", "v");
+  table.AddBalance(a, 1'000'000, 0);
+  table.AddBalance(b, 1'000'000, 0);
+  table.SetBid(a, 500, Seconds(100), 0);
+  table.SetBid(b, 300, Seconds(100), 0);
+  EXPECT_EQ(table.active_sum_micros(), 800);
+  // Re-bid replaces, not accumulates.
+  table.SetBid(a, 200, Seconds(100), 0);
+  EXPECT_EQ(table.active_sum_micros(), 500);
+  // Zero rate deactivates.
+  table.SetBid(b, 0, Seconds(100), 0);
+  EXPECT_EQ(table.active_sum_micros(), 200);
+  EXPECT_FALSE(table.active(b));
+}
+
+TEST(BidTableTest, UnfundedBidIsInactiveUntilFunded) {
+  BidTable table;
+  const auto a = table.Add("alice", "v");
+  table.SetBid(a, 500, Seconds(100), 0);
+  EXPECT_EQ(table.active_sum_micros(), 0);
+  table.AddBalance(a, 10, 0);
+  EXPECT_EQ(table.active_sum_micros(), 500);
+  // Charging it to zero deactivates again.
+  table.AddBalance(a, -10, 0);
+  EXPECT_EQ(table.active_sum_micros(), 0);
+  // Re-funding after the drain re-activates (and re-arms expiry).
+  table.AddBalance(a, 5, 0);
+  EXPECT_EQ(table.active_sum_micros(), 500);
+}
+
+TEST(BidTableTest, ExpireUntilDropsLapsedDeadlines) {
+  BidTable table;
+  const auto a = table.Add("alice", "v");
+  const auto b = table.Add("bob", "v");
+  table.AddBalance(a, 100, 0);
+  table.AddBalance(b, 100, 0);
+  table.SetBid(a, 500, Seconds(10), 0);
+  table.SetBid(b, 300, Seconds(20), 0);
+  EXPECT_EQ(table.active_sum_micros(), 800);
+  table.ExpireUntil(Seconds(10));  // deadline is exclusive: now < deadline
+  EXPECT_EQ(table.active_sum_micros(), 300);
+  table.ExpireUntil(Seconds(25));
+  EXPECT_EQ(table.active_sum_micros(), 0);
+  EXPECT_EQ(table.FullResumMicros(Seconds(25)), 0);
+}
+
+TEST(BidTableTest, ReBidToLaterDeadlineSurvivesStaleHeapEntry) {
+  BidTable table;
+  const auto a = table.Add("alice", "v");
+  table.AddBalance(a, 100, 0);
+  table.SetBid(a, 500, Seconds(10), 0);
+  // Extend before expiry; the old (10s, a) heap entry goes stale.
+  table.SetBid(a, 500, Seconds(50), Seconds(5));
+  table.ExpireUntil(Seconds(12));  // pops the stale entry
+  EXPECT_EQ(table.active_sum_micros(), 500);
+  EXPECT_EQ(table.FullResumMicros(Seconds(12)), 500);
+  table.ExpireUntil(Seconds(50));
+  EXPECT_EQ(table.active_sum_micros(), 0);
+}
+
+TEST(BidTableTest, SlotReuseInvalidatesOldHeapEntries) {
+  BidTable table;
+  const auto a = table.Add("alice", "v");
+  table.AddBalance(a, 100, 0);
+  table.SetBid(a, 500, Seconds(10), 0);
+  table.Remove(a);  // heap entry for (10s, a) is now stale
+  // Same slot, new occupant with a later deadline.
+  const auto c = table.Add("carol", "v");
+  ASSERT_EQ(c, a);
+  table.AddBalance(c, 100, 0);
+  table.SetBid(c, 700, Seconds(100), 0);
+  // Popping the stale alice entry must not deactivate carol.
+  table.ExpireUntil(Seconds(20));
+  EXPECT_EQ(table.active_sum_micros(), 700);
+  EXPECT_EQ(table.FullResumMicros(Seconds(20)), 700);
+}
+
+TEST(BidTableTest, RemoveDropsContributionImmediately) {
+  BidTable table;
+  const auto a = table.Add("alice", "v");
+  const auto b = table.Add("bob", "v");
+  table.AddBalance(a, 100, 0);
+  table.AddBalance(b, 100, 0);
+  table.SetBid(a, 500, Seconds(100), 0);
+  table.SetBid(b, 300, Seconds(100), 0);
+  table.Remove(a);
+  EXPECT_EQ(table.active_sum_micros(), 300);
+  EXPECT_EQ(table.FullResumMicros(0), 300);
+}
+
+TEST(BidTableTest, LazyHeapStaysBoundedUnderReBidding) {
+  BidTable table;
+  const auto a = table.Add("alice", "v");
+  table.AddBalance(a, 100, 0);
+  // Many re-bids each push an entry; draining past every deadline must
+  // empty the heap (no permanently-stuck entries).
+  for (int i = 1; i <= 100; ++i) table.SetBid(a, 10, Seconds(i), 0);
+  table.ExpireUntil(Seconds(200));
+  EXPECT_EQ(table.expiry_heap_size(), 0u);
+  EXPECT_EQ(table.active_sum_micros(), 0);
+}
+
+TEST(BidTableTest, ForEachOccupiedVisitsInSlotOrder) {
+  BidTable table;
+  table.Add("a", "v");
+  const auto b = table.Add("b", "v");
+  table.Add("c", "v");
+  table.Remove(b);
+  std::string visited;
+  table.ForEachOccupied(
+      [&](BidTable::Slot s) { visited += table.cold(s).user; });
+  EXPECT_EQ(visited, "ac");
+}
+
+}  // namespace
+}  // namespace gm::market

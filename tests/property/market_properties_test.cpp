@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <numeric>
+#include <string>
 
 #include "bank/bank.hpp"
 #include "bestresponse/best_response.hpp"
 #include "common/rng.hpp"
 #include "host/host.hpp"
+#include "market/auctioneer.hpp"
 #include "market/slot_table.hpp"
 
 namespace gm {
@@ -212,6 +215,124 @@ TEST_P(BankConservationProperty, RandomOperationSequences) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BankConservationProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// Incremental spot price: after any randomized sequence of bid, funding,
+// close/reopen and charging-tick operations, the delta-maintained price
+// must equal a full re-sum of the book from first principles — exact
+// integer equality, no epsilon. The config also turns on the
+// auctioneer's internal debug cross-check, so a divergence aborts even
+// if the shadow model here were too forgiving. Escrow-reclaim removals
+// (CloseAccount) and charge-to-zero drains are both in the mix.
+class IncrementalSpotPriceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalSpotPriceProperty, MatchesFullResumExactly) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 2654435761ull + 13);
+
+  sim::Kernel kernel;
+  host::HostSpec spec;
+  spec.id = "h1";
+  spec.cpus = 2;
+  spec.cycles_per_cpu = 100.0;
+  spec.max_vms = 16;
+  host::PhysicalHost host(spec);
+  market::AuctioneerConfig config;
+  config.verify_incremental = true;
+  market::Auctioneer auctioneer(host, kernel, config);
+  auctioneer.Start();  // ticks charge accounts, draining escrow
+
+  struct ShadowBid {
+    Micros rate = 0;
+    sim::SimTime deadline = 0;
+  };
+  std::map<std::string, ShadowBid> shadow;
+  const std::vector<std::string> users = {"u0", "u1", "u2", "u3", "u4"};
+  std::uint64_t work_id = 1;
+
+  const auto open_user = [&](const std::string& user) {
+    ASSERT_TRUE(auctioneer.OpenAccount(user).ok());
+    // Small escrow so ticks can drain users to zero: removal from the
+    // active sum by charging, not only by deadline.
+    ASSERT_TRUE(auctioneer
+                    .Fund(user, Money::FromMicros(static_cast<Micros>(
+                                    rng.NextBelow(40'000) + 1)))
+                    .ok());
+    auto vm = auctioneer.AcquireVm(user);
+    ASSERT_TRUE(vm.ok());
+    (*vm)->Enqueue({work_id++, 1e12, nullptr});
+    shadow[user] = {};
+  };
+  for (const auto& user : users) open_user(user);
+
+  for (int op = 0; op < 200; ++op) {
+    const std::string& user = users[rng.NextBelow(users.size())];
+    switch (rng.NextBelow(5)) {
+      case 0: {  // (re)bid, sometimes to a deadline that is already due
+        const auto rate = static_cast<Micros>(rng.NextBelow(1'000));
+        const sim::SimTime deadline =
+            kernel.now() +
+            static_cast<sim::SimTime>(rng.NextBelow(80)) * sim::kSecond;
+        ASSERT_TRUE(
+            auctioneer.SetBid(user, Rate::MicrosPerSec(rate), deadline)
+                .ok());
+        shadow[user] = {rate, deadline};
+        break;
+      }
+      case 1: {  // top up (may re-activate a drained bid)
+        ASSERT_TRUE(auctioneer
+                        .Fund(user, Money::FromMicros(static_cast<Micros>(
+                                        rng.NextBelow(20'000) + 1)))
+                        .ok());
+        break;
+      }
+      case 2: {  // close (escrow reclaimed) and immediately reopen
+        ASSERT_TRUE(auctioneer.CloseAccount(user).ok());
+        shadow.erase(user);
+        open_user(user);
+        break;
+      }
+      case 3: {  // run the clock: ticks charge, deadlines lapse
+        kernel.RunUntil(kernel.now() +
+                        static_cast<sim::SimDuration>(rng.NextBelow(25) + 1) *
+                            sim::kSecond);
+        break;
+      }
+      case 4:  // read-only probe round
+        break;
+    }
+
+    // Full re-sum from first principles. Balances are read back from the
+    // auctioneer because charging has changed them since funding.
+    Micros expected = 0;
+    for (const auto& [name, bid] : shadow) {
+      const auto balance = auctioneer.Balance(name);
+      ASSERT_TRUE(balance.ok());
+      if (bid.rate > 0 && balance->is_positive() &&
+          kernel.now() < bid.deadline) {
+        expected += bid.rate;
+      }
+    }
+    ASSERT_EQ(auctioneer.SpotPriceRate().micros_per_sec(), expected)
+        << "seed " << seed << " op " << op;
+    // The per-user exclusion must be exact too.
+    for (const auto& [name, bid] : shadow) {
+      const auto balance = auctioneer.Balance(name);
+      ASSERT_TRUE(balance.ok());
+      const Micros own = (bid.rate > 0 && balance->is_positive() &&
+                          kernel.now() < bid.deadline)
+                             ? bid.rate
+                             : 0;
+      ASSERT_EQ(auctioneer.SpotPriceRateExcluding(name).micros_per_sec(),
+                expected - own)
+          << "seed " << seed << " op " << op << " user " << name;
+    }
+  }
+  auctioneer.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSpotPriceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 }  // namespace
 }  // namespace gm
