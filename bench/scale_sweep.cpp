@@ -1,0 +1,261 @@
+// Federation scale sweep: a 10k-host grid charging a sharded bank
+// holding 1M funded accounts (smoke: 100 hosts / 10k accounts), with
+// per-shard durable WALs. Measures
+//
+//   - account funding throughput (journaled creates per second),
+//   - allocation throughput: auction ticks per wall second with every
+//     host charging the federation through the parallel merge,
+//   - p99 job-submit latency: the user-pays-host settlement a submit
+//     performs, sampled through a telemetry LatencyHistogram,
+//
+// then crashes one bank shard, replays its WAL, and requires the
+// recovered federation ledger hash to be bit-identical and every minted
+// micro-dollar conserved (rows crash_recover_bitidentical / conserved
+// must be 1). Emits BENCH_scale.json.
+//
+// Usage: scale_sweep [--smoke]   (--smoke: 100 hosts, 10k accounts)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bank/federation/reconciler.hpp"
+#include "bank/federation/router.hpp"
+#include "bank/federation/shard.hpp"
+#include "common/rng.hpp"
+#include "crypto/prime.hpp"
+#include "crypto/token.hpp"
+#include "experiment_common.hpp"
+#include "host/host.hpp"
+#include "host/parallel_runner.hpp"
+#include "market/auctioneer.hpp"
+#include "sim/kernel.hpp"
+#include "store/store.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gm::bench {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+struct SweepParams {
+  std::size_t hosts = 10'000;
+  std::size_t accounts = 1'000'000;
+  std::size_t bank_shards = 16;
+  int rounds = 3;
+  int submit_samples = 20'000;
+};
+
+SweepParams SmokeParams() {
+  SweepParams params;
+  params.hosts = 100;
+  params.accounts = 10'000;
+  params.bank_shards = 4;
+  params.rounds = 5;
+  params.submit_samples = 2'000;
+  return params;
+}
+
+double ElapsedSeconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string UserAccount(std::size_t i) {
+  return "user:u" + std::to_string(i);
+}
+std::string HostAccount(std::size_t i) {
+  return "host:h" + std::to_string(i);
+}
+
+int Run(bool smoke) {
+  const SweepParams params = smoke ? SmokeParams() : SweepParams();
+  const fs::path dir = fs::temp_directory_path() / "gm_scale_sweep";
+  fs::remove_all(dir);
+
+  BenchResultFile results("scale");
+  results.Add("hosts", static_cast<double>(params.hosts), "hosts");
+  results.Add("accounts", static_cast<double>(params.accounts), "accounts");
+  results.Add("bank_shards", static_cast<double>(params.bank_shards),
+              "shards");
+
+  // ------------------------------------------------------------------
+  // The sharded bank: per-shard durable WALs. Snapshots stay explicit
+  // (snapshot_every_records = 0) — auto-checkpointing a million-account
+  // ledger mid-run would serialize the whole map on the charge path.
+  std::vector<std::unique_ptr<store::DurableStore>> stores;
+  std::vector<std::unique_ptr<bank::federation::BankShard>> shards;
+  for (std::size_t i = 0; i < params.bank_shards; ++i) {
+    auto store = store::DurableStore::Open(
+        (dir / ("shard" + std::to_string(i))).string());
+    if (!store.ok()) {
+      std::fprintf(stderr, "store open failed: %s\n",
+                   store.status().message().c_str());
+      return 1;
+    }
+    stores.push_back(std::move(*store));
+    shards.push_back(std::make_unique<bank::federation::BankShard>(i));
+    shards.back()->AttachStore(stores.back().get());
+  }
+  std::vector<bank::federation::BankShard*> shard_ptrs;
+  for (const auto& shard : shards) shard_ptrs.push_back(shard.get());
+  crypto::TokenRegistry registry;
+  bank::federation::FederationRouter federation(shard_ptrs, &registry);
+
+  // Fund the account population: one journaled create+fund each.
+  const Money stake = Money::Dollars(10);
+  const auto fund_start = Clock::now();
+  for (std::size_t i = 0; i < params.accounts; ++i) {
+    if (!federation.CreateAccount(UserAccount(i), stake).ok()) std::abort();
+  }
+  for (std::size_t i = 0; i < params.hosts; ++i) {
+    if (!federation.CreateAccount(HostAccount(i)).ok()) std::abort();
+  }
+  const double fund_seconds = ElapsedSeconds(fund_start);
+  results.Add("account_fund_per_sec",
+              static_cast<double>(params.accounts) / fund_seconds,
+              "accounts/s");
+  std::printf("funded %zu accounts over %zu shards in %.2f s (%.0f/s)\n",
+              params.accounts, params.bank_shards, fund_seconds,
+              static_cast<double>(params.accounts) / fund_seconds);
+
+  // ------------------------------------------------------------------
+  // The grid: one auctioneer per host, hour-window stats only — the
+  // day/week windows would cost ~0.5 MB per host, which at 10k hosts is
+  // memory the sweep does not need to answer a throughput question.
+  sim::Kernel kernel;
+  market::AuctioneerConfig market_config;
+  market_config.stat_windows = {{"hour", 360}};
+
+  host::ParallelRunnerConfig runner_config;
+  runner_config.threads = 8;
+  runner_config.seed = 20260808;
+  host::ParallelRunner runner(kernel, runner_config);
+
+  std::vector<std::unique_ptr<host::PhysicalHost>> hosts;
+  std::vector<std::unique_ptr<market::Auctioneer>> auctioneers;
+  hosts.reserve(params.hosts);
+  auctioneers.reserve(params.hosts);
+  for (std::size_t i = 0; i < params.hosts; ++i) {
+    host::HostSpec spec;
+    spec.id = "h" + std::to_string(i);
+    hosts.push_back(std::make_unique<host::PhysicalHost>(spec));
+    auctioneers.push_back(std::make_unique<market::Auctioneer>(
+        *hosts.back(), kernel, market_config));
+    // Every host charges the federation: debtor striped by the funding
+    // account, creditor by the host account.
+    runner.AddShard(auctioneers.back().get(),
+                    UserAccount(i % params.accounts), HostAccount(i));
+  }
+  runner.SetFederation(&federation);
+
+  const auto tick_start = Clock::now();
+  const auto report = runner.Run(params.rounds);
+  const double tick_seconds = ElapsedSeconds(tick_start);
+  if (!report.ok()) {
+    std::fprintf(stderr, "runner failed: %s\n",
+                 report.status().message().c_str());
+    return 1;
+  }
+  const double ticks_per_sec =
+      static_cast<double>(report->ticks) / tick_seconds;
+  results.Add("ticks_per_sec", ticks_per_sec, "ticks/s");
+  results.Add("fed_ops_applied",
+              static_cast<double>(report->fed_ops_applied), "ops");
+  std::printf("%zu hosts x %d rounds: %.0f ticks/s (%llu federation "
+              "charges, %.2f s)\n",
+              params.hosts, params.rounds, ticks_per_sec,
+              static_cast<unsigned long long>(report->fed_ops_applied),
+              tick_seconds);
+  if (report->fed_ops_failed != 0) {
+    std::fprintf(stderr, "unexpected failed federation ops: %llu\n",
+                 static_cast<unsigned long long>(report->fed_ops_failed));
+    return 1;
+  }
+
+  // ------------------------------------------------------------------
+  // Job-submit latency: a submit's payment is one user->host settlement
+  // through the router (intra- or cross-shard as the stripes fall).
+  telemetry::MetricsRegistry metrics;
+  telemetry::LatencyHistogram* latency =
+      metrics.GetHistogram("scale.submit_latency_ns");
+  Rng rng(7);
+  for (int i = 0; i < params.submit_samples; ++i) {
+    const std::string from = UserAccount(rng.Next() % params.accounts);
+    const std::string to = HostAccount(rng.Next() % params.hosts);
+    const Money payment = Money::FromMicros(
+        1 + static_cast<Micros>(rng.Next() % 1000));
+    const auto start = Clock::now();
+    const Status status = federation.Transfer(from, to, payment, i);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - start)
+                        .count();
+    if (!status.ok() &&
+        status.code() != StatusCode::kFailedPrecondition) {
+      std::fprintf(stderr, "submit transfer failed: %s\n",
+                   status.message().c_str());
+      return 1;
+    }
+    latency->Record(static_cast<std::uint64_t>(ns));
+  }
+  const double p50_us =
+      static_cast<double>(latency->Quantile(0.50)) / 1000.0;
+  const double p99_us =
+      static_cast<double>(latency->Quantile(0.99)) / 1000.0;
+  results.Add("submit_p50_us", p50_us, "us");
+  results.Add("submit_p99_us", p99_us, "us");
+  std::printf("job-submit settlement latency: p50 %.1f us  p99 %.1f us "
+              "(%d samples)\n",
+              p50_us, p99_us, params.submit_samples);
+
+  // ------------------------------------------------------------------
+  // Chaos acceptance: crash one shard mid-fleet, replay its WAL, and
+  // require a bit-identical federation ledger and exact conservation.
+  const std::string hash_before = federation.LedgerHash();
+  const std::size_t victim = params.bank_shards / 2;
+  shards[victim]->SimulateCrash();
+  const auto recover_start = Clock::now();
+  if (!shards[victim]->Restart().ok()) {
+    std::fprintf(stderr, "shard %zu restart failed\n", victim);
+    return 1;
+  }
+  const double recover_seconds = ElapsedSeconds(recover_start);
+  if (!federation.ResumeSettlements(0).ok()) return 1;
+  const bool bit_identical = federation.LedgerHash() == hash_before;
+  const Status conserved = federation.CheckConservation();
+  bank::federation::Reconciler reconciler(&federation, crypto::TestGroup(),
+                                          11);
+  const auto sweep = reconciler.Sweep(0);
+  results.Add("shard_recover_sec", recover_seconds, "s");
+  results.Add("crash_recover_bitidentical", bit_identical ? 1.0 : 0.0,
+              "bool");
+  results.Add("conserved",
+              conserved.ok() && sweep.conserved ? 1.0 : 0.0, "bool");
+  std::printf("shard %zu crash+replay: %.2f s, bit-identical=%d, "
+              "conserved=%d\n",
+              victim, recover_seconds, bit_identical ? 1 : 0,
+              conserved.ok() && sweep.conserved ? 1 : 0);
+
+  fs::remove_all(dir);
+  if (!bit_identical || !conserved.ok() || !sweep.conserved) {
+    std::fprintf(stderr, "scale sweep FAILED acceptance: %s\n",
+                 conserved.ok() ? sweep.detail.c_str()
+                                : conserved.message().c_str());
+    return 1;
+  }
+  return results.Write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gm::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return gm::bench::Run(smoke);
+}

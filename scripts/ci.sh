@@ -81,6 +81,33 @@ for name in ("setbid_ns_100", "tick_ns_100", "legacy_tick_ns_100"):
 EOF
 echo "market bench smoke: BENCH_market.json valid (ns/bid and ns/tick > 0)"
 
+echo "== scale sweep smoke: sharded bank federation at 100 hosts =="
+(cd "$SMOKE_DIR" && "$OLDPWD/$BUILD_DIR/bench/scale_sweep" --smoke \
+  > scale_sweep.log)
+SCALE_JSON="$SMOKE_DIR/BENCH_scale.json"
+[ -s "$SCALE_JSON" ] || { echo "BENCH_scale.json missing or empty"; exit 1; }
+python3 - "$SCALE_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("benchmark") != "scale":
+    sys.exit("BENCH_scale.json: benchmark field is not 'scale'")
+rows = {row["name"]: row["value"] for row in doc["results"]}
+for name in ("hosts", "accounts", "bank_shards", "account_fund_per_sec",
+             "ticks_per_sec", "submit_p99_us"):
+    if name not in rows:
+        sys.exit(f"BENCH_scale.json: missing row '{name}'")
+    if not rows[name] > 0:
+        sys.exit(f"BENCH_scale.json: row '{name}' not positive: "
+                 f"{rows[name]}")
+for name in ("crash_recover_bitidentical", "conserved"):
+    if rows.get(name) != 1:
+        sys.exit(f"BENCH_scale.json: acceptance row '{name}' != 1: "
+                 f"{rows.get(name)}")
+EOF
+echo "scale sweep smoke: BENCH_scale.json valid (throughput > 0," \
+     "recovery bit-identical, money conserved)"
+
 echo "== sanitizers: ASan + UBSan =="
 scripts/check_sanitize.sh "$@"
 

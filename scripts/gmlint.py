@@ -136,8 +136,18 @@ LAYERS = {
     "core": {"bank", "common", "core", "crypto", "grid", "host", "market",
              "net", "predict", "sim", "store", "telemetry"},
     "workload": {"common", "core", "grid", "workload"},
+    # Sublayer of bank/: the sharded federation may build on the bank,
+    # durability and telemetry layers but must never reach up into the
+    # facade (core/) or broker (grid/) layers above it.
+    "federation": {"bank", "common", "crypto", "net", "sim", "store",
+                   "telemetry"},
 }
 SRC_DIR = re.compile(r"(^|/)src/([^/]+)/")
+# Nested directories carrying their own layer contract; checked before
+# the top-level src/<dir>/ mapping.
+SUBLAYER_DIRS = (
+    (re.compile(r"(^|/)src/bank/federation/"), "federation"),
+)
 # Quoted project include with a directory component; <...> system includes
 # are out of scope.
 PROJECT_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"/]+)/[^"]*"')
@@ -285,6 +295,11 @@ def lint(files, rules, path_filter):
         threading_scope = not (path_filter
                                and RAW_THREADING_EXEMPT.search(source.display))
         layer = source.layer
+        if layer is None:
+            for sub_pattern, sub_layer in SUBLAYER_DIRS:
+                if sub_pattern.search(source.display):
+                    layer = sub_layer
+                    break
         if layer is None:
             src_match = SRC_DIR.search(source.display)
             if src_match:

@@ -1,0 +1,142 @@
+#include "bank/federation/reconciler.hpp"
+
+#include "common/strings.hpp"
+
+namespace gm::bank::federation {
+
+std::string ReconciliationReport::SigningPayload() const {
+  return StrFormat(
+      "reconcile|seq=%llu|at=%lld|shards=%llu/%llu|accounts=%llu|"
+      "holds=%llu|applied=%llu|balances=%lld|held=%lld|inflight=%lld|"
+      "minted=%lld|conserved=%d|detail=%s|hash=%s",
+      static_cast<unsigned long long>(sweep_seq),
+      static_cast<long long>(at_us),
+      static_cast<unsigned long long>(shards_live),
+      static_cast<unsigned long long>(shards_total),
+      static_cast<unsigned long long>(accounts),
+      static_cast<unsigned long long>(open_holds),
+      static_cast<unsigned long long>(applied_settlements),
+      static_cast<long long>(total_balances.micros()),
+      static_cast<long long>(total_holds.micros()),
+      static_cast<long long>(in_flight.micros()),
+      static_cast<long long>(total_minted.micros()),
+      conserved ? 1 : 0, detail.c_str(), federation_hash.c_str());
+}
+
+Reconciler::Reconciler(const FederationRouter* router,
+                       const crypto::SchnorrGroup& group, std::uint64_t seed)
+    : router_(router), rng_(seed),
+      keys_(crypto::KeyPair::Generate(group, rng_)) {}
+
+void Reconciler::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    sweeps_ctr_ = nullptr;
+    conserved_gauge_ = nullptr;
+    return;
+  }
+  sweeps_ctr_ = telemetry->metrics().GetCounter("fed.reconcile.sweeps");
+  conserved_gauge_ =
+      telemetry->metrics().GetGauge("fed.reconcile.conserved");
+}
+
+ReconciliationReport Reconciler::Sweep(std::int64_t now_us) {
+  gm::MutexLock lock(&mu_);
+  ReconciliationReport report;
+  report.sweep_seq = next_sweep_seq_++;
+  report.at_us = now_us;
+  report.shards_total = router_->num_shards();
+  report.conserved = true;
+
+  // Pass 1: totals and the applied-id vs double-spend-registry check.
+  for (std::size_t i = 0; i < router_->num_shards(); ++i) {
+    const BankShard* shard = router_->shard(i);
+    const ShardSnapshotInfo info = shard->SnapshotInfo();
+    if (info.crashed) {
+      report.conserved = false;
+      if (!report.detail.empty()) report.detail += "; ";
+      report.detail += StrFormat("shard %zu down", i);
+      continue;
+    }
+    ++report.shards_live;
+    report.accounts += info.accounts;
+    report.open_holds += info.open_holds;
+    report.applied_settlements += info.applied_settlements;
+    report.total_balances += info.balance_total;
+    report.total_holds += info.hold_total;
+    report.total_minted += info.minted;
+    for (const std::string& sid : shard->AppliedSettlementIds()) {
+      if (!router_->IsSettlementSpent(sid)) {
+        report.conserved = false;
+        if (!report.detail.empty()) report.detail += "; ";
+        report.detail += StrFormat(
+            "settlement %s applied on shard %zu but never claimed in the "
+            "double-spend registry",
+            sid.c_str(), i);
+      }
+    }
+  }
+
+  // Pass 2 (all shards live): the conservation identity itself, with
+  // in-flight holds matched against creditor applied-sets.
+  if (report.shards_live == report.shards_total) {
+    for (std::size_t i = 0; i < router_->num_shards(); ++i) {
+      for (const SettlementHold& hold : router_->shard(i)->OpenHolds()) {
+        if (router_->ShardFor(hold.to)->HasAppliedSettlement(
+                hold.settlement_id))
+          report.in_flight += hold.amount;
+      }
+    }
+    if (report.total_balances + report.total_holds - report.in_flight !=
+        report.total_minted) {
+      report.conserved = false;
+      if (!report.detail.empty()) report.detail += "; ";
+      report.detail += StrFormat(
+          "conservation violated: balances %lld + holds %lld - in-flight "
+          "%lld != minted %lld",
+          static_cast<long long>(report.total_balances.micros()),
+          static_cast<long long>(report.total_holds.micros()),
+          static_cast<long long>(report.in_flight.micros()),
+          static_cast<long long>(report.total_minted.micros()));
+    }
+    const Status local = router_->CheckConservation();
+    if (!local.ok()) {
+      report.conserved = false;
+      if (!report.detail.empty()) report.detail += "; ";
+      report.detail += local.message();
+    }
+  }
+
+  report.federation_hash = router_->LedgerHash();
+  report.signature = keys_.Sign(report.SigningPayload(), rng_);
+  has_report_ = true;
+  last_report_ = report;
+
+  if (sweeps_ctr_ != nullptr) sweeps_ctr_->Inc();
+  if (conserved_gauge_ != nullptr)
+    conserved_gauge_->Set(report.conserved ? 1.0 : 0.0);
+  if (telemetry_ != nullptr)
+    telemetry_->tracer().Instant(
+        0, "reconcile",
+        StrFormat("sweep=%llu conserved=%d live=%llu/%llu",
+                  static_cast<unsigned long long>(report.sweep_seq),
+                  report.conserved ? 1 : 0,
+                  static_cast<unsigned long long>(report.shards_live),
+                  static_cast<unsigned long long>(report.shards_total)),
+        now_us, report.total_minted.dollars());
+  return report;
+}
+
+Result<ReconciliationReport> Reconciler::LastReport() const {
+  gm::MutexLock lock(&mu_);
+  if (!has_report_) return Status::NotFound("no reconciliation sweep yet");
+  return last_report_;
+}
+
+Status Reconciler::VerifyReport(const ReconciliationReport& report) const {
+  if (!keys_.public_key().Verify(report.SigningPayload(), report.signature))
+    return Status::Unauthenticated("reconciliation report signature invalid");
+  return Status::Ok();
+}
+
+}  // namespace gm::bank::federation

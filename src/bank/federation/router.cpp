@@ -1,0 +1,255 @@
+#include "bank/federation/router.hpp"
+
+#include <chrono>
+
+#include "common/strings.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gm::bank::federation {
+
+std::size_t StripeFor(const std::string& account_id, std::size_t num_shards) {
+  // FNV-1a 64-bit: stable across platforms and runs, cheap, and well
+  // mixed for short keys like "user:alice" / "host:h17".
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : account_id) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(hash % num_shards);
+}
+
+FederationRouter::FederationRouter(std::vector<BankShard*> shards,
+                                   crypto::TokenRegistry* registry)
+    : shards_(std::move(shards)), registry_(registry) {}
+
+void FederationRouter::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    settlements_ctr_ = nullptr;
+    aborts_ctr_ = nullptr;
+    settle_latency_ = nullptr;
+    return;
+  }
+  settlements_ctr_ = telemetry->metrics().GetCounter("fed.router.settlements");
+  aborts_ctr_ = telemetry->metrics().GetCounter("fed.router.aborts");
+  settle_latency_ =
+      telemetry->metrics().GetHistogram("fed.settle_latency_ns");
+}
+
+Status FederationRouter::CreateAccount(const std::string& id,
+                                       Money initial_balance) {
+  return ShardFor(id)->CreateAccount(id, initial_balance);
+}
+
+Status FederationRouter::Mint(const std::string& id, Money amount,
+                              std::int64_t now_us) {
+  return ShardFor(id)->Mint(id, amount, now_us);
+}
+
+Result<Money> FederationRouter::Balance(const std::string& id) const {
+  return ShardFor(id)->Balance(id);
+}
+
+bool FederationRouter::HasAccount(const std::string& id) const {
+  return ShardFor(id)->HasAccount(id);
+}
+
+Status FederationRouter::ClaimSettlementId(const std::string& settlement_id) {
+  gm::MutexLock lock(&mu_);
+  if (registry_ == nullptr) return Status::Ok();
+  const Status claim = registry_->Claim(settlement_id);
+  // AlreadyExists is the idempotent-resume case: the credit was applied
+  // and claimed before a crash parked the release. Anything else would
+  // be a genuine double spend and there is no such path.
+  if (claim.ok() || claim.code() == StatusCode::kAlreadyExists)
+    return Status::Ok();
+  return claim;
+}
+
+Status FederationRouter::CompleteSettlement(BankShard* debtor,
+                                            const SettlementHold& hold,
+                                            std::int64_t now_us,
+                                            bool resumed) {
+  BankShard* creditor = ShardFor(hold.to);
+  const auto credit =
+      creditor->ApplyCredit(hold.settlement_id, hold.to, hold.amount, now_us);
+  if (!credit.ok()) {
+    if (credit.status().code() == StatusCode::kUnavailable) {
+      // Creditor down: the transfer stays parked in the debtor's hold.
+      return credit.status();
+    }
+    if (credit.status().code() == StatusCode::kNotFound) {
+      // Creditor rejected (destination account does not exist): refund.
+      GM_RETURN_IF_ERROR(debtor->AbortHold(hold.settlement_id, now_us));
+      {
+        gm::MutexLock lock(&mu_);
+        ++stats_.settlements_aborted;
+      }
+      if (aborts_ctr_ != nullptr) aborts_ctr_->Inc();
+      return credit.status();
+    }
+    return credit.status();
+  }
+  GM_RETURN_IF_ERROR(ClaimSettlementId(hold.settlement_id));
+  // If the debtor dies here the hold replays on restart and
+  // ResumeSettlements finds the credit already applied → release only.
+  GM_RETURN_IF_ERROR(debtor->ReleaseHold(hold.settlement_id, now_us));
+  {
+    gm::MutexLock lock(&mu_);
+    if (resumed) {
+      ++stats_.settlements_resumed;
+    } else {
+      ++stats_.settlements_completed;
+    }
+  }
+  if (settlements_ctr_ != nullptr) settlements_ctr_->Inc();
+  return Status::Ok();
+}
+
+Status FederationRouter::Transfer(const std::string& from,
+                                  const std::string& to, Money amount,
+                                  std::int64_t now_us) {
+  BankShard* debtor = ShardFor(from);
+  BankShard* creditor = ShardFor(to);
+  if (debtor == creditor) {
+    const Status status = debtor->Transfer(from, to, amount, now_us);
+    if (status.ok()) {
+      gm::MutexLock lock(&mu_);
+      ++stats_.intra_transfers;
+    }
+    return status;
+  }
+  // Fail fast before journaling a hold when the outcome is already
+  // known: destination missing on a live creditor. (A creditor that is
+  // down between this check and the credit parks the hold instead.)
+  if (!creditor->crashed() && !creditor->HasAccount(to))
+    return Status::NotFound("account: " + to);
+  const auto wall_start = std::chrono::steady_clock::now();
+  GM_ASSIGN_OR_RETURN(const std::string settlement_id,
+                      debtor->PrepareDebit(from, to, amount, now_us));
+  {
+    gm::MutexLock lock(&mu_);
+    ++stats_.settlements_started;
+  }
+  SettlementHold hold;
+  hold.settlement_id = settlement_id;
+  hold.from = from;
+  hold.to = to;
+  hold.amount = amount;
+  hold.prepared_at_us = now_us;
+  const Status status =
+      CompleteSettlement(debtor, hold, now_us, /*resumed=*/false);
+  if (status.ok() && settle_latency_ != nullptr) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    settle_latency_->Record(static_cast<std::uint64_t>(ns));
+  }
+  return status;
+}
+
+Status FederationRouter::ResumeSettlements(std::int64_t now_us) {
+  for (BankShard* debtor : shards_) {
+    if (debtor->crashed()) continue;
+    // OpenHolds copies out of a sorted map, so the resume order is
+    // deterministic for a given shard state.
+    for (const SettlementHold& hold : debtor->OpenHolds()) {
+      BankShard* creditor = ShardFor(hold.to);
+      if (creditor->crashed()) continue;  // stays parked
+      const Status status =
+          CompleteSettlement(debtor, hold, now_us, /*resumed=*/true);
+      // NotFound is a completed refund; Unavailable means a shard died
+      // under us — the hold is still parked for the next resume.
+      if (!status.ok() && status.code() != StatusCode::kNotFound &&
+          status.code() != StatusCode::kUnavailable)
+        return status;
+    }
+  }
+  return Status::Ok();
+}
+
+std::uint64_t FederationRouter::PendingSettlements() const {
+  std::uint64_t pending = 0;
+  for (const BankShard* shard : shards_) {
+    const ShardSnapshotInfo info = shard->SnapshotInfo();
+    if (!info.crashed) pending += info.open_holds;
+  }
+  return pending;
+}
+
+bool FederationRouter::IsSettlementSpent(
+    const std::string& settlement_id) const {
+  gm::MutexLock lock(&mu_);
+  return registry_ != nullptr && registry_->IsSpent(settlement_id);
+}
+
+Status FederationRouter::CheckConservation() const {
+  Money balances;
+  Money holds;
+  Money minted;
+  Money settled_in;
+  Money settled_out;
+  Money in_flight;
+  for (BankShard* shard : shards_) {
+    if (shard->crashed())
+      return Status::Unavailable(StrFormat(
+          "shard %zu is down: federation totals unverifiable", shard->index()));
+    GM_RETURN_IF_ERROR(shard->CheckLocalInvariants());
+    const ShardSnapshotInfo info = shard->SnapshotInfo();
+    balances += info.balance_total;
+    holds += info.hold_total;
+    minted += info.minted;
+    settled_in += info.settled_in;
+    settled_out += info.settled_out;
+    // The credited-but-unreleased window: the hold still counts on the
+    // debtor while the creditor already holds the money.
+    for (const SettlementHold& hold : shard->OpenHolds()) {
+      if (ShardFor(hold.to)->HasAppliedSettlement(hold.settlement_id))
+        in_flight += hold.amount;
+    }
+  }
+  if (balances + holds - in_flight != minted)
+    return Status::Internal(StrFormat(
+        "federation conservation violated: balances %lld + holds %lld - "
+        "in-flight %lld != minted %lld",
+        static_cast<long long>(balances.micros()),
+        static_cast<long long>(holds.micros()),
+        static_cast<long long>(in_flight.micros()),
+        static_cast<long long>(minted.micros())));
+  if (settled_in - settled_out != in_flight)
+    return Status::Internal(StrFormat(
+        "settlement ledger skewed: settled_in %lld - settled_out %lld != "
+        "in-flight %lld",
+        static_cast<long long>(settled_in.micros()),
+        static_cast<long long>(settled_out.micros()),
+        static_cast<long long>(in_flight.micros())));
+  return Status::Ok();
+}
+
+Result<Money> FederationRouter::TotalMoney() const {
+  Money minted;
+  for (const BankShard* shard : shards_) {
+    const ShardSnapshotInfo info = shard->SnapshotInfo();
+    if (info.crashed)
+      return Status::Unavailable(
+          StrFormat("shard %zu is down", info.index));
+    minted += info.minted;
+  }
+  return minted;
+}
+
+std::string FederationRouter::LedgerHash() const {
+  std::string canonical;
+  for (BankShard* shard : shards_) {
+    canonical += StrFormat("shard%zu|%s\n", shard->index(),
+                           shard->crashed() ? "down"
+                                            : shard->LedgerHash().c_str());
+  }
+  return crypto::Sha256::HexDigest(canonical);
+}
+
+RouterStats FederationRouter::Stats() const {
+  gm::MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace gm::bank::federation

@@ -1,0 +1,139 @@
+// FederationRouter: the front door of the sharded bank.
+//
+// Accounts are striped over N BankShards by a stable FNV-1a hash of the
+// account id (StripeFor), so ownership is a pure function of the id —
+// no directory service, no rebalancing, and every participant (router,
+// reconciler, tests) computes the same owner. Single-account operations
+// (create, mint, balance) and transfers between two accounts on the same
+// shard forward to the owning shard's atomic transaction. Transfers that
+// cross shards run the two-phase settlement protocol:
+//
+//   1. PrepareDebit on the debtor shard — journaled hold.
+//   2. ApplyCredit on the creditor shard — journaled, idempotent by
+//      settlement id (the durable applied-set).
+//   3. Claim the settlement id in the federation's double-spend registry
+//      (crypto::TokenRegistry): a second credit of the same id anywhere
+//      is a protocol violation the reconciler will flag.
+//   4. ReleaseHold on the debtor shard — the money has left.
+//
+// If the creditor is down between 1 and 2 the hold stays open (the
+// transfer is parked, money safely inside the debtor's conservation
+// total); if the creditor rejects the credit (no such account) the hold
+// is aborted and refunded. ResumeSettlements() drives every parked hold
+// to completion after restarts: credit already applied → release, not
+// yet applied → credit then release, account gone → abort. Every
+// decision point is derived from durable shard state, so crash + restart
+// + resume settles each transfer exactly once.
+//
+// Lock discipline: the router's own mutex (rank kBankRouter, below
+// kBankShard) only guards the double-spend registry and the settlement
+// counters — it IS held across shard calls on the settlement path (rank
+// order router < shard makes that legal) so that the claim in step 3 is
+// atomic with its credit, but shard-local traffic never touches it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bank/federation/shard.hpp"
+#include "common/concurrency.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "crypto/token.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace gm::bank::federation {
+
+/// Stable stripe map: FNV-1a over the account id, mod the shard count.
+/// Pure and endian-independent, so the owner of an account never changes
+/// for a fixed federation size.
+std::size_t StripeFor(const std::string& account_id, std::size_t num_shards);
+
+/// Point-in-time settlement counters for monitors.
+struct RouterStats {
+  std::uint64_t intra_transfers = 0;
+  std::uint64_t settlements_started = 0;
+  std::uint64_t settlements_completed = 0;
+  std::uint64_t settlements_aborted = 0;
+  std::uint64_t settlements_resumed = 0;
+};
+
+class FederationRouter {
+ public:
+  /// Non-owning over the shards and the shared double-spend registry;
+  /// `shards[i]->index()` must equal i.
+  FederationRouter(std::vector<BankShard*> shards,
+                   crypto::TokenRegistry* registry);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  BankShard* shard(std::size_t index) const { return shards_[index]; }
+  BankShard* ShardFor(const std::string& account_id) const {
+    return shards_[StripeFor(account_id, shards_.size())];
+  }
+
+  // -- routed single-shard operations --
+  Status CreateAccount(const std::string& id,
+                       Money initial_balance = Money::Zero());
+  Status Mint(const std::string& id, Money amount, std::int64_t now_us);
+  Result<Money> Balance(const std::string& id) const;
+  bool HasAccount(const std::string& id) const;
+
+  /// Same-shard: one atomic shard transaction. Cross-shard: two-phase
+  /// settlement. Unavailable means the transfer is parked on the debtor
+  /// shard (hold open), to be finished by ResumeSettlements.
+  Status Transfer(const std::string& from, const std::string& to,
+                  Money amount, std::int64_t now_us);
+
+  /// Drive every open hold on every live shard to completion (release,
+  /// credit+release, or abort). Holds whose creditor shard is down stay
+  /// parked. Idempotent; call after any shard restart.
+  Status ResumeSettlements(std::int64_t now_us);
+
+  /// Open holds across live shards (parked + mid-flight settlements).
+  std::uint64_t PendingSettlements() const;
+
+  /// True iff `settlement_id` was claimed in the double-spend registry.
+  bool IsSettlementSpent(const std::string& settlement_id) const;
+
+  /// Global conservation over live shards:
+  ///   sum(balances) + sum(holds) - in_flight == sum(minted)
+  /// where in_flight is the total of open holds whose settlement id the
+  /// creditor shard has already applied (the credited-but-unreleased
+  /// window). Also validates each shard's local invariant and the
+  /// settled_in/settled_out vs in_flight identity. Unavailable if any
+  /// shard is down. Callers must be quiescent (no concurrent transfers).
+  Status CheckConservation() const;
+
+  /// Total Money minted across live shards.
+  Result<Money> TotalMoney() const;
+
+  /// SHA-256 over the index-ordered shard ledger hashes: equal hashes
+  /// <=> every shard ledger identical.
+  std::string LedgerHash() const;
+
+  RouterStats Stats() const;
+
+  /// Counters "fed.router.*" and the settlement latency histogram
+  /// "fed.settle_latency_ns" (wall clock, WAL-style). nullptr detaches.
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
+
+ private:
+  /// Steps 2-4 for one prepared hold sitting on `debtor`. `resumed`
+  /// selects which counter a completion bumps.
+  Status CompleteSettlement(BankShard* debtor, const SettlementHold& hold,
+                            std::int64_t now_us, bool resumed);
+  Status ClaimSettlementId(const std::string& settlement_id);
+
+  const std::vector<BankShard*> shards_;
+  mutable gm::Mutex mu_{"bank.federation.router",
+                        gm::lockrank::kBankRouter};
+  crypto::TokenRegistry* const registry_ GM_PT_GUARDED_BY(mu_);
+  RouterStats stats_ GM_GUARDED_BY(mu_);
+  // Attach-once metric pointers (see BankShard).
+  telemetry::Counter* settlements_ctr_ = nullptr;
+  telemetry::Counter* aborts_ctr_ = nullptr;
+  telemetry::LatencyHistogram* settle_latency_ = nullptr;
+};
+
+}  // namespace gm::bank::federation

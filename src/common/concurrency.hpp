@@ -69,6 +69,13 @@ inline constexpr int kRpcServer = 12;
 inline constexpr int kBus = 15;
 inline constexpr int kSls = 20;
 inline constexpr int kAuctioneer = 25;
+// Bank federation: the reconciler sweeps shards (and reads the router's
+// settlement registry) while holding its own lock, and the router claims
+// settlement ids after shard calls return, so reconciler < router < shard.
+// Shards journal into stores (kStore) like the central bank does.
+inline constexpr int kBankReconciler = 26;
+inline constexpr int kBankRouter = 27;
+inline constexpr int kBankShard = 28;
 inline constexpr int kBank = 30;
 inline constexpr int kPriceHistory = 35;
 inline constexpr int kStore = 45;

@@ -68,6 +68,51 @@ GridMarket::GridMarket(Config config)
       resume = std::max(resume, record.updated_at);
   }
 
+  if (config_.bank_shards > 0) {
+    for (int k = 0; k < config_.bank_shards; ++k) {
+      bank_shards_.push_back(std::make_unique<bank::federation::BankShard>(
+          static_cast<std::size_t>(k)));
+      if (telemetry_ != nullptr)
+        bank_shards_.back()->AttachTelemetry(telemetry_.get());
+      if (config_.storage.durable) {
+        const std::string label = "fed/shard" + std::to_string(k);
+        auto fed_store = store::DurableStore::Open(
+            config_.storage.dir + "/" + label, MakeStoreOptions(config_));
+        GM_ASSERT(fed_store.ok(), "federation shard store open failed");
+        fed_stores_.push_back(std::move(*fed_store));
+        if (telemetry_ != nullptr)
+          fed_stores_.back()->AttachTelemetry(telemetry_.get(), label);
+        bank_shards_.back()->AttachStore(fed_stores_.back().get());
+        GM_ASSERT(bank_shards_.back()->RecoverFromStore().ok(),
+                  "federation shard recovery failed");
+      }
+    }
+    std::vector<bank::federation::BankShard*> shard_ptrs;
+    shard_ptrs.reserve(bank_shards_.size());
+    for (const auto& shard : bank_shards_) shard_ptrs.push_back(shard.get());
+    federation_ = std::make_unique<bank::federation::FederationRouter>(
+        std::move(shard_ptrs), &settlement_registry_);
+    reconciler_ = std::make_unique<bank::federation::Reconciler>(
+        federation_.get(), group_, rng_.Next());
+    if (telemetry_ != nullptr) {
+      federation_->AttachTelemetry(telemetry_.get());
+      reconciler_->AttachTelemetry(telemetry_.get());
+    }
+    // Warm boot: the double-spend registry is in-memory, so re-claim
+    // every durably-applied settlement id before resuming the parked
+    // settlements the last process left mid-protocol.
+    for (const auto& shard : bank_shards_) {
+      for (const std::string& sid : shard->AppliedSettlementIds())
+        (void)settlement_registry_.Claim(sid);
+    }
+    GM_ASSERT(federation_->ResumeSettlements(kernel_.now()).ok(),
+              "federation settlement resume failed");
+    if (config_.reconcile_every > 0) {
+      kernel_.ScheduleEvery(config_.reconcile_every, config_.reconcile_every,
+                            [this] { (void)reconciler_->Sweep(kernel_.now()); });
+    }
+  }
+
   if (!bank_->HasAccount("broker")) {
     GM_ASSERT(bank_->CreateAccount("broker", {}).ok(),
               "broker account creation failed");
@@ -118,6 +163,11 @@ GridMarket::GridMarket(Config config)
       if (!auctioneers_.back()->history().empty())
         resume = std::max(resume, auctioneers_.back()->history().back().at);
     }
+    if (federation_ != nullptr &&
+        !federation_->HasAccount("host:" + spec.id)) {
+      GM_ASSERT(federation_->CreateAccount("host:" + spec.id).ok(),
+                "federation host account creation failed");
+    }
     services_.push_back(std::make_unique<market::AuctioneerService>(
         *auctioneers_.back(), *bus_));
     if (telemetry_ != nullptr)
@@ -151,6 +201,13 @@ Status GridMarket::RegisterUser(const std::string& name,
   GM_RETURN_IF_ERROR(bank_->CreateAccount(name, user.keys.public_key()));
   if (initial_funds.is_positive()) {
     GM_RETURN_IF_ERROR(bank_->Mint(name, initial_funds, kernel_.now()));
+  }
+  // Mirror the user into the bank federation: same funding, striped to
+  // whichever shard owns "user:<name>". Tolerates a warm boot where the
+  // shard ledger already carries the account.
+  if (federation_ != nullptr && !federation_->HasAccount("user:" + name)) {
+    GM_RETURN_IF_ERROR(
+        federation_->CreateAccount("user:" + name, initial_funds));
   }
   const crypto::Certificate cert =
       ca_->Issue(user.dn, user.keys.public_key(), kernel_.now(),
@@ -296,6 +353,64 @@ Status GridMarket::RestartBank() {
   return Status::Ok();
 }
 
+bank::federation::BankShard& GridMarket::bank_shard(std::size_t index) {
+  GM_ASSERT(index < bank_shards_.size(), "bank shard index out of range");
+  return *bank_shards_[index];
+}
+
+Status GridMarket::CrashBankShard(std::size_t index) {
+  if (federation_ == nullptr)
+    return Status::FailedPrecondition(
+        "no bank federation (Config.bank_shards == 0)");
+  if (index >= bank_shards_.size())
+    return Status::InvalidArgument("bank shard index out of range");
+  if (!config_.storage.durable)
+    return Status::FailedPrecondition(
+        "CrashBankShard requires durable storage (Config.storage.durable)");
+  bank_shards_[index]->SimulateCrash();
+  InstantOnActiveTraces("bank-shard-crash",
+                        "shard=" + std::to_string(index));
+  return Status::Ok();
+}
+
+Status GridMarket::RestartBankShard(std::size_t index) {
+  if (federation_ == nullptr)
+    return Status::FailedPrecondition(
+        "no bank federation (Config.bank_shards == 0)");
+  if (index >= bank_shards_.size())
+    return Status::InvalidArgument("bank shard index out of range");
+  if (!config_.storage.durable)
+    return Status::FailedPrecondition(
+        "RestartBankShard requires durable storage (Config.storage.durable)");
+  GM_RETURN_IF_ERROR(bank_shards_[index]->Restart());
+  // Finish whatever the crash parked, in both directions: this shard's
+  // replayed holds whose credits were never applied, and other shards'
+  // holds that were waiting on this shard to come back.
+  GM_RETURN_IF_ERROR(federation_->ResumeSettlements(kernel_.now()));
+  InstantOnActiveTraces("bank-shard-restart",
+                        "shard=" + std::to_string(index));
+  return Status::Ok();
+}
+
+Result<bank::federation::ReconciliationReport> GridMarket::Reconcile() {
+  if (reconciler_ == nullptr)
+    return Status::FailedPrecondition(
+        "no bank federation (Config.bank_shards == 0)");
+  return reconciler_->Sweep(kernel_.now());
+}
+
+std::string GridMarket::FederationMonitor() const {
+  if (federation_ == nullptr)
+    return "federation: disabled (Config.bank_shards == 0)\n";
+  std::vector<bank::federation::ShardSnapshotInfo> shards;
+  shards.reserve(bank_shards_.size());
+  for (const auto& shard : bank_shards_)
+    shards.push_back(shard->SnapshotInfo());
+  const auto last = reconciler_->LastReport();
+  return grid::RenderFederationTable(shards,
+                                     last.ok() ? &*last : nullptr);
+}
+
 std::vector<grid::HostHealthInfo> GridMarket::HostHealthReport() const {
   return plugin_->HostHealthReport();
 }
@@ -313,6 +428,10 @@ std::string GridMarket::StorageMonitor() const {
   for (std::size_t i = 0; i < host_stores_.size(); ++i) {
     rows.push_back({"price/" + auctioneers_[i]->physical_host().id(),
                     host_stores_[i]->stats()});
+  }
+  for (std::size_t k = 0; k < fed_stores_.size(); ++k) {
+    rows.push_back(
+        {"fed/shard" + std::to_string(k), fed_stores_[k]->stats()});
   }
   return grid::RenderStoreTable(rows);
 }
@@ -355,6 +474,19 @@ Result<telemetry::MetricsSnapshot> GridMarket::CollectMetrics() {
            host_stores_[i]->stats()},
           telemetry_->metrics());
     }
+    for (std::size_t k = 0; k < fed_stores_.size(); ++k) {
+      grid::MirrorStoreStats(
+          {"fed/shard" + std::to_string(k), fed_stores_[k]->stats()},
+          telemetry_->metrics());
+    }
+  }
+  if (federation_ != nullptr) {
+    for (const auto& shard : bank_shards_)
+      grid::MirrorFederationStats(shard->SnapshotInfo(),
+                                  telemetry_->metrics());
+    const auto last = reconciler_->LastReport();
+    if (last.ok())
+      grid::MirrorReconciliationStatus(*last, telemetry_->metrics());
   }
   return telemetry_->metrics().Snapshot();
 }

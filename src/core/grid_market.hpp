@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "bank/bank.hpp"
+#include "bank/federation/reconciler.hpp"
+#include "crypto/token.hpp"
 #include "grid/broker.hpp"
 #include "grid/monitor.hpp"
 #include "market/auctioneer_service.hpp"
@@ -72,6 +74,19 @@ class GridMarket {
       std::uint64_t snapshot_every_records = 4096;
     };
     StorageConfig storage;
+    /// Sharded bank federation (src/bank/federation). 0 disables. When
+    /// set, `bank_shards` BankShard ledgers are striped over the account
+    /// space: every registered user gets a mirrored federation account
+    /// "user:<name>" seeded with their initial funds and every host an
+    /// account "host:<id>", cross-shard transfers settle through the
+    /// two-phase protocol, and a Reconciler audits global Money
+    /// conservation (signed reports; see Reconcile()). With durable
+    /// storage each shard journals under "<dir>/fed/shard<k>" and
+    /// recovers bit-identically across CrashBankShard/RestartBankShard.
+    int bank_shards = 0;
+    /// Periodic reconciliation sweep cadence; 0 disables (sweep manually
+    /// with Reconcile()).
+    sim::SimDuration reconcile_every = 0;
     /// Telemetry subsystem (src/telemetry). Off by default: no component
     /// carries a telemetry pointer and every instrumentation site is a
     /// single never-taken null check. When enabled, each job submission
@@ -165,6 +180,34 @@ class GridMarket {
   Status CrashBank();
   Status RestartBank();
   bool bank_crashed() const { return bank_->crashed(); }
+
+  // -- bank federation --
+  /// The sharded bank router, or nullptr when Config.bank_shards == 0.
+  bank::federation::FederationRouter* federation() {
+    return federation_.get();
+  }
+  const bank::federation::FederationRouter* federation() const {
+    return federation_.get();
+  }
+  bank::federation::Reconciler* reconciler() { return reconciler_.get(); }
+  std::size_t bank_shard_count() const { return bank_shards_.size(); }
+  bank::federation::BankShard& bank_shard(std::size_t index);
+  /// Crash bank shard `index`: its in-memory stripe of the ledger is
+  /// wiped and every call against it fails Unavailable; settlements
+  /// whose debtor or creditor lives there park mid-protocol. Requires
+  /// durable storage.
+  Status CrashBankShard(std::size_t index);
+  /// Replay the shard's WAL (bit-identical ledger), then resume every
+  /// parked settlement across the federation to exactly-once completion.
+  Status RestartBankShard(std::size_t index);
+  bool bank_shard_crashed(std::size_t index) const {
+    return index < bank_shards_.size() && bank_shards_[index]->crashed();
+  }
+  /// Run a reconciliation sweep now; the returned report is signed by
+  /// the reconciler (verify with reconciler()->VerifyReport).
+  Result<bank::federation::ReconciliationReport> Reconcile();
+  /// Per-shard federation table + last reconciliation status.
+  std::string FederationMonitor() const;
   std::vector<grid::HostHealthInfo> HostHealthReport() const;
   /// Health + bus-statistics rendering (companion to Monitor()).
   std::string NetMonitor() const;
@@ -212,7 +255,14 @@ class GridMarket {
   std::unique_ptr<store::DurableStore> bank_store_;
   std::unique_ptr<store::DurableStore> sls_store_;
   std::vector<std::unique_ptr<store::DurableStore>> host_stores_;
+  std::vector<std::unique_ptr<store::DurableStore>> fed_stores_;
   std::unique_ptr<bank::Bank> bank_;
+  /// Double-spend registry for federation settlement ids (re-seeded from
+  /// the shards' durable applied-sets on warm boot).
+  crypto::TokenRegistry settlement_registry_;
+  std::vector<std::unique_ptr<bank::federation::BankShard>> bank_shards_;
+  std::unique_ptr<bank::federation::FederationRouter> federation_;
+  std::unique_ptr<bank::federation::Reconciler> reconciler_;
   std::unique_ptr<crypto::CertificateAuthority> ca_;
   std::unique_ptr<market::ServiceLocationService> sls_;
   // Declared before everything that registers bus endpoints (services,

@@ -1,5 +1,7 @@
 #include "grid/monitor.hpp"
 
+#include <algorithm>
+
 #include "common/strings.hpp"
 
 namespace gm::grid {
@@ -164,6 +166,86 @@ std::string RenderStoreTable(const std::vector<StoreRow>& rows) {
   telemetry::MetricsRegistry registry;
   for (const StoreRow& row : rows) MirrorStoreStats(row, registry);
   return RenderStoreTable(registry.Snapshot());
+}
+
+void MirrorFederationStats(const bank::federation::ShardSnapshotInfo& info,
+                           telemetry::MetricsRegistry& registry) {
+  const std::string prefix =
+      "fed.shard" + std::to_string(info.index) + ".";
+  registry.GetCounter(prefix + "accounts")->Set(info.accounts);
+  registry.GetCounter(prefix + "open_holds")->Set(info.open_holds);
+  registry.GetCounter(prefix + "applied")->Set(info.applied_settlements);
+  registry.GetGauge(prefix + "balance_dollars")
+      ->Set(info.balance_total.dollars());
+  registry.GetGauge(prefix + "held_dollars")->Set(info.hold_total.dollars());
+  registry.GetCounter(prefix + "crashed")->Set(info.crashed ? 1 : 0);
+}
+
+void MirrorReconciliationStatus(
+    const bank::federation::ReconciliationReport& report,
+    telemetry::MetricsRegistry& registry) {
+  registry.GetCounter("fed.reconcile.sweeps")->Set(report.sweep_seq);
+  registry.GetGauge("fed.reconcile.conserved")
+      ->Set(report.conserved ? 1.0 : 0.0);
+}
+
+std::string RenderFederationTable(
+    const telemetry::MetricsSnapshot& snapshot) {
+  std::string out =
+      StrFormat("%-8s %9s %13s %8s %8s %6s\n", "shard", "accounts",
+                "balance($)", "pending", "applied", "state");
+  // Discover shard indices from the key set and order numerically (the
+  // map's alphabetical order would put shard10 before shard2).
+  const std::string kSuffix = ".accounts";
+  std::vector<std::size_t> indices;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("fed.shard", 0) != 0 || name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(9, name.size() - 9 - kSuffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    indices.push_back(static_cast<std::size_t>(std::stoull(digits)));
+  }
+  std::sort(indices.begin(), indices.end());
+  for (const std::size_t index : indices) {
+    const std::string prefix = "fed.shard" + std::to_string(index) + ".";
+    const auto counter = [&](const char* field) {
+      return static_cast<unsigned long long>(
+          snapshot.CounterOr(prefix + field));
+    };
+    out += StrFormat("%-8s %9llu %13.2f %8llu %8llu %6s\n",
+                     ("shard" + std::to_string(index)).c_str(),
+                     counter("accounts"),
+                     snapshot.GaugeOr(prefix + "balance_dollars"),
+                     counter("open_holds"), counter("applied"),
+                     counter("crashed") != 0 ? "down" : "up");
+  }
+  if (snapshot.HasCounter("fed.reconcile.sweeps")) {
+    out += StrFormat(
+        "reconcile: sweeps=%llu conserved=%s\n",
+        static_cast<unsigned long long>(
+            snapshot.CounterOr("fed.reconcile.sweeps")),
+        snapshot.GaugeOr("fed.reconcile.conserved") != 0.0 ? "yes" : "NO");
+  } else {
+    out += "reconcile: (no sweep yet)\n";
+  }
+  return out;
+}
+
+std::string RenderFederationTable(
+    const std::vector<bank::federation::ShardSnapshotInfo>& shards,
+    const bank::federation::ReconciliationReport* last_report) {
+  telemetry::MetricsRegistry registry;
+  for (const bank::federation::ShardSnapshotInfo& info : shards)
+    MirrorFederationStats(info, registry);
+  if (last_report != nullptr)
+    MirrorReconciliationStatus(*last_report, registry);
+  return RenderFederationTable(registry.Snapshot());
 }
 
 std::string RenderMonitor(

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "bank/federation/reconciler.hpp"
+#include "bank/federation/shard.hpp"
 #include "grid/job.hpp"
 #include "grid/plugin.hpp"
 #include "market/auctioneer.hpp"
@@ -61,6 +63,29 @@ std::string RenderStoreTable(const telemetry::MetricsSnapshot& snapshot);
 
 /// Shim over the snapshot renderer; rows come out sorted by component.
 std::string RenderStoreTable(const std::vector<StoreRow>& rows);
+
+/// Mirror one bank shard's federation totals into `registry` under
+/// "fed.shard<index>.*" (the names RenderFederationTable reads).
+void MirrorFederationStats(const bank::federation::ShardSnapshotInfo& info,
+                           telemetry::MetricsRegistry& registry);
+
+/// Mirror the last reconciliation verdict under "fed.reconcile.*".
+void MirrorReconciliationStatus(
+    const bank::federation::ReconciliationReport& report,
+    telemetry::MetricsRegistry& registry);
+
+/// Per-shard federation table ("shard  accounts  balance($)  pending
+/// applied  state") plus a reconciliation footer, rendered from a metrics
+/// snapshot. Shards are discovered from "fed.shard<k>.accounts" keys and
+/// ordered by index.
+std::string RenderFederationTable(const telemetry::MetricsSnapshot& snapshot);
+
+/// Shim: mirrors the structs into a scratch registry and renders its
+/// snapshot, so both entry points produce identical tables. `last_report`
+/// may be nullptr (no sweep yet).
+std::string RenderFederationTable(
+    const std::vector<bank::federation::ShardSnapshotInfo>& shards,
+    const bank::federation::ReconciliationReport* last_report);
 
 /// Both tables with a timestamp header.
 std::string RenderMonitor(

@@ -169,6 +169,68 @@ void ParallelRunner::RunShard(Shard& shard, sim::SimTime now) {
       shard.ops.push_back(std::move(op));
     }
   }
+
+  if (federation_ != nullptr) {
+    // Same discipline against the sharded bank: a lock-exercising read
+    // in the parallel phase, transfers buffered for the merge.
+    (void)federation_->Balance(shard.funding_account);
+    for (int t = 0; t < config_.transfers_per_shard; ++t) {
+      PendingOp op;
+      op.from = shard.funding_account;
+      op.to = shard.host_account;
+      op.amount = Money::FromMicros(
+          static_cast<Micros>(shard.rng.UniformInt(1, 5000)));
+      shard.fed_ops.push_back(std::move(op));
+    }
+  }
+}
+
+void ParallelRunner::MergeFederationOps(ThreadPool* pool, sim::SimTime now,
+                                        ParallelRunReport& report) {
+  // Group buffered transfers by DEBTOR bank shard, preserving runner-
+  // shard order inside each group. A settlement id is minted under the
+  // debtor shard's lock at PrepareDebit, so fixing each debtor shard's
+  // prepare order fixes every id; credits from different groups may
+  // interleave on a creditor shard, but all shard state lives in sorted
+  // maps and the LedgerHash is order-insensitive, so the merged ledger
+  // is bit-identical to the serial one.
+  const std::size_t bank_shards = federation_->num_shards();
+  std::vector<std::vector<const PendingOp*>> groups(bank_shards);
+  for (const Shard& shard : shards_) {
+    for (const PendingOp& op : shard.fed_ops)
+      groups[bank::federation::StripeFor(op.from, bank_shards)].push_back(
+          &op);
+  }
+  // Per-group counters: written by at most one task each, summed after
+  // the barrier.
+  std::vector<std::uint64_t> applied(bank_shards, 0);
+  std::vector<std::uint64_t> failed(bank_shards, 0);
+  const auto apply_group = [this, &groups, &applied, &failed,
+                            now](std::size_t g) {
+    for (const PendingOp* op : groups[g]) {
+      const Status status =
+          federation_->Transfer(op->from, op->to, op->amount, now);
+      if (status.ok()) {
+        ++applied[g];
+      } else {
+        ++failed[g];
+      }
+    }
+  };
+  if (pool == nullptr) {
+    for (std::size_t g = 0; g < bank_shards; ++g) apply_group(g);
+  } else {
+    for (std::size_t g = 0; g < bank_shards; ++g) {
+      if (groups[g].empty()) continue;
+      pool->Submit([&apply_group, g] { apply_group(g); });
+    }
+    pool->WaitIdle();
+  }
+  for (std::size_t g = 0; g < bank_shards; ++g) {
+    report.fed_ops_applied += applied[g];
+    report.fed_ops_failed += failed[g];
+  }
+  for (Shard& shard : shards_) shard.fed_ops.clear();
 }
 
 Result<ParallelRunReport> ParallelRunner::Run(int rounds) {
@@ -217,11 +279,15 @@ Result<ParallelRunReport> ParallelRunner::Run(int rounds) {
       }
       shard.ops.clear();
     }
+    if (federation_ != nullptr)
+      MergeFederationOps(pool.get(), now, report);
     ++report.rounds;
   }
 
   for (const Shard& shard : shards_) report.sls_publishes += shard.publishes;
   if (bank_ != nullptr) report.ledger_hash = bank_->LedgerHash();
+  if (federation_ != nullptr)
+    report.fed_ledger_hash = federation_->LedgerHash();
   return report;
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bank/bank.hpp"
+#include "bank/federation/router.hpp"
 #include "common/concurrency.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -106,6 +107,11 @@ struct ParallelRunReport {
   std::uint64_t sls_publishes = 0;
   /// bank->LedgerHash() after the final merge; empty without a bank.
   std::string ledger_hash;
+  /// Federation transfers applied/rejected at the merge barriers.
+  std::uint64_t fed_ops_applied = 0;
+  std::uint64_t fed_ops_failed = 0;
+  /// federation->LedgerHash() after the final merge; empty without one.
+  std::string fed_ledger_hash;
 };
 
 class ParallelRunner {
@@ -120,6 +126,16 @@ class ParallelRunner {
 
   void SetBank(bank::Bank* bank) { bank_ = bank; }
   void SetSls(market::ServiceLocationService* sls) { sls_ = sls; }
+  /// Charge against a sharded bank federation instead of (or as well as)
+  /// the central bank. Buffered transfers are applied at the merge
+  /// barrier grouped by DEBTOR bank shard: groups run concurrently on
+  /// the pool (each settlement id is minted under its debtor shard's
+  /// lock, in fixed group order), so the federation ledger after the
+  /// merge is bit-identical to a serial run's even though auctioneer
+  /// shards charge bank shards in parallel.
+  void SetFederation(bank::federation::FederationRouter* federation) {
+    federation_ = federation;
+  }
 
   /// Execute `rounds` allocation rounds over all shards. Safe to call
   /// repeatedly; shard RNG streams continue where they left off.
@@ -145,6 +161,8 @@ class ParallelRunner {
     /// Written only by the worker running this shard during the parallel
     /// phase, read by the main thread after the barrier.
     std::vector<PendingOp> ops;
+    /// Same contract, destined for the bank federation.
+    std::vector<PendingOp> fed_ops;
     std::uint64_t publishes = 0;
   };
 
@@ -152,12 +170,17 @@ class ParallelRunner {
   /// serial). Touches only shard-local state and lock-guarded services.
   void RunShard(Shard& shard, sim::SimTime now);
   void PrepareShard(Shard& shard);
+  /// Apply every shard's buffered federation transfers, grouped by
+  /// debtor bank shard; groups run on `pool` when non-null.
+  void MergeFederationOps(ThreadPool* pool, sim::SimTime now,
+                          ParallelRunReport& report);
 
   sim::Kernel& kernel_;
   const ParallelRunnerConfig config_;
   std::vector<Shard> shards_;
   bank::Bank* bank_ = nullptr;                     // non-owning
   market::ServiceLocationService* sls_ = nullptr;  // non-owning
+  bank::federation::FederationRouter* federation_ = nullptr;  // non-owning
 };
 
 }  // namespace gm::host

@@ -185,6 +185,10 @@ struct MetricsSnapshot {
   bool HasCounter(const std::string& name) const {
     return counters.count(name) != 0;
   }
+  double GaugeOr(const std::string& name, double fallback = 0.0) const {
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? fallback : it->second;
+  }
 };
 
 /// Named metric store. Get* creates on first use and always returns the

@@ -1,0 +1,19 @@
+// gmlint fixture: checked under the federation sublayer's rules via the
+// directive below; the federation may build on bank/store/telemetry but
+// must never reach up into the facade (core/) or broker (grid/) layers.
+// Not compiled — scanned by run_fixture_tests.py.
+//
+// gmlint: layer(federation)
+#include <string>
+
+#include "bank/bank.hpp"          // fine: federation is a bank sublayer
+#include "core/grid_market.hpp"   // federation reaching up into the facade
+#include "grid/broker.hpp"        // same violation, second witness
+
+namespace gm::bank::federation {
+
+std::string DescribeFacade() {
+  return "the federation must not know the market facade";
+}
+
+}  // namespace gm::bank::federation

@@ -1,0 +1,21 @@
+// gmlint fixture: must pass include-layering under the federation
+// sublayer's rules. Everything here is a sanctioned dependency: the bank
+// layer it shards, the durability and telemetry layers it wires through,
+// and the crypto layer backing settlement ids and signed reports.
+//
+// gmlint: layer(federation)
+#include <map>
+#include <string>
+
+#include "bank/bank.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "crypto/token.hpp"
+#include "store/store.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gm::bank::federation {
+
+std::string DescribeLayer() { return "federation sits beside the bank"; }
+
+}  // namespace gm::bank::federation

@@ -28,6 +28,8 @@ CASES = [
     ("good_raw_threading.cpp", "raw-threading", 0),
     ("bad_include_layering.cpp", "include-layering", 2),
     ("good_include_layering.cpp", "include-layering", 0),
+    ("bad_federation_layering.cpp", "include-layering", 2),
+    ("good_federation_layering.cpp", "include-layering", 0),
     ("bad_hotpath_map.cpp", "hotpath-map-iteration", 3),
     ("good_hotpath_map.cpp", "hotpath-map-iteration", 0),
 ]

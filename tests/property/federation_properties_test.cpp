@@ -1,0 +1,220 @@
+// Property sweep over the sharded bank federation: randomized
+// create/mint/transfer/crash/restart sequences across 4 shards, checked
+// against a single-ledger shadow model with EXACT Money equality — no
+// epsilon anywhere. Cross-shard transfers that park on a crashed
+// creditor are tracked as in-flight and resolved in the shadow exactly
+// when the federation's ResumeSettlements would resolve them.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bank/federation/reconciler.hpp"
+#include "bank/federation/router.hpp"
+#include "bank/federation/shard.hpp"
+#include "common/rng.hpp"
+#include "crypto/prime.hpp"
+#include "crypto/token.hpp"
+#include "store/store.hpp"
+
+namespace gm::bank::federation {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kShards = 4;
+
+std::string AccountOn(std::size_t shard, const std::string& prefix) {
+  for (int i = 0;; ++i) {
+    const std::string id = prefix + std::to_string(i);
+    if (StripeFor(id, kShards) == shard) return id;
+  }
+}
+
+struct DurableFederation {
+  explicit DurableFederation(const fs::path& dir) {
+    for (std::size_t i = 0; i < kShards; ++i) {
+      shards.push_back(std::make_unique<BankShard>(i));
+      auto store = store::DurableStore::Open(
+          (dir / ("shard" + std::to_string(i))).string());
+      EXPECT_TRUE(store.ok()) << store.status().message();
+      stores.push_back(std::move(*store));
+      shards.back()->AttachStore(stores.back().get());
+    }
+    std::vector<BankShard*> ptrs;
+    for (const auto& shard : shards) ptrs.push_back(shard.get());
+    router = std::make_unique<FederationRouter>(ptrs, &registry);
+  }
+
+  std::vector<std::unique_ptr<store::DurableStore>> stores;
+  std::vector<std::unique_ptr<BankShard>> shards;
+  crypto::TokenRegistry registry;
+  std::unique_ptr<FederationRouter> router;
+};
+
+/// A cross-shard transfer the federation parked (creditor down at the
+/// credit phase); the shadow applies or refunds it when both shards are
+/// next live together, exactly as ResumeSettlements does.
+struct Parked {
+  std::string from;
+  std::string to;
+  Money amount;
+};
+
+class FederationConservationProperty : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(FederationConservationProperty, MatchesSingleLedgerShadowExactly) {
+  const int seed = GetParam();
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("gm_fedprop_" + std::to_string(seed));
+  fs::remove_all(dir);
+  DurableFederation fed(dir);
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 3);
+
+  // The single-ledger shadow: one flat account map plus a minted total.
+  std::map<std::string, Money> shadow;
+  Money shadow_minted;
+  std::vector<Parked> parked;
+
+  // A fixed candidate-name pool spanning every shard, so transfers hit
+  // every same-shard / cross-shard combination and missing accounts.
+  std::vector<std::string> ids;
+  for (std::size_t s = 0; s < kShards; ++s)
+    for (int k = 0; k < 4; ++k)
+      ids.push_back(AccountOn(s, "p" + std::to_string(k) + "-"));
+
+  const auto pick = [&]() -> const std::string& {
+    return ids[rng.Next() % ids.size()];
+  };
+  const auto live = [&](const std::string& id) {
+    return !fed.shards[StripeFor(id, kShards)]->crashed();
+  };
+  // Mirror of ResumeSettlements over the shadow's parked list: resolve
+  // every entry whose debtor and creditor shards are both live —
+  // complete when the destination exists, refund (a shadow no-op, since
+  // the shadow never debited) when it does not.
+  const auto resolve_parked = [&] {
+    std::vector<Parked> still;
+    for (const Parked& entry : parked) {
+      if (live(entry.from) && live(entry.to)) {
+        if (shadow.count(entry.to) != 0) {
+          shadow[entry.from] -= entry.amount;
+          shadow[entry.to] += entry.amount;
+        }
+      } else {
+        still.push_back(entry);
+      }
+    }
+    parked = std::move(still);
+  };
+
+  for (int op = 0; op < 150; ++op) {
+    const std::int64_t now = 1000 * op;
+    switch (rng.Next() % 8) {
+      case 0:
+      case 1: {  // create, funded
+        const std::string& id = pick();
+        const Money init =
+            Money::FromMicros(1 + static_cast<Micros>(rng.Next() % 100000));
+        if (fed.router->CreateAccount(id, init).ok()) {
+          shadow[id] = init;
+          shadow_minted += init;
+        }
+        break;
+      }
+      case 2: {  // mint
+        const std::string& id = pick();
+        const Money amount =
+            Money::FromMicros(1 + static_cast<Micros>(rng.Next() % 50000));
+        if (fed.router->Mint(id, amount, now).ok()) {
+          shadow[id] += amount;
+          shadow_minted += amount;
+        }
+        break;
+      }
+      case 3:
+      case 4:
+      case 5: {  // transfer (intra- or cross-shard)
+        const std::string& from = pick();
+        const std::string& to = pick();
+        if (from == to) break;
+        const Money amount =
+            Money::FromMicros(1 + static_cast<Micros>(rng.Next() % 30000));
+        const bool debtor_was_live = live(from);
+        const bool cross =
+            StripeFor(from, kShards) != StripeFor(to, kShards);
+        const Status status = fed.router->Transfer(from, to, amount, now);
+        if (status.ok()) {
+          shadow[from] -= amount;
+          shadow[to] += amount;
+        } else if (status.code() == StatusCode::kUnavailable &&
+                   debtor_was_live && cross) {
+          // Prepared on the live debtor, parked on the dead creditor.
+          parked.push_back({from, to, amount});
+        }
+        // Every other failure journaled nothing and moved nothing.
+        break;
+      }
+      case 6: {  // crash a shard (holds are durable, they survive)
+        fed.shards[rng.Next() % kShards]->SimulateCrash();
+        break;
+      }
+      case 7: {  // restart one shard, then drive parked holds forward
+        const std::size_t index = rng.Next() % kShards;
+        if (fed.shards[index]->crashed()) {
+          ASSERT_TRUE(fed.shards[index]->Restart().ok());
+        }
+        ASSERT_TRUE(fed.router->ResumeSettlements(now).ok());
+        resolve_parked();
+        break;
+      }
+    }
+  }
+
+  // Quiesce: everything restarts, every parked settlement resolves.
+  for (const auto& shard : fed.shards) {
+    if (shard->crashed()) {
+      ASSERT_TRUE(shard->Restart().ok());
+    }
+  }
+  ASSERT_TRUE(fed.router->ResumeSettlements(1000 * 1000).ok());
+  resolve_parked();
+  ASSERT_TRUE(parked.empty());
+  EXPECT_EQ(fed.router->PendingSettlements(), 0u);
+
+  // Exact agreement with the shadow, account by account, and exact
+  // conservation of every minted micro-dollar.
+  Money shadow_total;
+  for (const auto& [id, balance] : shadow) {
+    const auto actual = fed.router->Balance(id);
+    ASSERT_TRUE(actual.ok()) << id;
+    EXPECT_EQ(*actual, balance) << "seed " << seed << " account " << id;
+    shadow_total += balance;
+  }
+  EXPECT_EQ(shadow_total, shadow_minted);
+  EXPECT_EQ(fed.router->TotalMoney().value(), shadow_minted);
+  EXPECT_TRUE(fed.router->CheckConservation().ok());
+
+  // The auditor agrees and signs off.
+  Reconciler reconciler(fed.router.get(), crypto::TestGroup(),
+                        static_cast<std::uint64_t>(seed));
+  const ReconciliationReport report = reconciler.Sweep(2000 * 1000);
+  EXPECT_TRUE(report.conserved) << report.detail;
+  EXPECT_EQ(report.total_minted, shadow_minted);
+  EXPECT_TRUE(reconciler.VerifyReport(report).ok());
+
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FederationConservationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gm::bank::federation
