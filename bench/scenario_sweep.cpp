@@ -1,0 +1,220 @@
+// Scenario sweep: open-loop heavy-traffic runs against the parallel
+// scale backend — 100k- and 1M-user populations (smoke: 10k) with a 10x
+// flash crowd mid-run and all three adversary archetypes (bid snipers,
+// budget-exhaustion flooders, settlement replayers) active throughout.
+//
+// Per population scale the harness reports
+//
+//   - sustained arrivals per wall-clock second (engine loop throughput),
+//   - SLO pass/fail over every epoch (bounded queues, no starvation,
+//     exact conservation, all replays rejected),
+//   - flash-crowd recovery time: sim-seconds from the end of the spike
+//     until queue depth re-enters the pre-flash envelope,
+//   - conservation (reconciler-verified, exact to the micro-dollar),
+//   - serial vs 8-thread determinism: the scenario digest of a serial
+//     run must be bit-identical to the threaded run at the same seed.
+//
+// Emits BENCH_scenario.json; rows without a scale prefix aggregate
+// across scales (logical AND for pass/fail, minimum for throughput) so
+// CI can validate one schema regardless of mode.
+//
+// Usage: scenario_sweep [--smoke]   (--smoke: one 10k-user scale)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/grid_market.hpp"
+#include "experiment_common.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/parallel_backend.hpp"
+#include "sim/time.hpp"
+
+namespace gm::bench {
+namespace {
+
+struct SweepParams {
+  std::vector<std::uint64_t> populations = {100'000, 1'000'000};
+  int epochs = 8;
+  sim::SimDuration epoch_duration = 2 * sim::kMinute;
+  double base_arrivals_per_sec = 8.0;
+  // The flash must start after the flood adversary's backlog saturates
+  // (hostile jobs live 5 sim-minutes, so the queue baseline climbs until
+  // then): recovery is measured against the pre-flash envelope, which
+  // has to be a steady state, not a still-rising ramp.
+  sim::SimTime flash_start = 10 * sim::kMinute;
+  sim::SimDuration flash_duration = sim::kMinute;
+  int hosts = 16;
+  int bank_shards = 8;
+};
+
+SweepParams SmokeParams() {
+  SweepParams params;
+  params.populations = {10'000};
+  params.epochs = 8;
+  params.epoch_duration = sim::kMinute;
+  params.base_arrivals_per_sec = 2.0;
+  params.flash_start = 6 * sim::kMinute;
+  params.flash_duration = 30 * sim::kSecond;
+  params.hosts = 4;
+  params.bank_shards = 4;
+  return params;
+}
+
+scenario::ScenarioConfig MakeScenario(const SweepParams& params,
+                                      std::uint64_t users) {
+  scenario::ScenarioConfig config;
+  config.seed = 20060619;  // HPDC'06
+  config.epochs = params.epochs;
+  config.epoch_duration = params.epoch_duration;
+
+  config.traffic.users = users;
+  config.traffic.base_arrivals_per_sec = params.base_arrivals_per_sec;
+  config.traffic.flash_start = params.flash_start;
+  config.traffic.flash_duration = params.flash_duration;
+  config.traffic.flash_multiplier = 10.0;
+
+  config.adversary.snipers = 64;
+  config.adversary.snipe_rate_per_sec = 1.0;
+  config.adversary.flood_rate_per_sec = 2.0;
+  config.adversary.replay_rate_per_sec = 0.5;
+
+  // Wall-clock settlement latency is reported, never enforced here: the
+  // sweep's pass/fail must be identical on every machine.
+  config.slo.enforce_settle_p99 = false;
+  config.slo.max_queue_depth = 100'000;
+  return config;
+}
+
+GridMarket::Config MakeGrid(const SweepParams& params, std::uint64_t seed) {
+  GridMarket::Config config;
+  config.hosts = params.hosts;
+  config.cpus_per_host = 2;
+  config.bank_shards = params.bank_shards;
+  config.seed = seed;
+  // The settle-latency histogram behind the p99 row needs telemetry.
+  config.telemetry.enabled = true;
+  return config;
+}
+
+struct ScaleOutcome {
+  double arrivals_per_sec = 0.0;
+  bool slo_pass = false;
+  bool conserved = false;
+  bool bit_identical = false;
+  double flash_recovery_s = -1.0;
+  double settle_p99_ns = 0.0;
+};
+
+ScaleOutcome RunScale(const SweepParams& params, std::uint64_t users) {
+  const scenario::ScenarioConfig config = MakeScenario(params, users);
+  const scenario::ScenarioEngine engine(config);
+
+  scenario::ParallelScenarioBackend::Options threaded;
+  threaded.threads = 8;
+  GridMarket parallel_grid(MakeGrid(params, config.seed));
+  scenario::ParallelScenarioBackend parallel_backend(parallel_grid, config,
+                                                     threaded);
+  const scenario::ScenarioResult threaded_result =
+      engine.Run(parallel_backend);
+
+  scenario::ParallelScenarioBackend::Options serial;
+  serial.serial = true;
+  GridMarket serial_grid(MakeGrid(params, config.seed));
+  scenario::ParallelScenarioBackend serial_backend(serial_grid, config,
+                                                   serial);
+  const scenario::ScenarioResult serial_result = engine.Run(serial_backend);
+
+  ScaleOutcome outcome;
+  outcome.arrivals_per_sec = threaded_result.ArrivalsPerWallSec();
+  outcome.slo_pass = threaded_result.slo.passed && serial_result.slo.passed;
+  outcome.bit_identical =
+      threaded_result.digest == serial_result.digest &&
+      parallel_backend.LedgerHash() == serial_backend.LedgerHash();
+  outcome.conserved = true;
+  for (const scenario::EpochTelemetry& telem : threaded_result.epochs) {
+    outcome.conserved = outcome.conserved && telem.reconciler_clean &&
+                        telem.total_balance == telem.expected_total &&
+                        telem.replay_attempts == telem.replays_rejected;
+    outcome.settle_p99_ns =
+        outcome.settle_p99_ns > telem.settle_p99_ns ? outcome.settle_p99_ns
+                                                    : telem.settle_p99_ns;
+  }
+  if (threaded_result.flash_recovery >= 0)
+    outcome.flash_recovery_s = sim::ToSeconds(threaded_result.flash_recovery);
+
+  std::printf(
+      "users=%llu arrivals/s=%.0f slo=%s conserved=%s bitident=%s "
+      "recovery=%.0fs p99=%.0fns\n",
+      static_cast<unsigned long long>(users), outcome.arrivals_per_sec,
+      outcome.slo_pass ? "PASS" : "FAIL", outcome.conserved ? "yes" : "NO",
+      outcome.bit_identical ? "yes" : "NO", outcome.flash_recovery_s,
+      outcome.settle_p99_ns);
+  if (!threaded_result.slo.passed)
+    std::printf("threaded SLO report:\n%s\n",
+                threaded_result.slo.Summary().c_str());
+  if (!serial_result.slo.passed)
+    std::printf("serial SLO report:\n%s\n",
+                serial_result.slo.Summary().c_str());
+  return outcome;
+}
+
+std::string ScaleLabel(std::uint64_t users) {
+  if (users % 1'000'000 == 0)
+    return "users_" + std::to_string(users / 1'000'000) + "m";
+  return "users_" + std::to_string(users / 1'000) + "k";
+}
+
+int Run(bool smoke) {
+  const SweepParams params = smoke ? SmokeParams() : SweepParams();
+  BenchResultFile results("scenario");
+
+  double min_arrivals_per_sec = -1.0;
+  bool all_slo = true;
+  bool all_conserved = true;
+  bool all_bitident = true;
+  double worst_recovery_s = -1.0;
+
+  for (const std::uint64_t users : params.populations) {
+    const ScaleOutcome outcome = RunScale(params, users);
+    const std::string label = ScaleLabel(users);
+    results.Add(label + "_arrivals_per_sec", outcome.arrivals_per_sec,
+                "arrivals/s");
+    results.Add(label + "_slo_pass", outcome.slo_pass ? 1 : 0, "bool");
+    results.Add(label + "_conserved", outcome.conserved ? 1 : 0, "bool");
+    results.Add(label + "_serial_parallel_bitidentical",
+                outcome.bit_identical ? 1 : 0, "bool");
+    results.Add(label + "_flash_recovery_s", outcome.flash_recovery_s, "s");
+    results.Add(label + "_settle_p99_ns", outcome.settle_p99_ns, "ns");
+
+    min_arrivals_per_sec =
+        min_arrivals_per_sec < 0.0
+            ? outcome.arrivals_per_sec
+            : std::min(min_arrivals_per_sec, outcome.arrivals_per_sec);
+    all_slo = all_slo && outcome.slo_pass;
+    all_conserved = all_conserved && outcome.conserved;
+    all_bitident = all_bitident && outcome.bit_identical;
+    worst_recovery_s = std::max(worst_recovery_s, outcome.flash_recovery_s);
+  }
+
+  // Aggregate rows: one stable schema for CI across smoke/full modes.
+  results.Add("arrivals_per_sec", min_arrivals_per_sec, "arrivals/s");
+  results.Add("slo_pass", all_slo ? 1 : 0, "bool");
+  results.Add("conserved", all_conserved ? 1 : 0, "bool");
+  results.Add("serial_parallel_bitidentical", all_bitident ? 1 : 0, "bool");
+  results.Add("flash_recovery_s", worst_recovery_s, "s");
+
+  if (!results.Write()) return 1;
+  return (all_slo && all_conserved && all_bitident) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gm::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  return gm::bench::Run(smoke);
+}

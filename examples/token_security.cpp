@@ -82,7 +82,7 @@ int main() {
 
   // 1. Replay (double spend).
   Expect(authorizer.Authorize(token, 1).status().code() ==
-             StatusCode::kAlreadyExists,
+             StatusCode::kAlreadyClaimed,
          "double spend rejected (token registry)");
 
   // 2. Middleman swaps the DN to route the capability to mallory.

@@ -108,6 +108,33 @@ EOF
 echo "scale sweep smoke: BENCH_scale.json valid (throughput > 0," \
      "recovery bit-identical, money conserved)"
 
+echo "== scenario smoke: flash crowd + adversaries under SLO check =="
+(cd "$SMOKE_DIR" && "$OLDPWD/$BUILD_DIR/bench/scenario_sweep" --smoke \
+  > scenario_sweep.log)
+SCENARIO_JSON="$SMOKE_DIR/BENCH_scenario.json"
+[ -s "$SCENARIO_JSON" ] || {
+  echo "BENCH_scenario.json missing or empty"; exit 1; }
+python3 - "$SCENARIO_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("benchmark") != "scenario":
+    sys.exit("BENCH_scenario.json: benchmark field is not 'scenario'")
+rows = {row["name"]: row["value"] for row in doc["results"]}
+for name in ("arrivals_per_sec", "flash_recovery_s"):
+    if name not in rows:
+        sys.exit(f"BENCH_scenario.json: missing row '{name}'")
+    if not rows[name] > 0:
+        sys.exit(f"BENCH_scenario.json: row '{name}' not positive: "
+                 f"{rows[name]}")
+for name in ("slo_pass", "conserved", "serial_parallel_bitidentical"):
+    if rows.get(name) != 1:
+        sys.exit(f"BENCH_scenario.json: acceptance row '{name}' != 1: "
+                 f"{rows.get(name)}")
+EOF
+echo "scenario smoke: BENCH_scenario.json valid (SLOs pass, money" \
+     "conserved, serial == 8-thread, flash crowd recovered)"
+
 echo "== sanitizers: ASan + UBSan =="
 scripts/check_sanitize.sh "$@"
 

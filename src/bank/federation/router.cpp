@@ -1,6 +1,8 @@
 #include "bank/federation/router.hpp"
 
 #include <chrono>
+#include <map>
+#include <utility>
 
 #include "common/strings.hpp"
 #include "crypto/sha256.hpp"
@@ -57,10 +59,10 @@ Status FederationRouter::ClaimSettlementId(const std::string& settlement_id) {
   gm::MutexLock lock(&mu_);
   if (registry_ == nullptr) return Status::Ok();
   const Status claim = registry_->Claim(settlement_id);
-  // AlreadyExists is the idempotent-resume case: the credit was applied
+  // AlreadyClaimed is the idempotent-resume case: the credit was applied
   // and claimed before a crash parked the release. Anything else would
   // be a genuine double spend and there is no such path.
-  if (claim.ok() || claim.code() == StatusCode::kAlreadyExists)
+  if (claim.ok() || claim.code() == StatusCode::kAlreadyClaimed)
     return Status::Ok();
   return claim;
 }
@@ -145,6 +147,143 @@ Status FederationRouter::Transfer(const std::string& from,
     settle_latency_->Record(static_cast<std::uint64_t>(ns));
   }
   return status;
+}
+
+std::vector<Status> FederationRouter::TransferBatch(
+    const std::vector<TransferRequest>& requests, std::int64_t now_us) {
+  std::vector<Status> statuses(requests.size(), Status::Ok());
+  // Canonical grouping: ascending (debtor shard, creditor shard) pairs,
+  // input order preserved within each group (std::map iteration is the
+  // ascending order; push_back preserves input order).
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
+      groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    groups[{StripeFor(requests[i].from, shards_.size()),
+            StripeFor(requests[i].to, shards_.size())}]
+        .push_back(i);
+  }
+  for (const auto& [key, indices] : groups) {
+    BankShard* debtor = shards_[key.first];
+    BankShard* creditor = shards_[key.second];
+    if (key.first == key.second) {
+      // Same-shard transfers are already single atomic transactions;
+      // nothing to batch.
+      for (const std::size_t i : indices)
+        statuses[i] = Transfer(requests[i].from, requests[i].to,
+                               requests[i].amount, now_us);
+      continue;
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
+    // Fail fast exactly like Transfer: a missing destination on a live
+    // creditor never journals a hold.
+    std::vector<std::size_t> live;
+    std::vector<TransferRequest> prepare_reqs;
+    for (const std::size_t i : indices) {
+      if (!creditor->crashed() && !creditor->HasAccount(requests[i].to)) {
+        statuses[i] = Status::NotFound("account: " + requests[i].to);
+        continue;
+      }
+      live.push_back(i);
+      prepare_reqs.push_back(requests[i]);
+    }
+    if (live.empty()) continue;
+
+    // Phase 1, one debtor lock: holds journal in input order, so the
+    // settlement-id sequence matches one-by-one Transfer calls.
+    const auto prepared = debtor->PrepareDebits(prepare_reqs, now_us);
+    std::vector<std::size_t> held;           // indices with an open hold
+    std::vector<CreditRequest> credit_reqs;  // aligned with `held`
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      if (!prepared[j].ok()) {
+        statuses[live[j]] = prepared[j].status();
+        continue;
+      }
+      {
+        gm::MutexLock lock(&mu_);
+        ++stats_.settlements_started;
+      }
+      held.push_back(live[j]);
+      credit_reqs.push_back({prepared[j].value(), requests[live[j]].to,
+                             requests[live[j]].amount});
+    }
+    if (held.empty()) continue;
+
+    // Phase 2, one creditor lock.
+    const auto credited = creditor->ApplyCredits(credit_reqs, now_us);
+
+    // Phases 3/4 mirror CompleteSettlement per item: Unavailable parks
+    // the hold, NotFound aborts + refunds, success claims then releases.
+    std::vector<std::size_t> releasable;       // indices into `held`
+    std::vector<std::string> release_ids;
+    for (std::size_t j = 0; j < held.size(); ++j) {
+      const std::size_t i = held[j];
+      if (!credited[j].ok()) {
+        statuses[i] = credited[j].status();
+        if (credited[j].status().code() == StatusCode::kNotFound) {
+          const Status abort =
+              debtor->AbortHold(credit_reqs[j].settlement_id, now_us);
+          if (!abort.ok()) {
+            statuses[i] = abort;
+            continue;
+          }
+          {
+            gm::MutexLock lock(&mu_);
+            ++stats_.settlements_aborted;
+          }
+          if (aborts_ctr_ != nullptr) aborts_ctr_->Inc();
+        }
+        continue;
+      }
+      const Status claim = ClaimSettlementId(credit_reqs[j].settlement_id);
+      if (!claim.ok()) {
+        statuses[i] = claim;
+        continue;
+      }
+      releasable.push_back(j);
+      release_ids.push_back(credit_reqs[j].settlement_id);
+    }
+    if (release_ids.empty()) continue;
+
+    // Phase 3, one debtor lock.
+    const auto released = debtor->ReleaseHolds(release_ids, now_us);
+    std::uint64_t completed = 0;
+    for (std::size_t k = 0; k < releasable.size(); ++k) {
+      const std::size_t i = held[releasable[k]];
+      statuses[i] = released[k];
+      if (released[k].ok()) ++completed;
+    }
+    if (completed > 0) {
+      {
+        gm::MutexLock lock(&mu_);
+        stats_.settlements_completed += completed;
+      }
+      if (settlements_ctr_ != nullptr) settlements_ctr_->Inc(completed);
+      if (settle_latency_ != nullptr) {
+        // One wall-clock sample per settled transfer; the group shares
+        // the elapsed time since its phases were batched together.
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+        for (std::uint64_t n = 0; n < completed; ++n)
+          settle_latency_->Record(static_cast<std::uint64_t>(ns));
+      }
+    }
+  }
+  return statuses;
+}
+
+Status FederationRouter::ReplaySettlement(const std::string& settlement_id) {
+  gm::MutexLock lock(&mu_);
+  if (registry_ == nullptr)
+    return Status::FailedPrecondition("no double-spend registry attached");
+  if (registry_->IsSpent(settlement_id)) {
+    ++stats_.replays_rejected;
+    return Status::AlreadyClaimed("settlement already claimed: " +
+                                  settlement_id);
+  }
+  // Never claimed: there is nothing to replay. The id is deliberately
+  // NOT claimed here — probing must not poison future settlements.
+  return Status::NotFound("settlement never claimed: " + settlement_id);
 }
 
 Status FederationRouter::ResumeSettlements(std::int64_t now_us) {

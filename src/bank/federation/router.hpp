@@ -57,6 +57,9 @@ struct RouterStats {
   std::uint64_t settlements_completed = 0;
   std::uint64_t settlements_aborted = 0;
   std::uint64_t settlements_resumed = 0;
+  /// Replayed settlement ids the double-spend registry bounced
+  /// (ReplaySettlement returning kAlreadyClaimed).
+  std::uint64_t replays_rejected = 0;
 };
 
 class FederationRouter {
@@ -84,6 +87,24 @@ class FederationRouter {
   /// shard (hold open), to be finished by ResumeSettlements.
   Status Transfer(const std::string& from, const std::string& to,
                   Money amount, std::int64_t now_us);
+
+  /// Batched Transfer: groups `requests` by (debtor shard, creditor
+  /// shard) pair — groups in ascending pair order, input order preserved
+  /// within a group — and runs each settlement phase for a group as one
+  /// shard batch call (one lock acquisition + journal run per phase
+  /// instead of one per transfer). Returns one Status per request, in
+  /// REQUEST order. Exact equivalence contract, pinned by
+  /// FederationBatchTest: the resulting ledgers and statuses are
+  /// bit-identical to calling Transfer() one-by-one in the same grouped
+  /// order.
+  std::vector<Status> TransferBatch(
+      const std::vector<TransferRequest>& requests, std::int64_t now_us);
+
+  /// Adversary/audit surface: present `settlement_id` to the double-spend
+  /// registry as if it were a fresh settlement. Already claimed →
+  /// kAlreadyClaimed (counted in RouterStats::replays_rejected, never
+  /// mutates any ledger); never claimed → kNotFound (nothing to replay).
+  Status ReplaySettlement(const std::string& settlement_id);
 
   /// Drive every open hold on every live shard to completion (release,
   /// credit+release, or abort). Holds whose creditor shard is down stay

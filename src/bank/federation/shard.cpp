@@ -165,6 +165,13 @@ Result<std::string> BankShard::PrepareDebit(const std::string& from,
                                             Money amount,
                                             std::int64_t now_us) {
   gm::MutexLock lock(&mu_);
+  return PrepareDebitLocked(from, to, amount, now_us);
+}
+
+Result<std::string> BankShard::PrepareDebitLocked(const std::string& from,
+                                                  const std::string& to,
+                                                  Money amount,
+                                                  std::int64_t now_us) {
   if (crashed_) return ShardDown();
   ShardAccount* src = Find(from);
   if (src == nullptr) return Status::NotFound("account: " + from);
@@ -207,6 +214,12 @@ Result<bool> BankShard::ApplyCredit(const std::string& settlement_id,
                                     const std::string& to, Money amount,
                                     std::int64_t now_us) {
   gm::MutexLock lock(&mu_);
+  return ApplyCreditLocked(settlement_id, to, amount, now_us);
+}
+
+Result<bool> BankShard::ApplyCreditLocked(const std::string& settlement_id,
+                                          const std::string& to, Money amount,
+                                          std::int64_t now_us) {
   if (crashed_) return ShardDown();
   if (applied_.find(settlement_id) != applied_.end())
     return false;  // exactly-once: retried credit is a no-op
@@ -232,6 +245,11 @@ Result<bool> BankShard::ApplyCredit(const std::string& settlement_id,
 Status BankShard::ReleaseHold(const std::string& settlement_id,
                               std::int64_t now_us) {
   gm::MutexLock lock(&mu_);
+  return ReleaseHoldLocked(settlement_id, now_us);
+}
+
+Status BankShard::ReleaseHoldLocked(const std::string& settlement_id,
+                                    std::int64_t now_us) {
   if (crashed_) return ShardDown();
   const auto it = holds_.find(settlement_id);
   if (it == holds_.end())
@@ -244,6 +262,37 @@ Status BankShard::ReleaseHold(const std::string& settlement_id,
   settled_out_ += it->second.amount;
   holds_.erase(it);
   return Checkpoint();
+}
+
+std::vector<Result<std::string>> BankShard::PrepareDebits(
+    const std::vector<TransferRequest>& requests, std::int64_t now_us) {
+  gm::MutexLock lock(&mu_);
+  std::vector<Result<std::string>> out;
+  out.reserve(requests.size());
+  for (const TransferRequest& req : requests)
+    out.push_back(PrepareDebitLocked(req.from, req.to, req.amount, now_us));
+  return out;
+}
+
+std::vector<Result<bool>> BankShard::ApplyCredits(
+    const std::vector<CreditRequest>& requests, std::int64_t now_us) {
+  gm::MutexLock lock(&mu_);
+  std::vector<Result<bool>> out;
+  out.reserve(requests.size());
+  for (const CreditRequest& req : requests)
+    out.push_back(
+        ApplyCreditLocked(req.settlement_id, req.to, req.amount, now_us));
+  return out;
+}
+
+std::vector<Status> BankShard::ReleaseHolds(
+    const std::vector<std::string>& settlement_ids, std::int64_t now_us) {
+  gm::MutexLock lock(&mu_);
+  std::vector<Status> out;
+  out.reserve(settlement_ids.size());
+  for (const std::string& id : settlement_ids)
+    out.push_back(ReleaseHoldLocked(id, now_us));
+  return out;
 }
 
 Status BankShard::AbortHold(const std::string& settlement_id,

@@ -56,6 +56,21 @@ struct ShardAccount {
   Money balance;
 };
 
+/// One transfer order, as fed to FederationRouter::TransferBatch and the
+/// shard-level batch phases.
+struct TransferRequest {
+  std::string from;
+  std::string to;
+  Money amount;
+};
+
+/// Phase-2 order for ApplyCredits.
+struct CreditRequest {
+  std::string settlement_id;
+  std::string to;
+  Money amount;
+};
+
 /// An open prepare-hold: money debited from `from` awaiting the creditor
 /// shard's credit + this shard's release (or abort).
 struct SettlementHold {
@@ -120,6 +135,18 @@ class BankShard : public store::Recoverable {
   /// Failure path on the debtor shard: refund the hold to its source.
   Status AbortHold(const std::string& settlement_id, std::int64_t now_us);
 
+  // -- batched settlement phases (FederationRouter::TransferBatch) --
+  // Each runs the per-item logic of its single-shot twin in input order
+  // under ONE lock acquisition, journaling identical records — so a batch
+  // is bit-identical to the same calls made one by one, just cheaper. A
+  // failed item occupies its slot with the error and journals nothing.
+  std::vector<Result<std::string>> PrepareDebits(
+      const std::vector<TransferRequest>& requests, std::int64_t now_us);
+  std::vector<Result<bool>> ApplyCredits(
+      const std::vector<CreditRequest>& requests, std::int64_t now_us);
+  std::vector<Status> ReleaseHolds(
+      const std::vector<std::string>& settlement_ids, std::int64_t now_us);
+
   /// True iff `settlement_id` is in this shard's durable applied-set.
   bool HasAppliedSettlement(const std::string& settlement_id) const;
   /// Copies (the lock is released before the caller looks at them).
@@ -162,6 +189,15 @@ class BankShard : public store::Recoverable {
   void AttachTelemetry(telemetry::Telemetry* telemetry);
 
  private:
+  Result<std::string> PrepareDebitLocked(const std::string& from,
+                                         const std::string& to, Money amount,
+                                         std::int64_t now_us)
+      GM_REQUIRES(mu_);
+  Result<bool> ApplyCreditLocked(const std::string& settlement_id,
+                                 const std::string& to, Money amount,
+                                 std::int64_t now_us) GM_REQUIRES(mu_);
+  Status ReleaseHoldLocked(const std::string& settlement_id,
+                           std::int64_t now_us) GM_REQUIRES(mu_);
   ShardAccount* Find(const std::string& id) GM_REQUIRES(mu_);
   const ShardAccount* Find(const std::string& id) const GM_REQUIRES(mu_);
   Status Journal(const net::Writer& writer) GM_REQUIRES(mu_);

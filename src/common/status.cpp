@@ -19,6 +19,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kUnauthenticated: return "unauthenticated";
+    case StatusCode::kAlreadyClaimed: return "already_claimed";
   }
   return "unknown";
 }

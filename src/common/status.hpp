@@ -27,6 +27,11 @@ enum class StatusCode : std::uint8_t {
   kDeadlineExceeded,
   kInternal,
   kUnauthenticated,
+  // A replayed settlement/transfer token hit the double-spend registry:
+  // the id was already claimed once. Distinct from kAlreadyExists so the
+  // scenario adversary layer and SLO checker can count replay rejections
+  // separately from benign name collisions.
+  kAlreadyClaimed,
 };
 
 /// Human readable name for a status code ("ok", "not_found", ...).
@@ -77,6 +82,9 @@ class [[nodiscard]] Status {
   }
   static Status Unauthenticated(std::string m) {
     return {StatusCode::kUnauthenticated, std::move(m)};
+  }
+  static Status AlreadyClaimed(std::string m) {
+    return {StatusCode::kAlreadyClaimed, std::move(m)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -43,7 +43,7 @@ Status VerifyToken(const TransferToken& token, const PublicKey& bank_key,
 
 Status TokenRegistry::Claim(const std::string& receipt_id) {
   if (!spent_.insert(receipt_id).second)
-    return Status::AlreadyExists("token already spent: " + receipt_id);
+    return Status::AlreadyClaimed("token already spent: " + receipt_id);
   return Status::Ok();
 }
 

@@ -65,4 +65,11 @@ std::vector<const JobRecord*> GridBroker::Jobs() const {
   return plugin_.jobs();
 }
 
+std::size_t GridBroker::QueueDepth() const {
+  std::size_t depth = 0;
+  for (const JobRecord* job : plugin_.jobs())
+    if (!IsTerminal(job->state)) ++depth;
+  return depth;
+}
+
 }  // namespace gm::grid

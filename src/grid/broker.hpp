@@ -37,6 +37,9 @@ class GridBroker {
 
   Result<const JobRecord*> Job(std::uint64_t job_id) const;
   std::vector<const JobRecord*> Jobs() const;
+  /// Jobs in a non-terminal state: the broker's live queue depth (the
+  /// scenario engine's bounded-queue SLO input).
+  std::size_t QueueDepth() const;
 
   TycoonSchedulerPlugin& plugin() { return plugin_; }
 

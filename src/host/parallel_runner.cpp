@@ -86,6 +86,7 @@ void ParallelRunner::AddShard(market::Auctioneer* auctioneer,
   GM_ASSERT(auctioneer != nullptr, "null auctioneer shard");
   Shard shard;
   shard.auctioneer = auctioneer;
+  shard.index = shards_.size();
   shard.funding_account = std::move(funding_account);
   shard.host_account = std::move(host_account);
   shard.rng = ShardRng(config_.seed, shards_.size());
@@ -107,6 +108,9 @@ void ParallelRunner::PrepareShard(Shard& shard) {
 void ParallelRunner::RunShard(Shard& shard, sim::SimTime now) {
   market::Auctioneer& auctioneer = *shard.auctioneer;
   if (!shard.prepared) PrepareShard(shard);
+  // 0-based round index for the load-source hooks, captured before the
+  // churn cadence below bumps the counter.
+  const std::uint64_t round = shard.rounds_run;
 
   // Account churn: close the first bidder (reclaiming its escrowed
   // balance) and reopen it in the same round, so this tick sees a bid
@@ -139,7 +143,27 @@ void ParallelRunner::RunShard(Shard& shard, sim::SimTime now) {
     GM_ASSERT(bid.ok(), "parallel_runner: SetBid failed");
   }
 
+  // Scenario load source: arrivals/adversary bids before the auction,
+  // completion observation after. Cross-shard effects arrive buffered.
+  std::vector<ShardOp> load_ops;
+  if (load_source_ != nullptr)
+    load_source_->BeforeTick(shard.index, round, now, auctioneer, load_ops);
+
   auctioneer.Tick();
+
+  if (load_source_ != nullptr)
+    load_source_->AfterTick(shard.index, round, now, auctioneer, load_ops);
+  for (ShardOp& op : load_ops) {
+    switch (op.kind) {
+      case ShardOp::Kind::kTransfer:
+        shard.fed_ops.push_back(
+            {std::move(op.from), std::move(op.to), op.amount});
+        break;
+      case ShardOp::Kind::kReplay:
+        shard.replay_ops.push_back(std::move(op.settlement_id));
+        break;
+    }
+  }
 
   if (sls_ != nullptr && config_.publish_sls) {
     const PhysicalHost& physical = auctioneer.physical_host();
@@ -207,9 +231,16 @@ void ParallelRunner::MergeFederationOps(ThreadPool* pool, sim::SimTime now,
   std::vector<std::uint64_t> failed(bank_shards, 0);
   const auto apply_group = [this, &groups, &applied, &failed,
                             now](std::size_t g) {
-    for (const PendingOp* op : groups[g]) {
-      const Status status =
-          federation_->Transfer(op->from, op->to, op->amount, now);
+    // One router batch per debtor group: the batch sub-groups by creditor
+    // shard and runs each settlement phase under a single shard lock,
+    // instead of four lock round-trips per transfer.
+    std::vector<bank::federation::TransferRequest> requests;
+    requests.reserve(groups[g].size());
+    for (const PendingOp* op : groups[g])
+      requests.push_back({op->from, op->to, op->amount});
+    const std::vector<Status> statuses =
+        federation_->TransferBatch(requests, now);
+    for (const Status& status : statuses) {
       if (status.ok()) {
         ++applied[g];
       } else {
@@ -281,6 +312,21 @@ Result<ParallelRunReport> ParallelRunner::Run(int rounds) {
     }
     if (federation_ != nullptr)
       MergeFederationOps(pool.get(), now, report);
+    // Replay ops run after the round's transfers have settled, in shard
+    // order, so each probe sees a deterministic registry state.
+    for (Shard& shard : shards_) {
+      if (federation_ != nullptr) {
+        for (const std::string& sid : shard.replay_ops) {
+          ++report.replay_attempts;
+          // Refused either way: kAlreadyClaimed (the id was spent) or
+          // kNotFound (nothing to replay). attempts != rejected would
+          // mean the registry accepted a double-spend.
+          const Status status = federation_->ReplaySettlement(sid);
+          if (!status.ok()) ++report.replays_rejected;
+        }
+      }
+      shard.replay_ops.clear();
+    }
     ++report.rounds;
   }
 

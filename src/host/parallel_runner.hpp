@@ -73,6 +73,40 @@ class ThreadPool {
   std::vector<gm::Thread> workers_;
 };
 
+/// A buffered cross-shard effect a load source emits during the parallel
+/// phase; the runner applies it at the merge barrier in fixed order.
+struct ShardOp {
+  enum class Kind {
+    kTransfer,  // federation transfer from -> to
+    kReplay,    // present settlement_id to the double-spend registry
+  };
+  Kind kind = Kind::kTransfer;
+  std::string from;
+  std::string to;
+  Money amount;
+  std::string settlement_id;
+};
+
+/// Scenario hook: external load driven into each shard's auction during
+/// the parallel phase (open-loop arrivals, adversaries). The determinism
+/// contract extends to implementations: the hooks for shard k run on
+/// whichever pool thread owns shard k that round, so they may touch only
+/// state local to shard k plus the shard's own auctioneer, must derive
+/// randomness purely from (seed, shard, round), and must buffer every
+/// cross-shard effect into `ops` instead of performing it.
+class ShardLoadSource {
+ public:
+  virtual ~ShardLoadSource() = default;
+  /// Called before the shard's auction tick (inject arrivals and bids).
+  virtual void BeforeTick(std::size_t shard_index, std::uint64_t round,
+                          sim::SimTime now, market::Auctioneer& auctioneer,
+                          std::vector<ShardOp>& ops) = 0;
+  /// Called after the tick (observe completions, buffer refunds).
+  virtual void AfterTick(std::size_t shard_index, std::uint64_t round,
+                         sim::SimTime now, market::Auctioneer& auctioneer,
+                         std::vector<ShardOp>& ops) = 0;
+};
+
 struct ParallelRunnerConfig {
   int threads = 8;
   /// Root seed; shard k derives its private RNG stream from it by
@@ -112,6 +146,12 @@ struct ParallelRunReport {
   std::uint64_t fed_ops_failed = 0;
   /// federation->LedgerHash() after the final merge; empty without one.
   std::string fed_ledger_hash;
+  /// Load-source replay ops presented to the double-spend registry at the
+  /// merge barrier, and how many it refused (kAlreadyClaimed for spent
+  /// ids, kNotFound for probes of never-claimed ids). Any gap between the
+  /// two counters means an accepted double-spend.
+  std::uint64_t replay_attempts = 0;
+  std::uint64_t replays_rejected = 0;
 };
 
 class ParallelRunner {
@@ -136,6 +176,10 @@ class ParallelRunner {
   void SetFederation(bank::federation::FederationRouter* federation) {
     federation_ = federation;
   }
+  /// Attach a scenario load source (non-owning; nullptr detaches). Its
+  /// transfer ops join the federation merge; replay ops are presented to
+  /// the registry after the merge, in shard order.
+  void SetLoadSource(ShardLoadSource* source) { load_source_ = source; }
 
   /// Execute `rounds` allocation rounds over all shards. Safe to call
   /// repeatedly; shard RNG streams continue where they left off.
@@ -151,6 +195,7 @@ class ParallelRunner {
   };
   struct Shard {
     market::Auctioneer* auctioneer = nullptr;
+    std::size_t index = 0;
     std::string funding_account;
     std::string host_account;
     Rng rng;
@@ -163,6 +208,8 @@ class ParallelRunner {
     std::vector<PendingOp> ops;
     /// Same contract, destined for the bank federation.
     std::vector<PendingOp> fed_ops;
+    /// Load-source replay ops (settlement ids), same write/read contract.
+    std::vector<std::string> replay_ops;
     std::uint64_t publishes = 0;
   };
 
@@ -181,6 +228,7 @@ class ParallelRunner {
   bank::Bank* bank_ = nullptr;                     // non-owning
   market::ServiceLocationService* sls_ = nullptr;  // non-owning
   bank::federation::FederationRouter* federation_ = nullptr;  // non-owning
+  ShardLoadSource* load_source_ = nullptr;         // non-owning
 };
 
 }  // namespace gm::host

@@ -75,4 +75,58 @@ double BetaSampler::Sample(Rng& rng) {
   return sum > 0.0 ? x / sum : 0.5;
 }
 
+ParetoSampler::ParetoSampler(double alpha, double scale)
+    : alpha_(alpha), scale_(scale) {
+  GM_ASSERT(alpha > 0.0, "ParetoSampler: alpha must be positive");
+  GM_ASSERT(scale > 0.0, "ParetoSampler: scale must be positive");
+}
+
+double ParetoSampler::Sample(Rng& rng) {
+  // 1 - u in (0, 1]; pow never sees zero, so the tail is finite.
+  const double u = 1.0 - rng.NextDouble();
+  return scale_ / std::pow(u, 1.0 / alpha_);
+}
+
+LognormalSampler::LognormalSampler(double mu, double sigma)
+    : normal_(mu, sigma) {}
+
+double LognormalSampler::Sample(Rng& rng) {
+  return std::exp(normal_.Sample(rng));
+}
+
+namespace {
+
+// Knuth's product-of-uniforms count; only valid for small means (the
+// product underflows past ~700).
+std::uint64_t KnuthPoisson(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+PoissonSampler::PoissonSampler(double mean) : mean_(mean) {
+  GM_ASSERT(mean >= 0.0, "PoissonSampler: mean must be non-negative");
+}
+
+std::uint64_t PoissonSampler::Sample(Rng& rng) {
+  // Poisson(a + b) = Poisson(a) + Poisson(b): carve large means into
+  // fixed chunks so Knuth's product never underflows.
+  constexpr double kChunk = 16.0;
+  std::uint64_t count = 0;
+  double remaining = mean_;
+  while (remaining > 2.0 * kChunk) {
+    count += KnuthPoisson(rng, kChunk);
+    remaining -= kChunk;
+  }
+  return count + KnuthPoisson(rng, remaining);
+}
+
 }  // namespace gm::math

@@ -7,6 +7,8 @@
 // the portfolio simulation (Figure 5).
 #pragma once
 
+#include <cstdint>
+
 #include "common/rng.hpp"
 
 namespace gm::math {
@@ -58,6 +60,45 @@ class BetaSampler {
  private:
   GammaSampler alpha_;
   GammaSampler beta_;
+};
+
+/// Pareto(shape alpha, scale x_m) by inversion: x_m / U^(1/alpha).
+/// Heavy-tailed job sizes for the scenario engine; alpha <= 1 has
+/// infinite mean, alpha <= 2 infinite variance.
+class ParetoSampler {
+ public:
+  ParetoSampler(double alpha, double scale);
+  double Sample(Rng& rng);
+  double alpha() const { return alpha_; }
+  double scale() const { return scale_; }
+
+ private:
+  double alpha_;
+  double scale_;
+};
+
+/// Lognormal: exp(N(mu, sigma^2)). mu/sigma are the parameters of the
+/// underlying normal (median = exp(mu)).
+class LognormalSampler {
+ public:
+  LognormalSampler(double mu, double sigma);
+  double Sample(Rng& rng);
+
+ private:
+  NormalSampler normal_;
+};
+
+/// Poisson(mean) counts. Knuth product-of-uniforms for small means;
+/// large means split recursively (mean/2 + mean/2) so the loop never
+/// multiplies more than ~O(mean) uniforms with bounded underflow.
+class PoissonSampler {
+ public:
+  explicit PoissonSampler(double mean);
+  std::uint64_t Sample(Rng& rng);
+  double mean() const { return mean_; }
+
+ private:
+  double mean_;
 };
 
 }  // namespace gm::math

@@ -1,0 +1,98 @@
+#include "scenario/adversary.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+#include "math/distributions.hpp"
+
+namespace gm::scenario {
+
+namespace {
+
+std::uint64_t PoissonCount(double rate_per_sec, sim::SimDuration dt,
+                           double share, Rng& rng) {
+  const double mean = rate_per_sec * sim::ToSeconds(dt) * std::max(0.0, share);
+  if (mean <= 0.0) return 0;
+  return math::PoissonSampler(mean).Sample(rng);
+}
+
+}  // namespace
+
+AdversaryModel::AdversaryModel(AdversaryConfig config) : config_(config) {
+  GM_ASSERT(config_.snipe_rate_per_sec == 0.0 || config_.snipers > 0,
+            "sniping needs a sniper population");
+  GM_ASSERT(config_.flood_budget.is_positive(),
+            "flood budget must be positive (zero-balance bids never run)");
+}
+
+bool AdversaryModel::ActiveAt(sim::SimTime now) const {
+  if (!config_.any_enabled()) return false;
+  if (now < config_.active_from) return false;
+  return config_.active_until <= 0 || now < config_.active_until;
+}
+
+std::vector<SnipeBid> AdversaryModel::SnipeBids(sim::SimTime now,
+                                                sim::SimDuration dt,
+                                                double share, Rng& rng) const {
+  std::vector<SnipeBid> bids;
+  if (!ActiveAt(now)) return bids;
+  const std::uint64_t n =
+      PoissonCount(config_.snipe_rate_per_sec, dt, share, rng);
+  bids.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SnipeBid bid;
+    bid.sniper = rng.NextBelow(config_.snipers);
+    bid.rate = config_.snipe_max_rate * rng.NextDouble();
+    bid.fund = config_.snipe_fund;
+    bids.push_back(bid);
+  }
+  return bids;
+}
+
+std::vector<JobOrder> AdversaryModel::FloodOrders(sim::SimTime now,
+                                                  sim::SimDuration dt,
+                                                  double share,
+                                                  Rng& rng) const {
+  std::vector<JobOrder> orders;
+  if (!ActiveAt(now)) return orders;
+  const std::uint64_t n =
+      PoissonCount(config_.flood_rate_per_sec, dt, share, rng);
+  orders.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    JobOrder order;
+    order.hostile = true;
+    order.user = rng.Next();  // throwaway identity per hostile job
+    order.size = config_.flood_size;
+    // Uniform in (0, flood_budget]: never zero (a zero-balance bid is
+    // inert and would not even reach the admission queue).
+    const Micros cap = config_.flood_budget.micros();
+    order.budget = Money::FromMicros(
+        1 + static_cast<Micros>(rng.NextBelow(static_cast<std::uint64_t>(cap))));
+    order.deadline = 5 * sim::kMinute;
+    orders.push_back(order);
+  }
+  return orders;
+}
+
+std::vector<ReplayProbe> AdversaryModel::ReplayIds(
+    sim::SimTime now, sim::SimDuration dt, double share,
+    std::uint64_t shard_hint, std::uint64_t seq_hint, Rng& rng) const {
+  std::vector<ReplayProbe> probes;
+  if (!ActiveAt(now)) return probes;
+  const std::uint64_t n =
+      PoissonCount(config_.replay_rate_per_sec, dt, share, rng);
+  probes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Two-phase settlement mints ids "s<shard>-<seq>" in sequence order;
+    // guess one in the range the protocol has plausibly used.
+    const std::uint64_t shard =
+        rng.NextBelow(std::max<std::uint64_t>(1, shard_hint));
+    const std::uint64_t seq =
+        1 + rng.NextBelow(std::max<std::uint64_t>(1, seq_hint));
+    probes.push_back(
+        {"s" + std::to_string(shard) + "-" + std::to_string(seq)});
+  }
+  return probes;
+}
+
+}  // namespace gm::scenario

@@ -1,0 +1,137 @@
+// Scale scenario backend: millions of users over the parallel runtime.
+//
+// Full-fidelity submission (Schnorr tokens, broker authorization) costs
+// too much per arrival to load a million-user population. This backend
+// keeps the market and the money exact but strips the crypto: the
+// population lives as federation accounts ("scen:u<i>"), jobs are
+// host-local auctioneer accounts with real bids, budgets and VMs, and
+// every admission/refund is mirrored as a federation transfer so global
+// Money conservation remains checkable by the Reconciler.
+//
+// The backend implements host::ShardLoadSource and is driven by a
+// ParallelRunner over the GridMarket's auctioneers (their self-scheduled
+// ticks detached), inheriting the runner's three-phase determinism
+// contract: all per-shard randomness derives from (seed, shard, round),
+// all cross-shard money moves are buffered ShardOps applied at the merge
+// barrier, so an 8-thread run is bit-identical to a serial one — the
+// property the scenario digest pins.
+//
+// Economics per job: admission escrows the budget user -> host in the
+// federation and funds the job's auctioneer account; auctions charge the
+// account for capacity actually used; completion (or deadline eviction)
+// closes the account and refunds the remainder host -> user. Every
+// transfer is zero-sum, so the federation total is invariant no matter
+// how hostile the load. Admission is price-priority — the backlog is
+// served best bid-rate first — which is the market's own defense against
+// budget-exhaustion flooders: a near-zero bid never outranks honest
+// money, and what little it wins is evicted at its deadline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/grid_market.hpp"
+#include "host/parallel_runner.hpp"
+#include "scenario/engine.hpp"
+
+namespace gm::scenario {
+
+class ParallelScenarioBackend : public ScenarioBackend,
+                                public host::ShardLoadSource {
+ public:
+  struct Options {
+    int threads = 8;
+    /// Run shards inline in shard order; must produce the same digest.
+    bool serial = false;
+    sim::SimDuration interval = 10 * sim::kSecond;
+    /// Initial federation stake per simulated user / for the adversary's
+    /// war chest.
+    Money user_stake = Money::Dollars(1'000);
+    Money adversary_stake = Money::Dollars(100'000);
+    /// Per-shard admission backlog cap; arrivals beyond it are rejected
+    /// (counted, never silently dropped).
+    std::size_t max_backlog_per_shard = 50'000;
+  };
+
+  /// `grid` must outlive the backend and be configured with a bank
+  /// federation (bank_shards > 0). The constructor detaches the grid's
+  /// self-scheduled auction ticks and registers the whole population as
+  /// federation accounts.
+  ParallelScenarioBackend(GridMarket& grid, ScenarioConfig scenario,
+                          Options options);
+  ParallelScenarioBackend(GridMarket& grid, ScenarioConfig scenario);
+
+  void RunEpoch(int epoch, EpochTelemetry& out) override;
+  std::string LedgerHash() override;
+
+  // -- host::ShardLoadSource --
+  void BeforeTick(std::size_t shard_index, std::uint64_t round,
+                  sim::SimTime now, market::Auctioneer& auctioneer,
+                  std::vector<host::ShardOp>& ops) override;
+  void AfterTick(std::size_t shard_index, std::uint64_t round,
+                 sim::SimTime now, market::Auctioneer& auctioneer,
+                 std::vector<host::ShardOp>& ops) override;
+
+  host::ParallelRunner& runner() { return *runner_; }
+
+ private:
+  struct Job {
+    std::uint64_t seq = 0;
+    std::uint64_t user = 0;
+    Money budget;
+    Cycles size = 0;
+    Rate rate;
+    sim::SimTime arrival = 0;
+    sim::SimTime deadline = 0;  // absolute
+    bool hostile = false;
+  };
+
+  /// All mutable per-shard state; written only by the worker that owns
+  /// the shard during the parallel phase, read by the main thread after
+  /// the barrier (RunEpoch). unique_ptr for pointer stability — VM
+  /// completion callbacks capture the ShardState address.
+  struct ShardState {
+    std::vector<Job> pending;  // admission backlog
+    std::vector<Job> running;  // account open, VM executing
+    /// Seqs completed during this round's Tick (VM callbacks run on the
+    /// shard's thread, inside the auctioneer lock — they only push here).
+    std::vector<std::uint64_t> completed;
+    std::uint64_t next_seq = 0;
+    /// Cumulative escrow transfers buffered; feeds the replay
+    /// adversary's settlement-id guess range.
+    std::uint64_t escrows = 0;
+    std::unordered_set<std::uint64_t> snipers_open;
+    // Per-epoch counters, reset by RunEpoch after harvesting.
+    std::uint64_t arrivals = 0;
+    std::uint64_t hostile_arrivals = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t snipe_bids = 0;
+    std::size_t peak_backlog = 0;
+    double worst_wait_ratio = 0.0;
+  };
+
+  std::string UserAccount(const Job& job) const;
+  std::string JobAccount(std::size_t shard, std::uint64_t seq) const;
+  void EnqueueOrder(ShardState& st, const JobOrder& order, sim::SimTime now);
+  void Admit(std::size_t shard_index, ShardState& st,
+             market::Auctioneer& auctioneer, sim::SimTime now,
+             std::vector<host::ShardOp>& ops);
+  void Close(std::size_t shard_index, const Job& job,
+             market::Auctioneer& auctioneer,
+             std::vector<host::ShardOp>& ops);
+  void RecordWaitRatio(ShardState& st, const Job& job, sim::SimTime now);
+
+  GridMarket& grid_;
+  ScenarioConfig scenario_;
+  Options options_;
+  TrafficModel traffic_;
+  AdversaryModel adversary_;
+  std::unique_ptr<host::ParallelRunner> runner_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+};
+
+}  // namespace gm::scenario

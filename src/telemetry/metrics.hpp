@@ -189,6 +189,12 @@ struct MetricsSnapshot {
     const auto it = gauges.find(name);
     return it == gauges.end() ? fallback : it->second;
   }
+  /// Missing-tolerant histogram lookup (e.g. an SLO checker reading a
+  /// latency histogram that has not recorded yet).
+  HistogramView HistogramOr(const std::string& name) const {
+    const auto it = histograms.find(name);
+    return it == histograms.end() ? HistogramView{} : it->second;
+  }
 };
 
 /// Named metric store. Get* creates on first use and always returns the

@@ -1,0 +1,209 @@
+// TransferBatch equivalence contract: batching transfers by
+// (debtor shard, creditor shard) pair is a pure mechanical optimization
+// — the resulting ledgers and statuses must be bit-identical to calling
+// Transfer() one-by-one in the same grouped order. Also pins the
+// ReplaySettlement adversary surface: claimed ids bounce with
+// kAlreadyClaimed, unknown ids with kNotFound, and neither ever mutates
+// a ledger.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bank/federation/router.hpp"
+#include "bank/federation/shard.hpp"
+#include "crypto/token.hpp"
+
+namespace gm::bank::federation {
+namespace {
+
+constexpr std::size_t kShards = 4;
+
+std::string AccountOn(std::size_t shard, const std::string& prefix) {
+  for (int i = 0;; ++i) {
+    const std::string id = prefix + std::to_string(i);
+    if (StripeFor(id, kShards) == shard) return id;
+  }
+}
+
+struct Federation {
+  Federation() {
+    std::vector<BankShard*> ptrs;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      shards.push_back(std::make_unique<BankShard>(i));
+      ptrs.push_back(shards.back().get());
+    }
+    router = std::make_unique<FederationRouter>(ptrs, &registry);
+  }
+
+  std::vector<std::unique_ptr<BankShard>> shards;
+  crypto::TokenRegistry registry;
+  std::unique_ptr<FederationRouter> router;
+};
+
+// The canonical grouped order TransferBatch documents: ascending
+// (debtor shard, creditor shard) pairs, input order within a group.
+std::vector<std::size_t> GroupedOrder(
+    const std::vector<TransferRequest>& requests) {
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
+      groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    groups[{StripeFor(requests[i].from, kShards),
+            StripeFor(requests[i].to, kShards)}]
+        .push_back(i);
+  }
+  std::vector<std::size_t> order;
+  for (const auto& [key, indices] : groups)
+    order.insert(order.end(), indices.begin(), indices.end());
+  return order;
+}
+
+// A workload that exercises every batch path: intra-shard fast path,
+// cross-shard settlement, missing creditor (fail-fast, no hold),
+// missing debtor and insufficient funds (per-item prepare failures).
+std::vector<TransferRequest> MixedRequests() {
+  const std::string a0 = AccountOn(0, "alpha");
+  const std::string a1 = AccountOn(1, "bravo");
+  const std::string a2 = AccountOn(2, "carol");
+  const std::string a3 = AccountOn(3, "delta");
+  const std::string a0b = AccountOn(0, "echo");
+  return {
+      {a0, a1, Money::Dollars(5)},    // cross 0->1
+      {a0, a0b, Money::Dollars(3)},   // intra shard 0
+      {a2, a3, Money::Dollars(7)},    // cross 2->3
+      {a0, a1, Money::Dollars(2)},    // cross 0->1, same group as #0
+      {a1, a2, Money::Dollars(4)},    // cross 1->2
+      {a0, AccountOn(3, "ghost"),     // creditor never created
+       Money::Dollars(1)},
+      {AccountOn(2, "phantom"), a0,   // debtor never created
+       Money::Dollars(1)},
+      {a3, a0, Money::Dollars(900)},  // insufficient funds
+      {a3, a0, Money::Dollars(6)},    // cross 3->0, succeeds after the fail
+  };
+}
+
+void Seed(Federation& fed) {
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    for (const char* prefix : {"alpha", "bravo", "carol", "delta", "echo"}) {
+      const std::string id = AccountOn(shard, prefix);
+      ASSERT_TRUE(fed.router->CreateAccount(id, Money::Dollars(50)).ok());
+    }
+  }
+}
+
+TEST(FederationBatchTest, BatchedMatchesOneByOneInGroupedOrder) {
+  Federation batched;
+  Federation serial;
+  Seed(batched);
+  Seed(serial);
+  ASSERT_EQ(batched.router->LedgerHash(), serial.router->LedgerHash());
+
+  const std::vector<TransferRequest> requests = MixedRequests();
+  const std::vector<Status> batch_statuses =
+      batched.router->TransferBatch(requests, /*now_us=*/1000);
+
+  std::vector<Status> serial_statuses(requests.size(), Status::Ok());
+  for (const std::size_t i : GroupedOrder(requests)) {
+    serial_statuses[i] = serial.router->Transfer(
+        requests[i].from, requests[i].to, requests[i].amount, 1000);
+  }
+
+  // Statuses agree per REQUEST (the batch returns them in input order).
+  ASSERT_EQ(batch_statuses.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batch_statuses[i].code(), serial_statuses[i].code())
+        << "request " << i;
+  }
+
+  // Bit-identical ledgers: same balances, same settlement ids journaled
+  // and applied, same holds (none). The ledger hash covers all of it.
+  EXPECT_EQ(batched.router->LedgerHash(), serial.router->LedgerHash());
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    for (const char* prefix : {"alpha", "bravo", "carol", "delta", "echo"}) {
+      const std::string id = AccountOn(shard, prefix);
+      EXPECT_EQ(batched.router->Balance(id).value(),
+                serial.router->Balance(id).value())
+          << id;
+    }
+  }
+  EXPECT_TRUE(batched.router->CheckConservation().ok());
+  EXPECT_TRUE(serial.router->CheckConservation().ok());
+  EXPECT_EQ(batched.router->PendingSettlements(), 0u);
+
+  // Settlement counters line up too: started == completed + aborted.
+  const RouterStats bs = batched.router->Stats();
+  const RouterStats ss = serial.router->Stats();
+  EXPECT_EQ(bs.intra_transfers, ss.intra_transfers);
+  EXPECT_EQ(bs.settlements_started, ss.settlements_started);
+  EXPECT_EQ(bs.settlements_completed, ss.settlements_completed);
+  EXPECT_EQ(bs.settlements_aborted, ss.settlements_aborted);
+}
+
+TEST(FederationBatchTest, RepeatedBatchesKeepLedgersAligned) {
+  Federation batched;
+  Federation serial;
+  Seed(batched);
+  Seed(serial);
+  const std::vector<TransferRequest> requests = MixedRequests();
+  for (int tick = 0; tick < 5; ++tick) {
+    const std::int64_t now = 1000 + tick;
+    batched.router->TransferBatch(requests, now);
+    for (const std::size_t i : GroupedOrder(requests))
+      (void)serial.router->Transfer(requests[i].from, requests[i].to,
+                                    requests[i].amount, now);
+    ASSERT_EQ(batched.router->LedgerHash(), serial.router->LedgerHash())
+        << "tick " << tick;
+  }
+  EXPECT_TRUE(batched.router->CheckConservation().ok());
+}
+
+TEST(FederationBatchTest, EmptyBatchIsANoOp) {
+  Federation fed;
+  Seed(fed);
+  const std::string before = fed.router->LedgerHash();
+  EXPECT_TRUE(fed.router->TransferBatch({}, 1).empty());
+  EXPECT_EQ(fed.router->LedgerHash(), before);
+}
+
+TEST(FederationBatchTest, ReplayOfClaimedSettlementBounces) {
+  Federation fed;
+  Seed(fed);
+  const std::string from = AccountOn(0, "alpha");
+  const std::string to = AccountOn(1, "bravo");
+  ASSERT_TRUE(fed.router->Transfer(from, to, Money::Dollars(5), 10).ok());
+
+  // Shard 0 minted "s0-1" for its first settlement (seqs start at 1) and
+  // the registry claimed it; re-presenting it is a detected double-spend
+  // attempt.
+  ASSERT_TRUE(fed.router->IsSettlementSpent("s0-1"));
+  const std::string before = fed.router->LedgerHash();
+  const Status replay = fed.router->ReplaySettlement("s0-1");
+  EXPECT_EQ(replay.code(), StatusCode::kAlreadyClaimed);
+  EXPECT_EQ(fed.router->Stats().replays_rejected, 1u);
+  // Nothing moved: the probe is observed-and-refused, never applied.
+  EXPECT_EQ(fed.router->LedgerHash(), before);
+  EXPECT_EQ(fed.router->Balance(to).value(), Money::Dollars(55));
+
+  // Replaying twice keeps bouncing (and keeps counting).
+  EXPECT_EQ(fed.router->ReplaySettlement("s0-1").code(),
+            StatusCode::kAlreadyClaimed);
+  EXPECT_EQ(fed.router->Stats().replays_rejected, 2u);
+}
+
+TEST(FederationBatchTest, ReplayOfUnknownSettlementIsNotFound) {
+  Federation fed;
+  Seed(fed);
+  // Never-claimed ids are distinguishable from claimed ones: there is
+  // nothing to replay, and the bounce counter (kAlreadyClaimed only)
+  // does not move.
+  EXPECT_EQ(fed.router->ReplaySettlement("s3-999").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(fed.router->Stats().replays_rejected, 0u);
+  EXPECT_FALSE(fed.router->IsSettlementSpent("s3-999"));
+}
+
+}  // namespace
+}  // namespace gm::bank::federation

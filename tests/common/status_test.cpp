@@ -35,6 +35,9 @@ TEST(StatusTest, AllFactoryCodes) {
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unauthenticated("").code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(Status::AlreadyClaimed("").code(), StatusCode::kAlreadyClaimed);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyClaimed),
+               "already_claimed");
 }
 
 TEST(StatusTest, Equality) {

@@ -93,7 +93,23 @@ TEST(TokenRegistryTest, ClaimOncePerReceipt) {
   EXPECT_TRUE(registry.Claim("r1").ok());
   EXPECT_TRUE(registry.IsSpent("r1"));
   const Status replay = registry.Claim("r1");
-  EXPECT_EQ(replay.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(replay.code(), StatusCode::kAlreadyClaimed);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+// Regression for the adversary/SLO replay counters: a replayed claim must
+// come back as the distinct kAlreadyClaimed code (not kAlreadyExists or a
+// generic failure), and repeated replays must keep reporting it without
+// growing the registry.
+TEST(TokenRegistryTest, ReplayReturnsDistinctAlreadyClaimedStatus) {
+  TokenRegistry registry;
+  ASSERT_TRUE(registry.Claim("s0-17").ok());
+  for (int i = 0; i < 3; ++i) {
+    const Status replay = registry.Claim("s0-17");
+    EXPECT_EQ(replay.code(), StatusCode::kAlreadyClaimed);
+    EXPECT_NE(replay.code(), StatusCode::kAlreadyExists);
+    EXPECT_NE(replay.code(), StatusCode::kInternal);
+  }
   EXPECT_EQ(registry.size(), 1u);
 }
 

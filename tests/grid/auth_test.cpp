@@ -61,7 +61,7 @@ TEST_F(AuthTest, DoubleSpendRejected) {
   const auto token = PayBroker(Money::Dollars(100));
   ASSERT_TRUE(authorizer_->Authorize(token, 0).ok());
   const auto replay = authorizer_->Authorize(token, 1);
-  EXPECT_EQ(replay.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(replay.status().code(), StatusCode::kAlreadyClaimed);
   // Only one sub-account was funded.
   EXPECT_EQ(authorizer_->spent_tokens(), 1u);
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -88,6 +89,73 @@ TEST(BetaSamplerTest, SymmetricCase) {
   for (int i = 0; i < kSamples; ++i) m.Add(sampler.Sample(rng));
   EXPECT_NEAR(m.mean(), 0.5, 0.01);
   EXPECT_NEAR(m.skewness(), 0.0, 0.05);
+}
+
+TEST(ParetoSamplerTest, MomentsAndSupport) {
+  Rng rng(8);
+  // Pareto(alpha=3, x_m=2): mean = alpha*x_m/(alpha-1) = 3, finite var.
+  ParetoSampler sampler(3.0, 2.0);
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = sampler.Sample(rng);
+    EXPECT_GE(v, 2.0);  // support is [x_m, inf)
+    m.Add(v);
+  }
+  EXPECT_NEAR(m.mean(), 3.0, 0.05);
+  EXPECT_GT(m.skewness(), 0.0);  // heavy right tail
+}
+
+TEST(ParetoSamplerTest, HeavyTailExceedsExponential) {
+  Rng rng(9);
+  // With alpha=1.1 the tail is near-infinite-mean: the max over 100k
+  // draws must dwarf the scale by orders of magnitude.
+  ParetoSampler sampler(1.1, 1.0);
+  double max_seen = 0.0;
+  for (int i = 0; i < kSamples; ++i)
+    max_seen = std::max(max_seen, sampler.Sample(rng));
+  EXPECT_GT(max_seen, 1000.0);
+}
+
+TEST(LognormalSamplerTest, MomentsMatch) {
+  Rng rng(10);
+  // LN(mu=1, sigma=0.5): mean = exp(mu + sigma^2/2).
+  LognormalSampler sampler(1.0, 0.5);
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = sampler.Sample(rng);
+    EXPECT_GT(v, 0.0);
+    m.Add(v);
+  }
+  EXPECT_NEAR(m.mean(), std::exp(1.0 + 0.125), 0.05);
+}
+
+TEST(PoissonSamplerTest, SmallMeanMatches) {
+  Rng rng(11);
+  PoissonSampler sampler(3.0);
+  RunningMoments m;
+  for (int i = 0; i < kSamples; ++i)
+    m.Add(static_cast<double>(sampler.Sample(rng)));
+  // Poisson mean == variance.
+  EXPECT_NEAR(m.mean(), 3.0, 0.05);
+  EXPECT_NEAR(m.variance(), 3.0, 0.1);
+}
+
+TEST(PoissonSamplerTest, LargeMeanUsesChunking) {
+  Rng rng(12);
+  // 200 > the Knuth chunk, so this exercises the additive split; the
+  // result must still have Poisson moments.
+  PoissonSampler sampler(200.0);
+  RunningMoments m;
+  for (int i = 0; i < 20'000; ++i)
+    m.Add(static_cast<double>(sampler.Sample(rng)));
+  EXPECT_NEAR(m.mean(), 200.0, 1.0);
+  EXPECT_NEAR(m.variance(), 200.0, 10.0);
+}
+
+TEST(PoissonSamplerTest, ZeroMeanIsZero) {
+  Rng rng(13);
+  PoissonSampler sampler(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
 }
 
 TEST(SamplersTest, DeterministicGivenSeed) {

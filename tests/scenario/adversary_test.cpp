@@ -1,0 +1,142 @@
+// AdversaryModel: activity window gating, flood/snipe/replay sampling
+// bounds, and the same purity/determinism contract as TrafficModel.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "scenario/adversary.hpp"
+#include "sim/time.hpp"
+
+namespace gm::scenario {
+namespace {
+
+AdversaryConfig AllOn() {
+  AdversaryConfig config;
+  config.snipers = 8;
+  config.snipe_rate_per_sec = 2.0;
+  config.flood_rate_per_sec = 2.0;
+  config.replay_rate_per_sec = 2.0;
+  return config;
+}
+
+TEST(AdversaryModelTest, DisabledModelIsNeverActive) {
+  AdversaryModel model{AdversaryConfig{}};
+  EXPECT_FALSE(model.config().any_enabled());
+  EXPECT_FALSE(model.ActiveAt(0));
+  EXPECT_FALSE(model.ActiveAt(sim::kDay));
+}
+
+TEST(AdversaryModelTest, ActivityWindowGatesEverySampler) {
+  AdversaryConfig config = AllOn();
+  config.active_from = 100 * sim::kSecond;
+  config.active_until = 200 * sim::kSecond;
+  AdversaryModel model(config);
+
+  EXPECT_FALSE(model.ActiveAt(99 * sim::kSecond));
+  EXPECT_TRUE(model.ActiveAt(100 * sim::kSecond));
+  EXPECT_TRUE(model.ActiveAt(199 * sim::kSecond));
+  EXPECT_FALSE(model.ActiveAt(200 * sim::kSecond));
+
+  Rng rng(1);
+  const sim::SimTime outside = 50 * sim::kSecond;
+  const sim::SimDuration dt = 10 * sim::kSecond;
+  EXPECT_TRUE(model.SnipeBids(outside, dt, 1.0, rng).empty());
+  EXPECT_TRUE(model.FloodOrders(outside, dt, 1.0, rng).empty());
+  EXPECT_TRUE(model.ReplayIds(outside, dt, 1.0, 4, 100, rng).empty());
+}
+
+TEST(AdversaryModelTest, ZeroActiveUntilMeansForever) {
+  AdversaryConfig config = AllOn();
+  config.active_until = 0;
+  AdversaryModel model(config);
+  EXPECT_TRUE(model.ActiveAt(0));
+  EXPECT_TRUE(model.ActiveAt(365 * sim::kDay));
+}
+
+TEST(AdversaryModelTest, SnipeBidsStayInBounds) {
+  AdversaryModel model(AllOn());
+  Rng rng(42);
+  std::size_t total = 0;
+  for (int step = 0; step < 50; ++step) {
+    for (const SnipeBid& bid :
+         model.SnipeBids(0, 10 * sim::kSecond, 1.0, rng)) {
+      ++total;
+      EXPECT_LT(bid.sniper, model.config().snipers);
+      EXPECT_GE(bid.rate.micros_per_sec(), 0);
+      EXPECT_LE(bid.rate.micros_per_sec(),
+                model.config().snipe_max_rate.micros_per_sec());
+      EXPECT_EQ(bid.fund, model.config().snipe_fund);
+    }
+  }
+  EXPECT_GT(total, 0u);  // mean 20/step over 50 steps
+}
+
+TEST(AdversaryModelTest, FloodOrdersAreHostileWithTinyPositiveBudgets) {
+  AdversaryModel model(AllOn());
+  Rng rng(43);
+  std::size_t total = 0;
+  for (int step = 0; step < 50; ++step) {
+    for (const JobOrder& order :
+         model.FloodOrders(0, 10 * sim::kSecond, 1.0, rng)) {
+      ++total;
+      EXPECT_TRUE(order.hostile);
+      EXPECT_TRUE(order.budget.is_positive());
+      EXPECT_LE(order.budget, model.config().flood_budget);
+      EXPECT_EQ(order.size, model.config().flood_size);
+      EXPECT_GT(order.deadline, 0);
+    }
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(AdversaryModelTest, ReplayIdsLookLikeSettlementIds) {
+  AdversaryModel model(AllOn());
+  Rng rng(44);
+  std::size_t total = 0;
+  for (int step = 0; step < 50; ++step) {
+    for (const ReplayProbe& probe :
+         model.ReplayIds(0, 10 * sim::kSecond, 1.0, /*shard_hint=*/4,
+                         /*seq_hint=*/500, rng)) {
+      ++total;
+      // "s<shard>-<seq>", shard < hint, 1 <= seq <= hint — the exact id
+      // space the two-phase protocol mints from.
+      ASSERT_GE(probe.settlement_id.size(), 4u);
+      EXPECT_EQ(probe.settlement_id[0], 's');
+      const std::size_t dash = probe.settlement_id.find('-');
+      ASSERT_NE(dash, std::string::npos);
+      const int shard = std::stoi(probe.settlement_id.substr(1, dash - 1));
+      const long seq = std::stol(probe.settlement_id.substr(dash + 1));
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, 4);
+      EXPECT_GE(seq, 1);
+      EXPECT_LE(seq, 500);
+    }
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(AdversaryModelTest, SamplersAreDeterministic) {
+  AdversaryModel model(AllOn());
+  Rng a(777);
+  Rng b(777);
+  for (int step = 0; step < 20; ++step) {
+    const sim::SimTime now = step * 10 * sim::kSecond;
+    const auto bids_a = model.SnipeBids(now, 10 * sim::kSecond, 1.0, a);
+    const auto bids_b = model.SnipeBids(now, 10 * sim::kSecond, 1.0, b);
+    ASSERT_EQ(bids_a.size(), bids_b.size());
+    for (std::size_t i = 0; i < bids_a.size(); ++i) {
+      EXPECT_EQ(bids_a[i].sniper, bids_b[i].sniper);
+      EXPECT_EQ(bids_a[i].rate.micros_per_sec(),
+                bids_b[i].rate.micros_per_sec());
+    }
+    const auto probes_a = model.ReplayIds(now, 10 * sim::kSecond, 1.0, 4, 9, a);
+    const auto probes_b = model.ReplayIds(now, 10 * sim::kSecond, 1.0, 4, 9, b);
+    ASSERT_EQ(probes_a.size(), probes_b.size());
+    for (std::size_t i = 0; i < probes_a.size(); ++i)
+      EXPECT_EQ(probes_a[i].settlement_id, probes_b[i].settlement_id);
+  }
+}
+
+}  // namespace
+}  // namespace gm::scenario
