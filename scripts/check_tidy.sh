@@ -25,7 +25,24 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
 
 # Library sources only: tests and examples follow the same rules but are
 # gated by -Werror + gmlint; tidying them too roughly triples runtime.
-mapfile -t sources < <(find src -name '*.cpp' | sort)
+# The list comes from compile_commands.json — the same authoritative set
+# gmstatic consumes via --compile-commands — not from a filesystem glob,
+# so a .cpp that is not part of the build is never tidied (and one that
+# is cannot be missed).
+mapfile -t sources < <(python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, os, sys
+root = os.getcwd()
+files = set()
+for entry in json.load(open(sys.argv[1])):
+    path = entry["file"]
+    if not os.path.isabs(path):
+        path = os.path.join(entry.get("directory", "."), path)
+    rel = os.path.relpath(os.path.realpath(path), root)
+    if rel.startswith("src" + os.sep):
+        files.add(rel)
+print("\n".join(sorted(files)))
+EOF
+)
 
 echo "check_tidy: running $TIDY on ${#sources[@]} files"
 fail=0

@@ -9,9 +9,51 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-ci
 
-echo "== lint: gmlint determinism/money rules =="
-python3 scripts/gmlint.py src
-echo "gmlint: clean"
+echo "== lint: gmstatic full rule set (legacy + structural) =="
+# Analyzer self-tests first: a broken lexer or scope parser would make a
+# "clean" scan below meaningless.
+python3 tests/lint/test_gmstatic.py
+# Full run: every rule over src/ and tests/ (minus the deliberately-bad
+# lint fixtures). Fails on any non-baselined finding. The JSON report is
+# schema-checked and the wall-clock budget enforced: the analyzer must
+# stay cheap enough to never be the gate people skip.
+GMSTATIC_JSON=$(mktemp)
+python3 scripts/gmlint.py --all-rules src tests \
+  --exclude tests/lint/fixtures --json "$GMSTATIC_JSON"
+python3 - "$GMSTATIC_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("tool") != "gmstatic":
+    sys.exit("gmstatic report: tool field is not 'gmstatic'")
+if doc.get("schema_version") != 1:
+    sys.exit(f"gmstatic report: unexpected schema_version "
+             f"{doc.get('schema_version')}")
+for key in ("rules", "files_scanned", "duration_s", "findings",
+            "suppressed", "lex_errors", "baseline"):
+    if key not in doc:
+        sys.exit(f"gmstatic report: missing key '{key}'")
+for finding in doc["findings"]:
+    for key in ("rule", "file", "line", "col", "subject", "message",
+                "baselined"):
+        if key not in finding:
+            sys.exit(f"gmstatic report: finding missing key '{key}'")
+live = [f for f in doc["findings"] if not f["baselined"]]
+if live:
+    sys.exit(f"gmstatic report: {len(live)} non-baselined finding(s)")
+if doc["lex_errors"]:
+    sys.exit(f"gmstatic report: lex errors: {doc['lex_errors']}")
+if doc["baseline"]["unused"]:
+    sys.exit(f"gmstatic report: stale baseline entries: "
+             f"{doc['baseline']['unused']}")
+if doc["duration_s"] >= 10:
+    sys.exit(f"gmstatic report: run took {doc['duration_s']}s, "
+             f"budget is < 10s")
+print(f"gmstatic: clean ({doc['files_scanned']} files, "
+      f"{len(doc['findings'])} baselined finding(s), "
+      f"{doc['duration_s']}s)")
+EOF
+rm -f "$GMSTATIC_JSON"
 
 echo "== tidy: clang-tidy (skips if not installed) =="
 scripts/check_tidy.sh

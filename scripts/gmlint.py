@@ -1,436 +1,19 @@
 #!/usr/bin/env python3
-"""gmlint: GridMarket-specific determinism and money-safety lint.
+"""gmlint: thin compatibility shim over the gmstatic engine.
 
-Three rules, each guarding an invariant the type system cannot express:
-
-  nondeterminism      No std::rand / std::random_device / system_clock
-                      outside src/common/rng.* (the seeded simulation RNG)
-                      and src/crypto/ (where OS entropy is legitimate).
-                      Everything else must draw randomness and time from
-                      the deterministic kernel, or replays diverge.
-
-  unordered-iteration No range-for iteration over std::unordered_map /
-                      std::unordered_set in src/sim or src/market. Hash
-                      iteration order is implementation-defined, so any
-                      state mutation driven by it breaks bit-identical
-                      replay. Use std::map (the codebase default) or sort
-                      first.
-
-  float-money-eq      No raw == / != on floating-point money expressions
-                      (.dollars(), .dollars_per_sec(), price/budget/cost
-                      variables). Exact comparisons belong on the integer
-                      micro-dollar grid (Money, .micros()); approximate
-                      ones go through ApproxEq.
-
-  raw-threading       No bare std::mutex / std::thread / std::lock_guard /
-                      std::condition_variable / pthread_* outside
-                      src/common/concurrency.*. Raw primitives bypass the
-                      lock-rank registry and the Clang thread-safety
-                      annotations; everything must go through gm::Mutex,
-                      gm::MutexLock, gm::CondVar and gm::Thread.
-                      (std::this_thread and std::atomic stay legal.)
-
-  hotpath-map-iteration
-                      No std::map iteration (range-for or .begin()) inside
-                      src/market/ functions tagged '// gmlint: hotpath'.
-                      Tagged functions are per-tick market code: node-based
-                      ordered maps cost a pointer chase per element, which
-                      is exactly what the SoA bid table exists to avoid.
-                      Point lookups (.find / operator[]) stay legal; only
-                      iteration is flagged. Cold paths simply omit the tag.
-
-  include-layering    Project includes must respect the layer graph: a
-                      file in src/<dir>/ may only include headers from the
-                      directories <dir> is allowed to depend on. In
-                      particular market/ and host/ must never reach up
-                      into grid/ — the market must stay drivable by the
-                      parallel host runtime without dragging in broker
-                      logic. Fixtures outside src/ opt in with a
-                      'gmlint: layer(<dir>)' comment naming the directory
-                      whose rules they should be checked under.
-
-Suppression: append a justifying comment containing
-    gmlint: allow(<rule>)
-on the offending line or the line directly above it.
-
-Usage:
-    gmlint.py [--rules r1,r2] [--no-path-filter] [paths...]
-
-With no paths, lints the src/ tree of the repository that contains this
-script. Directories are walked for *.hpp / *.cpp. --no-path-filter applies
-every rule to every file regardless of location (used by the fixture
-tests). Exits 0 when clean, 1 with findings, 2 on usage errors.
+The historical CLI (`gmlint.py [paths...] [--rules a,b] [--no-path-filter]`)
+is preserved; the rules now run on a real token stream with scope
+tracking instead of line regexes. See scripts/gmstatic/ for the engine
+and `python3 scripts/gmstatic --help` for the full interface (JSON
+reports, baselines, the structural rule set).
 """
 
-import argparse
 import pathlib
-import re
 import sys
 
-RULES = ("nondeterminism", "unordered-iteration", "float-money-eq",
-         "raw-threading", "include-layering", "hotpath-map-iteration")
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-NONDET_PATTERN = re.compile(
-    r"\bstd::rand\b|\bstd::random_device\b|\brandom_device\b"
-    r"|\bsystem_clock\b|\bgettimeofday\b"
-)
-# Paths where OS entropy / wall-clock access is sanctioned.
-NONDET_EXEMPT = re.compile(r"(^|/)src/(common/rng\.|crypto/)")
-
-UNORDERED_SCOPE = re.compile(r"(^|/)src/(sim|market)/")
-UNORDERED_DECL = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;(){}]*>\s+(\w+)\s*[;={]"
-)
-RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*&?\s*(?:this->)?(\w+)\s*\)")
-INLINE_UNORDERED_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*[^;)]*\bunordered_")
-
-COMPARISON = re.compile(r"([\w.:\[\]()>-]+)\s*(==|!=)\s*([\w.:\[\]()>-]+)")
-MONEY_WORDS = {"price", "dollar", "dollars", "budget", "cost", "spent",
-               "refund", "refunded", "money"}
-# Word components that mark an identifier as *not* a money amount even if
-# it contains a money word (refund_span is a trace id, price_count a size).
-NONMONEY_WORDS = {"span", "id", "count", "idx", "index", "seq", "nonce",
-                  "name", "kind", "state", "ok", "status"}
-FLOAT_MONEY_CALL = re.compile(r"\.(dollars|dollars_per_sec)\s*\(\s*\)")
-# Anything anchoring the comparison to the exact integer grid or to the
-# strong types themselves is fine.
-EXACT_HINT = re.compile(
-    r"Money::|\bMicros\b|\.micros\s*\(|micros_per_sec\s*\(")
-RAW_THREADING = re.compile(
-    r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
-    r"|\bstd::j?thread\b"
-    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
-    r"|\bstd::condition_variable(?:_any)?\b"
-    r"|\bpthread_\w+"
-)
-# The one place raw primitives are legitimate: the wrappers themselves.
-RAW_THREADING_EXEMPT = re.compile(r"(^|/)src/common/concurrency\.")
-
-# Hot-path map-iteration rule: functions tagged '// gmlint: hotpath' in
-# src/market/ must not iterate node-based ordered maps.
-HOTPATH_SCOPE = re.compile(r"(^|/)src/market/")
-HOTPATH_TAG = re.compile(r"gmlint:\s*hotpath\b")
-MAP_DECL = re.compile(r"\bstd::(?:multi)?map\s*<[^;(){}]*>\s+(\w+)\s*[;={]")
-INLINE_MAP_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*[^;)]*\bstd::(?:multi)?map\b")
-MAP_BEGIN = re.compile(r"\b(\w+)\s*\.\s*begin\s*\(")
-
-# Layer graph: which top-level src/ directories each directory may include
-# from. Mirrors the CMake target graph; notably market/ and host/ must not
-# include grid/ (the broker layer sits above the market, never below it).
-LAYERS = {
-    "common": {"common"},
-    "math": {"common", "math"},
-    "sim": {"common", "sim"},
-    "crypto": {"common", "crypto"},
-    "bestresponse": {"bestresponse", "common"},
-    "telemetry": {"common", "sim", "telemetry"},
-    "net": {"common", "net", "sim", "telemetry"},
-    "store": {"common", "net", "store", "telemetry"},
-    "bank": {"bank", "common", "crypto", "net", "sim", "store", "telemetry"},
-    "host": {"bank", "common", "host", "market", "sim"},
-    "market": {"common", "host", "market", "net", "sim", "store",
-               "telemetry"},
-    "predict": {"bestresponse", "common", "market", "math", "predict"},
-    "grid": {"bank", "bestresponse", "common", "crypto", "grid", "host",
-             "market", "net", "sim", "store", "telemetry"},
-    "core": {"bank", "common", "core", "crypto", "grid", "host", "market",
-             "net", "predict", "sim", "store", "telemetry"},
-    "workload": {"common", "core", "grid", "workload"},
-    # The scenario engine drives whole-economy stress runs through the
-    # core/ facade and the host/ parallel runtime only: it may model load
-    # (math/, workload/) and read telemetry, but must never reach into
-    # market/ or bank/ internals — adversaries attack public surfaces.
-    "scenario": {"common", "core", "host", "math", "scenario", "sim",
-                 "telemetry", "workload"},
-    # Sublayer of bank/: the sharded federation may build on the bank,
-    # durability and telemetry layers but must never reach up into the
-    # facade (core/) or broker (grid/) layers above it.
-    "federation": {"bank", "common", "crypto", "net", "sim", "store",
-                   "telemetry"},
-}
-SRC_DIR = re.compile(r"(^|/)src/([^/]+)/")
-# Nested directories carrying their own layer contract; checked before
-# the top-level src/<dir>/ mapping.
-SUBLAYER_DIRS = (
-    (re.compile(r"(^|/)src/bank/federation/"), "federation"),
-)
-# Quoted project include with a directory component; <...> system includes
-# are out of scope.
-PROJECT_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"/]+)/[^"]*"')
-LAYER_DIRECTIVE = re.compile(r"gmlint:\s*layer\((\w+)\)")
-
-ALLOW = re.compile(r"gmlint:\s*allow\(([\w,\s-]+)\)")
-
-STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|' + r"'(?:[^'\\]|\\.)*'")
-LINE_COMMENT = re.compile(r"//.*$")
-
-
-def components(identifier):
-    """Split a C++ identifier into lower-case word components."""
-    tail = identifier.split(".")[-1].split("->")[-1].split("::")[-1]
-    tail = re.sub(r"[()\[\]]", "", tail)
-    return [part.lower() for part in re.split(r"_+|(?<=[a-z])(?=[A-Z])", tail)
-            if part]
-
-
-def moneyish(expr):
-    if FLOAT_MONEY_CALL.search(expr):
-        return True
-    words = components(expr)
-    return (any(word in MONEY_WORDS for word in words)
-            and not any(word in NONMONEY_WORDS for word in words))
-
-
-def strip_code(line, in_block_comment):
-    """Return (code-only text, allow-rules, still-in-block-comment)."""
-    allowed = set()
-    for match in ALLOW.finditer(line):
-        allowed.update(rule.strip() for rule in match.group(1).split(","))
-    if in_block_comment:
-        end = line.find("*/")
-        if end < 0:
-            return "", allowed, True
-        line = line[end + 2:]
-    # Drop strings first so '//' inside a literal is not a comment.
-    line = STRING_OR_CHAR.sub('""', line)
-    line = LINE_COMMENT.sub("", line)
-    while True:
-        start = line.find("/*")
-        if start < 0:
-            return line, allowed, False
-        end = line.find("*/", start + 2)
-        if end < 0:
-            return line[:start], allowed, True
-        line = line[:start] + line[end + 2:]
-
-
-class File:
-    def __init__(self, path):
-        self.path = path
-        self.display = path.as_posix()
-        raw = path.read_text(errors="replace").splitlines()
-        self.raw = raw     # untouched lines (includes live inside strings)
-        self.code = []     # comment/string-stripped lines
-        self.allows = []   # per-line suppressed rule sets
-        self.layer = None  # 'gmlint: layer(<dir>)' directive, if any
-        in_block = False
-        for line in raw:
-            directive = LAYER_DIRECTIVE.search(line)
-            if directive:
-                self.layer = directive.group(1)
-            code, allowed, in_block = strip_code(line, in_block)
-            self.code.append(code)
-            self.allows.append(allowed)
-
-    def allowed(self, index, rule):
-        if rule in self.allows[index]:
-            return True
-        return index > 0 and rule in self.allows[index - 1]
-
-
-def collect_map_names(files):
-    names = set()
-    for source in files:
-        for line in source.code:
-            for match in MAP_DECL.finditer(line):
-                names.add(match.group(1))
-    return names
-
-
-def hotpath_lines(source):
-    """Line indices inside function bodies tagged 'gmlint: hotpath'.
-
-    The tag goes on (or directly above) the function signature; the
-    region runs from the body's opening brace to its matching close,
-    tracked by brace depth over the comment-stripped code.
-    """
-    lines = set()
-    pending = False
-    in_region = False
-    depth = 0
-    for index, raw in enumerate(source.raw):
-        if HOTPATH_TAG.search(raw):
-            pending = True
-        if in_region:
-            lines.add(index)
-        for char in source.code[index]:
-            if char == "{":
-                if pending and not in_region:
-                    pending = False
-                    in_region = True
-                    depth = 0
-                    lines.add(index)
-                if in_region:
-                    depth += 1
-            elif char == "}" and in_region:
-                depth -= 1
-                if depth == 0:
-                    in_region = False
-    return lines
-
-
-def collect_unordered_names(files):
-    names = set()
-    for source in files:
-        for line in source.code:
-            for match in UNORDERED_DECL.finditer(line):
-                names.add(match.group(1))
-    return names
-
-
-def lint(files, rules, path_filter):
-    findings = []
-
-    def report(source, index, rule, message):
-        if not source.allowed(index, rule):
-            findings.append(
-                f"{source.display}:{index + 1}: [{rule}] {message}")
-
-    unordered_names = collect_unordered_names(files)
-    map_names = collect_map_names(files)
-    for source in files:
-        nondet_scope = not (path_filter
-                            and NONDET_EXEMPT.search(source.display))
-        unordered_scope = (not path_filter
-                           or UNORDERED_SCOPE.search(source.display))
-        hotpath_scope = (not path_filter
-                         or HOTPATH_SCOPE.search(source.display))
-        hot_lines = (hotpath_lines(source)
-                     if "hotpath-map-iteration" in rules and hotpath_scope
-                     else set())
-        threading_scope = not (path_filter
-                               and RAW_THREADING_EXEMPT.search(source.display))
-        layer = source.layer
-        if layer is None:
-            for sub_pattern, sub_layer in SUBLAYER_DIRS:
-                if sub_pattern.search(source.display):
-                    layer = sub_layer
-                    break
-        if layer is None:
-            src_match = SRC_DIR.search(source.display)
-            if src_match:
-                layer = src_match.group(2)
-        allowed_layers = LAYERS.get(layer)
-        if "include-layering" in rules and allowed_layers is not None:
-            # Includes sit inside string literals, so scan the raw lines.
-            for index, line in enumerate(source.raw):
-                match = PROJECT_INCLUDE.match(line)
-                if match and match.group(1) not in allowed_layers:
-                    report(source, index, "include-layering",
-                           f"src/{layer}/ must not include"
-                           f" \"{match.group(1)}/...\"; allowed layers:"
-                           f" {', '.join(sorted(allowed_layers))}")
-        for index, line in enumerate(source.code):
-            if "nondeterminism" in rules and nondet_scope:
-                match = NONDET_PATTERN.search(line)
-                if match:
-                    report(source, index, "nondeterminism",
-                           f"'{match.group(0)}' breaks deterministic replay;"
-                           " use common::Rng / sim::Kernel time instead")
-            if "unordered-iteration" in rules and unordered_scope:
-                match = RANGE_FOR.search(line)
-                if match and match.group(1) in unordered_names:
-                    report(source, index, "unordered-iteration",
-                           f"iteration over unordered container"
-                           f" '{match.group(1)}': hash order is not"
-                           " deterministic; use std::map or sort first")
-                elif INLINE_UNORDERED_FOR.search(line):
-                    report(source, index, "unordered-iteration",
-                           "iteration over unordered container: hash order"
-                           " is not deterministic; use std::map or sort"
-                           " first")
-            if "raw-threading" in rules and threading_scope:
-                match = RAW_THREADING.search(line)
-                if match:
-                    report(source, index, "raw-threading",
-                           f"'{match.group(0)}' bypasses the lock-rank"
-                           " registry and thread-safety annotations; use"
-                           " gm::Mutex / gm::MutexLock / gm::CondVar /"
-                           " gm::Thread from common/concurrency.hpp")
-            if "hotpath-map-iteration" in rules and index in hot_lines:
-                range_match = RANGE_FOR.search(line)
-                begin_match = MAP_BEGIN.search(line)
-                if range_match and range_match.group(1) in map_names:
-                    report(source, index, "hotpath-map-iteration",
-                           f"range-for over std::map"
-                           f" '{range_match.group(1)}' in a hotpath-tagged"
-                           " function: node-based iteration on the tick"
-                           " path; use the SoA bid table / flat arrays")
-                elif INLINE_MAP_FOR.search(line):
-                    report(source, index, "hotpath-map-iteration",
-                           "iteration over a std::map in a hotpath-tagged"
-                           " function: node-based iteration on the tick"
-                           " path; use the SoA bid table / flat arrays")
-                elif begin_match and begin_match.group(1) in map_names:
-                    report(source, index, "hotpath-map-iteration",
-                           f"'.begin()' on std::map"
-                           f" '{begin_match.group(1)}' in a hotpath-tagged"
-                           " function: node-based iteration on the tick"
-                           " path; use the SoA bid table / flat arrays")
-            if "float-money-eq" in rules:
-                if EXACT_HINT.search(line):
-                    continue
-                for match in COMPARISON.finditer(line):
-                    left, _, right = match.groups()
-                    if moneyish(left) or moneyish(right):
-                        report(source, index, "float-money-eq",
-                               f"raw '{match.group(2)}' on floating-point"
-                               " money; compare Money (exact micros) or use"
-                               " ApproxEq")
-                        break
-    return findings
-
-
-def gather(paths):
-    files = []
-    for path in paths:
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.hpp")))
-            files.extend(sorted(path.rglob("*.cpp")))
-        elif path.exists():
-            files.append(path)
-        else:
-            sys.exit(f"gmlint: no such path: {path}")
-    return files
-
-
-def main():
-    parser = argparse.ArgumentParser(
-        description="GridMarket determinism / money-safety lint")
-    parser.add_argument("paths", nargs="*", type=pathlib.Path)
-    parser.add_argument("--rules", default=",".join(RULES),
-                        help="comma-separated subset of: " + ", ".join(RULES))
-    parser.add_argument("--no-path-filter", action="store_true",
-                        help="apply every rule to every file (fixture tests)")
-    args = parser.parse_args()
-
-    rules = {rule.strip() for rule in args.rules.split(",") if rule.strip()}
-    unknown = rules - set(RULES)
-    if unknown:
-        sys.exit(2 if sys.stderr.write(
-            f"gmlint: unknown rule(s): {', '.join(sorted(unknown))}\n")
-            else 2)
-
-    if args.paths:
-        paths = args.paths
-    else:
-        paths = [pathlib.Path(__file__).resolve().parent.parent / "src"]
-    try:
-        relative = [p.resolve().relative_to(pathlib.Path.cwd())
-                    for p in paths]
-        paths = relative
-    except ValueError:
-        pass  # keep absolute paths when outside the cwd
-
-    files = [File(path) for path in gather(paths)]
-    findings = lint(files, rules, path_filter=not args.no_path_filter)
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"gmlint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
-
+from gmstatic.engine import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(prog="gmlint"))

@@ -1,0 +1,5 @@
+"""gmstatic: GridMarket's structural static-analysis engine.
+
+Lexer + scope tracker + project index + rules. Entry points:
+scripts/gmlint.py (legacy CLI shim) and `python3 scripts/gmstatic`.
+"""

@@ -1,0 +1,279 @@
+"""Cross-file project index for gmstatic rules.
+
+One pass over every parsed SourceFile builds the shared lookup tables
+the rules consume: container variable names (for iteration rules), the
+class/function indexes (for call resolution), declared mutexes with
+their lock-rank constants, and the lock-rank DAG itself (parsed from
+the `namespace lockrank { ... }` constants — src/common/concurrency.hpp
+in the real tree, or a fixture's own copy under --no-path-filter).
+"""
+
+import re
+
+from .lexer import IDENT, NUMBER, PUNCT, STRING
+
+_UNORDERED = frozenset({"unordered_map", "unordered_set",
+                        "unordered_multimap", "unordered_multiset"})
+_MAPS = frozenset({"map", "multimap"})
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*\Z")
+
+
+def skip_template_args(tokens, i):
+    """tokens[i] is '<'; return index one past the matching '>'.
+    Treats '>>' as two closers (the nested-template case)."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        text = tokens[i].text
+        if text == "<":
+            depth += 1
+        elif text == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif text == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif text in (";", "{", "}"):
+            return i  # malformed; bail out where we are
+        i += 1
+    return n
+
+
+class MutexDecl:
+    __slots__ = ("var", "class_name", "label", "rank_const", "file", "line",
+                 "function")
+
+    def __init__(self, var, class_name, label, rank_const, file, line,
+                 function=None):
+        self.var = var
+        self.class_name = class_name
+        self.label = label
+        self.rank_const = rank_const
+        self.file = file
+        self.line = line
+        self.function = function  # qualified name when declared in a body
+
+
+class Project:
+    def __init__(self, files):
+        self.files = files
+        self.unordered_names = set()
+        self.map_names = set()
+        self.classes = {}            # name -> ClassInfo (first definition)
+        self.functions = {}          # qualified -> FunctionInfo
+        self.methods = {}            # (class_name, name) -> FunctionInfo
+        self.free_functions = {}     # bare name -> FunctionInfo
+        self.mutexes = {}            # (class_name or None, var) -> MutexDecl
+        self.ranks = {}              # "kName" -> int value
+        self.rank_table = []         # concurrency.cpp LockRankTable entries
+        self.rank_table_file = None
+        self.lock_owning_classes = set()
+        for source in files:
+            self._index_file(source)
+        for source in files:
+            self._scan_mutex_decls(source)
+        for (class_name, _var), _decl in self.mutexes.items():
+            if class_name:
+                self.lock_owning_classes.add(class_name)
+        # Classes whose fields include a Mutex also own a lock even if the
+        # declaration didn't match the rank pattern.
+        for source in files:
+            for cls in source.classes:
+                for field in cls.fields:
+                    if field.type_tail in ("Mutex", "SharedMutex") \
+                            and not field.is_pointer \
+                            and not field.is_reference:
+                        self.lock_owning_classes.add(cls.name)
+
+    # -- per-file indexing --
+
+    def _index_file(self, source):
+        for cls in source.classes:
+            self.classes.setdefault(cls.name, cls)
+        for fn in source.functions:
+            self.functions.setdefault(fn.qualified, fn)
+            if fn.class_name:
+                self.methods.setdefault((fn.class_name, fn.name), fn)
+            else:
+                self.free_functions.setdefault(fn.name, fn)
+        tokens = source.tokens
+        n = len(tokens)
+        i = 0
+        while i < n:
+            t = tokens[i]
+            if t.kind == IDENT and (t.text in _UNORDERED or t.text in _MAPS):
+                is_map = t.text in _MAPS
+                # std::map must actually be std:: (plain 'map' identifiers
+                # are common); unordered_* is distinctive on its own.
+                if is_map and not (i >= 2 and tokens[i - 1].text == "::"
+                                   and tokens[i - 2].text == "std"):
+                    i += 1
+                    continue
+                j = i + 1
+                if j < n and tokens[j].text == "<":
+                    j = skip_template_args(tokens, j)
+                    if j < n and tokens[j].kind == IDENT and j + 1 < n \
+                            and tokens[j + 1].text in (";", "=", "{"):
+                        name = tokens[j].text
+                        (self.map_names if is_map
+                         else self.unordered_names).add(name)
+                    i = j
+                    continue
+            i += 1
+        self._scan_lockrank(source)
+        self._scan_rank_table(source)
+
+    def _scan_lockrank(self, source):
+        """Rank constants from any `namespace lockrank { ... }` scope:
+        `inline constexpr int kName = <number>;`"""
+        for scope in _walk(source.root):
+            if scope.kind != "namespace" or scope.name != "lockrank":
+                continue
+            tokens = source.tokens
+            end = scope.close_index or len(tokens)
+            i = scope.open_index + 1
+            while i + 2 < end:
+                if (tokens[i].kind == IDENT and tokens[i].text.startswith("k")
+                        and tokens[i + 1].text == "="
+                        and tokens[i + 2].kind == NUMBER):
+                    try:
+                        self.ranks[tokens[i].text] = int(
+                            tokens[i + 2].text, 0)
+                    except ValueError:
+                        pass
+                i += 1
+
+    def _scan_rank_table(self, source):
+        """Entries of kLockRankTable in concurrency.cpp:
+        {"kName", lockrank::kName} pairs."""
+        tokens = source.tokens
+        n = len(tokens)
+        for i in range(n - 1):
+            if tokens[i].kind == IDENT and tokens[i].text == "kLockRankTable":
+                self.rank_table_file = source
+                j = i
+                while j < n and tokens[j].text != "{":
+                    j += 1
+                depth = 0
+                name = None
+                while j < n:
+                    text = tokens[j].text
+                    if text == "{":
+                        depth += 1
+                    elif text == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif tokens[j].kind == STRING and depth == 2:
+                        name = tokens[j].text.strip('"')
+                    elif tokens[j].kind == IDENT and depth == 2 \
+                            and tokens[j].text.startswith("k") \
+                            and tokens[j - 1].text == "::" and name:
+                        self.rank_table.append(
+                            (name, tokens[j].text, tokens[j].line))
+                        name = None
+                    j += 1
+                return
+
+    def _scan_mutex_decls(self, source):
+        """Find `Mutex name{"label", lockrank::kRank};` declarations
+        (member, namespace-scope or local) and map them to ranks."""
+        tokens = source.tokens
+        n = len(tokens)
+        i = 0
+        while i < n - 2:
+            t = tokens[i]
+            if not (t.kind == IDENT and t.text == "Mutex"):
+                i += 1
+                continue
+            j = i + 1
+            if not (tokens[j].kind == IDENT
+                    and _IDENT_RE.match(tokens[j].text)
+                    and j + 1 < n and tokens[j + 1].text in ("{", "(")):
+                i += 1
+                continue
+            var = tokens[j].text
+            # Walk the balanced initializer for the label and rank const.
+            opener = tokens[j + 1].text
+            closer = "}" if opener == "{" else ")"
+            depth = 0
+            label = None
+            rank_const = None
+            k = j + 1
+            while k < n:
+                text = tokens[k].text
+                if text == opener:
+                    depth += 1
+                elif text == closer:
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tokens[k].kind == STRING and label is None:
+                    label = tokens[k].text.strip('"')
+                elif tokens[k].kind == IDENT and text.startswith("k") \
+                        and tokens[k - 1].text == "::" \
+                        and tokens[k - 2].text == "lockrank":
+                    rank_const = text
+                k += 1
+            if rank_const is not None:
+                class_name, function = _context_at(source, t)
+                decl = MutexDecl(var, class_name, label or var, rank_const,
+                                 source, t.line, function)
+                self.mutexes.setdefault((class_name, var), decl)
+                if class_name is None and function is not None:
+                    # Local mutex: also index per function for the
+                    # lock-order rule's body resolution.
+                    self.mutexes.setdefault((function, var), decl)
+            i = k if k > i else i + 1
+
+    # -- lookups --
+
+    def rank_of(self, rank_const):
+        return self.ranks.get(rank_const)
+
+    def resolve_method(self, class_name, name):
+        fn = self.methods.get((class_name, name))
+        if fn is not None:
+            return fn
+        return None
+
+    def field_type(self, class_name, field_name):
+        cls = self.classes.get(class_name)
+        if cls is None:
+            return None
+        field = cls.field(field_name)
+        return field.type_tail if field else None
+
+
+def _walk(scope):
+    yield scope
+    for child in scope.children:
+        yield from _walk(child)
+
+
+def _context_at(source, token):
+    """(enclosing class name, enclosing function qualified name) for a
+    token, from the scope tree."""
+    index = None
+    # Binary search by identity is overkill; token positions are unique
+    # enough by (line, col).
+    target = (token.line, token.col)
+    for i, t in enumerate(source.tokens):
+        if (t.line, t.col) == target:
+            index = i
+            break
+    if index is None:
+        return None, None
+    best_class = None
+    best_function = None
+    for scope in _walk(source.root):
+        if scope.open_index < index and (scope.close_index is None
+                                         or index <= scope.close_index):
+            if scope.kind == "class":
+                best_class = scope.name
+            elif scope.kind == "function":
+                best_function = scope.qualified()
+    return best_class, best_function

@@ -1,0 +1,758 @@
+"""Structural model of a C++ source file for gmstatic.
+
+Built on the token stream from lexer.py, a brace/scope tracker extracts:
+
+  * namespaces, classes/structs (with member fields and their
+    GM_GUARDED_BY / GM_PT_GUARDED_BY annotations),
+  * function definitions with their body token ranges and enclosing
+    class, so rules can reason per-function,
+  * quoted project includes (the include graph for layering),
+  * gmlint directives from comments: allow(...) suppressions (with the
+    statement extents they cover), layer(...) overrides and hotpath
+    tags attached to the following function.
+
+This is a heuristic structural parser, not a compiler front end: it
+never needs to be *complete*, only predictable — anything it cannot
+classify becomes an anonymous block scope, and rules treat unresolved
+constructs conservatively (no finding) rather than guessing.
+"""
+
+import re
+
+from . import lexer
+from .lexer import COMMENT, IDENT, NUMBER, PUNCT, STRING
+
+# Scope kinds.
+NAMESPACE = "namespace"
+CLASS = "class"
+ENUM = "enum"
+FUNCTION = "function"
+BLOCK = "block"
+
+ALLOW_RE = re.compile(r"gmlint:\s*allow\(([\w,\s-]+)\)")
+LAYER_RE = re.compile(r"gmlint:\s*layer\((\w+)\)")
+HOTPATH_RE = re.compile(r"gmlint:\s*hotpath\b")
+
+# Annotation macros that may trail a declarator; stripped (with their
+# balanced parens) before declarations are interpreted.
+_ANNOTATION_MACROS = frozenset({
+    "GM_GUARDED_BY", "GM_PT_GUARDED_BY", "GM_REQUIRES", "GM_ACQUIRE",
+    "GM_RELEASE", "GM_EXCLUDES", "GM_NO_THREAD_SAFETY_ANALYSIS",
+    "GM_CAPABILITY", "GM_SCOPED_CAPABILITY", "GM_THREAD_ANNOTATION",
+})
+
+_BLOCK_HEADS = frozenset({
+    "if", "else", "for", "while", "switch", "do", "try", "catch",
+})
+
+_DECL_SPECIFIERS = frozenset({
+    "mutable", "static", "const", "constexpr", "inline", "volatile",
+    "extern", "thread_local", "explicit", "virtual", "friend", "typename",
+})
+
+
+class Scope:
+    __slots__ = ("kind", "name", "parent", "open_index", "close_index",
+                 "open_line", "close_line", "children")
+
+    def __init__(self, kind, name, parent, open_index, open_line):
+        self.kind = kind
+        self.name = name
+        self.parent = parent
+        self.open_index = open_index
+        self.close_index = None
+        self.open_line = open_line
+        self.close_line = None
+        self.children = []
+
+    def qualified(self):
+        parts = []
+        scope = self
+        while scope is not None:
+            if scope.name and scope.kind in (NAMESPACE, CLASS, FUNCTION):
+                parts.append(scope.name)
+            scope = scope.parent
+        return "::".join(reversed(parts))
+
+    def enclosing(self, kind):
+        scope = self.parent
+        while scope is not None:
+            if scope.kind == kind:
+                return scope
+            scope = scope.parent
+        return None
+
+
+class Field:
+    __slots__ = ("name", "type_text", "type_tail", "line", "annotations",
+                 "guard", "is_const", "is_mutable", "is_static",
+                 "is_reference", "is_pointer")
+
+    def __init__(self, name, type_text, type_tail, line, annotations, guard,
+                 is_const, is_mutable, is_static, is_reference, is_pointer):
+        self.name = name
+        self.type_text = type_text
+        self.type_tail = type_tail      # last type identifier, e.g. "Mutex"
+        self.line = line
+        self.annotations = annotations  # set of GM_* macro names present
+        self.guard = guard              # GM_GUARDED_BY argument text or None
+        self.is_const = is_const
+        self.is_mutable = is_mutable
+        self.is_static = is_static
+        self.is_reference = is_reference
+        self.is_pointer = is_pointer
+
+
+class ClassInfo:
+    __slots__ = ("name", "qualified", "line", "fields", "scope")
+
+    def __init__(self, name, qualified, line, scope):
+        self.name = name
+        self.qualified = qualified
+        self.line = line
+        self.fields = []
+        self.scope = scope
+
+    def field(self, name):
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+
+class FunctionInfo:
+    __slots__ = ("name", "class_name", "qualified", "line", "body_start",
+                 "body_end", "scope", "hotpath", "sig_start")
+
+    def __init__(self, name, class_name, qualified, line, sig_start,
+                 body_start, scope):
+        self.name = name
+        self.class_name = class_name  # enclosing or '::'-qualifying class
+        self.qualified = qualified
+        self.line = line
+        self.sig_start = sig_start    # token index of signature head start
+        self.body_start = body_start  # index of the opening '{'
+        self.body_end = None          # index of the matching '}'
+        self.scope = scope
+        self.hotpath = False
+
+
+class Include:
+    __slots__ = ("path", "line", "system")
+
+    def __init__(self, path, line, system):
+        self.path = path
+        self.line = line
+        self.system = system
+
+
+class SourceFile:
+    """Parsed source file: tokens plus the structural model."""
+
+    def __init__(self, path, display, text):
+        self.path = path
+        self.display = display
+        self.lex_errors = []
+        try:
+            self.all_tokens = lexer.lex(text)
+        except lexer.LexError as err:
+            # Salvage: record the error and lex up to it line-by-line so
+            # the rest of the pipeline still sees *something*.
+            self.lex_errors.append(str(err))
+            self.all_tokens = _salvage_lex(text)
+        self.tokens = [t for t in self.all_tokens if t.kind != COMMENT]
+        self.comments = [t for t in self.all_tokens if t.kind == COMMENT]
+        self.root = Scope(BLOCK, "", None, -1, 0)
+        self.classes = []
+        self.functions = []
+        self.includes = []
+        self.layer = None
+        # line -> set of rule names allowed on that line.
+        self.allow_lines = {}
+        self._parse_directives()
+        _ScopeParser(self).run()
+        self._attach_hotpath_tags()
+        self._expand_allow_statements()
+
+    # -- directives --
+
+    def _parse_directives(self):
+        for c in self.comments:
+            m = LAYER_RE.search(c.text)
+            if m:
+                self.layer = m.group(1)
+            for m in ALLOW_RE.finditer(c.text):
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                self.allow_lines.setdefault(c.line, set()).update(rules)
+
+    def _attach_hotpath_tags(self):
+        tag_lines = [c.line for c in self.comments
+                     if HOTPATH_RE.search(c.text)]
+        if not tag_lines:
+            return
+        funcs = sorted(self.functions, key=lambda f: f.line)
+        for tag in tag_lines:
+            for fn in funcs:
+                # Tag on, or up to two lines above, the signature line.
+                if fn.line >= tag and fn.line - tag <= 2:
+                    fn.hotpath = True
+                    break
+                # Tag inside the signature (multi-line signatures).
+                if fn.line <= tag and self.tokens[fn.body_start].line >= tag:
+                    fn.hotpath = True
+                    break
+
+    def allowed(self, line, rule):
+        rules = self.allow_lines.get(line)
+        return bool(rules) and rule in rules
+
+    # -- suppression extents --
+
+    def _expand_allow_statements(self):
+        """An allow() on its own comment line covers the entire
+        statement/declaration that follows it (through its terminating
+        ';' or closing brace); an allow() trailing code covers the whole
+        statement containing that line. Single-line statements reduce to
+        the legacy same-line / line-above behavior."""
+        if not self.allow_lines:
+            return
+        code_lines = {t.line for t in self.tokens}
+        for t in self.tokens:
+            if t.end_line != t.line:
+                code_lines.update(range(t.line, t.end_line + 1))
+        expanded = {}
+        for line, rules in self.allow_lines.items():
+            if line in code_lines:
+                start, end = self._statement_span_containing(line)
+            else:
+                start, end = self._statement_span_after(line)
+            for covered in range(start, end + 1):
+                expanded.setdefault(covered, set()).update(rules)
+            # The directive line itself always counts.
+            expanded.setdefault(line, set()).update(rules)
+        self.allow_lines = expanded
+
+    def _first_token_at_or_after(self, line):
+        lo, hi = 0, len(self.tokens)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.tokens[mid].line < line:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _statement_span_after(self, line):
+        start = self._first_token_at_or_after(line + 1)
+        if start >= len(self.tokens):
+            return line + 1, line + 1
+        return self._statement_span(start)
+
+    def _statement_span_containing(self, line):
+        index = self._first_token_at_or_after(line)
+        if index >= len(self.tokens):
+            return line, line
+        # Back up to the start of the statement: the token after the
+        # previous ';', '{' or '}' at any depth (heuristic but local).
+        i = index
+        while i > 0 and self.tokens[i - 1].text not in (";", "{", "}"):
+            i -= 1
+        return self._statement_span(i)
+
+    def _statement_span(self, start):
+        """(first_line, last_line) of the statement starting at token
+        index `start`: runs to the first ';' outside brackets, or to the
+        matching '}' (plus an optional trailing ';') when a top-level
+        '{' opens first."""
+        depth = 0
+        i = start
+        n = len(self.tokens)
+        first_line = self.tokens[start].line
+        while i < n:
+            text = self.tokens[i].text
+            if text in "([":
+                depth += 1
+            elif text in ")]":
+                depth = max(0, depth - 1)
+            elif text == "{":
+                if depth == 0:
+                    end = self._match_brace(i)
+                    if end + 1 < n and self.tokens[end + 1].text == ";":
+                        end += 1
+                    return first_line, self.tokens[min(end, n - 1)].end_line
+                depth += 1
+            elif text == "}":
+                if depth == 0:
+                    return first_line, self.tokens[max(start, i - 1)].end_line
+                depth -= 1
+            elif text == ";" and depth == 0:
+                return first_line, self.tokens[i].end_line
+            i += 1
+        return first_line, self.tokens[n - 1].end_line if n else first_line
+
+    def _match_brace(self, open_index):
+        depth = 0
+        for i in range(open_index, len(self.tokens)):
+            text = self.tokens[i].text
+            if text == "{":
+                depth += 1
+            elif text == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        return len(self.tokens) - 1
+
+
+def _salvage_lex(text):
+    """Fallback lexing for files with unterminated literals: lex each
+    physical line independently, skipping lines that still fail."""
+    tokens = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            for t in lexer.lex(line):
+                t.line = lineno
+                t.end_line = lineno
+                tokens.append(t)
+        except lexer.LexError:
+            continue
+    return tokens
+
+
+class _ScopeParser:
+    """Single pass over the token stream building scopes, classes,
+    fields, functions and includes."""
+
+    def __init__(self, source):
+        self.source = source
+        self.tokens = source.tokens
+        self.scope = source.root
+        self.head = []          # (index, token) since last boundary
+        self.class_infos = {}   # Scope -> ClassInfo
+
+    def run(self):
+        tokens = self.tokens
+        i = 0
+        n = len(tokens)
+        while i < n:
+            t = tokens[i]
+            text = t.text
+            if text == "#":
+                i = self._preprocessor(i)
+                continue
+            if text == "{":
+                i = self._open_brace(i)
+                continue
+            if text == "}":
+                self._close_scope(i)
+                i += 1
+                # Swallow the optional ';' after class/init braces.
+                continue
+            if text == ";":
+                self._end_statement(i)
+                i += 1
+                continue
+            if (text == ":" and len(self.head) == 1
+                    and self.head[0][1].text in ("public", "private",
+                                                 "protected")):
+                self.head = []  # access specifier
+                i += 1
+                continue
+            self.head.append((i, t))
+            i += 1
+        # EOF closes whatever is still open (tolerates truncated input).
+        while self.scope.parent is not None:
+            self.scope.close_index = n - 1
+            self.scope.close_line = tokens[n - 1].end_line if n else 0
+            self.scope = self.scope.parent
+
+    # -- preprocessor --
+
+    def _preprocessor(self, i):
+        tokens = self.tokens
+        line = tokens[i].line
+        logical = tokens[i].logical_line
+        n = len(tokens)
+        j = i + 1
+        if j < n and tokens[j].kind == IDENT and tokens[j].text == "include":
+            k = j + 1
+            if k < n and tokens[k].kind == STRING:
+                path = tokens[k].text.strip('"')
+                self.source.includes.append(Include(path, line, False))
+            elif k < n and tokens[k].text == "<":
+                parts = []
+                while k + 1 < n and tokens[k + 1].text != ">" \
+                        and tokens[k + 1].logical_line == logical:
+                    k += 1
+                    parts.append(tokens[k].text)
+                self.source.includes.append(
+                    Include("".join(parts), line, True))
+        # Skip the directive's whole logical line (covers spliced macros).
+        while i < n and tokens[i].logical_line == logical:
+            i += 1
+        # A directive never contributes to statement heads.
+        return i
+
+    # -- braces --
+
+    def _open_brace(self, i):
+        kind, name = self._classify_head(i)
+        if kind is None:
+            # Initializer / aggregate braces: consume balanced into head.
+            end = self.source._match_brace(i)
+            for k in range(i, min(end + 1, len(self.tokens))):
+                self.head.append((k, self.tokens[k]))
+            return end + 1
+        t = self.tokens[i]
+        child = Scope(kind, name, self.scope, i, t.line)
+        self.scope.children.append(child)
+        if kind == CLASS:
+            info = ClassInfo(name, child.qualified(), t.line, child)
+            self.class_infos[child] = info
+            self.source.classes.append(info)
+        elif kind == FUNCTION:
+            self._record_function(name, i, child)
+        self.scope = child
+        self.head = []
+        return i + 1
+
+    def _close_scope(self, i):
+        if self.scope.parent is None:
+            self.head = []
+            return
+        self.scope.close_index = i
+        self.scope.close_line = self.tokens[i].line
+        if self.scope.kind == FUNCTION:
+            for fn in self.source.functions:
+                if fn.scope is self.scope:
+                    fn.body_end = i
+                    break
+        self.scope = self.scope.parent
+        self.head = []
+
+    def _end_statement(self, i):
+        if self.scope.kind == CLASS and self.head:
+            info = self.class_infos.get(self.scope)
+            if info is not None:
+                field = _parse_field(self.head)
+                if field is not None:
+                    info.fields.append(field)
+        self.head = []
+
+    # -- classification --
+
+    def _classify_head(self, brace_index):
+        """Decide what the '{' at brace_index opens.
+        Returns (scope_kind, name) or (None, None) for initializer
+        braces that should be consumed without opening a scope."""
+        head = self.head
+        # The file root is a namespace-like context, not code.
+        in_code = self.scope.kind in (FUNCTION, BLOCK) \
+            and self.scope.parent is not None
+        if not head:
+            # Bare block (legal in functions) or continuation braces.
+            if in_code:
+                return BLOCK, ""
+            return None, None
+        texts = [t.text for _, t in head]
+        # A '{' while parens are still open is an initializer list inside
+        # a call / condition (e.g. 'for (auto x : {1, 2})').
+        depth = 0
+        for text in texts:
+            if text in "([":
+                depth += 1
+            elif text in ")]":
+                depth = max(0, depth - 1)
+        if depth > 0:
+            return None, None
+        tset = set(texts)
+        if "namespace" in tset:
+            idx = texts.index("namespace")
+            name = "::".join(t for t in texts[idx + 1:] if t != "::")
+            return NAMESPACE, name
+        if "enum" in tset:
+            return ENUM, _name_before_brace(texts)
+        if ("class" in tset or "struct" in tset or "union" in tset):
+            # 'struct' may appear in a parameter list or template header;
+            # require it outside parens.
+            depth = 0
+            for text in texts:
+                if text in "([":
+                    depth += 1
+                elif text in ")]":
+                    depth = max(0, depth - 1)
+                elif depth == 0 and text in ("class", "struct", "union"):
+                    return CLASS, _name_before_brace(texts)
+        if texts[0] == "extern" and len(texts) <= 2:
+            return NAMESPACE, ""  # extern "C" { ... }
+        if texts[0] in _BLOCK_HEADS or texts[-1] in ("else", "do", "try"):
+            return BLOCK, ""
+        if in_code:
+            # Inside code: control flow handled above; '=' or ',' or
+            # 'return' before the brace means an initializer/aggregate.
+            if texts[-1] in ("=", ",", "return", "(", "[",
+                             "]") or texts[-1] in ("<<", ">>"):
+                return None, None
+            if _looks_like_signature(texts):
+                return BLOCK, ""  # lambda or local class-free callable
+            return None, None
+        # Namespace / class scope: function definition vs brace init.
+        if _looks_like_signature(texts):
+            return FUNCTION, _function_name(texts)
+        return None, None
+
+    def _record_function(self, name, brace_index, scope):
+        class_name = None
+        qualified = name
+        if "::" in name:
+            parts = name.split("::")
+            class_name = parts[-2] if len(parts) >= 2 else None
+        else:
+            if self.scope.kind == CLASS:
+                class_name = self.scope.name
+            prefix = self.scope.qualified()
+            qualified = f"{prefix}::{name}" if prefix else name
+        sig_start = self.head[0][0] if self.head else brace_index
+        fn = FunctionInfo(
+            name=name.split("::")[-1],
+            class_name=class_name,
+            qualified=qualified,
+            line=self.tokens[sig_start].line,
+            sig_start=sig_start,
+            body_start=brace_index,
+            scope=scope,
+        )
+        self.source.functions.append(fn)
+
+
+def _name_before_brace(texts):
+    """Class/enum name: the identifier before the base-clause ':' (or the
+    brace), skipping 'final' and annotation-macro argument lists."""
+    # Cut at the first ':' that is not '::' (base clause). texts has '::'
+    # as a single token, so a lone ':' is the base clause.
+    cut = len(texts)
+    depth = 0
+    for i, text in enumerate(texts):
+        if text in "([":
+            depth += 1
+        elif text in ")]":
+            depth = max(0, depth - 1)
+        elif text == ":" and depth == 0:
+            cut = i
+            break
+    relevant = texts[:cut]
+    for text in reversed(relevant):
+        if text in ("final", ")", "]"):
+            continue
+        if re.fullmatch(r"[A-Za-z_]\w*", text) and text not in (
+                "class", "struct", "union", "enum") \
+                and text not in _ANNOTATION_MACROS:
+            return text
+    return ""
+
+
+def _looks_like_signature(texts):
+    """Heuristic: the head ends in a parameter list possibly followed by
+    qualifiers / annotations / a constructor init list."""
+    if "(" not in texts:
+        return False
+    if texts[0] in ("using", "typedef", "return") or "=" in _top_level(texts):
+        # 'Type x = f(...)' and friends are not definitions. (Deleted /
+        # defaulted functions end in ';', never reach a '{'.)
+        return False
+    tail = texts[-1]
+    if tail == ")" or tail == "}":
+        return True
+    if tail in ("const", "noexcept", "override", "final", "mutable",
+                "GM_NO_THREAD_SAFETY_ANALYSIS"):
+        return True
+    if re.fullmatch(r"[A-Za-z_]\w*", tail):
+        # Trailing return type 'auto f() -> T {' or annotation macro or
+        # ctor init 'Ctor() : a_(x), b_(y) {' ending in an identifier?
+        # Init lists end with ')' or '}', so an identifier tail is a
+        # trailing-return/attribute form — accept when a '->' or GM_
+        # macro appears after the last ')'.
+        last_close = len(texts) - 1 - texts[::-1].index(")") \
+            if ")" in texts else -1
+        after = texts[last_close + 1:]
+        return "->" in after or any(a in _ANNOTATION_MACROS for a in after)
+    return False
+
+
+def _top_level(texts):
+    """Tokens outside any bracket nesting."""
+    out = []
+    depth = 0
+    for text in texts:
+        if text in "([{":
+            depth += 1
+        elif text in ")]}":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(text)
+    return out
+
+
+def _function_name(texts):
+    """Name (possibly 'Class::Method' qualified) of the function whose
+    signature is in `texts`: the identifier chain before the first
+    top-level '(' that is preceded by an identifier or 'operator'."""
+    depth = 0
+    angle = 0
+    for i, text in enumerate(texts):
+        if text in "[":
+            depth += 1
+        elif text == "]":
+            depth = max(0, depth - 1)
+        elif text == "<" and i > 0 and re.fullmatch(r"[\w>]+", texts[i - 1]):
+            angle += 1
+        elif text == ">" and angle:
+            angle -= 1
+        elif text == ">>" and angle:
+            angle = max(0, angle - 2)
+        elif text == "(" and depth == 0 and angle == 0 and i > 0:
+            j = i - 1
+            prev = texts[j]
+            if prev == "operator" or re.fullmatch(r"[A-Za-z_]\w*|~\w+", prev) \
+                    or prev in (">", ">=", "==", "!=", "<", "<=", "()",
+                                "[]", "+", "-", "*", "/"):
+                # Collect 'A :: B :: name' chain (operators keep symbol).
+                parts = [prev]
+                while j >= 2 and texts[j - 1] == "::" \
+                        and re.fullmatch(r"[A-Za-z_]\w*", texts[j - 2]):
+                    parts.append(texts[j - 2])
+                    j -= 2
+                if parts[-1] == "operator":
+                    parts = parts[:-1] or [prev]
+                name = "::".join(reversed(parts))
+                if texts[j - 1:j] == ["~"]:
+                    name = "~" + name
+                if name == "operator":
+                    name = "operator" + text
+                return name
+        elif text == "(" :
+            depth += 1
+        elif text == ")":
+            depth = max(0, depth - 1)
+    return ""
+
+
+def _parse_field(head):
+    """Interpret a class-scope statement head (tokens before ';') as a
+    member field declaration; returns Field or None."""
+    texts = [t.text for _, t in head]
+    if not texts:
+        return None
+    first = texts[0]
+    if first in ("using", "typedef", "friend", "static_assert", "template",
+                 "public", "private", "protected", "enum", "class", "struct"):
+        return None
+    annotations = set()
+    guard = None
+    stripped = []
+    i = 0
+    n = len(texts)
+    while i < n:
+        text = texts[i]
+        if text in _ANNOTATION_MACROS:
+            annotations.add(text)
+            # Capture the guard argument and skip the balanced parens.
+            if i + 1 < n and texts[i + 1] == "(":
+                depth = 0
+                j = i + 1
+                args = []
+                while j < n:
+                    if texts[j] == "(":
+                        depth += 1
+                    elif texts[j] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif depth >= 1:
+                        args.append(texts[j])
+                    j += 1
+                if text in ("GM_GUARDED_BY", "GM_PT_GUARDED_BY"):
+                    guard = "".join(args)
+                i = j + 1
+                continue
+            i += 1
+            continue
+        if text == "[" and i + 1 < n and texts[i + 1] == "[":
+            # C++ attribute [[...]]: skip to the closing ]].
+            depth = 0
+            while i < n:
+                if texts[i] == "[":
+                    depth += 1
+                elif texts[i] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            i += 1
+            continue
+        stripped.append(text)
+        i += 1
+    if not stripped:
+        return None
+    # A top-level '(' (outside template args) marks a function
+    # declaration, not a field.
+    angle = 0
+    for k, text in enumerate(stripped):
+        if text == "<" and k > 0 and re.fullmatch(r"[\w>]+", stripped[k - 1]):
+            angle += 1
+        elif text == ">":
+            angle = max(0, angle - 1)
+        elif text == ">>":
+            angle = max(0, angle - 2)
+        elif text == "(" and angle == 0:
+            return None
+    is_const = "const" in _top_level(stripped)
+    is_mutable = stripped[0] == "mutable" or "mutable" in stripped[:3]
+    is_static = "static" in stripped[:3] or "constexpr" in stripped[:4]
+    # Find the declarator name: identifier before '=', '{', '[' or end,
+    # scanning at angle-depth 0.
+    angle = 0
+    name_index = None
+    for k, text in enumerate(stripped):
+        if text == "<" and k > 0 and re.fullmatch(r"[\w>]+", stripped[k - 1]):
+            angle += 1
+        elif text == ">":
+            angle = max(0, angle - 1)
+        elif text == ">>":
+            angle = max(0, angle - 2)
+        elif angle == 0 and text in ("=", "{", "["):
+            break
+        elif angle == 0 and re.fullmatch(r"[A-Za-z_]\w*", text) \
+                and text not in _DECL_SPECIFIERS:
+            name_index = k
+    if name_index is None or name_index == 0:
+        return None
+    name = stripped[name_index]
+    type_tokens = [t for t in stripped[:name_index]
+                   if t not in _DECL_SPECIFIERS]
+    if not type_tokens:
+        return None
+    is_reference = "&" in type_tokens or "&&" in type_tokens
+    is_pointer = "*" in type_tokens
+    # Last identifier in the type, excluding template arguments.
+    type_tail = ""
+    angle = 0
+    for k, text in enumerate(type_tokens):
+        if text == "<" and k > 0 and re.fullmatch(r"[\w>]+",
+                                                  type_tokens[k - 1]):
+            angle += 1
+        elif text == ">":
+            angle = max(0, angle - 1)
+        elif text == ">>":
+            angle = max(0, angle - 2)
+        elif angle == 0 and re.fullmatch(r"[A-Za-z_]\w*", text):
+            type_tail = text
+    line = head[0][1].line
+    for idx, tok in head:
+        if tok.text == name:
+            line = tok.line
+            break
+    return Field(name=name, type_text=" ".join(type_tokens),
+                 type_tail=type_tail, line=line, annotations=annotations,
+                 guard=guard, is_const=is_const, is_mutable=is_mutable,
+                 is_static=is_static, is_reference=is_reference,
+                 is_pointer=is_pointer)

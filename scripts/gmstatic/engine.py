@@ -1,0 +1,307 @@
+"""gmstatic engine: file gathering, rule dispatch, suppression,
+baseline, and human / JSON reporting.
+
+The CLI is exposed through scripts/gmlint.py (a thin shim) and
+`python3 scripts/gmstatic` — both call main(). The legacy gmlint
+interface is preserved exactly: positional paths, --rules,
+--no-path-filter, exit 0 clean / 1 findings / 2 usage error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from . import cppmodel
+from . import rules_legacy
+from . import rules_struct
+from .analysis import Project
+
+SCHEMA_VERSION = 1
+
+# Rule registry: name -> callable(ctx, source, report). Order is the
+# report order within a file.
+LEGACY_RULES = (
+    ("nondeterminism", rules_legacy.rule_nondeterminism),
+    ("unordered-iteration", rules_legacy.rule_unordered_iteration),
+    ("float-money-eq", rules_legacy.rule_float_money_eq),
+    ("raw-threading", rules_legacy.rule_raw_threading),
+    ("include-layering", rules_legacy.rule_include_layering),
+    ("hotpath-map-iteration", rules_legacy.rule_hotpath_map_iteration),
+)
+STRUCTURAL_RULES = (
+    ("lock-order", rules_struct.rule_lock_order),
+    ("lock-order", rules_struct.rule_lock_rank_table),
+    ("guarded-field", rules_struct.rule_guarded_field),
+    ("hotpath-allocation", rules_struct.rule_hotpath_allocation),
+    ("dropped-status", rules_struct.rule_dropped_status),
+)
+ALL_RULES = LEGACY_RULES + STRUCTURAL_RULES
+LEGACY_RULE_NAMES = tuple(dict(LEGACY_RULES))
+RULE_NAMES = tuple(dict(ALL_RULES))
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+_DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+class Finding:
+    __slots__ = ("rule", "file", "line", "col", "subject", "message",
+                 "baselined")
+
+    def __init__(self, rule, file, line, col, subject, message):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.col = col
+        self.subject = subject
+        self.message = message
+        self.baselined = False
+
+    def human(self):
+        tag = " [baselined]" if self.baselined else ""
+        return f"{self.file}:{self.line}: [{self.rule}]{tag} {self.message}"
+
+    def json(self):
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "subject": self.subject,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+
+class Context:
+    """Per-run state handed to every rule."""
+
+    def __init__(self, project, path_filter):
+        self.project = project
+        self.path_filter = path_filter
+        self.shared = {}  # cross-rule caches (call summaries etc.)
+
+
+class Baseline:
+    """Committed waivers: (rule, file, subject) triples with a mandatory
+    reason. A finding matching an entry is reported as baselined and
+    does not fail the run; entries matching nothing are surfaced so the
+    file cannot silently rot."""
+
+    def __init__(self, path):
+        self.path = path
+        self.entries = {}
+        self.used = set()
+        if path is not None and path.exists():
+            doc = json.loads(path.read_text())
+            for entry in doc.get("entries", []):
+                key = (entry["rule"], entry["file"], entry["subject"])
+                self.entries[key] = entry.get("reason", "")
+
+    def match(self, finding):
+        key = (finding.rule, finding.file, finding.subject)
+        if key in self.entries:
+            self.used.add(key)
+            return True
+        return False
+
+    def unused(self, rules):
+        """Entries that matched nothing, restricted to rules that
+        actually ran (a legacy-only run says nothing about structural
+        entries)."""
+        return sorted(k for k in set(self.entries) - self.used
+                      if k[0] in rules)
+
+
+def gather(paths, compile_commands=None, excludes=()):
+    """Resolve the file list: directories walk *.hpp / *.cpp; when a
+    compile_commands.json is supplied it is the authoritative .cpp list
+    (headers are still walked, the DB does not know about them)."""
+    db_files = None
+    if compile_commands:
+        db_files = set()
+        doc = json.loads(pathlib.Path(compile_commands).read_text())
+        for entry in doc:
+            f = pathlib.Path(entry["file"])
+            if not f.is_absolute():
+                f = pathlib.Path(entry.get("directory", ".")) / f
+            db_files.add(f.resolve())
+    files = []
+    for path in paths:
+        if path.is_dir():
+            cpps = sorted(path.rglob("*.cpp"))
+            if db_files is not None:
+                cpps = [p for p in cpps if p.resolve() in db_files]
+            files.extend(sorted(path.rglob("*.hpp")))
+            files.extend(cpps)
+        elif path.exists():
+            files.append(path)
+        else:
+            sys.exit(f"gmstatic: no such path: {path}")
+    if excludes:
+        files = [f for f in files
+                 if not any(pat in f.as_posix() for pat in excludes)]
+    # Stable order, de-duplicated.
+    seen = set()
+    out = []
+    for f in files:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            out.append(f)
+    return out
+
+
+def parse_files(paths):
+    sources = []
+    for path in paths:
+        display = path.as_posix()
+        try:
+            text = path.read_text(errors="replace")
+        except OSError as err:
+            sys.exit(f"gmstatic: cannot read {path}: {err}")
+        sources.append(cppmodel.SourceFile(path, display, text))
+    return sources
+
+
+def run(sources, rules, path_filter, baseline):
+    """Run `rules` over parsed sources. Returns (findings, suppressed,
+    errors); findings are allow-filtered, baseline-annotated, sorted."""
+    project = Project(sources)
+    ctx = Context(project, path_filter)
+    findings = []
+    suppressed = 0
+    errors = []
+    for source in sources:
+        errors.extend(f"{source.display}: {e}" for e in source.lex_errors)
+    for rule_name, impl in ALL_RULES:
+        if rule_name not in rules:
+            continue
+        for source in sources:
+            collected = []
+
+            def report(token, subject, message,
+                       _rule=rule_name, _src=source, _out=collected):
+                _out.append(Finding(_rule, _src.display, token.line,
+                                    getattr(token, "col", 1), subject,
+                                    message))
+
+            impl(ctx, source, report)
+            for finding in collected:
+                if source.allowed(finding.line, finding.rule):
+                    suppressed += 1
+                    continue
+                if baseline is not None and baseline.match(finding):
+                    finding.baselined = True
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule, f.subject))
+    return findings, suppressed, errors
+
+
+def write_json_report(path, findings, suppressed, errors, rules,
+                      files_scanned, baseline, duration_s):
+    doc = {
+        "tool": "gmstatic",
+        "schema_version": SCHEMA_VERSION,
+        "rules": sorted(rules),
+        "files_scanned": files_scanned,
+        "duration_s": round(duration_s, 3),
+        "findings": [f.json() for f in findings],
+        "suppressed": suppressed,
+        "lex_errors": errors,
+        "baseline": {
+            "path": baseline.path.as_posix()
+            if baseline and baseline.path else None,
+            "used": len(baseline.used) if baseline else 0,
+            "unused": [list(k) for k in baseline.unused(rules)]
+            if baseline else [],
+        },
+    }
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def main(argv=None, prog="gmstatic"):
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="GridMarket structural static analysis"
+                    " (determinism, money-safety, locking, hot paths)")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path)
+    parser.add_argument("--rules", default=",".join(LEGACY_RULE_NAMES),
+                        help="comma-separated subset of: "
+                             + ", ".join(RULE_NAMES)
+                             + " (default: the legacy gmlint set)")
+    parser.add_argument("--all-rules", action="store_true",
+                        help="run every rule, legacy and structural")
+    parser.add_argument("--no-path-filter", action="store_true",
+                        help="apply every rule to every file"
+                             " (fixture tests)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write a machine-readable report")
+    parser.add_argument("--baseline", metavar="FILE",
+                        default=str(_DEFAULT_BASELINE),
+                        help="baseline file of waived findings"
+                             " ('none' disables; default: %(default)s)")
+    parser.add_argument("--compile-commands", metavar="FILE",
+                        help="authoritative .cpp list from CMake's"
+                             " compile_commands.json")
+    parser.add_argument("--exclude", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="skip files whose path contains SUBSTR"
+                             " (repeatable)")
+    parser.add_argument("--dump-tokens", action="store_true",
+                        help="lex the given files and print the token"
+                             " stream (golden-file corpus)")
+    args = parser.parse_args(argv)
+
+    if args.dump_tokens:
+        from . import lexer
+        for path in args.paths:
+            sys.stdout.write(lexer.dump(lexer.lex(
+                path.read_text(errors="replace"))))
+        return 0
+
+    if args.all_rules:
+        rules = set(RULE_NAMES)
+    else:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+    unknown = rules - set(RULE_NAMES)
+    if unknown:
+        print(f"{prog}: unknown rule(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    paths = args.paths or [_REPO_ROOT / "src"]
+    try:
+        paths = [p.resolve().relative_to(pathlib.Path.cwd()) for p in paths]
+    except ValueError:
+        pass  # keep absolute paths when outside the cwd
+
+    baseline = None
+    if args.baseline and args.baseline != "none":
+        baseline = Baseline(pathlib.Path(args.baseline))
+
+    start = time.monotonic()
+    files = gather(paths, args.compile_commands, args.exclude)
+    sources = parse_files(files)
+    findings, suppressed, errors = run(
+        sources, rules, path_filter=not args.no_path_filter,
+        baseline=baseline)
+    duration = time.monotonic() - start
+
+    for err in errors:
+        print(f"{prog}: lex error: {err}", file=sys.stderr)
+    for finding in findings:
+        print(finding.human())
+    if baseline is not None:
+        for rule, file, subject in baseline.unused(rules):
+            print(f"{prog}: warning: unused baseline entry"
+                  f" ({rule}, {file}, {subject})", file=sys.stderr)
+    if args.json:
+        write_json_report(args.json, findings, suppressed, errors, rules,
+                          len(sources), baseline, duration)
+    live = [f for f in findings if not f.baselined]
+    if live:
+        print(f"{prog}: {len(live)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

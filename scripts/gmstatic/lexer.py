@@ -1,0 +1,265 @@
+"""C++ lexer for gmstatic.
+
+Tokenizes translation units well enough for structural lint: line
+splices, line/block comments, string / char / raw-string literals
+(including custom delimiters), pp-numbers with digit separators,
+identifiers and maximal-munch punctuators. No preprocessing beyond
+splice removal — macros stay as identifier tokens, which is what the
+rules want (GM_GUARDED_BY is a searchable token, not an expanded
+attribute).
+
+Positions are reported against the *physical* source: a token that
+starts after a backslash-newline splice carries the line/column of its
+first real character, so findings always point at the right line.
+"""
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+COMMENT = "comment"
+
+# C++ keywords the scope tracker cares about; kept here so every layer
+# shares one definition.
+KEYWORDS = frozenset({
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+    "class", "const", "consteval", "constexpr", "constinit", "continue",
+    "decltype", "default", "delete", "do", "double", "else", "enum",
+    "explicit", "extern", "false", "final", "float", "for", "friend", "goto",
+    "if", "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+    "nullptr", "operator", "override", "private", "protected", "public",
+    "register", "return", "short", "signed", "sizeof", "static",
+    "static_assert", "struct", "switch", "template", "this", "throw", "true",
+    "try", "typedef", "typename", "union", "unsigned", "using", "virtual",
+    "void", "volatile", "while",
+})
+
+# Multi-character punctuators, longest first (maximal munch).
+_PUNCTUATORS = (
+    "<<=", ">>=", "<=>", "...", "->*", "::", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "->", ".*", "##",
+)
+
+_ENCODING_PREFIXES = ("u8", "u", "U", "L")
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_DIGITS = frozenset("0123456789")
+_IDENT_CHARS = _IDENT_START | _DIGITS
+
+
+class Token:
+    """One lexical token with its physical source position (1-based).
+    logical_line numbers the splice-joined line, so a #define continued
+    with backslashes is one logical line across several physical ones."""
+
+    __slots__ = ("kind", "text", "line", "col", "end_line", "logical_line")
+
+    def __init__(self, kind, text, line, col, end_line=None,
+                 logical_line=None):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+        self.end_line = line if end_line is None else end_line
+        self.logical_line = line if logical_line is None else logical_line
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+class LexError(Exception):
+    """Unterminated literal or comment; carries the start position."""
+
+    def __init__(self, message, line, col):
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+def _splice(text):
+    """Remove line splices, keeping a physical position for every char.
+
+    Returns (logical_text, positions) where positions[i] is the
+    (line, col) of logical_text[i] in the original source. A trailing
+    sentinel position marks end-of-file.
+    """
+    chars = []
+    positions = []
+    line, col = 1, 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n and text[i + 1] in "\r\n":
+            # Splice: swallow backslash + (optionally \r) newline.
+            i += 2 if text[i + 1] == "\n" else (
+                3 if i + 2 < n and text[i + 2] == "\n" else 2)
+            line += 1
+            col = 1
+            continue
+        chars.append(ch)
+        positions.append((line, col))
+        if ch == "\n":
+            line += 1
+            col = 1
+        else:
+            col += 1
+        i += 1
+    positions.append((line, col))
+    return "".join(chars), positions
+
+
+def lex(text):
+    """Tokenize C++ source. Returns a list of Tokens including COMMENT
+    tokens in source order; callers filter as needed. Raises LexError on
+    unterminated block comments / literals (reported, never crashes the
+    engine — see engine.parse_file)."""
+    logical, positions = _splice(text)
+    tokens = []
+    i = 0
+    n = len(logical)
+    # Running logical-line cursor (tokens are emitted left to right).
+    lcursor = [0, 1]  # [last index scanned, logical line there]
+
+    def pos(index):
+        return positions[min(index, len(positions) - 1)]
+
+    def emit(kind, start, end):
+        line, col = pos(start)
+        end_line, _ = pos(max(start, end - 1))
+        lcursor[1] += logical.count("\n", lcursor[0], start)
+        lcursor[0] = start
+        tokens.append(Token(kind, logical[start:end], line, col, end_line,
+                            lcursor[1]))
+
+    while i < n:
+        ch = logical[i]
+        # -- whitespace --
+        if ch in " \t\r\n\f\v":
+            i += 1
+            continue
+        # -- comments --
+        if ch == "/" and i + 1 < n:
+            if logical[i + 1] == "/":
+                end = logical.find("\n", i)
+                end = n if end < 0 else end
+                emit(COMMENT, i, end)
+                i = end
+                continue
+            if logical[i + 1] == "*":
+                end = logical.find("*/", i + 2)
+                if end < 0:
+                    line, col = pos(i)
+                    raise LexError("unterminated block comment", line, col)
+                emit(COMMENT, i, end + 2)
+                i = end + 2
+                continue
+        # -- raw strings: (prefix)R"delim( ... )delim" --
+        if ch in "RuUL" or ch == "u":
+            start = i
+            j = i
+            for prefix in _ENCODING_PREFIXES:
+                if logical.startswith(prefix, j):
+                    j += len(prefix)
+                    break
+            if logical.startswith('R"', j):
+                k = j + 2
+                while k < n and logical[k] not in '(\\ \t\v\f\n"':
+                    k += 1
+                if k < n and logical[k] == "(":
+                    delim = logical[j + 2:k]
+                    close = ")" + delim + '"'
+                    end = logical.find(close, k + 1)
+                    if end < 0:
+                        line, col = pos(start)
+                        raise LexError("unterminated raw string", line, col)
+                    emit(STRING, start, end + len(close))
+                    i = end + len(close)
+                    continue
+        # -- identifiers / keywords (incl. string-prefix fallthrough) --
+        if ch in _IDENT_START:
+            start = i
+            while i < n and logical[i] in _IDENT_CHARS:
+                i += 1
+            # Encoding-prefixed ordinary literal: u8"...", L'x'
+            if (i < n and logical[i] in "\"'"
+                    and logical[start:i] in _ENCODING_PREFIXES):
+                i = _scan_quoted(logical, i, positions, start)
+                emit(STRING if logical[i - 1] == '"' else CHAR, start, i)
+                continue
+            emit(IDENT, start, i)
+            continue
+        # -- ordinary string / char literals --
+        if ch in "\"'":
+            start = i
+            i = _scan_quoted(logical, i, positions, start)
+            emit(STRING if ch == '"' else CHAR, start, i)
+            continue
+        # -- numbers (pp-number: digits, hex, floats, separators) --
+        if ch in _DIGITS or (ch == "." and i + 1 < n
+                             and logical[i + 1] in _DIGITS):
+            start = i
+            i += 1
+            while i < n:
+                c = logical[i]
+                if c in _IDENT_CHARS or c == ".":
+                    i += 1
+                elif c == "'" and i + 1 < n and logical[i + 1] in _IDENT_CHARS:
+                    i += 2  # digit separator
+                elif c in "+-" and logical[i - 1] in "eEpP":
+                    i += 1  # exponent sign
+                else:
+                    break
+            emit(NUMBER, start, i)
+            continue
+        # -- punctuators --
+        matched = False
+        for p in _PUNCTUATORS:
+            if logical.startswith(p, i):
+                emit(PUNCT, i, i + len(p))
+                i += len(p)
+                matched = True
+                break
+        if not matched:
+            emit(PUNCT, i, i + 1)
+            i += 1
+    return tokens
+
+
+def _scan_quoted(logical, i, positions, start):
+    """Scan an ordinary "..." or '...' literal starting at i (the quote).
+    Returns the index one past the closing quote."""
+    quote = logical[i]
+    n = len(logical)
+    i += 1
+    while i < n:
+        c = logical[i]
+        if c == "\\":
+            i += 2
+            continue
+        if c == quote:
+            return i + 1
+        if c == "\n":
+            break
+        i += 1
+    line, col = positions[min(start, len(positions) - 1)]
+    kind = "string" if quote == '"' else "char"
+    raise LexError(f"unterminated {kind} literal", line, col)
+
+
+def code_tokens(tokens):
+    """Tokens with comments removed."""
+    return [t for t in tokens if t.kind != COMMENT]
+
+
+def dump(tokens):
+    """Stable one-token-per-line text form, used by the golden-file
+    lexer corpus: LINE:COL KIND TEXT (text is repr-escaped)."""
+    out = []
+    for t in tokens:
+        out.append(f"{t.line}:{t.col} {t.kind} {t.text!r}")
+    return "\n".join(out) + ("\n" if out else "")

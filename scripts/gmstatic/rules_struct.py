@@ -1,0 +1,585 @@
+"""The four structural rules only a real parser can support.
+
+  lock-order          Static verification of gm::MutexLock acquisition
+                      sequences against the lock-rank DAG declared in
+                      src/common/concurrency.* — every acquisition while
+                      locks are held must strictly increase in rank, and
+                      the intra-project call graph is expanded one level
+                      so `Tick()` calling `history_.Record()` is checked
+                      through the member's class. Inversions that would
+                      abort at runtime become lint-time errors.
+
+  guarded-field       Every mutable (non-const) member of a class that
+                      owns a gm::Mutex must carry GM_GUARDED_BY /
+                      GM_PT_GUARDED_BY. Exempt: const / static /
+                      reference members, std::atomic, the concurrency
+                      primitives themselves, and members whose type is
+                      itself a lock-owning (internally synchronized)
+                      class.
+
+  hotpath-allocation  Inside 'gmlint: hotpath'-tagged functions in
+                      src/market/ + src/bestresponse/: no operator new,
+                      make_unique / make_shared, std::string
+                      construction, or growth calls (push_back /
+                      emplace_back / insert / resize) on containers that
+                      are not arena-backed.
+
+  dropped-status      A Status / Result<T> bound to a local variable
+                      that is never subsequently read: the error was
+                      captured and then dropped on the floor, which
+                      [[nodiscard]] alone cannot catch.
+"""
+
+import re
+
+from .analysis import skip_template_args
+from .lexer import IDENT, NUMBER, PUNCT, STRING, KEYWORDS
+
+LOCK_ORDER_EXEMPT = re.compile(r"(^|/)src/common/concurrency\.")
+HOTPATH_ALLOC_SCOPE = re.compile(r"(^|/)src/(market|bestresponse)/")
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*\Z")
+
+_GROWTH_CALLS = frozenset({"push_back", "emplace_back", "insert", "emplace",
+                           "resize"})
+
+_SYNC_PRIMITIVE_TYPES = frozenset({"Mutex", "MutexLock", "CondVar", "Thread"})
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+# ---------------------------------------------------------------------------
+
+class _Acquisition:
+    __slots__ = ("decl", "token", "depth", "manual", "receiver")
+
+    def __init__(self, decl, token, depth, manual, receiver):
+        self.decl = decl          # MutexDecl or None (unresolved)
+        self.token = token
+        self.depth = depth        # brace depth at acquisition (MutexLock)
+        self.manual = manual      # True for .Lock() (until .Unlock())
+        self.receiver = receiver  # receiver expression text
+
+
+def _local_decl_types(tokens, start, end):
+    """Best-effort map of local variable name -> type-tail identifier for
+    declarations like `Type name = ...;`, `ns::Type<T> name(...);`."""
+    out = {}
+    i = start
+    stmt = []
+    while i <= end:
+        text = tokens[i].text
+        if text in (";", "{", "}"):
+            _harvest_decl(stmt, out)
+            stmt = []
+        else:
+            stmt.append(tokens[i])
+        i += 1
+    return out
+
+
+def _harvest_decl(stmt, out):
+    if len(stmt) < 2:
+        return
+    texts = [t.text for t in stmt]
+    if texts[0] in ("return", "if", "for", "while", "switch", "case",
+                    "delete", "throw", "using", "else", "do"):
+        return
+    # Scan the type part: identifiers / :: / template args; the declared
+    # name is the last plain identifier before '=', '(' or end.
+    angle = 0
+    type_tail = None
+    name = None
+    for k, text in enumerate(texts):
+        if text == "<" and k > 0 and re.fullmatch(r"[\w>]+", texts[k - 1]):
+            angle += 1
+        elif text == ">":
+            angle = max(0, angle - 1)
+        elif text == ">>":
+            angle = max(0, angle - 2)
+        elif angle == 0:
+            if text in ("=", "(", "{"):
+                break
+            if _IDENT_RE.match(text) and text not in KEYWORDS:
+                type_tail, name = name, text
+            elif text in ("*", "&", "::", "const", "auto"):
+                continue
+            else:
+                return
+    if type_tail and name:
+        out.setdefault(name, type_tail)
+
+
+def _resolve_mutex(project, fn, receiver_tokens, local_types):
+    """Resolve a receiver expression (tokens before .Lock() / after & in
+    MutexLock) to a MutexDecl, or None."""
+    texts = [t.text for t in receiver_tokens]
+    while texts and texts[0] in ("this", "->", "*", "&"):
+        texts = texts[1:]
+    if not texts:
+        return None
+    if len(texts) == 1:
+        var = texts[0]
+        for key in ((fn.class_name, var), (fn.qualified, var), (None, var)):
+            decl = project.mutexes.get(key)
+            if decl is not None:
+                return decl
+        return None
+    # base .  member  /  base -> member
+    if len(texts) == 3 and texts[1] in (".", "->"):
+        base, _, member = texts
+        base_type = local_types.get(base)
+        if base_type is None and fn.class_name:
+            base_type = project.field_type(fn.class_name, base)
+        if base_type is None:
+            return None
+        return project.mutexes.get((base_type, member))
+    return None
+
+
+def _function_summary(project, source, fn, local_types_cache):
+    """Direct, resolvable acquisitions of `fn` (for one-level call
+    expansion). Returns a list of MutexDecl."""
+    if fn.body_end is None:
+        return []
+    tokens = source.tokens
+    local_types = local_types_cache.get(fn)
+    if local_types is None:
+        local_types = _local_decl_types(tokens, fn.body_start + 1,
+                                        fn.body_end - 1)
+        local_types_cache[fn] = local_types
+    out = []
+    i = fn.body_start + 1
+    while i < fn.body_end:
+        hit = _match_acquisition(project, source, fn, i, 0, local_types)
+        if hit is not None:
+            acq, nxt = hit
+            if acq.decl is not None and acq.manual != "release":
+                out.append(acq.decl)
+            i = nxt
+            continue
+        i += 1
+    return out
+
+
+def _match_acquisition(project, source, fn, i, depth, local_types):
+    """If tokens[i] starts a lock acquisition, return (acq, next_index)."""
+    tokens = source.tokens
+    n = len(tokens)
+    t = tokens[i]
+    if t.kind == IDENT and t.text in ("MutexLock", "ReaderMutexLock"):
+        j = i + 1
+        if j < n and tokens[j].kind == IDENT and j + 1 < n \
+                and tokens[j + 1].text in ("(", "{"):
+            opener = tokens[j + 1].text
+            closer = ")" if opener == "(" else "}"
+            k = j + 2
+            recv = []
+            while k < n and tokens[k].text != closer:
+                if tokens[k].text != "&":
+                    recv.append(tokens[k])
+                k += 1
+            decl = _resolve_mutex(project, fn, recv, local_types)
+            return _Acquisition(decl, t, depth, False,
+                                "".join(x.text for x in recv)), k + 1
+    if t.kind == IDENT and t.text in ("Lock", "Unlock") and i + 1 < n \
+            and tokens[i + 1].text == "(" and i >= 2 \
+            and tokens[i - 1].text in (".", "->"):
+        # Receiver: walk back over an `ident (sep ident)*` chain.
+        recv = []
+        j = i - 1  # the '.' / '->' before Lock
+        while j >= 1 and tokens[j].text in (".", "->") \
+                and tokens[j - 1].kind == IDENT \
+                and tokens[j - 1].text not in KEYWORDS:
+            recv.append(tokens[j])
+            recv.append(tokens[j - 1])
+            j -= 2
+        recv.reverse()
+        if recv:
+            recv = recv[:-1]  # drop the trailing '.' before Lock
+        decl = _resolve_mutex(project, fn, recv, local_types)
+        acq = _Acquisition(decl, t, depth,
+                           True if t.text == "Lock" else "release",
+                           "".join(x.text for x in recv))
+        return acq, i + 2
+    return None
+
+
+def _is_lambda_open(tokens, i):
+    """tokens[i] is '{': does it open a lambda body?"""
+    j = i - 1
+    while j >= 0 and tokens[j].text in ("mutable", "noexcept", "constexpr"):
+        j -= 1
+    if j >= 0 and tokens[j].text == "]":
+        return True
+    if j >= 0 and tokens[j].text == ")":
+        depth = 0
+        while j >= 0:
+            if tokens[j].text == ")":
+                depth += 1
+            elif tokens[j].text == "(":
+                depth -= 1
+                if depth == 0:
+                    return j >= 1 and tokens[j - 1].text == "]"
+            j -= 1
+    return False
+
+
+def rule_lock_order(ctx, source, report):
+    if ctx.path_filter and LOCK_ORDER_EXEMPT.search(source.display):
+        return
+    project = ctx.project
+    if not project.ranks:
+        return
+    tokens = source.tokens
+    local_types_cache = ctx.shared.setdefault("lock_order_locals", {})
+    summaries = ctx.shared.setdefault("lock_order_summaries", {})
+
+    def summary_of(callee_fn, callee_source):
+        cached = summaries.get(callee_fn)
+        if cached is None:
+            cached = _function_summary(project, callee_source, callee_fn,
+                                       local_types_cache)
+            summaries[callee_fn] = cached
+        return cached
+
+    # Index functions by source for callee summary computation.
+    fn_source = ctx.shared.setdefault("lock_order_fn_source", {})
+    if not fn_source:
+        for f in project.files:
+            for fn in f.functions:
+                fn_source[fn] = f
+
+    for fn in source.functions:
+        if fn.body_end is None:
+            continue
+        local_types = local_types_cache.get(fn)
+        if local_types is None:
+            local_types = _local_decl_types(tokens, fn.body_start + 1,
+                                            fn.body_end - 1)
+            local_types_cache[fn] = local_types
+        held = []          # list of (_Acquisition, rank_value)
+        lambda_stack = []  # saved held lists at lambda boundaries
+        depth = 0
+        i = fn.body_start + 1
+        while i < fn.body_end:
+            t = tokens[i]
+            text = t.text
+            if text == "{":
+                if _is_lambda_open(tokens, i):
+                    lambda_stack.append((depth, held))
+                    held = []
+                depth += 1
+                i += 1
+                continue
+            if text == "}":
+                depth -= 1
+                # A scoped MutexLock dies with the block it was declared
+                # in; manual .Lock() survives until .Unlock().
+                held = [h for h in held
+                        if h[0].manual is True or h[0].depth <= depth]
+                if lambda_stack and lambda_stack[-1][0] == depth:
+                    _, held = lambda_stack.pop()
+                i += 1
+                continue
+            hit = _match_acquisition(project, source, fn, i, depth,
+                                     local_types)
+            if hit is not None:
+                acq, nxt = hit
+                if acq.manual == "release":
+                    held = [h for h in held
+                            if not (h[0].manual is True
+                                    and h[0].receiver == acq.receiver)]
+                elif acq.decl is not None:
+                    rank = project.rank_of(acq.decl.rank_const)
+                    if rank is not None:
+                        _check_acquire(ctx, report, fn, t, acq.decl, rank,
+                                       held, via=None)
+                        held.append((acq, rank))
+                i = nxt
+                continue
+            # One-level call expansion: ident '(' resolving to a known
+            # project function whose summary acquires locks.
+            if held and t.kind == IDENT and t.text not in KEYWORDS \
+                    and i + 1 < fn.body_end \
+                    and tokens[i + 1].text == "(" \
+                    and t.text not in ("MutexLock", "Lock", "Unlock"):
+                callee = _resolve_callee(project, fn, tokens, i, local_types)
+                if callee is not None:
+                    callee_fn, label = callee
+                    csrc = fn_source.get(callee_fn)
+                    if csrc is not None and callee_fn is not fn:
+                        for decl in summary_of(callee_fn, csrc):
+                            rank = project.rank_of(decl.rank_const)
+                            if rank is not None:
+                                _check_acquire(ctx, report, fn, t, decl,
+                                               rank, held, via=label)
+            i += 1
+
+
+def _resolve_callee(project, fn, tokens, i, local_types):
+    """Resolve `tokens[i](` to a project FunctionInfo; returns
+    (FunctionInfo, display_label) or None."""
+    name = tokens[i].text
+    if i >= 2 and tokens[i - 1].text in (".", "->"):
+        base = tokens[i - 2]
+        if base.kind != IDENT:
+            return None
+        base_type = local_types.get(base.text)
+        if base_type is None and fn.class_name:
+            base_type = project.field_type(fn.class_name, base.text)
+        if base_type is None:
+            return None
+        callee = project.resolve_method(base_type, name)
+        if callee is not None:
+            return callee, f"{base.text}.{name}()"
+        return None
+    if i >= 2 and tokens[i - 1].text == "::":
+        cls = tokens[i - 2].text
+        callee = project.resolve_method(cls, name)
+        if callee is not None:
+            return callee, f"{cls}::{name}()"
+        return None
+    if fn.class_name:
+        callee = project.resolve_method(fn.class_name, name)
+        if callee is not None:
+            return callee, f"{name}()"
+    callee = project.free_functions.get(name)
+    if callee is not None:
+        return callee, f"{name}()"
+    return None
+
+
+def _check_acquire(ctx, report, fn, token, decl, rank, held, via):
+    for held_acq, held_rank in held:
+        if held_rank >= rank:
+            path = f" (via call to {via})" if via else ""
+            report(token,
+                   subject=f"{fn.qualified}:{held_acq.decl.label}"
+                           f"->{decl.label}",
+                   message=f"lock-order inversion in {fn.qualified}{path}:"
+                           f" acquiring '{decl.label}'"
+                           f" ({decl.rank_const}={rank}) while holding"
+                           f" '{held_acq.decl.label}'"
+                           f" ({held_acq.decl.rank_const}={held_rank});"
+                           " ranks must strictly increase along every"
+                           " acquisition path")
+            return
+
+
+def rule_lock_rank_table(ctx, source, report):
+    """Part of lock-order: when the runtime rank table in
+    concurrency.cpp is in view, it must list every lockrank constant
+    exactly once with matching names (the machine-readable DAG and the
+    runtime registry may never drift apart)."""
+    project = ctx.project
+    if not project.ranks:
+        return
+    if project.rank_table_file is None:
+        if re.search(r"(^|/)src/common/concurrency\.cpp$", source.display):
+            from .rules_legacy import report_line
+            report_line(report, source, 1,
+                        subject="table-absent",
+                        message="src/common/concurrency.cpp declares no"
+                                " kLockRankTable; the machine-readable DAG"
+                                " must live beside the runtime registry")
+        return
+    if project.rank_table_file is not source:
+        return
+    seen = {}
+    for string_name, const_name, line in project.rank_table:
+        if string_name != const_name:
+            from .rules_legacy import report_line
+            report_line(report, source, line,
+                        subject=f"table:{string_name}",
+                        message=f"LockRankTable entry name \"{string_name}\""
+                                f" does not match constant {const_name}")
+        seen[const_name] = line
+    for const in project.ranks:
+        if const not in seen:
+            from .rules_legacy import report_line
+            report_line(report, source, 1,
+                        subject=f"table-missing:{const}",
+                        message=f"lockrank::{const} is missing from"
+                                " kLockRankTable in concurrency.cpp; add"
+                                " it so runtime diagnostics and gmstatic"
+                                " share one DAG")
+
+
+# ---------------------------------------------------------------------------
+# guarded-field
+# ---------------------------------------------------------------------------
+
+def rule_guarded_field(ctx, source, report):
+    project = ctx.project
+    for cls in source.classes:
+        mutex_fields = [f for f in cls.fields
+                        if f.type_tail == "Mutex" and not f.is_static
+                        and not f.is_pointer and not f.is_reference]
+        if not mutex_fields:
+            continue
+        for field in cls.fields:
+            if field.type_tail in _SYNC_PRIMITIVE_TYPES:
+                continue
+            if field.is_const or field.is_static or field.is_reference:
+                continue
+            if "atomic" in field.type_text:
+                continue
+            if field.annotations & {"GM_GUARDED_BY", "GM_PT_GUARDED_BY"}:
+                continue
+            if field.type_tail in project.lock_owning_classes:
+                continue  # internally synchronized member
+            from .rules_legacy import report_line
+            report_line(report, source, field.line,
+                        subject=f"{cls.name}::{field.name}",
+                        message=f"mutable member '{field.name}' of"
+                                f" lock-owning class {cls.name} has no"
+                                " GM_GUARDED_BY / GM_PT_GUARDED_BY"
+                                " annotation; annotate it, make it const,"
+                                " or baseline it with a justification")
+
+
+# ---------------------------------------------------------------------------
+# hotpath-allocation
+# ---------------------------------------------------------------------------
+
+def rule_hotpath_allocation(ctx, source, report):
+    if ctx.path_filter and not HOTPATH_ALLOC_SCOPE.search(source.display):
+        return
+    project = ctx.project
+    tokens = source.tokens
+    for fn in source.functions:
+        if not fn.hotpath or fn.body_end is None:
+            continue
+        local_types = _local_decl_types(tokens, fn.body_start + 1,
+                                        fn.body_end - 1)
+        i = fn.body_start + 1
+        while i < fn.body_end:
+            t = tokens[i]
+            text = t.text
+            if t.kind == IDENT and text == "new":
+                report(t, subject=f"{fn.qualified}:new",
+                       message=f"operator new in hotpath-tagged"
+                               f" {fn.qualified}: allocate from the tick"
+                               " arena or preallocate outside the loop")
+            elif t.kind == IDENT and text in ("make_unique", "make_shared"):
+                report(t, subject=f"{fn.qualified}:{text}",
+                       message=f"std::{text} in hotpath-tagged"
+                               f" {fn.qualified}: heap allocation on the"
+                               " tick path; use the arena or preallocate")
+            elif t.kind == IDENT and text == "string" and i >= 2 \
+                    and tokens[i - 1].text == "::" \
+                    and tokens[i - 2].text == "std" \
+                    and i + 1 < fn.body_end \
+                    and (tokens[i + 1].kind == IDENT
+                         or tokens[i + 1].text in ("(", "{")):
+                report(t, subject=f"{fn.qualified}:string",
+                       message=f"std::string construction in hotpath-tagged"
+                               f" {fn.qualified}: allocates; use"
+                               " string_view or arena-backed storage")
+            elif t.kind == IDENT and text in _GROWTH_CALLS \
+                    and i + 1 < fn.body_end and tokens[i + 1].text == "(" \
+                    and i >= 2 and tokens[i - 1].text in (".", "->"):
+                recv = tokens[i - 2]
+                recv_type = None
+                if recv.kind == IDENT:
+                    recv_type = local_types.get(recv.text)
+                    if recv_type is None and fn.class_name:
+                        cls = project.classes.get(fn.class_name)
+                        f = cls.field(recv.text) if cls else None
+                        recv_type = f.type_text if f else None
+                    else:
+                        # Prefer the full declared type text when local.
+                        recv_type = _full_local_type(tokens, fn, recv.text) \
+                            or recv_type
+                if recv_type is not None and "Arena" in recv_type:
+                    i += 1
+                    continue
+                report(t, subject=f"{fn.qualified}:{text}",
+                       message=f".{text}() on non-arena container"
+                               f" '{recv.text if recv.kind == IDENT else '?'}'"
+                               f" in hotpath-tagged {fn.qualified}: growth"
+                               " can reallocate on the tick path; use an"
+                               " ArenaVector or reserve outside the tag")
+            i += 1
+
+
+def _full_local_type(tokens, fn, name):
+    """Full declared type text of a local (to see 'Arena' anywhere in the
+    template arguments, not just the tail)."""
+    i = fn.body_start + 1
+    stmt_start = i
+    while i < fn.body_end:
+        text = tokens[i].text
+        if text in (";", "{", "}"):
+            stmt_start = i + 1
+        elif tokens[i].kind == IDENT and text == name \
+                and i + 1 < fn.body_end \
+                and tokens[i + 1].text in (";", "=", "(", "{"):
+            decl = [x.text for x in tokens[stmt_start:i]]
+            if decl and all(x not in ("return", "=") for x in decl):
+                return " ".join(decl)
+        i += 1
+    return None
+
+
+# ---------------------------------------------------------------------------
+# dropped-status
+# ---------------------------------------------------------------------------
+
+def rule_dropped_status(ctx, source, report):
+    tokens = source.tokens
+    for fn in source.functions:
+        if fn.body_end is None:
+            continue
+        decls = []  # (name, decl_token, end_of_stmt_index)
+        i = fn.body_start + 1
+        while i < fn.body_end - 1:
+            t = tokens[i]
+            if t.kind == IDENT and t.text in ("Status", "Result"):
+                j = i + 1
+                if t.text == "Result":
+                    if j < fn.body_end and tokens[j].text == "<":
+                        j = skip_template_args(tokens, j)
+                    else:
+                        i += 1
+                        continue
+                # Preceded by :: means qualified (gm::Status) — fine;
+                # preceded by '.', '->' means a member access, skip.
+                if tokens[i - 1].text in (".", "->"):
+                    i += 1
+                    continue
+                if j < fn.body_end and tokens[j].kind == IDENT \
+                        and _IDENT_RE.match(tokens[j].text) \
+                        and j + 1 < fn.body_end \
+                        and tokens[j + 1].text in ("=", ";"):
+                    name = tokens[j].text
+                    # Find the end of this statement.
+                    k = j + 1
+                    depth = 0
+                    while k < fn.body_end:
+                        text = tokens[k].text
+                        if text in ("(", "[", "{"):
+                            depth += 1
+                        elif text in (")", "]", "}"):
+                            depth -= 1
+                        elif text == ";" and depth <= 0:
+                            break
+                        k += 1
+                    decls.append((name, tokens[j], k))
+                    i = k
+                    continue
+            i += 1
+        for name, decl_token, stmt_end in decls:
+            used = False
+            for k in range(stmt_end + 1, fn.body_end):
+                if tokens[k].kind == IDENT and tokens[k].text == name:
+                    used = True
+                    break
+            if not used:
+                report(decl_token, subject=f"{fn.qualified}:{name}",
+                       message=f"'{name}' ({'Status/Result'}) is assigned"
+                               f" in {fn.qualified} and never read"
+                               " afterwards: the error is silently"
+                               " dropped; check it, log it, or don't bind"
+                               " it")

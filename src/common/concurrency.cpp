@@ -49,6 +49,35 @@ bool LockRankCheckingEnabled() {
 
 int HeldLockCount() { return static_cast<int>(held_locks.size()); }
 
+// The lock-rank DAG as data, one row per gm::lockrank constant in
+// ascending rank order. Names must match the constants verbatim —
+// gmstatic's lock-order rule fails the build when this table and the
+// lockrank namespace drift apart.
+constexpr LockRankEntry kLockRankTable[] = {
+    {"kThreadPool", lockrank::kThreadPool},
+    {"kRpcClient", lockrank::kRpcClient},
+    {"kRpcServer", lockrank::kRpcServer},
+    {"kBus", lockrank::kBus},
+    {"kSls", lockrank::kSls},
+    {"kAuctioneer", lockrank::kAuctioneer},
+    {"kBankReconciler", lockrank::kBankReconciler},
+    {"kBankRouter", lockrank::kBankRouter},
+    {"kBankShard", lockrank::kBankShard},
+    {"kBank", lockrank::kBank},
+    {"kPriceHistory", lockrank::kPriceHistory},
+    {"kStore", lockrank::kStore},
+    {"kWal", lockrank::kWal},
+    {"kMetricsRegistry", lockrank::kMetricsRegistry},
+    {"kMetric", lockrank::kMetric},
+    {"kTracer", lockrank::kTracer},
+    {"kLogger", lockrank::kLogger},
+};
+
+const LockRankEntry* LockRankTable(std::size_t* size) {
+  *size = sizeof(kLockRankTable) / sizeof(kLockRankTable[0]);
+  return kLockRankTable;
+}
+
 void Mutex::Lock() {
   const bool checking = checking_enabled.load(std::memory_order_relaxed);
   if (checking) {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -179,5 +180,18 @@ bool LockRankCheckingEnabled();
 
 /// Number of locks the calling thread currently holds (test hook).
 int HeldLockCount();
+
+/// One row of the machine-readable lock-rank DAG: a lockrank constant's
+/// name exactly as written in gm::lockrank, and its value.
+struct LockRankEntry {
+  const char* name;
+  int rank;
+};
+
+/// The full lock-rank DAG as data, defined in concurrency.cpp next to
+/// the runtime registry. gmstatic's lock-order rule cross-checks this
+/// table against the gm::lockrank constants, so the static analyzer,
+/// runtime diagnostics and documentation can never drift apart.
+const LockRankEntry* LockRankTable(std::size_t* size);
 
 }  // namespace gm

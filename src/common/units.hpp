@@ -118,7 +118,8 @@ class [[nodiscard]] Rate {
   }
 
   // The one sanctioned raw comparison; all other code must go through
-  // is_zero()/ApproxEq instead. gmlint: allow(float-money-eq)
+  // is_zero()/ApproxEq instead. (units.hpp is the money-type authority
+  // and is exempt from float-money-eq, like rng.* for nondeterminism.)
   constexpr bool is_zero() const { return dollars_per_sec_ == 0.0; }
   constexpr bool is_positive() const { return dollars_per_sec_ > 0.0; }
 

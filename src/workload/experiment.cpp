@@ -59,7 +59,6 @@ Result<std::vector<UserOutcome>> BestResponseExperiment::Run() {
 
   // Staggered submissions: each user's Best Response sees the bids the
   // previous users placed.
-  Status submit_error;
   for (std::size_t u = 0; u < users; ++u) {
     grid_.RunFor(config_.stagger);
     const auto job_id =

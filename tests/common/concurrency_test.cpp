@@ -46,7 +46,8 @@ TEST(MutexRankDeathTest, InversionAbortsWithBothLockNames) {
         Mutex bank("death.bank.ledger", lockrank::kBank);
         Mutex bus("death.net.bus", lockrank::kBus);
         MutexLock first(&bank);
-        MutexLock second(&bus);  // kBus < kBank: inversion
+        // Deliberate inversion. gmlint: allow(lock-order)
+        MutexLock second(&bus);  // kBus < kBank
       },
       "death.net.bus.*death.bank.ledger");
 }
@@ -60,6 +61,7 @@ TEST(MutexRankDeathTest, EqualRankAbortsToo) {
         Mutex a("death.metric.a", lockrank::kMetric);
         Mutex b("death.metric.b", lockrank::kMetric);
         MutexLock first(&a);
+        // Deliberate inversion. gmlint: allow(lock-order)
         MutexLock second(&b);
       },
       "death.metric.b.*death.metric.a");
@@ -72,7 +74,9 @@ TEST(MutexRankTest, DisabledCheckingAllowsInversion) {
     Mutex high("test.high", lockrank::kBank);
     Mutex low("test.low", lockrank::kBus);
     MutexLock first(&high);
-    MutexLock second(&low);  // inversion, but tolerated while disabled
+    // Deliberate inversion, tolerated while checking is disabled.
+    // gmlint: allow(lock-order)
+    MutexLock second(&low);
   }
   EXPECT_FALSE(SetLockRankCheckingEnabled(true));
   EXPECT_TRUE(LockRankCheckingEnabled());
@@ -121,6 +125,22 @@ TEST(ConcurrencyTest, ManyThreadsContendOnOneMutex) {
   threads.clear();  // join all
   MutexLock lock(&mu);
   EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(LockRankTableTest, AscendingAndMatchingConstants) {
+  std::size_t size = 0;
+  const LockRankEntry* table = LockRankTable(&size);
+  ASSERT_GT(size, 0u);
+  // Strictly ascending: the table is the DAG in acquisition order.
+  for (std::size_t i = 1; i < size; ++i) {
+    EXPECT_LT(table[i - 1].rank, table[i].rank)
+        << table[i - 1].name << " vs " << table[i].name;
+  }
+  // Endpoints pin the table to the lockrank constants.
+  EXPECT_STREQ(table[0].name, "kThreadPool");
+  EXPECT_EQ(table[0].rank, lockrank::kThreadPool);
+  EXPECT_STREQ(table[size - 1].name, "kLogger");
+  EXPECT_EQ(table[size - 1].rank, lockrank::kLogger);
 }
 
 }  // namespace

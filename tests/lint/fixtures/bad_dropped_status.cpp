@@ -1,0 +1,21 @@
+// gmlint fixture: must trigger the dropped-status rule — Status /
+// Result locals that are bound and then never read again.
+#include "common/status.hpp"
+
+namespace fixture {
+
+gm::Status Flush();
+gm::Result<int> Parse();
+void Log(const char* message);
+
+void Tick() {
+  gm::Status flush_error = Flush();  // finding: never read afterwards
+  Log("ticked");
+}
+
+void Load() {
+  gm::Result<int> parsed = Parse();  // finding: never read afterwards
+  Log("loaded");
+}
+
+}  // namespace fixture

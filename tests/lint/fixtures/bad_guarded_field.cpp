@@ -1,0 +1,24 @@
+// gmlint fixture: must trigger the guarded-field rule — mutable members
+// of a lock-owning class with no GM_GUARDED_BY / GM_PT_GUARDED_BY.
+#include <string>
+#include <vector>
+
+#include "common/concurrency.hpp"
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void Deposit(long amount_micros) {
+    gm::MutexLock lock(&mu_);
+    balance_micros_ += amount_micros;
+  }
+
+ private:
+  mutable gm::Mutex mu_{"fixture.ledger", gm::lockrank::kBank};
+  long balance_micros_ = 0;        // unguarded: finding
+  std::vector<long> history_;      // unguarded: finding
+  std::string owner_;              // unguarded: finding
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// gmlint fixture: must trigger the hotpath-allocation rule — heap
+// allocation and container growth inside a hotpath-tagged function.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Entry {
+  double price = 0.0;
+};
+
+class Matcher {
+ public:
+  // gmlint: hotpath
+  void Tick() {
+    Entry* entry = new Entry();              // finding: operator new
+    auto owned = std::make_unique<Entry>();  // finding: make_unique
+    std::string label("bid-");               // finding: std::string ctor
+    pending_.push_back(entry->price);        // finding: growth call
+    delete entry;
+  }
+
+ private:
+  std::vector<double> pending_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// gmlint fixture: must trigger the lock-order rule. Carries its own
+// copy of the rank DAG (mirroring src/common/concurrency.hpp) so the
+// fixture is self-contained under --no-path-filter.
+#include "common/concurrency.hpp"
+
+namespace gm {
+namespace lockrank {
+inline constexpr int kBus = 15;
+inline constexpr int kAuctioneer = 25;
+inline constexpr int kBank = 30;
+}  // namespace lockrank
+
+// Internally-locked member class: its Record() acquires the bus rank,
+// which the call-graph expansion must see through Market::book_.
+class PriceBook {
+ public:
+  void Record() { MutexLock lock(&mu_); }
+
+ private:
+  Mutex mu_{"fixture.price_book", lockrank::kBus};
+};
+
+class Market {
+ public:
+  void TickWrongOrder() {
+    MutexLock ledger(&bank_mu_);  // kBank = 30
+    MutexLock bus(&bus_mu_);      // kBus = 15: direct inversion
+  }
+
+  void TickEqualRank() {
+    MutexLock a(&bank_mu_);
+    MutexLock b(&reserve_mu_);  // equal rank: inversion by rule
+  }
+
+  void TickThroughCallee() {
+    MutexLock ledger(&bank_mu_);  // kBank = 30
+    book_.Record();               // acquires kBus inside the callee
+  }
+
+ private:
+  Mutex bank_mu_{"fixture.ledger", lockrank::kBank};
+  Mutex reserve_mu_{"fixture.reserve", lockrank::kBank};
+  Mutex bus_mu_{"fixture.bus", lockrank::kBus};
+  PriceBook book_;
+};
+
+}  // namespace gm

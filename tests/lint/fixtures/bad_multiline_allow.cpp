@@ -1,0 +1,20 @@
+// gmlint fixture: suppression must stay scoped — an allow() for a
+// different rule, or placed after the statement, covers nothing.
+namespace fixture {
+
+inline double price_dollars = 0.0;
+inline double other_price_dollars = 0.0;
+
+bool WrongRuleDoesNotCover() {
+  // gmlint: allow(nondeterminism)
+  return price_dollars ==
+         other_price_dollars;
+}
+
+bool AllowBelowDoesNotCover() {
+  return price_dollars ==
+         other_price_dollars;
+  // gmlint: allow(float-money-eq)
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// gmlint fixture: everything the dropped-status rule must NOT flag —
+// checked locals, propagated locals, and member calls that merely have
+// 'Status' in their name.
+#include "common/status.hpp"
+
+namespace fixture {
+
+struct Connection {
+  int Status() const { return 0; }
+};
+
+gm::Status Flush();
+gm::Result<int> Parse();
+void Log(const gm::Status& status);
+
+void Checked() {
+  gm::Status flush_error = Flush();
+  if (!flush_error.ok()) Log(flush_error);
+}
+
+gm::Status Propagated() {
+  gm::Status status = Flush();
+  return status;
+}
+
+int UsedValue() {
+  gm::Result<int> parsed = Parse();
+  return parsed.ok() ? *parsed : 0;
+}
+
+int MemberCallNotADecl(const Connection& connection) {
+  return connection.Status();  // member access, not a binding
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// gmlint fixture: everything the guarded-field rule must NOT flag —
+// annotated members, const / static / atomic members, the concurrency
+// primitives themselves, internally-synchronized member types, and
+// classes that own no lock at all.
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/concurrency.hpp"
+
+namespace fixture {
+
+// Lock-owning type: members of other classes typed on it are exempt.
+class InternallySynced {
+ public:
+  void Touch() { gm::MutexLock lock(&mu_); }
+
+ private:
+  mutable gm::Mutex mu_{"fixture.synced", gm::lockrank::kStore};
+};
+
+class Ledger {
+ private:
+  mutable gm::Mutex mu_{"fixture.ledger", gm::lockrank::kBank};
+  long balance_micros_ GM_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<long> cache_ GM_PT_GUARDED_BY(mu_);
+  const long limit_micros_ = 0;      // const: exempt
+  static int instances_;             // static: exempt
+  std::atomic<bool> closed_{false};  // atomic: exempt
+  gm::CondVar cv_;                   // sync primitive: exempt
+  InternallySynced store_;           // internally synchronized: exempt
+};
+
+// No mutex anywhere: plain structs need no annotations.
+struct Quote {
+  double price_dollars = 0.0;
+  std::string user;
+};
+
+}  // namespace fixture

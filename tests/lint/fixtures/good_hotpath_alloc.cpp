@@ -1,0 +1,49 @@
+// gmlint fixture: everything the hotpath-allocation rule must NOT
+// flag — arena-backed containers in tagged functions, arbitrary
+// allocation in cold functions, and non-growing container calls.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Arena {
+  char storage[4096];
+};
+
+template <typename T>
+struct ArenaVector {
+  explicit ArenaVector(Arena* arena) : arena_(arena) {}
+  void push_back(const T&) {}
+  Arena* arena_;
+};
+
+struct Entry {
+  double price = 0.0;
+};
+
+class Matcher {
+ public:
+  // gmlint: hotpath
+  void Tick() {
+    scratch_.push_back(1.0);  // member ArenaVector: exempt
+    ArenaVector<int> local(&arena_);
+    local.push_back(3);       // local arena container: exempt
+    total_ += pending_.size();  // size() is not a growth call
+  }
+
+  void Rebuild() {  // cold path: allocation is fine here
+    pending_.push_back(2.0);
+    auto owned = std::make_unique<Entry>();
+    name_ = std::string("rebuilt");
+  }
+
+ private:
+  Arena arena_;
+  ArenaVector<double> scratch_{&arena_};
+  std::vector<double> pending_;
+  std::string name_;
+  double total_ = 0.0;
+};
+
+}  // namespace fixture

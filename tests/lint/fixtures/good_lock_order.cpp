@@ -1,0 +1,49 @@
+// gmlint fixture: everything the lock-order rule must NOT flag —
+// ascending chains, scoped release, manual Lock/Unlock pairs, and
+// lambdas (whose bodies run on other threads with a fresh lock stack).
+#include <functional>
+
+#include "common/concurrency.hpp"
+
+namespace gm {
+namespace lockrank {
+inline constexpr int kBus = 15;
+inline constexpr int kBank = 30;
+inline constexpr int kLogger = 70;
+}  // namespace lockrank
+
+class Pipeline {
+ public:
+  void AscendingIsFine() {
+    MutexLock bus(&bus_mu_);     // kBus = 15
+    MutexLock ledger(&bank_mu_);  // kBank = 30: strictly ascending
+  }
+
+  void ScopedReleaseThenLower() {
+    {
+      MutexLock ledger(&bank_mu_);
+    }  // released at block close
+    MutexLock bus(&bus_mu_);  // fresh chain, fine
+  }
+
+  void ManualPairThenLower() {
+    log_mu_.Lock();
+    log_mu_.Unlock();
+    MutexLock bus(&bus_mu_);  // nothing held any more
+  }
+
+  void LambdaBodyHasFreshStack() {
+    MutexLock ledger(&bank_mu_);
+    task_ = [this] {
+      MutexLock bus(&bus_mu_);  // runs on a worker, not under ledger
+    };
+  }
+
+ private:
+  Mutex bus_mu_{"fixture.bus", lockrank::kBus};
+  Mutex bank_mu_{"fixture.ledger", lockrank::kBank};
+  Mutex log_mu_{"fixture.logger", lockrank::kLogger};
+  std::function<void()> task_ GM_GUARDED_BY(bank_mu_);
+};
+
+}  // namespace gm

@@ -1,0 +1,25 @@
+// gmlint fixture: allow() directives must cover the entire statement
+// they precede (or whose first lines they trail), not just one physical
+// line. Every comparison here is suppressed; the file must be clean.
+namespace fixture {
+
+inline double price_dollars = 0.0;
+inline double other_price_dollars = 0.0;
+
+bool CommentAboveCoversWholeStatement() {
+  // gmlint: allow(float-money-eq)
+  return price_dollars ==
+         other_price_dollars;
+}
+
+bool TrailingOnOperatorLine() {
+  return price_dollars ==  // gmlint: allow(float-money-eq)
+         other_price_dollars;
+}
+
+bool TrailingBeforeOperatorLine() {
+  return price_dollars  // gmlint: allow(float-money-eq)
+         == other_price_dollars;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lexer corpus: comment-in-string and string-in-comment traps.
+const char* not_a_comment = "/* still a string */ // also a string";
+const char* url = "https://example.test/path";
+/* block comment with "a quote" and 'a char' inside */
+int after_block = 1;
+// line comment with "quote" and /* opener
+int after_line = 2;
+/* multi-line
+   block // with a line comment marker
+   and a "string" */
+int after_multiline = 3;
+int divided = 6 / 2; /**/ int tight = 7;

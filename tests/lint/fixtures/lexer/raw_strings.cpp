@@ -1,0 +1,13 @@
+// Lexer corpus: raw strings, custom delimiters, escaped quotes and
+// encoding prefixes.
+const char* plain = R"(no escapes \n here ")";
+const char* tricky = R"gm(contains )" and )x" inside)gm";
+const char* prefixed = u8R"x(utf-8 raw)x";
+const wchar_t* wide = LR"(wide raw)";
+const char* escaped = "quote \" backslash \\ tab \t";
+const char* two = "a" "b";
+char quote_char = '\'';
+char dquote_char = '"';
+const char* multi = R"(line one
+line two)";
+int after_multi = 1;

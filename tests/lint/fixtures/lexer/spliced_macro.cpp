@@ -1,0 +1,15 @@
+// Lexer corpus: line splices. The macro body spans four physical lines
+// but one logical line; the spliced identifier re-joins across the
+// backslash-newline.
+#define GM_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    if (!(expr).ok()) return (expr);      \
+  } while (0)
+
+int spli\
+ced = 3;
+
+const char* s = "not \
+spliced apart";
+
+int plain_after = 4;

@@ -1,0 +1,15 @@
+// Lexer corpus: nested template closers lex as '>>' (maximal munch —
+// the parser layers reinterpret), shift operators, digit separators,
+// floats, hex floats and pp-number suffixes.
+#include <map>
+#include <string>
+#include <vector>
+
+std::map<std::string, std::vector<int>> nested;
+std::vector<std::vector<std::vector<int>>> deeper;
+int shifted = 1 << 4 >> 2;
+long long big = 1'000'000'007LL;
+double small = 1.5e-3;
+double hexf = 0x1.8p3;
+unsigned hex_mask = 0xFFu;
+auto cmp = 1 <=> 2;

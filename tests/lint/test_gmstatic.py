@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Unit tests for the gmstatic analysis framework itself (lexer, scope
+parser, project index, suppression extents, baseline, JSON report).
+Runs under ctest as lint_gmstatic_unit; fixture-level rule behavior is
+covered separately by run_fixture_tests.py."""
+
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO / "scripts"))
+
+from gmstatic import analysis, cppmodel, engine, lexer  # noqa: E402
+
+
+def parse(text, display="test.cpp"):
+    return cppmodel.SourceFile(pathlib.Path(display), display, text)
+
+
+class LexerTest(unittest.TestCase):
+    def kinds(self, text):
+        return [(t.kind, t.text) for t in lexer.lex(text)]
+
+    def test_splice_joins_identifier_at_physical_position(self):
+        tokens = lexer.lex("int ab\\\ncd = 1;\n")
+        idents = [t for t in tokens if t.kind == lexer.IDENT]
+        self.assertEqual([t.text for t in idents], ["int", "abcd"])
+        self.assertEqual(idents[1].line, 1)
+        self.assertEqual(idents[1].col, 5)
+
+    def test_logical_line_spans_spliced_directive(self):
+        tokens = lexer.lex("#define A \\\n  B\nint x;\n")
+        define = [t for t in tokens if t.text == "define"][0]
+        b = [t for t in tokens if t.text == "B"][0]
+        x = [t for t in tokens if t.text == "x"][0]
+        self.assertEqual(define.logical_line, b.logical_line)
+        self.assertNotEqual(b.logical_line, x.logical_line)
+        self.assertEqual(b.line, 2)  # physical position preserved
+
+    def test_raw_string_with_delimiter(self):
+        tokens = self.kinds('auto s = R"gm(a )" b)gm";')
+        self.assertIn((lexer.STRING, 'R"gm(a )" b)gm"'), tokens)
+
+    def test_nested_template_shift_is_two_closers_token(self):
+        tokens = self.kinds("std::vector<std::vector<int>> v;")
+        self.assertIn((lexer.PUNCT, ">>"), tokens)
+
+    def test_digit_separators_one_number(self):
+        tokens = self.kinds("long x = 1'000'000LL;")
+        self.assertIn((lexer.NUMBER, "1'000'000LL"), tokens)
+
+    def test_comment_in_string_stays_string(self):
+        tokens = self.kinds('const char* s = "// not a comment";')
+        self.assertIn((lexer.STRING, '"// not a comment"'), tokens)
+        self.assertFalse(any(k == lexer.COMMENT for k, _ in tokens))
+
+    def test_string_in_comment_stays_comment(self):
+        tokens = self.kinds('/* "quoted" */ int x;')
+        self.assertEqual(tokens[0][0], lexer.COMMENT)
+
+    def test_unterminated_string_raises(self):
+        with self.assertRaises(lexer.LexError):
+            lexer.lex('const char* s = "oops;\n')
+
+
+class ScopeParserTest(unittest.TestCase):
+    def test_class_fields_and_annotations(self):
+        source = parse("""
+            class Ledger {
+             public:
+              void Deposit(long amount);
+             private:
+              mutable gm::Mutex mu_{"x", gm::lockrank::kBank};
+              long balance_ GM_GUARDED_BY(mu_) = 0;
+              const int limit_ = 3;
+              std::vector<int> history_;
+            };
+        """)
+        self.assertEqual(len(source.classes), 1)
+        cls = source.classes[0]
+        self.assertEqual(cls.name, "Ledger")
+        names = [f.name for f in cls.fields]
+        self.assertEqual(names, ["mu_", "balance_", "limit_", "history_"])
+        balance = cls.field("balance_")
+        self.assertEqual(balance.guard, "mu_")
+        self.assertTrue(cls.field("limit_").is_const)
+        self.assertEqual(cls.field("mu_").type_tail, "Mutex")
+        self.assertEqual(cls.field("history_").type_tail, "vector")
+
+    def test_function_bodies_and_qualified_names(self):
+        source = parse("""
+            namespace gm {
+            class A {
+              void Inline() { int x = 0; }
+            };
+            void A::OutOfLine() { }
+            void Free() { }
+            }  // namespace gm
+        """)
+        names = sorted(fn.qualified for fn in source.functions)
+        self.assertEqual(names, ["A::OutOfLine", "gm::A::Inline", "gm::Free"])
+        for fn in source.functions:
+            self.assertIsNotNone(fn.body_end)
+        method = [f for f in source.functions if f.name == "OutOfLine"][0]
+        self.assertEqual(method.class_name, "A")
+
+    def test_initializer_brace_not_a_scope(self):
+        source = parse("""
+            void F() {
+              for (int x : {1, 2, 3}) { (void)x; }
+              std::vector<int> v = {4, 5};
+            }
+        """)
+        self.assertEqual(len(source.functions), 1)
+
+    def test_includes_parsed(self):
+        source = parse('#include "market/auctioneer.hpp"\n#include <map>\n')
+        paths = [(i.path, i.system) for i in source.includes]
+        self.assertEqual(paths, [("market/auctioneer.hpp", False),
+                                 ("map", True)])
+
+    def test_hotpath_tag_attaches_to_next_function(self):
+        source = parse("""
+            // gmlint: hotpath
+            void Hot() { }
+            void Cold() { }
+        """)
+        flags = {fn.name: fn.hotpath for fn in source.functions}
+        self.assertEqual(flags, {"Hot": True, "Cold": False})
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_allow_covers_following_multiline_statement(self):
+        source = parse(
+            "void F() {\n"
+            "  // gmlint: allow(float-money-eq)\n"
+            "  bool same = price_dollars ==\n"
+            "              other_dollars;\n"
+            "  bool after = a == b;\n"
+            "}\n")
+        self.assertTrue(source.allowed(3, "float-money-eq"))
+        self.assertTrue(source.allowed(4, "float-money-eq"))
+        self.assertFalse(source.allowed(5, "float-money-eq"))
+        self.assertFalse(source.allowed(3, "nondeterminism"))
+
+    def test_trailing_allow_covers_containing_statement(self):
+        source = parse(
+            "void F() {\n"
+            "  bool same = price_dollars ==  // gmlint: allow(float-money-eq)\n"
+            "              other_dollars;\n"
+            "}\n")
+        self.assertTrue(source.allowed(2, "float-money-eq"))
+        self.assertTrue(source.allowed(3, "float-money-eq"))
+
+    def test_allow_does_not_reach_previous_statement(self):
+        source = parse(
+            "void F() {\n"
+            "  bool same = a == b;\n"
+            "  // gmlint: allow(float-money-eq)\n"
+            "  bool next = c == d;\n"
+            "}\n")
+        self.assertFalse(source.allowed(2, "float-money-eq"))
+        self.assertTrue(source.allowed(4, "float-money-eq"))
+
+
+class ProjectTest(unittest.TestCase):
+    def test_ranks_and_mutex_decls(self):
+        source = parse("""
+            namespace gm {
+            namespace lockrank {
+            inline constexpr int kBus = 15;
+            inline constexpr int kBank = 30;
+            }
+            class Bank {
+              Mutex mu_{"bank.ledger", lockrank::kBank};
+            };
+            }
+        """)
+        project = analysis.Project([source])
+        self.assertEqual(project.ranks, {"kBus": 15, "kBank": 30})
+        decl = project.mutexes.get(("Bank", "mu_"))
+        self.assertIsNotNone(decl)
+        self.assertEqual(decl.label, "bank.ledger")
+        self.assertEqual(decl.rank_const, "kBank")
+        self.assertIn("Bank", project.lock_owning_classes)
+
+    def test_mutex_pointer_member_is_not_lock_owning(self):
+        source = parse("""
+            struct HeldLock {
+              const Mutex* mu;
+              int rank;
+            };
+        """)
+        project = analysis.Project([source])
+        self.assertNotIn("HeldLock", project.lock_owning_classes)
+
+    def test_rank_table_parsed(self):
+        source = parse(
+            'constexpr LockRankEntry kLockRankTable[] = {\n'
+            '    {"kBus", lockrank::kBus},\n'
+            '    {"kBank", lockrank::kBank},\n'
+            '};\n', display="src/common/concurrency.cpp")
+        project = analysis.Project([source])
+        self.assertEqual([(n, c) for n, c, _ in project.rank_table],
+                         [("kBus", "kBus"), ("kBank", "kBank")])
+
+
+class EngineTest(unittest.TestCase):
+    def test_baseline_match_and_unused(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "baseline.json"
+            path.write_text(json.dumps({"entries": [
+                {"rule": "r", "file": "f.cpp", "subject": "s",
+                 "reason": "because"},
+                {"rule": "r", "file": "f.cpp", "subject": "stale",
+                 "reason": "old"},
+            ]}))
+            baseline = engine.Baseline(path)
+            finding = engine.Finding("r", "f.cpp", 1, 1, "s", "m")
+            self.assertTrue(baseline.match(finding))
+            other = engine.Finding("r", "f.cpp", 1, 1, "t", "m")
+            self.assertFalse(baseline.match(other))
+            self.assertEqual(baseline.unused({"r"}),
+                             [("r", "f.cpp", "stale")])
+            self.assertEqual(baseline.unused({"other-rule"}), [])
+
+    def test_json_report_schema(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = pathlib.Path(tmp) / "report.json"
+            finding = engine.Finding("lock-order", "a.cpp", 3, 1, "s", "msg")
+            engine.write_json_report(out, [finding], 2, [], {"lock-order"},
+                                     5, None, 0.25)
+            doc = json.loads(out.read_text())
+            self.assertEqual(doc["tool"], "gmstatic")
+            self.assertEqual(doc["schema_version"], engine.SCHEMA_VERSION)
+            self.assertEqual(doc["files_scanned"], 5)
+            self.assertEqual(len(doc["findings"]), 1)
+            f = doc["findings"][0]
+            for key in ("rule", "file", "line", "col", "subject",
+                        "message", "baselined"):
+                self.assertIn(key, f)
+
+    def test_gather_excludes_and_dedups(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            (root / "a.cpp").write_text("int a;\n")
+            (root / "skip_me.cpp").write_text("int b;\n")
+            (root / "h.hpp").write_text("int h;\n")
+            files = engine.gather([root, root / "a.cpp"],
+                                  excludes=["skip_me"])
+            names = [f.name for f in files]
+            self.assertEqual(names, ["h.hpp", "a.cpp"])
+
+    def test_compile_commands_filter(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            (root / "in_db.cpp").write_text("int a;\n")
+            (root / "orphan.cpp").write_text("int b;\n")
+            db = root / "compile_commands.json"
+            db.write_text(json.dumps([
+                {"directory": str(root), "file": "in_db.cpp",
+                 "command": "c++ -c in_db.cpp"},
+            ]))
+            files = engine.gather([root], compile_commands=db)
+            self.assertEqual([f.name for f in files], ["in_db.cpp"])
+
+    def test_lex_error_is_reported_not_fatal(self):
+        source = parse('const char* s = "unterminated;\n')
+        self.assertEqual(len(source.lex_errors), 1)
+        findings, _, errors = engine.run(
+            [source], {"nondeterminism"}, path_filter=False, baseline=None)
+        self.assertEqual(findings, [])
+        self.assertEqual(len(errors), 1)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
