@@ -1,0 +1,372 @@
+"""Whole-project call graph for gmstatic's interprocedural rules.
+
+Built once per run over the `analysis.Project` index:
+
+  * qualified-name resolution: bare calls resolve to a method of the
+    enclosing class (searching base classes), then to a free function;
+    `Class::Name(...)` resolves statically; `recv.Name(...)` and
+    `recv->Name(...)` resolve through the receiver's type, found from
+    function-local declarations, parameters, or member fields.
+  * virtual-dispatch over-approximation: an unqualified method call
+    through a base type also edges to every same-named override in the
+    type's transitive derived classes (explicit `Base::Name()` calls
+    stay static, as in C++).
+  * lambda awareness: call sites inside lambda bodies are marked — a
+    lambda runs later on some other stack, so bottom-up summaries that
+    model "what happens during this call" must skip them.
+  * SCC condensation: Tarjan's algorithm emits strongly connected
+    components callees-first, the evaluation order the dataflow engine
+    needs for bottom-up summary propagation.
+
+Resolution is deliberately conservative: anything that cannot be
+resolved to a project function produces no edge, and the rules treat
+missing edges as "no information" rather than guessing.
+"""
+
+import re
+
+from .lexer import IDENT, KEYWORDS
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*\Z")
+
+# Longest chain the rules will report; also bounds fixpoint growth.
+MAX_CHAIN = 8
+
+
+class CallSite:
+    __slots__ = ("targets", "token", "index", "label", "in_lambda")
+
+    def __init__(self, targets, token, index, label, in_lambda):
+        self.targets = targets    # tuple of FunctionInfo candidates
+        self.token = token
+        self.index = index        # token index in the caller's source
+        self.label = label        # display text, e.g. "book_.Record()"
+        self.in_lambda = in_lambda
+
+
+def local_decl_types(tokens, start, end):
+    """Best-effort map of local variable name -> type-tail identifier for
+    declarations like `Type name = ...;`, `ns::Type<T> name(...);`."""
+    out = {}
+    i = start
+    stmt = []
+    while i <= end:
+        text = tokens[i].text
+        if text in (";", "{", "}"):
+            _harvest_decl(stmt, out)
+            stmt = []
+        else:
+            stmt.append(tokens[i])
+        i += 1
+    return out
+
+
+def _harvest_decl(stmt, out):
+    if len(stmt) < 2:
+        return
+    texts = [t.text for t in stmt]
+    if texts[0] in ("return", "if", "for", "while", "switch", "case",
+                    "delete", "throw", "using", "else", "do"):
+        return
+    # Scan the type part: identifiers / :: / template args; the declared
+    # name is the last plain identifier before '=', '(' or end.
+    angle = 0
+    type_tail = None
+    name = None
+    for k, text in enumerate(texts):
+        if text == "<" and k > 0 and re.fullmatch(r"[\w>]+", texts[k - 1]):
+            angle += 1
+        elif text == ">":
+            angle = max(0, angle - 1)
+        elif text == ">>":
+            angle = max(0, angle - 2)
+        elif angle == 0:
+            if text in ("=", "(", "{"):
+                break
+            if _IDENT_RE.match(text) and text not in KEYWORDS:
+                type_tail, name = name, text
+            elif text in ("*", "&", "::", "const", "auto"):
+                continue
+            else:
+                return
+    if type_tail and name:
+        out.setdefault(name, type_tail)
+
+
+def function_local_types(source, fn):
+    """Local declaration types plus parameter types for `fn`."""
+    out = {}
+    if fn.body_end is not None:
+        out = local_decl_types(source.tokens, fn.body_start + 1,
+                               fn.body_end - 1)
+    for name, tail in fn.param_types.items():
+        out.setdefault(name, tail)
+    return out
+
+
+def _is_lambda_open(tokens, i):
+    """tokens[i] is '{': does it open a lambda body?"""
+    j = i - 1
+    while j >= 0 and tokens[j].text in ("mutable", "noexcept", "constexpr"):
+        j -= 1
+    # Trailing return type: step back over `-> Result<Bytes>` to the ')'
+    # of the parameter list (bounded so arbitrary code never loops).
+    k = j
+    for _ in range(16):
+        if k < 1:
+            break
+        text = tokens[k].text
+        if text == "->":
+            j = k - 1
+            break
+        if tokens[k].kind != IDENT and text not in ("::", "<", ">", ">>",
+                                                    "&", "*", "const"):
+            break
+        k -= 1
+    if j >= 0 and tokens[j].text == "]":
+        return True
+    if j >= 0 and tokens[j].text == ")":
+        depth = 0
+        while j >= 0:
+            if tokens[j].text == ")":
+                depth += 1
+            elif tokens[j].text == "(":
+                depth -= 1
+                if depth == 0:
+                    return j >= 1 and tokens[j - 1].text == "]"
+            j -= 1
+    return False
+
+
+def lambda_ranges(source, fn):
+    """[(open_index, close_index)] of every lambda body inside fn."""
+    tokens = source.tokens
+    out = []
+    i = fn.body_start + 1
+    depth = 0
+    open_stack = []
+    while i < fn.body_end:
+        text = tokens[i].text
+        if text == "{":
+            if _is_lambda_open(tokens, i):
+                open_stack.append((depth, i))
+            depth += 1
+        elif text == "}":
+            depth -= 1
+            if open_stack and open_stack[-1][0] == depth:
+                _, start = open_stack.pop()
+                out.append((start, i))
+        i += 1
+    return out
+
+
+def in_ranges(ranges, index):
+    return any(start < index < end for start, end in ranges)
+
+
+class CallGraph:
+    """calls[fn] -> [CallSite], callers[fn] -> {fn}, plus the class
+    hierarchy and SCC condensation used by dataflow.solve."""
+
+    def __init__(self, project):
+        self.project = project
+        self.fn_source = {}
+        self.local_types = {}
+        self.calls = {}
+        self.callers = {}
+        self.derived = {}          # class -> set of transitive subclasses
+        self._sccs = None
+        for source in project.files:
+            for fn in source.functions:
+                self.fn_source[fn] = source
+        self._build_hierarchy()
+        for fn, source in self.fn_source.items():
+            self.calls[fn] = self._scan_function(source, fn)
+            for site in self.calls[fn]:
+                for target in site.targets:
+                    self.callers.setdefault(target, set()).add(fn)
+
+    # -- class hierarchy --
+
+    def _build_hierarchy(self):
+        direct = {}
+        for name, cls in self.project.classes.items():
+            for base in cls.bases:
+                direct.setdefault(base, set()).add(name)
+        # Transitive closure, cycle-safe.
+        for base in direct:
+            seen = set()
+            work = list(direct[base])
+            while work:
+                cur = work.pop()
+                if cur in seen:
+                    continue
+                seen.add(cur)
+                work.extend(direct.get(cur, ()))
+            self.derived[base] = seen
+
+    def _method_in_hierarchy(self, class_name, name):
+        """Resolve a method by walking up the base-class chain."""
+        seen = set()
+        work = [class_name]
+        while work:
+            cur = work.pop(0)
+            if cur in seen:
+                continue
+            seen.add(cur)
+            fn = self.project.methods.get((cur, name))
+            if fn is not None:
+                return fn
+            cls = self.project.classes.get(cur)
+            if cls is not None:
+                work.extend(cls.bases)
+        return None
+
+    def _dispatch_targets(self, class_name, name):
+        """Static target plus every override in derived classes (the
+        virtual-dispatch over-approximation)."""
+        out = []
+        primary = self._method_in_hierarchy(class_name, name)
+        if primary is not None:
+            out.append(primary)
+        for sub in sorted(self.derived.get(class_name, ())):
+            override = self.project.methods.get((sub, name))
+            if override is not None and override not in out:
+                out.append(override)
+        return tuple(out)
+
+    # -- per-function call-site scan --
+
+    def function_local_types(self, fn):
+        cached = self.local_types.get(fn)
+        if cached is None:
+            cached = function_local_types(self.fn_source[fn], fn)
+            self.local_types[fn] = cached
+        return cached
+
+    def _scan_function(self, source, fn):
+        if fn.body_end is None:
+            return []
+        tokens = source.tokens
+        local_types = self.function_local_types(fn)
+        lambdas = lambda_ranges(source, fn)
+        sites = []
+        i = fn.body_start + 1
+        while i < fn.body_end:
+            t = tokens[i]
+            if t.kind == IDENT and t.text not in KEYWORDS \
+                    and i + 1 < fn.body_end and tokens[i + 1].text == "(":
+                resolved = self.resolve_call(fn, tokens, i, local_types)
+                if resolved is not None:
+                    targets, label = resolved
+                    sites.append(CallSite(targets, t, i, label,
+                                          in_ranges(lambdas, i)))
+            i += 1
+        return sites
+
+    def resolve_call(self, fn, tokens, i, local_types):
+        """Resolve `tokens[i](` to project functions; returns
+        (targets, display_label) or None."""
+        project = self.project
+        name = tokens[i].text
+        if i >= 2 and tokens[i - 1].text in (".", "->"):
+            base = tokens[i - 2]
+            if base.kind != IDENT:
+                return None
+            if base.text == "this":
+                return self._resolve_unqualified(fn, name)
+            base_type = local_types.get(base.text)
+            if base_type is None and fn.class_name:
+                base_type = project.field_type(fn.class_name, base.text)
+            if base_type is None:
+                return None
+            targets = self._dispatch_targets(base_type, name)
+            if targets:
+                return targets, f"{base.text}.{name}()"
+            return None
+        if i >= 2 and tokens[i - 1].text == "::":
+            cls = tokens[i - 2].text
+            callee = self._method_in_hierarchy(cls, name)
+            if callee is not None:
+                return (callee,), f"{cls}::{name}()"
+            return None
+        return self._resolve_unqualified(fn, name)
+
+    def _resolve_unqualified(self, fn, name):
+        if fn.class_name:
+            targets = self._dispatch_targets(fn.class_name, name)
+            if targets:
+                return targets, f"{name}()"
+        callee = self.project.free_functions.get(name)
+        if callee is not None:
+            return (callee,), f"{name}()"
+        return None
+
+    # -- SCC condensation (Tarjan, iterative) --
+
+    def sccs(self):
+        """Strongly connected components, callees before callers."""
+        if self._sccs is not None:
+            return self._sccs
+        index = {}
+        lowlink = {}
+        on_stack = set()
+        stack = []
+        out = []
+        counter = [0]
+        fns = list(self.calls)
+
+        def successors(fn):
+            seen = []
+            for site in self.calls.get(fn, ()):
+                for target in site.targets:
+                    if target in self.calls and target not in seen:
+                        seen.append(target)
+            return seen
+
+        for root in fns:
+            if root in index:
+                continue
+            work = [(root, iter(successors(root)))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                fn, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(successors(succ))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[fn] = min(lowlink[fn], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[fn])
+                if lowlink[fn] == index[fn]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member is fn:
+                            break
+                    out.append(scc)
+        self._sccs = out
+        return out
+
+    def is_recursive(self, scc):
+        """True when the SCC contains a cycle (size > 1 or a self-edge)."""
+        if len(scc) > 1:
+            return True
+        fn = scc[0]
+        return any(fn in site.targets for site in self.calls.get(fn, ()))

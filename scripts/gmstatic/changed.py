@@ -1,0 +1,105 @@
+"""Changed-only file selection for incremental gmstatic runs.
+
+A full run parses every file so the interprocedural rules can see the
+whole project; on a one-file edit that is almost all wasted work. The
+incremental mode scans only:
+
+  * the changed files themselves (from `git diff --name-only REF`, or
+    an explicit list for tests and editor integrations),
+  * their reverse include closure — every gathered file that reaches a
+    changed file through `#include "..."` edges. A header edit can
+    change the meaning of any includer (new mutex ranks, changed
+    signatures), so includers are re-checked; this is the cheap text
+    over-approximation of "reverse call-graph dependents",
+  * the forward include closure of that set, so the project index the
+    rules run against still resolves the types, ranks and callee
+    signatures the selected files refer to.
+
+Include strings resolve against the gathered file list by path suffix
+(`#include "common/status.hpp"` matches src/common/status.hpp), which
+matches the repo convention of src/-relative includes without needing
+the compiler's include paths.
+"""
+
+import re
+import subprocess
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+
+def git_changed_files(ref, repo_root):
+    """Repo-relative paths changed vs `ref`, plus untracked files (a
+    brand-new file is exactly what an incremental run must not miss)."""
+    def lines(args):
+        proc = subprocess.run(args, cwd=str(repo_root),
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git failed ({' '.join(args)}): {proc.stderr.strip()}")
+        return [l.strip() for l in proc.stdout.splitlines() if l.strip()]
+
+    changed = lines(["git", "diff", "--name-only", ref, "--"])
+    changed += lines(["git", "ls-files", "--others",
+                      "--exclude-standard"])
+    return changed
+
+
+def _include_edges(files):
+    """includer -> {included file}, resolved among the gathered files
+    by include-string suffix match."""
+    by_suffix = {}
+    for f in files:
+        posix = f.as_posix()
+        parts = posix.split("/")
+        for i in range(len(parts)):
+            by_suffix.setdefault("/".join(parts[i:]), []).append(f)
+    edges = {}
+    for f in files:
+        try:
+            text = f.read_text(errors="replace")
+        except OSError:
+            continue
+        targets = set()
+        for inc in _INCLUDE_RE.findall(text):
+            for target in by_suffix.get(inc, ()):
+                if target != f:
+                    targets.add(target)
+        edges[f] = targets
+    return edges
+
+
+def select(files, changed_names):
+    """Subset of `files` an incremental run must scan, given
+    repo-relative changed paths. Preserves the gathered order."""
+    changed_set = set()
+    for f in files:
+        posix = f.as_posix()
+        for name in changed_names:
+            if posix == name or posix.endswith("/" + name):
+                changed_set.add(f)
+    if not changed_set:
+        return []
+    edges = _include_edges(files)
+    reverse = {}
+    for includer, targets in edges.items():
+        for target in targets:
+            reverse.setdefault(target, set()).add(includer)
+    # Reverse closure: everything that (transitively) includes a
+    # changed file.
+    selected = set(changed_set)
+    work = list(changed_set)
+    while work:
+        cur = work.pop()
+        for includer in reverse.get(cur, ()):
+            if includer not in selected:
+                selected.add(includer)
+                work.append(includer)
+    # Forward closure: headers the selected set needs for resolution.
+    work = list(selected)
+    while work:
+        cur = work.pop()
+        for target in edges.get(cur, ()):
+            if target not in selected:
+                selected.add(target)
+                work.append(target)
+    return [f for f in files if f in selected]

@@ -32,6 +32,9 @@ BLOCK = "block"
 ALLOW_RE = re.compile(r"gmlint:\s*allow\(([\w,\s-]+)\)")
 LAYER_RE = re.compile(r"gmlint:\s*layer\((\w+)\)")
 HOTPATH_RE = re.compile(r"gmlint:\s*hotpath\b")
+MONEY_SINK_RE = re.compile(r"gmlint:\s*money-sink\(([^)]*)\)")
+
+_TEST_MACROS = frozenset({"TEST", "TEST_F", "TEST_P", "TYPED_TEST"})
 
 # Annotation macros that may trail a declarator; stripped (with their
 # balanced parens) before declarations are interpreted.
@@ -104,14 +107,15 @@ class Field:
 
 
 class ClassInfo:
-    __slots__ = ("name", "qualified", "line", "fields", "scope")
+    __slots__ = ("name", "qualified", "line", "fields", "scope", "bases")
 
-    def __init__(self, name, qualified, line, scope):
+    def __init__(self, name, qualified, line, scope, bases=()):
         self.name = name
         self.qualified = qualified
         self.line = line
         self.fields = []
         self.scope = scope
+        self.bases = tuple(bases)  # direct base class names (tail idents)
 
     def field(self, name):
         for f in self.fields:
@@ -122,7 +126,8 @@ class ClassInfo:
 
 class FunctionInfo:
     __slots__ = ("name", "class_name", "qualified", "line", "body_start",
-                 "body_end", "scope", "hotpath", "sig_start")
+                 "body_end", "scope", "hotpath", "sig_start", "return_type",
+                 "param_types", "money_sink")
 
     def __init__(self, name, class_name, qualified, line, sig_start,
                  body_start, scope):
@@ -135,6 +140,9 @@ class FunctionInfo:
         self.body_end = None          # index of the matching '}'
         self.scope = scope
         self.hotpath = False
+        self.return_type = None       # tail identifier ("Status", "Result", …)
+        self.param_types = {}         # param name -> type-tail identifier
+        self.money_sink = None        # gmlint: money-sink(reason) text
 
 
 class Include:
@@ -186,20 +194,27 @@ class SourceFile:
                 self.allow_lines.setdefault(c.line, set()).update(rules)
 
     def _attach_hotpath_tags(self):
-        tag_lines = [c.line for c in self.comments
-                     if HOTPATH_RE.search(c.text)]
-        if not tag_lines:
+        for _c, fn in self._tagged_functions(HOTPATH_RE):
+            fn.hotpath = True
+        for c, fn in self._tagged_functions(MONEY_SINK_RE):
+            fn.money_sink = MONEY_SINK_RE.search(c.text).group(1).strip()
+
+    def _tagged_functions(self, pattern):
+        """(comment, function) pairs for every comment matching `pattern`
+        attached to a function: on / up to two lines above the signature
+        line, or inside a multi-line signature."""
+        tagged = [c for c in self.comments if pattern.search(c.text)]
+        if not tagged:
             return
         funcs = sorted(self.functions, key=lambda f: f.line)
-        for tag in tag_lines:
+        for c in tagged:
+            tag = c.line
             for fn in funcs:
-                # Tag on, or up to two lines above, the signature line.
                 if fn.line >= tag and fn.line - tag <= 2:
-                    fn.hotpath = True
+                    yield c, fn
                     break
-                # Tag inside the signature (multi-line signatures).
                 if fn.line <= tag and self.tokens[fn.body_start].line >= tag:
-                    fn.hotpath = True
+                    yield c, fn
                     break
 
     def allowed(self, line, rule):
@@ -406,7 +421,8 @@ class _ScopeParser:
         child = Scope(kind, name, self.scope, i, t.line)
         self.scope.children.append(child)
         if kind == CLASS:
-            info = ClassInfo(name, child.qualified(), t.line, child)
+            bases = _base_names([x.text for _, x in self.head])
+            info = ClassInfo(name, child.qualified(), t.line, child, bases)
             self.class_infos[child] = info
             self.source.classes.append(info)
         elif kind == FUNCTION:
@@ -501,6 +517,18 @@ class _ScopeParser:
         return None, None
 
     def _record_function(self, name, brace_index, scope):
+        # A gtest body is a function definition named by the macro; fold
+        # the (Suite, Name) arguments in so every test is distinct —
+        # otherwise all test-local mutex/lock declarations in a file
+        # collide on one "TEST" scope.
+        if name in _TEST_MACROS:
+            texts = [t.text for _, t in self.head]
+            if len(texts) >= 6 and texts[1] == "(" and texts[3] == "," \
+                    and texts[5] == ")":
+                name = f"{texts[2]}_{texts[4]}"
+                # Keep the scope tree in sync: _context_at and the mutex
+                # index key local declarations by scope.qualified().
+                scope.name = name
         class_name = None
         qualified = name
         if "::" in name:
@@ -521,6 +549,8 @@ class _ScopeParser:
             body_start=brace_index,
             scope=scope,
         )
+        fn.return_type, fn.param_types = _signature_info(
+            [t.text for _, t in self.head], fn.name)
         self.source.functions.append(fn)
 
 
@@ -548,6 +578,125 @@ def _name_before_brace(texts):
                 and text not in _ANNOTATION_MACROS:
             return text
     return ""
+
+
+def _base_names(texts):
+    """Direct base class names from a class head: identifiers between the
+    base-clause ':' and the brace, keeping only the tail of each
+    '::'-qualified chain and skipping access specifiers / 'virtual'."""
+    cut = None
+    depth = 0
+    for i, text in enumerate(texts):
+        if text in "([":
+            depth += 1
+        elif text in ")]":
+            depth = max(0, depth - 1)
+        elif text == ":" and depth == 0:
+            cut = i
+            break
+    if cut is None:
+        return ()
+    bases = []
+    angle = 0
+    for i in range(cut + 1, len(texts)):
+        text = texts[i]
+        if text == "<" and i > cut + 1 and re.fullmatch(r"[\w>]+",
+                                                        texts[i - 1]):
+            angle += 1
+        elif text == ">":
+            angle = max(0, angle - 1)
+        elif text == ">>":
+            angle = max(0, angle - 2)
+        elif angle == 0 and re.fullmatch(r"[A-Za-z_]\w*", text) \
+                and text not in ("public", "private", "protected",
+                                 "virtual", "final"):
+            # '::'-qualified chains resolve to their last identifier.
+            if i + 1 < len(texts) and texts[i + 1] == "::":
+                continue
+            bases.append(text)
+    return tuple(bases)
+
+
+def type_tail_of(texts):
+    """Last identifier of a type token sequence outside template args
+    ('const std::vector<gm::Money>&' -> 'vector')."""
+    tail = ""
+    angle = 0
+    for k, text in enumerate(texts):
+        if text == "<" and k > 0 and re.fullmatch(r"[\w>]+", texts[k - 1]):
+            angle += 1
+        elif text == ">":
+            angle = max(0, angle - 1)
+        elif text == ">>":
+            angle = max(0, angle - 2)
+        elif angle == 0 and re.fullmatch(r"[A-Za-z_]\w*", text) \
+                and text not in _DECL_SPECIFIERS and text not in (
+                    "unsigned", "signed", "long", "short"):
+            tail = text
+    return tail
+
+
+def _signature_info(texts, bare_name):
+    """(return_type_tail, param name->type_tail) parsed from signature
+    tokens. The parameter list is the '(' following the last occurrence
+    of the function's bare name; constructors / operators without a
+    recognizable name yield (None, {})."""
+    name_at = None
+    for k in range(len(texts) - 1):
+        if texts[k] == bare_name and texts[k + 1] == "(":
+            name_at = k
+    if name_at is None:
+        return None, {}
+    # Walk the qualifier chain back: 'A :: B :: name'.
+    j = name_at
+    while j >= 2 and texts[j - 1] == "::" \
+            and re.fullmatch(r"[A-Za-z_]\w*", texts[j - 2]):
+        j -= 2
+    ret = type_tail_of(texts[:j]) or None
+    params = {}
+    depth = 0
+    current = []
+    for k in range(name_at + 1, len(texts)):
+        text = texts[k]
+        if text in "([{":
+            depth += 1
+            if depth == 1:
+                continue
+        elif text in ")]}":
+            depth -= 1
+            if depth == 0:
+                _harvest_param(current, params)
+                break
+        if depth == 1 and text == ",":
+            _harvest_param(current, params)
+            current = []
+        elif depth >= 1:
+            current.append(text)
+    return ret, params
+
+
+def _harvest_param(texts, out):
+    """'const std::string& id = kDefault' -> {'id': 'string'}."""
+    if "=" in texts:
+        texts = texts[:texts.index("=")]
+    name = None
+    angle = 0
+    name_idx = None
+    for k, text in enumerate(texts):
+        if text == "<" and k > 0 and re.fullmatch(r"[\w>]+", texts[k - 1]):
+            angle += 1
+        elif text == ">":
+            angle = max(0, angle - 1)
+        elif text == ">>":
+            angle = max(0, angle - 2)
+        elif angle == 0 and re.fullmatch(r"[A-Za-z_]\w*", text) \
+                and text not in _DECL_SPECIFIERS:
+            name, name_idx = text, k
+    if name is None or name_idx == 0:
+        return
+    tail = type_tail_of(texts[:name_idx])
+    if tail:
+        out[name] = tail
 
 
 def _looks_like_signature(texts):

@@ -13,9 +13,12 @@ import pathlib
 import sys
 import time
 
+from . import changed
 from . import cppmodel
+from . import rules_flow
 from . import rules_legacy
 from . import rules_struct
+from . import sarif
 from .analysis import Project
 
 SCHEMA_VERSION = 1
@@ -31,11 +34,13 @@ LEGACY_RULES = (
     ("hotpath-map-iteration", rules_legacy.rule_hotpath_map_iteration),
 )
 STRUCTURAL_RULES = (
-    ("lock-order", rules_struct.rule_lock_order),
+    ("lock-order", rules_flow.rule_lock_order),
     ("lock-order", rules_struct.rule_lock_rank_table),
     ("guarded-field", rules_struct.rule_guarded_field),
     ("hotpath-allocation", rules_struct.rule_hotpath_allocation),
     ("dropped-status", rules_struct.rule_dropped_status),
+    ("status-propagation", rules_flow.rule_status_propagation),
+    ("money-conservation", rules_flow.rule_money_conservation),
 )
 ALL_RULES = LEGACY_RULES + STRUCTURAL_RULES
 LEGACY_RULE_NAMES = tuple(dict(LEGACY_RULES))
@@ -83,11 +88,16 @@ class Context:
         self.shared = {}  # cross-rule caches (call summaries etc.)
 
 
+class BaselineError(Exception):
+    """A malformed baseline file (missing fields, empty reason)."""
+
+
 class Baseline:
     """Committed waivers: (rule, file, subject) triples with a mandatory
     reason. A finding matching an entry is reported as baselined and
     does not fail the run; entries matching nothing are surfaced so the
-    file cannot silently rot."""
+    file cannot silently rot. Loading rejects entries without a
+    non-empty reason — a waiver nobody can explain is not a waiver."""
 
     def __init__(self, path):
         self.path = path
@@ -95,9 +105,18 @@ class Baseline:
         self.used = set()
         if path is not None and path.exists():
             doc = json.loads(path.read_text())
-            for entry in doc.get("entries", []):
+            for n, entry in enumerate(doc.get("entries", [])):
+                for field in ("rule", "file", "subject"):
+                    if not entry.get(field):
+                        raise BaselineError(
+                            f"{path}: entry #{n + 1} is missing '{field}'")
                 key = (entry["rule"], entry["file"], entry["subject"])
-                self.entries[key] = entry.get("reason", "")
+                reason = entry.get("reason", "")
+                if not isinstance(reason, str) or not reason.strip():
+                    raise BaselineError(
+                        f"{path}: entry #{n + 1} ({entry['subject']}) has"
+                        " no reason; every waiver must say why it is safe")
+                self.entries[key] = reason
 
     def match(self, finding):
         key = (finding.rule, finding.file, finding.subject)
@@ -106,12 +125,14 @@ class Baseline:
             return True
         return False
 
-    def unused(self, rules):
+    def unused(self, rules, files=None):
         """Entries that matched nothing, restricted to rules that
         actually ran (a legacy-only run says nothing about structural
-        entries)."""
+        entries) and, when `files` is given, to files that were actually
+        scanned (an incremental run says nothing about the rest)."""
         return sorted(k for k in set(self.entries) - self.used
-                      if k[0] in rules)
+                      if k[0] in rules
+                      and (files is None or k[1] in files))
 
 
 def gather(paths, compile_commands=None, excludes=()):
@@ -200,7 +221,8 @@ def run(sources, rules, path_filter, baseline):
 
 
 def write_json_report(path, findings, suppressed, errors, rules,
-                      files_scanned, baseline, duration_s):
+                      files_scanned, baseline, duration_s,
+                      scanned_names=None):
     doc = {
         "tool": "gmstatic",
         "schema_version": SCHEMA_VERSION,
@@ -214,7 +236,8 @@ def write_json_report(path, findings, suppressed, errors, rules,
             "path": baseline.path.as_posix()
             if baseline and baseline.path else None,
             "used": len(baseline.used) if baseline else 0,
-            "unused": [list(k) for k in baseline.unused(rules)]
+            "unused": [list(k)
+                       for k in baseline.unused(rules, scanned_names)]
             if baseline else [],
         },
     }
@@ -238,6 +261,21 @@ def main(argv=None, prog="gmstatic"):
                              " (fixture tests)")
     parser.add_argument("--json", metavar="FILE",
                         help="also write a machine-readable report")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text",
+                        help="stdout format: human text (default) or a"
+                             " SARIF 2.1.0 document")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="also write a SARIF 2.1.0 report")
+    parser.add_argument("--changed-only", nargs="?", const="HEAD",
+                        default=None, metavar="REF",
+                        help="scan only files changed vs REF (default"
+                             " HEAD) plus their reverse/forward include"
+                             " closure")
+    parser.add_argument("--changed-files", metavar="CSV",
+                        help="explicit comma-separated changed list"
+                             " (implies --changed-only semantics without"
+                             " invoking git; tests and editors)")
     parser.add_argument("--baseline", metavar="FILE",
                         default=str(_DEFAULT_BASELINE),
                         help="baseline file of waived findings"
@@ -279,11 +317,32 @@ def main(argv=None, prog="gmstatic"):
 
     baseline = None
     if args.baseline and args.baseline != "none":
-        baseline = Baseline(pathlib.Path(args.baseline))
+        try:
+            baseline = Baseline(pathlib.Path(args.baseline))
+        except BaselineError as err:
+            print(f"{prog}: {err}", file=sys.stderr)
+            return 2
 
     start = time.monotonic()
     files = gather(paths, args.compile_commands, args.exclude)
+    incremental = args.changed_only is not None or args.changed_files
+    scanned_names = None
+    if incremental:
+        if args.changed_files:
+            changed_names = [c.strip()
+                             for c in args.changed_files.split(",")
+                             if c.strip()]
+        else:
+            try:
+                changed_names = changed.git_changed_files(
+                    args.changed_only, _REPO_ROOT)
+            except RuntimeError as err:
+                print(f"{prog}: {err}", file=sys.stderr)
+                return 2
+        files = changed.select(files, changed_names)
     sources = parse_files(files)
+    if incremental:
+        scanned_names = {s.display for s in sources}
     findings, suppressed, errors = run(
         sources, rules, path_filter=not args.no_path_filter,
         baseline=baseline)
@@ -291,15 +350,21 @@ def main(argv=None, prog="gmstatic"):
 
     for err in errors:
         print(f"{prog}: lex error: {err}", file=sys.stderr)
-    for finding in findings:
-        print(finding.human())
+    if args.format == "sarif":
+        sarif.write_sarif(sys.stdout, findings, rules, errors)
+    else:
+        for finding in findings:
+            print(finding.human())
     if baseline is not None:
-        for rule, file, subject in baseline.unused(rules):
+        for rule, file, subject in baseline.unused(rules, scanned_names):
             print(f"{prog}: warning: unused baseline entry"
                   f" ({rule}, {file}, {subject})", file=sys.stderr)
     if args.json:
         write_json_report(args.json, findings, suppressed, errors, rules,
-                          len(sources), baseline, duration)
+                          len(sources), baseline, duration, scanned_names)
+    if args.sarif:
+        with open(args.sarif, "w") as f:
+            sarif.write_sarif(f, findings, rules, errors)
     live = [f for f in findings if not f.baselined]
     if live:
         print(f"{prog}: {len(live)} finding(s)", file=sys.stderr)

@@ -92,6 +92,10 @@ def _splice(text):
     line, col = 1, 1
     i = 0
     n = len(text)
+    # A UTF-8 BOM decodes to U+FEFF; it is invisible in editors, so the
+    # token stream drops it and the first real token keeps column 1.
+    if text.startswith("\ufeff"):
+        i = 1
     while i < n:
         ch = text[i]
         if ch == "\\" and i + 1 < n and text[i + 1] in "\r\n":

@@ -1,13 +1,13 @@
-"""The four structural rules only a real parser can support.
+"""Structural rules only a real parser can support.
 
-  lock-order          Static verification of gm::MutexLock acquisition
-                      sequences against the lock-rank DAG declared in
-                      src/common/concurrency.* — every acquisition while
-                      locks are held must strictly increase in rank, and
-                      the intra-project call graph is expanded one level
-                      so `Tick()` calling `history_.Record()` is checked
-                      through the member's class. Inversions that would
-                      abort at runtime become lint-time errors.
+  lock-order          The acquisition matcher and receiver→MutexDecl
+                      resolution live here; the rule itself moved to
+                      rules_flow.rule_lock_order, which checks every
+                      acquisition (direct, or transitive through the
+                      call graph to arbitrary depth) against the
+                      lock-rank DAG declared in src/common/concurrency.*
+                      while locks are held. The rank-table consistency
+                      check (rule_lock_rank_table) stays here.
 
   guarded-field       Every mutable (non-const) member of a class that
                       owns a gm::Mutex must carry GM_GUARDED_BY /
@@ -120,7 +120,9 @@ def _resolve_mutex(project, fn, receiver_tokens, local_types):
         return None
     if len(texts) == 1:
         var = texts[0]
-        for key in ((fn.class_name, var), (fn.qualified, var), (None, var)):
+        # Function-local declarations shadow member and global mutexes,
+        # exactly as the name would resolve in C++.
+        for key in ((fn.qualified, var), (fn.class_name, var), (None, var)):
             decl = project.mutexes.get(key)
             if decl is not None:
                 return decl
@@ -135,31 +137,6 @@ def _resolve_mutex(project, fn, receiver_tokens, local_types):
             return None
         return project.mutexes.get((base_type, member))
     return None
-
-
-def _function_summary(project, source, fn, local_types_cache):
-    """Direct, resolvable acquisitions of `fn` (for one-level call
-    expansion). Returns a list of MutexDecl."""
-    if fn.body_end is None:
-        return []
-    tokens = source.tokens
-    local_types = local_types_cache.get(fn)
-    if local_types is None:
-        local_types = _local_decl_types(tokens, fn.body_start + 1,
-                                        fn.body_end - 1)
-        local_types_cache[fn] = local_types
-    out = []
-    i = fn.body_start + 1
-    while i < fn.body_end:
-        hit = _match_acquisition(project, source, fn, i, 0, local_types)
-        if hit is not None:
-            acq, nxt = hit
-            if acq.decl is not None and acq.manual != "release":
-                out.append(acq.decl)
-            i = nxt
-            continue
-        i += 1
-    return out
 
 
 def _match_acquisition(project, source, fn, i, depth, local_types):
@@ -203,168 +180,6 @@ def _match_acquisition(project, source, fn, i, depth, local_types):
                            "".join(x.text for x in recv))
         return acq, i + 2
     return None
-
-
-def _is_lambda_open(tokens, i):
-    """tokens[i] is '{': does it open a lambda body?"""
-    j = i - 1
-    while j >= 0 and tokens[j].text in ("mutable", "noexcept", "constexpr"):
-        j -= 1
-    if j >= 0 and tokens[j].text == "]":
-        return True
-    if j >= 0 and tokens[j].text == ")":
-        depth = 0
-        while j >= 0:
-            if tokens[j].text == ")":
-                depth += 1
-            elif tokens[j].text == "(":
-                depth -= 1
-                if depth == 0:
-                    return j >= 1 and tokens[j - 1].text == "]"
-            j -= 1
-    return False
-
-
-def rule_lock_order(ctx, source, report):
-    if ctx.path_filter and LOCK_ORDER_EXEMPT.search(source.display):
-        return
-    project = ctx.project
-    if not project.ranks:
-        return
-    tokens = source.tokens
-    local_types_cache = ctx.shared.setdefault("lock_order_locals", {})
-    summaries = ctx.shared.setdefault("lock_order_summaries", {})
-
-    def summary_of(callee_fn, callee_source):
-        cached = summaries.get(callee_fn)
-        if cached is None:
-            cached = _function_summary(project, callee_source, callee_fn,
-                                       local_types_cache)
-            summaries[callee_fn] = cached
-        return cached
-
-    # Index functions by source for callee summary computation.
-    fn_source = ctx.shared.setdefault("lock_order_fn_source", {})
-    if not fn_source:
-        for f in project.files:
-            for fn in f.functions:
-                fn_source[fn] = f
-
-    for fn in source.functions:
-        if fn.body_end is None:
-            continue
-        local_types = local_types_cache.get(fn)
-        if local_types is None:
-            local_types = _local_decl_types(tokens, fn.body_start + 1,
-                                            fn.body_end - 1)
-            local_types_cache[fn] = local_types
-        held = []          # list of (_Acquisition, rank_value)
-        lambda_stack = []  # saved held lists at lambda boundaries
-        depth = 0
-        i = fn.body_start + 1
-        while i < fn.body_end:
-            t = tokens[i]
-            text = t.text
-            if text == "{":
-                if _is_lambda_open(tokens, i):
-                    lambda_stack.append((depth, held))
-                    held = []
-                depth += 1
-                i += 1
-                continue
-            if text == "}":
-                depth -= 1
-                # A scoped MutexLock dies with the block it was declared
-                # in; manual .Lock() survives until .Unlock().
-                held = [h for h in held
-                        if h[0].manual is True or h[0].depth <= depth]
-                if lambda_stack and lambda_stack[-1][0] == depth:
-                    _, held = lambda_stack.pop()
-                i += 1
-                continue
-            hit = _match_acquisition(project, source, fn, i, depth,
-                                     local_types)
-            if hit is not None:
-                acq, nxt = hit
-                if acq.manual == "release":
-                    held = [h for h in held
-                            if not (h[0].manual is True
-                                    and h[0].receiver == acq.receiver)]
-                elif acq.decl is not None:
-                    rank = project.rank_of(acq.decl.rank_const)
-                    if rank is not None:
-                        _check_acquire(ctx, report, fn, t, acq.decl, rank,
-                                       held, via=None)
-                        held.append((acq, rank))
-                i = nxt
-                continue
-            # One-level call expansion: ident '(' resolving to a known
-            # project function whose summary acquires locks.
-            if held and t.kind == IDENT and t.text not in KEYWORDS \
-                    and i + 1 < fn.body_end \
-                    and tokens[i + 1].text == "(" \
-                    and t.text not in ("MutexLock", "Lock", "Unlock"):
-                callee = _resolve_callee(project, fn, tokens, i, local_types)
-                if callee is not None:
-                    callee_fn, label = callee
-                    csrc = fn_source.get(callee_fn)
-                    if csrc is not None and callee_fn is not fn:
-                        for decl in summary_of(callee_fn, csrc):
-                            rank = project.rank_of(decl.rank_const)
-                            if rank is not None:
-                                _check_acquire(ctx, report, fn, t, decl,
-                                               rank, held, via=label)
-            i += 1
-
-
-def _resolve_callee(project, fn, tokens, i, local_types):
-    """Resolve `tokens[i](` to a project FunctionInfo; returns
-    (FunctionInfo, display_label) or None."""
-    name = tokens[i].text
-    if i >= 2 and tokens[i - 1].text in (".", "->"):
-        base = tokens[i - 2]
-        if base.kind != IDENT:
-            return None
-        base_type = local_types.get(base.text)
-        if base_type is None and fn.class_name:
-            base_type = project.field_type(fn.class_name, base.text)
-        if base_type is None:
-            return None
-        callee = project.resolve_method(base_type, name)
-        if callee is not None:
-            return callee, f"{base.text}.{name}()"
-        return None
-    if i >= 2 and tokens[i - 1].text == "::":
-        cls = tokens[i - 2].text
-        callee = project.resolve_method(cls, name)
-        if callee is not None:
-            return callee, f"{cls}::{name}()"
-        return None
-    if fn.class_name:
-        callee = project.resolve_method(fn.class_name, name)
-        if callee is not None:
-            return callee, f"{name}()"
-    callee = project.free_functions.get(name)
-    if callee is not None:
-        return callee, f"{name}()"
-    return None
-
-
-def _check_acquire(ctx, report, fn, token, decl, rank, held, via):
-    for held_acq, held_rank in held:
-        if held_rank >= rank:
-            path = f" (via call to {via})" if via else ""
-            report(token,
-                   subject=f"{fn.qualified}:{held_acq.decl.label}"
-                           f"->{decl.label}",
-                   message=f"lock-order inversion in {fn.qualified}{path}:"
-                           f" acquiring '{decl.label}'"
-                           f" ({decl.rank_const}={rank}) while holding"
-                           f" '{held_acq.decl.label}'"
-                           f" ({held_acq.decl.rank_const}={held_rank});"
-                           " ranks must strictly increase along every"
-                           " acquisition path")
-            return
 
 
 def rule_lock_rank_table(ctx, source, report):

@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 writer for gmstatic findings.
+
+Emits the subset of the OASIS SARIF 2.1.0 schema that code-scanning
+UIs (GitHub, VS Code SARIF viewer) consume: one run, a tool.driver
+with a rule table, one result per finding with a physical location,
+and a stable partialFingerprint (the finding subject) so re-runs
+match up results across line-number drift. Baselined findings are
+emitted as suppressed results rather than dropped — the viewer shows
+them greyed out instead of pretending they do not exist.
+"""
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+# One-line rule descriptions for the tool.driver.rules table.
+RULE_DESCRIPTIONS = {
+    "nondeterminism": "Wall clocks, unseeded RNGs and other"
+                      " nondeterminism sources are banned in the"
+                      " simulation core.",
+    "unordered-iteration": "Iterating an unordered container where the"
+                           " visit order reaches output or money.",
+    "float-money-eq": "Floating-point equality on money values;"
+                      " compare in integer micros instead.",
+    "raw-threading": "Raw std::thread / std::mutex use outside the"
+                     " concurrency layer.",
+    "include-layering": "An include edge that violates the layer"
+                        " diagram in DESIGN.md.",
+    "hotpath-map-iteration": "Per-tick map iteration on a hot path.",
+    "lock-order": "Mutex acquisition order must follow the global rank"
+                  " table, including locks taken by callees at any"
+                  " depth.",
+    "guarded-field": "A field documented as guarded by a mutex is"
+                     " accessed without that mutex held.",
+    "hotpath-allocation": "Heap allocation inside a per-tick hot path.",
+    "dropped-status": "A Status/Result local is bound and never read.",
+    "status-propagation": "A fallible callee's Status/Result must be"
+                          " checked, returned, or (void)-cast with a"
+                          " justifying comment on every path.",
+    "money-conservation": "A money hold opened through a bank surface"
+                          " must reach a credit, refund, or"
+                          " hold-release on every control-flow"
+                          " outcome.",
+}
+
+
+def sarif_report(findings, rules, errors):
+    """Build the SARIF document (as a plain dict) for one run."""
+    rule_ids = sorted(rules)
+    rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "note" if f.baselined else "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.file,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(1, f.line),
+                               "startColumn": max(1, f.col)},
+                },
+            }],
+            "partialFingerprints": {"gmstatic/subject/v1": f.subject},
+        }
+        if f.baselined:
+            result["suppressions"] = [{
+                "kind": "external",
+                "justification": "waived in scripts/gmstatic/baseline.json",
+            }]
+        results.append(result)
+    notifications = [{
+        "level": "error",
+        "message": {"text": err},
+        "descriptor": {"id": "lex-error"},
+    } for err in errors]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "gmstatic",
+                "informationUri":
+                    "https://example.invalid/gridmarket/gmstatic",
+                "rules": [{
+                    "id": rule,
+                    "shortDescription": {
+                        "text": RULE_DESCRIPTIONS.get(rule, rule)},
+                } for rule in rule_ids],
+            }},
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root (paths are repo-relative)"}},
+            },
+            "columnKind": "utf16CodeUnits",
+            "invocations": [{
+                "executionSuccessful": True,
+                "toolExecutionNotifications": notifications,
+            }],
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(stream, findings, rules, errors):
+    json.dump(sarif_report(findings, rules, errors), stream, indent=2)
+    stream.write("\n")

@@ -73,17 +73,21 @@ Status Bank::Checkpoint() {
 
 void Bank::AttachTelemetry(telemetry::Telemetry* telemetry) {
   if (telemetry == nullptr) {
-    creates_ctr_ = nullptr;
-    mints_ctr_ = nullptr;
-    transfers_ctr_ = nullptr;
-    transfer_amount_ = nullptr;
+    creates_ctr_.store(nullptr, std::memory_order_relaxed);
+    mints_ctr_.store(nullptr, std::memory_order_relaxed);
+    transfers_ctr_.store(nullptr, std::memory_order_relaxed);
+    transfer_amount_.store(nullptr, std::memory_order_relaxed);
     return;
   }
-  creates_ctr_ = telemetry->metrics().GetCounter("bank.account_creates");
-  mints_ctr_ = telemetry->metrics().GetCounter("bank.mints");
-  transfers_ctr_ = telemetry->metrics().GetCounter("bank.transfers");
-  transfer_amount_ =
-      telemetry->metrics().GetSummary("bank.transfer_amount_dollars");
+  creates_ctr_.store(telemetry->metrics().GetCounter("bank.account_creates"),
+                     std::memory_order_relaxed);
+  mints_ctr_.store(telemetry->metrics().GetCounter("bank.mints"),
+                   std::memory_order_relaxed);
+  transfers_ctr_.store(telemetry->metrics().GetCounter("bank.transfers"),
+                       std::memory_order_relaxed);
+  transfer_amount_.store(
+      telemetry->metrics().GetSummary("bank.transfer_amount_dollars"),
+      std::memory_order_relaxed);
 }
 
 Status Bank::CreateAccount(const std::string& id,
@@ -104,7 +108,7 @@ Status Bank::CreateAccount(const std::string& id,
   account.owner_key = owner_key;
   accounts_.emplace(id, std::move(account));
   audit_.push_back({0, "create", "", id, Money::Zero()});
-  if (creates_ctr_ != nullptr) creates_ctr_->Inc();
+  if (auto* ctr = creates_ctr_.load(std::memory_order_relaxed)) ctr->Inc();
   return Checkpoint();
 }
 
@@ -128,7 +132,7 @@ Status Bank::CreateSubAccount(const std::string& parent,
   account.parent = parent;
   accounts_.emplace(sub_id, std::move(account));
   audit_.push_back({0, "sub_create", parent, sub_id, Money::Zero()});
-  if (creates_ctr_ != nullptr) creates_ctr_->Inc();
+  if (auto* ctr = creates_ctr_.load(std::memory_order_relaxed)) ctr->Inc();
   return Checkpoint();
 }
 
@@ -148,7 +152,7 @@ Status Bank::Mint(const std::string& id, Money amount, std::int64_t now_us) {
   account->balance += amount;
   total_minted_ += amount;
   audit_.push_back({now_us, "mint", "", id, amount});
-  if (mints_ctr_ != nullptr) mints_ctr_->Inc();
+  if (auto* ctr = mints_ctr_.load(std::memory_order_relaxed)) ctr->Inc();
   return Checkpoint();
 }
 
@@ -199,9 +203,10 @@ Result<crypto::TransferReceipt> Bank::ExecuteTransfer(const std::string& from,
   ++next_receipt_;
   issued_receipts_.emplace(receipt.receipt_id, receipt);
   audit_.push_back({now_us, "transfer", from, to, amount});
-  if (transfers_ctr_ != nullptr) transfers_ctr_->Inc();
-  if (transfer_amount_ != nullptr)
-    transfer_amount_->Observe(amount.dollars());
+  if (auto* ctr = transfers_ctr_.load(std::memory_order_relaxed))
+    ctr->Inc();
+  if (auto* amounts = transfer_amount_.load(std::memory_order_relaxed))
+    amounts->Observe(amount.dollars());
   GM_RETURN_IF_ERROR(Checkpoint());
   return receipt;
 }

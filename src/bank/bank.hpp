@@ -27,6 +27,7 @@
 // recovery path on a shared bank.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -180,12 +181,12 @@ class Bank : public store::Recoverable {
   std::uint64_t next_receipt_ GM_GUARDED_BY(mu_) = 1;
   store::DurableStore* store_ GM_GUARDED_BY(mu_) = nullptr;  // non-owning
   bool crashed_ GM_GUARDED_BY(mu_) = false;
-  // Metric pointers follow the attach-once convention: written before any
-  // concurrent use, then only read (counters are atomic).
-  telemetry::Counter* creates_ctr_ = nullptr;
-  telemetry::Counter* mints_ctr_ = nullptr;
-  telemetry::Counter* transfers_ctr_ = nullptr;
-  telemetry::Summary* transfer_amount_ = nullptr;
+  // Attach-once metric pointers; relaxed atomics make the handoff
+  // race-free without a lock (counters are internally atomic too).
+  std::atomic<telemetry::Counter*> creates_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> mints_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> transfers_ctr_{nullptr};
+  std::atomic<telemetry::Summary*> transfer_amount_{nullptr};
 };
 
 }  // namespace gm::bank

@@ -29,15 +29,17 @@ Reconciler::Reconciler(const FederationRouter* router,
       keys_(crypto::KeyPair::Generate(group, rng_)) {}
 
 void Reconciler::AttachTelemetry(telemetry::Telemetry* telemetry) {
-  telemetry_ = telemetry;
+  telemetry_.store(telemetry, std::memory_order_relaxed);
   if (telemetry == nullptr) {
-    sweeps_ctr_ = nullptr;
-    conserved_gauge_ = nullptr;
+    sweeps_ctr_.store(nullptr, std::memory_order_relaxed);
+    conserved_gauge_.store(nullptr, std::memory_order_relaxed);
     return;
   }
-  sweeps_ctr_ = telemetry->metrics().GetCounter("fed.reconcile.sweeps");
-  conserved_gauge_ =
-      telemetry->metrics().GetGauge("fed.reconcile.conserved");
+  sweeps_ctr_.store(telemetry->metrics().GetCounter("fed.reconcile.sweeps"),
+                    std::memory_order_relaxed);
+  conserved_gauge_.store(
+      telemetry->metrics().GetGauge("fed.reconcile.conserved"),
+      std::memory_order_relaxed);
 }
 
 ReconciliationReport Reconciler::Sweep(std::int64_t now_us) {
@@ -112,11 +114,11 @@ ReconciliationReport Reconciler::Sweep(std::int64_t now_us) {
   has_report_ = true;
   last_report_ = report;
 
-  if (sweeps_ctr_ != nullptr) sweeps_ctr_->Inc();
-  if (conserved_gauge_ != nullptr)
-    conserved_gauge_->Set(report.conserved ? 1.0 : 0.0);
-  if (telemetry_ != nullptr)
-    telemetry_->tracer().Instant(
+  if (auto* ctr = sweeps_ctr_.load(std::memory_order_relaxed)) ctr->Inc();
+  if (auto* gauge = conserved_gauge_.load(std::memory_order_relaxed))
+    gauge->Set(report.conserved ? 1.0 : 0.0);
+  if (auto* telemetry = telemetry_.load(std::memory_order_relaxed))
+    telemetry->tracer().Instant(
         0, "reconcile",
         StrFormat("sweep=%llu conserved=%d live=%llu/%llu",
                   static_cast<unsigned long long>(report.sweep_seq),

@@ -24,6 +24,7 @@
 // hold its own mutex while reading both.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -96,9 +97,11 @@ class Reconciler {
   std::uint64_t next_sweep_seq_ GM_GUARDED_BY(mu_) = 1;
   bool has_report_ GM_GUARDED_BY(mu_) = false;
   ReconciliationReport last_report_ GM_GUARDED_BY(mu_);
-  telemetry::Telemetry* telemetry_ = nullptr;  // attach-once
-  telemetry::Counter* sweeps_ctr_ = nullptr;
-  telemetry::Gauge* conserved_gauge_ = nullptr;
+  // Attach-once telemetry pointers; relaxed atomics make the handoff
+  // race-free without taking mu_ on the sweep path.
+  std::atomic<telemetry::Telemetry*> telemetry_{nullptr};
+  std::atomic<telemetry::Counter*> sweeps_ctr_{nullptr};
+  std::atomic<telemetry::Gauge*> conserved_gauge_{nullptr};
 };
 
 }  // namespace gm::bank::federation

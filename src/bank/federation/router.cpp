@@ -26,15 +26,19 @@ FederationRouter::FederationRouter(std::vector<BankShard*> shards,
 
 void FederationRouter::AttachTelemetry(telemetry::Telemetry* telemetry) {
   if (telemetry == nullptr) {
-    settlements_ctr_ = nullptr;
-    aborts_ctr_ = nullptr;
-    settle_latency_ = nullptr;
+    settlements_ctr_.store(nullptr, std::memory_order_relaxed);
+    aborts_ctr_.store(nullptr, std::memory_order_relaxed);
+    settle_latency_.store(nullptr, std::memory_order_relaxed);
     return;
   }
-  settlements_ctr_ = telemetry->metrics().GetCounter("fed.router.settlements");
-  aborts_ctr_ = telemetry->metrics().GetCounter("fed.router.aborts");
-  settle_latency_ =
-      telemetry->metrics().GetHistogram("fed.settle_latency_ns");
+  settlements_ctr_.store(
+      telemetry->metrics().GetCounter("fed.router.settlements"),
+      std::memory_order_relaxed);
+  aborts_ctr_.store(telemetry->metrics().GetCounter("fed.router.aborts"),
+                    std::memory_order_relaxed);
+  settle_latency_.store(
+      telemetry->metrics().GetHistogram("fed.settle_latency_ns"),
+      std::memory_order_relaxed);
 }
 
 Status FederationRouter::CreateAccount(const std::string& id,
@@ -86,7 +90,8 @@ Status FederationRouter::CompleteSettlement(BankShard* debtor,
         gm::MutexLock lock(&mu_);
         ++stats_.settlements_aborted;
       }
-      if (aborts_ctr_ != nullptr) aborts_ctr_->Inc();
+      if (auto* ctr = aborts_ctr_.load(std::memory_order_relaxed))
+        ctr->Inc();
       return credit.status();
     }
     return credit.status();
@@ -103,7 +108,8 @@ Status FederationRouter::CompleteSettlement(BankShard* debtor,
       ++stats_.settlements_completed;
     }
   }
-  if (settlements_ctr_ != nullptr) settlements_ctr_->Inc();
+  if (auto* ctr = settlements_ctr_.load(std::memory_order_relaxed))
+    ctr->Inc();
   return Status::Ok();
 }
 
@@ -140,11 +146,12 @@ Status FederationRouter::Transfer(const std::string& from,
   hold.prepared_at_us = now_us;
   const Status status =
       CompleteSettlement(debtor, hold, now_us, /*resumed=*/false);
-  if (status.ok() && settle_latency_ != nullptr) {
+  auto* latency = settle_latency_.load(std::memory_order_relaxed);
+  if (status.ok() && latency != nullptr) {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - wall_start)
                         .count();
-    settle_latency_->Record(static_cast<std::uint64_t>(ns));
+    latency->Record(static_cast<std::uint64_t>(ns));
   }
   return status;
 }
@@ -230,7 +237,8 @@ std::vector<Status> FederationRouter::TransferBatch(
             gm::MutexLock lock(&mu_);
             ++stats_.settlements_aborted;
           }
-          if (aborts_ctr_ != nullptr) aborts_ctr_->Inc();
+          if (auto* ctr = aborts_ctr_.load(std::memory_order_relaxed))
+            ctr->Inc();
         }
         continue;
       }
@@ -257,15 +265,16 @@ std::vector<Status> FederationRouter::TransferBatch(
         gm::MutexLock lock(&mu_);
         stats_.settlements_completed += completed;
       }
-      if (settlements_ctr_ != nullptr) settlements_ctr_->Inc(completed);
-      if (settle_latency_ != nullptr) {
+      if (auto* ctr = settlements_ctr_.load(std::memory_order_relaxed))
+        ctr->Inc(completed);
+      if (auto* lat = settle_latency_.load(std::memory_order_relaxed)) {
         // One wall-clock sample per settled transfer; the group shares
         // the elapsed time since its phases were batched together.
         const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
         for (std::uint64_t n = 0; n < completed; ++n)
-          settle_latency_->Record(static_cast<std::uint64_t>(ns));
+          lat->Record(static_cast<std::uint64_t>(ns));
       }
     }
   }

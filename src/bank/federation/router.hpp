@@ -32,6 +32,7 @@
 // atomic with its credit, but shard-local traffic never touches it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -151,10 +152,11 @@ class FederationRouter {
                         gm::lockrank::kBankRouter};
   crypto::TokenRegistry* const registry_ GM_PT_GUARDED_BY(mu_);
   RouterStats stats_ GM_GUARDED_BY(mu_);
-  // Attach-once metric pointers (see BankShard).
-  telemetry::Counter* settlements_ctr_ = nullptr;
-  telemetry::Counter* aborts_ctr_ = nullptr;
-  telemetry::LatencyHistogram* settle_latency_ = nullptr;
+  // Attach-once metric pointers (see BankShard); relaxed atomics make
+  // the handoff race-free without a lock.
+  std::atomic<telemetry::Counter*> settlements_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> aborts_ctr_{nullptr};
+  std::atomic<telemetry::LatencyHistogram*> settle_latency_{nullptr};
 };
 
 }  // namespace gm::bank::federation

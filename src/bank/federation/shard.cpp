@@ -62,17 +62,21 @@ Status BankShard::Checkpoint() {
 
 void BankShard::AttachTelemetry(telemetry::Telemetry* telemetry) {
   if (telemetry == nullptr) {
-    transfers_ctr_ = nullptr;
-    prepares_ctr_ = nullptr;
-    credits_ctr_ = nullptr;
-    aborts_ctr_ = nullptr;
+    transfers_ctr_.store(nullptr, std::memory_order_relaxed);
+    prepares_ctr_.store(nullptr, std::memory_order_relaxed);
+    credits_ctr_.store(nullptr, std::memory_order_relaxed);
+    aborts_ctr_.store(nullptr, std::memory_order_relaxed);
     return;
   }
   const std::string prefix = "fed.shard" + std::to_string(index_) + ".";
-  transfers_ctr_ = telemetry->metrics().GetCounter(prefix + "transfers");
-  prepares_ctr_ = telemetry->metrics().GetCounter(prefix + "prepares");
-  credits_ctr_ = telemetry->metrics().GetCounter(prefix + "credits");
-  aborts_ctr_ = telemetry->metrics().GetCounter(prefix + "aborts");
+  transfers_ctr_.store(telemetry->metrics().GetCounter(prefix + "transfers"),
+                       std::memory_order_relaxed);
+  prepares_ctr_.store(telemetry->metrics().GetCounter(prefix + "prepares"),
+                      std::memory_order_relaxed);
+  credits_ctr_.store(telemetry->metrics().GetCounter(prefix + "credits"),
+                     std::memory_order_relaxed);
+  aborts_ctr_.store(telemetry->metrics().GetCounter(prefix + "aborts"),
+                    std::memory_order_relaxed);
 }
 
 Status BankShard::CreateAccount(const std::string& id,
@@ -140,7 +144,8 @@ Status BankShard::Transfer(const std::string& from, const std::string& to,
   GM_RETURN_IF_ERROR(Journal(record));
   src->balance -= amount;
   dst->balance += amount;
-  if (transfers_ctr_ != nullptr) transfers_ctr_->Inc();
+  if (auto* ctr = transfers_ctr_.load(std::memory_order_relaxed))
+    ctr->Inc();
   return Checkpoint();
 }
 
@@ -205,7 +210,8 @@ Result<std::string> BankShard::PrepareDebitLocked(const std::string& from,
   hold.prepared_at_us = now_us;
   holds_.emplace(settlement_id, std::move(hold));
   ++next_settlement_seq_;
-  if (prepares_ctr_ != nullptr) prepares_ctr_->Inc();
+  if (auto* ctr = prepares_ctr_.load(std::memory_order_relaxed))
+    ctr->Inc();
   GM_RETURN_IF_ERROR(Checkpoint());
   return settlement_id;
 }
@@ -237,7 +243,8 @@ Result<bool> BankShard::ApplyCreditLocked(const std::string& settlement_id,
   dst->balance += amount;
   settled_in_ += amount;
   applied_.emplace(settlement_id, amount);
-  if (credits_ctr_ != nullptr) credits_ctr_->Inc();
+  if (auto* ctr = credits_ctr_.load(std::memory_order_relaxed))
+    ctr->Inc();
   GM_RETURN_IF_ERROR(Checkpoint());
   return true;
 }
@@ -313,7 +320,8 @@ Status BankShard::AbortHold(const std::string& settlement_id,
   GM_RETURN_IF_ERROR(Journal(record));
   src->balance += it->second.amount;
   holds_.erase(it);
-  if (aborts_ctr_ != nullptr) aborts_ctr_->Inc();
+  if (auto* ctr = aborts_ctr_.load(std::memory_order_relaxed))
+    ctr->Inc();
   return Checkpoint();
 }
 

@@ -38,6 +38,7 @@
 // already holds its own lock (same pattern as bank::Bank).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -219,12 +220,12 @@ class BankShard : public store::Recoverable {
   std::uint64_t next_settlement_seq_ GM_GUARDED_BY(mu_) = 1;
   store::DurableStore* store_ GM_GUARDED_BY(mu_) = nullptr;  // non-owning
   bool crashed_ GM_GUARDED_BY(mu_) = false;
-  // Metric pointers follow the attach-once convention: written before any
-  // concurrent use, then only read (counters are atomic).
-  telemetry::Counter* transfers_ctr_ = nullptr;
-  telemetry::Counter* prepares_ctr_ = nullptr;
-  telemetry::Counter* credits_ctr_ = nullptr;
-  telemetry::Counter* aborts_ctr_ = nullptr;
+  // Attach-once metric pointers; relaxed atomics make the handoff
+  // race-free without a lock (counters are internally atomic too).
+  std::atomic<telemetry::Counter*> transfers_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> prepares_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> credits_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> aborts_ctr_{nullptr};
 };
 
 }  // namespace gm::bank::federation

@@ -103,6 +103,8 @@ GridMarket::GridMarket(Config config)
     // settlements the last process left mid-protocol.
     for (const auto& shard : bank_shards_) {
       for (const std::string& sid : shard->AppliedSettlementIds())
+        // Already-claimed is the expected outcome on replay; only the
+        // registration side effect matters here.
         (void)settlement_registry_.Claim(sid);
     }
     GM_ASSERT(federation_->ResumeSettlements(kernel_.now()).ok(),

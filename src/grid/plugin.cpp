@@ -432,14 +432,7 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
       GM_LOG_WARN << "job " << record.id << ": VM on " << host.host_id
                   << " failed: " << vm.status().ToString();
       // Undo the funding so no money is stranded on a host we cannot use.
-      const auto refund = auctioneer->CloseAccount(record.account);
-      if (refund.ok() && refund->is_positive()) {
-        GM_RETURN_IF_ERROR(bank_.InternalTransfer(binding.bank_account,
-                                                  record.account, *refund,
-                                                  kernel_.now())
-                               .status());
-        distributed -= *refund;
-      }
+      GM_RETURN_IF_ERROR(ReclaimHost(record, binding, distributed));
       continue;
     }
     binding.vm_id = (*vm)->id();
@@ -450,15 +443,27 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
         installed[env] = true;
         continue;
       }
-      GM_ASSIGN_OR_RETURN(const sim::SimDuration install_time,
-                          catalog_.InstallTime(env, installed));
-      (*vm)->ExtendProvisioning(install_time);
+      const Result<sim::SimDuration> install_time =
+          catalog_.InstallTime(env, installed);
+      if (!install_time.ok()) {
+        // The binding is not in job.hosts yet, so teardown would never
+        // settle its escrow — reclaim before surfacing the failure.
+        GM_RETURN_IF_ERROR(ReclaimHost(record, binding, distributed));
+        return install_time.status();
+      }
+      (*vm)->ExtendProvisioning(*install_time);
       (*vm)->MarkRuntimeInstalled(env);
     }
     // Bid: a spend rate held until the deadline (the auctioneer quantizes
     // it to whole micro-dollars per second, its ledger grid).
-    GM_RETURN_IF_ERROR(auctioneer->SetBid(record.account, bid,
-                                          record.deadline));
+    const Status bid_set =
+        auctioneer->SetBid(record.account, bid, record.deadline);
+    if (!bid_set.ok()) {
+      // Same stranding hazard as a failed install: nothing references
+      // this funded account yet.
+      GM_RETURN_IF_ERROR(ReclaimHost(record, binding, distributed));
+      return bid_set;
+    }
     record.hosts_used.push_back(host.host_id);
     job.hosts.push_back(std::move(binding));
   }
@@ -474,6 +479,9 @@ Status TycoonSchedulerPlugin::Schedule(ActiveJob& job) {
   return Status::Ok();
 }
 
+// Escrow moves into the host's market account; it is settled by
+// CloseAccount at job completion or reclaimed on caller failure paths.
+// gmlint: money-sink(hold outlives the call; settled at job teardown)
 Status TycoonSchedulerPlugin::FundHost(ActiveJob& job, HostBinding& binding,
                                        Money amount) {
   JobRecord& record = job.record;
@@ -489,6 +497,22 @@ Status TycoonSchedulerPlugin::FundHost(ActiveJob& job, HostBinding& binding,
   // fail a funding path.
   if (telemetry_ != nullptr && record.trace != 0)
     (void)binding.auctioneer->SetAccountTrace(record.account, record.trace);
+  return Status::Ok();
+}
+
+Status TycoonSchedulerPlugin::ReclaimHost(JobRecord& record,
+                                          HostBinding& binding,
+                                          Money& distributed) {
+  // The account may already be gone (host died between funding and the
+  // failure); a failed close means there is nothing left to reclaim.
+  const auto refund = binding.auctioneer->CloseAccount(record.account);
+  if (refund.ok() && refund->is_positive()) {
+    GM_RETURN_IF_ERROR(bank_.InternalTransfer(binding.bank_account,
+                                              record.account, *refund,
+                                              kernel_.now())
+                           .status());
+    distributed -= *refund;
+  }
   return Status::Ok();
 }
 
@@ -798,6 +822,9 @@ void TycoonSchedulerPlugin::Finalize(ActiveJob& job,
   if (on_finished_) on_finished_(record);
 }
 
+// Boost shares land in accounts already listed in job.hosts, so job
+// teardown settles them even when a re-bid fails mid-loop.
+// gmlint: money-sink(shares tracked in job.hosts; teardown settles them)
 Status TycoonSchedulerPlugin::Boost(std::uint64_t job_id, Money amount) {
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return Status::NotFound("job not found");

@@ -207,6 +207,10 @@ class TycoonSchedulerPlugin {
   void Rebid(ActiveJob& job);
   void Finalize(ActiveJob& job, JobState terminal_state);
   Status FundHost(ActiveJob& job, HostBinding& binding, Money amount);
+  /// Failure-path undo of FundHost: close the host-local market account
+  /// and mirror any refund back into the job's bank account.
+  Status ReclaimHost(JobRecord& record, HostBinding& binding,
+                     Money& distributed);
   /// Close every still-open lifecycle span of the job (no-op untraced).
   void EndOpenJobSpans(ActiveJob& job, telemetry::SpanStatus status);
   Cycles ChunkCycles(const JobDescription& description) const;

@@ -223,21 +223,27 @@ Result<const SlotTable*> Auctioneer::Distribution(
 }
 
 void Auctioneer::AttachTelemetry(telemetry::Telemetry* telemetry) {
-  telemetry_ = telemetry;
+  telemetry_.store(telemetry, std::memory_order_relaxed);
   if (telemetry == nullptr) {
-    ticks_ctr_ = nullptr;
-    tick_price_ = nullptr;
-    price_gauge_ = nullptr;
-    persistence_err_ = nullptr;
-    window_mean_err_ = nullptr;
+    ticks_ctr_.store(nullptr, std::memory_order_relaxed);
+    tick_price_.store(nullptr, std::memory_order_relaxed);
+    price_gauge_.store(nullptr, std::memory_order_relaxed);
+    persistence_err_.store(nullptr, std::memory_order_relaxed);
+    window_mean_err_.store(nullptr, std::memory_order_relaxed);
     return;
   }
   telemetry::MetricsRegistry& metrics = telemetry->metrics();
-  ticks_ctr_ = metrics.GetCounter("market.auction.ticks");
-  tick_price_ = metrics.GetSummary("market.auction.tick_price");
-  price_gauge_ = metrics.GetGauge("market." + host_.id() + ".price_per_cap");
-  persistence_err_ = metrics.GetSummary("predict.persistence.abs_err");
-  window_mean_err_ = metrics.GetSummary("predict.window_mean.abs_err");
+  ticks_ctr_.store(metrics.GetCounter("market.auction.ticks"),
+                   std::memory_order_relaxed);
+  tick_price_.store(metrics.GetSummary("market.auction.tick_price"),
+                    std::memory_order_relaxed);
+  price_gauge_.store(
+      metrics.GetGauge("market." + host_.id() + ".price_per_cap"),
+      std::memory_order_relaxed);
+  persistence_err_.store(metrics.GetSummary("predict.persistence.abs_err"),
+                         std::memory_order_relaxed);
+  window_mean_err_.store(metrics.GetSummary("predict.window_mean.abs_err"),
+                         std::memory_order_relaxed);
 }
 
 Status Auctioneer::SetAccountTrace(const std::string& user,
@@ -294,25 +300,29 @@ void Auctioneer::Tick() {
     AccountCold& cold = bids_.cold(s);
     cold.spent += cost;
     revenue_ += cost;
-    if (telemetry_ != nullptr && cold.trace != 0 && cost.is_positive()) {
-      telemetry_->tracer().Instant(cold.trace, "auction-tick",
-                                   "host=" + host_.id() + " user=" + cold.user,
-                                   now, cost.dollars());
+    auto* telemetry = telemetry_.load(std::memory_order_relaxed);
+    if (telemetry != nullptr && cold.trace != 0 && cost.is_positive()) {
+      telemetry->tracer().Instant(cold.trace, "auction-tick",
+                                  "host=" + host_.id() + " user=" + cold.user,
+                                  now, cost.dollars());
     }
   }
 
   // 4. Record the spot price for the prediction layer.
   const double price = PricePerCapacityLocked(now);
-  if (telemetry_ != nullptr) {
-    ticks_ctr_->Inc();
-    tick_price_->Observe(price);
-    price_gauge_->Set(price);
+  if (telemetry_.load(std::memory_order_relaxed) != nullptr) {
+    ticks_ctr_.load(std::memory_order_relaxed)->Inc();
+    tick_price_.load(std::memory_order_relaxed)->Observe(price);
+    price_gauge_.load(std::memory_order_relaxed)->Set(price);
     // One-step-ahead prediction error realized this tick: what the two
     // reference predictors (persistence and smoothed hour-window mean)
     // would have forecast from the history excluding this observation.
-    if (has_prev_price_) persistence_err_->Observe(std::fabs(price - prev_price_));
+    if (has_prev_price_)
+      persistence_err_.load(std::memory_order_relaxed)
+          ->Observe(std::fabs(price - prev_price_));
     if (!moments_.empty() && moments_.front().second.count() > 0)
-      window_mean_err_->Observe(std::fabs(price - moments_.front().second.mean()));
+      window_mean_err_.load(std::memory_order_relaxed)
+          ->Observe(std::fabs(price - moments_.front().second.mean()));
     has_prev_price_ = true;
     prev_price_ = price;
   }

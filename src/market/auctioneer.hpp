@@ -20,6 +20,7 @@
 // bid_table.hpp for the invariant and DESIGN.md §11 for the layout.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -175,14 +176,14 @@ class Auctioneer {
   std::vector<std::pair<std::string, SlotTable>> distributions_
       GM_GUARDED_BY(mu_);
   Money revenue_ GM_GUARDED_BY(mu_);
-  // Telemetry pointers follow the attach-once convention: written before
-  // any concurrent use, then only read.
-  telemetry::Telemetry* telemetry_ = nullptr;
-  telemetry::Counter* ticks_ctr_ = nullptr;
-  telemetry::Summary* tick_price_ = nullptr;
-  telemetry::Gauge* price_gauge_ = nullptr;
-  telemetry::Summary* persistence_err_ = nullptr;
-  telemetry::Summary* window_mean_err_ = nullptr;
+  // Attach-once telemetry pointers; relaxed atomics make the handoff
+  // race-free without widening mu_'s critical sections.
+  std::atomic<telemetry::Telemetry*> telemetry_{nullptr};
+  std::atomic<telemetry::Counter*> ticks_ctr_{nullptr};
+  std::atomic<telemetry::Summary*> tick_price_{nullptr};
+  std::atomic<telemetry::Gauge*> price_gauge_{nullptr};
+  std::atomic<telemetry::Summary*> persistence_err_{nullptr};
+  std::atomic<telemetry::Summary*> window_mean_err_{nullptr};
   bool has_prev_price_ GM_GUARDED_BY(mu_) = false;
   // Previous tick's price: persistence forecast.
   double prev_price_ GM_GUARDED_BY(mu_) = 0.0;

@@ -85,15 +85,19 @@ bool MessageBus::EndpointCrashed(const std::string& name) const {
 
 void MessageBus::AttachTelemetry(telemetry::Telemetry* telemetry) {
   if (telemetry == nullptr) {
-    bytes_hist_ = nullptr;
-    latency_hist_ = nullptr;
-    partition_drops_ = nullptr;
+    bytes_hist_.store(nullptr, std::memory_order_relaxed);
+    latency_hist_.store(nullptr, std::memory_order_relaxed);
+    partition_drops_.store(nullptr, std::memory_order_relaxed);
     return;
   }
-  bytes_hist_ = telemetry->metrics().GetHistogram("net.bus.message_bytes");
-  latency_hist_ =
-      telemetry->metrics().GetHistogram("net.bus.delivery_latency_us");
-  partition_drops_ = telemetry->metrics().GetCounter("net.bus.partition_drops");
+  bytes_hist_.store(telemetry->metrics().GetHistogram("net.bus.message_bytes"),
+                    std::memory_order_relaxed);
+  latency_hist_.store(
+      telemetry->metrics().GetHistogram("net.bus.delivery_latency_us"),
+      std::memory_order_relaxed);
+  partition_drops_.store(
+      telemetry->metrics().GetCounter("net.bus.partition_drops"),
+      std::memory_order_relaxed);
 }
 
 void MessageBus::AddLossWindow(const LossWindow& window) {
@@ -120,12 +124,14 @@ void MessageBus::Send(Envelope envelope) {
   // not in some later refactor to real sockets.
   Bytes wire = envelope.Encode();
 
-  if (bytes_hist_ != nullptr) bytes_hist_->Record(wire.size());
+  if (auto* hist = bytes_hist_.load(std::memory_order_relaxed))
+    hist->Record(wire.size());
 
   if (LinkBlockedLocked(envelope.source, envelope.destination)) {
     ++stats_.dropped;
     stats_.bytes_dropped += wire.size();
-    if (partition_drops_ != nullptr) partition_drops_->Inc();
+    if (auto* ctr = partition_drops_.load(std::memory_order_relaxed))
+      ctr->Inc();
     GM_LOG_DEBUG << "bus: partitioned link " << envelope.source << " -> "
                  << envelope.destination;
     return;
@@ -142,8 +148,8 @@ void MessageBus::Send(Envelope envelope) {
   if (latency_.jitter > 0)
     delay += static_cast<sim::SimDuration>(
         rng_.NextBelow(static_cast<std::uint64_t>(latency_.jitter) + 1));
-  if (latency_hist_ != nullptr)
-    latency_hist_->Record(static_cast<std::uint64_t>(delay));
+  if (auto* hist = latency_hist_.load(std::memory_order_relaxed))
+    hist->Record(static_cast<std::uint64_t>(delay));
   kernel_.ScheduleAfter(delay, [this, wire = std::move(wire)] {
     Deliver(wire);
   });

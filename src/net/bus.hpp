@@ -12,6 +12,7 @@
 //   sent == delivered + dropped + undeliverable + in_flight.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <set>
@@ -125,10 +126,11 @@ class MessageBus {
       GM_GUARDED_BY(mu_);
   std::vector<LossWindow> loss_windows_ GM_GUARDED_BY(mu_);
   BusStats stats_ GM_GUARDED_BY(mu_);
-  // Cached metric pointers, non-null only while telemetry is attached.
-  telemetry::LatencyHistogram* bytes_hist_ = nullptr;
-  telemetry::LatencyHistogram* latency_hist_ = nullptr;
-  telemetry::Counter* partition_drops_ = nullptr;
+  // Cached metric pointers, non-null only while telemetry is attached;
+  // relaxed atomics make the attach/detach handoff race-free.
+  std::atomic<telemetry::LatencyHistogram*> bytes_hist_{nullptr};
+  std::atomic<telemetry::LatencyHistogram*> latency_hist_{nullptr};
+  std::atomic<telemetry::Counter*> partition_drops_{nullptr};
 };
 
 }  // namespace gm::net

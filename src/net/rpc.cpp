@@ -61,14 +61,16 @@ RpcServer::~RpcServer() {
 }
 
 void RpcServer::AttachTelemetry(telemetry::Telemetry* telemetry) {
-  telemetry_ = telemetry;
+  telemetry_.store(telemetry, std::memory_order_relaxed);
   if (telemetry == nullptr) {
-    executions_ctr_ = nullptr;
-    replays_ctr_ = nullptr;
+    executions_ctr_.store(nullptr, std::memory_order_relaxed);
+    replays_ctr_.store(nullptr, std::memory_order_relaxed);
     return;
   }
-  executions_ctr_ = telemetry->metrics().GetCounter("net.rpc.executions");
-  replays_ctr_ = telemetry->metrics().GetCounter("net.rpc.replays");
+  executions_ctr_.store(telemetry->metrics().GetCounter("net.rpc.executions"),
+                        std::memory_order_relaxed);
+  replays_ctr_.store(telemetry->metrics().GetCounter("net.rpc.replays"),
+                     std::memory_order_relaxed);
 }
 
 void RpcServer::RegisterMethod(const std::string& name, Method method) {
@@ -110,11 +112,13 @@ void RpcServer::HandleEnvelope(const Envelope& envelope) {
         client_cache->second.responses.find(envelope.correlation_id);
     if (cached != client_cache->second.responses.end()) {
       ++replays_;
-      if (replays_ctr_ != nullptr) replays_ctr_->Inc();
+      if (auto* ctr = replays_ctr_.load(std::memory_order_relaxed))
+        ctr->Inc();
       // The replay is visible in the trace, but as a dedup instant, not a
       // second execution span: the work happened exactly once.
-      if (telemetry_ != nullptr && envelope.trace_id != 0) {
-        telemetry_->tracer().Instant(
+      auto* telemetry = telemetry_.load(std::memory_order_relaxed);
+      if (telemetry != nullptr && envelope.trace_id != 0) {
+        telemetry->tracer().Instant(
             envelope.trace_id, "rpc-dedup",
             "server=" + endpoint_ + " client=" + envelope.source,
             bus_.kernel().now(), static_cast<double>(envelope.attempt));
@@ -148,7 +152,8 @@ void RpcServer::HandleEnvelope(const Envelope& envelope) {
     return;
   }
   ++executions_;
-  if (executions_ctr_ != nullptr) executions_ctr_->Inc();
+  if (auto* ctr = executions_ctr_.load(std::memory_order_relaxed))
+    ctr->Inc();
   Result<Bytes> result = it->second(*request);
   response.payload = result.ok() ? EncodeResponse(Status::Ok(), *result)
                                  : EncodeResponse(result.status(), {});
@@ -180,30 +185,36 @@ RpcClient::~RpcClient() {
 }
 
 void RpcClient::AttachTelemetry(telemetry::Telemetry* telemetry) {
-  telemetry_ = telemetry;
+  telemetry_.store(telemetry, std::memory_order_relaxed);
   if (telemetry == nullptr) {
-    calls_ctr_ = nullptr;
-    retries_ctr_ = nullptr;
-    timeouts_ctr_ = nullptr;
-    latency_hist_ = nullptr;
+    calls_ctr_.store(nullptr, std::memory_order_relaxed);
+    retries_ctr_.store(nullptr, std::memory_order_relaxed);
+    timeouts_ctr_.store(nullptr, std::memory_order_relaxed);
+    latency_hist_.store(nullptr, std::memory_order_relaxed);
     return;
   }
-  calls_ctr_ = telemetry->metrics().GetCounter("net.rpc.calls");
-  retries_ctr_ = telemetry->metrics().GetCounter("net.rpc.retries");
-  timeouts_ctr_ = telemetry->metrics().GetCounter("net.rpc.timeouts");
-  latency_hist_ = telemetry->metrics().GetHistogram("net.rpc.latency_us");
+  calls_ctr_.store(telemetry->metrics().GetCounter("net.rpc.calls"),
+                   std::memory_order_relaxed);
+  retries_ctr_.store(telemetry->metrics().GetCounter("net.rpc.retries"),
+                     std::memory_order_relaxed);
+  timeouts_ctr_.store(telemetry->metrics().GetCounter("net.rpc.timeouts"),
+                      std::memory_order_relaxed);
+  latency_hist_.store(telemetry->metrics().GetHistogram("net.rpc.latency_us"),
+                      std::memory_order_relaxed);
 }
 
 void RpcClient::FinishSpan(const PendingCall& call, bool ok) {
-  if (telemetry_ == nullptr) return;
+  auto* telemetry = telemetry_.load(std::memory_order_relaxed);
+  if (telemetry == nullptr) return;
   const sim::SimTime now = bus_.kernel().now();
   if (call.span != 0) {
-    telemetry_->tracer().EndSpan(
+    telemetry->tracer().EndSpan(
         call.span, now,
         ok ? telemetry::SpanStatus::kOk : telemetry::SpanStatus::kError);
   }
-  if (latency_hist_ != nullptr && now >= call.started)
-    latency_hist_->Record(static_cast<std::uint64_t>(now - call.started));
+  auto* latency = latency_hist_.load(std::memory_order_relaxed);
+  if (latency != nullptr && now >= call.started)
+    latency->Record(static_cast<std::uint64_t>(now - call.started));
 }
 
 void RpcClient::Call(const std::string& server, const std::string& method,
@@ -219,9 +230,10 @@ void RpcClient::Call(const std::string& server, const std::string& method,
   call.options = options;
   call.callback = std::move(callback);
   call.started = bus_.kernel().now();
-  if (calls_ctr_ != nullptr) calls_ctr_->Inc();
-  if (telemetry_ != nullptr && options.trace != 0) {
-    call.span = telemetry_->tracer().BeginSpan(
+  if (auto* ctr = calls_ctr_.load(std::memory_order_relaxed)) ctr->Inc();
+  auto* telemetry = telemetry_.load(std::memory_order_relaxed);
+  if (telemetry != nullptr && options.trace != 0) {
+    call.span = telemetry->tracer().BeginSpan(
         options.trace, "rpc:" + method, "server=" + server, call.started);
   }
   pending_.emplace(id, std::move(call));
@@ -307,15 +319,18 @@ void RpcClient::HandleTimeout(std::uint64_t id) {
     const auto it = pending_.find(id);
     if (it == pending_.end()) return;
     ++timeouts_;
-    if (timeouts_ctr_ != nullptr) timeouts_ctr_->Inc();
+    if (auto* ctr = timeouts_ctr_.load(std::memory_order_relaxed))
+      ctr->Inc();
     PendingCall& call = it->second;
     if (call.attempt < call.options.max_attempts) {
       const sim::SimDuration backoff = BackoffDelay(call);
       ++call.attempt;
       ++retries_;
-      if (retries_ctr_ != nullptr) retries_ctr_->Inc();
-      if (telemetry_ != nullptr && call.span != 0)
-        telemetry_->tracer().AddAttempt(call.span);
+      if (auto* ctr = retries_ctr_.load(std::memory_order_relaxed))
+        ctr->Inc();
+      if (auto* telemetry = telemetry_.load(std::memory_order_relaxed);
+          telemetry != nullptr && call.span != 0)
+        telemetry->tracer().AddAttempt(call.span);
       GM_LOG_DEBUG << "rpc: retrying " << call.method << " attempt "
                    << call.attempt << " after " << backoff << "us backoff";
       if (backoff <= 0) {

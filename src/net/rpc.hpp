@@ -13,6 +13,7 @@
 // retries without double-applying.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -88,10 +89,11 @@ class RpcServer {
   std::unordered_map<std::string, ClientDedup> dedup_ GM_GUARDED_BY(mu_);
   std::uint64_t executions_ GM_GUARDED_BY(mu_) = 0;
   std::uint64_t replays_ GM_GUARDED_BY(mu_) = 0;
-  // Attach-once convention: written before any concurrent use.
-  telemetry::Telemetry* telemetry_ = nullptr;
-  telemetry::Counter* executions_ctr_ = nullptr;
-  telemetry::Counter* replays_ctr_ = nullptr;
+  // Attach-once telemetry pointers; relaxed atomics make the handoff
+  // race-free without a lock.
+  std::atomic<telemetry::Telemetry*> telemetry_{nullptr};
+  std::atomic<telemetry::Counter*> executions_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> replays_ctr_{nullptr};
 };
 
 struct CallOptions {
@@ -185,12 +187,13 @@ class RpcClient {
   std::uint64_t retries_ GM_GUARDED_BY(mu_) = 0;
   std::uint64_t stale_responses_ GM_GUARDED_BY(mu_) = 0;
   std::unordered_map<std::uint64_t, PendingCall> pending_ GM_GUARDED_BY(mu_);
-  // Attach-once convention: written before any concurrent use.
-  telemetry::Telemetry* telemetry_ = nullptr;
-  telemetry::Counter* calls_ctr_ = nullptr;
-  telemetry::Counter* retries_ctr_ = nullptr;
-  telemetry::Counter* timeouts_ctr_ = nullptr;
-  telemetry::LatencyHistogram* latency_hist_ = nullptr;
+  // Attach-once telemetry pointers; relaxed atomics make the handoff
+  // race-free without a lock.
+  std::atomic<telemetry::Telemetry*> telemetry_{nullptr};
+  std::atomic<telemetry::Counter*> calls_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> retries_ctr_{nullptr};
+  std::atomic<telemetry::Counter*> timeouts_ctr_{nullptr};
+  std::atomic<telemetry::LatencyHistogram*> latency_hist_{nullptr};
 };
 
 /// Helpers for encoding Status into RPC response payloads. A malformed

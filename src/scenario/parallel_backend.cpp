@@ -135,12 +135,16 @@ void ParallelScenarioBackend::Admit(std::size_t shard_index, ShardState& st,
         !auctioneer.Fund(account, job.budget).ok() ||
         !auctioneer.SetBid(account, job.rate, job.deadline).ok()) {
       ++st.rejected;
+      // Best-effort cleanup of a half-opened account; a close failure
+      // means nothing was funded.
       (void)auctioneer.CloseAccount(account);
       continue;
     }
     const Result<host::VirtualMachine*> vm = auctioneer.AcquireVm(account);
     if (!vm.ok()) {
       ++st.rejected;
+      // Best-effort refund of the rejected job's budget; the account is
+      // fully torn down either way.
       (void)auctioneer.CloseAccount(account);
       continue;
     }

@@ -14,6 +14,9 @@ BestResponseExperiment::BestResponseExperiment(
   GM_ASSERT(!config_.budgets.empty(), "experiment needs at least one user");
 }
 
+// Background tenants stay funded for the entire horizon by design; the
+// experiment owns the whole simulation and its teardown.
+// gmlint: money-sink(horizon-long background funding; sim owns teardown)
 Result<std::vector<UserOutcome>> BestResponseExperiment::Run() {
   const std::size_t users = config_.budgets.size();
   GM_ASSIGN_OR_RETURN(const grid::JobDescription description,

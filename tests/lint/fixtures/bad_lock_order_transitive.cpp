@@ -1,0 +1,45 @@
+// gmlint fixture: must trigger the lock-order rule through a depth-2
+// call chain — the inversion is invisible in any single function and
+// only appears once acquisition summaries flow bottom-up through the
+// call graph. Carries its own rank DAG so it is self-contained under
+// --no-path-filter.
+#include "common/concurrency.hpp"
+
+namespace gm {
+namespace lockrank {
+inline constexpr int kBus = 15;
+inline constexpr int kBank = 30;
+}  // namespace lockrank
+
+// Leaf: acquires the bus rank. On its own this is fine.
+class Publisher {
+ public:
+  void Publish() { MutexLock lock(&bus_mu_); }
+
+ private:
+  Mutex bus_mu_{"transitive.bus", lockrank::kBus};
+};
+
+// Middle layer: acquires nothing itself, only forwards. The summary
+// must carry Publisher's acquisition up through this hop.
+class Ticker {
+ public:
+  void Emit() { publisher_.Publish(); }
+
+ private:
+  Publisher publisher_;
+};
+
+class Settlement {
+ public:
+  void Settle() {
+    MutexLock ledger(&bank_mu_);  // kBank = 30
+    ticker_.Emit();               // → Publish() → kBus = 15: inversion
+  }
+
+ private:
+  Mutex bank_mu_{"transitive.ledger", lockrank::kBank};
+  Ticker ticker_;
+};
+
+}  // namespace gm

@@ -1,0 +1,34 @@
+// gmlint fixture: must trigger the money-conservation rule — escrow
+// opened through a bank surface and then leaked on an early exit, a
+// macro exit, or at the end of the function.
+#include "common/status.hpp"
+
+namespace fixture {
+
+class Bank {
+ public:
+  gm::Status PrepareDebit(const char* account);
+  gm::Status Refund(const char* account);
+  gm::Status Validate(const char* account);
+};
+
+gm::Status LeakOnMacroExit(Bank& bank) {
+  GM_RETURN_IF_ERROR(bank.PrepareDebit("alice"));
+  GM_RETURN_IF_ERROR(bank.Validate("alice"));  // finding: exits with the hold open
+  return bank.Refund("alice");
+}
+
+gm::Status LeakAtEnd(Bank& bank) {
+  GM_RETURN_IF_ERROR(bank.PrepareDebit("bob"));
+  return gm::Status::Ok();  // finding: hold never settled
+}
+
+gm::Status LeakOnFastPath(Bank& bank, bool fast) {
+  GM_RETURN_IF_ERROR(bank.PrepareDebit("carol"));
+  if (fast) {
+    return gm::Status::Ok();  // finding: fast path skips the refund
+  }
+  return bank.Refund("carol");
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// gmlint fixture: must trigger the status-propagation rule — results
+// of fallible *project* callees dropped, captured-and-never-read,
+// overwritten before a read, or (void)-cast without a justification.
+#include "common/status.hpp"
+
+namespace fixture {
+
+gm::Status Flush() { return gm::Status::Ok(); }
+gm::Result<int> Parse() { return 7; }
+void Log(const char* message);
+
+void DropOnFloor() {
+  Flush();  // finding: Status discarded outright
+  Log("ticked");
+}
+
+void CastWithoutReason() {
+  (void)Flush();
+  Log("cast");
+}
+
+void CaptureNeverRead() {
+  auto flushed = Parse();  // finding: bound, then never looked at
+  Log("captured");
+}
+
+void OverwriteBeforeRead() {
+  auto st = Flush();  // finding: overwritten before anyone reads it
+  st = Flush();
+  if (!st.ok()) Log("late");
+}
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// gmlint fixture: must pass the money-conservation rule — every
+// control-flow outcome settles the hold, exits guarded on the open's
+// own result are exempt, and a justified sink is annotated.
+#include "common/status.hpp"
+
+namespace fixture {
+
+class Bank {
+ public:
+  gm::Status PrepareDebit(const char* account);
+  gm::Status Refund(const char* account);
+  gm::Status Validate(const char* account);
+};
+
+gm::Status SettleBothPaths(Bank& bank, bool fast) {
+  GM_RETURN_IF_ERROR(bank.Validate("alice"));  // exits before the open
+  GM_RETURN_IF_ERROR(bank.PrepareDebit("alice"));
+  if (fast) {
+    GM_RETURN_IF_ERROR(bank.Refund("alice"));
+    return gm::Status::Ok();
+  }
+  return bank.Refund("alice");
+}
+
+gm::Status GuardedOpen(Bank& bank) {
+  const auto hold = bank.PrepareDebit("bob");
+  if (!hold.ok()) {
+    return hold;  // the failed open holds no money: exempt exit
+  }
+  return bank.Refund("bob");
+}
+
+// The hold funds a long-lived session; its owner settles at teardown.
+// gmlint: money-sink(hold outlives the call; session owner settles it)
+gm::Status OpenForSession(Bank& bank) {
+  GM_RETURN_IF_ERROR(bank.PrepareDebit("carol"));
+  return gm::Status::Ok();
+}
+
+gm::Status SettleOnFailure(Bank& bank) {
+  const auto hold = bank.PrepareDebit("dave");
+  if (!hold.ok()) {
+    return hold;
+  }
+  const auto used = bank.Validate("dave");
+  if (!used.ok()) {
+    GM_RETURN_IF_ERROR(bank.Refund("dave"));
+    return used;
+  }
+  return bank.Refund("dave");
+}
+
+}  // namespace fixture

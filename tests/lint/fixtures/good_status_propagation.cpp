@@ -1,0 +1,39 @@
+// gmlint fixture: must pass the status-propagation rule — every
+// fallible result is returned, checked, consumed by a GM_* macro, or
+// (void)-cast with a justifying comment.
+#include "common/status.hpp"
+
+namespace fixture {
+
+gm::Status Flush() { return gm::Status::Ok(); }
+gm::Result<int> Parse() { return 7; }
+void Log(const char* message);
+
+gm::Status Propagate() {
+  return Flush();  // handed straight to the caller
+}
+
+gm::Status Checked() {
+  const auto st = Flush();
+  if (!st.ok()) return st;
+  return gm::Status::Ok();
+}
+
+gm::Status ThroughMacros() {
+  GM_RETURN_IF_ERROR(Flush());
+  GM_ASSIGN_OR_RETURN(const int parsed, Parse());
+  Log(parsed > 0 ? "positive" : "other");
+  return gm::Status::Ok();
+}
+
+void Justified() {
+  // Best-effort flush on shutdown; a failure here is harmless.
+  (void)Flush();
+}
+
+void ReadThroughMember() {
+  auto parsed = Parse();
+  if (parsed.ok()) Log("parsed");
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Lexer corpus: preprocessor conditionals. Directives lex as plain
+// '#' + identifier tokens, and the bodies of #if 0 / #ifdef blocks
+// still lex as ordinary code (gmstatic analyses all branches, it does
+// not evaluate the preprocessor).
+#if 0
+int dead_code = 1;  // inside #if 0: still tokenised
+const char* tricky = "#endif inside a string";
+#endif
+#ifdef GM_NEVER_DEFINED
+int maybe_code = 2;
+#else
+int else_code = 3;
+#endif
+#if defined(GM_A) && \
+    defined(GM_B)
+int spliced_condition = 4;
+#endif
+int after_conditionals = 5;

@@ -1,0 +1,4 @@
+﻿// Lexer corpus: the UTF-8 byte-order mark must be skipped, not
+// lexed into the first token or reported as an error.
+int first_token_after_bom = 1;
+const char* text = "café";  // non-ASCII payload in a string

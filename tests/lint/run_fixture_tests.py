@@ -54,6 +54,12 @@ CASES = [
     ("good_hotpath_alloc.cpp", "hotpath-allocation", 0),
     ("bad_dropped_status.cpp", "dropped-status", 2),
     ("good_dropped_status.cpp", "dropped-status", 0),
+    # Interprocedural rules (call graph + fixpoint summaries).
+    ("bad_lock_order_transitive.cpp", "lock-order", 1),
+    ("bad_status_propagation.cpp", "status-propagation", 4),
+    ("good_status_propagation.cpp", "status-propagation", 0),
+    ("bad_money_conservation.cpp", "money-conservation", 4),
+    ("good_money_conservation.cpp", "money-conservation", 0),
     # Suppression extents: allow() covers the whole statement, but only
     # for the named rule and never a statement above the directive.
     ("good_multiline_allow.cpp", "float-money-eq", 0),
@@ -114,6 +120,22 @@ def run_lock_order_message_check():
     return errors
 
 
+def run_transitive_chain_check():
+    """The depth-2 inversion must spell out the full call chain with an
+    arrow between the hops, not just the first callee."""
+    result = run_gmlint(["--no-path-filter", "--rules", "lock-order",
+                         str(FIXTURES / "bad_lock_order_transitive.cpp")])
+    errors = []
+    chained = [line for line in result.stdout.splitlines()
+               if "via call to" in line and " → " in line
+               and "transitive.bus" in line and "transitive.ledger" in line]
+    if not chained:
+        errors.append("bad_lock_order_transitive.cpp: no finding reports"
+                      " the multi-hop chain ('via call to a() → b()') with"
+                      " both lock names:\n" + result.stdout)
+    return errors
+
+
 def run_lexer_goldens():
     errors = []
     sources = sorted(LEXER_FIXTURES.glob("*.cpp"))
@@ -142,6 +164,7 @@ def main():
     for fixture, rule, minimum in CASES:
         failures.extend(run_case(fixture, rule, minimum))
     failures.extend(run_lock_order_message_check())
+    failures.extend(run_transitive_chain_check())
 
     # Every rule over the good fixtures must also be clean: rules must
     # not bleed into each other's fixtures.

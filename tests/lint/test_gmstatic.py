@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
 """Unit tests for the gmstatic analysis framework itself (lexer, scope
-parser, project index, suppression extents, baseline, JSON report).
-Runs under ctest as lint_gmstatic_unit; fixture-level rule behavior is
-covered separately by run_fixture_tests.py."""
+parser, project index, suppression extents, baseline, call graph,
+changed-only selection, SARIF and JSON reports). Runs under ctest as
+lint_gmstatic_unit; fixture-level rule behavior is covered separately
+by run_fixture_tests.py."""
 
 import json
 import pathlib
+import shutil
+import subprocess
 import sys
 import tempfile
+import time
 import unittest
 
 REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 sys.path.insert(0, str(REPO / "scripts"))
 
-from gmstatic import analysis, cppmodel, engine, lexer  # noqa: E402
+from gmstatic import (  # noqa: E402
+    analysis, callgraph, changed, cppmodel, engine, lexer, sarif)
 
 
 def parse(text, display="test.cpp"):
@@ -274,6 +279,295 @@ class EngineTest(unittest.TestCase):
             [source], {"nondeterminism"}, path_filter=False, baseline=None)
         self.assertEqual(findings, [])
         self.assertEqual(len(errors), 1)
+
+
+class BaselineValidationTest(unittest.TestCase):
+    def load(self, entries):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "baseline.json"
+            path.write_text(json.dumps({"entries": entries}))
+            return engine.Baseline(path)
+
+    def test_missing_reason_rejected(self):
+        with self.assertRaises(engine.BaselineError):
+            self.load([{"rule": "r", "file": "f.cpp", "subject": "s"}])
+
+    def test_blank_reason_rejected(self):
+        with self.assertRaises(engine.BaselineError):
+            self.load([{"rule": "r", "file": "f.cpp", "subject": "s",
+                        "reason": "   "}])
+
+    def test_non_string_reason_rejected(self):
+        with self.assertRaises(engine.BaselineError):
+            self.load([{"rule": "r", "file": "f.cpp", "subject": "s",
+                        "reason": 7}])
+
+    def test_missing_key_fields_rejected(self):
+        for field in ("rule", "file", "subject"):
+            entry = {"rule": "r", "file": "f.cpp", "subject": "s",
+                     "reason": "why"}
+            del entry[field]
+            with self.assertRaises(engine.BaselineError):
+                self.load([entry])
+
+    def test_unused_restricted_to_scanned_files(self):
+        baseline = self.load([
+            {"rule": "r", "file": "scanned.cpp", "subject": "stale",
+             "reason": "x"},
+            {"rule": "r", "file": "skipped.cpp", "subject": "other",
+             "reason": "y"},
+        ])
+        # An incremental run that never parsed skipped.cpp cannot call
+        # its entry stale; the entry for a scanned file with no match
+        # is genuinely unused.
+        self.assertEqual(baseline.unused({"r"}, files={"scanned.cpp"}),
+                         [("r", "scanned.cpp", "stale")])
+
+
+class SarifTest(unittest.TestCase):
+    def make_findings(self):
+        live = engine.Finding("lock-order", "src/a.cpp", 12, 3,
+                              "gm::F", "rank inversion")
+        waived = engine.Finding("guarded-field", "src/b.hpp", 0, 0,
+                                "C::f_", "unguarded read")
+        waived.baselined = True
+        return [live, waived]
+
+    def report(self):
+        findings = self.make_findings()
+        return sarif.sarif_report(
+            findings, {"lock-order", "guarded-field"}, ["bad.cpp:1: oops"])
+
+    def test_document_skeleton(self):
+        doc = self.report()
+        self.assertEqual(doc["version"], "2.1.0")
+        self.assertIn("sarif-2.1.0", doc["$schema"])
+        self.assertEqual(len(doc["runs"]), 1)
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "gmstatic")
+        # Round-trips through the JSON encoder (no stray objects).
+        json.loads(json.dumps(doc))
+
+    def test_rule_table_and_indices_agree(self):
+        run = self.report()["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        self.assertEqual(ids, sorted(ids))
+        for rule in rules:
+            self.assertTrue(rule["shortDescription"]["text"])
+        for result in run["results"]:
+            idx = result["ruleIndex"]
+            self.assertTrue(0 <= idx < len(rules))
+            self.assertEqual(rules[idx]["id"], result["ruleId"])
+
+    def test_results_have_valid_locations_and_levels(self):
+        run = self.report()["runs"][0]
+        self.assertEqual(len(run["results"]), 2)
+        for result in run["results"]:
+            self.assertIn(result["level"], ("note", "warning", "error"))
+            self.assertTrue(result["message"]["text"])
+            loc = result["locations"][0]["physicalLocation"]
+            self.assertEqual(loc["artifactLocation"]["uriBaseId"],
+                             "SRCROOT")
+            # SARIF requires 1-based positions even when the analyzer
+            # reports a whole-file finding as line 0.
+            self.assertGreaterEqual(loc["region"]["startLine"], 1)
+            self.assertGreaterEqual(loc["region"]["startColumn"], 1)
+            self.assertIn("gmstatic/subject/v1",
+                          result["partialFingerprints"])
+
+    def test_baselined_results_suppressed_not_dropped(self):
+        results = self.report()["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        self.assertEqual(by_rule["lock-order"]["level"], "error")
+        self.assertNotIn("suppressions", by_rule["lock-order"])
+        waived = by_rule["guarded-field"]
+        self.assertEqual(waived["level"], "note")
+        self.assertEqual(waived["suppressions"][0]["kind"], "external")
+
+    def test_lex_errors_become_notifications(self):
+        run = self.report()["runs"][0]
+        notes = run["invocations"][0]["toolExecutionNotifications"]
+        self.assertEqual(len(notes), 1)
+        self.assertEqual(notes[0]["descriptor"]["id"], "lex-error")
+        self.assertEqual(notes[0]["message"]["text"], "bad.cpp:1: oops")
+
+    def test_every_registered_rule_has_a_description(self):
+        for rule in engine.RULE_NAMES:
+            self.assertIn(rule, sarif.RULE_DESCRIPTIONS)
+
+
+class CallGraphTest(unittest.TestCase):
+    SOURCE = """
+        namespace gm {
+        class Base {
+         public:
+          virtual void Poll();
+        };
+        class Derived : public Base {
+         public:
+          void Poll() override { Step(); }
+          void Step();
+        };
+        void Base::Poll() { }
+        void Derived::Step() { }
+        class Driver {
+         public:
+          void RunOnce() { base_.Poll(); }
+         private:
+          Base base_;
+        };
+        void Ping();
+        void Pong() { Ping(); }
+        void Ping() { Pong(); }
+        void Solo() { Pong(); }
+        }  // namespace gm
+    """
+
+    def setUp(self):
+        self.source = parse(self.SOURCE)
+        self.project = analysis.Project([self.source])
+        self.graph = callgraph.CallGraph(self.project)
+
+    def fn(self, name, class_name=None):
+        for fn in self.source.functions:
+            if fn.name == name and fn.class_name == class_name:
+                return fn
+        raise AssertionError(f"no function {class_name}::{name}")
+
+    def test_member_call_dispatches_to_overrides(self):
+        sites = self.graph.calls[self.fn("RunOnce", "Driver")]
+        self.assertEqual(len(sites), 1)
+        names = {(t.class_name, t.name) for t in sites[0].targets}
+        # Static target plus the virtual-dispatch over-approximation:
+        # base_.Poll() may run any override of Poll in the hierarchy.
+        self.assertEqual(names, {("Base", "Poll"), ("Derived", "Poll")})
+
+    def test_mutual_recursion_is_one_scc(self):
+        ping, pong = self.fn("Ping"), self.fn("Pong")
+        scc_of = {}
+        for scc in self.graph.sccs():
+            for fn in scc:
+                scc_of[fn] = scc
+        self.assertIs(scc_of[ping], scc_of[pong])
+        self.assertTrue(self.graph.is_recursive(scc_of[ping]))
+        solo_scc = scc_of[self.fn("Solo")]
+        self.assertEqual(len(solo_scc), 1)
+        self.assertFalse(self.graph.is_recursive(solo_scc))
+
+    def test_scc_order_is_callees_first(self):
+        sccs = self.graph.sccs()
+        index_of = {fn: i for i, scc in enumerate(sccs) for fn in scc}
+        # Solo calls Pong, so Pong's SCC must be emitted before Solo's
+        # (dataflow folds callee summaries bottom-up).
+        self.assertLess(index_of[self.fn("Pong")],
+                        index_of[self.fn("Solo")])
+
+    def test_callers_is_the_reverse_edge_set(self):
+        pong = self.fn("Pong")
+        caller_names = {fn.name for fn in self.graph.callers[pong]}
+        self.assertEqual(caller_names, {"Ping", "Solo"})
+
+
+class ChangedSelectTest(unittest.TestCase):
+    def write_tree(self, root):
+        (root / "src").mkdir()
+        (root / "src/a.hpp").write_text("struct A {};\n")
+        (root / "src/b.hpp").write_text('#include "src/a.hpp"\n')
+        (root / "src/c.cpp").write_text('#include "src/b.hpp"\n')
+        (root / "src/d.cpp").write_text("int d;\n")
+        return [root / "src/a.hpp", root / "src/b.hpp",
+                root / "src/c.cpp", root / "src/d.cpp"]
+
+    def names(self, files):
+        return [f.name for f in files]
+
+    def test_header_edit_selects_reverse_include_closure(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            files = self.write_tree(pathlib.Path(tmp))
+            picked = changed.select(files, ["src/a.hpp"])
+            # b.hpp includes a.hpp and c.cpp includes b.hpp: both are
+            # re-checked; the unrelated d.cpp is not.
+            self.assertEqual(self.names(picked),
+                             ["a.hpp", "b.hpp", "c.cpp"])
+
+    def test_leaf_edit_pulls_forward_includes_for_resolution(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            files = self.write_tree(pathlib.Path(tmp))
+            picked = changed.select(files, ["src/c.cpp"])
+            # c.cpp needs b.hpp and (transitively) a.hpp parsed so the
+            # project index still resolves the types it refers to.
+            self.assertEqual(self.names(picked),
+                             ["a.hpp", "b.hpp", "c.cpp"])
+
+    def test_isolated_edit_selects_only_itself(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            files = self.write_tree(pathlib.Path(tmp))
+            picked = changed.select(files, ["src/d.cpp"])
+            self.assertEqual(self.names(picked), ["d.cpp"])
+
+    def test_no_match_selects_nothing(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            files = self.write_tree(pathlib.Path(tmp))
+            self.assertEqual(changed.select(files, ["src/gone.cpp"]), [])
+            self.assertEqual(changed.select(files, []), [])
+
+    def test_changed_names_match_by_path_suffix(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            files = self.write_tree(pathlib.Path(tmp))
+            # A repo-relative name matches the absolute gathered path.
+            picked = changed.select(files, ["a.hpp"])
+            self.assertIn("a.hpp", self.names(picked))
+
+    @unittest.skipIf(shutil.which("git") is None, "git not installed")
+    def test_git_changed_files_sees_diff_and_untracked(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            env_git = ["git", "-c", "user.email=t@t", "-c", "user.name=t"]
+            subprocess.run(["git", "init", "-q"], cwd=tmp, check=True)
+            (root / "tracked.cpp").write_text("int x;\n")
+            subprocess.run(["git", "add", "tracked.cpp"], cwd=tmp,
+                           check=True)
+            subprocess.run(env_git + ["commit", "-qm", "seed"], cwd=tmp,
+                           check=True)
+            (root / "tracked.cpp").write_text("int x = 1;\n")
+            (root / "fresh.cpp").write_text("int y;\n")
+            got = changed.git_changed_files("HEAD", root)
+            self.assertEqual(sorted(got), ["fresh.cpp", "tracked.cpp"])
+
+    def test_git_failure_raises(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with self.assertRaises(RuntimeError):
+                changed.git_changed_files("HEAD", pathlib.Path(tmp))
+
+
+class ChangedOnlyTimingTest(unittest.TestCase):
+    """The incremental mode must be cheap enough for a save hook: a
+    one-file diff over the whole tree stays under 2 s and beats the
+    full run it replaces."""
+
+    GMLINT = [sys.executable, str(REPO / "scripts/gmlint.py"),
+              "--all-rules", "src", "tests",
+              "--exclude", "tests/lint/fixtures"]
+
+    def run_lint(self, extra):
+        start = time.monotonic()
+        proc = subprocess.run(self.GMLINT + extra, cwd=str(REPO),
+                              capture_output=True, text=True)
+        duration = time.monotonic() - start
+        self.assertIn(proc.returncode, (0, 1),
+                      f"gmlint crashed: {proc.stderr}")
+        return duration
+
+    def test_one_file_diff_is_fast(self):
+        incremental = self.run_lint(
+            ["--changed-files", "src/grid/plugin.cpp"])
+        full = self.run_lint([])
+        self.assertLess(incremental, 2.0,
+                        f"changed-only run took {incremental:.2f}s")
+        self.assertLess(incremental, full,
+                        f"changed-only ({incremental:.2f}s) not faster "
+                        f"than full run ({full:.2f}s)")
 
 
 if __name__ == "__main__":
